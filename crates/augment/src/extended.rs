@@ -1,0 +1,152 @@
+//! Extended time-series augmentations beyond the Ref-Paper's six.
+//!
+//! The replication closes its Sec. 2.3 noting that "a broader and more
+//! systematic comparison of data augmentation techniques in the TC field
+//! should be of community-wide interest". These three additions model
+//! further network phenomena with the same domain-knowledge flavour as
+//! Change RTT / Time shift / Packet loss:
+//!
+//! * [`iat_jitter`] — multiplicative log-normal noise on every
+//!   inter-arrival gap (queueing-delay variation packet by packet, where
+//!   Change RTT rescales the whole flow uniformly);
+//! * [`packet_duplication`] — random retransmissions: a packet reappears
+//!   shortly after itself, as TCP loss recovery or link-layer repeats
+//!   produce;
+//! * [`pad_sizes`] — random per-packet payload padding (TLS record
+//!   padding / MTU-quantization effects), sizes clamped to 1500.
+//!
+//! All three preserve the series invariants (ordering, t=0 start) and are
+//! benchmarked against the paper's six in `ablation_extended_augs`.
+
+use rand::{Rng, RngExt};
+use trafficgen::types::Pkt;
+
+/// Multiplies every inter-arrival gap by `exp(N(0, sigma))` — per-hop
+/// queueing jitter. `sigma = 0.3` keeps flows recognizable.
+pub fn iat_jitter<R: Rng + ?Sized>(pkts: &[Pkt], sigma: f64, rng: &mut R) -> Vec<Pkt> {
+    assert!(sigma >= 0.0);
+    if pkts.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(pkts.len());
+    let mut t = 0.0f64;
+    out.push(Pkt { ts: 0.0, ..pkts[0] });
+    for w in pkts.windows(2) {
+        let gap = w[1].ts - w[0].ts;
+        let factor = (sigma * crate::normal_sample(rng)).exp();
+        t += gap * factor;
+        out.push(Pkt { ts: t, ..w[1] });
+    }
+    out
+}
+
+/// Duplicates each packet with probability `prob`; the copy arrives a
+/// fraction of the local gap later, keeping ordering intact.
+pub fn packet_duplication<R: Rng + ?Sized>(pkts: &[Pkt], prob: f64, rng: &mut R) -> Vec<Pkt> {
+    assert!((0.0..=1.0).contains(&prob));
+    let mut out = Vec::with_capacity(pkts.len() + (pkts.len() as f64 * prob) as usize + 1);
+    for (i, p) in pkts.iter().enumerate() {
+        out.push(*p);
+        if rng.random::<f64>() < prob {
+            // Place the duplicate before the next packet (or +1 ms at the
+            // tail) so sortedness holds by construction.
+            let next_ts = pkts.get(i + 1).map(|n| n.ts).unwrap_or(p.ts + 0.002);
+            let dup_ts = p.ts + (next_ts - p.ts) * 0.5;
+            out.push(Pkt { ts: dup_ts, ..*p });
+        }
+    }
+    out
+}
+
+/// Adds `U[0, max_pad]` bytes of padding to every packet, clamped to the
+/// MTU.
+pub fn pad_sizes<R: Rng + ?Sized>(pkts: &[Pkt], max_pad: u16, rng: &mut R) -> Vec<Pkt> {
+    pkts.iter()
+        .map(|p| {
+            let pad = rng.random_range(0..=max_pad);
+            Pkt { size: (p.size.saturating_add(pad)).min(1500), ..*p }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trafficgen::types::Direction;
+
+    fn series(n: usize) -> Vec<Pkt> {
+        (0..n).map(|i| Pkt::data(i as f64 * 0.3, 200 + i as u16, Direction::Downstream)).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn iat_jitter_preserves_counts_sizes_and_order() {
+        let s = series(40);
+        let mut r = rng();
+        let out = iat_jitter(&s, 0.3, &mut r);
+        assert_eq!(out.len(), s.len());
+        assert_eq!(out[0].ts, 0.0);
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for (a, b) in s.iter().zip(&out) {
+            assert_eq!(a.size, b.size);
+        }
+        // Jitter actually changes timing.
+        assert!(s.iter().zip(&out).any(|(a, b)| (a.ts - b.ts).abs() > 1e-9));
+    }
+
+    #[test]
+    fn iat_jitter_zero_sigma_is_identity() {
+        let s = series(10);
+        let mut r = rng();
+        let out = iat_jitter(&s, 0.0, &mut r);
+        for (a, b) in s.iter().zip(&out) {
+            assert!((a.ts - b.ts).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplication_grows_and_stays_sorted() {
+        let s = series(200);
+        let mut r = rng();
+        let out = packet_duplication(&s, 0.3, &mut r);
+        assert!(out.len() > s.len());
+        assert!(out.len() <= 2 * s.len());
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let added = out.len() - s.len();
+        let frac = added as f64 / s.len() as f64;
+        assert!((frac - 0.3).abs() < 0.1, "duplication rate {frac}");
+    }
+
+    #[test]
+    fn duplication_zero_prob_is_identity() {
+        let s = series(10);
+        let mut r = rng();
+        assert_eq!(packet_duplication(&s, 0.0, &mut r), s);
+    }
+
+    #[test]
+    fn padding_only_grows_and_clamps() {
+        let mut s = series(50);
+        s.push(Pkt::data(100.0, 1495, Direction::Downstream));
+        let mut r = rng();
+        let out = pad_sizes(&s, 120, &mut r);
+        for (a, b) in s.iter().zip(&out) {
+            assert!(b.size >= a.size);
+            assert!(b.size <= 1500);
+            assert_eq!(a.ts, b.ts);
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut r = rng();
+        assert!(iat_jitter(&[], 0.3, &mut r).is_empty());
+        assert!(packet_duplication(&[], 0.5, &mut r).is_empty());
+        assert!(pad_sizes(&[], 100, &mut r).is_empty());
+    }
+}

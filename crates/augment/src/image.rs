@@ -1,0 +1,168 @@
+//! Flowpic image transformations (Rotation, Horizontal flip, Color
+//! jitter).
+//!
+//! These operate on the rasterized picture, exactly as their computer-
+//! vision namesakes would on a grayscale image. The Ref-Paper does not
+//! publish the hyper-parameters; the defaults here follow the standard
+//! torchvision conventions (small-angle rotation, 50 %-strength jitter)
+//! and are explicit parameters so ablations can sweep them.
+
+use flowpic::Flowpic;
+use rand::{Rng, RngExt};
+
+/// Rotates the picture by `θ ~ U[-max_degrees, max_degrees]` around its
+/// center with nearest-neighbour sampling. Cells rotated in from outside
+/// the picture are zero.
+pub fn rotate<R: Rng + ?Sized>(pic: &Flowpic, max_degrees: f64, rng: &mut R) -> Flowpic {
+    let theta = (-max_degrees + 2.0 * max_degrees * rng.random::<f64>()).to_radians();
+    rotate_with(pic, theta)
+}
+
+/// Rotation by an explicit angle in radians (for tests and ablations).
+pub fn rotate_with(pic: &Flowpic, theta: f64) -> Flowpic {
+    let r = pic.resolution;
+    let c = (r as f64 - 1.0) / 2.0;
+    let (sin, cos) = theta.sin_cos();
+    let mut out = Flowpic::zeros(r);
+    // Inverse mapping: for each output cell, sample the source cell.
+    for row in 0..r {
+        for col in 0..r {
+            let y = row as f64 - c;
+            let x = col as f64 - c;
+            let src_x = cos * x + sin * y + c;
+            let src_y = -sin * x + cos * y + c;
+            let sr = src_y.round();
+            let sc = src_x.round();
+            if sr >= 0.0 && sc >= 0.0 && (sr as usize) < r && (sc as usize) < r {
+                *out.get_mut(row, col) = pic.get(sr as usize, sc as usize);
+            }
+        }
+    }
+    out
+}
+
+/// Horizontal flip: mirrors the time axis (column order reversed).
+///
+/// On a flowpic this plays the flow backwards in time — a transformation
+/// with no physical counterpart, which is part of why the paper finds the
+/// image family less reliable than the time-series family.
+pub fn horizontal_flip(pic: &Flowpic) -> Flowpic {
+    let r = pic.resolution;
+    let mut out = Flowpic::zeros(r);
+    for row in 0..r {
+        for col in 0..r {
+            *out.get_mut(row, col) = pic.get(row, r - 1 - col);
+        }
+    }
+    out
+}
+
+/// Color jitter: multiplies every cell by a picture-wide brightness factor
+/// `U[1-strength, 1+strength]` and each non-zero cell by an additional
+/// per-cell contrast factor of the same range, clamping at zero.
+pub fn color_jitter<R: Rng + ?Sized>(pic: &Flowpic, strength: f64, rng: &mut R) -> Flowpic {
+    debug_assert!((0.0..=1.0).contains(&strength));
+    let brightness = 1.0 - strength + 2.0 * strength * rng.random::<f64>();
+    let mut out = pic.clone();
+    for v in &mut out.data {
+        if *v != 0.0 {
+            let contrast = 1.0 - strength + 2.0 * strength * rng.random::<f64>();
+            *v = (*v as f64 * brightness * contrast).max(0.0) as f32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowpic::FlowpicConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trafficgen::types::{Direction, Pkt};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn sample_pic() -> Flowpic {
+        let pkts = vec![
+            Pkt::data(0.0, 100, Direction::Downstream),
+            Pkt::data(7.0, 700, Direction::Downstream),
+            Pkt::data(14.0, 1400, Direction::Downstream),
+        ];
+        Flowpic::build(&pkts, &FlowpicConfig::mini())
+    }
+
+    #[test]
+    fn zero_rotation_is_identity() {
+        let pic = sample_pic();
+        assert_eq!(rotate_with(&pic, 0.0), pic);
+    }
+
+    #[test]
+    fn quarter_rotation_moves_mass() {
+        let mut pic = Flowpic::zeros(9);
+        *pic.get_mut(0, 4) = 1.0; // top middle
+        let rotated = rotate_with(&pic, std::f64::consts::FRAC_PI_2);
+        // 90° rotation moves top-middle to a side-middle cell.
+        assert_eq!(rotated.get(0, 4), 0.0);
+        assert_eq!(rotated.total(), 1.0);
+        assert!(rotated.get(4, 0) == 1.0 || rotated.get(4, 8) == 1.0);
+    }
+
+    #[test]
+    fn rotation_preserves_approximate_mass() {
+        let pic = sample_pic();
+        let mut r = rng();
+        for _ in 0..20 {
+            let rotated = rotate(&pic, 10.0, &mut r);
+            // Small rotations keep interior mass; cells can only be lost at
+            // the borders.
+            assert!(rotated.total() <= pic.total());
+            assert!(rotated.total() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        let pic = sample_pic();
+        assert_eq!(horizontal_flip(&horizontal_flip(&pic)), pic);
+        assert_ne!(horizontal_flip(&pic), pic);
+    }
+
+    #[test]
+    fn flip_mirrors_columns() {
+        let mut pic = Flowpic::zeros(4);
+        *pic.get_mut(2, 0) = 3.0;
+        let flipped = horizontal_flip(&pic);
+        assert_eq!(flipped.get(2, 3), 3.0);
+        assert_eq!(flipped.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn color_jitter_preserves_support() {
+        let pic = sample_pic();
+        let mut r = rng();
+        let jittered = color_jitter(&pic, 0.5, &mut r);
+        for (a, b) in pic.data.iter().zip(&jittered.data) {
+            assert_eq!(*a == 0.0, *b == 0.0, "jitter must not create or destroy support");
+            assert!(*b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn color_jitter_zero_strength_is_identity() {
+        let pic = sample_pic();
+        let mut r = rng();
+        assert_eq!(color_jitter(&pic, 0.0, &mut r), pic);
+    }
+
+    #[test]
+    fn color_jitter_changes_values() {
+        let pic = sample_pic();
+        let mut r = rng();
+        let jittered = color_jitter(&pic, 0.5, &mut r);
+        assert_ne!(jittered, pic);
+    }
+}

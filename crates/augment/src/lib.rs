@@ -1,0 +1,38 @@
+//! # augment — data augmentations for traffic classification
+//!
+//! The Ref-Paper benchmarks 6 augmentations (plus "no augmentation") in a
+//! supervised setting and uses the two best ones (Change RTT, Time shift)
+//! to build SimCLR views. Augmentations come in two families:
+//!
+//! * **packet time-series transformations** ([`timeseries`]) — applied to
+//!   the packet series *before* rasterization: Change RTT, Time shift,
+//!   Packet loss. These imitate natural network variation (different path
+//!   RTTs, clock offsets, loss), which is why the paper finds them the
+//!   most beneficial;
+//! * **image transformations** ([`image`]) — applied to the rasterized
+//!   flowpic: Rotation, Horizontal flip, Color jitter. These come from the
+//!   computer-vision toolbox and do not necessarily correspond to a
+//!   realizable traffic phenomenon.
+//!
+//! [`policy`] ties both families behind the single [`Augmentation`] enum
+//! the campaigns sweep over, and provides the [`ViewPair`] used for SimCLR
+//! pre-training. [`subflow`] implements the sampling-based augmentation of
+//! Rezaei & Liu reproduced in the paper's App. D.3.
+
+pub mod extended;
+pub mod image;
+pub mod policy;
+pub mod subflow;
+pub mod timeseries;
+
+pub use policy::{Augmentation, ViewPair, ALL_AUGMENTATIONS, EXTENDED_AUGMENTATIONS};
+
+/// Standard-normal sample shared by the augmentation modules (Box–Muller;
+/// kept here so `augment` does not depend on `trafficgen::dist`'s private
+/// internals).
+pub(crate) fn normal_sample<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    use rand::RngExt;
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

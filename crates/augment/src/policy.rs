@@ -1,0 +1,355 @@
+//! The augmentation policy enum the campaigns sweep over, and the
+//! two-augmentation view pairs used for SimCLR pre-training.
+
+use crate::{image, timeseries};
+use flowpic::{Flowpic, FlowpicConfig};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use trafficgen::types::Pkt;
+
+/// The 7 policies benchmarked in the paper's Tables 4 and 8 (6
+/// augmentations + "no augmentation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Baseline: rasterize the original series unchanged.
+    NoAug,
+    /// Image: rotation by U[-10°, 10°].
+    Rotate,
+    /// Image: mirror the time axis.
+    HorizontalFlip,
+    /// Image: brightness/contrast jitter on non-zero cells.
+    ColorJitter,
+    /// Time series: drop each packet with probability 0.03.
+    PacketLoss,
+    /// Time series: translate timestamps by U[-1, 1] s.
+    TimeShift,
+    /// Time series: rescale timestamps by U[0.5, 1.5].
+    ChangeRtt,
+    /// Extended (beyond the paper): per-gap log-normal queueing jitter.
+    IatJitter,
+    /// Extended: random retransmission-style packet duplication.
+    PacketDuplication,
+    /// Extended: random per-packet payload padding.
+    PadSizes,
+}
+
+/// All policies in the paper's table order (Table 4 rows).
+pub const ALL_AUGMENTATIONS: [Augmentation; 7] = [
+    Augmentation::NoAug,
+    Augmentation::Rotate,
+    Augmentation::HorizontalFlip,
+    Augmentation::ColorJitter,
+    Augmentation::PacketLoss,
+    Augmentation::TimeShift,
+    Augmentation::ChangeRtt,
+];
+
+/// The three extended augmentations of [`crate::extended`], benchmarked
+/// against [`ALL_AUGMENTATIONS`] in the `ablation_extended_augs` bench.
+pub const EXTENDED_AUGMENTATIONS: [Augmentation; 3] = [
+    Augmentation::IatJitter,
+    Augmentation::PacketDuplication,
+    Augmentation::PadSizes,
+];
+
+/// Default packet-loss probability (not specified by the Ref-Paper; see
+/// module docs of [`crate::timeseries`]).
+pub const PACKET_LOSS_PROB: f64 = 0.03;
+
+/// Default inter-arrival jitter sigma for [`Augmentation::IatJitter`].
+pub const IAT_JITTER_SIGMA: f64 = 0.3;
+/// Default duplication probability for
+/// [`Augmentation::PacketDuplication`].
+pub const DUPLICATION_PROB: f64 = 0.05;
+/// Default padding bound for [`Augmentation::PadSizes`].
+pub const PAD_MAX: u16 = 100;
+/// Default rotation range in degrees.
+pub const ROTATE_MAX_DEGREES: f64 = 10.0;
+/// Default color-jitter strength.
+pub const COLOR_JITTER_STRENGTH: f64 = 0.5;
+
+impl Augmentation {
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Augmentation::NoAug => "No augmentation",
+            Augmentation::Rotate => "Rotate",
+            Augmentation::HorizontalFlip => "Horizontal flip",
+            Augmentation::ColorJitter => "Color jitter",
+            Augmentation::PacketLoss => "Packet loss",
+            Augmentation::TimeShift => "Time shift",
+            Augmentation::ChangeRtt => "Change RTT",
+            Augmentation::IatJitter => "IAT jitter",
+            Augmentation::PacketDuplication => "Duplication",
+            Augmentation::PadSizes => "Size padding",
+        }
+    }
+
+    /// Whether this is a packet time-series transformation (as opposed to
+    /// an image transformation).
+    pub fn is_time_series(self) -> bool {
+        matches!(
+            self,
+            Augmentation::PacketLoss
+                | Augmentation::TimeShift
+                | Augmentation::ChangeRtt
+                | Augmentation::IatJitter
+                | Augmentation::PacketDuplication
+                | Augmentation::PadSizes
+        )
+    }
+
+    /// Applies the policy to a packet series and rasterizes the result:
+    /// time-series policies transform the series first; image policies
+    /// rasterize first and transform the picture.
+    pub fn apply<R: Rng + ?Sized>(
+        self,
+        pkts: &[Pkt],
+        config: &FlowpicConfig,
+        rng: &mut R,
+    ) -> Flowpic {
+        match self {
+            Augmentation::NoAug => Flowpic::build(pkts, config),
+            Augmentation::ChangeRtt => {
+                Flowpic::build(&timeseries::change_rtt(pkts, rng), config)
+            }
+            Augmentation::TimeShift => {
+                Flowpic::build(&timeseries::time_shift(pkts, rng), config)
+            }
+            Augmentation::PacketLoss => {
+                Flowpic::build(&timeseries::packet_loss(pkts, PACKET_LOSS_PROB, rng), config)
+            }
+            Augmentation::Rotate => {
+                image::rotate(&Flowpic::build(pkts, config), ROTATE_MAX_DEGREES, rng)
+            }
+            Augmentation::HorizontalFlip => {
+                image::horizontal_flip(&Flowpic::build(pkts, config))
+            }
+            Augmentation::ColorJitter => {
+                image::color_jitter(&Flowpic::build(pkts, config), COLOR_JITTER_STRENGTH, rng)
+            }
+            Augmentation::IatJitter => {
+                Flowpic::build(&crate::extended::iat_jitter(pkts, IAT_JITTER_SIGMA, rng), config)
+            }
+            Augmentation::PacketDuplication => Flowpic::build(
+                &crate::extended::packet_duplication(pkts, DUPLICATION_PROB, rng),
+                config,
+            ),
+            Augmentation::PadSizes => {
+                Flowpic::build(&crate::extended::pad_sizes(pkts, PAD_MAX, rng), config)
+            }
+        }
+    }
+}
+
+/// A pair of augmentations used to produce the two SimCLR views of a
+/// sample.
+///
+/// The Ref-Paper pairs Change RTT with Time shift but leaves the
+/// application order ambiguous (replication Sec. 4.4.1); following the
+/// replication's interpretation, [`ViewPair::views`] applies the two
+/// transformations **in random order** for every view. The replication's
+/// Table 6 ablates three alternative pairs, all expressible here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewPair {
+    /// First augmentation of the pair.
+    pub first: Augmentation,
+    /// Second augmentation of the pair.
+    pub second: Augmentation,
+}
+
+impl ViewPair {
+    /// The Ref-Paper's pair: Change RTT + Time shift.
+    pub fn paper() -> Self {
+        ViewPair { first: Augmentation::ChangeRtt, second: Augmentation::TimeShift }
+    }
+
+    /// The replication's Table 6 ablation pairs, paper pair first.
+    pub fn table6_pairs() -> [ViewPair; 6] {
+        use Augmentation::*;
+        [
+            ViewPair { first: ChangeRtt, second: TimeShift },
+            ViewPair { first: PacketLoss, second: ColorJitter },
+            ViewPair { first: PacketLoss, second: Rotate },
+            ViewPair { first: ChangeRtt, second: ColorJitter },
+            ViewPair { first: ChangeRtt, second: Rotate },
+            ViewPair { first: ColorJitter, second: Rotate },
+        ]
+    }
+
+    /// Display label, e.g. `"Change RTT + Time shift"`.
+    pub fn label(&self) -> String {
+        format!("{} + {}", self.first.name(), self.second.name())
+    }
+
+    /// Applies one augmentation after the other (random order) to produce
+    /// a single view.
+    pub fn view<R: Rng + ?Sized>(
+        &self,
+        pkts: &[Pkt],
+        config: &FlowpicConfig,
+        rng: &mut R,
+    ) -> Flowpic {
+        let (a, b) = if rng.random::<bool>() {
+            (self.first, self.second)
+        } else {
+            (self.second, self.first)
+        };
+        chain_apply(a, b, pkts, config, rng)
+    }
+
+    /// Produces the two views of a SimCLR training pair.
+    pub fn views<R: Rng + ?Sized>(
+        &self,
+        pkts: &[Pkt],
+        config: &FlowpicConfig,
+        rng: &mut R,
+    ) -> (Flowpic, Flowpic) {
+        (self.view(pkts, config, rng), self.view(pkts, config, rng))
+    }
+}
+
+/// Chains two augmentations: time-series transforms compose on the packet
+/// series; image transforms compose on the picture. Mixed pairs apply the
+/// series transform first (rasterization is the natural boundary).
+fn chain_apply<R: Rng + ?Sized>(
+    a: Augmentation,
+    b: Augmentation,
+    pkts: &[Pkt],
+    config: &FlowpicConfig,
+    rng: &mut R,
+) -> Flowpic {
+    // Order so that series transforms run before image transforms.
+    let (first, second) = if !a.is_time_series() && b.is_time_series() { (b, a) } else { (a, b) };
+
+    let series = |aug: Augmentation, pkts: &[Pkt], rng: &mut R| -> Vec<Pkt> {
+        match aug {
+            Augmentation::ChangeRtt => timeseries::change_rtt(pkts, rng),
+            Augmentation::TimeShift => timeseries::time_shift(pkts, rng),
+            Augmentation::PacketLoss => timeseries::packet_loss(pkts, PACKET_LOSS_PROB, rng),
+            Augmentation::IatJitter => crate::extended::iat_jitter(pkts, IAT_JITTER_SIGMA, rng),
+            Augmentation::PacketDuplication => {
+                crate::extended::packet_duplication(pkts, DUPLICATION_PROB, rng)
+            }
+            Augmentation::PadSizes => crate::extended::pad_sizes(pkts, PAD_MAX, rng),
+            _ => pkts.to_vec(),
+        }
+    };
+    let img = |aug: Augmentation, pic: Flowpic, rng: &mut R| -> Flowpic {
+        match aug {
+            Augmentation::Rotate => image::rotate(&pic, ROTATE_MAX_DEGREES, rng),
+            Augmentation::HorizontalFlip => image::horizontal_flip(&pic),
+            Augmentation::ColorJitter => image::color_jitter(&pic, COLOR_JITTER_STRENGTH, rng),
+            _ => pic,
+        }
+    };
+
+    let mut pkts_t = pkts.to_vec();
+    if first.is_time_series() {
+        pkts_t = series(first, &pkts_t, rng);
+    }
+    if second.is_time_series() {
+        pkts_t = series(second, &pkts_t, rng);
+    }
+    let mut pic = Flowpic::build(&pkts_t, config);
+    if !first.is_time_series() {
+        pic = img(first, pic, rng);
+    }
+    if !second.is_time_series() {
+        pic = img(second, pic, rng);
+    }
+    pic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trafficgen::types::Direction;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn pkts() -> Vec<Pkt> {
+        (0..60)
+            .map(|i| Pkt::data(i as f64 * 0.2, 50 + (i * 23 % 1400) as u16, Direction::Downstream))
+            .collect()
+    }
+
+    #[test]
+    fn all_augmentations_produce_valid_pictures() {
+        let cfg = FlowpicConfig::mini();
+        let mut r = rng();
+        for aug in ALL_AUGMENTATIONS {
+            let pic = aug.apply(&pkts(), &cfg, &mut r);
+            assert_eq!(pic.resolution, 32, "{}", aug.name());
+            assert!(pic.total() > 0.0, "{}", aug.name());
+            assert!(pic.data.iter().all(|&v| v >= 0.0), "{}", aug.name());
+        }
+    }
+
+    #[test]
+    fn noaug_is_plain_rasterization() {
+        let cfg = FlowpicConfig::mini();
+        let mut r = rng();
+        let pic = Augmentation::NoAug.apply(&pkts(), &cfg, &mut r);
+        assert_eq!(pic, Flowpic::build(&pkts(), &cfg));
+    }
+
+    #[test]
+    fn augmentations_differ_from_baseline() {
+        let cfg = FlowpicConfig::mini();
+        let base = Flowpic::build(&pkts(), &cfg);
+        let mut r = rng();
+        for aug in &ALL_AUGMENTATIONS[1..] {
+            // Some single draws may coincide; across 5 draws at least one
+            // must differ.
+            let changed = (0..5).any(|_| aug.apply(&pkts(), &cfg, &mut r) != base);
+            assert!(changed, "{} never changed the picture", aug.name());
+        }
+    }
+
+    #[test]
+    fn family_classification() {
+        assert!(Augmentation::ChangeRtt.is_time_series());
+        assert!(Augmentation::TimeShift.is_time_series());
+        assert!(Augmentation::PacketLoss.is_time_series());
+        assert!(!Augmentation::Rotate.is_time_series());
+        assert!(!Augmentation::HorizontalFlip.is_time_series());
+        assert!(!Augmentation::ColorJitter.is_time_series());
+        assert!(!Augmentation::NoAug.is_time_series());
+    }
+
+    #[test]
+    fn view_pair_produces_two_distinct_views() {
+        let cfg = FlowpicConfig::mini();
+        let mut r = rng();
+        let (a, b) = ViewPair::paper().views(&pkts(), &cfg, &mut r);
+        assert_eq!(a.resolution, 32);
+        assert_eq!(b.resolution, 32);
+        assert_ne!(a, b, "independent draws should differ");
+    }
+
+    #[test]
+    fn table6_has_the_paper_pair_first() {
+        let pairs = ViewPair::table6_pairs();
+        assert_eq!(pairs[0], ViewPair::paper());
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0].label(), "Change RTT + Time shift");
+    }
+
+    #[test]
+    fn mixed_pair_applies_series_before_image() {
+        // A pair mixing families must still produce a valid picture with
+        // preserved mass bounds (jitter/rotate can only reduce or scale).
+        let cfg = FlowpicConfig::mini();
+        let mut r = rng();
+        let pair = ViewPair { first: Augmentation::Rotate, second: Augmentation::ChangeRtt };
+        for _ in 0..10 {
+            let pic = pair.view(&pkts(), &cfg, &mut r);
+            assert!(pic.total() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Subflow sampling augmentation of Rezaei & Liu (paper App. D.3).
+//!
+//! The study that introduced UCDAVIS19 augments flows by *sampling* them
+//! into shorter "subflows" — coarser-grained views of the same flow — and
+//! pre-trains a model to regress 24 statistical flow metrics from a
+//! subflow. Three sampling methods are compared (the replication's
+//! Table 9 / Fig. 9):
+//!
+//! * **Fixed step** — every `step`-th packet from a random starting
+//!   offset;
+//! * **Random** — a uniformly random subset of `target_len` packets, in
+//!   order;
+//! * **Incremental** — a consecutive window of packets from a random
+//!   starting point.
+//!
+//! Each subflow keeps the original packet attributes; timestamps are
+//! re-zeroed so a subflow is itself a valid flow prefix view.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use trafficgen::types::Pkt;
+
+/// The three sampling methods of Rezaei & Liu.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingMethod {
+    /// Every `step`-th packet from a random offset.
+    FixedStep,
+    /// Uniformly random subset, order preserved.
+    Random,
+    /// Consecutive window from a random start.
+    Incremental,
+}
+
+/// All methods in the replication's Table 9 column order.
+pub const ALL_SAMPLING_METHODS: [SamplingMethod; 3] =
+    [SamplingMethod::FixedStep, SamplingMethod::Random, SamplingMethod::Incremental];
+
+impl SamplingMethod {
+    /// Short name as used in the replication's Table 9.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingMethod::FixedStep => "Fixed",
+            SamplingMethod::Random => "Rand",
+            SamplingMethod::Incremental => "Incre",
+        }
+    }
+
+    /// Samples one subflow of (up to) `target_len` packets.
+    ///
+    /// Returns the whole flow re-zeroed when it has at most `target_len`
+    /// packets. Never returns an empty subflow for a non-empty input.
+    pub fn sample<R: Rng + ?Sized>(
+        self,
+        pkts: &[Pkt],
+        target_len: usize,
+        rng: &mut R,
+    ) -> Vec<Pkt> {
+        assert!(target_len >= 1);
+        if pkts.len() <= target_len {
+            return rezero(pkts.to_vec());
+        }
+        let picked: Vec<Pkt> = match self {
+            SamplingMethod::FixedStep => {
+                let step = (pkts.len() / target_len).max(1);
+                let offset = rng.random_range(0..step);
+                pkts.iter().copied().skip(offset).step_by(step).take(target_len).collect()
+            }
+            SamplingMethod::Random => {
+                // Reservoir-free exact sampling: choose indices by a
+                // partial shuffle of the index space.
+                let mut indices: Vec<usize> = (0..pkts.len()).collect();
+                for i in 0..target_len {
+                    let j = rng.random_range(i..indices.len());
+                    indices.swap(i, j);
+                }
+                let mut chosen = indices[..target_len].to_vec();
+                chosen.sort_unstable();
+                chosen.into_iter().map(|i| pkts[i]).collect()
+            }
+            SamplingMethod::Incremental => {
+                let start = rng.random_range(0..=pkts.len() - target_len);
+                pkts[start..start + target_len].to_vec()
+            }
+        };
+        rezero(picked)
+    }
+
+    /// Samples `count` independent subflows.
+    pub fn sample_many<R: Rng + ?Sized>(
+        self,
+        pkts: &[Pkt],
+        target_len: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<Pkt>> {
+        (0..count).map(|_| self.sample(pkts, target_len, rng)).collect()
+    }
+}
+
+fn rezero(mut pkts: Vec<Pkt>) -> Vec<Pkt> {
+    if let Some(&first) = pkts.first() {
+        if first.ts != 0.0 {
+            for p in &mut pkts {
+                p.ts -= first.ts;
+            }
+        }
+    }
+    pkts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trafficgen::types::Direction;
+
+    fn pkts(n: usize) -> Vec<Pkt> {
+        (0..n).map(|i| Pkt::data(i as f64 * 0.1, i as u16 % 1500, Direction::Downstream)).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn all_methods_produce_target_length() {
+        let flow = pkts(100);
+        let mut r = rng();
+        for m in ALL_SAMPLING_METHODS {
+            let sub = m.sample(&flow, 20, &mut r);
+            assert_eq!(sub.len(), 20, "{}", m.name());
+            assert_eq!(sub[0].ts, 0.0);
+            assert!(sub.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+
+    #[test]
+    fn short_flows_pass_through() {
+        let flow = pkts(5);
+        let mut r = rng();
+        for m in ALL_SAMPLING_METHODS {
+            assert_eq!(m.sample(&flow, 20, &mut r).len(), 5);
+        }
+    }
+
+    #[test]
+    fn fixed_step_takes_evenly_spaced_packets() {
+        let flow = pkts(100);
+        let mut r = rng();
+        let sub = SamplingMethod::FixedStep.sample(&flow, 10, &mut r);
+        // Steps of 10: consecutive sampled sizes differ by 10.
+        let diffs: Vec<i32> = sub.windows(2).map(|w| w[1].size as i32 - w[0].size as i32).collect();
+        assert!(diffs.iter().all(|&d| d == 10), "{diffs:?}");
+    }
+
+    #[test]
+    fn incremental_is_consecutive() {
+        let flow = pkts(100);
+        let mut r = rng();
+        let sub = SamplingMethod::Incremental.sample(&flow, 10, &mut r);
+        let diffs: Vec<i32> = sub.windows(2).map(|w| w[1].size as i32 - w[0].size as i32).collect();
+        assert!(diffs.iter().all(|&d| d == 1), "{diffs:?}");
+    }
+
+    #[test]
+    fn random_sampling_preserves_order_without_duplicates() {
+        let flow = pkts(100);
+        let mut r = rng();
+        for _ in 0..20 {
+            let sub = SamplingMethod::Random.sample(&flow, 30, &mut r);
+            assert_eq!(sub.len(), 30);
+            // Strictly increasing sizes == no duplicates, order preserved
+            // (sizes are the original indices here).
+            assert!(sub.windows(2).all(|w| w[1].size > w[0].size));
+        }
+    }
+
+    #[test]
+    fn sample_many_count() {
+        let flow = pkts(50);
+        let mut r = rng();
+        let subs = SamplingMethod::Random.sample_many(&flow, 10, 7, &mut r);
+        assert_eq!(subs.len(), 7);
+        // Independent draws should not all be identical.
+        assert!(subs.iter().any(|s| s != &subs[0]));
+    }
+
+    #[test]
+    fn empty_flow_yields_empty_subflow() {
+        let mut r = rng();
+        for m in ALL_SAMPLING_METHODS {
+            assert!(m.sample(&[], 10, &mut r).is_empty());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Packet time-series transformations (Change RTT, Time shift, Packet
+//! loss).
+//!
+//! Hyper-parameters follow the Ref-Paper where stated: Change RTT scales
+//! time by `α ~ U[0.5, 1.5]`, Time shift translates by `b ~ U[-1, 1]`
+//! seconds (both quoted verbatim in the replication's Sec. 4.4.1). The
+//! packet-loss probability is not specified in either paper; the default
+//! of 0.03 is tuned so the transformed flowpic stays recognizably the same
+//! flow, and is configurable.
+//!
+//! All transforms preserve the series invariants (timestamps
+//! non-decreasing, first packet at t=0 where applicable) and are pure
+//! functions of the input series plus the RNG.
+
+use rand::{Rng, RngExt};
+use trafficgen::types::Pkt;
+
+/// Change RTT: rescale all timestamps by `α ~ U[0.5, 1.5]`.
+///
+/// Mimics observing the same application behaviour behind a path with a
+/// different round-trip time — bursts spread out or compress while the
+/// size profile is untouched.
+pub fn change_rtt<R: Rng + ?Sized>(pkts: &[Pkt], rng: &mut R) -> Vec<Pkt> {
+    let alpha = 0.5 + rng.random::<f64>();
+    change_rtt_with(pkts, alpha)
+}
+
+/// Change RTT with an explicit scale factor (for tests and ablations).
+pub fn change_rtt_with(pkts: &[Pkt], alpha: f64) -> Vec<Pkt> {
+    pkts.iter().map(|p| Pkt { ts: p.ts * alpha, ..*p }).collect()
+}
+
+/// Time shift: translate all timestamps by `b ~ U[-1, 1]` seconds.
+///
+/// Packets shifted before time zero are clamped to zero (the capture
+/// cannot contain negative times); packets shifted past the flowpic window
+/// simply fall outside during rasterization.
+pub fn time_shift<R: Rng + ?Sized>(pkts: &[Pkt], rng: &mut R) -> Vec<Pkt> {
+    let b = -1.0 + 2.0 * rng.random::<f64>();
+    time_shift_with(pkts, b)
+}
+
+/// Time shift with an explicit offset (for tests and ablations).
+pub fn time_shift_with(pkts: &[Pkt], b: f64) -> Vec<Pkt> {
+    pkts.iter().map(|p| Pkt { ts: (p.ts + b).max(0.0), ..*p }).collect()
+}
+
+/// Packet loss: drop each packet independently with probability
+/// `drop_prob`. Always keeps at least one packet so the flow stays valid.
+pub fn packet_loss<R: Rng + ?Sized>(pkts: &[Pkt], drop_prob: f64, rng: &mut R) -> Vec<Pkt> {
+    debug_assert!((0.0..=1.0).contains(&drop_prob));
+    let mut out: Vec<Pkt> = pkts
+        .iter()
+        .copied()
+        .filter(|_| rng.random::<f64>() >= drop_prob)
+        .collect();
+    if out.is_empty() {
+        if let Some(&first) = pkts.first() {
+            out.push(first);
+        }
+    }
+    // Re-zero: dropping the first packet must not leave the series starting
+    // at a positive time.
+    if let Some(&first) = out.first() {
+        if first.ts != 0.0 {
+            for p in &mut out {
+                p.ts -= first.ts;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trafficgen::types::Direction;
+
+    fn series(n: usize) -> Vec<Pkt> {
+        (0..n).map(|i| Pkt::data(i as f64 * 0.5, 100 + i as u16, Direction::Downstream)).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn change_rtt_scales_time_only() {
+        let s = series(5);
+        let out = change_rtt_with(&s, 2.0);
+        for (a, b) in s.iter().zip(&out) {
+            assert_eq!(b.ts, a.ts * 2.0);
+            assert_eq!(b.size, a.size);
+            assert_eq!(b.dir, a.dir);
+        }
+    }
+
+    #[test]
+    fn change_rtt_alpha_in_paper_range() {
+        let s = series(2);
+        for _ in 0..200 {
+            let out = change_rtt(&s, &mut rng());
+            // Second packet at 0.5s scaled by α∈[0.5,1.5] → [0.25, 0.75].
+            assert!((0.25..=0.75).contains(&out[1].ts));
+        }
+    }
+
+    #[test]
+    fn time_shift_clamps_at_zero() {
+        let s = series(5);
+        let out = time_shift_with(&s, -1.2);
+        assert_eq!(out[0].ts, 0.0);
+        assert_eq!(out[1].ts, 0.0);
+        assert_eq!(out[2].ts, 0.0);
+        assert!((out[3].ts - 0.3).abs() < 1e-12);
+        // Order preserved.
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn time_shift_offset_in_paper_range() {
+        let s = series(2);
+        let mut r = rng();
+        for _ in 0..200 {
+            let out = time_shift(&s, &mut r);
+            // 0.5 + b, b∈[-1,1] → [0, 1.5] after clamping.
+            assert!((0.0..=1.5).contains(&out[1].ts));
+        }
+    }
+
+    #[test]
+    fn packet_loss_drops_roughly_the_right_fraction() {
+        let s = series(10_000);
+        let mut r = rng();
+        let out = packet_loss(&s, 0.2, &mut r);
+        let kept = out.len() as f64 / s.len() as f64;
+        assert!((kept - 0.8).abs() < 0.02, "kept {kept}");
+    }
+
+    #[test]
+    fn packet_loss_never_empties_the_flow() {
+        let s = series(3);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(!packet_loss(&s, 1.0, &mut r).is_empty());
+        }
+    }
+
+    #[test]
+    fn packet_loss_rezeros_timestamps() {
+        let s = series(100);
+        let mut r = rng();
+        for _ in 0..20 {
+            let out = packet_loss(&s, 0.5, &mut r);
+            assert_eq!(out[0].ts, 0.0);
+            assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+
+    #[test]
+    fn zero_loss_is_identity() {
+        let s = series(50);
+        let mut r = rng();
+        assert_eq!(packet_loss(&s, 0.0, &mut r), s);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        let mut r = rng();
+        assert!(packet_loss(&[], 0.5, &mut r).is_empty());
+        assert!(change_rtt(&[], &mut r).is_empty());
+        assert!(time_shift(&[], &mut r).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of augmentation invariants.
+
+use augment::subflow::{SamplingMethod, ALL_SAMPLING_METHODS};
+use augment::{image, timeseries, Augmentation, ALL_AUGMENTATIONS};
+use flowpic::{Flowpic, FlowpicConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trafficgen::types::{Direction, Pkt};
+
+prop_compose! {
+    fn arb_pkts(max: usize)(
+        gaps in prop::collection::vec(0.0f64..1.0, 1..max),
+        sizes in prop::collection::vec(1u16..=1500, max),
+    ) -> Vec<Pkt> {
+        let mut ts = 0.0;
+        gaps.iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let t = ts;
+                ts += g;
+                Pkt::data(t, sizes[i], Direction::Downstream)
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn change_rtt_preserves_order_sizes_and_count(
+        pkts in arb_pkts(60),
+        alpha in 0.01f64..10.0,
+    ) {
+        let out = timeseries::change_rtt_with(&pkts, alpha);
+        prop_assert_eq!(out.len(), pkts.len());
+        prop_assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        for (a, b) in pkts.iter().zip(&out) {
+            prop_assert_eq!(a.size, b.size);
+            prop_assert_eq!(a.dir, b.dir);
+            prop_assert!((b.ts - a.ts * alpha).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn time_shift_clamps_and_preserves_order(
+        pkts in arb_pkts(60),
+        b in -5.0f64..5.0,
+    ) {
+        let out = timeseries::time_shift_with(&pkts, b);
+        prop_assert_eq!(out.len(), pkts.len());
+        prop_assert!(out.iter().all(|p| p.ts >= 0.0));
+        prop_assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn packet_loss_yields_a_rezeroed_subsequence(
+        pkts in arb_pkts(60),
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = timeseries::packet_loss(&pkts, p, &mut rng);
+        prop_assert!(!out.is_empty());
+        prop_assert!(out.len() <= pkts.len());
+        prop_assert_eq!(out[0].ts, 0.0);
+        prop_assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Sizes form a subsequence of the original sizes.
+        let mut it = pkts.iter();
+        for o in &out {
+            prop_assert!(it.any(|p| p.size == o.size), "not a subsequence");
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive_and_mass_preserving(pkts in arb_pkts(60)) {
+        let pic = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(16));
+        let flipped = image::horizontal_flip(&pic);
+        prop_assert_eq!(flipped.total(), pic.total());
+        prop_assert_eq!(image::horizontal_flip(&flipped), pic);
+    }
+
+    #[test]
+    fn rotation_never_creates_mass(
+        pkts in arb_pkts(60),
+        theta in -1.0f64..1.0,
+    ) {
+        let pic = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(16));
+        let rotated = image::rotate_with(&pic, theta);
+        // Nearest-neighbour rotation can drop border cells but each output
+        // cell copies one input cell, so the max can't grow.
+        prop_assert!(rotated.max() <= pic.max());
+        prop_assert!(rotated.data.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn color_jitter_preserves_support(
+        pkts in arb_pkts(60),
+        strength in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let pic = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(16));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = image::color_jitter(&pic, strength, &mut rng);
+        for (a, b) in pic.data.iter().zip(&out.data) {
+            prop_assert_eq!(*a == 0.0, *b == 0.0);
+            prop_assert!(*b >= 0.0);
+        }
+    }
+
+    #[test]
+    fn every_policy_is_total_and_valid(
+        pkts in arb_pkts(60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FlowpicConfig::mini();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for aug in ALL_AUGMENTATIONS {
+            let pic = aug.apply(&pkts, &cfg, &mut rng);
+            prop_assert_eq!(pic.resolution, 32);
+            prop_assert!(pic.data.iter().all(|v| v.is_finite() && *v >= 0.0), "{}", aug.name());
+        }
+        // NoAug is exactly the plain rasterization.
+        let plain = Augmentation::NoAug.apply(&pkts, &cfg, &mut rng);
+        prop_assert_eq!(plain, Flowpic::build(&pkts, &cfg));
+    }
+
+    #[test]
+    fn subflow_sampling_invariants(
+        pkts in arb_pkts(80),
+        target in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for m in ALL_SAMPLING_METHODS {
+            let sub = m.sample(&pkts, target, &mut rng);
+            prop_assert_eq!(sub.len(), target.min(pkts.len()), "{}", m.name());
+            prop_assert!(sub.is_empty() || sub[0].ts == 0.0);
+            prop_assert!(sub.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+        // Incremental subflows preserve consecutive inter-arrival gaps.
+        if pkts.len() > target && target >= 2 {
+            let sub = SamplingMethod::Incremental.sample(&pkts, target, &mut rng);
+            let gaps: Vec<f64> = sub.windows(2).map(|w| w[1].ts - w[0].ts).collect();
+            let orig_gaps: Vec<f64> = pkts.windows(2).map(|w| w[1].ts - w[0].ts).collect();
+            // Every sampled gap appears in the original gap list.
+            for g in gaps {
+                prop_assert!(orig_gaps.iter().any(|&og| (og - g).abs() < 1e-9));
+            }
+        }
+    }
+}

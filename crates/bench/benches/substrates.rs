@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks of the substrates whose throughput
+//! determines campaign wall-clock: dataset generation, flowpic
+//! rasterization, each augmentation, conv forward/backward, NT-Xent, and
+//! GBDT training.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use augment::{Augmentation, ALL_AUGMENTATIONS};
+use flowpic::{Flowpic, FlowpicConfig, Normalization};
+use gbdt::{GbdtClassifier, GbdtConfig};
+use nettensor::layers::{Conv2d, Layer};
+use nettensor::loss::NtXent;
+use nettensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trafficgen::process::generate_pkts;
+use trafficgen::profile::TrafficProfile;
+use trafficgen::types::Pkt;
+use trafficgen::ucdavis::UcDavisSim;
+
+fn sample_pkts(n: usize) -> Vec<Pkt> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut profile = TrafficProfile::base("bench");
+    profile.duration_mean = 20.0;
+    generate_pkts(&profile, &mut rng, n)
+}
+
+fn bench_trafficgen(c: &mut Criterion) {
+    let profile = UcDavisSim::base_profile(4); // YouTube
+    c.bench_function("trafficgen/youtube_flow_1000pkts", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(generate_pkts(&profile, &mut rng, 1000)))
+    });
+}
+
+fn bench_flowpic(c: &mut Criterion) {
+    let pkts = sample_pkts(1000);
+    for res in [32usize, 64, 1500] {
+        let cfg = FlowpicConfig::with_resolution(res);
+        c.bench_function(&format!("flowpic/build_{res}x{res}_1000pkts"), |b| {
+            b.iter(|| black_box(Flowpic::build(&pkts, &cfg)))
+        });
+    }
+    let cfg = FlowpicConfig::mini();
+    let pic = Flowpic::build(&pkts, &cfg);
+    c.bench_function("flowpic/lognorm_input_32x32", |b| {
+        b.iter(|| black_box(pic.to_input(Normalization::LogMax)))
+    });
+}
+
+fn bench_augmentations(c: &mut Criterion) {
+    let pkts = sample_pkts(1000);
+    let cfg = FlowpicConfig::mini();
+    for aug in ALL_AUGMENTATIONS {
+        if aug == Augmentation::NoAug {
+            continue;
+        }
+        c.bench_function(&format!("augment/{}", aug.name().replace(' ', "_")), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(aug.apply(&pkts, &cfg, &mut rng)))
+        });
+    }
+}
+
+fn bench_nn(c: &mut Criterion) {
+    // LeNet first conv on a 32-sample batch — the campaign's hot loop.
+    let x = Tensor::kaiming_uniform(&[32, 1, 32, 32], 1, 5);
+    c.bench_function("nn/conv2d_forward_batch32_32x32", |b| {
+        let mut conv = Conv2d::new(1, 6, 5, 1);
+        b.iter(|| black_box(conv.forward(&x, true)))
+    });
+    c.bench_function("nn/conv2d_backward_batch32_32x32", |b| {
+        let mut conv = Conv2d::new(1, 6, 5, 1);
+        let out = conv.forward(&x, true);
+        let grad = Tensor::new(&out.shape, vec![1.0; out.len()]);
+        b.iter_batched(
+            || grad.clone(),
+            |g| black_box(conv.backward(&g)),
+            BatchSize::SmallInput,
+        )
+    });
+    let z = Tensor::kaiming_uniform(&[64, 30], 1, 9);
+    c.bench_function("nn/ntxent_batch32pairs_dim30", |b| {
+        let loss = NtXent::new(0.07);
+        b.iter(|| black_box(loss.eval(&z).loss))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use tcbench::arch::supervised_net;
+    use nettensor::loss::cross_entropy;
+    use nettensor::optim::{Adam, Optimizer};
+    // One full supervised step (fwd + bwd + Adam) on a 32-sample batch —
+    // the unit the campaign wall-clock estimates multiply.
+    c.bench_function("train/supervised_step_batch32_32x32", |b| {
+        let mut net = supervised_net(32, 5, true, 1);
+        let mut opt = Adam::new(0.001);
+        let x = Tensor::kaiming_uniform(&[32, 1, 32, 32], 1, 3);
+        let y: Vec<usize> = (0..32).map(|i| i % 5).collect();
+        b.iter(|| {
+            let logits = net.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+            black_box(loss)
+        })
+    });
+    use tcbench::timeseries::timeseries_net;
+    c.bench_function("train/timeseries_step_batch32_len30", |b| {
+        let mut net = timeseries_net(30, 5, 1);
+        let mut opt = Adam::new(0.001);
+        let x = Tensor::kaiming_uniform(&[32, 3, 30], 1, 3);
+        let y: Vec<usize> = (0..32).map(|i| i % 5).collect();
+        b.iter(|| {
+            let logits = net.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+            black_box(loss)
+        })
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    use rand::RngExt;
+    let x: Vec<Vec<f32>> = (0..200)
+        .map(|i| {
+            (0..30)
+                .map(|j| if (i + j) % 5 == 0 { rng.random::<f32>() * 3.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let y: Vec<usize> = (0..200).map(|i| i % 5).collect();
+    c.bench_function("gbdt/fit_200x30_5classes_10rounds", |b| {
+        let cfg = GbdtConfig { n_rounds: 10, ..Default::default() };
+        b.iter(|| black_box(GbdtClassifier::fit(&x, &y, 5, &cfg)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trafficgen, bench_flowpic, bench_augmentations, bench_nn, bench_training_step, bench_gbdt
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **Extension ablation** — three augmentations beyond the paper's six.
+//!
+//! The paper's Sec. 2.3 calls a "broader and more systematic comparison
+//! of data augmentation techniques" a community-wide interest. This bench
+//! contributes three more domain-knowledge transformations — IAT jitter
+//! (per-gap queueing noise), Duplication (retransmissions) and Size
+//! padding (TLS record padding) — and benchmarks them against the paper's
+//! policies under the exact Table 4 protocol, plus a pooled
+//! critical-distance analysis over all ten.
+//!
+//! Expected shape: the new time-series transformations land in the same
+//! competitive band as Change RTT / Time shift (they imitate equally
+//! realistic network variation); padding is the riskiest (it moves mass
+//! across size-bin boundaries, the flowpic's y-axis).
+
+use augment::{ALL_AUGMENTATIONS, EXTENDED_AUGMENTATIONS};
+use mlstats::nemenyi::CriticalDistance;
+use mlstats::MeanCi;
+use tcbench::report::Table;
+use tcbench_bench::campaign::{run_supervised_cell, CellResult};
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    let (k, s) = opts.campaign();
+    eprintln!("ablation_extended_augs: {k} splits x {s} seeds x 10 augmentations");
+
+    let augs: Vec<augment::Augmentation> =
+        ALL_AUGMENTATIONS.iter().chain(EXTENDED_AUGMENTATIONS.iter()).copied().collect();
+    let mut cells: Vec<CellResult> = Vec::new();
+    for &aug in &augs {
+        eprintln!("  {}...", aug.name());
+        cells.push(run_supervised_cell(&ds, aug, 32, true, &opts));
+    }
+
+    let mut table = Table::new(
+        "Extension — paper's augmentations + 3 new ones (32x32, Table 4 protocol)",
+        &["Augmentation", "script", "human", "leftover"],
+    );
+    for cell in &cells {
+        table.push_row(vec![
+            cell.augmentation.clone(),
+            MeanCi::ci95(&cell.accuracies_pct("script")).to_string(),
+            MeanCi::ci95(&cell.accuracies_pct("human")).to_string(),
+            MeanCi::ci95(&cell.accuracies_pct("leftover")).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Pooled rank analysis over all ten policies, human side (where the
+    // differences live).
+    let names: Vec<&str> = augs.iter().map(|a| a.name()).collect();
+    let n_runs = cells.iter().map(|c| c.runs.len()).min().unwrap();
+    let blocks: Vec<Vec<f64>> = (0..n_runs)
+        .map(|run| cells.iter().map(|c| c.accuracies_pct("human")[run]).collect())
+        .collect();
+    let cd = CriticalDistance::analyze(&names, &blocks, 0.05);
+    println!("critical-distance analysis (human):");
+    println!("{}", cd.ascii_plot());
+    println!(
+        "expected: the new time-series policies rank alongside Change RTT / Time\n\
+         shift; none should fall behind 'No augmentation'."
+    );
+
+    opts.write_result("ablation_extended_augs", &cells);
+}

@@ -1,0 +1,124 @@
+//! **Extension ablation** — the ISCX window-slicing leakage.
+//!
+//! The replication discards the Ref-Paper's ISCX-VPN/Tor datasets
+//! (Sec. 3.4): they hold only tens of viable flows, so reaching 100
+//! training samples means slicing "multiple 15s windows from the same
+//! flow", which the replication calls "artificious" and links to the
+//! data-bias fallacies of its ref. \[20\]. This bench quantifies the
+//! hazard on the ISCX-shaped simulation:
+//!
+//! * **window-level split** (the artifice): slice first, then split the
+//!   windows randomly — windows of the *same capture session* land on
+//!   both sides, so the model can match sessions instead of classes;
+//! * **flow-level split** (honest): split the flows first, then slice —
+//!   no session crosses the boundary.
+//!
+//! Expected shape: window-level accuracy far above flow-level accuracy.
+//! The gap *is* the leakage — the inflation a benchmark built this way
+//! would report.
+
+use flowpic::{FlowpicConfig, Normalization};
+use mlstats::MeanCi;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::report::Table;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use tcbench_bench::BenchOpts;
+use trafficgen::iscx::{slice_dataset, IscxConfig, IscxSim};
+
+#[derive(Debug, Serialize)]
+struct ProtocolCell {
+    protocol: String,
+    accuracy: Vec<f64>,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let n_runs = if opts.paper { 10 } else { 3 };
+    let cfg = IscxConfig::default_config();
+    eprintln!("ablation_iscx_leakage: {} flows/class, {n_runs} runs per protocol", cfg.flows_per_class);
+
+    let ds = IscxSim::new(cfg).generate(opts.seed);
+    let (windows, parents) = slice_dataset(&ds, 15.0, 10);
+    eprintln!(
+        "  sliced {} flows into {} windows (the 'multiply the samples' artifice)",
+        ds.flows.len(),
+        windows.flows.len()
+    );
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let all = FlowpicDataset::from_flows(&windows, &(0..windows.flows.len()).collect::<Vec<_>>(), &fpcfg, norm);
+
+    let mut cells = Vec::new();
+    for protocol in ["window-level (leaky)", "flow-level (honest)"] {
+        eprintln!("  {protocol}...");
+        let mut accs = Vec::new();
+        for run in 0..n_runs {
+            let seed = opts.seed + run as u64 * 31;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = windows.flows.len();
+            // Build the train/test index split under the protocol.
+            let (train_idx, test_idx): (Vec<usize>, Vec<usize>) = if protocol.starts_with("window") {
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.shuffle(&mut rng);
+                let cut = (n as f64 * 0.8) as usize;
+                (idx[..cut].to_vec(), idx[cut..].to_vec())
+            } else {
+                // Split PARENT FLOWS 80/20, windows follow their parent.
+                let mut flow_ids: Vec<u64> = ds.flows.iter().map(|f| f.id).collect();
+                flow_ids.shuffle(&mut rng);
+                let cut = (flow_ids.len() as f64 * 0.8) as usize;
+                let train_flows: std::collections::HashSet<u64> =
+                    flow_ids[..cut].iter().copied().collect();
+                (0..n).partition(|&i| train_flows.contains(&parents[i]))
+            };
+            let train = FlowpicDataset {
+                res: all.res,
+                channels: 1,
+                inputs: train_idx.iter().map(|&i| all.inputs[i].clone()).collect(),
+                labels: train_idx.iter().map(|&i| all.labels[i]).collect(),
+                n_classes: all.n_classes,
+            };
+            let test = FlowpicDataset {
+                res: all.res,
+                channels: 1,
+                inputs: test_idx.iter().map(|&i| all.inputs[i].clone()).collect(),
+                labels: test_idx.iter().map(|&i| all.labels[i]).collect(),
+                n_classes: all.n_classes,
+            };
+            let (train, val) = train.split_validation(0.2, seed);
+            let trainer = SupervisedTrainer::new(TrainConfig {
+                max_epochs: if opts.paper { 30 } else { 10 },
+                ..TrainConfig::supervised(seed)
+            });
+            let mut net = supervised_net(32, windows.num_classes(), true, seed);
+            trainer.train(&mut net, &train, Some(&val));
+            accs.push(100.0 * trainer.evaluate(&mut net, &test).accuracy);
+        }
+        cells.push(ProtocolCell { protocol: protocol.to_string(), accuracy: accs });
+    }
+
+    let mut table = Table::new(
+        "Extension — ISCX window-slicing leakage (10 classes, tens of flows each)",
+        &["Evaluation protocol", "accuracy"],
+    );
+    for c in &cells {
+        table.push_row(vec![c.protocol.clone(), MeanCi::ci95(&c.accuracy).to_string()]);
+    }
+    println!("{}", table.render());
+    let leaky = MeanCi::ci95(&cells[0].accuracy).mean;
+    let honest = MeanCi::ci95(&cells[1].accuracy).mean;
+    println!(
+        "leakage inflation: {:+.1} pts — the windows of one capture session are\n\
+         near-duplicates, so the leaky protocol rewards session matching. This is\n\
+         the quantitative form of the replication's reason for discarding ISCX\n\
+         (its Sec. 3.4 and ref. [20]).",
+        leaky - honest
+    );
+
+    opts.write_result("ablation_iscx_leakage", &cells);
+}

@@ -1,0 +1,67 @@
+//! **Fig. 11 (App. E)** — impact of dropout in the supervised setting:
+//! accuracy distributions (boxplots with 95th-percentile whiskers) with
+//! and without dropout across test sets and augmentations.
+//!
+//! Expected shape (paper App. E): all scenarios report similar
+//! performance — dropout "does not play a role" and its adoption is
+//! weakly motivated.
+
+use augment::Augmentation;
+use mlstats::quantiles::BoxStats;
+use serde::Serialize;
+use tcbench_bench::campaign::run_supervised_cell;
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+
+#[derive(Debug, Serialize)]
+struct BoxRow {
+    augmentation: String,
+    side: String,
+    with_dropout: BoxStats,
+    without_dropout: BoxStats,
+    mean_diff: f64,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    let augs = if opts.paper {
+        augment::ALL_AUGMENTATIONS.to_vec()
+    } else {
+        vec![Augmentation::NoAug, Augmentation::ChangeRtt]
+    };
+    eprintln!("fig11: {} augmentations x 2 dropout settings", augs.len());
+
+    let mut rows = Vec::new();
+    for &aug in &augs {
+        eprintln!("  {} w/ and w/o dropout...", aug.name());
+        let with = run_supervised_cell(&ds, aug, 32, true, &opts);
+        let without = run_supervised_cell(&ds, aug, 32, false, &opts);
+        for side in ["script", "human", "leftover"] {
+            let w = with.accuracies_pct(side);
+            let wo = without.accuracies_pct(side);
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            rows.push(BoxRow {
+                augmentation: aug.name().to_string(),
+                side: side.to_string(),
+                with_dropout: BoxStats::fig11(&w),
+                without_dropout: BoxStats::fig11(&wo),
+                mean_diff: mean(&w) - mean(&wo),
+            });
+        }
+    }
+
+    println!("== Fig. 11 — accuracy w/ and w/o dropout (boxplot stats, whiskers at 5/95 pct) ==");
+    for row in &rows {
+        println!("{} / {}:", row.augmentation, row.side);
+        println!("  w/ dropout : {}", row.with_dropout.line());
+        println!("  w/o dropout: {}", row.without_dropout.line());
+        println!("  mean diff  : {:+.2} pts", row.mean_diff);
+    }
+    let max_abs = rows.iter().map(|r| r.mean_diff.abs()).fold(0.0, f64::max);
+    println!(
+        "\nshape check: max |mean difference| = {max_abs:.2} pts — expected small\n\
+         (paper App. E: 'the impact of dropout does not play a role')"
+    );
+
+    opts.write_result("fig11_dropout", &rows);
+}

@@ -1,0 +1,74 @@
+//! **Fig. 3** — average per-class confusion matrices (32×32, `script` and
+//! `human`), summed across all runs of the Table 4 campaign and
+//! row-normalized.
+//!
+//! Expected shape (paper Sec. 4.2.3): `script` essentially diagonal;
+//! `human` with visible off-diagonal mass, the strongest clash between
+//! *Google doc* and *Google search* — the classes hit by the injected
+//! data shift.
+//!
+//! If `bench_results/table4_augmentations.json` exists (written by the
+//! `table4_augmentations` bench with the same seed), its runs are reused;
+//! otherwise a reduced campaign is run here.
+
+use augment::Augmentation;
+use mlstats::ConfusionMatrix;
+use tcbench_bench::campaign::{load_cells, run_supervised_cell};
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+use trafficgen::ucdavis::CLASSES;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let cells = match load_cells(&format!("{}/table4_augmentations.json", opts.out_dir)) {
+        Some(cells) => {
+            eprintln!("fig3: reusing table4 campaign results");
+            cells
+        }
+        None => {
+            eprintln!("fig3: no table4 results found; running a reduced campaign");
+            let ds = ucdavis_dataset(&opts);
+            [Augmentation::NoAug, Augmentation::ChangeRtt]
+                .into_iter()
+                .map(|aug| run_supervised_cell(&ds, aug, 32, true, &opts))
+                .collect()
+        }
+    };
+
+    let mut script_sum = ConfusionMatrix::new(CLASSES.len());
+    let mut human_sum = ConfusionMatrix::new(CLASSES.len());
+    let mut n_runs = 0;
+    for cell in cells.iter().filter(|c| c.resolution == 32) {
+        for run in &cell.runs {
+            script_sum.merge(&run.script_confusion);
+            human_sum.merge(&run.human_confusion);
+            n_runs += 1;
+        }
+    }
+    assert!(n_runs > 0, "no 32x32 runs available");
+
+    println!("== Fig. 3 — average confusion matrices, 32x32, {n_runs} runs ==\n");
+    println!("test on script (row-normalized):");
+    println!("{}", script_sum.ascii(&CLASSES));
+    println!("test on human (row-normalized):");
+    println!("{}", human_sum.ascii(&CLASSES));
+
+    // The paper's headline observation, quantified: the doc/search clash.
+    let human_norm = human_sum.row_normalized();
+    let script_norm = script_sum.row_normalized();
+    let doc = 0;
+    let search = 3;
+    println!(
+        "doc<->search confusion, human: {:.2} / {:.2} (script: {:.2} / {:.2})",
+        human_norm[doc][search],
+        human_norm[search][doc],
+        script_norm[doc][search],
+        script_norm[search][doc],
+    );
+    println!(
+        "mean diagonal, script: {:.3}  human: {:.3} (paper: human visibly lower)",
+        (0..CLASSES.len()).map(|i| script_norm[i][i]).sum::<f64>() / CLASSES.len() as f64,
+        (0..CLASSES.len()).map(|i| human_norm[i][i]).sum::<f64>() / CLASSES.len() as f64,
+    );
+
+    opts.write_result("fig3_confusion", &(script_sum, human_sum));
+}

@@ -1,0 +1,95 @@
+//! **Fig. 4** — average 32×32 flowpic per class across dataset
+//! partitions: `pretraining`, one 100-per-class training split, `script`
+//! and `human`, rendered as ASCII heatmaps and written as PGM images.
+//!
+//! Expected shape (paper Sec. 4.2.3): the first three rows visually
+//! agree; `human` deviates for *Google search* (activity groups shifted
+//! right — rectangle A — and the max-size line missing — rectangle B) and
+//! *Google music* (periodic stripes gone — rectangle C). The
+//! `shift_distance` metric quantifies what the paper shows visually.
+
+use flowpic::render::{average_flowpic, ascii_heatmap, shift_distance, to_pgm};
+use flowpic::FlowpicConfig;
+use serde::Serialize;
+use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::CLASSES;
+
+#[derive(Serialize)]
+struct ShiftRow {
+    class: String,
+    script_vs_pretraining: f32,
+    human_vs_pretraining: f32,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    let fpcfg = FlowpicConfig::mini();
+    let split = &per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, 1, opts.seed)[0];
+
+    let rows: Vec<(&str, Vec<usize>)> = vec![
+        ("pretraining", ds.partition_indices(Partition::Pretraining)),
+        ("train split (100/class)", split.train.clone()),
+        ("script", ds.partition_indices(Partition::Script)),
+        ("human", ds.partition_indices(Partition::Human)),
+    ];
+
+    println!("== Fig. 4 — average 32x32 flowpic per class across partitions ==");
+    let mut averages = Vec::new();
+    for (row_name, indices) in &rows {
+        let mut row_pics = Vec::new();
+        for (class, class_name) in CLASSES.iter().enumerate() {
+            let flows: Vec<&trafficgen::types::Flow> = indices
+                .iter()
+                .map(|&i| &ds.flows[i])
+                .filter(|f| f.class == class as u16)
+                .collect();
+            let avg = average_flowpic(flows.into_iter(), &fpcfg);
+            let pgm_path =
+                format!("{}/fig4/{}_{}.pgm", opts.out_dir, row_name.replace(' ', "_"), class_name);
+            if let Some(parent) = std::path::Path::new(&pgm_path).parent() {
+                std::fs::create_dir_all(parent).expect("mkdir");
+            }
+            std::fs::write(&pgm_path, to_pgm(&avg)).expect("write pgm");
+            row_pics.push(avg);
+        }
+        averages.push((row_name.to_string(), row_pics));
+    }
+    println!("[PGM images written under {}/fig4/]", opts.out_dir);
+
+    // ASCII rendering of the diagnostic classes (search and music).
+    for &class in &[3usize, 2] {
+        println!("\n--- {} ---", CLASSES[class]);
+        for (row_name, pics) in &averages {
+            println!("[{row_name}]");
+            println!("{}", ascii_heatmap(&pics[class]));
+        }
+    }
+
+    // Quantify the shift: distance of each partition's average to the
+    // pretraining average, per class.
+    let pre = &averages[0].1;
+    let script = &averages[2].1;
+    let human = &averages[3].1;
+    let mut shift_rows = Vec::new();
+    println!("log-view L1 distance to the pretraining average:");
+    println!("{:<16} {:>10} {:>10}", "class", "script", "human");
+    for (c, name) in CLASSES.iter().enumerate() {
+        let s = shift_distance(&pre[c], &script[c]);
+        let h = shift_distance(&pre[c], &human[c]);
+        println!("{name:<16} {s:>10.1} {h:>10.1}");
+        shift_rows.push(ShiftRow {
+            class: name.to_string(),
+            script_vs_pretraining: s,
+            human_vs_pretraining: h,
+        });
+    }
+    println!(
+        "\nshape check: human >> script for google-search and google-music\n\
+         (the injected data shift, paper Fig. 4 rectangles A/B/C)"
+    );
+
+    opts.write_result("fig4_average_flowpic", &shift_rows);
+}

@@ -1,0 +1,90 @@
+//! **Fig. 5** — critical-distance plots of the augmentation rankings on
+//! UCDAVIS19 (`script` and `human`), following the Demšar procedure the
+//! paper uses (Sec. 4.3): per-run accuracies → ranks → mean ranks →
+//! Nemenyi test at α = 0.05.
+//!
+//! Expected shape (paper Sec. 4.3.2): Change RTT and Time shift in the
+//! best-performing group, but *not* statistically separable from several
+//! other augmentations — on UCDAVIS19 alone the ranking is inconclusive,
+//! which is exactly the paper's point.
+//!
+//! Reuses `table4_augmentations.json` when present (the paper joins the
+//! 32×32 and 64×64 populations; we join whatever resolutions the saved
+//! campaign contains — App. F justifies the pooling).
+
+use augment::ALL_AUGMENTATIONS;
+use mlstats::nemenyi::CriticalDistance;
+use tcbench_bench::campaign::{load_cells, run_supervised_cell, CellResult};
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let cells: Vec<CellResult> =
+        match load_cells(&format!("{}/table4_augmentations.json", opts.out_dir)) {
+            Some(cells) => {
+                eprintln!("fig5: reusing table4 campaign results");
+                cells
+            }
+            None => {
+                eprintln!("fig5: no table4 results found; running the campaign (32x32)");
+                let ds = ucdavis_dataset(&opts);
+                ALL_AUGMENTATIONS
+                    .into_iter()
+                    .map(|aug| {
+                        eprintln!("  running {}...", aug.name());
+                        run_supervised_cell(&ds, aug, 32, true, &opts)
+                    })
+                    .collect()
+            }
+        };
+
+    // Resolutions ≤ 64 are pooled (paper App. F: 32 and 64 are not
+    // statistically different; 1500 is).
+    let pooled: Vec<&CellResult> = cells.iter().filter(|c| c.resolution <= 64).collect();
+    let names: Vec<&str> = ALL_AUGMENTATIONS.iter().map(|a| a.name()).collect();
+
+    let mut results = Vec::new();
+    for side in ["script", "human"] {
+        // Blocks: one per (resolution, run index); treatments: the 7
+        // augmentations.
+        let n_runs = pooled
+            .iter()
+            .map(|c| c.runs.len())
+            .min()
+            .expect("at least one cell");
+        let resolutions: Vec<usize> = {
+            let mut r: Vec<usize> = pooled.iter().map(|c| c.resolution).collect();
+            r.sort_unstable();
+            r.dedup();
+            r
+        };
+        let mut blocks: Vec<Vec<f64>> = Vec::new();
+        for &res in &resolutions {
+            for run in 0..n_runs {
+                let block: Vec<f64> = names
+                    .iter()
+                    .map(|name| {
+                        let cell = pooled
+                            .iter()
+                            .find(|c| c.augmentation == *name && c.resolution == res)
+                            .unwrap_or_else(|| panic!("missing cell {name} @ {res}"));
+                        cell.accuracies_pct(side)[run]
+                    })
+                    .collect();
+                blocks.push(block);
+            }
+        }
+        let cd = CriticalDistance::analyze(&names, &blocks, 0.05);
+        println!("== Fig. 5 — critical distance plot, test on {side} ==");
+        println!("{}", cd.ascii_plot());
+        let rtt_rank = cd.mean_ranks[6];
+        let shift_rank = cd.mean_ranks[5];
+        println!(
+            "paper selection check: Change RTT rank {rtt_rank:.2}, Time shift rank {shift_rank:.2} \
+             (both expected in the best group)\n"
+        );
+        results.push((side.to_string(), cd));
+    }
+
+    opts.write_result("fig5_critical_distance", &results);
+}

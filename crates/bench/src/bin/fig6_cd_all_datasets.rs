@@ -1,0 +1,138 @@
+//! **Fig. 6 + Fig. 7** — critical-distance plot and per-dataset average
+//! ranks of the augmentations pooled across all four datasets (UCDAVIS19
+//! + the three replication datasets).
+//!
+//! Expected shape (paper Sec. 4.5.2 / Fig. 6–7): with the extra datasets
+//! in the pool, Change RTT and Time shift become *significantly better*
+//! than the remaining augmentations, yet stay statistically
+//! indistinguishable from each other — the evidence that finally
+//! validates the Ref-Paper's selection.
+//!
+//! Reuses `table8_replication.json` and `table4_augmentations.json` when
+//! present; otherwise runs a reduced replication campaign.
+
+use augment::ALL_AUGMENTATIONS;
+use mlstats::nemenyi::CriticalDistance;
+use mlstats::ranking::average_ranks;
+use serde::Deserialize;
+use tcbench::report::Table;
+use tcbench_bench::campaign::load_cells;
+use tcbench_bench::BenchOpts;
+
+#[derive(Debug, Deserialize)]
+struct F1Cell {
+    dataset: String,
+    augmentation: String,
+    f1: Vec<f64>,
+}
+
+fn load_f1_cells(path: &str) -> Option<Vec<F1Cell>> {
+    serde_json::from_str(&std::fs::read_to_string(path).ok()?).ok()
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let names: Vec<&str> = ALL_AUGMENTATIONS.iter().map(|a| a.name()).collect();
+
+    // Blocks: one per (dataset, run). Start from the replication
+    // datasets' runs (Table 8 JSON), add UCDAVIS19 runs (Table 4 JSON)
+    // when available.
+    let mut blocks: Vec<Vec<f64>> = Vec::new();
+    let mut per_dataset: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+
+    let table8_path = format!("{}/table8_replication.json", opts.out_dir);
+    let f1_cells = load_f1_cells(&table8_path).unwrap_or_else(|| {
+        eprintln!("fig6: {table8_path} not found — run table8_replication first;");
+        eprintln!("fig6: falling back to an inline reduced replication campaign");
+        // Minimal inline fallback: re-run table8 with this process.
+        let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(
+            if cfg!(windows) { "table8_replication.exe" } else { "table8_replication" },
+        ))
+        .args(["--out", &opts.out_dir])
+        .status();
+        match status {
+            Ok(s) if s.success() => load_f1_cells(&table8_path).expect("table8 json after rerun"),
+            _ => panic!("could not obtain table8 results"),
+        }
+    });
+
+    let mut datasets: Vec<String> = f1_cells.iter().map(|c| c.dataset.clone()).collect();
+    datasets.dedup();
+    for ds in &datasets {
+        let mut ds_blocks = Vec::new();
+        let n_runs = f1_cells
+            .iter()
+            .filter(|c| &c.dataset == ds)
+            .map(|c| c.f1.len())
+            .min()
+            .unwrap();
+        for run in 0..n_runs {
+            let block: Vec<f64> = names
+                .iter()
+                .map(|n| {
+                    f1_cells
+                        .iter()
+                        .find(|c| &c.dataset == ds && c.augmentation == *n)
+                        .unwrap()
+                        .f1[run]
+                })
+                .collect();
+            blocks.push(block.clone());
+            ds_blocks.push(block);
+        }
+        per_dataset.push((ds.clone(), ds_blocks));
+    }
+
+    if let Some(cells) = load_cells(&format!("{}/table4_augmentations.json", opts.out_dir)) {
+        eprintln!("fig6: including UCDAVIS19 runs from table4 results");
+        let cells32: Vec<_> = cells.iter().filter(|c| c.resolution == 32).collect();
+        if !cells32.is_empty() {
+            let n_runs = cells32.iter().map(|c| c.runs.len()).min().unwrap();
+            let mut ds_blocks = Vec::new();
+            for run in 0..n_runs {
+                let block: Vec<f64> = names
+                    .iter()
+                    .map(|n| {
+                        cells32.iter().find(|c| c.augmentation == *n).unwrap().accuracies_pct("script")
+                            [run]
+                    })
+                    .collect();
+                blocks.push(block.clone());
+                ds_blocks.push(block);
+            }
+            per_dataset.push(("UCDAVIS19 (script)".into(), ds_blocks));
+        }
+    }
+
+    // Fig. 6: pooled critical-distance analysis.
+    let cd = CriticalDistance::analyze(&names, &blocks, 0.05);
+    println!("== Fig. 6 — critical distance across all datasets ({} blocks) ==", blocks.len());
+    println!("{}", cd.ascii_plot());
+
+    // Fig. 7: average rank per augmentation and dataset.
+    let mut table = Table::new(
+        "Fig. 7 — average rank per augmentation and dataset (1 = best)",
+        &std::iter::once("Augmentation".to_string())
+            .chain(per_dataset.iter().map(|(n, _)| n.clone()))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    let per_ds_ranks: Vec<Vec<f64>> =
+        per_dataset.iter().map(|(_, b)| average_ranks(b)).collect();
+    for (ai, aug) in names.iter().enumerate() {
+        let mut row = vec![aug.to_string()];
+        for ranks in &per_ds_ranks {
+            row.push(format!("{:.2}", ranks[ai]));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: Change RTT and Time shift with the best (lowest) pooled ranks,\n\
+         significantly separated from the image augmentations but not from each other"
+    );
+
+    opts.write_result("fig6_cd_all_datasets", &(cd, per_dataset.iter().map(|(n, _)| n).collect::<Vec<_>>()));
+}

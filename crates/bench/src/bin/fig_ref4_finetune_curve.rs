@@ -1,0 +1,95 @@
+//! **Ref-Paper Fig. 4** — fine-tuning sample-count sensitivity.
+//!
+//! The Ref-Paper's Figure 4 (quoted by the replication's Sec. 4.4.2)
+//! sweeps the number of labeled samples used for SimCLR fine-tuning:
+//! "Our method achieves 93.4% accuracy with only 3 samples, and 94.5%
+//! with 10 samples" on `script`, and ≈80 % on `human` at 10 samples. The
+//! replication reruns only the 10-sample point (its Table 5); this bench
+//! restores the full curve.
+//!
+//! Expected shape: steep gains from 1 → 3 samples, a plateau by ~10
+//! (the paper's reason for picking 10), `human` below `script` at every
+//! point.
+
+use augment::ViewPair;
+use flowpic::{FlowpicConfig, Normalization};
+use mlstats::MeanCi;
+use serde::Serialize;
+use tcbench::data::FlowpicDataset;
+use tcbench::report::Table;
+use tcbench::simclr::{few_shot_subset, fine_tune, pretrain, SimClrConfig};
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+
+#[derive(Debug, Serialize)]
+struct CurvePoint {
+    shots: usize,
+    script: Vec<f64>,
+    human: Vec<f64>,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    let (splits, ft_seeds) = if opts.paper { (5, 5) } else { (2, 2) };
+    let shot_counts = [1usize, 3, 5, 10, 20];
+    eprintln!(
+        "fig_ref4: {splits} splits x {ft_seeds} fine-tune seeds x {} shot counts",
+        shot_counts.len()
+    );
+
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let script_idx = ds.partition_indices(Partition::Script);
+    let human_idx = ds.partition_indices(Partition::Human);
+    let script = FlowpicDataset::from_flows(&ds, &script_idx, &fpcfg, norm);
+    let human = FlowpicDataset::from_flows(&ds, &human_idx, &fpcfg, norm);
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+
+    // One SimCLR pre-training per split, reused across the whole curve —
+    // only the fine-tuning budget varies.
+    let mut curve: Vec<CurvePoint> =
+        shot_counts.iter().map(|&shots| CurvePoint { shots, script: vec![], human: vec![] }).collect();
+    for (ki, fold) in folds.iter().enumerate() {
+        eprintln!("  split {}: pre-training...", ki + 1);
+        let config = SimClrConfig {
+            max_epochs: if opts.paper { 30 } else { 8 },
+            ..SimClrConfig::paper(opts.seed + ki as u64)
+        };
+        let (mut pre, _) =
+            pretrain(&ds, &fold.train, ViewPair::paper(), &fpcfg, norm, &config);
+        for (pi, &shots) in shot_counts.iter().enumerate() {
+            for fs in 0..ft_seeds {
+                let seed = opts.seed + (ki * 1000 + pi * 10 + fs) as u64;
+                let labeled_idx = few_shot_subset(&ds, &fold.train, shots, seed);
+                let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, norm);
+                let mut tuned = fine_tune(&mut pre, &labeled, seed);
+                curve[pi].script.push(100.0 * trainer.evaluate(&mut tuned, &script).accuracy);
+                curve[pi].human.push(100.0 * trainer.evaluate(&mut tuned, &human).accuracy);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Ref-Paper Fig. 4 — fine-tune accuracy vs labeled samples per class",
+        &["samples/class", "script", "human"],
+    );
+    for point in &curve {
+        table.push_row(vec![
+            point.shots.to_string(),
+            MeanCi::ci95(&point.script).to_string(),
+            MeanCi::ci95(&point.human).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper reference (script): 93.4 @ 3 samples, 94.5 @ 10 samples — a steep\n\
+         rise then plateau; human lower throughout (~80 @ 10 in the Ref-Paper's\n\
+         figure, which the replication could not reproduce quantitatively)."
+    );
+
+    opts.write_result("fig_ref4_finetune_curve", &curve);
+}

@@ -1,0 +1,89 @@
+//! **Table 10 (App. F)** — Tukey post-hoc comparison of augmentation
+//! performance across flowpic resolutions, deciding which populations may
+//! be pooled for the ranking analysis.
+//!
+//! Expected shape (paper Table 10): 32×32 vs 64×64 *not* different
+//! (p ≈ 0.57); both different from 1500×1500 (p < 1e-5).
+//!
+//! Reuses `table4_augmentations.json` when it contains multiple
+//! resolutions; otherwise runs a reduced two-resolution campaign (32/64)
+//! and notes that the 1500×1500 group needs `--paper`.
+
+use augment::{Augmentation, ALL_AUGMENTATIONS};
+use mlstats::tukey::TukeyHsd;
+use tcbench_bench::campaign::{load_cells, run_supervised_cell, CellResult};
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let cells: Vec<CellResult> = {
+        let loaded = load_cells(&format!("{}/table4_augmentations.json", opts.out_dir))
+            .filter(|cells| {
+                let mut res: Vec<usize> = cells.iter().map(|c| c.resolution).collect();
+                res.sort_unstable();
+                res.dedup();
+                res.len() >= 2
+            });
+        match loaded {
+            Some(cells) => {
+                eprintln!("table10: reusing multi-resolution table4 results");
+                cells
+            }
+            None => {
+                eprintln!("table10: running a reduced 32/64 campaign (1500x1500 needs --paper)");
+                let ds = ucdavis_dataset(&opts);
+                let augs = if opts.paper {
+                    ALL_AUGMENTATIONS.to_vec()
+                } else {
+                    vec![Augmentation::NoAug, Augmentation::ChangeRtt, Augmentation::TimeShift]
+                };
+                let mut resolutions = vec![32usize, 64];
+                if opts.paper {
+                    resolutions.push(1500);
+                }
+                let mut cells = Vec::new();
+                for &res in &resolutions {
+                    for &aug in &augs {
+                        eprintln!("  {} @ {res}x{res}...", aug.name());
+                        cells.push(run_supervised_cell(&ds, aug, res, true, &opts));
+                    }
+                }
+                cells
+            }
+        }
+    };
+
+    let mut resolutions: Vec<usize> = cells.iter().map(|c| c.resolution).collect();
+    resolutions.sort_unstable();
+    resolutions.dedup();
+
+    // Groups: all per-run accuracies (all augmentations, all test sides as
+    // in the paper's pooled comparison) of one resolution.
+    let names: Vec<String> = resolutions.iter().map(|r| format!("{r}x{r}")).collect();
+    let groups: Vec<Vec<f64>> = resolutions
+        .iter()
+        .map(|&res| {
+            cells
+                .iter()
+                .filter(|c| c.resolution == res)
+                .flat_map(|c| {
+                    let mut v = c.accuracies_pct("script");
+                    v.extend(c.accuracies_pct("human"));
+                    v.extend(c.accuracies_pct("leftover"));
+                    v
+                })
+                .collect()
+        })
+        .collect();
+
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let tukey = TukeyHsd::analyze(&name_refs, &groups, 0.05);
+    println!("== Table 10 — Tukey post-hoc across flowpic sizes (alpha = 0.05) ==");
+    println!("{}", tukey.table());
+    println!(
+        "paper reference: 32 vs 64 p=0.57 (No); 32 vs 1500 p=1.9e-6 (Yes);\n\
+         64 vs 1500 p=1.0e-8 (Yes). The 1500 group appears only with --paper."
+    );
+
+    opts.write_result("table10_tukey", &tukey);
+}

@@ -1,0 +1,83 @@
+//! **Table 4 (G1.1)** — comparing data augmentation functions in a
+//! supervised training: mean accuracy ± 95 % CI of the 7 augmentation
+//! policies across flowpic resolutions, tested on `script`, `human` and
+//! the `leftover` pretraining samples.
+//!
+//! Expected shape (paper Sec. 4.2.2):
+//! * `script` and `leftover` accuracies high and close to each other;
+//! * `human` markedly lower (the ~20 % data-shift gap);
+//! * augmentations within a few points of each other, time-series ones
+//!   slightly ahead.
+
+use augment::ALL_AUGMENTATIONS;
+use mlstats::MeanCi;
+use tcbench::report::Table;
+use tcbench_bench::campaign::{run_supervised_cell, CellResult};
+use tcbench_bench::{ucdavis_dataset, BenchOpts};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let dataset = ucdavis_dataset(&opts);
+    let resolutions = opts.resolutions();
+    let (k, s) = opts.campaign();
+    eprintln!(
+        "table4: resolutions {resolutions:?}, {k} splits x {s} seeds, \
+         {} aug copies (use --paper for full scale)",
+        opts.aug_copies()
+    );
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    for &res in &resolutions {
+        for aug in ALL_AUGMENTATIONS {
+            eprintln!("  running {} @ {res}x{res}...", aug.name());
+            // Table 4 uses dropout "as intended in the original study"
+            // (paper footnote 17).
+            cells.push(run_supervised_cell(&dataset, aug, res, true, &opts));
+        }
+    }
+
+    for side in ["script", "human", "leftover"] {
+        let headers: Vec<String> = std::iter::once("Augmentation".to_string())
+            .chain(resolutions.iter().map(|r| format!("{r}x{r}")))
+            .collect();
+        let mut table = Table::new(
+            &format!("Table 4 — test on {side} (mean accuracy ±95% CI)"),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for aug in ALL_AUGMENTATIONS {
+            let mut row = vec![aug.name().to_string()];
+            for &res in &resolutions {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.augmentation == aug.name() && c.resolution == res)
+                    .expect("cell exists");
+                let ci = MeanCi::ci95(&cell.accuracies_pct(side));
+                row.push(ci.to_string());
+            }
+            table.push_row(row);
+        }
+        println!("{}", table.render());
+    }
+
+    // The paper's drill-down observation: the script-vs-human gap.
+    for &res in &resolutions {
+        let gaps: Vec<f64> = ALL_AUGMENTATIONS
+            .iter()
+            .map(|aug| {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.augmentation == aug.name() && c.resolution == res)
+                    .unwrap();
+                let script = MeanCi::ci95(&cell.accuracies_pct("script")).mean;
+                let human = MeanCi::ci95(&cell.accuracies_pct("human")).mean;
+                script - human
+            })
+            .collect();
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        println!(
+            "mean script-vs-human gap @ {res}x{res}: {mean_gap:.2} pts (paper: ~20 pts at 32x32)"
+        );
+    }
+
+    opts.write_result("table4_augmentations", &cells);
+}

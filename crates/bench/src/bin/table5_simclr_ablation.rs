@@ -1,0 +1,90 @@
+//! **Table 5 (G2)** — impact of dropout and the SimCLR projection-layer
+//! dimension on fine-tuning performance (32×32, 10 labeled samples per
+//! class for fine-tuning).
+//!
+//! Expected shape (paper Sec. 4.4.2):
+//! * `script` close to (a few points below) supervised training;
+//! * `human` markedly lower;
+//! * removing dropout helps on `human`, makes no real difference on
+//!   `script`;
+//! * growing the projection layer from 30 to 84 gains nothing.
+
+use augment::ViewPair;
+use mlstats::MeanCi;
+use serde::Serialize;
+use tcbench::report::Table;
+use tcbench_bench::campaign::run_simclr_experiment;
+use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+
+#[derive(Debug, Serialize)]
+struct Cell {
+    proj_dim: usize,
+    dropout: bool,
+    script: Vec<f64>,
+    human: Vec<f64>,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    // Paper: 125 experiments per cell (5 splits × 5 SimCLR seeds × 5
+    // fine-tune seeds); quick: 2 × 1 × 2.
+    let (splits, simclr_seeds, ft_seeds) = if opts.paper { (5, 5, 5) } else { (2, 1, 2) };
+    eprintln!("table5: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per cell");
+
+    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let mut cells = Vec::new();
+    for proj_dim in [30usize, 84] {
+        for dropout in [true, false] {
+            eprintln!("  proj_dim={proj_dim} dropout={dropout}...");
+            let mut script = Vec::new();
+            let mut human = Vec::new();
+            for (ki, fold) in folds.iter().enumerate() {
+                for cs in 0..simclr_seeds {
+                    for fs in 0..ft_seeds {
+                        let out = run_simclr_experiment(
+                            &ds,
+                            &fold.train,
+                            ViewPair::paper(),
+                            proj_dim,
+                            dropout,
+                            10,
+                            opts.seed + (ki * 31 + cs) as u64,
+                            opts.seed + (ki * 97 + fs) as u64 + 1000,
+                            &opts,
+                        );
+                        script.push(100.0 * out.script_acc);
+                        human.push(100.0 * out.human_acc);
+                    }
+                }
+            }
+            cells.push(Cell { proj_dim, dropout, script, human });
+        }
+    }
+
+    for side in ["script", "human"] {
+        let mut table = Table::new(
+            &format!("Table 5 — SimCLR fine-tune (10 samples), test on {side}"),
+            &["Proj. dim", "w/ dropout", "w/o dropout"],
+        );
+        for proj_dim in [30usize, 84] {
+            let get = |dropout: bool| {
+                let c = cells
+                    .iter()
+                    .find(|c| c.proj_dim == proj_dim && c.dropout == dropout)
+                    .unwrap();
+                MeanCi::ci95(if side == "script" { &c.script } else { &c.human }).to_string()
+            };
+            table.push_row(vec![proj_dim.to_string(), get(true), get(false)]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "paper reference: script ~92 (94.5 in the Ref-Paper), human ~72-75;\n\
+         expected: w/o dropout > w/ dropout on human; proj 84 ~ proj 30"
+    );
+
+    opts.write_result("table5_simclr_ablation", &cells);
+}

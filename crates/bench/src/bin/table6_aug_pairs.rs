@@ -1,0 +1,80 @@
+//! **Table 6** — fine-tuning performance when SimCLR pre-trains with
+//! different augmentation pairs (32×32, 10 fine-tuning samples,
+//! projection 30, no dropout).
+//!
+//! Expected shape (paper Sec. 4.4.3): punctual differences between the
+//! pairs, but all *qualitatively* equivalent — the paper's Change RTT +
+//! Time shift pair is a good but not uniquely-best choice.
+
+use augment::ViewPair;
+use mlstats::MeanCi;
+use serde::Serialize;
+use tcbench::report::Table;
+use tcbench_bench::campaign::run_simclr_experiment;
+use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+
+#[derive(Debug, Serialize)]
+struct PairCell {
+    pair: String,
+    script: Vec<f64>,
+    human: Vec<f64>,
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let ds = ucdavis_dataset(&opts);
+    let (splits, simclr_seeds, ft_seeds) = if opts.paper { (5, 5, 5) } else { (2, 1, 1) };
+    eprintln!("table6: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per pair");
+
+    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let mut cells = Vec::new();
+    for pair in ViewPair::table6_pairs() {
+        eprintln!("  pair {}...", pair.label());
+        let mut script = Vec::new();
+        let mut human = Vec::new();
+        for (ki, fold) in folds.iter().enumerate() {
+            for cs in 0..simclr_seeds {
+                for fs in 0..ft_seeds {
+                    let out = run_simclr_experiment(
+                        &ds,
+                        &fold.train,
+                        pair,
+                        30,
+                        false,
+                        10,
+                        opts.seed + (ki * 13 + cs) as u64,
+                        opts.seed + (ki * 41 + fs) as u64 + 500,
+                        &opts,
+                    );
+                    script.push(100.0 * out.script_acc);
+                    human.push(100.0 * out.human_acc);
+                }
+            }
+        }
+        cells.push(PairCell { pair: pair.label(), script, human });
+    }
+
+    let headers: Vec<String> = std::iter::once("Test side".to_string())
+        .chain(cells.iter().map(|c| c.pair.clone()))
+        .collect();
+    let mut table = Table::new(
+        "Table 6 — fine-tune accuracy per SimCLR augmentation pair (32x32, 10 samples)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for side in ["script", "human"] {
+        let mut row = vec![format!("test on {side}")];
+        for c in &cells {
+            row.push(MeanCi::ci95(if side == "script" { &c.script } else { &c.human }).to_string());
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "(*) Change RTT + Time shift is the Ref-Paper's pair; expected: all pairs\n\
+         qualitatively equivalent (paper Table 6)"
+    );
+
+    opts.write_result("table6_aug_pairs", &cells);
+}

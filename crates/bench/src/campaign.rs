@@ -1,0 +1,198 @@
+//! The supervised UCDAVIS19 campaign shared by Table 4, Fig. 3, Fig. 5,
+//! Table 10 and Fig. 11: train LeNet-5 on 100-per-class splits of the
+//! `pretraining` partition under one augmentation, test on `script`,
+//! `human` and the `leftover` samples.
+
+use crate::BenchOpts;
+use augment::Augmentation;
+use flowpic::{FlowpicConfig, Normalization};
+use mlstats::ConfusionMatrix;
+use serde::{Deserialize, Serialize};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::{Dataset, Partition};
+
+/// One training run's test-side outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Accuracy on the `script` partition.
+    pub script_acc: f64,
+    /// Accuracy on the `human` partition.
+    pub human_acc: f64,
+    /// Accuracy on the split's leftover pretraining samples.
+    pub leftover_acc: f64,
+    /// Confusion matrix on `script`.
+    pub script_confusion: ConfusionMatrix,
+    /// Confusion matrix on `human`.
+    pub human_confusion: ConfusionMatrix,
+    /// Epochs the run took before early stopping.
+    pub epochs: usize,
+}
+
+/// All runs of one `(augmentation, resolution)` cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Augmentation name.
+    pub augmentation: String,
+    /// Flowpic resolution.
+    pub resolution: usize,
+    /// Whether dropout was enabled.
+    pub dropout: bool,
+    /// One outcome per (split × seed) run.
+    pub runs: Vec<RunOutcome>,
+}
+
+impl CellResult {
+    /// Per-run accuracies (percent) for a given test side.
+    pub fn accuracies_pct(&self, side: &str) -> Vec<f64> {
+        self.runs
+            .iter()
+            .map(|r| {
+                100.0
+                    * match side {
+                        "script" => r.script_acc,
+                        "human" => r.human_acc,
+                        "leftover" => r.leftover_acc,
+                        other => panic!("unknown side {other}"),
+                    }
+            })
+            .collect()
+    }
+}
+
+/// Runs the supervised campaign for one `(augmentation, resolution)` cell.
+///
+/// Protocol per paper Sec. 4.2.1: `k` splits of 100 samples/class from
+/// `pretraining`; per split, `s` seeds each re-drawing the 80/20
+/// train/validation subdivision; augmentation applied `copies`× to the
+/// training side only; early stopping on validation loss.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_cell(
+    dataset: &Dataset,
+    aug: Augmentation,
+    res: usize,
+    dropout: bool,
+    opts: &BenchOpts,
+) -> CellResult {
+    let (k_splits, s_seeds) = opts.campaign();
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let norm = Normalization::LogMax;
+    let folds = per_class_folds(
+        dataset,
+        Partition::Pretraining,
+        crate::SAMPLES_PER_CLASS,
+        k_splits,
+        opts.seed ^ 0xF01D,
+    );
+    let script_idx = dataset.partition_indices(Partition::Script);
+    let human_idx = dataset.partition_indices(Partition::Human);
+    let script = FlowpicDataset::from_flows(dataset, &script_idx, &fpcfg, norm);
+    let human = FlowpicDataset::from_flows(dataset, &human_idx, &fpcfg, norm);
+
+    let mut runs = Vec::new();
+    for (ki, fold) in folds.iter().enumerate() {
+        let leftover = FlowpicDataset::from_flows(dataset, &fold.test, &fpcfg, norm);
+        for si in 0..s_seeds {
+            let seed = opts.seed
+                .wrapping_mul(1000)
+                .wrapping_add((ki * 100 + si) as u64)
+                .wrapping_add(aug as u64 * 17);
+            let train_full = FlowpicDataset::augmented(
+                dataset,
+                &fold.train,
+                aug,
+                opts.aug_copies(),
+                &fpcfg,
+                norm,
+                seed,
+            );
+            let (train, val) = train_full.split_validation(0.2, seed ^ 0x7A1);
+            let trainer = SupervisedTrainer::new(TrainConfig {
+                max_epochs: opts.max_epochs(),
+                seed,
+                ..TrainConfig::supervised(seed)
+            });
+            let mut net = supervised_net(res, dataset.num_classes(), dropout, seed);
+            let summary = trainer.train(&mut net, &train, Some(&val));
+            let script_eval = trainer.evaluate(&mut net, &script);
+            let human_eval = trainer.evaluate(&mut net, &human);
+            let leftover_eval = trainer.evaluate(&mut net, &leftover);
+            runs.push(RunOutcome {
+                script_acc: script_eval.accuracy,
+                human_acc: human_eval.accuracy,
+                leftover_acc: leftover_eval.accuracy,
+                script_confusion: script_eval.confusion,
+                human_confusion: human_eval.confusion,
+                epochs: summary.epochs,
+            });
+        }
+    }
+    CellResult { augmentation: aug.name().to_string(), resolution: res, dropout, runs }
+}
+
+/// Loads a previously saved campaign JSON (e.g.
+/// `bench_results/table4_augmentations.json`) so downstream figures reuse
+/// the same runs instead of re-training. Returns `None` when the file is
+/// absent or unparsable.
+pub fn load_cells(path: &str) -> Option<Vec<CellResult>> {
+    let body = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&body).ok()
+}
+
+/// One SimCLR pre-train + fine-tune run's outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimClrOutcome {
+    /// Accuracy on `script`.
+    pub script_acc: f64,
+    /// Accuracy on `human`.
+    pub human_acc: f64,
+    /// Pre-training epochs before early stopping.
+    pub pretrain_epochs: usize,
+    /// Best contrastive top-5 accuracy during pre-training.
+    pub best_top5: f64,
+}
+
+/// Runs one SimCLR experiment: pre-train on `pool` (unlabeled), fine-tune
+/// on `ft_samples` labeled flows per class drawn from the same pool, test
+/// on `script` and `human` — the protocol of the paper's Tables 5–7.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simclr_experiment(
+    dataset: &Dataset,
+    pool: &[usize],
+    pair: augment::ViewPair,
+    proj_dim: usize,
+    dropout: bool,
+    ft_samples: usize,
+    simclr_seed: u64,
+    ft_seed: u64,
+    opts: &BenchOpts,
+) -> SimClrOutcome {
+    use tcbench::simclr::{few_shot_subset, fine_tune, pretrain, SimClrConfig};
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let config = SimClrConfig {
+        max_epochs: if opts.paper { 30 } else { 8 },
+        dropout,
+        proj_dim,
+        seed: simclr_seed,
+        ..SimClrConfig::paper(simclr_seed)
+    };
+    let (mut pre, summary) = pretrain(dataset, pool, pair, &fpcfg, norm, &config);
+    let shots = few_shot_subset(dataset, pool, ft_samples, ft_seed);
+    let labeled = FlowpicDataset::from_flows(dataset, &shots, &fpcfg, norm);
+    let mut tuned = fine_tune(&mut pre, &labeled, ft_seed);
+
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+    let script_idx = dataset.partition_indices(Partition::Script);
+    let human_idx = dataset.partition_indices(Partition::Human);
+    let script = FlowpicDataset::from_flows(dataset, &script_idx, &fpcfg, norm);
+    let human = FlowpicDataset::from_flows(dataset, &human_idx, &fpcfg, norm);
+    SimClrOutcome {
+        script_acc: trainer.evaluate(&mut tuned, &script).accuracy,
+        human_acc: trainer.evaluate(&mut tuned, &human).accuracy,
+        pretrain_epochs: summary.epochs,
+        best_top5: summary.best_top5,
+    }
+}

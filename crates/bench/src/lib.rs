@@ -1,0 +1,259 @@
+//! Shared infrastructure for the per-table/figure bench binaries.
+//!
+//! Every binary follows the same contract:
+//!
+//! * `--quick` (default): reduced scale — fewer splits, seeds, augmented
+//!   copies and epochs — sized for a single-core box. The *shape* of the
+//!   paper's result is preserved; absolute precision is not.
+//! * `--paper`: the paper's campaign scale (5 splits × 3 seeds, 10
+//!   augmented copies, full early-stopping budgets). Wall-clock is hours
+//!   on one core.
+//! * `--out <dir>`: where the JSON result mirror is written
+//!   (default `bench_results/`).
+//! * `--seed <n>`: base seed for dataset generation (default 42).
+//!
+//! Each binary prints the table/figure it reproduces in the paper's shape
+//! and writes the same content as JSON for EXPERIMENTS.md.
+
+pub mod campaign;
+
+use serde::Serialize;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+use trafficgen::types::Dataset;
+
+/// Parsed command-line options shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Paper-scale campaign (vs quick).
+    pub paper: bool,
+    /// Output directory for JSON results.
+    pub out_dir: String,
+    /// Base dataset seed.
+    pub seed: u64,
+}
+
+impl BenchOpts {
+    /// Parses `std::env::args()`. Unknown flags abort with usage help.
+    pub fn from_args() -> BenchOpts {
+        Self::parse(std::env::args().skip(1).collect())
+    }
+
+    fn parse(args: Vec<String>) -> BenchOpts {
+        let mut opts =
+            BenchOpts { paper: false, out_dir: "bench_results".to_string(), seed: 42 };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => opts.paper = true,
+                "--quick" => opts.paper = false,
+                "--out" => {
+                    i += 1;
+                    match args.get(i) {
+                        Some(v) => opts.out_dir = v.clone(),
+                        None => usage("--out needs a value"),
+                    }
+                }
+                "--seed" => {
+                    i += 1;
+                    match args.get(i).and_then(|v| v.parse().ok()) {
+                        Some(v) => opts.seed = v,
+                        None => usage("--seed needs an integer"),
+                    }
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Campaign shape: `(splits, seeds_per_split)`.
+    pub fn campaign(&self) -> (usize, usize) {
+        if self.paper {
+            (5, 3)
+        } else {
+            (2, 2)
+        }
+    }
+
+    /// Augmented copies per training flow, on top of the original
+    /// (paper: 9 copies + original = 1 000 images per class).
+    pub fn aug_copies(&self) -> usize {
+        if self.paper {
+            9
+        } else {
+            3
+        }
+    }
+
+    /// Supervised epoch cap.
+    pub fn max_epochs(&self) -> usize {
+        if self.paper {
+            50
+        } else {
+            10
+        }
+    }
+
+    /// Flowpic resolutions to sweep (paper: 32/64/1500).
+    pub fn resolutions(&self) -> Vec<usize> {
+        if self.paper {
+            vec![32, 64, 1500]
+        } else {
+            vec![32]
+        }
+    }
+
+    /// Writes `value` under `out_dir/name.json` and reports the path.
+    pub fn write_result<T: Serialize>(&self, name: &str, value: &T) {
+        let path = format!("{}/{}.json", self.out_dir, name);
+        tcbench::report::write_json(&path, value).expect("write result json");
+        println!("[result json: {path}]");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: <bench> [--quick|--paper] [--out DIR] [--seed N]");
+    std::process::exit(2);
+}
+
+/// The UCDAVIS19 simulation used by all UCDAVIS-based benches.
+pub fn ucdavis_dataset(opts: &BenchOpts) -> Dataset {
+    let cfg = if opts.paper { UcDavisConfig::paper() } else { UcDavisConfig::quick() };
+    UcDavisSim::new(cfg).generate(opts.seed)
+}
+
+/// Per-class training-pool size for the paper's 100-per-class protocol.
+pub const SAMPLES_PER_CLASS: usize = 100;
+
+/// Converts a `[0,1]` metric list to percent values.
+pub fn to_percent(values: &[f64]) -> Vec<f64> {
+    values.iter().map(|v| v * 100.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = BenchOpts::parse(vec![]);
+        assert!(!o.paper);
+        assert_eq!(o.seed, 42);
+        let o = BenchOpts::parse(
+            ["--paper", "--out", "x", "--seed", "7"].iter().map(|s| s.to_string()).collect(),
+        );
+        assert!(o.paper);
+        assert_eq!(o.out_dir, "x");
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn scale_knobs() {
+        let quick = BenchOpts::parse(vec![]);
+        let paper = BenchOpts::parse(vec!["--paper".to_string()]);
+        assert!(paper.aug_copies() > quick.aug_copies());
+        assert!(paper.resolutions().len() > quick.resolutions().len());
+        assert_eq!(paper.campaign(), (5, 3));
+    }
+
+    #[test]
+    fn quick_dataset_supports_100_per_class() {
+        let o = BenchOpts::parse(vec![]);
+        let ds = ucdavis_dataset(&o);
+        let counts: Vec<usize> = {
+            let mut c = vec![0usize; 5];
+            for f in ds.partition(trafficgen::types::Partition::Pretraining) {
+                c[f.class as usize] += 1;
+            }
+            c
+        };
+        assert!(counts.iter().all(|&c| c >= SAMPLES_PER_CLASS + 50), "{counts:?}");
+    }
+}
+
+/// Builds the curated replication datasets of the paper's Table 8, in the
+/// paper's column order: MIRAGE-22 (>10pkts), MIRAGE-22 (>1000pkts),
+/// UTMOBILENET21 (>10pkts), MIRAGE-19 (>10pkts).
+///
+/// Quick mode scales down generation, lowers the minimum-class-size
+/// curation floor proportionally (30 instead of 100) and caps each class
+/// at 40 flows so the supervised campaign fits a single core.
+pub fn replication_datasets(opts: &BenchOpts) -> Vec<(String, Dataset)> {
+    use trafficgen::curation::CurationPipeline;
+    use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
+    use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
+    use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
+
+    let min_class = if opts.paper { 100 } else { 30 };
+    let cap = if opts.paper { usize::MAX } else { 40 };
+
+    let m22_raw = Mirage22Sim::new(if opts.paper {
+        Mirage22Config::paper()
+    } else {
+        Mirage22Config::quick()
+    })
+    .generate(opts.seed ^ 0x22);
+    let m19_raw = Mirage19Sim::new(if opts.paper {
+        Mirage19Config::paper()
+    } else {
+        Mirage19Config::quick()
+    })
+    .generate(opts.seed ^ 0x19);
+    let ut_raw = UtMobileNetSim::new(if opts.paper {
+        UtMobileNetConfig::paper()
+    } else {
+        UtMobileNetConfig::quick()
+    })
+    .generate(opts.seed ^ 0x21);
+
+    let curate = |name: &str, raw: &Dataset, pipe: CurationPipeline| -> (String, Dataset) {
+        let mut pipe = pipe;
+        pipe.min_class_size = min_class;
+        let (curated, report) = pipe.run(raw);
+        eprintln!(
+            "  {name}: {} -> {} flows, {} -> {} classes, rho {:.1}, mean pkts {:.0}",
+            report.flows_before,
+            report.flows_after,
+            report.classes_before,
+            report.classes_after,
+            report.rho.unwrap_or(f64::NAN),
+            report.mean_pkts
+        );
+        (name.to_string(), cap_per_class(&curated, cap, opts.seed))
+    };
+
+    vec![
+        curate("MIRAGE-22 (>10pkts)", &m22_raw, CurationPipeline::mirage(10)),
+        curate("MIRAGE-22 (>1000pkts)", &m22_raw, CurationPipeline::mirage(1000)),
+        curate("UTMOBILENET21 (>10pkts)", &ut_raw, CurationPipeline::utmobilenet()),
+        curate("MIRAGE-19 (>10pkts)", &m19_raw, CurationPipeline::mirage(10)),
+    ]
+}
+
+/// Stratified subsample: keeps at most `cap` flows per class (seeded).
+pub fn cap_per_class(ds: &Dataset, cap: usize, seed: u64) -> Dataset {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    if cap == usize::MAX {
+        return ds.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA9);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); ds.num_classes()];
+    for (i, f) in ds.flows.iter().enumerate() {
+        by_class[f.class as usize].push(i);
+    }
+    let mut keep = Vec::new();
+    for idxs in &mut by_class {
+        idxs.shuffle(&mut rng);
+        keep.extend(idxs.iter().copied().take(cap));
+    }
+    keep.sort_unstable();
+    Dataset {
+        name: ds.name.clone(),
+        class_names: ds.class_names.clone(),
+        flows: keep.into_iter().map(|i| ds.flows[i].clone()).collect(),
+    }
+}

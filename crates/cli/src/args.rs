@@ -1,0 +1,140 @@
+//! Hand-rolled flag parsing.
+//!
+//! Deliberately dependency-free: the grammar is flat (`--flag value` and
+//! boolean `--flag`), so a small table-driven parser beats pulling in an
+//! argument-parsing crate the offline dependency policy doesn't cover.
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed flags of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args` given the sets of value-taking and boolean flags.
+    /// `--help` is always accepted.
+    pub fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if arg == "--help" {
+                flags.switches.push("help".into());
+            } else if let Some(name) = arg.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    i += 1;
+                    let value = args
+                        .get(i)
+                        .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                    flags.values.insert(name.to_string(), value.clone());
+                } else if switch_flags.contains(&name) {
+                    flags.switches.push(name.to_string());
+                } else {
+                    return Err(CliError::Usage(format!("unknown flag --{name}")));
+                }
+            } else {
+                return Err(CliError::Usage(format!("unexpected argument {arg}")));
+            }
+            i += 1;
+        }
+        Ok(flags)
+    }
+
+    /// Whether `--help` was passed.
+    pub fn wants_help(&self) -> bool {
+        self.switch("help")
+    }
+
+    /// String value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Required string value.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// Parsed value with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Whether a boolean switch was passed.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(
+            &argv(&["--input", "a.flowrec", "--remove-acks", "--seed", "7"]),
+            &["input", "seed"],
+            &["remove-acks"],
+        )
+        .unwrap();
+        assert_eq!(f.get("input"), Some("a.flowrec"));
+        assert_eq!(f.get_parse::<u64>("seed", 0).unwrap(), 7);
+        assert!(f.switch("remove-acks"));
+        assert!(!f.switch("collate"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = Flags::parse(&argv(&["--bogus"]), &[], &[]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Flags::parse(&argv(&["--input"]), &["input"], &[]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let err = Flags::parse(&argv(&["stray"]), &[], &[]).unwrap_err();
+        assert!(err.to_string().contains("unexpected argument"));
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let f = Flags::parse(&argv(&[]), &["x"], &[]).unwrap();
+        assert!(f.require("x").is_err());
+        assert_eq!(f.get_parse::<usize>("x", 32).unwrap(), 32);
+    }
+
+    #[test]
+    fn bad_parse_is_a_usage_error() {
+        let f = Flags::parse(&argv(&["--seed", "abc"]), &["seed"], &[]).unwrap();
+        assert!(f.get_parse::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn help_always_accepted() {
+        let f = Flags::parse(&argv(&["--help"]), &[], &[]).unwrap();
+        assert!(f.wants_help());
+    }
+}

@@ -1,0 +1,704 @@
+//! Subcommand implementations.
+
+use crate::args::Flags;
+use crate::CliError;
+use augment::Augmentation;
+use flowpic::render::ascii_heatmap;
+use flowpic::{Flowpic, FlowpicConfig, Normalization};
+use serde::{Deserialize, Serialize};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::curation::CurationPipeline;
+use trafficgen::flowrec;
+use trafficgen::pcap::flow_to_pcap;
+use trafficgen::splits::stratified_three_way;
+use trafficgen::types::{Dataset, Partition};
+
+/// Dispatches a subcommand. Returns the text to print on success.
+pub fn run(subcommand: &str, args: &[String]) -> Result<String, CliError> {
+    match subcommand {
+        "generate" => generate(args),
+        "curate" => curate(args),
+        "stats" => stats(args),
+        "flowpic" => flowpic_cmd(args),
+        "export-pcap" => export_pcap(args),
+        "train" => train(args),
+        "evaluate" => evaluate(args),
+        "windows" => windows(args),
+        "pretrain" => pretrain_cmd(args),
+        "finetune" => finetune_cmd(args),
+        other => Err(CliError::Usage(format!("unknown subcommand {other}\n\n{}", crate::USAGE))),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    let bytes = std::fs::read(path)?;
+    flowrec::decode(&bytes).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+fn save_dataset(path: &str, ds: &Dataset) -> Result<(), CliError> {
+    std::fs::write(path, flowrec::encode(ds))?;
+    Ok(())
+}
+
+/// `tcb generate --dataset <name> [--scale quick|paper|tiny] [--seed N] --out FILE`
+fn generate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["dataset", "scale", "seed", "out"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21 \
+                   [--scale quick|paper|tiny] [--seed N] --out FILE"
+            .into());
+    }
+    let seed = flags.get_parse::<u64>("seed", 42)?;
+    let scale = flags.get("scale").unwrap_or("quick");
+    let name = flags.require("dataset")?;
+    let ds = build_dataset(name, scale, seed)?;
+    let out = flags.require("out")?;
+    save_dataset(out, &ds)?;
+    Ok(format!(
+        "generated {}: {} flows, {} classes -> {out}",
+        ds.name,
+        ds.flows.len(),
+        ds.num_classes()
+    ))
+}
+
+fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError> {
+    use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
+    use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+    use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
+    macro_rules! pick {
+        ($cfg:ident) => {
+            match scale {
+                "paper" => $cfg::paper(),
+                "quick" => $cfg::quick(),
+                "tiny" => $cfg::tiny(),
+                other => return Err(CliError::Usage(format!("unknown scale {other}"))),
+            }
+        };
+    }
+    Ok(match name {
+        "ucdavis19" => UcDavisSim::new(pick!(UcDavisConfig)).generate(seed),
+        "mirage19" => Mirage19Sim::new(pick!(Mirage19Config)).generate(seed),
+        "mirage22" => Mirage22Sim::new(pick!(Mirage22Config)).generate(seed),
+        "utmobilenet21" => UtMobileNetSim::new(pick!(UtMobileNetConfig)).generate(seed),
+        other => return Err(CliError::Usage(format!("unknown dataset {other}"))),
+    })
+}
+
+/// `tcb curate --input FILE --out FILE [--min-pkts N] [--min-class-size N]
+/// [--remove-acks] [--remove-background] [--collate]`
+fn curate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(
+        args,
+        &["input", "out", "min-pkts", "min-class-size"],
+        &["remove-acks", "remove-background", "collate"],
+    )?;
+    if flags.wants_help() {
+        return Ok("tcb curate --input FILE --out FILE [--min-pkts N] [--min-class-size N] \
+                   [--remove-acks] [--remove-background] [--collate]"
+            .into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let pipe = CurationPipeline {
+        remove_acks: flags.switch("remove-acks"),
+        remove_background: flags.switch("remove-background"),
+        min_pkts: flags.get_parse("min-pkts", 10)?,
+        min_class_size: flags.get_parse("min-class-size", 100)?,
+        collate_partitions: flags.switch("collate"),
+    };
+    let (curated, report) = pipe.run(&ds);
+    save_dataset(flags.require("out")?, &curated)?;
+    Ok(format!(
+        "curated {}: {} -> {} flows, {} -> {} classes \
+         (-{} background, -{} short, -{} small-class); rho {:.1}, mean pkts {:.1}",
+        report.dataset,
+        report.flows_before,
+        report.flows_after,
+        report.classes_before,
+        report.classes_after,
+        report.background_removed,
+        report.short_removed,
+        report.small_class_removed,
+        report.rho.unwrap_or(f64::NAN),
+        report.mean_pkts,
+    ))
+}
+
+/// `tcb stats --input FILE`
+fn stats(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb stats --input FILE".into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let counts = ds.class_counts();
+    let mut out = format!(
+        "{}: {} flows, {} classes, rho {}, mean pkts {:.1}\n",
+        ds.name,
+        ds.flows.len(),
+        ds.num_classes(),
+        ds.imbalance_rho().map(|r| format!("{r:.1}")).unwrap_or_else(|| "-".into()),
+        ds.mean_pkts()
+    );
+    for (name, count) in ds.class_names.iter().zip(&counts) {
+        out.push_str(&format!("  {name:<24} {count}\n"));
+    }
+    // Partition breakdown, when partitioned.
+    let partitions = [
+        Partition::Pretraining,
+        Partition::Script,
+        Partition::Human,
+        Partition::ActionSpecific,
+        Partition::DeterministicAutomated,
+        Partition::RandomizedAutomated,
+        Partition::WildTest,
+        Partition::Unpartitioned,
+    ];
+    for p in partitions {
+        let n = ds.partition(p).count();
+        if n > 0 {
+            out.push_str(&format!("  [{}] {n} flows\n", p.name()));
+        }
+    }
+    Ok(out)
+}
+
+/// `tcb flowpic --input FILE --flow N [--res R]`
+fn flowpic_cmd(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "flow", "res"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb flowpic --input FILE --flow INDEX [--res 32]".into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let idx = flags.get_parse::<usize>("flow", 0)?;
+    let flow = ds
+        .flows
+        .get(idx)
+        .ok_or_else(|| CliError::Usage(format!("flow index {idx} out of range")))?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let pic = Flowpic::build(&flow.pkts, &FlowpicConfig::with_resolution(res));
+    Ok(format!(
+        "flow {idx}: class {} ({}), {} pkts, {:.1}s\n{}",
+        flow.class,
+        ds.class_names[flow.class as usize],
+        flow.len(),
+        flow.duration(),
+        ascii_heatmap(&pic)
+    ))
+}
+
+/// `tcb export-pcap --input FILE --flow N --out FILE`
+fn export_pcap(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "flow", "out"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb export-pcap --input FILE --flow INDEX --out FILE".into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let idx = flags.get_parse::<usize>("flow", 0)?;
+    let flow = ds
+        .flows
+        .get(idx)
+        .ok_or_else(|| CliError::Usage(format!("flow index {idx} out of range")))?;
+    let out = flags.require("out")?;
+    std::fs::write(out, flow_to_pcap(flow))?;
+    Ok(format!("wrote {} packets to {out}", flow.len()))
+}
+
+/// A trained model persisted to disk: architecture descriptor + weights.
+#[derive(Serialize, Deserialize)]
+pub struct SavedModel {
+    /// Architecture family: "supervised" (App. C Listings 1-2) or
+    /// "finetune" (Listing 5, the frozen-extractor head).
+    #[serde(default = "default_arch")]
+    pub arch: String,
+    /// Flowpic resolution the model was trained on.
+    pub resolution: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Whether the architecture uses dropout layers.
+    pub dropout: bool,
+    /// Class names (for reporting).
+    pub class_names: Vec<String>,
+    /// Flat weight tensors in `Sequential::export_weights` order.
+    pub weights: nettensor::model::Weights,
+}
+
+/// `tcb train --input FILE --out MODEL [--aug NAME] [--res R] [--seed N] [--epochs N]`
+fn train(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "out", "aug", "res", "seed", "epochs"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb train --input FILE --out MODEL.json [--aug no-aug|rotate|flip|\
+                   color-jitter|packet-loss|time-shift|change-rtt] [--res 32] [--seed N] \
+                   [--epochs N]"
+            .into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let seed = flags.get_parse::<u64>("seed", 1)?;
+    let epochs = flags.get_parse::<usize>("epochs", 15)?;
+    let aug = parse_aug(flags.get("aug").unwrap_or("no-aug"))?;
+
+    // Stratified 80/10/10 over whatever partitioning the file has; the
+    // partition tag is ignored here (train on everything available).
+    let mut collated = ds.clone();
+    for f in &mut collated.flows {
+        f.partition = Partition::Unpartitioned;
+    }
+    let split = stratified_three_way(&collated, Partition::Unpartitioned, 0.8, 0.1, seed);
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let norm = Normalization::LogMax;
+    let train_set =
+        FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
+    let val = FlowpicDataset::from_flows(&collated, &split.val, &fpcfg, norm);
+    let test = FlowpicDataset::from_flows(&collated, &split.test, &fpcfg, norm);
+
+    let trainer =
+        SupervisedTrainer::new(TrainConfig { max_epochs: epochs, ..TrainConfig::supervised(seed) });
+    let mut net = supervised_net(res, collated.num_classes(), true, seed);
+    let summary = trainer.train(&mut net, &train_set, Some(&val));
+    let eval = trainer.evaluate(&mut net, &test);
+
+    let model = SavedModel {
+        arch: "supervised".into(),
+        resolution: res,
+        n_classes: collated.num_classes(),
+        dropout: true,
+        class_names: collated.class_names.clone(),
+        weights: net.export_weights(),
+    };
+    let out = flags.require("out")?;
+    std::fs::write(out, serde_json::to_string(&model).expect("model serializes"))?;
+    Ok(format!(
+        "trained {} epochs on {} flowpics ({} augmented with {}); \
+         test accuracy {:.2}%, weighted F1 {:.2}% -> {out}",
+        summary.epochs,
+        train_set.len(),
+        aug.name(),
+        aug.name(),
+        100.0 * eval.accuracy,
+        100.0 * eval.weighted_f1,
+    ))
+}
+
+/// `tcb evaluate --input FILE --model MODEL.json`
+fn evaluate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "model"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb evaluate --input FILE --model MODEL.json".into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let raw = std::fs::read_to_string(flags.require("model")?)?;
+    let model: SavedModel =
+        serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    if ds.num_classes() != model.n_classes {
+        return Err(CliError::Parse(format!(
+            "model has {} classes, dataset has {}",
+            model.n_classes,
+            ds.num_classes()
+        )));
+    }
+    let mut net = match model.arch.as_str() {
+        "finetune" => tcbench::arch::finetune_net(model.resolution, model.n_classes, 0),
+        "supervised" => supervised_net(model.resolution, model.n_classes, model.dropout, 0),
+        other => return Err(CliError::Parse(format!("unknown model arch {other}"))),
+    };
+    net.import_weights(&model.weights);
+    let fpcfg = FlowpicConfig::with_resolution(model.resolution);
+    let indices: Vec<usize> = (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
+    let data = FlowpicDataset::from_flows(&ds, &indices, &fpcfg, Normalization::LogMax);
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+    let eval = trainer.evaluate(&mut net, &data);
+    let names: Vec<&str> = model.class_names.iter().map(String::as_str).collect();
+    Ok(format!(
+        "evaluated {} flows: accuracy {:.2}%, weighted F1 {:.2}%\n{}",
+        data.len(),
+        100.0 * eval.accuracy,
+        100.0 * eval.weighted_f1,
+        eval.confusion.ascii(&names)
+    ))
+}
+
+/// A pre-trained SimCLR extractor persisted to disk.
+#[derive(Serialize, Deserialize)]
+pub struct SavedPretrained {
+    /// Flowpic resolution.
+    pub resolution: usize,
+    /// Projection dimension used during pre-training.
+    pub proj_dim: usize,
+    /// Objective name ("simclr" | "supcon" | "byol").
+    pub objective: String,
+    /// Weights of the pre-training network.
+    pub weights: nettensor::model::Weights,
+}
+
+/// `tcb pretrain --input FILE --out PRE.json [--objective simclr|supcon|byol]
+/// [--res R] [--epochs N] [--seed N]`
+fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
+    use augment::ViewPair;
+    use tcbench::byol::pretrain_byol;
+    use tcbench::simclr::{pretrain, pretrain_supcon, SimClrConfig};
+    let flags = Flags::parse(args, &["input", "out", "objective", "res", "epochs", "seed"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb pretrain --input FILE --out PRE.json \
+                   [--objective simclr|supcon|byol] [--res 32] [--epochs N] [--seed N]"
+            .into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let seed = flags.get_parse::<u64>("seed", 1)?;
+    let epochs = flags.get_parse::<usize>("epochs", 10)?;
+    let objective = flags.get("objective").unwrap_or("simclr").to_string();
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let config = SimClrConfig { max_epochs: epochs, ..SimClrConfig::paper(seed) };
+    let indices: Vec<usize> =
+        (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
+    let (mut net, summary) = match objective.as_str() {
+        "simclr" => pretrain(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config),
+        "supcon" => {
+            pretrain_supcon(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config)
+        }
+        "byol" => {
+            pretrain_byol(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config)
+        }
+        other => return Err(CliError::Usage(format!("unknown objective {other}"))),
+    };
+    let saved = SavedPretrained {
+        resolution: res,
+        proj_dim: config.proj_dim,
+        objective: objective.clone(),
+        weights: net.export_weights(),
+    };
+    let out = flags.require("out")?;
+    std::fs::write(out, serde_json::to_string(&saved).expect("model serializes"))?;
+    Ok(format!(
+        "pre-trained {objective} on {} flows for {} epochs (final loss {:.3}) -> {out}",
+        indices.len(),
+        summary.epochs,
+        summary.final_loss
+    ))
+}
+
+/// `tcb finetune --input FILE --pretrained PRE.json --out MODEL.json
+/// [--shots N] [--seed N]`
+fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
+    use tcbench::arch::{byol_net, simclr_net};
+    use tcbench::simclr::{few_shot_subset, fine_tune};
+    let flags = Flags::parse(args, &["input", "pretrained", "out", "shots", "seed"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb finetune --input FILE --pretrained PRE.json --out MODEL.json \
+                   [--shots 10] [--seed N]"
+            .into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let raw = std::fs::read_to_string(flags.require("pretrained")?)?;
+    let saved: SavedPretrained =
+        serde_json::from_str(&raw).map_err(|e| CliError::Parse(format!("pretrained: {e}")))?;
+    let mut pre = if saved.objective == "byol" {
+        byol_net(saved.resolution, saved.proj_dim, false, 0)
+    } else {
+        simclr_net(saved.resolution, saved.proj_dim, false, 0)
+    };
+    pre.import_weights(&saved.weights);
+
+    let seed = flags.get_parse::<u64>("seed", 2)?;
+    let shots = flags.get_parse::<usize>("shots", 10)?;
+    let pool: Vec<usize> = (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
+    let labeled_idx = few_shot_subset(&ds, &pool, shots, seed);
+    let fpcfg = FlowpicConfig::with_resolution(saved.resolution);
+    let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, Normalization::LogMax);
+    let mut tuned = fine_tune(&mut pre, &labeled, seed);
+
+    // Evaluate on everything outside the labeled subset.
+    let rest: Vec<usize> = pool.iter().copied().filter(|i| !labeled_idx.contains(i)).collect();
+    let test = FlowpicDataset::from_flows(&ds, &rest, &fpcfg, Normalization::LogMax);
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+    let eval = trainer.evaluate(&mut tuned, &test);
+
+    let model = SavedModel {
+        arch: "finetune".into(),
+        resolution: saved.resolution,
+        n_classes: ds.num_classes(),
+        dropout: false,
+        class_names: ds.class_names.clone(),
+        weights: tuned.export_weights(),
+    };
+    let out = flags.require("out")?;
+    std::fs::write(out, serde_json::to_string(&model).expect("model serializes"))?;
+    Ok(format!(
+        "fine-tuned with {shots} labeled flows/class; held-out accuracy {:.2}% -> {out}\n\
+         note: the saved model evaluates with `tcb evaluate` only on datasets of the\n\
+         same class table.",
+        100.0 * eval.accuracy
+    ))
+}
+
+/// `tcb windows --input FILE --out FILE [--window-s S] [--min-pkts N]`
+///
+/// Slices every flow into consecutive windows — the Ref-Paper's ISCX
+/// artifice. The paper's replication warns this invites leakage when the
+/// split is done at window level; see `ablation_iscx_leakage`.
+fn windows(args: &[String]) -> Result<String, CliError> {
+    use trafficgen::iscx::slice_dataset;
+    let flags = Flags::parse(args, &["input", "out", "window-s", "min-pkts"], &[])?;
+    if flags.wants_help() {
+        return Ok("tcb windows --input FILE --out FILE [--window-s 15] [--min-pkts 10]".into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let window_s = flags.get_parse::<f64>("window-s", 15.0)?;
+    let min_pkts = flags.get_parse::<usize>("min-pkts", 10)?;
+    if window_s <= 0.0 {
+        return Err(CliError::Usage("--window-s must be positive".into()));
+    }
+    let (sliced, parents) = slice_dataset(&ds, window_s, min_pkts);
+    save_dataset(flags.require("out")?, &sliced)?;
+    let multi = parents.len() as f64 / ds.flows.len().max(1) as f64;
+    Ok(format!(
+        "sliced {} flows into {} windows of {window_s}s ({multi:.1}x multiplication).\n\
+         WARNING: windows of one flow are near-duplicates; split at FLOW level\n\
+         (windows keep the parent flow id) or accept leakage-inflated scores.",
+        ds.flows.len(),
+        sliced.flows.len(),
+    ))
+}
+
+fn default_arch() -> String {
+    "supervised".into()
+}
+
+fn parse_aug(name: &str) -> Result<Augmentation, CliError> {
+    Ok(match name {
+        "no-aug" => Augmentation::NoAug,
+        "rotate" => Augmentation::Rotate,
+        "flip" => Augmentation::HorizontalFlip,
+        "color-jitter" => Augmentation::ColorJitter,
+        "packet-loss" => Augmentation::PacketLoss,
+        "time-shift" => Augmentation::TimeShift,
+        "change-rtt" => Augmentation::ChangeRtt,
+        other => return Err(CliError::Usage(format!("unknown augmentation {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("tcb_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn generate_stats_round_trip() {
+        let path = tmp("gen.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "3", "--out", &path]),
+        )
+        .unwrap();
+        assert!(msg.contains("ucdavis19"));
+        let stats = run("stats", &argv(&["--input", &path])).unwrap();
+        assert!(stats.contains("5 classes"), "{stats}");
+        assert!(stats.contains("[pretraining]"), "{stats}");
+    }
+
+    #[test]
+    fn curate_pipeline_via_cli() {
+        let raw = tmp("m19.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "mirage19", "--scale", "tiny", "--seed", "1", "--out", &raw]),
+        )
+        .unwrap();
+        let out = tmp("m19-cur.flowrec");
+        let msg = run(
+            "curate",
+            &argv(&[
+                "--input",
+                &raw,
+                "--out",
+                &out,
+                "--min-pkts",
+                "10",
+                "--min-class-size",
+                "5",
+                "--remove-acks",
+                "--remove-background",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("curated"), "{msg}");
+        let stats = run("stats", &argv(&["--input", &out])).unwrap();
+        assert!(stats.contains("flows"), "{stats}");
+    }
+
+    #[test]
+    fn flowpic_and_pcap_commands() {
+        let path = tmp("uc2.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "9", "--out", &path]),
+        )
+        .unwrap();
+        let art = run("flowpic", &argv(&["--input", &path, "--flow", "0", "--res", "16"])).unwrap();
+        assert!(art.contains("class"), "{art}");
+        assert!(art.lines().count() > 16);
+
+        let pcap = tmp("flow0.pcap");
+        let msg =
+            run("export-pcap", &argv(&["--input", &path, "--flow", "0", "--out", &pcap])).unwrap();
+        assert!(msg.contains("packets"), "{msg}");
+        // The written pcap parses back.
+        let bytes = std::fs::read(&pcap).unwrap();
+        assert!(trafficgen::pcap::pcap_to_pkts(&bytes).is_ok());
+    }
+
+    #[test]
+    fn train_then_evaluate() {
+        let path = tmp("train.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "4", "--out", &path]),
+        )
+        .unwrap();
+        let model = tmp("model.json");
+        let msg = run(
+            "train",
+            &argv(&[
+                "--input", &path, "--out", &model, "--aug", "change-rtt", "--res", "16",
+                "--epochs", "3", "--seed", "2",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("test accuracy"), "{msg}");
+        let eval = run("evaluate", &argv(&["--input", &path, "--model", &model])).unwrap();
+        assert!(eval.contains("accuracy"), "{eval}");
+        assert!(eval.contains("google-doc"), "{eval}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run("bogus", &[]).is_err());
+        assert!(run("generate", &argv(&["--dataset", "nope", "--out", "/tmp/x"])).is_err());
+        assert!(run("train", &argv(&["--input", "/definitely/missing", "--out", "/tmp/x"]))
+            .is_err());
+        let help = run("curate", &argv(&["--help"])).unwrap();
+        assert!(help.contains("--min-pkts"));
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("tcb_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn windows_command_slices_and_warns() {
+        let path = tmp("win-src.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "6", "--out", &path]),
+        )
+        .unwrap();
+        let out = tmp("win-out.flowrec");
+        let msg = run(
+            "windows",
+            &argv(&["--input", &path, "--out", &out, "--window-s", "5", "--min-pkts", "2"]),
+        )
+        .unwrap();
+        assert!(msg.contains("sliced"), "{msg}");
+        assert!(msg.contains("WARNING"), "{msg}");
+        let stats = run("stats", &argv(&["--input", &out])).unwrap();
+        assert!(stats.contains("flows"));
+    }
+
+    #[test]
+    fn windows_rejects_bad_window() {
+        let path = tmp("win-src2.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "6", "--out", &path]),
+        )
+        .unwrap();
+        assert!(run(
+            "windows",
+            &argv(&["--input", &path, "--out", "/tmp/x", "--window-s", "-1"]),
+        )
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod contrastive_cli_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("tcb_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn pretrain_then_finetune_cli() {
+        let data = tmp("pre-src.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "8", "--out", &data]),
+        )
+        .unwrap();
+        let pre = tmp("pre.json");
+        let msg = run(
+            "pretrain",
+            &argv(&[
+                "--input", &data, "--out", &pre, "--objective", "simclr", "--res", "16",
+                "--epochs", "2", "--seed", "3",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("pre-trained simclr"), "{msg}");
+        let model = tmp("tuned.json");
+        let msg = run(
+            "finetune",
+            &argv(&["--input", &data, "--pretrained", &pre, "--out", &model, "--shots", "4"]),
+        )
+        .unwrap();
+        assert!(msg.contains("fine-tuned"), "{msg}");
+        let eval = run("evaluate", &argv(&["--input", &data, "--model", &model])).unwrap();
+        assert!(eval.contains("accuracy"), "{eval}");
+    }
+
+    #[test]
+    fn pretrain_rejects_unknown_objective() {
+        let data = tmp("pre-src2.flowrec");
+        run(
+            "generate",
+            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "8", "--out", &data]),
+        )
+        .unwrap();
+        assert!(run(
+            "pretrain",
+            &argv(&["--input", &data, "--out", "/tmp/x", "--objective", "nope"]),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! # tcbench-cli — the `tcb` command
+//!
+//! A small operational surface over the workspace, mirroring the original
+//! tcbench framework's command-line ergonomics: generate simulated
+//! datasets to `flowrec` files, curate them, inspect their Table 2-style
+//! statistics, render flowpics, export flows to pcap, and train/evaluate
+//! supervised models whose weights persist as JSON.
+//!
+//! ```text
+//! tcb generate --dataset ucdavis19 --scale quick --seed 42 --out uc.flowrec
+//! tcb stats    --input uc.flowrec
+//! tcb curate   --input m19.flowrec --min-pkts 10 --min-class-size 100 \
+//!              --remove-acks --remove-background --out m19-cur.flowrec
+//! tcb flowpic  --input uc.flowrec --flow 3 --res 32
+//! tcb export-pcap --input uc.flowrec --flow 3 --out flow3.pcap
+//! tcb train    --input uc.flowrec --aug change-rtt --res 32 --out model.json
+//! tcb evaluate --input uc.flowrec --model model.json
+//! ```
+//!
+//! The library half hosts the argument parsing and command logic so they
+//! are unit-testable; `main.rs` is a thin shell.
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+/// CLI-level errors, rendered to stderr by `main`.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage (unknown flag, missing value, unknown subcommand).
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A flowrec/pcap/model file failed to parse.
+    Parse(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+tcb — traffic-classification bench tool
+
+subcommands:
+  generate     simulate a dataset into a flowrec file
+  curate       run the paper's curation pipeline on a flowrec file
+  stats        print Table 2-style statistics of a flowrec file
+  flowpic      render one flow's flowpic as an ASCII heatmap
+  export-pcap  write one flow as a pcap capture
+  windows      slice flows into 15s windows (the ISCX artifice)
+  train        train a supervised flowpic classifier
+  pretrain     SimCLR/SupCon/BYOL pre-training on unlabeled flows
+  finetune     few-shot fine-tune a pre-trained extractor
+  evaluate     evaluate a saved model on a flowrec file
+
+run `tcb <subcommand> --help` for flags.";

@@ -1,0 +1,20 @@
+//! `tcb` entry point — see [`tcbench_cli`] for the command logic.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((subcommand, rest)) = args.split_first() else {
+        eprintln!("{}", tcbench_cli::USAGE);
+        std::process::exit(2);
+    };
+    if subcommand == "--help" || subcommand == "help" {
+        println!("{}", tcbench_cli::USAGE);
+        return;
+    }
+    match tcbench_cli::commands::run(subcommand, rest) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("tcb: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The paper's network architectures (App. C, Listings 1–5).
+//!
+//! Two families exist:
+//!
+//! * the **mini** architecture — LeNet-5 — for 32×32 and 64×64 flowpics;
+//! * the **full** architecture for 1500×1500 flowpics, with strided
+//!   convolutions in front and one fewer fully-connected layer (the layer
+//!   miscount the replication flags in the Ref-Paper's description).
+//!
+//! Architecture variants never change the layer count: optional layers
+//! (dropout, projection stages) are *masked* with `Identity`, exactly as
+//! the replication's Listings do (`Identity-6  < masked`). This keeps
+//! layer indices stable, which is what lets the fine-tune network
+//! transplant the first [`EXTRACTOR_DEPTH`] layers of a SimCLR network
+//! verbatim.
+
+use nettensor::layers::{BatchNorm1d, Conv2d, Dropout, Flatten, Identity, Layer, Linear, MaxPool2d, ReLU};
+use nettensor::Sequential;
+
+/// Which of the paper's two CNN families a resolution uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchFamily {
+    /// LeNet-5, for 32×32 / 64×64 ("mini-flowpic").
+    Mini,
+    /// Strided CNN for 1500×1500 ("full-flowpic").
+    Full,
+}
+
+/// Family used for a given flowpic resolution, following the paper
+/// (mini for ≤ 64, full for 1500).
+pub fn family_for_resolution(res: usize) -> ArchFamily {
+    if res <= 256 {
+        ArchFamily::Mini
+    } else {
+        ArchFamily::Full
+    }
+}
+
+/// Number of leading layers that form the feature extractor `f(·)` — the
+/// part SimCLR pre-trains and fine-tuning freezes. For the mini family
+/// this is everything through the first `Linear(→120) + ReLU` (paper:
+/// "the 5 first layers of the CNN" in Ref-Paper terms, layers 1–10 of the
+/// replication's listings).
+pub const EXTRACTOR_DEPTH: usize = 10;
+
+/// Latent dimension produced by the extractor (`h = f(flowpic)`).
+pub const LATENT_DIM: usize = 120;
+
+fn conv_stack(res: usize, in_channels: usize, dropout: bool, seed: u64) -> (Vec<Box<dyn Layer>>, usize) {
+    match family_for_resolution(res) {
+        ArchFamily::Mini => {
+            // LeNet-5: conv(1→6,5) pool conv(6→16,5) pool.
+            let after_conv1 = res - 4;
+            let after_pool1 = after_conv1 / 2;
+            let after_conv2 = after_pool1 - 4;
+            let after_pool2 = after_conv2 / 2;
+            let flat = 16 * after_pool2 * after_pool2;
+            let layers: Vec<Box<dyn Layer>> = vec![
+                Box::new(Conv2d::new(in_channels, 6, 5, seed)),
+                Box::new(ReLU::new()),
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Conv2d::new(6, 16, 5, seed.wrapping_add(2))),
+                Box::new(ReLU::new()),
+                if dropout {
+                    Box::new(Dropout::new_2d(0.25, seed.wrapping_add(3)))
+                } else {
+                    Box::new(Identity::new())
+                },
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Flatten::new()),
+            ];
+            (layers, flat)
+        }
+        ArchFamily::Full => {
+            // Full-flowpic: strided conv(1→10,k10,s5) pool conv(10→20,k10,s5) pool.
+            let after_conv1 = (res - 10) / 5 + 1;
+            let after_pool1 = after_conv1 / 2;
+            let after_conv2 = (after_pool1 - 10) / 5 + 1;
+            let after_pool2 = after_conv2 / 2;
+            let flat = 20 * after_pool2 * after_pool2;
+            let layers: Vec<Box<dyn Layer>> = vec![
+                Box::new(Conv2d::with_stride(in_channels, 10, 10, 5, seed)),
+                Box::new(ReLU::new()),
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Conv2d::with_stride(10, 20, 10, 5, seed.wrapping_add(2))),
+                Box::new(ReLU::new()),
+                if dropout {
+                    Box::new(Dropout::new_2d(0.25, seed.wrapping_add(3)))
+                } else {
+                    Box::new(Identity::new())
+                },
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Flatten::new()),
+            ];
+            (layers, flat)
+        }
+    }
+}
+
+/// Supervised classifier (paper Listings 1–2).
+///
+/// Mini: `…conv stack… → Linear(flat,120) → ReLU → Linear(120,84) → ReLU →
+/// Dropout(0.5)|Identity → Linear(84, C)`.
+/// Full drops the middle FC: `… → Linear(flat,120) → ReLU → Identity →
+/// Identity → Dropout|Identity → Linear(120, C)` (one fewer FC, masked to
+/// keep indices aligned).
+pub fn supervised_net(res: usize, n_classes: usize, dropout: bool, seed: u64) -> Sequential {
+    supervised_net_with_channels(res, 1, n_classes, dropout, seed)
+}
+
+/// Supervised classifier over a multi-channel input — used by the
+/// direction-aware flowpic extension (2 channels: upstream/downstream).
+pub fn supervised_net_with_channels(
+    res: usize,
+    in_channels: usize,
+    n_classes: usize,
+    dropout: bool,
+    seed: u64,
+) -> Sequential {
+    let (mut layers, flat) = conv_stack(res, in_channels, dropout, seed);
+    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(ReLU::new()));
+    match family_for_resolution(res) {
+        ArchFamily::Mini => {
+            layers.push(Box::new(Linear::new(LATENT_DIM, 84, seed.wrapping_add(5))));
+            layers.push(Box::new(ReLU::new()));
+            layers.push(if dropout {
+                Box::new(Dropout::new(0.5, seed.wrapping_add(6)))
+            } else {
+                Box::new(Identity::new())
+            });
+            layers.push(Box::new(Linear::new(84, n_classes, seed.wrapping_add(7))));
+        }
+        ArchFamily::Full => {
+            layers.push(Box::new(Identity::new()));
+            layers.push(Box::new(Identity::new()));
+            layers.push(if dropout {
+                Box::new(Dropout::new(0.5, seed.wrapping_add(6)))
+            } else {
+                Box::new(Identity::new())
+            });
+            layers.push(Box::new(Linear::new(LATENT_DIM, n_classes, seed.wrapping_add(7))));
+        }
+    }
+    Sequential::new(layers)
+}
+
+/// SimCLR pre-training network (paper Listings 3–4): the extractor
+/// followed by the projection head `g(·)` — `Linear(120,120) → ReLU →
+/// Identity → Linear(120, proj_dim)`. The paper's default `proj_dim` is
+/// 30; the replication ablates 84.
+pub fn simclr_net(res: usize, proj_dim: usize, dropout: bool, seed: u64) -> Sequential {
+    let (mut layers, flat) = conv_stack(res, 1, dropout, seed);
+    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(ReLU::new()));
+    layers.push(Box::new(Linear::new(LATENT_DIM, LATENT_DIM, seed.wrapping_add(5))));
+    layers.push(Box::new(ReLU::new()));
+    layers.push(Box::new(Identity::new()));
+    layers.push(Box::new(Linear::new(LATENT_DIM, proj_dim, seed.wrapping_add(7))));
+    Sequential::new(layers)
+}
+
+/// BYOL online/target network: the same extractor as [`simclr_net`] but
+/// with a batch-normalized projector — BYOL collapses without
+/// normalization (see [`crate::byol`]), while SimCLR's negatives keep it
+/// stable with the paper's plain projector. The first
+/// [`EXTRACTOR_DEPTH`] layers stay identical to the other networks, so
+/// fine-tuning transplants work unchanged.
+pub fn byol_net(res: usize, proj_dim: usize, dropout: bool, seed: u64) -> Sequential {
+    let (mut layers, flat) = conv_stack(res, 1, dropout, seed);
+    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(ReLU::new()));
+    layers.push(Box::new(Linear::new(LATENT_DIM, LATENT_DIM, seed.wrapping_add(5))));
+    layers.push(Box::new(BatchNorm1d::new(LATENT_DIM)));
+    layers.push(Box::new(ReLU::new()));
+    layers.push(Box::new(Linear::new(LATENT_DIM, proj_dim, seed.wrapping_add(7))));
+    Sequential::new(layers)
+}
+
+/// BYOL predictor `q(·)`: batch-normalized 2-layer MLP over the
+/// projection, per the original recipe.
+pub fn byol_predictor(proj_dim: usize, seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Linear::new(proj_dim, proj_dim * 2, seed)),
+        Box::new(BatchNorm1d::new(proj_dim * 2)),
+        Box::new(ReLU::new()),
+        Box::new(Linear::new(proj_dim * 2, proj_dim, seed.wrapping_add(1))),
+    ])
+}
+
+/// Fine-tune network (paper Listing 5): the extractor with the projection
+/// head masked out and a fresh `Linear(120, C)` classifier. Combine with
+/// [`Sequential::copy_prefix_weights_from`] (depth [`EXTRACTOR_DEPTH`])
+/// and [`Sequential::freeze_prefix`] to reproduce the paper's frozen
+/// fine-tuning.
+pub fn finetune_net(res: usize, n_classes: usize, seed: u64) -> Sequential {
+    let (mut layers, flat) = conv_stack(res, 1, false, seed);
+    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(ReLU::new()));
+    layers.push(Box::new(Identity::new()));
+    layers.push(Box::new(Identity::new()));
+    layers.push(Box::new(Identity::new()));
+    layers.push(Box::new(Linear::new(LATENT_DIM, n_classes, seed.wrapping_add(7))));
+    Sequential::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettensor::Tensor;
+
+    #[test]
+    fn listing1_parameter_count() {
+        // Paper Listing 1: total 61 281 params for 32×32, 5 classes.
+        let net = supervised_net(32, 5, true, 0);
+        assert_eq!(net.total_param_count(), 61_281);
+        assert_eq!(net.len(), 14);
+    }
+
+    #[test]
+    fn listing2_without_dropout_same_params() {
+        // Listing 2: masking dropout with Identity keeps 61 281 params.
+        let net = supervised_net(32, 5, false, 0);
+        assert_eq!(net.total_param_count(), 61_281);
+        let summary = net.summary(&[1, 1, 32, 32]);
+        assert!(summary.contains("Identity-6"), "{summary}");
+        assert!(summary.contains("Identity-13"), "{summary}");
+    }
+
+    #[test]
+    fn listing3_simclr_small_projection() {
+        // Listing 3: 68 842 params with proj_dim 30.
+        let net = simclr_net(32, 30, false, 0);
+        assert_eq!(net.total_param_count(), 68_842);
+    }
+
+    #[test]
+    fn listing4_simclr_large_projection() {
+        // Listing 4: 75 376 params with proj_dim 84.
+        let net = simclr_net(32, 84, false, 0);
+        assert_eq!(net.total_param_count(), 75_376);
+    }
+
+    #[test]
+    fn listing5_finetune_count() {
+        // Listing 5: 51 297 params (extractor + Linear(120,5) = 605).
+        let net = finetune_net(32, 5, 0);
+        assert_eq!(net.total_param_count(), 51_297);
+        assert_eq!(net.len(), 14);
+    }
+
+    #[test]
+    fn forward_shapes_all_nets_mini() {
+        let x = Tensor::zeros(&[2, 1, 32, 32]);
+        assert_eq!(supervised_net(32, 5, true, 1).forward(&x, false).shape, vec![2, 5]);
+        assert_eq!(simclr_net(32, 30, false, 1).forward(&x, false).shape, vec![2, 30]);
+        assert_eq!(finetune_net(32, 7, 1).forward(&x, false).shape, vec![2, 7]);
+    }
+
+    #[test]
+    fn forward_shapes_64() {
+        let x = Tensor::zeros(&[1, 1, 64, 64]);
+        assert_eq!(supervised_net(64, 10, false, 1).forward(&x, false).shape, vec![1, 10]);
+    }
+
+    #[test]
+    fn full_family_shapes() {
+        assert_eq!(family_for_resolution(1500), ArchFamily::Full);
+        assert_eq!(family_for_resolution(64), ArchFamily::Mini);
+        // Use a reduced "full-family" resolution for test speed: res=300
+        // exercises the same strided stack.
+        let x = Tensor::zeros(&[1, 1, 300, 300]);
+        let mut net = supervised_net(300, 5, true, 1);
+        assert_eq!(net.forward(&x, false).shape, vec![1, 5]);
+        assert_eq!(net.len(), 14);
+    }
+
+    #[test]
+    fn extractor_transplant_preserves_features() {
+        // SimCLR net and fine-tune net agree on the first EXTRACTOR_DEPTH
+        // layers after transplant: their latent h must match.
+        let mut pre = simclr_net(32, 30, false, 42);
+        let mut fine = finetune_net(32, 5, 777);
+        fine.copy_prefix_weights_from(&mut pre, EXTRACTOR_DEPTH);
+        fine.freeze_prefix(EXTRACTOR_DEPTH);
+        assert_eq!(fine.trainable_param_count(), 605);
+        // The frozen prefix hides extractor params from optimizers.
+        assert_eq!(fine.params().len(), 2);
+    }
+
+    #[test]
+    fn summary_matches_listing_names() {
+        let s = simclr_net(32, 30, false, 0).summary(&[1, 1, 32, 32]);
+        for needle in ["Conv2d-1", "MaxPool2d-3", "Flatten-8", "Linear-9", "Linear-14"] {
+            assert!(s.contains(needle), "missing {needle}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! BYOL pre-training — the negative-free contrastive alternative.
+//!
+//! The paper's closest related work (Towhid & Shahriar, NetSoft'22, its
+//! ref. \[37\]) applies **Bootstrap Your Own Latent** (Grill et al., 2020)
+//! to the same dataset and reports performance comparable to the
+//! Ref-Paper's SimCLR; the paper's Sec. 2.4 also singles BYOL out as the
+//! prominent contrastive method that "does not use negative samples".
+//! This module provides that comparator on our stack:
+//!
+//! * an **online** network (the SimCLR-shaped extractor + projector) plus
+//!   a small MLP **predictor**;
+//! * a **target** network of the same shape whose weights are an
+//!   exponential moving average (EMA) of the online weights;
+//! * the symmetric BYOL loss `2 − 2·cos(q(z_online), sg(z_target))`
+//!   across the two augmented views, with gradients flowing only through
+//!   the online branch.
+//!
+//! Both projector and predictor carry batch normalization — BYOL's
+//! published recipe — because without it the online/target pair collapses
+//! to a constant representation (this workspace's diagnostics reproduce
+//! that classic failure). The resulting online network keeps the standard
+//! extractor prefix, so it is drop-in compatible with
+//! [`crate::simclr::fine_tune`].
+
+use crate::arch::{byol_net, byol_predictor};
+use crate::early_stop::EarlyStopper;
+use crate::simclr::{PretrainSummary, SimClrConfig};
+use augment::ViewPair;
+use flowpic::{FlowpicConfig, Normalization};
+use nettensor::optim::{Adam, Optimizer};
+use nettensor::{Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use trafficgen::types::Dataset;
+
+/// EMA decay of the target network (BYOL's τ). The original paper uses
+/// 0.996 at batch 4096; small batches need a faster-moving target, and
+/// without batch normalization (this stack has none) a slow target is
+/// the classic collapse recipe.
+pub const TARGET_DECAY: f32 = 0.9;
+
+/// Predictor learning-rate multiplier. Training the predictor faster
+/// than the backbone is the standard stabilization for BN-free BYOL
+/// (RichemondEtAl'20 report BYOL needs it without normalization).
+pub const PREDICTOR_LR_MULT: f32 = 10.0;
+
+/// BYOL loss between predictions `p` and (stop-gradient) targets `t`,
+/// both `[B, D]`: mean over rows of `2 − 2·cos(p_i, t_i)`. Returns
+/// `(loss, dL/dp)`.
+fn byol_loss(p: &Tensor, t: &Tensor) -> (f32, Tensor) {
+    assert_eq!(p.shape, t.shape);
+    let (b, d) = (p.shape[0], p.shape[1]);
+    let eps = 1e-12f32;
+    let mut grad = Tensor::zeros(&p.shape);
+    let mut loss = 0f32;
+    for i in 0..b {
+        let pr = &p.data[i * d..(i + 1) * d];
+        let tr = &t.data[i * d..(i + 1) * d];
+        let pn = pr.iter().map(|v| v * v).sum::<f32>().sqrt().max(eps);
+        let tn = tr.iter().map(|v| v * v).sum::<f32>().sqrt().max(eps);
+        let dot: f32 = pr.iter().zip(tr).map(|(a, b)| a * b).sum();
+        let cos = dot / (pn * tn);
+        loss += 2.0 - 2.0 * cos;
+        // d(−2 cos)/dp = −2 (t̂ − cos·p̂)/‖p‖, averaged over the batch.
+        for j in 0..d {
+            let p_hat = pr[j] / pn;
+            let t_hat = tr[j] / tn;
+            grad.data[i * d + j] = -2.0 * (t_hat - cos * p_hat) / (pn * b as f32);
+        }
+    }
+    (loss / b as f32, grad)
+}
+
+/// EMA-updates `target`'s weights toward `online`'s.
+fn ema_update(online: &mut Sequential, target: &mut Sequential, decay: f32) {
+    let ow = online.export_weights();
+    let frozen = target.frozen_prefix();
+    target.freeze_prefix(0);
+    for (p, o) in target.params().iter_mut().zip(&ow.tensors) {
+        for (t, &ov) in p.param.data.iter_mut().zip(o) {
+            *t = decay * *t + (1.0 - decay) * ov;
+        }
+    }
+    target.freeze_prefix(frozen);
+}
+
+/// Pre-trains with BYOL. Accepts the same configuration as SimCLR
+/// ([`SimClrConfig`]; `temperature` is unused), returns the *online*
+/// network, ready for [`crate::simclr::fine_tune`].
+pub fn pretrain_byol(
+    dataset: &Dataset,
+    indices: &[usize],
+    pair: ViewPair,
+    fpcfg: &FlowpicConfig,
+    norm: Normalization,
+    config: &SimClrConfig,
+) -> (Sequential, PretrainSummary) {
+    assert!(indices.len() >= 2, "BYOL needs at least 2 flows");
+    let res = fpcfg.resolution;
+    let mut online = byol_net(res, config.proj_dim, config.dropout, config.seed);
+    let mut target = byol_net(res, config.proj_dim, config.dropout, config.seed ^ 0xBEEF);
+    // Target starts as a copy of the online network.
+    let w = online.export_weights();
+    target.import_weights(&w);
+    let mut pred = byol_predictor(config.proj_dim, config.seed.wrapping_add(99));
+
+    let mut opt = Adam::new(config.learning_rate);
+    let mut pred_opt = Adam::new(config.learning_rate * PREDICTOR_LR_MULT);
+    let mut stopper =
+        EarlyStopper::new(crate::early_stop::StopMode::Minimize, config.patience, 1e-4);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB401_5678);
+
+    let mut epochs = 0;
+    let mut final_loss = 0f64;
+    for epoch in 0..config.max_epochs {
+        epochs = epoch + 1;
+        let mut order = indices.to_vec();
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0f64;
+        let mut n_batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let b = chunk.len();
+            let mut va_data = Vec::with_capacity(b * res * res);
+            let mut vb_data = Vec::with_capacity(b * res * res);
+            for &i in chunk {
+                let (va, vb) = pair.views(&dataset.flows[i].pkts, fpcfg, &mut rng);
+                va_data.extend(va.to_input(norm));
+                vb_data.extend(vb.to_input(norm));
+            }
+            let xa = Tensor::new(&[b, 1, res, res], va_data);
+            let xb = Tensor::new(&[b, 1, res, res], vb_data);
+
+            // Symmetric BYOL step: (online: A, target: B) then swapped.
+            let mut batch_loss = 0f32;
+            for (x_on, x_tg) in [(&xa, &xb), (&xb, &xa)] {
+                let z_on = online.forward(x_on, true);
+                let p = pred.forward(&z_on, true);
+                let t = target.forward(x_tg, false); // stop-gradient branch
+                let (loss, grad_p) = byol_loss(&p, &t);
+                pred.zero_grad();
+                online.zero_grad();
+                let grad_z = pred.backward(&grad_p);
+                online.backward(&grad_z);
+                pred_opt.step(&mut pred);
+                opt.step(&mut online);
+                batch_loss += loss;
+            }
+            ema_update(&mut online, &mut target, TARGET_DECAY);
+            epoch_loss += (batch_loss / 2.0) as f64;
+            n_batches += 1;
+        }
+        final_loss = epoch_loss / n_batches.max(1) as f64;
+        if stopper.update(final_loss) {
+            break;
+        }
+    }
+    // BYOL has no contrastive ranking metric; report 0 for top-5.
+    (online, PretrainSummary { epochs, final_loss, best_top5: 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::FlowpicDataset;
+    use crate::simclr::{few_shot_subset, fine_tune};
+    use crate::supervised::{SupervisedTrainer, TrainConfig};
+    use trafficgen::types::Partition;
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+    #[test]
+    fn byol_loss_zero_for_aligned_and_positive_otherwise() {
+        let p = Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, 2.0]);
+        let t = Tensor::new(&[2, 2], vec![3.0, 0.0, 0.0, 1.0]);
+        let (loss, _) = byol_loss(&p, &t);
+        assert!(loss.abs() < 1e-6, "aligned rows must give zero loss, got {loss}");
+        let t_orth = Tensor::new(&[2, 2], vec![0.0, 1.0, 1.0, 0.0]);
+        let (loss, grad) = byol_loss(&p, &t_orth);
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert!(grad.data.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn byol_loss_gradient_matches_finite_differences() {
+        let p = Tensor::new(&[3, 3], vec![0.5, -0.2, 0.8, -0.3, 0.9, 0.1, 0.7, 0.7, -0.4]);
+        let t = Tensor::new(&[3, 3], vec![0.6, -0.1, 0.9, -0.2, 1.0, 0.2, 0.5, 0.8, -0.5]);
+        let (_, grad) = byol_loss(&p, &t);
+        let eps = 1e-3f32;
+        for i in 0..p.len() {
+            let mut plus = p.clone();
+            plus.data[i] += eps;
+            let mut minus = p.clone();
+            minus.data[i] -= eps;
+            let numeric = (byol_loss(&plus, &t).0 - byol_loss(&minus, &t).0) / (2.0 * eps);
+            assert!(
+                (grad.data[i] - numeric).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "[{i}] {} vs {numeric}",
+                grad.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ema_moves_target_toward_online() {
+        let mut online = byol_net(32, 30, false, 1);
+        let mut target = byol_net(32, 30, false, 2);
+        let ow = online.export_weights();
+        let before = target.export_weights();
+        ema_update(&mut online, &mut target, 0.5);
+        let after = target.export_weights();
+        for ((b, a), o) in before.tensors.iter().zip(&after.tensors).zip(&ow.tensors) {
+            for ((bv, av), ov) in b.iter().zip(a).zip(o) {
+                assert!((av - (0.5 * bv + 0.5 * ov)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn byol_pretrain_supports_fine_tuning() {
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [16; 5];
+        cfg.script_per_class = [8; 5];
+        let ds = UcDavisSim::new(cfg).generate(61);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let config = SimClrConfig { max_epochs: 3, batch_size: 16, ..SimClrConfig::paper(5) };
+        let (mut online, summary) = pretrain_byol(
+            &ds,
+            &idx,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+        );
+        assert!(summary.final_loss.is_finite());
+        assert!(summary.final_loss < 2.0, "loss {} should fall below the random ~2", summary.final_loss);
+        let shots = few_shot_subset(&ds, &idx, 5, 1);
+        let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
+        let mut tuned = fine_tune(&mut online, &labeled, 2);
+        let test_idx = ds.partition_indices(Partition::Script);
+        let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
+        let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+        let eval = trainer.evaluate(&mut tuned, &test);
+        assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
+    }
+}

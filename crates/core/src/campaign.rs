@@ -1,0 +1,129 @@
+//! Parallel campaign execution.
+//!
+//! A modeling campaign is a grid of independent experiments (splits ×
+//! seeds × configurations). The paper distributed its 2 760 experiments
+//! over a GPU cluster; here a crossbeam-channel worker pool fans them out
+//! over CPU cores. Results come back in task order regardless of
+//! completion order, so downstream aggregation is deterministic.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Runs `n_tasks` instances of `task` (called with the task index) on
+/// `workers` threads and returns the results **in task order**.
+///
+/// `workers = 0` means "number of available CPUs". Panics in a task are
+/// propagated after all workers drain.
+pub fn run_parallel<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        workers
+    }
+    .min(n_tasks);
+
+    // Single-worker fast path keeps panics and stack traces simple.
+    if workers <= 1 {
+        return (0..n_tasks).map(&task).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..n_tasks {
+        tx.send(i).expect("queue send");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..n_tasks).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            let task = &task;
+            scope.spawn(move || {
+                while let Ok(i) = rx.recv() {
+                    let out = task(i);
+                    results.lock()[i] = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
+        .collect()
+}
+
+/// Cartesian product of experiment axes — the shape of the paper's grids
+/// (e.g. 7 augmentations × 5 splits × 3 seeds). Returns index tuples
+/// `(i, j, k)` in row-major order.
+pub fn grid3(a: usize, b: usize, c: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::with_capacity(a * b * c);
+    for i in 0..a {
+        for j in 0..b {
+            for k in 0..c {
+                out.push((i, j, k));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order() {
+        let results = run_parallel(64, 8, |i| i * 2);
+        assert_eq!(results, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let results = run_parallel(100, 4, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        let results: Vec<usize> = run_parallel(0, 4, |i| i);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn single_worker_path() {
+        let results = run_parallel(10, 1, |i| i + 1);
+        assert_eq!(results, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auto_worker_count() {
+        let results = run_parallel(16, 0, |i| i);
+        assert_eq!(results.len(), 16);
+    }
+
+    #[test]
+    fn grid3_shape_and_order() {
+        let g = grid3(2, 2, 3);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g[0], (0, 0, 0));
+        assert_eq!(g[1], (0, 0, 1));
+        assert_eq!(g[11], (1, 1, 2));
+    }
+}

@@ -1,0 +1,268 @@
+//! Flows → training tensors.
+//!
+//! The paper's supervised protocol (Sec. 4.2.1): a training split of 100
+//! flows per class, each augmentation applied **10 times** per flow →
+//! 1 000 images per class ("no aug" keeps the original 100), 80/20
+//! train/validation, early stopping on the validation loss.
+
+use augment::Augmentation;
+use flowpic::{DirectionalFlowpic, Flowpic, FlowpicConfig, Normalization};
+use nettensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use trafficgen::types::Dataset;
+
+/// A rasterized, model-ready dataset: flattened flowpic inputs plus
+/// labels.
+#[derive(Debug, Clone)]
+pub struct FlowpicDataset {
+    /// Flowpic resolution (inputs are `channels · res²` long).
+    pub res: usize,
+    /// Input channels: 1 for the paper's direction-blind flowpic, 2 for
+    /// the direction-aware extension (footnote 3 of the Ref-Paper).
+    pub channels: usize,
+    /// Flattened normalized flowpics.
+    pub inputs: Vec<Vec<f32>>,
+    /// Class labels, parallel to `inputs`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl FlowpicDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Rasterizes `indices` of `dataset` without augmentation.
+    pub fn from_flows(
+        dataset: &Dataset,
+        indices: &[usize],
+        config: &FlowpicConfig,
+        norm: Normalization,
+    ) -> FlowpicDataset {
+        let mut inputs = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let flow = &dataset.flows[i];
+            inputs.push(Flowpic::build(&flow.pkts, config).to_input(norm));
+            labels.push(flow.class as usize);
+        }
+        FlowpicDataset {
+            res: config.resolution,
+            channels: 1,
+            inputs,
+            labels,
+            n_classes: dataset.num_classes(),
+        }
+    }
+
+    /// Rasterizes `indices` as 2-channel direction-aware flowpics — the
+    /// reformulation the Ref-Paper's footnote 3 suggests (upstream and
+    /// downstream packets in separate channels).
+    pub fn from_flows_directional(
+        dataset: &Dataset,
+        indices: &[usize],
+        config: &FlowpicConfig,
+        norm: Normalization,
+    ) -> FlowpicDataset {
+        let mut inputs = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let flow = &dataset.flows[i];
+            inputs.push(DirectionalFlowpic::build(&flow.pkts, config).to_input(norm));
+            labels.push(flow.class as usize);
+        }
+        FlowpicDataset {
+            res: config.resolution,
+            channels: 2,
+            inputs,
+            labels,
+            n_classes: dataset.num_classes(),
+        }
+    }
+
+    /// Builds the paper's augmented training set: each flow contributes
+    /// its original picture plus `copies` augmented ones — the paper's
+    /// "apply each of the augmentations 10 times on the 100 samples per
+    /// class training set, which increase the training set to 1000 images
+    /// per class" (100 originals + 9 augmented copies in paper scale).
+    /// Under [`Augmentation::NoAug`] only the originals are kept.
+    pub fn augmented(
+        dataset: &Dataset,
+        indices: &[usize],
+        aug: Augmentation,
+        copies: usize,
+        config: &FlowpicConfig,
+        norm: Normalization,
+        seed: u64,
+    ) -> FlowpicDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let effective_copies = if aug == Augmentation::NoAug { 0 } else { copies };
+        let mut inputs = Vec::with_capacity(indices.len() * (effective_copies + 1));
+        let mut labels = Vec::with_capacity(indices.len() * (effective_copies + 1));
+        for &i in indices {
+            let flow = &dataset.flows[i];
+            inputs.push(Flowpic::build(&flow.pkts, config).to_input(norm));
+            labels.push(flow.class as usize);
+            for _ in 0..effective_copies {
+                inputs.push(aug.apply(&flow.pkts, config, &mut rng).to_input(norm));
+                labels.push(flow.class as usize);
+            }
+        }
+        FlowpicDataset {
+            res: config.resolution,
+            channels: 1,
+            inputs,
+            labels,
+            n_classes: dataset.num_classes(),
+        }
+    }
+
+    /// Splits off a validation fraction (shuffled, the paper's 80/20).
+    pub fn split_validation(&self, val_frac: f64, seed: u64) -> (FlowpicDataset, FlowpicDataset) {
+        assert!((0.0..1.0).contains(&val_frac));
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_val = ((self.len() as f64) * val_frac).round() as usize;
+        let (val_idx, train_idx) = order.split_at(n_val.min(self.len()));
+        let pick = |idx: &[usize]| FlowpicDataset {
+            res: self.res,
+            channels: self.channels,
+            inputs: idx.iter().map(|&i| self.inputs[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        (pick(train_idx), pick(val_idx))
+    }
+
+    /// Assembles a `[N, channels, res, res]` input tensor for the given
+    /// sample indices.
+    pub fn batch_tensor(&self, idx: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(idx.len() * self.channels * self.res * self.res);
+        for &i in idx {
+            data.extend_from_slice(&self.inputs[i]);
+        }
+        Tensor::new(&[idx.len(), self.channels, self.res, self.res], data)
+    }
+
+    /// Labels for the given sample indices.
+    pub fn batch_labels(&self, idx: &[usize]) -> Vec<usize> {
+        idx.iter().map(|&i| self.labels[i]).collect()
+    }
+
+    /// A shuffled epoch order.
+    pub fn shuffled_order(&self, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+    use trafficgen::types::Partition;
+
+    fn tiny() -> Dataset {
+        UcDavisSim::new(UcDavisConfig::tiny()).generate(3)
+    }
+
+    #[test]
+    fn from_flows_shapes() {
+        let ds = tiny();
+        let idx = ds.partition_indices(Partition::Script);
+        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        assert_eq!(fp.len(), idx.len());
+        assert_eq!(fp.inputs[0].len(), 1024);
+        assert_eq!(fp.n_classes, 5);
+    }
+
+    #[test]
+    fn augmented_multiplies_samples() {
+        let ds = tiny();
+        let idx: Vec<usize> = ds.partition_indices(Partition::Script).into_iter().take(6).collect();
+        let aug = FlowpicDataset::augmented(
+            &ds,
+            &idx,
+            Augmentation::ChangeRtt,
+            10,
+            &FlowpicConfig::mini(),
+            Normalization::LogMax,
+            7,
+        );
+        assert_eq!(aug.len(), 66); // 6 originals + 6x10 augmented
+        // NoAug keeps the originals only.
+        let plain = FlowpicDataset::augmented(
+            &ds,
+            &idx,
+            Augmentation::NoAug,
+            10,
+            &FlowpicConfig::mini(),
+            Normalization::LogMax,
+            7,
+        );
+        assert_eq!(plain.len(), 6); // NoAug keeps only the originals
+    }
+
+    #[test]
+    fn augmented_copies_differ() {
+        let ds = tiny();
+        let idx: Vec<usize> = ds.partition_indices(Partition::Script).into_iter().take(1).collect();
+        let aug = FlowpicDataset::augmented(
+            &ds,
+            &idx,
+            Augmentation::TimeShift,
+            5,
+            &FlowpicConfig::mini(),
+            Normalization::LogMax,
+            9,
+        );
+        assert!(aug.inputs.iter().any(|v| v != &aug.inputs[0]));
+        assert_eq!(aug.len(), 6); // 1 original + 5 augmented
+        // Labels all equal the source flow's class.
+        assert!(aug.labels.iter().all(|&l| l == aug.labels[0]));
+    }
+
+    #[test]
+    fn validation_split_partitions_samples() {
+        let ds = tiny();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let (train, val) = fp.split_validation(0.2, 1);
+        assert_eq!(train.len() + val.len(), fp.len());
+        assert_eq!(val.len(), (fp.len() as f64 * 0.2).round() as usize);
+    }
+
+    #[test]
+    fn batch_tensor_layout() {
+        let ds = tiny();
+        let idx = ds.partition_indices(Partition::Script);
+        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let t = fp.batch_tensor(&[0, 1, 2]);
+        assert_eq!(t.shape, vec![3, 1, 32, 32]);
+        assert_eq!(&t.data[..1024], &fp.inputs[0][..]);
+        assert_eq!(fp.batch_labels(&[0, 1]), &fp.labels[..2]);
+    }
+
+    #[test]
+    fn shuffled_order_is_permutation() {
+        let ds = tiny();
+        let idx = ds.partition_indices(Partition::Script);
+        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let mut order = fp.shuffled_order(5);
+        assert_ne!(order, (0..fp.len()).collect::<Vec<_>>());
+        order.sort_unstable();
+        assert_eq!(order, (0..fp.len()).collect::<Vec<_>>());
+    }
+}

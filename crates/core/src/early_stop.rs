@@ -1,0 +1,137 @@
+//! Early stopping.
+//!
+//! The paper uses three early-stopping rules:
+//!
+//! * supervised: stop when the **validation loss** fails to improve by
+//!   more than 0.001 for 5 consecutive epochs;
+//! * SimCLR pre-training: stop on the **contrastive top-5 accuracy** with
+//!   patience 3;
+//! * fine-tuning: stop on the **training loss** with patience 5 and
+//!   min-delta 0.001.
+//!
+//! [`EarlyStopper`] covers all three via a minimize/maximize mode.
+
+/// Whether the watched metric should decrease or increase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopMode {
+    /// Stop when the metric stops *decreasing* (losses).
+    Minimize,
+    /// Stop when the metric stops *increasing* (accuracies).
+    Maximize,
+}
+
+/// Patience-based early stopping with a minimum improvement delta.
+#[derive(Debug, Clone)]
+pub struct EarlyStopper {
+    mode: StopMode,
+    patience: usize,
+    min_delta: f64,
+    best: Option<f64>,
+    bad_epochs: usize,
+}
+
+impl EarlyStopper {
+    /// Creates a stopper.
+    pub fn new(mode: StopMode, patience: usize, min_delta: f64) -> EarlyStopper {
+        assert!(patience >= 1);
+        assert!(min_delta >= 0.0);
+        EarlyStopper { mode, patience, min_delta, best: None, bad_epochs: 0 }
+    }
+
+    /// The paper's supervised rule: validation loss, patience 5, δ 0.001.
+    pub fn supervised() -> EarlyStopper {
+        EarlyStopper::new(StopMode::Minimize, 5, 0.001)
+    }
+
+    /// The paper's SimCLR rule: top-5 accuracy, patience 3.
+    pub fn simclr() -> EarlyStopper {
+        EarlyStopper::new(StopMode::Maximize, 3, 0.0)
+    }
+
+    /// The paper's fine-tuning rule: training loss, patience 5, δ 0.001.
+    pub fn finetune() -> EarlyStopper {
+        EarlyStopper::new(StopMode::Minimize, 5, 0.001)
+    }
+
+    /// Records one epoch's metric; returns `true` when training should
+    /// stop.
+    pub fn update(&mut self, value: f64) -> bool {
+        let improved = match (self.best, self.mode) {
+            (None, _) => true,
+            (Some(best), StopMode::Minimize) => value < best - self.min_delta,
+            (Some(best), StopMode::Maximize) => value > best + self.min_delta,
+        };
+        if improved {
+            self.best = Some(value);
+            self.bad_epochs = 0;
+        } else {
+            self.bad_epochs += 1;
+        }
+        self.bad_epochs >= self.patience
+    }
+
+    /// Best metric value seen so far.
+    pub fn best(&self) -> Option<f64> {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_after_patience_without_improvement() {
+        let mut s = EarlyStopper::new(StopMode::Minimize, 3, 0.0);
+        assert!(!s.update(1.0));
+        assert!(!s.update(1.0)); // bad 1
+        assert!(!s.update(1.0)); // bad 2
+        assert!(s.update(1.0)); // bad 3 → stop
+    }
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut s = EarlyStopper::new(StopMode::Minimize, 2, 0.0);
+        assert!(!s.update(1.0));
+        assert!(!s.update(1.0)); // bad 1
+        assert!(!s.update(0.5)); // improvement resets
+        assert!(!s.update(0.6)); // bad 1
+        assert!(s.update(0.6)); // bad 2 → stop
+        assert_eq!(s.best(), Some(0.5));
+    }
+
+    #[test]
+    fn min_delta_requires_material_improvement() {
+        // The paper's rule: improvements smaller than 0.001 do not count.
+        let mut s = EarlyStopper::supervised();
+        assert!(!s.update(1.0));
+        for _ in 0..4 {
+            assert!(!s.update(0.9995)); // below the delta: bad epochs
+        }
+        assert!(s.update(0.9993));
+    }
+
+    #[test]
+    fn maximize_mode() {
+        let mut s = EarlyStopper::new(StopMode::Maximize, 2, 0.0);
+        assert!(!s.update(0.5));
+        assert!(!s.update(0.6));
+        assert!(!s.update(0.6)); // bad 1
+        assert!(s.update(0.59)); // bad 2 → stop
+        assert_eq!(s.best(), Some(0.6));
+    }
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let mut sup = EarlyStopper::supervised();
+        // Patience 5: five non-improving epochs after the first.
+        sup.update(1.0);
+        let stops: Vec<bool> = (0..5).map(|_| sup.update(1.0)).collect();
+        assert_eq!(stops, vec![false, false, false, false, true]);
+
+        let mut sim = EarlyStopper::simclr();
+        sim.update(0.9);
+        let stops: Vec<bool> = (0..3).map(|_| sim.update(0.9)).collect();
+        assert_eq!(stops, vec![false, false, true]);
+    }
+}

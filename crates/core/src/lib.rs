@@ -1,0 +1,38 @@
+//! # tcbench — experiment orchestration for the flowpic replication
+//!
+//! This crate ties the substrates together into the paper's modeling
+//! pipeline:
+//!
+//! * [`arch`] — the exact network architectures of the paper's App. C
+//!   listings: supervised LeNet-5 (mini) and full-flowpic variants, the
+//!   SimCLR pre-training networks (projection dim 30/84), and the
+//!   fine-tune network with its `Identity`-masked head;
+//! * [`data`] — flows → training tensors: augmented training sets (each
+//!   augmentation applied 10× as in the paper), batching, shuffling;
+//! * [`early_stop`] — the paper's early-stopping rules (validation loss
+//!   patience 5 / min-delta 0.001 supervised; top-5 contrastive accuracy
+//!   patience 3 for SimCLR; training loss patience 5 fine-tuning);
+//! * [`supervised`] — the supervised trainer (lr 0.001, batch 32);
+//! * [`simclr`] — SimCLR pre-training (NT-Xent, temperature 0.07) and
+//!   few-shot fine-tuning (lr 0.01) with a frozen extractor;
+//! * [`regression`] — the Rezaei & Liu reproduction (paper App. D.3):
+//!   subflow-sampling regression pre-training plus classifier fine-tune;
+//! * [`track`] — an AimStack-like in-process run tracker;
+//! * [`campaign`] — a crossbeam worker pool that fans experiment grids
+//!   out over CPU cores;
+//! * [`report`] — aligned-column table rendering for the bench binaries.
+
+pub mod arch;
+pub mod byol;
+pub mod campaign;
+pub mod data;
+pub mod early_stop;
+pub mod regression;
+pub mod report;
+pub mod simclr;
+pub mod supervised;
+pub mod timeseries;
+pub mod track;
+
+pub use data::FlowpicDataset;
+pub use supervised::{EvalResult, SupervisedTrainer, TrainConfig};

@@ -1,0 +1,119 @@
+//! Table rendering and result export for the bench binaries.
+//!
+//! Every bench binary prints a table in the shape of its paper
+//! counterpart and writes the same content as JSON next to the binary's
+//! working directory, so EXPERIMENTS.md can quote either.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A simple aligned-column table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. `"Table 4 — script, 32x32"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Writes `value` as pretty JSON to `path`, creating parent directories.
+pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, serde_json::to_string_pretty(value).expect("serialize"))
+}
+
+/// Formats a `[0,1]` metric as the percent string the paper's tables use.
+pub fn pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Aug", "script", "human"]);
+        t.push_row(vec!["Change RTT".into(), "97.29".into(), "70.76".into()]);
+        t.push_row(vec!["No augmentation".into(), "95.64".into(), "68.84".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("Change RTT"));
+        // Columns align: both data lines have 'script' values starting at
+        // the same offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let pos1 = lines[3].find("97.29").unwrap();
+        let pos2 = lines[4].find("95.64").unwrap();
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new("t", &["a", "b"]).push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9680), "96.80");
+        assert_eq!(pct(1.0), "100.00");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        let dir = std::env::temp_dir().join("tcbench_report_test");
+        let path = dir.join("out.json");
+        let t = Table::new("t", &["a"]);
+        write_json(path.to_str().unwrap(), &t).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"title\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

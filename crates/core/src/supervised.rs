@@ -1,0 +1,246 @@
+//! The supervised trainer.
+//!
+//! Reproduces the paper's training settings (Sec. 4.2.1): Adam with a
+//! static learning rate of 0.001, batch size 32, early stopping on the
+//! validation loss (patience 5, min-delta 0.001), accuracy as the
+//! headline metric.
+
+use crate::data::FlowpicDataset;
+use crate::early_stop::EarlyStopper;
+use mlstats::ConfusionMatrix;
+use nettensor::loss::{accuracy, cross_entropy, predictions};
+use nettensor::optim::{Adam, Optimizer};
+use nettensor::Sequential;
+use serde::Serialize;
+
+/// Trainer hyper-parameters (paper defaults).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TrainConfig {
+    /// Learning rate (paper: 0.001 supervised, 0.01 fine-tuning).
+    pub learning_rate: f32,
+    /// Mini-batch size (paper: 32).
+    pub batch_size: usize,
+    /// Upper bound on epochs (the paper relies on early stopping; this is
+    /// a safety net).
+    pub max_epochs: usize,
+    /// Early-stopping patience in epochs.
+    pub patience: usize,
+    /// Early-stopping minimum improvement.
+    pub min_delta: f64,
+    /// Shuffling/training seed.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's supervised configuration.
+    pub fn supervised(seed: u64) -> TrainConfig {
+        TrainConfig {
+            learning_rate: 0.001,
+            batch_size: 32,
+            max_epochs: 50,
+            patience: 5,
+            min_delta: 0.001,
+            seed,
+        }
+    }
+}
+
+/// Outcome of an evaluation pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalResult {
+    /// Overall accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Support-weighted F1 (the paper's Table 8 metric).
+    pub weighted_f1: f64,
+    /// The confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrainSummary {
+    /// Epochs actually run (≤ `max_epochs`).
+    pub epochs: usize,
+    /// Final training loss.
+    pub final_train_loss: f64,
+    /// Best validation loss (when a validation set was given).
+    pub best_val_loss: Option<f64>,
+}
+
+/// Trains and evaluates supervised models.
+pub struct SupervisedTrainer {
+    config: TrainConfig,
+}
+
+impl SupervisedTrainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainConfig) -> SupervisedTrainer {
+        SupervisedTrainer { config }
+    }
+
+    /// Trains `net` on `train`, early-stopping on `val`'s loss when
+    /// provided (otherwise on the training loss, the fine-tuning rule).
+    pub fn train(
+        &self,
+        net: &mut Sequential,
+        train: &FlowpicDataset,
+        val: Option<&FlowpicDataset>,
+    ) -> TrainSummary {
+        assert!(!train.is_empty(), "empty training set");
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut stopper = EarlyStopper::new(
+            crate::early_stop::StopMode::Minimize,
+            self.config.patience,
+            self.config.min_delta,
+        );
+        let mut epochs = 0;
+        let mut final_train_loss = f64::MAX;
+        for epoch in 0..self.config.max_epochs {
+            epochs = epoch + 1;
+            let order = train.shuffled_order(self.config.seed.wrapping_add(epoch as u64));
+            let mut epoch_loss = 0f64;
+            let mut n_batches = 0usize;
+            for chunk in order.chunks(self.config.batch_size) {
+                let x = train.batch_tensor(chunk);
+                let y = train.batch_labels(chunk);
+                let logits = net.forward(&x, true);
+                let (loss, grad) = cross_entropy(&logits, &y);
+                net.zero_grad();
+                net.backward(&grad);
+                opt.step(net);
+                epoch_loss += loss as f64;
+                n_batches += 1;
+            }
+            final_train_loss = epoch_loss / n_batches.max(1) as f64;
+            let watched = match val {
+                Some(v) => self.loss(net, v),
+                None => final_train_loss,
+            };
+            if stopper.update(watched) {
+                break;
+            }
+        }
+        TrainSummary {
+            epochs,
+            final_train_loss,
+            best_val_loss: val.map(|_| stopper.best().unwrap_or(f64::MAX)),
+        }
+    }
+
+    /// Mean cross-entropy loss of `net` on `data` (eval mode).
+    pub fn loss(&self, net: &mut Sequential, data: &FlowpicDataset) -> f64 {
+        let mut total = 0f64;
+        let mut n = 0usize;
+        let order: Vec<usize> = (0..data.len()).collect();
+        for chunk in order.chunks(self.config.batch_size.max(1)) {
+            let x = data.batch_tensor(chunk);
+            let y = data.batch_labels(chunk);
+            let logits = net.forward(&x, false);
+            let (loss, _) = cross_entropy(&logits, &y);
+            total += loss as f64 * chunk.len() as f64;
+            n += chunk.len();
+        }
+        total / n.max(1) as f64
+    }
+
+    /// Evaluates `net` on `data`: accuracy, weighted F1 and the confusion
+    /// matrix.
+    pub fn evaluate(&self, net: &mut Sequential, data: &FlowpicDataset) -> EvalResult {
+        let mut confusion = ConfusionMatrix::new(data.n_classes);
+        let mut correct_weighted = 0f64;
+        let order: Vec<usize> = (0..data.len()).collect();
+        for chunk in order.chunks(self.config.batch_size.max(1)) {
+            let x = data.batch_tensor(chunk);
+            let y = data.batch_labels(chunk);
+            let logits = net.forward(&x, false);
+            let preds = predictions(&logits);
+            confusion.record_all(&y, &preds);
+            correct_weighted += accuracy(&logits, &y) * chunk.len() as f64;
+        }
+        EvalResult {
+            accuracy: correct_weighted / data.len().max(1) as f64,
+            weighted_f1: confusion.weighted_f1(),
+            confusion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::supervised_net;
+    use flowpic::{FlowpicConfig, Normalization};
+    use trafficgen::types::Partition;
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+    fn quick_config(seed: u64) -> TrainConfig {
+        TrainConfig { max_epochs: 12, ..TrainConfig::supervised(seed) }
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        // Small UCDAVIS sim: the supervised net must beat chance by a wide
+        // margin on held-out script data.
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [24; 5];
+        cfg.script_per_class = [8; 5];
+        let ds = UcDavisSim::new(cfg).generate(5);
+        let fpcfg = FlowpicConfig::mini();
+        let train_idx = ds.partition_indices(Partition::Pretraining);
+        let test_idx = ds.partition_indices(Partition::Script);
+        let train = FlowpicDataset::from_flows(&ds, &train_idx, &fpcfg, Normalization::LogMax);
+        let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
+        let (train, val) = train.split_validation(0.2, 0);
+
+        let trainer = SupervisedTrainer::new(quick_config(1));
+        let mut net = supervised_net(32, 5, false, 1);
+        let summary = trainer.train(&mut net, &train, Some(&val));
+        assert!(summary.epochs >= 1);
+        let eval = trainer.evaluate(&mut net, &test);
+        assert!(eval.accuracy > 0.5, "accuracy {} (chance = 0.2)", eval.accuracy);
+        assert_eq!(eval.confusion.total() as usize, test.len());
+    }
+
+    #[test]
+    fn early_stopping_triggers() {
+        // A one-sample training set converges instantly; the stopper must
+        // end training well before max_epochs.
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(2);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Script);
+        let data = FlowpicDataset::from_flows(&ds, &idx[..4], &fpcfg, Normalization::LogMax);
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 100,
+            learning_rate: 0.01,
+            ..TrainConfig::supervised(0)
+        });
+        let mut net = supervised_net(32, 5, false, 0);
+        let summary = trainer.train(&mut net, &data, Some(&data));
+        assert!(summary.epochs < 100, "ran {} epochs", summary.epochs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(2);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, Normalization::LogMax);
+        let run = || {
+            let trainer = SupervisedTrainer::new(quick_config(3));
+            let mut net = supervised_net(32, 5, false, 3);
+            trainer.train(&mut net, &data, None);
+            trainer.evaluate(&mut net, &data).accuracy
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_training_set() {
+        let trainer = SupervisedTrainer::new(quick_config(0));
+        let mut net = supervised_net(32, 5, false, 0);
+        let empty =
+            FlowpicDataset { res: 32, channels: 1, inputs: vec![], labels: vec![], n_classes: 5 };
+        trainer.train(&mut net, &empty, None);
+    }
+}

@@ -1,0 +1,284 @@
+//! Packet-time-series CNN — the paper's declared future work.
+//!
+//! Paper Sec. 2.3: "These are interesting findings worth reproducing — on
+//! flowpic in the context of this work — and we believe they should be
+//! extended to packet time-series too in a future work." This module is
+//! that extension: a 1-D CNN over the `(size, direction, inter-arrival)`
+//! series of the first `L` packets, trained under the same protocol and
+//! the same *time-series* augmentations (Change RTT, Time shift, Packet
+//! loss — the image augmentations have no time-series counterpart).
+
+use crate::early_stop::EarlyStopper;
+use augment::{timeseries as ts_aug, Augmentation};
+use flowpic::features::early_time_series_normalized;
+use mlstats::ConfusionMatrix;
+use nettensor::layers::{Conv1d, Flatten, Linear, MaxPool1d, ReLU};
+use nettensor::loss::{cross_entropy, predictions};
+use nettensor::optim::{Adam, Optimizer};
+use nettensor::{Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use trafficgen::types::{Dataset, Flow};
+
+/// Default sequence length (packets per flow); the paper's early-
+/// classification framing uses the first tens of packets.
+pub const DEFAULT_SEQ_LEN: usize = 30;
+
+/// A model-ready time-series dataset: channel-major `[3, L]` features.
+#[derive(Debug, Clone)]
+pub struct TsDataset {
+    /// Packets per sample.
+    pub seq_len: usize,
+    /// Flattened `[3 · L]` feature vectors (sizes | directions |
+    /// inter-arrivals), unit-normalized.
+    pub inputs: Vec<Vec<f32>>,
+    /// Labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl TsDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Extracts features of the flows at `indices`.
+    pub fn from_flows(dataset: &Dataset, indices: &[usize], seq_len: usize) -> TsDataset {
+        TsDataset {
+            seq_len,
+            inputs: indices
+                .iter()
+                .map(|&i| early_time_series_normalized(&dataset.flows[i], seq_len))
+                .collect(),
+            labels: indices.iter().map(|&i| dataset.flows[i].class as usize).collect(),
+            n_classes: dataset.num_classes(),
+        }
+    }
+
+    /// The augmented training set: originals plus `copies` transformed
+    /// series per flow. Only the time-series policies apply; passing an
+    /// image augmentation panics (there is no packet series to rebuild
+    /// from a transformed picture).
+    pub fn augmented(
+        dataset: &Dataset,
+        indices: &[usize],
+        aug: Augmentation,
+        copies: usize,
+        seq_len: usize,
+        seed: u64,
+    ) -> TsDataset {
+        assert!(
+            aug == Augmentation::NoAug || aug.is_time_series(),
+            "{} has no time-series form",
+            aug.name()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let effective = if aug == Augmentation::NoAug { 0 } else { copies };
+        let mut inputs = Vec::with_capacity(indices.len() * (effective + 1));
+        let mut labels = Vec::with_capacity(inputs.capacity());
+        for &i in indices {
+            let flow = &dataset.flows[i];
+            inputs.push(early_time_series_normalized(flow, seq_len));
+            labels.push(flow.class as usize);
+            for _ in 0..effective {
+                let pkts = match aug {
+                    Augmentation::ChangeRtt => ts_aug::change_rtt(&flow.pkts, &mut rng),
+                    Augmentation::TimeShift => ts_aug::time_shift(&flow.pkts, &mut rng),
+                    Augmentation::PacketLoss => {
+                        ts_aug::packet_loss(&flow.pkts, augment::policy::PACKET_LOSS_PROB, &mut rng)
+                    }
+                    Augmentation::IatJitter => augment::extended::iat_jitter(
+                        &flow.pkts,
+                        augment::policy::IAT_JITTER_SIGMA,
+                        &mut rng,
+                    ),
+                    Augmentation::PacketDuplication => augment::extended::packet_duplication(
+                        &flow.pkts,
+                        augment::policy::DUPLICATION_PROB,
+                        &mut rng,
+                    ),
+                    Augmentation::PadSizes => {
+                        augment::extended::pad_sizes(&flow.pkts, augment::policy::PAD_MAX, &mut rng)
+                    }
+                    _ => unreachable!("validated above"),
+                };
+                let pseudo = Flow { pkts, ..flow.clone() };
+                inputs.push(early_time_series_normalized(&pseudo, seq_len));
+                labels.push(flow.class as usize);
+            }
+        }
+        TsDataset { seq_len, inputs, labels, n_classes: dataset.num_classes() }
+    }
+
+    fn tensor(&self, idx: &[usize]) -> Tensor {
+        let mut data = Vec::with_capacity(idx.len() * 3 * self.seq_len);
+        for &i in idx {
+            data.extend_from_slice(&self.inputs[i]);
+        }
+        Tensor::new(&[idx.len(), 3, self.seq_len], data)
+    }
+}
+
+/// The 1-D CNN: `Conv1d(3→32,3) → ReLU → Pool2 → Conv1d(32→64,3) → ReLU →
+/// Pool2 → Flatten → Linear(→120) → ReLU → Linear(120, C)` — the
+/// time-series sibling of the mini flowpic architecture (same latent
+/// width).
+pub fn timeseries_net(seq_len: usize, n_classes: usize, seed: u64) -> Sequential {
+    assert!(seq_len >= 10, "sequence length {seq_len} too short for the architecture");
+    let after_conv1 = seq_len - 2;
+    let after_pool1 = after_conv1 / 2;
+    let after_conv2 = after_pool1 - 2;
+    let after_pool2 = after_conv2 / 2;
+    let flat = 64 * after_pool2;
+    Sequential::new(vec![
+        Box::new(Conv1d::new(3, 32, 3, seed)),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool1d::new(2)),
+        Box::new(Conv1d::new(32, 64, 3, seed.wrapping_add(1))),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool1d::new(2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(flat, 120, seed.wrapping_add(2))),
+        Box::new(ReLU::new()),
+        Box::new(Linear::new(120, n_classes, seed.wrapping_add(3))),
+    ])
+}
+
+/// Trains the time-series CNN under the paper's settings (Adam lr 0.001,
+/// batch 32, early stopping patience 5 / δ 0.001 on the validation loss
+/// when `val` is given). Returns epochs run.
+pub fn train_timeseries(
+    net: &mut Sequential,
+    train: &TsDataset,
+    val: Option<&TsDataset>,
+    max_epochs: usize,
+    seed: u64,
+) -> usize {
+    assert!(!train.is_empty());
+    let mut opt = Adam::new(0.001);
+    let mut stopper = EarlyStopper::supervised();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut epochs = 0;
+    for _ in 0..max_epochs {
+        epochs += 1;
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        order.shuffle(&mut rng);
+        let mut train_loss = 0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(32) {
+            let x = train.tensor(chunk);
+            let y: Vec<usize> = chunk.iter().map(|&i| train.labels[i]).collect();
+            let logits = net.forward(&x, true);
+            let (loss, grad) = cross_entropy(&logits, &y);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(net);
+            train_loss += loss as f64;
+            batches += 1;
+        }
+        let watched = match val {
+            Some(v) => evaluate_loss(net, v),
+            None => train_loss / batches.max(1) as f64,
+        };
+        if stopper.update(watched) {
+            break;
+        }
+    }
+    epochs
+}
+
+fn evaluate_loss(net: &mut Sequential, data: &TsDataset) -> f64 {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut total = 0f64;
+    for chunk in idx.chunks(64) {
+        let x = data.tensor(chunk);
+        let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+        let (loss, _) = cross_entropy(&net.forward(&x, false), &y);
+        total += loss as f64 * chunk.len() as f64;
+    }
+    total / data.len().max(1) as f64
+}
+
+/// Evaluates accuracy and the confusion matrix.
+pub fn evaluate_timeseries(net: &mut Sequential, data: &TsDataset) -> (f64, ConfusionMatrix) {
+    let mut confusion = ConfusionMatrix::new(data.n_classes);
+    let idx: Vec<usize> = (0..data.len()).collect();
+    for chunk in idx.chunks(64) {
+        let x = data.tensor(chunk);
+        let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+        confusion.record_all(&y, &predictions(&net.forward(&x, false)));
+    }
+    (confusion.accuracy(), confusion)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::types::Partition;
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+    fn dataset() -> Dataset {
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [24; 5];
+        cfg.script_per_class = [8; 5];
+        cfg.max_pkts = 120;
+        UcDavisSim::new(cfg).generate(88)
+    }
+
+    #[test]
+    fn net_shapes_and_counts() {
+        let mut net = timeseries_net(30, 5, 0);
+        let x = Tensor::zeros(&[2, 3, 30]);
+        assert_eq!(net.forward(&x, false).shape, vec![2, 5]);
+        assert_eq!(net.len(), 10);
+    }
+
+    #[test]
+    fn learns_from_time_series() {
+        let ds = dataset();
+        let train_idx = ds.partition_indices(Partition::Pretraining);
+        let test_idx = ds.partition_indices(Partition::Script);
+        let train =
+            TsDataset::augmented(&ds, &train_idx, Augmentation::ChangeRtt, 2, 30, 3);
+        let test = TsDataset::from_flows(&ds, &test_idx, 30);
+        let mut net = timeseries_net(30, 5, 3);
+        let epochs = train_timeseries(&mut net, &train, None, 12, 3);
+        assert!(epochs >= 1);
+        let (acc, confusion) = evaluate_timeseries(&mut net, &test);
+        assert!(acc > 0.5, "accuracy {acc} (chance = 0.2)");
+        assert_eq!(confusion.total() as usize, test.len());
+    }
+
+    #[test]
+    fn augmented_grows_and_keeps_labels() {
+        let ds = dataset();
+        let idx: Vec<usize> =
+            ds.partition_indices(Partition::Script).into_iter().take(5).collect();
+        let aug = TsDataset::augmented(&ds, &idx, Augmentation::TimeShift, 4, 20, 1);
+        assert_eq!(aug.len(), 25);
+        let plain = TsDataset::augmented(&ds, &idx, Augmentation::NoAug, 4, 20, 1);
+        assert_eq!(plain.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no time-series form")]
+    fn image_augmentations_are_rejected() {
+        let ds = dataset();
+        let idx = ds.partition_indices(Partition::Script);
+        TsDataset::augmented(&ds, &idx, Augmentation::Rotate, 2, 20, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_too_short_sequences() {
+        timeseries_net(4, 5, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! In-process experiment tracking.
+//!
+//! The paper's campaigns — 13 campaigns, 2 760 experiments — were tracked
+//! with AimStack plus custom extensions. This module is the equivalent
+//! for this reproduction: a thread-safe tracker that records each run's
+//! hyper-parameters, metric series and artifacts, aggregates across runs,
+//! and exports everything as JSON for post-processing (the replication's
+//! "models, logs and reports" artifact set).
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One metric observation.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricPoint {
+    /// Metric name (e.g. `"val_loss"`, `"test_accuracy"`).
+    pub name: String,
+    /// Step/epoch index.
+    pub step: u64,
+    /// Value.
+    pub value: f64,
+}
+
+/// One tracked run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Run {
+    /// Run id, unique within the tracker.
+    pub id: u64,
+    /// Campaign/experiment name.
+    pub name: String,
+    /// Hyper-parameters.
+    pub params: BTreeMap<String, String>,
+    /// Metric observations in logging order.
+    pub metrics: Vec<MetricPoint>,
+    /// Named text artifacts (summaries, rendered tables, network
+    /// listings).
+    pub artifacts: BTreeMap<String, String>,
+    /// Whether the run finished.
+    pub finished: bool,
+}
+
+/// A thread-safe experiment tracker. Cloning shares the underlying store,
+/// so campaign workers can log concurrently.
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    inner: Arc<Mutex<Vec<Run>>>,
+}
+
+/// Handle to a run being recorded.
+#[derive(Debug, Clone)]
+pub struct RunHandle {
+    tracker: Tracker,
+    id: u64,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Tracker {
+        Tracker::default()
+    }
+
+    /// Starts a run under `name`.
+    pub fn start_run(&self, name: &str) -> RunHandle {
+        let mut runs = self.inner.lock();
+        let id = runs.len() as u64;
+        runs.push(Run {
+            id,
+            name: name.to_string(),
+            params: BTreeMap::new(),
+            metrics: Vec::new(),
+            artifacts: BTreeMap::new(),
+            finished: false,
+        });
+        RunHandle { tracker: self.clone(), id }
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no runs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Snapshot of all runs.
+    pub fn runs(&self) -> Vec<Run> {
+        self.inner.lock().clone()
+    }
+
+    /// The values of `metric` across all runs matching `filter` on the
+    /// run's params (every `(key, value)` in `filter` must match).
+    pub fn metric_values(&self, metric: &str, filter: &[(&str, &str)]) -> Vec<f64> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|run| {
+                filter.iter().all(|(k, v)| run.params.get(*k).map(String::as_str) == Some(*v))
+            })
+            .flat_map(|run| {
+                run.metrics
+                    .iter()
+                    .filter(|m| m.name == metric)
+                    .map(|m| m.value)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Exports every run as pretty JSON.
+    pub fn export_json(&self) -> String {
+        serde_json::to_string_pretty(&*self.inner.lock()).expect("runs serialize")
+    }
+}
+
+impl RunHandle {
+    /// Records a hyper-parameter.
+    pub fn log_param(&self, key: &str, value: impl ToString) {
+        let mut runs = self.tracker.inner.lock();
+        runs[self.id as usize].params.insert(key.to_string(), value.to_string());
+    }
+
+    /// Records a metric observation.
+    pub fn log_metric(&self, name: &str, step: u64, value: f64) {
+        let mut runs = self.tracker.inner.lock();
+        runs[self.id as usize].metrics.push(MetricPoint {
+            name: name.to_string(),
+            step,
+            value,
+        });
+    }
+
+    /// Stores a named text artifact.
+    pub fn log_artifact(&self, name: &str, contents: impl ToString) {
+        let mut runs = self.tracker.inner.lock();
+        runs[self.id as usize].artifacts.insert(name.to_string(), contents.to_string());
+    }
+
+    /// Marks the run finished.
+    pub fn finish(&self) {
+        let mut runs = self.tracker.inner.lock();
+        runs[self.id as usize].finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_runs_params_metrics_artifacts() {
+        let tracker = Tracker::new();
+        let run = tracker.start_run("table4");
+        run.log_param("augmentation", "Change RTT");
+        run.log_param("resolution", 32);
+        run.log_metric("test_accuracy", 0, 0.97);
+        run.log_metric("test_accuracy", 1, 0.98);
+        run.log_artifact("summary", "Conv2d-1 ...");
+        run.finish();
+
+        let runs = tracker.runs();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].params["augmentation"], "Change RTT");
+        assert_eq!(runs[0].metrics.len(), 2);
+        assert!(runs[0].finished);
+        assert!(runs[0].artifacts.contains_key("summary"));
+    }
+
+    #[test]
+    fn metric_filtering() {
+        let tracker = Tracker::new();
+        for (aug, acc) in [("A", 0.9), ("B", 0.8), ("A", 0.92)] {
+            let run = tracker.start_run("t");
+            run.log_param("aug", aug);
+            run.log_metric("acc", 0, acc);
+            run.finish();
+        }
+        let a = tracker.metric_values("acc", &[("aug", "A")]);
+        assert_eq!(a, vec![0.9, 0.92]);
+        let all = tracker.metric_values("acc", &[]);
+        assert_eq!(all.len(), 3);
+        assert!(tracker.metric_values("missing", &[]).is_empty());
+    }
+
+    #[test]
+    fn concurrent_logging() {
+        let tracker = Tracker::new();
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let t = tracker.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let run = t.start_run(&format!("w{worker}"));
+                        run.log_metric("x", i, i as f64);
+                        run.finish();
+                    }
+                });
+            }
+        });
+        assert_eq!(tracker.len(), 400);
+        assert!(tracker.runs().iter().all(|r| r.finished));
+    }
+
+    #[test]
+    fn export_json_is_valid() {
+        let tracker = Tracker::new();
+        let run = tracker.start_run("t");
+        run.log_metric("m", 0, 1.5);
+        let json = tracker.export_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed[0]["metrics"][0]["value"], 1.5);
+    }
+}

@@ -1,0 +1,227 @@
+//! Feature vectors for the classic-ML baseline (paper Table 3, goal G0).
+//!
+//! The paper's XGBoost baseline compares two inputs:
+//!
+//! * the **mini-flowpic**, a 32×32 picture flattened into 1 024 values;
+//! * the **early time series** of the first 10 packets — size, direction
+//!   and inter-arrival time, 3×10 = 30 values.
+//!
+//! This module produces both, plus the 24 statistical flow metrics used as
+//! the regression target by the Rezaei & Liu reproduction (paper App. D.3).
+
+use crate::builder::{Flowpic, FlowpicConfig, Normalization};
+use trafficgen::types::{Flow, Pkt};
+
+/// Flattened flowpic feature vector (`resolution²` values).
+pub fn flowpic_flat(flow: &Flow, config: &FlowpicConfig, norm: Normalization) -> Vec<f32> {
+    Flowpic::build(&flow.pkts, config).to_input(norm)
+}
+
+/// Early time-series features: size, signed direction and inter-arrival
+/// time of the first `n` packets, zero-padded, concatenated feature-major
+/// (`[sizes… | dirs… | intertimes…]`, `3n` values). The paper uses `n=10`.
+pub fn early_time_series(flow: &Flow, n: usize) -> Vec<f32> {
+    let mut sizes = vec![0f32; n];
+    let mut dirs = vec![0f32; n];
+    let mut inter = vec![0f32; n];
+    let mut prev_ts = 0f64;
+    for (i, p) in flow.pkts.iter().take(n).enumerate() {
+        sizes[i] = p.size as f32;
+        dirs[i] = p.dir.sign();
+        inter[i] = (p.ts - prev_ts) as f32;
+        prev_ts = p.ts;
+    }
+    let mut out = sizes;
+    out.extend_from_slice(&dirs);
+    out.extend_from_slice(&inter);
+    out
+}
+
+/// [`early_time_series`] scaled into roughly unit range for neural
+/// training: sizes divided by 1500, directions unchanged (±1),
+/// inter-arrival times compressed with `ln(1 + Δt)` (bursty traffic spans
+/// microseconds to seconds; the log keeps both ends informative).
+pub fn early_time_series_normalized(flow: &Flow, n: usize) -> Vec<f32> {
+    let mut feats = early_time_series(flow, n);
+    for v in feats[..n].iter_mut() {
+        *v /= 1500.0;
+    }
+    for v in feats[2 * n..].iter_mut() {
+        *v = (1.0 + *v).ln();
+    }
+    feats
+}
+
+/// The 24 statistical flow metrics of Rezaei & Liu's regression
+/// pre-training task (paper App. D.3): {min, max, mean, std, 25th/50th/75th
+/// percentile, count} of packet size for {upstream, downstream, both}.
+pub fn flow_statistics(flow: &Flow) -> Vec<f32> {
+    let up: Vec<f32> = flow
+        .pkts
+        .iter()
+        .filter(|p| p.dir.sign() > 0.0)
+        .map(|p| p.size as f32)
+        .collect();
+    let down: Vec<f32> = flow
+        .pkts
+        .iter()
+        .filter(|p| p.dir.sign() < 0.0)
+        .map(|p| p.size as f32)
+        .collect();
+    let all: Vec<f32> = flow.pkts.iter().map(|p| p.size as f32).collect();
+    let mut out = Vec::with_capacity(24);
+    for series in [&up, &down, &all] {
+        out.extend_from_slice(&series_stats(series));
+    }
+    out
+}
+
+/// {min, max, mean, std, p25, p50, p75, count} of a series; zeros when the
+/// series is empty.
+fn series_stats(series: &[f32]) -> [f32; 8] {
+    if series.is_empty() {
+        return [0.0; 8];
+    }
+    let n = series.len() as f32;
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = series.iter().sum::<f32>() / n;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+    let pct = |q: f32| -> f32 {
+        let idx = (q * (sorted.len() - 1) as f32).round() as usize;
+        sorted[idx]
+    };
+    [sorted[0], sorted[sorted.len() - 1], mean, var.sqrt(), pct(0.25), pct(0.5), pct(0.75), n]
+}
+
+/// Normalizes the statistics vector into roughly unit scale for regression
+/// training (sizes by 1500, counts by `count_scale`).
+pub fn normalize_statistics(stats: &[f32], count_scale: f32) -> Vec<f32> {
+    stats
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % 8 == 7 { v / count_scale } else { v / 1500.0 })
+        .collect()
+}
+
+/// Returns the first `n` packets as a packet slice truncated to the
+/// flowpic window — a convenience for pipelines that combine both views.
+pub fn window_pkts(flow: &Flow, window_s: f64) -> Vec<Pkt> {
+    flow.pkts.iter().copied().take_while(|p| p.ts < window_s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::types::{Direction, Partition};
+
+    fn flow(pkts: Vec<Pkt>) -> Flow {
+        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+    }
+
+    #[test]
+    fn early_time_series_layout() {
+        let f = flow(vec![
+            Pkt::data(0.0, 100, Direction::Upstream),
+            Pkt::data(0.5, 1500, Direction::Downstream),
+        ]);
+        let feats = early_time_series(&f, 4);
+        assert_eq!(feats.len(), 12);
+        assert_eq!(&feats[0..4], &[100.0, 1500.0, 0.0, 0.0]); // sizes
+        assert_eq!(&feats[4..8], &[1.0, -1.0, 0.0, 0.0]); // dirs
+        assert_eq!(&feats[8..12], &[0.0, 0.5, 0.0, 0.0]); // intertimes
+    }
+
+    #[test]
+    fn early_time_series_truncates_long_flows() {
+        let pkts: Vec<Pkt> = (0..50).map(|i| Pkt::data(i as f64, 10, Direction::Upstream)).collect();
+        let feats = early_time_series(&flow(pkts), 10);
+        assert_eq!(feats.len(), 30);
+        assert!(feats[..10].iter().all(|&s| s == 10.0));
+    }
+
+    #[test]
+    fn flowpic_flat_dimension() {
+        let f = flow(vec![Pkt::data(0.0, 100, Direction::Upstream)]);
+        let v = flowpic_flat(&f, &FlowpicConfig::mini(), Normalization::Raw);
+        assert_eq!(v.len(), 1024);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn flow_statistics_shape_and_values() {
+        let f = flow(vec![
+            Pkt::data(0.0, 100, Direction::Upstream),
+            Pkt::data(0.1, 200, Direction::Upstream),
+            Pkt::data(0.2, 1000, Direction::Downstream),
+        ]);
+        let s = flow_statistics(&f);
+        assert_eq!(s.len(), 24);
+        // Upstream block: min 100, max 200, mean 150, count 2.
+        assert_eq!(s[0], 100.0);
+        assert_eq!(s[1], 200.0);
+        assert_eq!(s[2], 150.0);
+        assert_eq!(s[7], 2.0);
+        // Downstream block: single value 1000.
+        assert_eq!(s[8], 1000.0);
+        assert_eq!(s[11], 0.0); // std of single value
+        assert_eq!(s[15], 1.0);
+        // Combined block count.
+        assert_eq!(s[23], 3.0);
+    }
+
+    #[test]
+    fn flow_statistics_empty_direction() {
+        let f = flow(vec![Pkt::data(0.0, 100, Direction::Upstream)]);
+        let s = flow_statistics(&f);
+        // Downstream block all zero.
+        assert!(s[8..16].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normalize_statistics_scales() {
+        let stats = vec![1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 100.0];
+        let n = normalize_statistics(&stats, 100.0);
+        assert!(n[..7].iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        assert!((n[7] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_pkts_cuts_at_window() {
+        let f = flow(vec![
+            Pkt::data(0.0, 10, Direction::Upstream),
+            Pkt::data(14.9, 10, Direction::Upstream),
+            Pkt::data(15.1, 10, Direction::Upstream),
+        ]);
+        assert_eq!(window_pkts(&f, 15.0).len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod normalized_tests {
+    use super::*;
+    use trafficgen::types::{Direction, Partition};
+
+    #[test]
+    fn normalized_features_are_unit_scale() {
+        let f = Flow {
+            id: 0,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts: vec![
+                Pkt::data(0.0, 1500, Direction::Upstream),
+                Pkt::data(10.0, 750, Direction::Downstream),
+            ],
+        };
+        let v = early_time_series_normalized(&f, 4);
+        assert_eq!(v.len(), 12);
+        assert_eq!(v[0], 1.0); // 1500/1500
+        assert_eq!(v[1], 0.5);
+        assert_eq!(v[4], 1.0); // direction untouched
+        assert_eq!(v[5], -1.0);
+        // intertime 10s -> ln(11) ≈ 2.4, bounded.
+        assert!((v[9] - 11f32.ln()).abs() < 1e-6);
+        assert!(v.iter().all(|x| x.abs() <= 3.0));
+    }
+}

@@ -1,0 +1,24 @@
+//! # flowpic — the paper's input representation
+//!
+//! A *flowpic* (Shapira & Shavitt, INFOCOM WKSHPS'19) is a 2-D histogram of
+//! a flow's packet-size evolution over time: the first `T` seconds of the
+//! flow and the packet-size range `0..=1500` are both split into `R` bins,
+//! and cell `(size_bin, time_bin)` tallies how many packets of that size
+//! arrived in that time window. Stacking the per-window size histograms
+//! yields a "picture" of the flow dynamics that CNNs classify like images.
+//!
+//! The Ref-Paper uses `T = 15 s` and resolutions `R ∈ {32, 64, 1500}` (the
+//! 32×32 variant is the "mini-flowpic"). Direction is deliberately ignored
+//! (Ref-Paper footnote 3). This crate provides:
+//!
+//! * [`builder`] — flowpic construction from packet series;
+//! * [`features`] — the flattened-flowpic and early-time-series feature
+//!   vectors used by the classic-ML baseline (paper Table 3);
+//! * [`render`] — per-class average flowpics and terminal/PGM rendering
+//!   (paper Fig. 1 and Fig. 4).
+
+pub mod builder;
+pub mod features;
+pub mod render;
+
+pub use builder::{DirectionalFlowpic, Flowpic, FlowpicConfig, Normalization};

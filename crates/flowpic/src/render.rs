@@ -1,0 +1,155 @@
+//! Average flowpics and rendering (paper Fig. 1 and Fig. 4).
+//!
+//! The paper diagnoses the `human` data shift *visually*, by averaging the
+//! 32×32 flowpic of every flow of a class within a partition and comparing
+//! partitions side by side. This module builds those averages and renders
+//! any flowpic as an ASCII heatmap (for terminal inspection and the
+//! examples) or as a binary PGM image (for external viewers), using the
+//! same log-scale max-min normalization as the paper's heatmaps.
+
+use crate::builder::{Flowpic, FlowpicConfig};
+use trafficgen::types::Flow;
+
+/// Averages the flowpics of `flows` (cell-wise mean of raw counts).
+/// Returns an all-zero picture when `flows` is empty.
+pub fn average_flowpic<'a, I>(flows: I, config: &FlowpicConfig) -> Flowpic
+where
+    I: IntoIterator<Item = &'a Flow>,
+{
+    let mut acc = Flowpic::zeros(config.resolution);
+    let mut n = 0usize;
+    for f in flows {
+        acc.accumulate(&Flowpic::build(&f.pkts, config));
+        n += 1;
+    }
+    if n > 0 {
+        acc.scale(1.0 / n as f32);
+    }
+    acc
+}
+
+/// Log-scales a picture into `[0, 1]` the way the paper's heatmaps do:
+/// `ln(1+v)` normalized between the picture's own min and max.
+pub fn log_normalized(pic: &Flowpic) -> Vec<f32> {
+    let logged: Vec<f32> = pic.data.iter().map(|&v| (1.0 + v.max(0.0)).ln()).collect();
+    let max = logged.iter().copied().fold(f32::MIN, f32::max);
+    let min = logged.iter().copied().fold(f32::MAX, f32::min);
+    if max <= min {
+        return vec![0.0; logged.len()];
+    }
+    logged.iter().map(|&v| (v - min) / (max - min)).collect()
+}
+
+/// Renders a flowpic as an ASCII heatmap, one row per size bin (size zero
+/// on top, matching the paper's orientation), darker glyphs for higher
+/// packet counts.
+pub fn ascii_heatmap(pic: &Flowpic) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let norm = log_normalized(pic);
+    let r = pic.resolution;
+    let mut out = String::with_capacity(r * (r + 1));
+    for row in 0..r {
+        for col in 0..r {
+            let v = norm[row * r + col];
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a flowpic as a binary PGM (P5) image, 8-bit grayscale, with the
+/// paper's log-scale normalization. Higher counts are darker (as in the
+/// paper's figures).
+pub fn to_pgm(pic: &Flowpic) -> Vec<u8> {
+    let norm = log_normalized(pic);
+    let r = pic.resolution;
+    let mut out = format!("P5\n{r} {r}\n255\n").into_bytes();
+    out.extend(norm.iter().map(|&v| 255 - (v * 255.0).round() as u8));
+    out
+}
+
+/// Structural difference between two average flowpics: the L1 distance of
+/// their log-normalized views, in `[0, 2·R²]`. Used by tests to quantify
+/// the injected data shift the way the paper's Fig. 4 shows it visually.
+pub fn shift_distance(a: &Flowpic, b: &Flowpic) -> f32 {
+    assert_eq!(a.resolution, b.resolution);
+    log_normalized(a)
+        .iter()
+        .zip(log_normalized(b))
+        .map(|(x, y)| (x - y).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::types::{Direction, Partition, Pkt};
+
+    fn flow(pkts: Vec<Pkt>) -> Flow {
+        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+    }
+
+    #[test]
+    fn average_of_identical_flows_is_the_flow() {
+        let cfg = FlowpicConfig::with_resolution(8);
+        let f = flow(vec![Pkt::data(0.0, 100, Direction::Downstream)]);
+        let avg = average_flowpic([&f, &f, &f], &cfg);
+        assert_eq!(avg.total(), 1.0);
+    }
+
+    #[test]
+    fn average_of_empty_set_is_zero() {
+        let cfg = FlowpicConfig::with_resolution(8);
+        let avg = average_flowpic(std::iter::empty(), &cfg);
+        assert_eq!(avg.total(), 0.0);
+    }
+
+    #[test]
+    fn log_normalized_range() {
+        let cfg = FlowpicConfig::with_resolution(8);
+        let f = flow(vec![
+            Pkt::data(0.0, 100, Direction::Downstream),
+            Pkt::data(0.0, 100, Direction::Downstream),
+            Pkt::data(3.0, 1400, Direction::Downstream),
+        ]);
+        let pic = Flowpic::build(&f.pkts, &cfg);
+        let norm = log_normalized(&pic);
+        let max = norm.iter().copied().fold(f32::MIN, f32::max);
+        let min = norm.iter().copied().fold(f32::MAX, f32::min);
+        assert_eq!(max, 1.0);
+        assert_eq!(min, 0.0);
+    }
+
+    #[test]
+    fn log_normalized_flat_picture() {
+        let pic = Flowpic::zeros(4);
+        assert!(log_normalized(&pic).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ascii_heatmap_shape() {
+        let pic = Flowpic::zeros(8);
+        let art = ascii_heatmap(&pic);
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.lines().all(|l| l.chars().count() == 8));
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let pic = Flowpic::zeros(16);
+        let pgm = to_pgm(&pic);
+        assert!(pgm.starts_with(b"P5\n16 16\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n16 16\n255\n".len() + 256);
+    }
+
+    #[test]
+    fn shift_distance_detects_difference() {
+        let cfg = FlowpicConfig::with_resolution(8);
+        let a = Flowpic::build(&[Pkt::data(0.0, 100, Direction::Downstream)], &cfg);
+        let b = Flowpic::build(&[Pkt::data(10.0, 1400, Direction::Downstream)], &cfg);
+        assert_eq!(shift_distance(&a, &a), 0.0);
+        assert!(shift_distance(&a, &b) > 0.5);
+    }
+}

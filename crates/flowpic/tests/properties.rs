@@ -1,0 +1,126 @@
+//! Property-based tests of the flowpic representation's invariants.
+
+use flowpic::features::{early_time_series, flow_statistics};
+use flowpic::render::{average_flowpic, log_normalized};
+use flowpic::{Flowpic, FlowpicConfig, Normalization};
+use proptest::prelude::*;
+use trafficgen::types::{Direction, Flow, Partition, Pkt};
+
+prop_compose! {
+    fn arb_pkts()(
+        gaps in prop::collection::vec(0.0f64..2.0, 0..120),
+        sizes in prop::collection::vec(1u16..=1500, 120),
+        ups in prop::collection::vec(any::<bool>(), 120),
+    ) -> Vec<Pkt> {
+        let mut ts = 0.0;
+        gaps.iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let t = ts;
+                ts += g;
+                Pkt::data(
+                    t,
+                    sizes[i],
+                    if ups[i] { Direction::Upstream } else { Direction::Downstream },
+                )
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn total_equals_in_window_count(pkts in arb_pkts(), res in 2usize..128) {
+        let cfg = FlowpicConfig::with_resolution(res);
+        let pic = Flowpic::build(&pkts, &cfg);
+        let expected = pkts.iter().filter(|p| p.ts < cfg.window_s).count();
+        prop_assert_eq!(pic.total() as usize, expected);
+        prop_assert!(pic.data.iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(pic.data.len(), res * res);
+    }
+
+    #[test]
+    fn resolution_refinement_preserves_mass(pkts in arb_pkts()) {
+        // Mass is identical across resolutions (only binning changes).
+        let t32 = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(32)).total();
+        let t64 = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(64)).total();
+        let t128 = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(128)).total();
+        prop_assert_eq!(t32, t64);
+        prop_assert_eq!(t64, t128);
+    }
+
+    #[test]
+    fn normalization_bounds(pkts in arb_pkts(), res in 2usize..64) {
+        let pic = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(res));
+        for norm in [Normalization::MaxScale, Normalization::LogMax] {
+            let v = pic.to_input(norm);
+            prop_assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)), "{norm:?}");
+            if pic.total() > 0.0 {
+                let max = v.iter().copied().fold(0.0f32, f32::max);
+                prop_assert!((max - 1.0).abs() < 1e-6, "{norm:?} max {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_normalized_is_unit_interval(pkts in arb_pkts()) {
+        let pic = Flowpic::build(&pkts, &FlowpicConfig::mini());
+        let norm = log_normalized(&pic);
+        prop_assert!(norm.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn average_flowpic_mass_is_mean_of_masses(
+        a in arb_pkts(),
+        b in arb_pkts(),
+    ) {
+        let cfg = FlowpicConfig::with_resolution(16);
+        let mk = |pkts: Vec<Pkt>| Flow {
+            id: 0, class: 0, partition: Partition::Unpartitioned,
+            background: false, pkts,
+        };
+        let fa = mk(a);
+        let fb = mk(b);
+        let avg = average_flowpic([&fa, &fb], &cfg);
+        let ma = Flowpic::build(&fa.pkts, &cfg).total();
+        let mb = Flowpic::build(&fb.pkts, &cfg).total();
+        prop_assert!((avg.total() - (ma + mb) / 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn early_time_series_shape_and_padding(pkts in arb_pkts(), n in 1usize..40) {
+        let flow = Flow {
+            id: 0, class: 0, partition: Partition::Unpartitioned,
+            background: false, pkts,
+        };
+        let v = early_time_series(&flow, n);
+        prop_assert_eq!(v.len(), 3 * n);
+        // Padding beyond the flow length is zero in all three blocks.
+        for i in flow.len().min(n)..n {
+            prop_assert_eq!(v[i], 0.0);
+            prop_assert_eq!(v[n + i], 0.0);
+            prop_assert_eq!(v[2 * n + i], 0.0);
+        }
+        // Inter-arrival times are non-negative.
+        prop_assert!(v[2 * n..].iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn flow_statistics_are_consistent(pkts in arb_pkts()) {
+        prop_assume!(!pkts.is_empty());
+        let flow = Flow {
+            id: 0, class: 0, partition: Partition::Unpartitioned,
+            background: false, pkts,
+        };
+        let s = flow_statistics(&flow);
+        prop_assert_eq!(s.len(), 24);
+        // Combined block (last 8): count equals flow length, min <= p25 <=
+        // p50 <= p75 <= max, and the directional counts sum to the total.
+        let all = &s[16..24];
+        prop_assert_eq!(all[7] as usize, flow.len());
+        prop_assert!(all[0] <= all[4] && all[4] <= all[5] && all[5] <= all[6] && all[6] <= all[1]);
+        prop_assert_eq!(s[7] + s[15], all[7]);
+    }
+}

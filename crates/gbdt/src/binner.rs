@@ -1,0 +1,137 @@
+//! Quantile binning of the feature matrix.
+//!
+//! Histogram-based boosting discretizes each feature into at most
+//! `max_bins` quantile buckets once, up front; split search then scans
+//! bins instead of raw values. Bin id `b` covers values
+//! `(threshold[b-1], threshold[b]]`; a split "`feature < t`" sends bins
+//! `< b` left.
+
+/// A feature matrix binned column-wise into `u8` bucket ids.
+#[derive(Debug, Clone)]
+pub struct BinnedMatrix {
+    /// Row-major bin ids, `n_rows × n_features`.
+    pub bins: Vec<u8>,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of features.
+    pub n_features: usize,
+    /// Per-feature upper-edge values: `thresholds[f][b]` is the largest
+    /// raw value mapped to bin `b`. Splitting between bins `b` and `b+1`
+    /// tests `value <= thresholds[f][b]`.
+    pub thresholds: Vec<Vec<f32>>,
+}
+
+impl BinnedMatrix {
+    /// Bins `x` (row-major `n × d`) into at most `max_bins` quantile
+    /// buckets per feature. Constant features get a single bin.
+    pub fn from_rows(x: &[Vec<f32>], max_bins: usize) -> BinnedMatrix {
+        assert!(!x.is_empty(), "empty matrix");
+        assert!((2..=256).contains(&max_bins), "max_bins must be in 2..=256");
+        let n = x.len();
+        let d = x[0].len();
+        assert!(x.iter().all(|r| r.len() == d), "ragged rows");
+
+        let mut thresholds = Vec::with_capacity(d);
+        let mut bins = vec![0u8; n * d];
+        let mut column = vec![0f32; n];
+        for f in 0..d {
+            for (i, row) in x.iter().enumerate() {
+                column[i] = row[f];
+            }
+            let mut sorted = column.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            // Pick up to max_bins-1 interior cut values at quantile
+            // positions over the distinct values.
+            let cuts: Vec<f32> = if sorted.len() <= max_bins {
+                sorted[..sorted.len().saturating_sub(1)].to_vec()
+            } else {
+                (1..max_bins)
+                    .map(|b| {
+                        let pos = b * (sorted.len() - 1) / max_bins;
+                        sorted[pos]
+                    })
+                    .collect()
+            };
+            // Deduplicate cut values (quantiles can coincide).
+            let mut cuts_dedup = cuts;
+            cuts_dedup.dedup();
+            for (i, row) in x.iter().enumerate() {
+                let v = row[f];
+                // bin = number of cuts strictly below v.
+                let bin = cuts_dedup.partition_point(|&c| c < v);
+                bins[i * d + f] = bin as u8;
+            }
+            thresholds.push(cuts_dedup);
+        }
+        BinnedMatrix { bins, n_rows: n, n_features: d, thresholds }
+    }
+
+    /// Bin id of row `i`, feature `f`.
+    #[inline]
+    pub fn bin(&self, i: usize, f: usize) -> u8 {
+        self.bins[i * self.n_features + f]
+    }
+
+    /// Number of bins of feature `f` (cuts + 1).
+    pub fn n_bins(&self, f: usize) -> usize {
+        self.thresholds[f].len() + 1
+    }
+
+    /// Maps a raw value of feature `f` to its bin id (used at prediction
+    /// time only through the stored raw thresholds in the trees, but kept
+    /// for tests).
+    pub fn bin_of_value(&self, f: usize, v: f32) -> u8 {
+        self.thresholds[f].partition_point(|&c| c < v) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_separate_distinct_values() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let m = BinnedMatrix::from_rows(&x, 8);
+        let ids: Vec<u8> = (0..4).map(|i| m.bin(i, 0)).collect();
+        // All distinct values distinct bins.
+        let mut sorted = ids.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "{ids:?}");
+    }
+
+    #[test]
+    fn constant_feature_single_bin() {
+        let x = vec![vec![5.0]; 10];
+        let m = BinnedMatrix::from_rows(&x, 8);
+        assert_eq!(m.n_bins(0), 1);
+        assert!((0..10).all(|i| m.bin(i, 0) == 0));
+    }
+
+    #[test]
+    fn many_values_respect_max_bins() {
+        let x: Vec<Vec<f32>> = (0..1000).map(|i| vec![i as f32]).collect();
+        let m = BinnedMatrix::from_rows(&x, 16);
+        assert!(m.n_bins(0) <= 16);
+        // Bins are monotone in the value.
+        for i in 1..1000 {
+            assert!(m.bin(i, 0) >= m.bin(i - 1, 0));
+        }
+    }
+
+    #[test]
+    fn bin_of_value_is_consistent_with_training_bins() {
+        let x: Vec<Vec<f32>> = (0..50).map(|i| vec![(i % 7) as f32]).collect();
+        let m = BinnedMatrix::from_rows(&x, 8);
+        for (i, row) in x.iter().enumerate() {
+            assert_eq!(m.bin(i, 0), m.bin_of_value(0, row[0]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_rows() {
+        BinnedMatrix::from_rows(&[vec![1.0, 2.0], vec![1.0]], 8);
+    }
+}

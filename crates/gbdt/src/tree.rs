@@ -1,0 +1,261 @@
+//! A single regression tree grown with the XGBoost split criterion.
+//!
+//! Trees are grown depth-wise with histogram split finding: for every
+//! node, per-feature gradient/hessian histograms over the binned matrix
+//! are accumulated and the best bin boundary maximizes
+//!
+//! ```text
+//! gain = ½ [ G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) ] − γ
+//! ```
+//!
+//! Leaves take the Newton weight `−G/(H+λ)`, scaled by the learning rate
+//! at the booster level. Nodes stop splitting when the best gain is
+//! non-positive, the depth limit is reached, or a child would fall below
+//! the minimum hessian weight.
+
+use crate::binner::BinnedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Tree-growing hyper-parameters (a subset of [`crate::GbdtConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0). XGBoost default: 6.
+    pub max_depth: usize,
+    /// L2 regularization λ on leaf weights. XGBoost default: 1.
+    pub lambda: f32,
+    /// Minimum split gain γ. XGBoost default: 0.
+    pub gamma: f32,
+    /// Minimum sum of hessians per child. XGBoost default: 1.
+    pub min_child_weight: f32,
+}
+
+/// A tree node: either an internal split or a leaf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal split: rows with `value <= threshold` on `feature` go to
+    /// `left`, others to `right`.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Raw-value threshold (inclusive on the left).
+        threshold: f32,
+        /// Left child node index.
+        left: usize,
+        /// Right child node index.
+        right: usize,
+    },
+    /// Leaf with an output weight.
+    Leaf {
+        /// The leaf's contribution to the raw score.
+        weight: f32,
+    },
+}
+
+/// A grown regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    /// Nodes in construction order; node 0 is the root.
+    pub nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Grows a tree on `rows` of the binned matrix against gradients `g`
+    /// and hessians `h`.
+    pub fn grow(
+        matrix: &BinnedMatrix,
+        g: &[f32],
+        h: &[f32],
+        rows: &[usize],
+        params: &TreeParams,
+    ) -> Tree {
+        assert_eq!(g.len(), matrix.n_rows);
+        assert_eq!(h.len(), matrix.n_rows);
+        let mut tree = Tree { nodes: Vec::new() };
+        tree.grow_node(matrix, g, h, rows.to_vec(), 0, params);
+        tree
+    }
+
+    fn grow_node(
+        &mut self,
+        matrix: &BinnedMatrix,
+        g: &[f32],
+        h: &[f32],
+        rows: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let g_sum: f32 = rows.iter().map(|&i| g[i]).sum();
+        let h_sum: f32 = rows.iter().map(|&i| h[i]).sum();
+
+        let make_leaf = |tree: &mut Tree| {
+            let weight = -g_sum / (h_sum + params.lambda);
+            tree.nodes.push(Node::Leaf { weight });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || rows.len() < 2 {
+            return make_leaf(self);
+        }
+
+        // Histogram split search.
+        let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+        let mut best: Option<(f32, usize, u8)> = None; // (gain, feature, last-left bin)
+        let mut hist_g = vec![0f32; 256];
+        let mut hist_h = vec![0f32; 256];
+        for f in 0..matrix.n_features {
+            let n_bins = matrix.n_bins(f);
+            if n_bins < 2 {
+                continue;
+            }
+            hist_g[..n_bins].iter_mut().for_each(|v| *v = 0.0);
+            hist_h[..n_bins].iter_mut().for_each(|v| *v = 0.0);
+            for &i in &rows {
+                let b = matrix.bin(i, f) as usize;
+                hist_g[b] += g[i];
+                hist_h[b] += h[i];
+            }
+            let mut gl = 0f32;
+            let mut hl = 0f32;
+            for b in 0..n_bins - 1 {
+                gl += hist_g[b];
+                hl += hist_h[b];
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > 0.0 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                    best = Some((gain, f, b as u8));
+                }
+            }
+        }
+
+        let Some((_, feature, last_left_bin)) = best else {
+            return make_leaf(self);
+        };
+
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.into_iter().partition(|&i| matrix.bin(i, feature) <= last_left_bin);
+        debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+
+        let threshold = matrix.thresholds[feature][last_left_bin as usize];
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
+        let left = self.grow_node(matrix, g, h, left_rows, depth + 1, params);
+        let right = self.grow_node(matrix, g, h, right_rows, depth + 1, params);
+        self.nodes[node_idx] = Node::Split { feature, threshold, left, right };
+        node_idx
+    }
+
+    /// Predicts the raw score of a feature row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut idx = 0usize;
+        loop {
+            match self.nodes[idx] {
+                Node::Leaf { weight } => return weight,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Maximum leaf depth of the tree (0 for a stump leaf).
+    pub fn depth(&self) -> usize {
+        self.depth_from(0)
+    }
+
+    fn depth_from(&self, idx: usize) -> usize {
+        match self.nodes[idx] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_from(left).max(self.depth_from(right))
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TreeParams {
+        TreeParams { max_depth: 6, lambda: 1.0, gamma: 0.0, min_child_weight: 1.0 }
+    }
+
+    #[test]
+    fn splits_separable_gradients() {
+        // Feature 0 separates positive from negative gradients.
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![if i < 10 { 0.0 } else { 1.0 }]).collect();
+        let m = BinnedMatrix::from_rows(&x, 8);
+        let g: Vec<f32> = (0..20).map(|i| if i < 10 { 1.0 } else { -1.0 }).collect();
+        let h = vec![1.0f32; 20];
+        let rows: Vec<usize> = (0..20).collect();
+        let tree = Tree::grow(&m, &g, &h, &rows, &params());
+        assert!(tree.depth() >= 1);
+        // Left group (g=+1): weight = -10/(10+1) < 0; right > 0.
+        assert!(tree.predict(&[0.0]) < -0.5);
+        assert!(tree.predict(&[1.0]) > 0.5);
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        // All gradients equal: no split improves the score.
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let m = BinnedMatrix::from_rows(&x, 8);
+        let g = vec![1.0f32; 10];
+        let h = vec![1.0f32; 10];
+        let rows: Vec<usize> = (0..10).collect();
+        let tree = Tree::grow(&m, &g, &h, &rows, &params());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        // Alternating gradients force deep splits; depth must cap.
+        let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
+        let m = BinnedMatrix::from_rows(&x, 64);
+        let g: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let h = vec![1.0f32; 64];
+        let rows: Vec<usize> = (0..64).collect();
+        let mut p = params();
+        p.max_depth = 2;
+        let tree = Tree::grow(&m, &g, &h, &rows, &p);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn min_child_weight_blocks_tiny_splits() {
+        let x: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32]).collect();
+        let m = BinnedMatrix::from_rows(&x, 8);
+        let g = vec![1.0, -1.0, 1.0, -1.0];
+        let h = vec![0.1f32; 4];
+        let rows: Vec<usize> = (0..4).collect();
+        let mut p = params();
+        p.min_child_weight = 1.0; // each child would have h ≤ 0.3
+        let tree = Tree::grow(&m, &g, &h, &rows, &p);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn leaf_weight_is_newton_step() {
+        let x = vec![vec![0.0f32]; 5];
+        let m = BinnedMatrix::from_rows(&x, 8);
+        let g = vec![2.0f32; 5]; // G = 10
+        let h = vec![1.0f32; 5]; // H = 5
+        let rows: Vec<usize> = (0..5).collect();
+        let tree = Tree::grow(&m, &g, &h, &rows, &params());
+        // weight = -G/(H+λ) = -10/6
+        assert!((tree.predict(&[0.0]) + 10.0 / 6.0).abs() < 1e-6);
+    }
+}

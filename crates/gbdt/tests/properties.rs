@@ -1,0 +1,90 @@
+//! Property-based tests of the GBDT baseline.
+
+use gbdt::binner::BinnedMatrix;
+use gbdt::{GbdtClassifier, GbdtConfig};
+use proptest::prelude::*;
+
+prop_compose! {
+    fn arb_problem()(
+        n_classes in 2usize..5,
+    )(
+        rows in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 4),
+            8..60,
+        ),
+        n_classes in Just(n_classes),
+    ) -> (Vec<Vec<f32>>, Vec<usize>, usize) {
+        let labels = rows
+            .iter()
+            .enumerate()
+            .map(|(i, _)| i % n_classes)
+            .collect();
+        (rows, labels, n_classes)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn predictions_are_always_in_class_range((x, y, k) in arb_problem()) {
+        let cfg = GbdtConfig { n_rounds: 3, ..Default::default() };
+        let model = GbdtClassifier::fit(&x, &y, k, &cfg);
+        for row in &x {
+            prop_assert!(model.predict(row) < k);
+            let p = model.predict_proba(row);
+            prop_assert_eq!(p.len(), k);
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic((x, y, k) in arb_problem()) {
+        let cfg = GbdtConfig { n_rounds: 3, ..Default::default() };
+        let a = GbdtClassifier::fit(&x, &y, k, &cfg);
+        let b = GbdtClassifier::fit(&x, &y, k, &cfg);
+        for row in x.iter().take(10) {
+            prop_assert_eq!(a.raw_scores(row), b.raw_scores(row));
+        }
+    }
+
+    #[test]
+    fn depth_respects_configuration((x, y, k) in arb_problem(), depth in 1usize..5) {
+        let cfg = GbdtConfig { n_rounds: 3, max_depth: depth, ..Default::default() };
+        let model = GbdtClassifier::fit(&x, &y, k, &cfg);
+        prop_assert!(model.average_depth() <= depth as f64);
+    }
+
+    #[test]
+    fn binner_is_monotone_per_feature(
+        values in prop::collection::vec(-100.0f32..100.0, 4..80),
+        bins in 2usize..32,
+    ) {
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let m = BinnedMatrix::from_rows(&rows, bins);
+        prop_assert!(m.n_bins(0) <= bins);
+        // Larger raw value never lands in a smaller bin.
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(m.bin(i, 0) <= m.bin(j, 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_labels_degenerate_gracefully(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f32..5.0, 3), 4..20),
+    ) {
+        // All samples share one label out of two classes: the model must
+        // still train and predict that label.
+        let y = vec![1usize; rows.len()];
+        let cfg = GbdtConfig { n_rounds: 3, ..Default::default() };
+        let model = GbdtClassifier::fit(&rows, &y, 2, &cfg);
+        for row in &rows {
+            prop_assert_eq!(model.predict(row), 1);
+        }
+    }
+}

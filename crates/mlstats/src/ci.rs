@@ -1,0 +1,123 @@
+//! Mean ± confidence-interval summaries.
+//!
+//! Every "ours" cell in the paper's tables is "the average accuracy across
+//! 15 modeling experiments and the related 95-th confidence intervals"
+//! computed with a t distribution (paper Sec. 4.1.1). [`MeanCi`] is that
+//! cell.
+
+use crate::special::t_critical;
+use serde::Serialize;
+use std::fmt;
+
+/// Sample mean with a two-sided t confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval (the "±" value).
+    pub half_width: f64,
+    /// Number of samples aggregated.
+    pub n: usize,
+    /// Confidence level used (e.g. 0.95).
+    pub confidence: f64,
+}
+
+impl MeanCi {
+    /// Computes the mean and t-interval of `samples` at `confidence`.
+    ///
+    /// With fewer than 2 samples the half-width is 0 (no dispersion
+    /// information).
+    pub fn from_samples(samples: &[f64], confidence: f64) -> MeanCi {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return MeanCi { mean, half_width: 0.0, n, confidence };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let se = (var / n as f64).sqrt();
+        let t = t_critical(n as f64 - 1.0, confidence);
+        MeanCi { mean, half_width: t * se, n, confidence }
+    }
+
+    /// The paper's default: 95 % confidence.
+    pub fn ci95(samples: &[f64]) -> MeanCi {
+        MeanCi::from_samples(samples, 0.95)
+    }
+
+    /// Lower interval bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper interval bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether this interval overlaps `other` — the paper's first-pass
+    /// check before the rank-based analysis ("The CI in Table 4 show clear
+    /// overlaps between different augmentations").
+    pub fn overlaps(&self, other: &MeanCi) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+impl fmt::Display for MeanCi {
+    /// Formats as the paper's cells do: `96.80 ±0.37` (values already in
+    /// the caller's unit, typically percent).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_interval() {
+        // Samples 1..=5: mean 3, sd sqrt(2.5), se sqrt(.5), t(4,.95)=2.776.
+        let ci = MeanCi::ci95(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        let expected = 2.7764 * (2.5f64 / 5.0).sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-3, "{}", ci.half_width);
+    }
+
+    #[test]
+    fn single_sample_zero_width() {
+        let ci = MeanCi::ci95(&[7.0]);
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn constant_samples_zero_width() {
+        let ci = MeanCi::ci95(&[2.0; 10]);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = MeanCi { mean: 10.0, half_width: 1.0, n: 5, confidence: 0.95 };
+        let b = MeanCi { mean: 11.5, half_width: 1.0, n: 5, confidence: 0.95 };
+        let c = MeanCi { mean: 13.0, half_width: 0.5, n: 5, confidence: 0.95 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn display_format_matches_paper_cells() {
+        let ci = MeanCi { mean: 96.8, half_width: 0.37, n: 15, confidence: 0.95 };
+        assert_eq!(ci.to_string(), "96.80 ±0.37");
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let c90 = MeanCi::from_samples(&samples, 0.90);
+        let c99 = MeanCi::from_samples(&samples, 0.99);
+        assert!(c99.half_width > c90.half_width);
+    }
+}

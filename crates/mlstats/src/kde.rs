@@ -1,0 +1,128 @@
+//! Gaussian kernel density estimation.
+//!
+//! Paper Fig. 8 diagnoses the `human` data shift with per-class KDEs of
+//! the packet-size distribution across partitions — the Google search
+//! curve visibly shifts. This module provides the estimator plus a
+//! distribution-shift metric (L1 distance between densities) so the shift
+//! can be *quantified*, not just eyeballed.
+
+use crate::special::norm_pdf;
+use serde::Serialize;
+
+/// A Gaussian KDE over a 1-D sample.
+#[derive(Debug, Clone, Serialize)]
+pub struct Kde {
+    samples: Vec<f64>,
+    /// Kernel bandwidth.
+    pub bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth
+    /// `0.9 · min(σ, IQR/1.34) · n^(−1/5)`.
+    pub fn silverman(samples: &[f64]) -> Kde {
+        assert!(!samples.is_empty(), "KDE needs samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |f: f64| sorted[((f * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+        let iqr = q(0.75) - q(0.25);
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-6);
+        Kde { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Kde {
+        assert!(!samples.is_empty() && bandwidth > 0.0);
+        Kde { samples: samples.to_vec(), bandwidth }
+    }
+
+    /// Density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let n = self.samples.len() as f64;
+        self.samples.iter().map(|&s| norm_pdf((x - s) / self.bandwidth)).sum::<f64>()
+            / (n * self.bandwidth)
+    }
+
+    /// Density evaluated on an even grid of `points` values spanning
+    /// `[lo, hi]`. Returns `(xs, densities)`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(points >= 2 && hi > lo);
+        let xs: Vec<f64> = (0..points)
+            .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
+            .collect();
+        let ds = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ds)
+    }
+}
+
+/// L1 distance between two KDEs on a shared grid — in `[0, 2]` for true
+/// densities; 0 means identical distributions. This is the quantitative
+/// form of "the Google search curve for human has an evident shift".
+pub fn l1_distance(a: &Kde, b: &Kde, lo: f64, hi: f64, points: usize) -> f64 {
+    let (_, da) = a.grid(lo, hi, points);
+    let (_, db) = b.grid(lo, hi, points);
+    let dx = (hi - lo) / (points - 1) as f64;
+    da.iter().zip(&db).map(|(x, y)| (x - y).abs()).sum::<f64>() * dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let kde = Kde::silverman(&samples);
+        let (_, ds) = kde.grid(-20.0, 40.0, 2000);
+        let dx = 60.0 / 1999.0;
+        let integral: f64 = ds.iter().sum::<f64>() * dx;
+        assert!((integral - 1.0).abs() < 0.01, "integral {integral}");
+    }
+
+    #[test]
+    fn density_peaks_at_the_mode() {
+        let samples = vec![5.0; 50];
+        let kde = Kde::with_bandwidth(&samples, 1.0);
+        assert!(kde.density(5.0) > kde.density(8.0));
+        assert!(kde.density(5.0) > kde.density(2.0));
+    }
+
+    #[test]
+    fn constant_samples_get_positive_bandwidth() {
+        let kde = Kde::silverman(&[3.0; 10]);
+        assert!(kde.bandwidth > 0.0);
+        assert!(kde.density(3.0).is_finite());
+    }
+
+    #[test]
+    fn l1_distance_zero_for_identical() {
+        let s: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let a = Kde::silverman(&s);
+        let d = l1_distance(&a, &a.clone(), -5.0, 15.0, 500);
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn l1_distance_detects_shift() {
+        let a_s: Vec<f64> = (0..200).map(|i| (i % 20) as f64 * 0.1).collect();
+        let b_s: Vec<f64> = a_s.iter().map(|x| x + 5.0).collect();
+        let a = Kde::silverman(&a_s);
+        let b = Kde::silverman(&b_s);
+        let d = l1_distance(&a, &b, -3.0, 10.0, 1000);
+        assert!(d > 1.5, "distance {d} — disjoint supports should approach 2");
+    }
+
+    #[test]
+    fn grid_shape() {
+        let kde = Kde::silverman(&[0.0, 1.0, 2.0]);
+        let (xs, ds) = kde.grid(0.0, 2.0, 11);
+        assert_eq!(xs.len(), 11);
+        assert_eq!(ds.len(), 11);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[10], 2.0);
+    }
+}

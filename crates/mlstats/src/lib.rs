@@ -1,0 +1,33 @@
+//! # mlstats — statistical analysis for modeling campaigns
+//!
+//! The replication's core methodological contribution over the Ref-Paper
+//! is *statistical rigor*: every reported number carries a 95 % confidence
+//! interval, augmentations are compared with the Demšar (2006) procedure —
+//! Friedman ranks plus a post-hoc Nemenyi test with critical-distance
+//! plots (paper Fig. 5–7) — and flowpic resolutions are compared with a
+//! Tukey post-hoc test (paper Table 10, App. F). This crate implements all
+//! of that from first principles:
+//!
+//! * [`special`] — log-gamma, regularized incomplete beta, Student-t CDF
+//!   and quantiles, the studentized-range distribution;
+//! * [`ci`] — mean ± 95 % t-interval summaries;
+//! * [`ranking`] — rank transforms with average-rank tie handling;
+//! * [`nemenyi`] — Friedman test and the Nemenyi critical distance;
+//! * [`tukey`] — Tukey HSD p-values;
+//! * [`kde`] — Gaussian kernel density estimation (paper Fig. 8);
+//! * [`metrics`] — confusion matrices, accuracy, macro/weighted F1;
+//! * [`quantiles`] — percentiles and boxplot summaries (paper Fig. 11).
+
+pub mod ci;
+pub mod kde;
+pub mod metrics;
+pub mod nemenyi;
+pub mod pca;
+pub mod quantiles;
+pub mod ranking;
+pub mod special;
+pub mod tukey;
+pub mod wilcoxon;
+
+pub use ci::MeanCi;
+pub use metrics::ConfusionMatrix;

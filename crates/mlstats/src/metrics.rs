@@ -1,0 +1,235 @@
+//! Classification metrics: confusion matrices, accuracy, F1.
+//!
+//! The paper measures accuracy on the (near-balanced) UCDAVIS19 test
+//! partitions and switches to a weighted F1 on the imbalanced replication
+//! datasets (Sec. 4.5.1). Fig. 3's per-class heatmaps are row-normalized
+//! sums of per-run confusion matrices, which [`ConfusionMatrix`]
+//! accumulates directly.
+
+use serde::{Deserialize, Serialize};
+
+/// A `k × k` confusion matrix: rows are true classes, columns predicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Number of classes.
+    pub k: usize,
+    /// Row-major counts.
+    pub counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `k` classes.
+    pub fn new(k: usize) -> ConfusionMatrix {
+        assert!(k >= 1);
+        ConfusionMatrix { k, counts: vec![0; k * k] }
+    }
+
+    /// Builds directly from prediction/label pairs.
+    pub fn from_predictions(k: usize, truths: &[usize], preds: &[usize]) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(k);
+        m.record_all(truths, preds);
+        m
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.k && pred < self.k, "class out of range");
+        self.counts[truth * self.k + pred] += 1;
+    }
+
+    /// Records many observations.
+    pub fn record_all(&mut self, truths: &[usize], preds: &[usize]) {
+        assert_eq!(truths.len(), preds.len());
+        for (&t, &p) in truths.iter().zip(preds) {
+            self.record(t, p);
+        }
+    }
+
+    /// Adds another matrix (the paper sums matrices across the 105 runs
+    /// before normalizing).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.k, other.k);
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Count at `(truth, pred)`.
+    pub fn get(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.k + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.k).map(|i| self.get(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Row-normalized matrix (per-true-class prediction distribution) —
+    /// the representation of the paper's Fig. 3 heatmaps. Empty rows are
+    /// all zero.
+    pub fn row_normalized(&self) -> Vec<Vec<f64>> {
+        (0..self.k)
+            .map(|i| {
+                let row: Vec<u64> = (0..self.k).map(|j| self.get(i, j)).collect();
+                let sum: u64 = row.iter().sum();
+                row.iter()
+                    .map(|&c| if sum == 0 { 0.0 } else { c as f64 / sum as f64 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-class recall (diagonal of the row-normalized matrix).
+    pub fn per_class_recall(&self) -> Vec<f64> {
+        self.row_normalized().iter().enumerate().map(|(i, row)| row[i]).collect()
+    }
+
+    /// Per-class F1 scores. Classes with no support and no predictions get
+    /// F1 = 0.
+    pub fn per_class_f1(&self) -> Vec<f64> {
+        (0..self.k)
+            .map(|i| {
+                let tp = self.get(i, i) as f64;
+                let support: u64 = (0..self.k).map(|j| self.get(i, j)).sum();
+                let predicted: u64 = (0..self.k).map(|j| self.get(j, i)).sum();
+                let denom = support as f64 + predicted as f64;
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    2.0 * tp / denom
+                }
+            })
+            .collect()
+    }
+
+    /// Macro-averaged F1 (unweighted class mean).
+    pub fn macro_f1(&self) -> f64 {
+        let f1 = self.per_class_f1();
+        f1.iter().sum::<f64>() / self.k as f64
+    }
+
+    /// Support-weighted F1 — the metric of the paper's Table 8.
+    pub fn weighted_f1(&self) -> f64 {
+        let f1 = self.per_class_f1();
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (0..self.k)
+            .map(|i| {
+                let support: u64 = (0..self.k).map(|j| self.get(i, j)).sum();
+                f1[i] * support as f64 / total
+            })
+            .sum()
+    }
+
+    /// ASCII rendering of the row-normalized matrix with class names.
+    pub fn ascii(&self, names: &[&str]) -> String {
+        assert_eq!(names.len(), self.k);
+        let norm = self.row_normalized();
+        let width = names.iter().map(|n| n.len()).max().unwrap_or(4).max(5);
+        let mut out = format!("{:>width$} ", "");
+        for name in names {
+            out.push_str(&format!("{name:>width$} "));
+        }
+        out.push('\n');
+        for (i, row) in norm.iter().enumerate() {
+            out.push_str(&format!("{:>width$} ", names[i]));
+            for v in row {
+                out.push_str(&format!("{:>width$.2} ", v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1, 2, 0], &[0, 1, 2, 0]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.per_class_recall(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.weighted_f1(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // truth 0: predicted [0,0,1]; truth 1: predicted [1].
+        let m = ConfusionMatrix::from_predictions(2, &[0, 0, 0, 1], &[0, 0, 1, 1]);
+        assert_eq!(m.get(0, 0), 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 1), 1);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        // Class 0: P=1, R=2/3, F1=0.8. Class 1: P=1/2, R=1, F1=2/3.
+        let f1 = m.per_class_f1();
+        assert!((f1[0] - 0.8).abs() < 1e-12);
+        assert!((f1[1] - 2.0 / 3.0).abs() < 1e-12);
+        // Weighted by support (3, 1): 0.8*0.75 + 0.667*0.25.
+        assert!((m.weighted_f1() - (0.8 * 0.75 + (2.0 / 3.0) * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_normalization() {
+        let m = ConfusionMatrix::from_predictions(2, &[0, 0, 1, 1], &[0, 1, 1, 1]);
+        let norm = m.row_normalized();
+        assert_eq!(norm[0], vec![0.5, 0.5]);
+        assert_eq!(norm[1], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = ConfusionMatrix::from_predictions(2, &[0], &[0]);
+        let mut b = ConfusionMatrix::from_predictions(2, &[1], &[0]);
+        b.merge(&a);
+        assert_eq!(b.total(), 2);
+        assert_eq!(b.get(0, 0), 1);
+        assert_eq!(b.get(1, 0), 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.weighted_f1(), 0.0);
+        assert!(m.row_normalized().iter().flatten().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn missing_class_f1_is_zero() {
+        // Class 2 never appears in truth or predictions.
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1], &[0, 1]);
+        assert_eq!(m.per_class_f1()[2], 0.0);
+        assert!(m.macro_f1() < 1.0);
+        assert_eq!(m.weighted_f1(), 1.0); // weighted ignores zero-support classes
+    }
+
+    #[test]
+    fn ascii_contains_names() {
+        let m = ConfusionMatrix::from_predictions(2, &[0, 1], &[0, 1]);
+        let s = m.ascii(&["cat", "dog"]);
+        assert!(s.contains("cat") && s.contains("dog"));
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn rejects_out_of_range() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

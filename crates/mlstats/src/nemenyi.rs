@@ -1,0 +1,195 @@
+//! Friedman test and Nemenyi post-hoc critical-distance analysis.
+//!
+//! Paper Sec. 4.3.1: accuracies are turned into per-split rankings,
+//! averaged, and compared pairwise with the Nemenyi test whose critical
+//! distance is `CD = q_α √(k(k+1)/(6N))`. Augmentations whose average
+//! ranks are within `CD` of each other are statistically
+//! indistinguishable; the paper's Fig. 5–7 are drawn from exactly this
+//! structure, which [`CriticalDistance::ascii_plot`] renders in text.
+
+use crate::ranking::average_ranks;
+use crate::special::srange_critical;
+use serde::Serialize;
+
+/// Result of a critical-distance analysis over `k` treatments and `N`
+/// blocks.
+#[derive(Debug, Clone, Serialize)]
+pub struct CriticalDistance {
+    /// Treatment names.
+    pub names: Vec<String>,
+    /// Mean rank per treatment (lower = better).
+    pub mean_ranks: Vec<f64>,
+    /// The critical distance at the chosen α.
+    pub cd: f64,
+    /// Number of blocks (datasets × splits) the ranks aggregate.
+    pub n_blocks: usize,
+    /// Friedman χ² statistic (with the tie-free formula).
+    pub friedman_chi2: f64,
+}
+
+impl CriticalDistance {
+    /// Runs the full Demšar procedure: ranks per block, mean ranks,
+    /// Friedman statistic, Nemenyi CD at level `alpha`.
+    ///
+    /// `scores[block][treatment]` are the raw accuracies/F1s.
+    pub fn analyze(names: &[&str], scores: &[Vec<f64>], alpha: f64) -> CriticalDistance {
+        let k = names.len();
+        assert!(k >= 2, "need at least two treatments");
+        assert!(!scores.is_empty(), "need at least one block");
+        assert!(scores.iter().all(|b| b.len() == k), "block width != treatment count");
+        let n = scores.len();
+        let mean_ranks = average_ranks(scores);
+
+        // Friedman χ² = 12N/(k(k+1)) [Σ R_j² − k(k+1)²/4].
+        let sum_r2: f64 = mean_ranks.iter().map(|r| r * r).sum();
+        let friedman_chi2 = 12.0 * n as f64 / (k as f64 * (k as f64 + 1.0))
+            * (sum_r2 - k as f64 * (k as f64 + 1.0).powi(2) / 4.0);
+
+        // q_α for the Nemenyi test is the studentized range critical value
+        // divided by √2 (Demšar 2006).
+        let q_alpha = srange_critical(k, alpha) / std::f64::consts::SQRT_2;
+        let cd = q_alpha * (k as f64 * (k as f64 + 1.0) / (6.0 * n as f64)).sqrt();
+
+        CriticalDistance {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            mean_ranks,
+            cd,
+            n_blocks: n,
+            friedman_chi2,
+        }
+    }
+
+    /// Whether treatments `i` and `j` are statistically different (their
+    /// mean ranks differ by more than the CD).
+    pub fn is_different(&self, i: usize, j: usize) -> bool {
+        (self.mean_ranks[i] - self.mean_ranks[j]).abs() > self.cd
+    }
+
+    /// Maximal groups of mutually-indistinguishable treatments (the
+    /// horizontal bars of a CD plot), each sorted by rank. Groups that are
+    /// subsets of other groups are dropped.
+    pub fn indistinct_groups(&self) -> Vec<Vec<usize>> {
+        let k = self.names.len();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| self.mean_ranks[a].partial_cmp(&self.mean_ranks[b]).unwrap());
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for start in 0..k {
+            // Longest run starting at `start` whose span is within CD.
+            let mut group = vec![order[start]];
+            for &cand in &order[start + 1..] {
+                if (self.mean_ranks[cand] - self.mean_ranks[order[start]]).abs() <= self.cd {
+                    group.push(cand);
+                } else {
+                    break;
+                }
+            }
+            // Keep only maximal groups.
+            if !groups.iter().any(|g| group.iter().all(|m| g.contains(m))) {
+                groups.push(group);
+            }
+        }
+        groups
+    }
+
+    /// Treatments ranked best-first as `(name, mean_rank)`.
+    pub fn ranked(&self) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> =
+            self.names.iter().cloned().zip(self.mean_ranks.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pairs
+    }
+
+    /// Text rendering of the CD plot: treatments best-first with their
+    /// mean rank, plus the indistinguishability groups — the information
+    /// content of the paper's Fig. 5.
+    pub fn ascii_plot(&self) -> String {
+        let mut out = format!(
+            "CD = {:.3}  (k={}, N={}, Friedman chi2={:.2})\n",
+            self.cd,
+            self.names.len(),
+            self.n_blocks,
+            self.friedman_chi2
+        );
+        for (name, rank) in self.ranked() {
+            out.push_str(&format!("  {rank:>5.2}  {name}\n"));
+        }
+        for (gi, group) in self.indistinct_groups().iter().enumerate() {
+            let members: Vec<&str> = group.iter().map(|&i| self.names[i].as_str()).collect();
+            out.push_str(&format!("  group {}: {{{}}}\n", gi + 1, members.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cd_value() {
+        // Paper Sec. 4.3.2: α=0.05, k=7, N=30 → CD = 1.644.
+        let names = ["a", "b", "c", "d", "e", "f", "g"];
+        let scores: Vec<Vec<f64>> =
+            (0..30).map(|b| (0..7).map(|t| (b * 7 + t) as f64 % 13.0).collect()).collect();
+        let cd = CriticalDistance::analyze(&names, &scores, 0.05);
+        assert!((cd.cd - 1.644).abs() < 5e-3, "CD {}", cd.cd);
+        assert_eq!(cd.n_blocks, 30);
+    }
+
+    #[test]
+    fn clear_winner_is_distinguishable() {
+        // Treatment 0 always wins by a mile across many blocks.
+        let names = ["best", "mid", "worst"];
+        let scores: Vec<Vec<f64>> = (0..40)
+            .map(|b| vec![0.95 + 0.001 * (b % 3) as f64, 0.5, 0.1])
+            .collect();
+        let cd = CriticalDistance::analyze(&names, &scores, 0.05);
+        assert_eq!(cd.mean_ranks, vec![1.0, 2.0, 3.0]);
+        assert!(cd.is_different(0, 2));
+        assert!(cd.friedman_chi2 > 10.0);
+    }
+
+    #[test]
+    fn noise_is_indistinguishable() {
+        // Alternating winners: mean ranks nearly equal.
+        let names = ["a", "b"];
+        let scores: Vec<Vec<f64>> = (0..20)
+            .map(|b| if b % 2 == 0 { vec![0.9, 0.8] } else { vec![0.8, 0.9] })
+            .collect();
+        let cd = CriticalDistance::analyze(&names, &scores, 0.05);
+        assert!(!cd.is_different(0, 1));
+        let groups = cd.indistinct_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn groups_cover_all_treatments() {
+        let names = ["a", "b", "c", "d"];
+        let scores: Vec<Vec<f64>> = (0..10)
+            .map(|b| vec![0.9, 0.88 + 0.001 * b as f64, 0.5, 0.48])
+            .collect();
+        let cd = CriticalDistance::analyze(&names, &scores, 0.05);
+        let groups = cd.indistinct_groups();
+        let covered: std::collections::HashSet<usize> =
+            groups.iter().flatten().copied().collect();
+        assert_eq!(covered.len(), 4);
+    }
+
+    #[test]
+    fn ascii_plot_contains_everything() {
+        let names = ["alpha", "beta"];
+        let scores = vec![vec![0.9, 0.1], vec![0.8, 0.2]];
+        let plot = CriticalDistance::analyze(&names, &scores, 0.05).ascii_plot();
+        assert!(plot.contains("alpha"));
+        assert!(plot.contains("beta"));
+        assert!(plot.contains("CD ="));
+        assert!(plot.contains("group 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_treatment() {
+        CriticalDistance::analyze(&["only"], &[vec![1.0]], 0.05);
+    }
+}

@@ -1,0 +1,268 @@
+//! Principal component analysis and cluster-quality scoring.
+//!
+//! The Ref-Paper's public repository inspects the SimCLR latent space
+//! with a 2-D t-SNE projection; this module provides the deterministic
+//! equivalent — PCA by power iteration with deflation — plus the
+//! silhouette score to *quantify* how well the latent space separates
+//! classes (what the t-SNE plots show qualitatively).
+
+use serde::Serialize;
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, Serialize)]
+pub struct Pca {
+    /// Feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal components, row-major `[k][d]`, unit length, ordered by
+    /// decreasing explained variance.
+    pub components: Vec<Vec<f64>>,
+    /// Variance captured by each component.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits the top-`k` components of row-major data `x` (`n × d`) by
+    /// power iteration on the covariance with Hotelling deflation.
+    ///
+    /// Deterministic: the iteration starts from a fixed unit vector.
+    pub fn fit(x: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!x.is_empty(), "PCA needs data");
+        let n = x.len();
+        let d = x[0].len();
+        assert!(x.iter().all(|r| r.len() == d), "ragged rows");
+        assert!(k >= 1 && k <= d, "k must be in 1..=d");
+
+        let mut mean = vec![0f64; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        // Centered copy.
+        let centered: Vec<Vec<f64>> = x
+            .iter()
+            .map(|row| row.iter().zip(&mean).map(|(v, m)| v - m).collect())
+            .collect();
+
+        // Covariance-free power iteration: v <- Xᵀ(Xv)/n, deflating by
+        // previously found components.
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        for comp_idx in 0..k {
+            let mut v: Vec<f64> = (0..d)
+                .map(|j| if j % (comp_idx + 2) == 0 { 1.0 } else { 0.5 })
+                .collect();
+            normalize(&mut v);
+            let mut eigenvalue = 0f64;
+            for _ in 0..200 {
+                // w = Cov·v = Xᵀ(X·v)/n
+                let mut xv = vec![0f64; n];
+                for (i, row) in centered.iter().enumerate() {
+                    xv[i] = dot(row, &v);
+                }
+                let mut w = vec![0f64; d];
+                for (i, row) in centered.iter().enumerate() {
+                    for (wj, rj) in w.iter_mut().zip(row) {
+                        *wj += xv[i] * rj;
+                    }
+                }
+                for wj in &mut w {
+                    *wj /= n as f64;
+                }
+                // Deflate against earlier components.
+                for c in &components {
+                    let proj = dot(&w, c);
+                    for (wj, cj) in w.iter_mut().zip(c) {
+                        *wj -= proj * cj;
+                    }
+                }
+                let new_eigenvalue = norm(&w);
+                if new_eigenvalue < 1e-12 {
+                    eigenvalue = 0.0;
+                    break;
+                }
+                for wj in &mut w {
+                    *wj /= new_eigenvalue;
+                }
+                let delta: f64 =
+                    w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                v = w;
+                eigenvalue = new_eigenvalue;
+                if delta < 1e-10 {
+                    break;
+                }
+            }
+            components.push(v);
+            explained.push(eigenvalue);
+        }
+        Pca { mean, components, explained_variance: explained }
+    }
+
+    /// Projects one row onto the fitted components.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.mean.len());
+        let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        self.components.iter().map(|c| dot(&centered, c)).collect()
+    }
+
+    /// Projects many rows.
+    pub fn transform_all(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = norm(v).max(1e-12);
+    for x in v.iter_mut() {
+        *x /= n;
+    }
+}
+
+/// Mean silhouette score of labeled points: `(b − a) / max(a, b)` per
+/// point, where `a` is the mean intra-class distance and `b` the mean
+/// distance to the nearest other class. Ranges `[-1, 1]`; higher = better
+/// class separation. Points in singleton classes score 0.
+pub fn silhouette_score(x: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(x.len(), labels.len());
+    assert!(!x.is_empty());
+    let n = x.len();
+    let classes: std::collections::BTreeSet<usize> = labels.iter().copied().collect();
+    if classes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0f64;
+    for i in 0..n {
+        let mut intra_sum = 0f64;
+        let mut intra_n = 0usize;
+        let mut inter: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dist = x[i].iter().zip(&x[j]).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+            if labels[j] == labels[i] {
+                intra_sum += dist;
+                intra_n += 1;
+            } else {
+                let e = inter.entry(labels[j]).or_insert((0.0, 0));
+                e.0 += dist;
+                e.1 += 1;
+            }
+        }
+        if intra_n == 0 || inter.is_empty() {
+            continue; // singleton class contributes 0
+        }
+        let a = intra_sum / intra_n as f64;
+        let b = inter
+            .values()
+            .map(|&(sum, cnt)| sum / cnt as f64)
+            .fold(f64::MAX, f64::min);
+        total += (b - a) / a.max(b);
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            x.push(vec![0.0 + jitter, 0.0 - jitter, jitter]);
+            y.push(0);
+            x.push(vec![10.0 - jitter, 10.0 + jitter, jitter]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn first_component_captures_the_separation_axis() {
+        let (x, _) = two_blobs();
+        let pca = Pca::fit(&x, 2);
+        // The blobs differ along (1, 1, 0)/√2: the first component must be
+        // (anti)parallel to it.
+        let c = &pca.components[0];
+        let expected = 1.0 / 2f64.sqrt();
+        assert!((c[0].abs() - expected).abs() < 0.05, "{c:?}");
+        assert!((c[1].abs() - expected).abs() < 0.05, "{c:?}");
+        assert!(c[2].abs() < 0.1, "{c:?}");
+        // Variance ordering.
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let (x, _) = two_blobs();
+        let pca = Pca::fit(&x, 3);
+        for i in 0..3 {
+            assert!((norm(&pca.components[i]) - 1.0).abs() < 1e-6);
+            for j in (i + 1)..3 {
+                assert!(
+                    dot(&pca.components[i], &pca.components[j]).abs() < 1e-4,
+                    "components {i},{j} not orthogonal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_separates_the_blobs() {
+        let (x, y) = two_blobs();
+        let pca = Pca::fit(&x, 1);
+        let proj = pca.transform_all(&x);
+        // All class-0 projections on one side, class-1 on the other.
+        let side: Vec<bool> = proj.iter().map(|p| p[0] > 0.0).collect();
+        for (s, label) in side.iter().zip(&y) {
+            assert_eq!(*s, side[*label], "classes must separate on PC1");
+        }
+    }
+
+    #[test]
+    fn transform_is_deterministic() {
+        let (x, _) = two_blobs();
+        let a = Pca::fit(&x, 2).transform_all(&x);
+        let b = Pca::fit(&x, 2).transform_all(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_low_for_mixed() {
+        let (x, y) = two_blobs();
+        let separated = silhouette_score(&x, &y);
+        assert!(separated > 0.9, "separated blobs: {separated}");
+        // Scrambled labels (each "class" straddles both blobs): near zero
+        // or negative. Points alternate blob0/blob1, so grouping indices
+        // pairwise mixes the blobs.
+        let y_mixed: Vec<usize> = (0..x.len()).map(|i| (i / 2) % 2).collect();
+        let mixed = silhouette_score(&x, &y_mixed);
+        assert!(mixed < 0.3, "mixed labels: {mixed}");
+        assert!(separated > mixed);
+    }
+
+    #[test]
+    fn silhouette_single_class_is_zero() {
+        let x = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette_score(&x, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn pca_rejects_ragged() {
+        Pca::fit(&[vec![1.0, 2.0], vec![1.0]], 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Percentiles and boxplot summaries (paper Fig. 11, App. E).
+
+use serde::Serialize;
+
+/// Linear-interpolation percentile of `values` at `q ∈ [0, 1]`.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A boxplot summary with whiskers at chosen percentiles (the paper's
+/// Fig. 11 uses 95th-percentile whiskers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BoxStats {
+    /// Lower whisker.
+    pub whisker_lo: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker.
+    pub whisker_hi: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Builds a summary with whiskers at the `whisker` / `1 − whisker`
+    /// percentiles (e.g. 0.05 → 5th and 95th).
+    pub fn with_whiskers(values: &[f64], whisker: f64) -> BoxStats {
+        assert!((0.0..0.5).contains(&whisker));
+        BoxStats {
+            whisker_lo: percentile(values, whisker),
+            q1: percentile(values, 0.25),
+            median: percentile(values, 0.5),
+            q3: percentile(values, 0.75),
+            whisker_hi: percentile(values, 1.0 - whisker),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            n: values.len(),
+        }
+    }
+
+    /// The paper's Fig. 11 convention: whiskers at the 5th/95th
+    /// percentile.
+    pub fn fig11(values: &[f64]) -> BoxStats {
+        BoxStats::with_whiskers(values, 0.05)
+    }
+
+    /// One-line rendering: `n=15 [lo | q1 med q3 | hi] mean=…`.
+    pub fn line(&self) -> String {
+        format!(
+            "n={} [{:.2} | {:.2} {:.2} {:.2} | {:.2}] mean={:.2}",
+            self.n, self.whisker_lo, self.q1, self.median, self.q3, self.whisker_hi, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_known_values() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&v, 0.25), 2.0);
+        // Interpolation: q=0.1 → pos 0.4 → 1.4.
+        assert!((percentile(&v, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 0.5), 3.0);
+    }
+
+    #[test]
+    fn box_stats_ordering_invariant() {
+        let v: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let b = BoxStats::fig11(&v);
+        assert!(b.whisker_lo <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_hi);
+        assert_eq!(b.n, 100);
+    }
+
+    #[test]
+    fn box_stats_constant() {
+        let b = BoxStats::fig11(&[4.0; 8]);
+        assert_eq!(b.median, 4.0);
+        assert_eq!(b.whisker_lo, 4.0);
+        assert_eq!(b.whisker_hi, 4.0);
+        assert_eq!(b.mean, 4.0);
+    }
+
+    #[test]
+    fn line_renders() {
+        let b = BoxStats::fig11(&[1.0, 2.0, 3.0]);
+        assert!(b.line().contains("n=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 0.5);
+    }
+}

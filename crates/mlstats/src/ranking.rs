@@ -1,0 +1,95 @@
+//! Rank transforms with tie handling.
+//!
+//! The Demšar comparison procedure the paper follows (its Sec. 4.3.1)
+//! first converts accuracies to ranks per dataset/split: the best value
+//! gets rank 1, ties receive the average of the ranks they span.
+
+/// Ranks `values` descending (largest value → rank 1.0), assigning tied
+/// values their average rank — exactly the example in the paper:
+/// accuracies (0.9, 0.7, 0.8) → ranks (1, 3, 2); (0.9, 0.9, 0.8) →
+/// (1.5, 1.5, 3).
+pub fn rank_descending(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    let mut ranks = vec![0f64; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average rank of positions i..j (1-based).
+        let avg = (i + 1..=j).sum::<usize>() as f64 / (j - i) as f64;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Average rank per treatment across blocks: `scores[block][treatment]`.
+/// Returns one mean rank per treatment. Panics on ragged blocks.
+pub fn average_ranks(scores: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!scores.is_empty(), "no blocks");
+    let k = scores[0].len();
+    assert!(scores.iter().all(|row| row.len() == k), "ragged blocks");
+    let mut sums = vec![0f64; k];
+    for block in scores {
+        for (s, r) in sums.iter_mut().zip(rank_descending(block)) {
+            *s += r;
+        }
+    }
+    sums.iter().map(|s| s / scores.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        assert_eq!(rank_descending(&[0.9, 0.7, 0.8]), vec![1.0, 3.0, 2.0]);
+        assert_eq!(rank_descending(&[0.9, 0.9, 0.8]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn all_tied() {
+        assert_eq!(rank_descending(&[1.0, 1.0, 1.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(rank_descending(&[0.5]), vec![1.0]);
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        // Sum of ranks is n(n+1)/2 regardless of ties.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![3.0, 1.0, 2.0, 5.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+            vec![7.0, 7.0, 7.0, 1.0],
+        ];
+        for c in cases {
+            let s: f64 = rank_descending(&c).iter().sum();
+            assert!((s - 10.0).abs() < 1e-12, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn average_ranks_across_blocks() {
+        // Treatment 0 always best, treatment 2 always worst.
+        let scores = vec![vec![0.9, 0.8, 0.1], vec![0.95, 0.5, 0.2], vec![0.7, 0.6, 0.3]];
+        let avg = average_ranks(&scores);
+        assert_eq!(avg, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn rejects_ragged_blocks() {
+        average_ranks(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Tukey HSD post-hoc comparison.
+//!
+//! Paper App. F (Table 10): to decide whether the three flowpic
+//! resolutions can be pooled for the ranking analysis, each resolution is
+//! treated as a group and their paired accuracy distributions compared
+//! with a post-hoc Tukey test at the 0.05 significance level. The p-value
+//! of a pair is `P(Q > |Δmean| / SE)` under the studentized range
+//! distribution with `k` groups.
+
+use crate::special::srange_cdf;
+use serde::Serialize;
+
+/// One pairwise comparison of the Tukey HSD.
+#[derive(Debug, Clone, Serialize)]
+pub struct TukeyPair {
+    /// Index of the first group.
+    pub a: usize,
+    /// Index of the second group.
+    pub b: usize,
+    /// Difference of group means (`mean_a − mean_b`).
+    pub mean_diff: f64,
+    /// The p-value of the comparison.
+    pub p_value: f64,
+    /// Whether the pair is significantly different at the chosen α.
+    pub is_different: bool,
+}
+
+/// Result of a Tukey HSD across `k` groups.
+#[derive(Debug, Clone, Serialize)]
+pub struct TukeyHsd {
+    /// Group names.
+    pub names: Vec<String>,
+    /// Group means.
+    pub means: Vec<f64>,
+    /// All pairwise comparisons (`a < b`).
+    pub pairs: Vec<TukeyPair>,
+    /// Significance level used.
+    pub alpha: f64,
+}
+
+impl TukeyHsd {
+    /// Runs the test on `groups[g] = samples of group g` at level `alpha`.
+    ///
+    /// Uses the pooled within-group variance and, because campaign sample
+    /// counts are large (≥ 30 experiments per group), the infinite-df
+    /// studentized range (see [`crate::special::srange_cdf`]).
+    pub fn analyze(names: &[&str], groups: &[Vec<f64>], alpha: f64) -> TukeyHsd {
+        let k = groups.len();
+        assert!(k >= 2, "need at least two groups");
+        assert_eq!(names.len(), k);
+        assert!(groups.iter().all(|g| g.len() >= 2), "each group needs >= 2 samples");
+
+        let means: Vec<f64> =
+            groups.iter().map(|g| g.iter().sum::<f64>() / g.len() as f64).collect();
+        // Pooled within-group variance (MSE of the one-way ANOVA).
+        let mut ss = 0f64;
+        let mut df = 0f64;
+        for (g, &m) in groups.iter().zip(&means) {
+            ss += g.iter().map(|x| (x - m).powi(2)).sum::<f64>();
+            df += g.len() as f64 - 1.0;
+        }
+        let mse = if df > 0.0 { ss / df } else { 0.0 };
+
+        let mut pairs = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let (na, nb) = (groups[a].len() as f64, groups[b].len() as f64);
+                // Tukey–Kramer SE for unequal group sizes.
+                let se = (mse / 2.0 * (1.0 / na + 1.0 / nb)).sqrt();
+                let diff = means[a] - means[b];
+                let (p_value, is_different) = if se == 0.0 {
+                    // Degenerate: zero within-group variance.
+                    if diff == 0.0 {
+                        (1.0, false)
+                    } else {
+                        (0.0, true)
+                    }
+                } else {
+                    let q = diff.abs() / se;
+                    let p = 1.0 - srange_cdf(q, k);
+                    (p, p < alpha)
+                };
+                pairs.push(TukeyPair { a, b, mean_diff: diff, p_value, is_different });
+            }
+        }
+        TukeyHsd { names: names.iter().map(|s| s.to_string()).collect(), means, pairs, alpha }
+    }
+
+    /// Text rendering in the shape of the paper's Table 10.
+    pub fn table(&self) -> String {
+        let mut out = String::from("Group A      Group B      p-value     Is Different?\n");
+        for p in &self.pairs {
+            out.push_str(&format!(
+                "{:<12} {:<12} {:<11} {}\n",
+                self.names[p.a],
+                self.names[p.b],
+                format_p(p.p_value),
+                if p.is_different { "Yes" } else { "No" }
+            ));
+        }
+        out
+    }
+}
+
+fn format_p(p: f64) -> String {
+    if p >= 1e-3 {
+        format!("{p:.3}")
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_not_different() {
+        let g = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = TukeyHsd::analyze(&["a", "b"], &[g.clone(), g], 0.05);
+        assert_eq!(t.pairs.len(), 1);
+        assert!(!t.pairs[0].is_different);
+        assert!(t.pairs[0].p_value > 0.9);
+    }
+
+    #[test]
+    fn separated_groups_are_different() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0 + 0.1 * (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 20.0 + 0.1 * (i % 5) as f64).collect();
+        let t = TukeyHsd::analyze(&["lo", "hi"], &[a, b], 0.05);
+        assert!(t.pairs[0].is_different);
+        assert!(t.pairs[0].p_value < 1e-6);
+        assert!(t.pairs[0].mean_diff < 0.0);
+    }
+
+    #[test]
+    fn three_groups_table10_shape() {
+        // Mimic the paper's Table 10: 32≈64, both ≠ 1500.
+        let g32: Vec<f64> = (0..30).map(|i| 96.0 + 0.5 * ((i % 7) as f64 - 3.0)).collect();
+        let g64: Vec<f64> = (0..30).map(|i| 96.1 + 0.5 * ((i % 5) as f64 - 2.0)).collect();
+        let g1500: Vec<f64> = (0..30).map(|i| 94.0 + 0.5 * ((i % 7) as f64 - 3.0)).collect();
+        let t = TukeyHsd::analyze(&["32x32", "64x64", "1500x1500"], &[g32, g64, g1500], 0.05);
+        let pair = |a, b| t.pairs.iter().find(|p| p.a == a && p.b == b).unwrap();
+        assert!(!pair(0, 1).is_different, "32 vs 64 must pool");
+        assert!(pair(0, 2).is_different, "32 vs 1500 must differ");
+        assert!(pair(1, 2).is_different, "64 vs 1500 must differ");
+        let table = t.table();
+        assert!(table.contains("32x32"));
+        assert!(table.contains("Yes") && table.contains("No"));
+    }
+
+    #[test]
+    fn zero_variance_degenerate_cases() {
+        let t = TukeyHsd::analyze(&["a", "b"], &[vec![5.0, 5.0], vec![5.0, 5.0]], 0.05);
+        assert!(!t.pairs[0].is_different);
+        let t = TukeyHsd::analyze(&["a", "b"], &[vec![5.0, 5.0], vec![6.0, 6.0]], 0.05);
+        assert!(t.pairs[0].is_different);
+    }
+
+    #[test]
+    fn unequal_group_sizes_supported() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let t = TukeyHsd::analyze(&["a", "b"], &[a, b], 0.05);
+        assert!(t.pairs[0].p_value.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_group() {
+        TukeyHsd::analyze(&["only"], &[vec![1.0, 2.0]], 0.05);
+    }
+}

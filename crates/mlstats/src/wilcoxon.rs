@@ -1,0 +1,125 @@
+//! Wilcoxon signed-rank test.
+//!
+//! Demšar (2006) — the methodology paper the replication follows for its
+//! rank analysis — recommends the Wilcoxon signed-rank test for comparing
+//! *two* classifiers over multiple datasets (the Friedman/Nemenyi
+//! machinery is for ≥ 3). This completes the toolkit: pairwise follow-ups
+//! like "is Change RTT better than Time shift, specifically?" use this
+//! test.
+//!
+//! Uses the normal approximation with tie and zero-difference handling
+//! (Pratt's method drops zeros), accurate for the N ≥ 10 block counts the
+//! campaigns produce; smaller N is rejected.
+
+use crate::ranking::rank_descending;
+use crate::special::norm_cdf;
+use serde::Serialize;
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Serialize)]
+pub struct WilcoxonResult {
+    /// Sum of ranks of positive differences (`a > b`).
+    pub r_plus: f64,
+    /// Sum of ranks of negative differences.
+    pub r_minus: f64,
+    /// Number of non-zero differences used.
+    pub n_used: usize,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+    /// Whether the difference is significant at the chosen α.
+    pub is_different: bool,
+}
+
+/// Runs the two-sided test on paired samples `a[i]` vs `b[i]` at level
+/// `alpha`. Zero differences are dropped (Pratt); ties among |d| receive
+/// average ranks. Panics if fewer than 10 non-zero differences remain
+/// (the normal approximation is not defensible below that).
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64], alpha: f64) -> WilcoxonResult {
+    assert_eq!(a.len(), b.len(), "paired samples");
+    let diffs: Vec<f64> =
+        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
+    let n = diffs.len();
+    assert!(
+        n >= 10,
+        "need at least 10 non-zero differences for the normal approximation, got {n}"
+    );
+    // Rank |d| ascending: rank_descending on -|d|.
+    let neg_abs: Vec<f64> = diffs.iter().map(|d| -d.abs()).collect();
+    let ranks = rank_descending(&neg_abs);
+    let mut r_plus = 0f64;
+    let mut r_minus = 0f64;
+    for (d, r) in diffs.iter().zip(&ranks) {
+        if *d > 0.0 {
+            r_plus += r;
+        } else {
+            r_minus += r;
+        }
+    }
+    let w = r_plus.min(r_minus);
+    let n_f = n as f64;
+    let mean = n_f * (n_f + 1.0) / 4.0;
+    let sd = (n_f * (n_f + 1.0) * (2.0 * n_f + 1.0) / 24.0).sqrt();
+    // Continuity-corrected z.
+    let z = (w - mean + 0.5) / sd;
+    let p_value = (2.0 * norm_cdf(z)).min(1.0);
+    WilcoxonResult { r_plus, r_minus, n_used: n, p_value, is_different: p_value < alpha }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_with_noise_is_not_significant() {
+        // Symmetric differences: no systematic winner.
+        let a: Vec<f64> = (0..20).map(|i| 90.0 + (i % 5) as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| 90.0 + ((i + 2) % 5) as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b, 0.05);
+        assert!(!r.is_different, "p = {}", r.p_value);
+        assert!(r.p_value > 0.05);
+    }
+
+    #[test]
+    fn consistent_winner_is_significant() {
+        // a beats b on every one of 15 blocks, by varying margins.
+        let a: Vec<f64> = (0..15).map(|i| 95.0 + (i % 4) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..15).map(|i| 92.0 + (i % 3) as f64 * 0.1).collect();
+        let r = wilcoxon_signed_rank(&a, &b, 0.05);
+        assert!(r.is_different, "p = {}", r.p_value);
+        assert_eq!(r.r_minus, 0.0);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn rank_sums_are_complementary() {
+        let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64) + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b, 0.05);
+        let n = r.n_used as f64;
+        assert!((r.r_plus + r.r_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let mut a: Vec<f64> = (0..14).map(|i| i as f64).collect();
+        let b = a.clone();
+        // Perturb 12 entries, leave 2 identical.
+        for (i, v) in a.iter_mut().enumerate().take(12) {
+            *v += if i % 2 == 0 { 0.5 } else { -0.5 };
+        }
+        let r = wilcoxon_signed_rank(&a, &b, 0.05);
+        assert_eq!(r.n_used, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn rejects_tiny_samples() {
+        wilcoxon_signed_rank(&[1.0; 5], &[2.0; 5], 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn rejects_unpaired() {
+        wilcoxon_signed_rank(&[1.0; 12], &[2.0; 11], 0.05);
+    }
+}

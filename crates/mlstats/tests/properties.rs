@@ -1,0 +1,153 @@
+//! Property-based tests of the statistical machinery.
+
+use mlstats::ci::MeanCi;
+use mlstats::kde::Kde;
+use mlstats::metrics::ConfusionMatrix;
+use mlstats::nemenyi::CriticalDistance;
+use mlstats::quantiles::{percentile, BoxStats};
+use mlstats::ranking::rank_descending;
+use mlstats::special::{beta_inc, norm_cdf, srange_cdf, t_cdf};
+use mlstats::tukey::TukeyHsd;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ci_contains_the_mean_and_is_symmetric(
+        samples in prop::collection::vec(-100.0f64..100.0, 2..40),
+    ) {
+        let ci = MeanCi::ci95(&samples);
+        prop_assert!(ci.half_width >= 0.0);
+        prop_assert!(ci.lo() <= ci.mean && ci.mean <= ci.hi());
+        prop_assert!(((ci.hi() - ci.mean) - (ci.mean - ci.lo())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sum_invariant(values in prop::collection::vec(-10.0f64..10.0, 1..20)) {
+        let ranks = rank_descending(&values);
+        let n = values.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        prop_assert!(ranks.iter().all(|&r| (1.0..=n).contains(&r)));
+        // Larger value never gets a (strictly) worse rank.
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        values in prop::collection::vec(-50.0f64..50.0, 1..30),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = percentile(&values, lo_q);
+        let hi = percentile(&values, hi_q);
+        prop_assert!(lo <= hi + 1e-12);
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(lo >= min - 1e-12 && hi <= max + 1e-12);
+    }
+
+    #[test]
+    fn box_stats_are_ordered(values in prop::collection::vec(-50.0f64..50.0, 2..40)) {
+        let b = BoxStats::fig11(&values);
+        prop_assert!(b.whisker_lo <= b.q1);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.q3 <= b.whisker_hi);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_bounded(
+        x1 in -6.0f64..6.0,
+        x2 in -6.0f64..6.0,
+        df in 1.0f64..100.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        for f in [
+            Box::new(move |x: f64| norm_cdf(x)) as Box<dyn Fn(f64) -> f64>,
+            Box::new(move |x: f64| t_cdf(x, df)),
+        ] {
+            let a = f(lo);
+            let b = f(hi);
+            prop_assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+            prop_assert!(a <= b + 1e-9);
+        }
+    }
+
+    #[test]
+    fn beta_inc_is_monotone_in_x(
+        a in 0.2f64..8.0,
+        b in 0.2f64..8.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(beta_inc(a, b, lo) <= beta_inc(a, b, hi) + 1e-9);
+    }
+
+    #[test]
+    fn srange_cdf_monotone(k in 2usize..8, q1 in 0.0f64..8.0, q2 in 0.0f64..8.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(srange_cdf(lo, k) <= srange_cdf(hi, k) + 1e-9);
+    }
+
+    #[test]
+    fn confusion_metrics_are_valid(
+        truths in prop::collection::vec(0usize..4, 1..60),
+        preds in prop::collection::vec(0usize..4, 60),
+    ) {
+        let preds = &preds[..truths.len()];
+        let m = ConfusionMatrix::from_predictions(4, &truths, preds);
+        prop_assert_eq!(m.total() as usize, truths.len());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&m.macro_f1()));
+        prop_assert!((0.0..=1.0).contains(&m.weighted_f1()));
+        for row in m.row_normalized() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nemenyi_cd_shrinks_with_more_blocks(
+        base in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4), 4..8),
+    ) {
+        let names = ["a", "b", "c", "d"];
+        let small = CriticalDistance::analyze(&names, &base, 0.05);
+        let mut doubled = base.clone();
+        doubled.extend(base.iter().cloned());
+        let large = CriticalDistance::analyze(&names, &doubled, 0.05);
+        prop_assert!(large.cd < small.cd);
+        // Mean ranks are in [1, k].
+        prop_assert!(small.mean_ranks.iter().all(|&r| (1.0..=4.0).contains(&r)));
+    }
+
+    #[test]
+    fn tukey_p_values_are_probabilities(
+        ga in prop::collection::vec(0.0f64..100.0, 3..20),
+        gb in prop::collection::vec(0.0f64..100.0, 3..20),
+    ) {
+        let t = TukeyHsd::analyze(&["a", "b"], &[ga, gb], 0.05);
+        for p in &t.pairs {
+            prop_assert!((0.0..=1.0).contains(&p.p_value));
+            prop_assert_eq!(p.is_different, p.p_value < 0.05);
+        }
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative(
+        samples in prop::collection::vec(-10.0f64..10.0, 1..50),
+        x in -20.0f64..20.0,
+    ) {
+        let kde = Kde::silverman(&samples);
+        prop_assert!(kde.density(x) >= 0.0);
+        prop_assert!(kde.density(x).is_finite());
+    }
+}

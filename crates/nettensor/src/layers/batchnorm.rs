@@ -1,0 +1,199 @@
+//! 1-D batch normalization.
+//!
+//! Added for the BYOL comparator: BYOL's stability depends on
+//! normalization in the projector/predictor (without it the online and
+//! target networks collapse to a constant representation — exactly what
+//! the BN-free ablations of the BYOL literature report, and what this
+//! workspace's own diagnostics reproduce). Semantics match
+//! `nn.BatchNorm1d`: per-feature standardization over the batch with
+//! learnable scale/shift, running statistics for evaluation mode.
+
+use super::{Layer, ParamRef};
+use crate::tensor::Tensor;
+
+/// `BatchNorm1d(features)` over `[N, F]` inputs.
+pub struct BatchNorm1d {
+    features: usize,
+    eps: f32,
+    /// Running-statistics momentum (PyTorch default 0.1).
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    g_gamma: Tensor,
+    g_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Backward cache.
+    x_hat: Vec<f32>,
+    centered: Vec<f32>,
+    inv_std: Vec<f32>,
+    batch: usize,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer (γ = 1, β = 0).
+    pub fn new(features: usize) -> BatchNorm1d {
+        BatchNorm1d {
+            features,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::new(&[features], vec![1.0; features]),
+            beta: Tensor::zeros(&[features]),
+            g_gamma: Tensor::zeros(&[features]),
+            g_beta: Tensor::zeros(&[features]),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            x_hat: Vec::new(),
+            centered: Vec::new(),
+            inv_std: Vec::new(),
+            batch: 0,
+        }
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn name(&self) -> &'static str {
+        "BatchNorm1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 2, "BatchNorm1d expects [N, F]");
+        let (n, f) = (input.shape[0], input.shape[1]);
+        assert_eq!(f, self.features, "feature width mismatch");
+        let mut out = Tensor::zeros(&[n, f]);
+
+        if !train || n == 1 {
+            // Evaluation (or degenerate single-sample batch): running stats.
+            for i in 0..n {
+                for j in 0..f {
+                    let x_hat = (input.data[i * f + j] - self.running_mean[j])
+                        / (self.running_var[j] + self.eps).sqrt();
+                    out.data[i * f + j] = self.gamma.data[j] * x_hat + self.beta.data[j];
+                }
+            }
+            // Mark the cache stale so a backward without a training forward
+            // is caught.
+            self.batch = 0;
+            return out;
+        }
+
+        self.batch = n;
+        self.x_hat = vec![0.0; n * f];
+        self.centered = vec![0.0; n * f];
+        self.inv_std = vec![0.0; f];
+        for j in 0..f {
+            let mean: f32 = (0..n).map(|i| input.data[i * f + j]).sum::<f32>() / n as f32;
+            let var: f32 =
+                (0..n).map(|i| (input.data[i * f + j] - mean).powi(2)).sum::<f32>() / n as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            self.inv_std[j] = inv_std;
+            for i in 0..n {
+                let c = input.data[i * f + j] - mean;
+                self.centered[i * f + j] = c;
+                let x_hat = c * inv_std;
+                self.x_hat[i * f + j] = x_hat;
+                out.data[i * f + j] = self.gamma.data[j] * x_hat + self.beta.data[j];
+            }
+            self.running_mean[j] = (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean;
+            self.running_var[j] = (1.0 - self.momentum) * self.running_var[j] + self.momentum * var;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(self.batch > 0, "backward requires a training-mode forward");
+        let (n, f) = (self.batch, self.features);
+        assert_eq!(grad_out.shape, vec![n, f]);
+        let mut grad_in = Tensor::zeros(&[n, f]);
+        for j in 0..f {
+            let mut sum_dy = 0f32;
+            let mut sum_dy_xhat = 0f32;
+            for i in 0..n {
+                let dy = grad_out.data[i * f + j];
+                sum_dy += dy;
+                sum_dy_xhat += dy * self.x_hat[i * f + j];
+            }
+            self.g_beta.data[j] += sum_dy;
+            self.g_gamma.data[j] += sum_dy_xhat;
+            let scale = self.gamma.data[j] * self.inv_std[j] / n as f32;
+            for i in 0..n {
+                let dy = grad_out.data[i * f + j];
+                grad_in.data[i * f + j] =
+                    scale * (n as f32 * dy - sum_dy - self.x_hat[i * f + j] * sum_dy_xhat);
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef { param: &mut self.gamma, grad: &mut self.g_gamma },
+            ParamRef { param: &mut self.beta, grad: &mut self.g_beta },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.features
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn training_forward_standardizes() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::new(&[4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let y = bn.forward(&x, true);
+        for j in 0..2 {
+            let mean: f32 = (0..4).map(|i| y.data[i * 2 + j]).sum::<f32>() / 4.0;
+            let var: f32 = (0..4).map(|i| (y.data[i * 2 + j] - mean).powi(2)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm1d::new(1);
+        // Feed the same batch repeatedly so running stats converge to it.
+        let x = Tensor::new(&[4, 1], vec![2.0, 4.0, 6.0, 8.0]);
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        // In eval mode, standardization uses the (converged) running
+        // stats, so outputs match the training-mode standardization.
+        let mean: f32 = y.data.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-2, "eval mean {mean}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut bn = BatchNorm1d::new(3);
+        // Non-trivial gamma/beta so their gradients are exercised.
+        bn.gamma.data = vec![1.5, 0.5, 2.0];
+        bn.beta.data = vec![0.1, -0.2, 0.3];
+        let x = Tensor::kaiming_uniform(&[5, 3], 1, 11);
+        check_layer(&mut bn, &x, 5e-2);
+    }
+
+    #[test]
+    fn single_sample_batch_falls_back_to_running_stats() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::new(&[1, 2], vec![3.0, 4.0]);
+        let y = bn.forward(&x, true);
+        assert!(y.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(BatchNorm1d::new(30).param_count(), 60);
+    }
+}

@@ -1,0 +1,245 @@
+//! 1-D convolution over sequences — for the packet-time-series CNN.
+//!
+//! The paper's Sec. 2.3 closes with "we believe [the augmentations]
+//! should be extended to packet time-series too in a future work"; the
+//! time-series classifier that extension needs convolves over the packet
+//! sequence (`[N, C, L]`) instead of the flowpic image.
+
+use super::{Layer, ParamRef};
+use crate::tensor::Tensor;
+
+/// `Conv1d(in_channels, out_channels, kernel_size)` with stride 1, no
+/// padding, matching `nn.Conv1d` defaults.
+pub struct Conv1d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    /// Weights `[out_c, in_c, k]`.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a 1-D convolution with Kaiming-uniform initialization.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Conv1d {
+        assert!(kernel >= 1 && in_channels >= 1 && out_channels >= 1);
+        let fan_in = in_channels * kernel;
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel], fan_in, seed),
+            b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
+            gw: Tensor::zeros(&[out_channels, in_channels, kernel]),
+            gb: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    fn out_len(&self, l: usize) -> usize {
+        assert!(l >= self.kernel, "input length {l} smaller than kernel {}", self.kernel);
+        l - self.kernel + 1
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 3, "Conv1d expects [N,C,L], got {:?}", input.shape);
+        let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let ol = self.out_len(l);
+        let k = self.kernel;
+        let mut out = vec![0f32; n * self.out_channels * ol];
+        for ni in 0..n {
+            for oc in 0..self.out_channels {
+                let out_base = (ni * self.out_channels + oc) * ol;
+                out[out_base..out_base + ol].iter_mut().for_each(|v| *v = self.b.data[oc]);
+                for ic in 0..c {
+                    let in_base = (ni * c + ic) * l;
+                    let w_base = (oc * c + ic) * k;
+                    for ki in 0..k {
+                        let weight = self.w.data[w_base + ki];
+                        if weight == 0.0 {
+                            continue;
+                        }
+                        for oi in 0..ol {
+                            out[out_base + oi] += weight * input.data[in_base + oi + ki];
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::new(&[n, self.out_channels, ol], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
+        let ol = self.out_len(l);
+        let k = self.kernel;
+        assert_eq!(grad_out.shape, vec![n, self.out_channels, ol]);
+        let mut grad_in = vec![0f32; input.len()];
+        for ni in 0..n {
+            for oc in 0..self.out_channels {
+                let out_base = (ni * self.out_channels + oc) * ol;
+                self.gb.data[oc] +=
+                    grad_out.data[out_base..out_base + ol].iter().sum::<f32>();
+                for ic in 0..c {
+                    let in_base = (ni * c + ic) * l;
+                    let w_base = (oc * c + ic) * k;
+                    for ki in 0..k {
+                        let weight = self.w.data[w_base + ki];
+                        let mut gw_acc = 0f32;
+                        for oi in 0..ol {
+                            let g = grad_out.data[out_base + oi];
+                            gw_acc += g * input.data[in_base + oi + ki];
+                            grad_in[in_base + oi + ki] += g * weight;
+                        }
+                        self.gw.data[w_base + ki] += gw_acc;
+                    }
+                }
+            }
+        }
+        Tensor::new(&input.shape.clone(), grad_in)
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef { param: &mut self.w, grad: &mut self.gw },
+            ParamRef { param: &mut self.b, grad: &mut self.gb },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.out_channels, self.out_len(input_shape[2])]
+    }
+}
+
+/// `MaxPool1d(kernel)` with stride = kernel.
+pub struct MaxPool1d {
+    kernel: usize,
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Creates a pooling layer.
+    pub fn new(kernel: usize) -> MaxPool1d {
+        assert!(kernel >= 1);
+        MaxPool1d { kernel, argmax: Vec::new(), input_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn name(&self) -> &'static str {
+        "MaxPool1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 3, "MaxPool1d expects [N,C,L]");
+        let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
+        let k = self.kernel;
+        let ol = l / k;
+        assert!(ol >= 1, "input length {l} smaller than pool {k}");
+        let mut out = vec![0f32; n * c * ol];
+        self.argmax = vec![0usize; out.len()];
+        for nc in 0..n * c {
+            let in_base = nc * l;
+            let out_base = nc * ol;
+            for oi in 0..ol {
+                let mut best = f32::MIN;
+                let mut best_idx = 0;
+                for ki in 0..k {
+                    let idx = in_base + oi * k + ki;
+                    if input.data[idx] > best {
+                        best = input.data[idx];
+                        best_idx = idx;
+                    }
+                }
+                out[out_base + oi] = best;
+                self.argmax[out_base + oi] = best_idx;
+            }
+        }
+        self.input_shape = input.shape.clone();
+        Tensor::new(&[n, c, ol], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward");
+        let mut grad_in = Tensor::zeros(&self.input_shape);
+        for (g, &idx) in grad_out.data.iter().zip(&self.argmax) {
+            grad_in.data[idx] += g;
+        }
+        grad_in
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1], input_shape[2] / self.kernel]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn known_convolution_value() {
+        let mut conv = Conv1d::new(1, 1, 2, 0);
+        conv.w.data = vec![1.0, 2.0];
+        conv.b.data = vec![0.5];
+        let x = Tensor::new(&[1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let y = conv.forward(&x, false);
+        // [1*1+2*2, 1*2+2*3] + 0.5
+        assert_eq!(y.data, vec![5.5, 8.5]);
+    }
+
+    #[test]
+    fn conv1d_gradients_match_finite_differences() {
+        let mut conv = Conv1d::new(2, 3, 3, 7);
+        let x = Tensor::kaiming_uniform(&[2, 2, 8], 1, 21);
+        check_layer(&mut conv, &x, 1e-2);
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let conv = Conv1d::new(3, 8, 5, 0);
+        assert_eq!(conv.output_shape(&[4, 3, 30]), vec![4, 8, 26]);
+        assert_eq!(conv.param_count(), 8 * 3 * 5 + 8);
+    }
+
+    #[test]
+    fn pool1d_max_and_backward() {
+        let mut pool = MaxPool1d::new(2);
+        let x = Tensor::new(&[1, 1, 4], vec![1.0, 5.0, 2.0, 3.0]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data, vec![5.0, 3.0]);
+        let g = pool.backward(&Tensor::new(&[1, 1, 2], vec![1.0, 2.0]));
+        assert_eq!(g.data, vec![0.0, 1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn pool1d_drops_trailing() {
+        let mut pool = MaxPool1d::new(2);
+        let y = pool.forward(&Tensor::zeros(&[1, 2, 5]), false);
+        assert_eq!(y.shape, vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn conv1d_rejects_short_input() {
+        Conv1d::new(1, 1, 5, 0).forward(&Tensor::zeros(&[1, 1, 3]), false);
+    }
+}

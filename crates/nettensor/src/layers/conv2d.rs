@@ -1,0 +1,280 @@
+//! 2-D convolution (valid padding, configurable stride) — the workhorse
+//! of the paper's LeNet-5 "mini" architectures (stride 1) and the
+//! strided first stages of the 1500×1500 "full-flowpic" network.
+//!
+//! Implemented as direct loops rather than im2col: the paper's inputs are
+//! extremely sparse (a 32×32 flowpic has at most a few hundred non-zero
+//! cells, a 1500×1500 one is >99.9 % zeros), so materializing the im2col
+//! matrix would waste both memory and time; the direct loops skip
+//! zero input cells in the backward accumulation.
+
+use super::{Layer, ParamRef};
+use crate::tensor::Tensor;
+
+/// `Conv2d(in_channels, out_channels, kernel_size)` with stride 1 and no
+/// padding, matching `nn.Conv2d` defaults as used by the paper's networks.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weights `[out_c, in_c, k, k]`.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-uniform initialization.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Conv2d {
+        Conv2d::with_stride(in_channels, out_channels, kernel, 1, seed)
+    }
+
+    /// Creates a strided convolution (used by the 1500×1500 full-flowpic
+    /// architecture, whose first stages downsample with stride 5).
+    pub fn with_stride(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Conv2d {
+        assert!(kernel >= 1 && in_channels >= 1 && out_channels >= 1 && stride >= 1);
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel, kernel], fan_in, seed),
+            b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
+            gw: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            gb: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "input {h}x{w} smaller than kernel {}",
+            self.kernel
+        );
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 4, "Conv2d expects [N,C,H,W], got {:?}", input.shape);
+        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let mut out = vec![0f32; n * self.out_channels * oh * ow];
+
+        for ni in 0..n {
+            for oc in 0..self.out_channels {
+                let bias = self.b.data[oc];
+                let out_base = (ni * self.out_channels + oc) * oh * ow;
+                out[out_base..out_base + oh * ow].iter_mut().for_each(|v| *v = bias);
+                for ic in 0..c {
+                    let in_base = (ni * c + ic) * h * w;
+                    let w_base = (oc * c + ic) * k * k;
+                    for ki in 0..k {
+                        for kj in 0..k {
+                            let weight = self.w.data[w_base + ki * k + kj];
+                            if weight == 0.0 {
+                                continue;
+                            }
+                            for oi in 0..oh {
+                                let in_row = in_base + (oi * self.stride + ki) * w + kj;
+                                let out_row = out_base + oi * ow;
+                                for oj in 0..ow {
+                                    out[out_row + oj] +=
+                                        weight * input.data[in_row + oj * self.stride];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::new(&[n, self.out_channels, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        assert_eq!(grad_out.shape, vec![n, self.out_channels, oh, ow]);
+
+        let mut grad_in = vec![0f32; input.len()];
+        for ni in 0..n {
+            for oc in 0..self.out_channels {
+                let out_base = (ni * self.out_channels + oc) * oh * ow;
+                // Bias gradient: sum over spatial and batch.
+                let g_sum: f32 = grad_out.data[out_base..out_base + oh * ow].iter().sum();
+                self.gb.data[oc] += g_sum;
+                for ic in 0..c {
+                    let in_base = (ni * c + ic) * h * w;
+                    let w_base = (oc * c + ic) * k * k;
+                    for ki in 0..k {
+                        for kj in 0..k {
+                            let weight = self.w.data[w_base + ki * k + kj];
+                            let mut gw_acc = 0f32;
+                            for oi in 0..oh {
+                                let in_row = in_base + (oi * self.stride + ki) * w + kj;
+                                let out_row = out_base + oi * ow;
+                                for oj in 0..ow {
+                                    let g = grad_out.data[out_row + oj];
+                                    gw_acc += g * input.data[in_row + oj * self.stride];
+                                    grad_in[in_row + oj * self.stride] += g * weight;
+                                }
+                            }
+                            self.gw.data[w_base + ki * k + kj] += gw_acc;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::new(&input.shape.clone(), grad_in)
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef { param: &mut self.w, grad: &mut self.gw },
+            ParamRef { param: &mut self.b, grad: &mut self.gb },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], self.out_channels, oh, ow]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn output_shape_lenet_first_layer() {
+        // Paper Listing 1: Conv2d-1 on 32×32 input → [6, 28, 28], 156 params.
+        let conv = Conv2d::new(1, 6, 5, 0);
+        assert_eq!(conv.output_shape(&[1, 1, 32, 32]), vec![1, 6, 28, 28]);
+        assert_eq!(conv.param_count(), 156);
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        let mut conv = Conv2d::new(1, 1, 2, 0);
+        // Fix weights: [[1, 2], [3, 4]], bias 0.5.
+        conv.w.data = vec![1.0, 2.0, 3.0, 4.0];
+        conv.b.data = vec![0.5];
+        let input = Tensor::new(&[1, 1, 2, 2], vec![1.0, 1.0, 1.0, 1.0]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.shape, vec![1, 1, 1, 1]);
+        assert_eq!(out.data, vec![10.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        let input = Tensor::kaiming_uniform(&[2, 2, 5, 5], 1, 42);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Forward of a 2-batch equals the two singles stacked.
+        let mut conv = Conv2d::new(1, 2, 3, 3);
+        let a = Tensor::kaiming_uniform(&[1, 1, 6, 6], 1, 1);
+        let b = Tensor::kaiming_uniform(&[1, 1, 6, 6], 1, 2);
+        let mut both = a.data.clone();
+        both.extend_from_slice(&b.data);
+        let stacked = Tensor::new(&[2, 1, 6, 6], both);
+        let out_a = conv.forward(&a, false);
+        let out_b = conv.forward(&b, false);
+        let out = conv.forward(&stacked, false);
+        assert_eq!(&out.data[..out_a.len()], &out_a.data[..]);
+        assert_eq!(&out.data[out_a.len()..], &out_b.data[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn rejects_undersized_input() {
+        let mut conv = Conv2d::new(1, 1, 5, 0);
+        conv.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut conv = Conv2d::new(1, 1, 2, 0);
+        let input = Tensor::kaiming_uniform(&[1, 1, 3, 3], 1, 5);
+        let out = conv.forward(&input, true);
+        conv.backward(&Tensor::new(&out.shape, vec![1.0; out.len()]));
+        assert!(conv.gw.data.iter().any(|&v| v != 0.0));
+        conv.zero_grad();
+        assert!(conv.gw.data.iter().all(|&v| v == 0.0));
+        assert!(conv.gb.data.iter().all(|&v| v == 0.0));
+    }
+}
+
+#[cfg(test)]
+mod stride_tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+    use crate::layers::Layer;
+
+    #[test]
+    fn strided_output_shape_full_flowpic() {
+        // Full-flowpic first stage: Conv2d(1, 10, k=10, s=5) on 1500x1500
+        // yields (1500-10)/5+1 = 299.
+        let conv = Conv2d::with_stride(1, 10, 10, 5, 0);
+        assert_eq!(conv.output_shape(&[1, 1, 1500, 1500]), vec![1, 10, 299, 299]);
+    }
+
+    #[test]
+    fn strided_known_values() {
+        let mut conv = Conv2d::with_stride(1, 1, 2, 2, 0);
+        conv.w.data = vec![1.0, 1.0, 1.0, 1.0];
+        conv.b.data = vec![0.0];
+        let input = Tensor::new(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let out = conv.forward(&input, false);
+        assert_eq!(out.shape, vec![1, 1, 2, 2]);
+        // Non-overlapping 2x2 window sums.
+        assert_eq!(out.data, vec![14.0, 22.0, 46.0, 54.0]);
+    }
+
+    #[test]
+    fn strided_gradients_match_finite_differences() {
+        let mut conv = Conv2d::with_stride(1, 2, 3, 2, 5);
+        let input = Tensor::kaiming_uniform(&[1, 1, 7, 7], 1, 17);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Fully-connected layer.
+
+use super::{Layer, ParamRef};
+use crate::tensor::Tensor;
+
+/// `Linear(in_features, out_features)`: `y = x·W + b` with `W` stored
+/// `[in, out]` so the forward pass is a single row-major matmul.
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform initialization.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Linear {
+        Linear {
+            in_features,
+            out_features,
+            w: Tensor::kaiming_uniform(&[in_features, out_features], in_features, seed),
+            b: Tensor::kaiming_uniform(&[out_features], in_features, seed.wrapping_add(1)),
+            gw: Tensor::zeros(&[in_features, out_features]),
+            gb: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 2, "Linear expects [N, F], got {:?}", input.shape);
+        assert_eq!(input.shape[1], self.in_features, "feature width mismatch");
+        let mut out = input.matmul(&self.w);
+        out.add_row_bias(&self.b);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape, vec![input.shape[0], self.out_features]);
+        // dW = xᵀ·g, db = column sums of g, dx = g·Wᵀ.
+        self.gw.add_scaled(&input.transposed().matmul(grad_out), 1.0);
+        for row in grad_out.data.chunks(self.out_features) {
+            for (gb, g) in self.gb.data.iter_mut().zip(row) {
+                *gb += g;
+            }
+        }
+        grad_out.matmul(&self.w.transposed())
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef { param: &mut self.w, grad: &mut self.gw },
+            ParamRef { param: &mut self.b, grad: &mut self.gb },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.out_features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn lenet_param_counts() {
+        // Paper Listing 1: Linear-9 400→120 = 48 120 params; Linear-11
+        // 120→84 = 10 164; Linear-14 84→5 = 425.
+        assert_eq!(Linear::new(400, 120, 0).param_count(), 48_120);
+        assert_eq!(Linear::new(120, 84, 0).param_count(), 10_164);
+        assert_eq!(Linear::new(84, 5, 0).param_count(), 425);
+    }
+
+    #[test]
+    fn known_forward_value() {
+        let mut lin = Linear::new(2, 2, 0);
+        lin.w.data = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]] (in×out)
+        lin.b.data = vec![0.5, -0.5];
+        let x = Tensor::new(&[1, 2], vec![1.0, 1.0]);
+        let y = lin.forward(&x, false);
+        assert_eq!(y.data, vec![4.5, 5.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut lin = Linear::new(4, 3, 11);
+        let input = Tensor::kaiming_uniform(&[3, 4], 1, 9);
+        check_layer(&mut lin, &input, 1e-2);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_backwards() {
+        let mut lin = Linear::new(2, 1, 0);
+        let x = Tensor::new(&[1, 2], vec![1.0, 2.0]);
+        let g = Tensor::new(&[1, 1], vec![1.0]);
+        lin.forward(&x, true);
+        lin.backward(&g);
+        let first = lin.gw.data.clone();
+        lin.forward(&x, true);
+        lin.backward(&g);
+        for (a, b) in lin.gw.data.iter().zip(&first) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn rejects_wrong_width() {
+        let mut lin = Linear::new(4, 3, 0);
+        lin.forward(&Tensor::zeros(&[2, 5]), false);
+    }
+}

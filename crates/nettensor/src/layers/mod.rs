@@ -1,0 +1,126 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! All layers implement [`Layer`]: `forward` caches whatever the backward
+//! pass needs, `backward` consumes the cached state, accumulates parameter
+//! gradients and returns the gradient with respect to the layer input.
+//! Batch dimension is always first; convolutional tensors are
+//! `[N, C, H, W]` row-major.
+
+mod batchnorm;
+mod conv1d;
+mod conv2d;
+mod linear;
+mod pool;
+mod simple;
+
+pub use batchnorm::BatchNorm1d;
+pub use conv1d::{Conv1d, MaxPool1d};
+pub use conv2d::Conv2d;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use simple::{Dropout, Flatten, Identity, ReLU, Sigmoid, Tanh};
+
+use crate::tensor::Tensor;
+
+/// A mutable view of one parameter tensor and its gradient accumulator.
+pub struct ParamRef<'a> {
+    /// The parameter values.
+    pub param: &'a mut Tensor,
+    /// The accumulated gradient (same shape as `param`).
+    pub grad: &'a mut Tensor,
+}
+
+/// A neural-network layer.
+pub trait Layer: Send {
+    /// Layer type name, as printed by the model summary (mirrors the
+    /// paper's App. C listings, e.g. `"Conv2d"`, `"Identity"`).
+    fn name(&self) -> &'static str;
+
+    /// Forward pass. `train` toggles training-only behaviour (dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: takes `dL/d(output)`, accumulates parameter
+    /// gradients, returns `dL/d(input)`. Must be called after `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to `(parameter, gradient)` pairs. Parameter-free
+    /// layers return an empty vec.
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        Vec::new()
+    }
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Output shape for a given input shape (used by the summary).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params() {
+            p.grad.fill_zero();
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by the layer tests.
+
+    use super::*;
+
+    /// Verifies `layer`'s input gradient and parameter gradients against
+    /// central finite differences on the scalar loss `sum(forward(x))`.
+    pub fn check_layer<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let eps = 1e-2f32;
+
+        // Analytic gradients.
+        let out = layer.forward(input, true);
+        let ones = Tensor::new(&out.shape, vec![1.0; out.len()]);
+        layer.zero_grad();
+        let grad_in = layer.backward(&ones);
+
+        // Input gradient check.
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data[i] += eps;
+            let mut minus = input.clone();
+            minus.data[i] -= eps;
+            let f_plus = layer.forward(&plus, true).sum();
+            let f_minus = layer.forward(&minus, true).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (grad_in.data[i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "input grad [{i}]: analytic {} vs numeric {numeric}",
+                grad_in.data[i]
+            );
+        }
+
+        // Parameter gradient check (re-run analytic pass first since the
+        // input loop overwrote the cache).
+        layer.forward(input, true);
+        layer.zero_grad();
+        layer.backward(&ones);
+        let analytic: Vec<Vec<f32>> =
+            layer.params().iter().map(|p| p.grad.data.clone()).collect();
+        let n_params = analytic.len();
+        for pi in 0..n_params {
+            for i in 0..analytic[pi].len() {
+                let orig = layer.params()[pi].param.data[i];
+                layer.params()[pi].param.data[i] = orig + eps;
+                let f_plus = layer.forward(input, true).sum();
+                layer.params()[pi].param.data[i] = orig - eps;
+                let f_minus = layer.forward(input, true).sum();
+                layer.params()[pi].param.data[i] = orig;
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                assert!(
+                    (analytic[pi][i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "param {pi} grad [{i}]: analytic {} vs numeric {numeric}",
+                    analytic[pi][i]
+                );
+            }
+        }
+    }
+}

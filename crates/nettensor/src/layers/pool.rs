@@ -1,0 +1,137 @@
+//! Max pooling.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// `MaxPool2d(kernel)` with stride = kernel (non-overlapping windows), as
+/// used by LeNet-5 (2×2). Trailing rows/columns that do not fill a window
+/// are dropped, matching `nn.MaxPool2d` defaults.
+pub struct MaxPool2d {
+    kernel: usize,
+    /// Flat input index of the max of each output cell, cached for the
+    /// backward scatter.
+    argmax: Vec<usize>,
+    input_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    pub fn new(kernel: usize) -> MaxPool2d {
+        assert!(kernel >= 1);
+        MaxPool2d { kernel, argmax: Vec::new(), input_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape.len(), 4, "MaxPool2d expects [N,C,H,W]");
+        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+        let k = self.kernel;
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh >= 1 && ow >= 1, "input {h}x{w} smaller than pool {k}");
+        let mut out = vec![0f32; n * c * oh * ow];
+        self.argmax = vec![0usize; out.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let in_base = (ni * c + ci) * h * w;
+                let out_base = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::MIN;
+                        let mut best_idx = 0;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let idx = in_base + (oi * k + ki) * w + (oj * k + kj);
+                                if input.data[idx] > best {
+                                    best = input.data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[out_base + oi * ow + oj] = best;
+                        self.argmax[out_base + oi * ow + oj] = best_idx;
+                    }
+                }
+            }
+        }
+        self.input_shape = input.shape.clone();
+        Tensor::new(&[n, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward");
+        let mut grad_in = Tensor::zeros(&self.input_shape);
+        for (g, &idx) in grad_out.data.iter().zip(&self.argmax) {
+            grad_in.data[idx] += g;
+        }
+        grad_in
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![
+            input_shape[0],
+            input_shape[1],
+            input_shape[2] / self.kernel,
+            input_shape[3] / self.kernel,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_max_per_window() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::new(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let out = pool.forward(&input, false);
+        assert_eq!(out.shape, vec![1, 1, 2, 2]);
+        assert_eq!(out.data, vec![6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn odd_sizes_drop_trailing() {
+        let mut pool = MaxPool2d::new(2);
+        let out = pool.forward(&Tensor::zeros(&[1, 1, 5, 5]), false);
+        assert_eq!(out.shape, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::new(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]);
+        pool.forward(&input, true);
+        let grad = pool.backward(&Tensor::new(&[1, 1, 1, 1], vec![5.0]));
+        assert_eq!(grad.data, vec![0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn handles_negative_inputs() {
+        let mut pool = MaxPool2d::new(2);
+        let input = Tensor::new(&[1, 1, 2, 2], vec![-5.0, -1.0, -3.0, -4.0]);
+        let out = pool.forward(&input, false);
+        assert_eq!(out.data, vec![-1.0]);
+    }
+
+    #[test]
+    fn lenet_shapes() {
+        // Paper Listing 1: MaxPool2d-3 [6,28,28]→[6,14,14]; MaxPool2d-7
+        // [16,10,10]→[16,5,5].
+        let pool = MaxPool2d::new(2);
+        assert_eq!(pool.output_shape(&[1, 6, 28, 28]), vec![1, 6, 14, 14]);
+        assert_eq!(pool.output_shape(&[1, 16, 10, 10]), vec![1, 16, 5, 5]);
+    }
+}

@@ -1,0 +1,404 @@
+//! Parameter-free layers: ReLU, Dropout, Flatten, Identity.
+
+use super::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Rectified linear unit.
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// Creates a ReLU.
+    pub fn new() -> ReLU {
+        ReLU { mask: Vec::new() }
+    }
+}
+
+impl Default for ReLU {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.data.iter().map(|&v| v > 0.0).collect();
+        Tensor::new(&input.shape, input.data.iter().map(|&v| v.max(0.0)).collect())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        Tensor::new(
+            &grad_out.shape,
+            grad_out
+                .data
+                .iter()
+                .zip(&self.mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; at evaluation
+/// time it is the identity. The paper's networks use `p = 0.25` after the
+/// second conv block (`Dropout2d-6`) and `p = 0.5` before the classifier
+/// (`Dropout1d-13`).
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+    /// Display name distinguishing the paper's `Dropout2d` / `Dropout1d`
+    /// positions (behaviour is element-wise either way, as in the
+    /// listings where both act on already-shaped tensors).
+    display: &'static str,
+}
+
+impl Dropout {
+    /// Element-wise dropout labeled `Dropout1d` in summaries.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new(), display: "Dropout1d" }
+    }
+
+    /// Element-wise dropout labeled `Dropout2d` in summaries.
+    pub fn new_2d(p: f32, seed: u64) -> Dropout {
+        Dropout { display: "Dropout2d", ..Dropout::new(p, seed) }
+    }
+
+    /// Reseeds the internal RNG (used when replaying an experiment).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        self.display
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        self.mask = (0..input.len())
+            .map(|_| if self.rng.random::<f32>() < self.p { 0.0 } else { 1.0 / keep })
+            .collect();
+        Tensor::new(
+            &input.shape,
+            input.data.iter().zip(&self.mask).map(|(&v, &m)| v * m).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        Tensor::new(
+            &grad_out.shape,
+            grad_out.data.iter().zip(&self.mask).map(|(&g, &m)| g * m).collect(),
+        )
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+/// Flattens `[N, …]` to `[N, prod(…)]`, caching the input shape for the
+/// backward reshape.
+pub struct Flatten {
+    input_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Flatten {
+        Flatten { input_shape: Vec::new() }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.input_shape = input.shape.clone();
+        let n = input.batch();
+        let rest = input.len() / n.max(1);
+        input.reshaped(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshaped(&self.input_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1..].iter().product()]
+    }
+}
+
+/// Identity layer — the masking device of the paper's App. C: dropping a
+/// layer from an architecture variant replaces it with `Identity` so the
+/// printed summaries stay aligned across variants (`Identity-6 < masked`).
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Identity {
+        Identity
+    }
+}
+
+impl Default for Identity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Identity {
+    fn name(&self) -> &'static str {
+        "Identity"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = ReLU::new();
+        let x = Tensor::new(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::new(&[1, 4], vec![1.0; 4]));
+        assert_eq!(g.data, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::new(&[1, 100], (0..100).map(|i| i as f32).collect());
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_train_scales_survivors() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::new(&[1, 10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data.iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.03, "dropped {frac}");
+        // Survivors scaled to 2.0; expectation preserved.
+        assert!(y.data.iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let mean = y.data.iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::new(&[1, 64], vec![1.0; 64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::new(&[1, 64], vec![1.0; 64]));
+        assert_eq!(y.data, g.data);
+    }
+
+    #[test]
+    fn dropout_names() {
+        assert_eq!(Dropout::new(0.5, 0).name(), "Dropout1d");
+        assert_eq!(Dropout::new_2d(0.25, 0).name(), "Dropout2d");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::kaiming_uniform(&[2, 3, 4, 4], 1, 3);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape, vec![2, 48]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape, x.shape);
+        assert_eq!(g.data, x.data);
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        let mut id = Identity::new();
+        let x = Tensor::new(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(id.forward(&x, true), x);
+        assert_eq!(id.backward(&x), x);
+        assert_eq!(id.param_count(), 0);
+    }
+}
+
+/// Hyperbolic tangent — the activation of the *original* LeNet-5, and one
+/// of the deviations the replication found in the Ref-Paper's public
+/// repository ("the network architecture used significantly differs …
+/// e.g. different activation functions", its App. D).
+pub struct Tanh {
+    output: Vec<f32>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Tanh {
+        Tanh { output: Vec::new() }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.output = input.data.iter().map(|&v| v.tanh()).collect();
+        Tensor::new(&input.shape, self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "backward before forward");
+        Tensor::new(
+            &grad_out.shape,
+            grad_out
+                .data
+                .iter()
+                .zip(&self.output)
+                .map(|(&g, &y)| g * (1.0 - y * y))
+                .collect(),
+        )
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+/// Logistic sigmoid.
+pub struct Sigmoid {
+    output: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Sigmoid {
+        Sigmoid { output: Vec::new() }
+    }
+}
+
+impl Default for Sigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.output = input.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        Tensor::new(&input.shape, self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "backward before forward");
+        Tensor::new(
+            &grad_out.shape,
+            grad_out
+                .data
+                .iter()
+                .zip(&self.output)
+                .map(|(&g, &y)| g * y * (1.0 - y))
+                .collect(),
+        )
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod activation_tests {
+    use super::*;
+    use crate::layers::gradcheck::check_layer;
+
+    #[test]
+    fn tanh_values_and_range() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]), false);
+        assert!((y.data[0] + 1.0).abs() < 1e-4);
+        assert_eq!(y.data[1], 0.0);
+        assert!((y.data[2] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_gradients_match_finite_differences() {
+        let mut t = Tanh::new();
+        let x = Tensor::kaiming_uniform(&[2, 6], 1, 13);
+        check_layer(&mut t, &x, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_values_and_range() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]), false);
+        assert!(y.data[0] < 1e-4);
+        assert!((y.data[1] - 0.5).abs() < 1e-7);
+        assert!(y.data[2] > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn sigmoid_gradients_match_finite_differences() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::kaiming_uniform(&[2, 6], 1, 17);
+        check_layer(&mut s, &x, 1e-2);
+    }
+}

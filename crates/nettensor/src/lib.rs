@@ -1,0 +1,58 @@
+//! # nettensor — a minimal CPU deep-learning library
+//!
+//! The Ref-Paper trains small LeNet-5-style CNNs with PyTorch; this crate
+//! provides the exact subset of a deep-learning framework those models
+//! need, implemented from scratch with explicit layer-wise forward and
+//! backward passes:
+//!
+//! * [`tensor`] — a dense row-major `f32` tensor with the handful of ops
+//!   the layers use (matmul, transpose, broadcasting add);
+//! * [`layers`] — `Conv2d`, `MaxPool2d`, `Linear`, `ReLU`, `Dropout`,
+//!   `Flatten` and `Identity`. `Identity` exists for the same reason as in
+//!   the replication's App. C: architecture variants (with/without
+//!   dropout, masked projection heads) are expressed by *masking* layers
+//!   with `Identity` rather than rebuilding the network;
+//! * [`model`] — the `Sequential` container, parameter (de)serialization,
+//!   and a `torchsummary`-style printout mirroring the paper's Listings
+//!   1–5;
+//! * [`loss`] — cross-entropy, mean-squared error (for the Rezaei & Liu
+//!   regression pre-training) and the NT-Xent/InfoNCE contrastive loss of
+//!   SimCLR, each with its analytic gradient;
+//! * [`optim`] — SGD (with momentum) and Adam.
+//!
+//! Gradients are verified against finite differences in every layer's
+//! tests; the library is deliberately eager, single-threaded and
+//! allocation-simple — the workloads are small CNNs where clarity wins,
+//! and the experiment campaigns parallelize at the run level instead.
+//!
+//! ## Example
+//!
+//! ```
+//! use nettensor::model::Sequential;
+//! use nettensor::layers::{Linear, ReLU};
+//! use nettensor::loss::cross_entropy;
+//! use nettensor::optim::{Optimizer, Sgd};
+//! use nettensor::tensor::Tensor;
+//!
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 16, 1)),
+//!     Box::new(ReLU::new()),
+//!     Box::new(Linear::new(16, 3, 2)),
+//! ]);
+//! let x = Tensor::zeros(&[8, 4]);
+//! let labels = vec![0usize; 8];
+//! let logits = net.forward(&x, true);
+//! let (loss, grad) = cross_entropy(&logits, &labels);
+//! net.backward(&grad);
+//! Sgd::new(0.01).step(&mut net);
+//! assert!(loss > 0.0);
+//! ```
+
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+
+pub use model::Sequential;
+pub use tensor::Tensor;

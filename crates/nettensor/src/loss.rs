@@ -1,0 +1,564 @@
+//! Loss functions with analytic gradients.
+//!
+//! * [`cross_entropy`] — softmax cross-entropy for supervised
+//!   classification and fine-tuning;
+//! * [`mse`] — mean squared error for the Rezaei & Liu statistical-
+//!   regression pre-training (paper App. D.3);
+//! * [`NtXent`] — the normalized-temperature cross-entropy (InfoNCE) loss
+//!   of SimCLR, including the contrastive top-5 accuracy the paper uses as
+//!   its pre-training early-stopping metric.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy. Returns `(mean loss, dL/dlogits)`.
+///
+/// `logits` is `[N, C]`; `labels[i] < C`. The softmax subtracts the row
+/// max for numerical stability.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape.len(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.shape[0], logits.shape[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut loss = 0f32;
+    for i in 0..n {
+        assert!(labels[i] < c, "label {} out of range {c}", labels[i]);
+        let row = &logits.data[i * c..(i + 1) * c];
+        let max = row.iter().copied().fold(f32::MIN, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let log_sum = sum.ln() + max;
+        loss += log_sum - row[labels[i]];
+        for j in 0..c {
+            let p = exps[j] / sum;
+            grad.data[i * c + j] = (p - f32::from(j == labels[i])) / n as f32;
+        }
+    }
+    (loss / n as f32, grad)
+}
+
+/// Classification accuracy of `logits` against `labels` (argmax match).
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let (n, c) = (logits.shape[0], logits.shape[1]);
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &logits.data[i * c..(i + 1) * c];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+/// Predicted class indices (row-wise argmax).
+pub fn predictions(logits: &Tensor) -> Vec<usize> {
+    let (n, c) = (logits.shape[0], logits.shape[1]);
+    (0..n)
+        .map(|i| {
+            logits.data[i * c..(i + 1) * c]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Mean squared error. Returns `(mean loss, dL/dpred)`.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape, target.shape, "mse shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = Tensor::zeros(&pred.shape);
+    let mut loss = 0f32;
+    for i in 0..pred.len() {
+        let d = pred.data[i] - target.data[i];
+        loss += d * d;
+        grad.data[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// The SimCLR NT-Xent (InfoNCE) contrastive loss.
+///
+/// Embeddings are `[2N, D]` with rows `i` and `i + N` forming a positive
+/// pair (first `N` rows are view A, last `N` view B). Rows are
+/// L2-normalized internally; similarities are cosine divided by the
+/// `temperature` (the paper uses 0.07).
+pub struct NtXent {
+    /// Softmax temperature.
+    pub temperature: f32,
+}
+
+/// Output of an NT-Xent evaluation.
+pub struct NtXentOutput {
+    /// Mean contrastive loss over all `2N` anchors.
+    pub loss: f32,
+    /// Gradient with respect to the (unnormalized) embeddings.
+    pub grad: Tensor,
+    /// Fraction of anchors whose positive ranks in the top-1 similarities.
+    pub top1_accuracy: f64,
+    /// Fraction of anchors whose positive ranks in the top-5 — the
+    /// paper's SimCLR early-stopping metric.
+    pub top5_accuracy: f64,
+}
+
+impl NtXent {
+    /// Creates the loss with the given temperature.
+    pub fn new(temperature: f32) -> NtXent {
+        assert!(temperature > 0.0);
+        NtXent { temperature }
+    }
+
+    /// Evaluates loss, gradient and contrastive accuracies for a batch of
+    /// paired embeddings.
+    pub fn eval(&self, z: &Tensor) -> NtXentOutput {
+        assert_eq!(z.shape.len(), 2, "embeddings must be [2N, D]");
+        let (m, d) = (z.shape[0], z.shape[1]);
+        assert!(m >= 4 && m % 2 == 0, "need an even number (>=4) of embeddings, got {m}");
+        let n = m / 2;
+        let positive = |i: usize| if i < n { i + n } else { i - n };
+
+        // L2-normalize rows.
+        let eps = 1e-12f32;
+        let mut norms = vec![0f32; m];
+        let mut u = vec![0f32; m * d];
+        for i in 0..m {
+            let row = &z.data[i * d..(i + 1) * d];
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(eps);
+            norms[i] = norm;
+            for j in 0..d {
+                u[i * d + j] = row[j] / norm;
+            }
+        }
+
+        // Similarity matrix s[i][k] = u_i·u_k / τ (diagonal unused).
+        let mut s = vec![0f32; m * m];
+        for i in 0..m {
+            for k in (i + 1)..m {
+                let dot: f32 =
+                    u[i * d..(i + 1) * d].iter().zip(&u[k * d..(k + 1) * d]).map(|(a, b)| a * b).sum();
+                let v = dot / self.temperature;
+                s[i * m + k] = v;
+                s[k * m + i] = v;
+            }
+        }
+
+        // Per-anchor softmax over k≠i, loss, ranks and dL/ds.
+        let mut g_s = vec![0f32; m * m];
+        let mut loss = 0f32;
+        let mut top1 = 0usize;
+        let mut top5 = 0usize;
+        for i in 0..m {
+            let p_i = positive(i);
+            let row = &s[i * m..(i + 1) * m];
+            let max = (0..m).filter(|&k| k != i).map(|k| row[k]).fold(f32::MIN, f32::max);
+            let mut sum = 0f32;
+            for k in 0..m {
+                if k != i {
+                    sum += (row[k] - max).exp();
+                }
+            }
+            loss += sum.ln() + max - row[p_i];
+            // Rank of the positive: how many negatives beat it.
+            let beaten = (0..m).filter(|&k| k != i && k != p_i && row[k] > row[p_i]).count();
+            if beaten == 0 {
+                top1 += 1;
+            }
+            if beaten < 5 {
+                top5 += 1;
+            }
+            for k in 0..m {
+                if k == i {
+                    continue;
+                }
+                let p = (row[k] - max).exp() / sum;
+                g_s[i * m + k] = (p - f32::from(k == p_i)) / m as f32;
+            }
+        }
+        loss /= m as f32;
+
+        // dL/du_i = (1/τ) Σ_{k≠i} (g_s[i,k] + g_s[k,i]) u_k.
+        let mut g_u = vec![0f32; m * d];
+        for i in 0..m {
+            for k in 0..m {
+                if k == i {
+                    continue;
+                }
+                let coeff = (g_s[i * m + k] + g_s[k * m + i]) / self.temperature;
+                if coeff == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    g_u[i * d + j] += coeff * u[k * d + j];
+                }
+            }
+        }
+
+        // Back through the normalization: dL/dz_i = (g_u - (g_u·u)u)/||z||.
+        let mut grad = Tensor::zeros(&[m, d]);
+        for i in 0..m {
+            let gu = &g_u[i * d..(i + 1) * d];
+            let ui = &u[i * d..(i + 1) * d];
+            let dot: f32 = gu.iter().zip(ui).map(|(a, b)| a * b).sum();
+            for j in 0..d {
+                grad.data[i * d + j] = (gu[j] - dot * ui[j]) / norms[i];
+            }
+        }
+
+        NtXentOutput {
+            loss,
+            grad,
+            top1_accuracy: top1 as f64 / m as f64,
+            top5_accuracy: top5 as f64 / m as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            let s: f32 = grad.data[i * 4..(i + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct_has_low_loss() {
+        let logits = Tensor::new(&[1, 3], vec![10.0, -10.0, -10.0]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::new(&[2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data[i] += eps;
+            let mut minus = logits.clone();
+            minus.data[i] -= eps;
+            let numeric = (cross_entropy(&plus, &labels).0 - cross_entropy(&minus, &labels).0)
+                / (2.0 * eps);
+            assert!((grad.data[i] - numeric).abs() < 1e-3, "[{i}] {} vs {numeric}", grad.data[i]);
+        }
+    }
+
+    #[test]
+    fn accuracy_and_predictions() {
+        let logits = Tensor::new(&[3, 2], vec![2.0, 1.0, 0.0, 5.0, 1.0, 0.0]);
+        assert_eq!(predictions(&logits), vec![0, 1, 0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let pred = Tensor::new(&[2], vec![1.0, 3.0]);
+        let target = Tensor::new(&[2], vec![0.0, 1.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data, vec![1.0, 2.0]); // 2d/n
+    }
+
+    #[test]
+    fn ntxent_loss_decreases_when_pairs_align() {
+        let loss_fn = NtXent::new(0.5);
+        // Aligned pairs: rows i and i+N identical, pairs orthogonal.
+        let aligned = Tensor::new(
+            &[4, 2],
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+        );
+        // Misaligned: positives orthogonal, negatives identical.
+        let misaligned = Tensor::new(
+            &[4, 2],
+            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
+        );
+        let a = loss_fn.eval(&aligned);
+        let b = loss_fn.eval(&misaligned);
+        assert!(a.loss < b.loss, "aligned {} vs misaligned {}", a.loss, b.loss);
+        assert_eq!(a.top1_accuracy, 1.0);
+        assert!(b.top1_accuracy < 1.0);
+    }
+
+    #[test]
+    fn ntxent_gradient_matches_finite_differences() {
+        let loss_fn = NtXent::new(0.3);
+        let z = Tensor::new(
+            &[6, 3],
+            vec![
+                0.5, -0.2, 0.8, //
+                -0.3, 0.9, 0.1, //
+                0.7, 0.7, -0.4, //
+                0.6, -0.1, 0.9, //
+                -0.2, 1.0, 0.2, //
+                0.5, 0.8, -0.5,
+            ],
+        );
+        let out = loss_fn.eval(&z);
+        let eps = 1e-2f32;
+        for i in 0..z.len() {
+            let mut plus = z.clone();
+            plus.data[i] += eps;
+            let mut minus = z.clone();
+            minus.data[i] -= eps;
+            let numeric = (loss_fn.eval(&plus).loss - loss_fn.eval(&minus).loss) / (2.0 * eps);
+            assert!(
+                (out.grad.data[i] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "[{i}] analytic {} vs numeric {numeric}",
+                out.grad.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn ntxent_handles_zero_rows() {
+        let loss_fn = NtXent::new(0.07);
+        let mut z = Tensor::kaiming_uniform(&[8, 4], 1, 3);
+        for j in 0..4 {
+            z.data[j] = 0.0; // first row all zero
+        }
+        let out = loss_fn.eval(&z);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn ntxent_top5_with_small_batch() {
+        let loss_fn = NtXent::new(0.07);
+        let z = Tensor::kaiming_uniform(&[6, 8], 1, 5);
+        let out = loss_fn.eval(&z);
+        // With 4 negatives per anchor, top-5 is always 1.
+        assert_eq!(out.top5_accuracy, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn ntxent_rejects_odd_batch() {
+        NtXent::new(0.07).eval(&Tensor::zeros(&[5, 2]));
+    }
+}
+
+/// The SupCon (supervised contrastive, Khosla et al. 2020) loss — the
+/// extension the replication names as future work in its conclusions
+/// ("such a study should consider … *supervised* contrastive learning
+/// methods such as SupCon").
+///
+/// Unlike NT-Xent, positives are *all other samples of the same class*,
+/// not just the augmented twin: with labels available, the latent space
+/// is pulled together class-wise during pre-training. Uses the
+/// `L_out` formulation (mean over positives outside the log).
+pub struct SupCon {
+    /// Softmax temperature.
+    pub temperature: f32,
+}
+
+/// Output of a SupCon evaluation.
+pub struct SupConOutput {
+    /// Mean loss over anchors that have at least one positive.
+    pub loss: f32,
+    /// Gradient with respect to the (unnormalized) embeddings.
+    pub grad: Tensor,
+}
+
+impl SupCon {
+    /// Creates the loss with the given temperature.
+    pub fn new(temperature: f32) -> SupCon {
+        assert!(temperature > 0.0);
+        SupCon { temperature }
+    }
+
+    /// Evaluates loss and gradient for embeddings `z` (`[M, D]`) with
+    /// per-row labels. Anchors without positives contribute nothing.
+    pub fn eval(&self, z: &Tensor, labels: &[usize]) -> SupConOutput {
+        assert_eq!(z.shape.len(), 2, "embeddings must be [M, D]");
+        let (m, d) = (z.shape[0], z.shape[1]);
+        assert_eq!(labels.len(), m, "one label per embedding");
+        assert!(m >= 2, "need at least two embeddings");
+
+        // Normalize rows.
+        let eps = 1e-12f32;
+        let mut norms = vec![0f32; m];
+        let mut u = vec![0f32; m * d];
+        for i in 0..m {
+            let row = &z.data[i * d..(i + 1) * d];
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(eps);
+            norms[i] = norm;
+            for j in 0..d {
+                u[i * d + j] = row[j] / norm;
+            }
+        }
+
+        // Similarities.
+        let mut s = vec![0f32; m * m];
+        for i in 0..m {
+            for k in (i + 1)..m {
+                let dot: f32 = u[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(&u[k * d..(k + 1) * d])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let v = dot / self.temperature;
+                s[i * m + k] = v;
+                s[k * m + i] = v;
+            }
+        }
+
+        // Loss and dL/ds.
+        let mut g_s = vec![0f32; m * m];
+        let mut loss = 0f32;
+        let mut anchors = 0usize;
+        for i in 0..m {
+            let positives: Vec<usize> =
+                (0..m).filter(|&p| p != i && labels[p] == labels[i]).collect();
+            if positives.is_empty() {
+                continue;
+            }
+            anchors += 1;
+            let row = &s[i * m..(i + 1) * m];
+            let max = (0..m).filter(|&k| k != i).map(|k| row[k]).fold(f32::MIN, f32::max);
+            let mut sum = 0f32;
+            for k in 0..m {
+                if k != i {
+                    sum += (row[k] - max).exp();
+                }
+            }
+            let log_denom = sum.ln() + max;
+            let np = positives.len() as f32;
+            for &p in &positives {
+                loss += (log_denom - row[p]) / np;
+            }
+            for k in 0..m {
+                if k == i {
+                    continue;
+                }
+                let softmax = (row[k] - max).exp() / sum;
+                let is_pos = f32::from(labels[k] == labels[i]);
+                g_s[i * m + k] = softmax - is_pos / np;
+            }
+        }
+        let anchors = anchors.max(1);
+        loss /= anchors as f32;
+        for g in &mut g_s {
+            *g /= anchors as f32;
+        }
+
+        // dL/du then back through the normalization (same as NT-Xent).
+        let mut g_u = vec![0f32; m * d];
+        for i in 0..m {
+            for k in 0..m {
+                if k == i {
+                    continue;
+                }
+                let coeff = (g_s[i * m + k] + g_s[k * m + i]) / self.temperature;
+                if coeff == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    g_u[i * d + j] += coeff * u[k * d + j];
+                }
+            }
+        }
+        let mut grad = Tensor::zeros(&[m, d]);
+        for i in 0..m {
+            let gu = &g_u[i * d..(i + 1) * d];
+            let ui = &u[i * d..(i + 1) * d];
+            let dot: f32 = gu.iter().zip(ui).map(|(a, b)| a * b).sum();
+            for j in 0..d {
+                grad.data[i * d + j] = (gu[j] - dot * ui[j]) / norms[i];
+            }
+        }
+        SupConOutput { loss, grad }
+    }
+}
+
+#[cfg(test)]
+mod supcon_tests {
+    use super::*;
+
+    #[test]
+    fn supcon_prefers_class_clusters() {
+        let loss_fn = SupCon::new(0.5);
+        // Two classes clustered: low loss.
+        let clustered = Tensor::new(
+            &[4, 2],
+            vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0],
+        );
+        // Classes interleaved in space: high loss.
+        let mixed = Tensor::new(
+            &[4, 2],
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.1, 0.1, 1.0],
+        );
+        let labels = [0usize, 0, 1, 1];
+        let a = loss_fn.eval(&clustered, &labels);
+        let b = loss_fn.eval(&mixed, &labels);
+        assert!(a.loss < b.loss, "clustered {} vs mixed {}", a.loss, b.loss);
+    }
+
+    #[test]
+    fn supcon_gradient_matches_finite_differences() {
+        let loss_fn = SupCon::new(0.3);
+        let z = Tensor::new(
+            &[5, 3],
+            vec![
+                0.5, -0.2, 0.8, //
+                -0.3, 0.9, 0.1, //
+                0.7, 0.7, -0.4, //
+                0.6, -0.1, 0.9, //
+                -0.2, 1.0, 0.2,
+            ],
+        );
+        let labels = [0usize, 1, 0, 1, 2];
+        let out = loss_fn.eval(&z, &labels);
+        let eps = 1e-2f32;
+        for i in 0..z.len() {
+            let mut plus = z.clone();
+            plus.data[i] += eps;
+            let mut minus = z.clone();
+            minus.data[i] -= eps;
+            let numeric =
+                (loss_fn.eval(&plus, &labels).loss - loss_fn.eval(&minus, &labels).loss)
+                    / (2.0 * eps);
+            assert!(
+                (out.grad.data[i] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "[{i}] analytic {} vs numeric {numeric}",
+                out.grad.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_without_positives_are_skipped() {
+        let loss_fn = SupCon::new(0.07);
+        // Every label unique: no positives anywhere → zero loss and grad.
+        let z = Tensor::kaiming_uniform(&[4, 3], 1, 7);
+        let out = loss_fn.eval(&z, &[0, 1, 2, 3]);
+        assert_eq!(out.loss, 0.0);
+        assert!(out.grad.data.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per embedding")]
+    fn supcon_rejects_label_mismatch() {
+        SupCon::new(0.07).eval(&Tensor::zeros(&[4, 2]), &[0, 1]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The `Sequential` model container.
+//!
+//! Provides forward/backward over a layer stack, parameter access for the
+//! optimizers, weight (de)serialization, layer surgery (the paper's
+//! fine-tuning freezes a pre-trained feature extractor and swaps the
+//! projection head for a fresh classifier) and a `torchsummary`-style
+//! printout that mirrors the paper's App. C listings.
+
+use crate::layers::{Layer, ParamRef};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A sequential stack of layers.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    /// Number of leading layers whose parameters are frozen (excluded from
+    /// `params()` and therefore untouched by optimizers). Fine-tuning sets
+    /// this to the feature-extractor depth.
+    frozen_prefix: usize,
+}
+
+/// Serialized weights of a model: one flat `f32` vector per parameter
+/// tensor, in layer order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Weights {
+    /// Parameter tensors in `params()` order.
+    pub tensors: Vec<Vec<f32>>,
+}
+
+impl Sequential {
+    /// Builds a model from a layer stack.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Sequential {
+        Sequential { layers, frozen_prefix: 0 }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Forward pass through only the first `n_layers` layers — used to
+    /// read intermediate representations (e.g. the latent `h = f(x)` of
+    /// the paper's extractor) without mutating the architecture.
+    pub fn forward_prefix(&mut self, input: &Tensor, n_layers: usize, train: bool) -> Tensor {
+        assert!(n_layers <= self.layers.len());
+        let mut x = input.clone();
+        for layer in self.layers.iter_mut().take(n_layers) {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass through every layer (reverse order). Frozen layers
+    /// still propagate gradients but their parameters are not exposed to
+    /// optimizers.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// `(parameter, gradient)` pairs of all *trainable* (non-frozen)
+    /// layers, in layer order.
+    pub fn params(&mut self) -> Vec<ParamRef<'_>> {
+        let frozen = self.frozen_prefix;
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| *i >= frozen)
+            .flat_map(|(_, l)| l.params())
+            .collect()
+    }
+
+    /// Zeroes all gradients (frozen layers included, for hygiene).
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total trainable parameter count (frozen layers excluded).
+    pub fn trainable_param_count(&self) -> usize {
+        self.layers.iter().skip(self.frozen_prefix).map(|l| l.param_count()).sum()
+    }
+
+    /// Total parameter count, frozen included.
+    pub fn total_param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Freezes the first `n` layers: their parameters disappear from
+    /// [`Sequential::params`] so optimizers skip them — the paper's
+    /// "freezing the pre-trained representation" during fine-tuning.
+    pub fn freeze_prefix(&mut self, n: usize) {
+        assert!(n <= self.layers.len());
+        self.frozen_prefix = n;
+    }
+
+    /// Number of frozen leading layers.
+    pub fn frozen_prefix(&self) -> usize {
+        self.frozen_prefix
+    }
+
+    /// Replaces the layers from index `from` onward with `tail` — the
+    /// fine-tuning surgery that swaps a projection head for a classifier.
+    pub fn replace_tail(&mut self, from: usize, tail: Vec<Box<dyn Layer>>) {
+        assert!(from <= self.layers.len());
+        self.layers.truncate(from);
+        self.layers.extend(tail);
+    }
+
+    /// Snapshots all weights (frozen included), for persistence or for
+    /// transplanting a pre-trained extractor into a new head.
+    pub fn export_weights(&mut self) -> Weights {
+        let frozen = std::mem::replace(&mut self.frozen_prefix, 0);
+        let tensors = self.params().iter().map(|p| p.param.data.clone()).collect();
+        self.frozen_prefix = frozen;
+        Weights { tensors }
+    }
+
+    /// Restores weights exported by [`Sequential::export_weights`] from a
+    /// model with identical architecture. Panics on shape mismatch.
+    pub fn import_weights(&mut self, weights: &Weights) {
+        let frozen = std::mem::replace(&mut self.frozen_prefix, 0);
+        {
+            let mut params = self.params();
+            assert_eq!(params.len(), weights.tensors.len(), "weight tensor count mismatch");
+            for (p, w) in params.iter_mut().zip(&weights.tensors) {
+                assert_eq!(p.param.data.len(), w.len(), "weight tensor length mismatch");
+                p.param.data.copy_from_slice(w);
+            }
+        }
+        self.frozen_prefix = frozen;
+    }
+
+    /// Copies the weights of the first `n` layers from `source` (same
+    /// architecture prefix required). Used to transplant the SimCLR
+    /// feature extractor into the fine-tune network.
+    pub fn copy_prefix_weights_from(&mut self, source: &mut Sequential, n: usize) {
+        assert!(n <= self.layers.len() && n <= source.layers.len());
+        for i in 0..n {
+            let src: Vec<Vec<f32>> =
+                source.layers[i].params().iter().map(|p| p.param.data.clone()).collect();
+            let mut dst = self.layers[i].params();
+            assert_eq!(src.len(), dst.len(), "layer {i} param count mismatch");
+            for (d, s) in dst.iter_mut().zip(&src) {
+                assert_eq!(d.param.data.len(), s.len(), "layer {i} param shape mismatch");
+                d.param.data.copy_from_slice(s);
+            }
+        }
+    }
+
+    /// `torchsummary`-style listing (paper App. C): one row per layer with
+    /// the output shape for the given input shape and the parameter count.
+    pub fn summary(&self, input_shape: &[usize]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<20} {:>10}\n",
+            "Layer (type)", "Output Shape", "Param #"
+        ));
+        out.push_str(&"=".repeat(50));
+        out.push('\n');
+        let mut shape = input_shape.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            shape = layer.output_shape(&shape);
+            let disp: Vec<String> =
+                std::iter::once("-1".to_string()).chain(shape[1..].iter().map(|d| d.to_string())).collect();
+            out.push_str(&format!(
+                "{:<18} {:<20} {:>10}\n",
+                format!("{}-{}", layer.name(), i + 1),
+                format!("[{}]", disp.join(", ")),
+                layer.param_count()
+            ));
+        }
+        out.push_str(&"=".repeat(50));
+        out.push('\n');
+        out.push_str(&format!("Total params: {}\n", self.total_param_count()));
+        out.push_str(&format!("Trainable params: {}\n", self.trainable_param_count()));
+        out.push_str(&format!(
+            "Non-trainable params: {}\n",
+            self.total_param_count() - self.trainable_param_count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Identity, Linear, ReLU};
+
+    fn two_layer() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, 1)),
+            Box::new(ReLU::new()),
+            Box::new(Linear::new(8, 2, 2)),
+        ])
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut net = two_layer();
+        let x = Tensor::kaiming_uniform(&[5, 4], 1, 0);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape, vec![5, 2]);
+        let g = net.backward(&Tensor::zeros(&[5, 2]));
+        assert_eq!(g.shape, vec![5, 4]);
+    }
+
+    #[test]
+    fn forward_prefix_matches_full_forward_composition() {
+        let mut net = two_layer();
+        let x = Tensor::kaiming_uniform(&[2, 4], 1, 8);
+        let h = net.forward_prefix(&x, 2, false);
+        assert_eq!(h.shape, vec![2, 8]);
+        // Prefix of all layers == full forward.
+        let full_via_prefix = net.forward_prefix(&x, 3, false);
+        let full = net.forward(&x, false);
+        assert_eq!(full_via_prefix.data, full.data);
+        // Zero-layer prefix is the identity.
+        assert_eq!(net.forward_prefix(&x, 0, false), x);
+    }
+
+    #[test]
+    fn param_counts() {
+        let net = two_layer();
+        assert_eq!(net.total_param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(net.trainable_param_count(), net.total_param_count());
+    }
+
+    #[test]
+    fn freezing_hides_params() {
+        let mut net = two_layer();
+        net.freeze_prefix(2); // freeze first Linear (+ ReLU)
+        assert_eq!(net.trainable_param_count(), 8 * 2 + 2);
+        assert_eq!(net.params().len(), 2); // only last Linear's w and b
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut a = two_layer();
+        let mut b = two_layer();
+        let x = Tensor::kaiming_uniform(&[3, 4], 1, 9);
+        // Different seeds => different outputs.
+        let wa = a.export_weights();
+        b.import_weights(&wa);
+        assert_eq!(a.forward(&x, false).data, b.forward(&x, false).data);
+    }
+
+    #[test]
+    fn export_includes_frozen_layers() {
+        let mut net = two_layer();
+        net.freeze_prefix(2);
+        let w = net.export_weights();
+        assert_eq!(w.tensors.len(), 4); // both Linear layers' w and b
+        assert_eq!(net.frozen_prefix(), 2); // restored after export
+    }
+
+    #[test]
+    fn copy_prefix_weights() {
+        let mut src = two_layer();
+        let mut dst = two_layer();
+        dst.copy_prefix_weights_from(&mut src, 1);
+        let x = Tensor::kaiming_uniform(&[2, 4], 1, 5);
+        // First layers now agree: outputs of the first layer match.
+        let ya = src.layers[0].forward(&x, false);
+        let yb = dst.layers[0].forward(&x, false);
+        assert_eq!(ya.data, yb.data);
+    }
+
+    #[test]
+    fn replace_tail_changes_head() {
+        let mut net = two_layer();
+        net.replace_tail(2, vec![Box::new(Linear::new(8, 10, 7))]);
+        assert_eq!(net.len(), 3);
+        let x = Tensor::kaiming_uniform(&[1, 4], 1, 0);
+        assert_eq!(net.forward(&x, false).shape, vec![1, 10]);
+    }
+
+    #[test]
+    fn summary_mirrors_torchsummary() {
+        let mut net = two_layer();
+        net.replace_tail(3, vec![Box::new(Identity::new())]);
+        let s = net.summary(&[1, 4]);
+        assert!(s.contains("Linear-1"), "{s}");
+        assert!(s.contains("ReLU-2"), "{s}");
+        assert!(s.contains("Identity-4"), "{s}");
+        assert!(s.contains("Total params:"), "{s}");
+    }
+}

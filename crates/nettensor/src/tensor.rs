@@ -1,0 +1,225 @@
+//! Dense row-major `f32` tensors.
+//!
+//! Only the operations the layers actually use are implemented; every op
+//! validates shapes with informative panics (shape bugs are programmer
+//! errors, not runtime conditions).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    /// Dimension sizes, outermost first.
+    pub shape: Vec<usize>,
+    /// Row-major contents, length = product of `shape`.
+    pub data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from parts, validating the element count.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} incompatible with {} elements",
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// All-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Kaiming-uniform initialization (the PyTorch default for conv and
+    /// linear layers): `U[-b, b]` with `b = sqrt(1 / fan_in)`, seeded.
+    pub fn kaiming_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (1.0 / fan_in.max(1) as f32).sqrt();
+        let n = shape.iter().product();
+        let data = (0..n).map(|_| -bound + 2.0 * bound * rng.random::<f32>()).collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// First dimension (batch size by convention).
+    pub fn batch(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Returns a reshaped view (same data, new shape). Panics if the
+    /// element counts differ.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Matrix multiply: `self [m, k] × other [k, n] → [m, n]`.
+    ///
+    /// Plain ikj-loop with the inner dimension contiguous — fast enough
+    /// for the ≤ few-hundred-unit matrices of the paper's networks.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // flowpics are sparse; skipping zeros pays off
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::new(&[m, n], out)
+    }
+
+    /// 2-D transpose.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs 2-D, got {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::new(&[n, m], out)
+    }
+
+    /// Adds `bias` (shape `[n]`) to every row of `self` (shape `[m, n]`).
+    pub fn add_row_bias(&mut self, bias: &Tensor) {
+        assert_eq!(self.shape.len(), 2);
+        let n = self.shape[1];
+        assert_eq!(bias.shape, vec![n], "bias shape {:?} vs row width {n}", bias.shape);
+        for row in self.data.chunks_mut(n) {
+            for (v, b) in row.iter_mut().zip(&bias.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise `self += other * scale`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "add_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_shape() {
+        let t = Tensor::new(&[2, 3], vec![1.0; 6]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.batch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn new_rejects_bad_shape() {
+        Tensor::new(&[2, 3], vec![1.0; 5]);
+    }
+
+    #[test]
+    fn matmul_correctness() {
+        // [2x3] × [3x2]
+        let a = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape, vec![2, 2]);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_with_zeros_skips_correctly() {
+        let a = Tensor::new(&[1, 3], vec![0.0, 2.0, 0.0]);
+        let b = Tensor::new(&[3, 1], vec![5.0, 7.0, 9.0]);
+        assert_eq!(a.matmul(&b).data, vec![14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_mismatched_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transposed();
+        assert_eq!(t.shape, vec![3, 2]);
+        assert_eq!(t.data, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn add_row_bias_broadcasts() {
+        let mut a = Tensor::new(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::new(&[2], vec![10.0, 20.0]);
+        a.add_row_bias(&b);
+        assert_eq!(a.data, vec![11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::zeros(&[3]);
+        let b = Tensor::new(&[3], vec![1.0, 2.0, 3.0]);
+        a.add_scaled(&b, 2.0);
+        assert_eq!(a.data, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn kaiming_uniform_bounds_and_determinism() {
+        let t = Tensor::kaiming_uniform(&[100], 25, 7);
+        let bound = (1.0f32 / 25.0).sqrt();
+        assert!(t.data.iter().all(|&v| v.abs() <= bound));
+        assert_eq!(t, Tensor::kaiming_uniform(&[100], 25, 7));
+        assert_ne!(t, Tensor::kaiming_uniform(&[100], 25, 8));
+        // Not degenerate.
+        assert!(t.data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.shape, vec![3, 2]);
+        assert_eq!(b.data, a.data);
+    }
+}

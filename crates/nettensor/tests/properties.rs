@@ -1,0 +1,168 @@
+//! Property-based tests of the tensor/NN substrate.
+
+use nettensor::layers::{Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU};
+use nettensor::loss::{accuracy, cross_entropy, mse, NtXent};
+use nettensor::tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-3.0f32..3.0, n)
+        .prop_map(move |data| Tensor::new(&shape, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(vec![3, 4]),
+        b in arb_tensor(vec![4, 2]),
+        c in arb_tensor(vec![4, 2]),
+    ) {
+        // a·(b + c) == a·b + a·c (within f32 tolerance).
+        let mut bc = b.clone();
+        bc.add_scaled(&c, 1.0);
+        let left = a.matmul(&bc);
+        let mut right = a.matmul(&b);
+        right.add_scaled(&a.matmul(&c), 1.0);
+        for (l, r) in left.data.iter().zip(&right.data) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_tensor(vec![5, 7])) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a in arb_tensor(vec![3, 4]),
+        b in arb_tensor(vec![4, 2]),
+    ) {
+        // (a·b)ᵀ == bᵀ·aᵀ
+        let left = a.matmul(&b).transposed();
+        let right = b.transposed().matmul(&a.transposed());
+        for (l, r) in left.data.iter().zip(&right.data) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(x in arb_tensor(vec![2, 16])) {
+        let mut relu = ReLU::new();
+        let once = relu.forward(&x, false);
+        prop_assert!(once.data.iter().all(|&v| v >= 0.0));
+        let twice = relu.forward(&once, false);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input_max(x in arb_tensor(vec![1, 2, 6, 6])) {
+        let mut pool = MaxPool2d::new(2);
+        let out = pool.forward(&x, false);
+        let in_max = x.data.iter().copied().fold(f32::MIN, f32::max);
+        let out_max = out.data.iter().copied().fold(f32::MIN, f32::max);
+        prop_assert!(out_max <= in_max + 1e-6);
+    }
+
+    #[test]
+    fn flatten_preserves_every_value(x in arb_tensor(vec![2, 3, 4, 4])) {
+        let mut flatten = Flatten::new();
+        let out = flatten.forward(&x, false);
+        prop_assert_eq!(out.shape, vec![2usize, 48]);
+        prop_assert_eq!(out.data, x.data);
+    }
+
+    #[test]
+    fn cross_entropy_is_positive_and_grad_rows_sum_to_zero(
+        logits in arb_tensor(vec![4, 5]),
+        labels in prop::collection::vec(0usize..5, 4),
+    ) {
+        let (loss, grad) = cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for i in 0..4 {
+            let s: f32 = grad.data[i * 5..(i + 1) * 5].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {i} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn accuracy_is_a_probability(
+        logits in arb_tensor(vec![6, 3]),
+        labels in prop::collection::vec(0usize..3, 6),
+    ) {
+        let acc = accuracy(&logits, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mse_zero_iff_equal(x in arb_tensor(vec![8])) {
+        let (loss, grad) = mse(&x, &x);
+        prop_assert_eq!(loss, 0.0);
+        prop_assert!(grad.data.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn ntxent_is_finite_and_grad_shaped(
+        z in arb_tensor(vec![8, 6]),
+        temp in 0.05f32..2.0,
+    ) {
+        let out = NtXent::new(temp).eval(&z);
+        prop_assert!(out.loss.is_finite());
+        prop_assert!((0.0..=1.0).contains(&out.top1_accuracy));
+        prop_assert!((0.0..=1.0).contains(&out.top5_accuracy));
+        prop_assert!(out.top1_accuracy <= out.top5_accuracy);
+        prop_assert_eq!(out.grad.shape, z.shape);
+        prop_assert!(out.grad.data.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn linear_layer_is_affine(
+        x in arb_tensor(vec![1, 4]),
+        y in arb_tensor(vec![1, 4]),
+        seed in any::<u64>(),
+    ) {
+        // f(x + y) - f(0) == (f(x) - f(0)) + (f(y) - f(0)).
+        let mut lin = Linear::new(4, 3, seed);
+        let zero = Tensor::zeros(&[1, 4]);
+        let f0 = lin.forward(&zero, false);
+        let mut xy = x.clone();
+        xy.add_scaled(&y, 1.0);
+        let fxy = lin.forward(&xy, false);
+        let fx = lin.forward(&x, false);
+        let fy = lin.forward(&y, false);
+        for j in 0..3 {
+            let left = fxy.data[j] - f0.data[j];
+            let right = (fx.data[j] - f0.data[j]) + (fy.data[j] - f0.data[j]);
+            prop_assert!((left - right).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_is_translation_equivariant_in_the_interior(
+        seed in any::<u64>(),
+        row in 1usize..4,
+        col in 1usize..4,
+    ) {
+        // A single bright pixel moved by (1,0) moves the conv response by
+        // (1,0) in the valid interior.
+        let mut conv = Conv2d::new(1, 1, 3, seed);
+        let mut a = Tensor::zeros(&[1, 1, 8, 8]);
+        a.data[row * 8 + col] = 1.0;
+        let mut b = Tensor::zeros(&[1, 1, 8, 8]);
+        b.data[(row + 1) * 8 + col] = 1.0;
+        let fa = conv.forward(&a, false);
+        let fb = conv.forward(&b, false);
+        // Compare overlapping interior rows: fb row r equals fa row r-1.
+        let (oh, ow) = (6usize, 6usize);
+        for r in 1..oh {
+            for c in 0..ow {
+                let va = fa.data[(r - 1) * ow + c];
+                let vb = fb.data[r * ow + c];
+                prop_assert!((va - vb).abs() < 1e-5);
+            }
+        }
+    }
+}

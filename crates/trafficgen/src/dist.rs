@@ -1,0 +1,201 @@
+//! Scalar probability distributions for the traffic models.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the generators need are implemented here:
+//! normal (Box–Muller), log-normal, exponential (inverse CDF), Pareto, and
+//! truncated/clamped variants. All samplers take `&mut impl Rng` so they
+//! compose with any seeded generator.
+
+use rand::{Rng, RngExt};
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0): draw u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples N(mean, sd).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// Samples N(mean, sd) truncated to `[lo, hi]` by rejection with a clamp
+/// fallback after 16 attempts (the fallback keeps the sampler total even
+/// for degenerate bounds).
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..16 {
+        let x = normal(rng, mean, sd);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+/// Samples a log-normal with the given parameters of the *underlying*
+/// normal (i.e. `exp(N(mu, sigma))`).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples Exp(rate) via inverse CDF. `rate` must be positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>(); // u in (0, 1]
+    -u.ln() / rate
+}
+
+/// Samples a Pareto with scale `xm > 0` and shape `alpha > 0` — the
+/// canonical heavy-tailed model for flow sizes.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    debug_assert!(xm > 0.0 && alpha > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Samples uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// A discrete mixture over packet-size modes.
+///
+/// Real traffic packet-size distributions are strongly multi-modal (full
+/// MTU data packets, small control packets, mid-size application messages),
+/// so the class profiles describe sizes as a weighted mixture of truncated
+/// normal modes.
+#[derive(Debug, Clone)]
+pub struct SizeMixture {
+    /// `(weight, mean, sd)` per mode. Weights need not be normalized.
+    pub modes: Vec<(f64, f64, f64)>,
+}
+
+impl SizeMixture {
+    /// A single-mode mixture.
+    pub fn single(mean: f64, sd: f64) -> Self {
+        SizeMixture { modes: vec![(1.0, mean, sd)] }
+    }
+
+    /// Builds a mixture from `(weight, mean, sd)` triples.
+    pub fn of(modes: &[(f64, f64, f64)]) -> Self {
+        assert!(!modes.is_empty(), "mixture needs at least one mode");
+        SizeMixture { modes: modes.to_vec() }
+    }
+
+    /// Samples one packet size, clamped to `[1, 1500]` bytes.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        let total: f64 = self.modes.iter().map(|m| m.0).sum();
+        let mut pick = rng.random::<f64>() * total;
+        let mut chosen = &self.modes[self.modes.len() - 1];
+        for mode in &self.modes {
+            if pick < mode.0 {
+                chosen = mode;
+                break;
+            }
+            pick -= mode.0;
+        }
+        let (_, mean, sd) = *chosen;
+        truncated_normal(rng, mean, sd, 1.0, 1500.0).round() as u16
+    }
+
+    /// Returns a copy with every mode's mean scaled by `factor` — the
+    /// mechanism used to inject the `human`-partition size shift.
+    pub fn scaled(&self, factor: f64) -> Self {
+        SizeMixture {
+            modes: self.modes.iter().map(|&(w, m, s)| (w, m * factor, s)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+        assert!((0..1000).all(|_| exponential(&mut r, 4.0) >= 0.0));
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut r, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_degenerate_bounds() {
+        let mut r = rng();
+        // Bounds far outside the distribution mass: clamp fallback must fire.
+        let x = truncated_normal(&mut r, 0.0, 0.001, 100.0, 101.0);
+        assert!((100.0..=101.0).contains(&x));
+    }
+
+    #[test]
+    fn pareto_lower_bound() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            assert!(log_normal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut r = rng();
+        for _ in 0..5_000 {
+            let x = uniform(&mut r, -2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn size_mixture_clamps_and_picks_modes() {
+        let mut r = rng();
+        let mix = SizeMixture::of(&[(0.5, 1400.0, 50.0), (0.5, 100.0, 30.0)]);
+        let samples: Vec<u16> = (0..4_000).map(|_| mix.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&s| (1..=1500).contains(&s)));
+        // Both modes must be represented.
+        assert!(samples.iter().any(|&s| s > 1000));
+        assert!(samples.iter().any(|&s| s < 400));
+    }
+
+    #[test]
+    fn size_mixture_scaling() {
+        let mix = SizeMixture::single(1000.0, 10.0).scaled(0.5);
+        assert!((mix.modes[0].1 - 500.0).abs() < 1e-12);
+    }
+}

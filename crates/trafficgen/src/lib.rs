@@ -1,0 +1,58 @@
+//! # trafficgen — synthetic traffic models and dataset simulators
+//!
+//! The IMC'23 replication study this workspace reproduces runs its modeling
+//! campaigns on four public traffic datasets (UCDAVIS19, MIRAGE-19,
+//! MIRAGE-22, UTMOBILENET21). Those datasets are collections of *per-flow
+//! packet time series*: for every flow, the timestamp, size and direction of
+//! each packet. None of the original captures are available here, so this
+//! crate provides generative substitutes: class-conditional
+//! Markov-modulated packet processes whose parameters are tuned so that each
+//! simulated dataset matches the *structural* properties the paper reports
+//! (Table 2: class counts, class imbalance, mean flow length) and exhibits
+//! the *phenomena* the paper analyses (most importantly the distribution
+//! shift of the UCDAVIS19 `human` partition, paper Sec. 4.2.3 / Fig. 4 / 8).
+//!
+//! The crate is organized bottom-up:
+//!
+//! * [`types`] — packets, flows, datasets, partitions.
+//! * [`dist`] — the scalar samplers (normal, log-normal, exponential,
+//!   Pareto, truncated variants) every traffic model draws from.
+//! * [`process`] — the burst/idle Markov traffic process engine.
+//! * [`profile`] — declarative per-class traffic profiles.
+//! * [`ucdavis`], [`mirage19`], [`mirage22`], [`utmobilenet`] — the four
+//!   dataset simulators.
+//! * [`curation`] — the paper's curation pipeline (min-packet filter,
+//!   min-class-size filter, ACK removal, background-traffic removal,
+//!   partition collation).
+//! * [`splits`] — training/validation/test split construction (100-per-class
+//!   folds, stratified 80/10/10, random 80/20).
+//! * [`flowrec`] — a compact binary serialization of flow records.
+//!
+//! ## Example
+//!
+//! ```
+//! use trafficgen::ucdavis::{UcDavisSim, UcDavisConfig};
+//! use trafficgen::types::Partition;
+//!
+//! let dataset = UcDavisSim::new(UcDavisConfig::tiny()).generate(42);
+//! assert_eq!(dataset.class_names.len(), 5);
+//! assert!(dataset.flows.iter().any(|f| f.partition == Partition::Human));
+//! ```
+
+pub mod curation;
+pub mod dist;
+pub mod flowrec;
+pub mod iscx;
+pub mod mirage19;
+pub mod mirage22;
+pub mod netem;
+pub mod pcap;
+pub mod process;
+pub mod profile;
+pub mod splits;
+pub mod synth;
+pub mod types;
+pub mod ucdavis;
+pub mod utmobilenet;
+
+pub use types::{Dataset, Direction, Flow, Partition, Pkt};

@@ -1,0 +1,214 @@
+//! Network-path emulation: what a flow looks like after crossing a
+//! different path.
+//!
+//! The paper's best augmentations (Change RTT, Time shift) win because
+//! they imitate *path-induced* variation. This module provides the
+//! ground truth those augmentations approximate: a [`PathModel`] applies
+//! added latency, per-packet queueing jitter, random loss and
+//! token-bucket rate limiting to a packet series — the classic `netem` /
+//! `tbf` discipline pair. The `ablation_path_robustness` bench uses it to
+//! measure how models trained on clean flows survive degraded paths, and
+//! how much augmentation closes that gap.
+
+use crate::dist;
+use crate::types::Pkt;
+use rand::{Rng, RngExt};
+use serde::Serialize;
+
+/// A network path's impairments.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PathModel {
+    /// Added one-way latency, seconds. A constant shift: alone it is
+    /// exactly what the "Time shift" augmentation models (and it vanishes
+    /// under the flowpic's t=0 normalization).
+    pub latency_s: f64,
+    /// Standard deviation of per-packet queueing jitter, seconds.
+    /// Reordering is prevented (a packet never leaves before its
+    /// predecessor), matching netem's default behaviour with reorder off.
+    pub jitter_s: f64,
+    /// Independent per-packet loss probability.
+    pub loss: f64,
+    /// Bottleneck rate in bytes/second (`None` = unconstrained). Modeled
+    /// as a token bucket: packets wait until the bucket refills.
+    pub rate_bps: Option<f64>,
+    /// Token-bucket depth in bytes (burst allowance) when rate-limited.
+    pub bucket_bytes: f64,
+}
+
+impl PathModel {
+    /// An unimpaired path (identity).
+    pub fn clean() -> PathModel {
+        PathModel { latency_s: 0.0, jitter_s: 0.0, loss: 0.0, rate_bps: None, bucket_bytes: 0.0 }
+    }
+
+    /// A long-haul path: +80 ms latency, 5 ms jitter, 0.5 % loss.
+    pub fn long_haul() -> PathModel {
+        PathModel {
+            latency_s: 0.08,
+            jitter_s: 0.005,
+            loss: 0.005,
+            rate_bps: None,
+            bucket_bytes: 0.0,
+        }
+    }
+
+    /// A congested last mile: 20 ms jitter, 2 % loss, 2 Mbit/s bottleneck.
+    pub fn congested() -> PathModel {
+        PathModel {
+            latency_s: 0.03,
+            jitter_s: 0.02,
+            loss: 0.02,
+            rate_bps: Some(250_000.0),
+            bucket_bytes: 30_000.0,
+        }
+    }
+
+    /// Applies the path to a packet series, returning the egress series
+    /// (re-zeroed to its first packet, as a capture at the far end would
+    /// be). Empty results (everything lost) stay empty.
+    pub fn apply<R: Rng + ?Sized>(&self, pkts: &[Pkt], rng: &mut R) -> Vec<Pkt> {
+        assert!((0.0..=1.0).contains(&self.loss));
+        assert!(self.jitter_s >= 0.0 && self.latency_s >= 0.0);
+        let mut out: Vec<Pkt> = Vec::with_capacity(pkts.len());
+        let mut last_egress = f64::MIN;
+        // Token bucket state.
+        let mut tokens = self.bucket_bytes;
+        let mut bucket_t = 0.0f64;
+        for p in pkts {
+            if self.loss > 0.0 && rng.random::<f64>() < self.loss {
+                continue;
+            }
+            // Queueing delay: latency + non-negative jitter draw.
+            let jitter = if self.jitter_s > 0.0 {
+                dist::truncated_normal(rng, 0.0, self.jitter_s, 0.0, 6.0 * self.jitter_s)
+            } else {
+                0.0
+            };
+            let mut t = p.ts + self.latency_s + jitter;
+            // Rate limiting: the packet is serviced no earlier than when
+            // the bucket last freed up, then waits for enough tokens.
+            if let Some(rate) = self.rate_bps {
+                let cap = self.bucket_bytes.max(p.size as f64);
+                let service_start = t.max(bucket_t);
+                tokens = (tokens + (service_start - bucket_t) * rate).min(cap);
+                bucket_t = service_start;
+                if tokens < p.size as f64 {
+                    let wait = (p.size as f64 - tokens) / rate;
+                    bucket_t += wait;
+                    tokens = 0.0;
+                    t = bucket_t;
+                } else {
+                    tokens -= p.size as f64;
+                    t = service_start;
+                }
+            }
+            // No reordering: FIFO egress.
+            if t < last_egress {
+                t = last_egress;
+            }
+            last_egress = t;
+            out.push(Pkt { ts: t, ..*p });
+        }
+        // Re-zero.
+        if let Some(&first) = out.first() {
+            for p in &mut out {
+                p.ts -= first.ts;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Direction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn series(n: usize, gap: f64, size: u16) -> Vec<Pkt> {
+        (0..n).map(|i| Pkt::data(i as f64 * gap, size, Direction::Downstream)).collect()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn clean_path_is_identity() {
+        let s = series(50, 0.1, 500);
+        let out = PathModel::clean().apply(&s, &mut rng());
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn pure_latency_vanishes_after_rezeroing() {
+        let s = series(20, 0.1, 500);
+        let mut p = PathModel::clean();
+        p.latency_s = 0.5;
+        let out = p.apply(&s, &mut rng());
+        for (a, b) in s.iter().zip(&out) {
+            assert!((a.ts - b.ts).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jitter_never_reorders() {
+        let s = series(200, 0.001, 500);
+        let mut p = PathModel::clean();
+        p.jitter_s = 0.05; // jitter >> gap: reordering pressure
+        let out = p.apply(&s, &mut rng());
+        assert_eq!(out.len(), s.len());
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_right_fraction() {
+        let s = series(10_000, 0.001, 500);
+        let mut p = PathModel::clean();
+        p.loss = 0.1;
+        let out = p.apply(&s, &mut rng());
+        let kept = out.len() as f64 / s.len() as f64;
+        assert!((kept - 0.9).abs() < 0.02, "kept {kept}");
+    }
+
+    #[test]
+    fn rate_limit_stretches_bursts() {
+        // A 100-packet burst of 1000B packets in 10 ms through a
+        // 100 kB/s bottleneck needs ~1 s to drain.
+        let s = series(100, 0.0001, 1000);
+        let mut p = PathModel::clean();
+        p.rate_bps = Some(100_000.0);
+        p.bucket_bytes = 2_000.0;
+        let out = p.apply(&s, &mut rng());
+        let duration = out.last().unwrap().ts;
+        assert!(duration > 0.8, "drained in {duration}s — bottleneck not applied");
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn unconstrained_rate_keeps_timing() {
+        let s = series(50, 0.01, 1400);
+        let out = PathModel::clean().apply(&s, &mut rng());
+        assert_eq!(out.last().unwrap().ts, s.last().unwrap().ts);
+    }
+
+    #[test]
+    fn total_loss_yields_empty() {
+        let s = series(10, 0.1, 100);
+        let mut p = PathModel::clean();
+        p.loss = 1.0;
+        assert!(p.apply(&s, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        let s = series(300, 0.01, 1200);
+        for model in [PathModel::long_haul(), PathModel::congested()] {
+            let out = model.apply(&s, &mut rng());
+            assert!(!out.is_empty());
+            assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+            assert_eq!(out[0].ts, 0.0);
+        }
+    }
+}

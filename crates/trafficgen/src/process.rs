@@ -1,0 +1,271 @@
+//! The burst/idle traffic process engine.
+//!
+//! Turns a [`TrafficProfile`] into concrete packet time series. The model
+//! is a two-state (burst / idle) renewal process, the classic shape of
+//! application traffic: activity arrives in bursts whose spacing, length
+//! and packet sizes are class-specific. Per-flow variability enters through
+//! a sampled RTT that rescales all gaps (so flows of one class differ the
+//! way real flows behind different paths do) plus the stochastic draws of
+//! every gap, burst length and size.
+
+use crate::dist;
+use crate::profile::TrafficProfile;
+use crate::types::{Direction, Pkt};
+use rand::{Rng, RngExt};
+
+/// Hard cap applied when a caller passes `max_pkts = 0` by mistake; every
+/// flow carries at least one packet.
+const MIN_PKTS: usize = 1;
+
+/// Generates one flow's packet series from `profile`.
+///
+/// * `max_pkts` caps the series length (memory guard for the long-flow
+///   datasets; the flowpic only consumes the first 15 s anyway).
+/// * Timestamps are normalized so the first packet is at `ts == 0`, as in
+///   the curated datasets of the paper.
+pub fn generate_pkts<R: Rng + ?Sized>(
+    profile: &TrafficProfile,
+    rng: &mut R,
+    max_pkts: usize,
+) -> Vec<Pkt> {
+    let max_pkts = max_pkts.max(MIN_PKTS);
+
+    // Per-flow realized RTT rescales every temporal parameter.
+    let rtt = dist::truncated_normal(
+        rng,
+        profile.rtt_mean,
+        profile.rtt_jitter,
+        profile.rtt_mean * 0.25,
+        profile.rtt_mean * 4.0,
+    );
+    let time_scale = rtt / profile.rtt_mean;
+
+    // Flow duration: log-normal with the requested mean.
+    let mu = profile.duration_mean.ln() - profile.duration_sigma.powi(2) / 2.0;
+    let duration = dist::log_normal(rng, mu, profile.duration_sigma).clamp(
+        profile.duration_mean * 0.05,
+        profile.duration_mean * 8.0,
+    );
+
+    // 1. Lay out burst start times.
+    let mut burst_starts: Vec<f64> = Vec::new();
+    for &a in &profile.anchors {
+        // Anchors get a small jitter so they show as pixel *groups*, not
+        // single columns, in the average flowpic.
+        let jitter = dist::normal(rng, 0.0, 0.15 * time_scale);
+        burst_starts.push((profile.start_delay + a + jitter).max(0.0));
+    }
+    match profile.periodic {
+        Some(period) => {
+            let mut t = profile.start_delay + dist::uniform(rng, 0.0, 0.1 * period);
+            while t < duration {
+                burst_starts.push(t + dist::normal(rng, 0.0, 0.02 * period));
+                t += period * time_scale;
+            }
+        }
+        None => {
+            let mut t = profile.start_delay;
+            while t < duration {
+                burst_starts.push(t);
+                t += dist::exponential(rng, 1.0 / (profile.burst_interval_mean * time_scale));
+            }
+        }
+    }
+    burst_starts.retain(|&t| t >= 0.0);
+    burst_starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // 2. Emit the application handshake: the class-characteristic first
+    // packets, spaced roughly half an RTT apart.
+    let mut pkts: Vec<Pkt> = Vec::new();
+    let mut hs_t = 0.0f64;
+    for &(mean_size, dir) in &profile.handshake {
+        let size = dist::truncated_normal(rng, mean_size, profile.handshake_jitter, 1.0, 1500.0)
+            .round() as u16;
+        pkts.push(Pkt::data(hs_t, size, dir));
+        hs_t += rtt * dist::uniform(rng, 0.4, 0.6);
+    }
+
+    // 3. Fill each burst with packets.
+    'bursts: for &start in &burst_starts {
+        let n = dist::normal(rng, profile.burst_len_mean, profile.burst_len_sd)
+            .round()
+            .max(1.0) as usize;
+        let mut t = start;
+        for _ in 0..n {
+            if pkts.len() >= max_pkts {
+                break 'bursts;
+            }
+            let dir = if rng.random::<f64>() < profile.up_fraction {
+                Direction::Upstream
+            } else {
+                Direction::Downstream
+            };
+            let size = match dir {
+                Direction::Upstream => profile.up_sizes.sample(rng),
+                Direction::Downstream => profile.down_sizes.sample(rng),
+            };
+            pkts.push(Pkt::data(t, size, dir));
+            // ACKs flow opposite to the data packet, roughly half an RTT
+            // later — the MIRAGE curation step strips them.
+            if profile.ack_ratio > 0.0 && rng.random::<f64>() < profile.ack_ratio {
+                let ack_dir = match dir {
+                    Direction::Upstream => Direction::Downstream,
+                    Direction::Downstream => Direction::Upstream,
+                };
+                pkts.push(Pkt::ack(t + 0.5 * rtt, ack_dir));
+            }
+            t += dist::exponential(rng, 1.0 / (profile.intra_burst_gap * time_scale));
+        }
+    }
+
+    // Degenerate profiles (duration shorter than the first anchor) can
+    // produce zero packets; emit a single handshake-sized packet so every
+    // flow is non-empty, as in the curated datasets.
+    if pkts.is_empty() {
+        pkts.push(Pkt::data(0.0, profile.up_sizes.sample(rng), Direction::Upstream));
+    }
+
+    // 4. Normalize: sort by time, shift so the first packet is at t=0.
+    pkts.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    let t0 = pkts[0].ts;
+    for p in &mut pkts {
+        p.ts -= t0;
+    }
+    pkts.truncate(max_pkts);
+    pkts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Flow;
+    use crate::types::Partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gen(profile: &TrafficProfile, seed: u64, max: usize) -> Vec<Pkt> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_pkts(profile, &mut rng, max)
+    }
+
+    #[test]
+    fn flows_are_well_formed() {
+        let p = TrafficProfile::base("t");
+        for seed in 0..50 {
+            let pkts = gen(&p, seed, 500);
+            let f = Flow {
+                id: 0,
+                class: 0,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts,
+            };
+            assert!(f.is_well_formed(), "seed {seed}");
+            assert!(!f.is_empty());
+        }
+    }
+
+    #[test]
+    fn max_pkts_is_respected() {
+        let p = TrafficProfile::base("t");
+        for seed in 0..10 {
+            assert!(gen(&p, seed, 37).len() <= 37);
+        }
+        // Zero is promoted to one.
+        assert_eq!(gen(&p, 0, 0).len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = TrafficProfile::base("t");
+        assert_eq!(gen(&p, 9, 300), gen(&p, 9, 300));
+    }
+
+    #[test]
+    fn periodic_profile_produces_stripes() {
+        let mut p = TrafficProfile::base("music");
+        p.periodic = Some(2.0);
+        p.duration_mean = 14.0;
+        p.duration_sigma = 0.05;
+        p.burst_interval_mean = 1.0;
+        let pkts = gen(&p, 3, 100_000);
+        // Bursts must appear across the whole duration, spaced ~2 s: check
+        // activity exists both early and late.
+        assert!(pkts.iter().any(|pk| pk.ts < 1.0));
+        assert!(pkts.iter().any(|pk| pk.ts > 6.0));
+    }
+
+    #[test]
+    fn anchors_place_bursts() {
+        let mut p = TrafficProfile::base("search");
+        p.anchors = vec![0.0, 7.0];
+        p.burst_interval_mean = 1e6; // suppress renewal bursts
+        p.duration_mean = 14.0;
+        p.duration_sigma = 0.05;
+        let pkts = gen(&p, 5, 100_000);
+        // Activity clusters near the anchors.
+        assert!(pkts.iter().any(|pk| pk.ts < 1.5));
+        assert!(
+            pkts.iter().any(|pk| (5.5..9.5).contains(&pk.ts)),
+            "no burst near the 7 s anchor"
+        );
+    }
+
+    #[test]
+    fn start_delay_shifts_activity() {
+        let mut base = TrafficProfile::base("t");
+        base.duration_mean = 10.0;
+        base.duration_sigma = 0.05;
+        let shifted = base.clone().with_start_delay(4.0);
+        // With a start delay the earliest *absolute* burst is late, but
+        // normalization re-zeroes timestamps; what shifts is the relative
+        // structure for anchored/periodic profiles. For renewal profiles the
+        // delay shortens the active window, so fewer packets are generated.
+        let n_base: usize = (0..20).map(|s| gen(&base, s, 10_000).len()).sum();
+        let n_shift: usize = (0..20).map(|s| gen(&shifted, s, 10_000).len()).sum();
+        assert!(n_shift < n_base);
+    }
+
+    #[test]
+    fn ack_generation_and_direction() {
+        let mut p = TrafficProfile::base("t");
+        p.ack_ratio = 1.0;
+        p.up_fraction = 0.0; // all data downstream => all ACKs upstream
+        let pkts = gen(&p, 11, 4_000);
+        let acks: Vec<&Pkt> = pkts.iter().filter(|p| p.is_ack).collect();
+        assert!(!acks.is_empty());
+        assert!(acks.iter().all(|a| a.dir == Direction::Upstream));
+    }
+
+    #[test]
+    fn rtt_scales_gaps() {
+        // Same profile, forced different RTT via rtt_mean: slower RTT
+        // stretches the flow in time for identical burst structure.
+        let mut fast = TrafficProfile::base("t");
+        fast.periodic = Some(1.0);
+        fast.duration_mean = 8.0;
+        fast.duration_sigma = 0.01;
+        fast.rtt_jitter = 0.0;
+        let mut slow = fast.clone();
+        slow.rtt_mean = 0.2; // 4x the default 0.05
+        // Periodic spacing scales with time_scale=1 in both cases (scale is
+        // rtt/rtt_mean), but intra-burst gaps use the realized rtt too via
+        // time_scale; with zero jitter both have scale 1. So instead check
+        // ACK latency, which uses the absolute realized RTT.
+        fast.ack_ratio = 1.0;
+        slow.ack_ratio = 1.0;
+        let lat = |p: &TrafficProfile, seed| {
+            let pkts = gen(p, seed, 2_000);
+            let mut gaps = Vec::new();
+            for w in pkts.windows(2) {
+                if w[1].is_ack && !w[0].is_ack {
+                    gaps.push(w[1].ts - w[0].ts);
+                }
+            }
+            gaps.iter().sum::<f64>() / gaps.len().max(1) as f64
+        };
+        let fast_lat: f64 = (0..5).map(|s| lat(&fast, s)).sum::<f64>() / 5.0;
+        let slow_lat: f64 = (0..5).map(|s| lat(&slow, s)).sum::<f64>() / 5.0;
+        assert!(slow_lat > fast_lat * 2.0, "fast {fast_lat} slow {slow_lat}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Train/validation/test split construction.
+//!
+//! The paper uses three split schemes:
+//!
+//! * **100-per-class folds** (Sec. 4.2.1): since UCDAVIS19's smallest
+//!   pretraining class has 592 flows, k-fold cross-validation is not
+//!   possible; instead k *splits* are built by sampling, without
+//!   replacement, 100 flows per class from the pretraining partition. The
+//!   samples *not* chosen form the paper's `leftover` test set.
+//! * **Random 80/20 train/validation** of a chosen training pool, repeated
+//!   s times per split (the paper uses k=5 splits × s=3 seeds).
+//! * **Stratified 80/10/10 train/validation/test** (Sec. 4.5.1) for the
+//!   replication datasets, preserving the class imbalance.
+//!
+//! All functions return *indices into `Dataset::flows`*, never copies, so
+//! splits are cheap and the underlying flows are shared.
+
+use crate::types::{Dataset, Partition};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test split of flow indices, with the train side further
+/// dividable into train/validation.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Flow indices selected for training (before train/val subdivision).
+    pub train: Vec<usize>,
+    /// Flow indices of the leftover/test side.
+    pub test: Vec<usize>,
+}
+
+/// A three-way stratified split.
+#[derive(Debug, Clone)]
+pub struct TriSplit {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub val: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Groups the indices of a partition's non-background flows by class.
+pub fn indices_by_class(dataset: &Dataset, partition: Partition) -> Vec<Vec<usize>> {
+    let mut by_class = vec![Vec::new(); dataset.num_classes()];
+    for (i, f) in dataset.flows.iter().enumerate() {
+        if f.partition == partition && !f.background {
+            by_class[f.class as usize].push(i);
+        }
+    }
+    by_class
+}
+
+/// Builds `k` splits of `per_class` samples per class from `partition`,
+/// sampled without replacement within each split; the complement forms the
+/// `leftover` test set of each split (paper Table 4, column "leftover").
+///
+/// Panics if some class has fewer than `per_class` flows.
+pub fn per_class_folds(
+    dataset: &Dataset,
+    partition: Partition,
+    per_class: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<Split> {
+    let by_class = indices_by_class(dataset, partition);
+    for (c, idxs) in by_class.iter().enumerate() {
+        assert!(
+            idxs.len() >= per_class,
+            "class {c} has {} flows, needs {per_class}",
+            idxs.len()
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let mut train = Vec::with_capacity(per_class * by_class.len());
+            let mut test = Vec::new();
+            for idxs in &by_class {
+                let mut shuffled = idxs.clone();
+                shuffled.shuffle(&mut rng);
+                train.extend_from_slice(&shuffled[..per_class]);
+                test.extend_from_slice(&shuffled[per_class..]);
+            }
+            Split { train, test }
+        })
+        .collect()
+}
+
+/// Randomly divides `indices` into a `frac`/`1-frac` pair — the paper's
+/// 80/20 train/validation subdivision when `frac = 0.8`.
+pub fn random_two_way(indices: &[usize], frac: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffled = indices.to_vec();
+    shuffled.shuffle(&mut rng);
+    let cut = ((shuffled.len() as f64) * frac).round() as usize;
+    let cut = cut.min(shuffled.len());
+    let val = shuffled.split_off(cut);
+    (shuffled, val)
+}
+
+/// Stratified `train_frac`/`val_frac`/rest split per class (paper
+/// Sec. 4.5.1 uses 80/10/10), preserving class imbalance. Every class
+/// contributes at least one flow to each side when it has ≥ 3 flows.
+pub fn stratified_three_way(
+    dataset: &Dataset,
+    partition: Partition,
+    train_frac: f64,
+    val_frac: f64,
+    seed: u64,
+) -> TriSplit {
+    assert!(train_frac > 0.0 && val_frac > 0.0 && train_frac + val_frac < 1.0);
+    let by_class = indices_by_class(dataset, partition);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = TriSplit { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    for idxs in &by_class {
+        if idxs.is_empty() {
+            continue;
+        }
+        let mut shuffled = idxs.clone();
+        shuffled.shuffle(&mut rng);
+        let n = shuffled.len();
+        let mut n_train = ((n as f64) * train_frac).round() as usize;
+        let mut n_val = ((n as f64) * val_frac).round() as usize;
+        // Guarantee non-empty sides for classes with at least 3 flows.
+        if n >= 3 {
+            n_train = n_train.clamp(1, n - 2);
+            n_val = n_val.clamp(1, n - n_train - 1);
+        } else {
+            n_train = n_train.min(n);
+            n_val = n_val.min(n - n_train);
+        }
+        out.train.extend_from_slice(&shuffled[..n_train]);
+        out.val.extend_from_slice(&shuffled[n_train..n_train + n_val]);
+        out.test.extend_from_slice(&shuffled[n_train + n_val..]);
+    }
+    out
+}
+
+/// Random (non-stratified) 80/20 split of a whole partition — the scheme of
+/// the paper's Table 7 "enlarged training set" campaign, which deliberately
+/// keeps the natural imbalance.
+pub fn partition_two_way(
+    dataset: &Dataset,
+    partition: Partition,
+    frac: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    let indices: Vec<usize> = dataset
+        .flows
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.partition == partition && !f.background)
+        .map(|(i, _)| i)
+        .collect();
+    random_two_way(&indices, frac, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Direction, Flow, Pkt};
+    use std::collections::HashSet;
+
+    fn mk_dataset(per_class: &[usize], partition: Partition) -> Dataset {
+        let mut flows = Vec::new();
+        let mut id = 0;
+        for (class, &n) in per_class.iter().enumerate() {
+            for _ in 0..n {
+                id += 1;
+                flows.push(Flow {
+                    id,
+                    class: class as u16,
+                    partition,
+                    background: false,
+                    pkts: vec![Pkt::data(0.0, 100, Direction::Upstream)],
+                });
+            }
+        }
+        Dataset {
+            name: "t".into(),
+            class_names: (0..per_class.len()).map(|i| format!("c{i}")).collect(),
+            flows,
+        }
+    }
+
+    #[test]
+    fn per_class_folds_shape() {
+        let ds = mk_dataset(&[50, 40, 30], Partition::Pretraining);
+        let folds = per_class_folds(&ds, Partition::Pretraining, 20, 3, 7);
+        assert_eq!(folds.len(), 3);
+        for fold in &folds {
+            assert_eq!(fold.train.len(), 60);
+            assert_eq!(fold.test.len(), 50 + 40 + 30 - 60);
+            // Train and leftover are disjoint and cover the partition.
+            let train: HashSet<_> = fold.train.iter().collect();
+            let test: HashSet<_> = fold.test.iter().collect();
+            assert!(train.is_disjoint(&test));
+            // Exactly 20 per class in train.
+            for class in 0..3u16 {
+                let n = fold.train.iter().filter(|&&i| ds.flows[i].class == class).count();
+                assert_eq!(n, 20);
+            }
+        }
+        // Folds differ from each other.
+        assert_ne!(folds[0].train, folds[1].train);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 100")]
+    fn per_class_folds_panics_when_class_too_small() {
+        let ds = mk_dataset(&[50], Partition::Pretraining);
+        per_class_folds(&ds, Partition::Pretraining, 100, 1, 0);
+    }
+
+    #[test]
+    fn random_two_way_is_a_partition() {
+        let indices: Vec<usize> = (0..100).collect();
+        let (a, b) = random_two_way(&indices, 0.8, 3);
+        assert_eq!(a.len(), 80);
+        assert_eq!(b.len(), 20);
+        let union: HashSet<_> = a.iter().chain(b.iter()).collect();
+        assert_eq!(union.len(), 100);
+    }
+
+    #[test]
+    fn random_two_way_deterministic_per_seed() {
+        let indices: Vec<usize> = (0..50).collect();
+        assert_eq!(random_two_way(&indices, 0.5, 9), random_two_way(&indices, 0.5, 9));
+        assert_ne!(random_two_way(&indices, 0.5, 9).0, random_two_way(&indices, 0.5, 10).0);
+    }
+
+    #[test]
+    fn stratified_three_way_preserves_imbalance() {
+        let ds = mk_dataset(&[100, 20], Partition::Unpartitioned);
+        let s = stratified_three_way(&ds, Partition::Unpartitioned, 0.8, 0.1, 5);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 120);
+        let train_c0 = s.train.iter().filter(|&&i| ds.flows[i].class == 0).count();
+        let train_c1 = s.train.iter().filter(|&&i| ds.flows[i].class == 1).count();
+        // Ratio roughly preserved (5:1).
+        assert!(train_c0 >= 4 * train_c1, "c0 {train_c0} c1 {train_c1}");
+        // Every class present in every side.
+        for side in [&s.train, &s.val, &s.test] {
+            for class in 0..2u16 {
+                assert!(side.iter().any(|&i| ds.flows[i].class == class));
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_handles_tiny_classes() {
+        let ds = mk_dataset(&[3], Partition::Unpartitioned);
+        let s = stratified_three_way(&ds, Partition::Unpartitioned, 0.8, 0.1, 5);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 3);
+        assert!(!s.train.is_empty());
+    }
+
+    #[test]
+    fn partition_two_way_filters_partition() {
+        let mut ds = mk_dataset(&[10], Partition::Pretraining);
+        let other = mk_dataset(&[10], Partition::Script);
+        ds.flows.extend(other.flows);
+        let (train, test) = partition_two_way(&ds, Partition::Pretraining, 0.8, 1);
+        assert_eq!(train.len() + test.len(), 10);
+        assert!(train
+            .iter()
+            .chain(test.iter())
+            .all(|&i| ds.flows[i].partition == Partition::Pretraining));
+    }
+}

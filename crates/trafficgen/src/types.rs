@@ -1,0 +1,310 @@
+//! Core traffic data types shared by the whole workspace.
+//!
+//! A [`Flow`] is the unit every downstream component consumes: the flowpic
+//! builder rasterizes a flow's packet series, the augmentations transform
+//! it, the dataset splits partition collections of flows.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum packet size considered by the study (Ethernet MTU); the flowpic
+/// y-axis spans `0..=MAX_PKT_SIZE`.
+pub const MAX_PKT_SIZE: u16 = 1500;
+
+/// Packet direction relative to the flow initiator.
+///
+/// The flowpic representation of the Ref-Paper deliberately ignores
+/// direction (its footnote 3), but the time-series baseline (Table 3) and
+/// the subflow sampling reproduction (Table 9) both use it, so flows carry
+/// it end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Initiator to responder (e.g. client request, upload payload).
+    Upstream,
+    /// Responder to initiator (e.g. server response, download payload).
+    Downstream,
+}
+
+impl Direction {
+    /// Signed representation used by time-series feature vectors: upstream
+    /// is `+1`, downstream is `-1`.
+    pub fn sign(self) -> f32 {
+        match self {
+            Direction::Upstream => 1.0,
+            Direction::Downstream => -1.0,
+        }
+    }
+}
+
+/// One observed packet inside a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pkt {
+    /// Seconds since the first packet of the flow.
+    pub ts: f64,
+    /// L3 packet size in bytes, `0..=1500`.
+    pub size: u16,
+    /// Direction relative to the flow initiator.
+    pub dir: Direction,
+    /// Whether this is a bare TCP ACK (no payload). The MIRAGE curation
+    /// step removes these before building flowpics, mirroring the paper's
+    /// "we first removed TCP ACK packets from time series".
+    pub is_ack: bool,
+}
+
+impl Pkt {
+    /// Convenience constructor for a data packet.
+    pub fn data(ts: f64, size: u16, dir: Direction) -> Self {
+        Pkt { ts, size, dir, is_ack: false }
+    }
+
+    /// Convenience constructor for a bare ACK.
+    pub fn ack(ts: f64, dir: Direction) -> Self {
+        Pkt { ts, size: 40, dir, is_ack: true }
+    }
+}
+
+/// Dataset partition tags.
+///
+/// UCDAVIS19 ships pre-partitioned (`pretraining` / `script` / `human`);
+/// UTMOBILENET21 ships in four capture campaigns that the paper collates
+/// into one. The remaining datasets are unpartitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Partition {
+    /// UCDAVIS19: large automated-collection partition used for
+    /// (pre)training.
+    Pretraining,
+    /// UCDAVIS19: automated-collection test partition (30 flows/class).
+    Script,
+    /// UCDAVIS19: human-interaction test partition (~15 flows/class) —
+    /// the partition affected by the data shift the paper uncovers.
+    Human,
+    /// UTMOBILENET21 capture campaigns (collated "4-into-1" by curation).
+    ActionSpecific,
+    DeterministicAutomated,
+    RandomizedAutomated,
+    WildTest,
+    /// Datasets that ship unpartitioned (MIRAGE-19, MIRAGE-22).
+    Unpartitioned,
+}
+
+impl Partition {
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partition::Pretraining => "pretraining",
+            Partition::Script => "script",
+            Partition::Human => "human",
+            Partition::ActionSpecific => "action-specific",
+            Partition::DeterministicAutomated => "deterministic-automated",
+            Partition::RandomizedAutomated => "randomized-automated",
+            Partition::WildTest => "wild-test",
+            Partition::Unpartitioned => "unpartitioned",
+        }
+    }
+}
+
+/// A single network flow: the packet series plus its labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Stable identifier, unique within a [`Dataset`].
+    pub id: u64,
+    /// Index into [`Dataset::class_names`].
+    pub class: u16,
+    /// Capture partition this flow belongs to.
+    pub partition: Partition,
+    /// Whether this flow is background traffic (netd, SSDP, Android gms…)
+    /// rather than traffic of the labeled target app. The MIRAGE curation
+    /// step discards these.
+    pub background: bool,
+    /// The packet time series, sorted by timestamp.
+    pub pkts: Vec<Pkt>,
+}
+
+impl Flow {
+    /// Number of packets in the flow.
+    pub fn len(&self) -> usize {
+        self.pkts.len()
+    }
+
+    /// Whether the flow contains no packets.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty()
+    }
+
+    /// Duration in seconds between first and last packet (0 for flows with
+    /// fewer than two packets).
+    pub fn duration(&self) -> f64 {
+        match (self.pkts.first(), self.pkts.last()) {
+            (Some(a), Some(b)) => b.ts - a.ts,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of non-ACK packets.
+    pub fn data_pkts(&self) -> usize {
+        self.pkts.iter().filter(|p| !p.is_ack).count()
+    }
+
+    /// Returns the flow with all bare-ACK packets removed.
+    pub fn without_acks(&self) -> Flow {
+        Flow {
+            pkts: self.pkts.iter().copied().filter(|p| !p.is_ack).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Asserts the internal ordering invariant (timestamps non-decreasing,
+    /// first timestamp zero). Used by tests and debug assertions.
+    pub fn is_well_formed(&self) -> bool {
+        if self.pkts.is_empty() {
+            return true;
+        }
+        if self.pkts[0].ts != 0.0 {
+            return false;
+        }
+        self.pkts.windows(2).all(|w| w[0].ts <= w[1].ts)
+            && self.pkts.iter().all(|p| p.size <= MAX_PKT_SIZE)
+    }
+}
+
+/// A labeled collection of flows, the unit datasets and splits operate on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Dataset name, e.g. `"ucdavis19"`.
+    pub name: String,
+    /// Class label names; `Flow::class` indexes into this.
+    pub class_names: Vec<String>,
+    /// All flows.
+    pub flows: Vec<Flow>,
+}
+
+impl Dataset {
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Per-class flow counts (ignoring background flows).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.class_names.len()];
+        for f in self.flows.iter().filter(|f| !f.background) {
+            counts[f.class as usize] += 1;
+        }
+        counts
+    }
+
+    /// Class-imbalance ratio ρ = max class size / min class size, as
+    /// reported in the paper's Table 2. Returns `None` when some class is
+    /// empty.
+    pub fn imbalance_rho(&self) -> Option<f64> {
+        let counts = self.class_counts();
+        let max = *counts.iter().max()?;
+        let min = *counts.iter().min()?;
+        if min == 0 {
+            None
+        } else {
+            Some(max as f64 / min as f64)
+        }
+    }
+
+    /// Mean number of packets per flow.
+    pub fn mean_pkts(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.flows.iter().map(Flow::len).sum();
+        total as f64 / self.flows.len() as f64
+    }
+
+    /// Flows of a given partition.
+    pub fn partition(&self, p: Partition) -> impl Iterator<Item = &Flow> {
+        self.flows.iter().filter(move |f| f.partition == p)
+    }
+
+    /// Indices of the flows of a given partition.
+    pub fn partition_indices(&self, p: Partition) -> Vec<usize> {
+        self.flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.partition == p)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(pkts: Vec<Pkt>) -> Flow {
+        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+    }
+
+    #[test]
+    fn direction_sign() {
+        assert_eq!(Direction::Upstream.sign(), 1.0);
+        assert_eq!(Direction::Downstream.sign(), -1.0);
+    }
+
+    #[test]
+    fn flow_duration_and_counts() {
+        let f = flow(vec![
+            Pkt::data(0.0, 100, Direction::Upstream),
+            Pkt::ack(0.5, Direction::Downstream),
+            Pkt::data(2.0, 1500, Direction::Downstream),
+        ]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.data_pkts(), 2);
+        assert!((f.duration() - 2.0).abs() < 1e-12);
+        assert!(f.is_well_formed());
+        let noack = f.without_acks();
+        assert_eq!(noack.len(), 2);
+        assert!(noack.pkts.iter().all(|p| !p.is_ack));
+    }
+
+    #[test]
+    fn empty_flow_is_well_formed() {
+        let f = flow(vec![]);
+        assert!(f.is_empty());
+        assert!(f.is_well_formed());
+        assert_eq!(f.duration(), 0.0);
+    }
+
+    #[test]
+    fn ill_formed_flows_detected() {
+        // First timestamp not zero.
+        let f = flow(vec![Pkt::data(1.0, 10, Direction::Upstream)]);
+        assert!(!f.is_well_formed());
+        // Out-of-order timestamps.
+        let f = flow(vec![
+            Pkt::data(0.0, 10, Direction::Upstream),
+            Pkt::data(2.0, 10, Direction::Upstream),
+            Pkt::data(1.0, 10, Direction::Upstream),
+        ]);
+        assert!(!f.is_well_formed());
+    }
+
+    #[test]
+    fn dataset_stats() {
+        let mut flows = Vec::new();
+        for i in 0..6 {
+            let mut f = flow(vec![Pkt::data(0.0, 10, Direction::Upstream)]);
+            f.id = i;
+            f.class = if i < 4 { 0 } else { 1 };
+            flows.push(f);
+        }
+        let ds = Dataset { name: "t".into(), class_names: vec!["a".into(), "b".into()], flows };
+        assert_eq!(ds.class_counts(), vec![4, 2]);
+        assert!((ds.imbalance_rho().unwrap() - 2.0).abs() < 1e-12);
+        assert!((ds.mean_pkts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_none_for_empty_class() {
+        let ds = Dataset {
+            name: "t".into(),
+            class_names: vec!["a".into(), "b".into()],
+            flows: vec![flow(vec![])],
+        };
+        assert_eq!(ds.imbalance_rho(), None);
+    }
+}

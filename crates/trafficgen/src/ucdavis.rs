@@ -1,0 +1,451 @@
+//! UCDAVIS19 dataset simulator.
+//!
+//! UCDAVIS19 (Rezaei & Liu, 2019) captures 5 Google services — Google Doc,
+//! Google Drive, Google Music, Google Search and YouTube — in three
+//! partitions: a large automated-collection `pretraining` partition
+//! (592–1 915 flows/class, 6 439 total), an automated `script` test
+//! partition (30 flows/class) and a `human` test partition (~15–20
+//! flows/class captured from real users).
+//!
+//! The replication paper's central quantitative finding is that the `human`
+//! partition suffers a *data shift* (its Sec. 4.2.3, Fig. 4, Fig. 8):
+//!
+//! * **Google search** activity groups are shifted to the right in time
+//!   (Fig. 4 rectangle A) and the packet-size distribution no longer
+//!   saturates the maximum size (rectangle B; KDE shift in Fig. 8).
+//! * **Google music** loses its periodic vertical stripes (rectangle C).
+//! * Per Rezaei & Liu's own report, Drive/YouTube/Music accuracy drops up
+//!   to 7 % under human interaction.
+//!
+//! This simulator reproduces all of that: `script` and `pretraining` draw
+//! from identical per-class profiles, while `human` draws from explicitly
+//! perturbed profiles. Downstream, this makes supervised models trained on
+//! `pretraining` score high on `script`/`leftover` and markedly lower on
+//! `human`, with the Doc/Search confusion the paper observes in its Fig. 3.
+
+use crate::process::generate_pkts;
+use crate::profile::TrafficProfile;
+use crate::types::{Dataset, Direction, Flow, Partition};
+use crate::dist::SizeMixture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Class indices, fixed in the order the paper's figures use.
+pub const CLASSES: [&str; 5] =
+    ["google-doc", "google-drive", "google-music", "google-search", "youtube"];
+
+/// Configuration of the simulator.
+#[derive(Debug, Clone, Serialize)]
+pub struct UcDavisConfig {
+    /// Flows per class in the `pretraining` partition.
+    pub pretraining_per_class: [usize; 5],
+    /// Flows per class in the `script` partition.
+    pub script_per_class: [usize; 5],
+    /// Flows per class in the `human` partition.
+    pub human_per_class: [usize; 5],
+    /// Per-flow packet cap (memory guard; UCDAVIS19 flows average ~7 000
+    /// packets, far more than the 15 s flowpic window consumes).
+    pub max_pkts: usize,
+    /// Strength of the injected `human` data shift in `[0, 1]`;
+    /// `1.0` reproduces the paper's observed ≈20 % accuracy drop, `0.0`
+    /// disables the shift entirely (useful for ablations).
+    pub shift_strength: f64,
+}
+
+impl UcDavisConfig {
+    /// Paper-scale partition sizes (Table 2: 6 439 / 150 / 83 flows).
+    pub fn paper() -> Self {
+        UcDavisConfig {
+            pretraining_per_class: [1915, 1540, 1200, 1192, 592],
+            script_per_class: [30; 5],
+            human_per_class: [15, 15, 15, 18, 20],
+            max_pkts: 1500,
+            shift_strength: 1.0,
+        }
+    }
+
+    /// Reduced-scale configuration for quick benches: enough flows per
+    /// class for the paper's 100-per-class splits plus a leftover test set.
+    pub fn quick() -> Self {
+        UcDavisConfig {
+            pretraining_per_class: [260, 240, 220, 210, 200],
+            script_per_class: [30; 5],
+            human_per_class: [15, 15, 15, 18, 20],
+            max_pkts: 900,
+            shift_strength: 1.0,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        UcDavisConfig {
+            pretraining_per_class: [12; 5],
+            script_per_class: [4; 5],
+            human_per_class: [4; 5],
+            max_pkts: 250,
+            shift_strength: 1.0,
+        }
+    }
+
+    /// Returns a copy with the shift disabled.
+    pub fn without_shift(mut self) -> Self {
+        self.shift_strength = 0.0;
+        self
+    }
+}
+
+/// The UCDAVIS19 simulator.
+#[derive(Debug, Clone)]
+pub struct UcDavisSim {
+    config: UcDavisConfig,
+}
+
+impl UcDavisSim {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: UcDavisConfig) -> Self {
+        UcDavisSim { config }
+    }
+
+    /// Base (automated-collection) profile for a class.
+    pub fn base_profile(class: usize) -> TrafficProfile {
+        match class {
+            // Google Doc: low-rate document sync — frequent tiny bursts of
+            // small messages in both directions.
+            0 => {
+                let mut p = TrafficProfile::base(CLASSES[0]);
+                p.burst_interval_mean = 0.65;
+                p.burst_len_mean = 4.0;
+                p.burst_len_sd = 1.5;
+                p.intra_burst_gap = 0.02;
+                p.down_sizes = SizeMixture::of(&[(0.75, 340.0, 110.0), (0.25, 820.0, 150.0)]);
+                p.up_sizes = SizeMixture::of(&[(1.0, 180.0, 70.0)]);
+                p.up_fraction = 0.45;
+                p.duration_mean = 45.0;
+                p.rtt_mean = 0.04;
+                p.handshake = vec![
+                    (517.0, Direction::Upstream),
+                    (1392.0, Direction::Downstream),
+                    (231.0, Direction::Upstream),
+                ];
+                p
+            }
+            // Google Drive: bulk upload — near-continuous trains of
+            // MTU-sized packets.
+            1 => {
+                let mut p = TrafficProfile::base(CLASSES[1]);
+                p.burst_interval_mean = 0.5;
+                p.burst_len_mean = 180.0;
+                p.burst_len_sd = 50.0;
+                p.intra_burst_gap = 0.0015;
+                p.up_sizes = SizeMixture::of(&[(0.9, 1448.0, 40.0), (0.1, 220.0, 80.0)]);
+                p.down_sizes = SizeMixture::of(&[(1.0, 120.0, 50.0)]);
+                p.up_fraction = 0.85;
+                p.duration_mean = 40.0;
+                p.rtt_mean = 0.045;
+                p.handshake = vec![
+                    (583.0, Direction::Upstream),
+                    (1310.0, Direction::Downstream),
+                    (356.0, Direction::Upstream),
+                ];
+                p
+            }
+            // Google Music: audio streaming — strictly periodic chunk
+            // fetches every ~2.2 s produce the vertical stripes of Fig. 4.
+            2 => {
+                let mut p = TrafficProfile::base(CLASSES[2]);
+                p.periodic = Some(2.2);
+                p.burst_len_mean = 55.0;
+                p.burst_len_sd = 10.0;
+                p.intra_burst_gap = 0.003;
+                p.down_sizes = SizeMixture::of(&[(0.85, 1430.0, 70.0), (0.15, 320.0, 110.0)]);
+                p.up_sizes = SizeMixture::of(&[(1.0, 110.0, 40.0)]);
+                p.up_fraction = 0.12;
+                p.duration_mean = 80.0;
+                p.rtt_mean = 0.05;
+                p.handshake = vec![
+                    (495.0, Direction::Upstream),
+                    (1438.0, Direction::Downstream),
+                    (180.0, Direction::Upstream),
+                ];
+                p
+            }
+            // Google Search: two activity groups — the query near t=0 and a
+            // results/prefetch group mid-window — with a packet-size mode
+            // saturating the maximum size (Fig. 4 rectangles A/B).
+            3 => {
+                let mut p = TrafficProfile::base(CLASSES[3]);
+                p.anchors = vec![0.0, 7.0];
+                p.burst_interval_mean = 30.0; // sparse background activity
+                p.burst_len_mean = 45.0;
+                p.burst_len_sd = 12.0;
+                p.intra_burst_gap = 0.006;
+                p.down_sizes =
+                    SizeMixture::of(&[(0.45, 1495.0, 12.0), (0.4, 700.0, 240.0), (0.15, 250.0, 90.0)]);
+                p.up_sizes = SizeMixture::of(&[(1.0, 300.0, 120.0)]);
+                p.up_fraction = 0.3;
+                p.duration_mean = 14.0;
+                p.duration_sigma = 0.25;
+                p.rtt_mean = 0.04;
+                p.handshake = vec![
+                    (612.0, Direction::Upstream),
+                    (1455.0, Direction::Downstream),
+                    (262.0, Direction::Upstream),
+                ];
+                p
+            }
+            // YouTube: adaptive video streaming — large irregular bursts of
+            // MTU packets separated by variable think gaps.
+            4 => {
+                let mut p = TrafficProfile::base(CLASSES[4]);
+                p.burst_interval_mean = 1.8;
+                p.burst_len_mean = 130.0;
+                p.burst_len_sd = 45.0;
+                p.intra_burst_gap = 0.002;
+                p.down_sizes = SizeMixture::of(&[(0.88, 1442.0, 55.0), (0.12, 620.0, 180.0)]);
+                p.up_sizes = SizeMixture::of(&[(1.0, 130.0, 60.0)]);
+                p.up_fraction = 0.15;
+                p.duration_mean = 70.0;
+                p.rtt_mean = 0.055;
+                p.handshake = vec![
+                    (545.0, Direction::Upstream),
+                    (1365.0, Direction::Downstream),
+                    (412.0, Direction::Upstream),
+                ];
+                p
+            }
+            _ => panic!("UCDAVIS19 has 5 classes, got index {class}"),
+        }
+    }
+
+    /// Profile for a class under *human* interaction, i.e. with the data
+    /// shift applied proportionally to `strength`.
+    pub fn human_profile(class: usize, strength: f64) -> TrafficProfile {
+        let base = Self::base_profile(class);
+        if strength <= 0.0 {
+            return base;
+        }
+        match class {
+            // Google Search: activity groups shifted right, packet sizes
+            // shifted down and the max-size saturation mode suppressed —
+            // the class the paper's Fig. 4/8 single out. This is the only
+            // class whose *size* distribution shifts; the others degrade
+            // in timing only (Rezaei & Liu report only small per-class
+            // drops elsewhere).
+            3 => {
+                let mut p = base.with_anchors(&[3.5 * strength, 7.0 + 3.5 * strength]);
+                // Replace the saturation mode with mid-size modes.
+                p.down_sizes = SizeMixture::of(&[
+                    (0.45 * (1.0 - strength).max(0.02), 1495.0, 12.0),
+                    (0.45, 620.0, 200.0),
+                    (0.40, 450.0, 170.0),
+                    (0.15, 200.0, 80.0),
+                ]);
+                // Human-typed queries differ from scripted ones: the
+                // handshake sizes shrink and vary more.
+                for hs in &mut p.handshake {
+                    hs.0 *= 1.0 - 0.12 * strength;
+                }
+                p.handshake_jitter *= 1.0 + 1.2 * strength;
+                p
+            }
+            // Google Music: user-driven skipping breaks the periodic
+            // prefetch; playback degenerates into an irregular trickle of
+            // the same-sized packets.
+            2 => {
+                let mut p = base;
+                if strength > 0.5 {
+                    p = p.without_periodicity();
+                    p.burst_interval_mean = 1.1;
+                    p.burst_len_mean = 22.0;
+                }
+                p.handshake_jitter *= 1.0 + 1.2 * strength;
+                p
+            }
+            // Drive / YouTube: mild timing degradation (pauses, slower
+            // paths) — matches the "up to 7 %" drops reported by
+            // Rezaei & Liu. Packet sizes are untouched: bulk transfers
+            // saturate the MTU no matter who drives them.
+            1 | 4 => {
+                let mut p = base;
+                p.rtt_mean *= 1.0 + 0.5 * strength;
+                p.burst_interval_mean *= 1.0 + 0.4 * strength;
+                p.handshake_jitter *= 1.0 + 1.2 * strength;
+                p
+            }
+            // Google Doc: essentially unchanged (its traffic is already
+            // human-typing-driven in the automated capture), beyond the
+            // larger handshake variability of real sessions.
+            _ => {
+                let mut p = base;
+                p.handshake_jitter *= 1.0 + 1.2 * strength;
+                p
+            }
+        }
+    }
+
+    /// Generates the full three-partition dataset, deterministically from
+    /// `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flows = Vec::new();
+        let mut next_id = 0u64;
+        let mut push = |flows: &mut Vec<Flow>,
+                        rng: &mut StdRng,
+                        profile: &TrafficProfile,
+                        class: usize,
+                        partition: Partition,
+                        count: usize,
+                        max_pkts: usize| {
+            for _ in 0..count {
+                let pkts = generate_pkts(profile, rng, max_pkts);
+                flows.push(Flow {
+                    id: {
+                        next_id += 1;
+                        next_id
+                    },
+                    class: class as u16,
+                    partition,
+                    background: false,
+                    pkts,
+                });
+            }
+        };
+
+        for class in 0..5 {
+            let base = Self::base_profile(class);
+            let human = Self::human_profile(class, self.config.shift_strength);
+            push(
+                &mut flows,
+                &mut rng,
+                &base,
+                class,
+                Partition::Pretraining,
+                self.config.pretraining_per_class[class],
+                self.config.max_pkts,
+            );
+            push(
+                &mut flows,
+                &mut rng,
+                &base,
+                class,
+                Partition::Script,
+                self.config.script_per_class[class],
+                self.config.max_pkts,
+            );
+            push(
+                &mut flows,
+                &mut rng,
+                &human,
+                class,
+                Partition::Human,
+                self.config.human_per_class[class],
+                self.config.max_pkts,
+            );
+        }
+
+        Dataset {
+            name: "ucdavis19".into(),
+            class_names: CLASSES.iter().map(|s| s.to_string()).collect(),
+            flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_have_requested_sizes() {
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(1);
+        assert_eq!(ds.partition(Partition::Pretraining).count(), 60);
+        assert_eq!(ds.partition(Partition::Script).count(), 20);
+        assert_eq!(ds.partition(Partition::Human).count(), 20);
+        assert_eq!(ds.num_classes(), 5);
+        assert!(ds.flows.iter().all(|f| f.is_well_formed()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = UcDavisSim::new(UcDavisConfig::tiny()).generate(7);
+        let b = UcDavisSim::new(UcDavisConfig::tiny()).generate(7);
+        assert_eq!(a.flows.len(), b.flows.len());
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = UcDavisSim::new(UcDavisConfig::tiny()).generate(1);
+        let b = UcDavisSim::new(UcDavisConfig::tiny()).generate(2);
+        assert!(a.flows.iter().zip(&b.flows).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn human_search_loses_max_size_saturation() {
+        // The injected shift must materially reduce the share of
+        // near-maximum-size packets for Google search in `human` —
+        // the paper's Fig. 4 rectangle B / Fig. 8 KDE shift.
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [40; 5];
+        cfg.human_per_class = [40; 5];
+        let ds = UcDavisSim::new(cfg).generate(3);
+        let frac_big = |p: Partition| {
+            let (mut big, mut all) = (0usize, 0usize);
+            for f in ds.partition(p).filter(|f| f.class == 3) {
+                for pk in &f.pkts {
+                    all += 1;
+                    if pk.size > 1450 {
+                        big += 1;
+                    }
+                }
+            }
+            big as f64 / all.max(1) as f64
+        };
+        let pre = frac_big(Partition::Pretraining);
+        let hum = frac_big(Partition::Human);
+        assert!(pre > 0.2, "pretraining saturation fraction {pre}");
+        assert!(hum < pre / 3.0, "human {hum} vs pretraining {pre}");
+    }
+
+    #[test]
+    fn shift_strength_zero_matches_base_distribution() {
+        let cfg = UcDavisConfig::tiny().without_shift();
+        let sim = UcDavisSim::new(cfg);
+        // With the shift disabled, the human profile IS the base profile.
+        for class in 0..5 {
+            let h = UcDavisSim::human_profile(class, 0.0);
+            let b = UcDavisSim::base_profile(class);
+            assert_eq!(h.anchors, b.anchors);
+            assert_eq!(h.periodic, b.periodic);
+        }
+        let ds = sim.generate(5);
+        assert!(ds.flows.iter().all(|f| f.is_well_formed()));
+    }
+
+    #[test]
+    fn script_and_pretraining_share_distribution() {
+        // Same profile object drives both partitions: spot-check that the
+        // mean packet size of class 4 (YouTube) agrees within tolerance.
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [60; 5];
+        cfg.script_per_class = [60; 5];
+        let ds = UcDavisSim::new(cfg).generate(11);
+        let mean_size = |p: Partition| {
+            let mut sum = 0f64;
+            let mut n = 0usize;
+            for f in ds.partition(p).filter(|f| f.class == 4) {
+                for pk in &f.pkts {
+                    sum += pk.size as f64;
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let a = mean_size(Partition::Pretraining);
+        let b = mean_size(Partition::Script);
+        assert!((a - b).abs() / a < 0.05, "pretraining {a} vs script {b}");
+    }
+}

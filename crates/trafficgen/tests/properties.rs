@@ -1,0 +1,225 @@
+//! Property-based tests of the traffic substrate's invariants.
+
+use proptest::prelude::*;
+use trafficgen::curation::CurationPipeline;
+use trafficgen::flowrec;
+use trafficgen::process::generate_pkts;
+use trafficgen::profile::TrafficProfile;
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Upstream), Just(Direction::Downstream)]
+}
+
+fn arb_partition() -> impl Strategy<Value = Partition> {
+    prop_oneof![
+        Just(Partition::Pretraining),
+        Just(Partition::Script),
+        Just(Partition::Human),
+        Just(Partition::ActionSpecific),
+        Just(Partition::DeterministicAutomated),
+        Just(Partition::RandomizedAutomated),
+        Just(Partition::WildTest),
+        Just(Partition::Unpartitioned),
+    ]
+}
+
+prop_compose! {
+    fn arb_flow(n_classes: u16)(
+        id in any::<u64>(),
+        class in 0..n_classes,
+        partition in arb_partition(),
+        background in any::<bool>(),
+        // Gaps + sizes: timestamps built as cumulative sums so the
+        // sortedness invariant holds by construction.
+        gaps in prop::collection::vec(0.0f64..0.5, 0..40),
+        sizes in prop::collection::vec(1u16..=1500, 40),
+        dirs in prop::collection::vec(arb_direction(), 40),
+        acks in prop::collection::vec(any::<bool>(), 40),
+    ) -> Flow {
+        let mut ts = 0.0;
+        let pkts = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &gap)| {
+                let t = ts;
+                ts += gap;
+                Pkt { ts: t, size: sizes[i], dir: dirs[i], is_ack: acks[i] }
+            })
+            .collect();
+        Flow { id, class, partition, background, pkts }
+    }
+}
+
+prop_compose! {
+    fn arb_dataset()(
+        n_classes in 1u16..6,
+    )(
+        flows in prop::collection::vec(arb_flow(n_classes), 0..20),
+        n_classes in Just(n_classes),
+        name in "[a-z]{1,12}",
+    ) -> Dataset {
+        Dataset {
+            name,
+            class_names: (0..n_classes).map(|i| format!("class-{i}")).collect(),
+            flows,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flowrec_round_trips_any_dataset(ds in arb_dataset()) {
+        let bytes = flowrec::encode(&ds);
+        let back = flowrec::decode(&bytes).expect("well-formed stream must decode");
+        prop_assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn flowrec_never_panics_on_corruption(
+        ds in arb_dataset(),
+        flip_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = flowrec::encode(&ds).to_vec();
+        if !bytes.is_empty() {
+            let i = flip_at.index(bytes.len());
+            bytes[i] ^= xor;
+        }
+        // Must return Ok or Err, never panic; if it decodes, the result
+        // must still be internally consistent.
+        if let Ok(decoded) = flowrec::decode(&bytes) {
+            for f in &decoded.flows {
+                prop_assert!((f.class as usize) < decoded.class_names.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_flows_are_always_well_formed(
+        seed in any::<u64>(),
+        burst_interval in 0.05f64..5.0,
+        burst_len in 1.0f64..100.0,
+        duration in 0.5f64..60.0,
+        rtt in 0.005f64..0.3,
+        up_fraction in 0.0f64..1.0,
+        ack_ratio in 0.0f64..1.0,
+        max_pkts in 1usize..400,
+    ) {
+        use rand::SeedableRng;
+        let mut profile = TrafficProfile::base("prop");
+        profile.burst_interval_mean = burst_interval;
+        profile.burst_len_mean = burst_len;
+        profile.burst_len_sd = burst_len * 0.3;
+        profile.duration_mean = duration;
+        profile.rtt_mean = rtt;
+        profile.up_fraction = up_fraction;
+        profile.ack_ratio = ack_ratio;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pkts = generate_pkts(&profile, &mut rng, max_pkts);
+        let flow = Flow {
+            id: 0, class: 0, partition: Partition::Unpartitioned,
+            background: false, pkts,
+        };
+        prop_assert!(!flow.is_empty());
+        prop_assert!(flow.len() <= max_pkts);
+        prop_assert!(flow.is_well_formed(), "flow violates ordering/size invariants");
+    }
+
+    #[test]
+    fn curation_output_is_always_consistent(
+        ds in arb_dataset(),
+        min_pkts in 0usize..30,
+        min_class in 0usize..8,
+        remove_acks in any::<bool>(),
+        remove_background in any::<bool>(),
+        collate in any::<bool>(),
+    ) {
+        let pipe = CurationPipeline {
+            remove_acks,
+            remove_background,
+            min_pkts,
+            min_class_size: min_class,
+            collate_partitions: collate,
+        };
+        let (out, report) = pipe.run(&ds);
+        // Conservation: every input flow is accounted for.
+        prop_assert_eq!(
+            report.flows_after
+                + report.background_removed
+                + report.short_removed
+                + report.small_class_removed,
+            report.flows_before
+        );
+        prop_assert_eq!(out.flows.len(), report.flows_after);
+        // Output invariants.
+        for f in &out.flows {
+            prop_assert!((f.class as usize) < out.class_names.len());
+            prop_assert!(f.len() >= min_pkts);
+            if remove_acks {
+                prop_assert!(f.pkts.iter().all(|p| !p.is_ack));
+            }
+            if remove_background {
+                prop_assert!(!f.background);
+            }
+            if collate {
+                prop_assert_eq!(f.partition, Partition::Unpartitioned);
+            }
+            prop_assert!(f.is_well_formed());
+        }
+        // Class-size floor holds.
+        let counts = out.class_counts();
+        for (c, &n) in counts.iter().enumerate() {
+            let background_in_class = out
+                .flows
+                .iter()
+                .filter(|f| f.background && f.class as usize == c)
+                .count();
+            prop_assert!(
+                n + background_in_class >= min_class.min(1) * usize::from(n + background_in_class > 0)
+            );
+        }
+    }
+
+    #[test]
+    fn splits_partition_without_overlap(
+        per_class in prop::collection::vec(5usize..30, 2..5),
+        frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        use trafficgen::splits::{random_two_way, stratified_three_way};
+        let mut flows = Vec::new();
+        let mut id = 0;
+        for (class, &n) in per_class.iter().enumerate() {
+            for _ in 0..n {
+                id += 1;
+                flows.push(Flow {
+                    id,
+                    class: class as u16,
+                    partition: Partition::Unpartitioned,
+                    background: false,
+                    pkts: vec![Pkt::data(0.0, 100, Direction::Upstream)],
+                });
+            }
+        }
+        let ds = Dataset {
+            name: "prop".into(),
+            class_names: (0..per_class.len()).map(|i| format!("c{i}")).collect(),
+            flows,
+        };
+        let indices: Vec<usize> = (0..ds.flows.len()).collect();
+        let (a, b) = random_two_way(&indices, frac, seed);
+        prop_assert_eq!(a.len() + b.len(), indices.len());
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, indices.clone());
+
+        let tri = stratified_three_way(&ds, Partition::Unpartitioned, 0.8, 0.1, seed);
+        let mut all: Vec<usize> =
+            tri.train.iter().chain(tri.val.iter()).chain(tri.test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, indices);
+    }
+}

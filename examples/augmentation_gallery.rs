@@ -1,0 +1,62 @@
+//! Augmentation gallery: apply each of the paper's 7 augmentation
+//! policies to the same flow and show what they do to the flowpic — the
+//! time-series family (Change RTT, Time shift, Packet loss) reshapes the
+//! picture along the time axis, the image family (Rotate, Flip, Jitter)
+//! edits pixels directly.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example augmentation_gallery
+//! ```
+
+use augment::{Augmentation, ViewPair, ALL_AUGMENTATIONS};
+use flowpic::render::{ascii_heatmap, shift_distance};
+use flowpic::{Flowpic, FlowpicConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn main() {
+    let dataset = UcDavisSim::new(UcDavisConfig::tiny()).generate(7);
+    // Google search: the class with the most structured flowpic (two
+    // activity groups + the max-size line), so transformations are easy
+    // to see.
+    let flow = dataset
+        .partition(Partition::Pretraining)
+        .find(|f| f.class == 3)
+        .expect("a google-search flow");
+    let cfg = FlowpicConfig::with_resolution(24); // small enough to eyeball
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let original = Flowpic::build(&flow.pkts, &cfg);
+    println!("original google-search flowpic ({} packets):", flow.len());
+    println!("{}", ascii_heatmap(&original));
+
+    for aug in ALL_AUGMENTATIONS {
+        if aug == Augmentation::NoAug {
+            continue;
+        }
+        let pic = aug.apply(&flow.pkts, &cfg, &mut rng);
+        let family = if aug.is_time_series() { "time series" } else { "image" };
+        println!(
+            "--- {} ({family}; L1 distance to original: {:.1}) ---",
+            aug.name(),
+            shift_distance(&original, &pic)
+        );
+        println!("{}", ascii_heatmap(&pic));
+    }
+
+    // The SimCLR view pair: two independent draws of Change RTT + Time
+    // shift in random order — the "views" contrasted during pre-training.
+    let pair = ViewPair::paper();
+    let (a, b) = pair.views(&flow.pkts, &cfg, &mut rng);
+    println!("--- SimCLR views ({}) ---", pair.label());
+    println!("view A:\n{}", ascii_heatmap(&a));
+    println!("view B:\n{}", ascii_heatmap(&b));
+    println!(
+        "view A vs view B L1 distance: {:.1} — different, but both recognizably\n\
+         the same flow: exactly what the contrastive loss needs.",
+        shift_distance(&a, &b)
+    );
+}

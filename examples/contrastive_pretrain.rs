@@ -1,0 +1,68 @@
+//! Contrastive pre-training walk-through: SimCLR on unlabeled flows, then
+//! few-shot fine-tuning — the paper's G2 pipeline end to end, with the
+//! supervised ceiling for comparison.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example contrastive_pretrain
+//! ```
+
+use augment::ViewPair;
+use flowpic::{FlowpicConfig, Normalization};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::simclr::{few_shot_subset, fine_tune, pretrain, SimClrConfig};
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn main() {
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [60; 5];
+    cfg.script_per_class = [15; 5];
+    let dataset = UcDavisSim::new(cfg).generate(21);
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let fold = &per_class_folds(&dataset, Partition::Pretraining, 50, 1, 2)[0];
+
+    // 1. SimCLR pre-training on the UNLABELED pool: labels never touch
+    //    this phase — the views' agreement is the only training signal.
+    println!("pre-training SimCLR on {} unlabeled flows...", fold.train.len());
+    let config = SimClrConfig { max_epochs: 8, ..SimClrConfig::paper(5) };
+    let (mut pre_net, summary) =
+        pretrain(&dataset, &fold.train, ViewPair::paper(), &fpcfg, norm, &config);
+    println!(
+        "  {} epochs, final NT-Xent loss {:.3}, best contrastive top-5 {:.0}%",
+        summary.epochs,
+        summary.final_loss,
+        100.0 * summary.best_top5
+    );
+
+    // 2. Fine-tune with a handful of labels per class.
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+    let script_idx = dataset.partition_indices(Partition::Script);
+    let script = FlowpicDataset::from_flows(&dataset, &script_idx, &fpcfg, norm);
+    println!("\nfew-shot fine-tuning (frozen extractor, fresh classifier):");
+    for shots in [1usize, 3, 10] {
+        let labeled_idx = few_shot_subset(&dataset, &fold.train, shots, 9);
+        let labeled = FlowpicDataset::from_flows(&dataset, &labeled_idx, &fpcfg, norm);
+        let mut tuned = fine_tune(&mut pre_net, &labeled, 11);
+        let eval = trainer.evaluate(&mut tuned, &script);
+        println!("  {shots:>2} labeled samples/class -> script accuracy {:.1}%", 100.0 * eval.accuracy);
+    }
+
+    // 3. The supervised ceiling: same split, full labels.
+    let train_full = FlowpicDataset::from_flows(&dataset, &fold.train, &fpcfg, norm);
+    let (train, val) = train_full.split_validation(0.2, 3);
+    let sup_trainer =
+        SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(3) });
+    let mut sup_net = supervised_net(32, dataset.num_classes(), false, 3);
+    sup_trainer.train(&mut sup_net, &train, Some(&val));
+    let eval = sup_trainer.evaluate(&mut sup_net, &script);
+    println!("\nfully-supervised reference ({} labels): {:.1}%", fold.train.len(), 100.0 * eval.accuracy);
+    println!(
+        "\nexpected: accuracy grows with shots; at 10 shots the contrastive\n\
+         pipeline approaches the supervised ceiling (paper Sec. 4.4: 94.5 vs ~98)."
+    );
+}

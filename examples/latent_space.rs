@@ -1,0 +1,109 @@
+//! Latent-space analysis: what does contrastive pre-training do to the
+//! representation?
+//!
+//! The Ref-Paper's public repository visualizes the SimCLR latent space
+//! with a 2-D t-SNE; this example does the deterministic version — PCA to
+//! 2-D plus silhouette scores — comparing three spaces:
+//!
+//! 1. the raw flattened flowpic (no learning at all);
+//! 2. the latent `h = f(x)` of an untrained (random) extractor;
+//! 3. the latent of a SimCLR-pre-trained extractor.
+//!
+//! Expected: silhouette(random) ≈ silhouette(raw) or worse, and SimCLR
+//! pre-training visibly tightens class clusters *without ever seeing a
+//! label* — the geometric property the paper's Sec. 2.4 describes.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example latent_space
+//! ```
+
+use augment::ViewPair;
+use flowpic::{FlowpicConfig, Normalization};
+use mlstats::pca::{silhouette_score, Pca};
+use tcbench::arch::{simclr_net, EXTRACTOR_DEPTH};
+use tcbench::data::FlowpicDataset;
+use tcbench::simclr::{pretrain, SimClrConfig};
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim, CLASSES};
+
+fn latents(net: &mut nettensor::Sequential, data: &FlowpicDataset) -> Vec<Vec<f64>> {
+    let idx: Vec<usize> = (0..data.len()).collect();
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in idx.chunks(64) {
+        let x = data.batch_tensor(chunk);
+        let h = net.forward_prefix(&x, EXTRACTOR_DEPTH, false);
+        let d = h.shape[1];
+        for i in 0..chunk.len() {
+            out.push(h.data[i * d..(i + 1) * d].iter().map(|&v| v as f64).collect());
+        }
+    }
+    out
+}
+
+fn scatter_2d(points: &[Vec<f64>], labels: &[usize], width: usize, height: usize) -> String {
+    // Map each point into a character grid; cells show the class digit,
+    // collisions show '*'.
+    let (min_x, max_x) = points.iter().map(|p| p[0]).fold((f64::MAX, f64::MIN), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    });
+    let (min_y, max_y) = points.iter().map(|p| p[1]).fold((f64::MAX, f64::MIN), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    });
+    let mut grid = vec![vec![' '; width]; height];
+    for (p, &label) in points.iter().zip(labels) {
+        let cx = ((p[0] - min_x) / (max_x - min_x).max(1e-12) * (width - 1) as f64) as usize;
+        let cy = ((p[1] - min_y) / (max_y - min_y).max(1e-12) * (height - 1) as f64) as usize;
+        let ch = char::from_digit(label as u32, 10).unwrap_or('?');
+        grid[cy][cx] = if grid[cy][cx] == ' ' || grid[cy][cx] == ch { ch } else { '*' };
+    }
+    grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+}
+
+fn main() {
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [40; 5];
+    let ds = UcDavisSim::new(cfg).generate(17);
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let idx = ds.partition_indices(Partition::Pretraining);
+    let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, norm);
+    let labels = data.labels.clone();
+
+    // 1. Raw flowpic space.
+    let raw: Vec<Vec<f64>> =
+        data.inputs.iter().map(|v| v.iter().map(|&x| x as f64).collect()).collect();
+    println!("silhouette, raw 1024-d flowpic space:   {:+.3}", silhouette_score(&raw, &labels));
+
+    // 2. Random extractor latent.
+    let mut random_net = simclr_net(32, 30, false, 777);
+    let h_random = latents(&mut random_net, &data);
+    println!("silhouette, random extractor latent:    {:+.3}", silhouette_score(&h_random, &labels));
+
+    // 3. SimCLR-pre-trained latent.
+    println!("\npre-training SimCLR (unsupervised) ...");
+    let config = SimClrConfig { max_epochs: 8, batch_size: 16, ..SimClrConfig::paper(3) };
+    let (mut pre_net, summary) =
+        pretrain(&ds, &idx, ViewPair::paper(), &fpcfg, norm, &config);
+    println!(
+        "  {} epochs, best contrastive top-5 {:.0}%",
+        summary.epochs,
+        100.0 * summary.best_top5
+    );
+    let h_pre = latents(&mut pre_net, &data);
+    let sil = silhouette_score(&h_pre, &labels);
+    println!("silhouette, SimCLR-pre-trained latent:  {sil:+.3}");
+
+    // 2-D PCA scatter of the pre-trained latent.
+    let pca = Pca::fit(&h_pre, 2);
+    let proj = pca.transform_all(&h_pre);
+    println!(
+        "\nPCA of the pre-trained latent (explained variance {:.1} / {:.1}):",
+        pca.explained_variance[0], pca.explained_variance[1]
+    );
+    for (i, name) in CLASSES.iter().enumerate() {
+        println!("  {i} = {name}");
+    }
+    println!("{}", scatter_2d(&proj, &labels, 72, 24));
+    println!("classes should form visible clusters — learned without any labels.");
+}

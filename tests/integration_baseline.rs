@@ -1,0 +1,100 @@
+//! Integration of the classic-ML baseline (paper G0): GBDT on flowpic and
+//! time-series features over the simulated UCDAVIS19, asserting the
+//! Table 3 shape at test scale.
+
+use flowpic::features::{early_time_series, flowpic_flat};
+use flowpic::{FlowpicConfig, Normalization};
+use gbdt::{GbdtClassifier, GbdtConfig};
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::{Dataset, Partition};
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn dataset() -> Dataset {
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [40; 5];
+    cfg.script_per_class = [12; 5];
+    cfg.human_per_class = [12; 5];
+    cfg.max_pkts = 400;
+    UcDavisSim::new(cfg).generate(2024)
+}
+
+fn flowpic_features(ds: &Dataset, idx: &[usize]) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let cfg = FlowpicConfig::mini();
+    (
+        idx.iter().map(|&i| flowpic_flat(&ds.flows[i], &cfg, Normalization::Raw)).collect(),
+        idx.iter().map(|&i| ds.flows[i].class as usize).collect(),
+    )
+}
+
+fn ts_features(ds: &Dataset, idx: &[usize]) -> (Vec<Vec<f32>>, Vec<usize>) {
+    (
+        idx.iter().map(|&i| early_time_series(&ds.flows[i], 10)).collect(),
+        idx.iter().map(|&i| ds.flows[i].class as usize).collect(),
+    )
+}
+
+fn accuracy(model: &GbdtClassifier, x: &[Vec<f32>], y: &[usize]) -> f64 {
+    model.predict_batch(x).iter().zip(y).filter(|(a, b)| a == b).count() as f64
+        / y.len() as f64
+}
+
+#[test]
+fn gbdt_baseline_reproduces_table3_shape() {
+    let ds = dataset();
+    let fold = &per_class_folds(&ds, Partition::Pretraining, 30, 1, 5)[0];
+    let script = ds.partition_indices(Partition::Script);
+    let human = ds.partition_indices(Partition::Human);
+    let cfg = GbdtConfig { n_rounds: 30, ..Default::default() };
+
+    // Flowpic input.
+    let (train_x, train_y) = flowpic_features(&ds, &fold.train);
+    let fp_model = GbdtClassifier::fit(&train_x, &train_y, 5, &cfg);
+    let (sx, sy) = flowpic_features(&ds, &script);
+    let (hx, hy) = flowpic_features(&ds, &human);
+    let fp_script = accuracy(&fp_model, &sx, &sy);
+    let fp_human = accuracy(&fp_model, &hx, &hy);
+
+    // Time-series input.
+    let (train_x, train_y) = ts_features(&ds, &fold.train);
+    let ts_model = GbdtClassifier::fit(&train_x, &train_y, 5, &cfg);
+    let (sx, sy) = ts_features(&ds, &script);
+    let (hx, hy) = ts_features(&ds, &human);
+    let ts_script = accuracy(&ts_model, &sx, &sy);
+    let ts_human = accuracy(&ts_model, &hx, &hy);
+
+    // Table 3 shape.
+    assert!(fp_script > 0.8, "flowpic script {fp_script}");
+    assert!(ts_script > 0.7, "time-series script {ts_script}");
+    assert!(
+        fp_script - fp_human > 0.08,
+        "flowpic human gap: script {fp_script} human {fp_human}"
+    );
+    assert!(
+        ts_script - ts_human > 0.05,
+        "time-series human gap: script {ts_script} human {ts_human}"
+    );
+    // "Very short trees" (paper: 1.3 / 1.7).
+    assert!(fp_model.average_depth() < 4.0, "{}", fp_model.average_depth());
+    assert!(ts_model.average_depth() < 4.0, "{}", ts_model.average_depth());
+}
+
+#[test]
+fn gbdt_probabilities_are_calibratedish_on_flowpics() {
+    // Sanity: predicted probabilities are valid distributions and the
+    // argmax matches `predict`.
+    let ds = dataset();
+    let fold = &per_class_folds(&ds, Partition::Pretraining, 20, 1, 9)[0];
+    let (x, y) = flowpic_features(&ds, &fold.train);
+    let model = GbdtClassifier::fit(&x, &y, 5, &GbdtConfig { n_rounds: 10, ..Default::default() });
+    for xi in x.iter().take(20) {
+        let p = model.predict_proba(xi);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(argmax, model.predict(xi));
+    }
+}

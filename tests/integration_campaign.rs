@@ -1,0 +1,91 @@
+//! Integration of the campaign machinery: parallel execution + tracking +
+//! statistical post-processing — the skeleton every bench binary follows.
+
+use mlstats::nemenyi::CriticalDistance;
+use mlstats::tukey::TukeyHsd;
+use mlstats::MeanCi;
+use tcbench::campaign::{grid3, run_parallel};
+use tcbench::report::Table;
+use tcbench::track::Tracker;
+
+#[test]
+fn parallel_campaign_with_tracking_and_analysis() {
+    // A synthetic campaign: 3 "augmentations" x 4 "splits" x 2 "seeds",
+    // with a known quality ordering aug0 > aug1 > aug2.
+    let grid = grid3(3, 4, 2);
+    let tracker = Tracker::new();
+    let tracker_ref = &tracker;
+    let results: Vec<(usize, f64)> = run_parallel(grid.len(), 4, |task| {
+        let (aug, split, seed) = grid[task];
+        // Deterministic pseudo-accuracy with aug-dependent mean.
+        let noise = ((split * 7 + seed * 13 + aug * 3) % 10) as f64 / 100.0;
+        let acc = 0.95 - 0.05 * aug as f64 - noise;
+        let run = tracker_ref.start_run("integration");
+        run.log_param("aug", aug);
+        run.log_param("split", split);
+        run.log_metric("accuracy", 0, acc);
+        run.finish();
+        (aug, acc)
+    });
+    assert_eq!(results.len(), 24);
+    assert_eq!(tracker.len(), 24);
+
+    // Tracker aggregation matches the raw results.
+    for aug in 0..3usize {
+        let tracked = tracker.metric_values("accuracy", &[("aug", &aug.to_string())]);
+        let direct: Vec<f64> =
+            results.iter().filter(|(a, _)| *a == aug).map(|&(_, acc)| acc).collect();
+        assert_eq!(tracked.len(), direct.len());
+        let ci_tracked = MeanCi::ci95(&tracked);
+        let ci_direct = MeanCi::ci95(&direct);
+        assert!((ci_tracked.mean - ci_direct.mean).abs() < 1e-12);
+    }
+
+    // Statistical post-processing: blocks = (split, seed), treatments = augs.
+    let mut blocks = Vec::new();
+    for split in 0..4 {
+        for seed in 0..2 {
+            let block: Vec<f64> = (0..3)
+                .map(|aug| {
+                    results[grid.iter().position(|&g| g == (aug, split, seed)).unwrap()].1
+                })
+                .collect();
+            blocks.push(block);
+        }
+    }
+    let cd = CriticalDistance::analyze(&["aug0", "aug1", "aug2"], &blocks, 0.05);
+    // aug0 must rank best.
+    let ranked = cd.ranked();
+    assert_eq!(ranked[0].0, "aug0");
+
+    // Tukey across the three augs: the extremes must separate.
+    let groups: Vec<Vec<f64>> = (0..3)
+        .map(|aug| {
+            results.iter().filter(|(a, _)| *a == aug).map(|&(_, acc)| acc * 100.0).collect()
+        })
+        .collect();
+    let tukey = TukeyHsd::analyze(&["aug0", "aug1", "aug2"], &groups, 0.05);
+    let extreme = tukey.pairs.iter().find(|p| p.a == 0 && p.b == 2).unwrap();
+    assert!(extreme.is_different, "aug0 vs aug2 should separate: p={}", extreme.p_value);
+
+    // Rendering round-trip.
+    let mut table = Table::new("campaign", &["aug", "accuracy"]);
+    for aug in 0..3usize {
+        let ci = MeanCi::ci95(&tracker.metric_values("accuracy", &[("aug", &aug.to_string())]));
+        table.push_row(vec![format!("aug{aug}"), ci.to_string()]);
+    }
+    let rendered = table.render();
+    assert!(rendered.contains("aug0"));
+
+    // JSON export parses and holds every run.
+    let json = tracker.export_json();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.as_array().unwrap().len(), 24);
+}
+
+#[test]
+fn run_parallel_matches_serial_execution() {
+    let serial: Vec<u64> = (0..50).map(|i| (i as u64).pow(2) % 97).collect();
+    let parallel = run_parallel(50, 8, |i| (i as u64).pow(2) % 97);
+    assert_eq!(serial, parallel);
+}

@@ -1,0 +1,176 @@
+//! Edge-case and failure-injection tests across the pipeline: degenerate
+//! flows, pathological inputs and adversarial file bytes must produce
+//! clean errors or well-defined results — never panics from deep inside
+//! the stack or silent NaNs.
+
+use augment::{Augmentation, ALL_AUGMENTATIONS};
+use flowpic::{Flowpic, FlowpicConfig, Normalization};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+fn single_pkt_flow(class: u16) -> Flow {
+    Flow {
+        id: class as u64 + 1,
+        class,
+        partition: Partition::Unpartitioned,
+        background: false,
+        pkts: vec![Pkt::data(0.0, 100 + class * 300, Direction::Upstream)],
+    }
+}
+
+fn degenerate_dataset() -> Dataset {
+    // Two classes, a handful of single-packet flows each.
+    let mut flows = Vec::new();
+    for i in 0..8u64 {
+        let mut f = single_pkt_flow((i % 2) as u16);
+        f.id = i + 1;
+        flows.push(f);
+    }
+    Dataset { name: "degenerate".into(), class_names: vec!["a".into(), "b".into()], flows }
+}
+
+#[test]
+fn training_on_single_packet_flows_is_total() {
+    // Flowpics with a single non-zero cell: the whole pipeline must still
+    // run and produce finite losses and valid predictions.
+    let ds = degenerate_dataset();
+    let idx: Vec<usize> = (0..ds.flows.len()).collect();
+    let data = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+    // Single-pixel inputs give tiny early gradients; the paper's lr 0.001
+    // with patience-5 early stopping would quit before traction, so this
+    // degenerate check trains faster.
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        max_epochs: 60,
+        learning_rate: 0.01,
+        ..TrainConfig::supervised(1)
+    });
+    let mut net = supervised_net(32, 2, false, 1);
+    let summary = trainer.train(&mut net, &data, None);
+    assert!(summary.final_train_loss.is_finite());
+    let eval = trainer.evaluate(&mut net, &data);
+    // This degenerate two-point problem is separable; training must nail it
+    // given enough steps (8 samples = 1 batch per epoch).
+    assert_eq!(eval.accuracy, 1.0, "loss {}", summary.final_train_loss);
+}
+
+#[test]
+fn augmentations_handle_degenerate_flows() {
+    let cfg = FlowpicConfig::mini();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    // Single-packet flow, and a flow whose packets all share one timestamp.
+    let singleton = vec![Pkt::data(0.0, 700, Direction::Downstream)];
+    let stacked: Vec<Pkt> =
+        (0..50).map(|i| Pkt::data(0.0, 30 * (i % 50) + 1, Direction::Upstream)).collect();
+    for pkts in [&singleton, &stacked] {
+        for aug in ALL_AUGMENTATIONS {
+            let pic = aug.apply(pkts, &cfg, &mut rng);
+            assert!(pic.data.iter().all(|v| v.is_finite() && *v >= 0.0), "{}", aug.name());
+        }
+    }
+    // Empty input: rasterizes to an all-zero picture everywhere.
+    for aug in ALL_AUGMENTATIONS {
+        let pic = aug.apply(&[], &cfg, &mut rng);
+        assert_eq!(pic.total(), 0.0, "{}", aug.name());
+    }
+}
+
+#[test]
+fn network_survives_adversarial_inputs() {
+    // Extreme magnitudes, all-zero pictures and single-hot pixels must
+    // flow through forward/backward without NaN.
+    use nettensor::loss::cross_entropy;
+    let mut net = supervised_net(32, 5, false, 9);
+    for scale in [0.0f32, 1.0, 1e4, -1e4] {
+        let x = nettensor::Tensor::new(&[2, 1, 32, 32], vec![scale; 2 * 1024]);
+        let logits = net.forward(&x, true);
+        assert!(logits.data.iter().all(|v| v.is_finite()), "scale {scale}");
+        let (loss, grad) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss.is_finite());
+        net.zero_grad();
+        let gin = net.backward(&grad);
+        assert!(gin.data.iter().all(|v| v.is_finite()), "scale {scale}");
+    }
+}
+
+#[test]
+fn flowrec_decoder_survives_fuzzed_truncation_and_noise() {
+    let ds = degenerate_dataset();
+    let bytes = trafficgen::flowrec::encode(&ds).to_vec();
+    // Exhaustive prefix truncation.
+    for cut in 0..bytes.len() {
+        let _ = trafficgen::flowrec::decode(&bytes[..cut]);
+    }
+    // Deterministic byte corruption at every offset.
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0xA5;
+        let _ = trafficgen::flowrec::decode(&corrupted); // must not panic
+    }
+}
+
+#[test]
+fn pcap_reader_survives_corruption() {
+    let flow = single_pkt_flow(0);
+    let bytes = trafficgen::pcap::flow_to_pcap(&flow);
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0xFF;
+        let _ = trafficgen::pcap::pcap_to_pkts(&corrupted); // must not panic
+    }
+}
+
+#[test]
+fn flowpic_of_pathological_timestamps() {
+    // Negative and far-future timestamps are out of window: dropped, not
+    // crashed on.
+    let pkts = vec![
+        Pkt { ts: 0.0, size: 100, dir: Direction::Upstream, is_ack: false },
+        Pkt { ts: 1e12, size: 100, dir: Direction::Upstream, is_ack: false },
+    ];
+    let pic = Flowpic::build(&pkts, &FlowpicConfig::mini());
+    assert_eq!(pic.total(), 1.0);
+}
+
+#[test]
+fn gbdt_with_constant_and_conflicting_data() {
+    use gbdt::{GbdtClassifier, GbdtConfig};
+    // All features identical but labels differ: impossible problem; the
+    // model must still train and emit valid probabilities.
+    let x = vec![vec![1.0f32, 2.0, 3.0]; 12];
+    let y: Vec<usize> = (0..12).map(|i| i % 2).collect();
+    let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: 5, ..Default::default() });
+    let p = model.predict_proba(&x[0]);
+    assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    // Equal class frequencies → near-uniform probabilities.
+    assert!((p[0] - 0.5).abs() < 0.1, "{p:?}");
+}
+
+#[test]
+fn curation_of_empty_and_all_background_datasets() {
+    use trafficgen::curation::CurationPipeline;
+    let empty = Dataset { name: "e".into(), class_names: vec!["a".into()], flows: vec![] };
+    let (out, report) = CurationPipeline::mirage(10).run(&empty);
+    assert_eq!(out.flows.len(), 0);
+    assert_eq!(report.flows_before, 0);
+
+    let mut all_bg = degenerate_dataset();
+    for f in &mut all_bg.flows {
+        f.background = true;
+    }
+    let (out, report) = CurationPipeline::mirage(0).run(&all_bg);
+    assert_eq!(out.flows.len(), 0);
+    assert_eq!(report.background_removed, 8);
+}
+
+#[test]
+fn splits_of_minimal_datasets() {
+    use trafficgen::splits::{per_class_folds, stratified_three_way};
+    let ds = degenerate_dataset(); // 4 flows per class
+    let folds = per_class_folds(&ds, Partition::Unpartitioned, 4, 1, 0);
+    assert_eq!(folds[0].train.len(), 8);
+    assert!(folds[0].test.is_empty(), "taking every flow leaves an empty leftover");
+    let tri = stratified_three_way(&ds, Partition::Unpartitioned, 0.8, 0.1, 0);
+    assert_eq!(tri.train.len() + tri.val.len() + tri.test.len(), 8);
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration: dataset simulation → serialization → splits →
+//! augmentation → supervised training → evaluation, asserting the
+//! paper-level invariants the whole workspace exists to reproduce.
+
+use augment::Augmentation;
+use flowpic::{FlowpicConfig, Normalization};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::flowrec;
+use trafficgen::splits::per_class_folds;
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn quick_dataset() -> trafficgen::types::Dataset {
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [40; 5];
+    cfg.script_per_class = [10; 5];
+    cfg.human_per_class = [10; 5];
+    cfg.max_pkts = 400;
+    UcDavisSim::new(cfg).generate(1234)
+}
+
+#[test]
+fn supervised_pipeline_reproduces_the_data_shift() {
+    let ds = quick_dataset();
+    let fold = &per_class_folds(&ds, Partition::Pretraining, 30, 1, 5)[0];
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+
+    let train_full = FlowpicDataset::augmented(
+        &ds,
+        &fold.train,
+        Augmentation::ChangeRtt,
+        2,
+        &fpcfg,
+        norm,
+        7,
+    );
+    let (train, val) = train_full.split_validation(0.2, 7);
+    let trainer =
+        SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(7) });
+    let mut net = supervised_net(32, ds.num_classes(), true, 7);
+    let summary = trainer.train(&mut net, &train, Some(&val));
+    assert!(summary.epochs >= 1);
+
+    let mut eval_on = |indices: &[usize]| {
+        let data = FlowpicDataset::from_flows(&ds, indices, &fpcfg, norm);
+        trainer.evaluate(&mut net, &data).accuracy
+    };
+    let script = eval_on(&ds.partition_indices(Partition::Script));
+    let human = eval_on(&ds.partition_indices(Partition::Human));
+    let leftover = eval_on(&fold.test);
+
+    // The paper's central invariants.
+    assert!(script > 0.7, "script accuracy {script}");
+    assert!(leftover > 0.7, "leftover accuracy {leftover}");
+    assert!(
+        script - human > 0.08,
+        "the human data shift must cost accuracy: script {script} human {human}"
+    );
+    assert!(
+        (script - leftover).abs() < 0.2,
+        "script and leftover agree: {script} vs {leftover}"
+    );
+}
+
+#[test]
+fn disabling_the_shift_closes_the_gap() {
+    // Ablation: with shift_strength = 0 the human partition behaves like
+    // script, so the generator (not the model) is the source of the gap.
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [40; 5];
+    cfg.script_per_class = [12; 5];
+    cfg.human_per_class = [12; 5];
+    cfg.max_pkts = 400;
+    let with_shift = UcDavisSim::new(cfg.clone()).generate(99);
+    let no_shift = UcDavisSim::new(cfg.without_shift()).generate(99);
+
+    let gap = |ds: &trafficgen::types::Dataset| {
+        let fold = &per_class_folds(ds, Partition::Pretraining, 30, 1, 3)[0];
+        let fpcfg = FlowpicConfig::mini();
+        let norm = Normalization::LogMax;
+        let train_full = FlowpicDataset::from_flows(ds, &fold.train, &fpcfg, norm);
+        let (train, val) = train_full.split_validation(0.2, 3);
+        let trainer =
+            SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(3) });
+        let mut net = supervised_net(32, ds.num_classes(), false, 3);
+        trainer.train(&mut net, &train, Some(&val));
+        let mut acc = |idx: &[usize]| {
+            let data = FlowpicDataset::from_flows(ds, idx, &fpcfg, norm);
+            trainer.evaluate(&mut net, &data).accuracy
+        };
+        acc(&ds.partition_indices(Partition::Script)) - acc(&ds.partition_indices(Partition::Human))
+    };
+
+    let gap_with = gap(&with_shift);
+    let gap_without = gap(&no_shift);
+    assert!(
+        gap_with > gap_without + 0.05,
+        "shift must widen the gap: with {gap_with} vs without {gap_without}"
+    );
+}
+
+#[test]
+fn flowrec_round_trips_a_simulated_dataset() {
+    let ds = quick_dataset();
+    let bytes = flowrec::encode(&ds);
+    let back = flowrec::decode(&bytes).expect("decode");
+    assert_eq!(back, ds);
+}
+
+#[test]
+fn augmentations_preserve_labels_and_class_balance() {
+    let ds = quick_dataset();
+    let fold = &per_class_folds(&ds, Partition::Pretraining, 20, 1, 1)[0];
+    let fpcfg = FlowpicConfig::mini();
+    for aug in augment::ALL_AUGMENTATIONS {
+        let data = FlowpicDataset::augmented(&ds, &fold.train, aug, 3, &fpcfg, Normalization::LogMax, 1);
+        // Per-class counts stay balanced after augmentation.
+        let mut counts = vec![0usize; ds.num_classes()];
+        for &l in &data.labels {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]), "{aug:?}: {counts:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration of the contrastive pipeline: SimCLR pre-training must
+//! produce a representation that beats a random-initialized extractor
+//! under identical few-shot fine-tuning — the paper's reason for using
+//! contrastive learning at all.
+
+use augment::ViewPair;
+use flowpic::{FlowpicConfig, Normalization};
+use tcbench::arch::{finetune_net, simclr_net, EXTRACTOR_DEPTH};
+use tcbench::data::FlowpicDataset;
+use tcbench::simclr::{few_shot_subset, fine_tune, pretrain, SimClrConfig};
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn dataset() -> trafficgen::types::Dataset {
+    let mut cfg = UcDavisConfig::tiny();
+    cfg.pretraining_per_class = [24; 5];
+    cfg.script_per_class = [10; 5];
+    cfg.max_pkts = 300;
+    UcDavisSim::new(cfg).generate(77)
+}
+
+#[test]
+fn pretraining_beats_random_initialization() {
+    let ds = dataset();
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let pool = ds.partition_indices(Partition::Pretraining);
+    let shots = few_shot_subset(&ds, &pool, 5, 3);
+    let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, norm);
+    let script_idx = ds.partition_indices(Partition::Script);
+    let script = FlowpicDataset::from_flows(&ds, &script_idx, &fpcfg, norm);
+    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
+
+    // Contrastively pre-trained extractor.
+    let config = SimClrConfig { max_epochs: 5, batch_size: 16, ..SimClrConfig::paper(11) };
+    let (mut pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
+    let mut tuned = fine_tune(&mut pre, &labeled, 5);
+    let pretrained_acc = trainer.evaluate(&mut tuned, &script).accuracy;
+
+    // Random extractor, same fine-tuning protocol.
+    let mut random = simclr_net(32, 30, false, 999);
+    let mut tuned_random = fine_tune(&mut random, &labeled, 5);
+    let random_acc = trainer.evaluate(&mut tuned_random, &script).accuracy;
+
+    assert!(
+        pretrained_acc > random_acc + 0.05,
+        "pre-training must help: pretrained {pretrained_acc} vs random {random_acc}"
+    );
+    assert!(pretrained_acc > 0.4, "absolute few-shot accuracy {pretrained_acc}");
+}
+
+#[test]
+fn finetune_transplant_is_faithful() {
+    // The fine-tune network must produce the same latent features as the
+    // SimCLR network it was transplanted from.
+    let ds = dataset();
+    let fpcfg = FlowpicConfig::mini();
+    let norm = Normalization::LogMax;
+    let pool = ds.partition_indices(Partition::Pretraining);
+    let config = SimClrConfig { max_epochs: 2, batch_size: 16, ..SimClrConfig::paper(13) };
+    let (mut pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
+
+    let mut fine = finetune_net(32, 5, 321);
+    fine.copy_prefix_weights_from(&mut pre, EXTRACTOR_DEPTH);
+    // Exported prefix weights must agree tensor-by-tensor.
+    let wa = pre.export_weights();
+    let wb = fine.export_weights();
+    // First 6 tensors = conv1 w/b, conv2 w/b, fc1 w/b (the extractor).
+    for i in 0..6 {
+        assert_eq!(wa.tensors[i], wb.tensors[i], "extractor tensor {i} differs");
+    }
+}
+
+#[test]
+fn simclr_is_deterministic_per_seed() {
+    let ds = dataset();
+    let fpcfg = FlowpicConfig::mini();
+    let pool = ds.partition_indices(Partition::Pretraining);
+    let run = |seed| {
+        let config = SimClrConfig { max_epochs: 2, batch_size: 16, ..SimClrConfig::paper(seed) };
+        let (mut net, summary) =
+            pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config);
+        (net.export_weights().tensors, summary.final_loss)
+    };
+    let (w1, l1) = run(42);
+    let (w2, l2) = run(42);
+    assert_eq!(w1, w2);
+    assert_eq!(l1, l2);
+    let (w3, _) = run(43);
+    assert_ne!(w1, w3);
+}
