@@ -64,7 +64,10 @@ pub fn pad_sizes<R: Rng + ?Sized>(pkts: &[Pkt], max_pad: u16, rng: &mut R) -> Ve
     pkts.iter()
         .map(|p| {
             let pad = rng.random_range(0..=max_pad);
-            Pkt { size: (p.size.saturating_add(pad)).min(1500), ..*p }
+            Pkt {
+                size: (p.size.saturating_add(pad)).min(1500),
+                ..*p
+            }
         })
         .collect()
 }
@@ -77,7 +80,9 @@ mod tests {
     use trafficgen::types::Direction;
 
     fn series(n: usize) -> Vec<Pkt> {
-        (0..n).map(|i| Pkt::data(i as f64 * 0.3, 200 + i as u16, Direction::Downstream)).collect()
+        (0..n)
+            .map(|i| Pkt::data(i as f64 * 0.3, 200 + i as u16, Direction::Downstream))
+            .collect()
     }
 
     fn rng() -> StdRng {

@@ -146,7 +146,11 @@ mod tests {
         let mut r = rng();
         let jittered = color_jitter(&pic, 0.5, &mut r);
         for (a, b) in pic.data.iter().zip(&jittered.data) {
-            assert_eq!(*a == 0.0, *b == 0.0, "jitter must not create or destroy support");
+            assert_eq!(
+                *a == 0.0,
+                *b == 0.0,
+                "jitter must not create or destroy support"
+            );
             assert!(*b >= 0.0);
         }
     }

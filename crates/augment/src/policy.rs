@@ -110,27 +110,23 @@ impl Augmentation {
     ) -> Flowpic {
         match self {
             Augmentation::NoAug => Flowpic::build(pkts, config),
-            Augmentation::ChangeRtt => {
-                Flowpic::build(&timeseries::change_rtt(pkts, rng), config)
-            }
-            Augmentation::TimeShift => {
-                Flowpic::build(&timeseries::time_shift(pkts, rng), config)
-            }
-            Augmentation::PacketLoss => {
-                Flowpic::build(&timeseries::packet_loss(pkts, PACKET_LOSS_PROB, rng), config)
-            }
+            Augmentation::ChangeRtt => Flowpic::build(&timeseries::change_rtt(pkts, rng), config),
+            Augmentation::TimeShift => Flowpic::build(&timeseries::time_shift(pkts, rng), config),
+            Augmentation::PacketLoss => Flowpic::build(
+                &timeseries::packet_loss(pkts, PACKET_LOSS_PROB, rng),
+                config,
+            ),
             Augmentation::Rotate => {
                 image::rotate(&Flowpic::build(pkts, config), ROTATE_MAX_DEGREES, rng)
             }
-            Augmentation::HorizontalFlip => {
-                image::horizontal_flip(&Flowpic::build(pkts, config))
-            }
+            Augmentation::HorizontalFlip => image::horizontal_flip(&Flowpic::build(pkts, config)),
             Augmentation::ColorJitter => {
                 image::color_jitter(&Flowpic::build(pkts, config), COLOR_JITTER_STRENGTH, rng)
             }
-            Augmentation::IatJitter => {
-                Flowpic::build(&crate::extended::iat_jitter(pkts, IAT_JITTER_SIGMA, rng), config)
-            }
+            Augmentation::IatJitter => Flowpic::build(
+                &crate::extended::iat_jitter(pkts, IAT_JITTER_SIGMA, rng),
+                config,
+            ),
             Augmentation::PacketDuplication => Flowpic::build(
                 &crate::extended::packet_duplication(pkts, DUPLICATION_PROB, rng),
                 config,
@@ -161,19 +157,40 @@ pub struct ViewPair {
 impl ViewPair {
     /// The Ref-Paper's pair: Change RTT + Time shift.
     pub fn paper() -> Self {
-        ViewPair { first: Augmentation::ChangeRtt, second: Augmentation::TimeShift }
+        ViewPair {
+            first: Augmentation::ChangeRtt,
+            second: Augmentation::TimeShift,
+        }
     }
 
     /// The replication's Table 6 ablation pairs, paper pair first.
     pub fn table6_pairs() -> [ViewPair; 6] {
         use Augmentation::*;
         [
-            ViewPair { first: ChangeRtt, second: TimeShift },
-            ViewPair { first: PacketLoss, second: ColorJitter },
-            ViewPair { first: PacketLoss, second: Rotate },
-            ViewPair { first: ChangeRtt, second: ColorJitter },
-            ViewPair { first: ChangeRtt, second: Rotate },
-            ViewPair { first: ColorJitter, second: Rotate },
+            ViewPair {
+                first: ChangeRtt,
+                second: TimeShift,
+            },
+            ViewPair {
+                first: PacketLoss,
+                second: ColorJitter,
+            },
+            ViewPair {
+                first: PacketLoss,
+                second: Rotate,
+            },
+            ViewPair {
+                first: ChangeRtt,
+                second: ColorJitter,
+            },
+            ViewPair {
+                first: ChangeRtt,
+                second: Rotate,
+            },
+            ViewPair {
+                first: ColorJitter,
+                second: Rotate,
+            },
         ]
     }
 
@@ -220,7 +237,11 @@ fn chain_apply<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Flowpic {
     // Order so that series transforms run before image transforms.
-    let (first, second) = if !a.is_time_series() && b.is_time_series() { (b, a) } else { (a, b) };
+    let (first, second) = if !a.is_time_series() && b.is_time_series() {
+        (b, a)
+    } else {
+        (a, b)
+    };
 
     let series = |aug: Augmentation, pkts: &[Pkt], rng: &mut R| -> Vec<Pkt> {
         match aug {
@@ -274,7 +295,13 @@ mod tests {
 
     fn pkts() -> Vec<Pkt> {
         (0..60)
-            .map(|i| Pkt::data(i as f64 * 0.2, 50 + (i * 23 % 1400) as u16, Direction::Downstream))
+            .map(|i| {
+                Pkt::data(
+                    i as f64 * 0.2,
+                    50 + (i * 23 % 1400) as u16,
+                    Direction::Downstream,
+                )
+            })
             .collect()
     }
 
@@ -346,7 +373,10 @@ mod tests {
         // preserved mass bounds (jitter/rotate can only reduce or scale).
         let cfg = FlowpicConfig::mini();
         let mut r = rng();
-        let pair = ViewPair { first: Augmentation::Rotate, second: Augmentation::ChangeRtt };
+        let pair = ViewPair {
+            first: Augmentation::Rotate,
+            second: Augmentation::ChangeRtt,
+        };
         for _ in 0..10 {
             let pic = pair.view(&pkts(), &cfg, &mut r);
             assert!(pic.total() > 0.0);

@@ -32,8 +32,11 @@ pub enum SamplingMethod {
 }
 
 /// All methods in the replication's Table 9 column order.
-pub const ALL_SAMPLING_METHODS: [SamplingMethod; 3] =
-    [SamplingMethod::FixedStep, SamplingMethod::Random, SamplingMethod::Incremental];
+pub const ALL_SAMPLING_METHODS: [SamplingMethod; 3] = [
+    SamplingMethod::FixedStep,
+    SamplingMethod::Random,
+    SamplingMethod::Incremental,
+];
 
 impl SamplingMethod {
     /// Short name as used in the replication's Table 9.
@@ -49,12 +52,7 @@ impl SamplingMethod {
     ///
     /// Returns the whole flow re-zeroed when it has at most `target_len`
     /// packets. Never returns an empty subflow for a non-empty input.
-    pub fn sample<R: Rng + ?Sized>(
-        self,
-        pkts: &[Pkt],
-        target_len: usize,
-        rng: &mut R,
-    ) -> Vec<Pkt> {
+    pub fn sample<R: Rng + ?Sized>(self, pkts: &[Pkt], target_len: usize, rng: &mut R) -> Vec<Pkt> {
         assert!(target_len >= 1);
         if pkts.len() <= target_len {
             return rezero(pkts.to_vec());
@@ -63,7 +61,12 @@ impl SamplingMethod {
             SamplingMethod::FixedStep => {
                 let step = (pkts.len() / target_len).max(1);
                 let offset = rng.random_range(0..step);
-                pkts.iter().copied().skip(offset).step_by(step).take(target_len).collect()
+                pkts.iter()
+                    .copied()
+                    .skip(offset)
+                    .step_by(step)
+                    .take(target_len)
+                    .collect()
             }
             SamplingMethod::Random => {
                 // Reservoir-free exact sampling: choose indices by a
@@ -93,7 +96,9 @@ impl SamplingMethod {
         count: usize,
         rng: &mut R,
     ) -> Vec<Vec<Pkt>> {
-        (0..count).map(|_| self.sample(pkts, target_len, rng)).collect()
+        (0..count)
+            .map(|_| self.sample(pkts, target_len, rng))
+            .collect()
     }
 }
 
@@ -116,7 +121,9 @@ mod tests {
     use trafficgen::types::Direction;
 
     fn pkts(n: usize) -> Vec<Pkt> {
-        (0..n).map(|i| Pkt::data(i as f64 * 0.1, i as u16 % 1500, Direction::Downstream)).collect()
+        (0..n)
+            .map(|i| Pkt::data(i as f64 * 0.1, i as u16 % 1500, Direction::Downstream))
+            .collect()
     }
 
     fn rng() -> StdRng {
@@ -150,7 +157,10 @@ mod tests {
         let mut r = rng();
         let sub = SamplingMethod::FixedStep.sample(&flow, 10, &mut r);
         // Steps of 10: consecutive sampled sizes differ by 10.
-        let diffs: Vec<i32> = sub.windows(2).map(|w| w[1].size as i32 - w[0].size as i32).collect();
+        let diffs: Vec<i32> = sub
+            .windows(2)
+            .map(|w| w[1].size as i32 - w[0].size as i32)
+            .collect();
         assert!(diffs.iter().all(|&d| d == 10), "{diffs:?}");
     }
 
@@ -159,7 +169,10 @@ mod tests {
         let flow = pkts(100);
         let mut r = rng();
         let sub = SamplingMethod::Incremental.sample(&flow, 10, &mut r);
-        let diffs: Vec<i32> = sub.windows(2).map(|w| w[1].size as i32 - w[0].size as i32).collect();
+        let diffs: Vec<i32> = sub
+            .windows(2)
+            .map(|w| w[1].size as i32 - w[0].size as i32)
+            .collect();
         assert!(diffs.iter().all(|&d| d == 1), "{diffs:?}");
     }
 

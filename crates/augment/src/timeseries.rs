@@ -27,7 +27,12 @@ pub fn change_rtt<R: Rng + ?Sized>(pkts: &[Pkt], rng: &mut R) -> Vec<Pkt> {
 
 /// Change RTT with an explicit scale factor (for tests and ablations).
 pub fn change_rtt_with(pkts: &[Pkt], alpha: f64) -> Vec<Pkt> {
-    pkts.iter().map(|p| Pkt { ts: p.ts * alpha, ..*p }).collect()
+    pkts.iter()
+        .map(|p| Pkt {
+            ts: p.ts * alpha,
+            ..*p
+        })
+        .collect()
 }
 
 /// Time shift: translate all timestamps by `b ~ U[-1, 1]` seconds.
@@ -42,7 +47,12 @@ pub fn time_shift<R: Rng + ?Sized>(pkts: &[Pkt], rng: &mut R) -> Vec<Pkt> {
 
 /// Time shift with an explicit offset (for tests and ablations).
 pub fn time_shift_with(pkts: &[Pkt], b: f64) -> Vec<Pkt> {
-    pkts.iter().map(|p| Pkt { ts: (p.ts + b).max(0.0), ..*p }).collect()
+    pkts.iter()
+        .map(|p| Pkt {
+            ts: (p.ts + b).max(0.0),
+            ..*p
+        })
+        .collect()
 }
 
 /// Packet loss: drop each packet independently with probability
@@ -79,7 +89,9 @@ mod tests {
     use trafficgen::types::Direction;
 
     fn series(n: usize) -> Vec<Pkt> {
-        (0..n).map(|i| Pkt::data(i as f64 * 0.5, 100 + i as u16, Direction::Downstream)).collect()
+        (0..n)
+            .map(|i| Pkt::data(i as f64 * 0.5, 100 + i as u16, Direction::Downstream))
+            .collect()
     }
 
     fn rng() -> StdRng {

@@ -1,12 +1,6 @@
 //! Property-based tests of augmentation invariants.
 
-use augment::subflow::{SamplingMethod, ALL_SAMPLING_METHODS};
-use augment::{image, timeseries, Augmentation, ALL_AUGMENTATIONS};
-use flowpic::{Flowpic, FlowpicConfig};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use trafficgen::types::{Direction, Pkt};
 
 prop_compose! {
     fn arb_pkts(max: usize)(

@@ -1,0 +1,78 @@
+//! Data-parallel scaling of nettensor's [`BatchEngine`].
+//!
+//! Measures one full forward + backward over a mini-batch at 1, 2, 4 and
+//! 8 batch workers, for the two architectures whose step time dominates
+//! campaign wall-clock:
+//!
+//! * the mini (LeNet-5) net on a 32-sample batch of 32×32 flowpics — the
+//!   paper's standard setting;
+//! * the full-flowpic (strided) family at a reduced 300×300 resolution,
+//!   batch 8 — same stack as 1500×1500, scaled for bench runtime.
+//!
+//! The determinism contract makes every variant produce bit-identical
+//! losses and gradients, so these benches compare *only* wall-clock.
+//! Results belong in `bench_results/` next to the other runs, with the
+//! host's core count noted: on a single-core container every worker
+//! count collapses onto the same thread and no speedup can appear.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nettensor::loss::cross_entropy;
+use nettensor::{BatchEngine, Sequential, Tensor};
+use tcbench::arch::supervised_net;
+
+fn step(engine: &BatchEngine, net: &Sequential, x: &Tensor, y: &[usize], salt: u64) -> f32 {
+    let (logits, tapes) = engine.forward(net, x, true, salt);
+    let (loss, grad) = cross_entropy(&logits, y);
+    let mut grads = net.grad_store();
+    engine.backward(net, &tapes, &grad, &mut grads);
+    loss
+}
+
+fn bench_engine_mini(c: &mut Criterion) {
+    let net = supervised_net(32, 5, true, 1);
+    let x = Tensor::kaiming_uniform(&[32, 1, 32, 32], 1, 3);
+    let y: Vec<usize> = (0..32).map(|i| i % 5).collect();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::new(workers);
+        c.bench_function(
+            &format!("engine/mini_32x32_batch32_workers{workers}"),
+            |b| {
+                let mut salt = 0u64;
+                b.iter(|| {
+                    salt += 1;
+                    black_box(step(&engine, &net, &x, &y, salt))
+                })
+            },
+        );
+    }
+}
+
+fn bench_engine_full(c: &mut Criterion) {
+    // Reduced full-flowpic resolution: same strided conv stack as
+    // 1500×1500, sized so a bench iteration stays in milliseconds.
+    let net = supervised_net(300, 5, true, 1);
+    let x = Tensor::kaiming_uniform(&[8, 1, 300, 300], 1, 3);
+    let y: Vec<usize> = (0..8).map(|i| i % 5).collect();
+    for workers in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::new(workers);
+        c.bench_function(
+            &format!("engine/full_300x300_batch8_workers{workers}"),
+            |b| {
+                let mut salt = 0u64;
+                b.iter(|| {
+                    salt += 1;
+                    black_box(step(&engine, &net, &x, &y, salt))
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine_mini, bench_engine_full
+}
+criterion_main!(benches);

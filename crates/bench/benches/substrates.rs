@@ -11,7 +11,7 @@ use flowpic::{Flowpic, FlowpicConfig, Normalization};
 use gbdt::{GbdtClassifier, GbdtConfig};
 use nettensor::layers::{Conv2d, Layer};
 use nettensor::loss::NtXent;
-use nettensor::Tensor;
+use nettensor::{Tape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trafficgen::process::generate_pkts;
@@ -67,16 +67,22 @@ fn bench_nn(c: &mut Criterion) {
     // LeNet first conv on a 32-sample batch — the campaign's hot loop.
     let x = Tensor::kaiming_uniform(&[32, 1, 32, 32], 1, 5);
     c.bench_function("nn/conv2d_forward_batch32_32x32", |b| {
-        let mut conv = Conv2d::new(1, 6, 5, 1);
-        b.iter(|| black_box(conv.forward(&x, true)))
+        let conv = Conv2d::new(1, 6, 5, 1);
+        b.iter(|| black_box(conv.forward(&x, true, &mut Tape::new())))
     });
     c.bench_function("nn/conv2d_backward_batch32_32x32", |b| {
-        let mut conv = Conv2d::new(1, 6, 5, 1);
-        let out = conv.forward(&x, true);
+        let conv = Conv2d::new(1, 6, 5, 1);
+        let mut tape = Tape::new();
+        let out = conv.forward(&x, true, &mut tape);
         let grad = Tensor::new(&out.shape, vec![1.0; out.len()]);
+        let mut grads: Vec<Tensor> = conv
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape))
+            .collect();
         b.iter_batched(
             || grad.clone(),
-            |g| black_box(conv.backward(&g)),
+            |g| black_box(conv.backward(&tape.entries[0], &g, &mut grads)),
             BatchSize::SmallInput,
         )
     });
@@ -88,22 +94,26 @@ fn bench_nn(c: &mut Criterion) {
 }
 
 fn bench_training_step(c: &mut Criterion) {
-    use tcbench::arch::supervised_net;
     use nettensor::loss::cross_entropy;
     use nettensor::optim::{Adam, Optimizer};
+    use tcbench::arch::supervised_net;
     // One full supervised step (fwd + bwd + Adam) on a 32-sample batch —
     // the unit the campaign wall-clock estimates multiply.
     c.bench_function("train/supervised_step_batch32_32x32", |b| {
         let mut net = supervised_net(32, 5, true, 1);
         let mut opt = Adam::new(0.001);
+        let mut grads = net.grad_store();
         let x = Tensor::kaiming_uniform(&[32, 1, 32, 32], 1, 3);
         let y: Vec<usize> = (0..32).map(|i| i % 5).collect();
+        let mut step = 0u64;
         b.iter(|| {
-            let logits = net.forward(&x, true);
+            step += 1;
+            let mut tape = Tape::with_context(step, 0);
+            let logits = net.forward(&x, true, &mut tape);
             let (loss, grad) = cross_entropy(&logits, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(&mut net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            opt.step(&mut net, &grads);
             black_box(loss)
         })
     });
@@ -111,14 +121,16 @@ fn bench_training_step(c: &mut Criterion) {
     c.bench_function("train/timeseries_step_batch32_len30", |b| {
         let mut net = timeseries_net(30, 5, 1);
         let mut opt = Adam::new(0.001);
+        let mut grads = net.grad_store();
         let x = Tensor::kaiming_uniform(&[32, 3, 30], 1, 3);
         let y: Vec<usize> = (0..32).map(|i| i % 5).collect();
         b.iter(|| {
-            let logits = net.forward(&x, true);
+            let mut tape = Tape::new();
+            let logits = net.forward(&x, true, &mut tape);
             let (loss, grad) = cross_entropy(&logits, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(&mut net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            opt.step(&mut net, &grads);
             black_box(loss)
         })
     });
@@ -130,13 +142,22 @@ fn bench_gbdt(c: &mut Criterion) {
     let x: Vec<Vec<f32>> = (0..200)
         .map(|i| {
             (0..30)
-                .map(|j| if (i + j) % 5 == 0 { rng.random::<f32>() * 3.0 } else { 0.0 })
+                .map(|j| {
+                    if (i + j) % 5 == 0 {
+                        rng.random::<f32>() * 3.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
     let y: Vec<usize> = (0..200).map(|i| i % 5).collect();
     c.bench_function("gbdt/fit_200x30_5classes_10rounds", |b| {
-        let cfg = GbdtConfig { n_rounds: 10, ..Default::default() };
+        let cfg = GbdtConfig {
+            n_rounds: 10,
+            ..Default::default()
+        };
         b.iter(|| black_box(GbdtClassifier::fit(&x, &y, 5, &cfg)))
     });
 }

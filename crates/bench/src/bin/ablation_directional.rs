@@ -53,7 +53,11 @@ fn main() {
 
     let mut cells = Vec::new();
     for directional in [false, true] {
-        let variant = if directional { "direction-aware (2ch)" } else { "direction-blind (1ch)" };
+        let variant = if directional {
+            "direction-aware (2ch)"
+        } else {
+            "direction-blind (1ch)"
+        };
         eprintln!("  {variant}...");
         let script = build(&ds, &script_idx, directional, &fpcfg);
         let human = build(&ds, &human_idx, directional, &fpcfg);
@@ -74,9 +78,9 @@ fn main() {
                 let mut net =
                     supervised_net_with_channels(32, channels, ds.num_classes(), true, seed);
                 trainer.train(&mut net, &train, Some(&val));
-                s_accs.push(100.0 * trainer.evaluate(&mut net, &script).accuracy);
-                h_accs.push(100.0 * trainer.evaluate(&mut net, &human).accuracy);
-                l_accs.push(100.0 * trainer.evaluate(&mut net, &leftover).accuracy);
+                s_accs.push(100.0 * trainer.evaluate(&net, &script).accuracy);
+                h_accs.push(100.0 * trainer.evaluate(&net, &human).accuracy);
+                l_accs.push(100.0 * trainer.evaluate(&net, &leftover).accuracy);
             }
         }
         cells.push(VariantCell {

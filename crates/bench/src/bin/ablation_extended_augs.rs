@@ -26,8 +26,11 @@ fn main() {
     let (k, s) = opts.campaign();
     eprintln!("ablation_extended_augs: {k} splits x {s} seeds x 10 augmentations");
 
-    let augs: Vec<augment::Augmentation> =
-        ALL_AUGMENTATIONS.iter().chain(EXTENDED_AUGMENTATIONS.iter()).copied().collect();
+    let augs: Vec<augment::Augmentation> = ALL_AUGMENTATIONS
+        .iter()
+        .chain(EXTENDED_AUGMENTATIONS.iter())
+        .copied()
+        .collect();
     let mut cells: Vec<CellResult> = Vec::new();
     for &aug in &augs {
         eprintln!("  {}...", aug.name());
@@ -53,7 +56,12 @@ fn main() {
     let names: Vec<&str> = augs.iter().map(|a| a.name()).collect();
     let n_runs = cells.iter().map(|c| c.runs.len()).min().unwrap();
     let blocks: Vec<Vec<f64>> = (0..n_runs)
-        .map(|run| cells.iter().map(|c| c.accuracies_pct("human")[run]).collect())
+        .map(|run| {
+            cells
+                .iter()
+                .map(|c| c.accuracies_pct("human")[run])
+                .collect()
+        })
         .collect();
     let cd = CriticalDistance::analyze(&names, &blocks, 0.05);
     println!("critical-distance analysis (human):");

@@ -40,7 +40,10 @@ fn main() {
     let opts = BenchOpts::from_args();
     let n_runs = if opts.paper { 10 } else { 3 };
     let cfg = IscxConfig::default_config();
-    eprintln!("ablation_iscx_leakage: {} flows/class, {n_runs} runs per protocol", cfg.flows_per_class);
+    eprintln!(
+        "ablation_iscx_leakage: {} flows/class, {n_runs} runs per protocol",
+        cfg.flows_per_class
+    );
 
     let ds = IscxSim::new(cfg).generate(opts.seed);
     let (windows, parents) = slice_dataset(&ds, 15.0, 10);
@@ -51,7 +54,12 @@ fn main() {
     );
     let fpcfg = FlowpicConfig::mini();
     let norm = Normalization::LogMax;
-    let all = FlowpicDataset::from_flows(&windows, &(0..windows.flows.len()).collect::<Vec<_>>(), &fpcfg, norm);
+    let all = FlowpicDataset::from_flows(
+        &windows,
+        &(0..windows.flows.len()).collect::<Vec<_>>(),
+        &fpcfg,
+        norm,
+    );
 
     let mut cells = Vec::new();
     for protocol in ["window-level (leaky)", "flow-level (honest)"] {
@@ -62,7 +70,8 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = windows.flows.len();
             // Build the train/test index split under the protocol.
-            let (train_idx, test_idx): (Vec<usize>, Vec<usize>) = if protocol.starts_with("window") {
+            let (train_idx, test_idx): (Vec<usize>, Vec<usize>) = if protocol.starts_with("window")
+            {
                 let mut idx: Vec<usize> = (0..n).collect();
                 idx.shuffle(&mut rng);
                 let cut = (n as f64 * 0.8) as usize;
@@ -97,9 +106,12 @@ fn main() {
             });
             let mut net = supervised_net(32, windows.num_classes(), true, seed);
             trainer.train(&mut net, &train, Some(&val));
-            accs.push(100.0 * trainer.evaluate(&mut net, &test).accuracy);
+            accs.push(100.0 * trainer.evaluate(&net, &test).accuracy);
         }
-        cells.push(ProtocolCell { protocol: protocol.to_string(), accuracy: accs });
+        cells.push(ProtocolCell {
+            protocol: protocol.to_string(),
+            accuracy: accs,
+        });
     }
 
     let mut table = Table::new(
@@ -107,7 +119,10 @@ fn main() {
         &["Evaluation protocol", "accuracy"],
     );
     for c in &cells {
-        table.push_row(vec![c.protocol.clone(), MeanCi::ci95(&c.accuracy).to_string()]);
+        table.push_row(vec![
+            c.protocol.clone(),
+            MeanCi::ci95(&c.accuracy).to_string(),
+        ]);
     }
     println!("{}", table.render());
     let leaky = MeanCi::ci95(&cells[0].accuracy).mean;

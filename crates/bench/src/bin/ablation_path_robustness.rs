@@ -85,7 +85,11 @@ fn main() {
         rate_bps: Some(60_000.0),
         bucket_bytes: 40_000.0,
     };
-    let broken_path = PathModel { loss: 0.30, jitter_s: 1.5, ..degraded_path };
+    let broken_path = PathModel {
+        loss: 0.30,
+        jitter_s: 1.5,
+        ..degraded_path
+    };
     let long_haul = degraded_set(&ds, &script_idx, &degraded_path, &fpcfg, opts.seed);
     let congested = degraded_set(&ds, &script_idx, &broken_path, &fpcfg, opts.seed ^ 1);
 
@@ -117,12 +121,17 @@ fn main() {
                 let mut net = supervised_net(32, ds.num_classes(), true, seed);
                 trainer.train(&mut net, &train, Some(&val));
                 for (j, test) in [&clean, &long_haul, &congested].iter().enumerate() {
-                    accs[j].push(100.0 * trainer.evaluate(&mut net, test).accuracy);
+                    accs[j].push(100.0 * trainer.evaluate(&net, test).accuracy);
                 }
             }
         }
         let [c, l, g] = accs;
-        rows.push(RobustnessRow { training: label.to_string(), clean: c, long_haul: l, congested: g });
+        rows.push(RobustnessRow {
+            training: label.to_string(),
+            clean: c,
+            long_haul: l,
+            congested: g,
+        });
     }
 
     let mut table = Table::new(

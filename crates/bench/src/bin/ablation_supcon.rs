@@ -19,9 +19,9 @@ use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use mlstats::MeanCi;
 use serde::Serialize;
+use tcbench::byol::pretrain_byol;
 use tcbench::data::FlowpicDataset;
 use tcbench::report::Table;
-use tcbench::byol::pretrain_byol;
 use tcbench::simclr::{few_shot_subset, fine_tune, pretrain, pretrain_supcon, SimClrConfig};
 use tcbench::supervised::{SupervisedTrainer, TrainConfig};
 use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
@@ -43,7 +43,13 @@ fn main() {
 
     let fpcfg = FlowpicConfig::mini();
     let norm = Normalization::LogMax;
-    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let folds = per_class_folds(
+        &ds,
+        Partition::Pretraining,
+        SAMPLES_PER_CLASS,
+        splits,
+        opts.seed,
+    );
     let script_idx = ds.partition_indices(Partition::Script);
     let human_idx = ds.partition_indices(Partition::Human);
     let script = FlowpicDataset::from_flows(&ds, &script_idx, &fpcfg, norm);
@@ -62,7 +68,7 @@ fn main() {
                     seed: opts.seed + (ki * 19 + seed) as u64,
                     ..SimClrConfig::paper(opts.seed)
                 };
-                let (mut pre, _) = match objective {
+                let (pre, _) = match objective {
                     "SupCon" => {
                         pretrain_supcon(&ds, &fold.train, ViewPair::paper(), &fpcfg, norm, &config)
                     }
@@ -73,12 +79,16 @@ fn main() {
                 };
                 let shots = few_shot_subset(&ds, &fold.train, 10, config.seed ^ 0xF);
                 let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, norm);
-                let mut tuned = fine_tune(&mut pre, &labeled, config.seed);
-                s_accs.push(100.0 * trainer.evaluate(&mut tuned, &script).accuracy);
-                h_accs.push(100.0 * trainer.evaluate(&mut tuned, &human).accuracy);
+                let tuned = fine_tune(&pre, &labeled, config.seed);
+                s_accs.push(100.0 * trainer.evaluate(&tuned, &script).accuracy);
+                h_accs.push(100.0 * trainer.evaluate(&tuned, &human).accuracy);
             }
         }
-        cells.push(LossCell { objective: objective.into(), script: s_accs, human: h_accs });
+        cells.push(LossCell {
+            objective: objective.into(),
+            script: s_accs,
+            human: h_accs,
+        });
     }
 
     let mut table = Table::new(

@@ -59,14 +59,8 @@ fn main() {
         for (ki, fold) in folds.iter().enumerate() {
             for si in 0..s {
                 let seed = opts.seed + (ki * 100 + si) as u64 + aug as u64;
-                let train = TsDataset::augmented(
-                    &ds,
-                    &fold.train,
-                    aug,
-                    opts.aug_copies(),
-                    seq_len,
-                    seed,
-                );
+                let train =
+                    TsDataset::augmented(&ds, &fold.train, aug, opts.aug_copies(), seq_len, seed);
                 let mut net = timeseries_net(seq_len, ds.num_classes(), seed);
                 train_timeseries(
                     &mut net,
@@ -75,11 +69,15 @@ fn main() {
                     if opts.paper { 40 } else { 12 },
                     seed,
                 );
-                s_accs.push(100.0 * evaluate_timeseries(&mut net, &script).0);
-                h_accs.push(100.0 * evaluate_timeseries(&mut net, &human).0);
+                s_accs.push(100.0 * evaluate_timeseries(&net, &script).0);
+                h_accs.push(100.0 * evaluate_timeseries(&net, &human).0);
             }
         }
-        cells.push(TsCell { augmentation: aug.name().to_string(), script: s_accs, human: h_accs });
+        cells.push(TsCell {
+            augmentation: aug.name().to_string(),
+            script: s_accs,
+            human: h_accs,
+        });
     }
 
     let mut table = Table::new(

@@ -8,7 +8,7 @@
 //! *Google music* (periodic stripes gone — rectangle C). The
 //! `shift_distance` metric quantifies what the paper shows visually.
 
-use flowpic::render::{average_flowpic, ascii_heatmap, shift_distance, to_pgm};
+use flowpic::render::{ascii_heatmap, average_flowpic, shift_distance, to_pgm};
 use flowpic::FlowpicConfig;
 use serde::Serialize;
 use tcbench_bench::{ucdavis_dataset, BenchOpts, SAMPLES_PER_CLASS};
@@ -46,9 +46,13 @@ fn main() {
                 .map(|&i| &ds.flows[i])
                 .filter(|f| f.class == class as u16)
                 .collect();
-            let avg = average_flowpic(flows.into_iter(), &fpcfg);
-            let pgm_path =
-                format!("{}/fig4/{}_{}.pgm", opts.out_dir, row_name.replace(' ', "_"), class_name);
+            let avg = average_flowpic(flows, &fpcfg);
+            let pgm_path = format!(
+                "{}/fig4/{}_{}.pgm",
+                opts.out_dir,
+                row_name.replace(' ', "_"),
+                class_name
+            );
             if let Some(parent) = std::path::Path::new(&pgm_path).parent() {
                 std::fs::create_dir_all(parent).expect("mkdir");
             }

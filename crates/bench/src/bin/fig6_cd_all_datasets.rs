@@ -46,7 +46,11 @@ fn main() {
         eprintln!("fig6: falling back to an inline reduced replication campaign");
         // Minimal inline fallback: re-run table8 with this process.
         let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(
-            if cfg!(windows) { "table8_replication.exe" } else { "table8_replication" },
+            if cfg!(windows) {
+                "table8_replication.exe"
+            } else {
+                "table8_replication"
+            },
         ))
         .args(["--out", &opts.out_dir])
         .status();
@@ -93,8 +97,11 @@ fn main() {
                 let block: Vec<f64> = names
                     .iter()
                     .map(|n| {
-                        cells32.iter().find(|c| c.augmentation == *n).unwrap().accuracies_pct("script")
-                            [run]
+                        cells32
+                            .iter()
+                            .find(|c| c.augmentation == *n)
+                            .unwrap()
+                            .accuracies_pct("script")[run]
                     })
                     .collect();
                 blocks.push(block.clone());
@@ -106,7 +113,10 @@ fn main() {
 
     // Fig. 6: pooled critical-distance analysis.
     let cd = CriticalDistance::analyze(&names, &blocks, 0.05);
-    println!("== Fig. 6 — critical distance across all datasets ({} blocks) ==", blocks.len());
+    println!(
+        "== Fig. 6 — critical distance across all datasets ({} blocks) ==",
+        blocks.len()
+    );
     println!("{}", cd.ascii_plot());
 
     // Fig. 7: average rank per augmentation and dataset.
@@ -119,8 +129,7 @@ fn main() {
             .map(String::as_str)
             .collect::<Vec<_>>(),
     );
-    let per_ds_ranks: Vec<Vec<f64>> =
-        per_dataset.iter().map(|(_, b)| average_ranks(b)).collect();
+    let per_ds_ranks: Vec<Vec<f64>> = per_dataset.iter().map(|(_, b)| average_ranks(b)).collect();
     for (ai, aug) in names.iter().enumerate() {
         let mut row = vec![aug.to_string()];
         for ranks in &per_ds_ranks {
@@ -134,5 +143,8 @@ fn main() {
          significantly separated from the image augmentations but not from each other"
     );
 
-    opts.write_result("fig6_cd_all_datasets", &(cd, per_dataset.iter().map(|(n, _)| n).collect::<Vec<_>>()));
+    opts.write_result(
+        "fig6_cd_all_datasets",
+        &(cd, per_dataset.iter().map(|(n, _)| n).collect::<Vec<_>>()),
+    );
 }

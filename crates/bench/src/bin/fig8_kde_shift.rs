@@ -50,7 +50,11 @@ fn main() {
         let human = Kde::silverman(&sizes(Partition::Human, c as u16));
         println!("--- {name} ---");
         let mut grids = Vec::new();
-        for (label, kde) in [("pretraining", &pre), ("script", &script), ("human", &human)] {
+        for (label, kde) in [
+            ("pretraining", &pre),
+            ("script", &script),
+            ("human", &human),
+        ] {
             let (_, density) = kde.grid(0.0, 1500.0, grid_points);
             println!("{label:>12} |{}|", sparkline(&density));
             grids.push((label.to_string(), density));

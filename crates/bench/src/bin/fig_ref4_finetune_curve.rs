@@ -42,7 +42,13 @@ fn main() {
 
     let fpcfg = FlowpicConfig::mini();
     let norm = Normalization::LogMax;
-    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let folds = per_class_folds(
+        &ds,
+        Partition::Pretraining,
+        SAMPLES_PER_CLASS,
+        splits,
+        opts.seed,
+    );
     let script_idx = ds.partition_indices(Partition::Script);
     let human_idx = ds.partition_indices(Partition::Human);
     let script = FlowpicDataset::from_flows(&ds, &script_idx, &fpcfg, norm);
@@ -51,24 +57,33 @@ fn main() {
 
     // One SimCLR pre-training per split, reused across the whole curve —
     // only the fine-tuning budget varies.
-    let mut curve: Vec<CurvePoint> =
-        shot_counts.iter().map(|&shots| CurvePoint { shots, script: vec![], human: vec![] }).collect();
+    let mut curve: Vec<CurvePoint> = shot_counts
+        .iter()
+        .map(|&shots| CurvePoint {
+            shots,
+            script: vec![],
+            human: vec![],
+        })
+        .collect();
     for (ki, fold) in folds.iter().enumerate() {
         eprintln!("  split {}: pre-training...", ki + 1);
         let config = SimClrConfig {
             max_epochs: if opts.paper { 30 } else { 8 },
             ..SimClrConfig::paper(opts.seed + ki as u64)
         };
-        let (mut pre, _) =
-            pretrain(&ds, &fold.train, ViewPair::paper(), &fpcfg, norm, &config);
+        let (pre, _) = pretrain(&ds, &fold.train, ViewPair::paper(), &fpcfg, norm, &config);
         for (pi, &shots) in shot_counts.iter().enumerate() {
             for fs in 0..ft_seeds {
                 let seed = opts.seed + (ki * 1000 + pi * 10 + fs) as u64;
                 let labeled_idx = few_shot_subset(&ds, &fold.train, shots, seed);
                 let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, norm);
-                let mut tuned = fine_tune(&mut pre, &labeled, seed);
-                curve[pi].script.push(100.0 * trainer.evaluate(&mut tuned, &script).accuracy);
-                curve[pi].human.push(100.0 * trainer.evaluate(&mut tuned, &human).accuracy);
+                let tuned = fine_tune(&pre, &labeled, seed);
+                curve[pi]
+                    .script
+                    .push(100.0 * trainer.evaluate(&tuned, &script).accuracy);
+                curve[pi]
+                    .human
+                    .push(100.0 * trainer.evaluate(&tuned, &human).accuracy);
             }
         }
     }

@@ -17,8 +17,8 @@ use tcbench_bench::{ucdavis_dataset, BenchOpts};
 fn main() {
     let opts = BenchOpts::from_args();
     let cells: Vec<CellResult> = {
-        let loaded = load_cells(&format!("{}/table4_augmentations.json", opts.out_dir))
-            .filter(|cells| {
+        let loaded =
+            load_cells(&format!("{}/table4_augmentations.json", opts.out_dir)).filter(|cells| {
                 let mut res: Vec<usize> = cells.iter().map(|c| c.resolution).collect();
                 res.sort_unstable();
                 res.dedup();
@@ -35,7 +35,11 @@ fn main() {
                 let augs = if opts.paper {
                     ALL_AUGMENTATIONS.to_vec()
                 } else {
-                    vec![Augmentation::NoAug, Augmentation::ChangeRtt, Augmentation::TimeShift]
+                    vec![
+                        Augmentation::NoAug,
+                        Augmentation::ChangeRtt,
+                        Augmentation::TimeShift,
+                    ]
                 };
                 let mut resolutions = vec![32usize, 64];
                 if opts.paper {

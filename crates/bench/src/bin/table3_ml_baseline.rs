@@ -44,7 +44,10 @@ fn features(ds: &Dataset, indices: &[usize], input: Input) -> (Vec<Vec<f32>>, Ve
             Input::TimeSeries => early_time_series(&ds.flows[i], 10),
         })
         .collect();
-    let y = indices.iter().map(|&i| ds.flows[i].class as usize).collect();
+    let y = indices
+        .iter()
+        .map(|&i| ds.flows[i].class as usize)
+        .collect();
     (x, y)
 }
 
@@ -76,8 +79,13 @@ fn main() {
         let mut depths = Vec::new();
         // GBDT training is deterministic, so run-to-run variation comes
         // from the data splits alone: k*s distinct splits.
-        let folds =
-            per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, k * s, opts.seed);
+        let folds = per_class_folds(
+            &ds,
+            Partition::Pretraining,
+            SAMPLES_PER_CLASS,
+            k * s,
+            opts.seed,
+        );
         for fold in &folds {
             let (train_x, train_y) = features(&ds, &fold.train, input);
             let model =
@@ -96,7 +104,14 @@ fn main() {
 
     let mut table = Table::new(
         "Table 3 — baseline ML performance without augmentation (accuracy ±95% CI)",
-        &["Input (size)", "Model", "Origin", "script", "human", "avg tree depth"],
+        &[
+            "Input (size)",
+            "Model",
+            "Origin",
+            "script",
+            "human",
+            "avg tree depth",
+        ],
     );
     table.push_row(vec![
         "flowpic (32x32)".into(),

@@ -32,9 +32,17 @@ fn main() {
     // Paper: 125 experiments per cell (5 splits × 5 SimCLR seeds × 5
     // fine-tune seeds); quick: 2 × 1 × 2.
     let (splits, simclr_seeds, ft_seeds) = if opts.paper { (5, 5, 5) } else { (2, 1, 2) };
-    eprintln!("table5: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per cell");
+    eprintln!(
+        "table5: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per cell"
+    );
 
-    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let folds = per_class_folds(
+        &ds,
+        Partition::Pretraining,
+        SAMPLES_PER_CLASS,
+        splits,
+        opts.seed,
+    );
     let mut cells = Vec::new();
     for proj_dim in [30usize, 84] {
         for dropout in [true, false] {
@@ -60,7 +68,12 @@ fn main() {
                     }
                 }
             }
-            cells.push(Cell { proj_dim, dropout, script, human });
+            cells.push(Cell {
+                proj_dim,
+                dropout,
+                script,
+                human,
+            });
         }
     }
 
@@ -75,7 +88,12 @@ fn main() {
                     .iter()
                     .find(|c| c.proj_dim == proj_dim && c.dropout == dropout)
                     .unwrap();
-                MeanCi::ci95(if side == "script" { &c.script } else { &c.human }).to_string()
+                MeanCi::ci95(if side == "script" {
+                    &c.script
+                } else {
+                    &c.human
+                })
+                .to_string()
             };
             table.push_row(vec![proj_dim.to_string(), get(true), get(false)]);
         }

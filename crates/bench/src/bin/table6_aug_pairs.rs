@@ -26,9 +26,17 @@ fn main() {
     let opts = BenchOpts::from_args();
     let ds = ucdavis_dataset(&opts);
     let (splits, simclr_seeds, ft_seeds) = if opts.paper { (5, 5, 5) } else { (2, 1, 1) };
-    eprintln!("table6: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per pair");
+    eprintln!(
+        "table6: {splits} splits x {simclr_seeds} SimCLR seeds x {ft_seeds} ft seeds per pair"
+    );
 
-    let folds = per_class_folds(&ds, Partition::Pretraining, SAMPLES_PER_CLASS, splits, opts.seed);
+    let folds = per_class_folds(
+        &ds,
+        Partition::Pretraining,
+        SAMPLES_PER_CLASS,
+        splits,
+        opts.seed,
+    );
     let mut cells = Vec::new();
     for pair in ViewPair::table6_pairs() {
         eprintln!("  pair {}...", pair.label());
@@ -53,7 +61,11 @@ fn main() {
                 }
             }
         }
-        cells.push(PairCell { pair: pair.label(), script, human });
+        cells.push(PairCell {
+            pair: pair.label(),
+            script,
+            human,
+        });
     }
 
     let headers: Vec<String> = std::iter::once("Test side".to_string())
@@ -66,7 +78,14 @@ fn main() {
     for side in ["script", "human"] {
         let mut row = vec![format!("test on {side}")];
         for c in &cells {
-            row.push(MeanCi::ci95(if side == "script" { &c.script } else { &c.human }).to_string());
+            row.push(
+                MeanCi::ci95(if side == "script" {
+                    &c.script
+                } else {
+                    &c.human
+                })
+                .to_string(),
+            );
         }
         table.push_row(row);
     }

@@ -51,8 +51,7 @@ fn main() {
         let mut h_accs = Vec::new();
         for run in 0..n_runs {
             let seed = opts.seed + run as u64 * 7 + aug as u64;
-            let (train_idx, val_idx) =
-                partition_two_way(&ds, Partition::Pretraining, 0.8, seed);
+            let (train_idx, val_idx) = partition_two_way(&ds, Partition::Pretraining, 0.8, seed);
             let train = FlowpicDataset::augmented(&ds, &train_idx, aug, copies, &fpcfg, norm, seed);
             let val = FlowpicDataset::from_flows(&ds, &val_idx, &fpcfg, norm);
             let trainer = SupervisedTrainer::new(TrainConfig {
@@ -62,8 +61,8 @@ fn main() {
             // Table 7 is the w/o-dropout setting.
             let mut net = supervised_net(32, ds.num_classes(), false, seed);
             trainer.train(&mut net, &train, Some(&val));
-            s_accs.push(100.0 * trainer.evaluate(&mut net, &script).accuracy);
-            h_accs.push(100.0 * trainer.evaluate(&mut net, &human).accuracy);
+            s_accs.push(100.0 * trainer.evaluate(&net, &script).accuracy);
+            h_accs.push(100.0 * trainer.evaluate(&net, &human).accuracy);
         }
         rows.push(Row {
             setting: format!("Supervised / {}", aug.name()),
@@ -91,7 +90,11 @@ fn main() {
         s_accs.push(100.0 * out.script_acc);
         h_accs.push(100.0 * out.human_acc);
     }
-    rows.push(Row { setting: "SimCLR + fine-tuning".into(), script: s_accs, human: h_accs });
+    rows.push(Row {
+        setting: "SimCLR + fine-tuning".into(),
+        script: s_accs,
+        human: h_accs,
+    });
 
     let mut table = Table::new(
         "Table 7 — 32x32 flowpic, enlarged training set (w/o dropout)",

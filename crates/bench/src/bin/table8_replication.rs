@@ -46,7 +46,7 @@ fn run_one(ds: &Dataset, aug: Augmentation, seed: u64, opts: &BenchOpts) -> f64 
     });
     let mut net = supervised_net(32, ds.num_classes(), true, seed);
     trainer.train(&mut net, &train, Some(&val));
-    trainer.evaluate(&mut net, &test).weighted_f1
+    trainer.evaluate(&net, &test).weighted_f1
 }
 
 fn main() {

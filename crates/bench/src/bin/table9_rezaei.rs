@@ -15,8 +15,8 @@ use serde::Serialize;
 use tcbench::regression::{
     evaluate_macro, fine_tune_classifier, pretrain_regression, FeatureDataset, RegressionConfig,
 };
-use tcbench::simclr::few_shot_subset;
 use tcbench::report::Table;
+use tcbench::simclr::few_shot_subset;
 use tcbench_bench::{ucdavis_dataset, BenchOpts};
 use trafficgen::types::Partition;
 
@@ -53,16 +53,19 @@ fn main() {
                 max_epochs: if opts.paper { 30 } else { 12 },
                 ..RegressionConfig::default_with_seed(seed)
             };
-            let mut pre = pretrain_regression(&ds, &pre_idx, method, &config);
+            let pre = pretrain_regression(&ds, &pre_idx, method, &config);
             // Fine-tune with 10 labeled script flows per class; evaluate
             // on the remaining script flows and on all of human.
             let shots = few_shot_subset(&ds, &script_idx, 10, seed ^ 0xF7);
-            let rest: Vec<usize> =
-                script_idx.iter().copied().filter(|i| !shots.contains(i)).collect();
+            let rest: Vec<usize> = script_idx
+                .iter()
+                .copied()
+                .filter(|i| !shots.contains(i))
+                .collect();
             let labeled = FeatureDataset::from_flows(&ds, &shots);
-            let mut clf = fine_tune_classifier(&mut pre, &labeled, seed);
-            let (script_acc, _) = evaluate_macro(&mut clf, &FeatureDataset::from_flows(&ds, &rest));
-            let (human_acc, human_conf) = evaluate_macro(&mut clf, &human_all);
+            let clf = fine_tune_classifier(&pre, &labeled, seed);
+            let (script_acc, _) = evaluate_macro(&clf, &FeatureDataset::from_flows(&ds, &rest));
+            let (human_acc, human_conf) = evaluate_macro(&clf, &human_all);
             script_accs.push(100.0 * script_acc);
             human_accs.push(100.0 * human_acc);
             per_class.push(human_conf.per_class_recall());
@@ -82,7 +85,11 @@ fn main() {
     for side in ["script", "human"] {
         let mut row = vec![side.to_string()];
         for cell in &cells {
-            let vals = if side == "script" { &cell.script } else { &cell.human };
+            let vals = if side == "script" {
+                &cell.script
+            } else {
+                &cell.human
+            };
             row.push(MeanCi::ci95(vals).to_string());
         }
         table.push_row(row);

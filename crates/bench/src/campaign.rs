@@ -95,7 +95,8 @@ pub fn run_supervised_cell(
     for (ki, fold) in folds.iter().enumerate() {
         let leftover = FlowpicDataset::from_flows(dataset, &fold.test, &fpcfg, norm);
         for si in 0..s_seeds {
-            let seed = opts.seed
+            let seed = opts
+                .seed
                 .wrapping_mul(1000)
                 .wrapping_add((ki * 100 + si) as u64)
                 .wrapping_add(aug as u64 * 17);
@@ -116,9 +117,9 @@ pub fn run_supervised_cell(
             });
             let mut net = supervised_net(res, dataset.num_classes(), dropout, seed);
             let summary = trainer.train(&mut net, &train, Some(&val));
-            let script_eval = trainer.evaluate(&mut net, &script);
-            let human_eval = trainer.evaluate(&mut net, &human);
-            let leftover_eval = trainer.evaluate(&mut net, &leftover);
+            let script_eval = trainer.evaluate(&net, &script);
+            let human_eval = trainer.evaluate(&net, &human);
+            let leftover_eval = trainer.evaluate(&net, &leftover);
             runs.push(RunOutcome {
                 script_acc: script_eval.accuracy,
                 human_acc: human_eval.accuracy,
@@ -129,7 +130,12 @@ pub fn run_supervised_cell(
             });
         }
     }
-    CellResult { augmentation: aug.name().to_string(), resolution: res, dropout, runs }
+    CellResult {
+        augmentation: aug.name().to_string(),
+        resolution: res,
+        dropout,
+        runs,
+    }
 }
 
 /// Loads a previously saved campaign JSON (e.g.
@@ -179,10 +185,10 @@ pub fn run_simclr_experiment(
         seed: simclr_seed,
         ..SimClrConfig::paper(simclr_seed)
     };
-    let (mut pre, summary) = pretrain(dataset, pool, pair, &fpcfg, norm, &config);
+    let (pre, summary) = pretrain(dataset, pool, pair, &fpcfg, norm, &config);
     let shots = few_shot_subset(dataset, pool, ft_samples, ft_seed);
     let labeled = FlowpicDataset::from_flows(dataset, &shots, &fpcfg, norm);
-    let mut tuned = fine_tune(&mut pre, &labeled, ft_seed);
+    let tuned = fine_tune(&pre, &labeled, ft_seed);
 
     let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
     let script_idx = dataset.partition_indices(Partition::Script);
@@ -190,8 +196,8 @@ pub fn run_simclr_experiment(
     let script = FlowpicDataset::from_flows(dataset, &script_idx, &fpcfg, norm);
     let human = FlowpicDataset::from_flows(dataset, &human_idx, &fpcfg, norm);
     SimClrOutcome {
-        script_acc: trainer.evaluate(&mut tuned, &script).accuracy,
-        human_acc: trainer.evaluate(&mut tuned, &human).accuracy,
+        script_acc: trainer.evaluate(&tuned, &script).accuracy,
+        human_acc: trainer.evaluate(&tuned, &human).accuracy,
         pretrain_epochs: summary.epochs,
         best_top5: summary.best_top5,
     }

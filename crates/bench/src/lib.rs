@@ -18,8 +18,8 @@
 pub mod campaign;
 
 use serde::Serialize;
-use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 use trafficgen::types::Dataset;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 
 /// Parsed command-line options shared by all bench binaries.
 #[derive(Debug, Clone)]
@@ -39,8 +39,11 @@ impl BenchOpts {
     }
 
     fn parse(args: Vec<String>) -> BenchOpts {
-        let mut opts =
-            BenchOpts { paper: false, out_dir: "bench_results".to_string(), seed: 42 };
+        let mut opts = BenchOpts {
+            paper: false,
+            out_dir: "bench_results".to_string(),
+            seed: 42,
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -120,7 +123,11 @@ fn usage(err: &str) -> ! {
 
 /// The UCDAVIS19 simulation used by all UCDAVIS-based benches.
 pub fn ucdavis_dataset(opts: &BenchOpts) -> Dataset {
-    let cfg = if opts.paper { UcDavisConfig::paper() } else { UcDavisConfig::quick() };
+    let cfg = if opts.paper {
+        UcDavisConfig::paper()
+    } else {
+        UcDavisConfig::quick()
+    };
     UcDavisSim::new(cfg).generate(opts.seed)
 }
 
@@ -130,47 +137,6 @@ pub const SAMPLES_PER_CLASS: usize = 100;
 /// Converts a `[0,1]` metric list to percent values.
 pub fn to_percent(values: &[f64]) -> Vec<f64> {
     values.iter().map(|v| v * 100.0).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parse_defaults_and_flags() {
-        let o = BenchOpts::parse(vec![]);
-        assert!(!o.paper);
-        assert_eq!(o.seed, 42);
-        let o = BenchOpts::parse(
-            ["--paper", "--out", "x", "--seed", "7"].iter().map(|s| s.to_string()).collect(),
-        );
-        assert!(o.paper);
-        assert_eq!(o.out_dir, "x");
-        assert_eq!(o.seed, 7);
-    }
-
-    #[test]
-    fn scale_knobs() {
-        let quick = BenchOpts::parse(vec![]);
-        let paper = BenchOpts::parse(vec!["--paper".to_string()]);
-        assert!(paper.aug_copies() > quick.aug_copies());
-        assert!(paper.resolutions().len() > quick.resolutions().len());
-        assert_eq!(paper.campaign(), (5, 3));
-    }
-
-    #[test]
-    fn quick_dataset_supports_100_per_class() {
-        let o = BenchOpts::parse(vec![]);
-        let ds = ucdavis_dataset(&o);
-        let counts: Vec<usize> = {
-            let mut c = vec![0usize; 5];
-            for f in ds.partition(trafficgen::types::Partition::Pretraining) {
-                c[f.class as usize] += 1;
-            }
-            c
-        };
-        assert!(counts.iter().all(|&c| c >= SAMPLES_PER_CLASS + 50), "{counts:?}");
-    }
 }
 
 /// Builds the curated replication datasets of the paper's Table 8, in the
@@ -225,10 +191,26 @@ pub fn replication_datasets(opts: &BenchOpts) -> Vec<(String, Dataset)> {
     };
 
     vec![
-        curate("MIRAGE-22 (>10pkts)", &m22_raw, CurationPipeline::mirage(10)),
-        curate("MIRAGE-22 (>1000pkts)", &m22_raw, CurationPipeline::mirage(1000)),
-        curate("UTMOBILENET21 (>10pkts)", &ut_raw, CurationPipeline::utmobilenet()),
-        curate("MIRAGE-19 (>10pkts)", &m19_raw, CurationPipeline::mirage(10)),
+        curate(
+            "MIRAGE-22 (>10pkts)",
+            &m22_raw,
+            CurationPipeline::mirage(10),
+        ),
+        curate(
+            "MIRAGE-22 (>1000pkts)",
+            &m22_raw,
+            CurationPipeline::mirage(1000),
+        ),
+        curate(
+            "UTMOBILENET21 (>10pkts)",
+            &ut_raw,
+            CurationPipeline::utmobilenet(),
+        ),
+        curate(
+            "MIRAGE-19 (>10pkts)",
+            &m19_raw,
+            CurationPipeline::mirage(10),
+        ),
     ]
 }
 
@@ -255,5 +237,52 @@ pub fn cap_per_class(ds: &Dataset, cap: usize, seed: u64) -> Dataset {
         name: ds.name.clone(),
         class_names: ds.class_names.clone(),
         flows: keep.into_iter().map(|i| ds.flows[i].clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = BenchOpts::parse(vec![]);
+        assert!(!o.paper);
+        assert_eq!(o.seed, 42);
+        let o = BenchOpts::parse(
+            ["--paper", "--out", "x", "--seed", "7"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(o.paper);
+        assert_eq!(o.out_dir, "x");
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn scale_knobs() {
+        let quick = BenchOpts::parse(vec![]);
+        let paper = BenchOpts::parse(vec!["--paper".to_string()]);
+        assert!(paper.aug_copies() > quick.aug_copies());
+        assert!(paper.resolutions().len() > quick.resolutions().len());
+        assert_eq!(paper.campaign(), (5, 3));
+    }
+
+    #[test]
+    fn quick_dataset_supports_100_per_class() {
+        let o = BenchOpts::parse(vec![]);
+        let ds = ucdavis_dataset(&o);
+        let counts: Vec<usize> = {
+            let mut c = vec![0usize; 5];
+            for f in ds.partition(trafficgen::types::Partition::Pretraining) {
+                c[f.class as usize] += 1;
+            }
+            c
+        };
+        assert!(
+            counts.iter().all(|&c| c >= SAMPLES_PER_CLASS + 50),
+            "{counts:?}"
+        );
     }
 }

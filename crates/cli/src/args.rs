@@ -60,7 +60,8 @@ impl Flags {
 
     /// Required string value.
     pub fn require(&self, name: &str) -> Result<&str, CliError> {
-        self.get(name).ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
     }
 
     /// Parsed value with a default.

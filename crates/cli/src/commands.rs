@@ -28,7 +28,10 @@ pub fn run(subcommand: &str, args: &[String]) -> Result<String, CliError> {
         "windows" => windows(args),
         "pretrain" => pretrain_cmd(args),
         "finetune" => finetune_cmd(args),
-        other => Err(CliError::Usage(format!("unknown subcommand {other}\n\n{}", crate::USAGE))),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other}\n\n{}",
+            crate::USAGE
+        ))),
     }
 }
 
@@ -46,9 +49,11 @@ fn save_dataset(path: &str, ds: &Dataset) -> Result<(), CliError> {
 fn generate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args, &["dataset", "scale", "seed", "out"], &[])?;
     if flags.wants_help() {
-        return Ok("tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21 \
+        return Ok(
+            "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21 \
                    [--scale quick|paper|tiny] [--seed N] --out FILE"
-            .into());
+                .into(),
+        );
     }
     let seed = flags.get_parse::<u64>("seed", 42)?;
     let scale = flags.get("scale").unwrap_or("quick");
@@ -97,9 +102,11 @@ fn curate(args: &[String]) -> Result<String, CliError> {
         &["remove-acks", "remove-background", "collate"],
     )?;
     if flags.wants_help() {
-        return Ok("tcb curate --input FILE --out FILE [--min-pkts N] [--min-class-size N] \
+        return Ok(
+            "tcb curate --input FILE --out FILE [--min-pkts N] [--min-class-size N] \
                    [--remove-acks] [--remove-background] [--collate]"
-            .into());
+                .into(),
+        );
     }
     let ds = load_dataset(flags.require("input")?)?;
     let pipe = CurationPipeline {
@@ -140,7 +147,9 @@ fn stats(args: &[String]) -> Result<String, CliError> {
         ds.name,
         ds.flows.len(),
         ds.num_classes(),
-        ds.imbalance_rho().map(|r| format!("{r:.1}")).unwrap_or_else(|| "-".into()),
+        ds.imbalance_rho()
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into()),
         ds.mean_pkts()
     );
     for (name, count) in ds.class_names.iter().zip(&counts) {
@@ -228,17 +237,33 @@ pub struct SavedModel {
 
 /// `tcb train --input FILE --out MODEL [--aug NAME] [--res R] [--seed N] [--epochs N]`
 fn train(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["input", "out", "aug", "res", "seed", "epochs"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "out",
+            "aug",
+            "res",
+            "seed",
+            "epochs",
+            "batch-workers",
+        ],
+        &[],
+    )?;
     if flags.wants_help() {
-        return Ok("tcb train --input FILE --out MODEL.json [--aug no-aug|rotate|flip|\
+        return Ok(
+            "tcb train --input FILE --out MODEL.json [--aug no-aug|rotate|flip|\
                    color-jitter|packet-loss|time-shift|change-rtt] [--res 32] [--seed N] \
-                   [--epochs N]"
-            .into());
+                   [--epochs N] [--batch-workers N (0 = all cores; any value gives \
+                   bit-identical results)]"
+                .into(),
+        );
     }
     let ds = load_dataset(flags.require("input")?)?;
     let res = flags.get_parse::<usize>("res", 32)?;
     let seed = flags.get_parse::<u64>("seed", 1)?;
     let epochs = flags.get_parse::<usize>("epochs", 15)?;
+    let batch_workers = flags.get_parse::<usize>("batch-workers", 1)?;
     let aug = parse_aug(flags.get("aug").unwrap_or("no-aug"))?;
 
     // Stratified 80/10/10 over whatever partitioning the file has; the
@@ -250,16 +275,18 @@ fn train(args: &[String]) -> Result<String, CliError> {
     let split = stratified_three_way(&collated, Partition::Unpartitioned, 0.8, 0.1, seed);
     let fpcfg = FlowpicConfig::with_resolution(res);
     let norm = Normalization::LogMax;
-    let train_set =
-        FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
+    let train_set = FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
     let val = FlowpicDataset::from_flows(&collated, &split.val, &fpcfg, norm);
     let test = FlowpicDataset::from_flows(&collated, &split.test, &fpcfg, norm);
 
-    let trainer =
-        SupervisedTrainer::new(TrainConfig { max_epochs: epochs, ..TrainConfig::supervised(seed) });
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        max_epochs: epochs,
+        batch_workers,
+        ..TrainConfig::supervised(seed)
+    });
     let mut net = supervised_net(res, collated.num_classes(), true, seed);
     let summary = trainer.train(&mut net, &train_set, Some(&val));
-    let eval = trainer.evaluate(&mut net, &test);
+    let eval = trainer.evaluate(&net, &test);
 
     let model = SavedModel {
         arch: "supervised".into(),
@@ -270,7 +297,10 @@ fn train(args: &[String]) -> Result<String, CliError> {
         weights: net.export_weights(),
     };
     let out = flags.require("out")?;
-    std::fs::write(out, serde_json::to_string(&model).expect("model serializes"))?;
+    std::fs::write(
+        out,
+        serde_json::to_string(&model).expect("model serializes"),
+    )?;
     Ok(format!(
         "trained {} epochs on {} flowpics ({} augmented with {}); \
          test accuracy {:.2}%, weighted F1 {:.2}% -> {out}",
@@ -285,9 +315,9 @@ fn train(args: &[String]) -> Result<String, CliError> {
 
 /// `tcb evaluate --input FILE --model MODEL.json`
 fn evaluate(args: &[String]) -> Result<String, CliError> {
-    let flags = Flags::parse(args, &["input", "model"], &[])?;
+    let flags = Flags::parse(args, &["input", "model", "batch-workers"], &[])?;
     if flags.wants_help() {
-        return Ok("tcb evaluate --input FILE --model MODEL.json".into());
+        return Ok("tcb evaluate --input FILE --model MODEL.json [--batch-workers N]".into());
     }
     let ds = load_dataset(flags.require("input")?)?;
     let raw = std::fs::read_to_string(flags.require("model")?)?;
@@ -307,10 +337,15 @@ fn evaluate(args: &[String]) -> Result<String, CliError> {
     };
     net.import_weights(&model.weights);
     let fpcfg = FlowpicConfig::with_resolution(model.resolution);
-    let indices: Vec<usize> = (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
+    let indices: Vec<usize> = (0..ds.flows.len())
+        .filter(|&i| !ds.flows[i].background)
+        .collect();
     let data = FlowpicDataset::from_flows(&ds, &indices, &fpcfg, Normalization::LogMax);
-    let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
-    let eval = trainer.evaluate(&mut net, &data);
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        batch_workers: flags.get_parse::<usize>("batch-workers", 1)?,
+        ..TrainConfig::supervised(0)
+    });
+    let eval = trainer.evaluate(&net, &data);
     let names: Vec<&str> = model.class_names.iter().map(String::as_str).collect();
     Ok(format!(
         "evaluated {} flows: accuracy {:.2}%, weighted F1 {:.2}%\n{}",
@@ -340,29 +375,65 @@ fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
     use augment::ViewPair;
     use tcbench::byol::pretrain_byol;
     use tcbench::simclr::{pretrain, pretrain_supcon, SimClrConfig};
-    let flags = Flags::parse(args, &["input", "out", "objective", "res", "epochs", "seed"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "out",
+            "objective",
+            "res",
+            "epochs",
+            "seed",
+            "batch-workers",
+        ],
+        &[],
+    )?;
     if flags.wants_help() {
         return Ok("tcb pretrain --input FILE --out PRE.json \
-                   [--objective simclr|supcon|byol] [--res 32] [--epochs N] [--seed N]"
+                   [--objective simclr|supcon|byol] [--res 32] [--epochs N] [--seed N] \
+                   [--batch-workers N]"
             .into());
     }
     let ds = load_dataset(flags.require("input")?)?;
     let res = flags.get_parse::<usize>("res", 32)?;
     let seed = flags.get_parse::<u64>("seed", 1)?;
     let epochs = flags.get_parse::<usize>("epochs", 10)?;
+    let batch_workers = flags.get_parse::<usize>("batch-workers", 1)?;
     let objective = flags.get("objective").unwrap_or("simclr").to_string();
     let fpcfg = FlowpicConfig::with_resolution(res);
-    let config = SimClrConfig { max_epochs: epochs, ..SimClrConfig::paper(seed) };
-    let indices: Vec<usize> =
-        (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
-    let (mut net, summary) = match objective.as_str() {
-        "simclr" => pretrain(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config),
-        "supcon" => {
-            pretrain_supcon(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config)
-        }
-        "byol" => {
-            pretrain_byol(&ds, &indices, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config)
-        }
+    let config = SimClrConfig {
+        max_epochs: epochs,
+        batch_workers,
+        ..SimClrConfig::paper(seed)
+    };
+    let indices: Vec<usize> = (0..ds.flows.len())
+        .filter(|&i| !ds.flows[i].background)
+        .collect();
+    let (net, summary) = match objective.as_str() {
+        "simclr" => pretrain(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+        ),
+        "supcon" => pretrain_supcon(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+        ),
+        "byol" => pretrain_byol(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+        ),
         other => return Err(CliError::Usage(format!("unknown objective {other}"))),
     };
     let saved = SavedPretrained {
@@ -372,7 +443,10 @@ fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
         weights: net.export_weights(),
     };
     let out = flags.require("out")?;
-    std::fs::write(out, serde_json::to_string(&saved).expect("model serializes"))?;
+    std::fs::write(
+        out,
+        serde_json::to_string(&saved).expect("model serializes"),
+    )?;
     Ok(format!(
         "pre-trained {objective} on {} flows for {} epochs (final loss {:.3}) -> {out}",
         indices.len(),
@@ -388,9 +462,11 @@ fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
     use tcbench::simclr::{few_shot_subset, fine_tune};
     let flags = Flags::parse(args, &["input", "pretrained", "out", "shots", "seed"], &[])?;
     if flags.wants_help() {
-        return Ok("tcb finetune --input FILE --pretrained PRE.json --out MODEL.json \
+        return Ok(
+            "tcb finetune --input FILE --pretrained PRE.json --out MODEL.json \
                    [--shots 10] [--seed N]"
-            .into());
+                .into(),
+        );
     }
     let ds = load_dataset(flags.require("input")?)?;
     let raw = std::fs::read_to_string(flags.require("pretrained")?)?;
@@ -405,17 +481,23 @@ fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
 
     let seed = flags.get_parse::<u64>("seed", 2)?;
     let shots = flags.get_parse::<usize>("shots", 10)?;
-    let pool: Vec<usize> = (0..ds.flows.len()).filter(|&i| !ds.flows[i].background).collect();
+    let pool: Vec<usize> = (0..ds.flows.len())
+        .filter(|&i| !ds.flows[i].background)
+        .collect();
     let labeled_idx = few_shot_subset(&ds, &pool, shots, seed);
     let fpcfg = FlowpicConfig::with_resolution(saved.resolution);
     let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, Normalization::LogMax);
-    let mut tuned = fine_tune(&mut pre, &labeled, seed);
+    let tuned = fine_tune(&pre, &labeled, seed);
 
     // Evaluate on everything outside the labeled subset.
-    let rest: Vec<usize> = pool.iter().copied().filter(|i| !labeled_idx.contains(i)).collect();
+    let rest: Vec<usize> = pool
+        .iter()
+        .copied()
+        .filter(|i| !labeled_idx.contains(i))
+        .collect();
     let test = FlowpicDataset::from_flows(&ds, &rest, &fpcfg, Normalization::LogMax);
     let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
-    let eval = trainer.evaluate(&mut tuned, &test);
+    let eval = trainer.evaluate(&tuned, &test);
 
     let model = SavedModel {
         arch: "finetune".into(),
@@ -426,7 +508,10 @@ fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
         weights: tuned.export_weights(),
     };
     let out = flags.require("out")?;
-    std::fs::write(out, serde_json::to_string(&model).expect("model serializes"))?;
+    std::fs::write(
+        out,
+        serde_json::to_string(&model).expect("model serializes"),
+    )?;
     Ok(format!(
         "fine-tuned with {shots} labeled flows/class; held-out accuracy {:.2}% -> {out}\n\
          note: the saved model evaluates with `tcb evaluate` only on datasets of the\n\
@@ -500,7 +585,16 @@ mod tests {
         let path = tmp("gen.flowrec");
         let msg = run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "3", "--out", &path]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "3",
+                "--out",
+                &path,
+            ]),
         )
         .unwrap();
         assert!(msg.contains("ucdavis19"));
@@ -514,7 +608,16 @@ mod tests {
         let raw = tmp("m19.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "mirage19", "--scale", "tiny", "--seed", "1", "--out", &raw]),
+            &argv(&[
+                "--dataset",
+                "mirage19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &raw,
+            ]),
         )
         .unwrap();
         let out = tmp("m19-cur.flowrec");
@@ -544,16 +647,32 @@ mod tests {
         let path = tmp("uc2.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "9", "--out", &path]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "9",
+                "--out",
+                &path,
+            ]),
         )
         .unwrap();
-        let art = run("flowpic", &argv(&["--input", &path, "--flow", "0", "--res", "16"])).unwrap();
+        let art = run(
+            "flowpic",
+            &argv(&["--input", &path, "--flow", "0", "--res", "16"]),
+        )
+        .unwrap();
         assert!(art.contains("class"), "{art}");
         assert!(art.lines().count() > 16);
 
         let pcap = tmp("flow0.pcap");
-        let msg =
-            run("export-pcap", &argv(&["--input", &path, "--flow", "0", "--out", &pcap])).unwrap();
+        let msg = run(
+            "export-pcap",
+            &argv(&["--input", &path, "--flow", "0", "--out", &pcap]),
+        )
+        .unwrap();
         assert!(msg.contains("packets"), "{msg}");
         // The written pcap parses back.
         let bytes = std::fs::read(&pcap).unwrap();
@@ -565,15 +684,34 @@ mod tests {
         let path = tmp("train.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "4", "--out", &path]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
         )
         .unwrap();
         let model = tmp("model.json");
         let msg = run(
             "train",
             &argv(&[
-                "--input", &path, "--out", &model, "--aug", "change-rtt", "--res", "16",
-                "--epochs", "3", "--seed", "2",
+                "--input",
+                &path,
+                "--out",
+                &model,
+                "--aug",
+                "change-rtt",
+                "--res",
+                "16",
+                "--epochs",
+                "3",
+                "--seed",
+                "2",
             ]),
         )
         .unwrap();
@@ -587,8 +725,11 @@ mod tests {
     fn helpful_errors() {
         assert!(run("bogus", &[]).is_err());
         assert!(run("generate", &argv(&["--dataset", "nope", "--out", "/tmp/x"])).is_err());
-        assert!(run("train", &argv(&["--input", "/definitely/missing", "--out", "/tmp/x"]))
-            .is_err());
+        assert!(run(
+            "train",
+            &argv(&["--input", "/definitely/missing", "--out", "/tmp/x"])
+        )
+        .is_err());
         let help = run("curate", &argv(&["--help"])).unwrap();
         assert!(help.contains("--min-pkts"));
     }
@@ -613,13 +754,31 @@ mod window_tests {
         let path = tmp("win-src.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "6", "--out", &path]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "6",
+                "--out",
+                &path,
+            ]),
         )
         .unwrap();
         let out = tmp("win-out.flowrec");
         let msg = run(
             "windows",
-            &argv(&["--input", &path, "--out", &out, "--window-s", "5", "--min-pkts", "2"]),
+            &argv(&[
+                "--input",
+                &path,
+                "--out",
+                &out,
+                "--window-s",
+                "5",
+                "--min-pkts",
+                "2",
+            ]),
         )
         .unwrap();
         assert!(msg.contains("sliced"), "{msg}");
@@ -633,7 +792,16 @@ mod window_tests {
         let path = tmp("win-src2.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "6", "--out", &path]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "6",
+                "--out",
+                &path,
+            ]),
         )
         .unwrap();
         assert!(run(
@@ -663,15 +831,34 @@ mod contrastive_cli_tests {
         let data = tmp("pre-src.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "8", "--out", &data]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "8",
+                "--out",
+                &data,
+            ]),
         )
         .unwrap();
         let pre = tmp("pre.json");
         let msg = run(
             "pretrain",
             &argv(&[
-                "--input", &data, "--out", &pre, "--objective", "simclr", "--res", "16",
-                "--epochs", "2", "--seed", "3",
+                "--input",
+                &data,
+                "--out",
+                &pre,
+                "--objective",
+                "simclr",
+                "--res",
+                "16",
+                "--epochs",
+                "2",
+                "--seed",
+                "3",
             ]),
         )
         .unwrap();
@@ -679,7 +866,16 @@ mod contrastive_cli_tests {
         let model = tmp("tuned.json");
         let msg = run(
             "finetune",
-            &argv(&["--input", &data, "--pretrained", &pre, "--out", &model, "--shots", "4"]),
+            &argv(&[
+                "--input",
+                &data,
+                "--pretrained",
+                &pre,
+                "--out",
+                &model,
+                "--shots",
+                "4",
+            ]),
         )
         .unwrap();
         assert!(msg.contains("fine-tuned"), "{msg}");
@@ -692,7 +888,16 @@ mod contrastive_cli_tests {
         let data = tmp("pre-src2.flowrec");
         run(
             "generate",
-            &argv(&["--dataset", "ucdavis19", "--scale", "tiny", "--seed", "8", "--out", &data]),
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "8",
+                "--out",
+                &data,
+            ]),
         )
         .unwrap();
         assert!(run(

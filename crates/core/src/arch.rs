@@ -14,7 +14,9 @@
 //! transplant the first [`EXTRACTOR_DEPTH`] layers of a SimCLR network
 //! verbatim.
 
-use nettensor::layers::{BatchNorm1d, Conv2d, Dropout, Flatten, Identity, Layer, Linear, MaxPool2d, ReLU};
+use nettensor::layers::{
+    BatchNorm1d, Conv2d, Dropout, Flatten, Identity, Layer, Linear, MaxPool2d, ReLU,
+};
 use nettensor::Sequential;
 
 /// Which of the paper's two CNN families a resolution uses.
@@ -46,7 +48,12 @@ pub const EXTRACTOR_DEPTH: usize = 10;
 /// Latent dimension produced by the extractor (`h = f(flowpic)`).
 pub const LATENT_DIM: usize = 120;
 
-fn conv_stack(res: usize, in_channels: usize, dropout: bool, seed: u64) -> (Vec<Box<dyn Layer>>, usize) {
+fn conv_stack(
+    res: usize,
+    in_channels: usize,
+    dropout: bool,
+    seed: u64,
+) -> (Vec<Box<dyn Layer>>, usize) {
     match family_for_resolution(res) {
         ArchFamily::Mini => {
             // LeNet-5: conv(1→6,5) pool conv(6→16,5) pool.
@@ -118,7 +125,11 @@ pub fn supervised_net_with_channels(
     seed: u64,
 ) -> Sequential {
     let (mut layers, flat) = conv_stack(res, in_channels, dropout, seed);
-    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(Linear::new(
+        flat,
+        LATENT_DIM,
+        seed.wrapping_add(4),
+    )));
     layers.push(Box::new(ReLU::new()));
     match family_for_resolution(res) {
         ArchFamily::Mini => {
@@ -139,7 +150,11 @@ pub fn supervised_net_with_channels(
             } else {
                 Box::new(Identity::new())
             });
-            layers.push(Box::new(Linear::new(LATENT_DIM, n_classes, seed.wrapping_add(7))));
+            layers.push(Box::new(Linear::new(
+                LATENT_DIM,
+                n_classes,
+                seed.wrapping_add(7),
+            )));
         }
     }
     Sequential::new(layers)
@@ -151,12 +166,24 @@ pub fn supervised_net_with_channels(
 /// 30; the replication ablates 84.
 pub fn simclr_net(res: usize, proj_dim: usize, dropout: bool, seed: u64) -> Sequential {
     let (mut layers, flat) = conv_stack(res, 1, dropout, seed);
-    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(Linear::new(
+        flat,
+        LATENT_DIM,
+        seed.wrapping_add(4),
+    )));
     layers.push(Box::new(ReLU::new()));
-    layers.push(Box::new(Linear::new(LATENT_DIM, LATENT_DIM, seed.wrapping_add(5))));
+    layers.push(Box::new(Linear::new(
+        LATENT_DIM,
+        LATENT_DIM,
+        seed.wrapping_add(5),
+    )));
     layers.push(Box::new(ReLU::new()));
     layers.push(Box::new(Identity::new()));
-    layers.push(Box::new(Linear::new(LATENT_DIM, proj_dim, seed.wrapping_add(7))));
+    layers.push(Box::new(Linear::new(
+        LATENT_DIM,
+        proj_dim,
+        seed.wrapping_add(7),
+    )));
     Sequential::new(layers)
 }
 
@@ -168,12 +195,24 @@ pub fn simclr_net(res: usize, proj_dim: usize, dropout: bool, seed: u64) -> Sequ
 /// fine-tuning transplants work unchanged.
 pub fn byol_net(res: usize, proj_dim: usize, dropout: bool, seed: u64) -> Sequential {
     let (mut layers, flat) = conv_stack(res, 1, dropout, seed);
-    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(Linear::new(
+        flat,
+        LATENT_DIM,
+        seed.wrapping_add(4),
+    )));
     layers.push(Box::new(ReLU::new()));
-    layers.push(Box::new(Linear::new(LATENT_DIM, LATENT_DIM, seed.wrapping_add(5))));
+    layers.push(Box::new(Linear::new(
+        LATENT_DIM,
+        LATENT_DIM,
+        seed.wrapping_add(5),
+    )));
     layers.push(Box::new(BatchNorm1d::new(LATENT_DIM)));
     layers.push(Box::new(ReLU::new()));
-    layers.push(Box::new(Linear::new(LATENT_DIM, proj_dim, seed.wrapping_add(7))));
+    layers.push(Box::new(Linear::new(
+        LATENT_DIM,
+        proj_dim,
+        seed.wrapping_add(7),
+    )));
     Sequential::new(layers)
 }
 
@@ -195,12 +234,20 @@ pub fn byol_predictor(proj_dim: usize, seed: u64) -> Sequential {
 /// fine-tuning.
 pub fn finetune_net(res: usize, n_classes: usize, seed: u64) -> Sequential {
     let (mut layers, flat) = conv_stack(res, 1, false, seed);
-    layers.push(Box::new(Linear::new(flat, LATENT_DIM, seed.wrapping_add(4))));
+    layers.push(Box::new(Linear::new(
+        flat,
+        LATENT_DIM,
+        seed.wrapping_add(4),
+    )));
     layers.push(Box::new(ReLU::new()));
     layers.push(Box::new(Identity::new()));
     layers.push(Box::new(Identity::new()));
     layers.push(Box::new(Identity::new()));
-    layers.push(Box::new(Linear::new(LATENT_DIM, n_classes, seed.wrapping_add(7))));
+    layers.push(Box::new(Linear::new(
+        LATENT_DIM,
+        n_classes,
+        seed.wrapping_add(7),
+    )));
     Sequential::new(layers)
 }
 
@@ -252,15 +299,18 @@ mod tests {
     #[test]
     fn forward_shapes_all_nets_mini() {
         let x = Tensor::zeros(&[2, 1, 32, 32]);
-        assert_eq!(supervised_net(32, 5, true, 1).forward(&x, false).shape, vec![2, 5]);
-        assert_eq!(simclr_net(32, 30, false, 1).forward(&x, false).shape, vec![2, 30]);
-        assert_eq!(finetune_net(32, 7, 1).forward(&x, false).shape, vec![2, 7]);
+        assert_eq!(supervised_net(32, 5, true, 1).infer(&x).shape, vec![2, 5]);
+        assert_eq!(simclr_net(32, 30, false, 1).infer(&x).shape, vec![2, 30]);
+        assert_eq!(finetune_net(32, 7, 1).infer(&x).shape, vec![2, 7]);
     }
 
     #[test]
     fn forward_shapes_64() {
         let x = Tensor::zeros(&[1, 1, 64, 64]);
-        assert_eq!(supervised_net(64, 10, false, 1).forward(&x, false).shape, vec![1, 10]);
+        assert_eq!(
+            supervised_net(64, 10, false, 1).infer(&x).shape,
+            vec![1, 10]
+        );
     }
 
     #[test]
@@ -270,8 +320,8 @@ mod tests {
         // Use a reduced "full-family" resolution for test speed: res=300
         // exercises the same strided stack.
         let x = Tensor::zeros(&[1, 1, 300, 300]);
-        let mut net = supervised_net(300, 5, true, 1);
-        assert_eq!(net.forward(&x, false).shape, vec![1, 5]);
+        let net = supervised_net(300, 5, true, 1);
+        assert_eq!(net.infer(&x).shape, vec![1, 5]);
         assert_eq!(net.len(), 14);
     }
 
@@ -279,19 +329,25 @@ mod tests {
     fn extractor_transplant_preserves_features() {
         // SimCLR net and fine-tune net agree on the first EXTRACTOR_DEPTH
         // layers after transplant: their latent h must match.
-        let mut pre = simclr_net(32, 30, false, 42);
+        let pre = simclr_net(32, 30, false, 42);
         let mut fine = finetune_net(32, 5, 777);
-        fine.copy_prefix_weights_from(&mut pre, EXTRACTOR_DEPTH);
+        fine.copy_prefix_weights_from(&pre, EXTRACTOR_DEPTH);
         fine.freeze_prefix(EXTRACTOR_DEPTH);
         assert_eq!(fine.trainable_param_count(), 605);
         // The frozen prefix hides extractor params from optimizers.
-        assert_eq!(fine.params().len(), 2);
+        assert_eq!(fine.trainable_params().len(), 2);
     }
 
     #[test]
     fn summary_matches_listing_names() {
         let s = simclr_net(32, 30, false, 0).summary(&[1, 1, 32, 32]);
-        for needle in ["Conv2d-1", "MaxPool2d-3", "Flatten-8", "Linear-9", "Linear-14"] {
+        for needle in [
+            "Conv2d-1",
+            "MaxPool2d-3",
+            "Flatten-8",
+            "Linear-9",
+            "Linear-14",
+        ] {
             assert!(s.contains(needle), "missing {needle}:\n{s}");
         }
     }

@@ -28,6 +28,7 @@ use crate::simclr::{PretrainSummary, SimClrConfig};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use nettensor::optim::{Adam, Optimizer};
+use nettensor::tape::Tape;
 use nettensor::{Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -35,9 +36,8 @@ use rand::SeedableRng;
 use trafficgen::types::Dataset;
 
 /// EMA decay of the target network (BYOL's τ). The original paper uses
-/// 0.996 at batch 4096; small batches need a faster-moving target, and
-/// without batch normalization (this stack has none) a slow target is
-/// the classic collapse recipe.
+/// 0.996 at batch 4096; small batches need a faster-moving target — a
+/// slow one is the classic collapse recipe.
 pub const TARGET_DECAY: f32 = 0.9;
 
 /// Predictor learning-rate multiplier. Training the predictor faster
@@ -72,17 +72,15 @@ fn byol_loss(p: &Tensor, t: &Tensor) -> (f32, Tensor) {
     (loss / b as f32, grad)
 }
 
-/// EMA-updates `target`'s weights toward `online`'s.
-fn ema_update(online: &mut Sequential, target: &mut Sequential, decay: f32) {
-    let ow = online.export_weights();
-    let frozen = target.frozen_prefix();
-    target.freeze_prefix(0);
-    for (p, o) in target.params().iter_mut().zip(&ow.tensors) {
-        for (t, &ov) in p.param.data.iter_mut().zip(o) {
-            *t = decay * *t + (1.0 - decay) * ov;
+/// EMA-updates `target`'s weights toward `online`'s. Walks *all*
+/// parameters (frozen included) — no export/freeze juggling needed now
+/// that parameters are directly addressable.
+fn ema_update(online: &Sequential, target: &mut Sequential, decay: f32) {
+    for (t, o) in target.all_params_mut().into_iter().zip(online.all_params()) {
+        for (tv, &ov) in t.data.iter_mut().zip(&o.data) {
+            *tv = decay * *tv + (1.0 - decay) * ov;
         }
     }
-    target.freeze_prefix(frozen);
 }
 
 /// Pre-trains with BYOL. Accepts the same configuration as SimCLR
@@ -107,6 +105,9 @@ pub fn pretrain_byol(
 
     let mut opt = Adam::new(config.learning_rate);
     let mut pred_opt = Adam::new(config.learning_rate * PREDICTOR_LR_MULT);
+    let mut grads = online.grad_store();
+    let mut pred_grads = pred.grad_store();
+    let mut step = 0u64;
     let mut stopper =
         EarlyStopper::new(crate::early_stop::StopMode::Minimize, config.patience, 1e-4);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB401_5678);
@@ -135,21 +136,28 @@ pub fn pretrain_byol(
             let xb = Tensor::new(&[b, 1, res, res], vb_data);
 
             // Symmetric BYOL step: (online: A, target: B) then swapped.
+            // Batch normalization couples the whole mini-batch, so BYOL
+            // runs unsharded: one full-batch tape per branch.
             let mut batch_loss = 0f32;
             for (x_on, x_tg) in [(&xa, &xb), (&xb, &xa)] {
-                let z_on = online.forward(x_on, true);
-                let p = pred.forward(&z_on, true);
-                let t = target.forward(x_tg, false); // stop-gradient branch
+                step += 1;
+                let mut on_tape = Tape::with_context(step, 0);
+                let z_on = online.forward(x_on, true, &mut on_tape);
+                let mut pred_tape = Tape::with_context(step ^ 0x9E37_79B9, 0);
+                let p = pred.forward(&z_on, true, &mut pred_tape);
+                let t = target.infer(x_tg); // stop-gradient branch
                 let (loss, grad_p) = byol_loss(&p, &t);
-                pred.zero_grad();
-                online.zero_grad();
-                let grad_z = pred.backward(&grad_p);
-                online.backward(&grad_z);
-                pred_opt.step(&mut pred);
-                opt.step(&mut online);
+                pred_grads.zero();
+                let grad_z = pred.backward(&pred_tape, &grad_p, &mut pred_grads);
+                grads.zero();
+                online.backward(&on_tape, &grad_z, &mut grads);
+                pred.commit(&pred_tape);
+                online.commit(&on_tape);
+                pred_opt.step(&mut pred, &pred_grads);
+                opt.step(&mut online, &grads);
                 batch_loss += loss;
             }
-            ema_update(&mut online, &mut target, TARGET_DECAY);
+            ema_update(&online, &mut target, TARGET_DECAY);
             epoch_loss += (batch_loss / 2.0) as f64;
             n_batches += 1;
         }
@@ -159,7 +167,14 @@ pub fn pretrain_byol(
         }
     }
     // BYOL has no contrastive ranking metric; report 0 for top-5.
-    (online, PretrainSummary { epochs, final_loss, best_top5: 0.0 })
+    (
+        online,
+        PretrainSummary {
+            epochs,
+            final_loss,
+            best_top5: 0.0,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -176,7 +191,10 @@ mod tests {
         let p = Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, 2.0]);
         let t = Tensor::new(&[2, 2], vec![3.0, 0.0, 0.0, 1.0]);
         let (loss, _) = byol_loss(&p, &t);
-        assert!(loss.abs() < 1e-6, "aligned rows must give zero loss, got {loss}");
+        assert!(
+            loss.abs() < 1e-6,
+            "aligned rows must give zero loss, got {loss}"
+        );
         let t_orth = Tensor::new(&[2, 2], vec![0.0, 1.0, 1.0, 0.0]);
         let (loss, grad) = byol_loss(&p, &t_orth);
         assert!((loss - 2.0).abs() < 1e-6);
@@ -185,8 +203,14 @@ mod tests {
 
     #[test]
     fn byol_loss_gradient_matches_finite_differences() {
-        let p = Tensor::new(&[3, 3], vec![0.5, -0.2, 0.8, -0.3, 0.9, 0.1, 0.7, 0.7, -0.4]);
-        let t = Tensor::new(&[3, 3], vec![0.6, -0.1, 0.9, -0.2, 1.0, 0.2, 0.5, 0.8, -0.5]);
+        let p = Tensor::new(
+            &[3, 3],
+            vec![0.5, -0.2, 0.8, -0.3, 0.9, 0.1, 0.7, 0.7, -0.4],
+        );
+        let t = Tensor::new(
+            &[3, 3],
+            vec![0.6, -0.1, 0.9, -0.2, 1.0, 0.2, 0.5, 0.8, -0.5],
+        );
         let (_, grad) = byol_loss(&p, &t);
         let eps = 1e-3f32;
         for i in 0..p.len() {
@@ -205,11 +229,11 @@ mod tests {
 
     #[test]
     fn ema_moves_target_toward_online() {
-        let mut online = byol_net(32, 30, false, 1);
+        let online = byol_net(32, 30, false, 1);
         let mut target = byol_net(32, 30, false, 2);
         let ow = online.export_weights();
         let before = target.export_weights();
-        ema_update(&mut online, &mut target, 0.5);
+        ema_update(&online, &mut target, 0.5);
         let after = target.export_weights();
         for ((b, a), o) in before.tensors.iter().zip(&after.tensors).zip(&ow.tensors) {
             for ((bv, av), ov) in b.iter().zip(a).zip(o) {
@@ -226,8 +250,12 @@ mod tests {
         let ds = UcDavisSim::new(cfg).generate(61);
         let fpcfg = FlowpicConfig::mini();
         let idx = ds.partition_indices(Partition::Pretraining);
-        let config = SimClrConfig { max_epochs: 3, batch_size: 16, ..SimClrConfig::paper(5) };
-        let (mut online, summary) = pretrain_byol(
+        let config = SimClrConfig {
+            max_epochs: 3,
+            batch_size: 16,
+            ..SimClrConfig::paper(5)
+        };
+        let (online, summary) = pretrain_byol(
             &ds,
             &idx,
             ViewPair::paper(),
@@ -236,14 +264,18 @@ mod tests {
             &config,
         );
         assert!(summary.final_loss.is_finite());
-        assert!(summary.final_loss < 2.0, "loss {} should fall below the random ~2", summary.final_loss);
+        assert!(
+            summary.final_loss < 2.0,
+            "loss {} should fall below the random ~2",
+            summary.final_loss
+        );
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let mut tuned = fine_tune(&mut online, &labeled, 2);
+        let tuned = fine_tune(&online, &labeled, 2);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
-        let eval = trainer.evaluate(&mut tuned, &test);
+        let eval = trainer.evaluate(&tuned, &test);
         assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
     }
 }

@@ -23,7 +23,9 @@ where
         return Vec::new();
     }
     let workers = if workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         workers
     }
@@ -40,8 +42,7 @@ where
     }
     drop(tx);
 
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..n_tasks).map(|_| None).collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n_tasks).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let rx = rx.clone();
@@ -61,6 +62,35 @@ where
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
         .collect()
+}
+
+/// Splits the machine's cores between campaign-level parallelism and
+/// nettensor's per-batch [`batch_workers`] so the two layers composed
+/// don't oversubscribe the CPU: the returned
+/// `(campaign_workers, batch_workers)` always satisfies
+/// `campaign · batch ≤ cores` (with both at least 1).
+///
+/// `campaign_workers = 0` means "as many as there are cores". The
+/// campaign axis gets priority — independent experiments scale perfectly
+/// while intra-batch sharding has reduction overhead — so `batch_workers`
+/// only rises above 1 when experiments are too few to fill the machine.
+/// Determinism is unaffected either way: [`nettensor::BatchEngine`]
+/// produces bit-identical results for any worker count.
+///
+/// [`batch_workers`]: crate::supervised::TrainConfig::batch_workers
+pub fn worker_budget(campaign_workers: usize, n_tasks: usize) -> (usize, usize) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let campaign = if campaign_workers == 0 {
+        cores
+    } else {
+        campaign_workers
+    }
+    .min(n_tasks.max(1))
+    .max(1);
+    let batch = (cores / campaign.min(cores)).max(1);
+    (campaign, batch)
 }
 
 /// Cartesian product of experiment axes — the shape of the paper's grids
@@ -116,6 +146,37 @@ mod tests {
     fn auto_worker_count() {
         let results = run_parallel(16, 0, |i| i);
         assert_eq!(results.len(), 16);
+    }
+
+    #[test]
+    fn worker_budget_never_oversubscribes() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for campaign in [0usize, 1, 2, 4, 64] {
+            for tasks in [1usize, 3, 100] {
+                let (c, b) = worker_budget(campaign, tasks);
+                assert!(c >= 1 && b >= 1);
+                assert!(c <= tasks.max(1), "campaign {c} for {tasks} tasks");
+                assert!(
+                    c * b <= cores.max(c),
+                    "{c}·{b} oversubscribes {cores} cores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_budget_gives_batches_the_slack() {
+        // A single experiment can use every core for batch sharding.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(worker_budget(1, 1), (1, cores));
+        // Enough tasks to fill the machine leaves batches sequential.
+        let (c, b) = worker_budget(0, 1000);
+        assert_eq!(c, cores);
+        assert_eq!(b, 1);
     }
 
     #[test]

@@ -13,6 +13,44 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use trafficgen::types::Dataset;
 
+/// Sequential mini-batch index chunks over `[0, len)`.
+///
+/// Evaluation passes iterate the dataset in order; collecting
+/// `(0..len).collect::<Vec<usize>>()` just to call `.chunks()` on it
+/// allocates an index per sample on every call. This iterator yields the
+/// same chunks while only ever allocating one small buffer per batch.
+pub fn index_chunks(len: usize, batch_size: usize) -> IndexChunks {
+    IndexChunks {
+        pos: 0,
+        len,
+        batch_size: batch_size.max(1),
+    }
+}
+
+/// Iterator returned by [`index_chunks`]; yields `Vec<usize>` index
+/// batches `[0..b), [b..2b), …` exactly like `chunks()` on a full index
+/// vector would.
+#[derive(Debug, Clone)]
+pub struct IndexChunks {
+    pos: usize,
+    len: usize,
+    batch_size: usize,
+}
+
+impl Iterator for IndexChunks {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.pos >= self.len {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.len);
+        let chunk = (self.pos..end).collect();
+        self.pos = end;
+        Some(chunk)
+    }
+}
+
 /// A rasterized, model-ready dataset: flattened flowpic inputs plus
 /// labels.
 #[derive(Debug, Clone)]
@@ -105,7 +143,11 @@ impl FlowpicDataset {
         seed: u64,
     ) -> FlowpicDataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        let effective_copies = if aug == Augmentation::NoAug { 0 } else { copies };
+        let effective_copies = if aug == Augmentation::NoAug {
+            0
+        } else {
+            copies
+        };
         let mut inputs = Vec::with_capacity(indices.len() * (effective_copies + 1));
         let mut labels = Vec::with_capacity(indices.len() * (effective_copies + 1));
         for &i in indices {
@@ -159,6 +201,11 @@ impl FlowpicDataset {
         idx.iter().map(|&i| self.labels[i]).collect()
     }
 
+    /// Sequential evaluation-order batches — see [`index_chunks`].
+    pub fn index_chunks(&self, batch_size: usize) -> IndexChunks {
+        index_chunks(self.len(), batch_size)
+    }
+
     /// A shuffled epoch order.
     pub fn shuffled_order(&self, seed: u64) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.len()).collect();
@@ -171,8 +218,8 @@ impl FlowpicDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
     use trafficgen::types::Partition;
+    use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 
     fn tiny() -> Dataset {
         UcDavisSim::new(UcDavisConfig::tiny()).generate(3)
@@ -182,7 +229,8 @@ mod tests {
     fn from_flows_shapes() {
         let ds = tiny();
         let idx = ds.partition_indices(Partition::Script);
-        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let fp =
+            FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
         assert_eq!(fp.len(), idx.len());
         assert_eq!(fp.inputs[0].len(), 1024);
         assert_eq!(fp.n_classes, 5);
@@ -191,7 +239,11 @@ mod tests {
     #[test]
     fn augmented_multiplies_samples() {
         let ds = tiny();
-        let idx: Vec<usize> = ds.partition_indices(Partition::Script).into_iter().take(6).collect();
+        let idx: Vec<usize> = ds
+            .partition_indices(Partition::Script)
+            .into_iter()
+            .take(6)
+            .collect();
         let aug = FlowpicDataset::augmented(
             &ds,
             &idx,
@@ -202,7 +254,7 @@ mod tests {
             7,
         );
         assert_eq!(aug.len(), 66); // 6 originals + 6x10 augmented
-        // NoAug keeps the originals only.
+                                   // NoAug keeps the originals only.
         let plain = FlowpicDataset::augmented(
             &ds,
             &idx,
@@ -218,7 +270,11 @@ mod tests {
     #[test]
     fn augmented_copies_differ() {
         let ds = tiny();
-        let idx: Vec<usize> = ds.partition_indices(Partition::Script).into_iter().take(1).collect();
+        let idx: Vec<usize> = ds
+            .partition_indices(Partition::Script)
+            .into_iter()
+            .take(1)
+            .collect();
         let aug = FlowpicDataset::augmented(
             &ds,
             &idx,
@@ -230,7 +286,7 @@ mod tests {
         );
         assert!(aug.inputs.iter().any(|v| v != &aug.inputs[0]));
         assert_eq!(aug.len(), 6); // 1 original + 5 augmented
-        // Labels all equal the source flow's class.
+                                  // Labels all equal the source flow's class.
         assert!(aug.labels.iter().all(|&l| l == aug.labels[0]));
     }
 
@@ -238,7 +294,8 @@ mod tests {
     fn validation_split_partitions_samples() {
         let ds = tiny();
         let idx = ds.partition_indices(Partition::Pretraining);
-        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let fp =
+            FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
         let (train, val) = fp.split_validation(0.2, 1);
         assert_eq!(train.len() + val.len(), fp.len());
         assert_eq!(val.len(), (fp.len() as f64 * 0.2).round() as usize);
@@ -248,7 +305,8 @@ mod tests {
     fn batch_tensor_layout() {
         let ds = tiny();
         let idx = ds.partition_indices(Partition::Script);
-        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let fp =
+            FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
         let t = fp.batch_tensor(&[0, 1, 2]);
         assert_eq!(t.shape, vec![3, 1, 32, 32]);
         assert_eq!(&t.data[..1024], &fp.inputs[0][..]);
@@ -256,10 +314,28 @@ mod tests {
     }
 
     #[test]
+    fn index_chunks_match_collected_chunks() {
+        // The iterator must yield exactly what `(0..len).collect()` +
+        // `.chunks(b)` used to.
+        for (len, b) in [(0usize, 4usize), (1, 4), (7, 3), (8, 4), (9, 4), (5, 64)] {
+            let expected: Vec<Vec<usize>> = (0..len)
+                .collect::<Vec<usize>>()
+                .chunks(b)
+                .map(|c| c.to_vec())
+                .collect();
+            let got: Vec<Vec<usize>> = index_chunks(len, b).collect();
+            assert_eq!(got, expected, "len {len} batch {b}");
+        }
+        // Degenerate batch size is clamped, not a panic/infinite loop.
+        assert_eq!(index_chunks(3, 0).count(), 3);
+    }
+
+    #[test]
     fn shuffled_order_is_permutation() {
         let ds = tiny();
         let idx = ds.partition_indices(Partition::Script);
-        let fp = FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
+        let fp =
+            FlowpicDataset::from_flows(&ds, &idx, &FlowpicConfig::mini(), Normalization::LogMax);
         let mut order = fp.shuffled_order(5);
         assert_ne!(order, (0..fp.len()).collect::<Vec<_>>());
         order.sort_unstable();

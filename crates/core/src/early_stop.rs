@@ -35,7 +35,13 @@ impl EarlyStopper {
     pub fn new(mode: StopMode, patience: usize, min_delta: f64) -> EarlyStopper {
         assert!(patience >= 1);
         assert!(min_delta >= 0.0);
-        EarlyStopper { mode, patience, min_delta, best: None, bad_epochs: 0 }
+        EarlyStopper {
+            mode,
+            patience,
+            min_delta,
+            best: None,
+            bad_epochs: 0,
+        }
     }
 
     /// The paper's supervised rule: validation loss, patience 5, δ 0.001.

@@ -14,6 +14,7 @@
 //! pre-training subflows. Performance is the macro-average accuracy, as
 //! in the replication's Table 9.
 
+use crate::data::index_chunks;
 use crate::early_stop::EarlyStopper;
 use augment::subflow::SamplingMethod;
 use flowpic::features::{early_time_series_normalized, flow_statistics, normalize_statistics};
@@ -21,6 +22,7 @@ use mlstats::ConfusionMatrix;
 use nettensor::layers::{Identity, Linear, ReLU};
 use nettensor::loss::{cross_entropy, mse, predictions};
 use nettensor::optim::{Adam, Optimizer};
+use nettensor::tape::Tape;
 use nettensor::{Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -88,7 +90,10 @@ impl FeatureDataset {
                 .iter()
                 .map(|&i| early_time_series_normalized(&dataset.flows[i], SUBFLOW_LEN))
                 .collect(),
-            labels: indices.iter().map(|&i| dataset.flows[i].class as usize).collect(),
+            labels: indices
+                .iter()
+                .map(|&i| dataset.flows[i].class as usize)
+                .collect(),
             n_classes: dataset.num_classes(),
         }
     }
@@ -149,9 +154,11 @@ pub fn pretrain_regression(
     for &i in indices {
         let flow = &dataset.flows[i];
         let stats = normalize_statistics(&flow_statistics(flow), 1000.0);
-        for sub in method.sample_many(&flow.pkts, SUBFLOW_LEN, config.samples_per_flow, &mut rng)
-        {
-            let pseudo = trafficgen::types::Flow { pkts: sub, ..flow.clone() };
+        for sub in method.sample_many(&flow.pkts, SUBFLOW_LEN, config.samples_per_flow, &mut rng) {
+            let pseudo = trafficgen::types::Flow {
+                pkts: sub,
+                ..flow.clone()
+            };
             inputs.push(early_time_series_normalized(&pseudo, SUBFLOW_LEN));
             targets.push(stats.clone());
         }
@@ -159,6 +166,8 @@ pub fn pretrain_regression(
 
     let mut net = regression_net(config.seed);
     let mut opt = Adam::new(config.learning_rate);
+    let mut grads = net.grad_store();
+    let mut step = 0u64;
     let mut stopper = EarlyStopper::new(crate::early_stop::StopMode::Minimize, 3, 1e-4);
     let n = inputs.len();
     for epoch in 0..config.max_epochs {
@@ -176,11 +185,14 @@ pub fn pretrain_regression(
             }
             let x = Tensor::new(&[chunk.len(), dim], xdata);
             let t = Tensor::new(&[chunk.len(), STAT_DIM], tdata);
-            let pred = net.forward(&x, true);
+            step += 1;
+            let mut tape = Tape::with_context(step, 0);
+            let pred = net.forward(&x, true, &mut tape);
             let (loss, grad) = mse(&pred, &t);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(&mut net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            net.commit(&tape);
+            opt.step(&mut net, &grads);
             epoch_loss += loss as f64;
             batches += 1;
         }
@@ -195,7 +207,7 @@ pub fn pretrain_regression(
 /// Fine-tunes the 3-layer classifier on `labeled`, freezing the
 /// pre-trained extractor. Returns the classifier network.
 pub fn fine_tune_classifier(
-    pretrained: &mut Sequential,
+    pretrained: &Sequential,
     labeled: &FeatureDataset,
     seed: u64,
 ) -> Sequential {
@@ -204,6 +216,8 @@ pub fn fine_tune_classifier(
     net.copy_prefix_weights_from(pretrained, EXTRACTOR_LAYERS);
     net.freeze_prefix(EXTRACTOR_LAYERS);
     let mut opt = Adam::new(0.01);
+    let mut grads = net.grad_store();
+    let mut step = 0u64;
     let mut stopper = EarlyStopper::finetune();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF1FE);
     let n = labeled.inputs.len();
@@ -215,11 +229,14 @@ pub fn fine_tune_classifier(
         for chunk in order.chunks(32) {
             let x = labeled.tensor(chunk);
             let y: Vec<usize> = chunk.iter().map(|&i| labeled.labels[i]).collect();
-            let logits = net.forward(&x, true);
+            step += 1;
+            let mut tape = Tape::with_context(step, 0);
+            let logits = net.forward(&x, true, &mut tape);
             let (loss, grad) = cross_entropy(&logits, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(&mut net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            net.commit(&tape);
+            opt.step(&mut net, &grads);
             epoch_loss += loss as f64;
             batches += 1;
         }
@@ -232,19 +249,23 @@ pub fn fine_tune_classifier(
 
 /// Evaluates a classifier on `data`, returning `(macro accuracy,
 /// confusion matrix)` — Table 9's metric is the macro average.
-pub fn evaluate_macro(net: &mut Sequential, data: &FeatureDataset) -> (f64, ConfusionMatrix) {
+pub fn evaluate_macro(net: &Sequential, data: &FeatureDataset) -> (f64, ConfusionMatrix) {
     let mut confusion = ConfusionMatrix::new(data.n_classes);
-    let order: Vec<usize> = (0..data.inputs.len()).collect();
-    for chunk in order.chunks(64) {
-        let x = data.tensor(chunk);
+    for chunk in index_chunks(data.inputs.len(), 64) {
+        let x = data.tensor(&chunk);
         let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
-        let logits = net.forward(&x, false);
+        let logits = net.infer(&x);
         confusion.record_all(&y, &predictions(&logits));
     }
     let recalls = confusion.per_class_recall();
     // Macro over classes that actually appear in the data.
     let present: Vec<f64> = (0..data.n_classes)
-        .filter(|&c| (0..data.n_classes).map(|j| confusion.get(c, j)).sum::<u64>() > 0)
+        .filter(|&c| {
+            (0..data.n_classes)
+                .map(|j| confusion.get(c, j))
+                .sum::<u64>()
+                > 0
+        })
         .map(|c| recalls[c])
         .collect();
     let macro_acc = if present.is_empty() {
@@ -262,7 +283,11 @@ mod tests {
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 
     fn quick_cfg(seed: u64) -> RegressionConfig {
-        RegressionConfig { samples_per_flow: 6, max_epochs: 12, ..RegressionConfig::default_with_seed(seed) }
+        RegressionConfig {
+            samples_per_flow: 6,
+            max_epochs: 12,
+            ..RegressionConfig::default_with_seed(seed)
+        }
     }
 
     #[test]
@@ -272,17 +297,20 @@ mod tests {
         cfg.script_per_class = [16; 5];
         let ds = UcDavisSim::new(cfg).generate(11);
         let pre_idx = ds.partition_indices(Partition::Pretraining);
-        let mut pre = pretrain_regression(&ds, &pre_idx, SamplingMethod::Incremental, &quick_cfg(1));
+        let pre = pretrain_regression(&ds, &pre_idx, SamplingMethod::Incremental, &quick_cfg(1));
 
         let script = ds.partition_indices(Partition::Script);
         // 8 labeled flows per class for fine-tuning, the rest for testing.
         let labeled_idx = crate::simclr::few_shot_subset(&ds, &script, 8, 5);
-        let test_idx: Vec<usize> =
-            script.iter().copied().filter(|i| !labeled_idx.contains(i)).collect();
+        let test_idx: Vec<usize> = script
+            .iter()
+            .copied()
+            .filter(|i| !labeled_idx.contains(i))
+            .collect();
         let labeled = FeatureDataset::from_flows(&ds, &labeled_idx);
-        let mut clf = fine_tune_classifier(&mut pre, &labeled, 2);
+        let clf = fine_tune_classifier(&pre, &labeled, 2);
         let test = FeatureDataset::from_flows(&ds, &test_idx);
-        let (acc, confusion) = evaluate_macro(&mut clf, &test);
+        let (acc, confusion) = evaluate_macro(&clf, &test);
         assert!(acc > 0.4, "macro accuracy {acc} (chance = 0.2)");
         assert_eq!(confusion.total() as usize, test.inputs.len());
     }
@@ -301,12 +329,15 @@ mod tests {
     fn finetune_freezes_extractor() {
         let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(3);
         let idx = ds.partition_indices(Partition::Pretraining);
-        let mut pre = pretrain_regression(&ds, &idx, SamplingMethod::Random, &quick_cfg(7));
+        let pre = pretrain_regression(&ds, &idx, SamplingMethod::Random, &quick_cfg(7));
         let labeled = FeatureDataset::from_flows(&ds, &idx[..10]);
-        let clf = fine_tune_classifier(&mut pre, &labeled, 8);
+        let clf = fine_tune_classifier(&pre, &labeled, 8);
         assert_eq!(clf.frozen_prefix(), EXTRACTOR_LAYERS);
         // Trainable: Linear(128,64)+Linear(64,32)+Linear(32,5) (+ biases).
-        assert_eq!(clf.trainable_param_count(), 128 * 64 + 64 + 64 * 32 + 32 + 32 * 5 + 5);
+        assert_eq!(
+            clf.trainable_param_count(),
+            128 * 64 + 64 + 64 * 32 + 32 + 32 * 5 + 5
+        );
     }
 
     #[test]
@@ -314,11 +345,14 @@ mod tests {
         let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(3);
         let idx = ds.partition_indices(Partition::Script);
         // Only class-0 flows in the eval set.
-        let only0: Vec<usize> =
-            idx.iter().copied().filter(|&i| ds.flows[i].class == 0).collect();
+        let only0: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| ds.flows[i].class == 0)
+            .collect();
         let data = FeatureDataset::from_flows(&ds, &only0);
-        let mut net = classifier_net(5, 1);
-        let (acc, _) = evaluate_macro(&mut net, &data);
+        let net = classifier_net(5, 1);
+        let (acc, _) = evaluate_macro(&net, &data);
         // Untrained net: accuracy is whatever it is, but must be a valid
         // probability computed over present classes only.
         assert!((0.0..=1.0).contains(&acc));

@@ -53,7 +53,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -66,7 +70,10 @@ pub fn write_json<T: Serialize>(path: &str, value: &T) -> std::io::Result<()> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
     }
-    std::fs::write(path, serde_json::to_string_pretty(value).expect("serialize"))
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(value).expect("serialize"),
+    )
 }
 
 /// Formats a `[0,1]` metric as the percent string the paper's tables use.
@@ -82,7 +89,11 @@ mod tests {
     fn renders_aligned_columns() {
         let mut t = Table::new("Demo", &["Aug", "script", "human"]);
         t.push_row(vec!["Change RTT".into(), "97.29".into(), "70.76".into()]);
-        t.push_row(vec!["No augmentation".into(), "95.64".into(), "68.84".into()]);
+        t.push_row(vec![
+            "No augmentation".into(),
+            "95.64".into(),
+            "68.84".into(),
+        ]);
         let s = t.render();
         assert!(s.contains("== Demo =="));
         assert!(s.contains("Change RTT"));

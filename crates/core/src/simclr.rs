@@ -14,6 +14,7 @@ use crate::early_stop::EarlyStopper;
 use crate::supervised::{SupervisedTrainer, TrainConfig};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
+use nettensor::engine::BatchEngine;
 use nettensor::loss::NtXent;
 use nettensor::optim::{Adam, Optimizer};
 use nettensor::{Sequential, Tensor};
@@ -45,6 +46,10 @@ pub struct SimClrConfig {
     pub dropout: bool,
     /// Seed for initialization, shuffling and view augmentation.
     pub seed: u64,
+    /// Threads sharding each double batch's forward/backward (0 = all
+    /// cores). The NT-Xent loss itself couples the whole double batch and
+    /// runs single-threaded; results are bit-identical for any value.
+    pub batch_workers: usize,
 }
 
 impl SimClrConfig {
@@ -59,6 +64,7 @@ impl SimClrConfig {
             proj_dim: 30,
             dropout: false,
             seed,
+            batch_workers: 1,
         }
     }
 }
@@ -85,14 +91,19 @@ pub fn pretrain(
     config: &SimClrConfig,
 ) -> (Sequential, PretrainSummary) {
     assert!(indices.len() >= 2, "SimCLR needs at least 2 flows");
-    let mut net = simclr_net(fpcfg.resolution, config.proj_dim, config.dropout, config.seed);
-    let mut opt = Adam::new(config.learning_rate);
-    let loss_fn = NtXent::new(config.temperature);
-    let mut stopper = EarlyStopper::new(
-        crate::early_stop::StopMode::Maximize,
-        config.patience,
-        0.0,
+    let mut net = simclr_net(
+        fpcfg.resolution,
+        config.proj_dim,
+        config.dropout,
+        config.seed,
     );
+    let mut opt = Adam::new(config.learning_rate);
+    let engine = BatchEngine::new(config.batch_workers);
+    let mut grads = net.grad_store();
+    let mut step = 0u64;
+    let loss_fn = NtXent::new(config.temperature);
+    let mut stopper =
+        EarlyStopper::new(crate::early_stop::StopMode::Maximize, config.patience, 0.0);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51AC_1234);
     let res = fpcfg.resolution;
 
@@ -121,11 +132,15 @@ pub fn pretrain(
             }
             data.extend(view_b);
             let x = Tensor::new(&[2 * b, 1, res, res], data);
-            let z = net.forward(&x, true);
+            step += 1;
+            // Sharded forward; the batch-coupled NT-Xent runs on the full
+            // concatenated projections; sharded backward; ordered reduce.
+            let (z, tapes) = engine.forward(&net, &x, true, step);
             let out = loss_fn.eval(&z);
-            net.zero_grad();
-            net.backward(&out.grad);
-            opt.step(&mut net);
+            grads.zero();
+            engine.backward(&net, &tapes, &out.grad, &mut grads);
+            engine.commit(&mut net, &tapes);
+            opt.step(&mut net, &grads);
             epoch_loss += out.loss as f64;
             epoch_top5 += out.top5_accuracy;
             n_batches += 1;
@@ -137,18 +152,21 @@ pub fn pretrain(
             break;
         }
     }
-    (net, PretrainSummary { epochs, final_loss, best_top5 })
+    (
+        net,
+        PretrainSummary {
+            epochs,
+            final_loss,
+            best_top5,
+        },
+    )
 }
 
 /// Fine-tunes a classifier on top of a pre-trained SimCLR network:
 /// builds the Listing 5 network, transplants and freezes the extractor,
 /// and trains the final linear layer on `labeled` (paper: 10 samples per
 /// class, lr 0.01, patience 5 on the training loss).
-pub fn fine_tune(
-    pretrained: &mut Sequential,
-    labeled: &FlowpicDataset,
-    seed: u64,
-) -> Sequential {
+pub fn fine_tune(pretrained: &Sequential, labeled: &FlowpicDataset, seed: u64) -> Sequential {
     let mut net = finetune_net(labeled.res, labeled.n_classes, seed);
     net.copy_prefix_weights_from(pretrained, EXTRACTOR_DEPTH);
     net.freeze_prefix(EXTRACTOR_DEPTH);
@@ -159,6 +177,7 @@ pub fn fine_tune(
         patience: 5,
         min_delta: 0.001,
         seed,
+        batch_workers: 1,
     });
     // Paper: fine-tuning early-stops on the *training* loss.
     trainer.train(&mut net, labeled, None);
@@ -193,7 +212,11 @@ mod tests {
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 
     fn quick_simclr(seed: u64) -> SimClrConfig {
-        SimClrConfig { max_epochs: 4, batch_size: 16, ..SimClrConfig::paper(seed) }
+        SimClrConfig {
+            max_epochs: 4,
+            batch_size: 16,
+            ..SimClrConfig::paper(seed)
+        }
     }
 
     #[test]
@@ -226,7 +249,7 @@ mod tests {
         let ds = UcDavisSim::new(cfg).generate(9);
         let fpcfg = FlowpicConfig::mini();
         let pre_idx = ds.partition_indices(Partition::Pretraining);
-        let (mut pre, _) = pretrain(
+        let (pre, _) = pretrain(
             &ds,
             &pre_idx,
             ViewPair::paper(),
@@ -235,14 +258,17 @@ mod tests {
             &quick_simclr(2),
         );
         let shots = few_shot_subset(&ds, &pre_idx, 10, 3);
-        let labeled =
-            FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let mut tuned = fine_tune(&mut pre, &labeled, 4);
+        let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
+        let tuned = fine_tune(&pre, &labeled, 4);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
-        let eval = trainer.evaluate(&mut tuned, &test);
-        assert!(eval.accuracy > 0.4, "accuracy {} (chance = 0.2)", eval.accuracy);
+        let eval = trainer.evaluate(&tuned, &test);
+        assert!(
+            eval.accuracy > 0.4,
+            "accuracy {} (chance = 0.2)",
+            eval.accuracy
+        );
     }
 
     #[test]
@@ -252,7 +278,10 @@ mod tests {
         let subset = few_shot_subset(&ds, &pool, 3, 5);
         assert_eq!(subset.len(), 15);
         for class in 0..5u16 {
-            let n = subset.iter().filter(|&&i| ds.flows[i].class == class).count();
+            let n = subset
+                .iter()
+                .filter(|&&i| ds.flows[i].class == class)
+                .count();
             assert_eq!(n, 3);
         }
         // Deterministic.
@@ -275,7 +304,7 @@ mod tests {
         let ds = UcDavisSim::new(cfg).generate(4);
         let fpcfg = FlowpicConfig::mini();
         let idx = ds.partition_indices(Partition::Pretraining);
-        let (mut pre, _) = pretrain(
+        let (pre, _) = pretrain(
             &ds,
             &idx,
             ViewPair::paper(),
@@ -285,7 +314,7 @@ mod tests {
         );
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let tuned = fine_tune(&mut pre, &labeled, 6);
+        let tuned = fine_tune(&pre, &labeled, 6);
         // Fine-tuned net keeps the frozen prefix marker and only exposes
         // the classifier to optimizers.
         assert_eq!(tuned.frozen_prefix(), EXTRACTOR_DEPTH);
@@ -309,14 +338,19 @@ pub fn pretrain_supcon(
 ) -> (Sequential, PretrainSummary) {
     use nettensor::loss::SupCon;
     assert!(indices.len() >= 2, "SupCon needs at least 2 flows");
-    let mut net = simclr_net(fpcfg.resolution, config.proj_dim, config.dropout, config.seed);
-    let mut opt = Adam::new(config.learning_rate);
-    let loss_fn = SupCon::new(config.temperature);
-    let mut stopper = EarlyStopper::new(
-        crate::early_stop::StopMode::Minimize,
-        config.patience,
-        1e-4,
+    let mut net = simclr_net(
+        fpcfg.resolution,
+        config.proj_dim,
+        config.dropout,
+        config.seed,
     );
+    let mut opt = Adam::new(config.learning_rate);
+    let engine = BatchEngine::new(config.batch_workers);
+    let mut grads = net.grad_store();
+    let mut step = 0u64;
+    let loss_fn = SupCon::new(config.temperature);
+    let mut stopper =
+        EarlyStopper::new(crate::early_stop::StopMode::Minimize, config.patience, 1e-4);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x50C0_4321);
     let res = fpcfg.resolution;
 
@@ -343,14 +377,15 @@ pub fn pretrain_supcon(
                 labels.push(dataset.flows[i].class as usize);
             }
             data.extend(view_b);
-            let labels_twice: Vec<usize> =
-                labels.iter().chain(labels.iter()).copied().collect();
+            let labels_twice: Vec<usize> = labels.iter().chain(labels.iter()).copied().collect();
             let x = Tensor::new(&[2 * b, 1, res, res], data);
-            let z = net.forward(&x, true);
+            step += 1;
+            let (z, tapes) = engine.forward(&net, &x, true, step);
             let out = loss_fn.eval(&z, &labels_twice);
-            net.zero_grad();
-            net.backward(&out.grad);
-            opt.step(&mut net);
+            grads.zero();
+            engine.backward(&net, &tapes, &out.grad, &mut grads);
+            engine.commit(&mut net, &tapes);
+            opt.step(&mut net, &grads);
             epoch_loss += out.loss as f64;
             n_batches += 1;
         }
@@ -361,7 +396,14 @@ pub fn pretrain_supcon(
     }
     // SupCon has no "positive rank" notion comparable to NT-Xent's top-5;
     // report 0 to keep the summary type shared.
-    (net, PretrainSummary { epochs, final_loss, best_top5: 0.0 })
+    (
+        net,
+        PretrainSummary {
+            epochs,
+            final_loss,
+            best_top5: 0.0,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -383,7 +425,7 @@ mod supcon_tests {
             batch_size: 16,
             ..SimClrConfig::paper(3)
         };
-        let (mut pre, summary) = pretrain_supcon(
+        let (pre, summary) = pretrain_supcon(
             &ds,
             &idx,
             ViewPair::paper(),
@@ -394,13 +436,13 @@ mod supcon_tests {
         assert!(summary.final_loss.is_finite());
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let mut tuned = fine_tune(&mut pre, &labeled, 2);
+        let tuned = fine_tune(&pre, &labeled, 2);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = crate::supervised::SupervisedTrainer::new(
             crate::supervised::TrainConfig::supervised(0),
         );
-        let eval = trainer.evaluate(&mut tuned, &test);
+        let eval = trainer.evaluate(&tuned, &test);
         assert!(eval.accuracy > 0.3, "accuracy {}", eval.accuracy);
     }
 }

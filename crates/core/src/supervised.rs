@@ -4,10 +4,17 @@
 //! static learning rate of 0.001, batch size 32, early stopping on the
 //! validation loss (patience 5, min-delta 0.001), accuracy as the
 //! headline metric.
+//!
+//! Mini-batches execute through nettensor's [`BatchEngine`]: the model is
+//! immutable during forward/backward, activation state lives on per-shard
+//! tapes, and gradients reduce in fixed shard order — so
+//! [`TrainConfig::batch_workers`] changes wall-clock time but never a
+//! single bit of any loss, metric, or trained weight.
 
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
 use mlstats::ConfusionMatrix;
+use nettensor::engine::BatchEngine;
 use nettensor::loss::{accuracy, cross_entropy, predictions};
 use nettensor::optim::{Adam, Optimizer};
 use nettensor::Sequential;
@@ -29,6 +36,9 @@ pub struct TrainConfig {
     pub min_delta: f64,
     /// Shuffling/training seed.
     pub seed: u64,
+    /// Threads sharding each mini-batch (0 = all available cores). Purely
+    /// a throughput knob: results are bit-identical for any value.
+    pub batch_workers: usize,
 }
 
 impl TrainConfig {
@@ -41,7 +51,13 @@ impl TrainConfig {
             patience: 5,
             min_delta: 0.001,
             seed,
+            batch_workers: 1,
         }
+    }
+
+    /// The engine configured by `batch_workers`.
+    pub fn engine(&self) -> BatchEngine {
+        BatchEngine::new(self.batch_workers)
     }
 }
 
@@ -63,19 +79,23 @@ pub struct TrainSummary {
     pub epochs: usize,
     /// Final training loss.
     pub final_train_loss: f64,
-    /// Best validation loss (when a validation set was given).
+    /// Best validation loss — `None` when no validation set was given or
+    /// the stopper never observed an epoch (so no `f64::MAX` sentinel
+    /// ever reaches serialized summaries).
     pub best_val_loss: Option<f64>,
 }
 
 /// Trains and evaluates supervised models.
 pub struct SupervisedTrainer {
     config: TrainConfig,
+    engine: BatchEngine,
 }
 
 impl SupervisedTrainer {
     /// Creates a trainer.
     pub fn new(config: TrainConfig) -> SupervisedTrainer {
-        SupervisedTrainer { config }
+        let engine = config.engine();
+        SupervisedTrainer { config, engine }
     }
 
     /// Trains `net` on `train`, early-stopping on `val`'s loss when
@@ -93,6 +113,8 @@ impl SupervisedTrainer {
             self.config.patience,
             self.config.min_delta,
         );
+        let mut grads = net.grad_store();
+        let mut step = 0u64; // per-step dropout salt, worker-independent
         let mut epochs = 0;
         let mut final_train_loss = f64::MAX;
         for epoch in 0..self.config.max_epochs {
@@ -103,11 +125,13 @@ impl SupervisedTrainer {
             for chunk in order.chunks(self.config.batch_size) {
                 let x = train.batch_tensor(chunk);
                 let y = train.batch_labels(chunk);
-                let logits = net.forward(&x, true);
+                step += 1;
+                let (logits, tapes) = self.engine.forward(net, &x, true, step);
                 let (loss, grad) = cross_entropy(&logits, &y);
-                net.zero_grad();
-                net.backward(&grad);
-                opt.step(net);
+                grads.zero();
+                self.engine.backward(net, &tapes, &grad, &mut grads);
+                self.engine.commit(net, &tapes);
+                opt.step(net, &grads);
                 epoch_loss += loss as f64;
                 n_batches += 1;
             }
@@ -123,19 +147,18 @@ impl SupervisedTrainer {
         TrainSummary {
             epochs,
             final_train_loss,
-            best_val_loss: val.map(|_| stopper.best().unwrap_or(f64::MAX)),
+            best_val_loss: val.and_then(|_| stopper.best()),
         }
     }
 
     /// Mean cross-entropy loss of `net` on `data` (eval mode).
-    pub fn loss(&self, net: &mut Sequential, data: &FlowpicDataset) -> f64 {
+    pub fn loss(&self, net: &Sequential, data: &FlowpicDataset) -> f64 {
         let mut total = 0f64;
         let mut n = 0usize;
-        let order: Vec<usize> = (0..data.len()).collect();
-        for chunk in order.chunks(self.config.batch_size.max(1)) {
-            let x = data.batch_tensor(chunk);
-            let y = data.batch_labels(chunk);
-            let logits = net.forward(&x, false);
+        for chunk in data.index_chunks(self.config.batch_size) {
+            let x = data.batch_tensor(&chunk);
+            let y = data.batch_labels(&chunk);
+            let (logits, _) = self.engine.forward(net, &x, false, 0);
             let (loss, _) = cross_entropy(&logits, &y);
             total += loss as f64 * chunk.len() as f64;
             n += chunk.len();
@@ -145,14 +168,13 @@ impl SupervisedTrainer {
 
     /// Evaluates `net` on `data`: accuracy, weighted F1 and the confusion
     /// matrix.
-    pub fn evaluate(&self, net: &mut Sequential, data: &FlowpicDataset) -> EvalResult {
+    pub fn evaluate(&self, net: &Sequential, data: &FlowpicDataset) -> EvalResult {
         let mut confusion = ConfusionMatrix::new(data.n_classes);
         let mut correct_weighted = 0f64;
-        let order: Vec<usize> = (0..data.len()).collect();
-        for chunk in order.chunks(self.config.batch_size.max(1)) {
-            let x = data.batch_tensor(chunk);
-            let y = data.batch_labels(chunk);
-            let logits = net.forward(&x, false);
+        for chunk in data.index_chunks(self.config.batch_size) {
+            let x = data.batch_tensor(&chunk);
+            let y = data.batch_labels(&chunk);
+            let (logits, _) = self.engine.forward(net, &x, false, 0);
             let preds = predictions(&logits);
             confusion.record_all(&y, &preds);
             correct_weighted += accuracy(&logits, &y) * chunk.len() as f64;
@@ -174,7 +196,10 @@ mod tests {
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
 
     fn quick_config(seed: u64) -> TrainConfig {
-        TrainConfig { max_epochs: 12, ..TrainConfig::supervised(seed) }
+        TrainConfig {
+            max_epochs: 12,
+            ..TrainConfig::supervised(seed)
+        }
     }
 
     #[test]
@@ -196,8 +221,12 @@ mod tests {
         let mut net = supervised_net(32, 5, false, 1);
         let summary = trainer.train(&mut net, &train, Some(&val));
         assert!(summary.epochs >= 1);
-        let eval = trainer.evaluate(&mut net, &test);
-        assert!(eval.accuracy > 0.5, "accuracy {} (chance = 0.2)", eval.accuracy);
+        let eval = trainer.evaluate(&net, &test);
+        assert!(
+            eval.accuracy > 0.5,
+            "accuracy {} (chance = 0.2)",
+            eval.accuracy
+        );
         assert_eq!(eval.confusion.total() as usize, test.len());
     }
 
@@ -220,18 +249,54 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_given_seed() {
+    fn deterministic_given_seed_at_any_worker_count() {
+        // The tentpole acceptance gate: identical results — bit for bit —
+        // at batch_workers 1, 2 and 8.
         let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(2);
         let fpcfg = FlowpicConfig::mini();
         let idx = ds.partition_indices(Partition::Pretraining);
         let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, Normalization::LogMax);
-        let run = || {
-            let trainer = SupervisedTrainer::new(quick_config(3));
+        let run = |workers: usize| {
+            let trainer = SupervisedTrainer::new(TrainConfig {
+                batch_workers: workers,
+                ..quick_config(3)
+            });
             let mut net = supervised_net(32, 5, false, 3);
-            trainer.train(&mut net, &data, None);
-            trainer.evaluate(&mut net, &data).accuracy
+            let summary = trainer.train(&mut net, &data, None);
+            let acc = trainer.evaluate(&net, &data).accuracy;
+            (
+                summary.final_train_loss.to_bits(),
+                acc.to_bits(),
+                net.export_weights(),
+            )
         };
-        assert_eq!(run(), run());
+        let baseline = run(1);
+        assert_eq!(baseline, run(1), "same worker count must reproduce");
+        assert_eq!(baseline, run(2), "2 workers must be bit-identical to 1");
+        assert_eq!(baseline, run(8), "8 workers must be bit-identical to 1");
+    }
+
+    #[test]
+    fn best_val_loss_is_none_when_stopper_never_ran() {
+        // max_epochs = 0: a validation set exists but no epoch ever
+        // updated the stopper. The summary must say `None`, not leak the
+        // f64::MAX sentinel into serialized output.
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(2);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Script);
+        let data = FlowpicDataset::from_flows(&ds, &idx[..4], &fpcfg, Normalization::LogMax);
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 0,
+            ..TrainConfig::supervised(0)
+        });
+        let mut net = supervised_net(32, 5, false, 0);
+        let summary = trainer.train(&mut net, &data, Some(&data));
+        assert_eq!(summary.best_val_loss, None);
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(
+            !json.contains("1.7976931348623157e308"),
+            "sentinel leaked: {json}"
+        );
     }
 
     #[test]
@@ -239,8 +304,13 @@ mod tests {
     fn rejects_empty_training_set() {
         let trainer = SupervisedTrainer::new(quick_config(0));
         let mut net = supervised_net(32, 5, false, 0);
-        let empty =
-            FlowpicDataset { res: 32, channels: 1, inputs: vec![], labels: vec![], n_classes: 5 };
+        let empty = FlowpicDataset {
+            res: 32,
+            channels: 1,
+            inputs: vec![],
+            labels: vec![],
+            n_classes: 5,
+        };
         trainer.train(&mut net, &empty, None);
     }
 }

@@ -8,6 +8,7 @@
 //! the same *time-series* augmentations (Change RTT, Time shift, Packet
 //! loss — the image augmentations have no time-series counterpart).
 
+use crate::data::index_chunks;
 use crate::early_stop::EarlyStopper;
 use augment::{timeseries as ts_aug, Augmentation};
 use flowpic::features::early_time_series_normalized;
@@ -15,6 +16,7 @@ use mlstats::ConfusionMatrix;
 use nettensor::layers::{Conv1d, Flatten, Linear, MaxPool1d, ReLU};
 use nettensor::loss::{cross_entropy, predictions};
 use nettensor::optim::{Adam, Optimizer};
+use nettensor::tape::Tape;
 use nettensor::{Sequential, Tensor};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -58,7 +60,10 @@ impl TsDataset {
                 .iter()
                 .map(|&i| early_time_series_normalized(&dataset.flows[i], seq_len))
                 .collect(),
-            labels: indices.iter().map(|&i| dataset.flows[i].class as usize).collect(),
+            labels: indices
+                .iter()
+                .map(|&i| dataset.flows[i].class as usize)
+                .collect(),
             n_classes: dataset.num_classes(),
         }
     }
@@ -81,7 +86,11 @@ impl TsDataset {
             aug.name()
         );
         let mut rng = StdRng::seed_from_u64(seed);
-        let effective = if aug == Augmentation::NoAug { 0 } else { copies };
+        let effective = if aug == Augmentation::NoAug {
+            0
+        } else {
+            copies
+        };
         let mut inputs = Vec::with_capacity(indices.len() * (effective + 1));
         let mut labels = Vec::with_capacity(inputs.capacity());
         for &i in indices {
@@ -110,12 +119,20 @@ impl TsDataset {
                     }
                     _ => unreachable!("validated above"),
                 };
-                let pseudo = Flow { pkts, ..flow.clone() };
+                let pseudo = Flow {
+                    pkts,
+                    ..flow.clone()
+                };
                 inputs.push(early_time_series_normalized(&pseudo, seq_len));
                 labels.push(flow.class as usize);
             }
         }
-        TsDataset { seq_len, inputs, labels, n_classes: dataset.num_classes() }
+        TsDataset {
+            seq_len,
+            inputs,
+            labels,
+            n_classes: dataset.num_classes(),
+        }
     }
 
     fn tensor(&self, idx: &[usize]) -> Tensor {
@@ -132,7 +149,10 @@ impl TsDataset {
 /// time-series sibling of the mini flowpic architecture (same latent
 /// width).
 pub fn timeseries_net(seq_len: usize, n_classes: usize, seed: u64) -> Sequential {
-    assert!(seq_len >= 10, "sequence length {seq_len} too short for the architecture");
+    assert!(
+        seq_len >= 10,
+        "sequence length {seq_len} too short for the architecture"
+    );
     let after_conv1 = seq_len - 2;
     let after_pool1 = after_conv1 / 2;
     let after_conv2 = after_pool1 - 2;
@@ -164,6 +184,8 @@ pub fn train_timeseries(
 ) -> usize {
     assert!(!train.is_empty());
     let mut opt = Adam::new(0.001);
+    let mut grads = net.grad_store();
+    let mut step = 0u64;
     let mut stopper = EarlyStopper::supervised();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut epochs = 0;
@@ -176,11 +198,14 @@ pub fn train_timeseries(
         for chunk in order.chunks(32) {
             let x = train.tensor(chunk);
             let y: Vec<usize> = chunk.iter().map(|&i| train.labels[i]).collect();
-            let logits = net.forward(&x, true);
+            step += 1;
+            let mut tape = Tape::with_context(step, 0);
+            let logits = net.forward(&x, true, &mut tape);
             let (loss, grad) = cross_entropy(&logits, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            net.commit(&tape);
+            opt.step(net, &grads);
             train_loss += loss as f64;
             batches += 1;
         }
@@ -195,26 +220,24 @@ pub fn train_timeseries(
     epochs
 }
 
-fn evaluate_loss(net: &mut Sequential, data: &TsDataset) -> f64 {
-    let idx: Vec<usize> = (0..data.len()).collect();
+fn evaluate_loss(net: &Sequential, data: &TsDataset) -> f64 {
     let mut total = 0f64;
-    for chunk in idx.chunks(64) {
-        let x = data.tensor(chunk);
+    for chunk in index_chunks(data.len(), 64) {
+        let x = data.tensor(&chunk);
         let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
-        let (loss, _) = cross_entropy(&net.forward(&x, false), &y);
+        let (loss, _) = cross_entropy(&net.infer(&x), &y);
         total += loss as f64 * chunk.len() as f64;
     }
     total / data.len().max(1) as f64
 }
 
 /// Evaluates accuracy and the confusion matrix.
-pub fn evaluate_timeseries(net: &mut Sequential, data: &TsDataset) -> (f64, ConfusionMatrix) {
+pub fn evaluate_timeseries(net: &Sequential, data: &TsDataset) -> (f64, ConfusionMatrix) {
     let mut confusion = ConfusionMatrix::new(data.n_classes);
-    let idx: Vec<usize> = (0..data.len()).collect();
-    for chunk in idx.chunks(64) {
-        let x = data.tensor(chunk);
+    for chunk in index_chunks(data.len(), 64) {
+        let x = data.tensor(&chunk);
         let y: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
-        confusion.record_all(&y, &predictions(&net.forward(&x, false)));
+        confusion.record_all(&y, &predictions(&net.infer(&x)));
     }
     (confusion.accuracy(), confusion)
 }
@@ -235,9 +258,9 @@ mod tests {
 
     #[test]
     fn net_shapes_and_counts() {
-        let mut net = timeseries_net(30, 5, 0);
+        let net = timeseries_net(30, 5, 0);
         let x = Tensor::zeros(&[2, 3, 30]);
-        assert_eq!(net.forward(&x, false).shape, vec![2, 5]);
+        assert_eq!(net.infer(&x).shape, vec![2, 5]);
         assert_eq!(net.len(), 10);
     }
 
@@ -246,13 +269,12 @@ mod tests {
         let ds = dataset();
         let train_idx = ds.partition_indices(Partition::Pretraining);
         let test_idx = ds.partition_indices(Partition::Script);
-        let train =
-            TsDataset::augmented(&ds, &train_idx, Augmentation::ChangeRtt, 2, 30, 3);
+        let train = TsDataset::augmented(&ds, &train_idx, Augmentation::ChangeRtt, 2, 30, 3);
         let test = TsDataset::from_flows(&ds, &test_idx, 30);
         let mut net = timeseries_net(30, 5, 3);
         let epochs = train_timeseries(&mut net, &train, None, 12, 3);
         assert!(epochs >= 1);
-        let (acc, confusion) = evaluate_timeseries(&mut net, &test);
+        let (acc, confusion) = evaluate_timeseries(&net, &test);
         assert!(acc > 0.5, "accuracy {acc} (chance = 0.2)");
         assert_eq!(confusion.total() as usize, test.len());
     }
@@ -260,8 +282,11 @@ mod tests {
     #[test]
     fn augmented_grows_and_keeps_labels() {
         let ds = dataset();
-        let idx: Vec<usize> =
-            ds.partition_indices(Partition::Script).into_iter().take(5).collect();
+        let idx: Vec<usize> = ds
+            .partition_indices(Partition::Script)
+            .into_iter()
+            .take(5)
+            .collect();
         let aug = TsDataset::augmented(&ds, &idx, Augmentation::TimeShift, 4, 20, 1);
         assert_eq!(aug.len(), 25);
         let plain = TsDataset::augmented(&ds, &idx, Augmentation::NoAug, 4, 20, 1);

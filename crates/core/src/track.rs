@@ -73,7 +73,10 @@ impl Tracker {
             artifacts: BTreeMap::new(),
             finished: false,
         });
-        RunHandle { tracker: self.clone(), id }
+        RunHandle {
+            tracker: self.clone(),
+            id,
+        }
     }
 
     /// Number of runs recorded.
@@ -98,7 +101,9 @@ impl Tracker {
             .lock()
             .iter()
             .filter(|run| {
-                filter.iter().all(|(k, v)| run.params.get(*k).map(String::as_str) == Some(*v))
+                filter
+                    .iter()
+                    .all(|(k, v)| run.params.get(*k).map(String::as_str) == Some(*v))
             })
             .flat_map(|run| {
                 run.metrics
@@ -120,7 +125,9 @@ impl RunHandle {
     /// Records a hyper-parameter.
     pub fn log_param(&self, key: &str, value: impl ToString) {
         let mut runs = self.tracker.inner.lock();
-        runs[self.id as usize].params.insert(key.to_string(), value.to_string());
+        runs[self.id as usize]
+            .params
+            .insert(key.to_string(), value.to_string());
     }
 
     /// Records a metric observation.
@@ -136,7 +143,9 @@ impl RunHandle {
     /// Stores a named text artifact.
     pub fn log_artifact(&self, name: &str, contents: impl ToString) {
         let mut runs = self.tracker.inner.lock();
-        runs[self.id as usize].artifacts.insert(name.to_string(), contents.to_string());
+        runs[self.id as usize]
+            .artifacts
+            .insert(name.to_string(), contents.to_string());
     }
 
     /// Marks the run finished.

@@ -26,23 +26,39 @@ pub struct FlowpicConfig {
 impl FlowpicConfig {
     /// The paper's mini-flowpic: 32×32 over 15 s.
     pub fn mini() -> Self {
-        FlowpicConfig { resolution: 32, window_s: 15.0, include_acks: true }
+        FlowpicConfig {
+            resolution: 32,
+            window_s: 15.0,
+            include_acks: true,
+        }
     }
 
     /// 64×64 over 15 s.
     pub fn mid() -> Self {
-        FlowpicConfig { resolution: 64, window_s: 15.0, include_acks: true }
+        FlowpicConfig {
+            resolution: 64,
+            window_s: 15.0,
+            include_acks: true,
+        }
     }
 
     /// The original full-resolution flowpic: 1500×1500 over 15 s.
     pub fn full() -> Self {
-        FlowpicConfig { resolution: 1500, window_s: 15.0, include_acks: true }
+        FlowpicConfig {
+            resolution: 1500,
+            window_s: 15.0,
+            include_acks: true,
+        }
     }
 
     /// Arbitrary square resolution over 15 s.
     pub fn with_resolution(resolution: usize) -> Self {
         assert!(resolution >= 1);
-        FlowpicConfig { resolution, window_s: 15.0, include_acks: true }
+        FlowpicConfig {
+            resolution,
+            window_s: 15.0,
+            include_acks: true,
+        }
     }
 
     /// Width of one time bin in seconds.
@@ -102,12 +118,18 @@ impl Flowpic {
             let row = ((p.size as f64 / s_bin) as usize).min(r - 1);
             data[row * r + col] += 1.0;
         }
-        Flowpic { resolution: r, data }
+        Flowpic {
+            resolution: r,
+            data,
+        }
     }
 
     /// An all-zero flowpic of the given resolution.
     pub fn zeros(resolution: usize) -> Flowpic {
-        Flowpic { resolution, data: vec![0.0; resolution * resolution] }
+        Flowpic {
+            resolution,
+            data: vec![0.0; resolution * resolution],
+        }
     }
 
     /// Cell accessor (`row = size bin`, `col = time bin`).
@@ -194,11 +216,11 @@ mod tests {
         let cfg = FlowpicConfig::mini();
         let fp = Flowpic::build(
             &[
-                pkt(0.0, 0),      // row 0, col 0
-                pkt(0.0, 46),     // still row 0 (46 < 46.875)
-                pkt(0.0, 47),     // row 1
-                pkt(14.9, 1500),  // last col, last row (clamped)
-                pkt(7.5, 750),    // middle
+                pkt(0.0, 0),     // row 0, col 0
+                pkt(0.0, 46),    // still row 0 (46 < 46.875)
+                pkt(0.0, 47),    // row 1
+                pkt(14.9, 1500), // last col, last row (clamped)
+                pkt(7.5, 750),   // middle
             ],
             &cfg,
         );
@@ -235,7 +257,9 @@ mod tests {
 
     #[test]
     fn resolutions_preserve_total() {
-        let pkts: Vec<Pkt> = (0..200).map(|i| pkt(i as f64 * 0.07, (i * 7 % 1500) as u16)).collect();
+        let pkts: Vec<Pkt> = (0..200)
+            .map(|i| pkt(i as f64 * 0.07, (i * 7 % 1500) as u16))
+            .collect();
         for res in [16, 32, 64, 256, 1500] {
             let fp = Flowpic::build(&pkts, &FlowpicConfig::with_resolution(res));
             assert_eq!(fp.total(), 200.0, "resolution {res}");
@@ -245,7 +269,10 @@ mod tests {
     #[test]
     fn normalization_modes() {
         let cfg = FlowpicConfig::mini();
-        let fp = Flowpic::build(&[pkt(0.0, 0), pkt(0.01, 0), pkt(0.02, 0), pkt(5.0, 700)], &cfg);
+        let fp = Flowpic::build(
+            &[pkt(0.0, 0), pkt(0.01, 0), pkt(0.02, 0), pkt(5.0, 700)],
+            &cfg,
+        );
         let raw = fp.to_input(Normalization::Raw);
         assert_eq!(raw.iter().copied().fold(0.0, f32::max), 3.0);
         let maxed = fp.to_input(Normalization::MaxScale);
@@ -263,7 +290,11 @@ mod tests {
     #[test]
     fn normalization_of_empty_picture_is_total() {
         let fp = Flowpic::zeros(8);
-        for norm in [Normalization::Raw, Normalization::MaxScale, Normalization::LogMax] {
+        for norm in [
+            Normalization::Raw,
+            Normalization::MaxScale,
+            Normalization::LogMax,
+        ] {
             let v = fp.to_input(norm);
             assert!(v.iter().all(|&x| x == 0.0));
         }
@@ -305,10 +336,16 @@ impl DirectionalFlowpic {
     /// Builds the two per-direction histograms under `config`.
     pub fn build(pkts: &[trafficgen::types::Pkt], config: &FlowpicConfig) -> DirectionalFlowpic {
         use trafficgen::types::Direction;
-        let up: Vec<trafficgen::types::Pkt> =
-            pkts.iter().copied().filter(|p| p.dir == Direction::Upstream).collect();
-        let down: Vec<trafficgen::types::Pkt> =
-            pkts.iter().copied().filter(|p| p.dir == Direction::Downstream).collect();
+        let up: Vec<trafficgen::types::Pkt> = pkts
+            .iter()
+            .copied()
+            .filter(|p| p.dir == Direction::Upstream)
+            .collect();
+        let down: Vec<trafficgen::types::Pkt> = pkts
+            .iter()
+            .copied()
+            .filter(|p| p.dir == Direction::Downstream)
+            .collect();
         DirectionalFlowpic {
             up: Flowpic::build(&up, config),
             down: Flowpic::build(&down, config),
@@ -353,7 +390,7 @@ mod directional_tests {
     }
 
     #[test]
-    fn input_is_two_channels(){
+    fn input_is_two_channels() {
         let pkts = vec![Pkt::data(0.0, 100, Direction::Upstream)];
         let d = DirectionalFlowpic::build(&pkts, &FlowpicConfig::mini());
         assert_eq!(d.to_input(Normalization::LogMax).len(), 2 * 1024);

@@ -91,7 +91,16 @@ fn series_stats(series: &[f32]) -> [f32; 8] {
         let idx = (q * (sorted.len() - 1) as f32).round() as usize;
         sorted[idx]
     };
-    [sorted[0], sorted[sorted.len() - 1], mean, var.sqrt(), pct(0.25), pct(0.5), pct(0.75), n]
+    [
+        sorted[0],
+        sorted[sorted.len() - 1],
+        mean,
+        var.sqrt(),
+        pct(0.25),
+        pct(0.5),
+        pct(0.75),
+        n,
+    ]
 }
 
 /// Normalizes the statistics vector into roughly unit scale for regression
@@ -100,14 +109,24 @@ pub fn normalize_statistics(stats: &[f32], count_scale: f32) -> Vec<f32> {
     stats
         .iter()
         .enumerate()
-        .map(|(i, &v)| if i % 8 == 7 { v / count_scale } else { v / 1500.0 })
+        .map(|(i, &v)| {
+            if i % 8 == 7 {
+                v / count_scale
+            } else {
+                v / 1500.0
+            }
+        })
         .collect()
 }
 
 /// Returns the first `n` packets as a packet slice truncated to the
 /// flowpic window — a convenience for pipelines that combine both views.
 pub fn window_pkts(flow: &Flow, window_s: f64) -> Vec<Pkt> {
-    flow.pkts.iter().copied().take_while(|p| p.ts < window_s).collect()
+    flow.pkts
+        .iter()
+        .copied()
+        .take_while(|p| p.ts < window_s)
+        .collect()
 }
 
 #[cfg(test)]
@@ -116,7 +135,13 @@ mod tests {
     use trafficgen::types::{Direction, Partition};
 
     fn flow(pkts: Vec<Pkt>) -> Flow {
-        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+        Flow {
+            id: 0,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        }
     }
 
     #[test]
@@ -134,7 +159,9 @@ mod tests {
 
     #[test]
     fn early_time_series_truncates_long_flows() {
-        let pkts: Vec<Pkt> = (0..50).map(|i| Pkt::data(i as f64, 10, Direction::Upstream)).collect();
+        let pkts: Vec<Pkt> = (0..50)
+            .map(|i| Pkt::data(i as f64, 10, Direction::Upstream))
+            .collect();
         let feats = early_time_series(&flow(pkts), 10);
         assert_eq!(feats.len(), 30);
         assert!(feats[..10].iter().all(|&s| s == 10.0));
@@ -180,7 +207,9 @@ mod tests {
 
     #[test]
     fn normalize_statistics_scales() {
-        let stats = vec![1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 100.0];
+        let stats = vec![
+            1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 1500.0, 100.0,
+        ];
         let n = normalize_statistics(&stats, 100.0);
         assert!(n[..7].iter().all(|&v| (v - 1.0).abs() < 1e-6));
         assert!((n[7] - 1.0).abs() < 1e-6);

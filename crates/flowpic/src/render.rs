@@ -88,7 +88,13 @@ mod tests {
     use trafficgen::types::{Direction, Partition, Pkt};
 
     fn flow(pkts: Vec<Pkt>) -> Flow {
-        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+        Flow {
+            id: 0,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        }
     }
 
     #[test]

@@ -1,10 +1,6 @@
 //! Property-based tests of the flowpic representation's invariants.
 
-use flowpic::features::{early_time_series, flow_statistics};
-use flowpic::render::{average_flowpic, log_normalized};
-use flowpic::{Flowpic, FlowpicConfig, Normalization};
 use proptest::prelude::*;
-use trafficgen::types::{Direction, Flow, Partition, Pkt};
 
 prop_compose! {
     fn arb_pkts()(

@@ -64,7 +64,12 @@ impl BinnedMatrix {
             }
             thresholds.push(cuts_dedup);
         }
-        BinnedMatrix { bins, n_rows: n, n_features: d, thresholds }
+        BinnedMatrix {
+            bins,
+            n_rows: n,
+            n_features: d,
+            thresholds,
+        }
     }
 
     /// Bin id of row `i`, feature `f`.

@@ -57,7 +57,12 @@ impl GbdtClassifier {
     /// Training is deterministic (no subsampling), so no seed is taken —
     /// matching the replication's use of default XGBoost settings where
     /// run-to-run variation comes from the data splits.
-    pub fn fit(x: &[Vec<f32>], y: &[usize], n_classes: usize, config: &GbdtConfig) -> GbdtClassifier {
+    pub fn fit(
+        x: &[Vec<f32>],
+        y: &[usize],
+        n_classes: usize,
+        config: &GbdtConfig,
+    ) -> GbdtClassifier {
         assert_eq!(x.len(), y.len(), "feature/label count mismatch");
         assert!(n_classes >= 2, "need at least two classes");
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
@@ -108,7 +113,11 @@ impl GbdtClassifier {
             trees.push(round_trees);
         }
 
-        GbdtClassifier { trees, n_classes, learning_rate: config.learning_rate }
+        GbdtClassifier {
+            trees,
+            n_classes,
+            learning_rate: config.learning_rate,
+        }
     }
 
     /// Number of classes.
@@ -177,7 +186,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn blobs(n_per: usize, centers: &[(f32, f32)], noise: f32, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+    fn blobs(
+        n_per: usize,
+        centers: &[(f32, f32)],
+        noise: f32,
+        seed: u64,
+    ) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut x = Vec::new();
         let mut y = Vec::new();
@@ -196,7 +210,15 @@ mod tests {
     #[test]
     fn fits_separable_blobs() {
         let (x, y) = blobs(30, &[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], 1.0, 1);
-        let model = GbdtClassifier::fit(&x, &y, 3, &GbdtConfig { n_rounds: 20, ..Default::default() });
+        let model = GbdtClassifier::fit(
+            &x,
+            &y,
+            3,
+            &GbdtConfig {
+                n_rounds: 20,
+                ..Default::default()
+            },
+        );
         let preds = model.predict_batch(&x);
         let acc = preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.97, "train accuracy {acc}");
@@ -207,7 +229,15 @@ mod tests {
     #[test]
     fn generalizes_to_held_out_points() {
         let (x, y) = blobs(50, &[(0.0, 0.0), (6.0, 6.0)], 1.5, 2);
-        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: 10, ..Default::default() });
+        let model = GbdtClassifier::fit(
+            &x,
+            &y,
+            2,
+            &GbdtConfig {
+                n_rounds: 10,
+                ..Default::default()
+            },
+        );
         let (xt, yt) = blobs(20, &[(0.0, 0.0), (6.0, 6.0)], 1.5, 99);
         let preds = model.predict_batch(&xt);
         let acc = preds.iter().zip(&yt).filter(|(a, b)| a == b).count() as f64 / yt.len() as f64;
@@ -217,7 +247,15 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let (x, y) = blobs(20, &[(0.0, 0.0), (3.0, 3.0)], 1.0, 3);
-        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: 5, ..Default::default() });
+        let model = GbdtClassifier::fit(
+            &x,
+            &y,
+            2,
+            &GbdtConfig {
+                n_rounds: 5,
+                ..Default::default()
+            },
+        );
         for xi in x.iter().take(10) {
             let p = model.predict_proba(xi);
             assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -228,7 +266,10 @@ mod tests {
     #[test]
     fn deterministic_training() {
         let (x, y) = blobs(20, &[(0.0, 0.0), (3.0, 3.0)], 1.0, 4);
-        let cfg = GbdtConfig { n_rounds: 5, ..Default::default() };
+        let cfg = GbdtConfig {
+            n_rounds: 5,
+            ..Default::default()
+        };
         let a = GbdtClassifier::fit(&x, &y, 2, &cfg);
         let b = GbdtClassifier::fit(&x, &y, 2, &cfg);
         for xi in &x {
@@ -240,8 +281,21 @@ mod tests {
     fn more_rounds_reduce_training_error() {
         let (x, y) = blobs(40, &[(0.0, 0.0), (1.5, 1.5)], 2.5, 5);
         let acc = |rounds| {
-            let m = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: rounds, ..Default::default() });
-            m.predict_batch(&x).iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / y.len() as f64
+            let m = GbdtClassifier::fit(
+                &x,
+                &y,
+                2,
+                &GbdtConfig {
+                    n_rounds: rounds,
+                    ..Default::default()
+                },
+            );
+            m.predict_batch(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / y.len() as f64
         };
         assert!(acc(50) >= acc(2));
     }
@@ -266,8 +320,21 @@ mod tests {
             x.push(row);
             y.push(class);
         }
-        let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: 5, ..Default::default() });
-        let acc = model.predict_batch(&x).iter().zip(&y).filter(|(a, b)| a == b).count();
+        let model = GbdtClassifier::fit(
+            &x,
+            &y,
+            2,
+            &GbdtConfig {
+                n_rounds: 5,
+                ..Default::default()
+            },
+        );
+        let acc = model
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count();
         assert_eq!(acc, 60);
         // Trivial problem => stumps, like the paper's observation of very
         // short trees on flowpic input.

@@ -128,7 +128,7 @@ impl Tree {
                     * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
                         - parent_score)
                     - params.gamma;
-                if gain > 0.0 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, f, b as u8));
                 }
             }
@@ -138,8 +138,9 @@ impl Tree {
             return make_leaf(self);
         };
 
-        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-            rows.into_iter().partition(|&i| matrix.bin(i, feature) <= last_left_bin);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+            .into_iter()
+            .partition(|&i| matrix.bin(i, feature) <= last_left_bin);
         debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
 
         let threshold = matrix.thresholds[feature][last_left_bin as usize];
@@ -147,7 +148,12 @@ impl Tree {
         self.nodes.push(Node::Leaf { weight: 0.0 }); // placeholder
         let left = self.grow_node(matrix, g, h, left_rows, depth + 1, params);
         let right = self.grow_node(matrix, g, h, right_rows, depth + 1, params);
-        self.nodes[node_idx] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_idx] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_idx
     }
 
@@ -157,7 +163,12 @@ impl Tree {
         loop {
             match self.nodes[idx] {
                 Node::Leaf { weight } => return weight,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     idx = if x[feature] <= threshold { left } else { right };
                 }
             }
@@ -180,7 +191,10 @@ impl Tree {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 }
 
@@ -189,13 +203,20 @@ mod tests {
     use super::*;
 
     fn params() -> TreeParams {
-        TreeParams { max_depth: 6, lambda: 1.0, gamma: 0.0, min_child_weight: 1.0 }
+        TreeParams {
+            max_depth: 6,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
     }
 
     #[test]
     fn splits_separable_gradients() {
         // Feature 0 separates positive from negative gradients.
-        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![if i < 10 { 0.0 } else { 1.0 }]).collect();
+        let x: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 1.0 }])
+            .collect();
         let m = BinnedMatrix::from_rows(&x, 8);
         let g: Vec<f32> = (0..20).map(|i| if i < 10 { 1.0 } else { -1.0 }).collect();
         let h = vec![1.0f32; 20];
@@ -225,7 +246,9 @@ mod tests {
         // Alternating gradients force deep splits; depth must cap.
         let x: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32]).collect();
         let m = BinnedMatrix::from_rows(&x, 64);
-        let g: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let g: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let h = vec![1.0f32; 64];
         let rows: Vec<usize> = (0..64).collect();
         let mut p = params();

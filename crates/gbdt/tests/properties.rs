@@ -1,7 +1,5 @@
 //! Property-based tests of the GBDT baseline.
 
-use gbdt::binner::BinnedMatrix;
-use gbdt::{GbdtClassifier, GbdtConfig};
 use proptest::prelude::*;
 
 prop_compose! {

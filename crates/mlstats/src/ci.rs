@@ -32,12 +32,22 @@ impl MeanCi {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         if n < 2 {
-            return MeanCi { mean, half_width: 0.0, n, confidence };
+            return MeanCi {
+                mean,
+                half_width: 0.0,
+                n,
+                confidence,
+            };
         }
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         let se = (var / n as f64).sqrt();
         let t = t_critical(n as f64 - 1.0, confidence);
-        MeanCi { mean, half_width: t * se, n, confidence }
+        MeanCi {
+            mean,
+            half_width: t * se,
+            n,
+            confidence,
+        }
     }
 
     /// The paper's default: 95 % confidence.
@@ -99,9 +109,24 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = MeanCi { mean: 10.0, half_width: 1.0, n: 5, confidence: 0.95 };
-        let b = MeanCi { mean: 11.5, half_width: 1.0, n: 5, confidence: 0.95 };
-        let c = MeanCi { mean: 13.0, half_width: 0.5, n: 5, confidence: 0.95 };
+        let a = MeanCi {
+            mean: 10.0,
+            half_width: 1.0,
+            n: 5,
+            confidence: 0.95,
+        };
+        let b = MeanCi {
+            mean: 11.5,
+            half_width: 1.0,
+            n: 5,
+            confidence: 0.95,
+        };
+        let c = MeanCi {
+            mean: 13.0,
+            half_width: 0.5,
+            n: 5,
+            confidence: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));
@@ -109,7 +134,12 @@ mod tests {
 
     #[test]
     fn display_format_matches_paper_cells() {
-        let ci = MeanCi { mean: 96.8, half_width: 0.37, n: 15, confidence: 0.95 };
+        let ci = MeanCi {
+            mean: 96.8,
+            half_width: 0.37,
+            n: 15,
+            confidence: 0.95,
+        };
         assert_eq!(ci.to_string(), "96.80 ±0.37");
     }
 

@@ -27,23 +27,34 @@ impl Kde {
         let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let q = |f: f64| sorted[((f * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)];
+        let q = |f: f64| {
+            sorted[((f * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
+        };
         let iqr = q(0.75) - q(0.25);
         let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
         let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-6);
-        Kde { samples: samples.to_vec(), bandwidth }
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
     }
 
     /// Builds a KDE with an explicit bandwidth.
     pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Kde {
         assert!(!samples.is_empty() && bandwidth > 0.0);
-        Kde { samples: samples.to_vec(), bandwidth }
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
     }
 
     /// Density at `x`.
     pub fn density(&self, x: f64) -> f64 {
         let n = self.samples.len() as f64;
-        self.samples.iter().map(|&s| norm_pdf((x - s) / self.bandwidth)).sum::<f64>()
+        self.samples
+            .iter()
+            .map(|&s| norm_pdf((x - s) / self.bandwidth))
+            .sum::<f64>()
             / (n * self.bandwidth)
     }
 
@@ -113,7 +124,10 @@ mod tests {
         let a = Kde::silverman(&a_s);
         let b = Kde::silverman(&b_s);
         let d = l1_distance(&a, &b, -3.0, 10.0, 1000);
-        assert!(d > 1.5, "distance {d} — disjoint supports should approach 2");
+        assert!(
+            d > 1.5,
+            "distance {d} — disjoint supports should approach 2"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl ConfusionMatrix {
     /// An empty matrix for `k` classes.
     pub fn new(k: usize) -> ConfusionMatrix {
         assert!(k >= 1);
-        ConfusionMatrix { k, counts: vec![0; k * k] }
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
     }
 
     /// Builds directly from prediction/label pairs.
@@ -92,7 +95,11 @@ impl ConfusionMatrix {
 
     /// Per-class recall (diagonal of the row-normalized matrix).
     pub fn per_class_recall(&self) -> Vec<f64> {
-        self.row_normalized().iter().enumerate().map(|(i, row)| row[i]).collect()
+        self.row_normalized()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row[i])
+            .collect()
     }
 
     /// Per-class F1 scores. Classes with no support and no predictions get

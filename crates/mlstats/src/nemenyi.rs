@@ -36,7 +36,10 @@ impl CriticalDistance {
         let k = names.len();
         assert!(k >= 2, "need at least two treatments");
         assert!(!scores.is_empty(), "need at least one block");
-        assert!(scores.iter().all(|b| b.len() == k), "block width != treatment count");
+        assert!(
+            scores.iter().all(|b| b.len() == k),
+            "block width != treatment count"
+        );
         let n = scores.len();
         let mean_ranks = average_ranks(scores);
 
@@ -93,8 +96,12 @@ impl CriticalDistance {
 
     /// Treatments ranked best-first as `(name, mean_rank)`.
     pub fn ranked(&self) -> Vec<(String, f64)> {
-        let mut pairs: Vec<(String, f64)> =
-            self.names.iter().cloned().zip(self.mean_ranks.iter().copied()).collect();
+        let mut pairs: Vec<(String, f64)> = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.mean_ranks.iter().copied())
+            .collect();
         pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         pairs
     }
@@ -129,8 +136,9 @@ mod tests {
     fn paper_cd_value() {
         // Paper Sec. 4.3.2: α=0.05, k=7, N=30 → CD = 1.644.
         let names = ["a", "b", "c", "d", "e", "f", "g"];
-        let scores: Vec<Vec<f64>> =
-            (0..30).map(|b| (0..7).map(|t| (b * 7 + t) as f64 % 13.0).collect()).collect();
+        let scores: Vec<Vec<f64>> = (0..30)
+            .map(|b| (0..7).map(|t| (b * 7 + t) as f64 % 13.0).collect())
+            .collect();
         let cd = CriticalDistance::analyze(&names, &scores, 0.05);
         assert!((cd.cd - 1.644).abs() < 5e-3, "CD {}", cd.cd);
         assert_eq!(cd.n_blocks, 30);
@@ -154,7 +162,13 @@ mod tests {
         // Alternating winners: mean ranks nearly equal.
         let names = ["a", "b"];
         let scores: Vec<Vec<f64>> = (0..20)
-            .map(|b| if b % 2 == 0 { vec![0.9, 0.8] } else { vec![0.8, 0.9] })
+            .map(|b| {
+                if b % 2 == 0 {
+                    vec![0.9, 0.8]
+                } else {
+                    vec![0.8, 0.9]
+                }
+            })
             .collect();
         let cd = CriticalDistance::analyze(&names, &scores, 0.05);
         assert!(!cd.is_different(0, 1));
@@ -171,8 +185,7 @@ mod tests {
             .collect();
         let cd = CriticalDistance::analyze(&names, &scores, 0.05);
         let groups = cd.indistinct_groups();
-        let covered: std::collections::HashSet<usize> =
-            groups.iter().flatten().copied().collect();
+        let covered: std::collections::HashSet<usize> = groups.iter().flatten().copied().collect();
         assert_eq!(covered.len(), 4);
     }
 

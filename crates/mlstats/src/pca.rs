@@ -87,8 +87,7 @@ impl Pca {
                 for wj in &mut w {
                     *wj /= new_eigenvalue;
                 }
-                let delta: f64 =
-                    w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                let delta: f64 = w.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum::<f64>();
                 v = w;
                 eigenvalue = new_eigenvalue;
                 if delta < 1e-10 {
@@ -98,7 +97,11 @@ impl Pca {
             components.push(v);
             explained.push(eigenvalue);
         }
-        Pca { mean, components, explained_variance: explained }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        }
     }
 
     /// Projects one row onto the fitted components.
@@ -150,7 +153,12 @@ pub fn silhouette_score(x: &[Vec<f64>], labels: &[usize]) -> f64 {
             if i == j {
                 continue;
             }
-            let dist = x[i].iter().zip(&x[j]).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt();
+            let dist = x[i]
+                .iter()
+                .zip(&x[j])
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt();
             if labels[j] == labels[i] {
                 intra_sum += dist;
                 intra_n += 1;

@@ -82,7 +82,11 @@ mod tests {
     #[test]
     fn average_ranks_across_blocks() {
         // Treatment 0 always best, treatment 2 always worst.
-        let scores = vec![vec![0.9, 0.8, 0.1], vec![0.95, 0.5, 0.2], vec![0.7, 0.6, 0.3]];
+        let scores = vec![
+            vec![0.9, 0.8, 0.1],
+            vec![0.95, 0.5, 0.2],
+            vec![0.7, 0.6, 0.3],
+        ];
         let avg = average_ranks(&scores);
         assert_eq!(avg, vec![1.0, 2.0, 3.0]);
     }

@@ -13,20 +13,19 @@ pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 8] = [
         676.5203681218851,
         -1259.1392167224028,
-        771.32342877765313,
-        -176.61502916214059,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507343278686905,
         -0.13857109526572012,
-        9.9843695780195716e-6,
+        9.984_369_578_019_572e-6,
         1.5056327351493116e-7,
     ];
     if x < 0.5 {
         // Reflection formula.
-        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
-            - ln_gamma(1.0 - x);
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut acc = 0.99999999999980993;
+    let mut acc = 0.999_999_999_999_809_9;
     for (i, &c) in COEFFS.iter().enumerate() {
         acc += c / (x + i as f64 + 1.0);
     }
@@ -38,7 +37,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// fraction.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc needs positive parameters");
-    assert!((0.0..=1.0).contains(&x), "beta_inc needs x in [0,1], got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "beta_inc needs x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -150,9 +152,8 @@ fn erfc_approx(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {

@@ -48,10 +48,15 @@ impl TukeyHsd {
         let k = groups.len();
         assert!(k >= 2, "need at least two groups");
         assert_eq!(names.len(), k);
-        assert!(groups.iter().all(|g| g.len() >= 2), "each group needs >= 2 samples");
+        assert!(
+            groups.iter().all(|g| g.len() >= 2),
+            "each group needs >= 2 samples"
+        );
 
-        let means: Vec<f64> =
-            groups.iter().map(|g| g.iter().sum::<f64>() / g.len() as f64).collect();
+        let means: Vec<f64> = groups
+            .iter()
+            .map(|g| g.iter().sum::<f64>() / g.len() as f64)
+            .collect();
         // Pooled within-group variance (MSE of the one-way ANOVA).
         let mut ss = 0f64;
         let mut df = 0f64;
@@ -80,10 +85,21 @@ impl TukeyHsd {
                     let p = 1.0 - srange_cdf(q, k);
                     (p, p < alpha)
                 };
-                pairs.push(TukeyPair { a, b, mean_diff: diff, p_value, is_different });
+                pairs.push(TukeyPair {
+                    a,
+                    b,
+                    mean_diff: diff,
+                    p_value,
+                    is_different,
+                });
             }
         }
-        TukeyHsd { names: names.iter().map(|s| s.to_string()).collect(), means, pairs, alpha }
+        TukeyHsd {
+            names: names.iter().map(|s| s.to_string()).collect(),
+            means,
+            pairs,
+            alpha,
+        }
     }
 
     /// Text rendering in the shape of the paper's Table 10.
@@ -136,9 +152,15 @@ mod tests {
     #[test]
     fn three_groups_table10_shape() {
         // Mimic the paper's Table 10: 32≈64, both ≠ 1500.
-        let g32: Vec<f64> = (0..30).map(|i| 96.0 + 0.5 * ((i % 7) as f64 - 3.0)).collect();
-        let g64: Vec<f64> = (0..30).map(|i| 96.1 + 0.5 * ((i % 5) as f64 - 2.0)).collect();
-        let g1500: Vec<f64> = (0..30).map(|i| 94.0 + 0.5 * ((i % 7) as f64 - 3.0)).collect();
+        let g32: Vec<f64> = (0..30)
+            .map(|i| 96.0 + 0.5 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let g64: Vec<f64> = (0..30)
+            .map(|i| 96.1 + 0.5 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let g1500: Vec<f64> = (0..30)
+            .map(|i| 94.0 + 0.5 * ((i % 7) as f64 - 3.0))
+            .collect();
         let t = TukeyHsd::analyze(&["32x32", "64x64", "1500x1500"], &[g32, g64, g1500], 0.05);
         let pair = |a, b| t.pairs.iter().find(|p| p.a == a && p.b == b).unwrap();
         assert!(!pair(0, 1).is_different, "32 vs 64 must pool");

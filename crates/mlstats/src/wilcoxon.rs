@@ -36,8 +36,12 @@ pub struct WilcoxonResult {
 /// (the normal approximation is not defensible below that).
 pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64], alpha: f64) -> WilcoxonResult {
     assert_eq!(a.len(), b.len(), "paired samples");
-    let diffs: Vec<f64> =
-        a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
     let n = diffs.len();
     assert!(
         n >= 10,
@@ -62,7 +66,13 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64], alpha: f64) -> WilcoxonResult 
     // Continuity-corrected z.
     let z = (w - mean + 0.5) / sd;
     let p_value = (2.0 * norm_cdf(z)).min(1.0);
-    WilcoxonResult { r_plus, r_minus, n_used: n, p_value, is_different: p_value < alpha }
+    WilcoxonResult {
+        r_plus,
+        r_minus,
+        n_used: n,
+        p_value,
+        is_different: p_value < alpha,
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +103,9 @@ mod tests {
     #[test]
     fn rank_sums_are_complementary() {
         let a: Vec<f64> = (0..12).map(|i| i as f64).collect();
-        let b: Vec<f64> = (0..12).map(|i| (i as f64) + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f64> = (0..12)
+            .map(|i| (i as f64) + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b, 0.05);
         let n = r.n_used as f64;
         assert!((r.r_plus + r.r_minus - n * (n + 1.0) / 2.0).abs() < 1e-9);

@@ -1,13 +1,5 @@
 //! Property-based tests of the statistical machinery.
 
-use mlstats::ci::MeanCi;
-use mlstats::kde::Kde;
-use mlstats::metrics::ConfusionMatrix;
-use mlstats::nemenyi::CriticalDistance;
-use mlstats::quantiles::{percentile, BoxStats};
-use mlstats::ranking::rank_descending;
-use mlstats::special::{beta_inc, norm_cdf, srange_cdf, t_cdf};
-use mlstats::tukey::TukeyHsd;
 use proptest::prelude::*;
 
 proptest! {

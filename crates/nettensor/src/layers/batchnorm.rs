@@ -7,8 +7,18 @@
 //! workspace's own diagnostics reproduce). Semantics match
 //! `nn.BatchNorm1d`: per-feature standardization over the batch with
 //! learnable scale/shift, running statistics for evaluation mode.
+//!
+//! Under the tape API the training forward is `&self`: batch statistics
+//! are recorded on the tape, and the running-statistics EMA update is
+//! deferred to [`Layer::commit`], which the trainer applies after the
+//! (potentially parallel) forward/backward — in fixed shard order, so the
+//! update sequence is independent of worker count. Note that batch
+//! statistics are computed per forward call: a sharded batch would
+//! normalize per shard, which changes semantics, so networks containing
+//! batch norm (only the BYOL nets here) train unsharded.
 
-use super::{Layer, ParamRef};
+use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
 /// `BatchNorm1d(features)` over `[N, F]` inputs.
@@ -19,15 +29,8 @@ pub struct BatchNorm1d {
     momentum: f32,
     gamma: Tensor,
     beta: Tensor,
-    g_gamma: Tensor,
-    g_beta: Tensor,
     running_mean: Vec<f32>,
     running_var: Vec<f32>,
-    // Backward cache.
-    x_hat: Vec<f32>,
-    centered: Vec<f32>,
-    inv_std: Vec<f32>,
-    batch: usize,
 }
 
 impl BatchNorm1d {
@@ -39,14 +42,8 @@ impl BatchNorm1d {
             momentum: 0.1,
             gamma: Tensor::new(&[features], vec![1.0; features]),
             beta: Tensor::zeros(&[features]),
-            g_gamma: Tensor::zeros(&[features]),
-            g_beta: Tensor::zeros(&[features]),
             running_mean: vec![0.0; features],
             running_var: vec![1.0; features],
-            x_hat: Vec::new(),
-            centered: Vec::new(),
-            inv_std: Vec::new(),
-            batch: 0,
         }
     }
 }
@@ -56,14 +53,16 @@ impl Layer for BatchNorm1d {
         "BatchNorm1d"
     }
 
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, train: bool, tape: &mut Tape) -> Tensor {
         assert_eq!(input.shape.len(), 2, "BatchNorm1d expects [N, F]");
         let (n, f) = (input.shape[0], input.shape[1]);
         assert_eq!(f, self.features, "feature width mismatch");
         let mut out = Tensor::zeros(&[n, f]);
 
         if !train || n == 1 {
-            // Evaluation (or degenerate single-sample batch): running stats.
+            // Evaluation (or degenerate single-sample batch): running
+            // stats. Nothing for backward — an `Empty` entry makes a
+            // backward through this pass fail loudly.
             for i in 0..n {
                 for j in 0..f {
                     let x_hat = (input.data[i * f + j] - self.running_mean[j])
@@ -71,39 +70,55 @@ impl Layer for BatchNorm1d {
                     out.data[i * f + j] = self.gamma.data[j] * x_hat + self.beta.data[j];
                 }
             }
-            // Mark the cache stale so a backward without a training forward
-            // is caught.
-            self.batch = 0;
+            tape.push(TapeEntry::Empty);
             return out;
         }
 
-        self.batch = n;
-        self.x_hat = vec![0.0; n * f];
-        self.centered = vec![0.0; n * f];
-        self.inv_std = vec![0.0; f];
+        let mut x_hat = vec![0.0; n * f];
+        let mut inv_std = vec![0.0; f];
+        let mut mean_v = vec![0.0; f];
+        let mut var_v = vec![0.0; f];
         for j in 0..f {
             let mean: f32 = (0..n).map(|i| input.data[i * f + j]).sum::<f32>() / n as f32;
-            let var: f32 =
-                (0..n).map(|i| (input.data[i * f + j] - mean).powi(2)).sum::<f32>() / n as f32;
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            self.inv_std[j] = inv_std;
+            let var: f32 = (0..n)
+                .map(|i| (input.data[i * f + j] - mean).powi(2))
+                .sum::<f32>()
+                / n as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[j] = istd;
+            mean_v[j] = mean;
+            var_v[j] = var;
             for i in 0..n {
-                let c = input.data[i * f + j] - mean;
-                self.centered[i * f + j] = c;
-                let x_hat = c * inv_std;
-                self.x_hat[i * f + j] = x_hat;
-                out.data[i * f + j] = self.gamma.data[j] * x_hat + self.beta.data[j];
+                let xh = (input.data[i * f + j] - mean) * istd;
+                x_hat[i * f + j] = xh;
+                out.data[i * f + j] = self.gamma.data[j] * xh + self.beta.data[j];
             }
-            self.running_mean[j] = (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean;
-            self.running_var[j] = (1.0 - self.momentum) * self.running_var[j] + self.momentum * var;
         }
+        tape.push(TapeEntry::BatchNorm {
+            x_hat,
+            inv_std,
+            batch: n,
+            mean: mean_v,
+            var: var_v,
+        });
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(self.batch > 0, "backward requires a training-mode forward");
-        let (n, f) = (self.batch, self.features);
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::BatchNorm {
+            x_hat,
+            inv_std,
+            batch,
+            ..
+        } = entry
+        else {
+            panic!("BatchNorm1d backward requires a training-mode forward")
+        };
+        let (n, f) = (*batch, self.features);
         assert_eq!(grad_out.shape, vec![n, f]);
+        let [g_gamma, g_beta] = grads else {
+            panic!("BatchNorm1d expects 2 gradient slots")
+        };
         let mut grad_in = Tensor::zeros(&[n, f]);
         for j in 0..f {
             let mut sum_dy = 0f32;
@@ -111,29 +126,37 @@ impl Layer for BatchNorm1d {
             for i in 0..n {
                 let dy = grad_out.data[i * f + j];
                 sum_dy += dy;
-                sum_dy_xhat += dy * self.x_hat[i * f + j];
+                sum_dy_xhat += dy * x_hat[i * f + j];
             }
-            self.g_beta.data[j] += sum_dy;
-            self.g_gamma.data[j] += sum_dy_xhat;
-            let scale = self.gamma.data[j] * self.inv_std[j] / n as f32;
+            g_beta.data[j] += sum_dy;
+            g_gamma.data[j] += sum_dy_xhat;
+            let scale = self.gamma.data[j] * inv_std[j] / n as f32;
             for i in 0..n {
                 let dy = grad_out.data[i * f + j];
                 grad_in.data[i * f + j] =
-                    scale * (n as f32 * dy - sum_dy - self.x_hat[i * f + j] * sum_dy_xhat);
+                    scale * (n as f32 * dy - sum_dy - x_hat[i * f + j] * sum_dy_xhat);
             }
         }
         grad_in
     }
 
-    fn params(&mut self) -> Vec<ParamRef<'_>> {
-        vec![
-            ParamRef { param: &mut self.gamma, grad: &mut self.g_gamma },
-            ParamRef { param: &mut self.beta, grad: &mut self.g_beta },
-        ]
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.gamma, &self.beta]
     }
 
-    fn param_count(&self) -> usize {
-        2 * self.features
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn commit(&mut self, entry: &TapeEntry) {
+        if let TapeEntry::BatchNorm { mean, var, .. } = entry {
+            for j in 0..self.features {
+                self.running_mean[j] =
+                    (1.0 - self.momentum) * self.running_mean[j] + self.momentum * mean[j];
+                self.running_var[j] =
+                    (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
+            }
+        }
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -148,26 +171,32 @@ mod tests {
 
     #[test]
     fn training_forward_standardizes() {
-        let mut bn = BatchNorm1d::new(2);
+        let bn = BatchNorm1d::new(2);
         let x = Tensor::new(&[4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
-        let y = bn.forward(&x, true);
+        let y = bn.forward(&x, true, &mut Tape::new());
         for j in 0..2 {
             let mean: f32 = (0..4).map(|i| y.data[i * 2 + j]).sum::<f32>() / 4.0;
-            let var: f32 = (0..4).map(|i| (y.data[i * 2 + j] - mean).powi(2)).sum::<f32>() / 4.0;
+            let var: f32 = (0..4)
+                .map(|i| (y.data[i * 2 + j] - mean).powi(2))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
     }
 
     #[test]
-    fn eval_uses_running_statistics() {
+    fn eval_uses_committed_running_statistics() {
         let mut bn = BatchNorm1d::new(1);
-        // Feed the same batch repeatedly so running stats converge to it.
+        // Feed the same batch repeatedly, committing each tape so running
+        // stats converge to the batch stats.
         let x = Tensor::new(&[4, 1], vec![2.0, 4.0, 6.0, 8.0]);
         for _ in 0..200 {
-            bn.forward(&x, true);
+            let mut tape = Tape::new();
+            bn.forward(&x, true, &mut tape);
+            bn.commit(&tape.entries[0]);
         }
-        let y = bn.forward(&x, false);
+        let y = bn.forward(&x, false, &mut Tape::new());
         // In eval mode, standardization uses the (converged) running
         // stats, so outputs match the training-mode standardization.
         let mean: f32 = y.data.iter().sum::<f32>() / 4.0;
@@ -175,20 +204,35 @@ mod tests {
     }
 
     #[test]
+    fn forward_without_commit_leaves_running_stats_untouched() {
+        let bn = BatchNorm1d::new(1);
+        let x = Tensor::new(&[4, 1], vec![2.0, 4.0, 6.0, 8.0]);
+        bn.forward(&x, true, &mut Tape::new());
+        // No commit → eval still standardizes with the initial (0, 1).
+        let y = bn.forward(
+            &Tensor::new(&[2, 1], vec![0.0, 1.0]),
+            false,
+            &mut Tape::new(),
+        );
+        assert!((y.data[0] - 0.0).abs() < 1e-4);
+        assert!((y.data[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
     fn gradients_match_finite_differences() {
         let mut bn = BatchNorm1d::new(3);
         // Non-trivial gamma/beta so their gradients are exercised.
-        bn.gamma.data = vec![1.5, 0.5, 2.0];
-        bn.beta.data = vec![0.1, -0.2, 0.3];
+        bn.params_mut()[0].data = vec![1.5, 0.5, 2.0];
+        bn.params_mut()[1].data = vec![0.1, -0.2, 0.3];
         let x = Tensor::kaiming_uniform(&[5, 3], 1, 11);
         check_layer(&mut bn, &x, 5e-2);
     }
 
     #[test]
     fn single_sample_batch_falls_back_to_running_stats() {
-        let mut bn = BatchNorm1d::new(2);
+        let bn = BatchNorm1d::new(2);
         let x = Tensor::new(&[1, 2], vec![3.0, 4.0]);
-        let y = bn.forward(&x, true);
+        let y = bn.forward(&x, true, &mut Tape::new());
         assert!(y.data.iter().all(|v| v.is_finite()));
     }
 

@@ -5,7 +5,8 @@
 //! time-series classifier that extension needs convolves over the packet
 //! sequence (`[N, C, L]`) instead of the flowpic image.
 
-use super::{Layer, ParamRef};
+use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
 /// `Conv1d(in_channels, out_channels, kernel_size)` with stride 1, no
@@ -17,9 +18,6 @@ pub struct Conv1d {
     /// Weights `[out_c, in_c, k]`.
     w: Tensor,
     b: Tensor,
-    gw: Tensor,
-    gb: Tensor,
-    cached_input: Option<Tensor>,
 }
 
 impl Conv1d {
@@ -33,14 +31,15 @@ impl Conv1d {
             kernel,
             w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel], fan_in, seed),
             b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
-            gw: Tensor::zeros(&[out_channels, in_channels, kernel]),
-            gb: Tensor::zeros(&[out_channels]),
-            cached_input: None,
         }
     }
 
     fn out_len(&self, l: usize) -> usize {
-        assert!(l >= self.kernel, "input length {l} smaller than kernel {}", self.kernel);
+        assert!(
+            l >= self.kernel,
+            "input length {l} smaller than kernel {}",
+            self.kernel
+        );
         l - self.kernel + 1
     }
 }
@@ -50,8 +49,13 @@ impl Layer for Conv1d {
         "Conv1d"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape.len(), 3, "Conv1d expects [N,C,L], got {:?}", input.shape);
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        assert_eq!(
+            input.shape.len(),
+            3,
+            "Conv1d expects [N,C,L], got {:?}",
+            input.shape
+        );
         let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
         assert_eq!(c, self.in_channels, "channel mismatch");
         let ol = self.out_len(l);
@@ -60,7 +64,9 @@ impl Layer for Conv1d {
         for ni in 0..n {
             for oc in 0..self.out_channels {
                 let out_base = (ni * self.out_channels + oc) * ol;
-                out[out_base..out_base + ol].iter_mut().for_each(|v| *v = self.b.data[oc]);
+                out[out_base..out_base + ol]
+                    .iter_mut()
+                    .for_each(|v| *v = self.b.data[oc]);
                 for ic in 0..c {
                     let in_base = (ni * c + ic) * l;
                     let w_base = (oc * c + ic) * k;
@@ -76,22 +82,26 @@ impl Layer for Conv1d {
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        tape.push(TapeEntry::Input(input.clone()));
         Tensor::new(&[n, self.out_channels, ol], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Input(input) = entry else {
+            panic!("Conv1d backward without a matching forward tape entry")
+        };
         let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
         let ol = self.out_len(l);
         let k = self.kernel;
         assert_eq!(grad_out.shape, vec![n, self.out_channels, ol]);
+        let [gw, gb] = grads else {
+            panic!("Conv1d expects 2 gradient slots")
+        };
         let mut grad_in = vec![0f32; input.len()];
         for ni in 0..n {
             for oc in 0..self.out_channels {
                 let out_base = (ni * self.out_channels + oc) * ol;
-                self.gb.data[oc] +=
-                    grad_out.data[out_base..out_base + ol].iter().sum::<f32>();
+                gb.data[oc] += grad_out.data[out_base..out_base + ol].iter().sum::<f32>();
                 for ic in 0..c {
                     let in_base = (ni * c + ic) * l;
                     let w_base = (oc * c + ic) * k;
@@ -103,7 +113,7 @@ impl Layer for Conv1d {
                             gw_acc += g * input.data[in_base + oi + ki];
                             grad_in[in_base + oi + ki] += g * weight;
                         }
-                        self.gw.data[w_base + ki] += gw_acc;
+                        gw.data[w_base + ki] += gw_acc;
                     }
                 }
             }
@@ -111,34 +121,33 @@ impl Layer for Conv1d {
         Tensor::new(&input.shape.clone(), grad_in)
     }
 
-    fn params(&mut self) -> Vec<ParamRef<'_>> {
-        vec![
-            ParamRef { param: &mut self.w, grad: &mut self.gw },
-            ParamRef { param: &mut self.b, grad: &mut self.gb },
-        ]
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
     }
 
-    fn param_count(&self) -> usize {
-        self.w.len() + self.b.len()
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
-        vec![input_shape[0], self.out_channels, self.out_len(input_shape[2])]
+        vec![
+            input_shape[0],
+            self.out_channels,
+            self.out_len(input_shape[2]),
+        ]
     }
 }
 
 /// `MaxPool1d(kernel)` with stride = kernel.
 pub struct MaxPool1d {
     kernel: usize,
-    argmax: Vec<usize>,
-    input_shape: Vec<usize>,
 }
 
 impl MaxPool1d {
     /// Creates a pooling layer.
     pub fn new(kernel: usize) -> MaxPool1d {
         assert!(kernel >= 1);
-        MaxPool1d { kernel, argmax: Vec::new(), input_shape: Vec::new() }
+        MaxPool1d { kernel }
     }
 }
 
@@ -147,14 +156,14 @@ impl Layer for MaxPool1d {
         "MaxPool1d"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
         assert_eq!(input.shape.len(), 3, "MaxPool1d expects [N,C,L]");
         let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
         let k = self.kernel;
         let ol = l / k;
         assert!(ol >= 1, "input length {l} smaller than pool {k}");
         let mut out = vec![0f32; n * c * ol];
-        self.argmax = vec![0usize; out.len()];
+        let mut argmax = vec![0usize; out.len()];
         for nc in 0..n * c {
             let in_base = nc * l;
             let out_base = nc * ol;
@@ -169,17 +178,31 @@ impl Layer for MaxPool1d {
                     }
                 }
                 out[out_base + oi] = best;
-                self.argmax[out_base + oi] = best_idx;
+                argmax[out_base + oi] = best_idx;
             }
         }
-        self.input_shape = input.shape.clone();
+        tape.push(TapeEntry::Argmax {
+            argmax,
+            input_shape: input.shape.clone(),
+        });
         Tensor::new(&[n, c, ol], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward");
-        let mut grad_in = Tensor::zeros(&self.input_shape);
-        for (g, &idx) in grad_out.data.iter().zip(&self.argmax) {
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Argmax {
+            argmax,
+            input_shape,
+        } = entry
+        else {
+            panic!("MaxPool1d backward without a matching forward tape entry")
+        };
+        assert_eq!(
+            grad_out.len(),
+            argmax.len(),
+            "gradient/argmax length mismatch"
+        );
+        let mut grad_in = Tensor::zeros(input_shape);
+        for (g, &idx) in grad_out.data.iter().zip(argmax) {
             grad_in.data[idx] += g;
         }
         grad_in
@@ -198,10 +221,10 @@ mod tests {
     #[test]
     fn known_convolution_value() {
         let mut conv = Conv1d::new(1, 1, 2, 0);
-        conv.w.data = vec![1.0, 2.0];
-        conv.b.data = vec![0.5];
+        conv.params_mut()[0].data = vec![1.0, 2.0];
+        conv.params_mut()[1].data = vec![0.5];
         let x = Tensor::new(&[1, 1, 3], vec![1.0, 2.0, 3.0]);
-        let y = conv.forward(&x, false);
+        let y = conv.forward(&x, false, &mut Tape::new());
         // [1*1+2*2, 1*2+2*3] + 0.5
         assert_eq!(y.data, vec![5.5, 8.5]);
     }
@@ -222,24 +245,29 @@ mod tests {
 
     #[test]
     fn pool1d_max_and_backward() {
-        let mut pool = MaxPool1d::new(2);
+        let pool = MaxPool1d::new(2);
         let x = Tensor::new(&[1, 1, 4], vec![1.0, 5.0, 2.0, 3.0]);
-        let y = pool.forward(&x, false);
+        let mut tape = Tape::new();
+        let y = pool.forward(&x, false, &mut tape);
         assert_eq!(y.data, vec![5.0, 3.0]);
-        let g = pool.backward(&Tensor::new(&[1, 1, 2], vec![1.0, 2.0]));
+        let g = pool.backward(
+            &tape.entries[0],
+            &Tensor::new(&[1, 1, 2], vec![1.0, 2.0]),
+            &mut [],
+        );
         assert_eq!(g.data, vec![0.0, 1.0, 0.0, 2.0]);
     }
 
     #[test]
     fn pool1d_drops_trailing() {
-        let mut pool = MaxPool1d::new(2);
-        let y = pool.forward(&Tensor::zeros(&[1, 2, 5]), false);
+        let pool = MaxPool1d::new(2);
+        let y = pool.forward(&Tensor::zeros(&[1, 2, 5]), false, &mut Tape::new());
         assert_eq!(y.shape, vec![1, 2, 2]);
     }
 
     #[test]
     #[should_panic(expected = "smaller than kernel")]
     fn conv1d_rejects_short_input() {
-        Conv1d::new(1, 1, 5, 0).forward(&Tensor::zeros(&[1, 1, 3]), false);
+        Conv1d::new(1, 1, 5, 0).forward(&Tensor::zeros(&[1, 1, 3]), false, &mut Tape::new());
     }
 }

@@ -8,7 +8,8 @@
 //! matrix would waste both memory and time; the direct loops skip
 //! zero input cells in the backward accumulation.
 
-use super::{Layer, ParamRef};
+use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
 /// `Conv2d(in_channels, out_channels, kernel_size)` with stride 1 and no
@@ -21,9 +22,6 @@ pub struct Conv2d {
     /// Weights `[out_c, in_c, k, k]`.
     w: Tensor,
     b: Tensor,
-    gw: Tensor,
-    gb: Tensor,
-    cached_input: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -50,9 +48,6 @@ impl Conv2d {
             stride,
             w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel, kernel], fan_in, seed),
             b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
-            gw: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
-            gb: Tensor::zeros(&[out_channels]),
-            cached_input: None,
         }
     }
 
@@ -74,9 +69,19 @@ impl Layer for Conv2d {
         "Conv2d"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape.len(), 4, "Conv2d expects [N,C,H,W], got {:?}", input.shape);
-        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        assert_eq!(
+            input.shape.len(),
+            4,
+            "Conv2d expects [N,C,H,W], got {:?}",
+            input.shape
+        );
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
         assert_eq!(c, self.in_channels, "channel mismatch");
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
@@ -86,7 +91,9 @@ impl Layer for Conv2d {
             for oc in 0..self.out_channels {
                 let bias = self.b.data[oc];
                 let out_base = (ni * self.out_channels + oc) * oh * ow;
-                out[out_base..out_base + oh * ow].iter_mut().for_each(|v| *v = bias);
+                out[out_base..out_base + oh * ow]
+                    .iter_mut()
+                    .for_each(|v| *v = bias);
                 for ic in 0..c {
                     let in_base = (ni * c + ic) * h * w;
                     let w_base = (oc * c + ic) * k * k;
@@ -109,16 +116,26 @@ impl Layer for Conv2d {
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        tape.push(TapeEntry::Input(input.clone()));
         Tensor::new(&[n, self.out_channels, oh, ow], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
-        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Input(input) = entry else {
+            panic!("Conv2d backward without a matching forward tape entry")
+        };
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
         let (oh, ow) = self.out_hw(h, w);
         let k = self.kernel;
         assert_eq!(grad_out.shape, vec![n, self.out_channels, oh, ow]);
+        let [gw, gb] = grads else {
+            panic!("Conv2d expects 2 gradient slots")
+        };
 
         let mut grad_in = vec![0f32; input.len()];
         for ni in 0..n {
@@ -126,7 +143,7 @@ impl Layer for Conv2d {
                 let out_base = (ni * self.out_channels + oc) * oh * ow;
                 // Bias gradient: sum over spatial and batch.
                 let g_sum: f32 = grad_out.data[out_base..out_base + oh * ow].iter().sum();
-                self.gb.data[oc] += g_sum;
+                gb.data[oc] += g_sum;
                 for ic in 0..c {
                     let in_base = (ni * c + ic) * h * w;
                     let w_base = (oc * c + ic) * k * k;
@@ -143,7 +160,7 @@ impl Layer for Conv2d {
                                     grad_in[in_row + oj * self.stride] += g * weight;
                                 }
                             }
-                            self.gw.data[w_base + ki * k + kj] += gw_acc;
+                            gw.data[w_base + ki * k + kj] += gw_acc;
                         }
                     }
                 }
@@ -152,15 +169,12 @@ impl Layer for Conv2d {
         Tensor::new(&input.shape.clone(), grad_in)
     }
 
-    fn params(&mut self) -> Vec<ParamRef<'_>> {
-        vec![
-            ParamRef { param: &mut self.w, grad: &mut self.gw },
-            ParamRef { param: &mut self.b, grad: &mut self.gb },
-        ]
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
     }
 
-    fn param_count(&self) -> usize {
-        self.w.len() + self.b.len()
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -189,7 +203,7 @@ mod tests {
         conv.w.data = vec![1.0, 2.0, 3.0, 4.0];
         conv.b.data = vec![0.5];
         let input = Tensor::new(&[1, 1, 2, 2], vec![1.0, 1.0, 1.0, 1.0]);
-        let out = conv.forward(&input, false);
+        let out = conv.forward(&input, false, &mut Tape::new());
         assert_eq!(out.shape, vec![1, 1, 1, 1]);
         assert_eq!(out.data, vec![10.5]);
     }
@@ -204,15 +218,15 @@ mod tests {
     #[test]
     fn batch_independence() {
         // Forward of a 2-batch equals the two singles stacked.
-        let mut conv = Conv2d::new(1, 2, 3, 3);
+        let conv = Conv2d::new(1, 2, 3, 3);
         let a = Tensor::kaiming_uniform(&[1, 1, 6, 6], 1, 1);
         let b = Tensor::kaiming_uniform(&[1, 1, 6, 6], 1, 2);
         let mut both = a.data.clone();
         both.extend_from_slice(&b.data);
         let stacked = Tensor::new(&[2, 1, 6, 6], both);
-        let out_a = conv.forward(&a, false);
-        let out_b = conv.forward(&b, false);
-        let out = conv.forward(&stacked, false);
+        let out_a = conv.forward(&a, false, &mut Tape::new());
+        let out_b = conv.forward(&b, false, &mut Tape::new());
+        let out = conv.forward(&stacked, false, &mut Tape::new());
         assert_eq!(&out.data[..out_a.len()], &out_a.data[..]);
         assert_eq!(&out.data[out_a.len()..], &out_b.data[..]);
     }
@@ -220,20 +234,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "smaller than kernel")]
     fn rejects_undersized_input() {
-        let mut conv = Conv2d::new(1, 1, 5, 0);
-        conv.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+        let conv = Conv2d::new(1, 1, 5, 0);
+        conv.forward(&Tensor::zeros(&[1, 1, 3, 3]), false, &mut Tape::new());
     }
 
     #[test]
-    fn zero_grad_clears() {
-        let mut conv = Conv2d::new(1, 1, 2, 0);
+    fn gradients_accumulate_into_caller_slots() {
+        let conv = Conv2d::new(1, 1, 2, 0);
         let input = Tensor::kaiming_uniform(&[1, 1, 3, 3], 1, 5);
-        let out = conv.forward(&input, true);
-        conv.backward(&Tensor::new(&out.shape, vec![1.0; out.len()]));
-        assert!(conv.gw.data.iter().any(|&v| v != 0.0));
-        conv.zero_grad();
-        assert!(conv.gw.data.iter().all(|&v| v == 0.0));
-        assert!(conv.gb.data.iter().all(|&v| v == 0.0));
+        let mut tape = Tape::new();
+        let out = conv.forward(&input, true, &mut tape);
+        let ones = Tensor::new(&out.shape, vec![1.0; out.len()]);
+        let mut grads: Vec<Tensor> = conv
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape))
+            .collect();
+        conv.backward(&tape.entries[0], &ones, &mut grads);
+        assert!(grads[0].data.iter().any(|&v| v != 0.0));
+        let first = grads[0].data.clone();
+        // A second backward over the same slots accumulates (sums).
+        conv.backward(&tape.entries[0], &ones, &mut grads);
+        for (a, b) in grads[0].data.iter().zip(&first) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
     }
 }
 
@@ -248,7 +272,10 @@ mod stride_tests {
         // Full-flowpic first stage: Conv2d(1, 10, k=10, s=5) on 1500x1500
         // yields (1500-10)/5+1 = 299.
         let conv = Conv2d::with_stride(1, 10, 10, 5, 0);
-        assert_eq!(conv.output_shape(&[1, 1, 1500, 1500]), vec![1, 10, 299, 299]);
+        assert_eq!(
+            conv.output_shape(&[1, 1, 1500, 1500]),
+            vec![1, 10, 299, 299]
+        );
     }
 
     #[test]
@@ -265,7 +292,7 @@ mod stride_tests {
                 13.0, 14.0, 15.0, 16.0,
             ],
         );
-        let out = conv.forward(&input, false);
+        let out = conv.forward(&input, false, &mut Tape::new());
         assert_eq!(out.shape, vec![1, 1, 2, 2]);
         // Non-overlapping 2x2 window sums.
         assert_eq!(out.data, vec![14.0, 22.0, 46.0, 54.0]);

@@ -1,6 +1,7 @@
 //! Fully-connected layer.
 
-use super::{Layer, ParamRef};
+use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
 /// `Linear(in_features, out_features)`: `y = x·W + b` with `W` stored
@@ -10,9 +11,6 @@ pub struct Linear {
     out_features: usize,
     w: Tensor,
     b: Tensor,
-    gw: Tensor,
-    gb: Tensor,
-    cached_input: Option<Tensor>,
 }
 
 impl Linear {
@@ -23,9 +21,6 @@ impl Linear {
             out_features,
             w: Tensor::kaiming_uniform(&[in_features, out_features], in_features, seed),
             b: Tensor::kaiming_uniform(&[out_features], in_features, seed.wrapping_add(1)),
-            gw: Tensor::zeros(&[in_features, out_features]),
-            gb: Tensor::zeros(&[out_features]),
-            cached_input: None,
         }
     }
 
@@ -45,37 +40,44 @@ impl Layer for Linear {
         "Linear"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        assert_eq!(input.shape.len(), 2, "Linear expects [N, F], got {:?}", input.shape);
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        assert_eq!(
+            input.shape.len(),
+            2,
+            "Linear expects [N, F], got {:?}",
+            input.shape
+        );
         assert_eq!(input.shape[1], self.in_features, "feature width mismatch");
         let mut out = input.matmul(&self.w);
         out.add_row_bias(&self.b);
-        self.cached_input = Some(input.clone());
+        tape.push(TapeEntry::Input(input.clone()));
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Input(input) = entry else {
+            panic!("Linear backward without a matching forward tape entry")
+        };
         assert_eq!(grad_out.shape, vec![input.shape[0], self.out_features]);
+        let [gw, gb] = grads else {
+            panic!("Linear expects 2 gradient slots")
+        };
         // dW = xᵀ·g, db = column sums of g, dx = g·Wᵀ.
-        self.gw.add_scaled(&input.transposed().matmul(grad_out), 1.0);
+        gw.add_scaled(&input.transposed().matmul(grad_out), 1.0);
         for row in grad_out.data.chunks(self.out_features) {
-            for (gb, g) in self.gb.data.iter_mut().zip(row) {
-                *gb += g;
+            for (gbi, g) in gb.data.iter_mut().zip(row) {
+                *gbi += g;
             }
         }
         grad_out.matmul(&self.w.transposed())
     }
 
-    fn params(&mut self) -> Vec<ParamRef<'_>> {
-        vec![
-            ParamRef { param: &mut self.w, grad: &mut self.gw },
-            ParamRef { param: &mut self.b, grad: &mut self.gb },
-        ]
+    fn params(&self) -> Vec<&Tensor> {
+        vec![&self.w, &self.b]
     }
 
-    fn param_count(&self) -> usize {
-        self.w.len() + self.b.len()
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.w, &mut self.b]
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -100,10 +102,10 @@ mod tests {
     #[test]
     fn known_forward_value() {
         let mut lin = Linear::new(2, 2, 0);
-        lin.w.data = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]] (in×out)
-        lin.b.data = vec![0.5, -0.5];
+        lin.params_mut()[0].data = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]] (in×out)
+        lin.params_mut()[1].data = vec![0.5, -0.5];
         let x = Tensor::new(&[1, 2], vec![1.0, 1.0]);
-        let y = lin.forward(&x, false);
+        let y = lin.forward(&x, false, &mut Tape::new());
         assert_eq!(y.data, vec![4.5, 5.5]);
     }
 
@@ -116,15 +118,20 @@ mod tests {
 
     #[test]
     fn gradient_accumulates_across_backwards() {
-        let mut lin = Linear::new(2, 1, 0);
+        let lin = Linear::new(2, 1, 0);
         let x = Tensor::new(&[1, 2], vec![1.0, 2.0]);
         let g = Tensor::new(&[1, 1], vec![1.0]);
-        lin.forward(&x, true);
-        lin.backward(&g);
-        let first = lin.gw.data.clone();
-        lin.forward(&x, true);
-        lin.backward(&g);
-        for (a, b) in lin.gw.data.iter().zip(&first) {
+        let mut tape = Tape::new();
+        lin.forward(&x, true, &mut tape);
+        let mut grads: Vec<Tensor> = lin
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape))
+            .collect();
+        lin.backward(&tape.entries[0], &g, &mut grads);
+        let first = grads[0].data.clone();
+        lin.backward(&tape.entries[0], &g, &mut grads);
+        for (a, b) in grads[0].data.iter().zip(&first) {
             assert!((a - 2.0 * b).abs() < 1e-6);
         }
     }
@@ -132,7 +139,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "feature width mismatch")]
     fn rejects_wrong_width() {
-        let mut lin = Linear::new(4, 3, 0);
-        lin.forward(&Tensor::zeros(&[2, 5]), false);
+        let lin = Linear::new(4, 3, 0);
+        lin.forward(&Tensor::zeros(&[2, 5]), false, &mut Tape::new());
     }
 }

@@ -1,8 +1,13 @@
 //! Neural-network layers with explicit forward/backward passes.
 //!
-//! All layers implement [`Layer`]: `forward` caches whatever the backward
-//! pass needs, `backward` consumes the cached state, accumulates parameter
-//! gradients and returns the gradient with respect to the layer input.
+//! All layers implement [`Layer`]. Layers hold **parameters only** —
+//! activation state (cached inputs, masks, argmax indices, batch
+//! statistics) is recorded on a caller-owned [`Tape`] during `forward`,
+//! and parameter gradients accumulate into caller-owned slots during
+//! `backward`. Both passes therefore take `&self`, making every layer
+//! (and [`crate::model::Sequential`]) `Sync` so batch shards can run
+//! concurrently against shared parameters.
+//!
 //! Batch dimension is always first; convolutional tensors are
 //! `[N, C, H, W]` row-major.
 
@@ -20,48 +25,53 @@ pub use linear::Linear;
 pub use pool::MaxPool2d;
 pub use simple::{Dropout, Flatten, Identity, ReLU, Sigmoid, Tanh};
 
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
-/// A mutable view of one parameter tensor and its gradient accumulator.
-pub struct ParamRef<'a> {
-    /// The parameter values.
-    pub param: &'a mut Tensor,
-    /// The accumulated gradient (same shape as `param`).
-    pub grad: &'a mut Tensor,
-}
-
-/// A neural-network layer.
-pub trait Layer: Send {
+/// A neural-network layer: parameters plus pure forward/backward maps.
+pub trait Layer: Send + Sync {
     /// Layer type name, as printed by the model summary (mirrors the
     /// paper's App. C listings, e.g. `"Conv2d"`, `"Identity"`).
     fn name(&self) -> &'static str;
 
-    /// Forward pass. `train` toggles training-only behaviour (dropout).
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+    /// Forward pass. `train` toggles training-only behaviour (dropout,
+    /// batch statistics). Pushes exactly one [`TapeEntry`] holding
+    /// whatever the backward pass will need — [`TapeEntry::Empty`] if
+    /// nothing.
+    fn forward(&self, input: &Tensor, train: bool, tape: &mut Tape) -> Tensor;
 
-    /// Backward pass: takes `dL/d(output)`, accumulates parameter
-    /// gradients, returns `dL/d(input)`. Must be called after `forward`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Backward pass: takes this layer's tape entry (written by the
+    /// matching `forward`) and `dL/d(output)`, accumulates parameter
+    /// gradients into `grads` (one slot per tensor of [`Layer::params`],
+    /// same order) and returns `dL/d(input)`.
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor;
 
-    /// Mutable access to `(parameter, gradient)` pairs. Parameter-free
-    /// layers return an empty vec.
-    fn params(&mut self) -> Vec<ParamRef<'_>> {
+    /// Parameter tensors, in a fixed order. Parameter-free layers return
+    /// an empty vec.
+    fn params(&self) -> Vec<&Tensor> {
+        Vec::new()
+    }
+
+    /// Mutable parameter tensors, same order as [`Layer::params`]. Only
+    /// optimizers and weight import/transplant paths use this.
+    fn params_mut(&mut self) -> Vec<&mut Tensor> {
         Vec::new()
     }
 
     /// Number of trainable parameters.
     fn param_count(&self) -> usize {
-        0
+        self.params().iter().map(|p| p.len()).sum()
     }
 
     /// Output shape for a given input shape (used by the summary).
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
 
-    /// Clears accumulated gradients.
-    fn zero_grad(&mut self) {
-        for p in self.params() {
-            p.grad.fill_zero();
-        }
+    /// Applies deferred internal-state updates recorded on the tape —
+    /// batch norm folds its batch statistics into the running estimates
+    /// here. Called once per training forward, **after** the parallel
+    /// section, in fixed shard order. Default: no-op.
+    fn commit(&mut self, entry: &TapeEntry) {
+        let _ = entry;
     }
 }
 
@@ -70,17 +80,32 @@ pub(crate) mod gradcheck {
     //! Finite-difference gradient checking shared by the layer tests.
 
     use super::*;
+    use crate::tape::Tape;
+
+    fn forward_sum<L: Layer + ?Sized>(layer: &L, input: &Tensor) -> f32 {
+        let mut tape = Tape::new();
+        layer.forward(input, true, &mut tape).sum()
+    }
 
     /// Verifies `layer`'s input gradient and parameter gradients against
     /// central finite differences on the scalar loss `sum(forward(x))`.
+    ///
+    /// Runs in training mode; layers with hash-derived randomness
+    /// (dropout) are deterministic for a fixed tape context, so repeated
+    /// forwards see identical masks and finite differences stay valid.
     pub fn check_layer<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
         let eps = 1e-2f32;
 
-        // Analytic gradients.
-        let out = layer.forward(input, true);
+        // Analytic gradients through the tape API.
+        let mut tape = Tape::new();
+        let out = layer.forward(input, true, &mut tape);
         let ones = Tensor::new(&out.shape, vec![1.0; out.len()]);
-        layer.zero_grad();
-        let grad_in = layer.backward(&ones);
+        let mut grads: Vec<Tensor> = layer
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape))
+            .collect();
+        let grad_in = layer.backward(&tape.entries[0], &ones, &mut grads);
 
         // Input gradient check.
         for i in 0..input.len() {
@@ -88,9 +113,7 @@ pub(crate) mod gradcheck {
             plus.data[i] += eps;
             let mut minus = input.clone();
             minus.data[i] -= eps;
-            let f_plus = layer.forward(&plus, true).sum();
-            let f_minus = layer.forward(&minus, true).sum();
-            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let numeric = (forward_sum(layer, &plus) - forward_sum(layer, &minus)) / (2.0 * eps);
             assert!(
                 (grad_in.data[i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
                 "input grad [{i}]: analytic {} vs numeric {numeric}",
@@ -98,27 +121,24 @@ pub(crate) mod gradcheck {
             );
         }
 
-        // Parameter gradient check (re-run analytic pass first since the
-        // input loop overwrote the cache).
-        layer.forward(input, true);
-        layer.zero_grad();
-        layer.backward(&ones);
-        let analytic: Vec<Vec<f32>> =
-            layer.params().iter().map(|p| p.grad.data.clone()).collect();
-        let n_params = analytic.len();
+        // Parameter gradient check. The index walks three parallel
+        // views of the same parameter list (grads, params, params_mut),
+        // so a range loop is the honest shape here.
+        let n_params = grads.len();
+        #[allow(clippy::needless_range_loop)]
         for pi in 0..n_params {
-            for i in 0..analytic[pi].len() {
-                let orig = layer.params()[pi].param.data[i];
-                layer.params()[pi].param.data[i] = orig + eps;
-                let f_plus = layer.forward(input, true).sum();
-                layer.params()[pi].param.data[i] = orig - eps;
-                let f_minus = layer.forward(input, true).sum();
-                layer.params()[pi].param.data[i] = orig;
+            for i in 0..grads[pi].len() {
+                let orig = layer.params()[pi].data[i];
+                layer.params_mut()[pi].data[i] = orig + eps;
+                let f_plus = forward_sum(layer, input);
+                layer.params_mut()[pi].data[i] = orig - eps;
+                let f_minus = forward_sum(layer, input);
+                layer.params_mut()[pi].data[i] = orig;
                 let numeric = (f_plus - f_minus) / (2.0 * eps);
                 assert!(
-                    (analytic[pi][i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    (grads[pi].data[i] - numeric).abs() <= tol * (1.0 + numeric.abs()),
                     "param {pi} grad [{i}]: analytic {} vs numeric {numeric}",
-                    analytic[pi][i]
+                    grads[pi].data[i]
                 );
             }
         }

@@ -1,6 +1,7 @@
 //! Max pooling.
 
 use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
 /// `MaxPool2d(kernel)` with stride = kernel (non-overlapping windows), as
@@ -8,17 +9,13 @@ use crate::tensor::Tensor;
 /// are dropped, matching `nn.MaxPool2d` defaults.
 pub struct MaxPool2d {
     kernel: usize,
-    /// Flat input index of the max of each output cell, cached for the
-    /// backward scatter.
-    argmax: Vec<usize>,
-    input_shape: Vec<usize>,
 }
 
 impl MaxPool2d {
     /// Creates a pooling layer.
     pub fn new(kernel: usize) -> MaxPool2d {
         assert!(kernel >= 1);
-        MaxPool2d { kernel, argmax: Vec::new(), input_shape: Vec::new() }
+        MaxPool2d { kernel }
     }
 }
 
@@ -27,14 +24,19 @@ impl Layer for MaxPool2d {
         "MaxPool2d"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
         assert_eq!(input.shape.len(), 4, "MaxPool2d expects [N,C,H,W]");
-        let (n, c, h, w) = (input.shape[0], input.shape[1], input.shape[2], input.shape[3]);
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
         let k = self.kernel;
         let (oh, ow) = (h / k, w / k);
         assert!(oh >= 1 && ow >= 1, "input {h}x{w} smaller than pool {k}");
         let mut out = vec![0f32; n * c * oh * ow];
-        self.argmax = vec![0usize; out.len()];
+        let mut argmax = vec![0usize; out.len()];
         for ni in 0..n {
             for ci in 0..c {
                 let in_base = (ni * c + ci) * h * w;
@@ -53,19 +55,33 @@ impl Layer for MaxPool2d {
                             }
                         }
                         out[out_base + oi * ow + oj] = best;
-                        self.argmax[out_base + oi * ow + oj] = best_idx;
+                        argmax[out_base + oi * ow + oj] = best_idx;
                     }
                 }
             }
         }
-        self.input_shape = input.shape.clone();
+        tape.push(TapeEntry::Argmax {
+            argmax,
+            input_shape: input.shape.clone(),
+        });
         Tensor::new(&[n, c, oh, ow], out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward");
-        let mut grad_in = Tensor::zeros(&self.input_shape);
-        for (g, &idx) in grad_out.data.iter().zip(&self.argmax) {
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Argmax {
+            argmax,
+            input_shape,
+        } = entry
+        else {
+            panic!("MaxPool2d backward without a matching forward tape entry")
+        };
+        assert_eq!(
+            grad_out.len(),
+            argmax.len(),
+            "gradient/argmax length mismatch"
+        );
+        let mut grad_in = Tensor::zeros(input_shape);
+        for (g, &idx) in grad_out.data.iter().zip(argmax) {
             grad_in.data[idx] += g;
         }
         grad_in
@@ -87,7 +103,7 @@ mod tests {
 
     #[test]
     fn pools_max_per_window() {
-        let mut pool = MaxPool2d::new(2);
+        let pool = MaxPool2d::new(2);
         let input = Tensor::new(
             &[1, 1, 4, 4],
             vec![
@@ -97,32 +113,37 @@ mod tests {
                 13.0, 14.0, 15.0, 16.0,
             ],
         );
-        let out = pool.forward(&input, false);
+        let out = pool.forward(&input, false, &mut Tape::new());
         assert_eq!(out.shape, vec![1, 1, 2, 2]);
         assert_eq!(out.data, vec![6.0, 8.0, 14.0, 16.0]);
     }
 
     #[test]
     fn odd_sizes_drop_trailing() {
-        let mut pool = MaxPool2d::new(2);
-        let out = pool.forward(&Tensor::zeros(&[1, 1, 5, 5]), false);
+        let pool = MaxPool2d::new(2);
+        let out = pool.forward(&Tensor::zeros(&[1, 1, 5, 5]), false, &mut Tape::new());
         assert_eq!(out.shape, vec![1, 1, 2, 2]);
     }
 
     #[test]
     fn backward_routes_to_argmax() {
-        let mut pool = MaxPool2d::new(2);
+        let pool = MaxPool2d::new(2);
         let input = Tensor::new(&[1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]);
-        pool.forward(&input, true);
-        let grad = pool.backward(&Tensor::new(&[1, 1, 1, 1], vec![5.0]));
+        let mut tape = Tape::new();
+        pool.forward(&input, true, &mut tape);
+        let grad = pool.backward(
+            &tape.entries[0],
+            &Tensor::new(&[1, 1, 1, 1], vec![5.0]),
+            &mut [],
+        );
         assert_eq!(grad.data, vec![0.0, 5.0, 0.0, 0.0]);
     }
 
     #[test]
     fn handles_negative_inputs() {
-        let mut pool = MaxPool2d::new(2);
+        let pool = MaxPool2d::new(2);
         let input = Tensor::new(&[1, 1, 2, 2], vec![-5.0, -1.0, -3.0, -4.0]);
-        let out = pool.forward(&input, false);
+        let out = pool.forward(&input, false, &mut Tape::new());
         assert_eq!(out.data, vec![-1.0]);
     }
 

@@ -1,19 +1,16 @@
-//! Parameter-free layers: ReLU, Dropout, Flatten, Identity.
+//! Parameter-free layers: ReLU, Dropout, Flatten, Identity, Tanh, Sigmoid.
 
 use super::Layer;
+use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Rectified linear unit.
-pub struct ReLU {
-    mask: Vec<bool>,
-}
+pub struct ReLU;
 
 impl ReLU {
     /// Creates a ReLU.
     pub fn new() -> ReLU {
-        ReLU { mask: Vec::new() }
+        ReLU
     }
 }
 
@@ -28,19 +25,27 @@ impl Layer for ReLU {
         "ReLU"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = input.data.iter().map(|&v| v > 0.0).collect();
-        Tensor::new(&input.shape, input.data.iter().map(|&v| v.max(0.0)).collect())
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        tape.push(TapeEntry::Mask(
+            input.data.iter().map(|&v| v > 0.0).collect(),
+        ));
+        Tensor::new(
+            &input.shape,
+            input.data.iter().map(|&v| v.max(0.0)).collect(),
+        )
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Mask(mask) = entry else {
+            panic!("ReLU backward without a matching forward tape entry")
+        };
+        assert_eq!(grad_out.len(), mask.len(), "gradient/mask length mismatch");
         Tensor::new(
             &grad_out.shape,
             grad_out
                 .data
                 .iter()
-                .zip(&self.mask)
+                .zip(mask)
                 .map(|(&g, &m)| if m { g } else { 0.0 })
                 .collect(),
         )
@@ -51,15 +56,30 @@ impl Layer for ReLU {
     }
 }
 
+/// SplitMix64 — the stateless hash behind dropout's per-element masks.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Inverted dropout: during training each element is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`; at evaluation
 /// time it is the identity. The paper's networks use `p = 0.25` after the
 /// second conv block (`Dropout2d-6`) and `p = 0.5` before the classifier
 /// (`Dropout1d-13`).
+///
+/// The mask is not drawn from a stateful RNG: element `e` of global batch
+/// row `r` keeps or drops based on a SplitMix64 hash of
+/// `(layer seed ⊕ tape salt, global element index)`. The layer therefore
+/// stays stateless (`forward` is `&self`), and a batch shard covering rows
+/// `[o, o+k)` reproduces exactly the mask an unsharded pass would apply to
+/// those rows — the property the deterministic data-parallel engine
+/// relies on.
 pub struct Dropout {
     p: f32,
-    rng: StdRng,
-    mask: Vec<f32>,
+    seed: u64,
     /// Display name distinguishing the paper's `Dropout2d` / `Dropout1d`
     /// positions (behaviour is element-wise either way, as in the
     /// listings where both act on already-shaped tensors).
@@ -69,18 +89,23 @@ pub struct Dropout {
 impl Dropout {
     /// Element-wise dropout labeled `Dropout1d` in summaries.
     pub fn new(p: f32, seed: u64) -> Dropout {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new(), display: "Dropout1d" }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            seed,
+            display: "Dropout1d",
+        }
     }
 
     /// Element-wise dropout labeled `Dropout2d` in summaries.
     pub fn new_2d(p: f32, seed: u64) -> Dropout {
-        Dropout { display: "Dropout2d", ..Dropout::new(p, seed) }
-    }
-
-    /// Reseeds the internal RNG (used when replaying an experiment).
-    pub fn reseed(&mut self, seed: u64) {
-        self.rng = StdRng::seed_from_u64(seed);
+        Dropout {
+            display: "Dropout2d",
+            ..Dropout::new(p, seed)
+        }
     }
 }
 
@@ -89,26 +114,50 @@ impl Layer for Dropout {
         self.display
     }
 
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, train: bool, tape: &mut Tape) -> Tensor {
         if !train || self.p == 0.0 {
-            self.mask = vec![1.0; input.len()];
+            // Empty mask = identity pass.
+            tape.push(TapeEntry::ScaleMask(Vec::new()));
             return input.clone();
         }
+        let n = input.batch().max(1);
+        let per_sample = input.len() / n;
         let keep = 1.0 - self.p;
-        self.mask = (0..input.len())
-            .map(|_| if self.rng.random::<f32>() < self.p { 0.0 } else { 1.0 / keep })
-            .collect();
-        Tensor::new(
+        let stream = splitmix64(self.seed ^ tape.salt);
+        let mut mask = Vec::with_capacity(input.len());
+        for row in 0..n {
+            let row_base = ((tape.sample_offset + row) * per_sample) as u64;
+            for j in 0..per_sample {
+                let h = splitmix64(stream ^ (row_base + j as u64));
+                // Top 24 bits → uniform in [0, 1).
+                let u = (h >> 40) as f32 * (1.0 / 16_777_216.0);
+                mask.push(if u < self.p { 0.0 } else { 1.0 / keep });
+            }
+        }
+        let out = Tensor::new(
             &input.shape,
-            input.data.iter().zip(&self.mask).map(|(&v, &m)| v * m).collect(),
-        )
+            input.data.iter().zip(&mask).map(|(&v, &m)| v * m).collect(),
+        );
+        tape.push(TapeEntry::ScaleMask(mask));
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::ScaleMask(mask) = entry else {
+            panic!("Dropout backward without a matching forward tape entry")
+        };
+        if mask.is_empty() {
+            return grad_out.clone();
+        }
+        assert_eq!(grad_out.len(), mask.len(), "gradient/mask length mismatch");
         Tensor::new(
             &grad_out.shape,
-            grad_out.data.iter().zip(&self.mask).map(|(&g, &m)| g * m).collect(),
+            grad_out
+                .data
+                .iter()
+                .zip(mask)
+                .map(|(&g, &m)| g * m)
+                .collect(),
         )
     }
 
@@ -117,16 +166,14 @@ impl Layer for Dropout {
     }
 }
 
-/// Flattens `[N, …]` to `[N, prod(…)]`, caching the input shape for the
+/// Flattens `[N, …]` to `[N, prod(…)]`, recording the input shape for the
 /// backward reshape.
-pub struct Flatten {
-    input_shape: Vec<usize>,
-}
+pub struct Flatten;
 
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Flatten {
-        Flatten { input_shape: Vec::new() }
+        Flatten
     }
 }
 
@@ -141,15 +188,18 @@ impl Layer for Flatten {
         "Flatten"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.input_shape = input.shape.clone();
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        tape.push(TapeEntry::Shape(input.shape.clone()));
         let n = input.batch();
         let rest = input.len() / n.max(1);
         input.reshaped(&[n, rest])
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        grad_out.reshaped(&self.input_shape)
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Shape(shape) = entry else {
+            panic!("Flatten backward without a matching forward tape entry")
+        };
+        grad_out.reshaped(shape)
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
@@ -180,11 +230,12 @@ impl Layer for Identity {
         "Identity"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        tape.push(TapeEntry::Empty);
         input.clone()
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&self, _entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
         grad_out.clone()
     }
 
@@ -199,26 +250,31 @@ mod tests {
 
     #[test]
     fn relu_forward_backward() {
-        let mut relu = ReLU::new();
+        let relu = ReLU::new();
         let x = Tensor::new(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
-        let y = relu.forward(&x, true);
+        let mut tape = Tape::new();
+        let y = relu.forward(&x, true, &mut tape);
         assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
-        let g = relu.backward(&Tensor::new(&[1, 4], vec![1.0; 4]));
+        let g = relu.backward(
+            &tape.entries[0],
+            &Tensor::new(&[1, 4], vec![1.0; 4]),
+            &mut [],
+        );
         assert_eq!(g.data, vec![0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
     fn dropout_eval_is_identity() {
-        let mut d = Dropout::new(0.5, 1);
+        let d = Dropout::new(0.5, 1);
         let x = Tensor::new(&[1, 100], (0..100).map(|i| i as f32).collect());
-        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.forward(&x, false, &mut Tape::new()), x);
     }
 
     #[test]
     fn dropout_train_scales_survivors() {
-        let mut d = Dropout::new(0.5, 1);
+        let d = Dropout::new(0.5, 1);
         let x = Tensor::new(&[1, 10_000], vec![1.0; 10_000]);
-        let y = d.forward(&x, true);
+        let y = d.forward(&x, true, &mut Tape::new());
         let zeros = y.data.iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f64 / 10_000.0;
         assert!((frac - 0.5).abs() < 0.03, "dropped {frac}");
@@ -230,11 +286,32 @@ mod tests {
 
     #[test]
     fn dropout_backward_uses_same_mask() {
-        let mut d = Dropout::new(0.3, 2);
+        let d = Dropout::new(0.3, 2);
         let x = Tensor::new(&[1, 64], vec![1.0; 64]);
-        let y = d.forward(&x, true);
-        let g = d.backward(&Tensor::new(&[1, 64], vec![1.0; 64]));
+        let mut tape = Tape::new();
+        let y = d.forward(&x, true, &mut tape);
+        let g = d.backward(
+            &tape.entries[0],
+            &Tensor::new(&[1, 64], vec![1.0; 64]),
+            &mut [],
+        );
         assert_eq!(y.data, g.data);
+    }
+
+    #[test]
+    fn dropout_masks_vary_with_salt_not_with_sharding() {
+        let d = Dropout::new(0.5, 3);
+        let x = Tensor::new(&[4, 8], vec![1.0; 32]);
+        // Same salt → identical masks; different salt → different masks.
+        let a = d.forward(&x, true, &mut Tape::with_context(1, 0));
+        let b = d.forward(&x, true, &mut Tape::with_context(1, 0));
+        let c = d.forward(&x, true, &mut Tape::with_context(2, 0));
+        assert_eq!(a.data, b.data);
+        assert_ne!(a.data, c.data);
+        // A shard holding rows 2..4 sees exactly the full batch's rows 2..4.
+        let lower = Tensor::new(&[2, 8], x.data[16..].to_vec());
+        let shard = d.forward(&lower, true, &mut Tape::with_context(1, 2));
+        assert_eq!(shard.data, &a.data[16..]);
     }
 
     #[test]
@@ -251,21 +328,23 @@ mod tests {
 
     #[test]
     fn flatten_round_trip() {
-        let mut f = Flatten::new();
+        let f = Flatten::new();
         let x = Tensor::kaiming_uniform(&[2, 3, 4, 4], 1, 3);
-        let y = f.forward(&x, true);
+        let mut tape = Tape::new();
+        let y = f.forward(&x, true, &mut tape);
         assert_eq!(y.shape, vec![2, 48]);
-        let g = f.backward(&y);
+        let g = f.backward(&tape.entries[0], &y, &mut []);
         assert_eq!(g.shape, x.shape);
         assert_eq!(g.data, x.data);
     }
 
     #[test]
     fn identity_is_transparent() {
-        let mut id = Identity::new();
+        let id = Identity::new();
         let x = Tensor::new(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(id.forward(&x, true), x);
-        assert_eq!(id.backward(&x), x);
+        let mut tape = Tape::new();
+        assert_eq!(id.forward(&x, true, &mut tape), x);
+        assert_eq!(id.backward(&tape.entries[0], &x, &mut []), x);
         assert_eq!(id.param_count(), 0);
     }
 }
@@ -274,14 +353,12 @@ mod tests {
 /// of the deviations the replication found in the Ref-Paper's public
 /// repository ("the network architecture used significantly differs …
 /// e.g. different activation functions", its App. D).
-pub struct Tanh {
-    output: Vec<f32>,
-}
+pub struct Tanh;
 
 impl Tanh {
     /// Creates a tanh activation.
     pub fn new() -> Tanh {
-        Tanh { output: Vec::new() }
+        Tanh
     }
 }
 
@@ -296,19 +373,27 @@ impl Layer for Tanh {
         "Tanh"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.output = input.data.iter().map(|&v| v.tanh()).collect();
-        Tensor::new(&input.shape, self.output.clone())
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        let out = Tensor::new(&input.shape, input.data.iter().map(|&v| v.tanh()).collect());
+        tape.push(TapeEntry::Output(out.clone()));
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.output.len(), "backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Output(output) = entry else {
+            panic!("Tanh backward without a matching forward tape entry")
+        };
+        assert_eq!(
+            grad_out.len(),
+            output.len(),
+            "gradient/output length mismatch"
+        );
         Tensor::new(
             &grad_out.shape,
             grad_out
                 .data
                 .iter()
-                .zip(&self.output)
+                .zip(&output.data)
                 .map(|(&g, &y)| g * (1.0 - y * y))
                 .collect(),
         )
@@ -320,14 +405,12 @@ impl Layer for Tanh {
 }
 
 /// Logistic sigmoid.
-pub struct Sigmoid {
-    output: Vec<f32>,
-}
+pub struct Sigmoid;
 
 impl Sigmoid {
     /// Creates a sigmoid activation.
     pub fn new() -> Sigmoid {
-        Sigmoid { output: Vec::new() }
+        Sigmoid
     }
 }
 
@@ -342,19 +425,34 @@ impl Layer for Sigmoid {
         "Sigmoid"
     }
 
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.output = input.data.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
-        Tensor::new(&input.shape, self.output.clone())
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        let out = Tensor::new(
+            &input.shape,
+            input
+                .data
+                .iter()
+                .map(|&v| 1.0 / (1.0 + (-v).exp()))
+                .collect(),
+        );
+        tape.push(TapeEntry::Output(out.clone()));
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.output.len(), "backward before forward");
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Output(output) = entry else {
+            panic!("Sigmoid backward without a matching forward tape entry")
+        };
+        assert_eq!(
+            grad_out.len(),
+            output.len(),
+            "gradient/output length mismatch"
+        );
         Tensor::new(
             &grad_out.shape,
             grad_out
                 .data
                 .iter()
-                .zip(&self.output)
+                .zip(&output.data)
                 .map(|(&g, &y)| g * y * (1.0 - y))
                 .collect(),
         )
@@ -372,8 +470,12 @@ mod activation_tests {
 
     #[test]
     fn tanh_values_and_range() {
-        let mut t = Tanh::new();
-        let y = t.forward(&Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]), false);
+        let t = Tanh::new();
+        let y = t.forward(
+            &Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]),
+            false,
+            &mut Tape::new(),
+        );
         assert!((y.data[0] + 1.0).abs() < 1e-4);
         assert_eq!(y.data[1], 0.0);
         assert!((y.data[2] - 1.0).abs() < 1e-4);
@@ -388,8 +490,12 @@ mod activation_tests {
 
     #[test]
     fn sigmoid_values_and_range() {
-        let mut s = Sigmoid::new();
-        let y = s.forward(&Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]), false);
+        let s = Sigmoid::new();
+        let y = s.forward(
+            &Tensor::new(&[1, 3], vec![-10.0, 0.0, 10.0]),
+            false,
+            &mut Tape::new(),
+        );
         assert!(y.data[0] < 1e-4);
         assert!((y.data[1] - 0.5).abs() < 1e-7);
         assert!(y.data[2] > 1.0 - 1e-4);

@@ -12,18 +12,30 @@
 //!   the replication's App. C: architecture variants (with/without
 //!   dropout, masked projection heads) are expressed by *masking* layers
 //!   with `Identity` rather than rebuilding the network;
+//! * [`tape`] — the parameter/activation split: layers hold **only
+//!   parameters**, while everything a backward pass needs (inputs, masks,
+//!   argmaxes, batch statistics) is recorded per forward call on an
+//!   explicit [`tape::Tape`], and gradients accumulate into a caller-owned
+//!   [`tape::GradStore`]. Models are therefore `Sync`: many threads can
+//!   run forward/backward over one model concurrently;
 //! * [`model`] — the `Sequential` container, parameter (de)serialization,
 //!   and a `torchsummary`-style printout mirroring the paper's Listings
 //!   1–5;
+//! * [`engine`] — [`engine::BatchEngine`], a deterministic data-parallel
+//!   executor: mini-batches are split into fixed-size shards computed by a
+//!   scoped thread pool, and per-shard gradients are reduced in shard
+//!   order so every result is bit-identical for any worker count;
 //! * [`loss`] — cross-entropy, mean-squared error (for the Rezaei & Liu
 //!   regression pre-training) and the NT-Xent/InfoNCE contrastive loss of
 //!   SimCLR, each with its analytic gradient;
-//! * [`optim`] — SGD (with momentum) and Adam.
+//! * [`optim`] — SGD (with momentum) and Adam, stepping a model's
+//!   parameters from an externally accumulated `GradStore`.
 //!
 //! Gradients are verified against finite differences in every layer's
-//! tests; the library is deliberately eager, single-threaded and
-//! allocation-simple — the workloads are small CNNs where clarity wins,
-//! and the experiment campaigns parallelize at the run level instead.
+//! tests; the library is deliberately eager and allocation-simple — the
+//! workloads are small CNNs where clarity wins. Parallelism happens at two
+//! levels: the experiment campaigns fan runs out across processes of a
+//! thread pool, and within a run the `BatchEngine` shards each mini-batch.
 //!
 //! ## Example
 //!
@@ -32,6 +44,7 @@
 //! use nettensor::layers::{Linear, ReLU};
 //! use nettensor::loss::cross_entropy;
 //! use nettensor::optim::{Optimizer, Sgd};
+//! use nettensor::tape::Tape;
 //! use nettensor::tensor::Tensor;
 //!
 //! let mut net = Sequential::new(vec![
@@ -41,18 +54,41 @@
 //! ]);
 //! let x = Tensor::zeros(&[8, 4]);
 //! let labels = vec![0usize; 8];
-//! let logits = net.forward(&x, true);
+//!
+//! let mut tape = Tape::new();                  // per-call activation state
+//! let logits = net.forward(&x, true, &mut tape);
 //! let (loss, grad) = cross_entropy(&logits, &labels);
-//! net.backward(&grad);
-//! Sgd::new(0.01).step(&mut net);
+//! let mut grads = net.grad_store();            // caller-owned gradients
+//! net.backward(&tape, &grad, &mut grads);
+//! Sgd::new(0.01).step(&mut net, &grads);
 //! assert!(loss > 0.0);
 //! ```
+//!
+//! Or sharded across threads with bit-identical results at any worker
+//! count:
+//!
+//! ```
+//! use nettensor::engine::BatchEngine;
+//! use nettensor::layers::Linear;
+//! use nettensor::model::Sequential;
+//! use nettensor::tensor::Tensor;
+//!
+//! let net = Sequential::new(vec![Box::new(Linear::new(4, 2, 1))]);
+//! let x = Tensor::kaiming_uniform(&[16, 4], 1, 7);
+//! let (out_1, _) = BatchEngine::new(1).forward(&net, &x, false, 0);
+//! let (out_4, _) = BatchEngine::new(4).forward(&net, &x, false, 0);
+//! assert_eq!(out_1.data, out_4.data);
+//! ```
 
+pub mod engine;
 pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod tape;
 pub mod tensor;
 
+pub use engine::BatchEngine;
 pub use model::Sequential;
+pub use tape::{GradStore, Tape};
 pub use tensor::Tensor;

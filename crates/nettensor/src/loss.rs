@@ -20,17 +20,17 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     assert_eq!(labels.len(), n, "label count mismatch");
     let mut grad = Tensor::zeros(&[n, c]);
     let mut loss = 0f32;
-    for i in 0..n {
-        assert!(labels[i] < c, "label {} out of range {c}", labels[i]);
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range {c}");
         let row = &logits.data[i * c..(i + 1) * c];
         let max = row.iter().copied().fold(f32::MIN, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         let log_sum = sum.ln() + max;
-        loss += log_sum - row[labels[i]];
-        for j in 0..c {
-            let p = exps[j] / sum;
-            grad.data[i * c + j] = (p - f32::from(j == labels[i])) / n as f32;
+        loss += log_sum - row[label];
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / sum;
+            grad.data[i * c + j] = (p - f32::from(j == label)) / n as f32;
         }
     }
     (loss / n as f32, grad)
@@ -43,7 +43,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
         return 0.0;
     }
     let mut correct = 0usize;
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let row = &logits.data[i * c..(i + 1) * c];
         let pred = row
             .iter()
@@ -51,7 +51,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .map(|(j, _)| j)
             .unwrap();
-        if pred == labels[i] {
+        if pred == label {
             correct += 1;
         }
     }
@@ -123,7 +123,10 @@ impl NtXent {
     pub fn eval(&self, z: &Tensor) -> NtXentOutput {
         assert_eq!(z.shape.len(), 2, "embeddings must be [2N, D]");
         let (m, d) = (z.shape[0], z.shape[1]);
-        assert!(m >= 4 && m % 2 == 0, "need an even number (>=4) of embeddings, got {m}");
+        assert!(
+            m >= 4 && m % 2 == 0,
+            "need an even number (>=4) of embeddings, got {m}"
+        );
         let n = m / 2;
         let positive = |i: usize| if i < n { i + n } else { i - n };
 
@@ -144,8 +147,11 @@ impl NtXent {
         let mut s = vec![0f32; m * m];
         for i in 0..m {
             for k in (i + 1)..m {
-                let dot: f32 =
-                    u[i * d..(i + 1) * d].iter().zip(&u[k * d..(k + 1) * d]).map(|(a, b)| a * b).sum();
+                let dot: f32 = u[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(&u[k * d..(k + 1) * d])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let v = dot / self.temperature;
                 s[i * m + k] = v;
                 s[k * m + i] = v;
@@ -160,16 +166,21 @@ impl NtXent {
         for i in 0..m {
             let p_i = positive(i);
             let row = &s[i * m..(i + 1) * m];
-            let max = (0..m).filter(|&k| k != i).map(|k| row[k]).fold(f32::MIN, f32::max);
+            let max = (0..m)
+                .filter(|&k| k != i)
+                .map(|k| row[k])
+                .fold(f32::MIN, f32::max);
             let mut sum = 0f32;
-            for k in 0..m {
+            for (k, &v) in row.iter().enumerate() {
                 if k != i {
-                    sum += (row[k] - max).exp();
+                    sum += (v - max).exp();
                 }
             }
             loss += sum.ln() + max - row[p_i];
             // Rank of the positive: how many negatives beat it.
-            let beaten = (0..m).filter(|&k| k != i && k != p_i && row[k] > row[p_i]).count();
+            let beaten = (0..m)
+                .filter(|&k| k != i && k != p_i && row[k] > row[p_i])
+                .count();
             if beaten == 0 {
                 top1 += 1;
             }
@@ -257,9 +268,13 @@ mod tests {
             plus.data[i] += eps;
             let mut minus = logits.clone();
             minus.data[i] -= eps;
-            let numeric = (cross_entropy(&plus, &labels).0 - cross_entropy(&minus, &labels).0)
-                / (2.0 * eps);
-            assert!((grad.data[i] - numeric).abs() < 1e-3, "[{i}] {} vs {numeric}", grad.data[i]);
+            let numeric =
+                (cross_entropy(&plus, &labels).0 - cross_entropy(&minus, &labels).0) / (2.0 * eps);
+            assert!(
+                (grad.data[i] - numeric).abs() < 1e-3,
+                "[{i}] {} vs {numeric}",
+                grad.data[i]
+            );
         }
     }
 
@@ -284,18 +299,17 @@ mod tests {
     fn ntxent_loss_decreases_when_pairs_align() {
         let loss_fn = NtXent::new(0.5);
         // Aligned pairs: rows i and i+N identical, pairs orthogonal.
-        let aligned = Tensor::new(
-            &[4, 2],
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
-        );
+        let aligned = Tensor::new(&[4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
         // Misaligned: positives orthogonal, negatives identical.
-        let misaligned = Tensor::new(
-            &[4, 2],
-            vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0],
-        );
+        let misaligned = Tensor::new(&[4, 2], vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
         let a = loss_fn.eval(&aligned);
         let b = loss_fn.eval(&misaligned);
-        assert!(a.loss < b.loss, "aligned {} vs misaligned {}", a.loss, b.loss);
+        assert!(
+            a.loss < b.loss,
+            "aligned {} vs misaligned {}",
+            a.loss,
+            b.loss
+        );
         assert_eq!(a.top1_accuracy, 1.0);
         assert!(b.top1_accuracy < 1.0);
     }
@@ -428,18 +442,22 @@ impl SupCon {
         let mut loss = 0f32;
         let mut anchors = 0usize;
         for i in 0..m {
-            let positives: Vec<usize> =
-                (0..m).filter(|&p| p != i && labels[p] == labels[i]).collect();
+            let positives: Vec<usize> = (0..m)
+                .filter(|&p| p != i && labels[p] == labels[i])
+                .collect();
             if positives.is_empty() {
                 continue;
             }
             anchors += 1;
             let row = &s[i * m..(i + 1) * m];
-            let max = (0..m).filter(|&k| k != i).map(|k| row[k]).fold(f32::MIN, f32::max);
+            let max = (0..m)
+                .filter(|&k| k != i)
+                .map(|k| row[k])
+                .fold(f32::MIN, f32::max);
             let mut sum = 0f32;
-            for k in 0..m {
+            for (k, &v) in row.iter().enumerate() {
                 if k != i {
-                    sum += (row[k] - max).exp();
+                    sum += (v - max).exp();
                 }
             }
             let log_denom = sum.ln() + max;
@@ -499,15 +517,9 @@ mod supcon_tests {
     fn supcon_prefers_class_clusters() {
         let loss_fn = SupCon::new(0.5);
         // Two classes clustered: low loss.
-        let clustered = Tensor::new(
-            &[4, 2],
-            vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0],
-        );
+        let clustered = Tensor::new(&[4, 2], vec![1.0, 0.0, 1.0, 0.1, 0.0, 1.0, 0.1, 1.0]);
         // Classes interleaved in space: high loss.
-        let mixed = Tensor::new(
-            &[4, 2],
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.1, 0.1, 1.0],
-        );
+        let mixed = Tensor::new(&[4, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.1, 0.1, 1.0]);
         let labels = [0usize, 0, 1, 1];
         let a = loss_fn.eval(&clustered, &labels);
         let b = loss_fn.eval(&mixed, &labels);
@@ -535,9 +547,8 @@ mod supcon_tests {
             plus.data[i] += eps;
             let mut minus = z.clone();
             minus.data[i] -= eps;
-            let numeric =
-                (loss_fn.eval(&plus, &labels).loss - loss_fn.eval(&minus, &labels).loss)
-                    / (2.0 * eps);
+            let numeric = (loss_fn.eval(&plus, &labels).loss - loss_fn.eval(&minus, &labels).loss)
+                / (2.0 * eps);
             assert!(
                 (out.grad.data[i] - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
                 "[{i}] analytic {} vs numeric {numeric}",

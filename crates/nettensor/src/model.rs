@@ -1,12 +1,19 @@
 //! The `Sequential` model container.
 //!
-//! Provides forward/backward over a layer stack, parameter access for the
-//! optimizers, weight (de)serialization, layer surgery (the paper's
-//! fine-tuning freezes a pre-trained feature extractor and swaps the
-//! projection head for a fresh classifier) and a `torchsummary`-style
-//! printout that mirrors the paper's App. C listings.
+//! Provides forward/backward over a layer stack (activation state on a
+//! caller-owned [`Tape`], gradients into a caller-owned [`GradStore`]),
+//! parameter access for the optimizers, weight (de)serialization, layer
+//! surgery (the paper's fine-tuning freezes a pre-trained feature
+//! extractor and swaps the projection head for a fresh classifier) and a
+//! `torchsummary`-style printout that mirrors the paper's App. C
+//! listings.
+//!
+//! Because layers hold parameters only, `Sequential` is `Sync`: shared
+//! references can run forward/backward concurrently (each call with its
+//! own tape), which is what [`crate::engine::BatchEngine`] exploits.
 
-use crate::layers::{Layer, ParamRef};
+use crate::layers::Layer;
+use crate::tape::{GradStore, Tape};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -14,23 +21,26 @@ use serde::{Deserialize, Serialize};
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     /// Number of leading layers whose parameters are frozen (excluded from
-    /// `params()` and therefore untouched by optimizers). Fine-tuning sets
-    /// this to the feature-extractor depth.
+    /// `trainable_params*` and therefore untouched by optimizers).
+    /// Fine-tuning sets this to the feature-extractor depth.
     frozen_prefix: usize,
 }
 
 /// Serialized weights of a model: one flat `f32` vector per parameter
 /// tensor, in layer order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Weights {
-    /// Parameter tensors in `params()` order.
+    /// Parameter tensors in [`Sequential::all_params`] order.
     pub tensors: Vec<Vec<f32>>,
 }
 
 impl Sequential {
     /// Builds a model from a layer stack.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Sequential {
-        Sequential { layers, frozen_prefix: 0 }
+        Sequential {
+            layers,
+            frozen_prefix: 0,
+        }
     }
 
     /// Number of layers.
@@ -43,60 +53,138 @@ impl Sequential {
         self.layers.is_empty()
     }
 
-    /// Forward pass through every layer.
-    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    /// Shared access to layer `i`.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Forward pass through every layer, recording one tape entry per
+    /// layer. `train` toggles training-only behaviour (dropout, batch
+    /// statistics).
+    pub fn forward(&self, input: &Tensor, train: bool, tape: &mut Tape) -> Tensor {
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+        for layer in &self.layers {
+            x = layer.forward(&x, train, tape);
         }
         x
     }
 
-    /// Forward pass through only the first `n_layers` layers — used to
-    /// read intermediate representations (e.g. the latent `h = f(x)` of
-    /// the paper's extractor) without mutating the architecture.
-    pub fn forward_prefix(&mut self, input: &Tensor, n_layers: usize, train: bool) -> Tensor {
+    /// Evaluation-mode forward with a throwaway tape — the convenience
+    /// entry point for inference and metric evaluation.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward(input, false, &mut Tape::new())
+    }
+
+    /// Evaluation-mode forward through only the first `n_layers` layers —
+    /// used to read intermediate representations (e.g. the latent
+    /// `h = f(x)` of the paper's extractor) without mutating the
+    /// architecture.
+    pub fn forward_prefix(&self, input: &Tensor, n_layers: usize) -> Tensor {
         assert!(n_layers <= self.layers.len());
+        let mut tape = Tape::new();
         let mut x = input.clone();
-        for layer in self.layers.iter_mut().take(n_layers) {
-            x = layer.forward(&x, train);
+        for layer in self.layers.iter().take(n_layers) {
+            x = layer.forward(&x, false, &mut tape);
         }
         x
     }
 
-    /// Backward pass through every layer (reverse order). Frozen layers
-    /// still propagate gradients but their parameters are not exposed to
-    /// optimizers.
-    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Backward pass through every layer (reverse order), reading the
+    /// tape written by the matching [`Sequential::forward`]. Parameter
+    /// gradients accumulate into `grads` (one slot per tensor of
+    /// [`Sequential::all_params`] — frozen layers included, so slot
+    /// indices are stable across freezing). Returns `dL/d(input)`.
+    pub fn backward(&self, tape: &Tape, grad_out: &Tensor, grads: &mut GradStore) -> Tensor {
+        assert_eq!(
+            tape.len(),
+            self.layers.len(),
+            "tape does not match this model's forward"
+        );
+        assert_eq!(
+            grads.len(),
+            self.all_params().len(),
+            "grad store does not match this model"
+        );
+        let mut slot_end = grads.len();
         let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        for (layer, entry) in self.layers.iter().zip(&tape.entries).rev() {
+            let n_slots = layer.params().len();
+            let slot_start = slot_end - n_slots;
+            g = layer.backward(entry, &g, &mut grads.slots_mut()[slot_start..slot_end]);
+            slot_end = slot_start;
         }
         g
     }
 
-    /// `(parameter, gradient)` pairs of all *trainable* (non-frozen)
-    /// layers, in layer order.
-    pub fn params(&mut self) -> Vec<ParamRef<'_>> {
-        let frozen = self.frozen_prefix;
+    /// Applies deferred layer-state updates recorded on `tape` (batch
+    /// norm running statistics). Call once per training forward, after
+    /// the (potentially parallel) backward; the engine commits shard
+    /// tapes in fixed shard order.
+    pub fn commit(&mut self, tape: &Tape) {
+        assert_eq!(
+            tape.len(),
+            self.layers.len(),
+            "tape does not match this model's forward"
+        );
+        for (layer, entry) in self.layers.iter_mut().zip(&tape.entries) {
+            layer.commit(entry);
+        }
+    }
+
+    /// A zero [`GradStore`] shaped like this model's parameters.
+    pub fn grad_store(&self) -> GradStore {
+        GradStore::zeros_like(&self.all_params())
+    }
+
+    /// Every parameter tensor, frozen layers included, in layer order.
+    /// This is the canonical slot order shared by [`GradStore`],
+    /// [`Weights`] and optimizer state.
+    pub fn all_params(&self) -> Vec<&Tensor> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Mutable access to every parameter tensor, frozen included.
+    pub fn all_params_mut(&mut self) -> Vec<&mut Tensor> {
         self.layers
             .iter_mut()
-            .enumerate()
-            .filter(|(i, _)| *i >= frozen)
-            .flat_map(|(_, l)| l.params())
+            .flat_map(|l| l.params_mut())
             .collect()
     }
 
-    /// Zeroes all gradients (frozen layers included, for hygiene).
-    pub fn zero_grad(&mut self) {
-        for layer in &mut self.layers {
-            layer.zero_grad();
+    /// Trainable (non-frozen) parameter tensors.
+    pub fn trainable_params(&self) -> Vec<&Tensor> {
+        self.layers
+            .iter()
+            .skip(self.frozen_prefix)
+            .flat_map(|l| l.params())
+            .collect()
+    }
+
+    /// Trainable parameter tensors with their global slot index (the
+    /// index into [`Sequential::all_params`] / [`GradStore`] slots) —
+    /// what optimizers iterate.
+    pub fn trainable_params_mut(&mut self) -> Vec<(usize, &mut Tensor)> {
+        let frozen = self.frozen_prefix;
+        let mut slot = 0;
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for p in layer.params_mut() {
+                if i >= frozen {
+                    out.push((slot, p));
+                }
+                slot += 1;
+            }
         }
+        out
     }
 
     /// Total trainable parameter count (frozen layers excluded).
     pub fn trainable_param_count(&self) -> usize {
-        self.layers.iter().skip(self.frozen_prefix).map(|l| l.param_count()).sum()
+        self.layers
+            .iter()
+            .skip(self.frozen_prefix)
+            .map(|l| l.param_count())
+            .sum()
     }
 
     /// Total parameter count, frozen included.
@@ -104,8 +192,8 @@ impl Sequential {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
-    /// Freezes the first `n` layers: their parameters disappear from
-    /// [`Sequential::params`] so optimizers skip them — the paper's
+    /// Freezes the first `n` layers: their parameters disappear from the
+    /// `trainable_params*` views so optimizers skip them — the paper's
     /// "freezing the pre-trained representation" during fine-tuning.
     pub fn freeze_prefix(&mut self, n: usize) {
         assert!(n <= self.layers.len());
@@ -126,42 +214,41 @@ impl Sequential {
     }
 
     /// Snapshots all weights (frozen included), for persistence or for
-    /// transplanting a pre-trained extractor into a new head.
-    pub fn export_weights(&mut self) -> Weights {
-        let frozen = std::mem::replace(&mut self.frozen_prefix, 0);
-        let tensors = self.params().iter().map(|p| p.param.data.clone()).collect();
-        self.frozen_prefix = frozen;
-        Weights { tensors }
+    /// transplanting a pre-trained extractor into a new head. Read-only:
+    /// safe to call while other threads evaluate the same model.
+    pub fn export_weights(&self) -> Weights {
+        Weights {
+            tensors: self.all_params().iter().map(|p| p.data.clone()).collect(),
+        }
     }
 
     /// Restores weights exported by [`Sequential::export_weights`] from a
     /// model with identical architecture. Panics on shape mismatch.
     pub fn import_weights(&mut self, weights: &Weights) {
-        let frozen = std::mem::replace(&mut self.frozen_prefix, 0);
-        {
-            let mut params = self.params();
-            assert_eq!(params.len(), weights.tensors.len(), "weight tensor count mismatch");
-            for (p, w) in params.iter_mut().zip(&weights.tensors) {
-                assert_eq!(p.param.data.len(), w.len(), "weight tensor length mismatch");
-                p.param.data.copy_from_slice(w);
-            }
+        let mut params = self.all_params_mut();
+        assert_eq!(
+            params.len(),
+            weights.tensors.len(),
+            "weight tensor count mismatch"
+        );
+        for (p, w) in params.iter_mut().zip(&weights.tensors) {
+            assert_eq!(p.data.len(), w.len(), "weight tensor length mismatch");
+            p.data.copy_from_slice(w);
         }
-        self.frozen_prefix = frozen;
     }
 
     /// Copies the weights of the first `n` layers from `source` (same
     /// architecture prefix required). Used to transplant the SimCLR
     /// feature extractor into the fine-tune network.
-    pub fn copy_prefix_weights_from(&mut self, source: &mut Sequential, n: usize) {
+    pub fn copy_prefix_weights_from(&mut self, source: &Sequential, n: usize) {
         assert!(n <= self.layers.len() && n <= source.layers.len());
         for i in 0..n {
-            let src: Vec<Vec<f32>> =
-                source.layers[i].params().iter().map(|p| p.param.data.clone()).collect();
-            let mut dst = self.layers[i].params();
+            let src = source.layers[i].params();
+            let mut dst = self.layers[i].params_mut();
             assert_eq!(src.len(), dst.len(), "layer {i} param count mismatch");
             for (d, s) in dst.iter_mut().zip(&src) {
-                assert_eq!(d.param.data.len(), s.len(), "layer {i} param shape mismatch");
-                d.param.data.copy_from_slice(s);
+                assert_eq!(d.data.len(), s.data.len(), "layer {i} param shape mismatch");
+                d.data.copy_from_slice(&s.data);
             }
         }
     }
@@ -179,8 +266,9 @@ impl Sequential {
         let mut shape = input_shape.to_vec();
         for (i, layer) in self.layers.iter().enumerate() {
             shape = layer.output_shape(&shape);
-            let disp: Vec<String> =
-                std::iter::once("-1".to_string()).chain(shape[1..].iter().map(|d| d.to_string())).collect();
+            let disp: Vec<String> = std::iter::once("-1".to_string())
+                .chain(shape[1..].iter().map(|d| d.to_string()))
+                .collect();
             out.push_str(&format!(
                 "{:<18} {:<20} {:>10}\n",
                 format!("{}-{}", layer.name(), i + 1),
@@ -191,7 +279,10 @@ impl Sequential {
         out.push_str(&"=".repeat(50));
         out.push('\n');
         out.push_str(&format!("Total params: {}\n", self.total_param_count()));
-        out.push_str(&format!("Trainable params: {}\n", self.trainable_param_count()));
+        out.push_str(&format!(
+            "Trainable params: {}\n",
+            self.trainable_param_count()
+        ));
         out.push_str(&format!(
             "Non-trainable params: {}\n",
             self.total_param_count() - self.trainable_param_count()
@@ -214,27 +305,36 @@ mod tests {
     }
 
     #[test]
+    fn sequential_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Sequential>();
+    }
+
+    #[test]
     fn forward_backward_shapes() {
-        let mut net = two_layer();
+        let net = two_layer();
         let x = Tensor::kaiming_uniform(&[5, 4], 1, 0);
-        let y = net.forward(&x, true);
+        let mut tape = Tape::new();
+        let y = net.forward(&x, true, &mut tape);
         assert_eq!(y.shape, vec![5, 2]);
-        let g = net.backward(&Tensor::zeros(&[5, 2]));
+        let mut grads = net.grad_store();
+        let g = net.backward(&tape, &Tensor::zeros(&[5, 2]), &mut grads);
         assert_eq!(g.shape, vec![5, 4]);
+        assert_eq!(grads.len(), 4);
     }
 
     #[test]
     fn forward_prefix_matches_full_forward_composition() {
-        let mut net = two_layer();
+        let net = two_layer();
         let x = Tensor::kaiming_uniform(&[2, 4], 1, 8);
-        let h = net.forward_prefix(&x, 2, false);
+        let h = net.forward_prefix(&x, 2);
         assert_eq!(h.shape, vec![2, 8]);
         // Prefix of all layers == full forward.
-        let full_via_prefix = net.forward_prefix(&x, 3, false);
-        let full = net.forward(&x, false);
+        let full_via_prefix = net.forward_prefix(&x, 3);
+        let full = net.infer(&x);
         assert_eq!(full_via_prefix.data, full.data);
         // Zero-layer prefix is the identity.
-        assert_eq!(net.forward_prefix(&x, 0, false), x);
+        assert_eq!(net.forward_prefix(&x, 0), x);
     }
 
     #[test]
@@ -245,22 +345,26 @@ mod tests {
     }
 
     #[test]
-    fn freezing_hides_params() {
+    fn freezing_hides_params_but_keeps_slots() {
         let mut net = two_layer();
         net.freeze_prefix(2); // freeze first Linear (+ ReLU)
         assert_eq!(net.trainable_param_count(), 8 * 2 + 2);
-        assert_eq!(net.params().len(), 2); // only last Linear's w and b
+        assert_eq!(net.trainable_params().len(), 2); // only last Linear's w and b
+                                                     // Slot indices stay global: the trainable tensors are slots 2, 3.
+        let slots: Vec<usize> = net.trainable_params_mut().iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, vec![2, 3]);
+        assert_eq!(net.all_params().len(), 4);
     }
 
     #[test]
     fn export_import_round_trip() {
-        let mut a = two_layer();
+        let a = two_layer();
         let mut b = two_layer();
         let x = Tensor::kaiming_uniform(&[3, 4], 1, 9);
         // Different seeds => different outputs.
         let wa = a.export_weights();
         b.import_weights(&wa);
-        assert_eq!(a.forward(&x, false).data, b.forward(&x, false).data);
+        assert_eq!(a.infer(&x).data, b.infer(&x).data);
     }
 
     #[test]
@@ -269,18 +373,38 @@ mod tests {
         net.freeze_prefix(2);
         let w = net.export_weights();
         assert_eq!(w.tensors.len(), 4); // both Linear layers' w and b
-        assert_eq!(net.frozen_prefix(), 2); // restored after export
+        assert_eq!(net.frozen_prefix(), 2); // untouched by export
+    }
+
+    #[test]
+    fn export_while_frozen_under_concurrent_eval() {
+        // export_weights no longer mutates freeze state, so a frozen
+        // model can be snapshot while another thread evaluates it.
+        let mut net = two_layer();
+        net.freeze_prefix(2);
+        let x = Tensor::kaiming_uniform(&[3, 4], 1, 2);
+        let expected = net.infer(&x);
+        let (w, y) = std::thread::scope(|s| {
+            let net_ref = &net;
+            let x_ref = &x;
+            let eval = s.spawn(move || net_ref.infer(x_ref));
+            let w = net_ref.export_weights();
+            (w, eval.join().expect("concurrent eval panicked"))
+        });
+        assert_eq!(w.tensors.len(), 4);
+        assert_eq!(y.data, expected.data);
+        assert_eq!(net.frozen_prefix(), 2);
     }
 
     #[test]
     fn copy_prefix_weights() {
-        let mut src = two_layer();
+        let src = two_layer();
         let mut dst = two_layer();
-        dst.copy_prefix_weights_from(&mut src, 1);
+        dst.copy_prefix_weights_from(&src, 1);
         let x = Tensor::kaiming_uniform(&[2, 4], 1, 5);
         // First layers now agree: outputs of the first layer match.
-        let ya = src.layers[0].forward(&x, false);
-        let yb = dst.layers[0].forward(&x, false);
+        let ya = src.layer(0).forward(&x, false, &mut Tape::new());
+        let yb = dst.layer(0).forward(&x, false, &mut Tape::new());
         assert_eq!(ya.data, yb.data);
     }
 
@@ -290,7 +414,7 @@ mod tests {
         net.replace_tail(2, vec![Box::new(Linear::new(8, 10, 7))]);
         assert_eq!(net.len(), 3);
         let x = Tensor::kaiming_uniform(&[1, 4], 1, 0);
-        assert_eq!(net.forward(&x, false).shape, vec![1, 10]);
+        assert_eq!(net.infer(&x).shape, vec![1, 10]);
     }
 
     #[test]
@@ -302,5 +426,13 @@ mod tests {
         assert!(s.contains("ReLU-2"), "{s}");
         assert!(s.contains("Identity-4"), "{s}");
         assert!(s.contains("Total params:"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this model")]
+    fn backward_rejects_foreign_tape() {
+        let net = two_layer();
+        let mut grads = net.grad_store();
+        net.backward(&Tape::new(), &Tensor::zeros(&[1, 2]), &mut grads);
     }
 }

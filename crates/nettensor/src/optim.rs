@@ -3,16 +3,22 @@
 //! The paper trains with a *static* learning rate (0.001 supervised and
 //! SimCLR, 0.01 fine-tuning) — no scheduler (its App. D explicitly flags
 //! the original authors' cosine-annealing repository as deviating from the
-//! publication). Optimizer state is keyed by parameter order, so a given
-//! optimizer instance must always be stepped against the same model.
+//! publication). Optimizer state is keyed by **global parameter slot**
+//! (the [`Sequential::all_params`] order, frozen layers included), so
+//! state stays aligned with the model even when `freeze_prefix` changes
+//! between steps; a given optimizer instance must always be stepped
+//! against the same model.
 
 use crate::model::Sequential;
+use crate::tape::GradStore;
 
 /// An optimizer over a [`Sequential`] model's trainable parameters.
 pub trait Optimizer {
-    /// Applies one update step from the accumulated gradients, then the
-    /// caller typically zeroes gradients.
-    fn step(&mut self, model: &mut Sequential);
+    /// Applies one update step from the gradients accumulated in `grads`
+    /// (one slot per parameter tensor, frozen included — frozen slots are
+    /// skipped). The caller typically zeroes `grads` before the next
+    /// accumulation.
+    fn step(&mut self, model: &mut Sequential, grads: &GradStore);
 
     /// The current learning rate.
     fn learning_rate(&self) -> f32;
@@ -28,33 +34,51 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Sgd {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Sgd {
         assert!((0.0..1.0).contains(&momentum));
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, model: &mut Sequential) {
-        let mut params = model.params();
+    fn step(&mut self, model: &mut Sequential, grads: &GradStore) {
+        let params = model.trainable_params_mut();
         if self.momentum == 0.0 {
-            for p in params.iter_mut() {
-                for (w, g) in p.param.data.iter_mut().zip(&p.grad.data) {
+            for (slot, p) in params {
+                for (w, g) in p.data.iter_mut().zip(&grads.slots()[slot].data) {
                     *w -= self.lr * g;
                 }
             }
             return;
         }
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| vec![0f32; p.param.len()]).collect();
+            self.velocity = grads.slots().iter().map(|s| vec![0f32; s.len()]).collect();
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer bound to a different model");
-        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            for ((w, g), vi) in p.param.data.iter_mut().zip(&p.grad.data).zip(v.iter_mut()) {
+        assert_eq!(
+            self.velocity.len(),
+            grads.len(),
+            "optimizer bound to a different model"
+        );
+        for (slot, p) in params {
+            let v = &mut self.velocity[slot];
+            for ((w, g), vi) in p
+                .data
+                .iter_mut()
+                .zip(&grads.slots()[slot].data)
+                .zip(v.iter_mut())
+            {
                 *vi = self.momentum * *vi + g;
                 *w -= self.lr * *vi;
             }
@@ -81,24 +105,40 @@ pub struct Adam {
 impl Adam {
     /// Adam with β₁=0.9, β₂=0.999, ε=1e-8.
     pub fn new(lr: f32) -> Adam {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, model: &mut Sequential) {
-        let mut params = model.params();
+    fn step(&mut self, model: &mut Sequential, grads: &GradStore) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| vec![0f32; p.param.len()]).collect();
-            self.v = params.iter().map(|p| vec![0f32; p.param.len()]).collect();
+            self.m = grads.slots().iter().map(|s| vec![0f32; s.len()]).collect();
+            self.v = grads.slots().iter().map(|s| vec![0f32; s.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "optimizer bound to a different model");
+        assert_eq!(
+            self.m.len(),
+            grads.len(),
+            "optimizer bound to a different model"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            for (((w, g), mi), vi) in
-                p.param.data.iter_mut().zip(&p.grad.data).zip(m.iter_mut()).zip(v.iter_mut())
+        for (slot, p) in model.trainable_params_mut() {
+            let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+            for (((w, g), mi), vi) in p
+                .data
+                .iter_mut()
+                .zip(&grads.slots()[slot].data)
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
@@ -119,6 +159,7 @@ mod tests {
     use super::*;
     use crate::layers::Linear;
     use crate::loss::cross_entropy;
+    use crate::tape::Tape;
     use crate::tensor::Tensor;
 
     fn toy_problem() -> (Sequential, Tensor, Vec<usize>) {
@@ -131,13 +172,15 @@ mod tests {
 
     fn train<O: Optimizer>(mut opt: O, steps: usize) -> f32 {
         let (mut net, x, y) = toy_problem();
+        let mut grads = net.grad_store();
         let mut last = f32::MAX;
         for _ in 0..steps {
-            let logits = net.forward(&x, true);
+            let mut tape = Tape::new();
+            let logits = net.forward(&x, true, &mut tape);
             let (loss, grad) = cross_entropy(&logits, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(&mut net);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            opt.step(&mut net, &grads);
             last = loss;
         }
         last
@@ -172,12 +215,42 @@ mod tests {
         let (mut net, x, y) = toy_problem();
         net.freeze_prefix(1);
         let before = net.export_weights();
-        let logits = net.forward(&x, true);
+        let mut tape = Tape::new();
+        let logits = net.forward(&x, true, &mut tape);
         let (_, grad) = cross_entropy(&logits, &y);
-        net.backward(&grad);
-        Adam::new(0.1).step(&mut net);
+        let mut grads = net.grad_store();
+        net.backward(&tape, &grad, &mut grads);
+        Adam::new(0.1).step(&mut net, &grads);
         let after = net.export_weights();
         assert_eq!(before.tensors, after.tensors, "frozen layer must not move");
+    }
+
+    #[test]
+    fn optimizer_state_keys_survive_freeze_changes() {
+        // Momentum built while the whole net trains must still apply to
+        // the same tensors after a prefix is frozen mid-run.
+        let net = Sequential::new(vec![
+            Box::new(Linear::new(2, 3, 1)),
+            Box::new(Linear::new(3, 2, 2)),
+        ]);
+        let mut net = net;
+        let x = Tensor::new(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let y = vec![0usize, 1];
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut grads = net.grad_store();
+        for step in 0..4 {
+            if step == 2 {
+                net.freeze_prefix(1);
+            }
+            let mut tape = Tape::new();
+            let logits = net.forward(&x, true, &mut tape);
+            let (_, grad) = cross_entropy(&logits, &y);
+            grads.zero();
+            net.backward(&tape, &grad, &mut grads);
+            opt.step(&mut net, &grads);
+        }
+        // Frozen first layer stopped moving, the head kept training.
+        assert_eq!(net.frozen_prefix(), 1);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Per-call activation tapes and caller-owned gradient stores.
+//!
+//! The layer API splits a network's state into two halves:
+//!
+//! * **Parameters** live inside each layer and are only written by
+//!   optimizers (`&mut` access through [`crate::model::Sequential`]).
+//! * **Activation state** — cached inputs, dropout masks, pooling argmax
+//!   indices, batch-norm statistics — lives in a [`Tape`] owned by the
+//!   caller of `forward`, and **parameter gradients** accumulate into a
+//!   caller-owned [`GradStore`].
+//!
+//! Because no layer mutates itself during forward/backward, a model is
+//! `Sync`: several batch shards can run concurrently against the same
+//! parameters, each with a private tape (see [`crate::engine`]).
+//!
+//! Every layer pushes exactly one [`TapeEntry`] per forward call, so entry
+//! `i` of a tape written by `Sequential::forward` belongs to layer `i`.
+
+use crate::tensor::Tensor;
+
+/// One layer's saved activation state from a single forward call.
+#[derive(Debug, Clone)]
+pub enum TapeEntry {
+    /// Nothing recorded (identity layers, eval-mode batch norm).
+    Empty,
+    /// The layer input (convolutions, linear).
+    Input(Tensor),
+    /// Sign mask (ReLU).
+    Mask(Vec<bool>),
+    /// Multiplicative mask (dropout). An empty vec means the pass was an
+    /// identity (eval mode or `p == 0`).
+    ScaleMask(Vec<f32>),
+    /// Flat input index of each output cell's maximum, plus the input
+    /// shape for the backward scatter (max pooling).
+    Argmax {
+        /// Winning flat input index per output element.
+        argmax: Vec<usize>,
+        /// Shape of the forward input.
+        input_shape: Vec<usize>,
+    },
+    /// The forward input shape (flatten).
+    Shape(Vec<usize>),
+    /// The layer output (tanh, sigmoid — their derivatives are functions
+    /// of the output).
+    Output(Tensor),
+    /// Batch-norm training statistics. `mean`/`var` feed the deferred
+    /// running-statistics update applied by `commit`, never the backward
+    /// pass itself.
+    BatchNorm {
+        /// Standardized activations `x̂`, `[batch × features]` flat.
+        x_hat: Vec<f32>,
+        /// Per-feature `1/√(σ² + ε)`.
+        inv_std: Vec<f32>,
+        /// Batch size of the forward call.
+        batch: usize,
+        /// Per-feature batch mean.
+        mean: Vec<f32>,
+        /// Per-feature batch variance (biased).
+        var: Vec<f32>,
+    },
+}
+
+/// Activation state of one forward pass: one [`TapeEntry`] per layer, in
+/// layer order, plus the context stateless layers need to stay
+/// deterministic under batch sharding.
+#[derive(Debug, Clone)]
+pub struct Tape {
+    /// One entry per layer, pushed in forward order.
+    pub entries: Vec<TapeEntry>,
+    /// Step-level salt mixed into hash-derived randomness (dropout
+    /// masks). Trainers advance it once per optimization step so masks
+    /// differ between steps but not between workers.
+    pub salt: u64,
+    /// Global row index of this tape's first batch row. A shard covering
+    /// rows `[o, o+k)` of the full mini-batch carries `sample_offset = o`,
+    /// which keeps per-element dropout masks identical to an unsharded
+    /// pass over the same rows.
+    pub sample_offset: usize,
+}
+
+impl Tape {
+    /// An empty tape with neutral context (salt 0, offset 0).
+    pub fn new() -> Tape {
+        Tape::with_context(0, 0)
+    }
+
+    /// An empty tape carrying a step salt and a shard's global row offset.
+    pub fn with_context(salt: u64, sample_offset: usize) -> Tape {
+        Tape {
+            entries: Vec::new(),
+            salt,
+            sample_offset,
+        }
+    }
+
+    /// Records one layer's activation state.
+    pub fn push(&mut self, entry: TapeEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tape holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Caller-owned parameter-gradient accumulator: one zero-initialized slot
+/// per parameter tensor of a model, **frozen layers included**, in layer
+/// order. Keying by global slot keeps optimizer state valid across
+/// `freeze_prefix` changes and makes the data-parallel reduction a plain
+/// slot-wise ordered sum.
+#[derive(Debug, Clone)]
+pub struct GradStore {
+    slots: Vec<Tensor>,
+}
+
+impl GradStore {
+    /// A store with one zero slot per tensor in `params`.
+    pub fn zeros_like(params: &[&Tensor]) -> GradStore {
+        GradStore {
+            slots: params.iter().map(|p| Tensor::zeros(&p.shape)).collect(),
+        }
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// All slots, in layer order.
+    pub fn slots(&self) -> &[Tensor] {
+        &self.slots
+    }
+
+    /// Mutable access to all slots.
+    pub fn slots_mut(&mut self) -> &mut [Tensor] {
+        &mut self.slots
+    }
+
+    /// Zeroes every slot (the `zero_grad` of the tape API).
+    pub fn zero(&mut self) {
+        for s in &mut self.slots {
+            s.fill_zero();
+        }
+    }
+
+    /// Slot-wise `self += other`.
+    ///
+    /// This is the data-parallel reduction primitive: the engine calls it
+    /// once per shard **in fixed shard order**, so the f32 summation order
+    /// is independent of how shards were distributed over workers.
+    pub fn add_assign(&mut self, other: &GradStore) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "grad store slot count mismatch"
+        );
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            a.add_scaled(b, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_records_in_order() {
+        let mut tape = Tape::with_context(7, 3);
+        tape.push(TapeEntry::Empty);
+        tape.push(TapeEntry::Shape(vec![2, 2]));
+        assert_eq!(tape.len(), 2);
+        assert_eq!(tape.salt, 7);
+        assert_eq!(tape.sample_offset, 3);
+        assert!(matches!(tape.entries[1], TapeEntry::Shape(_)));
+    }
+
+    #[test]
+    fn grad_store_shapes_follow_params() {
+        let w = Tensor::kaiming_uniform(&[3, 4], 3, 0);
+        let b = Tensor::zeros(&[4]);
+        let store = GradStore::zeros_like(&[&w, &b]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.slots()[0].shape, vec![3, 4]);
+        assert_eq!(store.slots()[1].shape, vec![4]);
+        assert!(store.slots()[0].data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ordered_reduce_accumulates() {
+        let w = Tensor::zeros(&[2]);
+        let mut a = GradStore::zeros_like(&[&w]);
+        let mut b = GradStore::zeros_like(&[&w]);
+        a.slots_mut()[0].data = vec![1.0, 2.0];
+        b.slots_mut()[0].data = vec![10.0, 20.0];
+        a.add_assign(&b);
+        assert_eq!(a.slots()[0].data, vec![11.0, 22.0]);
+        a.zero();
+        assert_eq!(a.slots()[0].data, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count mismatch")]
+    fn reduce_rejects_mismatched_stores() {
+        let w = Tensor::zeros(&[2]);
+        let mut a = GradStore::zeros_like(&[&w]);
+        let b = GradStore::zeros_like(&[&w, &w]);
+        a.add_assign(&b);
+    }
+}

@@ -26,12 +26,18 @@ impl Tensor {
             "shape {shape:?} incompatible with {} elements",
             data.len()
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// All-zero tensor.
     pub fn zeros(shape: &[usize]) -> Tensor {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Kaiming-uniform initialization (the PyTorch default for conv and
@@ -41,8 +47,13 @@ impl Tensor {
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = (1.0 / fan_in.max(1) as f32).sqrt();
         let n = shape.iter().product();
-        let data = (0..n).map(|_| -bound + 2.0 * bound * rng.random::<f32>()).collect();
-        Tensor { shape: shape.to_vec(), data }
+        let data = (0..n)
+            .map(|_| -bound + 2.0 * bound * rng.random::<f32>())
+            .collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Number of elements.
@@ -71,8 +82,18 @@ impl Tensor {
     /// Plain ikj-loop with the inner dimension contiguous — fast enough
     /// for the ≤ few-hundred-unit matrices of the paper's networks.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.len(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
@@ -95,7 +116,12 @@ impl Tensor {
 
     /// 2-D transpose.
     pub fn transposed(&self) -> Tensor {
-        assert_eq!(self.shape.len(), 2, "transpose needs 2-D, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "transpose needs 2-D, got {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0f32; m * n];
         for i in 0..m {
@@ -110,7 +136,12 @@ impl Tensor {
     pub fn add_row_bias(&mut self, bias: &Tensor) {
         assert_eq!(self.shape.len(), 2);
         let n = self.shape[1];
-        assert_eq!(bias.shape, vec![n], "bias shape {:?} vs row width {n}", bias.shape);
+        assert_eq!(
+            bias.shape,
+            vec![n],
+            "bias shape {:?} vs row width {n}",
+            bias.shape
+        );
         for row in self.data.chunks_mut(n) {
             for (v, b) in row.iter_mut().zip(&bias.data) {
                 *v += b;
@@ -124,6 +155,20 @@ impl Tensor {
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b * scale;
         }
+    }
+
+    /// Copies rows `[start, end)` along the first dimension into a new
+    /// tensor with the same trailing shape.
+    pub fn rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(!self.shape.is_empty(), "rows() needs at least 1-D");
+        assert!(
+            start <= end && end <= self.shape[0],
+            "row range {start}..{end} out of bounds"
+        );
+        let stride: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Tensor::new(&shape, self.data[start * stride..end * stride].to_vec())
     }
 
     /// Sets every element to zero.
@@ -213,6 +258,21 @@ mod tests {
         assert_ne!(t, Tensor::kaiming_uniform(&[100], 25, 8));
         // Not degenerate.
         assert!(t.data.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn rows_slices_leading_dimension() {
+        let a = Tensor::new(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mid = a.rows(1, 3);
+        assert_eq!(mid.shape, vec![2, 2]);
+        assert_eq!(mid.data, vec![3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.rows(0, 0).shape, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_rejects_out_of_range() {
+        Tensor::zeros(&[2, 2]).rows(1, 3);
     }
 
     #[test]

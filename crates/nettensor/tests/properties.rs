@@ -1,14 +1,26 @@
 //! Property-based tests of the tensor/NN substrate.
 
-use nettensor::layers::{Conv2d, Flatten, Layer, Linear, MaxPool2d, ReLU};
-use nettensor::loss::{accuracy, cross_entropy, mse, NtXent};
+use nettensor::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU};
+use nettensor::model::Sequential;
 use nettensor::tensor::Tensor;
 use proptest::prelude::*;
 
 fn arb_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
-    prop::collection::vec(-3.0f32..3.0, n)
-        .prop_map(move |data| Tensor::new(&shape, data))
+    prop::collection::vec(-3.0f32..3.0, n).prop_map(move |data| Tensor::new(&shape, data))
+}
+
+/// A small conv net exercising every parameter-free and parametric layer
+/// the paper's architectures use.
+fn small_net(seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Conv2d::new(1, 2, 3, seed)),
+        Box::new(ReLU::new()),
+        Box::new(MaxPool2d::new(2)),
+        Box::new(Flatten::new()),
+        Box::new(Dropout::new(0.25, seed)),
+        Box::new(Linear::new(2 * 3 * 3, 3, seed + 1)),
+    ])
 }
 
 proptest! {
@@ -51,17 +63,17 @@ proptest! {
 
     #[test]
     fn relu_is_idempotent_and_nonnegative(x in arb_tensor(vec![2, 16])) {
-        let mut relu = ReLU::new();
-        let once = relu.forward(&x, false);
+        let relu = ReLU::new();
+        let once = relu.forward(&x, false, &mut Tape::new());
         prop_assert!(once.data.iter().all(|&v| v >= 0.0));
-        let twice = relu.forward(&once, false);
+        let twice = relu.forward(&once, false, &mut Tape::new());
         prop_assert_eq!(once, twice);
     }
 
     #[test]
     fn maxpool_output_bounded_by_input_max(x in arb_tensor(vec![1, 2, 6, 6])) {
-        let mut pool = MaxPool2d::new(2);
-        let out = pool.forward(&x, false);
+        let pool = MaxPool2d::new(2);
+        let out = pool.forward(&x, false, &mut Tape::new());
         let in_max = x.data.iter().copied().fold(f32::MIN, f32::max);
         let out_max = out.data.iter().copied().fold(f32::MIN, f32::max);
         prop_assert!(out_max <= in_max + 1e-6);
@@ -69,8 +81,8 @@ proptest! {
 
     #[test]
     fn flatten_preserves_every_value(x in arb_tensor(vec![2, 3, 4, 4])) {
-        let mut flatten = Flatten::new();
-        let out = flatten.forward(&x, false);
+        let flatten = Flatten::new();
+        let out = flatten.forward(&x, false, &mut Tape::new());
         prop_assert_eq!(out.shape, vec![2usize, 48]);
         prop_assert_eq!(out.data, x.data);
     }
@@ -125,14 +137,14 @@ proptest! {
         seed in any::<u64>(),
     ) {
         // f(x + y) - f(0) == (f(x) - f(0)) + (f(y) - f(0)).
-        let mut lin = Linear::new(4, 3, seed);
+        let lin = Linear::new(4, 3, seed);
         let zero = Tensor::zeros(&[1, 4]);
-        let f0 = lin.forward(&zero, false);
+        let f0 = lin.forward(&zero, false, &mut Tape::new());
         let mut xy = x.clone();
         xy.add_scaled(&y, 1.0);
-        let fxy = lin.forward(&xy, false);
-        let fx = lin.forward(&x, false);
-        let fy = lin.forward(&y, false);
+        let fxy = lin.forward(&xy, false, &mut Tape::new());
+        let fx = lin.forward(&x, false, &mut Tape::new());
+        let fy = lin.forward(&y, false, &mut Tape::new());
         for j in 0..3 {
             let left = fxy.data[j] - f0.data[j];
             let right = (fx.data[j] - f0.data[j]) + (fy.data[j] - f0.data[j]);
@@ -148,13 +160,13 @@ proptest! {
     ) {
         // A single bright pixel moved by (1,0) moves the conv response by
         // (1,0) in the valid interior.
-        let mut conv = Conv2d::new(1, 1, 3, seed);
+        let conv = Conv2d::new(1, 1, 3, seed);
         let mut a = Tensor::zeros(&[1, 1, 8, 8]);
         a.data[row * 8 + col] = 1.0;
         let mut b = Tensor::zeros(&[1, 1, 8, 8]);
         b.data[(row + 1) * 8 + col] = 1.0;
-        let fa = conv.forward(&a, false);
-        let fb = conv.forward(&b, false);
+        let fa = conv.forward(&a, false, &mut Tape::new());
+        let fb = conv.forward(&b, false, &mut Tape::new());
         // Compare overlapping interior rows: fb row r equals fa row r-1.
         let (oh, ow) = (6usize, 6usize);
         for r in 1..oh {
@@ -163,6 +175,40 @@ proptest! {
                 let vb = fb.data[r * ow + c];
                 prop_assert!((va - vb).abs() < 1e-5);
             }
+        }
+    }
+
+    /// The tentpole determinism contract: for a fixed shard size, the
+    /// sharded forward/backward is bitwise identical for every worker
+    /// count, across random batch sizes, salts, and seeds — training-mode
+    /// dropout included.
+    #[test]
+    fn sharded_gradients_match_sequential(
+        batch in 1usize..12,
+        workers in 2usize..5,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let net = small_net(seed % 1000);
+        let x = Tensor::kaiming_uniform(&[batch, 1, 8, 8], 1, seed.wrapping_add(1));
+        let labels: Vec<usize> = (0..batch).map(|i| i % 3).collect();
+
+        let run = |engine: &BatchEngine| {
+            let (logits, tapes) = engine.forward(&net, &x, true, salt);
+            let (loss, grad) = cross_entropy(&logits, &labels);
+            let mut grads = net.grad_store();
+            let g_in = engine.backward(&net, &tapes, &grad, &mut grads);
+            (logits, loss, grads, g_in)
+        };
+
+        let (logits_1, loss_1, grads_1, gin_1) = run(&BatchEngine::new(1));
+        let (logits_n, loss_n, grads_n, gin_n) = run(&BatchEngine::new(workers));
+
+        prop_assert_eq!(logits_1.data, logits_n.data);
+        prop_assert_eq!(loss_1.to_bits(), loss_n.to_bits(), "loss must be bit-identical");
+        prop_assert_eq!(gin_1.data, gin_n.data);
+        for (a, b) in grads_1.slots().iter().zip(grads_n.slots()) {
+            prop_assert_eq!(&a.data, &b.data, "parameter gradients must be bit-identical");
         }
     }
 }

@@ -109,7 +109,11 @@ impl CurationPipeline {
                 background_removed += 1;
                 continue;
             }
-            let f = if self.remove_acks { f.without_acks() } else { f.clone() };
+            let f = if self.remove_acks {
+                f.without_acks()
+            } else {
+                f.clone()
+            };
             if f.len() < self.min_pkts {
                 short_removed += 1;
                 continue;
@@ -164,7 +168,11 @@ impl CurationPipeline {
             .iter()
             .map(|&c| dataset.class_names[c as usize].clone())
             .collect();
-        let out = Dataset { name: dataset.name.clone(), class_names, flows: curated };
+        let out = Dataset {
+            name: dataset.name.clone(),
+            class_names,
+            flows: curated,
+        };
         let report = CurationReport {
             dataset: out.name.clone(),
             flows_before,
@@ -200,7 +208,13 @@ mod tests {
                 p.ts -= first.ts;
             }
         }
-        Flow { id, class, partition: Partition::Unpartitioned, background, pkts }
+        Flow {
+            id,
+            class,
+            partition: Partition::Unpartitioned,
+            background,
+            pkts,
+        }
     }
 
     fn mk_dataset(flows: Vec<Flow>, n_classes: usize) -> Dataset {
@@ -281,7 +295,10 @@ mod tests {
         let mut pipe = CurationPipeline::utmobilenet();
         pipe.min_class_size = 0;
         let (out, _) = pipe.run(&ds);
-        assert!(out.flows.iter().all(|f| f.partition == Partition::Unpartitioned));
+        assert!(out
+            .flows
+            .iter()
+            .all(|f| f.partition == Partition::Unpartitioned));
     }
 
     #[test]
@@ -303,7 +320,13 @@ mod tests {
         for i in 0..12 {
             pkts.push(Pkt::data(0.6 + i as f64 * 0.1, 900, Direction::Downstream));
         }
-        let f = Flow { id: 1, class: 0, partition: Partition::Unpartitioned, background: false, pkts };
+        let f = Flow {
+            id: 1,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        };
         let ds = mk_dataset(vec![f], 1);
         let mut pipe = CurationPipeline::mirage(10);
         pipe.min_class_size = 0;

@@ -76,13 +76,17 @@ pub struct SizeMixture {
 impl SizeMixture {
     /// A single-mode mixture.
     pub fn single(mean: f64, sd: f64) -> Self {
-        SizeMixture { modes: vec![(1.0, mean, sd)] }
+        SizeMixture {
+            modes: vec![(1.0, mean, sd)],
+        }
     }
 
     /// Builds a mixture from `(weight, mean, sd)` triples.
     pub fn of(modes: &[(f64, f64, f64)]) -> Self {
         assert!(!modes.is_empty(), "mixture needs at least one mode");
-        SizeMixture { modes: modes.to_vec() }
+        SizeMixture {
+            modes: modes.to_vec(),
+        }
     }
 
     /// Samples one packet size, clamped to `[1, 1500]` bytes.
@@ -105,7 +109,11 @@ impl SizeMixture {
     /// mechanism used to inject the `human`-partition size shift.
     pub fn scaled(&self, factor: f64) -> Self {
         SizeMixture {
-            modes: self.modes.iter().map(|&(w, m, s)| (w, m * factor, s)).collect(),
+            modes: self
+                .modes
+                .iter()
+                .map(|&(w, m, s)| (w, m * factor, s))
+                .collect(),
         }
     }
 }

@@ -83,8 +83,7 @@ pub fn encode(dataset: &Dataset) -> Bytes {
     // Pre-size: 24 bytes per flow header + 11 per packet is exact; strings
     // are small.
     let pkt_total: usize = dataset.flows.iter().map(Flow::len).sum();
-    let mut buf =
-        BytesMut::with_capacity(64 + dataset.flows.len() * 24 + pkt_total * 11);
+    let mut buf = BytesMut::with_capacity(64 + dataset.flows.len() * 24 + pkt_total * 11);
 
     buf.put_slice(MAGIC);
     put_string(&mut buf, &dataset.name);
@@ -156,12 +155,31 @@ pub fn decode(mut buf: &[u8]) -> Result<Dataset, FlowRecError> {
             if pflags > 3 {
                 return Err(FlowRecError::BadValue("pkt flags"));
             }
-            let dir = if pflags & 1 != 0 { Direction::Upstream } else { Direction::Downstream };
-            pkts.push(crate::types::Pkt { ts, size, dir, is_ack: pflags & 2 != 0 });
+            let dir = if pflags & 1 != 0 {
+                Direction::Upstream
+            } else {
+                Direction::Downstream
+            };
+            pkts.push(crate::types::Pkt {
+                ts,
+                size,
+                dir,
+                is_ack: pflags & 2 != 0,
+            });
         }
-        flows.push(Flow { id, class, partition, background: flags & 1 != 0, pkts });
+        flows.push(Flow {
+            id,
+            class,
+            partition,
+            background: flags & 1 != 0,
+            pkts,
+        });
     }
-    Ok(Dataset { name, class_names, flows })
+    Ok(Dataset {
+        name,
+        class_names,
+        flows,
+    })
 }
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -174,7 +192,9 @@ fn get_string(buf: &mut &[u8], what: &'static str) -> Result<String, FlowRecErro
     if buf.remaining() < len {
         return Err(FlowRecError::Truncated(what));
     }
-    let s = std::str::from_utf8(&buf[..len]).map_err(|_| FlowRecError::BadUtf8(what))?.to_string();
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| FlowRecError::BadUtf8(what))?
+        .to_string();
     buf.advance(len);
     Ok(s)
 }
@@ -257,7 +277,10 @@ mod tests {
         let mut ds = sample_dataset();
         ds.flows[0].class = 9;
         let bytes = encode(&ds);
-        assert_eq!(decode(&bytes), Err(FlowRecError::BadValue("flow class out of range")));
+        assert_eq!(
+            decode(&bytes),
+            Err(FlowRecError::BadValue("flow class out of range"))
+        );
     }
 
     #[test]
@@ -268,12 +291,19 @@ mod tests {
         // class count(4) + "a"(5) + "b"(5) + flow count(8) + id(8) + class(2).
         let off = 8 + 10 + 4 + 5 + 5 + 8 + 8 + 2;
         bytes[off] = 250;
-        assert_eq!(decode(&bytes), Err(FlowRecError::BadValue("partition code")));
+        assert_eq!(
+            decode(&bytes),
+            Err(FlowRecError::BadValue("partition code"))
+        );
     }
 
     #[test]
     fn oversize_pkt_count_is_rejected_without_allocation() {
-        let ds = Dataset { name: "x".into(), class_names: vec!["a".into()], flows: vec![] };
+        let ds = Dataset {
+            name: "x".into(),
+            class_names: vec!["a".into()],
+            flows: vec![],
+        };
         let mut bytes = encode(&ds).to_vec();
         // Rewrite flow count to a huge value with no data behind it.
         let len = bytes.len();

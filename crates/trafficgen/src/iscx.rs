@@ -60,12 +60,20 @@ pub struct IscxConfig {
 impl IscxConfig {
     /// ISCX-like scarcity: 20 flows per class.
     pub fn default_config() -> IscxConfig {
-        IscxConfig { flows_per_class: 20, max_pkts: 2500, session_character: 0.8 }
+        IscxConfig {
+            flows_per_class: 20,
+            max_pkts: 2500,
+            session_character: 0.8,
+        }
     }
 
     /// Tiny configuration for unit tests.
     pub fn tiny() -> IscxConfig {
-        IscxConfig { flows_per_class: 6, max_pkts: 600, session_character: 0.8 }
+        IscxConfig {
+            flows_per_class: 6,
+            max_pkts: 600,
+            session_character: 0.8,
+        }
     }
 }
 
@@ -198,8 +206,17 @@ pub fn slice_into_windows(flow: &Flow, window_s: f64, min_pkts: usize) -> Vec<Fl
     let flush = |current: &mut Vec<crate::types::Pkt>, windows: &mut Vec<Flow>| {
         if current.len() >= min_pkts.max(1) {
             let t0 = current[0].ts;
-            let pkts = current.iter().map(|p| crate::types::Pkt { ts: p.ts - t0, ..*p }).collect();
-            windows.push(Flow { pkts, ..flow.clone() });
+            let pkts = current
+                .iter()
+                .map(|p| crate::types::Pkt {
+                    ts: p.ts - t0,
+                    ..*p
+                })
+                .collect();
+            windows.push(Flow {
+                pkts,
+                ..flow.clone()
+            });
         }
         current.clear();
     };
@@ -227,7 +244,11 @@ pub fn slice_dataset(ds: &Dataset, window_s: f64, min_pkts: usize) -> (Dataset, 
         }
     }
     (
-        Dataset { name: format!("{}-windows", ds.name), class_names: ds.class_names.clone(), flows },
+        Dataset {
+            name: format!("{}-windows", ds.name),
+            class_names: ds.class_names.clone(),
+            flows,
+        },
         parents,
     )
 }
@@ -245,16 +266,19 @@ mod tests {
         assert!(ds.flows.iter().all(|f| f.is_well_formed()));
         // Long flows: most span well past one 15s window.
         let long = ds.flows.iter().filter(|f| f.duration() > 30.0).count();
-        assert!(long > ds.flows.len() / 2, "{long} long flows of {}", ds.flows.len());
+        assert!(
+            long > ds.flows.len() / 2,
+            "{long} long flows of {}",
+            ds.flows.len()
+        );
     }
 
     #[test]
     fn per_session_character_varies_flows() {
         let ds = IscxSim::new(IscxConfig::tiny()).generate(2);
         // Two flows of the same class: mean packet sizes differ noticeably.
-        let mean_size = |f: &Flow| {
-            f.pkts.iter().map(|p| p.size as f64).sum::<f64>() / f.len() as f64
-        };
+        let mean_size =
+            |f: &Flow| f.pkts.iter().map(|p| p.size as f64).sum::<f64>() / f.len() as f64;
         let class0: Vec<&Flow> = ds.flows.iter().filter(|f| f.class == 3).collect();
         let means: Vec<f64> = class0.iter().map(|f| mean_size(f)).collect();
         let spread = means.iter().cloned().fold(f64::MIN, f64::max)
@@ -264,9 +288,16 @@ mod tests {
 
     #[test]
     fn windows_partition_the_flow() {
-        let pkts: Vec<Pkt> =
-            (0..100).map(|i| Pkt::data(i as f64 * 0.5, 100, Direction::Downstream)).collect();
-        let flow = Flow { id: 9, class: 0, partition: Partition::Unpartitioned, background: false, pkts };
+        let pkts: Vec<Pkt> = (0..100)
+            .map(|i| Pkt::data(i as f64 * 0.5, 100, Direction::Downstream))
+            .collect();
+        let flow = Flow {
+            id: 9,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        };
         let windows = slice_into_windows(&flow, 15.0, 1);
         // 50 s of packets → 4 windows (0-15, 15-30, 30-45, 45-49.5).
         assert_eq!(windows.len(), 4);
@@ -288,7 +319,13 @@ mod tests {
             Pkt::data(1.0, 100, Direction::Downstream),
             Pkt::data(31.0, 100, Direction::Downstream),
         ];
-        let flow = Flow { id: 1, class: 0, partition: Partition::Unpartitioned, background: false, pkts };
+        let flow = Flow {
+            id: 1,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        };
         let windows = slice_into_windows(&flow, 15.0, 2);
         assert_eq!(windows.len(), 1);
     }
@@ -298,7 +335,10 @@ mod tests {
         let ds = IscxSim::new(IscxConfig::tiny()).generate(3);
         let (windows, parents) = slice_dataset(&ds, 15.0, 10);
         assert_eq!(windows.flows.len(), parents.len());
-        assert!(windows.flows.len() > ds.flows.len(), "slicing must multiply samples");
+        assert!(
+            windows.flows.len() > ds.flows.len(),
+            "slicing must multiply samples"
+        );
         // Every parent id is a real flow id.
         for pid in &parents {
             assert!(ds.flows.iter().any(|f| f.id == *pid));

@@ -38,17 +38,32 @@ pub struct Mirage19Config {
 impl Mirage19Config {
     /// Paper-scale (Table 2: 122 007 raw flows, largest class 11 737).
     pub fn paper() -> Self {
-        Mirage19Config { max_class_flows: 11_737, rho: 5.9, max_pkts: 60, spread: 0.55 }
+        Mirage19Config {
+            max_class_flows: 11_737,
+            rho: 5.9,
+            max_pkts: 60,
+            spread: 0.55,
+        }
     }
 
     /// Reduced scale for benches.
     pub fn quick() -> Self {
-        Mirage19Config { max_class_flows: 400, rho: 5.9, max_pkts: 60, spread: 0.55 }
+        Mirage19Config {
+            max_class_flows: 400,
+            rho: 5.9,
+            max_pkts: 60,
+            spread: 0.55,
+        }
     }
 
     /// Tiny scale for unit tests.
     pub fn tiny() -> Self {
-        Mirage19Config { max_class_flows: 40, rho: 3.0, max_pkts: 40, spread: 0.55 }
+        Mirage19Config {
+            max_class_flows: 40,
+            rho: 3.0,
+            max_pkts: 40,
+            spread: 0.55,
+        }
     }
 }
 
@@ -112,7 +127,10 @@ mod tests {
     fn flows_are_short() {
         let ds = Mirage19Sim::new(Mirage19Config::tiny()).generate(2);
         let mean = ds.mean_pkts();
-        assert!(mean < 45.0, "mean pkts {mean} — MIRAGE-19 flows must be short");
+        assert!(
+            mean < 45.0,
+            "mean pkts {mean} — MIRAGE-19 flows must be short"
+        );
     }
 
     #[test]

@@ -35,17 +35,32 @@ pub struct Mirage22Config {
 impl Mirage22Config {
     /// Paper-scale (Table 2: 59 071 raw flows, largest class 18 882).
     pub fn paper() -> Self {
-        Mirage22Config { max_class_flows: 18_882, rho: 8.4, max_pkts: 1600, spread: 0.8 }
+        Mirage22Config {
+            max_class_flows: 18_882,
+            rho: 8.4,
+            max_pkts: 1600,
+            spread: 0.8,
+        }
     }
 
     /// Reduced scale for benches.
     pub fn quick() -> Self {
-        Mirage22Config { max_class_flows: 320, rho: 8.4, max_pkts: 1600, spread: 0.8 }
+        Mirage22Config {
+            max_class_flows: 320,
+            rho: 8.4,
+            max_pkts: 1600,
+            spread: 0.8,
+        }
     }
 
     /// Tiny scale for unit tests.
     pub fn tiny() -> Self {
-        Mirage22Config { max_class_flows: 40, rho: 4.0, max_pkts: 300, spread: 0.8 }
+        Mirage22Config {
+            max_class_flows: 40,
+            rho: 4.0,
+            max_pkts: 300,
+            spread: 0.8,
+        }
     }
 }
 
@@ -118,7 +133,10 @@ mod tests {
         cfg.max_pkts = 1600;
         let ds = Mirage22Sim::new(cfg).generate(2);
         let over_1000 = ds.flows.iter().filter(|f| f.len() > 1000).count();
-        assert!(over_1000 > 0, "no flows above 1000 packets — the >1000pkts variant would be empty");
+        assert!(
+            over_1000 > 0,
+            "no flows above 1000 packets — the >1000pkts variant would be empty"
+        );
     }
 
     #[test]

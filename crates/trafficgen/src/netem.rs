@@ -38,7 +38,13 @@ pub struct PathModel {
 impl PathModel {
     /// An unimpaired path (identity).
     pub fn clean() -> PathModel {
-        PathModel { latency_s: 0.0, jitter_s: 0.0, loss: 0.0, rate_bps: None, bucket_bytes: 0.0 }
+        PathModel {
+            latency_s: 0.0,
+            jitter_s: 0.0,
+            loss: 0.0,
+            rate_bps: None,
+            bucket_bytes: 0.0,
+        }
     }
 
     /// A long-haul path: +80 ms latency, 5 ms jitter, 0.5 % loss.
@@ -127,7 +133,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn series(n: usize, gap: f64, size: u16) -> Vec<Pkt> {
-        (0..n).map(|i| Pkt::data(i as f64 * gap, size, Direction::Downstream)).collect()
+        (0..n)
+            .map(|i| Pkt::data(i as f64 * gap, size, Direction::Downstream))
+            .collect()
     }
 
     fn rng() -> StdRng {
@@ -182,7 +190,10 @@ mod tests {
         p.bucket_bytes = 2_000.0;
         let out = p.apply(&s, &mut rng());
         let duration = out.last().unwrap().ts;
-        assert!(duration > 0.8, "drained in {duration}s — bottleneck not applied");
+        assert!(
+            duration > 0.8,
+            "drained in {duration}s — bottleneck not applied"
+        );
         assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
     }
 

@@ -96,7 +96,7 @@ fn build_frame(p: &Pkt) -> Vec<u8> {
     f.put_slice(&dst_mac);
     f.put_slice(&src_mac);
     f.put_u16(0x0800); // IPv4
-    // IPv4 (big-endian on the wire).
+                       // IPv4 (big-endian on the wire).
     f.put_u8(0x45); // version 4, IHL 5
     f.put_u8(0);
     f.put_u16(ip_total as u16);
@@ -117,7 +117,7 @@ fn build_frame(p: &Pkt) -> Vec<u8> {
     f.put_u16(0xFFFF); // window
     f.put_u16(0); // checksum
     f.put_u16(0); // urgent
-    // Payload padding.
+                  // Payload padding.
     f.extend(std::iter::repeat_n(0u8, payload_len));
     f.to_vec()
 }
@@ -156,7 +156,9 @@ pub fn pcap_to_pkts(mut buf: &[u8]) -> Result<Vec<Pkt>, PcapError> {
         buf.advance(incl_len);
 
         if frame.len() < ETH_IP_TCP {
-            return Err(PcapError::UnsupportedPacket("frame shorter than eth+ip+tcp"));
+            return Err(PcapError::UnsupportedPacket(
+                "frame shorter than eth+ip+tcp",
+            ));
         }
         // Ethertype must be IPv4 and protocol TCP for this reader.
         let ethertype = u16::from_be_bytes([frame[12], frame[13]]);
@@ -174,9 +176,18 @@ pub fn pcap_to_pkts(mut buf: &[u8]) -> Result<Vec<Pkt>, PcapError> {
         // is the client, so packets sourced from it travel upstream.
         let src_port = u16::from_be_bytes([frame[34], frame[35]]);
         let dst_port = u16::from_be_bytes([frame[36], frame[37]]);
-        let dir = if src_port >= dst_port { Direction::Upstream } else { Direction::Downstream };
+        let dir = if src_port >= dst_port {
+            Direction::Upstream
+        } else {
+            Direction::Downstream
+        };
         let size = orig_len.min(MAX_PKT_SIZE as usize) as u16;
-        pkts.push(Pkt { ts: secs + usecs / 1e6, size, dir, is_ack });
+        pkts.push(Pkt {
+            ts: secs + usecs / 1e6,
+            size,
+            dir,
+            is_ack,
+        });
     }
     // Re-zero timestamps (pcap stores absolute times).
     if let Some(&first) = pkts.first() {
@@ -248,7 +259,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_truncation() {
-        assert_eq!(pcap_to_pkts(&[0u8; 10]), Err(PcapError::Truncated("global header")));
+        assert_eq!(
+            pcap_to_pkts(&[0u8; 10]),
+            Err(PcapError::Truncated("global header"))
+        );
         let mut bad = flow_to_pcap(&sample_flow(0.0));
         bad[0] = 0;
         assert_eq!(pcap_to_pkts(&bad), Err(PcapError::BadMagic));

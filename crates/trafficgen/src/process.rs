@@ -42,10 +42,8 @@ pub fn generate_pkts<R: Rng + ?Sized>(
 
     // Flow duration: log-normal with the requested mean.
     let mu = profile.duration_mean.ln() - profile.duration_sigma.powi(2) / 2.0;
-    let duration = dist::log_normal(rng, mu, profile.duration_sigma).clamp(
-        profile.duration_mean * 0.05,
-        profile.duration_mean * 8.0,
-    );
+    let duration = dist::log_normal(rng, mu, profile.duration_sigma)
+        .clamp(profile.duration_mean * 0.05, profile.duration_mean * 8.0);
 
     // 1. Lay out burst start times.
     let mut burst_starts: Vec<f64> = Vec::new();
@@ -122,7 +120,11 @@ pub fn generate_pkts<R: Rng + ?Sized>(
     // produce zero packets; emit a single handshake-sized packet so every
     // flow is non-empty, as in the curated datasets.
     if pkts.is_empty() {
-        pkts.push(Pkt::data(0.0, profile.up_sizes.sample(rng), Direction::Upstream));
+        pkts.push(Pkt::data(
+            0.0,
+            profile.up_sizes.sample(rng),
+            Direction::Upstream,
+        ));
     }
 
     // 4. Normalize: sort by time, shift so the first packet is at t=0.
@@ -248,10 +250,10 @@ mod tests {
         fast.rtt_jitter = 0.0;
         let mut slow = fast.clone();
         slow.rtt_mean = 0.2; // 4x the default 0.05
-        // Periodic spacing scales with time_scale=1 in both cases (scale is
-        // rtt/rtt_mean), but intra-burst gaps use the realized rtt too via
-        // time_scale; with zero jitter both have scale 1. So instead check
-        // ACK latency, which uses the absolute realized RTT.
+                             // Periodic spacing scales with time_scale=1 in both cases (scale is
+                             // rtt/rtt_mean), but intra-burst gaps use the realized rtt too via
+                             // time_scale; with zero jitter both have scale 1. So instead check
+                             // ACK latency, which uses the absolute realized RTT.
         fast.ack_ratio = 1.0;
         slow.ack_ratio = 1.0;
         let lat = |p: &TrafficProfile, seed| {

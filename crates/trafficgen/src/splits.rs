@@ -114,7 +114,11 @@ pub fn stratified_three_way(
     assert!(train_frac > 0.0 && val_frac > 0.0 && train_frac + val_frac < 1.0);
     let by_class = indices_by_class(dataset, partition);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = TriSplit { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut out = TriSplit {
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
     for idxs in &by_class {
         if idxs.is_empty() {
             continue;
@@ -133,7 +137,8 @@ pub fn stratified_three_way(
             n_val = n_val.min(n - n_train);
         }
         out.train.extend_from_slice(&shuffled[..n_train]);
-        out.val.extend_from_slice(&shuffled[n_train..n_train + n_val]);
+        out.val
+            .extend_from_slice(&shuffled[n_train..n_train + n_val]);
         out.test.extend_from_slice(&shuffled[n_train + n_val..]);
     }
     out
@@ -200,7 +205,11 @@ mod tests {
             assert!(train.is_disjoint(&test));
             // Exactly 20 per class in train.
             for class in 0..3u16 {
-                let n = fold.train.iter().filter(|&&i| ds.flows[i].class == class).count();
+                let n = fold
+                    .train
+                    .iter()
+                    .filter(|&&i| ds.flows[i].class == class)
+                    .count();
                 assert_eq!(n, 20);
             }
         }
@@ -228,8 +237,14 @@ mod tests {
     #[test]
     fn random_two_way_deterministic_per_seed() {
         let indices: Vec<usize> = (0..50).collect();
-        assert_eq!(random_two_way(&indices, 0.5, 9), random_two_way(&indices, 0.5, 9));
-        assert_ne!(random_two_way(&indices, 0.5, 9).0, random_two_way(&indices, 0.5, 10).0);
+        assert_eq!(
+            random_two_way(&indices, 0.5, 9),
+            random_two_way(&indices, 0.5, 9)
+        );
+        assert_ne!(
+            random_two_way(&indices, 0.5, 9).0,
+            random_two_way(&indices, 0.5, 10).0
+        );
     }
 
     #[test]

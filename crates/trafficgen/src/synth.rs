@@ -7,9 +7,9 @@
 //! the curation pipeline is later expected to remove. This module owns the
 //! generation loop so the three simulators stay declarative.
 
+use crate::dist::{self, SizeMixture};
 use crate::process::generate_pkts;
 use crate::profile::TrafficProfile;
-use crate::dist::{self, SizeMixture};
 use crate::types::{Dataset, Flow, Partition};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -53,12 +53,7 @@ pub fn background_profile() -> TrafficProfile {
 
 /// Generates a dataset from per-class recipes, deterministically from
 /// `seed`. `max_pkts` caps per-flow memory.
-pub fn generate_dataset(
-    name: &str,
-    specs: &[ClassGenSpec],
-    seed: u64,
-    max_pkts: usize,
-) -> Dataset {
+pub fn generate_dataset(name: &str, specs: &[ClassGenSpec], seed: u64, max_pkts: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut flows = Vec::new();
     let mut next_id = 0u64;
@@ -79,7 +74,11 @@ pub fn generate_dataset(
             }
 
             let short = rng.random::<f64>() < spec.short_flow_fraction;
-            let cap = if short { rng.random_range(1..10) } else { max_pkts };
+            let cap = if short {
+                rng.random_range(1..10)
+            } else {
+                max_pkts
+            };
             let pkts = generate_pkts(&spec.profile, &mut rng, cap);
             next_id += 1;
             flows.push(Flow {
@@ -122,7 +121,12 @@ pub fn generate_dataset(
 ///
 /// `spread` scales inter-class separation: smaller values make classes
 /// harder to tell apart.
-pub fn app_profile(class_idx: usize, n_classes: usize, spread: f64, base_name: &str) -> TrafficProfile {
+pub fn app_profile(
+    class_idx: usize,
+    n_classes: usize,
+    spread: f64,
+    base_name: &str,
+) -> TrafficProfile {
     // Deterministic pseudo-random, but *fixed* per class: derive parameters
     // from a per-class RNG so the class identity is stable across dataset
     // seeds.
@@ -132,15 +136,19 @@ pub fn app_profile(class_idx: usize, n_classes: usize, spread: f64, base_name: &
     let mut p = TrafficProfile::base(&format!("{base_name}-{class_idx:02}"));
     // Dominant size mode sweeps the size axis with per-class jitter.
     let size_main = 150.0 + 1300.0 * frac + dist::normal(&mut rng, 0.0, 40.0 * spread);
-    let size_side = 100.0 + 500.0 * ((class_idx * 7 % n_classes.max(1)) as f64
-        / n_classes.max(1) as f64);
+    let size_side =
+        100.0 + 500.0 * ((class_idx * 7 % n_classes.max(1)) as f64 / n_classes.max(1) as f64);
     p.down_sizes = SizeMixture::of(&[
-        (0.7, size_main.clamp(80.0, 1490.0), 90.0 + 60.0 * (1.0 - spread)),
+        (
+            0.7,
+            size_main.clamp(80.0, 1490.0),
+            90.0 + 60.0 * (1.0 - spread),
+        ),
         (0.3, size_side.clamp(60.0, 900.0), 120.0),
     ]);
     p.up_sizes = SizeMixture::of(&[(1.0, 90.0 + 180.0 * frac, 60.0)]);
-    p.up_fraction = 0.15 + 0.5 * ((class_idx * 3 % n_classes.max(1)) as f64
-        / n_classes.max(1) as f64);
+    p.up_fraction =
+        0.15 + 0.5 * ((class_idx * 3 % n_classes.max(1)) as f64 / n_classes.max(1) as f64);
 
     // Burst cadence cycles through a small set of regimes.
     match class_idx % 4 {
@@ -164,16 +172,25 @@ pub fn app_profile(class_idx: usize, n_classes: usize, spread: f64, base_name: &
         }
     }
     p.burst_len_sd = p.burst_len_mean * 0.35;
-    p.rtt_mean = 0.03 + 0.05 * ((class_idx * 5 % n_classes.max(1)) as f64
-        / n_classes.max(1) as f64);
+    p.rtt_mean =
+        0.03 + 0.05 * ((class_idx * 5 % n_classes.max(1)) as f64 / n_classes.max(1) as f64);
 
     // App-specific handshake: TLS hello + first exchange sizes, drawn once
     // per class. Lower `spread` widens the per-flow jitter, blurring the
     // early-packet signal the same way busy app markets do.
     p.handshake = vec![
-        (dist::uniform(&mut rng, 180.0, 750.0), crate::types::Direction::Upstream),
-        (dist::uniform(&mut rng, 900.0, 1480.0), crate::types::Direction::Downstream),
-        (dist::uniform(&mut rng, 80.0, 420.0), crate::types::Direction::Upstream),
+        (
+            dist::uniform(&mut rng, 180.0, 750.0),
+            crate::types::Direction::Upstream,
+        ),
+        (
+            dist::uniform(&mut rng, 900.0, 1480.0),
+            crate::types::Direction::Downstream,
+        ),
+        (
+            dist::uniform(&mut rng, 80.0, 420.0),
+            crate::types::Direction::Upstream,
+        ),
     ];
     p.handshake_jitter = 15.0 + 70.0 * (1.0 - spread.min(1.0));
     p
@@ -187,7 +204,11 @@ pub fn imbalanced_counts(n_classes: usize, max_count: usize, rho: f64) -> Vec<us
     assert!(n_classes >= 1 && rho >= 1.0);
     (0..n_classes)
         .map(|i| {
-            let frac = if n_classes == 1 { 0.0 } else { i as f64 / (n_classes - 1) as f64 };
+            let frac = if n_classes == 1 {
+                0.0
+            } else {
+                i as f64 / (n_classes - 1) as f64
+            };
             let count = max_count as f64 / rho.powf(frac);
             count.round().max(1.0) as usize
         })
@@ -254,10 +275,7 @@ mod tests {
             count: 200,
             short_flow_fraction: 0.0,
             background_fraction: 0.0,
-            partitions: vec![
-                (Partition::ActionSpecific, 3.0),
-                (Partition::WildTest, 1.0),
-            ],
+            partitions: vec![(Partition::ActionSpecific, 3.0), (Partition::WildTest, 1.0)],
         }];
         let ds = generate_dataset("t", &specs, 3, 50);
         let action = ds.partition(Partition::ActionSpecific).count();

@@ -53,12 +53,22 @@ pub struct Pkt {
 impl Pkt {
     /// Convenience constructor for a data packet.
     pub fn data(ts: f64, size: u16, dir: Direction) -> Self {
-        Pkt { ts, size, dir, is_ack: false }
+        Pkt {
+            ts,
+            size,
+            dir,
+            is_ack: false,
+        }
     }
 
     /// Convenience constructor for a bare ACK.
     pub fn ack(ts: f64, dir: Direction) -> Self {
-        Pkt { ts, size: 40, dir, is_ack: true }
+        Pkt {
+            ts,
+            size: 40,
+            dir,
+            is_ack: true,
+        }
     }
 }
 
@@ -236,7 +246,13 @@ mod tests {
     use super::*;
 
     fn flow(pkts: Vec<Pkt>) -> Flow {
-        Flow { id: 0, class: 0, partition: Partition::Unpartitioned, background: false, pkts }
+        Flow {
+            id: 0,
+            class: 0,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts,
+        }
     }
 
     #[test]
@@ -292,7 +308,11 @@ mod tests {
             f.class = if i < 4 { 0 } else { 1 };
             flows.push(f);
         }
-        let ds = Dataset { name: "t".into(), class_names: vec!["a".into(), "b".into()], flows };
+        let ds = Dataset {
+            name: "t".into(),
+            class_names: vec!["a".into(), "b".into()],
+            flows,
+        };
         assert_eq!(ds.class_counts(), vec![4, 2]);
         assert!((ds.imbalance_rho().unwrap() - 2.0).abs() < 1e-12);
         assert!((ds.mean_pkts() - 1.0).abs() < 1e-12);

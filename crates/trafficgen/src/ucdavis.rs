@@ -23,17 +23,22 @@
 //! `pretraining` score high on `script`/`leftover` and markedly lower on
 //! `human`, with the Doc/Search confusion the paper observes in its Fig. 3.
 
+use crate::dist::SizeMixture;
 use crate::process::generate_pkts;
 use crate::profile::TrafficProfile;
 use crate::types::{Dataset, Direction, Flow, Partition};
-use crate::dist::SizeMixture;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
 /// Class indices, fixed in the order the paper's figures use.
-pub const CLASSES: [&str; 5] =
-    ["google-doc", "google-drive", "google-music", "google-search", "youtube"];
+pub const CLASSES: [&str; 5] = [
+    "google-doc",
+    "google-drive",
+    "google-music",
+    "google-search",
+    "youtube",
+];
 
 /// Configuration of the simulator.
 #[derive(Debug, Clone, Serialize)]
@@ -180,8 +185,11 @@ impl UcDavisSim {
                 p.burst_len_mean = 45.0;
                 p.burst_len_sd = 12.0;
                 p.intra_burst_gap = 0.006;
-                p.down_sizes =
-                    SizeMixture::of(&[(0.45, 1495.0, 12.0), (0.4, 700.0, 240.0), (0.15, 250.0, 90.0)]);
+                p.down_sizes = SizeMixture::of(&[
+                    (0.45, 1495.0, 12.0),
+                    (0.4, 700.0, 240.0),
+                    (0.15, 250.0, 90.0),
+                ]);
                 p.up_sizes = SizeMixture::of(&[(1.0, 300.0, 120.0)]);
                 p.up_fraction = 0.3;
                 p.duration_mean = 14.0;

@@ -44,19 +44,34 @@ impl UtMobileNetConfig {
     /// Paper-scale (Table 2: 34 378 raw flows, largest class 5 591,
     /// ρ ≈ 35.2).
     pub fn paper() -> Self {
-        UtMobileNetConfig { max_class_flows: 5_591, rho: 35.2, max_pkts: 700, spread: 0.65 }
+        UtMobileNetConfig {
+            max_class_flows: 5_591,
+            rho: 35.2,
+            max_pkts: 700,
+            spread: 0.65,
+        }
     }
 
     /// Reduced scale for benches. ρ is kept at the paper's value so that
     /// the smallest classes still fall below the 100-sample curation
     /// threshold.
     pub fn quick() -> Self {
-        UtMobileNetConfig { max_class_flows: 1500, rho: 35.2, max_pkts: 400, spread: 0.65 }
+        UtMobileNetConfig {
+            max_class_flows: 1500,
+            rho: 35.2,
+            max_pkts: 400,
+            spread: 0.65,
+        }
     }
 
     /// Tiny scale for unit tests.
     pub fn tiny() -> Self {
-        UtMobileNetConfig { max_class_flows: 60, rho: 10.0, max_pkts: 120, spread: 0.65 }
+        UtMobileNetConfig {
+            max_class_flows: 60,
+            rho: 10.0,
+            max_pkts: 120,
+            spread: 0.65,
+        }
     }
 }
 
@@ -77,7 +92,8 @@ impl UtMobileNetSim {
         let counts = imbalanced_counts(NUM_CLASSES, self.config.max_class_flows, self.config.rho);
         let specs: Vec<ClassGenSpec> = (0..NUM_CLASSES)
             .map(|i| {
-                let mut profile = app_profile(i, NUM_CLASSES, self.config.spread, "utmobilenet-app");
+                let mut profile =
+                    app_profile(i, NUM_CLASSES, self.config.spread, "utmobilenet-app");
                 profile.duration_mean = 25.0;
                 profile.duration_sigma = 1.0;
                 ClassGenSpec {

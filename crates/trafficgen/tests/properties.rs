@@ -1,11 +1,7 @@
 //! Property-based tests of the traffic substrate's invariants.
 
 use proptest::prelude::*;
-use trafficgen::curation::CurationPipeline;
-use trafficgen::flowrec;
-use trafficgen::process::generate_pkts;
-use trafficgen::profile::TrafficProfile;
-use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+use trafficgen::types::{Direction, Partition};
 
 fn arb_direction() -> impl Strategy<Value = Direction> {
     prop_oneof![Just(Direction::Upstream), Just(Direction::Downstream)]

@@ -38,7 +38,11 @@ fn main() {
             continue;
         }
         let pic = aug.apply(&flow.pkts, &cfg, &mut rng);
-        let family = if aug.is_time_series() { "time series" } else { "image" };
+        let family = if aug.is_time_series() {
+            "time series"
+        } else {
+            "image"
+        };
         println!(
             "--- {} ({family}; L1 distance to original: {:.1}) ---",
             aug.name(),

@@ -28,10 +28,22 @@ fn main() {
 
     // 1. SimCLR pre-training on the UNLABELED pool: labels never touch
     //    this phase — the views' agreement is the only training signal.
-    println!("pre-training SimCLR on {} unlabeled flows...", fold.train.len());
-    let config = SimClrConfig { max_epochs: 8, ..SimClrConfig::paper(5) };
-    let (mut pre_net, summary) =
-        pretrain(&dataset, &fold.train, ViewPair::paper(), &fpcfg, norm, &config);
+    println!(
+        "pre-training SimCLR on {} unlabeled flows...",
+        fold.train.len()
+    );
+    let config = SimClrConfig {
+        max_epochs: 8,
+        ..SimClrConfig::paper(5)
+    };
+    let (pre_net, summary) = pretrain(
+        &dataset,
+        &fold.train,
+        ViewPair::paper(),
+        &fpcfg,
+        norm,
+        &config,
+    );
     println!(
         "  {} epochs, final NT-Xent loss {:.3}, best contrastive top-5 {:.0}%",
         summary.epochs,
@@ -47,20 +59,29 @@ fn main() {
     for shots in [1usize, 3, 10] {
         let labeled_idx = few_shot_subset(&dataset, &fold.train, shots, 9);
         let labeled = FlowpicDataset::from_flows(&dataset, &labeled_idx, &fpcfg, norm);
-        let mut tuned = fine_tune(&mut pre_net, &labeled, 11);
-        let eval = trainer.evaluate(&mut tuned, &script);
-        println!("  {shots:>2} labeled samples/class -> script accuracy {:.1}%", 100.0 * eval.accuracy);
+        let tuned = fine_tune(&pre_net, &labeled, 11);
+        let eval = trainer.evaluate(&tuned, &script);
+        println!(
+            "  {shots:>2} labeled samples/class -> script accuracy {:.1}%",
+            100.0 * eval.accuracy
+        );
     }
 
     // 3. The supervised ceiling: same split, full labels.
     let train_full = FlowpicDataset::from_flows(&dataset, &fold.train, &fpcfg, norm);
     let (train, val) = train_full.split_validation(0.2, 3);
-    let sup_trainer =
-        SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(3) });
+    let sup_trainer = SupervisedTrainer::new(TrainConfig {
+        max_epochs: 10,
+        ..TrainConfig::supervised(3)
+    });
     let mut sup_net = supervised_net(32, dataset.num_classes(), false, 3);
     sup_trainer.train(&mut sup_net, &train, Some(&val));
-    let eval = sup_trainer.evaluate(&mut sup_net, &script);
-    println!("\nfully-supervised reference ({} labels): {:.1}%", fold.train.len(), 100.0 * eval.accuracy);
+    let eval = sup_trainer.evaluate(&sup_net, &script);
+    println!(
+        "\nfully-supervised reference ({} labels): {:.1}%",
+        fold.train.len(),
+        100.0 * eval.accuracy
+    );
     println!(
         "\nexpected: accuracy grows with shots; at 10 shots the contrastive\n\
          pipeline approaches the supervised ceiling (paper Sec. 4.4: 94.5 vs ~98)."

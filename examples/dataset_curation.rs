@@ -12,15 +12,17 @@ use trafficgen::curation::CurationPipeline;
 use trafficgen::flowrec;
 use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
 use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
-use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
 use trafficgen::types::Dataset;
+use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
 
 fn summarize(label: &str, ds: &Dataset) {
     println!(
         "  {label:<28} {:>7} flows  {:>3} classes  rho {:>5}  mean pkts {:>8.1}",
         ds.flows.len(),
         ds.num_classes(),
-        ds.imbalance_rho().map(|r| format!("{r:.1}")).unwrap_or_else(|| "-".into()),
+        ds.imbalance_rho()
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into()),
         ds.mean_pkts()
     );
 }

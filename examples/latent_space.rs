@@ -27,15 +27,19 @@ use tcbench::simclr::{pretrain, SimClrConfig};
 use trafficgen::types::Partition;
 use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim, CLASSES};
 
-fn latents(net: &mut nettensor::Sequential, data: &FlowpicDataset) -> Vec<Vec<f64>> {
-    let idx: Vec<usize> = (0..data.len()).collect();
+fn latents(net: &nettensor::Sequential, data: &FlowpicDataset) -> Vec<Vec<f64>> {
     let mut out = Vec::with_capacity(data.len());
-    for chunk in idx.chunks(64) {
-        let x = data.batch_tensor(chunk);
-        let h = net.forward_prefix(&x, EXTRACTOR_DEPTH, false);
+    for chunk in data.index_chunks(64) {
+        let x = data.batch_tensor(&chunk);
+        let h = net.forward_prefix(&x, EXTRACTOR_DEPTH);
         let d = h.shape[1];
         for i in 0..chunk.len() {
-            out.push(h.data[i * d..(i + 1) * d].iter().map(|&v| v as f64).collect());
+            out.push(
+                h.data[i * d..(i + 1) * d]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .collect(),
+            );
         }
     }
     out
@@ -44,20 +48,28 @@ fn latents(net: &mut nettensor::Sequential, data: &FlowpicDataset) -> Vec<Vec<f6
 fn scatter_2d(points: &[Vec<f64>], labels: &[usize], width: usize, height: usize) -> String {
     // Map each point into a character grid; cells show the class digit,
     // collisions show '*'.
-    let (min_x, max_x) = points.iter().map(|p| p[0]).fold((f64::MAX, f64::MIN), |(lo, hi), v| {
-        (lo.min(v), hi.max(v))
-    });
-    let (min_y, max_y) = points.iter().map(|p| p[1]).fold((f64::MAX, f64::MIN), |(lo, hi), v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min_x, max_x) = points
+        .iter()
+        .map(|p| p[0])
+        .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)));
+    let (min_y, max_y) = points
+        .iter()
+        .map(|p| p[1])
+        .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)));
     let mut grid = vec![vec![' '; width]; height];
     for (p, &label) in points.iter().zip(labels) {
         let cx = ((p[0] - min_x) / (max_x - min_x).max(1e-12) * (width - 1) as f64) as usize;
         let cy = ((p[1] - min_y) / (max_y - min_y).max(1e-12) * (height - 1) as f64) as usize;
         let ch = char::from_digit(label as u32, 10).unwrap_or('?');
-        grid[cy][cx] = if grid[cy][cx] == ' ' || grid[cy][cx] == ch { ch } else { '*' };
+        grid[cy][cx] = if grid[cy][cx] == ' ' || grid[cy][cx] == ch {
+            ch
+        } else {
+            '*'
+        };
     }
-    grid.into_iter().map(|row| row.into_iter().collect::<String>() + "\n").collect()
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>() + "\n")
+        .collect()
 }
 
 fn main() {
@@ -71,26 +83,38 @@ fn main() {
     let labels = data.labels.clone();
 
     // 1. Raw flowpic space.
-    let raw: Vec<Vec<f64>> =
-        data.inputs.iter().map(|v| v.iter().map(|&x| x as f64).collect()).collect();
-    println!("silhouette, raw 1024-d flowpic space:   {:+.3}", silhouette_score(&raw, &labels));
+    let raw: Vec<Vec<f64>> = data
+        .inputs
+        .iter()
+        .map(|v| v.iter().map(|&x| x as f64).collect())
+        .collect();
+    println!(
+        "silhouette, raw 1024-d flowpic space:   {:+.3}",
+        silhouette_score(&raw, &labels)
+    );
 
     // 2. Random extractor latent.
-    let mut random_net = simclr_net(32, 30, false, 777);
-    let h_random = latents(&mut random_net, &data);
-    println!("silhouette, random extractor latent:    {:+.3}", silhouette_score(&h_random, &labels));
+    let random_net = simclr_net(32, 30, false, 777);
+    let h_random = latents(&random_net, &data);
+    println!(
+        "silhouette, random extractor latent:    {:+.3}",
+        silhouette_score(&h_random, &labels)
+    );
 
     // 3. SimCLR-pre-trained latent.
     println!("\npre-training SimCLR (unsupervised) ...");
-    let config = SimClrConfig { max_epochs: 8, batch_size: 16, ..SimClrConfig::paper(3) };
-    let (mut pre_net, summary) =
-        pretrain(&ds, &idx, ViewPair::paper(), &fpcfg, norm, &config);
+    let config = SimClrConfig {
+        max_epochs: 8,
+        batch_size: 16,
+        ..SimClrConfig::paper(3)
+    };
+    let (pre_net, summary) = pretrain(&ds, &idx, ViewPair::paper(), &fpcfg, norm, &config);
     println!(
         "  {} epochs, best contrastive top-5 {:.0}%",
         summary.epochs,
         100.0 * summary.best_top5
     );
-    let h_pre = latents(&mut pre_net, &data);
+    let h_pre = latents(&pre_net, &data);
     let sil = silhouette_score(&h_pre, &labels);
     println!("silhouette, SimCLR-pre-trained latent:  {sil:+.3}");
 

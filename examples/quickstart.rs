@@ -53,13 +53,22 @@ fn main() {
     let norm = Normalization::LogMax;
     let train_full = FlowpicDataset::from_flows(&dataset, &fold.train, &fpcfg, norm);
     let (train, val) = train_full.split_validation(0.2, 1);
-    let trainer =
-        SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(1) });
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        max_epochs: 10,
+        ..TrainConfig::supervised(1)
+    });
     let mut net = supervised_net(32, dataset.num_classes(), true, 1);
     println!("network:\n{}", net.summary(&[1, 1, 32, 32]));
-    println!("training on {} flowpics ({} validation)...", train.len(), val.len());
+    println!(
+        "training on {} flowpics ({} validation)...",
+        train.len(),
+        val.len()
+    );
     let summary = trainer.train(&mut net, &train, Some(&val));
-    println!("trained for {} epochs (early stopping on validation loss)", summary.epochs);
+    println!(
+        "trained for {} epochs (early stopping on validation loss)",
+        summary.epochs
+    );
 
     // 4. Evaluate on script / human / leftover — the paper's three sides.
     for (name, indices) in [
@@ -68,7 +77,7 @@ fn main() {
         ("leftover", fold.test.clone()),
     ] {
         let data = FlowpicDataset::from_flows(&dataset, &indices, &fpcfg, norm);
-        let eval = trainer.evaluate(&mut net, &data);
+        let eval = trainer.evaluate(&net, &data);
         println!("accuracy on {name:<8}: {:.2}%", 100.0 * eval.accuracy);
     }
     println!("\nexpected: script and leftover high, human ~20 points lower — the");
@@ -81,6 +90,9 @@ fn main() {
         &fpcfg,
         norm,
     );
-    let eval = trainer.evaluate(&mut net, &human);
-    println!("\nhuman confusion matrix:\n{}", eval.confusion.ascii(&CLASSES));
+    let eval = trainer.evaluate(&net, &human);
+    println!(
+        "\nhuman confusion matrix:\n{}",
+        eval.confusion.ascii(&CLASSES)
+    );
 }

@@ -21,20 +21,29 @@ fn dataset() -> Dataset {
 fn flowpic_features(ds: &Dataset, idx: &[usize]) -> (Vec<Vec<f32>>, Vec<usize>) {
     let cfg = FlowpicConfig::mini();
     (
-        idx.iter().map(|&i| flowpic_flat(&ds.flows[i], &cfg, Normalization::Raw)).collect(),
+        idx.iter()
+            .map(|&i| flowpic_flat(&ds.flows[i], &cfg, Normalization::Raw))
+            .collect(),
         idx.iter().map(|&i| ds.flows[i].class as usize).collect(),
     )
 }
 
 fn ts_features(ds: &Dataset, idx: &[usize]) -> (Vec<Vec<f32>>, Vec<usize>) {
     (
-        idx.iter().map(|&i| early_time_series(&ds.flows[i], 10)).collect(),
+        idx.iter()
+            .map(|&i| early_time_series(&ds.flows[i], 10))
+            .collect(),
         idx.iter().map(|&i| ds.flows[i].class as usize).collect(),
     )
 }
 
 fn accuracy(model: &GbdtClassifier, x: &[Vec<f32>], y: &[usize]) -> f64 {
-    model.predict_batch(x).iter().zip(y).filter(|(a, b)| a == b).count() as f64
+    model
+        .predict_batch(x)
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a == b)
+        .count() as f64
         / y.len() as f64
 }
 
@@ -44,7 +53,10 @@ fn gbdt_baseline_reproduces_table3_shape() {
     let fold = &per_class_folds(&ds, Partition::Pretraining, 30, 1, 5)[0];
     let script = ds.partition_indices(Partition::Script);
     let human = ds.partition_indices(Partition::Human);
-    let cfg = GbdtConfig { n_rounds: 30, ..Default::default() };
+    let cfg = GbdtConfig {
+        n_rounds: 30,
+        ..Default::default()
+    };
 
     // Flowpic input.
     let (train_x, train_y) = flowpic_features(&ds, &fold.train);
@@ -74,8 +86,16 @@ fn gbdt_baseline_reproduces_table3_shape() {
         "time-series human gap: script {ts_script} human {ts_human}"
     );
     // "Very short trees" (paper: 1.3 / 1.7).
-    assert!(fp_model.average_depth() < 4.0, "{}", fp_model.average_depth());
-    assert!(ts_model.average_depth() < 4.0, "{}", ts_model.average_depth());
+    assert!(
+        fp_model.average_depth() < 4.0,
+        "{}",
+        fp_model.average_depth()
+    );
+    assert!(
+        ts_model.average_depth() < 4.0,
+        "{}",
+        ts_model.average_depth()
+    );
 }
 
 #[test]
@@ -85,7 +105,15 @@ fn gbdt_probabilities_are_calibratedish_on_flowpics() {
     let ds = dataset();
     let fold = &per_class_folds(&ds, Partition::Pretraining, 20, 1, 9)[0];
     let (x, y) = flowpic_features(&ds, &fold.train);
-    let model = GbdtClassifier::fit(&x, &y, 5, &GbdtConfig { n_rounds: 10, ..Default::default() });
+    let model = GbdtClassifier::fit(
+        &x,
+        &y,
+        5,
+        &GbdtConfig {
+            n_rounds: 10,
+            ..Default::default()
+        },
+    );
     for xi in x.iter().take(20) {
         let p = model.predict_proba(xi);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);

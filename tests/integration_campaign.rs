@@ -33,8 +33,11 @@ fn parallel_campaign_with_tracking_and_analysis() {
     // Tracker aggregation matches the raw results.
     for aug in 0..3usize {
         let tracked = tracker.metric_values("accuracy", &[("aug", &aug.to_string())]);
-        let direct: Vec<f64> =
-            results.iter().filter(|(a, _)| *a == aug).map(|&(_, acc)| acc).collect();
+        let direct: Vec<f64> = results
+            .iter()
+            .filter(|(a, _)| *a == aug)
+            .map(|&(_, acc)| acc)
+            .collect();
         assert_eq!(tracked.len(), direct.len());
         let ci_tracked = MeanCi::ci95(&tracked);
         let ci_direct = MeanCi::ci95(&direct);
@@ -46,9 +49,7 @@ fn parallel_campaign_with_tracking_and_analysis() {
     for split in 0..4 {
         for seed in 0..2 {
             let block: Vec<f64> = (0..3)
-                .map(|aug| {
-                    results[grid.iter().position(|&g| g == (aug, split, seed)).unwrap()].1
-                })
+                .map(|aug| results[grid.iter().position(|&g| g == (aug, split, seed)).unwrap()].1)
                 .collect();
             blocks.push(block);
         }
@@ -61,12 +62,20 @@ fn parallel_campaign_with_tracking_and_analysis() {
     // Tukey across the three augs: the extremes must separate.
     let groups: Vec<Vec<f64>> = (0..3)
         .map(|aug| {
-            results.iter().filter(|(a, _)| *a == aug).map(|&(_, acc)| acc * 100.0).collect()
+            results
+                .iter()
+                .filter(|(a, _)| *a == aug)
+                .map(|&(_, acc)| acc * 100.0)
+                .collect()
         })
         .collect();
     let tukey = TukeyHsd::analyze(&["aug0", "aug1", "aug2"], &groups, 0.05);
     let extreme = tukey.pairs.iter().find(|p| p.a == 0 && p.b == 2).unwrap();
-    assert!(extreme.is_different, "aug0 vs aug2 should separate: p={}", extreme.p_value);
+    assert!(
+        extreme.is_different,
+        "aug0 vs aug2 should separate: p={}",
+        extreme.p_value
+    );
 
     // Rendering round-trip.
     let mut table = Table::new("campaign", &["aug", "accuracy"]);

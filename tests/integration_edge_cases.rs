@@ -3,7 +3,7 @@
 //! clean errors or well-defined results — never panics from deep inside
 //! the stack or silent NaNs.
 
-use augment::{Augmentation, ALL_AUGMENTATIONS};
+use augment::ALL_AUGMENTATIONS;
 use flowpic::{Flowpic, FlowpicConfig, Normalization};
 use tcbench::arch::supervised_net;
 use tcbench::data::FlowpicDataset;
@@ -28,7 +28,11 @@ fn degenerate_dataset() -> Dataset {
         f.id = i + 1;
         flows.push(f);
     }
-    Dataset { name: "degenerate".into(), class_names: vec!["a".into(), "b".into()], flows }
+    Dataset {
+        name: "degenerate".into(),
+        class_names: vec!["a".into(), "b".into()],
+        flows,
+    }
 }
 
 #[test]
@@ -49,7 +53,7 @@ fn training_on_single_packet_flows_is_total() {
     let mut net = supervised_net(32, 2, false, 1);
     let summary = trainer.train(&mut net, &data, None);
     assert!(summary.final_train_loss.is_finite());
-    let eval = trainer.evaluate(&mut net, &data);
+    let eval = trainer.evaluate(&net, &data);
     // This degenerate two-point problem is separable; training must nail it
     // given enough steps (8 samples = 1 batch per epoch).
     assert_eq!(eval.accuracy, 1.0, "loss {}", summary.final_train_loss);
@@ -61,12 +65,17 @@ fn augmentations_handle_degenerate_flows() {
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     // Single-packet flow, and a flow whose packets all share one timestamp.
     let singleton = vec![Pkt::data(0.0, 700, Direction::Downstream)];
-    let stacked: Vec<Pkt> =
-        (0..50).map(|i| Pkt::data(0.0, 30 * (i % 50) + 1, Direction::Upstream)).collect();
+    let stacked: Vec<Pkt> = (0..50)
+        .map(|i| Pkt::data(0.0, 30 * (i % 50) + 1, Direction::Upstream))
+        .collect();
     for pkts in [&singleton, &stacked] {
         for aug in ALL_AUGMENTATIONS {
             let pic = aug.apply(pkts, &cfg, &mut rng);
-            assert!(pic.data.iter().all(|v| v.is_finite() && *v >= 0.0), "{}", aug.name());
+            assert!(
+                pic.data.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{}",
+                aug.name()
+            );
         }
     }
     // Empty input: rasterizes to an all-zero picture everywhere.
@@ -81,15 +90,18 @@ fn network_survives_adversarial_inputs() {
     // Extreme magnitudes, all-zero pictures and single-hot pixels must
     // flow through forward/backward without NaN.
     use nettensor::loss::cross_entropy;
-    let mut net = supervised_net(32, 5, false, 9);
+    use nettensor::Tape;
+    let net = supervised_net(32, 5, false, 9);
+    let mut grads = net.grad_store();
     for scale in [0.0f32, 1.0, 1e4, -1e4] {
         let x = nettensor::Tensor::new(&[2, 1, 32, 32], vec![scale; 2 * 1024]);
-        let logits = net.forward(&x, true);
+        let mut tape = Tape::new();
+        let logits = net.forward(&x, true, &mut tape);
         assert!(logits.data.iter().all(|v| v.is_finite()), "scale {scale}");
         let (loss, grad) = cross_entropy(&logits, &[0, 1]);
         assert!(loss.is_finite());
-        net.zero_grad();
-        let gin = net.backward(&grad);
+        grads.zero();
+        let gin = net.backward(&tape, &grad, &mut grads);
         assert!(gin.data.iter().all(|v| v.is_finite()), "scale {scale}");
     }
 }
@@ -126,8 +138,18 @@ fn flowpic_of_pathological_timestamps() {
     // Negative and far-future timestamps are out of window: dropped, not
     // crashed on.
     let pkts = vec![
-        Pkt { ts: 0.0, size: 100, dir: Direction::Upstream, is_ack: false },
-        Pkt { ts: 1e12, size: 100, dir: Direction::Upstream, is_ack: false },
+        Pkt {
+            ts: 0.0,
+            size: 100,
+            dir: Direction::Upstream,
+            is_ack: false,
+        },
+        Pkt {
+            ts: 1e12,
+            size: 100,
+            dir: Direction::Upstream,
+            is_ack: false,
+        },
     ];
     let pic = Flowpic::build(&pkts, &FlowpicConfig::mini());
     assert_eq!(pic.total(), 1.0);
@@ -140,7 +162,15 @@ fn gbdt_with_constant_and_conflicting_data() {
     // model must still train and emit valid probabilities.
     let x = vec![vec![1.0f32, 2.0, 3.0]; 12];
     let y: Vec<usize> = (0..12).map(|i| i % 2).collect();
-    let model = GbdtClassifier::fit(&x, &y, 2, &GbdtConfig { n_rounds: 5, ..Default::default() });
+    let model = GbdtClassifier::fit(
+        &x,
+        &y,
+        2,
+        &GbdtConfig {
+            n_rounds: 5,
+            ..Default::default()
+        },
+    );
     let p = model.predict_proba(&x[0]);
     assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
     // Equal class frequencies → near-uniform probabilities.
@@ -150,7 +180,11 @@ fn gbdt_with_constant_and_conflicting_data() {
 #[test]
 fn curation_of_empty_and_all_background_datasets() {
     use trafficgen::curation::CurationPipeline;
-    let empty = Dataset { name: "e".into(), class_names: vec!["a".into()], flows: vec![] };
+    let empty = Dataset {
+        name: "e".into(),
+        class_names: vec!["a".into()],
+        flows: vec![],
+    };
     let (out, report) = CurationPipeline::mirage(10).run(&empty);
     assert_eq!(out.flows.len(), 0);
     assert_eq!(report.flows_before, 0);
@@ -170,7 +204,10 @@ fn splits_of_minimal_datasets() {
     let ds = degenerate_dataset(); // 4 flows per class
     let folds = per_class_folds(&ds, Partition::Unpartitioned, 4, 1, 0);
     assert_eq!(folds[0].train.len(), 8);
-    assert!(folds[0].test.is_empty(), "taking every flow leaves an empty leftover");
+    assert!(
+        folds[0].test.is_empty(),
+        "taking every flow leaves an empty leftover"
+    );
     let tri = stratified_three_way(&ds, Partition::Unpartitioned, 0.8, 0.1, 0);
     assert_eq!(tri.train.len() + tri.val.len() + tri.test.len(), 8);
 }

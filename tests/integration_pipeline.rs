@@ -38,15 +38,17 @@ fn supervised_pipeline_reproduces_the_data_shift() {
         7,
     );
     let (train, val) = train_full.split_validation(0.2, 7);
-    let trainer =
-        SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(7) });
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        max_epochs: 10,
+        ..TrainConfig::supervised(7)
+    });
     let mut net = supervised_net(32, ds.num_classes(), true, 7);
     let summary = trainer.train(&mut net, &train, Some(&val));
     assert!(summary.epochs >= 1);
 
-    let mut eval_on = |indices: &[usize]| {
+    let eval_on = |indices: &[usize]| {
         let data = FlowpicDataset::from_flows(&ds, indices, &fpcfg, norm);
-        trainer.evaluate(&mut net, &data).accuracy
+        trainer.evaluate(&net, &data).accuracy
     };
     let script = eval_on(&ds.partition_indices(Partition::Script));
     let human = eval_on(&ds.partition_indices(Partition::Human));
@@ -83,13 +85,15 @@ fn disabling_the_shift_closes_the_gap() {
         let norm = Normalization::LogMax;
         let train_full = FlowpicDataset::from_flows(ds, &fold.train, &fpcfg, norm);
         let (train, val) = train_full.split_validation(0.2, 3);
-        let trainer =
-            SupervisedTrainer::new(TrainConfig { max_epochs: 10, ..TrainConfig::supervised(3) });
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 10,
+            ..TrainConfig::supervised(3)
+        });
         let mut net = supervised_net(32, ds.num_classes(), false, 3);
         trainer.train(&mut net, &train, Some(&val));
-        let mut acc = |idx: &[usize]| {
+        let acc = |idx: &[usize]| {
             let data = FlowpicDataset::from_flows(ds, idx, &fpcfg, norm);
-            trainer.evaluate(&mut net, &data).accuracy
+            trainer.evaluate(&net, &data).accuracy
         };
         acc(&ds.partition_indices(Partition::Script)) - acc(&ds.partition_indices(Partition::Human))
     };
@@ -116,12 +120,16 @@ fn augmentations_preserve_labels_and_class_balance() {
     let fold = &per_class_folds(&ds, Partition::Pretraining, 20, 1, 1)[0];
     let fpcfg = FlowpicConfig::mini();
     for aug in augment::ALL_AUGMENTATIONS {
-        let data = FlowpicDataset::augmented(&ds, &fold.train, aug, 3, &fpcfg, Normalization::LogMax, 1);
+        let data =
+            FlowpicDataset::augmented(&ds, &fold.train, aug, 3, &fpcfg, Normalization::LogMax, 1);
         // Per-class counts stay balanced after augmentation.
         let mut counts = vec![0usize; ds.num_classes()];
         for &l in &data.labels {
             counts[l] += 1;
         }
-        assert!(counts.iter().all(|&c| c == counts[0]), "{aug:?}: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c == counts[0]),
+            "{aug:?}: {counts:?}"
+        );
     }
 }

@@ -33,21 +33,28 @@ fn pretraining_beats_random_initialization() {
     let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
 
     // Contrastively pre-trained extractor.
-    let config = SimClrConfig { max_epochs: 5, batch_size: 16, ..SimClrConfig::paper(11) };
-    let (mut pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
-    let mut tuned = fine_tune(&mut pre, &labeled, 5);
-    let pretrained_acc = trainer.evaluate(&mut tuned, &script).accuracy;
+    let config = SimClrConfig {
+        max_epochs: 5,
+        batch_size: 16,
+        ..SimClrConfig::paper(11)
+    };
+    let (pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
+    let tuned = fine_tune(&pre, &labeled, 5);
+    let pretrained_acc = trainer.evaluate(&tuned, &script).accuracy;
 
     // Random extractor, same fine-tuning protocol.
-    let mut random = simclr_net(32, 30, false, 999);
-    let mut tuned_random = fine_tune(&mut random, &labeled, 5);
-    let random_acc = trainer.evaluate(&mut tuned_random, &script).accuracy;
+    let random = simclr_net(32, 30, false, 999);
+    let tuned_random = fine_tune(&random, &labeled, 5);
+    let random_acc = trainer.evaluate(&tuned_random, &script).accuracy;
 
     assert!(
         pretrained_acc > random_acc + 0.05,
         "pre-training must help: pretrained {pretrained_acc} vs random {random_acc}"
     );
-    assert!(pretrained_acc > 0.4, "absolute few-shot accuracy {pretrained_acc}");
+    assert!(
+        pretrained_acc > 0.4,
+        "absolute few-shot accuracy {pretrained_acc}"
+    );
 }
 
 #[test]
@@ -58,11 +65,15 @@ fn finetune_transplant_is_faithful() {
     let fpcfg = FlowpicConfig::mini();
     let norm = Normalization::LogMax;
     let pool = ds.partition_indices(Partition::Pretraining);
-    let config = SimClrConfig { max_epochs: 2, batch_size: 16, ..SimClrConfig::paper(13) };
-    let (mut pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
+    let config = SimClrConfig {
+        max_epochs: 2,
+        batch_size: 16,
+        ..SimClrConfig::paper(13)
+    };
+    let (pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
 
     let mut fine = finetune_net(32, 5, 321);
-    fine.copy_prefix_weights_from(&mut pre, EXTRACTOR_DEPTH);
+    fine.copy_prefix_weights_from(&pre, EXTRACTOR_DEPTH);
     // Exported prefix weights must agree tensor-by-tensor.
     let wa = pre.export_weights();
     let wb = fine.export_weights();
@@ -78,9 +89,19 @@ fn simclr_is_deterministic_per_seed() {
     let fpcfg = FlowpicConfig::mini();
     let pool = ds.partition_indices(Partition::Pretraining);
     let run = |seed| {
-        let config = SimClrConfig { max_epochs: 2, batch_size: 16, ..SimClrConfig::paper(seed) };
-        let (mut net, summary) =
-            pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, Normalization::LogMax, &config);
+        let config = SimClrConfig {
+            max_epochs: 2,
+            batch_size: 16,
+            ..SimClrConfig::paper(seed)
+        };
+        let (net, summary) = pretrain(
+            &ds,
+            &pool,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+        );
         (net.export_weights().tensors, summary.final_loss)
     };
     let (w1, l1) = run(42);
