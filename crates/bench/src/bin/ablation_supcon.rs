@@ -79,7 +79,7 @@ fn main() {
                 };
                 let shots = few_shot_subset(&ds, &fold.train, 10, config.seed ^ 0xF);
                 let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, norm);
-                let tuned = fine_tune(&pre, &labeled, config.seed);
+                let tuned = fine_tune(&pre, &labeled, config.seed, config.batch_workers);
                 s_accs.push(100.0 * trainer.evaluate(&tuned, &script).accuracy);
                 h_accs.push(100.0 * trainer.evaluate(&tuned, &human).accuracy);
             }

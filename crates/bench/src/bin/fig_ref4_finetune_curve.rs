@@ -77,7 +77,7 @@ fn main() {
                 let seed = opts.seed + (ki * 1000 + pi * 10 + fs) as u64;
                 let labeled_idx = few_shot_subset(&ds, &fold.train, shots, seed);
                 let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, norm);
-                let tuned = fine_tune(&pre, &labeled, seed);
+                let tuned = fine_tune(&pre, &labeled, seed, config.batch_workers);
                 curve[pi]
                     .script
                     .push(100.0 * trainer.evaluate(&tuned, &script).accuracy);

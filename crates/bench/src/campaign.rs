@@ -188,7 +188,7 @@ pub fn run_simclr_experiment(
     let (pre, summary) = pretrain(dataset, pool, pair, &fpcfg, norm, &config);
     let shots = few_shot_subset(dataset, pool, ft_samples, ft_seed);
     let labeled = FlowpicDataset::from_flows(dataset, &shots, &fpcfg, norm);
-    let tuned = fine_tune(&pre, &labeled, ft_seed);
+    let tuned = fine_tune(&pre, &labeled, ft_seed, config.batch_workers);
 
     let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
     let script_idx = dataset.partition_indices(Partition::Script);

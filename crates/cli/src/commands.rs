@@ -235,7 +235,8 @@ pub struct SavedModel {
     pub weights: nettensor::model::Weights,
 }
 
-/// `tcb train --input FILE --out MODEL [--aug NAME] [--res R] [--seed N] [--epochs N]`
+/// `tcb train --input FILE --out MODEL [--aug NAME] [--res R] [--seed N] [--epochs N]
+/// [--checkpoint-dir DIR [--resume]]`
 fn train(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(
         args,
@@ -247,17 +248,28 @@ fn train(args: &[String]) -> Result<String, CliError> {
             "seed",
             "epochs",
             "batch-workers",
+            "checkpoint-dir",
         ],
-        &[],
+        &["resume"],
     )?;
     if flags.wants_help() {
         return Ok(
             "tcb train --input FILE --out MODEL.json [--aug no-aug|rotate|flip|\
                    color-jitter|packet-loss|time-shift|change-rtt] [--res 32] [--seed N] \
                    [--epochs N] [--batch-workers N (0 = all cores; any value gives \
-                   bit-identical results)]"
+                   bit-identical results)] [--checkpoint-dir DIR (save a crash-safe \
+                   checkpoint each epoch)] [--resume (continue from the checkpoint in \
+                   --checkpoint-dir; resumed runs finish bit-identical to uninterrupted \
+                   ones)]"
                 .into(),
         );
+    }
+    let checkpoint_dir = flags.get("checkpoint-dir").map(str::to_string);
+    let resume = flags.switch("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires --checkpoint-dir (there is nothing to resume from)".into(),
+        ));
     }
     let ds = load_dataset(flags.require("input")?)?;
     let res = flags.get_parse::<usize>("res", 32)?;
@@ -285,7 +297,21 @@ fn train(args: &[String]) -> Result<String, CliError> {
         ..TrainConfig::supervised(seed)
     });
     let mut net = supervised_net(res, collated.num_classes(), true, seed);
-    let summary = trainer.train(&mut net, &train_set, Some(&val));
+    let summary = match &checkpoint_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let mut spec = tcbench::supervised::CheckpointSpec::new(
+                std::path::Path::new(dir).join("train.ckpt"),
+            );
+            if resume {
+                spec = spec.resuming();
+            }
+            trainer
+                .train_resumable(&mut net, &train_set, Some(&val), &spec)
+                .map_err(|e| CliError::Parse(format!("checkpoint: {e}")))?
+        }
+        None => trainer.train(&mut net, &train_set, Some(&val)),
+    };
     let eval = trainer.evaluate(&net, &test);
 
     let model = SavedModel {
@@ -456,15 +482,27 @@ fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
 }
 
 /// `tcb finetune --input FILE --pretrained PRE.json --out MODEL.json
-/// [--shots N] [--seed N]`
+/// [--shots N] [--seed N] [--batch-workers N]`
 fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
     use tcbench::arch::{byol_net, simclr_net};
     use tcbench::simclr::{few_shot_subset, fine_tune};
-    let flags = Flags::parse(args, &["input", "pretrained", "out", "shots", "seed"], &[])?;
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "pretrained",
+            "out",
+            "shots",
+            "seed",
+            "batch-workers",
+        ],
+        &[],
+    )?;
     if flags.wants_help() {
         return Ok(
             "tcb finetune --input FILE --pretrained PRE.json --out MODEL.json \
-                   [--shots 10] [--seed N]"
+                   [--shots 10] [--seed N] [--batch-workers N (any value gives \
+                   bit-identical results)]"
                 .into(),
         );
     }
@@ -487,7 +525,8 @@ fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
     let labeled_idx = few_shot_subset(&ds, &pool, shots, seed);
     let fpcfg = FlowpicConfig::with_resolution(saved.resolution);
     let labeled = FlowpicDataset::from_flows(&ds, &labeled_idx, &fpcfg, Normalization::LogMax);
-    let tuned = fine_tune(&pre, &labeled, seed);
+    let batch_workers = flags.get_parse::<usize>("batch-workers", 1)?;
+    let tuned = fine_tune(&pre, &labeled, seed, batch_workers);
 
     // Evaluate on everything outside the labeled subset.
     let rest: Vec<usize> = pool
@@ -719,6 +758,67 @@ mod tests {
         let eval = run("evaluate", &argv(&["--input", &path, "--model", &model])).unwrap();
         assert!(eval.contains("accuracy"), "{eval}");
         assert!(eval.contains("google-doc"), "{eval}");
+    }
+
+    #[test]
+    fn train_with_checkpoint_dir_then_resume() {
+        let path = tmp("train-ckpt.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let ckpt_dir = tmp("ckpts");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let model = tmp("model-ckpt.json");
+        let base = argv(&[
+            "--input",
+            &path,
+            "--out",
+            &model,
+            "--res",
+            "16",
+            "--epochs",
+            "2",
+            "--seed",
+            "2",
+            "--checkpoint-dir",
+            &ckpt_dir,
+        ]);
+        let msg = run("train", &base).unwrap();
+        assert!(msg.contains("test accuracy"), "{msg}");
+        assert!(
+            std::path::Path::new(&ckpt_dir).join("train.ckpt").is_file(),
+            "checkpoint file must exist after training"
+        );
+        // Resuming a finished run loads the checkpoint and skips straight
+        // to the end — same output shape, no retraining.
+        let mut resumed = base.clone();
+        resumed.push("--resume".into());
+        let msg2 = run("train", &resumed).unwrap();
+        assert!(msg2.contains("test accuracy"), "{msg2}");
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_usage_error() {
+        let err = run(
+            "train",
+            &argv(&["--input", "/nonexistent", "--out", "/tmp/x", "--resume"]),
+        )
+        .unwrap_err();
+        assert!(
+            format!("{err}").contains("--checkpoint-dir"),
+            "error must point at the missing flag: {err}"
+        );
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub fn pretrain_byol(
 
     let mut epochs = 0;
     let mut final_loss = 0f64;
+    let mut best_weights = online.export_weights();
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
@@ -162,10 +163,18 @@ pub fn pretrain_byol(
             n_batches += 1;
         }
         final_loss = epoch_loss / n_batches.max(1) as f64;
-        if stopper.update(final_loss) {
+        let verdict = stopper.observe(final_loss);
+        if verdict.improved {
+            best_weights = online.export_weights();
+        }
+        if verdict.stop {
             break;
         }
     }
+    // Hand back the best epoch's online weights, not the last (stale)
+    // ones: patience epochs after the optimum would otherwise leak into
+    // the returned extractor.
+    online.import_weights(&best_weights);
     // BYOL has no contrastive ranking metric; report 0 for top-5.
     (
         online,
@@ -271,7 +280,7 @@ mod tests {
         );
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let tuned = fine_tune(&online, &labeled, 2);
+        let tuned = fine_tune(&online, &labeled, 2, 1);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));

@@ -7,7 +7,9 @@
 //! completion order, so downstream aggregation is deterministic.
 
 use crossbeam::channel;
+use nettensor::checkpoint::{self, CheckpointError, Persist};
 use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
 
 /// Runs `n_tasks` instances of `task` (called with the task index) on
 /// `workers` threads and returns the results **in task order**.
@@ -62,6 +64,85 @@ where
         .enumerate()
         .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
         .collect()
+}
+
+/// What [`run_parallel_resumable`] found on disk and what it had to do.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResumeReport {
+    /// Tasks whose persisted result was loaded instead of recomputed.
+    pub reused: usize,
+    /// Tasks that actually ran this invocation.
+    pub computed: usize,
+    /// Task indices whose persisted file existed but failed verification
+    /// (corrupted, truncated, wrong version) and were recomputed.
+    pub invalid: Vec<usize>,
+}
+
+/// Per-task result file inside the campaign directory.
+fn task_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("run_{i:05}.ckpt"))
+}
+
+/// [`run_parallel`] with crash-safe persistence: each task's result is
+/// written to `dir/run_<index>.ckpt` the moment it completes, and on a
+/// later invocation any task whose file loads cleanly is **skipped** and
+/// its persisted result returned instead. A campaign killed at task 1 800
+/// of 2 760 therefore restarts from task 1 800, not from zero.
+///
+/// Corrupted or truncated files (e.g. from a kill mid-write elsewhere —
+/// our own writes are atomic) are treated as missing and recomputed; their
+/// indices are listed in [`ResumeReport::invalid`]. Results are returned
+/// in task order, exactly as [`run_parallel`] would have produced them.
+pub fn run_parallel_resumable<T, F>(
+    n_tasks: usize,
+    workers: usize,
+    dir: &Path,
+    task: F,
+) -> Result<(Vec<T>, ResumeReport), CheckpointError>
+where
+    T: Persist + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    std::fs::create_dir_all(dir)?;
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n_tasks);
+    let mut report = ResumeReport::default();
+    let mut todo = Vec::new();
+    for i in 0..n_tasks {
+        match checkpoint::load_value::<T>(&task_path(dir, i)) {
+            Ok(v) => {
+                report.reused += 1;
+                slots.push(Some(v));
+            }
+            Err(e) => {
+                if !matches!(e, CheckpointError::Io(_)) {
+                    report.invalid.push(i);
+                }
+                todo.push(i);
+                slots.push(None);
+            }
+        }
+    }
+
+    report.computed = todo.len();
+    let fresh = run_parallel(todo.len(), workers, |j| {
+        let i = todo[j];
+        let out = task(i);
+        // Persist immediately: a kill after this point loses nothing.
+        let saved = checkpoint::save_value(&task_path(dir, i), &out);
+        (out, saved)
+    });
+    for (j, (out, saved)) in fresh.into_iter().enumerate() {
+        saved?;
+        slots[todo[j]] = Some(out);
+    }
+    Ok((
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
+            .collect(),
+        report,
+    ))
 }
 
 /// Splits the machine's cores between campaign-level parallelism and
@@ -177,6 +258,68 @@ mod tests {
         let (c, b) = worker_budget(0, 1000);
         assert_eq!(c, cores);
         assert_eq!(b, 1);
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcbench_campaign_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resumable_first_run_computes_everything() {
+        let dir = tmp_dir("fresh");
+        let (results, report) =
+            run_parallel_resumable(8, 2, &dir, |i| (i * 3) as u64).unwrap();
+        assert_eq!(results, (0..8).map(|i| i * 3).collect::<Vec<u64>>());
+        assert_eq!(report.reused, 0);
+        assert_eq!(report.computed, 8);
+        assert!(report.invalid.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_second_run_skips_completed_tasks() {
+        let dir = tmp_dir("skip");
+        run_parallel_resumable(6, 1, &dir, |i| i as u64).unwrap();
+        let counter = AtomicUsize::new(0);
+        let (results, report) = run_parallel_resumable(6, 1, &dir, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i as u64
+        })
+        .unwrap();
+        assert_eq!(results, (0..6).collect::<Vec<u64>>());
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "no task should rerun");
+        assert_eq!(report.reused, 6);
+        assert_eq!(report.computed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_recomputes_missing_and_corrupted_results() {
+        let dir = tmp_dir("corrupt");
+        run_parallel_resumable(5, 1, &dir, |i| i as u64 + 100).unwrap();
+        // Simulate a partial campaign: task 1's file vanished, task 3's
+        // was truncated mid-write by an unclean kill.
+        std::fs::remove_file(task_path(&dir, 1)).unwrap();
+        let p3 = task_path(&dir, 3);
+        let bytes = std::fs::read(&p3).unwrap();
+        std::fs::write(&p3, &bytes[..bytes.len() / 2]).unwrap();
+
+        let reran = Mutex::new(Vec::new());
+        let (results, report) = run_parallel_resumable(5, 1, &dir, |i| {
+            reran.lock().push(i);
+            i as u64 + 100
+        })
+        .unwrap();
+        assert_eq!(results, (100..105).collect::<Vec<u64>>());
+        assert_eq!(report.reused, 3);
+        assert_eq!(report.computed, 2);
+        assert_eq!(report.invalid, vec![3], "truncation must be flagged");
+        let mut reran = reran.into_inner();
+        reran.sort_unstable();
+        assert_eq!(reran, vec![1, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

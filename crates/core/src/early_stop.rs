@@ -10,6 +10,12 @@
 //!   min-delta 0.001.
 //!
 //! [`EarlyStopper`] covers all three via a minimize/maximize mode.
+//!
+//! The stopper's state is persistable ([`Persist`]): a checkpointed run
+//! restores it verbatim, so patience counting continues across a
+//! kill/resume exactly as it would have uninterrupted.
+
+use nettensor::checkpoint::{Decoder, Persist};
 
 /// Whether the watched metric should decrease or increase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,13 +26,33 @@ pub enum StopMode {
     Maximize,
 }
 
+/// The outcome of observing one epoch's metric: whether it set a new
+/// best (callers snapshot weights on `improved`) and whether patience is
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopVerdict {
+    /// The value is **strictly** better than everything seen so far —
+    /// this epoch's weights are the new best and callers should snapshot
+    /// them. Note the asymmetry with `stop`: model selection uses strict
+    /// comparison, while patience counts only *material* improvements
+    /// (beyond the min-delta) — a sub-delta improvement is still the best
+    /// model even though it doesn't buy more patience.
+    pub improved: bool,
+    /// Patience is exhausted; training should stop.
+    pub stop: bool,
+}
+
 /// Patience-based early stopping with a minimum improvement delta.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EarlyStopper {
     mode: StopMode,
     patience: usize,
     min_delta: f64,
+    /// Patience anchor: moves only on material (> min-delta) improvement.
     best: Option<f64>,
+    /// Strict optimum: the best value observed at all — what the
+    /// restored weights achieve.
+    optimum: Option<f64>,
     bad_epochs: usize,
 }
 
@@ -40,6 +66,7 @@ impl EarlyStopper {
             patience,
             min_delta,
             best: None,
+            optimum: None,
             bad_epochs: 0,
         }
     }
@@ -59,26 +86,84 @@ impl EarlyStopper {
         EarlyStopper::new(StopMode::Minimize, 5, 0.001)
     }
 
-    /// Records one epoch's metric; returns `true` when training should
-    /// stop.
-    pub fn update(&mut self, value: f64) -> bool {
-        let improved = match (self.best, self.mode) {
+    /// Records one epoch's metric and reports both whether it improved
+    /// (the cue to snapshot best weights — any *strict* improvement) and
+    /// whether to stop (patience over *material* improvements only, the
+    /// Keras convention: `EarlyStopping` applies the min-delta,
+    /// `ModelCheckpoint(save_best_only)` does not).
+    pub fn observe(&mut self, value: f64) -> StopVerdict {
+        let improved = match (self.optimum, self.mode) {
+            (None, _) => true,
+            (Some(opt), StopMode::Minimize) => value < opt,
+            (Some(opt), StopMode::Maximize) => value > opt,
+        };
+        if improved {
+            self.optimum = Some(value);
+        }
+        let material = match (self.best, self.mode) {
             (None, _) => true,
             (Some(best), StopMode::Minimize) => value < best - self.min_delta,
             (Some(best), StopMode::Maximize) => value > best + self.min_delta,
         };
-        if improved {
+        if material {
             self.best = Some(value);
             self.bad_epochs = 0;
         } else {
             self.bad_epochs += 1;
         }
-        self.bad_epochs >= self.patience
+        StopVerdict {
+            improved,
+            stop: self.bad_epochs >= self.patience,
+        }
     }
 
-    /// Best metric value seen so far.
+    /// Records one epoch's metric; returns `true` when training should
+    /// stop. Shorthand for [`EarlyStopper::observe`]`.stop`.
+    pub fn update(&mut self, value: f64) -> bool {
+        self.observe(value).stop
+    }
+
+    /// Best metric value seen so far (the strict optimum — exactly what
+    /// the snapshot taken at the last `improved` verdict achieves).
     pub fn best(&self) -> Option<f64> {
-        self.best
+        self.optimum
+    }
+}
+
+impl Persist for StopMode {
+    fn encode(&self, out: &mut String) {
+        out.push_str(match self {
+            StopMode::Minimize => "min\n",
+            StopMode::Maximize => "max\n",
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        match d.token()? {
+            "min" => Ok(StopMode::Minimize),
+            "max" => Ok(StopMode::Maximize),
+            other => Err(format!("unknown stop mode {other:?}")),
+        }
+    }
+}
+
+impl Persist for EarlyStopper {
+    fn encode(&self, out: &mut String) {
+        self.mode.encode(out);
+        self.patience.encode(out);
+        self.min_delta.encode(out);
+        self.best.encode(out);
+        self.optimum.encode(out);
+        self.bad_epochs.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(EarlyStopper {
+            mode: StopMode::decode(d)?,
+            patience: usize::decode(d)?,
+            min_delta: f64::decode(d)?,
+            best: Option::decode(d)?,
+            optimum: Option::decode(d)?,
+            bad_epochs: usize::decode(d)?,
+        })
     }
 }
 
@@ -125,6 +210,56 @@ mod tests {
         assert!(!s.update(0.6)); // bad 1
         assert!(s.update(0.59)); // bad 2 → stop
         assert_eq!(s.best(), Some(0.6));
+    }
+
+    #[test]
+    fn observe_reports_improvement_for_best_snapshots() {
+        let mut s = EarlyStopper::new(StopMode::Minimize, 2, 0.0);
+        assert_eq!(
+            s.observe(1.0),
+            StopVerdict {
+                improved: true,
+                stop: false
+            }
+        );
+        assert!(!s.observe(1.2).improved);
+        // Equal-to-best is NOT an improvement: the first epoch that hit
+        // the value keeps the snapshot.
+        assert!(!s.observe(1.0).improved);
+        assert!(s.observe(1.0).stop);
+    }
+
+    #[test]
+    fn sub_delta_improvement_snapshots_but_does_not_buy_patience() {
+        // A loss creeping down by less than the min-delta is still the
+        // best model seen (snapshot it) but must not postpone stopping —
+        // otherwise training crawls forever on noise-level improvements.
+        let mut s = EarlyStopper::new(StopMode::Minimize, 2, 0.001);
+        assert!(s.observe(1.0).improved);
+        let v = s.observe(0.9995); // strictly better, below the delta
+        assert!(v.improved, "strict improvement must cue a snapshot");
+        assert!(!v.stop);
+        let v = s.observe(0.9991);
+        assert!(v.improved);
+        assert!(v.stop, "two sub-delta epochs exhaust patience 2");
+        // The reported best is the strict optimum the snapshot achieves.
+        assert_eq!(s.best(), Some(0.9991));
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_patience_state() {
+        let mut s = EarlyStopper::supervised();
+        s.update(1.0);
+        s.update(1.0); // bad 1
+        let mut body = String::new();
+        s.encode(&mut body);
+        let mut restored =
+            EarlyStopper::decode(&mut nettensor::checkpoint::Decoder::new(&body)).unwrap();
+        assert_eq!(restored, s);
+        // Patience continues from where it left off: 4 more bad epochs
+        // (not 5) exhaust it.
+        let stops: Vec<bool> = (0..4).map(|_| restored.update(1.0)).collect();
+        assert_eq!(stops, vec![false, false, false, true]);
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub struct PretrainSummary {
     pub epochs: usize,
     /// Final epoch's mean NT-Xent loss.
     pub final_loss: f64,
-    /// Best top-5 contrastive accuracy reached.
+    /// Best top-5 contrastive accuracy reached. The returned network
+    /// carries the weights of exactly that epoch (best-weight
+    /// restoration), not the stopping epoch's.
     pub best_top5: f64,
 }
 
@@ -109,7 +111,7 @@ pub fn pretrain(
 
     let mut epochs = 0;
     let mut final_loss = 0f64;
-    let mut best_top5 = 0f64;
+    let mut best: Option<nettensor::model::Weights> = None;
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
@@ -147,17 +149,25 @@ pub fn pretrain(
         }
         final_loss = epoch_loss / n_batches.max(1) as f64;
         let top5 = epoch_top5 / n_batches.max(1) as f64;
-        best_top5 = best_top5.max(top5);
-        if stopper.update(top5) {
+        let verdict = stopper.observe(top5);
+        if verdict.improved {
+            best = Some(net.export_weights());
+        }
+        if verdict.stop {
             break;
         }
+    }
+    // Early stopping selects the best top-5 epoch; return its weights,
+    // not the stopping epoch's (patience epochs past the optimum).
+    if let Some(best) = &best {
+        net.import_weights(best);
     }
     (
         net,
         PretrainSummary {
             epochs,
             final_loss,
-            best_top5,
+            best_top5: stopper.best().unwrap_or(0.0),
         },
     )
 }
@@ -166,7 +176,15 @@ pub fn pretrain(
 /// builds the Listing 5 network, transplants and freezes the extractor,
 /// and trains the final linear layer on `labeled` (paper: 10 samples per
 /// class, lr 0.01, patience 5 on the training loss).
-pub fn fine_tune(pretrained: &Sequential, labeled: &FlowpicDataset, seed: u64) -> Sequential {
+///
+/// `batch_workers` shards each mini-batch like everywhere else (0 = all
+/// cores) — a throughput knob only, bit-identical results at any value.
+pub fn fine_tune(
+    pretrained: &Sequential,
+    labeled: &FlowpicDataset,
+    seed: u64,
+    batch_workers: usize,
+) -> Sequential {
     let mut net = finetune_net(labeled.res, labeled.n_classes, seed);
     net.copy_prefix_weights_from(pretrained, EXTRACTOR_DEPTH);
     net.freeze_prefix(EXTRACTOR_DEPTH);
@@ -177,7 +195,7 @@ pub fn fine_tune(pretrained: &Sequential, labeled: &FlowpicDataset, seed: u64) -
         patience: 5,
         min_delta: 0.001,
         seed,
-        batch_workers: 1,
+        batch_workers,
     });
     // Paper: fine-tuning early-stops on the *training* loss.
     trainer.train(&mut net, labeled, None);
@@ -259,7 +277,7 @@ mod tests {
         );
         let shots = few_shot_subset(&ds, &pre_idx, 10, 3);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let tuned = fine_tune(&pre, &labeled, 4);
+        let tuned = fine_tune(&pre, &labeled, 4, 1);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = SupervisedTrainer::new(TrainConfig::supervised(0));
@@ -298,6 +316,31 @@ mod tests {
     }
 
     #[test]
+    fn fine_tune_is_bit_identical_across_worker_counts() {
+        // The satellite regression: the caller's worker count now reaches
+        // the fine-tuning trainer, and — per the engine's determinism
+        // contract — must not change a single weight bit.
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [12; 5];
+        let ds = UcDavisSim::new(cfg).generate(17);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let (pre, _) = pretrain(
+            &ds,
+            &idx,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &quick_simclr(8),
+        );
+        let shots = few_shot_subset(&ds, &idx, 6, 9);
+        let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
+        let w1 = fine_tune(&pre, &labeled, 10, 1).export_weights();
+        let w4 = fine_tune(&pre, &labeled, 10, 4).export_weights();
+        assert_eq!(w1, w4, "fine_tune diverged between 1 and 4 workers");
+    }
+
+    #[test]
     fn frozen_extractor_unchanged_by_fine_tune() {
         let mut cfg = UcDavisConfig::tiny();
         cfg.pretraining_per_class = [10; 5];
@@ -314,7 +357,7 @@ mod tests {
         );
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let tuned = fine_tune(&pre, &labeled, 6);
+        let tuned = fine_tune(&pre, &labeled, 6, 1);
         // Fine-tuned net keeps the frozen prefix marker and only exposes
         // the classifier to optimizers.
         assert_eq!(tuned.frozen_prefix(), EXTRACTOR_DEPTH);
@@ -356,6 +399,7 @@ pub fn pretrain_supcon(
 
     let mut epochs = 0;
     let mut final_loss = 0f64;
+    let mut best: Option<nettensor::model::Weights> = None;
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
@@ -390,9 +434,17 @@ pub fn pretrain_supcon(
             n_batches += 1;
         }
         final_loss = epoch_loss / n_batches.max(1) as f64;
-        if stopper.update(final_loss) {
+        let verdict = stopper.observe(final_loss);
+        if verdict.improved {
+            best = Some(net.export_weights());
+        }
+        if verdict.stop {
             break;
         }
+    }
+    // Return the best-loss epoch's weights, not the stopping epoch's.
+    if let Some(best) = &best {
+        net.import_weights(best);
     }
     // SupCon has no "positive rank" notion comparable to NT-Xent's top-5;
     // report 0 to keep the summary type shared.
@@ -436,7 +488,7 @@ mod supcon_tests {
         assert!(summary.final_loss.is_finite());
         let shots = few_shot_subset(&ds, &idx, 5, 1);
         let labeled = FlowpicDataset::from_flows(&ds, &shots, &fpcfg, Normalization::LogMax);
-        let tuned = fine_tune(&pre, &labeled, 2);
+        let tuned = fine_tune(&pre, &labeled, 2, 1);
         let test_idx = ds.partition_indices(Partition::Script);
         let test = FlowpicDataset::from_flows(&ds, &test_idx, &fpcfg, Normalization::LogMax);
         let trainer = crate::supervised::SupervisedTrainer::new(

@@ -10,15 +10,34 @@
 //! tapes, and gradients reduce in fixed shard order — so
 //! [`TrainConfig::batch_workers`] changes wall-clock time but never a
 //! single bit of any loss, metric, or trained weight.
+//!
+//! Two guarantees the paper's model selection depends on:
+//!
+//! * **Best-weight restoration.** Early stopping selects the best epoch,
+//!   so [`SupervisedTrainer::train`] snapshots the weights whenever the
+//!   watched metric improves and restores that snapshot before returning
+//!   — the evaluated model is the one `TrainSummary::best_val_loss`
+//!   describes, not the stopping epoch's (patience epochs past the
+//!   optimum).
+//! * **Crash-safe resume.** [`SupervisedTrainer::train_resumable`]
+//!   checkpoints at epoch boundaries ([`CheckpointSpec`]); a run killed
+//!   at epoch *k* and resumed produces bit-identical final weights,
+//!   losses and metrics to an uninterrupted run, because everything the
+//!   loop depends on is reconstructed exactly: weights, Adam moments,
+//!   the step counter (dropout salt), the epoch index (shuffle seed is
+//!   `seed + epoch`), the early stopper and the best snapshot.
 
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
 use mlstats::ConfusionMatrix;
+use nettensor::checkpoint::{self, Checkpoint, CheckpointError, Decoder, Persist};
 use nettensor::engine::BatchEngine;
 use nettensor::loss::{accuracy, cross_entropy, predictions};
+use nettensor::model::Weights;
 use nettensor::optim::{Adam, Optimizer};
 use nettensor::Sequential;
 use serde::Serialize;
+use std::path::PathBuf;
 
 /// Trainer hyper-parameters (paper defaults).
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -59,6 +78,113 @@ impl TrainConfig {
     pub fn engine(&self) -> BatchEngine {
         BatchEngine::new(self.batch_workers)
     }
+
+    /// Fingerprint of the configuration fields that determine the
+    /// training trajectory. Checkpoints are stamped with it and resume
+    /// refuses a mismatch. Two fields are deliberately excluded:
+    /// `max_epochs` is a safety cap (raising it is precisely how a run is
+    /// extended past an interruption point), and `batch_workers` is
+    /// bit-neutral by the engine's determinism contract.
+    pub fn fingerprint(&self) -> u64 {
+        let mut body = String::new();
+        self.learning_rate.encode(&mut body);
+        self.batch_size.encode(&mut body);
+        self.patience.encode(&mut body);
+        self.min_delta.encode(&mut body);
+        self.seed.encode(&mut body);
+        checkpoint::fnv1a64(body.as_bytes())
+    }
+}
+
+/// Where and how often [`SupervisedTrainer::train_resumable`] persists
+/// its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Checkpoint file (overwritten atomically at each save).
+    pub path: PathBuf,
+    /// Save every `every` epochs. The final epoch — early stop or
+    /// `max_epochs` — is always saved regardless.
+    pub every: usize,
+    /// Load `path` before training if it exists, continuing from the
+    /// recorded epoch instead of starting over.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// A spec that saves after every epoch and does not resume.
+    pub fn new(path: impl Into<PathBuf>) -> CheckpointSpec {
+        CheckpointSpec {
+            path: path.into(),
+            every: 1,
+            resume: false,
+        }
+    }
+
+    /// Enables resuming from an existing checkpoint at the path.
+    pub fn resuming(mut self) -> CheckpointSpec {
+        self.resume = true;
+        self
+    }
+
+    /// Sets the save cadence in epochs.
+    pub fn every(mut self, epochs: usize) -> CheckpointSpec {
+        assert!(epochs >= 1, "checkpoint cadence must be at least 1 epoch");
+        self.every = epochs;
+        self
+    }
+}
+
+/// The watched-metric optimum: which epoch it was, the metric value, and
+/// the weights to restore.
+#[derive(Debug, Clone)]
+struct BestWeights {
+    /// 1-based epoch that set this best.
+    epoch: usize,
+    /// The watched metric at that epoch.
+    watched: f64,
+    /// The model weights at the end of that epoch.
+    weights: Weights,
+}
+
+impl Persist for BestWeights {
+    fn encode(&self, out: &mut String) {
+        self.epoch.encode(out);
+        self.watched.encode(out);
+        self.weights.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(BestWeights {
+            epoch: usize::decode(d)?,
+            watched: f64::decode(d)?,
+            weights: Weights::decode(d)?,
+        })
+    }
+}
+
+/// Trainer payload carried inside a supervised checkpoint: everything
+/// beyond weights/optimizer/counters the loop needs to continue exactly.
+struct TrainerState {
+    stopper: EarlyStopper,
+    best: Option<BestWeights>,
+    final_train_loss: f64,
+    stopped: bool,
+}
+
+impl Persist for TrainerState {
+    fn encode(&self, out: &mut String) {
+        self.stopper.encode(out);
+        self.best.encode(out);
+        self.final_train_loss.encode(out);
+        self.stopped.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(TrainerState {
+            stopper: EarlyStopper::decode(d)?,
+            best: Option::decode(d)?,
+            final_train_loss: f64::decode(d)?,
+            stopped: bool::decode(d)?,
+        })
+    }
 }
 
 /// Outcome of an evaluation pass.
@@ -73,7 +199,7 @@ pub struct EvalResult {
 }
 
 /// Summary of a training run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrainSummary {
     /// Epochs actually run (≤ `max_epochs`).
     pub epochs: usize,
@@ -81,8 +207,12 @@ pub struct TrainSummary {
     pub final_train_loss: f64,
     /// Best validation loss — `None` when no validation set was given or
     /// the stopper never observed an epoch (so no `f64::MAX` sentinel
-    /// ever reaches serialized summaries).
+    /// ever reaches serialized summaries). The returned model carries the
+    /// weights of exactly this epoch.
     pub best_val_loss: Option<f64>,
+    /// 1-based epoch whose weights the trainer returned (the watched
+    /// metric's optimum); `None` when no epoch ran.
+    pub best_epoch: Option<usize>,
 }
 
 /// Trains and evaluates supervised models.
@@ -100,55 +230,157 @@ impl SupervisedTrainer {
 
     /// Trains `net` on `train`, early-stopping on `val`'s loss when
     /// provided (otherwise on the training loss, the fine-tuning rule).
+    ///
+    /// On return, `net` holds the weights of the **best** watched epoch
+    /// (the one `TrainSummary::best_val_loss` reports), not the stopping
+    /// epoch's. An empty validation set is treated as absent — its loss
+    /// would be a constant 0.0 and corrupt early stopping.
     pub fn train(
         &self,
         net: &mut Sequential,
         train: &FlowpicDataset,
         val: Option<&FlowpicDataset>,
     ) -> TrainSummary {
+        self.train_impl(net, train, val, None)
+            .expect("training without a checkpoint spec cannot fail on IO")
+    }
+
+    /// [`SupervisedTrainer::train`] with crash-safe persistence: saves a
+    /// [`Checkpoint`] at the cadence given by `spec`, and — when
+    /// `spec.resume` is set and the file exists — continues from it
+    /// instead of starting over. The kill/resume round-trip is
+    /// bit-identical: resumed training produces the same final weights
+    /// and summary as an uninterrupted run.
+    pub fn train_resumable(
+        &self,
+        net: &mut Sequential,
+        train: &FlowpicDataset,
+        val: Option<&FlowpicDataset>,
+        spec: &CheckpointSpec,
+    ) -> Result<TrainSummary, CheckpointError> {
+        self.train_impl(net, train, val, Some(spec))
+    }
+
+    fn train_impl(
+        &self,
+        net: &mut Sequential,
+        train: &FlowpicDataset,
+        val: Option<&FlowpicDataset>,
+        spec: Option<&CheckpointSpec>,
+    ) -> Result<TrainSummary, CheckpointError> {
         assert!(!train.is_empty(), "empty training set");
+        // An empty validation set would "evaluate" to loss 0.0 every
+        // epoch and freeze early stopping at the first epoch. Treat it
+        // as no validation set (watch the training loss instead).
+        let val = val.filter(|v| !v.is_empty());
+        let fingerprint = self.config.fingerprint();
         let mut opt = Adam::new(self.config.learning_rate);
-        let mut stopper = EarlyStopper::new(
-            crate::early_stop::StopMode::Minimize,
-            self.config.patience,
-            self.config.min_delta,
-        );
+        let mut state = TrainerState {
+            stopper: EarlyStopper::new(
+                crate::early_stop::StopMode::Minimize,
+                self.config.patience,
+                self.config.min_delta,
+            ),
+            best: None,
+            final_train_loss: f64::MAX,
+            stopped: false,
+        };
         let mut grads = net.grad_store();
         let mut step = 0u64; // per-step dropout salt, worker-independent
-        let mut epochs = 0;
-        let mut final_train_loss = f64::MAX;
-        for epoch in 0..self.config.max_epochs {
-            epochs = epoch + 1;
-            let order = train.shuffled_order(self.config.seed.wrapping_add(epoch as u64));
-            let mut epoch_loss = 0f64;
-            let mut n_batches = 0usize;
-            for chunk in order.chunks(self.config.batch_size) {
-                let x = train.batch_tensor(chunk);
-                let y = train.batch_labels(chunk);
-                step += 1;
-                let (logits, tapes) = self.engine.forward(net, &x, true, step);
-                let (loss, grad) = cross_entropy(&logits, &y);
-                grads.zero();
-                self.engine.backward(net, &tapes, &grad, &mut grads);
-                self.engine.commit(net, &tapes);
-                opt.step(net, &grads);
-                epoch_loss += loss as f64;
-                n_batches += 1;
-            }
-            final_train_loss = epoch_loss / n_batches.max(1) as f64;
-            let watched = match val {
-                Some(v) => self.loss(net, v),
-                None => final_train_loss,
-            };
-            if stopper.update(watched) {
-                break;
+        let mut start_epoch = 0usize;
+
+        if let Some(spec) = spec {
+            if spec.resume && spec.path.exists() {
+                let ck: Checkpoint<TrainerState> = checkpoint::load(&spec.path)?;
+                if ck.config_fingerprint != fingerprint {
+                    return Err(CheckpointError::Body(format!(
+                        "checkpoint at {} belongs to a different training \
+                         configuration (fingerprint {:016x}, this config is {:016x})",
+                        spec.path.display(),
+                        ck.config_fingerprint,
+                        fingerprint
+                    )));
+                }
+                net.import_weights(&ck.weights);
+                opt.import_state(ck.optimizer);
+                state = ck.trainer;
+                step = ck.step;
+                start_epoch = ck.epoch;
             }
         }
-        TrainSummary {
+
+        let mut epochs = start_epoch;
+        if !state.stopped {
+            for epoch in start_epoch..self.config.max_epochs {
+                epochs = epoch + 1;
+                let order = train.shuffled_order(self.config.seed.wrapping_add(epoch as u64));
+                let mut epoch_loss = 0f64;
+                let mut n_batches = 0usize;
+                for chunk in order.chunks(self.config.batch_size) {
+                    let x = train.batch_tensor(chunk);
+                    let y = train.batch_labels(chunk);
+                    step += 1;
+                    let (logits, tapes) = self.engine.forward(net, &x, true, step);
+                    let (loss, grad) = cross_entropy(&logits, &y);
+                    grads.zero();
+                    self.engine.backward(net, &tapes, &grad, &mut grads);
+                    self.engine.commit(net, &tapes);
+                    opt.step(net, &grads);
+                    epoch_loss += loss as f64;
+                    n_batches += 1;
+                }
+                state.final_train_loss = epoch_loss / n_batches.max(1) as f64;
+                let watched = match val {
+                    Some(v) => self.loss(net, v),
+                    None => state.final_train_loss,
+                };
+                let verdict = state.stopper.observe(watched);
+                if verdict.improved {
+                    state.best = Some(BestWeights {
+                        epoch: epochs,
+                        watched,
+                        weights: net.export_weights(),
+                    });
+                }
+                state.stopped = verdict.stop;
+                if let Some(spec) = spec {
+                    let last = state.stopped || epochs == self.config.max_epochs;
+                    if last || epochs % spec.every == 0 {
+                        checkpoint::save(
+                            &spec.path,
+                            &Checkpoint {
+                                weights: net.export_weights(),
+                                optimizer: opt.export_state(),
+                                epoch: epochs,
+                                step,
+                                config_fingerprint: fingerprint,
+                                trainer: TrainerState {
+                                    stopper: state.stopper.clone(),
+                                    best: state.best.clone(),
+                                    final_train_loss: state.final_train_loss,
+                                    stopped: state.stopped,
+                                },
+                            },
+                        )?;
+                    }
+                }
+                if state.stopped {
+                    break;
+                }
+            }
+        }
+
+        // The headline guarantee: hand back the best epoch's weights,
+        // not the stopping epoch's (patience epochs past the optimum).
+        if let Some(best) = &state.best {
+            net.import_weights(&best.weights);
+        }
+        Ok(TrainSummary {
             epochs,
-            final_train_loss,
-            best_val_loss: val.and_then(|_| stopper.best()),
-        }
+            final_train_loss: state.final_train_loss,
+            best_val_loss: val.and_then(|_| state.stopper.best()),
+            best_epoch: state.best.as_ref().map(|b| b.epoch),
+        })
     }
 
     /// Mean cross-entropy loss of `net` on `data` (eval mode).
@@ -312,5 +544,161 @@ mod tests {
             n_classes: 5,
         };
         trainer.train(&mut net, &empty, None);
+    }
+
+    fn small_split() -> (FlowpicDataset, FlowpicDataset) {
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(11);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, Normalization::LogMax);
+        data.split_validation(0.25, 4)
+    }
+
+    #[test]
+    fn returned_weights_are_the_best_epoch_not_the_stopping_epoch() {
+        // The headline bugfix regression: after training, the model in
+        // hand must achieve exactly `best_val_loss` on the validation
+        // set — bitwise — rather than the (patience-epochs-worse)
+        // stopping-epoch loss.
+        let (train, val) = small_split();
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 20,
+            ..TrainConfig::supervised(7)
+        });
+        let mut net = supervised_net(32, 5, false, 7);
+        let summary = trainer.train(&mut net, &train, Some(&val));
+        let best = summary.best_val_loss.expect("validation was provided");
+        let actual = trainer.loss(&net, &val);
+        assert_eq!(
+            actual.to_bits(),
+            best.to_bits(),
+            "returned model's val loss {actual} != reported best {best}"
+        );
+        assert!(summary.best_epoch.is_some());
+        assert!(summary.best_epoch.unwrap() <= summary.epochs);
+    }
+
+    #[test]
+    fn empty_validation_set_is_treated_as_none() {
+        // split_validation can hand back a 0-sample val split; its "loss"
+        // would be a constant 0.0 and freeze early stopping after one
+        // epoch. It must behave exactly like val = None.
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(3);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Script);
+        let data = FlowpicDataset::from_flows(&ds, &idx[..6], &fpcfg, Normalization::LogMax);
+        let empty = FlowpicDataset {
+            res: data.res,
+            channels: data.channels,
+            inputs: vec![],
+            labels: vec![],
+            n_classes: data.n_classes,
+        };
+        let trainer = SupervisedTrainer::new(quick_config(5));
+
+        let mut net_a = supervised_net(32, 5, false, 5);
+        let with_empty = trainer.train(&mut net_a, &data, Some(&empty));
+        let mut net_b = supervised_net(32, 5, false, 5);
+        let with_none = trainer.train(&mut net_b, &data, None);
+
+        assert_eq!(with_empty.best_val_loss, None, "0.0 loss must not leak");
+        assert_eq!(with_empty, with_none);
+        assert_eq!(net_a.export_weights(), net_b.export_weights());
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_from_saved_epoch() {
+        // Train 3 epochs with a checkpoint, then resume with a raised
+        // cap: the loop must pick up at epoch 3, not restart.
+        let (train, val) = small_split();
+        let dir = std::env::temp_dir().join("tcbench_supervised_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume_continues.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut net = supervised_net(32, 5, false, 9);
+        let trainer3 = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::supervised(9)
+        });
+        let spec = CheckpointSpec::new(&path);
+        let first = trainer3
+            .train_resumable(&mut net, &train, Some(&val), &spec)
+            .unwrap();
+        assert_eq!(first.epochs, 3);
+
+        let trainer6 = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 6,
+            ..TrainConfig::supervised(9)
+        });
+        let mut resumed_net = supervised_net(32, 5, false, 9);
+        let resumed = trainer6
+            .train_resumable(&mut resumed_net, &train, Some(&val), &spec.clone().resuming())
+            .unwrap();
+        assert!(resumed.epochs <= 6 && resumed.epochs > 3, "{resumed:?}");
+    }
+
+    #[test]
+    fn resume_rejects_a_different_configuration() {
+        let (train, val) = small_split();
+        let dir = std::env::temp_dir().join("tcbench_supervised_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fingerprint_mismatch.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut net = supervised_net(32, 5, false, 2);
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::supervised(2)
+        });
+        trainer
+            .train_resumable(&mut net, &train, Some(&val), &CheckpointSpec::new(&path))
+            .unwrap();
+
+        // Same checkpoint, different learning rate: refused.
+        let other = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 4,
+            learning_rate: 0.01,
+            ..TrainConfig::supervised(2)
+        });
+        let mut net2 = supervised_net(32, 5, false, 2);
+        let err = other
+            .train_resumable(
+                &mut net2,
+                &train,
+                Some(&val),
+                &CheckpointSpec::new(&path).resuming(),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, nettensor::CheckpointError::Body(msg)
+                if msg.contains("different training configuration")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_max_epochs_and_workers_only() {
+        let base = TrainConfig::supervised(1);
+        let fp = base.fingerprint();
+        assert_eq!(
+            fp,
+            TrainConfig {
+                max_epochs: 99,
+                batch_workers: 8,
+                ..base
+            }
+            .fingerprint(),
+            "cap and worker count must not invalidate a checkpoint"
+        );
+        assert_ne!(fp, TrainConfig { seed: 2, ..base }.fingerprint());
+        assert_ne!(
+            fp,
+            TrainConfig {
+                learning_rate: 0.01,
+                ..base
+            }
+            .fingerprint()
+        );
     }
 }

@@ -26,7 +26,7 @@ impl Kde {
         let mean = samples.iter().sum::<f64>() / n;
         let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q = |f: f64| {
             sorted[((f * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1)]
         };

@@ -74,7 +74,7 @@ impl CriticalDistance {
     pub fn indistinct_groups(&self) -> Vec<Vec<usize>> {
         let k = self.names.len();
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by(|&a, &b| self.mean_ranks[a].partial_cmp(&self.mean_ranks[b]).unwrap());
+        order.sort_by(|&a, &b| self.mean_ranks[a].total_cmp(&self.mean_ranks[b]));
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for start in 0..k {
             // Longest run starting at `start` whose span is within CD.
@@ -102,7 +102,7 @@ impl CriticalDistance {
             .cloned()
             .zip(self.mean_ranks.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        pairs.sort_by(|a, b| a.1.total_cmp(&b.1));
         pairs
     }
 

@@ -6,8 +6,13 @@ use serde::Serialize;
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "percentile requires finite values; got a NaN or infinity \
+         (check the metric that produced this sample)"
+    );
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -120,5 +125,19 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn percentile_rejects_nan_with_a_diagnosis() {
+        // Regression: this used to die inside sort_by with an opaque
+        // `Option::unwrap` panic; now the input is validated up front.
+        percentile(&[1.0, f64::NAN, 3.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn percentile_rejects_infinity() {
+        percentile(&[1.0, f64::INFINITY], 0.5);
     }
 }

@@ -11,7 +11,7 @@
 pub fn rank_descending(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
     let mut ranks = vec![0f64; n];
     let mut i = 0;
     while i < n {

@@ -1,0 +1,653 @@
+//! Versioned, checksummed checkpoint persistence.
+//!
+//! A [`Checkpoint`] bundles everything a training loop needs to continue
+//! from an epoch boundary as if it had never stopped: the model
+//! [`Weights`], the optimizer's [`OptimizerState`] (Adam `m`/`v`/`t`, SGD
+//! velocity), the epoch/step counters, a fingerprint of the training
+//! configuration, and an arbitrary trainer payload (early stopper,
+//! best-weights snapshot, running summary).
+//!
+//! # On-disk format
+//!
+//! One header line followed by a token body:
+//!
+//! ```text
+//! tcbench-checkpoint v1 fnv1a64=<16 hex digits> len=<body bytes>\n
+//! <one whitespace-separated token per primitive value>
+//! ```
+//!
+//! The header carries a format version (mismatches are a clean
+//! [`CheckpointError::VersionMismatch`], never a garbage deserialization),
+//! the body length (truncation is detected before parsing) and an FNV-1a
+//! checksum of the exact body bytes (corruption is a
+//! [`CheckpointError::ChecksumMismatch`]).
+//!
+//! The body is produced by the [`Persist`] trait — a deliberately tiny
+//! self-describing codec instead of a general serialization framework.
+//! Floats are stored as the hex of their IEEE-754 bit pattern
+//! (`f32::to_bits`), which makes the round-trip **bit-identical by
+//! construction** — including NaN payloads and signed zeros — with no
+//! dependence on decimal shortest-representation printing. That
+//! bit-exactness is what lets a killed-and-resumed run reproduce an
+//! uninterrupted one bit for bit.
+//!
+//! # Atomicity
+//!
+//! [`save`] writes to a `<path>.tmp` sibling and renames it over `path`;
+//! on POSIX the rename is atomic, so a crash mid-save leaves either the
+//! previous complete checkpoint or the new one — never a torn file.
+//!
+//! The envelope helpers ([`save_value`] / [`load_value`]) are also used
+//! standalone, e.g. by campaign resume to persist per-run results with
+//! the same integrity guarantees.
+
+use crate::model::Weights;
+use crate::optim::OptimizerState;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Current checkpoint format version. Bump on any incompatible change to
+/// the envelope or the encoding of any persisted type.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "tcbench-checkpoint";
+
+/// FNV-1a 64-bit hash — the checksum used by the checkpoint envelope and
+/// configuration fingerprints. Not cryptographic; it detects corruption
+/// and truncation, not tampering.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of any persistable configuration — trainers stamp their
+/// checkpoints with it so a resume against a *different* configuration is
+/// rejected instead of silently diverging.
+pub fn fingerprint_config<T: Persist>(config: &T) -> u64 {
+    let mut body = String::new();
+    config.encode(&mut body);
+    fnv1a64(body.as_bytes())
+}
+
+/// Why a checkpoint could not be saved or loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not a checkpoint, is truncated, or the header is
+    /// malformed.
+    Format(String),
+    /// The file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The body bytes do not hash to the header checksum — the file is
+    /// corrupted.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum of the bytes actually present.
+        computed: u64,
+    },
+    /// The body failed to decode, or the checkpoint belongs to a
+    /// different training configuration.
+    Body(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "not a valid checkpoint: {msg}"),
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format v{found} is not readable by this build (expects v{expected})"
+            ),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint is corrupted: checksum {computed:016x} does not match recorded {stored:016x}"
+            ),
+            CheckpointError::Body(msg) => write!(f, "checkpoint body rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Streaming token reader for [`Persist::decode`]: the body split on
+/// whitespace, consumed front to back.
+pub struct Decoder<'a> {
+    tokens: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over a full body string.
+    pub fn new(body: &'a str) -> Decoder<'a> {
+        Decoder {
+            tokens: body.split_ascii_whitespace(),
+        }
+    }
+
+    /// The next token, or an error if the body ran out.
+    pub fn token(&mut self) -> Result<&'a str, String> {
+        self.tokens
+            .next()
+            .ok_or_else(|| "unexpected end of checkpoint body".to_string())
+    }
+
+    /// Whether every token has been consumed.
+    pub fn is_exhausted(&mut self) -> bool {
+        self.tokens.clone().next().is_none()
+    }
+}
+
+/// Bit-exact, whitespace-token persistence. The deliberately small codec
+/// behind [`Checkpoint`]: fixed field order, no field names, versioned as
+/// a whole by [`FORMAT_VERSION`]. Floats round-trip through their raw bit
+/// pattern, so `encode ∘ decode` is the identity on every value,
+/// including non-finite ones.
+pub trait Persist: Sized {
+    /// Appends this value's tokens (each terminated by whitespace).
+    fn encode(&self, out: &mut String);
+
+    /// Reads this value's tokens back, in encode order.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String>;
+}
+
+macro_rules! persist_display {
+    ($($t:ty),*) => {$(
+        impl Persist for $t {
+            fn encode(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+                out.push('\n');
+            }
+            fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+                let tok = d.token()?;
+                tok.parse()
+                    .map_err(|e| format!("bad {} token {tok:?}: {e}", stringify!($t)))
+            }
+        }
+    )*};
+}
+persist_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Persist for bool {
+    fn encode(&self, out: &mut String) {
+        out.push_str(if *self { "1\n" } else { "0\n" });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        match d.token()? {
+            "1" => Ok(true),
+            "0" => Ok(false),
+            other => Err(format!("bad bool token {other:?}")),
+        }
+    }
+}
+
+impl Persist for f32 {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&format!("{:08x}\n", self.to_bits()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        let tok = d.token()?;
+        u32::from_str_radix(tok, 16)
+            .map(f32::from_bits)
+            .map_err(|e| format!("bad f32 bits {tok:?}: {e}"))
+    }
+}
+
+impl Persist for f64 {
+    fn encode(&self, out: &mut String) {
+        out.push_str(&format!("{:016x}\n", self.to_bits()));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        let tok = d.token()?;
+        u64::from_str_radix(tok, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("bad f64 bits {tok:?}: {e}"))
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, out: &mut String) {
+        // Hex-of-UTF-8 with an `s` sentinel so the empty string still
+        // yields a token and arbitrary content never splits.
+        out.push('s');
+        for b in self.as_bytes() {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        let tok = d.token()?;
+        let hex = tok
+            .strip_prefix('s')
+            .ok_or_else(|| format!("bad string token {tok:?}"))?;
+        if hex.len() % 2 != 0 {
+            return Err(format!("odd-length string token {tok:?}"));
+        }
+        let bytes: Result<Vec<u8>, _> = (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+            .collect();
+        let bytes = bytes.map_err(|e| format!("bad string token {tok:?}: {e}"))?;
+        String::from_utf8(bytes).map_err(|e| format!("non-UTF-8 string token: {e}"))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, out: &mut String) {
+        match self {
+            None => out.push_str("N\n"),
+            Some(v) => {
+                out.push_str("S\n");
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        match d.token()? {
+            "N" => Ok(None),
+            "S" => Ok(Some(T::decode(d)?)),
+            other => Err(format!("bad option token {other:?}")),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, out: &mut String) {
+        self.len().encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        let n = usize::decode(d)?;
+        // Cap the pre-reservation so a corrupted length can't trigger a
+        // huge allocation before element decoding fails.
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::decode(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, out: &mut String) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+impl Persist for Weights {
+    fn encode(&self, out: &mut String) {
+        self.tensors.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(Weights {
+            tensors: Vec::decode(d)?,
+        })
+    }
+}
+
+impl Persist for OptimizerState {
+    fn encode(&self, out: &mut String) {
+        match self {
+            OptimizerState::Sgd { velocity } => {
+                out.push_str("sgd\n");
+                velocity.encode(out);
+            }
+            OptimizerState::Adam { t, m, v } => {
+                out.push_str("adam\n");
+                t.encode(out);
+                m.encode(out);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        match d.token()? {
+            "sgd" => Ok(OptimizerState::Sgd {
+                velocity: Vec::decode(d)?,
+            }),
+            "adam" => Ok(OptimizerState::Adam {
+                t: u64::decode(d)?,
+                m: Vec::decode(d)?,
+                v: Vec::decode(d)?,
+            }),
+            other => Err(format!("unknown optimizer tag {other:?}")),
+        }
+    }
+}
+
+/// A complete training snapshot at an epoch boundary.
+///
+/// `T` is the trainer-specific payload (early-stopper state, best-weights
+/// snapshot, partial summary) — anything implementing [`Persist`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<T> {
+    /// Live model weights at the snapshot (the *current* epoch's weights,
+    /// not the best-so-far — the best snapshot lives in the trainer
+    /// payload).
+    pub weights: Weights,
+    /// Optimizer state (Adam moments + step count, SGD velocity).
+    pub optimizer: OptimizerState,
+    /// Completed epochs.
+    pub epoch: usize,
+    /// Optimization steps taken (also the stochastic-layer salt counter).
+    pub step: u64,
+    /// Fingerprint of the training configuration that produced this
+    /// checkpoint; loaders reject a mismatch.
+    pub config_fingerprint: u64,
+    /// Trainer-specific state.
+    pub trainer: T,
+}
+
+impl<T: Persist> Persist for Checkpoint<T> {
+    fn encode(&self, out: &mut String) {
+        self.weights.encode(out);
+        self.optimizer.encode(out);
+        self.epoch.encode(out);
+        self.step.encode(out);
+        self.config_fingerprint.encode(out);
+        self.trainer.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(Checkpoint {
+            weights: Weights::decode(d)?,
+            optimizer: OptimizerState::decode(d)?,
+            epoch: usize::decode(d)?,
+            step: u64::decode(d)?,
+            config_fingerprint: u64::decode(d)?,
+            trainer: T::decode(d)?,
+        })
+    }
+}
+
+/// Saves a checkpoint atomically (write-then-rename).
+pub fn save<T: Persist>(path: &Path, ck: &Checkpoint<T>) -> Result<(), CheckpointError> {
+    save_value(path, ck)
+}
+
+/// Loads and verifies a checkpoint written by [`save`].
+pub fn load<T: Persist>(path: &Path) -> Result<Checkpoint<T>, CheckpointError> {
+    load_value(path)
+}
+
+/// Encodes `value` into the checksummed envelope and writes it
+/// atomically: the bytes go to a `<path>.tmp` sibling first and are
+/// renamed over `path` only once fully written.
+pub fn save_value<T: Persist>(path: &Path, value: &T) -> Result<(), CheckpointError> {
+    let mut body = String::new();
+    value.encode(&mut body);
+    let header = format!(
+        "{MAGIC} v{FORMAT_VERSION} fnv1a64={:016x} len={}\n",
+        fnv1a64(body.as_bytes()),
+        body.len()
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| CheckpointError::Format(format!("{} has no file name", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads, verifies (magic, version, length, checksum) and decodes an
+/// envelope written by [`save_value`].
+pub fn load_value<T: Persist>(path: &Path) -> Result<T, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| CheckpointError::Format("missing header line".into()))?;
+    let header = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| CheckpointError::Format("header is not UTF-8".into()))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 4 || fields[0] != MAGIC {
+        return Err(CheckpointError::Format(format!(
+            "header {header:?} is not a {MAGIC} header"
+        )));
+    }
+    let version: u32 = fields[1]
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Format(format!("bad version field {:?}", fields[1])))?;
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    let stored: u64 = fields[2]
+        .strip_prefix("fnv1a64=")
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or_else(|| CheckpointError::Format(format!("bad checksum field {:?}", fields[2])))?;
+    let len: usize = fields[3]
+        .strip_prefix("len=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| CheckpointError::Format(format!("bad length field {:?}", fields[3])))?;
+
+    let body = &bytes[nl + 1..];
+    if body.len() != len {
+        return Err(CheckpointError::Format(format!(
+            "truncated body: header promises {len} bytes, file holds {}",
+            body.len()
+        )));
+    }
+    let computed = fnv1a64(body);
+    if computed != stored {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let body = std::str::from_utf8(body)
+        .map_err(|_| CheckpointError::Body("body is not UTF-8".into()))?;
+    let mut d = Decoder::new(body);
+    let value = T::decode(&mut d).map_err(CheckpointError::Body)?;
+    if !d.is_exhausted() {
+        return Err(CheckpointError::Body(
+            "trailing tokens after the decoded value".into(),
+        ));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::model::Sequential;
+    use crate::optim::{Adam, Optimizer, Sgd};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nettensor_checkpoint_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_checkpoint() -> Checkpoint<Vec<f64>> {
+        let net = Sequential::new(vec![Box::new(Linear::new(3, 2, 7))]);
+        Checkpoint {
+            weights: net.export_weights(),
+            optimizer: Adam::new(0.001).export_state(),
+            epoch: 4,
+            step: 123,
+            config_fingerprint: fnv1a64(b"cfg"),
+            trainer: vec![0.25, -1.5],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let path = tmp("round_trip.ckpt");
+        let ck = sample_checkpoint();
+        save(&path, &ck).unwrap();
+        let back: Checkpoint<Vec<f64>> = load(&path).unwrap();
+        assert_eq!(back, ck);
+        // Bit-exactness of the weights, not just approximate equality.
+        for (a, b) in back.weights.tensors.iter().zip(&ck.weights.tensors) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        // Hex-bit encoding is exact even where decimal printing is not:
+        // NaN payloads, infinities, signed zero, subnormals.
+        let values = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1.5e-42];
+        let mut body = String::new();
+        values.encode(&mut body);
+        let back = Vec::<f32>::decode(&mut Decoder::new(&body)).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn strings_and_options_round_trip() {
+        let value = (
+            vec![
+                Some("hello world\nwith whitespace".to_string()),
+                None,
+                Some(String::new()),
+            ],
+            42u64,
+        );
+        let mut body = String::new();
+        value.encode(&mut body);
+        let back = <(Vec<Option<String>>, u64)>::decode(&mut Decoder::new(&body)).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn sgd_state_round_trips() {
+        let state = Sgd::with_momentum(0.1, 0.9).export_state();
+        let mut body = String::new();
+        state.encode(&mut body);
+        assert_eq!(
+            OptimizerState::decode(&mut Decoder::new(&body)).unwrap(),
+            state
+        );
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let path = tmp("no_tmp.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_file_name("no_tmp.ckpt.tmp").exists());
+    }
+
+    #[test]
+    fn corrupted_body_is_a_checksum_error() {
+        let path = tmp("corrupt.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] = if bytes[last] == b'0' { b'1' } else { b'0' };
+        std::fs::write(&path, &bytes).unwrap();
+        match load::<Vec<f64>>(&path) {
+            Err(CheckpointError::ChecksumMismatch { .. }) => {}
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_detected_before_parsing() {
+        let path = tmp("truncated.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).unwrap();
+        match load::<Vec<f64>>(&path) {
+            Err(CheckpointError::Format(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Format(truncated), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_error() {
+        let path = tmp("version.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        std::fs::write(&path, text.replacen(" v1 ", " v999 ", 1)).unwrap();
+        match load::<Vec<f64>>(&path) {
+            Err(CheckpointError::VersionMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_checkpoint_file_is_a_format_error() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"{\"this\": \"is just json\"}\nmore").unwrap();
+        assert!(matches!(
+            load::<Vec<f64>>(&path),
+            Err(CheckpointError::Format(_))
+        ));
+        let missing = tmp("does_not_exist.ckpt");
+        assert!(matches!(
+            load::<Vec<f64>>(&missing),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_payload_type_is_a_body_error() {
+        // A checkpoint decoded with the wrong trainer payload type must
+        // fail (leftover or missing tokens), not silently yield garbage.
+        let path = tmp("wrong_type.ckpt");
+        save(&path, &sample_checkpoint()).unwrap();
+        assert!(matches!(
+            load::<Checkpoint<(u64, Vec<String>)>>(&path),
+            Err(CheckpointError::Body(_))
+        ));
+    }
+
+    #[test]
+    fn fnv1a64_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        assert_ne!(
+            fingerprint_config(&(0.001f32, 32usize)),
+            fingerprint_config(&(0.01f32, 32usize))
+        );
+        assert_eq!(
+            fingerprint_config(&(0.001f32, 32usize)),
+            fingerprint_config(&(0.001f32, 32usize))
+        );
+    }
+}

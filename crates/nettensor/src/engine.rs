@@ -35,8 +35,11 @@
 //!
 //! Networks whose forward couples samples across the batch (batch norm)
 //! must not be sharded — shard-local batch statistics would change the
-//! math, not just the rounding. Only the BYOL nets contain batch norm
-//! here, and their trainer uses [`BatchEngine::unsharded`].
+//! math, not just the rounding. [`BatchEngine::forward`] enforces this:
+//! training a [`Sequential::batch_coupled`] model across more than one
+//! shard panics with a pointer at [`BatchEngine::unsharded`] (what the
+//! BYOL trainer, the only batch-norm user here, runs on). Evaluation mode
+//! shards freely — it standardizes per sample with running statistics.
 
 use std::ops::Range;
 
@@ -122,6 +125,16 @@ impl BatchEngine {
         let n = input.batch();
         assert!(n >= 1, "BatchEngine::forward on an empty batch");
         let ranges = self.shard_ranges(n);
+        // Training a batch-coupled model (batch norm) across shards would
+        // compute shard-local batch statistics — silently different math,
+        // not just different rounding. Refuse loudly. Evaluation mode is
+        // fine: it standardizes per sample with running statistics.
+        assert!(
+            !(train && ranges.len() > 1 && model.batch_coupled()),
+            "cannot train a batch-coupled model (contains BatchNorm) on a \
+             sharded BatchEngine: shard-local batch statistics would change \
+             the result; use BatchEngine::unsharded()"
+        );
         let shards = self.run_shards(&ranges, |range| {
             let mut tape = Tape::with_context(salt, range.start);
             let out = model.forward(&input.rows(range.start, range.end), train, &mut tape);
@@ -363,5 +376,32 @@ mod tests {
     fn forward_rejects_empty_batch() {
         let net = tiny_net(0);
         BatchEngine::new(1).forward(&net, &Tensor::zeros(&[0, 1, 8, 8]), true, 0);
+    }
+
+    fn bn_net() -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(3, 3, 1)),
+            Box::new(BatchNorm1d::new(3)),
+        ])
+    }
+
+    #[test]
+    #[should_panic(expected = "batch-coupled")]
+    fn sharded_training_of_batchnorm_model_is_rejected() {
+        let net = bn_net();
+        let x = Tensor::kaiming_uniform(&[6, 3], 1, 2);
+        BatchEngine::with_shard_size(1, 2).forward(&net, &x, true, 0);
+    }
+
+    #[test]
+    fn batchnorm_model_still_trains_when_single_shard_and_evals_sharded() {
+        let net = bn_net();
+        let x = Tensor::kaiming_uniform(&[6, 3], 1, 2);
+        // One shard covering the batch: exact whole-batch semantics, OK.
+        BatchEngine::unsharded().forward(&net, &x, true, 0);
+        // Evaluation uses running statistics per sample — sharding is
+        // harmless and must keep working.
+        let (sharded, _) = BatchEngine::with_shard_size(2, 2).forward(&net, &x, false, 0);
+        assert_eq!(sharded.data, net.infer(&x).data);
     }
 }

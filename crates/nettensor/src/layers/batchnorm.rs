@@ -162,6 +162,10 @@ impl Layer for BatchNorm1d {
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         input_shape.to_vec()
     }
+
+    fn batch_coupled(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

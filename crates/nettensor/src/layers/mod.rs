@@ -73,6 +73,15 @@ pub trait Layer: Send + Sync {
     fn commit(&mut self, entry: &TapeEntry) {
         let _ = entry;
     }
+
+    /// Whether this layer's *training-mode* forward couples samples
+    /// within a batch (batch norm's batch statistics). Batch-coupled
+    /// layers give shard-local — i.e. wrong — results under a sharded
+    /// [`crate::engine::BatchEngine`], which therefore refuses to train
+    /// them. Default: `false` (per-sample layers).
+    fn batch_coupled(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

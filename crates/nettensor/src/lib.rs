@@ -29,7 +29,12 @@
 //!   regression pre-training) and the NT-Xent/InfoNCE contrastive loss of
 //!   SimCLR, each with its analytic gradient;
 //! * [`optim`] — SGD (with momentum) and Adam, stepping a model's
-//!   parameters from an externally accumulated `GradStore`.
+//!   parameters from an externally accumulated `GradStore`, with
+//!   exportable state ([`optim::OptimizerState`]) for checkpointing;
+//! * [`checkpoint`] — versioned, checksummed, atomically-written training
+//!   snapshots ([`checkpoint::Checkpoint`]): weights + optimizer state +
+//!   counters + a config fingerprint, round-tripping bit-exactly so a
+//!   killed run resumes to the same final weights as an uninterrupted one.
 //!
 //! Gradients are verified against finite differences in every layer's
 //! tests; the library is deliberately eager and allocation-simple — the
@@ -80,6 +85,7 @@
 //! assert_eq!(out_1.data, out_4.data);
 //! ```
 
+pub mod checkpoint;
 pub mod engine;
 pub mod layers;
 pub mod loss;
@@ -88,6 +94,7 @@ pub mod optim;
 pub mod tape;
 pub mod tensor;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use engine::BatchEngine;
 pub use model::Sequential;
 pub use tape::{GradStore, Tape};

@@ -34,6 +34,22 @@ pub struct Weights {
     pub tensors: Vec<Vec<f32>>,
 }
 
+impl Weights {
+    /// FNV-1a fingerprint over the exact parameter bits — two weight sets
+    /// fingerprint equal iff every float is bit-identical. Used by resume
+    /// tests and checkpoint diagnostics.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for t in &self.tensors {
+            bytes.extend_from_slice(&(t.len() as u64).to_le_bytes());
+            for v in t {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        crate::checkpoint::fnv1a64(&bytes)
+    }
+}
+
 impl Sequential {
     /// Builds a model from a layer stack.
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Sequential {
@@ -56,6 +72,14 @@ impl Sequential {
     /// Shared access to layer `i`.
     pub fn layer(&self, i: usize) -> &dyn Layer {
         self.layers[i].as_ref()
+    }
+
+    /// Whether any layer couples samples within a batch in training mode
+    /// (batch norm). Such a model computes different statistics per batch
+    /// shard, so [`crate::engine::BatchEngine`] refuses to train it
+    /// sharded.
+    pub fn batch_coupled(&self) -> bool {
+        self.layers.iter().any(|l| l.batch_coupled())
     }
 
     /// Forward pass through every layer, recording one tape entry per
@@ -434,5 +458,26 @@ mod tests {
         let net = two_layer();
         let mut grads = net.grad_store();
         net.backward(&Tape::new(), &Tensor::zeros(&[1, 2]), &mut grads);
+    }
+
+    #[test]
+    fn batch_coupled_detects_batchnorm() {
+        use crate::layers::BatchNorm1d;
+        assert!(!two_layer().batch_coupled());
+        let bn_net = Sequential::new(vec![
+            Box::new(Linear::new(4, 8, 1)),
+            Box::new(BatchNorm1d::new(8)),
+        ]);
+        assert!(bn_net.batch_coupled());
+    }
+
+    #[test]
+    fn weight_fingerprint_tracks_bits() {
+        let net = two_layer();
+        let mut w = net.export_weights();
+        let fp = w.fingerprint();
+        assert_eq!(fp, net.export_weights().fingerprint(), "deterministic");
+        w.tensors[0][0] = f32::from_bits(w.tensors[0][0].to_bits() ^ 1);
+        assert_ne!(fp, w.fingerprint(), "one flipped bit changes it");
     }
 }

@@ -11,6 +11,30 @@
 
 use crate::model::Sequential;
 use crate::tape::GradStore;
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of an optimizer's mutable state, for
+/// checkpointing. Hyper-parameters (learning rate, betas) are *not*
+/// included — they are part of the training configuration, which the
+/// checkpoint layer fingerprints separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerState {
+    /// SGD momentum buffers (empty until the first momentum step, or
+    /// always empty for plain SGD).
+    Sgd {
+        /// Per-slot velocity buffers.
+        velocity: Vec<Vec<f32>>,
+    },
+    /// Adam step count and moment estimates (empty until the first step).
+    Adam {
+        /// Steps taken (bias-correction exponent).
+        t: u64,
+        /// Per-slot first-moment estimates.
+        m: Vec<Vec<f32>>,
+        /// Per-slot second-moment estimates.
+        v: Vec<Vec<f32>>,
+    },
+}
 
 /// An optimizer over a [`Sequential`] model's trainable parameters.
 pub trait Optimizer {
@@ -22,6 +46,14 @@ pub trait Optimizer {
 
     /// The current learning rate.
     fn learning_rate(&self) -> f32;
+
+    /// Snapshots the mutable state (moment/velocity buffers, step count)
+    /// for checkpointing.
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restores state exported by [`Optimizer::export_state`]. Panics if
+    /// the state belongs to a different optimizer kind.
+    fn import_state(&mut self, state: OptimizerState);
 }
 
 /// Stochastic gradient descent with optional momentum.
@@ -88,6 +120,19 @@ impl Optimizer for Sgd {
     fn learning_rate(&self) -> f32 {
         self.lr
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Sgd {
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        match state {
+            OptimizerState::Sgd { velocity } => self.velocity = velocity,
+            other => panic!("cannot load {other:?} into an Sgd optimizer"),
+        }
+    }
 }
 
 /// Adam (Kingma & Ba) with PyTorch-default hyper-parameters — the
@@ -151,6 +196,25 @@ impl Optimizer for Adam {
 
     fn learning_rate(&self) -> f32 {
         self.lr
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        match state {
+            OptimizerState::Adam { t, m, v } => {
+                self.t = t;
+                self.m = m;
+                self.v = v;
+            }
+            other => panic!("cannot load {other:?} into an Adam optimizer"),
+        }
     }
 }
 
@@ -257,5 +321,66 @@ mod tests {
     fn learning_rate_accessor() {
         assert_eq!(Sgd::new(0.01).learning_rate(), 0.01);
         assert_eq!(Adam::new(0.001).learning_rate(), 0.001);
+    }
+
+    /// Runs `total` steps straight through vs. `split` steps, a state
+    /// export/import into a fresh optimizer, then the remainder — the
+    /// final weights must be bit-identical.
+    fn state_round_trip_matches<O: Optimizer, F: Fn() -> O>(make: F, split: usize, total: usize) {
+        let step_once = |net: &mut Sequential, opt: &mut O, grads: &mut GradStore| {
+            let (_, x, y) = toy_problem();
+            let mut tape = Tape::new();
+            let logits = net.forward(&x, true, &mut tape);
+            let (_, grad) = cross_entropy(&logits, &y);
+            grads.zero();
+            net.backward(&tape, &grad, grads);
+            opt.step(net, grads);
+        };
+
+        let (mut straight, _, _) = toy_problem();
+        let mut opt_a = make();
+        let mut grads = straight.grad_store();
+        for _ in 0..total {
+            step_once(&mut straight, &mut opt_a, &mut grads);
+        }
+
+        let (mut resumed, _, _) = toy_problem();
+        let mut opt_b = make();
+        for _ in 0..split {
+            step_once(&mut resumed, &mut opt_b, &mut grads);
+        }
+        let state = opt_b.export_state();
+        drop(opt_b);
+        let mut opt_c = make();
+        opt_c.import_state(state);
+        for _ in split..total {
+            step_once(&mut resumed, &mut opt_c, &mut grads);
+        }
+
+        let a = straight.export_weights();
+        let b = resumed.export_weights();
+        for (ta, tb) in a.tensors.iter().zip(&b.tensors) {
+            for (x, y) in ta.iter().zip(tb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "resume diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn adam_state_export_import_is_bit_exact() {
+        state_round_trip_matches(|| Adam::new(0.05), 3, 8);
+    }
+
+    #[test]
+    fn sgd_momentum_state_export_import_is_bit_exact() {
+        state_round_trip_matches(|| Sgd::with_momentum(0.1, 0.9), 3, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot load")]
+    fn adam_rejects_sgd_state() {
+        Adam::new(0.001).import_state(OptimizerState::Sgd {
+            velocity: Vec::new(),
+        });
     }
 }

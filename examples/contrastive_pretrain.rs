@@ -59,7 +59,7 @@ fn main() {
     for shots in [1usize, 3, 10] {
         let labeled_idx = few_shot_subset(&dataset, &fold.train, shots, 9);
         let labeled = FlowpicDataset::from_flows(&dataset, &labeled_idx, &fpcfg, norm);
-        let tuned = fine_tune(&pre_net, &labeled, 11);
+        let tuned = fine_tune(&pre_net, &labeled, 11, 1);
         let eval = trainer.evaluate(&tuned, &script);
         println!(
             "  {shots:>2} labeled samples/class -> script accuracy {:.1}%",

@@ -1,0 +1,145 @@
+//! End-to-end checkpoint/resume integration: a training run killed at an
+//! epoch boundary and resumed must be **bit-identical** — final weights
+//! and summary — to the same run left uninterrupted, and a campaign
+//! restarted over a half-full results directory must reuse what it finds.
+
+use tcbench::campaign::run_parallel_resumable;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{CheckpointSpec, SupervisedTrainer, TrainConfig};
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn split() -> (FlowpicDataset, FlowpicDataset) {
+    let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(17);
+    let fpcfg = flowpic::FlowpicConfig::mini();
+    let idx = ds.partition_indices(Partition::Pretraining);
+    let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, flowpic::Normalization::LogMax);
+    data.split_validation(0.25, 8)
+}
+
+fn config(max_epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs,
+        ..TrainConfig::supervised(23)
+    }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tcbench_integration_ckpt_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The acceptance gate of the checkpoint subsystem: interrupt at epoch 3
+/// of 8, resume to completion, and compare against the uninterrupted run
+/// byte for byte.
+#[test]
+fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
+    let (train, val) = split();
+    let dir = tmp_dir("bitident");
+
+    // Leg A: uninterrupted, 8 epochs.
+    let mut net_a = tcbench::arch::supervised_net(32, 5, false, 23);
+    let summary_a = SupervisedTrainer::new(config(8))
+        .train_resumable(
+            &mut net_a,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(dir.join("uninterrupted.ckpt")),
+        )
+        .unwrap();
+
+    // Leg B: "killed" after epoch 3 (we simulate the kill by capping
+    // max_epochs — the checkpoint on disk is exactly what a SIGKILL at
+    // the epoch-3 boundary would leave), then resumed to 8.
+    let killed_path = dir.join("killed.ckpt");
+    let mut net_b = tcbench::arch::supervised_net(32, 5, false, 23);
+    SupervisedTrainer::new(config(3))
+        .train_resumable(&mut net_b, &train, Some(&val), &CheckpointSpec::new(&killed_path))
+        .unwrap();
+
+    let mut net_resumed = tcbench::arch::supervised_net(32, 5, false, 23);
+    let summary_b = SupervisedTrainer::new(config(8))
+        .train_resumable(
+            &mut net_resumed,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&killed_path).resuming(),
+        )
+        .unwrap();
+
+    assert_eq!(summary_a, summary_b, "summaries must match exactly");
+    let wa = net_a.export_weights();
+    let wb = net_resumed.export_weights();
+    assert_eq!(
+        wa, wb,
+        "resumed weights must be byte-identical to the uninterrupted run"
+    );
+
+    // And the best-weights guarantee holds on both legs: the model in
+    // hand achieves exactly the reported best validation loss.
+    if let Some(best) = summary_a.best_val_loss {
+        let actual = SupervisedTrainer::new(config(8)).loss(&net_resumed, &val);
+        assert_eq!(actual.to_bits(), best.to_bits());
+    }
+}
+
+/// Resuming a run that already early-stopped (or hit its cap) must not
+/// train any further — the checkpoint records terminality.
+#[test]
+fn resuming_a_finished_run_is_a_no_op() {
+    let (train, val) = split();
+    let dir = tmp_dir("noop");
+    let path = dir.join("finished.ckpt");
+
+    let mut net = tcbench::arch::supervised_net(32, 5, false, 23);
+    let first = SupervisedTrainer::new(config(4))
+        .train_resumable(&mut net, &train, Some(&val), &CheckpointSpec::new(&path))
+        .unwrap();
+
+    let mut net2 = tcbench::arch::supervised_net(32, 5, false, 23);
+    let second = SupervisedTrainer::new(config(4))
+        .train_resumable(
+            &mut net2,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&path).resuming(),
+        )
+        .unwrap();
+    assert_eq!(first, second);
+    assert_eq!(net.export_weights(), net2.export_weights());
+}
+
+/// Campaign-level resume: seed half the results directory, then run the
+/// full campaign — only the missing half computes, and the assembled
+/// result vector is identical to a from-scratch campaign.
+#[test]
+fn campaign_resume_reuses_persisted_runs() {
+    let dir = tmp_dir("campaign");
+    // First pass: only tasks 0..4 of 8 "survive the crash".
+    let (partial, _) = run_parallel_resumable(4, 2, &dir, expensive_task).unwrap();
+    assert_eq!(partial.len(), 4);
+
+    let (full, report) = run_parallel_resumable(8, 2, &dir, expensive_task).unwrap();
+    assert_eq!(report.reused, 4, "the surviving half must be reused");
+    assert_eq!(report.computed, 4);
+    assert!(report.invalid.is_empty());
+
+    let fresh_dir = tmp_dir("campaign_fresh");
+    let (fresh, _) = run_parallel_resumable(8, 2, &fresh_dir, expensive_task).unwrap();
+    assert_eq!(full, fresh, "resumed campaign must equal a fresh one");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&fresh_dir);
+}
+
+/// A deterministic stand-in for one experiment: returns bit patterns that
+/// would expose any float re-encoding sloppiness in the persistence path.
+fn expensive_task(i: usize) -> (u64, f64) {
+    let x = (i as f64 + 0.1).sin() * 1e3;
+    (i as u64 * 7919, x)
+}

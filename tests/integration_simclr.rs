@@ -39,12 +39,12 @@ fn pretraining_beats_random_initialization() {
         ..SimClrConfig::paper(11)
     };
     let (pre, _) = pretrain(&ds, &pool, ViewPair::paper(), &fpcfg, norm, &config);
-    let tuned = fine_tune(&pre, &labeled, 5);
+    let tuned = fine_tune(&pre, &labeled, 5, 1);
     let pretrained_acc = trainer.evaluate(&tuned, &script).accuracy;
 
     // Random extractor, same fine-tuning protocol.
     let random = simclr_net(32, 30, false, 999);
-    let tuned_random = fine_tune(&random, &labeled, 5);
+    let tuned_random = fine_tune(&random, &labeled, 5, 1);
     let random_acc = trainer.evaluate(&tuned_random, &script).accuracy;
 
     assert!(
