@@ -12,7 +12,8 @@
 use augment::ALL_AUGMENTATIONS;
 use mlstats::MeanCi;
 use tcbench::report::Table;
-use tcbench_bench::campaign::{run_supervised_cell, CellResult};
+use tcbench::telemetry::CampaignProgress;
+use tcbench_bench::campaign::{run_supervised_cell_observed, CellResult};
 use tcbench_bench::{ucdavis_dataset, BenchOpts};
 
 fn main() {
@@ -22,17 +23,30 @@ fn main() {
     let (k, s) = opts.campaign();
     eprintln!(
         "table4: resolutions {resolutions:?}, {k} splits x {s} seeds, \
-         {} aug copies (use --paper for full scale)",
+         {} aug copies (use --paper for full scale, --progress for telemetry)",
         opts.aug_copies()
     );
 
+    // Campaign-level telemetry: one task_end (with ETA) per finished
+    // cell; under --progress each run also streams per-epoch events.
+    let n_cells = resolutions.len() * ALL_AUGMENTATIONS.len();
+    let progress = CampaignProgress::new(n_cells, opts.observer());
+    let mut per_epoch = opts.observer();
     let mut cells: Vec<CellResult> = Vec::new();
     for &res in &resolutions {
         for aug in ALL_AUGMENTATIONS {
             eprintln!("  running {} @ {res}x{res}...", aug.name());
             // Table 4 uses dropout "as intended in the original study"
             // (paper footnote 17).
-            cells.push(run_supervised_cell(&dataset, aug, res, true, &opts));
+            cells.push(run_supervised_cell_observed(
+                &dataset,
+                aug,
+                res,
+                true,
+                &opts,
+                per_epoch.as_mut(),
+            ));
+            progress.task_done(cells.len() - 1, false);
         }
     }
 

@@ -76,6 +76,21 @@ pub fn run_supervised_cell(
     dropout: bool,
     opts: &BenchOpts,
 ) -> CellResult {
+    run_supervised_cell_observed(dataset, aug, res, dropout, opts, &mut tcbench::telemetry::Noop)
+}
+
+/// [`run_supervised_cell`] with telemetry: every training run inside the
+/// cell streams its events to `obs`. Observability-only — the returned
+/// result is identical to the unobserved variant.
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_cell_observed(
+    dataset: &Dataset,
+    aug: Augmentation,
+    res: usize,
+    dropout: bool,
+    opts: &BenchOpts,
+    obs: &mut dyn tcbench::telemetry::TrainObserver,
+) -> CellResult {
     let (k_splits, s_seeds) = opts.campaign();
     let fpcfg = FlowpicConfig::with_resolution(res);
     let norm = Normalization::LogMax;
@@ -116,7 +131,7 @@ pub fn run_supervised_cell(
                 ..TrainConfig::supervised(seed)
             });
             let mut net = supervised_net(res, dataset.num_classes(), dropout, seed);
-            let summary = trainer.train(&mut net, &train, Some(&val));
+            let summary = trainer.train_observed(&mut net, &train, Some(&val), obs);
             let script_eval = trainer.evaluate(&net, &script);
             let human_eval = trainer.evaluate(&net, &human);
             let leftover_eval = trainer.evaluate(&net, &leftover);

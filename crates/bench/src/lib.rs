@@ -30,6 +30,8 @@ pub struct BenchOpts {
     pub out_dir: String,
     /// Base dataset seed.
     pub seed: u64,
+    /// Emit per-epoch/per-cell telemetry on stderr.
+    pub progress: bool,
 }
 
 impl BenchOpts {
@@ -43,12 +45,14 @@ impl BenchOpts {
             paper: false,
             out_dir: "bench_results".to_string(),
             seed: 42,
+            progress: false,
         };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--paper" => opts.paper = true,
                 "--quick" => opts.paper = false,
+                "--progress" => opts.progress = true,
                 "--out" => {
                     i += 1;
                     match args.get(i) {
@@ -68,6 +72,17 @@ impl BenchOpts {
             i += 1;
         }
         opts
+    }
+
+    /// The campaign-level telemetry sink this invocation asked for:
+    /// per-task progress on stderr under `--progress`, silence otherwise.
+    /// Telemetry is observability-only — results are identical either way.
+    pub fn observer(&self) -> Box<dyn tcbench::telemetry::TrainObserver + Send> {
+        if self.progress {
+            Box::new(tcbench::telemetry::ProgressSink::stderr())
+        } else {
+            Box::new(tcbench::telemetry::Noop)
+        }
     }
 
     /// Campaign shape: `(splits, seeds_per_split)`.
@@ -117,7 +132,7 @@ impl BenchOpts {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: <bench> [--quick|--paper] [--out DIR] [--seed N]");
+    eprintln!("usage: <bench> [--quick|--paper] [--out DIR] [--seed N] [--progress]");
     std::process::exit(2);
 }
 

@@ -5,10 +5,12 @@ use crate::CliError;
 use augment::Augmentation;
 use flowpic::render::ascii_heatmap;
 use flowpic::{Flowpic, FlowpicConfig, Normalization};
+use nettensor::checkpoint::{Decoder, Persist};
 use serde::{Deserialize, Serialize};
 use tcbench::arch::supervised_net;
 use tcbench::data::FlowpicDataset;
 use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use tcbench::telemetry::{JsonlSink, ProgressSink, Tee};
 use trafficgen::curation::CurationPipeline;
 use trafficgen::flowrec;
 use trafficgen::pcap::flow_to_pcap;
@@ -28,11 +30,32 @@ pub fn run(subcommand: &str, args: &[String]) -> Result<String, CliError> {
         "windows" => windows(args),
         "pretrain" => pretrain_cmd(args),
         "finetune" => finetune_cmd(args),
+        "campaign" => campaign(args),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other}\n\n{}",
             crate::USAGE
         ))),
     }
+}
+
+/// Builds the telemetry sink stack from the shared `--progress` /
+/// `--log-jsonl PATH` flags. `append` keeps an existing JSONL file
+/// (resumed runs accumulate their event stream); otherwise the file is
+/// truncated. An empty [`Tee`] behaves like `Noop`.
+fn build_observer(flags: &Flags, append: bool) -> Result<Tee, CliError> {
+    let mut tee = Tee::new();
+    if flags.switch("progress") {
+        tee.push(Box::new(ProgressSink::stderr()));
+    }
+    if let Some(path) = flags.get("log-jsonl") {
+        let sink = if append {
+            JsonlSink::append(path)?
+        } else {
+            JsonlSink::create(path)?
+        };
+        tee.push(Box::new(sink));
+    }
+    Ok(tee)
 }
 
 fn load_dataset(path: &str) -> Result<Dataset, CliError> {
@@ -236,7 +259,7 @@ pub struct SavedModel {
 }
 
 /// `tcb train --input FILE --out MODEL [--aug NAME] [--res R] [--seed N] [--epochs N]
-/// [--checkpoint-dir DIR [--resume]]`
+/// [--checkpoint-dir DIR [--resume]] [--progress] [--log-jsonl PATH]`
 fn train(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(
         args,
@@ -249,8 +272,9 @@ fn train(args: &[String]) -> Result<String, CliError> {
             "epochs",
             "batch-workers",
             "checkpoint-dir",
+            "log-jsonl",
         ],
-        &["resume"],
+        &["resume", "progress"],
     )?;
     if flags.wants_help() {
         return Ok(
@@ -260,7 +284,8 @@ fn train(args: &[String]) -> Result<String, CliError> {
                    bit-identical results)] [--checkpoint-dir DIR (save a crash-safe \
                    checkpoint each epoch)] [--resume (continue from the checkpoint in \
                    --checkpoint-dir; resumed runs finish bit-identical to uninterrupted \
-                   ones)]"
+                   ones)] [--progress (per-epoch progress on stderr)] [--log-jsonl PATH \
+                   (append one JSON event per line; telemetry never alters training)]"
                 .into(),
         );
     }
@@ -297,6 +322,9 @@ fn train(args: &[String]) -> Result<String, CliError> {
         ..TrainConfig::supervised(seed)
     });
     let mut net = supervised_net(res, collated.num_classes(), true, seed);
+    // Resumed runs append to an existing JSONL log so the event stream
+    // accumulates across invocations; fresh runs start a new file.
+    let mut obs = build_observer(&flags, resume)?;
     let summary = match &checkpoint_dir {
         Some(dir) => {
             std::fs::create_dir_all(dir)?;
@@ -307,10 +335,10 @@ fn train(args: &[String]) -> Result<String, CliError> {
                 spec = spec.resuming();
             }
             trainer
-                .train_resumable(&mut net, &train_set, Some(&val), &spec)
+                .train_resumable_observed(&mut net, &train_set, Some(&val), &spec, &mut obs)
                 .map_err(|e| CliError::Parse(format!("checkpoint: {e}")))?
         }
-        None => trainer.train(&mut net, &train_set, Some(&val)),
+        None => trainer.train_observed(&mut net, &train_set, Some(&val), &mut obs),
     };
     let eval = trainer.evaluate(&net, &test);
 
@@ -396,11 +424,11 @@ pub struct SavedPretrained {
 }
 
 /// `tcb pretrain --input FILE --out PRE.json [--objective simclr|supcon|byol]
-/// [--res R] [--epochs N] [--seed N]`
+/// [--res R] [--epochs N] [--seed N] [--progress] [--log-jsonl PATH]`
 fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
     use augment::ViewPair;
-    use tcbench::byol::pretrain_byol;
-    use tcbench::simclr::{pretrain, pretrain_supcon, SimClrConfig};
+    use tcbench::byol::pretrain_byol_observed;
+    use tcbench::simclr::{pretrain_observed, pretrain_supcon_observed, SimClrConfig};
     let flags = Flags::parse(
         args,
         &[
@@ -411,13 +439,15 @@ fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
             "epochs",
             "seed",
             "batch-workers",
+            "log-jsonl",
         ],
-        &[],
+        &["progress"],
     )?;
     if flags.wants_help() {
         return Ok("tcb pretrain --input FILE --out PRE.json \
                    [--objective simclr|supcon|byol] [--res 32] [--epochs N] [--seed N] \
-                   [--batch-workers N]"
+                   [--batch-workers N] [--progress (per-epoch progress on stderr)] \
+                   [--log-jsonl PATH (one JSON event per line)]"
             .into());
     }
     let ds = load_dataset(flags.require("input")?)?;
@@ -435,30 +465,34 @@ fn pretrain_cmd(args: &[String]) -> Result<String, CliError> {
     let indices: Vec<usize> = (0..ds.flows.len())
         .filter(|&i| !ds.flows[i].background)
         .collect();
+    let mut obs = build_observer(&flags, false)?;
     let (net, summary) = match objective.as_str() {
-        "simclr" => pretrain(
+        "simclr" => pretrain_observed(
             &ds,
             &indices,
             ViewPair::paper(),
             &fpcfg,
             Normalization::LogMax,
             &config,
+            &mut obs,
         ),
-        "supcon" => pretrain_supcon(
+        "supcon" => pretrain_supcon_observed(
             &ds,
             &indices,
             ViewPair::paper(),
             &fpcfg,
             Normalization::LogMax,
             &config,
+            &mut obs,
         ),
-        "byol" => pretrain_byol(
+        "byol" => pretrain_byol_observed(
             &ds,
             &indices,
             ViewPair::paper(),
             &fpcfg,
             Normalization::LogMax,
             &config,
+            &mut obs,
         ),
         other => return Err(CliError::Usage(format!("unknown objective {other}"))),
     };
@@ -557,6 +591,176 @@ fn finetune_cmd(args: &[String]) -> Result<String, CliError> {
          same class table.",
         100.0 * eval.accuracy
     ))
+}
+
+/// One grid cell of a `tcb campaign` run, persisted to the campaign
+/// directory so a killed campaign resumes instead of recomputing.
+#[derive(Debug, Clone)]
+struct CampaignCell {
+    aug: String,
+    seed: u64,
+    epochs: usize,
+    final_train_loss: f64,
+    accuracy: f64,
+    weighted_f1: f64,
+}
+
+impl Persist for CampaignCell {
+    fn encode(&self, out: &mut String) {
+        self.aug.encode(out);
+        self.seed.encode(out);
+        self.epochs.encode(out);
+        self.final_train_loss.encode(out);
+        self.accuracy.encode(out);
+        self.weighted_f1.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(CampaignCell {
+            aug: String::decode(d)?,
+            seed: u64::decode(d)?,
+            epochs: usize::decode(d)?,
+            final_train_loss: f64::decode(d)?,
+            accuracy: f64::decode(d)?,
+            weighted_f1: f64::decode(d)?,
+        })
+    }
+}
+
+/// `tcb campaign --input FILE --dir DIR [--augs a,b,...] [--seeds N]
+/// [--res R] [--epochs N] [--workers N] [--progress] [--log-jsonl PATH]`
+///
+/// Runs the supervised augmentation grid (augmentations × seeds) in
+/// parallel with per-cell persistence: each finished cell is written to
+/// `--dir` immediately, and rerunning the same command reuses finished
+/// cells instead of recomputing them (Table 4's workflow at CLI scale).
+fn campaign(args: &[String]) -> Result<String, CliError> {
+    use tcbench::campaign::{run_parallel_resumable_observed, worker_budget};
+    use tcbench::telemetry::CampaignProgress;
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "dir",
+            "augs",
+            "seeds",
+            "res",
+            "epochs",
+            "workers",
+            "log-jsonl",
+        ],
+        &["progress"],
+    )?;
+    if flags.wants_help() {
+        return Ok(
+            "tcb campaign --input FILE --dir DIR [--augs no-aug,rotate,... \
+                   (default: all 7)] [--seeds N (seeds 1..=N, default 3)] [--res 32] \
+                   [--epochs N] [--workers N (campaign threads; 0 = all cores, \
+                   remaining cores go to batch sharding)] [--progress (per-task \
+                   progress + ETA on stderr)] [--log-jsonl PATH (append one \
+                   task_end JSON event per line)]\n\
+                   Finished cells persist in --dir; rerun the same command to resume."
+                .into(),
+        );
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let dir = flags.require("dir")?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let epochs = flags.get_parse::<usize>("epochs", 15)?;
+    let n_seeds = flags.get_parse::<usize>("seeds", 3)?;
+    if n_seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let augs: Vec<Augmentation> = flags
+        .get("augs")
+        .unwrap_or("no-aug,rotate,flip,color-jitter,packet-loss,time-shift,change-rtt")
+        .split(',')
+        .map(|name| parse_aug(name.trim()))
+        .collect::<Result<_, _>>()?;
+    let n_tasks = augs.len() * n_seeds;
+    let (campaign_workers, batch_workers) =
+        worker_budget(flags.get_parse::<usize>("workers", 0)?, n_tasks);
+
+    let mut collated = ds.clone();
+    for f in &mut collated.flows {
+        f.partition = Partition::Unpartitioned;
+    }
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let norm = Normalization::LogMax;
+
+    // The campaign sink only sees task_end events (per-epoch streams of
+    // thousands of parallel cells would be noise); append mode lets a
+    // resumed campaign keep one cumulative log.
+    let progress = CampaignProgress::new(n_tasks, Box::new(build_observer(&flags, true)?));
+    let (cells, report) = run_parallel_resumable_observed(
+        n_tasks,
+        campaign_workers,
+        std::path::Path::new(dir),
+        |i| {
+            let aug = augs[i / n_seeds];
+            let seed = 1 + (i % n_seeds) as u64;
+            let split = stratified_three_way(&collated, Partition::Unpartitioned, 0.8, 0.1, seed);
+            let train_set =
+                FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
+            let val = FlowpicDataset::from_flows(&collated, &split.val, &fpcfg, norm);
+            let test = FlowpicDataset::from_flows(&collated, &split.test, &fpcfg, norm);
+            let trainer = SupervisedTrainer::new(TrainConfig {
+                max_epochs: epochs,
+                batch_workers,
+                ..TrainConfig::supervised(seed)
+            });
+            let mut net = supervised_net(res, collated.num_classes(), true, seed);
+            let summary = trainer.train(&mut net, &train_set, Some(&val));
+            let eval = trainer.evaluate(&net, &test);
+            CampaignCell {
+                aug: aug.name().to_string(),
+                seed,
+                epochs: summary.epochs,
+                final_train_loss: summary.final_train_loss,
+                accuracy: eval.accuracy,
+                weighted_f1: eval.weighted_f1,
+            }
+        },
+        &progress,
+    )
+    .map_err(|e| CliError::Parse(format!("campaign: {e}")))?;
+
+    let mut out = format!(
+        "campaign: {} cells ({} augs x {} seeds) on {} workers; {} computed, {} reused",
+        n_tasks,
+        augs.len(),
+        n_seeds,
+        campaign_workers,
+        report.computed,
+        report.reused,
+    );
+    if !report.invalid.is_empty() {
+        out.push_str(&format!(
+            " ({} corrupted cell files recomputed)",
+            report.invalid.len()
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<16} {:>4} {:>6} {:>10} {:>7} {:>7}\n",
+        "aug", "seed", "epochs", "loss", "acc%", "f1%"
+    ));
+    for c in &cells {
+        out.push_str(&format!(
+            "{:<16} {:>4} {:>6} {:>10.4} {:>7.2} {:>7.2}\n",
+            c.aug,
+            c.seed,
+            c.epochs,
+            c.final_train_loss,
+            100.0 * c.accuracy,
+            100.0 * c.weighted_f1,
+        ));
+    }
+    out.push_str("mean accuracy per augmentation:\n");
+    for (a, chunk) in augs.iter().zip(cells.chunks(n_seeds)) {
+        let mean = chunk.iter().map(|c| c.accuracy).sum::<f64>() / chunk.len() as f64;
+        out.push_str(&format!("  {:<16} {:>6.2}%\n", a.name(), 100.0 * mean));
+    }
+    Ok(out)
 }
 
 /// `tcb windows --input FILE --out FILE [--window-s S] [--min-pkts N]`
@@ -806,6 +1010,139 @@ mod tests {
         resumed.push("--resume".into());
         let msg2 = run("train", &resumed).unwrap();
         assert!(msg2.contains("test accuracy"), "{msg2}");
+    }
+
+    #[test]
+    fn train_with_jsonl_log_emits_valid_event_stream() {
+        let path = tmp("train-telemetry.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let model = tmp("model-telemetry.json");
+        let log = tmp("train.jsonl");
+        let _ = std::fs::remove_file(&log);
+        run(
+            "train",
+            &argv(&[
+                "--input",
+                &path,
+                "--out",
+                &model,
+                "--res",
+                "16",
+                "--epochs",
+                "2",
+                "--seed",
+                "2",
+                "--log-jsonl",
+                &log,
+            ]),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.first().unwrap().contains("\"event\":\"run_start\""),
+            "{text}"
+        );
+        assert!(
+            lines.last().unwrap().contains("\"event\":\"run_end\""),
+            "{text}"
+        );
+        let epoch_ends = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"epoch_end\""))
+            .count();
+        assert_eq!(epoch_ends, 2, "one epoch_end per epoch: {text}");
+        // Every line is a self-contained versioned object.
+        for line in &lines {
+            assert!(line.starts_with("{\"v\":1,"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn campaign_computes_then_resumes() {
+        let path = tmp("campaign-src.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "5",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let dir = tmp("campaign-cells");
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = tmp("campaign.jsonl");
+        let _ = std::fs::remove_file(&log);
+        let base = argv(&[
+            "--input",
+            &path,
+            "--dir",
+            &dir,
+            "--augs",
+            "no-aug,rotate",
+            "--seeds",
+            "1",
+            "--res",
+            "16",
+            "--epochs",
+            "2",
+            "--workers",
+            "2",
+            "--log-jsonl",
+            &log,
+        ]);
+        let msg = run("campaign", &base).unwrap();
+        assert!(msg.contains("2 computed, 0 reused"), "{msg}");
+        assert!(
+            msg.contains("No augmentation") && msg.contains("Rotate"),
+            "{msg}"
+        );
+        assert!(msg.contains("mean accuracy"), "{msg}");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let task_ends = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"task_end\""))
+            .count();
+        assert_eq!(task_ends, 2, "{text}");
+        // Rerunning reuses every persisted cell and reports the same grid.
+        let msg2 = run("campaign", &base).unwrap();
+        assert!(msg2.contains("0 computed, 2 reused"), "{msg2}");
+        assert!(msg2.contains("No augmentation"), "{msg2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_rejects_bad_grid() {
+        assert!(run(
+            "campaign",
+            &argv(&["--input", "/missing", "--dir", "/tmp/x", "--augs", "bogus"]),
+        )
+        .is_err());
+        assert!(run(
+            "campaign",
+            &argv(&["--input", "/missing", "--dir", "/tmp/x", "--seeds", "0"]),
+        )
+        .is_err());
     }
 
     #[test]

@@ -69,5 +69,10 @@ subcommands:
   pretrain     SimCLR/SupCon/BYOL pre-training on unlabeled flows
   finetune     few-shot fine-tune a pre-trained extractor
   evaluate     evaluate a saved model on a flowrec file
+  campaign     run the augmentation x seed grid with resume + progress
+
+train, pretrain and campaign accept --progress (human-readable progress
+on stderr) and --log-jsonl PATH (one JSON telemetry event per line);
+telemetry is observability-only and never alters training results.
 
 run `tcb <subcommand> --help` for flags.";

@@ -25,6 +25,7 @@
 use crate::arch::{byol_net, byol_predictor};
 use crate::early_stop::EarlyStopper;
 use crate::simclr::{PretrainSummary, SimClrConfig};
+use crate::telemetry::{Noop, TrainEvent, TrainObserver};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use nettensor::optim::{Adam, Optimizer};
@@ -94,7 +95,24 @@ pub fn pretrain_byol(
     norm: Normalization,
     config: &SimClrConfig,
 ) -> (Sequential, PretrainSummary) {
+    pretrain_byol_observed(dataset, indices, pair, fpcfg, norm, config, &mut Noop)
+}
+
+/// [`pretrain_byol`] with a telemetry observer (trainer label `"byol"`).
+/// `EpochEnd::samples` counts augmented views forwarded through the
+/// online network (2× the flow count). Observability-only: bit-identical
+/// to [`pretrain_byol`].
+pub fn pretrain_byol_observed(
+    dataset: &Dataset,
+    indices: &[usize],
+    pair: ViewPair,
+    fpcfg: &FlowpicConfig,
+    norm: Normalization,
+    config: &SimClrConfig,
+    obs: &mut dyn TrainObserver,
+) -> (Sequential, PretrainSummary) {
     assert!(indices.len() >= 2, "BYOL needs at least 2 flows");
+    let run_start = std::time::Instant::now();
     let res = fpcfg.resolution;
     let mut online = byol_net(res, config.proj_dim, config.dropout, config.seed);
     let mut target = byol_net(res, config.proj_dim, config.dropout, config.seed ^ 0xBEEF);
@@ -112,16 +130,31 @@ pub fn pretrain_byol(
         EarlyStopper::new(crate::early_stop::StopMode::Minimize, config.patience, 1e-4);
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xB401_5678);
 
+    obs.event(&TrainEvent::RunStart {
+        trainer: "byol",
+        samples: indices.len(),
+        max_epochs: config.max_epochs,
+        start_epoch: 0,
+    });
+
     let mut epochs = 0;
     let mut final_loss = 0f64;
     let mut best_weights = online.export_weights();
+    let mut best_epoch = None;
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
         order.shuffle(&mut rng);
+        let epoch_start = std::time::Instant::now();
+        // Sample-weighted epoch loss: `batch_loss / 2` is the mean BYOL
+        // loss over the chunk's `b` flows, so weight by `b` — the ragged
+        // last batch counts by its size, keeping the watched (stopping)
+        // metric a true per-flow mean. BYOL bypasses the BatchEngine
+        // (batch norm runs unsharded), so views are counted by hand.
         let mut epoch_loss = 0f64;
-        let mut n_batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
+        let mut n_flows = 0usize;
+        let mut epoch_views = 0usize;
+        for (batch, chunk) in order.chunks(config.batch_size).enumerate() {
             if chunk.len() < 2 {
                 continue;
             }
@@ -159,13 +192,31 @@ pub fn pretrain_byol(
                 batch_loss += loss;
             }
             ema_update(&online, &mut target, TARGET_DECAY);
-            epoch_loss += (batch_loss / 2.0) as f64;
-            n_batches += 1;
+            let batch_mean = (batch_loss / 2.0) as f64;
+            epoch_loss += batch_mean * b as f64;
+            n_flows += b;
+            epoch_views += 2 * b;
+            obs.event(&TrainEvent::BatchEnd {
+                epoch: epochs,
+                batch,
+                loss: batch_mean,
+                samples: b,
+            });
         }
-        final_loss = epoch_loss / n_batches.max(1) as f64;
+        final_loss = epoch_loss / n_flows.max(1) as f64;
+        let wall = epoch_start.elapsed().as_secs_f64();
+        obs.event(&TrainEvent::EpochEnd {
+            epoch: epochs,
+            train_loss: final_loss,
+            val_loss: None,
+            samples: epoch_views,
+            wall_ms: wall * 1000.0,
+            samples_per_sec: epoch_views as f64 / wall.max(1e-9),
+        });
         let verdict = stopper.observe(final_loss);
         if verdict.improved {
             best_weights = online.export_weights();
+            best_epoch = Some(epochs);
         }
         if verdict.stop {
             break;
@@ -175,6 +226,12 @@ pub fn pretrain_byol(
     // ones: patience epochs after the optimum would otherwise leak into
     // the returned extractor.
     online.import_weights(&best_weights);
+    obs.event(&TrainEvent::RunEnd {
+        epochs,
+        final_train_loss: final_loss,
+        best_epoch,
+        wall_ms: run_start.elapsed().as_secs_f64() * 1000.0,
+    });
     // BYOL has no contrastive ranking metric; report 0 for top-5.
     (
         online,

@@ -6,6 +6,7 @@
 //! over CPU cores. Results come back in task order regardless of
 //! completion order, so downstream aggregation is deterministic.
 
+use crate::telemetry::CampaignProgress;
 use crossbeam::channel;
 use nettensor::checkpoint::{self, CheckpointError, Persist};
 use parking_lot::Mutex;
@@ -66,6 +67,27 @@ where
         .collect()
 }
 
+/// [`run_parallel`] with campaign telemetry: `progress` records each
+/// completed task (and emits a `TaskEnd` event with running counts and an
+/// ETA) the moment it finishes, from whichever worker thread ran it.
+/// Observability-only: results are identical to [`run_parallel`].
+pub fn run_parallel_observed<T, F>(
+    n_tasks: usize,
+    workers: usize,
+    task: F,
+    progress: &CampaignProgress,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_parallel(n_tasks, workers, |i| {
+        let out = task(i);
+        progress.task_done(i, false);
+        out
+    })
+}
+
 /// What [`run_parallel_resumable`] found on disk and what it had to do.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResumeReport {
@@ -103,6 +125,38 @@ where
     T: Persist + Send,
     F: Fn(usize) -> T + Sync,
 {
+    resumable_impl(n_tasks, workers, dir, task, None)
+}
+
+/// [`run_parallel_resumable`] with campaign telemetry: every reused task
+/// is reported to `progress` up front (as `reused`), every recomputed
+/// task as it completes. `progress.counts()` afterwards mirrors the
+/// returned [`ResumeReport`]. Observability-only.
+pub fn run_parallel_resumable_observed<T, F>(
+    n_tasks: usize,
+    workers: usize,
+    dir: &Path,
+    task: F,
+    progress: &CampaignProgress,
+) -> Result<(Vec<T>, ResumeReport), CheckpointError>
+where
+    T: Persist + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    resumable_impl(n_tasks, workers, dir, task, Some(progress))
+}
+
+fn resumable_impl<T, F>(
+    n_tasks: usize,
+    workers: usize,
+    dir: &Path,
+    task: F,
+    progress: Option<&CampaignProgress>,
+) -> Result<(Vec<T>, ResumeReport), CheckpointError>
+where
+    T: Persist + Send,
+    F: Fn(usize) -> T + Sync,
+{
     std::fs::create_dir_all(dir)?;
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n_tasks);
     let mut report = ResumeReport::default();
@@ -112,6 +166,9 @@ where
             Ok(v) => {
                 report.reused += 1;
                 slots.push(Some(v));
+                if let Some(p) = progress {
+                    p.task_done(i, true);
+                }
             }
             Err(e) => {
                 if !matches!(e, CheckpointError::Io(_)) {
@@ -129,6 +186,9 @@ where
         let out = task(i);
         // Persist immediately: a kill after this point loses nothing.
         let saved = checkpoint::save_value(&task_path(dir, i), &out);
+        if let Some(p) = progress {
+            p.task_done(i, false);
+        }
         (out, saved)
     });
     for (j, (out, saved)) in fresh.into_iter().enumerate() {
@@ -319,6 +379,35 @@ mod tests {
         let mut reran = reran.into_inner();
         reran.sort_unstable();
         assert_eq!(reran, vec![1, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_parallel_observed_matches_plain_and_counts_tasks() {
+        use crate::telemetry::Noop;
+        let progress = CampaignProgress::new(10, Box::new(Noop));
+        let results = run_parallel_observed(10, 4, |i| i * i, &progress);
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(progress.counts(), (10, 0, 10));
+    }
+
+    #[test]
+    fn observed_resumable_campaign_distinguishes_reused_from_computed() {
+        use crate::telemetry::Noop;
+        let dir = tmp_dir("observed");
+        let progress = CampaignProgress::new(6, Box::new(Noop));
+        let (results, report) =
+            run_parallel_resumable_observed(6, 2, &dir, |i| i as u64, &progress).unwrap();
+        assert_eq!(results.len(), 6);
+        assert_eq!((report.reused, report.computed), (0, 6));
+        assert_eq!(progress.counts(), (6, 0, 6));
+        // Second invocation: everything reloads from disk and the
+        // progress counts mirror the ResumeReport.
+        let progress = CampaignProgress::new(6, Box::new(Noop));
+        let (_, report) =
+            run_parallel_resumable_observed(6, 2, &dir, |i| i as u64, &progress).unwrap();
+        assert_eq!((report.reused, report.computed), (6, 0));
+        assert_eq!(progress.counts(), (6, 6, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

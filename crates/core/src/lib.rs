@@ -31,6 +31,7 @@ pub mod regression;
 pub mod report;
 pub mod simclr;
 pub mod supervised;
+pub mod telemetry;
 pub mod timeseries;
 pub mod track;
 

@@ -12,6 +12,7 @@ use crate::arch::{finetune_net, simclr_net, EXTRACTOR_DEPTH};
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
 use crate::supervised::{SupervisedTrainer, TrainConfig};
+use crate::telemetry::{Noop, TrainEvent, TrainObserver};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use nettensor::engine::BatchEngine;
@@ -92,7 +93,24 @@ pub fn pretrain(
     norm: Normalization,
     config: &SimClrConfig,
 ) -> (Sequential, PretrainSummary) {
+    pretrain_observed(dataset, indices, pair, fpcfg, norm, config, &mut Noop)
+}
+
+/// [`pretrain`] with a telemetry observer. Events count anchors
+/// (augmented views, 2× the flow count) as samples; telemetry is
+/// observability-only — results are bit-identical with or without an
+/// observer.
+pub fn pretrain_observed(
+    dataset: &Dataset,
+    indices: &[usize],
+    pair: ViewPair,
+    fpcfg: &FlowpicConfig,
+    norm: Normalization,
+    config: &SimClrConfig,
+    obs: &mut dyn TrainObserver,
+) -> (Sequential, PretrainSummary) {
     assert!(indices.len() >= 2, "SimCLR needs at least 2 flows");
+    let run_start = std::time::Instant::now();
     let mut net = simclr_net(
         fpcfg.resolution,
         config.proj_dim,
@@ -109,17 +127,30 @@ pub fn pretrain(
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x51AC_1234);
     let res = fpcfg.resolution;
 
+    obs.event(&TrainEvent::RunStart {
+        trainer: "simclr",
+        samples: indices.len(),
+        max_epochs: config.max_epochs,
+        start_epoch: 0,
+    });
+
     let mut epochs = 0;
     let mut final_loss = 0f64;
     let mut best: Option<nettensor::model::Weights> = None;
+    let mut best_epoch = None;
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
         order.shuffle(&mut rng);
+        let epoch_start = std::time::Instant::now();
+        let samples_before = engine.samples_processed();
+        // Epoch metrics are anchor-weighted (each flow contributes two
+        // augmented views = two NT-Xent anchors): the ragged last batch
+        // counts by its size, not as a full batch.
         let mut epoch_loss = 0f64;
         let mut epoch_top5 = 0f64;
-        let mut n_batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
+        let mut n_anchors = 0usize;
+        for (batch, chunk) in order.chunks(config.batch_size).enumerate() {
             if chunk.len() < 2 {
                 continue; // NT-Xent needs at least 2 pairs
             }
@@ -143,15 +174,33 @@ pub fn pretrain(
             engine.backward(&net, &tapes, &out.grad, &mut grads);
             engine.commit(&mut net, &tapes);
             opt.step(&mut net, &grads);
-            epoch_loss += out.loss as f64;
-            epoch_top5 += out.top5_accuracy;
-            n_batches += 1;
+            let anchors = 2 * b;
+            epoch_loss += out.loss as f64 * anchors as f64;
+            epoch_top5 += out.top5_accuracy * anchors as f64;
+            n_anchors += anchors;
+            obs.event(&TrainEvent::BatchEnd {
+                epoch: epochs,
+                batch,
+                loss: out.loss as f64,
+                samples: anchors,
+            });
         }
-        final_loss = epoch_loss / n_batches.max(1) as f64;
-        let top5 = epoch_top5 / n_batches.max(1) as f64;
+        final_loss = epoch_loss / n_anchors.max(1) as f64;
+        let top5 = epoch_top5 / n_anchors.max(1) as f64;
+        let epoch_samples = (engine.samples_processed() - samples_before) as usize;
+        let wall = epoch_start.elapsed().as_secs_f64();
+        obs.event(&TrainEvent::EpochEnd {
+            epoch: epochs,
+            train_loss: final_loss,
+            val_loss: None,
+            samples: epoch_samples,
+            wall_ms: wall * 1000.0,
+            samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+        });
         let verdict = stopper.observe(top5);
         if verdict.improved {
             best = Some(net.export_weights());
+            best_epoch = Some(epochs);
         }
         if verdict.stop {
             break;
@@ -162,6 +211,12 @@ pub fn pretrain(
     if let Some(best) = &best {
         net.import_weights(best);
     }
+    obs.event(&TrainEvent::RunEnd {
+        epochs,
+        final_train_loss: final_loss,
+        best_epoch,
+        wall_ms: run_start.elapsed().as_secs_f64() * 1000.0,
+    });
     (
         net,
         PretrainSummary {
@@ -185,6 +240,19 @@ pub fn fine_tune(
     seed: u64,
     batch_workers: usize,
 ) -> Sequential {
+    fine_tune_observed(pretrained, labeled, seed, batch_workers, &mut Noop)
+}
+
+/// [`fine_tune`] with a telemetry observer (events carry the trainer
+/// label `"fine-tune"`). Observability-only: bit-identical to
+/// [`fine_tune`].
+pub fn fine_tune_observed(
+    pretrained: &Sequential,
+    labeled: &FlowpicDataset,
+    seed: u64,
+    batch_workers: usize,
+    obs: &mut dyn TrainObserver,
+) -> Sequential {
     let mut net = finetune_net(labeled.res, labeled.n_classes, seed);
     net.copy_prefix_weights_from(pretrained, EXTRACTOR_DEPTH);
     net.freeze_prefix(EXTRACTOR_DEPTH);
@@ -198,7 +266,9 @@ pub fn fine_tune(
         batch_workers,
     });
     // Paper: fine-tuning early-stops on the *training* loss.
-    trainer.train(&mut net, labeled, None);
+    trainer
+        .train_impl(&mut net, labeled, None, None, "fine-tune", obs)
+        .expect("training without a checkpoint spec cannot fail on IO");
     net
 }
 
@@ -379,8 +449,23 @@ pub fn pretrain_supcon(
     norm: Normalization,
     config: &SimClrConfig,
 ) -> (Sequential, PretrainSummary) {
+    pretrain_supcon_observed(dataset, indices, pair, fpcfg, norm, config, &mut Noop)
+}
+
+/// [`pretrain_supcon`] with a telemetry observer (trainer label
+/// `"supcon"`). Observability-only: bit-identical to [`pretrain_supcon`].
+pub fn pretrain_supcon_observed(
+    dataset: &Dataset,
+    indices: &[usize],
+    pair: ViewPair,
+    fpcfg: &FlowpicConfig,
+    norm: Normalization,
+    config: &SimClrConfig,
+    obs: &mut dyn TrainObserver,
+) -> (Sequential, PretrainSummary) {
     use nettensor::loss::SupCon;
     assert!(indices.len() >= 2, "SupCon needs at least 2 flows");
+    let run_start = std::time::Instant::now();
     let mut net = simclr_net(
         fpcfg.resolution,
         config.proj_dim,
@@ -397,16 +482,29 @@ pub fn pretrain_supcon(
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x50C0_4321);
     let res = fpcfg.resolution;
 
+    obs.event(&TrainEvent::RunStart {
+        trainer: "supcon",
+        samples: indices.len(),
+        max_epochs: config.max_epochs,
+        start_epoch: 0,
+    });
+
     let mut epochs = 0;
     let mut final_loss = 0f64;
     let mut best: Option<nettensor::model::Weights> = None;
+    let mut best_epoch = None;
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
         let mut order = indices.to_vec();
         order.shuffle(&mut rng);
+        let epoch_start = std::time::Instant::now();
+        let samples_before = engine.samples_processed();
+        // Anchor-weighted epoch loss (see `pretrain`): the ragged last
+        // batch counts by its size. The watched metric *is* this loss,
+        // so the weighting directly shapes early stopping.
         let mut epoch_loss = 0f64;
-        let mut n_batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
+        let mut n_anchors = 0usize;
+        for (batch, chunk) in order.chunks(config.batch_size).enumerate() {
             if chunk.len() < 2 {
                 continue;
             }
@@ -430,13 +528,31 @@ pub fn pretrain_supcon(
             engine.backward(&net, &tapes, &out.grad, &mut grads);
             engine.commit(&mut net, &tapes);
             opt.step(&mut net, &grads);
-            epoch_loss += out.loss as f64;
-            n_batches += 1;
+            let anchors = 2 * b;
+            epoch_loss += out.loss as f64 * anchors as f64;
+            n_anchors += anchors;
+            obs.event(&TrainEvent::BatchEnd {
+                epoch: epochs,
+                batch,
+                loss: out.loss as f64,
+                samples: anchors,
+            });
         }
-        final_loss = epoch_loss / n_batches.max(1) as f64;
+        final_loss = epoch_loss / n_anchors.max(1) as f64;
+        let epoch_samples = (engine.samples_processed() - samples_before) as usize;
+        let wall = epoch_start.elapsed().as_secs_f64();
+        obs.event(&TrainEvent::EpochEnd {
+            epoch: epochs,
+            train_loss: final_loss,
+            val_loss: None,
+            samples: epoch_samples,
+            wall_ms: wall * 1000.0,
+            samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+        });
         let verdict = stopper.observe(final_loss);
         if verdict.improved {
             best = Some(net.export_weights());
+            best_epoch = Some(epochs);
         }
         if verdict.stop {
             break;
@@ -446,6 +562,12 @@ pub fn pretrain_supcon(
     if let Some(best) = &best {
         net.import_weights(best);
     }
+    obs.event(&TrainEvent::RunEnd {
+        epochs,
+        final_train_loss: final_loss,
+        best_epoch,
+        wall_ms: run_start.elapsed().as_secs_f64() * 1000.0,
+    });
     // SupCon has no "positive rank" notion comparable to NT-Xent's top-5;
     // report 0 to keep the summary type shared.
     (

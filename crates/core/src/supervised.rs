@@ -29,6 +29,7 @@
 
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
+use crate::telemetry::{Noop, TrainEvent, TrainObserver};
 use mlstats::ConfusionMatrix;
 use nettensor::checkpoint::{self, Checkpoint, CheckpointError, Decoder, Persist};
 use nettensor::engine::BatchEngine;
@@ -241,7 +242,22 @@ impl SupervisedTrainer {
         train: &FlowpicDataset,
         val: Option<&FlowpicDataset>,
     ) -> TrainSummary {
-        self.train_impl(net, train, val, None)
+        self.train_observed(net, train, val, &mut Noop)
+    }
+
+    /// [`SupervisedTrainer::train`] with a telemetry observer: emits
+    /// `RunStart`, per-batch `BatchEnd`, per-epoch `EpochEnd` and a final
+    /// `RunEnd`. Telemetry is observability-only — the run is
+    /// bit-identical (weights and summary) to [`SupervisedTrainer::train`]
+    /// with no observer, at any `batch_workers`.
+    pub fn train_observed(
+        &self,
+        net: &mut Sequential,
+        train: &FlowpicDataset,
+        val: Option<&FlowpicDataset>,
+        obs: &mut dyn TrainObserver,
+    ) -> TrainSummary {
+        self.train_impl(net, train, val, None, "supervised", obs)
             .expect("training without a checkpoint spec cannot fail on IO")
     }
 
@@ -258,16 +274,35 @@ impl SupervisedTrainer {
         val: Option<&FlowpicDataset>,
         spec: &CheckpointSpec,
     ) -> Result<TrainSummary, CheckpointError> {
-        self.train_impl(net, train, val, Some(spec))
+        self.train_impl(net, train, val, Some(spec), "supervised", &mut Noop)
     }
 
-    fn train_impl(
+    /// [`SupervisedTrainer::train_resumable`] with a telemetry observer.
+    /// A resumed run emits events only for the epochs it actually
+    /// recomputes (`RunStart::start_epoch` reports where it picked up);
+    /// events never enter the checkpoint, so instrumented and plain runs
+    /// write identical checkpoint files.
+    pub fn train_resumable_observed(
+        &self,
+        net: &mut Sequential,
+        train: &FlowpicDataset,
+        val: Option<&FlowpicDataset>,
+        spec: &CheckpointSpec,
+        obs: &mut dyn TrainObserver,
+    ) -> Result<TrainSummary, CheckpointError> {
+        self.train_impl(net, train, val, Some(spec), "supervised", obs)
+    }
+
+    pub(crate) fn train_impl(
         &self,
         net: &mut Sequential,
         train: &FlowpicDataset,
         val: Option<&FlowpicDataset>,
         spec: Option<&CheckpointSpec>,
+        trainer_label: &'static str,
+        obs: &mut dyn TrainObserver,
     ) -> Result<TrainSummary, CheckpointError> {
+        let run_start = std::time::Instant::now();
         assert!(!train.is_empty(), "empty training set");
         // An empty validation set would "evaluate" to loss 0.0 every
         // epoch and freeze early stopping at the first epoch. Treat it
@@ -309,14 +344,29 @@ impl SupervisedTrainer {
             }
         }
 
+        obs.event(&TrainEvent::RunStart {
+            trainer: trainer_label,
+            samples: train.len(),
+            max_epochs: self.config.max_epochs,
+            start_epoch,
+        });
+
         let mut epochs = start_epoch;
         if !state.stopped {
             for epoch in start_epoch..self.config.max_epochs {
                 epochs = epoch + 1;
                 let order = train.shuffled_order(self.config.seed.wrapping_add(epoch as u64));
+                let epoch_start = std::time::Instant::now();
+                let samples_before = self.engine.samples_processed();
+                // Sample-weighted epoch loss: cross_entropy returns the
+                // batch mean, so weighting by the chunk size makes the
+                // epoch figure the mean over *samples* — the ragged last
+                // batch no longer counts as much as a full one (it used
+                // to, when this divided by the batch count), keeping the
+                // watched metric consistent with `loss()`.
                 let mut epoch_loss = 0f64;
-                let mut n_batches = 0usize;
-                for chunk in order.chunks(self.config.batch_size) {
+                let mut n_samples = 0usize;
+                for (batch, chunk) in order.chunks(self.config.batch_size).enumerate() {
                     let x = train.batch_tensor(chunk);
                     let y = train.batch_labels(chunk);
                     step += 1;
@@ -326,14 +376,32 @@ impl SupervisedTrainer {
                     self.engine.backward(net, &tapes, &grad, &mut grads);
                     self.engine.commit(net, &tapes);
                     opt.step(net, &grads);
-                    epoch_loss += loss as f64;
-                    n_batches += 1;
+                    epoch_loss += loss as f64 * chunk.len() as f64;
+                    n_samples += chunk.len();
+                    obs.event(&TrainEvent::BatchEnd {
+                        epoch: epochs,
+                        batch,
+                        loss: loss as f64,
+                        samples: chunk.len(),
+                    });
                 }
-                state.final_train_loss = epoch_loss / n_batches.max(1) as f64;
+                state.final_train_loss = epoch_loss / n_samples.max(1) as f64;
+                // Throughput over the train pass only (snapshot before the
+                // validation forward).
+                let epoch_samples = (self.engine.samples_processed() - samples_before) as usize;
+                let wall = epoch_start.elapsed().as_secs_f64();
                 let watched = match val {
                     Some(v) => self.loss(net, v),
                     None => state.final_train_loss,
                 };
+                obs.event(&TrainEvent::EpochEnd {
+                    epoch: epochs,
+                    train_loss: state.final_train_loss,
+                    val_loss: val.map(|_| watched),
+                    samples: epoch_samples,
+                    wall_ms: wall * 1000.0,
+                    samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+                });
                 let verdict = state.stopper.observe(watched);
                 if verdict.improved {
                     state.best = Some(BestWeights {
@@ -375,6 +443,12 @@ impl SupervisedTrainer {
         if let Some(best) = &state.best {
             net.import_weights(&best.weights);
         }
+        obs.event(&TrainEvent::RunEnd {
+            epochs,
+            final_train_loss: state.final_train_loss,
+            best_epoch: state.best.as_ref().map(|b| b.epoch),
+            wall_ms: run_start.elapsed().as_secs_f64() * 1000.0,
+        });
         Ok(TrainSummary {
             epochs,
             final_train_loss: state.final_train_loss,
@@ -506,6 +580,51 @@ mod tests {
         assert_eq!(baseline, run(1), "same worker count must reproduce");
         assert_eq!(baseline, run(2), "2 workers must be bit-identical to 1");
         assert_eq!(baseline, run(8), "8 workers must be bit-identical to 1");
+    }
+
+    #[test]
+    fn epoch_loss_is_sample_weighted_not_batch_weighted() {
+        // 20 samples at batch 8 → batches of 8, 8 and a ragged 4. The
+        // epoch loss must be the sample-weighted mean of the batch means
+        // — bitwise — and must differ from the old batch-count average
+        // (which over-weighted the ragged tail).
+        use crate::telemetry::{Recorder, TrainEvent};
+        let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(13);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let data = FlowpicDataset::from_flows(&ds, &idx[..20], &fpcfg, Normalization::LogMax);
+        let trainer = SupervisedTrainer::new(TrainConfig {
+            max_epochs: 1,
+            batch_size: 8,
+            ..TrainConfig::supervised(21)
+        });
+        let mut net = supervised_net(32, 5, false, 21);
+        let mut rec = Recorder::new();
+        let summary = trainer.train_observed(&mut net, &data, None, &mut rec);
+
+        let mut weighted = 0f64;
+        let mut n = 0usize;
+        let mut unweighted = 0f64;
+        let mut batches = 0usize;
+        for e in &rec.events {
+            if let TrainEvent::BatchEnd { loss, samples, .. } = e {
+                weighted += loss * *samples as f64;
+                n += samples;
+                unweighted += loss;
+                batches += 1;
+            }
+        }
+        assert_eq!((n, batches), (20, 3));
+        assert_eq!(
+            summary.final_train_loss.to_bits(),
+            (weighted / n as f64).to_bits(),
+            "epoch loss must be the sample-weighted mean"
+        );
+        assert_ne!(
+            summary.final_train_loss.to_bits(),
+            (unweighted / batches as f64).to_bits(),
+            "ragged batch means the two averages must differ"
+        );
     }
 
     #[test]

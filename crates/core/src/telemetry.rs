@@ -1,0 +1,770 @@
+//! Training telemetry: typed events, observer sinks, JSONL logging.
+//!
+//! Campaign-scale replication (Tables 3–8: thousands of trainer
+//! invocations) needs more than a terminal `TrainSummary` — wall-time,
+//! throughput and the per-epoch loss stream decide whether a campaign is
+//! healthy long before it finishes. This module is that observability
+//! layer:
+//!
+//! * [`TrainEvent`] — the typed event vocabulary every trainer speaks
+//!   (`RunStart`, `BatchEnd`, `EpochEnd`, `RunEnd`, plus the
+//!   campaign-level `TaskEnd`);
+//! * [`TrainObserver`] — the sink trait. Trainers call
+//!   [`TrainObserver::event`] at well-defined points; [`Noop`] keeps
+//!   every pre-existing call site source-compatible and zero-cost.
+//! * Sinks: [`JsonlSink`] (one versioned JSON object per line, each line
+//!   a single atomic append), [`ProgressSink`] (human-readable progress
+//!   on a terminal), [`Recorder`] (in-memory, for tests), [`Tee`]
+//!   (fan-out composition).
+//! * [`CampaignProgress`] — thread-safe per-task aggregation for
+//!   `campaign::run_parallel*`: completed/reused/computed counts and a
+//!   throughput-based ETA.
+//!
+//! # Observability-only invariant
+//!
+//! Telemetry is strictly read-only with respect to training: no event,
+//! timestamp or throughput figure ever enters a checkpoint, a config
+//! fingerprint, or any value the training loop branches on. A run with a
+//! sink attached is bit-identical — weights and summary — to the same run
+//! without one, at any `batch_workers` (asserted in the integration
+//! tests). Wall-clock fields are *measured*, so they differ between runs;
+//! everything else in an event stream is deterministic.
+//!
+//! # JSONL schema (version 1)
+//!
+//! Every line is a self-contained JSON object with `"v":1` and an
+//! `"event"` discriminator. Fields are stable per event kind:
+//!
+//! ```text
+//! {"v":1,"event":"run_start","trainer":"supervised","samples":120,"max_epochs":50,"start_epoch":0}
+//! {"v":1,"event":"batch_end","epoch":1,"batch":0,"loss":1.61,"samples":32}
+//! {"v":1,"event":"epoch_end","epoch":1,"train_loss":1.59,"val_loss":1.62,"samples":120,"wall_ms":35.2,"samples_per_sec":3400.9}
+//! {"v":1,"event":"run_end","epochs":12,"final_train_loss":0.41,"best_epoch":7,"wall_ms":423.0}
+//! {"v":1,"event":"task_end","task":3,"completed":4,"total":12,"reused":false,"wall_ms":1042.7,"eta_ms":2085.4}
+//! ```
+//!
+//! Optional fields (`val_loss`, `best_epoch`, `eta_ms`) serialize as
+//! `null`. Serialization is hand-rolled (no serde) so the byte format is
+//! fully owned by this module and versioned explicitly.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::time::Instant;
+
+/// JSONL schema version stamped on every emitted line.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A telemetry event. Trainers emit these through a [`TrainObserver`];
+/// all fields are plain data — consuming an event cannot influence the
+/// run that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainEvent {
+    /// A trainer entered its epoch loop.
+    RunStart {
+        /// Which loop: `"supervised"`, `"fine-tune"`, `"simclr"`,
+        /// `"supcon"`, `"byol"` or `"gbdt"`.
+        trainer: &'static str,
+        /// Training-set size in samples (flows).
+        samples: usize,
+        /// The epoch safety cap.
+        max_epochs: usize,
+        /// First epoch this invocation will run (nonzero after a resume).
+        start_epoch: usize,
+    },
+    /// One optimizer step finished.
+    BatchEnd {
+        /// 1-based epoch the batch belongs to.
+        epoch: usize,
+        /// 0-based batch index within the epoch.
+        batch: usize,
+        /// Mean loss over the batch.
+        loss: f64,
+        /// Samples in the batch (the ragged last batch is smaller).
+        samples: usize,
+    },
+    /// One epoch finished (train pass plus validation, if any).
+    EpochEnd {
+        /// 1-based epoch index.
+        epoch: usize,
+        /// Sample-weighted mean training loss of the epoch.
+        train_loss: f64,
+        /// Validation loss, when a validation set was provided.
+        val_loss: Option<f64>,
+        /// Samples forwarded through the model during the train pass
+        /// (contrastive trainers count augmented views, so this is
+        /// 2× the flow count there).
+        samples: usize,
+        /// Wall-clock of the train pass, in milliseconds.
+        wall_ms: f64,
+        /// Training throughput: `samples / wall`.
+        samples_per_sec: f64,
+    },
+    /// The trainer returned.
+    RunEnd {
+        /// Epochs actually run (≤ `max_epochs`).
+        epochs: usize,
+        /// Final epoch's training loss.
+        final_train_loss: f64,
+        /// 1-based epoch whose weights were restored (the watched
+        /// optimum), `None` when no epoch ran.
+        best_epoch: Option<usize>,
+        /// Wall-clock of the whole invocation, in milliseconds.
+        wall_ms: f64,
+    },
+    /// A campaign task completed (emitted by [`CampaignProgress`]).
+    TaskEnd {
+        /// Task index within the campaign grid.
+        task: usize,
+        /// Tasks completed so far, this one included.
+        completed: usize,
+        /// Total tasks in the campaign.
+        total: usize,
+        /// Whether the result was reloaded from disk instead of
+        /// recomputed.
+        reused: bool,
+        /// Campaign wall-clock so far, in milliseconds.
+        wall_ms: f64,
+        /// Estimated remaining wall-clock, from the mean cost of the
+        /// tasks actually computed; `None` until one has been.
+        eta_ms: Option<f64>,
+    },
+}
+
+/// Writes `v` as a JSON number, or `null` for non-finite values (JSON
+/// has no NaN/Infinity). Rust's float `Display` is shortest-round-trip,
+/// so the value re-parses exactly.
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_num(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+impl TrainEvent {
+    /// The event as one line of schema-version-[`SCHEMA_VERSION`] JSON
+    /// (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"v\":{SCHEMA_VERSION},");
+        match self {
+            TrainEvent::RunStart {
+                trainer,
+                samples,
+                max_epochs,
+                start_epoch,
+            } => {
+                // Trainer names are static identifiers — no escaping to do.
+                let _ = write!(
+                    s,
+                    "\"event\":\"run_start\",\"trainer\":\"{trainer}\",\
+                     \"samples\":{samples},\"max_epochs\":{max_epochs},\
+                     \"start_epoch\":{start_epoch}"
+                );
+            }
+            TrainEvent::BatchEnd {
+                epoch,
+                batch,
+                loss,
+                samples,
+            } => {
+                let _ = write!(s, "\"event\":\"batch_end\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":");
+                push_num(&mut s, *loss);
+                let _ = write!(s, ",\"samples\":{samples}");
+            }
+            TrainEvent::EpochEnd {
+                epoch,
+                train_loss,
+                val_loss,
+                samples,
+                wall_ms,
+                samples_per_sec,
+            } => {
+                let _ = write!(s, "\"event\":\"epoch_end\",\"epoch\":{epoch},\"train_loss\":");
+                push_num(&mut s, *train_loss);
+                s.push_str(",\"val_loss\":");
+                push_opt(&mut s, *val_loss);
+                let _ = write!(s, ",\"samples\":{samples},\"wall_ms\":");
+                push_num(&mut s, *wall_ms);
+                s.push_str(",\"samples_per_sec\":");
+                push_num(&mut s, *samples_per_sec);
+            }
+            TrainEvent::RunEnd {
+                epochs,
+                final_train_loss,
+                best_epoch,
+                wall_ms,
+            } => {
+                let _ = write!(s, "\"event\":\"run_end\",\"epochs\":{epochs},\"final_train_loss\":");
+                push_num(&mut s, *final_train_loss);
+                s.push_str(",\"best_epoch\":");
+                match best_epoch {
+                    Some(e) => {
+                        let _ = write!(s, "{e}");
+                    }
+                    None => s.push_str("null"),
+                }
+                s.push_str(",\"wall_ms\":");
+                push_num(&mut s, *wall_ms);
+            }
+            TrainEvent::TaskEnd {
+                task,
+                completed,
+                total,
+                reused,
+                wall_ms,
+                eta_ms,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"task_end\",\"task\":{task},\"completed\":{completed},\
+                     \"total\":{total},\"reused\":{reused},\"wall_ms\":"
+                );
+                push_num(&mut s, *wall_ms);
+                s.push_str(",\"eta_ms\":");
+                push_opt(&mut s, *eta_ms);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A sink for [`TrainEvent`]s. Implementations must not assume any
+/// particular event ordering beyond: one `RunStart` precedes a run's
+/// `BatchEnd`/`EpochEnd` stream, and one `RunEnd` closes it.
+pub trait TrainObserver {
+    /// Receives one event. Called synchronously from the training loop —
+    /// keep it cheap (the JSONL sink does one `write` per event).
+    fn event(&mut self, event: &TrainEvent);
+}
+
+/// The do-nothing observer every non-instrumented call site uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Noop;
+
+impl TrainObserver for Noop {
+    fn event(&mut self, _event: &TrainEvent) {}
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    /// Every event received, in order.
+    pub events: Vec<TrainEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// The `EpochEnd` events, in order.
+    pub fn epoch_ends(&self) -> Vec<&TrainEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TrainEvent::EpochEnd { .. }))
+            .collect()
+    }
+}
+
+impl TrainObserver for Recorder {
+    fn event(&mut self, event: &TrainEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes each event as one JSON line. The file is opened in append
+/// mode and every event is a single `write` call of a complete
+/// `line + '\n'`, so concurrent writers (campaign tasks logging to the
+/// same file) interleave at line granularity — no torn lines.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: File,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(JsonlSink { file })
+    }
+
+    /// Opens `path` for appending (created if missing) — the mode
+    /// resumed runs use so the event stream accumulates across
+    /// invocations.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink { file })
+    }
+}
+
+impl TrainObserver for JsonlSink {
+    fn event(&mut self, event: &TrainEvent) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        // One write_all per line: atomic at line granularity under
+        // O_APPEND. A failed write must not kill a training run that is
+        // otherwise healthy — telemetry is observability-only.
+        let _ = self.file.write_all(line.as_bytes());
+    }
+}
+
+/// Human-readable progress on a terminal (stderr). Per-batch events are
+/// deliberately not printed — at campaign scale they are noise.
+pub struct ProgressSink {
+    out: Box<dyn io::Write + Send>,
+    trainer: &'static str,
+}
+
+impl ProgressSink {
+    /// A sink printing to stderr.
+    pub fn stderr() -> ProgressSink {
+        ProgressSink::to(Box::new(io::stderr()))
+    }
+
+    /// A sink printing to an arbitrary writer (tests).
+    pub fn to(out: Box<dyn io::Write + Send>) -> ProgressSink {
+        ProgressSink { out, trainer: "?" }
+    }
+}
+
+impl TrainObserver for ProgressSink {
+    fn event(&mut self, event: &TrainEvent) {
+        let line = match event {
+            TrainEvent::RunStart {
+                trainer,
+                samples,
+                max_epochs,
+                start_epoch,
+            } => {
+                self.trainer = trainer;
+                if *start_epoch > 0 {
+                    format!(
+                        "[{trainer}] resuming at epoch {} ({samples} samples, cap {max_epochs})",
+                        start_epoch + 1
+                    )
+                } else {
+                    format!("[{trainer}] training {samples} samples (cap {max_epochs} epochs)")
+                }
+            }
+            TrainEvent::BatchEnd { .. } => return,
+            TrainEvent::EpochEnd {
+                epoch,
+                train_loss,
+                val_loss,
+                samples_per_sec,
+                ..
+            } => {
+                let val = match val_loss {
+                    Some(v) => format!(" val {v:.6}"),
+                    None => String::new(),
+                };
+                format!(
+                    "[{}] epoch {epoch}: train {train_loss:.6}{val} ({samples_per_sec:.0} samples/s)",
+                    self.trainer
+                )
+            }
+            TrainEvent::RunEnd {
+                epochs,
+                final_train_loss,
+                best_epoch,
+                wall_ms,
+            } => {
+                let best = match best_epoch {
+                    Some(e) => format!(", best epoch {e}"),
+                    None => String::new(),
+                };
+                format!(
+                    "[{}] done: {epochs} epochs in {:.1}s, final loss {final_train_loss:.6}{best}",
+                    self.trainer,
+                    wall_ms / 1000.0
+                )
+            }
+            TrainEvent::TaskEnd {
+                task,
+                completed,
+                total,
+                reused,
+                eta_ms,
+                ..
+            } => {
+                let how = if *reused { "reused" } else { "computed" };
+                let eta = match eta_ms {
+                    Some(ms) => format!(", eta {:.0}s", ms / 1000.0),
+                    None => String::new(),
+                };
+                format!("[campaign] task {task} {how} ({completed}/{total}{eta})")
+            }
+        };
+        let _ = writeln!(self.out, "{line}");
+    }
+}
+
+/// Fans each event out to every inner sink, in order.
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Box<dyn TrainObserver + Send>>,
+}
+
+impl Tee {
+    /// An empty tee (behaves like [`Noop`]).
+    pub fn new() -> Tee {
+        Tee::default()
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: Box<dyn TrainObserver + Send>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TrainObserver for Tee {
+    fn event(&mut self, event: &TrainEvent) {
+        for sink in &mut self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+/// Thread-safe campaign aggregation: counts completed/reused/computed
+/// tasks and emits a [`TrainEvent::TaskEnd`] per task with an ETA
+/// extrapolated from the mean wall-clock of the tasks actually computed
+/// so far. Shared by reference across campaign workers
+/// (`campaign::run_parallel_observed`).
+pub struct CampaignProgress {
+    inner: Mutex<ProgressInner>,
+}
+
+struct ProgressInner {
+    sink: Box<dyn TrainObserver + Send>,
+    total: usize,
+    completed: usize,
+    reused: usize,
+    computed: usize,
+    started: Instant,
+}
+
+impl CampaignProgress {
+    /// Tracks a campaign of `total` tasks, forwarding `TaskEnd` events to
+    /// `sink`.
+    pub fn new(total: usize, sink: Box<dyn TrainObserver + Send>) -> CampaignProgress {
+        CampaignProgress {
+            inner: Mutex::new(ProgressInner {
+                sink,
+                total,
+                completed: 0,
+                reused: 0,
+                computed: 0,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Records task `task` as done. `reused` marks a result reloaded from
+    /// disk rather than recomputed.
+    pub fn task_done(&self, task: usize, reused: bool) {
+        let mut inner = self.inner.lock();
+        inner.completed += 1;
+        if reused {
+            inner.reused += 1;
+        } else {
+            inner.computed += 1;
+        }
+        let wall_ms = inner.started.elapsed().as_secs_f64() * 1000.0;
+        // Reused tasks are ~free; extrapolate only from computed ones.
+        let eta_ms = if inner.computed > 0 {
+            let per_task = wall_ms / inner.computed as f64;
+            Some(per_task * (inner.total - inner.completed) as f64)
+        } else {
+            None
+        };
+        let event = TrainEvent::TaskEnd {
+            task,
+            completed: inner.completed,
+            total: inner.total,
+            reused,
+            wall_ms,
+            eta_ms,
+        };
+        inner.sink.event(&event);
+    }
+
+    /// `(completed, reused, computed)` so far.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock();
+        (inner.completed, inner.reused, inner.computed)
+    }
+}
+
+/// Adapts a [`TrainObserver`] to the callback `gbdt::GbdtClassifier::
+/// fit_observed` takes: each boosting round becomes an `EpochEnd` (a
+/// round is the booster's epoch) with the round's post-update training
+/// logloss and throughput over the `n_samples` training rows.
+pub fn gbdt_round_observer<'a>(
+    obs: &'a mut dyn TrainObserver,
+    n_samples: usize,
+) -> impl FnMut(&gbdt::BoostRound) + 'a {
+    move |round: &gbdt::BoostRound| {
+        let secs = (round.wall_ms / 1000.0).max(1e-9);
+        obs.event(&TrainEvent::EpochEnd {
+            epoch: round.round,
+            train_loss: round.train_logloss,
+            val_loss: None,
+            samples: n_samples,
+            wall_ms: round.wall_ms,
+            samples_per_sec: n_samples as f64 / secs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_have_version_and_discriminator() {
+        let e = TrainEvent::EpochEnd {
+            epoch: 3,
+            train_loss: 0.5,
+            val_loss: Some(0.625),
+            samples: 96,
+            wall_ms: 12.5,
+            samples_per_sec: 7680.0,
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"v\":1,\"event\":\"epoch_end\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert!(line.contains("\"train_loss\":0.5"), "{line}");
+        assert!(line.contains("\"val_loss\":0.625"), "{line}");
+        assert!(line.contains("\"samples\":96"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn optional_fields_serialize_as_null() {
+        let e = TrainEvent::EpochEnd {
+            epoch: 1,
+            train_loss: 1.0,
+            val_loss: None,
+            samples: 8,
+            wall_ms: 1.0,
+            samples_per_sec: 8000.0,
+        };
+        assert!(e.to_json_line().contains("\"val_loss\":null"));
+        let e = TrainEvent::RunEnd {
+            epochs: 0,
+            final_train_loss: 0.0,
+            best_epoch: None,
+            wall_ms: 0.0,
+        };
+        assert!(e.to_json_line().contains("\"best_epoch\":null"));
+        let e = TrainEvent::TaskEnd {
+            task: 0,
+            completed: 1,
+            total: 2,
+            reused: true,
+            wall_ms: 3.0,
+            eta_ms: None,
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("\"eta_ms\":null"), "{line}");
+        assert!(line.contains("\"reused\":true"), "{line}");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null_not_invalid_json() {
+        let e = TrainEvent::EpochEnd {
+            epoch: 1,
+            train_loss: f64::NAN,
+            val_loss: Some(f64::INFINITY),
+            samples: 8,
+            wall_ms: 1.0,
+            samples_per_sec: 1.0,
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("\"train_loss\":null"), "{line}");
+        assert!(line.contains("\"val_loss\":null"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("tcbench_telemetry_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.event(&TrainEvent::RunStart {
+                trainer: "supervised",
+                samples: 4,
+                max_epochs: 2,
+                start_epoch: 0,
+            });
+            sink.event(&TrainEvent::RunEnd {
+                epochs: 2,
+                final_train_loss: 0.25,
+                best_epoch: Some(2),
+                wall_ms: 5.0,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"run_start\""));
+        assert!(lines[1].contains("\"event\":\"run_end\""));
+        // Append mode accumulates instead of truncating.
+        {
+            let mut sink = JsonlSink::append(&path).unwrap();
+            sink.event(&TrainEvent::RunStart {
+                trainer: "supervised",
+                samples: 4,
+                max_epochs: 4,
+                start_epoch: 2,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().last().unwrap().contains("\"start_epoch\":2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_fans_out_in_order() {
+        // Two recorders behind one tee receive identical streams.
+        struct Probe(std::sync::Arc<Mutex<Vec<String>>>, &'static str);
+        impl TrainObserver for Probe {
+            fn event(&mut self, event: &TrainEvent) {
+                self.0.lock().push(format!("{}:{:?}", self.1, std::mem::discriminant(event)));
+            }
+        }
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let mut tee = Tee::new();
+        tee.push(Box::new(Probe(log.clone(), "a")));
+        tee.push(Box::new(Probe(log.clone(), "b")));
+        assert_eq!(tee.len(), 2);
+        tee.event(&TrainEvent::RunEnd {
+            epochs: 1,
+            final_train_loss: 0.0,
+            best_epoch: None,
+            wall_ms: 0.0,
+        });
+        let log = log.lock();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].starts_with("a:") && log[1].starts_with("b:"));
+    }
+
+    #[test]
+    fn campaign_progress_counts_and_eta() {
+        let progress = CampaignProgress::new(4, Box::new(Noop));
+        progress.task_done(0, true);
+        assert_eq!(progress.counts(), (1, 1, 0));
+        progress.task_done(1, false);
+        progress.task_done(2, false);
+        assert_eq!(progress.counts(), (3, 1, 2));
+
+        let mut rec = Recorder::new();
+        let progress = CampaignProgress::new(2, Box::new(Noop));
+        // Route events into a local recorder via a tiny adapter sink.
+        struct Fwd(std::sync::Arc<Mutex<Recorder>>);
+        impl TrainObserver for Fwd {
+            fn event(&mut self, event: &TrainEvent) {
+                self.0.lock().event(event);
+            }
+        }
+        let shared = std::sync::Arc::new(Mutex::new(Recorder::new()));
+        let progress2 = CampaignProgress::new(2, Box::new(Fwd(shared.clone())));
+        progress2.task_done(0, true); // reused: no computed tasks yet → no ETA
+        progress2.task_done(1, false);
+        let events = shared.lock().events.clone();
+        match &events[0] {
+            TrainEvent::TaskEnd { reused, eta_ms, completed, total, .. } => {
+                assert!(*reused);
+                assert_eq!((*completed, *total), (1, 2));
+                assert!(eta_ms.is_none(), "no computed task yet → no ETA");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &events[1] {
+            TrainEvent::TaskEnd { reused, eta_ms, completed, .. } => {
+                assert!(!*reused);
+                assert_eq!(*completed, 2);
+                // All tasks done → zero remaining → ETA exactly 0.
+                assert_eq!(*eta_ms, Some(0.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        rec.event(&TrainEvent::RunEnd {
+            epochs: 0,
+            final_train_loss: 0.0,
+            best_epoch: None,
+            wall_ms: 0.0,
+        });
+        drop(progress);
+    }
+
+    #[test]
+    fn progress_sink_formats_without_panicking() {
+        let mut sink = ProgressSink::to(Box::new(io::sink()));
+        sink.event(&TrainEvent::RunStart {
+            trainer: "simclr",
+            samples: 10,
+            max_epochs: 5,
+            start_epoch: 0,
+        });
+        sink.event(&TrainEvent::BatchEnd {
+            epoch: 1,
+            batch: 0,
+            loss: 1.0,
+            samples: 4,
+        });
+        sink.event(&TrainEvent::EpochEnd {
+            epoch: 1,
+            train_loss: 1.0,
+            val_loss: Some(2.0),
+            samples: 10,
+            wall_ms: 3.0,
+            samples_per_sec: 3333.0,
+        });
+        sink.event(&TrainEvent::RunEnd {
+            epochs: 1,
+            final_train_loss: 1.0,
+            best_epoch: Some(1),
+            wall_ms: 3.0,
+        });
+        sink.event(&TrainEvent::TaskEnd {
+            task: 0,
+            completed: 1,
+            total: 1,
+            reused: false,
+            wall_ms: 3.0,
+            eta_ms: Some(0.0),
+        });
+    }
+}

@@ -84,7 +84,7 @@ fn series_stats(series: &[f32]) -> [f32; 8] {
     }
     let n = series.len() as f32;
     let mut sorted = series.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f32::total_cmp);
     let mean = series.iter().sum::<f32>() / n;
     let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
     let pct = |q: f32| -> f32 {

@@ -39,7 +39,7 @@ impl BinnedMatrix {
                 column[i] = row[f];
             }
             let mut sorted = column.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.sort_by(f32::total_cmp);
             sorted.dedup();
             // Pick up to max_bins-1 interior cut values at quantile
             // positions over the distinct values.

@@ -42,6 +42,24 @@ impl Default for GbdtConfig {
     }
 }
 
+/// Telemetry for one completed boosting round, handed to the observer
+/// callback of [`GbdtClassifier::fit_observed`]. A round is the booster's
+/// "epoch": one tree per class, fitted and applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoostRound {
+    /// 1-based round index.
+    pub round: usize,
+    /// Total rounds configured.
+    pub n_rounds: usize,
+    /// Mean multiclass logloss on the training rows *after* this round's
+    /// trees were applied.
+    pub train_logloss: f64,
+    /// Wall-clock of the round in milliseconds (tree growing + score
+    /// updates + the logloss pass). Observability only — never part of
+    /// the model.
+    pub wall_ms: f64,
+}
+
 /// A fitted multiclass GBDT model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GbdtClassifier {
@@ -63,6 +81,21 @@ impl GbdtClassifier {
         n_classes: usize,
         config: &GbdtConfig,
     ) -> GbdtClassifier {
+        Self::fit_observed(x, y, n_classes, config, &mut |_| {})
+    }
+
+    /// [`GbdtClassifier::fit`] with per-round telemetry: `on_round` is
+    /// called once after each boosting round with its post-update
+    /// training logloss and wall-clock. The callback is observability
+    /// only — it cannot influence the fit, and `fit` (a no-op callback)
+    /// produces an identical model.
+    pub fn fit_observed(
+        x: &[Vec<f32>],
+        y: &[usize],
+        n_classes: usize,
+        config: &GbdtConfig,
+        on_round: &mut dyn FnMut(&BoostRound),
+    ) -> GbdtClassifier {
         assert_eq!(x.len(), y.len(), "feature/label count mismatch");
         assert!(n_classes >= 2, "need at least two classes");
         assert!(y.iter().all(|&l| l < n_classes), "label out of range");
@@ -82,7 +115,8 @@ impl GbdtClassifier {
         let mut g = vec![0f32; n];
         let mut h = vec![0f32; n];
 
-        for _ in 0..config.n_rounds {
+        for round in 0..config.n_rounds {
+            let round_start = std::time::Instant::now();
             // Softmax probabilities for the current scores.
             let mut probs = vec![0f32; n * n_classes];
             for i in 0..n {
@@ -111,6 +145,12 @@ impl GbdtClassifier {
                 round_trees.push(tree);
             }
             trees.push(round_trees);
+            on_round(&BoostRound {
+                round: round + 1,
+                n_rounds: config.n_rounds,
+                train_logloss: mean_logloss(&scores, y, n_classes),
+                wall_ms: round_start.elapsed().as_secs_f64() * 1000.0,
+            });
         }
 
         GbdtClassifier {
@@ -150,7 +190,7 @@ impl GbdtClassifier {
         self.raw_scores(x)
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, _)| k)
             .unwrap()
     }
@@ -178,6 +218,24 @@ impl GbdtClassifier {
             total as f64 / count as f64
         }
     }
+}
+
+/// Mean multiclass logloss of raw `scores` (row-major `[n, n_classes]`)
+/// against labels `y` — the booster's training-loss telemetry.
+fn mean_logloss(scores: &[f32], y: &[usize], n_classes: usize) -> f64 {
+    let n = y.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut nll = 0f64;
+    for (i, &label) in y.iter().enumerate() {
+        let row = &scores[i * n_classes..(i + 1) * n_classes];
+        let max = row.iter().copied().fold(f32::MIN, f32::max);
+        let sum: f64 = row.iter().map(|&v| f64::from((v - max).exp())).sum();
+        let p = f64::from((row[label] - max).exp()) / sum;
+        nll -= p.max(1e-15).ln();
+    }
+    nll / n as f64
 }
 
 #[cfg(test)]
@@ -298,6 +356,49 @@ mod tests {
                 / y.len() as f64
         };
         assert!(acc(50) >= acc(2));
+    }
+
+    #[test]
+    fn fit_observed_reports_every_round_and_changes_nothing() {
+        let (x, y) = blobs(20, &[(0.0, 0.0), (4.0, 4.0)], 1.0, 7);
+        let cfg = GbdtConfig {
+            n_rounds: 8,
+            ..Default::default()
+        };
+        let mut rounds: Vec<BoostRound> = Vec::new();
+        let observed = GbdtClassifier::fit_observed(&x, &y, 2, &cfg, &mut |r| rounds.push(r.clone()));
+        assert_eq!(rounds.len(), 8);
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert_eq!(r.n_rounds, 8);
+            assert!(r.train_logloss.is_finite() && r.train_logloss >= 0.0);
+        }
+        // Boosting on separable blobs drives the training logloss down.
+        assert!(
+            rounds.last().unwrap().train_logloss < rounds[0].train_logloss,
+            "{rounds:?}"
+        );
+        // Observability only: the observed fit equals the plain fit.
+        let plain = GbdtClassifier::fit(&x, &y, 2, &cfg);
+        for xi in &x {
+            assert_eq!(observed.raw_scores(xi), plain.raw_scores(xi));
+        }
+    }
+
+    #[test]
+    fn predict_is_deterministic_under_nan_scores() {
+        // total_cmp ranks NaN above every number, so a NaN score cannot
+        // panic the argmax — it deterministically wins. (Scores are only
+        // NaN if training diverged; the guarantee here is no panic and a
+        // stable answer.)
+        let scores = [0.3f32, f32::NAN, 0.9];
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(pred, 1);
     }
 
     #[test]

@@ -31,4 +31,4 @@ pub mod binner;
 pub mod booster;
 pub mod tree;
 
-pub use booster::{GbdtClassifier, GbdtConfig};
+pub use booster::{BoostRound, GbdtClassifier, GbdtConfig};

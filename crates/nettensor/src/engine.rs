@@ -42,6 +42,8 @@
 //! shards freely — it standardizes per sample with running statistics.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::model::Sequential;
 use crate::tape::{GradStore, Tape};
@@ -53,10 +55,16 @@ use crate::tensor::Tensor;
 pub const DEFAULT_SHARD_SIZE: usize = 4;
 
 /// A data-parallel forward/backward executor over a [`Sequential`] model.
-#[derive(Debug, Clone, Copy)]
+///
+/// The engine keeps a running count of samples forwarded through it
+/// ([`BatchEngine::samples_processed`]) for throughput telemetry; clones
+/// share the counter. The count is observability-only — it never enters
+/// any computation, checkpoint or fingerprint.
+#[derive(Debug, Clone)]
 pub struct BatchEngine {
     workers: usize,
     shard_size: usize,
+    samples: Arc<AtomicU64>,
 }
 
 impl BatchEngine {
@@ -74,6 +82,7 @@ impl BatchEngine {
         BatchEngine {
             workers,
             shard_size: DEFAULT_SHARD_SIZE,
+            samples: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -85,6 +94,7 @@ impl BatchEngine {
         BatchEngine {
             workers: BatchEngine::new(workers).workers,
             shard_size,
+            samples: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -94,12 +104,21 @@ impl BatchEngine {
         BatchEngine {
             workers: 1,
             shard_size: usize::MAX,
+            samples: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// The resolved worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Total samples forwarded through this engine (training and
+    /// evaluation passes alike) since construction. Trainers snapshot
+    /// this around an epoch's batch loop to report per-epoch throughput;
+    /// clones of an engine share the counter.
+    pub fn samples_processed(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
     }
 
     /// The fixed shard boundaries for a batch of `n` samples.
@@ -124,6 +143,7 @@ impl BatchEngine {
     ) -> (Tensor, Vec<Tape>) {
         let n = input.batch();
         assert!(n >= 1, "BatchEngine::forward on an empty batch");
+        self.samples.fetch_add(n as u64, Ordering::Relaxed);
         let ranges = self.shard_ranges(n);
         // Training a batch-coupled model (batch norm) across shards would
         // compute shard-local batch statistics — silently different math,
@@ -360,6 +380,19 @@ mod tests {
             eval_before.data, eval_after.data,
             "commit must move running stats"
         );
+    }
+
+    #[test]
+    fn sample_counter_tracks_forwards_and_is_shared_by_clones() {
+        let net = tiny_net(2);
+        let engine = BatchEngine::new(2);
+        assert_eq!(engine.samples_processed(), 0);
+        engine.forward(&net, &batch(10, 1), true, 0);
+        assert_eq!(engine.samples_processed(), 10);
+        // Eval forwards count too, and clones share the counter.
+        let clone = engine.clone();
+        clone.forward(&net, &batch(3, 2), false, 0);
+        assert_eq!(engine.samples_processed(), 13);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
         let pred = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
             .unwrap();
         if pred == label {
@@ -66,7 +66,7 @@ pub fn predictions(logits: &Tensor) -> Vec<usize> {
             logits.data[i * c..(i + 1) * c]
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(j, _)| j)
                 .unwrap()
         })
@@ -237,6 +237,35 @@ impl NtXent {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nan_logits_do_not_panic_and_argmax_is_deterministic() {
+        // Regression for the partial_cmp(..).unwrap() panic: a NaN logit
+        // (diverged training, bad input) must neither crash accuracy nor
+        // predictions. Under total_cmp, NaN ranks above every real number,
+        // so the NaN column deterministically wins its row.
+        let logits = Tensor::new(
+            &[3, 3],
+            vec![
+                1.0,
+                f32::NAN,
+                0.5, // NaN wins → pred 1
+                0.2,
+                0.1,
+                0.9, // clean row → pred 2
+                f32::NAN,
+                f32::NAN,
+                f32::NAN, // all equal (NaN) → max_by keeps the last
+            ],
+        );
+        let preds = predictions(&logits);
+        assert_eq!(preds, vec![1, 2, 2]);
+        assert_eq!(preds, predictions(&logits), "must be reproducible");
+        let acc = accuracy(&logits, &[1, 2, 2]);
+        assert!((acc - 1.0).abs() < 1e-12);
+        let acc = accuracy(&logits, &[0, 2, 1]);
+        assert!((acc - 1.0 / 3.0).abs() < 1e-12);
+    }
 
     #[test]
     fn cross_entropy_uniform_logits() {

@@ -202,7 +202,7 @@ mod tests {
         for i in 0..n_acks {
             pkts.push(Pkt::ack(i as f64 * 0.1 + 0.05, Direction::Upstream));
         }
-        pkts.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+        pkts.sort_by(|a, b| a.ts.total_cmp(&b.ts));
         if let Some(first) = pkts.first().copied() {
             for p in &mut pkts {
                 p.ts -= first.ts;

@@ -70,7 +70,7 @@ pub fn generate_pkts<R: Rng + ?Sized>(
         }
     }
     burst_starts.retain(|&t| t >= 0.0);
-    burst_starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    burst_starts.sort_by(f64::total_cmp);
 
     // 2. Emit the application handshake: the class-characteristic first
     // packets, spaced roughly half an RTT apart.
@@ -128,7 +128,7 @@ pub fn generate_pkts<R: Rng + ?Sized>(
     }
 
     // 4. Normalize: sort by time, shift so the first packet is at t=0.
-    pkts.sort_by(|a, b| a.ts.partial_cmp(&b.ts).unwrap());
+    pkts.sort_by(|a, b| a.ts.total_cmp(&b.ts));
     let t0 = pkts[0].ts;
     for p in &mut pkts {
         p.ts -= t0;

@@ -1,0 +1,226 @@
+//! End-to-end telemetry integration: the event stream a trainer emits
+//! must agree with the `TrainSummary` it returns, and attaching any
+//! observer must leave training itself bit-identical — weights, summary
+//! and checkpoint files — at any `batch_workers`. Telemetry is strictly
+//! observability-only.
+
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{CheckpointSpec, SupervisedTrainer, TrainConfig};
+use tcbench::telemetry::{JsonlSink, Recorder, TrainEvent};
+use trafficgen::types::Partition;
+use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
+
+fn split() -> (FlowpicDataset, FlowpicDataset) {
+    let ds = UcDavisSim::new(UcDavisConfig::tiny()).generate(17);
+    let fpcfg = flowpic::FlowpicConfig::mini();
+    let idx = ds.partition_indices(Partition::Pretraining);
+    let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, flowpic::Normalization::LogMax);
+    data.split_validation(0.25, 8)
+}
+
+fn config(max_epochs: usize, batch_workers: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs,
+        batch_workers,
+        ..TrainConfig::supervised(23)
+    }
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tcbench_integration_telemetry_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The event stream is an exact mirror of the returned summary: one
+/// `EpochEnd` per epoch run, the last one carrying bit-for-bit the
+/// summary's final training loss, and a closing `RunEnd` repeating the
+/// summary, with measured throughput present throughout.
+#[test]
+fn epoch_end_stream_agrees_with_train_summary() {
+    let (train, val) = split();
+    let mut net = tcbench::arch::supervised_net(32, 5, false, 23);
+    let mut rec = Recorder::new();
+    let summary =
+        SupervisedTrainer::new(config(6, 1)).train_observed(&mut net, &train, Some(&val), &mut rec);
+
+    assert!(matches!(
+        rec.events.first(),
+        Some(TrainEvent::RunStart {
+            trainer: "supervised",
+            start_epoch: 0,
+            ..
+        })
+    ));
+
+    let epoch_ends: Vec<(usize, f64, Option<f64>, usize, f64)> = rec
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TrainEvent::EpochEnd {
+                epoch,
+                train_loss,
+                val_loss,
+                samples,
+                samples_per_sec,
+                ..
+            } => Some((*epoch, *train_loss, *val_loss, *samples, *samples_per_sec)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(epoch_ends.len(), summary.epochs, "one EpochEnd per epoch");
+    for (i, (epoch, _, val_loss, samples, sps)) in epoch_ends.iter().enumerate() {
+        assert_eq!(*epoch, i + 1, "epochs are 1-based and consecutive");
+        assert!(val_loss.is_some(), "a validation set was provided");
+        assert!(*samples > 0, "the train pass forwarded samples");
+        assert!(*sps > 0.0, "throughput is measured and nonzero");
+    }
+    let last = epoch_ends.last().unwrap();
+    assert_eq!(
+        last.1.to_bits(),
+        summary.final_train_loss.to_bits(),
+        "last EpochEnd train_loss is exactly the summary's final loss"
+    );
+
+    match rec.events.last() {
+        Some(TrainEvent::RunEnd {
+            epochs,
+            final_train_loss,
+            best_epoch,
+            wall_ms,
+        }) => {
+            assert_eq!(*epochs, summary.epochs);
+            assert_eq!(final_train_loss.to_bits(), summary.final_train_loss.to_bits());
+            assert_eq!(*best_epoch, summary.best_epoch);
+            assert!(*wall_ms > 0.0);
+        }
+        other => panic!("stream must close with RunEnd, got {other:?}"),
+    }
+}
+
+/// The acceptance gate of the telemetry layer: a run with a live JSONL
+/// sink attached produces bit-identical weights and summary to the same
+/// run without any observer — at one worker and at several.
+#[test]
+fn observed_run_is_bit_identical_to_plain_run_at_any_worker_count() {
+    let (train, val) = split();
+    let dir = tmp_dir("bitident");
+    for workers in [1usize, 3] {
+        let mut plain_net = tcbench::arch::supervised_net(32, 5, false, 23);
+        let plain = SupervisedTrainer::new(config(5, workers)).train(
+            &mut plain_net,
+            &train,
+            Some(&val),
+        );
+
+        let mut sink = JsonlSink::create(dir.join(format!("w{workers}.jsonl"))).unwrap();
+        let mut observed_net = tcbench::arch::supervised_net(32, 5, false, 23);
+        let observed = SupervisedTrainer::new(config(5, workers)).train_observed(
+            &mut observed_net,
+            &train,
+            Some(&val),
+            &mut sink,
+        );
+
+        assert_eq!(plain, observed, "summaries must match at {workers} workers");
+        assert_eq!(
+            plain_net.export_weights(),
+            observed_net.export_weights(),
+            "weights must be bit-identical at {workers} workers"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A resumed run announces where it picks up (`start_epoch`) and emits
+/// epoch events only for the epochs it actually recomputes — reused
+/// epochs stay silent.
+#[test]
+fn resumed_run_emits_events_only_for_recomputed_epochs() {
+    let (train, val) = split();
+    let dir = tmp_dir("resume");
+    let path = dir.join("train.ckpt");
+
+    let mut net = tcbench::arch::supervised_net(32, 5, false, 23);
+    let mut first_rec = Recorder::new();
+    SupervisedTrainer::new(config(3, 1))
+        .train_resumable_observed(
+            &mut net,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&path),
+            &mut first_rec,
+        )
+        .unwrap();
+    assert_eq!(first_rec.epoch_ends().len(), 3);
+
+    let mut net2 = tcbench::arch::supervised_net(32, 5, false, 23);
+    let mut rec = Recorder::new();
+    let summary = SupervisedTrainer::new(config(6, 1))
+        .train_resumable_observed(
+            &mut net2,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&path).resuming(),
+            &mut rec,
+        )
+        .unwrap();
+
+    match rec.events.first() {
+        Some(TrainEvent::RunStart { start_epoch, .. }) => {
+            assert_eq!(*start_epoch, 3, "resume picks up after the checkpointed epoch")
+        }
+        other => panic!("expected RunStart, got {other:?}"),
+    }
+    let epochs: Vec<usize> = rec
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TrainEvent::EpochEnd { epoch, .. } => Some(*epoch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        epochs,
+        (4..=summary.epochs).collect::<Vec<_>>(),
+        "only recomputed epochs emit events"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Timing never enters checkpoints: the checkpoint file a run writes is
+/// byte-identical whether or not an observer watched the run.
+#[test]
+fn checkpoint_files_identical_with_and_without_observer() {
+    let (train, val) = split();
+    let dir = tmp_dir("ckptbytes");
+
+    let plain_path = dir.join("plain.ckpt");
+    let mut net_a = tcbench::arch::supervised_net(32, 5, false, 23);
+    SupervisedTrainer::new(config(4, 1))
+        .train_resumable(&mut net_a, &train, Some(&val), &CheckpointSpec::new(&plain_path))
+        .unwrap();
+
+    let observed_path = dir.join("observed.ckpt");
+    let mut rec = Recorder::new();
+    let mut net_b = tcbench::arch::supervised_net(32, 5, false, 23);
+    SupervisedTrainer::new(config(4, 1))
+        .train_resumable_observed(
+            &mut net_b,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&observed_path),
+            &mut rec,
+        )
+        .unwrap();
+
+    assert!(!rec.events.is_empty(), "the observer did watch the run");
+    let plain = std::fs::read(&plain_path).unwrap();
+    let observed = std::fs::read(&observed_path).unwrap();
+    assert_eq!(plain, observed, "checkpoint bytes must not depend on telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+}
