@@ -1,0 +1,148 @@
+//! Forward-only serving throughput.
+//!
+//! Two angles on the online inference path:
+//!
+//! * `serve/cnn_batch{N}_workers{W}` — one `Classifier::predict_batch`
+//!   call on the mini (LeNet-5) net at 32×32, isolating the micro-batch
+//!   forward pass the InferenceEngine issues per flush;
+//! * `serve/replay_*` — the whole serving loop (tracker + incremental
+//!   flowpics + micro-batcher) over a synthetic trace, the figure that
+//!   corresponds to `tcb serve --replay`'s samples/sec report.
+//!
+//! Predictions are bit-identical at every batch size and worker count
+//! (the batch-size-invariance tests pin this), so — like
+//! `engine_scaling` — these benches compare only wall-clock. Results
+//! belong in `bench_results/inference_throughput.json` with the host's
+//! core count noted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use flowpic::{FlowpicConfig, Normalization};
+use serve::engine::{Classifier, CnnClassifier, EngineConfig};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{replay, trace_from_dataset};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::Noop;
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+const RES: usize = 32;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn served_model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 5, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 5,
+        dropout: true,
+        class_names: (0..5).map(|i| format!("class{i}")).collect(),
+        weights: net.export_weights(),
+    }
+}
+
+fn inputs(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..RES * RES)
+                .map(|j| (splitmix64((i * RES * RES + j) as u64) % 1000) as f32 / 1000.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn synthetic_dataset(n_flows: usize) -> Dataset {
+    let flows = (0..n_flows)
+        .map(|i| {
+            let h = splitmix64(i as u64);
+            let pkts = (0..40)
+                .map(|j| {
+                    let hj = splitmix64(h.wrapping_add(j as u64));
+                    Pkt::data(
+                        j as f64 * 0.45,
+                        60 + (hj % 1400) as u16,
+                        if hj & 1 == 0 {
+                            Direction::Upstream
+                        } else {
+                            Direction::Downstream
+                        },
+                    )
+                })
+                .collect();
+            Flow {
+                id: i as u64,
+                class: (i % 5) as u16,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts,
+            }
+        })
+        .collect();
+    Dataset {
+        name: "bench".into(),
+        class_names: (0..5).map(|i| format!("class{i}")).collect(),
+        flows,
+    }
+}
+
+fn bench_cnn_batches(c: &mut Criterion) {
+    let model = served_model(1);
+    for (batch, workers) in [(1usize, 1usize), (8, 1), (32, 1), (32, 4)] {
+        let cnn = CnnClassifier::from_served(&model, workers).unwrap();
+        let x = inputs(batch);
+        c.bench_function(&format!("serve/cnn_batch{batch}_workers{workers}"), |b| {
+            b.iter(|| black_box(cnn.predict_batch(&x)))
+        });
+    }
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let model = served_model(1);
+    let ds = synthetic_dataset(48);
+    let trace = trace_from_dataset(&ds, 0.2, 1.0);
+    for (max_batch, workers) in [(8usize, 1usize), (16, 4)] {
+        c.bench_function(
+            &format!("serve/replay_48flows_batch{max_batch}_workers{workers}"),
+            |b| {
+                b.iter(|| {
+                    let cnn = CnnClassifier::from_served(&model, workers).unwrap();
+                    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+                    let report = replay(
+                        &trace,
+                        &registry,
+                        TrackerConfig {
+                            flowpic: FlowpicConfig::with_resolution(RES),
+                            norm: Normalization::LogMax,
+                            idle_timeout_s: 60.0,
+                            max_flows: 10_000,
+                        },
+                        EngineConfig {
+                            max_batch,
+                            max_wait_s: 0.5,
+                        },
+                        Vec::new(),
+                        &mut Noop,
+                    )
+                    .unwrap();
+                    assert_eq!(report.predictions.len(), 48);
+                    black_box(report)
+                })
+            },
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cnn_batches, bench_replay
+}
+criterion_main!(benches);

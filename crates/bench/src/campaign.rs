@@ -76,7 +76,14 @@ pub fn run_supervised_cell(
     dropout: bool,
     opts: &BenchOpts,
 ) -> CellResult {
-    run_supervised_cell_observed(dataset, aug, res, dropout, opts, &mut tcbench::telemetry::Noop)
+    run_supervised_cell_observed(
+        dataset,
+        aug,
+        res,
+        dropout,
+        opts,
+        &mut tcbench::telemetry::Noop,
+    )
 }
 
 /// [`run_supervised_cell`] with telemetry: every training run inside the

@@ -27,6 +27,7 @@ pub fn run(subcommand: &str, args: &[String]) -> Result<String, CliError> {
         "export-pcap" => export_pcap(args),
         "train" => train(args),
         "evaluate" => evaluate(args),
+        "serve" => serve_cmd(args),
         "windows" => windows(args),
         "pretrain" => pretrain_cmd(args),
         "finetune" => finetune_cmd(args),
@@ -408,6 +409,134 @@ fn evaluate(args: &[String]) -> Result<String, CliError> {
         100.0 * eval.weighted_f1,
         eval.confusion.ascii(&names)
     ))
+}
+
+/// `tcb serve --replay TRACE.flowrec --model MODEL [--model2 FILE] [--swap-at F]
+/// [--rate N] [--max-batch N] [--max-wait-ms N] [--idle-timeout N] [--max-flows N]
+/// [--flow-gap-ms N] [--workers N] [--log-jsonl PATH]`
+fn serve_cmd(args: &[String]) -> Result<String, CliError> {
+    use serve::engine::{CnnClassifier, EngineConfig};
+    use serve::registry::ModelRegistry;
+    use serve::replay::{replay, trace_from_dataset, ScheduledSwap};
+    use serve::tracker::TrackerConfig;
+    use std::sync::Arc;
+
+    let flags = Flags::parse(
+        args,
+        &[
+            "replay",
+            "model",
+            "model2",
+            "swap-at",
+            "rate",
+            "max-batch",
+            "max-wait-ms",
+            "idle-timeout",
+            "max-flows",
+            "flow-gap-ms",
+            "workers",
+            "log-jsonl",
+        ],
+        &[],
+    )?;
+    if flags.wants_help() {
+        return Ok(
+            "tcb serve --replay TRACE.flowrec --model MODEL [--model2 FILE \
+                   (hot-swap replacement)] [--swap-at 0.5 (swap after this fraction of \
+                   the trace)] [--rate 1.0 (replay speed multiplier)] [--max-batch 16] \
+                   [--max-wait-ms 500 (micro-batch deadline, stream time)] \
+                   [--idle-timeout 30 (evict flows silent this many seconds)] \
+                   [--max-flows 10000 (hard tracked-flow cap)] [--flow-gap-ms 400 \
+                   (stagger between flow starts)] [--workers 1 (forward workers; 0 = \
+                   all cores; any value gives bit-identical predictions)] \
+                   [--log-jsonl PATH (one inference telemetry event per line)]\n\
+                   MODEL is either a checkpoint-envelope model (ServedModel::save) or \
+                   the JSON written by `tcb train`."
+                .into(),
+        );
+    }
+    let ds = load_dataset(flags.require("replay")?)?;
+    let model = load_served_model(flags.require("model")?)?;
+    let workers = flags.get_parse::<usize>("workers", 1)?;
+    let cnn = CnnClassifier::from_served(&model, workers)
+        .map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+
+    let rate = flags.get_parse::<f64>("rate", 1.0)?;
+    if rate <= 0.0 {
+        return Err(CliError::Usage("--rate must be positive".into()));
+    }
+    let flow_gap_s = flags.get_parse::<f64>("flow-gap-ms", 400.0)? / 1e3;
+    let trace = trace_from_dataset(&ds, flow_gap_s, rate);
+
+    let mut swaps = Vec::new();
+    match flags.get("model2") {
+        Some(path2) => {
+            let second = load_served_model(path2)?;
+            let cnn2 = CnnClassifier::from_served(&second, workers)
+                .map_err(|e| CliError::Parse(format!("model2: {e}")))?;
+            let frac = flags.get_parse::<f64>("swap-at", 0.5)?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(CliError::Usage("--swap-at must be in [0, 1]".into()));
+            }
+            swaps.push(ScheduledSwap {
+                at_packet: (trace.len() as f64 * frac) as usize,
+                model: Arc::new(cnn2),
+            });
+        }
+        None if flags.get("swap-at").is_some() => {
+            return Err(CliError::Usage("--swap-at requires --model2".into()));
+        }
+        None => {}
+    }
+
+    let tracker_cfg = TrackerConfig {
+        flowpic: FlowpicConfig::with_resolution(model.resolution),
+        norm: Normalization::LogMax,
+        idle_timeout_s: flags.get_parse::<f64>("idle-timeout", 30.0)?,
+        max_flows: flags.get_parse::<usize>("max-flows", 10_000)?,
+    };
+    let engine_cfg = EngineConfig {
+        max_batch: flags.get_parse::<usize>("max-batch", 16)?,
+        max_wait_s: flags.get_parse::<f64>("max-wait-ms", 500.0)? / 1e3,
+    };
+    let mut obs: Box<dyn tcbench::telemetry::InferObserver> = match flags.get("log-jsonl") {
+        Some(path) => Box::new(JsonlSink::create(path)?),
+        None => Box::new(tcbench::telemetry::Noop),
+    };
+    let report = replay(
+        &trace,
+        &registry,
+        tracker_cfg,
+        engine_cfg,
+        swaps,
+        obs.as_mut(),
+    )
+    .map_err(|e| CliError::Parse(format!("serve: {e}")))?;
+    Ok(report.render(&model.class_names))
+}
+
+/// Loads a serving model from either on-disk format: the checksummed
+/// checkpoint envelope (`ServedModel::save`) or the JSON `SavedModel`
+/// written by `tcb train`.
+fn load_served_model(path: &str) -> Result<serve::registry::ServedModel, CliError> {
+    if let Ok(m) = serve::registry::ServedModel::load(std::path::Path::new(path)) {
+        return Ok(m);
+    }
+    let raw = std::fs::read_to_string(path)?;
+    let m: SavedModel = serde_json::from_str(&raw).map_err(|e| {
+        CliError::Parse(format!(
+            "{path}: neither a checkpoint-envelope model nor tcb-train JSON: {e}"
+        ))
+    })?;
+    Ok(serve::registry::ServedModel {
+        arch: m.arch,
+        resolution: m.resolution,
+        n_classes: m.n_classes,
+        dropout: m.dropout,
+        class_names: m.class_names,
+        weights: m.weights,
+    })
 }
 
 /// A pre-trained SimCLR extractor persisted to disk.
@@ -1342,5 +1471,144 @@ mod contrastive_cli_tests {
             &argv(&["--input", &data, "--out", "/tmp/x", "--objective", "nope"]),
         )
         .is_err());
+    }
+
+    /// A random-initialized serving model in the checkpoint-envelope
+    /// format (`tcb train`'s JSON needs serde_json, unavailable in the
+    /// offline test environment).
+    fn write_served_model(name: &str, res: usize, n_classes: usize, seed: u64) -> String {
+        let net = supervised_net(res, n_classes, true, seed);
+        let model = serve::registry::ServedModel {
+            arch: "supervised".into(),
+            resolution: res,
+            n_classes,
+            dropout: true,
+            class_names: (0..n_classes).map(|i| format!("class{i}")).collect(),
+            weights: net.export_weights(),
+        };
+        let path = tmp(name);
+        model.save(std::path::Path::new(&path)).unwrap();
+        path
+    }
+
+    #[test]
+    fn serve_replays_a_trace_and_reports_latency() {
+        let data = tmp("serve.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "5",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-model.ckpt", 16, 5, 1);
+        let jsonl = tmp("serve.jsonl");
+        let msg = run(
+            "serve",
+            &argv(&[
+                "--replay",
+                &data,
+                "--model",
+                &model,
+                "--rate",
+                "10",
+                "--max-batch",
+                "8",
+                "--log-jsonl",
+                &jsonl,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("flows classified"), "{msg}");
+        assert!(msg.contains("p50"), "{msg}");
+        assert!(msg.contains("samples/sec"), "{msg}");
+        let log = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(log.contains("\"event\":\"stream_start\""), "{log}");
+        assert!(log.contains("\"event\":\"infer_batch_end\""), "{log}");
+        assert!(log
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .contains("stream_end"));
+    }
+
+    #[test]
+    fn serve_hot_swaps_mid_replay() {
+        let data = tmp("serve-swap.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "6",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model_a = write_served_model("serve-a.ckpt", 16, 5, 1);
+        let model_b = write_served_model("serve-b.ckpt", 16, 5, 2);
+        let msg = run(
+            "serve",
+            &argv(&[
+                "--replay",
+                &data,
+                "--model",
+                &model_a,
+                "--model2",
+                &model_b,
+                "--swap-at",
+                "0.5",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("1 hot-swap(s)"), "{msg}");
+        assert!(msg.contains("flows classified"), "{msg}");
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        let data = tmp("serve-usage.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "7",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-usage.ckpt", 16, 5, 3);
+        // --swap-at without --model2 is meaningless.
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--swap-at", "0.5"]),
+        )
+        .is_err());
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--rate", "0"]),
+        )
+        .is_err());
+        // A model file that is neither format is a parse error.
+        let bogus = tmp("serve-bogus.model");
+        std::fs::write(&bogus, "not a model").unwrap();
+        assert!(run("serve", &argv(&["--replay", &data, "--model", &bogus])).is_err());
     }
 }

@@ -17,6 +17,10 @@
 //! tcb evaluate --input uc.flowrec --model model.json
 //! ```
 //!
+//! ```text
+//! tcb serve    --replay uc.flowrec --model model.json --rate 10
+//! ```
+//!
 //! The library half hosts the argument parsing and command logic so they
 //! are unit-testable; `main.rs` is a thin shell.
 
@@ -69,6 +73,7 @@ subcommands:
   pretrain     SimCLR/SupCon/BYOL pre-training on unlabeled flows
   finetune     few-shot fine-tune a pre-trained extractor
   evaluate     evaluate a saved model on a flowrec file
+  serve        replay a trace through the online inference engine
   campaign     run the augmentation x seed grid with resume + progress
 
 train, pretrain and campaign accept --progress (human-readable progress

@@ -321,7 +321,8 @@ mod tests {
     }
 
     fn tmp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tcbench_campaign_{}_{name}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tcbench_campaign_{}_{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -329,8 +330,7 @@ mod tests {
     #[test]
     fn resumable_first_run_computes_everything() {
         let dir = tmp_dir("fresh");
-        let (results, report) =
-            run_parallel_resumable(8, 2, &dir, |i| (i * 3) as u64).unwrap();
+        let (results, report) = run_parallel_resumable(8, 2, &dir, |i| (i * 3) as u64).unwrap();
         assert_eq!(results, (0..8).map(|i| i * 3).collect::<Vec<u64>>());
         assert_eq!(report.reused, 0);
         assert_eq!(report.computed, 8);

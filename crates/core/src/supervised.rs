@@ -336,7 +336,7 @@ impl SupervisedTrainer {
                         fingerprint
                     )));
                 }
-                net.import_weights(&ck.weights);
+                net.try_import_weights(&ck.weights)?;
                 opt.import_state(ck.optimizer);
                 state = ck.trainer;
                 step = ck.step;
@@ -464,7 +464,7 @@ impl SupervisedTrainer {
         for chunk in data.index_chunks(self.config.batch_size) {
             let x = data.batch_tensor(&chunk);
             let y = data.batch_labels(&chunk);
-            let (logits, _) = self.engine.forward(net, &x, false, 0);
+            let logits = self.engine.predict(net, &x);
             let (loss, _) = cross_entropy(&logits, &y);
             total += loss as f64 * chunk.len() as f64;
             n += chunk.len();
@@ -480,7 +480,7 @@ impl SupervisedTrainer {
         for chunk in data.index_chunks(self.config.batch_size) {
             let x = data.batch_tensor(&chunk);
             let y = data.batch_labels(&chunk);
-            let (logits, _) = self.engine.forward(net, &x, false, 0);
+            let logits = self.engine.predict(net, &x);
             let preds = predictions(&logits);
             confusion.record_all(&y, &preds);
             correct_weighted += accuracy(&logits, &y) * chunk.len() as f64;
@@ -752,7 +752,12 @@ mod tests {
         });
         let mut resumed_net = supervised_net(32, 5, false, 9);
         let resumed = trainer6
-            .train_resumable(&mut resumed_net, &train, Some(&val), &spec.clone().resuming())
+            .train_resumable(
+                &mut resumed_net,
+                &train,
+                Some(&val),
+                &spec.clone().resuming(),
+            )
             .unwrap();
         assert!(resumed.epochs <= 6 && resumed.epochs > 3, "{resumed:?}");
     }

@@ -178,7 +178,10 @@ impl TrainEvent {
                 loss,
                 samples,
             } => {
-                let _ = write!(s, "\"event\":\"batch_end\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":");
+                let _ = write!(
+                    s,
+                    "\"event\":\"batch_end\",\"epoch\":{epoch},\"batch\":{batch},\"loss\":"
+                );
                 push_num(&mut s, *loss);
                 let _ = write!(s, ",\"samples\":{samples}");
             }
@@ -190,7 +193,10 @@ impl TrainEvent {
                 wall_ms,
                 samples_per_sec,
             } => {
-                let _ = write!(s, "\"event\":\"epoch_end\",\"epoch\":{epoch},\"train_loss\":");
+                let _ = write!(
+                    s,
+                    "\"event\":\"epoch_end\",\"epoch\":{epoch},\"train_loss\":"
+                );
                 push_num(&mut s, *train_loss);
                 s.push_str(",\"val_loss\":");
                 push_opt(&mut s, *val_loss);
@@ -205,7 +211,10 @@ impl TrainEvent {
                 best_epoch,
                 wall_ms,
             } => {
-                let _ = write!(s, "\"event\":\"run_end\",\"epochs\":{epochs},\"final_train_loss\":");
+                let _ = write!(
+                    s,
+                    "\"event\":\"run_end\",\"epochs\":{epochs},\"final_train_loss\":"
+                );
                 push_num(&mut s, *final_train_loss);
                 s.push_str(",\"best_epoch\":");
                 match best_epoch {
@@ -543,6 +552,186 @@ pub fn gbdt_round_observer<'a>(
     }
 }
 
+/// An online-inference telemetry event, the serving-side counterpart of
+/// [`TrainEvent`]. A separate vocabulary (and separate [`InferObserver`]
+/// trait) keeps the two streams independently versioned and leaves every
+/// existing `TrainObserver` implementation's exhaustive match untouched.
+///
+/// JSONL serialization shares [`SCHEMA_VERSION`] and the same
+/// conventions: `"v"` + `"event"` discriminator, non-finite numbers as
+/// `null`, model fingerprints as 16-digit hex strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferEvent {
+    /// The inference engine started consuming a stream.
+    StreamStart {
+        /// Weight fingerprint of the initially active model.
+        model_fingerprint: u64,
+        /// Classes the model separates.
+        n_classes: usize,
+    },
+    /// One micro-batch of flows was classified.
+    BatchEnd {
+        /// 0-based batch index within the stream.
+        batch: usize,
+        /// Flows in the batch.
+        size: usize,
+        /// Flows still waiting for classification after this batch.
+        queue_depth: usize,
+        /// Forward-pass wall-clock, in milliseconds.
+        wall_ms: f64,
+        /// Classification throughput: `size / wall`.
+        samples_per_sec: f64,
+    },
+    /// The flow tracker dropped a flow without classifying it.
+    FlowEvicted {
+        /// The evicted flow's identifier.
+        flow_id: u64,
+        /// Packets the flow had accumulated when dropped.
+        pkts: usize,
+        /// `"idle"` (idle-timeout expiry) or `"cap"` (flow-count cap).
+        reason: &'static str,
+    },
+    /// The model registry atomically replaced the active model.
+    ModelSwapped {
+        /// Weight fingerprint of the model being retired.
+        old_fingerprint: u64,
+        /// Weight fingerprint of the model now active.
+        new_fingerprint: u64,
+    },
+    /// The stream drained.
+    StreamEnd {
+        /// Flows classified.
+        flows: usize,
+        /// Micro-batches run.
+        batches: usize,
+        /// Flows evicted unclassified.
+        evicted: usize,
+        /// Whole-stream wall-clock, in milliseconds.
+        wall_ms: f64,
+    },
+}
+
+impl InferEvent {
+    /// The event as one line of schema-version-[`SCHEMA_VERSION`] JSON
+    /// (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(s, "{{\"v\":{SCHEMA_VERSION},");
+        match self {
+            InferEvent::StreamStart {
+                model_fingerprint,
+                n_classes,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"stream_start\",\"model\":\"{model_fingerprint:016x}\",\
+                     \"n_classes\":{n_classes}"
+                );
+            }
+            InferEvent::BatchEnd {
+                batch,
+                size,
+                queue_depth,
+                wall_ms,
+                samples_per_sec,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"infer_batch_end\",\"batch\":{batch},\"size\":{size},\
+                     \"queue_depth\":{queue_depth},\"wall_ms\":"
+                );
+                push_num(&mut s, *wall_ms);
+                s.push_str(",\"samples_per_sec\":");
+                push_num(&mut s, *samples_per_sec);
+            }
+            InferEvent::FlowEvicted {
+                flow_id,
+                pkts,
+                reason,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"flow_evicted\",\"flow_id\":{flow_id},\"pkts\":{pkts},\
+                     \"reason\":\"{reason}\""
+                );
+            }
+            InferEvent::ModelSwapped {
+                old_fingerprint,
+                new_fingerprint,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"model_swapped\",\"old\":\"{old_fingerprint:016x}\",\
+                     \"new\":\"{new_fingerprint:016x}\""
+                );
+            }
+            InferEvent::StreamEnd {
+                flows,
+                batches,
+                evicted,
+                wall_ms,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"stream_end\",\"flows\":{flows},\"batches\":{batches},\
+                     \"evicted\":{evicted},\"wall_ms\":"
+                );
+                push_num(&mut s, *wall_ms);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A sink for [`InferEvent`]s. Like [`TrainObserver`], strictly
+/// observability-only: predictions are bit-identical with or without a
+/// sink attached.
+pub trait InferObserver {
+    /// Receives one event, synchronously from the serving loop.
+    fn infer_event(&mut self, event: &InferEvent);
+}
+
+impl InferObserver for Noop {
+    fn infer_event(&mut self, _event: &InferEvent) {}
+}
+
+impl InferObserver for JsonlSink {
+    fn infer_event(&mut self, event: &InferEvent) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let _ = self.file.write_all(line.as_bytes());
+    }
+}
+
+/// Collects inference events in memory — the test sink.
+#[derive(Debug, Default)]
+pub struct InferRecorder {
+    /// Every event received, in order.
+    pub events: Vec<InferEvent>,
+}
+
+impl InferRecorder {
+    /// An empty recorder.
+    pub fn new() -> InferRecorder {
+        InferRecorder::default()
+    }
+
+    /// The `BatchEnd` events, in order.
+    pub fn batch_ends(&self) -> Vec<&InferEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, InferEvent::BatchEnd { .. }))
+            .collect()
+    }
+}
+
+impl InferObserver for InferRecorder {
+    fn infer_event(&mut self, event: &InferEvent) {
+        self.events.push(event.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,7 +747,10 @@ mod tests {
             samples_per_sec: 7680.0,
         };
         let line = e.to_json_line();
-        assert!(line.starts_with("{\"v\":1,\"event\":\"epoch_end\""), "{line}");
+        assert!(
+            line.starts_with("{\"v\":1,\"event\":\"epoch_end\""),
+            "{line}"
+        );
         assert!(line.ends_with('}'), "{line}");
         assert!(line.contains("\"train_loss\":0.5"), "{line}");
         assert!(line.contains("\"val_loss\":0.625"), "{line}");
@@ -661,7 +853,9 @@ mod tests {
         struct Probe(std::sync::Arc<Mutex<Vec<String>>>, &'static str);
         impl TrainObserver for Probe {
             fn event(&mut self, event: &TrainEvent) {
-                self.0.lock().push(format!("{}:{:?}", self.1, std::mem::discriminant(event)));
+                self.0
+                    .lock()
+                    .push(format!("{}:{:?}", self.1, std::mem::discriminant(event)));
             }
         }
         let log = std::sync::Arc::new(Mutex::new(Vec::new()));
@@ -704,7 +898,13 @@ mod tests {
         progress2.task_done(1, false);
         let events = shared.lock().events.clone();
         match &events[0] {
-            TrainEvent::TaskEnd { reused, eta_ms, completed, total, .. } => {
+            TrainEvent::TaskEnd {
+                reused,
+                eta_ms,
+                completed,
+                total,
+                ..
+            } => {
                 assert!(*reused);
                 assert_eq!((*completed, *total), (1, 2));
                 assert!(eta_ms.is_none(), "no computed task yet → no ETA");
@@ -712,7 +912,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &events[1] {
-            TrainEvent::TaskEnd { reused, eta_ms, completed, .. } => {
+            TrainEvent::TaskEnd {
+                reused,
+                eta_ms,
+                completed,
+                ..
+            } => {
                 assert!(!*reused);
                 assert_eq!(*completed, 2);
                 // All tasks done → zero remaining → ETA exactly 0.
@@ -727,6 +932,74 @@ mod tests {
             wall_ms: 0.0,
         });
         drop(progress);
+    }
+
+    #[test]
+    fn infer_events_serialize_with_shared_schema() {
+        let e = InferEvent::BatchEnd {
+            batch: 2,
+            size: 7,
+            queue_depth: 3,
+            wall_ms: 1.25,
+            samples_per_sec: 5600.0,
+        };
+        let line = e.to_json_line();
+        assert!(
+            line.starts_with("{\"v\":1,\"event\":\"infer_batch_end\""),
+            "{line}"
+        );
+        assert!(line.contains("\"queue_depth\":3"), "{line}");
+        let e = InferEvent::ModelSwapped {
+            old_fingerprint: 0xabc,
+            new_fingerprint: 0xdef,
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("\"old\":\"0000000000000abc\""), "{line}");
+        assert!(line.contains("\"new\":\"0000000000000def\""), "{line}");
+        let e = InferEvent::FlowEvicted {
+            flow_id: 9,
+            pkts: 4,
+            reason: "idle",
+        };
+        assert!(e.to_json_line().contains("\"reason\":\"idle\""));
+    }
+
+    #[test]
+    fn infer_recorder_and_jsonl_sink_accept_infer_events() {
+        let mut rec = InferRecorder::new();
+        rec.infer_event(&InferEvent::StreamStart {
+            model_fingerprint: 1,
+            n_classes: 5,
+        });
+        rec.infer_event(&InferEvent::BatchEnd {
+            batch: 0,
+            size: 4,
+            queue_depth: 0,
+            wall_ms: 1.0,
+            samples_per_sec: 4000.0,
+        });
+        rec.infer_event(&InferEvent::StreamEnd {
+            flows: 4,
+            batches: 1,
+            evicted: 0,
+            wall_ms: 2.0,
+        });
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.batch_ends().len(), 1);
+
+        let dir = std::env::temp_dir().join(format!("tcbench_infer_tel_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("infer.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for e in &rec.events {
+                sink.infer_event(e);
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with("{\"v\":1,")));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Per-packet incremental flowpic construction — the online counterpart
+//! of [`Flowpic::build`].
+//!
+//! A streaming flow tracker sees packets one at a time and cannot afford
+//! to re-rasterize the whole flow on every arrival. Because the batch
+//! builder is an order-independent per-packet accumulation (`+= 1.0`
+//! into a bin computed from that packet alone), the incremental version
+//! is *bit-identical by construction*: [`IncrementalFlowpic::push`] uses
+//! the exact same skip conditions and bin expressions as
+//! [`Flowpic::build`], so after pushing any packet sequence the picture
+//! equals the batch build of that sequence — asserted cell-for-cell by
+//! the property tests in this module.
+
+use crate::builder::{Flowpic, FlowpicConfig};
+use trafficgen::types::Pkt;
+
+/// A flowpic under construction, updated one packet at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalFlowpic {
+    config: FlowpicConfig,
+    pic: Flowpic,
+    /// Packets accumulated into the picture (in-window, ACK-filtered).
+    counted: usize,
+}
+
+impl IncrementalFlowpic {
+    /// An empty picture under `config`.
+    pub fn new(config: FlowpicConfig) -> IncrementalFlowpic {
+        IncrementalFlowpic {
+            config,
+            pic: Flowpic::zeros(config.resolution),
+            counted: 0,
+        }
+    }
+
+    /// Accumulates one packet. Returns `true` when the packet landed in
+    /// the histogram, `false` when it was skipped (excluded ACK or
+    /// outside the time window) — mirroring [`Flowpic::build`]'s skip
+    /// conditions expression for expression.
+    pub fn push(&mut self, p: &Pkt) -> bool {
+        if p.is_ack && !self.config.include_acks {
+            return false;
+        }
+        if p.ts < 0.0 || p.ts >= self.config.window_s {
+            return false;
+        }
+        let r = self.config.resolution;
+        let col = ((p.ts / self.config.time_bin()) as usize).min(r - 1);
+        let row = ((p.size as f64 / self.config.size_bin()) as usize).min(r - 1);
+        self.pic.data[row * r + col] += 1.0;
+        self.counted += 1;
+        true
+    }
+
+    /// Packets counted into the picture so far.
+    pub fn counted(&self) -> usize {
+        self.counted
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &FlowpicConfig {
+        &self.config
+    }
+
+    /// Read-only view of the picture in its current state.
+    pub fn picture(&self) -> &Flowpic {
+        &self.pic
+    }
+
+    /// Finishes construction, handing the picture over.
+    pub fn finish(self) -> Flowpic {
+        self.pic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trafficgen::types::Direction;
+
+    fn build_both(pkts: &[Pkt], config: &FlowpicConfig) -> (Flowpic, Flowpic) {
+        let mut inc = IncrementalFlowpic::new(*config);
+        for p in pkts {
+            inc.push(p);
+        }
+        (Flowpic::build(pkts, config), inc.finish())
+    }
+
+    /// SplitMix64 — deterministic packet streams without the rand crate.
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_stream(seed: u64, n: usize) -> Vec<Pkt> {
+        (0..n)
+            .map(|i| {
+                let h = splitmix64(seed.wrapping_add(i as u64));
+                // Timestamps straddle the window edge (up to 20 s > 15 s
+                // window) so the skip path is exercised too.
+                let ts = (h % 20_000) as f64 / 1000.0;
+                let size = ((h >> 16) % 1501) as u16;
+                let dir = if h & 1 == 0 {
+                    Direction::Upstream
+                } else {
+                    Direction::Downstream
+                };
+                if (h >> 32).is_multiple_of(5) {
+                    Pkt::ack(ts, dir)
+                } else {
+                    Pkt::data(ts, size, dir)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_equals_batch_on_randomized_streams() {
+        for seed in 0..20 {
+            let pkts = random_stream(seed * 7919, 200);
+            for config in [
+                FlowpicConfig::mini(),
+                FlowpicConfig::mid(),
+                FlowpicConfig::with_resolution(7),
+                FlowpicConfig {
+                    include_acks: false,
+                    ..FlowpicConfig::mini()
+                },
+            ] {
+                let (batch, inc) = build_both(&pkts, &config);
+                assert_eq!(
+                    batch.data, inc.data,
+                    "seed {seed}, res {}",
+                    config.resolution
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_reports_counted_packets() {
+        let cfg = FlowpicConfig {
+            include_acks: false,
+            ..FlowpicConfig::mini()
+        };
+        let mut inc = IncrementalFlowpic::new(cfg);
+        assert!(inc.push(&Pkt::data(0.5, 100, Direction::Upstream)));
+        assert!(!inc.push(&Pkt::ack(0.6, Direction::Downstream)), "ACK");
+        assert!(
+            !inc.push(&Pkt::data(15.0, 100, Direction::Upstream)),
+            "past window"
+        );
+        assert!(
+            !inc.push(&Pkt::data(-0.1, 100, Direction::Upstream)),
+            "negative ts"
+        );
+        assert_eq!(inc.counted(), 1);
+        assert_eq!(inc.picture().total(), 1.0);
+    }
+
+    #[test]
+    fn partial_picture_is_observable_mid_stream() {
+        let cfg = FlowpicConfig::mini();
+        let pkts = random_stream(3, 50);
+        let mut inc = IncrementalFlowpic::new(cfg);
+        for (i, p) in pkts.iter().enumerate() {
+            inc.push(p);
+            // At every prefix the partial picture equals the batch build
+            // of that prefix.
+            let batch = Flowpic::build(&pkts[..=i], &cfg);
+            assert_eq!(inc.picture().data, batch.data, "prefix {}", i + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn incremental_matches_batch(
+            raw in proptest::collection::vec((0.0f64..20.0, 0u16..=1500, any::<bool>()), 0..300),
+            include_acks in any::<bool>(),
+            res in 1usize..80,
+        ) {
+            let pkts: Vec<Pkt> = raw
+                .iter()
+                .map(|&(ts, size, is_ack)| {
+                    if is_ack {
+                        Pkt::ack(ts, Direction::Upstream)
+                    } else {
+                        Pkt::data(ts, size, Direction::Downstream)
+                    }
+                })
+                .collect();
+            let config = FlowpicConfig {
+                resolution: res,
+                window_s: 15.0,
+                include_acks,
+            };
+            let (batch, inc) = build_both(&pkts, &config);
+            prop_assert_eq!(batch.data, inc.data);
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! (Ref-Paper footnote 3). This crate provides:
 //!
 //! * [`builder`] — flowpic construction from packet series;
+//! * [`incremental`] — per-packet incremental construction for online
+//!   serving, bit-identical to the batch builder;
 //! * [`features`] — the flattened-flowpic and early-time-series feature
 //!   vectors used by the classic-ML baseline (paper Table 3);
 //! * [`render`] — per-class average flowpics and terminal/PGM rendering
@@ -19,6 +21,8 @@
 
 pub mod builder;
 pub mod features;
+pub mod incremental;
 pub mod render;
 
 pub use builder::{DirectionalFlowpic, Flowpic, FlowpicConfig, Normalization};
+pub use incremental::IncrementalFlowpic;

@@ -366,7 +366,8 @@ mod tests {
             ..Default::default()
         };
         let mut rounds: Vec<BoostRound> = Vec::new();
-        let observed = GbdtClassifier::fit_observed(&x, &y, 2, &cfg, &mut |r| rounds.push(r.clone()));
+        let observed =
+            GbdtClassifier::fit_observed(&x, &y, 2, &cfg, &mut |r| rounds.push(r.clone()));
         assert_eq!(rounds.len(), 8);
         for (i, r) in rounds.iter().enumerate() {
             assert_eq!(r.round, i + 1);

@@ -100,6 +100,15 @@ pub enum CheckpointError {
     /// The body failed to decode, or the checkpoint belongs to a
     /// different training configuration.
     Body(String),
+    /// The weights were exported from a different model architecture
+    /// (parameter tensor count or shapes differ) — e.g. resuming or
+    /// serving a checkpoint of the wrong network.
+    ArchMismatch {
+        /// Shape fingerprint of the model doing the import.
+        expected: u64,
+        /// Shape fingerprint of the checkpointed weights.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -116,6 +125,11 @@ impl fmt::Display for CheckpointError {
                 "checkpoint is corrupted: checksum {computed:016x} does not match recorded {stored:016x}"
             ),
             CheckpointError::Body(msg) => write!(f, "checkpoint body rejected: {msg}"),
+            CheckpointError::ArchMismatch { expected, found } => write!(
+                f,
+                "checkpoint architecture mismatch: model expects shape fingerprint \
+                 {expected:016x}, weights carry {found:016x}"
+            ),
         }
     }
 }
@@ -462,8 +476,8 @@ pub fn load_value<T: Persist>(path: &Path) -> Result<T, CheckpointError> {
     if computed != stored {
         return Err(CheckpointError::ChecksumMismatch { stored, computed });
     }
-    let body = std::str::from_utf8(body)
-        .map_err(|_| CheckpointError::Body("body is not UTF-8".into()))?;
+    let body =
+        std::str::from_utf8(body).map_err(|_| CheckpointError::Body("body is not UTF-8".into()))?;
     let mut d = Decoder::new(body);
     let value = T::decode(&mut d).map_err(CheckpointError::Body)?;
     if !d.is_exhausted() {

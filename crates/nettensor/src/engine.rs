@@ -164,6 +164,23 @@ impl BatchEngine {
         (concat_rows(&outputs), tapes)
     }
 
+    /// Sharded, tape-free inference: each shard runs
+    /// [`Sequential::predict`] on a worker, outputs reassembled in shard
+    /// order. Eval-mode math is per-sample, so the result is bit-identical
+    /// to an unsharded `model.predict(input)` at any worker count or shard
+    /// size — the property the serving engine's batch-size-invariance
+    /// tests pin down.
+    pub fn predict(&self, model: &Sequential, input: &Tensor) -> Tensor {
+        let n = input.batch();
+        assert!(n >= 1, "BatchEngine::predict on an empty batch");
+        self.samples.fetch_add(n as u64, Ordering::Relaxed);
+        let ranges = self.shard_ranges(n);
+        let outputs = self.run_shards(&ranges, |range| {
+            model.predict(&input.rows(range.start, range.end))
+        });
+        concat_rows(&outputs)
+    }
+
     /// Runs the backward pass over the tapes produced by
     /// [`BatchEngine::forward`], slicing `grad_out` per shard. Per-shard
     /// gradients are reduced into `grads` **in shard order**; the
@@ -310,6 +327,23 @@ mod tests {
             net.infer(&x).data,
             "sharded eval must be bitwise identical"
         );
+    }
+
+    #[test]
+    fn predict_is_shard_and_worker_invariant() {
+        let net = tiny_net(4);
+        let x = batch(13, 17);
+        let direct = net.predict(&x);
+        assert_eq!(direct.data, net.infer(&x).data, "predict == infer bits");
+        for engine in [
+            BatchEngine::new(1),
+            BatchEngine::new(4),
+            BatchEngine::with_shard_size(2, 1),
+            BatchEngine::with_shard_size(3, 7),
+            BatchEngine::unsharded(),
+        ] {
+            assert_eq!(engine.predict(&net, &x).data, direct.data);
+        }
     }
 
     #[test]

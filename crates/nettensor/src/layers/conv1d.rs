@@ -42,14 +42,10 @@ impl Conv1d {
         );
         l - self.kernel + 1
     }
-}
 
-impl Layer for Conv1d {
-    fn name(&self) -> &'static str {
-        "Conv1d"
-    }
-
-    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+    /// The pure convolution, shared by the taped forward and the
+    /// tape-free eval path.
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.shape.len(),
             3,
@@ -82,8 +78,23 @@ impl Layer for Conv1d {
                 }
             }
         }
-        tape.push(TapeEntry::Input(input.clone()));
         Tensor::new(&[n, self.out_channels, ol], out)
+    }
+}
+
+impl Layer for Conv1d {
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        let out = self.compute(input);
+        tape.push(TapeEntry::Input(input.clone()));
+        out
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        self.compute(input)
     }
 
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
@@ -185,6 +196,30 @@ impl Layer for MaxPool1d {
             argmax,
             input_shape: input.shape.clone(),
         });
+        Tensor::new(&[n, c, ol], out)
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape.len(), 3, "MaxPool1d expects [N,C,L]");
+        let (n, c, l) = (input.shape[0], input.shape[1], input.shape[2]);
+        let k = self.kernel;
+        let ol = l / k;
+        assert!(ol >= 1, "input length {l} smaller than pool {k}");
+        let mut out = vec![0f32; n * c * ol];
+        for nc in 0..n * c {
+            let in_base = nc * l;
+            let out_base = nc * ol;
+            for oi in 0..ol {
+                let mut best = f32::MIN;
+                for ki in 0..k {
+                    let v = input.data[in_base + oi * k + ki];
+                    if v > best {
+                        best = v;
+                    }
+                }
+                out[out_base + oi] = best;
+            }
+        }
         Tensor::new(&[n, c, ol], out)
     }
 

@@ -62,14 +62,10 @@ impl Conv2d {
             (w - self.kernel) / self.stride + 1,
         )
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &'static str {
-        "Conv2d"
-    }
-
-    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+    /// The pure convolution, shared by the training forward (which also
+    /// tapes the input) and the tape-free eval path.
+    fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.shape.len(),
             4,
@@ -116,8 +112,23 @@ impl Layer for Conv2d {
                 }
             }
         }
-        tape.push(TapeEntry::Input(input.clone()));
         Tensor::new(&[n, self.out_channels, oh, ow], out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        let out = self.compute(input);
+        tape.push(TapeEntry::Input(input.clone()));
+        out
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        self.compute(input)
     }
 
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {

@@ -54,6 +54,19 @@ impl Layer for Linear {
         out
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape.len(),
+            2,
+            "Linear expects [N, F], got {:?}",
+            input.shape
+        );
+        assert_eq!(input.shape[1], self.in_features, "feature width mismatch");
+        let mut out = input.matmul(&self.w);
+        out.add_row_bias(&self.b);
+        out
+    }
+
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
         let TapeEntry::Input(input) = entry else {
             panic!("Linear backward without a matching forward tape entry")

@@ -40,6 +40,16 @@ pub trait Layer: Send + Sync {
     /// nothing.
     fn forward(&self, input: &Tensor, train: bool, tape: &mut Tape) -> Tensor;
 
+    /// Evaluation forward without activation recording — the inference
+    /// fast path behind [`crate::model::Sequential::predict`]. Must be
+    /// bit-identical to `forward(input, false, tape)`; the default
+    /// delegates through a throwaway tape. Layers that cache tensors for
+    /// the backward pass (convolutions, linear, pooling, activations)
+    /// override this to skip that bookkeeping entirely.
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        self.forward(input, false, &mut Tape::new())
+    }
+
     /// Backward pass: takes this layer's tape entry (written by the
     /// matching `forward`) and `dL/d(output)`, accumulates parameter
     /// gradients into `grads` (one slot per tensor of [`Layer::params`],

@@ -67,6 +67,41 @@ impl Layer for MaxPool2d {
         Tensor::new(&[n, c, oh, ow], out)
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape.len(), 4, "MaxPool2d expects [N,C,H,W]");
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
+        let k = self.kernel;
+        let (oh, ow) = (h / k, w / k);
+        assert!(oh >= 1 && ow >= 1, "input {h}x{w} smaller than pool {k}");
+        let mut out = vec![0f32; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let in_base = (ni * c + ci) * h * w;
+                let out_base = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::MIN;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let v = input.data[in_base + (oi * k + ki) * w + (oj * k + kj)];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                        }
+                        out[out_base + oi * ow + oj] = best;
+                    }
+                }
+            }
+        }
+        Tensor::new(&[n, c, oh, ow], out)
+    }
+
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
         let TapeEntry::Argmax {
             argmax,

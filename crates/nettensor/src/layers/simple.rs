@@ -35,6 +35,13 @@ impl Layer for ReLU {
         )
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        Tensor::new(
+            &input.shape,
+            input.data.iter().map(|&v| v.max(0.0)).collect(),
+        )
+    }
+
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
         let TapeEntry::Mask(mask) = entry else {
             panic!("ReLU backward without a matching forward tape entry")
@@ -142,6 +149,11 @@ impl Layer for Dropout {
         out
     }
 
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        // Dropout is forced to eval on the predict path: identity.
+        input.clone()
+    }
+
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
         let TapeEntry::ScaleMask(mask) = entry else {
             panic!("Dropout backward without a matching forward tape entry")
@@ -190,6 +202,12 @@ impl Layer for Flatten {
 
     fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
         tape.push(TapeEntry::Shape(input.shape.clone()));
+        let n = input.batch();
+        let rest = input.len() / n.max(1);
+        input.reshaped(&[n, rest])
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
         let n = input.batch();
         let rest = input.len() / n.max(1);
         input.reshaped(&[n, rest])
@@ -374,9 +392,13 @@ impl Layer for Tanh {
     }
 
     fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
-        let out = Tensor::new(&input.shape, input.data.iter().map(|&v| v.tanh()).collect());
+        let out = self.forward_eval(input);
         tape.push(TapeEntry::Output(out.clone()));
         out
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        Tensor::new(&input.shape, input.data.iter().map(|&v| v.tanh()).collect())
     }
 
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {
@@ -426,16 +448,20 @@ impl Layer for Sigmoid {
     }
 
     fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
-        let out = Tensor::new(
+        let out = self.forward_eval(input);
+        tape.push(TapeEntry::Output(out.clone()));
+        out
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        Tensor::new(
             &input.shape,
             input
                 .data
                 .iter()
                 .map(|&v| 1.0 / (1.0 + (-v).exp()))
                 .collect(),
-        );
-        tape.push(TapeEntry::Output(out.clone()));
-        out
+        )
     }
 
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, _grads: &mut [Tensor]) -> Tensor {

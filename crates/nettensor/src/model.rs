@@ -12,10 +12,25 @@
 //! references can run forward/backward concurrently (each call with its
 //! own tape), which is what [`crate::engine::BatchEngine`] exploits.
 
+use crate::checkpoint::CheckpointError;
 use crate::layers::Layer;
 use crate::tape::{GradStore, Tape};
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+/// FNV-1a fingerprint of a parameter *shape* signature: tensor count
+/// followed by each tensor's length, independent of the float values.
+/// Two models share an architecture fingerprint iff their parameter
+/// tensors line up slot-by-slot — the compatibility check behind
+/// [`Sequential::try_import_weights`] and the serving model registry.
+fn arch_fingerprint_of(lens: impl ExactSizeIterator<Item = usize>) -> u64 {
+    let mut bytes = Vec::with_capacity((lens.len() + 1) * 8);
+    bytes.extend_from_slice(&(lens.len() as u64).to_le_bytes());
+    for len in lens {
+        bytes.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+    crate::checkpoint::fnv1a64(&bytes)
+}
 
 /// A sequential stack of layers.
 pub struct Sequential {
@@ -47,6 +62,11 @@ impl Weights {
             }
         }
         crate::checkpoint::fnv1a64(&bytes)
+    }
+
+    /// Shape-only architecture fingerprint (see [`Sequential::arch_fingerprint`]).
+    pub fn arch_fingerprint(&self) -> u64 {
+        arch_fingerprint_of(self.tensors.iter().map(|t| t.len()))
     }
 }
 
@@ -97,6 +117,28 @@ impl Sequential {
     /// entry point for inference and metric evaluation.
     pub fn infer(&self, input: &Tensor) -> Tensor {
         self.forward(input, false, &mut Tape::new())
+    }
+
+    /// Tape-free inference fast path: every layer runs its
+    /// [`Layer::forward_eval`], so nothing is cloned or recorded for a
+    /// backward pass and dropout is forced to identity. Bit-identical to
+    /// [`Sequential::infer`] by construction (the eval paths share the
+    /// forward arithmetic), just without the bookkeeping.
+    pub fn predict(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_eval(&x);
+        }
+        x
+    }
+
+    /// Shape-only architecture fingerprint: FNV-1a over the parameter
+    /// tensor count and per-tensor lengths. Matches
+    /// [`Weights::arch_fingerprint`] of any weight set this model can
+    /// import. Value-independent: training changes
+    /// [`Weights::fingerprint`] but never this.
+    pub fn arch_fingerprint(&self) -> u64 {
+        arch_fingerprint_of(self.all_params().iter().map(|p| p.data.len()))
     }
 
     /// Evaluation-mode forward through only the first `n_layers` layers —
@@ -259,6 +301,22 @@ impl Sequential {
             assert_eq!(p.data.len(), w.len(), "weight tensor length mismatch");
             p.data.copy_from_slice(w);
         }
+    }
+
+    /// Fallible [`Sequential::import_weights`]: checks the architecture
+    /// fingerprints first and returns
+    /// [`CheckpointError::ArchMismatch`] instead of panicking when the
+    /// weight set was exported from a different architecture — the error
+    /// callers hit when resuming from or serving a checkpoint of the
+    /// wrong network.
+    pub fn try_import_weights(&mut self, weights: &Weights) -> Result<(), CheckpointError> {
+        let expected = self.arch_fingerprint();
+        let found = weights.arch_fingerprint();
+        if expected != found {
+            return Err(CheckpointError::ArchMismatch { expected, found });
+        }
+        self.import_weights(weights);
+        Ok(())
     }
 
     /// Copies the weights of the first `n` layers from `source` (same
@@ -469,6 +527,56 @@ mod tests {
             Box::new(BatchNorm1d::new(8)),
         ]);
         assert!(bn_net.batch_coupled());
+    }
+
+    #[test]
+    fn predict_matches_infer_bitwise() {
+        use crate::layers::{Conv2d, Dropout, Flatten, MaxPool2d, Sigmoid, Tanh};
+        let net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 3, 3, 4)),
+            Box::new(Tanh::new()),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Flatten::new()),
+            Box::new(Dropout::new(0.5, 9)),
+            Box::new(Linear::new(3 * 3 * 3, 4, 5)),
+            Box::new(Sigmoid::new()),
+        ]);
+        let x = Tensor::kaiming_uniform(&[3, 1, 8, 8], 1, 11);
+        assert_eq!(net.predict(&x).data, net.infer(&x).data);
+    }
+
+    #[test]
+    fn arch_fingerprint_shape_only() {
+        let a = two_layer();
+        let mut b = two_layer();
+        // Same shapes, different values → same arch fingerprint.
+        assert_eq!(a.arch_fingerprint(), b.arch_fingerprint());
+        assert_eq!(a.arch_fingerprint(), a.export_weights().arch_fingerprint());
+        for p in b.all_params_mut() {
+            p.data.iter_mut().for_each(|v| *v += 1.0);
+        }
+        assert_eq!(a.arch_fingerprint(), b.arch_fingerprint());
+        // Different architecture → different fingerprint.
+        let c = Sequential::new(vec![Box::new(Linear::new(4, 9, 1))]);
+        assert_ne!(a.arch_fingerprint(), c.arch_fingerprint());
+    }
+
+    #[test]
+    fn try_import_weights_rejects_mismatch() {
+        use crate::checkpoint::CheckpointError;
+        let mut net = two_layer();
+        let wrong = Sequential::new(vec![Box::new(Linear::new(4, 9, 1))]).export_weights();
+        match net.try_import_weights(&wrong) {
+            Err(CheckpointError::ArchMismatch { expected, found }) => {
+                assert_eq!(expected, net.arch_fingerprint());
+                assert_eq!(found, wrong.arch_fingerprint());
+            }
+            other => panic!("expected ArchMismatch, got {other:?}"),
+        }
+        // Matching weights import fine.
+        let good = two_layer().export_weights();
+        net.try_import_weights(&good).expect("matching arch");
+        assert_eq!(net.export_weights(), good);
     }
 
     #[test]

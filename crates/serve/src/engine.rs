@@ -1,0 +1,446 @@
+//! Batched classification behind a backend-agnostic trait.
+//!
+//! The [`InferenceEngine`] collects flows completed by the tracker into
+//! a queue and flushes a micro-batch when either trigger fires:
+//!
+//! * **size** — the queue reached `max_batch`;
+//! * **deadline** — the oldest queued flow has waited `max_wait_s` of
+//!   stream time.
+//!
+//! A flush clones the registry's active model handle once, so a swap
+//! arriving mid-batch never affects that batch. Forward passes are
+//! eval-mode only ([`Sequential::predict`] through
+//! [`BatchEngine::predict`]'s worker pool), which makes predictions
+//! bit-identical at any batch size or worker count — the
+//! batch-size-invariance property the integration tests pin down.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gbdt::booster::GbdtClassifier;
+use nettensor::checkpoint::{fnv1a64, CheckpointError};
+use nettensor::{BatchEngine, Sequential, Tensor};
+use tcbench::telemetry::{InferEvent, InferObserver};
+
+use crate::registry::{ModelRegistry, ServedModel};
+use crate::tracker::CompletedFlow;
+
+/// One classified flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The flow this prediction belongs to.
+    pub flow_id: u64,
+    /// Predicted class index (argmax; ties resolve to the lowest index).
+    pub label: usize,
+    /// The winning class's probability.
+    pub confidence: f32,
+}
+
+/// A batch classifier: flattened flowpic inputs in, `(label,
+/// confidence)` out. Implemented by the CNN and GBDT backends; the
+/// engine and registry only ever see this trait.
+pub trait Classifier: Send + Sync {
+    /// Classes the model separates.
+    fn n_classes(&self) -> usize;
+
+    /// Class names, index-aligned with labels.
+    fn class_names(&self) -> &[String];
+
+    /// Weight fingerprint, for swap telemetry and model identity.
+    fn fingerprint(&self) -> u64;
+
+    /// Classifies a batch of flattened flowpic inputs. Must be
+    /// per-sample deterministic: the result for one input may not
+    /// depend on what else shares the batch.
+    fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)>;
+}
+
+/// Row-wise softmax → (argmax, probability). Ties resolve to the lowest
+/// index so the choice is deterministic.
+fn softmax_argmax(logits: &[f32]) -> (usize, f32) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut best = 0;
+    for (i, &e) in exps.iter().enumerate() {
+        if e > exps[best] {
+            best = i;
+        }
+    }
+    (best, exps[best] / sum)
+}
+
+/// The paper's CNN served forward-only.
+pub struct CnnClassifier {
+    net: Sequential,
+    engine: BatchEngine,
+    resolution: usize,
+    class_names: Vec<String>,
+    fingerprint: u64,
+}
+
+impl CnnClassifier {
+    /// Rebuilds the network from a [`ServedModel`] (validating the
+    /// architecture fingerprint) and attaches a forward worker pool of
+    /// `workers` threads (`0` = all cores).
+    pub fn from_served(
+        model: &ServedModel,
+        workers: usize,
+    ) -> Result<CnnClassifier, CheckpointError> {
+        Ok(CnnClassifier {
+            net: model.build_net()?,
+            engine: BatchEngine::new(workers),
+            resolution: model.resolution,
+            class_names: model.class_names.clone(),
+            fingerprint: model.weights.fingerprint(),
+        })
+    }
+
+    /// The flowpic resolution the model expects.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+}
+
+impl Classifier for CnnClassifier {
+    fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let r = self.resolution;
+        let mut data = Vec::with_capacity(inputs.len() * r * r);
+        for input in inputs {
+            assert_eq!(
+                input.len(),
+                r * r,
+                "input length {} does not match model resolution {r}×{r}",
+                input.len()
+            );
+            data.extend_from_slice(input);
+        }
+        let x = Tensor::new(&[inputs.len(), 1, r, r], data);
+        let logits = self.engine.predict(&self.net, &x);
+        let n_classes = logits.data.len() / inputs.len();
+        logits
+            .data
+            .chunks_exact(n_classes)
+            .map(softmax_argmax)
+            .collect()
+    }
+}
+
+/// The classic-ML baseline behind the same trait: a fitted gradient
+/// boosting classifier over the flattened flowpic.
+pub struct GbdtBackend {
+    model: GbdtClassifier,
+    class_names: Vec<String>,
+    fingerprint: u64,
+}
+
+impl GbdtBackend {
+    /// Wraps a fitted booster. The fingerprint is derived from the
+    /// booster's per-sample scores on a probe input — coarse, but stable
+    /// and cheap without a tree serialization format.
+    pub fn new(model: GbdtClassifier, class_names: Vec<String>, n_features: usize) -> GbdtBackend {
+        let probe = model.raw_scores(&vec![0.0; n_features]);
+        let mut bytes = Vec::with_capacity(probe.len() * 4);
+        for v in &probe {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        GbdtBackend {
+            fingerprint: fnv1a64(&bytes),
+            model,
+            class_names,
+        }
+    }
+}
+
+impl Classifier for GbdtBackend {
+    fn n_classes(&self) -> usize {
+        self.model.n_classes()
+    }
+
+    fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)> {
+        inputs
+            .iter()
+            .map(|input| {
+                let proba = self.model.predict_proba(input);
+                let mut best = 0;
+                for (i, &p) in proba.iter().enumerate() {
+                    if p > proba[best] {
+                        best = i;
+                    }
+                }
+                (best, proba[best])
+            })
+            .collect()
+    }
+}
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Flush as soon as this many flows are queued.
+    pub max_batch: usize,
+    /// Flush when the oldest queued flow has waited this long, in
+    /// stream-time seconds.
+    pub max_wait_s: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_batch: 16,
+            max_wait_s: 0.5,
+        }
+    }
+}
+
+struct QueuedFlow {
+    flow_id: u64,
+    input: Vec<f32>,
+    enqueued_at: f64,
+}
+
+/// Collects completed flows and classifies them in micro-batches
+/// against the registry's currently-active model.
+pub struct InferenceEngine {
+    registry: Arc<ModelRegistry>,
+    config: EngineConfig,
+    queue: VecDeque<QueuedFlow>,
+    batches_run: usize,
+    batch_wall_ms: Vec<f64>,
+    predictions: Vec<Prediction>,
+}
+
+impl InferenceEngine {
+    /// An engine with an empty queue.
+    pub fn new(registry: Arc<ModelRegistry>, config: EngineConfig) -> InferenceEngine {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        InferenceEngine {
+            registry,
+            config,
+            queue: VecDeque::new(),
+            batches_run: 0,
+            batch_wall_ms: Vec::new(),
+            predictions: Vec::new(),
+        }
+    }
+
+    /// Flows currently waiting for a batch slot.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Micro-batches classified so far.
+    pub fn batches_run(&self) -> usize {
+        self.batches_run
+    }
+
+    /// Forward wall-clock per batch, in milliseconds, in batch order.
+    pub fn batch_wall_ms(&self) -> &[f64] {
+        &self.batch_wall_ms
+    }
+
+    /// Every prediction made so far, in classification order.
+    pub fn predictions(&self) -> &[Prediction] {
+        &self.predictions
+    }
+
+    /// Enqueues a completed flow at stream time `now` and flushes while
+    /// the size trigger holds.
+    pub fn submit(&mut self, flow: CompletedFlow, now: f64, obs: &mut dyn InferObserver) {
+        self.queue.push_back(QueuedFlow {
+            flow_id: flow.flow_id,
+            input: flow.input,
+            enqueued_at: now,
+        });
+        while self.queue.len() >= self.config.max_batch {
+            self.flush(obs);
+        }
+        self.poll(now, obs);
+    }
+
+    /// Advances stream time: flushes whatever has exceeded the max-wait
+    /// deadline.
+    pub fn poll(&mut self, now: f64, obs: &mut dyn InferObserver) {
+        while let Some(front) = self.queue.front() {
+            if now - front.enqueued_at < self.config.max_wait_s {
+                break;
+            }
+            self.flush(obs);
+        }
+    }
+
+    /// Classifies everything still queued (stream shutdown).
+    pub fn drain(&mut self, obs: &mut dyn InferObserver) {
+        while !self.queue.is_empty() {
+            self.flush(obs);
+        }
+    }
+
+    fn flush(&mut self, obs: &mut dyn InferObserver) {
+        let n = self.queue.len().min(self.config.max_batch);
+        if n == 0 {
+            return;
+        }
+        let batch: Vec<QueuedFlow> = self.queue.drain(..n).collect();
+        let inputs: Vec<Vec<f32>> = batch.iter().map(|q| q.input.clone()).collect();
+        // One handle per batch: a hot-swap between here and the forward
+        // pass retires the old model only once this Arc drops.
+        let model = self.registry.active();
+        let t0 = Instant::now();
+        let results = model.predict_batch(&inputs);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        for (q, (label, confidence)) in batch.into_iter().zip(results) {
+            self.predictions.push(Prediction {
+                flow_id: q.flow_id,
+                label,
+                confidence,
+            });
+        }
+        obs.infer_event(&InferEvent::BatchEnd {
+            batch: self.batches_run,
+            size: n,
+            queue_depth: self.queue.len(),
+            wall_ms,
+            samples_per_sec: n as f64 / (wall_ms / 1e3).max(1e-9),
+        });
+        self.batches_run += 1;
+        self.batch_wall_ms.push(wall_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcbench::arch::supervised_net;
+    use tcbench::telemetry::InferRecorder;
+
+    fn tiny_model(seed: u64) -> ServedModel {
+        let net = supervised_net(16, 3, true, seed);
+        ServedModel {
+            arch: "supervised".into(),
+            resolution: 16,
+            n_classes: 3,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            weights: net.export_weights(),
+        }
+    }
+
+    fn input(seed: u64, len: usize) -> Vec<f32> {
+        // SplitMix64-derived values in [0, 1): deterministic inputs
+        // without the rand crate.
+        (0..len)
+            .map(|i| {
+                let mut z = seed
+                    .wrapping_add(i as u64)
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % 1000) as f32 / 1000.0
+            })
+            .collect()
+    }
+
+    fn completed(flow_id: u64, input: Vec<f32>) -> CompletedFlow {
+        CompletedFlow {
+            flow_id,
+            input,
+            pkts: 1,
+            completed_at: 0.0,
+        }
+    }
+
+    #[test]
+    fn softmax_argmax_is_a_probability() {
+        let (label, conf) = softmax_argmax(&[0.1, 2.0, -1.0]);
+        assert_eq!(label, 1);
+        assert!(conf > 1.0 / 3.0 && conf < 1.0);
+        // Ties resolve low.
+        assert_eq!(softmax_argmax(&[1.0, 1.0, 1.0]).0, 0);
+    }
+
+    #[test]
+    fn size_trigger_flushes_full_batches() {
+        let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 4,
+                max_wait_s: 1e9,
+            },
+        );
+        let mut rec = InferRecorder::new();
+        for id in 0..10u64 {
+            engine.submit(completed(id, input(id, 256)), 0.0, &mut rec);
+        }
+        assert_eq!(engine.batches_run(), 2, "two full batches of 4");
+        assert_eq!(engine.queue_depth(), 2);
+        engine.drain(&mut rec);
+        assert_eq!(engine.predictions().len(), 10);
+        assert_eq!(rec.batch_ends().len(), 3);
+        // Predictions keep submission order and flow identity.
+        let ids: Vec<u64> = engine.predictions().iter().map(|p| p.flow_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_stale_queues() {
+        let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 100,
+                max_wait_s: 0.5,
+            },
+        );
+        let mut rec = InferRecorder::new();
+        engine.submit(completed(7, input(7, 256)), 1.0, &mut rec);
+        engine.poll(1.4, &mut rec);
+        assert_eq!(engine.batches_run(), 0, "deadline not reached yet");
+        engine.poll(1.5, &mut rec);
+        assert_eq!(engine.batches_run(), 1);
+        assert_eq!(engine.predictions()[0].flow_id, 7);
+    }
+
+    #[test]
+    fn gbdt_backend_classifies_behind_the_same_trait() {
+        // A trivially separable 1-D problem: feature < 0.5 → class 0.
+        let x: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![if i % 2 == 0 { 0.1 } else { 0.9 }])
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let booster = GbdtClassifier::fit(&x, &y, 2, &gbdt::booster::GbdtConfig::default());
+        let backend = GbdtBackend::new(booster, vec!["lo".into(), "hi".into()], 1);
+        assert_eq!(backend.n_classes(), 2);
+        let preds = backend.predict_batch(&[vec![0.1], vec![0.9]]);
+        assert_eq!(preds[0].0, 0);
+        assert_eq!(preds[1].0, 1);
+        assert!(preds.iter().all(|&(_, c)| c > 0.5 && c <= 1.0));
+    }
+}

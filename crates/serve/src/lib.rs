@@ -1,0 +1,49 @@
+//! # serve — online inference over streaming packets
+//!
+//! The path from *packets in* to *predictions out*. The training half of
+//! the workspace rasterizes whole flows offline; a deployed classifier
+//! instead watches packets arrive one at a time and must decide after the
+//! paper's 15 s observation window (or when the flow dies early). This
+//! crate provides that serving loop as four composable pieces:
+//!
+//! * [`tracker::FlowTracker`] — bounded per-flow state. Each tracked flow
+//!   owns an [`flowpic::IncrementalFlowpic`] updated per packet; flows
+//!   are completed when they cross the 15 s window, evicted when idle too
+//!   long or when the hard flow-count cap is hit, and flushed (early
+//!   termination) when the stream drains.
+//! * [`engine::InferenceEngine`] — micro-batches completed flows by
+//!   max-batch-size and max-wait deadline, then classifies a batch in one
+//!   forward-only pass behind the [`engine::Classifier`] trait (CNN via
+//!   [`nettensor::BatchEngine::predict`], GBDT via
+//!   [`gbdt::booster::GbdtClassifier`]).
+//! * [`registry::ModelRegistry`] — the active model behind an
+//!   `RwLock<Arc<dyn Classifier>>`: loads [`registry::ServedModel`]
+//!   checkpoint files, validates the architecture fingerprint
+//!   ([`nettensor::checkpoint::CheckpointError::ArchMismatch`] on
+//!   mismatch), and hot-swaps atomically mid-stream — in-flight batches
+//!   keep their `Arc` and finish on the model they started with.
+//! * [`replay`] — turns a `trafficgen` dataset into a timestamped packet
+//!   trace and drives the tracker + engine over it at a configurable
+//!   rate multiplier, producing a latency/throughput report with
+//!   `mlstats::quantiles` percentiles.
+//!
+//! Everything is deterministic: eval-mode math is per-sample, so
+//! predictions are bit-identical at any micro-batch size or worker count
+//! (pinned by the batch-size-invariance integration test), and the
+//! incremental flowpic equals the batch builder cell for cell.
+//!
+//! Telemetry flows through [`tcbench::telemetry::InferObserver`] — the
+//! inference counterpart of the training observer, with the same
+//! observability-only contract.
+
+pub mod engine;
+pub mod registry;
+pub mod replay;
+pub mod tracker;
+
+pub use engine::{
+    Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction,
+};
+pub use registry::{ModelRegistry, ServedModel};
+pub use replay::{trace_from_dataset, PacketRecord, ReplayReport};
+pub use tracker::{CompletedFlow, FlowTracker, TrackerConfig};

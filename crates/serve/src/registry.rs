@@ -1,0 +1,228 @@
+//! Model persistence and atomic hot-swap.
+//!
+//! A [`ServedModel`] is the serving-side model file: architecture
+//! descriptor + class names + flat weights, persisted through
+//! `nettensor::checkpoint`'s checksummed [`Persist`] envelope (the same
+//! crash-safe write-then-rename codec training checkpoints use, so a
+//! model file is never observed half-written). Loading validates the
+//! shape-only architecture fingerprint before any weight touches a
+//! parameter tensor: a mismatched file surfaces as
+//! [`CheckpointError::ArchMismatch`] with both fingerprints instead of a
+//! shape panic deep in `model.rs`.
+//!
+//! The [`ModelRegistry`] holds the active [`Classifier`] behind an
+//! `RwLock<Arc<_>>`. Swapping writes the lock for the duration of one
+//! pointer store; a batch already dispatched keeps its own `Arc` clone
+//! and finishes on the model it started with — hot-swap never drops an
+//! in-flight batch.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use nettensor::checkpoint::{load_value, save_value, CheckpointError, Decoder, Persist};
+use nettensor::model::Weights;
+use nettensor::Sequential;
+use tcbench::arch::{finetune_net, supervised_net};
+
+use crate::engine::Classifier;
+
+/// A trained model in serving form: everything needed to rebuild the
+/// network and label its outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedModel {
+    /// Architecture family: `"supervised"` (App. C Listings 1-2) or
+    /// `"finetune"` (Listing 5).
+    pub arch: String,
+    /// Flowpic resolution the model was trained on.
+    pub resolution: usize,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Whether the architecture uses dropout layers (inference always
+    /// runs them in eval mode; the flag only shapes the layer stack).
+    pub dropout: bool,
+    /// Class names, index-aligned with the output logits.
+    pub class_names: Vec<String>,
+    /// Flat weight tensors in `Sequential::export_weights` order.
+    pub weights: Weights,
+}
+
+impl Persist for ServedModel {
+    fn encode(&self, out: &mut String) {
+        self.arch.encode(out);
+        self.resolution.encode(out);
+        self.n_classes.encode(out);
+        self.dropout.encode(out);
+        self.class_names.encode(out);
+        self.weights.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(ServedModel {
+            arch: String::decode(d)?,
+            resolution: usize::decode(d)?,
+            n_classes: usize::decode(d)?,
+            dropout: bool::decode(d)?,
+            class_names: Vec::decode(d)?,
+            weights: Weights::decode(d)?,
+        })
+    }
+}
+
+impl ServedModel {
+    /// Writes the model atomically into the checkpoint envelope.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        save_value(path, self)
+    }
+
+    /// Reads a model written by [`ServedModel::save`].
+    pub fn load(path: &Path) -> Result<ServedModel, CheckpointError> {
+        load_value(path)
+    }
+
+    /// Rebuilds the network and imports the weights, validating the
+    /// architecture fingerprint first. A file whose tensor shapes do not
+    /// match the declared architecture yields
+    /// [`CheckpointError::ArchMismatch`], never a panic.
+    pub fn build_net(&self) -> Result<Sequential, CheckpointError> {
+        let mut net = match self.arch.as_str() {
+            "finetune" => finetune_net(self.resolution, self.n_classes, 0),
+            "supervised" => supervised_net(self.resolution, self.n_classes, self.dropout, 0),
+            other => {
+                return Err(CheckpointError::Format(format!(
+                    "unknown model arch {other:?} (expected \"supervised\" or \"finetune\")"
+                )))
+            }
+        };
+        net.try_import_weights(&self.weights)?;
+        Ok(net)
+    }
+}
+
+/// The active classifier, swappable atomically while a stream is being
+/// served.
+pub struct ModelRegistry {
+    active: RwLock<Arc<dyn Classifier>>,
+}
+
+impl ModelRegistry {
+    /// A registry serving `initial`.
+    pub fn new(initial: Arc<dyn Classifier>) -> ModelRegistry {
+        ModelRegistry {
+            active: RwLock::new(initial),
+        }
+    }
+
+    /// Convenience: load a [`ServedModel`] file and wrap it in a
+    /// CNN classifier with `workers` forward workers.
+    pub fn load_cnn(path: &Path, workers: usize) -> Result<ModelRegistry, CheckpointError> {
+        let model = ServedModel::load(path)?;
+        let cnn = crate::engine::CnnClassifier::from_served(&model, workers)?;
+        Ok(ModelRegistry::new(Arc::new(cnn)))
+    }
+
+    /// A clone of the active model's handle. Callers classify against
+    /// the clone, so a concurrent swap never invalidates a batch that
+    /// already picked up its model.
+    pub fn active(&self) -> Arc<dyn Classifier> {
+        self.active.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Atomically replaces the active model, returning the
+    /// `(old, new)` weight fingerprints for the `model_swapped`
+    /// telemetry event. Rejects a replacement with a different class
+    /// count — predictions across a swap must stay label-compatible.
+    pub fn swap(&self, next: Arc<dyn Classifier>) -> Result<(u64, u64), CheckpointError> {
+        let mut guard = self.active.write().expect("registry lock poisoned");
+        if guard.n_classes() != next.n_classes() {
+            return Err(CheckpointError::Format(format!(
+                "hot-swap rejected: active model has {} classes, replacement has {}",
+                guard.n_classes(),
+                next.n_classes()
+            )));
+        }
+        let old = guard.fingerprint();
+        let new = next.fingerprint();
+        *guard = next;
+        Ok((old, new))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model(seed: u64) -> ServedModel {
+        let net = supervised_net(16, 3, true, seed);
+        ServedModel {
+            arch: "supervised".into(),
+            resolution: 16,
+            n_classes: 3,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            weights: net.export_weights(),
+        }
+    }
+
+    #[test]
+    fn served_model_round_trips_through_envelope() {
+        let dir = std::env::temp_dir().join("serve-registry-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let model = tiny_model(4);
+        model.save(&path).unwrap();
+        let loaded = ServedModel::load(&path).unwrap();
+        assert_eq!(model, loaded);
+        assert_eq!(
+            loaded.weights.fingerprint(),
+            model.weights.fingerprint(),
+            "weights must round-trip bit-exactly"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_architecture_is_a_typed_error() {
+        // Weights exported from a 3-class net declared as 4-class: the
+        // tensor shapes no longer match the declared architecture.
+        let mut model = tiny_model(1);
+        model.n_classes = 4;
+        match model.build_net() {
+            Err(CheckpointError::ArchMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            Err(other) => panic!("expected ArchMismatch, got {other}"),
+            Ok(_) => panic!("expected ArchMismatch, got a built net"),
+        }
+    }
+
+    #[test]
+    fn unknown_arch_is_rejected() {
+        let mut model = tiny_model(1);
+        model.arch = "transformer".into();
+        assert!(matches!(model.build_net(), Err(CheckpointError::Format(_))));
+    }
+
+    #[test]
+    fn swap_validates_class_count_and_reports_fingerprints() {
+        let a = crate::engine::CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let b = crate::engine::CnnClassifier::from_served(&tiny_model(2), 1).unwrap();
+        let fp_a = a.fingerprint();
+        let fp_b = b.fingerprint();
+        let registry = ModelRegistry::new(Arc::new(a));
+        let (old, new) = registry.swap(Arc::new(b)).unwrap();
+        assert_eq!((old, new), (fp_a, fp_b));
+        assert_eq!(registry.active().fingerprint(), fp_b);
+
+        let mut wrong = tiny_model(3);
+        wrong.n_classes = 5;
+        wrong.class_names.push("d".into());
+        wrong.class_names.push("e".into());
+        wrong.weights = supervised_net(16, 5, true, 3).export_weights();
+        let wrong = crate::engine::CnnClassifier::from_served(&wrong, 1).unwrap();
+        assert!(registry.swap(Arc::new(wrong)).is_err());
+        assert_eq!(
+            registry.active().fingerprint(),
+            fp_b,
+            "failed swap must leave the active model untouched"
+        );
+    }
+}

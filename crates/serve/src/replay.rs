@@ -1,0 +1,304 @@
+//! Trace replay: drive the serving loop over a synthetic dataset.
+//!
+//! A replay interleaves every flow of a `trafficgen` [`Dataset`] into one
+//! globally-ordered packet stream: flow *i* starts `i · flow_gap_s`
+//! seconds into the stream, and the whole stream is compressed by the
+//! rate multiplier (rate 10 plays the trace 10× faster). Two clocks are
+//! deliberately kept apart:
+//!
+//! * **flow-relative time** ([`PacketRecord::pkt`]'s own timestamp) feeds
+//!   the incremental flowpic and is *never* scaled — the 15 s window and
+//!   the resulting picture are bit-identical to offline rasterization at
+//!   any rate;
+//! * **stream time** ([`PacketRecord::ts`]) drives idle-timeout eviction
+//!   and the micro-batcher's max-wait deadline, so a higher rate packs
+//!   more completions into each deadline window and produces larger
+//!   batches.
+//!
+//! The replay itself runs as fast as the machine allows (no sleeping):
+//! batch latencies in the report are real forward-pass wall-clock,
+//! summarized as p50/p95/p99 via `mlstats::quantiles`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlstats::quantiles::percentile;
+use nettensor::checkpoint::CheckpointError;
+use tcbench::telemetry::{InferEvent, InferObserver};
+use trafficgen::types::{Dataset, Pkt};
+
+use crate::engine::{Classifier, EngineConfig, InferenceEngine, Prediction};
+use crate::registry::ModelRegistry;
+use crate::tracker::{FlowTracker, TrackerConfig};
+
+/// One packet as the serving loop sees it: which flow, when in the
+/// stream, and the flow-relative packet itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketRecord {
+    /// The flow this packet belongs to.
+    pub flow_id: u64,
+    /// Arrival time on the stream clock, in seconds (already divided by
+    /// the rate multiplier).
+    pub ts: f64,
+    /// The packet, timestamped in seconds since its flow's start —
+    /// exactly what the flowpic builder consumes.
+    pub pkt: Pkt,
+}
+
+/// Interleaves a dataset's flows into a stream-ordered trace. Flow `i`
+/// (background flows included — serving does not know labels) starts at
+/// `i * flow_gap_s` source seconds; all stream timestamps are divided by
+/// `rate`. Ordering ties break on `(flow_id, packet index)`, so the
+/// trace is deterministic.
+pub fn trace_from_dataset(ds: &Dataset, flow_gap_s: f64, rate: f64) -> Vec<PacketRecord> {
+    assert!(rate > 0.0, "rate multiplier must be positive, got {rate}");
+    assert!(flow_gap_s >= 0.0, "flow gap must be non-negative");
+    let mut trace: Vec<(f64, u64, usize, PacketRecord)> = Vec::new();
+    for (i, flow) in ds.flows.iter().enumerate() {
+        let start = i as f64 * flow_gap_s;
+        for (j, pkt) in flow.pkts.iter().enumerate() {
+            let ts = (start + pkt.ts) / rate;
+            trace.push((
+                ts,
+                flow.id,
+                j,
+                PacketRecord {
+                    flow_id: flow.id,
+                    ts,
+                    pkt: *pkt,
+                },
+            ));
+        }
+    }
+    trace.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    trace.into_iter().map(|(_, _, _, rec)| rec).collect()
+}
+
+/// What a replay produced, ready for reporting.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Packets replayed.
+    pub packets: usize,
+    /// Every prediction, in classification order.
+    pub predictions: Vec<Prediction>,
+    /// Micro-batches run.
+    pub batches: usize,
+    /// Flows dropped unclassified (idle timeout or cap).
+    pub evicted: usize,
+    /// Forward wall-clock per batch, milliseconds.
+    pub batch_wall_ms: Vec<f64>,
+    /// Whole-replay wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Hot-swaps performed mid-stream.
+    pub swaps: usize,
+}
+
+impl ReplayReport {
+    /// End-to-end classification throughput over the whole replay.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.predictions.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// `(p50, p95, p99)` of per-batch forward wall-clock, milliseconds.
+    /// Zero when no batch ran.
+    pub fn latency_percentiles_ms(&self) -> (f64, f64, f64) {
+        if self.batch_wall_ms.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            percentile(&self.batch_wall_ms, 0.50),
+            percentile(&self.batch_wall_ms, 0.95),
+            percentile(&self.batch_wall_ms, 0.99),
+        )
+    }
+
+    /// The human-readable latency/throughput report `tcb serve` prints.
+    pub fn render(&self, class_names: &[String]) -> String {
+        let (p50, p95, p99) = self.latency_percentiles_ms();
+        let mut counts = vec![0usize; class_names.len()];
+        for p in &self.predictions {
+            if p.label < counts.len() {
+                counts[p.label] += 1;
+            }
+        }
+        let mut out = format!(
+            "replayed {} packets: {} flows classified in {} batches, {} evicted, {} hot-swap(s)\n\
+             batch latency ms: p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}\n\
+             throughput: {:.1} samples/sec over {:.1} ms\n",
+            self.packets,
+            self.predictions.len(),
+            self.batches,
+            self.evicted,
+            self.swaps,
+            self.samples_per_sec(),
+            self.wall_ms,
+        );
+        for (name, n) in class_names.iter().zip(&counts) {
+            out.push_str(&format!("  {name:<16} {n}\n"));
+        }
+        out
+    }
+}
+
+/// A model to hot-swap in once the replay reaches a packet index.
+pub struct ScheduledSwap {
+    /// Swap just before processing this packet index.
+    pub at_packet: usize,
+    /// The replacement model.
+    pub model: Arc<dyn Classifier>,
+}
+
+/// Replays a trace through a tracker + engine against `registry`'s
+/// active model, performing any scheduled hot-swaps on the way. Errors
+/// only if a scheduled swap is invalid (class-count mismatch).
+pub fn replay(
+    trace: &[PacketRecord],
+    registry: &Arc<ModelRegistry>,
+    tracker_cfg: TrackerConfig,
+    engine_cfg: EngineConfig,
+    swaps: Vec<ScheduledSwap>,
+    obs: &mut dyn InferObserver,
+) -> Result<ReplayReport, CheckpointError> {
+    let initial = registry.active();
+    obs.infer_event(&InferEvent::StreamStart {
+        model_fingerprint: initial.fingerprint(),
+        n_classes: initial.n_classes(),
+    });
+    drop(initial);
+
+    let mut tracker = FlowTracker::new(tracker_cfg);
+    let mut engine = InferenceEngine::new(registry.clone(), engine_cfg);
+    let mut pending_swaps: Vec<ScheduledSwap> = swaps;
+    pending_swaps.sort_by_key(|s| s.at_packet);
+    let mut swaps_done = 0usize;
+    let t0 = Instant::now();
+
+    for (i, rec) in trace.iter().enumerate() {
+        while pending_swaps.first().is_some_and(|s| s.at_packet <= i) {
+            let swap = pending_swaps.remove(0);
+            let (old, new) = registry.swap(swap.model)?;
+            swaps_done += 1;
+            obs.infer_event(&InferEvent::ModelSwapped {
+                old_fingerprint: old,
+                new_fingerprint: new,
+            });
+        }
+        engine.poll(rec.ts, obs);
+        if let Some(done) = tracker.push(rec, obs) {
+            engine.submit(done, rec.ts, obs);
+        }
+    }
+    // Stream end: early-terminate live flows, then drain the queue.
+    let now = trace.last().map(|r| r.ts).unwrap_or(0.0);
+    for done in tracker.flush(now) {
+        engine.submit(done, now, obs);
+    }
+    engine.drain(obs);
+
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = ReplayReport {
+        packets: trace.len(),
+        predictions: engine.predictions().to_vec(),
+        batches: engine.batches_run(),
+        evicted: tracker.evicted(),
+        batch_wall_ms: engine.batch_wall_ms().to_vec(),
+        wall_ms,
+        swaps: swaps_done,
+    };
+    obs.infer_event(&InferEvent::StreamEnd {
+        flows: report.predictions.len(),
+        batches: report.batches,
+        evicted: report.evicted,
+        wall_ms,
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trafficgen::types::{Direction, Flow, Partition};
+
+    fn dataset(n_flows: usize, pkts_per_flow: usize) -> Dataset {
+        let flows = (0..n_flows)
+            .map(|i| Flow {
+                id: i as u64,
+                class: (i % 2) as u16,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts: (0..pkts_per_flow)
+                    .map(|j| {
+                        Pkt::data(
+                            j as f64 * 0.5,
+                            200 + 100 * (j % 5) as u16,
+                            Direction::Upstream,
+                        )
+                    })
+                    .collect(),
+            })
+            .collect();
+        Dataset {
+            name: "replay-test".into(),
+            class_names: vec!["a".into(), "b".into()],
+            flows,
+        }
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_rate_scaled() {
+        let ds = dataset(3, 4);
+        let trace = trace_from_dataset(&ds, 1.0, 2.0);
+        assert_eq!(trace.len(), 12);
+        assert!(trace.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Flow 0's packet at source time 0.5 lands at stream time 0.25
+        // under rate 2, while its flow-relative timestamp stays 0.5.
+        let rec = trace
+            .iter()
+            .find(|r| r.flow_id == 0 && r.pkt.ts == 0.5)
+            .unwrap();
+        assert_eq!(rec.ts, 0.25);
+    }
+
+    #[test]
+    fn rate_never_changes_flow_relative_timestamps() {
+        let ds = dataset(2, 6);
+        for rate in [0.5, 1.0, 8.0] {
+            let trace = trace_from_dataset(&ds, 0.3, rate);
+            for rec in &trace {
+                let flow = &ds.flows[rec.flow_id as usize];
+                assert!(flow.pkts.iter().any(|p| p.ts == rec.pkt.ts));
+            }
+        }
+    }
+
+    #[test]
+    fn report_percentiles_and_render() {
+        let report = ReplayReport {
+            packets: 10,
+            predictions: vec![
+                Prediction {
+                    flow_id: 0,
+                    label: 0,
+                    confidence: 0.9,
+                },
+                Prediction {
+                    flow_id: 1,
+                    label: 1,
+                    confidence: 0.8,
+                },
+            ],
+            batches: 2,
+            evicted: 1,
+            batch_wall_ms: vec![1.0, 3.0],
+            wall_ms: 50.0,
+            swaps: 0,
+        };
+        let (p50, p95, p99) = report.latency_percentiles_ms();
+        assert_eq!(p50, 2.0);
+        assert!(p95 <= p99 && p99 <= 3.0);
+        let text = report.render(&["a".into(), "b".into()]);
+        assert!(text.contains("2 flows classified"));
+        assert!(text.contains("p50"));
+        assert!(text.contains("1 evicted"));
+    }
+}

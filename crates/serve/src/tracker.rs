@@ -1,0 +1,311 @@
+//! Bounded per-flow state over a packet stream.
+//!
+//! The tracker owns one [`IncrementalFlowpic`] per live flow and decides
+//! when each flow's picture is ready to classify:
+//!
+//! * **window completion** — the first packet whose flow-relative
+//!   timestamp reaches the paper's observation window (15 s by default)
+//!   proves the window has fully elapsed, so the picture is final (the
+//!   batch builder would skip that packet and everything after it).
+//! * **early termination** — flows still live when the stream drains are
+//!   flushed and classified on whatever they accumulated, mirroring the
+//!   paper's treatment of flows shorter than the window.
+//!
+//! Memory stays bounded by two eviction rules, both observable as
+//! `flow_evicted` telemetry: flows idle longer than `idle_timeout_s` are
+//! dropped (the flow is presumed dead; if it resumes it restarts from an
+//! empty picture), and when a new flow would exceed `max_flows` the
+//! least-recently-active flow is dropped to make room. Evicted flows are
+//! *not* classified — eviction is memory reclamation, not completion.
+//! All eviction choices order by `(last_seen, flow_id)`, so the tracker
+//! is deterministic for a given trace.
+
+use std::collections::HashMap;
+
+use flowpic::{FlowpicConfig, IncrementalFlowpic, Normalization};
+use tcbench::telemetry::{InferEvent, InferObserver};
+
+use crate::replay::PacketRecord;
+
+/// Flow-tracking knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// Flowpic geometry (resolution, window, ACK handling).
+    pub flowpic: FlowpicConfig,
+    /// Normalization applied when a picture becomes a model input.
+    pub norm: Normalization,
+    /// Seconds of stream-time silence after which a flow is evicted.
+    pub idle_timeout_s: f64,
+    /// Hard cap on simultaneously tracked flows.
+    pub max_flows: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> TrackerConfig {
+        TrackerConfig {
+            flowpic: FlowpicConfig::mini(),
+            norm: Normalization::LogMax,
+            idle_timeout_s: 30.0,
+            max_flows: 10_000,
+        }
+    }
+}
+
+/// A flow whose picture is final and ready for classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedFlow {
+    /// The flow's identifier.
+    pub flow_id: u64,
+    /// The normalized, flattened flowpic — the model input.
+    pub input: Vec<f32>,
+    /// Packets the flow contributed to the picture.
+    pub pkts: usize,
+    /// Stream time at which the flow completed.
+    pub completed_at: f64,
+}
+
+struct TrackedFlow {
+    pic: IncrementalFlowpic,
+    last_seen: f64,
+}
+
+/// Ingests timestamped packet records and emits completed flows.
+pub struct FlowTracker {
+    config: TrackerConfig,
+    flows: HashMap<u64, TrackedFlow>,
+    /// Flows already classified; their late packets are ignored.
+    done: std::collections::HashSet<u64>,
+    evicted: usize,
+}
+
+impl FlowTracker {
+    /// An empty tracker.
+    pub fn new(config: TrackerConfig) -> FlowTracker {
+        assert!(config.max_flows >= 1, "max_flows must be at least 1");
+        FlowTracker {
+            config,
+            flows: HashMap::new(),
+            done: std::collections::HashSet::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Flows currently holding per-flow state.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows dropped unclassified (idle timeout or cap) so far.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Ingests one packet. May return a completed flow (the packet
+    /// proved its window elapsed) and may evict idle flows as a side
+    /// effect of stream time advancing to `rec.ts`.
+    pub fn push(
+        &mut self,
+        rec: &PacketRecord,
+        obs: &mut dyn InferObserver,
+    ) -> Option<CompletedFlow> {
+        self.evict_idle(rec.ts, obs);
+        if self.done.contains(&rec.flow_id) {
+            return None;
+        }
+        if rec.pkt.ts >= self.config.flowpic.window_s {
+            // The observation window has fully elapsed: the picture is
+            // final (this packet and all later ones fall outside the
+            // window, so the batch builder would skip them too).
+            let tracked = self.flows.remove(&rec.flow_id);
+            self.done.insert(rec.flow_id);
+            let (input, pkts) = match tracked {
+                Some(t) => (t.pic.picture().to_input(self.config.norm), t.pic.counted()),
+                // First observed packet is already past the window: the
+                // in-window picture is provably empty.
+                None => (
+                    IncrementalFlowpic::new(self.config.flowpic)
+                        .picture()
+                        .to_input(self.config.norm),
+                    0,
+                ),
+            };
+            return Some(CompletedFlow {
+                flow_id: rec.flow_id,
+                input,
+                pkts,
+                completed_at: rec.ts,
+            });
+        }
+        if !self.flows.contains_key(&rec.flow_id) && self.flows.len() >= self.config.max_flows {
+            self.evict_for_cap(obs);
+        }
+        let entry = self
+            .flows
+            .entry(rec.flow_id)
+            .or_insert_with(|| TrackedFlow {
+                pic: IncrementalFlowpic::new(self.config.flowpic),
+                last_seen: rec.ts,
+            });
+        entry.pic.push(&rec.pkt);
+        entry.last_seen = rec.ts;
+        None
+    }
+
+    /// Completes every remaining live flow (early termination at stream
+    /// end), in flow-id order for determinism.
+    pub fn flush(&mut self, now: f64) -> Vec<CompletedFlow> {
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|id| {
+                let t = self.flows.remove(&id).expect("flow listed but missing");
+                self.done.insert(id);
+                CompletedFlow {
+                    flow_id: id,
+                    input: t.pic.picture().to_input(self.config.norm),
+                    pkts: t.pic.counted(),
+                    completed_at: now,
+                }
+            })
+            .collect()
+    }
+
+    fn evict_idle(&mut self, now: f64, obs: &mut dyn InferObserver) {
+        let mut stale: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, t)| now - t.last_seen > self.config.idle_timeout_s)
+            .map(|(&id, _)| id)
+            .collect();
+        stale.sort_unstable();
+        for id in stale {
+            let t = self.flows.remove(&id).expect("stale flow missing");
+            self.evicted += 1;
+            obs.infer_event(&InferEvent::FlowEvicted {
+                flow_id: id,
+                pkts: t.pic.counted(),
+                reason: "idle",
+            });
+        }
+    }
+
+    fn evict_for_cap(&mut self, obs: &mut dyn InferObserver) {
+        let victim = self
+            .flows
+            .iter()
+            .min_by(|(ida, a), (idb, b)| a.last_seen.total_cmp(&b.last_seen).then(ida.cmp(idb)))
+            .map(|(&id, _)| id)
+            .expect("cap eviction on an empty tracker");
+        let t = self.flows.remove(&victim).expect("victim missing");
+        self.evicted += 1;
+        obs.infer_event(&InferEvent::FlowEvicted {
+            flow_id: victim,
+            pkts: t.pic.counted(),
+            reason: "cap",
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcbench::telemetry::InferRecorder;
+    use trafficgen::types::{Direction, Pkt};
+
+    fn rec(flow_id: u64, ts: f64, pkt_ts: f64) -> PacketRecord {
+        PacketRecord {
+            flow_id,
+            ts,
+            pkt: Pkt::data(pkt_ts, 500, Direction::Upstream),
+        }
+    }
+
+    fn cfg() -> TrackerConfig {
+        TrackerConfig {
+            flowpic: FlowpicConfig::mini(),
+            norm: Normalization::Raw,
+            idle_timeout_s: 5.0,
+            max_flows: 100,
+        }
+    }
+
+    #[test]
+    fn window_crossing_completes_a_flow_once() {
+        let mut tracker = FlowTracker::new(cfg());
+        let mut obs = InferRecorder::new();
+        assert!(tracker.push(&rec(1, 0.0, 0.0), &mut obs).is_none());
+        assert!(tracker.push(&rec(1, 1.0, 1.0), &mut obs).is_none());
+        // Stream time 2.0 (rate-compressed), flow-relative time past the
+        // 15 s window: the window elapsed without tripping idle eviction.
+        let done = tracker.push(&rec(1, 2.0, 15.2), &mut obs).unwrap();
+        assert_eq!(done.flow_id, 1);
+        assert_eq!(done.pkts, 2);
+        assert_eq!(done.input.iter().sum::<f32>(), 2.0);
+        assert_eq!(tracker.active_flows(), 0);
+        // Late packets of a classified flow are ignored.
+        assert!(tracker.push(&rec(1, 2.5, 16.0), &mut obs).is_none());
+        assert_eq!(tracker.active_flows(), 0);
+    }
+
+    #[test]
+    fn flush_terminates_live_flows_early() {
+        let mut tracker = FlowTracker::new(cfg());
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(3, 0.0, 0.0), &mut obs);
+        tracker.push(&rec(1, 0.1, 0.0), &mut obs);
+        let done = tracker.flush(0.2);
+        assert_eq!(
+            done.iter().map(|d| d.flow_id).collect::<Vec<_>>(),
+            vec![1, 3],
+            "flush is flow-id ordered"
+        );
+        assert!(done.iter().all(|d| d.pkts == 1));
+        assert_eq!(tracker.active_flows(), 0);
+    }
+
+    #[test]
+    fn idle_flows_are_evicted_not_classified() {
+        let mut tracker = FlowTracker::new(cfg());
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(1, 0.0, 0.0), &mut obs);
+        tracker.push(&rec(2, 4.0, 0.0), &mut obs);
+        // Stream time jumps past flow 1's idle deadline.
+        tracker.push(&rec(2, 6.0, 2.0), &mut obs);
+        assert_eq!(tracker.active_flows(), 1);
+        assert_eq!(tracker.evicted(), 1);
+        assert_eq!(
+            obs.events,
+            vec![InferEvent::FlowEvicted {
+                flow_id: 1,
+                pkts: 1,
+                reason: "idle"
+            }]
+        );
+        // An evicted flow that resumes restarts from an empty picture.
+        tracker.push(&rec(1, 6.5, 6.5), &mut obs);
+        let done = tracker.flush(7.0);
+        let f1 = done.iter().find(|d| d.flow_id == 1).unwrap();
+        assert_eq!(f1.pkts, 1);
+    }
+
+    #[test]
+    fn cap_evicts_least_recently_active() {
+        let mut tracker = FlowTracker::new(TrackerConfig {
+            max_flows: 2,
+            ..cfg()
+        });
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(10, 0.0, 0.0), &mut obs);
+        tracker.push(&rec(11, 0.1, 0.0), &mut obs);
+        tracker.push(&rec(12, 0.2, 0.0), &mut obs);
+        assert_eq!(tracker.active_flows(), 2, "cap holds");
+        assert_eq!(
+            obs.events,
+            vec![InferEvent::FlowEvicted {
+                flow_id: 10,
+                pkts: 1,
+                reason: "cap"
+            }]
+        );
+    }
+}

@@ -59,7 +59,12 @@ fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
     let killed_path = dir.join("killed.ckpt");
     let mut net_b = tcbench::arch::supervised_net(32, 5, false, 23);
     SupervisedTrainer::new(config(3))
-        .train_resumable(&mut net_b, &train, Some(&val), &CheckpointSpec::new(&killed_path))
+        .train_resumable(
+            &mut net_b,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&killed_path),
+        )
         .unwrap();
 
     let mut net_resumed = tcbench::arch::supervised_net(32, 5, false, 23);

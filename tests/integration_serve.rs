@@ -1,0 +1,271 @@
+//! End-to-end serving: trace replay, batch-size invariance, hot-swap,
+//! and bounded-memory eviction.
+
+use std::sync::Arc;
+
+use flowpic::{FlowpicConfig, Normalization};
+use serve::engine::{CnnClassifier, EngineConfig};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{replay, trace_from_dataset, ScheduledSwap};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::{InferEvent, InferRecorder};
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+const RES: usize = 16;
+
+/// SplitMix64 — deterministic traffic without the rand crate.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A synthetic dataset: flows of varying length, some crossing the 15 s
+/// window, some terminating early.
+fn dataset(n_flows: usize, seed: u64) -> Dataset {
+    let flows = (0..n_flows)
+        .map(|i| {
+            let h = splitmix64(seed.wrapping_add(i as u64));
+            let n_pkts = 20 + (h % 30) as usize;
+            // Roughly half the flows outlive the window.
+            let span_s = if h & 1 == 0 { 18.0 } else { 8.0 };
+            let pkts = (0..n_pkts)
+                .map(|j| {
+                    let hj = splitmix64(h.wrapping_add(j as u64 * 7919));
+                    let ts = j as f64 * span_s / n_pkts as f64;
+                    let size = 60 + (hj % 1400) as u16;
+                    let dir = if hj & 1 == 0 {
+                        Direction::Upstream
+                    } else {
+                        Direction::Downstream
+                    };
+                    Pkt::data(ts, size, dir)
+                })
+                .collect();
+            Flow {
+                id: i as u64,
+                class: (i % 3) as u16,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts,
+            }
+        })
+        .collect();
+    Dataset {
+        name: "serve-integration".into(),
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        flows,
+    }
+}
+
+fn model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 3, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 3,
+        dropout: true,
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        weights: net.export_weights(),
+    }
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig {
+        flowpic: FlowpicConfig::with_resolution(RES),
+        norm: Normalization::LogMax,
+        idle_timeout_s: 60.0,
+        max_flows: 10_000,
+    }
+}
+
+#[test]
+fn predictions_are_batch_size_invariant() {
+    let ds = dataset(24, 11);
+    let trace = trace_from_dataset(&ds, 0.4, 1.0);
+    let mut runs = Vec::new();
+    for (max_batch, workers) in [(1usize, 1usize), (7, 2), (64, 4)] {
+        let cnn = CnnClassifier::from_served(&model(5), workers).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut rec = InferRecorder::new();
+        let report = replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            EngineConfig {
+                max_batch,
+                max_wait_s: 0.2,
+            },
+            Vec::new(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(
+            report.predictions.len(),
+            ds.flows.len(),
+            "every flow must be classified at max_batch {max_batch}"
+        );
+        runs.push(report);
+    }
+    // Same flows, same labels, bit-identical confidences — batching and
+    // worker count are pure scheduling.
+    let baseline: Vec<(u64, usize, u32)> = {
+        let mut v: Vec<_> = runs[0]
+            .predictions
+            .iter()
+            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    for run in &runs[1..] {
+        let mut got: Vec<_> = run
+            .predictions
+            .iter()
+            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, baseline, "predictions depend on batch size");
+    }
+}
+
+#[test]
+fn hot_swap_mid_replay_classifies_every_flow() {
+    let ds = dataset(20, 3);
+    let trace = trace_from_dataset(&ds, 0.3, 1.0);
+    let model_a = model(1);
+    let model_b = model(2);
+    let fp_a = model_a.weights.fingerprint();
+    let fp_b = model_b.weights.fingerprint();
+    assert_ne!(fp_a, fp_b);
+
+    let cnn_a = CnnClassifier::from_served(&model_a, 1).unwrap();
+    let cnn_b = CnnClassifier::from_served(&model_b, 1).unwrap();
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn_a)));
+    let mut rec = InferRecorder::new();
+    let report = replay(
+        &trace,
+        &registry,
+        tracker_cfg(),
+        EngineConfig {
+            max_batch: 4,
+            max_wait_s: 0.5,
+        },
+        vec![ScheduledSwap {
+            at_packet: trace.len() / 2,
+            model: Arc::new(cnn_b),
+        }],
+        &mut rec,
+    )
+    .unwrap();
+
+    assert_eq!(report.swaps, 1);
+    assert_eq!(
+        report.predictions.len(),
+        ds.flows.len(),
+        "a hot-swap must not drop any flow"
+    );
+    let ids: std::collections::BTreeSet<u64> =
+        report.predictions.iter().map(|p| p.flow_id).collect();
+    assert_eq!(ids.len(), ds.flows.len(), "each flow classified once");
+    assert!(rec.events.iter().any(|e| matches!(
+        e,
+        InferEvent::ModelSwapped {
+            old_fingerprint,
+            new_fingerprint,
+        } if *old_fingerprint == fp_a && *new_fingerprint == fp_b
+    )));
+    assert_eq!(registry.active().fingerprint(), fp_b);
+    // The event stream brackets the replay.
+    assert!(
+        matches!(rec.events.first(), Some(InferEvent::StreamStart { model_fingerprint, .. }) if *model_fingerprint == fp_a)
+    );
+    assert!(matches!(
+        rec.events.last(),
+        Some(InferEvent::StreamEnd { flows, .. }) if *flows == ds.flows.len()
+    ));
+}
+
+#[test]
+fn flow_cap_evicts_under_memory_pressure() {
+    let ds = dataset(30, 7);
+    // Gap 0: all flows run concurrently, far above the cap of 8.
+    let trace = trace_from_dataset(&ds, 0.0, 1.0);
+    let cnn = CnnClassifier::from_served(&model(4), 1).unwrap();
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+    let mut rec = InferRecorder::new();
+    let report = replay(
+        &trace,
+        &registry,
+        TrackerConfig {
+            max_flows: 8,
+            ..tracker_cfg()
+        },
+        EngineConfig::default(),
+        Vec::new(),
+        &mut rec,
+    )
+    .unwrap();
+
+    assert!(
+        report.evicted > 0,
+        "30 concurrent flows must breach a cap of 8"
+    );
+    let cap_evictions = rec
+        .events
+        .iter()
+        .filter(|e| matches!(e, InferEvent::FlowEvicted { reason, .. } if *reason == "cap"))
+        .count();
+    assert!(cap_evictions > 0, "evictions must carry the \"cap\" reason");
+    // Evicted flows may re-enter when later packets arrive, so the
+    // classified count can exceed flows-minus-evictions; what must hold
+    // is that nothing is silently lost.
+    assert!(
+        report.predictions.len() + report.evicted >= ds.flows.len(),
+        "{} classified + {} evicted < {} flows",
+        report.predictions.len(),
+        report.evicted,
+        ds.flows.len()
+    );
+}
+
+#[test]
+fn idle_timeout_reclaims_dead_flows() {
+    // Two bursts far apart: burst-1 flows go idle long before burst 2.
+    let mut ds = dataset(6, 9);
+    for (i, flow) in ds.flows.iter_mut().enumerate() {
+        if i >= 3 {
+            for p in &mut flow.pkts {
+                p.ts += 100.0;
+            }
+        }
+    }
+    let trace = trace_from_dataset(&ds, 0.0, 1.0);
+    let cnn = CnnClassifier::from_served(&model(4), 1).unwrap();
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+    let mut rec = InferRecorder::new();
+    let report = replay(
+        &trace,
+        &registry,
+        TrackerConfig {
+            idle_timeout_s: 20.0,
+            ..tracker_cfg()
+        },
+        EngineConfig::default(),
+        Vec::new(),
+        &mut rec,
+    )
+    .unwrap();
+    let idle_evictions = rec
+        .events
+        .iter()
+        .filter(|e| matches!(e, InferEvent::FlowEvicted { reason, .. } if *reason == "idle"))
+        .count();
+    assert!(
+        idle_evictions > 0,
+        "burst-1 flows must hit the idle timeout"
+    );
+    assert!(report.batches > 0);
+}

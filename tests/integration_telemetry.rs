@@ -94,7 +94,10 @@ fn epoch_end_stream_agrees_with_train_summary() {
             wall_ms,
         }) => {
             assert_eq!(*epochs, summary.epochs);
-            assert_eq!(final_train_loss.to_bits(), summary.final_train_loss.to_bits());
+            assert_eq!(
+                final_train_loss.to_bits(),
+                summary.final_train_loss.to_bits()
+            );
             assert_eq!(*best_epoch, summary.best_epoch);
             assert!(*wall_ms > 0.0);
         }
@@ -111,11 +114,8 @@ fn observed_run_is_bit_identical_to_plain_run_at_any_worker_count() {
     let dir = tmp_dir("bitident");
     for workers in [1usize, 3] {
         let mut plain_net = tcbench::arch::supervised_net(32, 5, false, 23);
-        let plain = SupervisedTrainer::new(config(5, workers)).train(
-            &mut plain_net,
-            &train,
-            Some(&val),
-        );
+        let plain =
+            SupervisedTrainer::new(config(5, workers)).train(&mut plain_net, &train, Some(&val));
 
         let mut sink = JsonlSink::create(dir.join(format!("w{workers}.jsonl"))).unwrap();
         let mut observed_net = tcbench::arch::supervised_net(32, 5, false, 23);
@@ -172,7 +172,10 @@ fn resumed_run_emits_events_only_for_recomputed_epochs() {
 
     match rec.events.first() {
         Some(TrainEvent::RunStart { start_epoch, .. }) => {
-            assert_eq!(*start_epoch, 3, "resume picks up after the checkpointed epoch")
+            assert_eq!(
+                *start_epoch, 3,
+                "resume picks up after the checkpointed epoch"
+            )
         }
         other => panic!("expected RunStart, got {other:?}"),
     }
@@ -202,7 +205,12 @@ fn checkpoint_files_identical_with_and_without_observer() {
     let plain_path = dir.join("plain.ckpt");
     let mut net_a = tcbench::arch::supervised_net(32, 5, false, 23);
     SupervisedTrainer::new(config(4, 1))
-        .train_resumable(&mut net_a, &train, Some(&val), &CheckpointSpec::new(&plain_path))
+        .train_resumable(
+            &mut net_a,
+            &train,
+            Some(&val),
+            &CheckpointSpec::new(&plain_path),
+        )
         .unwrap();
 
     let observed_path = dir.join("observed.ckpt");
@@ -221,6 +229,9 @@ fn checkpoint_files_identical_with_and_without_observer() {
     assert!(!rec.events.is_empty(), "the observer did watch the run");
     let plain = std::fs::read(&plain_path).unwrap();
     let observed = std::fs::read(&observed_path).unwrap();
-    assert_eq!(plain, observed, "checkpoint bytes must not depend on telemetry");
+    assert_eq!(
+        plain, observed,
+        "checkpoint bytes must not depend on telemetry"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
