@@ -1,0 +1,129 @@
+//! Dense vs sparse convolution kernels on flowpic-shaped inputs.
+//!
+//! Two layer shapes from the paper's architectures:
+//!
+//! * `conv/mini32_*` — the mini-flowpic first layer (32×32 input,
+//!   6 output channels, 5×5 kernel, stride 1);
+//! * `conv/full1500_*` — the full-flowpic first layer (1500×1500 input,
+//!   10 output channels, 10×10 kernel, stride 5).
+//!
+//! Each shape runs at its realistic input density (a mini flowpic holds
+//! ~50 packets in 1024 cells ≈ 5%; a full flowpic holds a few thousand
+//! packets in 2.25M cells ≪ 0.1%) with the kernels forced dense
+//! (`set_sparsity_threshold(0.0)`) and forced sparse (`1.1`). Both
+//! paths produce bit-identical outputs (pinned by the
+//! `conv_dense_vs_sparse_bit_identity_sweep` test), so the comparison
+//! is pure wall-clock. Results belong in
+//! `bench_results/conv_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nettensor::layers::{Conv2d, Layer};
+use nettensor::tape::Tape;
+use nettensor::tensor::Tensor;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A `[1, 1, hw, hw]` tensor with approximately `density` non-zero
+/// cells, magnitudes in `[0.5, 2.5]` (flowpic-normalized scale).
+fn sparse_input(hw: usize, density: f64, seed: u64) -> Tensor {
+    let data: Vec<f32> = (0..hw * hw)
+        .map(|i| {
+            let h = splitmix64(seed.wrapping_add(i as u64));
+            if (h % 1_000_000) as f64 / 1e6 < density {
+                0.5 + 2.0 * ((splitmix64(h) % 1000) as f32 / 1000.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::new(&[1, 1, hw, hw], data)
+}
+
+fn conv_for(shape: &Shape, threshold: f32) -> Conv2d {
+    let mut conv = Conv2d::with_stride(1, shape.out_c, shape.kernel, shape.stride, 71);
+    conv.set_sparsity_threshold(threshold);
+    conv
+}
+
+struct Shape {
+    name: &'static str,
+    hw: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    density: f64,
+}
+
+const SHAPES: [Shape; 2] = [
+    Shape {
+        name: "mini32_d5pct",
+        hw: 32,
+        out_c: 6,
+        kernel: 5,
+        stride: 1,
+        density: 0.05,
+    },
+    Shape {
+        name: "full1500_d0.08pct",
+        hw: 1500,
+        out_c: 10,
+        kernel: 10,
+        stride: 5,
+        density: 0.0008,
+    },
+];
+
+fn bench_forward(c: &mut Criterion) {
+    for shape in &SHAPES {
+        let x = sparse_input(shape.hw, shape.density, 3);
+        for (path, threshold) in [("dense", 0.0f32), ("sparse", 1.1)] {
+            let conv = conv_for(shape, threshold);
+            c.bench_function(&format!("conv/{}_forward_{path}", shape.name), |b| {
+                b.iter(|| black_box(conv.forward_eval(&x)))
+            });
+        }
+    }
+}
+
+fn bench_backward(c: &mut Criterion) {
+    for shape in &SHAPES {
+        let x = sparse_input(shape.hw, shape.density, 3);
+        for (path, threshold) in [("dense", 0.0f32), ("sparse", 1.1)] {
+            let conv = conv_for(shape, threshold);
+            let mut tape = Tape::new();
+            let out = conv.forward(&x, true, &mut tape);
+            // Dense upstream gradient: the speedup here comes from the
+            // weight-gradient pass skipping zero input cells.
+            let g = Tensor::new(
+                &out.shape,
+                (0..out.data.len())
+                    .map(|i| ((splitmix64(i as u64) % 1000) as f32 / 1000.0) - 0.5)
+                    .collect(),
+            );
+            c.bench_function(&format!("conv/{}_backward_{path}", shape.name), |b| {
+                b.iter(|| {
+                    let mut grads: Vec<Tensor> = conv
+                        .params()
+                        .iter()
+                        .map(|p| Tensor::zeros(&p.shape))
+                        .collect();
+                    black_box(conv.backward(&tape.entries[0], &g, &mut grads))
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_forward, bench_backward
+}
+criterion_main!(benches);

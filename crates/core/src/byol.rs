@@ -25,7 +25,7 @@
 use crate::arch::{byol_net, byol_predictor};
 use crate::early_stop::EarlyStopper;
 use crate::simclr::{PretrainSummary, SimClrConfig};
-use crate::telemetry::{Noop, TrainEvent, TrainObserver};
+use crate::telemetry::{throughput_per_sec, Noop, TrainEvent, TrainObserver};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use nettensor::optim::{Adam, Optimizer};
@@ -211,7 +211,7 @@ pub fn pretrain_byol_observed(
             val_loss: None,
             samples: epoch_views,
             wall_ms: wall * 1000.0,
-            samples_per_sec: epoch_views as f64 / wall.max(1e-9),
+            samples_per_sec: throughput_per_sec(epoch_views, wall),
         });
         let verdict = stopper.observe(final_loss);
         if verdict.improved {

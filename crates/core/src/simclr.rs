@@ -12,7 +12,7 @@ use crate::arch::{finetune_net, simclr_net, EXTRACTOR_DEPTH};
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
 use crate::supervised::{SupervisedTrainer, TrainConfig};
-use crate::telemetry::{Noop, TrainEvent, TrainObserver};
+use crate::telemetry::{throughput_per_sec, Noop, TrainEvent, TrainObserver};
 use augment::ViewPair;
 use flowpic::{FlowpicConfig, Normalization};
 use nettensor::engine::BatchEngine;
@@ -195,7 +195,7 @@ pub fn pretrain_observed(
             val_loss: None,
             samples: epoch_samples,
             wall_ms: wall * 1000.0,
-            samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+            samples_per_sec: throughput_per_sec(epoch_samples, wall),
         });
         let verdict = stopper.observe(top5);
         if verdict.improved {
@@ -547,7 +547,7 @@ pub fn pretrain_supcon_observed(
             val_loss: None,
             samples: epoch_samples,
             wall_ms: wall * 1000.0,
-            samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+            samples_per_sec: throughput_per_sec(epoch_samples, wall),
         });
         let verdict = stopper.observe(final_loss);
         if verdict.improved {

@@ -29,7 +29,7 @@
 
 use crate::data::FlowpicDataset;
 use crate::early_stop::EarlyStopper;
-use crate::telemetry::{Noop, TrainEvent, TrainObserver};
+use crate::telemetry::{throughput_per_sec, Noop, TrainEvent, TrainObserver};
 use mlstats::ConfusionMatrix;
 use nettensor::checkpoint::{self, Checkpoint, CheckpointError, Decoder, Persist};
 use nettensor::engine::BatchEngine;
@@ -400,7 +400,7 @@ impl SupervisedTrainer {
                     val_loss: val.map(|_| watched),
                     samples: epoch_samples,
                     wall_ms: wall * 1000.0,
-                    samples_per_sec: epoch_samples as f64 / wall.max(1e-9),
+                    samples_per_sec: throughput_per_sec(epoch_samples, wall),
                 });
                 let verdict = state.stopper.observe(watched);
                 if verdict.improved {

@@ -133,6 +133,29 @@ pub enum TrainEvent {
     },
 }
 
+/// Shortest wall-clock interval credited with a throughput figure, in
+/// seconds. `Instant` resolves to nanoseconds, so a fast run on a
+/// coarse-clock CI machine can measure an elapsed time of exactly zero
+/// — and a naive `n / secs` then emits `inf` (or `NaN` for `0 / 0`)
+/// into a JSONL field consumers treat as a finite rate. One microsecond
+/// is far below any real epoch or batch wall-clock and far above clock
+/// resolution, so intervals under it carry no rate information.
+pub const MIN_THROUGHPUT_ELAPSED_SECS: f64 = 1e-6;
+
+/// `samples / elapsed`, defended against degenerate timing: elapsed
+/// intervals that are non-finite or shorter than
+/// [`MIN_THROUGHPUT_ELAPSED_SECS`] yield `0.0` ("too fast to measure")
+/// instead of `inf`/`NaN` or an absurd clamped rate. Every
+/// `samples_per_sec` field the telemetry layer emits is computed through
+/// here.
+pub fn throughput_per_sec(samples: usize, elapsed_secs: f64) -> f64 {
+    if !elapsed_secs.is_finite() || elapsed_secs < MIN_THROUGHPUT_ELAPSED_SECS {
+        0.0
+    } else {
+        samples as f64 / elapsed_secs
+    }
+}
+
 /// Writes `v` as a JSON number, or `null` for non-finite values (JSON
 /// has no NaN/Infinity). Rust's float `Display` is shortest-round-trip,
 /// so the value re-parses exactly.
@@ -540,14 +563,13 @@ pub fn gbdt_round_observer<'a>(
     n_samples: usize,
 ) -> impl FnMut(&gbdt::BoostRound) + 'a {
     move |round: &gbdt::BoostRound| {
-        let secs = (round.wall_ms / 1000.0).max(1e-9);
         obs.event(&TrainEvent::EpochEnd {
             epoch: round.round,
             train_loss: round.train_logloss,
             val_loss: None,
             samples: n_samples,
             wall_ms: round.wall_ms,
-            samples_per_sec: n_samples as f64 / secs,
+            samples_per_sec: throughput_per_sec(n_samples, round.wall_ms / 1000.0),
         });
     }
 }
@@ -787,6 +809,46 @@ mod tests {
         let line = e.to_json_line();
         assert!(line.contains("\"eta_ms\":null"), "{line}");
         assert!(line.contains("\"reused\":true"), "{line}");
+    }
+
+    #[test]
+    fn throughput_survives_zero_elapsed() {
+        // Regression: zero-elapsed intervals (coarse CI clocks) used to
+        // be clamped to a nanosecond, emitting absurd finite rates —
+        // and a literal division would emit inf/NaN. Both degenerate
+        // shapes must yield 0.0.
+        assert_eq!(throughput_per_sec(1000, 0.0), 0.0);
+        assert_eq!(throughput_per_sec(0, 0.0), 0.0, "0/0 must not be NaN");
+        assert_eq!(throughput_per_sec(1000, -1.0), 0.0);
+        assert_eq!(throughput_per_sec(1000, f64::NAN), 0.0);
+        assert_eq!(throughput_per_sec(1000, f64::INFINITY), 0.0);
+        assert_eq!(
+            throughput_per_sec(1000, MIN_THROUGHPUT_ELAPSED_SECS / 2.0),
+            0.0
+        );
+        // Real intervals divide through unchanged.
+        assert_eq!(throughput_per_sec(1000, 2.0), 500.0);
+    }
+
+    #[test]
+    fn gbdt_observer_emits_finite_rate_on_zero_wall() {
+        let mut rec = Recorder::default();
+        {
+            let mut cb = gbdt_round_observer(&mut rec, 512);
+            cb(&gbdt::BoostRound {
+                round: 1,
+                n_rounds: 1,
+                train_logloss: 0.7,
+                wall_ms: 0.0,
+            });
+        }
+        let [TrainEvent::EpochEnd {
+            samples_per_sec, ..
+        }] = rec.events.as_slice()
+        else {
+            panic!("expected one EpochEnd")
+        };
+        assert_eq!(*samples_per_sec, 0.0);
     }
 
     #[test]

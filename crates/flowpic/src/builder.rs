@@ -16,6 +16,15 @@ pub struct FlowpicConfig {
     /// Square resolution `R` (the paper uses 32, 64 and 1500).
     pub resolution: usize,
     /// Time window in seconds (the paper always uses the first 15 s).
+    ///
+    /// The window is the **half-open** interval `[0, window_s)`: a
+    /// packet at exactly `ts == window_s` is outside and dropped, while
+    /// `ts == 0.0` is the first cell of column 0. (Were the boundary
+    /// included, `ts == window_s` would land in a non-existent column
+    /// `R` and need a second clamp rule; half-open keeps every column
+    /// exactly `time_bin()` wide.) [`Flowpic::build`] and
+    /// `flowpic::incremental` apply this interval with the same
+    /// expression, which the boundary property tests pin down.
     pub window_s: f64,
     /// Whether bare-ACK packets contribute to the histogram. Curated
     /// datasets have ACKs already removed; raw ones use `false` here to get
@@ -98,10 +107,11 @@ pub struct Flowpic {
 impl Flowpic {
     /// Builds the flowpic of `pkts` under `config`.
     ///
-    /// Packets beyond the time window are ignored, as are ACKs when
-    /// `config.include_acks` is false. Out-of-range sizes are clamped into
-    /// the last size bin (sizes are validated ≤ 1500 upstream, but the
-    /// builder is total regardless).
+    /// Packets outside the half-open window `[0, window_s)` are ignored
+    /// (`ts == window_s` is already out — see [`FlowpicConfig::window_s`]),
+    /// as are ACKs when `config.include_acks` is false. Out-of-range
+    /// sizes are clamped into the last size bin (sizes are validated
+    /// ≤ 1500 upstream, but the builder is total regardless).
     pub fn build(pkts: &[Pkt], config: &FlowpicConfig) -> Flowpic {
         let r = config.resolution;
         let mut data = vec![0f32; r * r];

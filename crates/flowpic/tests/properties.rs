@@ -1,6 +1,63 @@
 //! Property-based tests of the flowpic representation's invariants.
 
+use flowpic::builder::{Flowpic, FlowpicConfig};
+use flowpic::incremental::IncrementalFlowpic;
 use proptest::prelude::*;
+use trafficgen::types::{Direction, Pkt};
+
+/// Builds the same packets through the batch builder and the
+/// incremental path, returning both pictures.
+fn build_both(pkts: &[Pkt], config: &FlowpicConfig) -> (Flowpic, Flowpic) {
+    let mut inc = IncrementalFlowpic::new(*config);
+    for p in pkts {
+        inc.push(p);
+    }
+    (Flowpic::build(pkts, config), inc.finish())
+}
+
+/// The window boundary contract pinned down deterministically: the
+/// window is half-open `[0, window_s)`, so `ts == 0.0` lands in column
+/// 0, `ts == window_s − ε` lands in the last column, and
+/// `ts == window_s` is dropped — with the batch builder and the
+/// incremental builder agreeing bit-for-bit.
+#[test]
+fn window_boundary_is_half_open_and_paths_agree() {
+    for config in [
+        FlowpicConfig::mini(),
+        FlowpicConfig::mid(),
+        FlowpicConfig::with_resolution(7),
+    ] {
+        let w = config.window_s;
+        let eps = 1e-9;
+        let pkts = vec![
+            Pkt::data(0.0, 100, Direction::Upstream),
+            Pkt::data(w - eps, 200, Direction::Downstream),
+            Pkt::data(w, 300, Direction::Upstream),
+        ];
+        let mut inc = IncrementalFlowpic::new(config);
+        let landed: Vec<bool> = pkts.iter().map(|p| inc.push(p)).collect();
+        assert_eq!(
+            landed,
+            vec![true, true, false],
+            "res {}: 0.0 and window_s-ε are inside, window_s is outside",
+            config.resolution
+        );
+        let inc_pic = inc.finish();
+        let batch = Flowpic::build(&pkts, &config);
+        assert_eq!(
+            batch.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            inc_pic.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "res {}",
+            config.resolution
+        );
+        assert_eq!(batch.total(), 2.0);
+        // Column occupancy: t = 0 in column 0, window_s − ε in the last.
+        let r = config.resolution;
+        let col_count = |c: usize| -> f32 { (0..r).map(|row| batch.data[row * r + c]).sum() };
+        assert_eq!(col_count(0), 1.0);
+        assert_eq!(col_count(r - 1), 1.0);
+    }
+}
 
 prop_compose! {
     fn arb_pkts()(
@@ -101,6 +158,38 @@ proptest! {
         }
         // Inter-arrival times are non-negative.
         prop_assert!(v[2 * n..].iter().all(|&x| x >= 0.0));
+    }
+
+    /// Randomized boundary-packet property: for any window and
+    /// resolution, packets at `ts ∈ {0.0, window_s − ε, window_s}` are
+    /// kept/kept/dropped, and the batch and incremental builders agree
+    /// bit-for-bit on the resulting picture.
+    #[test]
+    fn boundary_packets_agree_bit_for_bit(
+        res in 1usize..64,
+        window in 0.5f64..30.0,
+        size in 1u16..=1500,
+        extra in arb_pkts(),
+    ) {
+        let config = FlowpicConfig { resolution: res, window_s: window, include_acks: true };
+        // A relative ε: window·(1 − 1e-12) < window holds in f64 for the
+        // whole generated range.
+        let eps = window * 1e-12;
+        let mut pkts = vec![
+            Pkt::data(0.0, size, Direction::Upstream),
+            Pkt::data(window - eps, size, Direction::Downstream),
+            Pkt::data(window, size, Direction::Upstream),
+        ];
+        pkts.extend(extra);
+        let (batch, inc) = build_both(&pkts, &config);
+        let batch_bits: Vec<u32> = batch.data.iter().map(|v| v.to_bits()).collect();
+        let inc_bits: Vec<u32> = inc.data.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(batch_bits, inc_bits);
+        // The boundary packet itself is outside the half-open window.
+        let mut only_boundary = IncrementalFlowpic::new(config);
+        prop_assert!(!only_boundary.push(&Pkt::data(window, size, Direction::Upstream)));
+        prop_assert!(only_boundary.push(&Pkt::data(0.0, size, Direction::Upstream)));
+        prop_assert!(only_boundary.push(&Pkt::data(window - eps, size, Direction::Upstream)));
     }
 
     #[test]

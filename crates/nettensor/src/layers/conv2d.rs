@@ -5,10 +5,30 @@
 //! Implemented as direct loops rather than im2col: the paper's inputs are
 //! extremely sparse (a 32×32 flowpic has at most a few hundred non-zero
 //! cells, a 1500×1500 one is >99.9 % zeros), so materializing the im2col
-//! matrix would waste both memory and time; the direct loops skip
-//! zero input cells in the backward accumulation.
+//! matrix would waste both memory and time. Two kernel families share
+//! the layer:
+//!
+//! * **dense** direct loops over every input cell; the forward skips
+//!   zero-*weight* taps (`weight == 0.0` contributes nothing to any
+//!   output cell), which is all the seed implementation ever did;
+//! * **sparse** loops over a [`CsrIndex`] of non-zero cells built once
+//!   per call: the forward and the weight-gradient pass index the
+//!   *input* (they read only input cells), while the input-gradient
+//!   pass indexes `grad_out` — `dL/dx` is non-zero wherever the output
+//!   gradient is, *not* where the input is, so input-zero skipping
+//!   there would be wrong.
+//!
+//! Dispatch is per call: densities below the layer's sparsity threshold
+//! ([`DEFAULT_SPARSITY_THRESHOLD`], tunable via
+//! [`Layer::set_sparsity_threshold`]) take the sparse path; post-ReLU
+//! activations in deeper layers are dense and keep the dense loops. Both
+//! paths are **bit-identical**: each accumulator sees its surviving
+//! addends in exactly the dense order and only exact-`±0.0` addends are
+//! dropped (see `crate::sparse` for the IEEE-754 argument; asserted
+//! dense-vs-sparse at densities 0–100 % by the workspace proptests).
 
 use super::Layer;
+use crate::sparse::{analyze, CsrIndex, DEFAULT_SPARSITY_THRESHOLD};
 use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
@@ -22,6 +42,8 @@ pub struct Conv2d {
     /// Weights `[out_c, in_c, k, k]`.
     w: Tensor,
     b: Tensor,
+    /// Input densities strictly below this take the sparse kernels.
+    sparsity_threshold: f32,
 }
 
 impl Conv2d {
@@ -48,6 +70,7 @@ impl Conv2d {
             stride,
             w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel, kernel], fan_in, seed),
             b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
+            sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
         }
     }
 
@@ -64,7 +87,8 @@ impl Conv2d {
     }
 
     /// The pure convolution, shared by the training forward (which also
-    /// tapes the input) and the tape-free eval path.
+    /// tapes the input) and the tape-free eval path. Probes input
+    /// density and dispatches dense or sparse.
     fn compute(&self, input: &Tensor) -> Tensor {
         assert_eq!(
             input.shape.len(),
@@ -80,6 +104,19 @@ impl Conv2d {
         );
         assert_eq!(c, self.in_channels, "channel mismatch");
         let (oh, ow) = self.out_hw(h, w);
+        if analyze(&input.data).density() < self.sparsity_threshold {
+            self.forward_sparse(input, (n, c, h, w), (oh, ow))
+        } else {
+            self.forward_dense(input, (n, c, h, w), (oh, ow))
+        }
+    }
+
+    fn forward_dense(
+        &self,
+        input: &Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Tensor {
         let k = self.kernel;
         let mut out = vec![0f32; n * self.out_channels * oh * ow];
 
@@ -114,40 +151,90 @@ impl Conv2d {
         }
         Tensor::new(&[n, self.out_channels, oh, ow], out)
     }
-}
 
-impl Layer for Conv2d {
-    fn name(&self) -> &'static str {
-        "Conv2d"
-    }
-
-    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
-        let out = self.compute(input);
-        tape.push(TapeEntry::Input(input.clone()));
-        out
-    }
-
-    fn forward_eval(&self, input: &Tensor) -> Tensor {
-        self.compute(input)
-    }
-
-    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
-        let TapeEntry::Input(input) = entry else {
-            panic!("Conv2d backward without a matching forward tape entry")
-        };
-        let (n, c, h, w) = (
-            input.shape[0],
-            input.shape[1],
-            input.shape[2],
-            input.shape[3],
-        );
-        let (oh, ow) = self.out_hw(h, w);
+    /// Sparse forward: walks only the non-zero input cells. Each output
+    /// cell `(ni, oc, oi, oj)` accumulates over `(ic, ki, kj)` in the
+    /// same ascending order as the dense loops (the `oc` loop sits
+    /// innermost here, but per output cell the `(ic, ki, kj)` sequence
+    /// is unchanged), and the same zero-weight taps are skipped — so the
+    /// only dropped addends are `weight * 0.0`.
+    fn forward_sparse(
+        &self,
+        input: &Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Tensor {
         let k = self.kernel;
-        assert_eq!(grad_out.shape, vec![n, self.out_channels, oh, ow]);
-        let [gw, gb] = grads else {
-            panic!("Conv2d expects 2 gradient slots")
-        };
+        let s = self.stride;
+        let out_c = self.out_channels;
+        let idx = CsrIndex::build(&input.data, w);
+        let mut out = vec![0f32; n * out_c * oh * ow];
+        // The tap weight per output channel, regathered for every
+        // (ic, ki, kj) so the hot loop reads it contiguously.
+        let mut wbuf = vec![0f32; out_c];
 
+        for ni in 0..n {
+            for oc in 0..out_c {
+                let bias = self.b.data[oc];
+                let out_base = (ni * out_c + oc) * oh * ow;
+                out[out_base..out_base + oh * ow]
+                    .iter_mut()
+                    .for_each(|v| *v = bias);
+            }
+            for ic in 0..c {
+                let row_base = (ni * c + ic) * h;
+                for ki in 0..k {
+                    for kj in 0..k {
+                        for (oc, slot) in wbuf.iter_mut().enumerate() {
+                            *slot = self.w.data[(oc * c + ic) * k * k + ki * k + kj];
+                        }
+                        for oi in 0..oh {
+                            let (cols, vals) = idx.row(row_base + oi * s + ki);
+                            let o_row = ni * out_c * oh * ow + oi * ow;
+                            for (&col, &v) in cols.iter().zip(vals) {
+                                let col = col as usize;
+                                if col < kj {
+                                    continue;
+                                }
+                                let d = col - kj;
+                                if !d.is_multiple_of(s) {
+                                    continue;
+                                }
+                                let oj = d / s;
+                                if oj >= ow {
+                                    // Columns ascend: nothing further maps.
+                                    break;
+                                }
+                                let o_cell = o_row + oj;
+                                for (oc, &weight) in wbuf.iter().enumerate() {
+                                    if weight == 0.0 {
+                                        continue;
+                                    }
+                                    out[o_cell + oc * oh * ow] += weight * v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::new(&[n, out_c, oh, ow], out)
+    }
+
+    /// The seed's fused dense backward: one nest accumulates `gb`, `gw`
+    /// and `grad_in` together. Kept verbatim for the dense-input,
+    /// dense-gradient case.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_dense_fused(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Vec<f32> {
+        let k = self.kernel;
         let mut grad_in = vec![0f32; input.len()];
         for ni in 0..n {
             for oc in 0..self.out_channels {
@@ -177,6 +264,216 @@ impl Layer for Conv2d {
                 }
             }
         }
+        grad_in
+    }
+
+    /// Split backward for the sparse cases: bias, weight and input
+    /// gradients run as three passes. Splitting the fused nest cannot
+    /// change bits — no single accumulator's addend sequence is
+    /// reordered by it — and each pass then independently picks its
+    /// sparse or dense variant.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_split(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+        input_sparse: bool,
+        grad_sparse: bool,
+    ) -> Vec<f32> {
+        let k = self.kernel;
+        let s = self.stride;
+        let out_c = self.out_channels;
+
+        // Pass 1 — bias gradient: a plain per-plane sum, always dense.
+        for ni in 0..n {
+            for oc in 0..out_c {
+                let out_base = (ni * out_c + oc) * oh * ow;
+                let g_sum: f32 = grad_out.data[out_base..out_base + oh * ow].iter().sum();
+                gb.data[oc] += g_sum;
+            }
+        }
+
+        // Pass 2 — weight gradient: `gw[oc,ic,ki,kj] += Σ g·x`, reading
+        // only input cells, so it can walk the input index.
+        if input_sparse {
+            let idx = CsrIndex::build(&input.data, w);
+            // Per-(ic,ki,kj) accumulators for every output channel; the
+            // row scan is shared across `oc` instead of repeated.
+            let mut acc = vec![0f32; out_c];
+            for ni in 0..n {
+                for ic in 0..c {
+                    let row_base = (ni * c + ic) * h;
+                    for ki in 0..k {
+                        for kj in 0..k {
+                            acc.iter_mut().for_each(|a| *a = 0.0);
+                            for oi in 0..oh {
+                                let (cols, vals) = idx.row(row_base + oi * s + ki);
+                                let g_row = ni * out_c * oh * ow + oi * ow;
+                                for (&col, &v) in cols.iter().zip(vals) {
+                                    let col = col as usize;
+                                    if col < kj {
+                                        continue;
+                                    }
+                                    let d = col - kj;
+                                    if !d.is_multiple_of(s) {
+                                        continue;
+                                    }
+                                    let oj = d / s;
+                                    if oj >= ow {
+                                        break;
+                                    }
+                                    let g_cell = g_row + oj;
+                                    for (oc, a) in acc.iter_mut().enumerate() {
+                                        *a += grad_out.data[g_cell + oc * oh * ow] * v;
+                                    }
+                                }
+                            }
+                            for (oc, &a) in acc.iter().enumerate() {
+                                gw.data[(oc * c + ic) * k * k + ki * k + kj] += a;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for ni in 0..n {
+                for oc in 0..out_c {
+                    let out_base = (ni * out_c + oc) * oh * ow;
+                    for ic in 0..c {
+                        let in_base = (ni * c + ic) * h * w;
+                        let w_base = (oc * c + ic) * k * k;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let mut gw_acc = 0f32;
+                                for oi in 0..oh {
+                                    let in_row = in_base + (oi * s + ki) * w + kj;
+                                    let out_row = out_base + oi * ow;
+                                    for oj in 0..ow {
+                                        gw_acc += grad_out.data[out_row + oj]
+                                            * input.data[in_row + oj * s];
+                                    }
+                                }
+                                gw.data[w_base + ki * k + kj] += gw_acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 3 — input gradient: `dL/dx` is non-zero wherever the
+        // *output* gradient is (a zero input cell still has a non-zero
+        // gradient), so the sparse variant walks a grad_out index; the
+        // input's own zeros are irrelevant here.
+        let mut grad_in = vec![0f32; input.len()];
+        if grad_sparse {
+            let gidx = CsrIndex::build(&grad_out.data, ow);
+            // The tap weight per input channel for a fixed (oc, ki, kj).
+            let mut wbuf = vec![0f32; c];
+            for ni in 0..n {
+                for oc in 0..out_c {
+                    let g_row_base = (ni * out_c + oc) * oh;
+                    for ki in 0..k {
+                        for kj in 0..k {
+                            for (ic, slot) in wbuf.iter_mut().enumerate() {
+                                *slot = self.w.data[(oc * c + ic) * k * k + ki * k + kj];
+                            }
+                            for oi in 0..oh {
+                                let (cols, vals) = gidx.row(g_row_base + oi);
+                                let in_row = ni * c * h * w + (oi * s + ki) * w + kj;
+                                for (&oj, &g) in cols.iter().zip(vals) {
+                                    let cell = in_row + oj as usize * s;
+                                    for (ic, &weight) in wbuf.iter().enumerate() {
+                                        if weight == 0.0 {
+                                            continue;
+                                        }
+                                        grad_in[cell + ic * h * w] += g * weight;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for ni in 0..n {
+                for oc in 0..out_c {
+                    let out_base = (ni * out_c + oc) * oh * ow;
+                    for ic in 0..c {
+                        let in_base = (ni * c + ic) * h * w;
+                        let w_base = (oc * c + ic) * k * k;
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let weight = self.w.data[w_base + ki * k + kj];
+                                for oi in 0..oh {
+                                    let in_row = in_base + (oi * s + ki) * w + kj;
+                                    let out_row = out_base + oi * ow;
+                                    for oj in 0..ow {
+                                        grad_in[in_row + oj * s] +=
+                                            grad_out.data[out_row + oj] * weight;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
+    fn forward(&self, input: &Tensor, _train: bool, tape: &mut Tape) -> Tensor {
+        let out = self.compute(input);
+        tape.push(TapeEntry::Input(input.clone()));
+        out
+    }
+
+    fn forward_eval(&self, input: &Tensor) -> Tensor {
+        self.compute(input)
+    }
+
+    fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
+        let TapeEntry::Input(input) = entry else {
+            panic!("Conv2d backward without a matching forward tape entry")
+        };
+        let (n, c, h, w) = (
+            input.shape[0],
+            input.shape[1],
+            input.shape[2],
+            input.shape[3],
+        );
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad_out.shape, vec![n, self.out_channels, oh, ow]);
+        let [gw, gb] = grads else {
+            panic!("Conv2d expects 2 gradient slots")
+        };
+
+        let input_sparse = analyze(&input.data).density() < self.sparsity_threshold;
+        let grad_sparse = analyze(&grad_out.data).density() < self.sparsity_threshold;
+        let grad_in = if input_sparse || grad_sparse {
+            self.backward_split(
+                input,
+                grad_out,
+                gw,
+                gb,
+                (n, c, h, w),
+                (oh, ow),
+                input_sparse,
+                grad_sparse,
+            )
+        } else {
+            self.backward_dense_fused(input, grad_out, gw, gb, (n, c, h, w), (oh, ow))
+        };
         Tensor::new(&input.shape.clone(), grad_in)
     }
 
@@ -191,6 +488,10 @@ impl Layer for Conv2d {
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
         vec![input_shape[0], self.out_channels, oh, ow]
+    }
+
+    fn set_sparsity_threshold(&mut self, threshold: f32) {
+        self.sparsity_threshold = threshold;
     }
 }
 
@@ -220,9 +521,44 @@ mod tests {
     }
 
     #[test]
+    fn known_convolution_value_on_sparse_path() {
+        // Same fixture but forced through the sparse kernels.
+        let mut conv = Conv2d::new(1, 1, 2, 0);
+        conv.w.data = vec![1.0, 2.0, 3.0, 4.0];
+        conv.b.data = vec![0.5];
+        conv.set_sparsity_threshold(1.1);
+        let input = Tensor::new(&[1, 1, 2, 2], vec![1.0, 1.0, 1.0, 1.0]);
+        let out = conv.forward(&input, false, &mut Tape::new());
+        assert_eq!(out.data, vec![10.5]);
+    }
+
+    #[test]
     fn gradients_match_finite_differences() {
         let mut conv = Conv2d::new(2, 3, 3, 7);
         let input = Tensor::kaiming_uniform(&[2, 2, 5, 5], 1, 42);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_sparse_forced() {
+        // Threshold 1.1 makes every density "sparse", driving forward,
+        // backward-weight and backward-data through the CSR kernels.
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        conv.set_sparsity_threshold(1.1);
+        let input = Tensor::kaiming_uniform(&[2, 2, 5, 5], 1, 42);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_sparse_input() {
+        // A genuinely sparse input (flowpic-like: few positive cells)
+        // exercises the default dispatch into the sparse kernels.
+        let mut conv = Conv2d::new(1, 2, 3, 11);
+        let mut data = vec![0f32; 36];
+        data[7] = 2.0;
+        data[14] = 1.0;
+        data[31] = 3.0;
+        let input = Tensor::new(&[1, 1, 6, 6], data);
         check_layer(&mut conv, &input, 1e-2);
     }
 
@@ -270,6 +606,21 @@ mod tests {
             assert!((a - 2.0 * b).abs() < 1e-6);
         }
     }
+
+    #[test]
+    fn all_zero_input_takes_sparse_path_and_yields_pure_bias() {
+        let conv = Conv2d::new(1, 3, 3, 9);
+        let input = Tensor::zeros(&[2, 1, 8, 8]);
+        let out = conv.forward_eval(&input);
+        for ni in 0..2 {
+            for oc in 0..3 {
+                let base = (ni * 3 + oc) * 36;
+                for &v in &out.data[base..base + 36] {
+                    assert_eq!(v.to_bits(), conv.b.data[oc].to_bits());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,8 +661,35 @@ mod stride_tests {
     }
 
     #[test]
+    fn strided_known_values_on_sparse_path() {
+        let mut conv = Conv2d::with_stride(1, 1, 2, 2, 0);
+        conv.w.data = vec![1.0, 1.0, 1.0, 1.0];
+        conv.b.data = vec![0.0];
+        conv.set_sparsity_threshold(1.1);
+        let input = Tensor::new(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let out = conv.forward(&input, false, &mut Tape::new());
+        assert_eq!(out.data, vec![14.0, 22.0, 46.0, 54.0]);
+    }
+
+    #[test]
     fn strided_gradients_match_finite_differences() {
         let mut conv = Conv2d::with_stride(1, 2, 3, 2, 5);
+        let input = Tensor::kaiming_uniform(&[1, 1, 7, 7], 1, 17);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn strided_gradients_match_finite_differences_sparse_forced() {
+        let mut conv = Conv2d::with_stride(1, 2, 3, 2, 5);
+        conv.set_sparsity_threshold(1.1);
         let input = Tensor::kaiming_uniform(&[1, 1, 7, 7], 1, 17);
         check_layer(&mut conv, &input, 1e-2);
     }

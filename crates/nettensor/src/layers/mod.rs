@@ -92,6 +92,18 @@ pub trait Layer: Send + Sync {
     fn batch_coupled(&self) -> bool {
         false
     }
+
+    /// Sets the input-density cutoff below which this layer's
+    /// sparsity-aware kernels dispatch (see [`crate::sparse`]). Sparse
+    /// and dense paths are bit-identical, so this is purely a
+    /// performance knob: `0.0` forces dense, `1.1` forces sparse, and
+    /// the default [`crate::sparse::DEFAULT_SPARSITY_THRESHOLD`] engages
+    /// the sparse kernels only where they clearly win (flowpic-grade
+    /// sparsity). Layers without sparse kernels ignore it (default
+    /// no-op).
+    fn set_sparsity_threshold(&mut self, threshold: f32) {
+        let _ = threshold;
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,17 @@
 //! Max pooling.
+//!
+//! The eval path carries a sparse fast lane: when the input is sparse
+//! *and* every value is non-negative (sign bit clear, no NaN — true of
+//! flowpic histograms and post-ReLU activations), the window max can be
+//! computed by scatter-maxing only the stored cells over a zero-filled
+//! output. Max over non-negatives is order-independent and an empty
+//! window bottoms out at the `+0.0` the output already holds, so the
+//! result is bit-identical to the dense scan; any negative, `-0.0` or
+//! NaN value falls back to the dense loops. The training forward always
+//! runs dense — it must record an argmax per window for the backward.
 
 use super::Layer;
+use crate::sparse::{analyze, CsrIndex, DEFAULT_SPARSITY_THRESHOLD};
 use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
@@ -9,13 +20,54 @@ use crate::tensor::Tensor;
 /// are dropped, matching `nn.MaxPool2d` defaults.
 pub struct MaxPool2d {
     kernel: usize,
+    /// Input densities strictly below this take the sparse eval path
+    /// (subject to the all-non-negative guard).
+    sparsity_threshold: f32,
 }
 
 impl MaxPool2d {
     /// Creates a pooling layer.
     pub fn new(kernel: usize) -> MaxPool2d {
         assert!(kernel >= 1);
-        MaxPool2d { kernel }
+        MaxPool2d {
+            kernel,
+            sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
+        }
+    }
+
+    /// Scatter-max of the stored (non-zero, all-positive) cells into a
+    /// zero-filled output; cells in trailing rows/columns that don't
+    /// fill a window are skipped, exactly as the dense scan never reads
+    /// them.
+    fn eval_sparse(
+        &self,
+        input: &Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Tensor {
+        let k = self.kernel;
+        let idx = CsrIndex::build(&input.data, w);
+        let mut out = vec![0f32; n * c * oh * ow];
+        for plane in 0..n * c {
+            let out_base = plane * oh * ow;
+            // Rows at or past oh*k are trailing leftovers: skip whole rows.
+            for r in 0..(oh * k).min(h) {
+                let (cols, vals) = idx.row(plane * h + r);
+                let out_row = out_base + (r / k) * ow;
+                for (&col, &v) in cols.iter().zip(vals) {
+                    let col = col as usize;
+                    if col >= ow * k {
+                        // Columns ascend: the rest are trailing too.
+                        break;
+                    }
+                    let slot = &mut out[out_row + col / k];
+                    if v > *slot {
+                        *slot = v;
+                    }
+                }
+            }
+        }
+        Tensor::new(&[n, c, oh, ow], out)
     }
 }
 
@@ -78,6 +130,10 @@ impl Layer for MaxPool2d {
         let k = self.kernel;
         let (oh, ow) = (h / k, w / k);
         assert!(oh >= 1 && ow >= 1, "input {h}x{w} smaller than pool {k}");
+        let stats = analyze(&input.data);
+        if stats.density() < self.sparsity_threshold && stats.all_sign_positive {
+            return self.eval_sparse(input, (n, c, h, w), (oh, ow));
+        }
         let mut out = vec![0f32; n * c * oh * ow];
         for ni in 0..n {
             for ci in 0..c {
@@ -130,6 +186,10 @@ impl Layer for MaxPool2d {
             input_shape[3] / self.kernel,
         ]
     }
+
+    fn set_sparsity_threshold(&mut self, threshold: f32) {
+        self.sparsity_threshold = threshold;
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +240,48 @@ mod tests {
         let input = Tensor::new(&[1, 1, 2, 2], vec![-5.0, -1.0, -3.0, -4.0]);
         let out = pool.forward(&input, false, &mut Tape::new());
         assert_eq!(out.data, vec![-1.0]);
+    }
+
+    #[test]
+    fn sparse_eval_matches_dense_bitwise() {
+        // 5×6 plane (trailing row and no trailing col for k=2… actually
+        // 5/2=2 rows, 6/2=3 cols) with three positive cells — one of
+        // them in the dropped trailing row.
+        let mut data = vec![0f32; 30];
+        data[1] = 2.5; // row 0, col 1 → window (0, 0)
+        data[15] = 7.0; // row 2, col 3 → window (1, 1)
+        data[26] = 9.0; // row 4 — trailing, dropped
+        let input = Tensor::new(&[1, 1, 5, 6], data);
+        let pool = MaxPool2d::new(2);
+        let sparse = pool.forward_eval(&input);
+        let mut dense_pool = MaxPool2d::new(2);
+        dense_pool.set_sparsity_threshold(0.0);
+        let dense = dense_pool.forward_eval(&input);
+        assert_eq!(
+            sparse.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            dense.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(sparse.data, vec![2.5, 0.0, 0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_eval_guard_rejects_negatives() {
+        // A sparse input with negative values must fall back to the
+        // dense scan: a scatter-max over a zero-filled output would
+        // report 0.0 for the all-negative window below. Density is
+        // 4/25 — under the default threshold, so only the positivity
+        // guard keeps this correct.
+        let mut data = vec![0f32; 25];
+        data[0] = -3.0;
+        data[1] = -5.0;
+        data[5] = -1.0;
+        data[6] = -2.0;
+        let input = Tensor::new(&[1, 1, 5, 5], data);
+        let pool = MaxPool2d::new(2);
+        let eval = pool.forward_eval(&input);
+        let train = pool.forward(&input, false, &mut Tape::new());
+        assert_eq!(eval.data, train.data);
+        assert_eq!(eval.data[0], -1.0, "all-negative window keeps its max");
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   executor: mini-batches are split into fixed-size shards computed by a
 //!   scoped thread pool, and per-shard gradients are reduced in shard
 //!   order so every result is bit-identical for any worker count;
+//! * [`sparse`] — CSR indexing and density probes behind the
+//!   sparsity-aware `Conv2d`/`MaxPool2d` fast paths: flowpic inputs are
+//!   mostly zeros, so the kernels skip zero cells while staying
+//!   bit-identical to the dense loops;
 //! * [`loss`] — cross-entropy, mean-squared error (for the Rezaei & Liu
 //!   regression pre-training) and the NT-Xent/InfoNCE contrastive loss of
 //!   SimCLR, each with its analytic gradient;
@@ -91,6 +95,7 @@ pub mod layers;
 pub mod loss;
 pub mod model;
 pub mod optim;
+pub mod sparse;
 pub mod tape;
 pub mod tensor;
 

@@ -102,6 +102,17 @@ impl Sequential {
         self.layers.iter().any(|l| l.batch_coupled())
     }
 
+    /// Sets the sparsity-dispatch threshold on every layer (see
+    /// [`Layer::set_sparsity_threshold`]). Sparse and dense kernels are
+    /// bit-identical, so this never changes results — `0.0` forces the
+    /// dense loops everywhere, which benchmarks and the dense-vs-sparse
+    /// tests use as the reference path.
+    pub fn set_sparsity_threshold(&mut self, threshold: f32) {
+        for layer in &mut self.layers {
+            layer.set_sparsity_threshold(threshold);
+        }
+    }
+
     /// Forward pass through every layer, recording one tape entry per
     /// layer. `train` toggles training-only behaviour (dropout, batch
     /// statistics).

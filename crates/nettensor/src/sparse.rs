@@ -1,0 +1,250 @@
+//! Sparsity analysis and CSR-style indexing for the kernel fast paths.
+//!
+//! The paper's flowpic inputs are histograms of packet arrivals: a 32×32
+//! mini-flowpic holds at most a few hundred non-zero cells and the
+//! original 1500×1500 full-resolution flowpic is >99.9 % zeros. The
+//! convolution and pooling layers exploit this by building a [`CsrIndex`]
+//! of the non-zero cells once per call and iterating only those — but
+//! only when a cheap density probe ([`analyze`]) says the tensor is
+//! sparse enough to win; deeper layers' post-ReLU activations are dense
+//! and stay on the dense loops.
+//!
+//! ## Bit-identity contract
+//!
+//! The sparse kernels in [`crate::layers`] are required to produce
+//! **bit-identical** outputs to their dense counterparts. The argument:
+//!
+//! * every accumulator's surviving addends are visited in exactly the
+//!   dense loop order (the index stores columns in ascending order, and
+//!   the sparse loops nest so that each accumulator sees its addends in
+//!   the same sequence the dense loops produce);
+//! * the only addends dropped are products with an exactly-zero operand,
+//!   i.e. values that are `±0.0`. Adding `±0.0` to an IEEE-754
+//!   accumulator is the identity unless the accumulator is exactly
+//!   `-0.0` (where `-0.0 + 0.0 == +0.0`). A running sum that starts at
+//!   `+0.0` can never reach `-0.0`: exact cancellation rounds to `+0.0`,
+//!   sums near zero are exact (no underflow to `-0.0`), and
+//!   `+0.0 + -0.0 == +0.0`. The one reachable corner is a bias tensor
+//!   hand-set to `-0.0` (Kaiming init never produces it), which is
+//!   accepted and documented in DESIGN.md §2f.
+
+/// Density below which the sparse kernels dispatch. Conservative: the
+/// measured break-even on the single-core container is ~0.6 for the
+/// full-flowpic first layer and higher for the mini architecture, so
+/// 0.25 only engages the sparse path where it clearly wins (flowpic
+/// inputs sit below 0.05). Layers expose
+/// [`crate::layers::Layer::set_sparsity_threshold`] to override it —
+/// `0.0` forces dense, `1.1` forces sparse (density is ≤ 1).
+pub const DEFAULT_SPARSITY_THRESHOLD: f32 = 0.25;
+
+/// What one pass over a tensor's data learned about its sparsity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Values not exactly equal to zero (`v != 0.0`, so `-0.0` counts as
+    /// a zero).
+    pub nnz: usize,
+    /// Total values scanned.
+    pub len: usize,
+    /// Every value has a clear sign bit and is not NaN — i.e. the tensor
+    /// is made of `+0.0` and positive reals. Pooling's sparse eval path
+    /// requires this (a scatter-max over positives is order-independent
+    /// and bottoms out at the `+0.0` a zero-filled output already holds).
+    pub all_sign_positive: bool,
+}
+
+impl SparsityStats {
+    /// Fraction of non-zero cells, in `[0, 1]`. An empty tensor is fully
+    /// dense (density 1.0) so it never takes a sparse path.
+    pub fn density(&self) -> f32 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.nnz as f32 / self.len as f32
+        }
+    }
+}
+
+/// Single cheap pass over `data`: non-zero count plus the positivity
+/// flag. O(len) with no allocation — the probe the dispatch decisions
+/// are built on.
+pub fn analyze(data: &[f32]) -> SparsityStats {
+    let mut nnz = 0usize;
+    let mut all_sign_positive = true;
+    for &v in data {
+        if v != 0.0 {
+            nnz += 1;
+        }
+        if !v.is_sign_positive() || v.is_nan() {
+            all_sign_positive = false;
+        }
+    }
+    SparsityStats {
+        nnz,
+        len: data.len(),
+        all_sign_positive,
+    }
+}
+
+/// CSR-style index of the non-zero cells of a row-major buffer viewed as
+/// `rows × row_len` — for an `[N, C, H, W]` tensor with `row_len = W`
+/// that is one index row per image row of every `[n, c]` plane.
+///
+/// Entry `e` of flat row `r` lives at `cols[e] ∈ [row_ptr[r], row_ptr[r+1])`
+/// with value `vals[e]`; columns are stored in ascending order (the scan
+/// order of the build), which is what lets the sparse kernels replay
+/// dense accumulation order and early-`break` once a column maps past
+/// the output width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrIndex {
+    /// Width of each row (`W` for image tensors).
+    pub row_len: usize,
+    /// `rows + 1` offsets into `cols`/`vals`.
+    pub row_ptr: Vec<usize>,
+    /// Column of each stored cell, ascending within a row.
+    pub cols: Vec<u32>,
+    /// Value of each stored cell (never exactly `0.0`).
+    pub vals: Vec<f32>,
+}
+
+impl CsrIndex {
+    /// Indexes every cell of `data` with `v != 0.0`. `data.len()` must
+    /// be a multiple of `row_len`.
+    pub fn build(data: &[f32], row_len: usize) -> CsrIndex {
+        assert!(row_len > 0, "CSR row length must be positive");
+        assert_eq!(
+            data.len() % row_len,
+            0,
+            "data length {} not a multiple of row length {row_len}",
+            data.len()
+        );
+        let rows = data.len() / row_len;
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            let row = &data[r * row_len..(r + 1) * row_len];
+            for (col, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(col as u32);
+                    vals.push(v);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        CsrIndex {
+            row_len,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Stored (non-zero) cells.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The stored cells of flat row `r` as parallel `(columns, values)`
+    /// slices, columns ascending.
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_counts_nonzeros_and_positivity() {
+        let s = analyze(&[0.0, 1.5, 0.0, 2.0]);
+        assert_eq!(s.nnz, 2);
+        assert_eq!(s.len, 4);
+        assert!(s.all_sign_positive);
+        assert_eq!(s.density(), 0.5);
+
+        assert!(!analyze(&[0.0, -1.0]).all_sign_positive);
+        assert!(!analyze(&[-0.0]).all_sign_positive, "-0.0 has a sign bit");
+        assert!(!analyze(&[f32::NAN]).all_sign_positive);
+        // -0.0 compares equal to zero, so it is not a stored cell…
+        assert_eq!(analyze(&[-0.0]).nnz, 0);
+        // …and an empty tensor reports fully dense.
+        assert_eq!(analyze(&[]).density(), 1.0);
+    }
+
+    #[test]
+    fn csr_round_trips_a_known_matrix() {
+        // 2 rows × 4 cols:
+        //   [0, 3, 0, 5]
+        //   [7, 0, 0, 0]
+        let data = [0.0, 3.0, 0.0, 5.0, 7.0, 0.0, 0.0, 0.0];
+        let idx = CsrIndex::build(&data, 4);
+        assert_eq!(idx.rows(), 2);
+        assert_eq!(idx.nnz(), 3);
+        assert_eq!(idx.row_ptr, vec![0, 2, 3]);
+        assert_eq!(idx.row(0), (&[1u32, 3][..], &[3.0f32, 5.0][..]));
+        assert_eq!(idx.row(1), (&[0u32][..], &[7.0f32][..]));
+    }
+
+    #[test]
+    fn csr_skips_negative_zero_and_keeps_negatives() {
+        let data = [-0.0, -2.0, 0.0];
+        let idx = CsrIndex::build(&data, 3);
+        assert_eq!(idx.nnz(), 1);
+        assert_eq!(idx.row(0), (&[1u32][..], &[-2.0f32][..]));
+    }
+
+    #[test]
+    fn csr_reconstructs_random_tensors_exactly() {
+        // SplitMix64-driven sparse buffers reconstruct bit-for-bit.
+        let mut z = 0x1234_5678u64;
+        let mut next = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        for rows in [1usize, 3, 8] {
+            for row_len in [1usize, 5, 17] {
+                let data: Vec<f32> = (0..rows * row_len)
+                    .map(|_| {
+                        let h = next();
+                        if h % 4 == 0 {
+                            (h >> 8) as f32 / u32::MAX as f32 - 0.5
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                let idx = CsrIndex::build(&data, row_len);
+                let mut back = vec![0f32; data.len()];
+                for r in 0..rows {
+                    let (cols, vals) = idx.row(r);
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        back[r * row_len + c as usize] = v;
+                    }
+                }
+                assert_eq!(
+                    back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+                assert_eq!(idx.nnz(), analyze(&data).nnz);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn csr_rejects_ragged_data() {
+        CsrIndex::build(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,13 +1,195 @@
 //! Property-based tests of the tensor/NN substrate.
 
-use nettensor::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU};
+use nettensor::engine::BatchEngine;
+use nettensor::layers::{Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, ReLU};
 use nettensor::model::Sequential;
+use nettensor::tape::Tape;
 use nettensor::tensor::Tensor;
 use proptest::prelude::*;
 
 fn arb_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
     prop::collection::vec(-3.0f32..3.0, n).prop_map(move |data| Tensor::new(&shape, data))
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A `[n, c, h, w]`-shaped tensor with ~`density` of its cells non-zero.
+/// Values have magnitude in [0.5, 2.5] — far from underflow against
+/// Kaiming-scale weights, so products of two non-zeros are never `±0.0`
+/// and the sparse kernels' dropped-addend set is exactly the zero cells.
+fn sparse_tensor(shape: &[usize], density: f64, signed: bool, seed: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let data = (0..len)
+        .map(|i| {
+            let h = splitmix64(seed ^ (i as u64).wrapping_mul(0xD129_0EB2_6B97_A409));
+            if (h % 10_000) as f64 >= density * 10_000.0 {
+                return 0.0;
+            }
+            let mag = 0.5 + 2.0 * ((h >> 16) % 1024) as f32 / 1024.0;
+            if signed && (h >> 32) & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        })
+        .collect();
+    Tensor::new(shape, data)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The dense-vs-sparse bit-identity contract for one Conv2d
+/// configuration: forced-sparse (threshold 1.1), forced-dense (0.0) and
+/// default-dispatch layers must agree bit-for-bit on the train forward,
+/// the eval forward, both parameter gradients and the input gradient.
+#[allow(clippy::too_many_arguments)]
+fn assert_conv_bit_identity(
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    batch: usize,
+    hw: usize,
+    in_density: f64,
+    g_density: f64,
+    seed: u64,
+) {
+    let convs: Vec<Conv2d> = [1.1f32, 0.0, nettensor::sparse::DEFAULT_SPARSITY_THRESHOLD]
+        .iter()
+        .map(|&thr| {
+            let mut conv = Conv2d::with_stride(in_c, out_c, kernel, stride, seed);
+            conv.set_sparsity_threshold(thr);
+            conv
+        })
+        .collect();
+    let x = sparse_tensor(&[batch, in_c, hw, hw], in_density, true, seed ^ 0xA5A5);
+
+    let mut results = Vec::new();
+    for conv in &convs {
+        let mut tape = Tape::new();
+        let out = conv.forward(&x, true, &mut tape);
+        let eval = conv.forward_eval(&x);
+        let g = sparse_tensor(&out.shape, g_density, true, seed ^ 0x5A5A);
+        let mut grads: Vec<Tensor> = conv
+            .params()
+            .iter()
+            .map(|p| Tensor::zeros(&p.shape))
+            .collect();
+        let grad_in = conv.backward(&tape.entries[0], &g, &mut grads);
+        results.push((
+            bits(&out),
+            bits(&eval),
+            bits(&grads[0]),
+            bits(&grads[1]),
+            bits(&grad_in),
+        ));
+    }
+
+    let label = format!(
+        "k{kernel} s{stride} b{batch} {hw}x{hw} in_density {in_density} g_density {g_density}"
+    );
+    let (fwd, eval, gw, gb, gin) = &results[0];
+    assert_eq!(fwd, eval, "train vs eval forward diverge [{label}]");
+    for (which, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(fwd, &r.0, "forward bits diverge, conv {which} [{label}]");
+        assert_eq!(eval, &r.1, "eval bits diverge, conv {which} [{label}]");
+        assert_eq!(gw, &r.2, "weight-grad bits diverge, conv {which} [{label}]");
+        assert_eq!(gb, &r.3, "bias-grad bits diverge, conv {which} [{label}]");
+        assert_eq!(gin, &r.4, "input-grad bits diverge, conv {which} [{label}]");
+    }
+}
+
+/// Deterministic sweep over densities 0–100 %, stride 1 and strided,
+/// batches > 1 — runs in every environment (the proptest variants below
+/// rerun the same contract under randomized inputs in CI).
+#[test]
+fn conv_dense_vs_sparse_bit_identity_sweep() {
+    // (in_c, out_c, kernel, stride, hw): LeNet-ish stride-1 stages and
+    // the full-flowpic strided first stage, scaled down.
+    let shapes = [
+        (1usize, 3usize, 3usize, 1usize, 9usize),
+        (2, 2, 5, 1, 12),
+        (1, 4, 10, 5, 30),
+        (2, 3, 3, 2, 9),
+    ];
+    for (ci, &(in_c, out_c, kernel, stride, hw)) in shapes.iter().enumerate() {
+        for &batch in &[1usize, 3] {
+            for &in_density in &[0.0f64, 0.03, 0.4, 1.0] {
+                for &g_density in &[0.05f64, 1.0] {
+                    let seed = splitmix64(ci as u64 ^ (batch as u64) << 8)
+                        ^ (in_density * 64.0) as u64
+                        ^ ((g_density * 64.0) as u64) << 4;
+                    assert_conv_bit_identity(
+                        in_c, out_c, kernel, stride, batch, hw, in_density, g_density, seed,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// MaxPool2d's sparse eval path must match the dense scan bit-for-bit
+/// on its whole admissible domain (non-negative inputs), including
+/// trailing rows/columns that don't fill a window.
+#[test]
+fn pool_dense_vs_sparse_bit_identity_sweep() {
+    for &(hw, k) in &[(8usize, 2usize), (9, 2), (7, 3), (6, 6)] {
+        for &batch in &[1usize, 2] {
+            for &density in &[0.0f64, 0.05, 0.5, 1.0] {
+                let x = sparse_tensor(
+                    &[batch, 2, hw, hw],
+                    density,
+                    false,
+                    splitmix64(hw as u64 ^ (k as u64) << 6 ^ (density * 100.0) as u64),
+                );
+                let pool = MaxPool2d::new(k);
+                let mut dense = MaxPool2d::new(k);
+                dense.set_sparsity_threshold(0.0);
+                let label = format!("{hw}x{hw} k{k} b{batch} density {density}");
+                assert_eq!(
+                    bits(&pool.forward_eval(&x)),
+                    bits(&dense.forward_eval(&x)),
+                    "pool eval bits diverge [{label}]"
+                );
+                assert_eq!(
+                    bits(&pool.forward_eval(&x)),
+                    bits(&pool.forward(&x, false, &mut Tape::new())),
+                    "pool eval vs train forward diverge [{label}]"
+                );
+            }
+        }
+    }
+}
+
+/// End-to-end through `Sequential::predict` and a sharded
+/// `BatchEngine::predict`: the default sparse dispatch must be invisible
+/// — bit-identical to a model forced fully dense, at any worker count.
+#[test]
+fn sparse_dispatch_is_invisible_through_model_and_engine() {
+    let net = small_net(11);
+    let mut dense_net = small_net(11);
+    dense_net.set_sparsity_threshold(0.0);
+    // Flowpic-grade sparse batch: positive counts on a zero background.
+    let x = sparse_tensor(&[6, 1, 8, 8], 0.04, false, 99);
+
+    let reference = dense_net.predict(&x);
+    assert_eq!(bits(&net.predict(&x)), bits(&reference));
+    for workers in [1, 3] {
+        let out = BatchEngine::new(workers).predict(&net, &x);
+        assert_eq!(
+            bits(&out),
+            bits(&reference),
+            "sharded sparse predict diverges at {workers} workers"
+        );
+    }
 }
 
 /// A small conv net exercising every parameter-free and parametric layer
@@ -210,5 +392,41 @@ proptest! {
         for (a, b) in grads_1.slots().iter().zip(grads_n.slots()) {
             prop_assert_eq!(&a.data, &b.data, "parameter gradients must be bit-identical");
         }
+    }
+
+    /// Randomized restatement of the dense-vs-sparse bit-identity
+    /// contract: any density from empty to fully dense, stride 1 and
+    /// strided, batch > 1, train and eval forwards plus all gradients.
+    #[test]
+    fn conv_sparse_kernels_bit_identical_randomized(
+        in_density in 0.0f64..=1.0,
+        g_density in 0.0f64..=1.0,
+        batch in 1usize..4,
+        strided in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (kernel, stride, hw) = if strided { (5, 5, 17) } else { (3, 1, 9) };
+        assert_conv_bit_identity(1, 3, kernel, stride, batch, hw, in_density, g_density, seed);
+    }
+
+    /// Same contract for the pooling eval fast path, over its admissible
+    /// (non-negative) input domain.
+    #[test]
+    fn pool_sparse_eval_bit_identical_randomized(
+        density in 0.0f64..=1.0,
+        batch in 1usize..4,
+        k in 2usize..4,
+        hw in 6usize..10,
+        seed in any::<u64>(),
+    ) {
+        let x = sparse_tensor(&[batch, 2, hw, hw], density, false, seed);
+        let pool = MaxPool2d::new(k);
+        let mut dense = MaxPool2d::new(k);
+        dense.set_sparsity_threshold(0.0);
+        prop_assert_eq!(bits(&pool.forward_eval(&x)), bits(&dense.forward_eval(&x)));
+        prop_assert_eq!(
+            bits(&pool.forward_eval(&x)),
+            bits(&pool.forward(&x, false, &mut Tape::new()))
+        );
     }
 }

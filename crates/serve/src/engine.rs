@@ -21,7 +21,7 @@ use std::time::Instant;
 use gbdt::booster::GbdtClassifier;
 use nettensor::checkpoint::{fnv1a64, CheckpointError};
 use nettensor::{BatchEngine, Sequential, Tensor};
-use tcbench::telemetry::{InferEvent, InferObserver};
+use tcbench::telemetry::{throughput_per_sec, InferEvent, InferObserver};
 
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::tracker::CompletedFlow;
@@ -100,6 +100,16 @@ impl CnnClassifier {
     /// The flowpic resolution the model expects.
     pub fn resolution(&self) -> usize {
         self.resolution
+    }
+
+    /// Sets the sparsity-dispatch threshold on every layer of the served
+    /// network (see `nettensor::sparse`). Flowpic inputs are almost all
+    /// zeros, so the default threshold keeps the sparse kernels on for
+    /// the first convolution; `0.0` forces the dense loops — results are
+    /// bit-identical either way, which the dense-vs-sparse replay test
+    /// pins down.
+    pub fn set_sparsity_threshold(&mut self, threshold: f32) {
+        self.net.set_sparsity_threshold(threshold);
     }
 }
 
@@ -325,7 +335,7 @@ impl InferenceEngine {
             size: n,
             queue_depth: self.queue.len(),
             wall_ms,
-            samples_per_sec: n as f64 / (wall_ms / 1e3).max(1e-9),
+            samples_per_sec: throughput_per_sec(n, wall_ms / 1e3),
         });
         self.batches_run += 1;
         self.batch_wall_ms.push(wall_ms);

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use mlstats::quantiles::percentile;
 use nettensor::checkpoint::CheckpointError;
-use tcbench::telemetry::{InferEvent, InferObserver};
+use tcbench::telemetry::{throughput_per_sec, InferEvent, InferObserver};
 use trafficgen::types::{Dataset, Pkt};
 
 use crate::engine::{Classifier, EngineConfig, InferenceEngine, Prediction};
@@ -96,7 +96,7 @@ pub struct ReplayReport {
 impl ReplayReport {
     /// End-to-end classification throughput over the whole replay.
     pub fn samples_per_sec(&self) -> f64 {
-        self.predictions.len() as f64 / (self.wall_ms / 1e3).max(1e-9)
+        throughput_per_sec(self.predictions.len(), self.wall_ms / 1e3)
     }
 
     /// `(p50, p95, p99)` of per-batch forward wall-clock, milliseconds.
@@ -269,6 +269,29 @@ mod tests {
                 assert!(flow.pkts.iter().any(|p| p.ts == rec.pkt.ts));
             }
         }
+    }
+
+    #[test]
+    fn zero_wall_replay_reports_zero_throughput_not_inf() {
+        // Regression: a replay fast enough for the wall-clock to round
+        // to zero used to report predictions/1ns ≈ inf samples/sec.
+        let report = ReplayReport {
+            packets: 4,
+            predictions: vec![Prediction {
+                flow_id: 0,
+                label: 1,
+                confidence: 0.7,
+            }],
+            batches: 1,
+            evicted: 0,
+            batch_wall_ms: vec![0.0],
+            wall_ms: 0.0,
+            swaps: 0,
+        };
+        assert_eq!(report.samples_per_sec(), 0.0);
+        assert!(report.samples_per_sec().is_finite());
+        let text = report.render(&["a".into(), "b".into()]);
+        assert!(!text.contains("inf") && !text.contains("NaN"), "{text}");
     }
 
     #[test]

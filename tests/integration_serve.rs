@@ -131,6 +131,111 @@ fn predictions_are_batch_size_invariant() {
     }
 }
 
+/// The sparse conv fast path is pure dispatch: a replay served by the
+/// default classifier (sparse kernels engage below the density
+/// threshold) must produce byte-identical predictions — and therefore
+/// byte-identical JSONL label lines — to one forced onto the seed dense
+/// path with `set_sparsity_threshold(0.0)`.
+#[test]
+fn sparse_and_dense_replays_are_byte_identical() {
+    let ds = dataset(18, 23);
+    let trace = trace_from_dataset(&ds, 0.4, 1.0);
+
+    // The test is only load-bearing if the inputs actually are sparse
+    // enough to take the fast path: a 16×16 flowpic holds at most ~50
+    // packets, so its density sits well under the dispatch threshold.
+    let cfg = tracker_cfg();
+    let pic = flowpic::builder::Flowpic::build(&ds.flows[0].pkts, &cfg.flowpic);
+    let input = pic.to_input(cfg.norm);
+    assert!(
+        nettensor::sparse::analyze(&input).density()
+            < nettensor::sparse::DEFAULT_SPARSITY_THRESHOLD,
+        "flowpic inputs must be sparse enough to engage the sparse kernels"
+    );
+
+    let served = model(5);
+    let mut runs = Vec::new();
+    for force_dense in [false, true] {
+        let mut cnn = CnnClassifier::from_served(&served, 2).unwrap();
+        if force_dense {
+            cnn.set_sparsity_threshold(0.0);
+        }
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut rec = InferRecorder::new();
+        let report = replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            EngineConfig {
+                max_batch: 8,
+                max_wait_s: 0.2,
+            },
+            Vec::new(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(report.predictions.len(), ds.flows.len());
+        runs.push((report, rec));
+    }
+    let (sparse_report, sparse_rec) = &runs[0];
+    let (dense_report, dense_rec) = &runs[1];
+
+    // Predictions byte-identical, confidences compared as raw bits.
+    let key = |r: &serve::replay::ReplayReport| {
+        let mut v: Vec<(u64, usize, u32)> = r
+            .predictions
+            .iter()
+            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        key(sparse_report),
+        key(dense_report),
+        "sparse dispatch changed a prediction"
+    );
+
+    // The JSONL label lines an operator would log per classified flow
+    // are byte-for-byte the strings the dense path produced.
+    let label_lines = |r: &serve::replay::ReplayReport| {
+        let mut v: Vec<String> = r
+            .predictions
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"flow_id\":{},\"label\":\"{}\",\"confidence_bits\":{}}}",
+                    p.flow_id,
+                    ds.class_names[p.label],
+                    p.confidence.to_bits()
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(label_lines(sparse_report), label_lines(dense_report));
+
+    // Timing-free telemetry JSONL (everything but wall-clock-carrying
+    // batch/stream-end lines) is also identical: same model fingerprint,
+    // same evictions, same stream shape.
+    let stable_jsonl = |rec: &InferRecorder| {
+        rec.events
+            .iter()
+            .filter(|e| {
+                !matches!(
+                    e,
+                    InferEvent::BatchEnd { .. } | InferEvent::StreamEnd { .. }
+                )
+            })
+            .map(|e| e.to_json_line())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(stable_jsonl(sparse_rec), stable_jsonl(dense_rec));
+    assert_eq!(sparse_report.batches, dense_report.batches);
+    assert_eq!(sparse_report.evicted, dense_report.evicted);
+}
+
 #[test]
 fn hot_swap_mid_replay_classifies_every_flow() {
     let ds = dataset(20, 3);
