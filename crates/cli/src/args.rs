@@ -1,8 +1,9 @@
 //! Hand-rolled flag parsing.
 //!
-//! Deliberately dependency-free: the grammar is flat (`--flag value` and
-//! boolean `--flag`), so a small table-driven parser beats pulling in an
-//! argument-parsing crate the offline dependency policy doesn't cover.
+//! Deliberately dependency-free: the grammar is flat (`--flag value`,
+//! `--flag=value` and boolean `--flag`), so a small table-driven parser
+//! beats pulling in an argument-parsing crate the offline dependency
+//! policy doesn't cover.
 
 use crate::CliError;
 use std::collections::BTreeMap;
@@ -29,7 +30,17 @@ impl Flags {
             if arg == "--help" {
                 flags.switches.push("help".into());
             } else if let Some(name) = arg.strip_prefix("--") {
-                if value_flags.contains(&name) {
+                // `--flag=value` splits at the FIRST `=`, so the value may
+                // itself contain `=` (`--out=a=b.json` → out = "a=b.json").
+                if let Some((key, value)) = name.split_once('=') {
+                    if value_flags.contains(&key) {
+                        flags.values.insert(key.to_string(), value.to_string());
+                    } else if key == "help" || switch_flags.contains(&key) {
+                        return Err(CliError::Usage(format!("--{key} does not take a value")));
+                    } else {
+                        return Err(CliError::Usage(format!("unknown flag --{key}")));
+                    }
+                } else if value_flags.contains(&name) {
                     i += 1;
                     let value = args
                         .get(i)
@@ -70,6 +81,18 @@ impl Flags {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {raw:?}"))),
+        }
+    }
+
+    /// Parsed value without a default: `Ok(None)` when the flag is
+    /// absent, a usage error when present but unparseable.
+    pub fn get_opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
                 .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {raw:?}"))),
         }
     }
@@ -137,5 +160,65 @@ mod tests {
     fn help_always_accepted() {
         let f = Flags::parse(&argv(&["--help"]), &[], &[]).unwrap();
         assert!(f.wants_help());
+    }
+
+    #[test]
+    fn equals_form_parses_value_flags() {
+        let f = Flags::parse(
+            &argv(&["--input=a.flowrec", "--seed=7", "--remove-acks"]),
+            &["input", "seed"],
+            &["remove-acks"],
+        )
+        .unwrap();
+        assert_eq!(f.get("input"), Some("a.flowrec"));
+        assert_eq!(f.get_parse::<u64>("seed", 0).unwrap(), 7);
+        assert!(f.switch("remove-acks"));
+    }
+
+    #[test]
+    fn equals_form_splits_at_first_equals_only() {
+        let f = Flags::parse(&argv(&["--out=a=b.json"]), &["out"], &[]).unwrap();
+        assert_eq!(f.get("out"), Some("a=b.json"));
+    }
+
+    #[test]
+    fn equals_form_allows_empty_value() {
+        let f = Flags::parse(&argv(&["--out="]), &["out"], &[]).unwrap();
+        assert_eq!(f.get("out"), Some(""));
+    }
+
+    #[test]
+    fn both_forms_mix_freely() {
+        let f = Flags::parse(
+            &argv(&["--input", "x.flowrec", "--out=y.json"]),
+            &["input", "out"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(f.get("input"), Some("x.flowrec"));
+        assert_eq!(f.get("out"), Some("y.json"));
+    }
+
+    #[test]
+    fn equals_on_a_switch_is_a_usage_error() {
+        let err = Flags::parse(&argv(&["--resume=yes"]), &[], &["resume"]).unwrap_err();
+        assert!(err.to_string().contains("does not take a value"), "{err}");
+        let err = Flags::parse(&argv(&["--help=1"]), &[], &[]).unwrap_err();
+        assert!(err.to_string().contains("does not take a value"), "{err}");
+    }
+
+    #[test]
+    fn opt_parse_distinguishes_absent_from_bad() {
+        let f = Flags::parse(&argv(&["--seed", "7"]), &["seed", "rate"], &[]).unwrap();
+        assert_eq!(f.get_opt_parse::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(f.get_opt_parse::<f64>("rate").unwrap(), None);
+        let f = Flags::parse(&argv(&["--seed", "x"]), &["seed"], &[]).unwrap();
+        assert!(f.get_opt_parse::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn equals_on_an_unknown_flag_is_rejected() {
+        let err = Flags::parse(&argv(&["--bogus=3"]), &["seed"], &[]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"), "{err}");
     }
 }

@@ -1,0 +1,261 @@
+//! `tcb campaign` — the supervised augmentation grid (augmentations ×
+//! seeds) with per-cell persistence (Table 4's workflow at CLI scale).
+
+use crate::args::Flags;
+use crate::cmd::common::{build_observer, load_dataset, parse_aug};
+use crate::CliError;
+use augment::Augmentation;
+use flowpic::{FlowpicConfig, Normalization};
+use nettensor::checkpoint::{Decoder, Persist};
+use tcbench::arch::supervised_net;
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+use trafficgen::splits::stratified_three_way;
+use trafficgen::types::Partition;
+
+/// CLI name.
+pub const NAME: &str = "campaign";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "run the augmentation grid with resumable cells";
+/// `--help` text.
+pub const HELP: &str = "tcb campaign --input FILE --dir DIR [--augs no-aug,rotate,... \
+(default: all 7)] [--seeds N (seeds 1..=N, default 3)] [--res 32] \
+[--epochs N] [--workers N (campaign threads; 0 = all cores, \
+remaining cores go to batch sharding)] [--progress (per-task \
+progress + ETA on stderr)] [--log-jsonl PATH (append one \
+task_end JSON event per line)]\n\
+Finished cells persist in --dir; rerun the same command to resume.";
+
+/// One grid cell of a `tcb campaign` run, persisted to the campaign
+/// directory so a killed campaign resumes instead of recomputing.
+#[derive(Debug, Clone)]
+struct CampaignCell {
+    aug: String,
+    seed: u64,
+    epochs: usize,
+    final_train_loss: f64,
+    accuracy: f64,
+    weighted_f1: f64,
+}
+
+impl Persist for CampaignCell {
+    fn encode(&self, out: &mut String) {
+        self.aug.encode(out);
+        self.seed.encode(out);
+        self.epochs.encode(out);
+        self.final_train_loss.encode(out);
+        self.accuracy.encode(out);
+        self.weighted_f1.encode(out);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, String> {
+        Ok(CampaignCell {
+            aug: String::decode(d)?,
+            seed: u64::decode(d)?,
+            epochs: usize::decode(d)?,
+            final_train_loss: f64::decode(d)?,
+            accuracy: f64::decode(d)?,
+            weighted_f1: f64::decode(d)?,
+        })
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    use tcbench::campaign::{run_parallel_resumable_observed, worker_budget};
+    use tcbench::telemetry::CampaignProgress;
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "dir",
+            "augs",
+            "seeds",
+            "res",
+            "epochs",
+            "workers",
+            "log-jsonl",
+        ],
+        &["progress"],
+    )?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let dir = flags.require("dir")?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let epochs = flags.get_parse::<usize>("epochs", 15)?;
+    let n_seeds = flags.get_parse::<usize>("seeds", 3)?;
+    if n_seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let augs: Vec<Augmentation> = flags
+        .get("augs")
+        .unwrap_or("no-aug,rotate,flip,color-jitter,packet-loss,time-shift,change-rtt")
+        .split(',')
+        .map(|name| parse_aug(name.trim()))
+        .collect::<Result<_, _>>()?;
+    let n_tasks = augs.len() * n_seeds;
+    let (campaign_workers, batch_workers) =
+        worker_budget(flags.get_parse::<usize>("workers", 0)?, n_tasks);
+
+    let mut collated = ds.clone();
+    for f in &mut collated.flows {
+        f.partition = Partition::Unpartitioned;
+    }
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let norm = Normalization::LogMax;
+
+    // The campaign sink only sees task_end events (per-epoch streams of
+    // thousands of parallel cells would be noise); append mode lets a
+    // resumed campaign keep one cumulative log.
+    let progress = CampaignProgress::new(n_tasks, Box::new(build_observer(&flags, true)?));
+    let (cells, report) = run_parallel_resumable_observed(
+        n_tasks,
+        campaign_workers,
+        std::path::Path::new(dir),
+        |i| {
+            let aug = augs[i / n_seeds];
+            let seed = 1 + (i % n_seeds) as u64;
+            let split = stratified_three_way(&collated, Partition::Unpartitioned, 0.8, 0.1, seed);
+            let train_set =
+                FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
+            let val = FlowpicDataset::from_flows(&collated, &split.val, &fpcfg, norm);
+            let test = FlowpicDataset::from_flows(&collated, &split.test, &fpcfg, norm);
+            let trainer = SupervisedTrainer::new(TrainConfig {
+                max_epochs: epochs,
+                batch_workers,
+                ..TrainConfig::supervised(seed)
+            });
+            let mut net = supervised_net(res, collated.num_classes(), true, seed);
+            let summary = trainer.train(&mut net, &train_set, Some(&val));
+            let eval = trainer.evaluate(&net, &test);
+            CampaignCell {
+                aug: aug.name().to_string(),
+                seed,
+                epochs: summary.epochs,
+                final_train_loss: summary.final_train_loss,
+                accuracy: eval.accuracy,
+                weighted_f1: eval.weighted_f1,
+            }
+        },
+        &progress,
+    )
+    .map_err(|e| CliError::Parse(format!("campaign: {e}")))?;
+
+    let mut out = format!(
+        "campaign: {} cells ({} augs x {} seeds) on {} workers; {} computed, {} reused",
+        n_tasks,
+        augs.len(),
+        n_seeds,
+        campaign_workers,
+        report.computed,
+        report.reused,
+    );
+    if !report.invalid.is_empty() {
+        out.push_str(&format!(
+            " ({} corrupted cell files recomputed)",
+            report.invalid.len()
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<16} {:>4} {:>6} {:>10} {:>7} {:>7}\n",
+        "aug", "seed", "epochs", "loss", "acc%", "f1%"
+    ));
+    for c in &cells {
+        out.push_str(&format!(
+            "{:<16} {:>4} {:>6} {:>10.4} {:>7.2} {:>7.2}\n",
+            c.aug,
+            c.seed,
+            c.epochs,
+            c.final_train_loss,
+            100.0 * c.accuracy,
+            100.0 * c.weighted_f1,
+        ));
+    }
+    out.push_str("mean accuracy per augmentation:\n");
+    for (a, chunk) in augs.iter().zip(cells.chunks(n_seeds)) {
+        let mean = chunk.iter().map(|c| c.accuracy).sum::<f64>() / chunk.len() as f64;
+        out.push_str(&format!("  {:<16} {:>6.2}%\n", a.name(), 100.0 * mean));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::common::testutil::{argv, tmp};
+    use crate::command::run;
+
+    #[test]
+    fn campaign_computes_then_resumes() {
+        let path = tmp("campaign-src.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "5",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let dir = tmp("campaign-cells");
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = tmp("campaign.jsonl");
+        let _ = std::fs::remove_file(&log);
+        let base = argv(&[
+            "--input",
+            &path,
+            "--dir",
+            &dir,
+            "--augs",
+            "no-aug,rotate",
+            "--seeds",
+            "1",
+            "--res",
+            "16",
+            "--epochs",
+            "2",
+            "--workers",
+            "2",
+            "--log-jsonl",
+            &log,
+        ]);
+        let msg = run("campaign", &base).unwrap();
+        assert!(msg.contains("2 computed, 0 reused"), "{msg}");
+        assert!(
+            msg.contains("No augmentation") && msg.contains("Rotate"),
+            "{msg}"
+        );
+        assert!(msg.contains("mean accuracy"), "{msg}");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let task_ends = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"task_end\""))
+            .count();
+        assert_eq!(task_ends, 2, "{text}");
+        // Rerunning reuses every persisted cell and reports the same grid.
+        let msg2 = run("campaign", &base).unwrap();
+        assert!(msg2.contains("0 computed, 2 reused"), "{msg2}");
+        assert!(msg2.contains("No augmentation"), "{msg2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_rejects_bad_grid() {
+        assert!(run(
+            "campaign",
+            &argv(&["--input", "/missing", "--dir", "/tmp/x", "--augs", "bogus"]),
+        )
+        .is_err());
+        assert!(run(
+            "campaign",
+            &argv(&["--input", "/missing", "--dir", "/tmp/x", "--seeds", "0"]),
+        )
+        .is_err());
+    }
+}

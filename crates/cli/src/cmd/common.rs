@@ -1,0 +1,105 @@
+//! Helpers shared by the subcommand modules.
+
+use crate::args::Flags;
+use crate::CliError;
+use augment::Augmentation;
+use tcbench::telemetry::{InferObserver, JsonlSink, Noop, ProgressSink, Tee};
+use trafficgen::flowrec;
+use trafficgen::types::Dataset;
+
+/// Builds the training telemetry sink stack from the shared
+/// `--progress` / `--log-jsonl PATH` flags. `append` keeps an existing
+/// JSONL file (resumed runs accumulate their event stream); otherwise
+/// the file is truncated. An empty [`Tee`] behaves like `Noop`.
+pub fn build_observer(flags: &Flags, append: bool) -> Result<Tee, CliError> {
+    let mut tee = Tee::new();
+    if flags.switch("progress") {
+        tee.push(Box::new(ProgressSink::stderr()));
+    }
+    if let Some(path) = flags.get("log-jsonl") {
+        let sink = if append {
+            JsonlSink::append(path)?
+        } else {
+            JsonlSink::create(path)?
+        };
+        tee.push(Box::new(sink));
+    }
+    Ok(tee)
+}
+
+/// Builds the inference telemetry sink from `--log-jsonl PATH` (serving
+/// commands have no `--progress`; per-batch progress is the JSONL
+/// stream itself).
+pub fn build_infer_observer(flags: &Flags) -> Result<Box<dyn InferObserver>, CliError> {
+    Ok(match flags.get("log-jsonl") {
+        Some(path) => Box::new(JsonlSink::create(path)?),
+        None => Box::new(Noop),
+    })
+}
+
+/// Reads a flowrec dataset.
+pub fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    let bytes = std::fs::read(path)?;
+    flowrec::decode(&bytes).map_err(|e| CliError::Parse(format!("{path}: {e}")))
+}
+
+/// Writes a flowrec dataset.
+pub fn save_dataset(path: &str, ds: &Dataset) -> Result<(), CliError> {
+    std::fs::write(path, flowrec::encode(ds))?;
+    Ok(())
+}
+
+/// Loads a serving model in either on-disk format (checkpoint envelope
+/// or `tcb train` JSON), mapping failures to a CLI parse error.
+pub fn load_served_model(path: &str) -> Result<serve::registry::ServedModel, CliError> {
+    serve::registry::ServedModel::load_auto(std::path::Path::new(path))
+        .map_err(|e| CliError::Parse(format!("{e}")))
+}
+
+/// Parses an augmentation name (the paper's seven).
+pub fn parse_aug(name: &str) -> Result<Augmentation, CliError> {
+    Ok(match name {
+        "no-aug" => Augmentation::NoAug,
+        "rotate" => Augmentation::Rotate,
+        "flip" => Augmentation::HorizontalFlip,
+        "color-jitter" => Augmentation::ColorJitter,
+        "packet-loss" => Augmentation::PacketLoss,
+        "time-shift" => Augmentation::TimeShift,
+        "change-rtt" => Augmentation::ChangeRtt,
+        other => return Err(CliError::Usage(format!("unknown augmentation {other}"))),
+    })
+}
+
+#[cfg(test)]
+pub mod testutil {
+    //! Shared scaffolding for the per-command test modules.
+
+    /// Converts a literal slice into owned argv form.
+    pub fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    /// A path under the shared temp dir for CLI test artifacts.
+    pub fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("tcb_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_string()
+    }
+
+    /// A random-initialized serving model in the checkpoint-envelope
+    /// format, written to the temp dir.
+    pub fn write_served_model(name: &str, res: usize, n_classes: usize, seed: u64) -> String {
+        let net = tcbench::arch::supervised_net(res, n_classes, true, seed);
+        let model = serve::registry::ServedModel {
+            arch: "supervised".into(),
+            resolution: res,
+            n_classes,
+            dropout: true,
+            class_names: (0..n_classes).map(|i| format!("class{i}")).collect(),
+            weights: net.export_weights(),
+        };
+        let path = tmp(name);
+        model.save(std::path::Path::new(&path)).unwrap();
+        path
+    }
+}

@@ -1,0 +1,309 @@
+//! `tcb ctl` — client for the `tcb serve --daemon` control plane.
+//!
+//! Verb-first grammar: `tcb ctl <verb> --socket PATH [flags]`. Each
+//! invocation opens one connection, sends one line-delimited JSON
+//! request and renders the reply (except `send-trace`, which streams
+//! one `packet` request per record over a single connection).
+
+use crate::args::Flags;
+use crate::cmd::common::load_dataset;
+use crate::CliError;
+use serve::daemon::{ctl_roundtrip, stream_trace, CtlClient, CtlRequest, CtlResponse};
+use std::path::Path;
+
+/// CLI name.
+pub const NAME: &str = "ctl";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "send control requests to a running daemon";
+/// `--help` text.
+pub const HELP: &str = "tcb ctl <verb> --socket PATH [flags]\n\
+verbs:\n\
+  push-model --model FILE    hot-swap the serving model (fingerprint-validated)\n\
+  stats                      live counters + forward-latency quantiles\n\
+  set-config [--sparsity-threshold F] [--max-batch N] [--max-wait-ms F]\n\
+             [--idle-timeout F]\n\
+                             apply engine/tracker knobs to the live pipeline\n\
+  send-trace --replay FILE [--rate 1.0] [--flow-gap-ms 400]\n\
+                             stream a flowrec-derived packet trace\n\
+  flush                      classify every still-open flow now\n\
+  predictions                dump every prediction so far\n\
+  shutdown                   graceful drain, then exit";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let verb = match args.first().map(String::as_str) {
+        None | Some("--help") => return Ok(HELP.into()),
+        Some(v) if v.starts_with("--") => {
+            return Err(CliError::Usage(format!(
+                "ctl expects a verb before flags, got {v}\n\n{HELP}"
+            )));
+        }
+        Some(v) => v,
+    };
+    let rest = &args[1..];
+    match verb {
+        "push-model" => {
+            let flags = Flags::parse(rest, &["socket", "model"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            let req = CtlRequest::PushModel {
+                path: flags.require("model")?.to_string(),
+            };
+            render(roundtrip(&flags, &req)?)
+        }
+        "stats" => {
+            let flags = Flags::parse(rest, &["socket"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            render(roundtrip(&flags, &CtlRequest::Stats)?)
+        }
+        "set-config" => {
+            let flags = Flags::parse(
+                rest,
+                &[
+                    "socket",
+                    "sparsity-threshold",
+                    "max-batch",
+                    "max-wait-ms",
+                    "idle-timeout",
+                ],
+                &[],
+            )?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            let req = CtlRequest::SetConfig {
+                sparsity_threshold: flags.get_opt_parse::<f32>("sparsity-threshold")?,
+                max_batch: flags.get_opt_parse::<usize>("max-batch")?,
+                max_wait_ms: flags.get_opt_parse::<f64>("max-wait-ms")?,
+                idle_timeout_s: flags.get_opt_parse::<f64>("idle-timeout")?,
+            };
+            if matches!(
+                req,
+                CtlRequest::SetConfig {
+                    sparsity_threshold: None,
+                    max_batch: None,
+                    max_wait_ms: None,
+                    idle_timeout_s: None,
+                }
+            ) {
+                return Err(CliError::Usage(
+                    "set-config needs at least one knob (--sparsity-threshold, \
+                     --max-batch, --max-wait-ms, --idle-timeout)"
+                        .into(),
+                ));
+            }
+            render(roundtrip(&flags, &req)?)
+        }
+        "send-trace" => {
+            let flags = Flags::parse(rest, &["socket", "replay", "rate", "flow-gap-ms"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            let ds = load_dataset(flags.require("replay")?)?;
+            let rate = flags.get_parse::<f64>("rate", 1.0)?;
+            if rate <= 0.0 {
+                return Err(CliError::Usage("--rate must be positive".into()));
+            }
+            let flow_gap_s = flags.get_parse::<f64>("flow-gap-ms", 400.0)? / 1e3;
+            let trace = serve::replay::trace_from_dataset(&ds, flow_gap_s, rate);
+            let mut client = CtlClient::connect(Path::new(flags.require("socket")?))
+                .map_err(|e| CliError::Parse(format!("ctl: {e}")))?;
+            let sent = stream_trace(&mut client, &trace)
+                .map_err(|e| CliError::Parse(format!("ctl: {e}")))?;
+            Ok(format!("streamed {sent} packets"))
+        }
+        "flush" => {
+            let flags = Flags::parse(rest, &["socket"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            render(roundtrip(&flags, &CtlRequest::Flush)?)
+        }
+        "predictions" => {
+            let flags = Flags::parse(rest, &["socket"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            render(roundtrip(&flags, &CtlRequest::Predictions)?)
+        }
+        "shutdown" => {
+            let flags = Flags::parse(rest, &["socket"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            render(roundtrip(&flags, &CtlRequest::Shutdown)?)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown ctl verb {other}\n\n{HELP}"
+        ))),
+    }
+}
+
+fn roundtrip(flags: &Flags, req: &CtlRequest) -> Result<CtlResponse, CliError> {
+    let socket = flags.require("socket")?;
+    ctl_roundtrip(Path::new(socket), req).map_err(|e| CliError::Parse(format!("ctl: {e}")))
+}
+
+/// Renders a daemon reply for the terminal; an `error` reply becomes a
+/// runtime error (exit 1).
+fn render(resp: CtlResponse) -> Result<String, CliError> {
+    match resp {
+        CtlResponse::Ok => Ok("ok".into()),
+        CtlResponse::Error { message } => Err(CliError::Parse(format!("daemon: {message}"))),
+        CtlResponse::Swapped { old, new } => Ok(format!("swapped model {old} -> {new}")),
+        CtlResponse::Stats { stats } => Ok(format!(
+            "model {}\npackets {}, flows tracked {}, classified {}, \
+             batches {}, evicted {}, queue depth {}\n\
+             forward p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n\
+             max-batch {}, max-wait {:.0} ms, idle-timeout {:.0} s",
+            stats.model_fingerprint,
+            stats.packets,
+            stats.flows_tracked,
+            stats.flows_classified,
+            stats.batches,
+            stats.evicted,
+            stats.queue_depth,
+            stats.p50_ms,
+            stats.p95_ms,
+            stats.p99_ms,
+            stats.max_batch,
+            stats.max_wait_ms,
+            stats.idle_timeout_s,
+        )),
+        CtlResponse::Predictions { predictions } => {
+            let mut out = format!("{} prediction(s)\n", predictions.len());
+            for p in &predictions {
+                out.push_str(&format!(
+                    "flow {}: class {} (confidence {:.4})\n",
+                    p.flow_id,
+                    p.label,
+                    p.confidence()
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cmd::common::testutil::{argv, tmp, write_served_model};
+    use crate::command::run;
+    use flowpic::{FlowpicConfig, Normalization};
+    use serve::daemon::{Daemon, DaemonConfig};
+    use serve::engine::EngineConfig;
+    use serve::registry::ServedModel;
+    use serve::tracker::TrackerConfig;
+    use tcbench::telemetry as tel;
+
+    fn spawn_daemon(model_path: &str, socket: &str) -> std::thread::JoinHandle<()> {
+        let model = ServedModel::load(Path::new(model_path)).unwrap();
+        let config = DaemonConfig {
+            tracker: TrackerConfig {
+                flowpic: FlowpicConfig::with_resolution(model.resolution),
+                norm: Normalization::LogMax,
+                idle_timeout_s: 30.0,
+                max_flows: 1000,
+            },
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait_s: 0.5,
+            },
+            workers: 1,
+        };
+        let socket = std::path::PathBuf::from(socket);
+        std::thread::spawn(move || {
+            let mut daemon = Daemon::new(model, config).unwrap();
+            daemon.run_on_path(&socket, &mut tel::Noop).unwrap();
+        })
+    }
+
+    fn wait_for_socket(path: &str) {
+        for _ in 0..200 {
+            if Path::new(path).exists() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon socket {path} never appeared");
+    }
+
+    #[test]
+    fn ctl_drives_a_daemon_end_to_end() {
+        let data = tmp("ctl.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "11",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model_a = write_served_model("ctl-a.ckpt", 16, 5, 1);
+        let model_b = write_served_model("ctl-b.ckpt", 16, 5, 2);
+        let socket = tmp("ctl.sock");
+        let _ = std::fs::remove_file(&socket);
+        let handle = spawn_daemon(&model_a, &socket);
+        wait_for_socket(&socket);
+
+        let msg = run(
+            "ctl",
+            &argv(&["send-trace", "--socket", &socket, "--replay", &data]),
+        )
+        .unwrap();
+        assert!(msg.contains("streamed"), "{msg}");
+
+        let msg = run(
+            "ctl",
+            &argv(&["set-config", "--socket", &socket, "--max-batch", "2"]),
+        )
+        .unwrap();
+        assert_eq!(msg, "ok");
+
+        let msg = run(
+            "ctl",
+            &argv(&["push-model", "--socket", &socket, "--model", &model_b]),
+        )
+        .unwrap();
+        assert!(msg.contains("swapped model"), "{msg}");
+
+        let msg = run("ctl", &argv(&["flush", "--socket", &socket])).unwrap();
+        assert_eq!(msg, "ok");
+        let msg = run("ctl", &argv(&["predictions", "--socket", &socket])).unwrap();
+        assert!(msg.contains("prediction(s)"), "{msg}");
+        let stats = run("ctl", &argv(&["stats", "--socket", &socket])).unwrap();
+        assert!(stats.contains("max-batch 2"), "{stats}");
+
+        let msg = run("ctl", &argv(&["shutdown", "--socket", &socket])).unwrap();
+        assert_eq!(msg, "ok");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn ctl_usage_errors() {
+        // No verb / unknown verb / flags before the verb.
+        assert!(run("ctl", &argv(&["bogus", "--socket", "/tmp/x"])).is_err());
+        assert!(run("ctl", &argv(&["--socket", "/tmp/x"])).is_err());
+        // set-config with nothing to set.
+        assert!(run("ctl", &argv(&["set-config", "--socket", "/tmp/x"])).is_err());
+        // A dead socket is a runtime error, not a usage error.
+        let err = run(
+            "ctl",
+            &argv(&["stats", "--socket", "/tmp/tcb-no-such.sock"]),
+        )
+        .unwrap_err();
+        assert!(!matches!(err, CliError::Usage(_)), "{err}");
+        // Bare `tcb ctl` prints help.
+        assert!(run("ctl", &[]).unwrap().contains("push-model"));
+    }
+}

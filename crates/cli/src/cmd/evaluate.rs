@@ -1,0 +1,55 @@
+//! `tcb evaluate` — evaluate a saved model on a flowrec file.
+
+use crate::args::Flags;
+use crate::cmd::common::{load_dataset, load_served_model};
+use crate::CliError;
+use flowpic::{FlowpicConfig, Normalization};
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{SupervisedTrainer, TrainConfig};
+
+/// CLI name.
+pub const NAME: &str = "evaluate";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "evaluate a saved model, print the confusion matrix";
+/// `--help` text.
+pub const HELP: &str = "tcb evaluate --input FILE --model MODEL.json [--batch-workers N]\n\
+MODEL is either a checkpoint-envelope model (ServedModel::save) or the JSON \
+written by `tcb train`.";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "model", "batch-workers"], &[])?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let model = load_served_model(flags.require("model")?)?;
+    if ds.num_classes() != model.n_classes {
+        return Err(CliError::Parse(format!(
+            "model has {} classes, dataset has {}",
+            model.n_classes,
+            ds.num_classes()
+        )));
+    }
+    let net = model
+        .build_net()
+        .map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    let fpcfg = FlowpicConfig::with_resolution(model.resolution);
+    let indices: Vec<usize> = (0..ds.flows.len())
+        .filter(|&i| !ds.flows[i].background)
+        .collect();
+    let data = FlowpicDataset::from_flows(&ds, &indices, &fpcfg, Normalization::LogMax);
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        batch_workers: flags.get_parse::<usize>("batch-workers", 1)?,
+        ..TrainConfig::supervised(0)
+    });
+    let eval = trainer.evaluate(&net, &data);
+    let names: Vec<&str> = model.class_names.iter().map(String::as_str).collect();
+    Ok(format!(
+        "evaluated {} flows: accuracy {:.2}%, weighted F1 {:.2}%\n{}",
+        data.len(),
+        100.0 * eval.accuracy,
+        100.0 * eval.weighted_f1,
+        eval.confusion.ascii(&names)
+    ))
+}

@@ -1,0 +1,30 @@
+//! `tcb export-pcap` — write one flow as a pcap capture.
+
+use crate::args::Flags;
+use crate::cmd::common::load_dataset;
+use crate::CliError;
+use trafficgen::pcap::flow_to_pcap;
+
+/// CLI name.
+pub const NAME: &str = "export-pcap";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "write one flow as a pcap capture";
+/// `--help` text.
+pub const HELP: &str = "tcb export-pcap --input FILE --flow INDEX --out FILE";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "flow", "out"], &[])?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let idx = flags.get_parse::<usize>("flow", 0)?;
+    let flow = ds
+        .flows
+        .get(idx)
+        .ok_or_else(|| CliError::Usage(format!("flow index {idx} out of range")))?;
+    let out = flags.require("out")?;
+    std::fs::write(out, flow_to_pcap(flow))?;
+    Ok(format!("wrote {} packets to {out}", flow.len()))
+}

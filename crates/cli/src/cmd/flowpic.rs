@@ -1,0 +1,81 @@
+//! `tcb flowpic` — render one flow's flowpic as an ASCII heatmap.
+
+use crate::args::Flags;
+use crate::cmd::common::load_dataset;
+use crate::CliError;
+use flowpic::render::ascii_heatmap;
+use flowpic::{Flowpic, FlowpicConfig};
+
+/// CLI name.
+pub const NAME: &str = "flowpic";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "render one flow's flowpic as an ASCII heatmap";
+/// `--help` text.
+pub const HELP: &str = "tcb flowpic --input FILE --flow INDEX [--res 32]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input", "flow", "res"], &[])?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let idx = flags.get_parse::<usize>("flow", 0)?;
+    let flow = ds
+        .flows
+        .get(idx)
+        .ok_or_else(|| CliError::Usage(format!("flow index {idx} out of range")))?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let pic = Flowpic::build(&flow.pkts, &FlowpicConfig::with_resolution(res));
+    Ok(format!(
+        "flow {idx}: class {} ({}), {} pkts, {:.1}s\n{}",
+        flow.class,
+        ds.class_names[flow.class as usize],
+        flow.len(),
+        flow.duration(),
+        ascii_heatmap(&pic)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::common::testutil::{argv, tmp};
+    use crate::command::run;
+
+    #[test]
+    fn flowpic_and_pcap_commands() {
+        let path = tmp("uc2.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "9",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let art = run(
+            "flowpic",
+            &argv(&["--input", &path, "--flow", "0", "--res", "16"]),
+        )
+        .unwrap();
+        assert!(art.contains("class"), "{art}");
+        assert!(art.lines().count() > 16);
+
+        let pcap = tmp("flow0.pcap");
+        let msg = run(
+            "export-pcap",
+            &argv(&["--input", &path, "--flow", "0", "--out", &pcap]),
+        )
+        .unwrap();
+        assert!(msg.contains("packets"), "{msg}");
+        // The written pcap parses back.
+        let bytes = std::fs::read(&pcap).unwrap();
+        assert!(trafficgen::pcap::pcap_to_pkts(&bytes).is_ok());
+    }
+}

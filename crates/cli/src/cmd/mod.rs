@@ -1,0 +1,24 @@
+//! One module per subcommand.
+//!
+//! Each module exposes the same tiny surface the [`crate::command`]
+//! enum composes over: `NAME` (the CLI name), `SUMMARY` (one line for
+//! the usage listing), `HELP` (the full `--help` text) and
+//! `run(args) -> Result<String, CliError>`. Flag *syntax* lives here;
+//! the semantics live in typed configs next to the library entry points
+//! each command calls (`tcbench::supervised::SupervisedJob`,
+//! `serve::replay::ReplayConfig`, `serve::daemon::DaemonConfig`, ...).
+
+pub mod campaign;
+pub mod common;
+pub mod ctl;
+pub mod curate;
+pub mod evaluate;
+pub mod export_pcap;
+pub mod finetune;
+pub mod flowpic;
+pub mod generate;
+pub mod pretrain;
+pub mod serve;
+pub mod stats;
+pub mod train;
+pub mod windows;

@@ -1,0 +1,147 @@
+//! `tcb pretrain` — contrastive pre-training (SimCLR / SupCon / BYOL).
+
+use crate::args::Flags;
+use crate::cmd::common::{build_observer, load_dataset};
+use crate::CliError;
+use flowpic::{FlowpicConfig, Normalization};
+use serde::{Deserialize, Serialize};
+
+/// CLI name.
+pub const NAME: &str = "pretrain";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "contrastive pre-training (simclr / supcon / byol)";
+/// `--help` text.
+pub const HELP: &str = "tcb pretrain --input FILE --out PRE.json \
+[--objective simclr|supcon|byol] [--res 32] [--epochs N] [--seed N] \
+[--batch-workers N] [--progress (per-epoch progress on stderr)] \
+[--log-jsonl PATH (one JSON event per line)]";
+
+/// A pre-trained SimCLR extractor persisted to disk.
+#[derive(Serialize, Deserialize)]
+pub struct SavedPretrained {
+    /// Flowpic resolution.
+    pub resolution: usize,
+    /// Projection dimension used during pre-training.
+    pub proj_dim: usize,
+    /// Objective name ("simclr" | "supcon" | "byol").
+    pub objective: String,
+    /// Weights of the pre-training network.
+    pub weights: nettensor::model::Weights,
+}
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    use augment::ViewPair;
+    use tcbench::byol::pretrain_byol_observed;
+    use tcbench::simclr::{pretrain_observed, pretrain_supcon_observed, SimClrConfig};
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "out",
+            "objective",
+            "res",
+            "epochs",
+            "seed",
+            "batch-workers",
+            "log-jsonl",
+        ],
+        &["progress"],
+    )?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let seed = flags.get_parse::<u64>("seed", 1)?;
+    let epochs = flags.get_parse::<usize>("epochs", 10)?;
+    let batch_workers = flags.get_parse::<usize>("batch-workers", 1)?;
+    let objective = flags.get("objective").unwrap_or("simclr").to_string();
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let config = SimClrConfig {
+        max_epochs: epochs,
+        batch_workers,
+        ..SimClrConfig::paper(seed)
+    };
+    let indices: Vec<usize> = (0..ds.flows.len())
+        .filter(|&i| !ds.flows[i].background)
+        .collect();
+    let mut obs = build_observer(&flags, false)?;
+    let (net, summary) = match objective.as_str() {
+        "simclr" => pretrain_observed(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+            &mut obs,
+        ),
+        "supcon" => pretrain_supcon_observed(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+            &mut obs,
+        ),
+        "byol" => pretrain_byol_observed(
+            &ds,
+            &indices,
+            ViewPair::paper(),
+            &fpcfg,
+            Normalization::LogMax,
+            &config,
+            &mut obs,
+        ),
+        other => return Err(CliError::Usage(format!("unknown objective {other}"))),
+    };
+    let saved = SavedPretrained {
+        resolution: res,
+        proj_dim: config.proj_dim,
+        objective: objective.clone(),
+        weights: net.export_weights(),
+    };
+    let out = flags.require("out")?;
+    std::fs::write(
+        out,
+        serde_json::to_string(&saved).expect("model serializes"),
+    )?;
+    Ok(format!(
+        "pre-trained {objective} on {} flows for {} epochs (final loss {:.3}) -> {out}",
+        indices.len(),
+        summary.epochs,
+        summary.final_loss
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::common::testutil::{argv, tmp};
+    use crate::command::run;
+
+    #[test]
+    fn pretrain_rejects_unknown_objective() {
+        let data = tmp("pre-src2.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "8",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        assert!(run(
+            "pretrain",
+            &argv(&["--input", &data, "--out", "/tmp/x", "--objective", "nope"]),
+        )
+        .is_err());
+    }
+}

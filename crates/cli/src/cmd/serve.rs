@@ -1,0 +1,298 @@
+//! `tcb serve` — online inference: replay a trace through the
+//! streaming pipeline, or host the pipeline behind a Unix-socket
+//! control plane (`--daemon`).
+
+use crate::args::Flags;
+use crate::cmd::common::{build_infer_observer, load_dataset, load_served_model};
+use crate::CliError;
+use flowpic::{FlowpicConfig, Normalization};
+use serve::daemon::{Daemon, DaemonConfig};
+use serve::engine::{CnnClassifier, EngineConfig};
+use serve::registry::ModelRegistry;
+use serve::replay::{replay_dataset, FractionalSwap, ReplayConfig};
+use serve::tracker::TrackerConfig;
+use std::sync::Arc;
+
+/// CLI name.
+pub const NAME: &str = "serve";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "replay a trace through the online pipeline, or run the daemon";
+/// `--help` text.
+pub const HELP: &str = "tcb serve --replay TRACE.flowrec --model MODEL [--model2 FILE \
+(hot-swap replacement)] [--swap-at 0.5 (swap after this fraction of \
+the trace)] [--rate 1.0 (replay speed multiplier)] [--max-batch 16] \
+[--max-wait-ms 500 (micro-batch deadline, stream time)] \
+[--idle-timeout 30 (evict flows silent this many seconds)] \
+[--max-flows 10000 (hard tracked-flow cap)] [--flow-gap-ms 400 \
+(stagger between flow starts)] [--workers 1 (forward workers; 0 = \
+all cores; any value gives bit-identical predictions)] \
+[--log-jsonl PATH (one inference telemetry event per line)]\n\
+tcb serve --daemon --socket PATH --model MODEL [same engine/tracker \
+knobs] — host the pipeline behind a line-delimited JSON control plane \
+(drive it with `tcb ctl`); runs until a `shutdown` request.\n\
+MODEL is either a checkpoint-envelope model (ServedModel::save) or \
+the JSON written by `tcb train`.";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "replay",
+            "socket",
+            "model",
+            "model2",
+            "swap-at",
+            "rate",
+            "max-batch",
+            "max-wait-ms",
+            "idle-timeout",
+            "max-flows",
+            "flow-gap-ms",
+            "workers",
+            "log-jsonl",
+        ],
+        &["daemon"],
+    )?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let model = load_served_model(flags.require("model")?)?;
+    let workers = flags.get_parse::<usize>("workers", 1)?;
+    let tracker = TrackerConfig {
+        flowpic: FlowpicConfig::with_resolution(model.resolution),
+        norm: Normalization::LogMax,
+        idle_timeout_s: flags.get_parse::<f64>("idle-timeout", 30.0)?,
+        max_flows: flags.get_parse::<usize>("max-flows", 10_000)?,
+    };
+    let engine = EngineConfig {
+        max_batch: flags.get_parse::<usize>("max-batch", 16)?,
+        max_wait_s: flags.get_parse::<f64>("max-wait-ms", 500.0)? / 1e3,
+    };
+    if flags.switch("daemon") {
+        return daemon_mode(&flags, model, tracker, engine, workers);
+    }
+    replay_mode(&flags, model, tracker, engine, workers)
+}
+
+/// `--replay`: feed a flowrec-derived trace through a fresh pipeline.
+fn replay_mode(
+    flags: &Flags,
+    model: serve::registry::ServedModel,
+    tracker: TrackerConfig,
+    engine: EngineConfig,
+    workers: usize,
+) -> Result<String, CliError> {
+    let ds = load_dataset(flags.require("replay")?)?;
+    let cnn = CnnClassifier::from_served(&model, workers)
+        .map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+
+    let rate = flags.get_parse::<f64>("rate", 1.0)?;
+    if rate <= 0.0 {
+        return Err(CliError::Usage("--rate must be positive".into()));
+    }
+    let config = ReplayConfig {
+        flow_gap_s: flags.get_parse::<f64>("flow-gap-ms", 400.0)? / 1e3,
+        rate,
+        tracker,
+        engine,
+    };
+
+    let mut swaps = Vec::new();
+    match flags.get("model2") {
+        Some(path2) => {
+            let second = load_served_model(path2)?;
+            let cnn2 = CnnClassifier::from_served(&second, workers)
+                .map_err(|e| CliError::Parse(format!("model2: {e}")))?;
+            let frac = flags.get_parse::<f64>("swap-at", 0.5)?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(CliError::Usage("--swap-at must be in [0, 1]".into()));
+            }
+            swaps.push(FractionalSwap {
+                at_fraction: frac,
+                model: Arc::new(cnn2),
+            });
+        }
+        None if flags.get("swap-at").is_some() => {
+            return Err(CliError::Usage("--swap-at requires --model2".into()));
+        }
+        None => {}
+    }
+
+    let mut obs = build_infer_observer(flags)?;
+    let report = replay_dataset(&ds, &registry, &config, swaps, obs.as_mut())
+        .map_err(|e| CliError::Parse(format!("serve: {e}")))?;
+    Ok(report.render(&model.class_names))
+}
+
+/// `--daemon`: bind the Unix socket and serve control-plane requests
+/// until a `shutdown` request arrives.
+fn daemon_mode(
+    flags: &Flags,
+    model: serve::registry::ServedModel,
+    tracker: TrackerConfig,
+    engine: EngineConfig,
+    workers: usize,
+) -> Result<String, CliError> {
+    let socket = flags
+        .get("socket")
+        .ok_or_else(|| CliError::Usage("--daemon requires --socket PATH".into()))?;
+    let class_names = model.class_names.clone();
+    let mut daemon = Daemon::new(
+        model,
+        DaemonConfig {
+            tracker,
+            engine,
+            workers,
+        },
+    )
+    .map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    let mut obs = build_infer_observer(flags)?;
+    daemon
+        .run_on_path(std::path::Path::new(socket), obs.as_mut())
+        .map_err(|e| CliError::Parse(format!("daemon: {e}")))?;
+    let stats = daemon.stats();
+    Ok(format!(
+        "daemon on {socket} shut down: {} packets, {} flows classified \
+         ({} classes), {} batches, {} evicted; forward p50 {:.2} ms, \
+         p95 {:.2} ms, p99 {:.2} ms",
+        stats.packets,
+        stats.flows_classified,
+        class_names.len(),
+        stats.batches,
+        stats.evicted,
+        stats.p50_ms,
+        stats.p95_ms,
+        stats.p99_ms,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::common::testutil::{argv, tmp, write_served_model};
+    use crate::command::run;
+
+    #[test]
+    fn serve_replays_a_trace_and_reports_latency() {
+        let data = tmp("serve.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "5",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-model.ckpt", 16, 5, 1);
+        let jsonl = tmp("serve.jsonl");
+        let msg = run(
+            "serve",
+            &argv(&[
+                "--replay",
+                &data,
+                "--model",
+                &model,
+                "--rate",
+                "10",
+                "--max-batch",
+                "8",
+                "--log-jsonl",
+                &jsonl,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("flows classified"), "{msg}");
+        assert!(msg.contains("p50"), "{msg}");
+        assert!(msg.contains("samples/sec"), "{msg}");
+        let log = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(log.contains("\"event\":\"stream_start\""), "{log}");
+        assert!(log.contains("\"event\":\"infer_batch_end\""), "{log}");
+        assert!(log
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .contains("stream_end"));
+    }
+
+    #[test]
+    fn serve_hot_swaps_mid_replay() {
+        let data = tmp("serve-swap.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "6",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model_a = write_served_model("serve-a.ckpt", 16, 5, 1);
+        let model_b = write_served_model("serve-b.ckpt", 16, 5, 2);
+        let msg = run(
+            "serve",
+            &argv(&[
+                "--replay",
+                &data,
+                "--model",
+                &model_a,
+                "--model2",
+                &model_b,
+                "--swap-at",
+                "0.5",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("1 hot-swap(s)"), "{msg}");
+        assert!(msg.contains("flows classified"), "{msg}");
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        let data = tmp("serve-usage.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "7",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-usage.ckpt", 16, 5, 3);
+        // --swap-at without --model2 is meaningless.
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--swap-at", "0.5"]),
+        )
+        .is_err());
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--rate", "0"]),
+        )
+        .is_err());
+        // --daemon without --socket has nowhere to listen.
+        assert!(run("serve", &argv(&["--daemon", "--model", &model])).is_err());
+        // A model file that is neither format is a parse error.
+        let bogus = tmp("serve-bogus.model");
+        std::fs::write(&bogus, "not a model").unwrap();
+        assert!(run("serve", &argv(&["--replay", &data, "--model", &bogus])).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! `tcb stats` — Table 2-style statistics of a flowrec file.
+
+use crate::args::Flags;
+use crate::cmd::common::load_dataset;
+use crate::CliError;
+use trafficgen::types::Partition;
+
+/// CLI name.
+pub const NAME: &str = "stats";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "print Table 2-style statistics of a flowrec file";
+/// `--help` text.
+pub const HELP: &str = "tcb stats --input FILE";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args, &["input"], &[])?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let counts = ds.class_counts();
+    let mut out = format!(
+        "{}: {} flows, {} classes, rho {}, mean pkts {:.1}\n",
+        ds.name,
+        ds.flows.len(),
+        ds.num_classes(),
+        ds.imbalance_rho()
+            .map(|r| format!("{r:.1}"))
+            .unwrap_or_else(|| "-".into()),
+        ds.mean_pkts()
+    );
+    for (name, count) in ds.class_names.iter().zip(&counts) {
+        out.push_str(&format!("  {name:<24} {count}\n"));
+    }
+    // Partition breakdown, when partitioned.
+    let partitions = [
+        Partition::Pretraining,
+        Partition::Script,
+        Partition::Human,
+        Partition::ActionSpecific,
+        Partition::DeterministicAutomated,
+        Partition::RandomizedAutomated,
+        Partition::WildTest,
+        Partition::Unpartitioned,
+    ];
+    for p in partitions {
+        let n = ds.partition(p).count();
+        if n > 0 {
+            out.push_str(&format!("  [{}] {n} flows\n", p.name()));
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,292 @@
+//! `tcb train` — supervised training on a flowrec file.
+
+use crate::args::Flags;
+use crate::cmd::common::{build_observer, load_dataset, parse_aug};
+use crate::CliError;
+use flowpic::{FlowpicConfig, Normalization};
+use tcbench::data::FlowpicDataset;
+use tcbench::supervised::{
+    run_supervised_job, CheckpointSpec, SupervisedJob, SupervisedTrainer, TrainConfig,
+};
+use trafficgen::splits::stratified_three_way;
+use trafficgen::types::Partition;
+
+/// CLI name.
+pub const NAME: &str = "train";
+/// Usage-listing summary.
+pub const SUMMARY: &str = "train the supervised flowpic CNN";
+/// `--help` text.
+pub const HELP: &str = "tcb train --input FILE --out MODEL.json [--aug no-aug|rotate|flip|\
+color-jitter|packet-loss|time-shift|change-rtt] [--res 32] [--seed N] \
+[--epochs N] [--batch-workers N (0 = all cores; any value gives \
+bit-identical results)] [--checkpoint-dir DIR (save a crash-safe \
+checkpoint each epoch)] [--resume (continue from the checkpoint in \
+--checkpoint-dir; resumed runs finish bit-identical to uninterrupted \
+ones)] [--progress (per-epoch progress on stderr)] [--log-jsonl PATH \
+(append one JSON event per line; telemetry never alters training)]";
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "input",
+            "out",
+            "aug",
+            "res",
+            "seed",
+            "epochs",
+            "batch-workers",
+            "checkpoint-dir",
+            "log-jsonl",
+        ],
+        &["resume", "progress"],
+    )?;
+    if flags.wants_help() {
+        return Ok(HELP.into());
+    }
+    let checkpoint_dir = flags.get("checkpoint-dir").map(str::to_string);
+    let resume = flags.switch("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage(
+            "--resume requires --checkpoint-dir (there is nothing to resume from)".into(),
+        ));
+    }
+    let ds = load_dataset(flags.require("input")?)?;
+    let res = flags.get_parse::<usize>("res", 32)?;
+    let seed = flags.get_parse::<u64>("seed", 1)?;
+    let epochs = flags.get_parse::<usize>("epochs", 15)?;
+    let batch_workers = flags.get_parse::<usize>("batch-workers", 1)?;
+    let aug = parse_aug(flags.get("aug").unwrap_or("no-aug"))?;
+
+    // Stratified 80/10/10 over whatever partitioning the file has; the
+    // partition tag is ignored here (train on everything available).
+    let mut collated = ds.clone();
+    for f in &mut collated.flows {
+        f.partition = Partition::Unpartitioned;
+    }
+    let split = stratified_three_way(&collated, Partition::Unpartitioned, 0.8, 0.1, seed);
+    let fpcfg = FlowpicConfig::with_resolution(res);
+    let norm = Normalization::LogMax;
+    let train_set = FlowpicDataset::augmented(&collated, &split.train, aug, 3, &fpcfg, norm, seed);
+    let val = FlowpicDataset::from_flows(&collated, &split.val, &fpcfg, norm);
+    let test = FlowpicDataset::from_flows(&collated, &split.test, &fpcfg, norm);
+
+    let mut job = SupervisedJob::new(
+        res,
+        collated.num_classes(),
+        TrainConfig {
+            max_epochs: epochs,
+            batch_workers,
+            ..TrainConfig::supervised(seed)
+        },
+    );
+    if let Some(dir) = &checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+        let mut spec = CheckpointSpec::new(std::path::Path::new(dir).join("train.ckpt"));
+        if resume {
+            spec = spec.resuming();
+        }
+        job = job.with_checkpoint(spec);
+    }
+    // Resumed runs append to an existing JSONL log so the event stream
+    // accumulates across invocations; fresh runs start a new file.
+    let mut obs = build_observer(&flags, resume)?;
+    let (net, summary) = run_supervised_job(&job, &train_set, Some(&val), &mut obs)
+        .map_err(|e| CliError::Parse(format!("checkpoint: {e}")))?;
+    let trainer = SupervisedTrainer::new(job.config);
+    let eval = trainer.evaluate(&net, &test);
+
+    let model = serve::registry::ServedModel {
+        arch: "supervised".into(),
+        resolution: res,
+        n_classes: collated.num_classes(),
+        dropout: true,
+        class_names: collated.class_names.clone(),
+        weights: net.export_weights(),
+    };
+    let out = flags.require("out")?;
+    std::fs::write(
+        out,
+        serde_json::to_string(&model).expect("model serializes"),
+    )?;
+    Ok(format!(
+        "trained {} epochs on {} flowpics ({} augmented with {}); \
+         test accuracy {:.2}%, weighted F1 {:.2}% -> {out}",
+        summary.epochs,
+        train_set.len(),
+        aug.name(),
+        aug.name(),
+        100.0 * eval.accuracy,
+        100.0 * eval.weighted_f1,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cmd::common::testutil::{argv, tmp};
+    use crate::command::run;
+
+    #[test]
+    fn train_then_evaluate() {
+        let path = tmp("train.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let model = tmp("model.json");
+        let msg = run(
+            "train",
+            &argv(&[
+                "--input",
+                &path,
+                "--out",
+                &model,
+                "--aug",
+                "change-rtt",
+                "--res",
+                "16",
+                "--epochs",
+                "3",
+                "--seed",
+                "2",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("test accuracy"), "{msg}");
+        let eval = run("evaluate", &argv(&["--input", &path, "--model", &model])).unwrap();
+        assert!(eval.contains("accuracy"), "{eval}");
+        assert!(eval.contains("google-doc"), "{eval}");
+    }
+
+    #[test]
+    fn train_with_checkpoint_dir_then_resume() {
+        let path = tmp("train-ckpt.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let ckpt_dir = tmp("ckpts");
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        let model = tmp("model-ckpt.json");
+        let base = argv(&[
+            "--input",
+            &path,
+            "--out",
+            &model,
+            "--res",
+            "16",
+            "--epochs",
+            "2",
+            "--seed",
+            "2",
+            "--checkpoint-dir",
+            &ckpt_dir,
+        ]);
+        let msg = run("train", &base).unwrap();
+        assert!(msg.contains("test accuracy"), "{msg}");
+        assert!(
+            std::path::Path::new(&ckpt_dir).join("train.ckpt").is_file(),
+            "checkpoint file must exist after training"
+        );
+        // Resuming a finished run loads the checkpoint and skips straight
+        // to the end — same output shape, no retraining.
+        let mut resumed = base.clone();
+        resumed.push("--resume".into());
+        let msg2 = run("train", &resumed).unwrap();
+        assert!(msg2.contains("test accuracy"), "{msg2}");
+    }
+
+    #[test]
+    fn train_with_jsonl_log_emits_valid_event_stream() {
+        let path = tmp("train-telemetry.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "4",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        let model = tmp("model-telemetry.json");
+        let log = tmp("train.jsonl");
+        let _ = std::fs::remove_file(&log);
+        run(
+            "train",
+            &argv(&[
+                "--input",
+                &path,
+                "--out",
+                &model,
+                "--res",
+                "16",
+                "--epochs",
+                "2",
+                "--seed",
+                "2",
+                "--log-jsonl",
+                &log,
+            ]),
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.first().unwrap().contains("\"event\":\"run_start\""),
+            "{text}"
+        );
+        assert!(
+            lines.last().unwrap().contains("\"event\":\"run_end\""),
+            "{text}"
+        );
+        let epoch_ends = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"epoch_end\""))
+            .count();
+        assert_eq!(epoch_ends, 2, "one epoch_end per epoch: {text}");
+        // Every line is a self-contained versioned object.
+        for line in &lines {
+            assert!(line.starts_with("{\"v\":1,"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_is_a_usage_error() {
+        let err = run(
+            "train",
+            &argv(&["--input", "/nonexistent", "--out", "/tmp/x", "--resume"]),
+        )
+        .unwrap_err();
+        assert!(
+            format!("{err}").contains("--checkpoint-dir"),
+            "error must point at the missing flag: {err}"
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! The typed subcommand surface.
+//!
+//! Every `tcb` subcommand is a [`Command`] variant backed by one module
+//! under [`crate::cmd`]. The enum is the single source of truth: the
+//! top-level usage text is generated from it ([`usage`]), name lookup
+//! goes through it ([`Command::from_name`]), and dispatch is a plain
+//! `match` with no string fallthrough — adding a subcommand means adding
+//! a variant, and the compiler then points at every place that must
+//! learn about it.
+
+use crate::cmd;
+use crate::CliError;
+
+/// One `tcb` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Simulate a dataset into a flowrec file.
+    Generate,
+    /// Run the paper's curation pipeline on a flowrec file.
+    Curate,
+    /// Print Table 2-style statistics of a flowrec file.
+    Stats,
+    /// Render one flow's flowpic as an ASCII heatmap.
+    Flowpic,
+    /// Write one flow as a pcap capture.
+    ExportPcap,
+    /// Slice flows into 15 s windows (the ISCX artifice).
+    Windows,
+    /// Train a supervised flowpic classifier.
+    Train,
+    /// SimCLR/SupCon/BYOL pre-training on unlabeled flows.
+    Pretrain,
+    /// Few-shot fine-tune a pre-trained extractor.
+    Finetune,
+    /// Evaluate a saved model on a flowrec file.
+    Evaluate,
+    /// Replay a trace through the online inference engine, or host the
+    /// serving daemon.
+    Serve,
+    /// Send one control request to a running serving daemon.
+    Ctl,
+    /// Run the augmentation × seed grid with resume + progress.
+    Campaign,
+}
+
+impl Command {
+    /// Every subcommand, in the order the usage text lists them.
+    pub const ALL: [Command; 13] = [
+        Command::Generate,
+        Command::Curate,
+        Command::Stats,
+        Command::Flowpic,
+        Command::ExportPcap,
+        Command::Windows,
+        Command::Train,
+        Command::Pretrain,
+        Command::Finetune,
+        Command::Evaluate,
+        Command::Serve,
+        Command::Ctl,
+        Command::Campaign,
+    ];
+
+    /// The subcommand's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Command::Generate => cmd::generate::NAME,
+            Command::Curate => cmd::curate::NAME,
+            Command::Stats => cmd::stats::NAME,
+            Command::Flowpic => cmd::flowpic::NAME,
+            Command::ExportPcap => cmd::export_pcap::NAME,
+            Command::Windows => cmd::windows::NAME,
+            Command::Train => cmd::train::NAME,
+            Command::Pretrain => cmd::pretrain::NAME,
+            Command::Finetune => cmd::finetune::NAME,
+            Command::Evaluate => cmd::evaluate::NAME,
+            Command::Serve => cmd::serve::NAME,
+            Command::Ctl => cmd::ctl::NAME,
+            Command::Campaign => cmd::campaign::NAME,
+        }
+    }
+
+    /// One-line summary for the usage listing.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Command::Generate => cmd::generate::SUMMARY,
+            Command::Curate => cmd::curate::SUMMARY,
+            Command::Stats => cmd::stats::SUMMARY,
+            Command::Flowpic => cmd::flowpic::SUMMARY,
+            Command::ExportPcap => cmd::export_pcap::SUMMARY,
+            Command::Windows => cmd::windows::SUMMARY,
+            Command::Train => cmd::train::SUMMARY,
+            Command::Pretrain => cmd::pretrain::SUMMARY,
+            Command::Finetune => cmd::finetune::SUMMARY,
+            Command::Evaluate => cmd::evaluate::SUMMARY,
+            Command::Serve => cmd::serve::SUMMARY,
+            Command::Ctl => cmd::ctl::SUMMARY,
+            Command::Campaign => cmd::campaign::SUMMARY,
+        }
+    }
+
+    /// Full `--help` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            Command::Generate => cmd::generate::HELP,
+            Command::Curate => cmd::curate::HELP,
+            Command::Stats => cmd::stats::HELP,
+            Command::Flowpic => cmd::flowpic::HELP,
+            Command::ExportPcap => cmd::export_pcap::HELP,
+            Command::Windows => cmd::windows::HELP,
+            Command::Train => cmd::train::HELP,
+            Command::Pretrain => cmd::pretrain::HELP,
+            Command::Finetune => cmd::finetune::HELP,
+            Command::Evaluate => cmd::evaluate::HELP,
+            Command::Serve => cmd::serve::HELP,
+            Command::Ctl => cmd::ctl::HELP,
+            Command::Campaign => cmd::campaign::HELP,
+        }
+    }
+
+    /// Looks a subcommand up by its CLI name.
+    pub fn from_name(name: &str) -> Option<Command> {
+        Command::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Runs the subcommand. Returns the text to print on success.
+    pub fn run(self, args: &[String]) -> Result<String, CliError> {
+        match self {
+            Command::Generate => cmd::generate::run(args),
+            Command::Curate => cmd::curate::run(args),
+            Command::Stats => cmd::stats::run(args),
+            Command::Flowpic => cmd::flowpic::run(args),
+            Command::ExportPcap => cmd::export_pcap::run(args),
+            Command::Windows => cmd::windows::run(args),
+            Command::Train => cmd::train::run(args),
+            Command::Pretrain => cmd::pretrain::run(args),
+            Command::Finetune => cmd::finetune::run(args),
+            Command::Evaluate => cmd::evaluate::run(args),
+            Command::Serve => cmd::serve::run(args),
+            Command::Ctl => cmd::ctl::run(args),
+            Command::Campaign => cmd::campaign::run(args),
+        }
+    }
+}
+
+/// The top-level usage text, generated from [`Command::ALL`] so it can
+/// never drift from the dispatch table.
+pub fn usage() -> String {
+    let mut s = String::from("tcb — traffic-classification bench tool\n\nsubcommands:\n");
+    for c in Command::ALL {
+        s.push_str(&format!("  {:<12} {}\n", c.name(), c.summary()));
+    }
+    s.push_str(
+        "\ntrain, pretrain and campaign accept --progress (human-readable progress\n\
+         on stderr) and --log-jsonl PATH (one JSON telemetry event per line);\n\
+         telemetry is observability-only and never alters training results.\n\n\
+         run `tcb <subcommand> --help` for flags.",
+    );
+    s
+}
+
+/// Dispatches a subcommand by name. Returns the text to print on
+/// success; an unknown name is a usage error carrying the full usage
+/// text.
+pub fn run(subcommand: &str, args: &[String]) -> Result<String, CliError> {
+    match Command::from_name(subcommand) {
+        Some(command) => command.run(args),
+        None => Err(CliError::Usage(format!(
+            "unknown subcommand {subcommand}\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_lists_every_command_and_every_help_renders() {
+        // The golden contract: the generated usage names every variant,
+        // and each subcommand's --help renders without error and names
+        // the subcommand it documents.
+        let usage = usage();
+        for c in Command::ALL {
+            assert!(
+                usage.contains(c.name()),
+                "usage must list {}: {usage}",
+                c.name()
+            );
+            assert!(!c.summary().is_empty(), "{} needs a summary", c.name());
+            let help = c
+                .run(&argv(&["--help"]))
+                .unwrap_or_else(|e| panic!("{} --help must render, got {e}", c.name()));
+            assert!(
+                help.contains(&format!("tcb {}", c.name())),
+                "{} help must document its own invocation: {help}",
+                c.name()
+            );
+            assert_eq!(help, c.help(), "{} --help and help() must agree", c.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        for c in Command::ALL {
+            assert_eq!(Command::from_name(c.name()), Some(c));
+        }
+        let mut names: Vec<&str> = Command::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Command::ALL.len(), "duplicate command name");
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error_with_usage_text() {
+        match run("bogus", &[]) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("unknown subcommand bogus"), "{msg}");
+                assert!(msg.contains("subcommands:"), "{msg}");
+            }
+            other => panic!("expected a usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run("generate", &argv(&["--dataset", "nope", "--out", "/tmp/x"])).is_err());
+        assert!(run(
+            "train",
+            &argv(&["--input", "/definitely/missing", "--out", "/tmp/x"])
+        )
+        .is_err());
+        let help = run("curate", &argv(&["--help"])).unwrap();
+        assert!(help.contains("--min-pkts"));
+    }
+}

@@ -19,24 +19,33 @@
 //!
 //! ```text
 //! tcb serve    --replay uc.flowrec --model model.json --rate 10
+//! tcb serve    --daemon --socket /run/tcb.sock --model model.json
+//! tcb ctl      stats --socket /run/tcb.sock
 //! ```
 //!
-//! The library half hosts the argument parsing and command logic so they
-//! are unit-testable; `main.rs` is a thin shell.
+//! Every subcommand is a [`command::Command`] variant backed by one
+//! module under [`cmd`]; the top-level usage text is generated from the
+//! enum ([`command::usage`]). The library half hosts the argument
+//! parsing and command logic so they are unit-testable; `main.rs` is a
+//! thin shell.
 
 pub mod args;
-pub mod commands;
+pub mod cmd;
+pub mod command;
+
+pub use command::{run, usage, Command};
 
 use std::fmt;
 
-/// CLI-level errors, rendered to stderr by `main`.
+/// CLI-level errors, rendered to stderr by `main`. [`CliError::Usage`]
+/// exits with status 2, everything else with status 1.
 #[derive(Debug)]
 pub enum CliError {
     /// Bad usage (unknown flag, missing value, unknown subcommand).
     Usage(String),
     /// Filesystem failure.
     Io(std::io::Error),
-    /// A flowrec/pcap/model file failed to parse.
+    /// A flowrec/pcap/model file failed to parse, or a runtime failure.
     Parse(String),
 }
 
@@ -57,27 +66,3 @@ impl From<std::io::Error> for CliError {
         CliError::Io(e)
     }
 }
-
-/// Top-level usage text.
-pub const USAGE: &str = "\
-tcb — traffic-classification bench tool
-
-subcommands:
-  generate     simulate a dataset into a flowrec file
-  curate       run the paper's curation pipeline on a flowrec file
-  stats        print Table 2-style statistics of a flowrec file
-  flowpic      render one flow's flowpic as an ASCII heatmap
-  export-pcap  write one flow as a pcap capture
-  windows      slice flows into 15s windows (the ISCX artifice)
-  train        train a supervised flowpic classifier
-  pretrain     SimCLR/SupCon/BYOL pre-training on unlabeled flows
-  finetune     few-shot fine-tune a pre-trained extractor
-  evaluate     evaluate a saved model on a flowrec file
-  serve        replay a trace through the online inference engine
-  campaign     run the augmentation x seed grid with resume + progress
-
-train, pretrain and campaign accept --progress (human-readable progress
-on stderr) and --log-jsonl PATH (one JSON telemetry event per line);
-telemetry is observability-only and never alters training results.
-
-run `tcb <subcommand> --help` for flags.";

@@ -1,17 +1,27 @@
 //! `tcb` entry point — see [`tcbench_cli`] for the command logic.
+//!
+//! Exit codes: 0 on success, 2 on usage errors (bad flags, unknown
+//! subcommand, missing arguments), 1 on runtime errors (I/O, parse,
+//! daemon failures).
+
+use tcbench_cli::CliError;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((subcommand, rest)) = args.split_first() else {
-        eprintln!("{}", tcbench_cli::USAGE);
+        eprintln!("{}", tcbench_cli::usage());
         std::process::exit(2);
     };
     if subcommand == "--help" || subcommand == "help" {
-        println!("{}", tcbench_cli::USAGE);
+        println!("{}", tcbench_cli::usage());
         return;
     }
-    match tcbench_cli::commands::run(subcommand, rest) {
+    match tcbench_cli::run(subcommand, rest) {
         Ok(output) => println!("{output}"),
+        Err(e @ CliError::Usage(_)) => {
+            eprintln!("tcb: {e}");
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("tcb: {e}");
             std::process::exit(1);

@@ -493,6 +493,74 @@ impl SupervisedTrainer {
     }
 }
 
+/// Everything one supervised training invocation needs, as a typed
+/// value: the network shape, the trainer hyper-parameters, and optional
+/// crash-safe persistence. This is the library entry point `tcb train`
+/// and each campaign cell parse their flags into — the CLI owns flag
+/// syntax, this struct owns semantics.
+#[derive(Debug, Clone)]
+pub struct SupervisedJob {
+    /// Trainer hyper-parameters (includes the shuffle seed).
+    pub config: TrainConfig,
+    /// Flowpic resolution the network is built for.
+    pub resolution: usize,
+    /// Classes the network separates.
+    pub n_classes: usize,
+    /// Whether the architecture includes dropout layers (the paper's
+    /// supervised net does).
+    pub dropout: bool,
+    /// Weight-initialization seed. [`SupervisedJob::new`] sets it to the
+    /// trainer seed, matching the CLI's historical behavior.
+    pub net_seed: u64,
+    /// When present, train crash-safely through
+    /// [`SupervisedTrainer::train_resumable_observed`].
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl SupervisedJob {
+    /// A job with the paper's architecture choices: dropout on, network
+    /// seeded with the trainer seed, no checkpointing.
+    pub fn new(resolution: usize, n_classes: usize, config: TrainConfig) -> SupervisedJob {
+        SupervisedJob {
+            config,
+            resolution,
+            n_classes,
+            dropout: true,
+            net_seed: config.seed,
+            checkpoint: None,
+        }
+    }
+
+    /// Enables crash-safe checkpointing through `spec`.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> SupervisedJob {
+        self.checkpoint = Some(spec);
+        self
+    }
+}
+
+/// Runs one supervised job: builds the network, trains it (resumably
+/// when the job carries a [`CheckpointSpec`]), and returns the trained
+/// network holding the best-epoch weights plus the summary.
+///
+/// Exactly equivalent to assembling the pieces by hand — a job without a
+/// checkpoint spec is bit-identical to `SupervisedTrainer::train` on a
+/// freshly built net, and telemetry stays observability-only.
+pub fn run_supervised_job(
+    job: &SupervisedJob,
+    train: &FlowpicDataset,
+    val: Option<&FlowpicDataset>,
+    obs: &mut dyn TrainObserver,
+) -> Result<(Sequential, TrainSummary), CheckpointError> {
+    let trainer = SupervisedTrainer::new(job.config);
+    let mut net =
+        crate::arch::supervised_net(job.resolution, job.n_classes, job.dropout, job.net_seed);
+    let summary = match &job.checkpoint {
+        Some(spec) => trainer.train_resumable_observed(&mut net, train, val, spec, obs)?,
+        None => trainer.train_observed(&mut net, train, val, obs),
+    };
+    Ok((net, summary))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +602,37 @@ mod tests {
             eval.accuracy
         );
         assert_eq!(eval.confusion.total() as usize, test.len());
+    }
+
+    #[test]
+    fn supervised_job_matches_hand_assembled_training() {
+        let mut cfg = UcDavisConfig::tiny();
+        cfg.pretraining_per_class = [10; 5];
+        cfg.script_per_class = [2; 5];
+        let ds = UcDavisSim::new(cfg).generate(9);
+        let fpcfg = FlowpicConfig::mini();
+        let idx = ds.partition_indices(Partition::Pretraining);
+        let data = FlowpicDataset::from_flows(&ds, &idx, &fpcfg, Normalization::LogMax);
+        let (train, val) = data.split_validation(0.2, 0);
+        let config = TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::supervised(1)
+        };
+
+        let job = SupervisedJob::new(32, 5, config);
+        let (job_net, job_summary) =
+            run_supervised_job(&job, &train, Some(&val), &mut Noop).unwrap();
+
+        let trainer = SupervisedTrainer::new(config);
+        let mut net = supervised_net(32, 5, true, 1);
+        let summary = trainer.train(&mut net, &train, Some(&val));
+
+        assert_eq!(job_summary, summary);
+        assert_eq!(
+            job_net.export_weights().fingerprint(),
+            net.export_weights().fingerprint(),
+            "the typed job must be bit-identical to hand assembly"
+        );
     }
 
     #[test]

@@ -174,6 +174,27 @@ fn push_opt(out: &mut String, v: Option<f64>) {
     }
 }
 
+/// Writes `v` as a JSON string literal. Only runtime-provided strings
+/// (socket paths) go through here; static event vocabulary is emitted
+/// verbatim.
+fn push_json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 impl TrainEvent {
     /// The event as one line of schema-version-[`SCHEMA_VERSION`] JSON
     /// (no trailing newline).
@@ -631,6 +652,30 @@ pub enum InferEvent {
         /// Whole-stream wall-clock, in milliseconds.
         wall_ms: f64,
     },
+    /// A serving daemon bound its control socket and began accepting
+    /// requests.
+    DaemonStart {
+        /// The control socket's path (or a test-harness description).
+        socket: String,
+    },
+    /// The daemon processed one non-packet control request. Per-packet
+    /// requests are deliberately not logged — a trace would drown the
+    /// event stream, and packets are already observable through
+    /// `infer_batch_end`.
+    ControlRequest {
+        /// The request's wire name (`"push-model"`, `"stats"`, ...).
+        cmd: &'static str,
+    },
+    /// A `set-config` request changed one serving knob.
+    ConfigChanged {
+        /// The knob: `"sparsity_threshold"`, `"max_batch"`,
+        /// `"max_wait_s"` or `"idle_timeout_s"`.
+        field: &'static str,
+        /// The new value, widened to f64.
+        value: f64,
+    },
+    /// The daemon finished its graceful shutdown (after `stream_end`).
+    DaemonShutdown,
 }
 
 impl InferEvent {
@@ -699,6 +744,23 @@ impl InferEvent {
                      \"evicted\":{evicted},\"wall_ms\":"
                 );
                 push_num(&mut s, *wall_ms);
+            }
+            InferEvent::DaemonStart { socket } => {
+                s.push_str("\"event\":\"daemon_start\",\"socket\":");
+                push_json_str(&mut s, socket);
+            }
+            InferEvent::ControlRequest { cmd } => {
+                let _ = write!(s, "\"event\":\"control_request\",\"cmd\":\"{cmd}\"");
+            }
+            InferEvent::ConfigChanged { field, value } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"config_changed\",\"field\":\"{field}\",\"value\":"
+                );
+                push_num(&mut s, *value);
+            }
+            InferEvent::DaemonShutdown => {
+                s.push_str("\"event\":\"shutdown\"");
             }
         }
         s.push('}');
@@ -1062,6 +1124,44 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         assert!(text.lines().all(|l| l.starts_with("{\"v\":1,")));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn daemon_events_serialize_with_shared_schema() {
+        let e = InferEvent::DaemonStart {
+            socket: "/tmp/tcb.sock".into(),
+        };
+        let line = e.to_json_line();
+        assert!(
+            line.starts_with("{\"v\":1,\"event\":\"daemon_start\""),
+            "{line}"
+        );
+        assert!(line.contains("\"socket\":\"/tmp/tcb.sock\""), "{line}");
+        // Socket paths are runtime strings and must be escaped.
+        let e = InferEvent::DaemonStart {
+            socket: "odd\"path\\with\nnoise".into(),
+        };
+        let line = e.to_json_line();
+        assert!(line.contains("odd\\\"path\\\\with\\nnoise"), "{line}");
+
+        let e = InferEvent::ControlRequest { cmd: "push-model" };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"control_request\",\"cmd\":\"push-model\"}"
+        );
+        let e = InferEvent::ConfigChanged {
+            field: "max_batch",
+            value: 8.0,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"config_changed\",\"field\":\"max_batch\",\"value\":8".to_owned()
+                + "}"
+        );
+        assert_eq!(
+            InferEvent::DaemonShutdown.to_json_line(),
+            "{\"v\":1,\"event\":\"shutdown\"}"
+        );
     }
 
     #[test]

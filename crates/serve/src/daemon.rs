@@ -1,0 +1,1040 @@
+//! Long-running serving daemon behind a line-delimited JSON control
+//! socket.
+//!
+//! `tcb serve --daemon --socket PATH` hosts the [`ModelRegistry`], a
+//! [`FlowTracker`] + [`InferenceEngine`] pair, and a Unix-domain control
+//! socket speaking one JSON request per line, one JSON response per
+//! line ([`CtlRequest`] / [`CtlResponse`]). The daemon is the process
+//! later capabilities (drift monitoring, background retraining) attach
+//! to: they talk to a running classifier instead of spawning one-shot
+//! replays.
+//!
+//! Requests cover the full control surface:
+//!
+//! * `push-model` — load a model file ([`ServedModel::load_auto`]: the
+//!   checkpoint envelope or `tcb train` JSON), validate its
+//!   architecture fingerprint, and hot-swap it into the registry
+//!   without dropping in-flight batches;
+//! * `packet` — ingest one [`PacketRecord`]; completions and
+//!   micro-batching behave exactly as in [`crate::replay::replay`];
+//! * `stats` — flows tracked/classified, batches, evictions, queue
+//!   depth and p50/p95/p99 batch latency from the live engine (the same
+//!   numbers a [`crate::replay::ReplayReport`] summarizes post-hoc);
+//! * `set-config` — live reconfiguration: sparsity-dispatch threshold
+//!   (rebuilds the classifier from the current [`ServedModel`] via
+//!   [`CnnClassifier::set_sparsity_threshold`] — bit-identical either
+//!   way), micro-batch size/deadline, idle timeout;
+//! * `flush` — early-terminate live flows and drain the queue (what a
+//!   replay does at end of trace), without exiting;
+//! * `predictions` — every prediction so far, confidences as exact f32
+//!   bits so callers can check bit-identity;
+//! * `shutdown` — graceful exit: flush, drain, `stream_end`.
+//!
+//! **Determinism contract:** requests are processed strictly in arrival
+//! order by a single thread, and a `packet` request replicates the
+//! replay loop's per-packet order (poll, then push/submit). A daemon
+//! fed a trace over the socket — with a `push-model` between packets
+//! *k−1* and *k* — therefore produces bit-identical predictions to
+//! [`crate::replay::replay`] over the same trace with a
+//! [`crate::replay::ScheduledSwap`] at packet *k*. The
+//! `integration_daemon` test pins this end to end.
+//!
+//! Daemon lifecycle events (`daemon_start`, `control_request`,
+//! `config_changed`, `shutdown`) join the inference telemetry JSONL
+//! vocabulary, so a full daemon session is replayable from its log.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlstats::quantiles::percentile;
+use nettensor::checkpoint::CheckpointError;
+use serde::{Deserialize, Serialize};
+use tcbench::telemetry::{InferEvent, InferObserver};
+use trafficgen::types::Pkt;
+
+use crate::engine::{CnnClassifier, EngineConfig, InferenceEngine};
+use crate::registry::{ModelRegistry, ServedModel};
+use crate::replay::PacketRecord;
+use crate::tracker::{FlowTracker, TrackerConfig};
+
+/// One control request, as one line of JSON on the socket. The `cmd`
+/// tag is kebab-case: `{"cmd":"push-model","path":"m.ckpt"}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "cmd", rename_all = "kebab-case")]
+pub enum CtlRequest {
+    /// Load the model file at `path` and hot-swap it in.
+    PushModel {
+        /// Model file, in either format [`ServedModel::load_auto`] reads.
+        path: String,
+    },
+    /// Report live serving statistics.
+    Stats,
+    /// Live-reconfigure the daemon; absent fields are left unchanged.
+    SetConfig {
+        /// Sparsity-dispatch threshold for the served network
+        /// (`0.0` forces dense kernels; results are bit-identical).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        sparsity_threshold: Option<f32>,
+        /// Micro-batch size trigger (≥ 1).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        max_batch: Option<usize>,
+        /// Micro-batch deadline, in stream-time milliseconds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        max_wait_ms: Option<f64>,
+        /// Idle-flow eviction timeout, in stream-time seconds.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        idle_timeout_s: Option<f64>,
+    },
+    /// Ingest one packet of the stream.
+    Packet {
+        /// The flow this packet belongs to.
+        flow_id: u64,
+        /// Arrival time on the stream clock, in seconds.
+        ts: f64,
+        /// The packet, timestamped in seconds since its flow's start.
+        pkt: Pkt,
+    },
+    /// Early-terminate live flows and drain the micro-batch queue —
+    /// what a replay does at end of trace — without exiting.
+    Flush,
+    /// Return every prediction made so far, in classification order.
+    Predictions,
+    /// Graceful exit: flush, drain, emit `stream_end`, stop serving.
+    Shutdown,
+}
+
+impl CtlRequest {
+    /// The request's wire name (the `cmd` tag).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CtlRequest::PushModel { .. } => "push-model",
+            CtlRequest::Stats => "stats",
+            CtlRequest::SetConfig { .. } => "set-config",
+            CtlRequest::Packet { .. } => "packet",
+            CtlRequest::Flush => "flush",
+            CtlRequest::Predictions => "predictions",
+            CtlRequest::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One prediction on the wire. The confidence travels as exact f32 bits
+/// so bit-identity can be asserted across the socket without float
+/// round-tripping doubts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WirePrediction {
+    /// The flow this prediction belongs to.
+    pub flow_id: u64,
+    /// Predicted class index.
+    pub label: usize,
+    /// `f32::to_bits` of the winning class's probability.
+    pub confidence_bits: u32,
+}
+
+impl WirePrediction {
+    /// The confidence as the original f32.
+    pub fn confidence(&self) -> f32 {
+        f32::from_bits(self.confidence_bits)
+    }
+}
+
+/// Live serving statistics, the `stats` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStats {
+    /// Flows currently holding tracker state.
+    pub flows_tracked: usize,
+    /// Flows classified so far.
+    pub flows_classified: usize,
+    /// Micro-batches run so far.
+    pub batches: usize,
+    /// Flows dropped unclassified (idle timeout or cap).
+    pub evicted: usize,
+    /// Completed flows waiting for a batch slot.
+    pub queue_depth: usize,
+    /// Packets ingested so far.
+    pub packets: usize,
+    /// Active model's weight fingerprint, as 16 hex digits.
+    pub model_fingerprint: String,
+    /// Median forward wall-clock per batch, milliseconds (0 if none).
+    pub p50_ms: f64,
+    /// 95th-percentile batch wall-clock, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile batch wall-clock, milliseconds.
+    pub p99_ms: f64,
+    /// Current micro-batch size trigger.
+    pub max_batch: usize,
+    /// Current micro-batch deadline, stream-time milliseconds.
+    pub max_wait_ms: f64,
+    /// Current idle-flow eviction timeout, stream-time seconds.
+    pub idle_timeout_s: f64,
+}
+
+/// One control response, as one line of JSON on the socket, tagged by
+/// `reply`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "kebab-case")]
+pub enum CtlResponse {
+    /// The request succeeded with nothing to report.
+    Ok,
+    /// The request failed; the daemon keeps serving.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// A `push-model` hot-swap succeeded.
+    Swapped {
+        /// Retired model's weight fingerprint, 16 hex digits.
+        old: String,
+        /// Now-active model's weight fingerprint, 16 hex digits.
+        new: String,
+    },
+    /// The `stats` payload.
+    Stats {
+        /// Live serving statistics.
+        stats: DaemonStats,
+    },
+    /// The `predictions` payload.
+    Predictions {
+        /// Every prediction so far, in classification order.
+        predictions: Vec<WirePrediction>,
+    },
+}
+
+/// Daemon construction knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaemonConfig {
+    /// Flow-tracking knobs (the flowpic resolution must match the
+    /// initial model's).
+    pub tracker: TrackerConfig,
+    /// Micro-batching knobs.
+    pub engine: EngineConfig,
+    /// Forward workers for built classifiers (0 = all cores;
+    /// bit-neutral).
+    pub workers: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            tracker: TrackerConfig::default(),
+            engine: EngineConfig::default(),
+            workers: 1,
+        }
+    }
+}
+
+/// The serving daemon: registry + tracker + engine plus the control
+/// protocol over them. [`Daemon::handle`] is the socket-free core (unit
+/// tests drive it directly); [`Daemon::run`] wraps it in the accept
+/// loop.
+pub struct Daemon {
+    registry: Arc<ModelRegistry>,
+    tracker: FlowTracker,
+    engine: InferenceEngine,
+    /// The active model in serving form, kept for sparsity-threshold
+    /// rebuilds (the registry only holds the opaque classifier).
+    model: ServedModel,
+    sparsity_threshold: Option<f32>,
+    workers: usize,
+    packets: usize,
+    /// Stream time of the last ingested packet — the clock `flush`
+    /// stamps early-terminated flows with, mirroring a replay's use of
+    /// its final trace timestamp.
+    now: f64,
+    shutdown: bool,
+    finished: bool,
+}
+
+impl Daemon {
+    /// A daemon serving `model` from the start.
+    pub fn new(model: ServedModel, config: DaemonConfig) -> Result<Daemon, CheckpointError> {
+        let cnn = CnnClassifier::from_served(&model, config.workers)?;
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let engine = InferenceEngine::new(registry.clone(), config.engine);
+        Ok(Daemon {
+            registry,
+            tracker: FlowTracker::new(config.tracker),
+            engine,
+            model,
+            sparsity_threshold: None,
+            workers: config.workers,
+            packets: 0,
+            now: 0.0,
+            shutdown: false,
+            finished: false,
+        })
+    }
+
+    /// The registry the daemon serves from (shared with any in-process
+    /// observers).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Processes one request. Packet ingest replicates the replay
+    /// loop's per-packet order exactly; every other request emits a
+    /// `control_request` telemetry event (per-packet events would drown
+    /// the log — packets are already visible through `infer_batch_end`).
+    pub fn handle(&mut self, req: &CtlRequest, obs: &mut dyn InferObserver) -> CtlResponse {
+        if !matches!(req, CtlRequest::Packet { .. }) {
+            obs.infer_event(&InferEvent::ControlRequest { cmd: req.name() });
+        }
+        match req {
+            CtlRequest::Packet { flow_id, ts, pkt } => {
+                let rec = PacketRecord {
+                    flow_id: *flow_id,
+                    ts: *ts,
+                    pkt: *pkt,
+                };
+                self.packets += 1;
+                self.now = rec.ts;
+                self.engine.poll(rec.ts, obs);
+                if let Some(done) = self.tracker.push(&rec, obs) {
+                    self.engine.submit(done, rec.ts, obs);
+                }
+                CtlResponse::Ok
+            }
+            CtlRequest::PushModel { path } => self.push_model(Path::new(path), obs),
+            CtlRequest::Stats => CtlResponse::Stats {
+                stats: self.stats(),
+            },
+            CtlRequest::SetConfig {
+                sparsity_threshold,
+                max_batch,
+                max_wait_ms,
+                idle_timeout_s,
+            } => self.set_config(
+                *sparsity_threshold,
+                *max_batch,
+                *max_wait_ms,
+                *idle_timeout_s,
+                obs,
+            ),
+            CtlRequest::Flush => {
+                self.flush_and_drain(obs);
+                CtlResponse::Ok
+            }
+            CtlRequest::Predictions => CtlResponse::Predictions {
+                predictions: self
+                    .engine
+                    .predictions()
+                    .iter()
+                    .map(|p| WirePrediction {
+                        flow_id: p.flow_id,
+                        label: p.label,
+                        confidence_bits: p.confidence.to_bits(),
+                    })
+                    .collect(),
+            },
+            CtlRequest::Shutdown => {
+                self.shutdown = true;
+                CtlResponse::Ok
+            }
+        }
+    }
+
+    /// Builds a classifier from `model` with the daemon's current
+    /// sparsity threshold applied.
+    fn build_classifier(&self, model: &ServedModel) -> Result<CnnClassifier, CheckpointError> {
+        let mut cnn = CnnClassifier::from_served(model, self.workers)?;
+        if let Some(threshold) = self.sparsity_threshold {
+            cnn.set_sparsity_threshold(threshold);
+        }
+        Ok(cnn)
+    }
+
+    fn push_model(&mut self, path: &Path, obs: &mut dyn InferObserver) -> CtlResponse {
+        let model = match ServedModel::load_auto(path) {
+            Ok(m) => m,
+            Err(e) => {
+                return CtlResponse::Error {
+                    message: format!("push-model: {e}"),
+                }
+            }
+        };
+        let cnn = match self.build_classifier(&model) {
+            Ok(c) => c,
+            Err(e) => {
+                return CtlResponse::Error {
+                    message: format!("push-model: {e}"),
+                }
+            }
+        };
+        match self.registry.swap(Arc::new(cnn)) {
+            Ok((old, new)) => {
+                self.model = model;
+                obs.infer_event(&InferEvent::ModelSwapped {
+                    old_fingerprint: old,
+                    new_fingerprint: new,
+                });
+                CtlResponse::Swapped {
+                    old: format!("{old:016x}"),
+                    new: format!("{new:016x}"),
+                }
+            }
+            Err(e) => CtlResponse::Error {
+                message: format!("push-model: {e}"),
+            },
+        }
+    }
+
+    fn set_config(
+        &mut self,
+        sparsity_threshold: Option<f32>,
+        max_batch: Option<usize>,
+        max_wait_ms: Option<f64>,
+        idle_timeout_s: Option<f64>,
+        obs: &mut dyn InferObserver,
+    ) -> CtlResponse {
+        if let Some(n) = max_batch {
+            if n == 0 {
+                return CtlResponse::Error {
+                    message: "set-config: max_batch must be at least 1".into(),
+                };
+            }
+        }
+        if let Some(threshold) = sparsity_threshold {
+            // The registry's classifier is behind an Arc, so the
+            // threshold cannot be poked in place; rebuild from the
+            // retained ServedModel and swap. Same weights, same
+            // fingerprint — sparse and dense kernels are bit-identical,
+            // so this never changes predictions.
+            self.sparsity_threshold = Some(threshold);
+            let cnn = match self.build_classifier(&self.model.clone()) {
+                Ok(c) => c,
+                Err(e) => {
+                    return CtlResponse::Error {
+                        message: format!("set-config: {e}"),
+                    }
+                }
+            };
+            if let Err(e) = self.registry.swap(Arc::new(cnn)) {
+                return CtlResponse::Error {
+                    message: format!("set-config: {e}"),
+                };
+            }
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "sparsity_threshold",
+                value: f64::from(threshold),
+            });
+        }
+        if let Some(n) = max_batch {
+            self.engine.set_max_batch(n);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "max_batch",
+                value: n as f64,
+            });
+        }
+        if let Some(ms) = max_wait_ms {
+            self.engine.set_max_wait_s(ms / 1e3);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "max_wait_s",
+                value: ms / 1e3,
+            });
+        }
+        if let Some(s) = idle_timeout_s {
+            self.tracker.set_idle_timeout_s(s);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "idle_timeout_s",
+                value: s,
+            });
+        }
+        CtlResponse::Ok
+    }
+
+    /// A snapshot of live serving statistics (the `stats` payload).
+    pub fn stats(&self) -> DaemonStats {
+        let wall = self.engine.batch_wall_ms();
+        let (p50, p95, p99) = if wall.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                percentile(wall, 0.50),
+                percentile(wall, 0.95),
+                percentile(wall, 0.99),
+            )
+        };
+        DaemonStats {
+            flows_tracked: self.tracker.active_flows(),
+            flows_classified: self.engine.predictions().len(),
+            batches: self.engine.batches_run(),
+            evicted: self.tracker.evicted(),
+            queue_depth: self.engine.queue_depth(),
+            packets: self.packets,
+            model_fingerprint: format!("{:016x}", self.registry.active().fingerprint()),
+            p50_ms: p50,
+            p95_ms: p95,
+            p99_ms: p99,
+            max_batch: self.engine.config().max_batch,
+            max_wait_ms: self.engine.config().max_wait_s * 1e3,
+            idle_timeout_s: self.tracker.config().idle_timeout_s,
+        }
+    }
+
+    /// Early-terminates live flows at the last seen stream time and
+    /// drains the micro-batch queue — the replay's end-of-trace step.
+    fn flush_and_drain(&mut self, obs: &mut dyn InferObserver) {
+        for done in self.tracker.flush(self.now) {
+            self.engine.submit(done, self.now, obs);
+        }
+        self.engine.drain(obs);
+    }
+
+    /// Graceful teardown: flush + drain, then `stream_end` and the
+    /// daemon `shutdown` event. Idempotent — `run` calls it on exit, and
+    /// socket-free tests may call it directly.
+    pub fn finish(&mut self, wall_ms: f64, obs: &mut dyn InferObserver) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.flush_and_drain(obs);
+        obs.infer_event(&InferEvent::StreamEnd {
+            flows: self.engine.predictions().len(),
+            batches: self.engine.batches_run(),
+            evicted: self.tracker.evicted(),
+            wall_ms,
+        });
+        obs.infer_event(&InferEvent::DaemonShutdown);
+    }
+
+    /// Serves the control socket until a `shutdown` request arrives.
+    ///
+    /// Connections are accepted and processed strictly one at a time —
+    /// the serial ordering is what makes a daemon session deterministic
+    /// and replayable. A client dropping its connection mid-session is
+    /// not an error; the daemon returns to accepting.
+    pub fn run(
+        &mut self,
+        listener: UnixListener,
+        socket_desc: &str,
+        obs: &mut dyn InferObserver,
+    ) -> std::io::Result<()> {
+        let t0 = Instant::now();
+        obs.infer_event(&InferEvent::DaemonStart {
+            socket: socket_desc.to_string(),
+        });
+        let active = self.registry.active();
+        obs.infer_event(&InferEvent::StreamStart {
+            model_fingerprint: active.fingerprint(),
+            n_classes: active.n_classes(),
+        });
+        drop(active);
+
+        'accept: for stream in listener.incoming() {
+            let stream = stream?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            let mut writer = stream;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,  // client closed; accept the next one
+                    Err(_) => break, // broken connection is not fatal
+                    Ok(_) => {}
+                }
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let resp = match serde_json::from_str::<CtlRequest>(trimmed) {
+                    Ok(req) => self.handle(&req, obs),
+                    Err(e) => CtlResponse::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                let mut out = serde_json::to_string(&resp).expect("response serializes");
+                out.push('\n');
+                if writer.write_all(out.as_bytes()).is_err() {
+                    break; // client went away; its requests already applied
+                }
+                if self.shutdown {
+                    break 'accept;
+                }
+            }
+            if self.shutdown {
+                break;
+            }
+        }
+        self.finish(t0.elapsed().as_secs_f64() * 1e3, obs);
+        Ok(())
+    }
+
+    /// Binds `socket` (removing any stale socket file first) and serves
+    /// until shutdown. The socket file is removed again on exit.
+    pub fn run_on_path(
+        &mut self,
+        socket: &Path,
+        obs: &mut dyn InferObserver,
+    ) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(socket);
+        let listener = UnixListener::bind(socket)?;
+        let result = self.run(listener, &socket.display().to_string(), obs);
+        let _ = std::fs::remove_file(socket);
+        result
+    }
+}
+
+/// A client connection to a running daemon: send [`CtlRequest`]s, read
+/// [`CtlResponse`]s, one line each way per request.
+pub struct CtlClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl CtlClient {
+    /// Connects to the daemon's control socket.
+    pub fn connect(socket: &Path) -> std::io::Result<CtlClient> {
+        let stream = UnixStream::connect(socket)?;
+        Ok(CtlClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &CtlRequest) -> std::io::Result<CtlResponse> {
+        let mut line = serde_json::to_string(req).expect("request serializes");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            ));
+        }
+        serde_json::from_str(resp.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response {resp:?}: {e}"),
+            )
+        })
+    }
+}
+
+/// One-shot convenience: connect, send one request, read the response.
+pub fn ctl_roundtrip(socket: &Path, req: &CtlRequest) -> std::io::Result<CtlResponse> {
+    CtlClient::connect(socket)?.request(req)
+}
+
+/// Streams a trace over one client connection, one `packet` request per
+/// record, and returns the number of packets acknowledged. Stops with
+/// an error on the first `Error` response.
+pub fn stream_trace(client: &mut CtlClient, trace: &[PacketRecord]) -> std::io::Result<usize> {
+    let mut sent = 0usize;
+    for rec in trace {
+        let resp = client.request(&CtlRequest::Packet {
+            flow_id: rec.flow_id,
+            ts: rec.ts,
+            pkt: rec.pkt,
+        })?;
+        if let CtlResponse::Error { message } = resp {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("daemon rejected packet {sent}: {message}"),
+            ));
+        }
+        sent += 1;
+    }
+    Ok(sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcbench::arch::supervised_net;
+    use tcbench::telemetry::InferRecorder;
+    use trafficgen::types::Direction;
+
+    fn tiny_model(seed: u64) -> ServedModel {
+        let net = supervised_net(16, 3, true, seed);
+        ServedModel {
+            arch: "supervised".into(),
+            resolution: 16,
+            n_classes: 3,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            weights: net.export_weights(),
+        }
+    }
+
+    fn daemon_config() -> DaemonConfig {
+        DaemonConfig {
+            tracker: TrackerConfig {
+                flowpic: flowpic::FlowpicConfig::with_resolution(16),
+                norm: flowpic::Normalization::LogMax,
+                idle_timeout_s: 30.0,
+                max_flows: 100,
+            },
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait_s: 0.5,
+            },
+            workers: 1,
+        }
+    }
+
+    fn packet(flow_id: u64, ts: f64, pkt_ts: f64) -> CtlRequest {
+        CtlRequest::Packet {
+            flow_id,
+            ts,
+            pkt: Pkt::data(pkt_ts, 500, Direction::Upstream),
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tcb_daemon_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn requests_round_trip_as_tagged_json_lines() {
+        let reqs = [
+            CtlRequest::PushModel {
+                path: "m.ckpt".into(),
+            },
+            CtlRequest::Stats,
+            CtlRequest::SetConfig {
+                sparsity_threshold: Some(0.0),
+                max_batch: None,
+                max_wait_ms: Some(250.0),
+                idle_timeout_s: None,
+            },
+            packet(3, 1.5, 0.25),
+            CtlRequest::Flush,
+            CtlRequest::Predictions,
+            CtlRequest::Shutdown,
+        ];
+        for req in &reqs {
+            let line = serde_json::to_string(req).unwrap();
+            assert!(
+                line.contains(&format!("\"cmd\":\"{}\"", req.name())),
+                "{line}"
+            );
+            let back: CtlRequest = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn packets_complete_flows_and_predictions_report_them() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        assert_eq!(
+            daemon.handle(&packet(1, 0.0, 0.0), &mut obs),
+            CtlResponse::Ok
+        );
+        assert_eq!(
+            daemon.handle(&packet(1, 0.5, 1.0), &mut obs),
+            CtlResponse::Ok
+        );
+        // Window-crossing packet completes flow 1; flush drains the queue.
+        daemon.handle(&packet(1, 1.0, 15.5), &mut obs);
+        daemon.handle(&CtlRequest::Flush, &mut obs);
+        match daemon.handle(&CtlRequest::Predictions, &mut obs) {
+            CtlResponse::Predictions { predictions } => {
+                assert_eq!(predictions.len(), 1);
+                assert_eq!(predictions[0].flow_id, 1);
+                let conf = predictions[0].confidence();
+                assert!(conf > 0.0 && conf <= 1.0, "{conf}");
+            }
+            other => panic!("expected predictions, got {other:?}"),
+        }
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => {
+                assert_eq!(stats.flows_classified, 1);
+                assert_eq!(stats.packets, 3);
+                assert_eq!(stats.flows_tracked, 0);
+                assert_eq!(stats.batches, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_model_swaps_and_reports_fingerprints() {
+        let model_a = tiny_model(1);
+        let model_b = tiny_model(2);
+        let path_b = tmp("push-b.ckpt");
+        model_b.save(&path_b).unwrap();
+
+        let mut daemon = Daemon::new(model_a.clone(), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        let resp = daemon.handle(
+            &CtlRequest::PushModel {
+                path: path_b.to_str().unwrap().into(),
+            },
+            &mut obs,
+        );
+        match resp {
+            CtlResponse::Swapped { old, new } => {
+                assert_eq!(old, format!("{:016x}", model_a.weights.fingerprint()));
+                assert_eq!(new, format!("{:016x}", model_b.weights.fingerprint()));
+            }
+            other => panic!("expected swapped, got {other:?}"),
+        }
+        assert!(obs
+            .events
+            .iter()
+            .any(|e| matches!(e, InferEvent::ModelSwapped { .. })));
+        // Missing file → error response, daemon keeps its model.
+        let resp = daemon.handle(
+            &CtlRequest::PushModel {
+                path: tmp("missing.ckpt").to_str().unwrap().into(),
+            },
+            &mut obs,
+        );
+        assert!(matches!(resp, CtlResponse::Error { .. }), "{resp:?}");
+        assert_eq!(
+            daemon.registry().active().fingerprint(),
+            model_b.weights.fingerprint()
+        );
+    }
+
+    #[test]
+    fn push_model_rejects_class_count_mismatch() {
+        let mut wrong = tiny_model(3);
+        wrong.n_classes = 5;
+        wrong.class_names = (0..5).map(|i| format!("c{i}")).collect();
+        wrong.weights = supervised_net(16, 5, true, 3).export_weights();
+        let path = tmp("push-wrong.ckpt");
+        wrong.save(&path).unwrap();
+
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        let resp = daemon.handle(
+            &CtlRequest::PushModel {
+                path: path.to_str().unwrap().into(),
+            },
+            &mut obs,
+        );
+        match resp {
+            CtlResponse::Error { message } => {
+                assert!(message.contains("classes"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_config_applies_live_and_emits_events() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        let resp = daemon.handle(
+            &CtlRequest::SetConfig {
+                sparsity_threshold: Some(0.0),
+                max_batch: Some(2),
+                max_wait_ms: Some(250.0),
+                idle_timeout_s: Some(5.0),
+            },
+            &mut obs,
+        );
+        assert_eq!(resp, CtlResponse::Ok);
+        let changed: Vec<&'static str> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::ConfigChanged { field, .. } => Some(*field),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            changed,
+            vec![
+                "sparsity_threshold",
+                "max_batch",
+                "max_wait_s",
+                "idle_timeout_s"
+            ]
+        );
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => {
+                assert_eq!(stats.max_batch, 2);
+                assert_eq!(stats.max_wait_ms, 250.0);
+                assert_eq!(stats.idle_timeout_s, 5.0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Invalid max_batch is rejected without side effects.
+        let resp = daemon.handle(
+            &CtlRequest::SetConfig {
+                sparsity_threshold: None,
+                max_batch: Some(0),
+                max_wait_ms: None,
+                idle_timeout_s: None,
+            },
+            &mut obs,
+        );
+        assert!(matches!(resp, CtlResponse::Error { .. }), "{resp:?}");
+    }
+
+    #[test]
+    fn sparsity_threshold_rebuild_never_changes_predictions() {
+        let cfg = daemon_config();
+        let mk_packets = || {
+            let mut reqs = Vec::new();
+            for flow in 0..6u64 {
+                for j in 0..4 {
+                    reqs.push(packet(
+                        flow,
+                        flow as f64 * 0.1 + j as f64 * 0.01,
+                        j as f64 * 0.5,
+                    ));
+                }
+            }
+            reqs
+        };
+        let run = |sparsity: Option<f32>| {
+            let mut daemon = Daemon::new(tiny_model(1), cfg).unwrap();
+            let mut obs = InferRecorder::new();
+            if let Some(t) = sparsity {
+                daemon.handle(
+                    &CtlRequest::SetConfig {
+                        sparsity_threshold: Some(t),
+                        max_batch: None,
+                        max_wait_ms: None,
+                        idle_timeout_s: None,
+                    },
+                    &mut obs,
+                );
+            }
+            for req in mk_packets() {
+                daemon.handle(&req, &mut obs);
+            }
+            daemon.handle(&CtlRequest::Flush, &mut obs);
+            match daemon.handle(&CtlRequest::Predictions, &mut obs) {
+                CtlResponse::Predictions { predictions } => predictions,
+                other => panic!("expected predictions, got {other:?}"),
+            }
+        };
+        let default = run(None);
+        let forced_dense = run(Some(0.0));
+        let forced_sparse = run(Some(1.1));
+        assert!(!default.is_empty());
+        assert_eq!(
+            default, forced_dense,
+            "dense dispatch must be bit-identical"
+        );
+        assert_eq!(
+            default, forced_sparse,
+            "sparse dispatch must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn shutdown_finishes_gracefully_with_stream_end() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        daemon.handle(&packet(9, 0.0, 0.0), &mut obs);
+        assert_eq!(
+            daemon.handle(&CtlRequest::Shutdown, &mut obs),
+            CtlResponse::Ok
+        );
+        assert!(daemon.shutdown_requested());
+        daemon.finish(12.5, &mut obs);
+        // The live flow was early-terminated and classified on shutdown.
+        let stream_end = obs
+            .events
+            .iter()
+            .find(|e| matches!(e, InferEvent::StreamEnd { .. }))
+            .expect("stream_end must be emitted");
+        match stream_end {
+            InferEvent::StreamEnd { flows, .. } => assert_eq!(*flows, 1),
+            _ => unreachable!(),
+        }
+        assert!(matches!(
+            obs.events.last(),
+            Some(InferEvent::DaemonShutdown)
+        ));
+        // finish is idempotent.
+        let n_events = obs.events.len();
+        daemon.finish(12.5, &mut obs);
+        assert_eq!(obs.events.len(), n_events);
+    }
+
+    #[test]
+    fn socket_round_trip_serves_requests_and_shuts_down() {
+        let socket = tmp("round-trip.sock");
+        let _ = std::fs::remove_file(&socket);
+        let listener = UnixListener::bind(&socket).unwrap();
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut obs = InferRecorder::new();
+            daemon.run(listener, "test", &mut obs).unwrap();
+            obs
+        });
+
+        let mut client = CtlClient::connect(&socket).unwrap();
+        for j in 0..3 {
+            let resp = client
+                .request(&packet(1, j as f64 * 0.1, j as f64 * 0.5))
+                .unwrap();
+            assert_eq!(resp, CtlResponse::Ok);
+        }
+        match client.request(&CtlRequest::Stats).unwrap() {
+            CtlResponse::Stats { stats } => {
+                assert_eq!(stats.packets, 3);
+                assert_eq!(stats.flows_tracked, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        assert_eq!(
+            client.request(&CtlRequest::Shutdown).unwrap(),
+            CtlResponse::Ok
+        );
+        let obs = handle.join().unwrap();
+        assert!(matches!(
+            obs.events.first(),
+            Some(InferEvent::DaemonStart { .. })
+        ));
+        assert!(matches!(
+            obs.events.last(),
+            Some(InferEvent::DaemonShutdown)
+        ));
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    #[test]
+    fn malformed_request_lines_get_error_responses() {
+        let socket = tmp("malformed.sock");
+        let _ = std::fs::remove_file(&socket);
+        let listener = UnixListener::bind(&socket).unwrap();
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut obs = InferRecorder::new();
+            daemon.run(listener, "test", &mut obs).unwrap();
+        });
+
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"this is not json\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: CtlResponse = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(resp, CtlResponse::Error { .. }), "{resp:?}");
+        // The daemon is still serving.
+        let mut line2 = serde_json::to_string(&CtlRequest::Shutdown).unwrap();
+        line2.push('\n');
+        writer.write_all(line2.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            serde_json::from_str::<CtlResponse>(line.trim()).unwrap(),
+            CtlResponse::Ok
+        );
+        handle.join().unwrap();
+        let _ = std::fs::remove_file(&socket);
+    }
+}

@@ -263,6 +263,23 @@ impl InferenceEngine {
         self.queue.len()
     }
 
+    /// The current micro-batching configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Live-reconfigures the size trigger. Takes effect at the next
+    /// submit/poll; flows already queued are unaffected until then.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.config.max_batch = max_batch;
+    }
+
+    /// Live-reconfigures the deadline trigger (stream-time seconds).
+    pub fn set_max_wait_s(&mut self, max_wait_s: f64) {
+        self.config.max_wait_s = max_wait_s;
+    }
+
     /// Micro-batches classified so far.
     pub fn batches_run(&self) -> usize {
         self.batches_run

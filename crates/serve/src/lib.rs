@@ -26,6 +26,13 @@
 //!   trace and drives the tracker + engine over it at a configurable
 //!   rate multiplier, producing a latency/throughput report with
 //!   `mlstats::quantiles` percentiles.
+//! * [`daemon`] — the long-running control plane: hosts registry +
+//!   tracker + engine behind a Unix-domain socket speaking
+//!   line-delimited JSON ([`daemon::CtlRequest`] /
+//!   [`daemon::CtlResponse`]) for packet ingest, hot model pushes, live
+//!   stats and reconfiguration, and graceful shutdown. A daemon fed a
+//!   trace over the socket predicts bit-identically to [`replay`] on
+//!   the same trace.
 //!
 //! Everything is deterministic: eval-mode math is per-sample, so
 //! predictions are bit-identical at any micro-batch size or worker count
@@ -36,14 +43,19 @@
 //! inference counterpart of the training observer, with the same
 //! observability-only contract.
 
+pub mod daemon;
 pub mod engine;
 pub mod registry;
 pub mod replay;
 pub mod tracker;
 
+pub use daemon::{
+    ctl_roundtrip, CtlClient, CtlRequest, CtlResponse, Daemon, DaemonConfig, DaemonStats,
+    WirePrediction,
+};
 pub use engine::{
     Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction,
 };
 pub use registry::{ModelRegistry, ServedModel};
-pub use replay::{trace_from_dataset, PacketRecord, ReplayReport};
+pub use replay::{trace_from_dataset, PacketRecord, ReplayConfig, ReplayReport};
 pub use tracker::{CompletedFlow, FlowTracker, TrackerConfig};

@@ -22,16 +22,24 @@ use std::sync::{Arc, RwLock};
 use nettensor::checkpoint::{load_value, save_value, CheckpointError, Decoder, Persist};
 use nettensor::model::Weights;
 use nettensor::Sequential;
+use serde::{Deserialize, Serialize};
 use tcbench::arch::{finetune_net, supervised_net};
 
 use crate::engine::Classifier;
 
 /// A trained model in serving form: everything needed to rebuild the
 /// network and label its outputs.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Two on-disk formats exist: the checksummed checkpoint envelope
+/// ([`ServedModel::save`]/[`ServedModel::load`]) and the JSON document
+/// `tcb train` writes (the serde derive, with `arch` defaulting to
+/// `"supervised"` for pre-`arch` files). [`ServedModel::load_auto`]
+/// accepts either.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServedModel {
     /// Architecture family: `"supervised"` (App. C Listings 1-2) or
     /// `"finetune"` (Listing 5).
+    #[serde(default = "default_arch")]
     pub arch: String,
     /// Flowpic resolution the model was trained on.
     pub resolution: usize,
@@ -67,6 +75,10 @@ impl Persist for ServedModel {
     }
 }
 
+fn default_arch() -> String {
+    "supervised".into()
+}
+
 impl ServedModel {
     /// Writes the model atomically into the checkpoint envelope.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
@@ -76,6 +88,26 @@ impl ServedModel {
     /// Reads a model written by [`ServedModel::save`].
     pub fn load(path: &Path) -> Result<ServedModel, CheckpointError> {
         load_value(path)
+    }
+
+    /// Reads a model in either on-disk format: the checkpoint envelope
+    /// ([`ServedModel::save`]) or the JSON document written by
+    /// `tcb train`. The envelope is tried first (it is checksummed and
+    /// self-identifying); anything that is neither format reports both
+    /// failures.
+    pub fn load_auto(path: &Path) -> Result<ServedModel, CheckpointError> {
+        let envelope_err = match ServedModel::load(path) {
+            Ok(model) => return Ok(model),
+            Err(e) => e,
+        };
+        let raw = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        serde_json::from_str(&raw).map_err(|json_err| {
+            CheckpointError::Format(format!(
+                "{}: neither a checkpoint-envelope model ({envelope_err}) \
+                 nor tcb-train JSON ({json_err})",
+                path.display()
+            ))
+        })
     }
 
     /// Rebuilds the network and imports the weights, validating the
@@ -176,6 +208,40 @@ mod tests {
             model.weights.fingerprint(),
             "weights must round-trip bit-exactly"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_auto_reads_both_formats_and_rejects_neither() {
+        let dir = std::env::temp_dir().join("serve-registry-load-auto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = tiny_model(7);
+
+        let envelope = dir.join("model.ckpt");
+        model.save(&envelope).unwrap();
+        assert_eq!(ServedModel::load_auto(&envelope).unwrap(), model);
+
+        let json = dir.join("model.json");
+        std::fs::write(&json, serde_json::to_string(&model).unwrap()).unwrap();
+        assert_eq!(ServedModel::load_auto(&json).unwrap(), model);
+
+        // A pre-`arch` JSON document defaults to "supervised".
+        let legacy =
+            serde_json::to_string(&model)
+                .unwrap()
+                .replacen("\"arch\":\"supervised\",", "", 1);
+        let legacy_path = dir.join("legacy.json");
+        std::fs::write(&legacy_path, legacy).unwrap();
+        assert_eq!(ServedModel::load_auto(&legacy_path).unwrap(), model);
+
+        let bogus = dir.join("bogus.model");
+        std::fs::write(&bogus, "not a model").unwrap();
+        match ServedModel::load_auto(&bogus) {
+            Err(CheckpointError::Format(msg)) => {
+                assert!(msg.contains("neither"), "{msg}");
+            }
+            other => panic!("expected a Format error, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

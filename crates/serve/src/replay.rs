@@ -140,12 +140,76 @@ impl ReplayReport {
     }
 }
 
+/// Replay knobs in one typed bundle — the config `tcb serve --replay`
+/// parses its flags into before handing off to [`replay_dataset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayConfig {
+    /// Stagger between consecutive flow starts, in source seconds.
+    pub flow_gap_s: f64,
+    /// Replay speed multiplier (must be positive).
+    pub rate: f64,
+    /// Flow-tracking knobs.
+    pub tracker: TrackerConfig,
+    /// Micro-batching knobs.
+    pub engine: EngineConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> ReplayConfig {
+        ReplayConfig {
+            flow_gap_s: 0.4,
+            rate: 1.0,
+            tracker: TrackerConfig::default(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
 /// A model to hot-swap in once the replay reaches a packet index.
 pub struct ScheduledSwap {
     /// Swap just before processing this packet index.
     pub at_packet: usize,
     /// The replacement model.
     pub model: Arc<dyn Classifier>,
+}
+
+/// A hot-swap scheduled as a fraction of the trace rather than a packet
+/// index — the `--swap-at 0.5` form, resolved against the trace length
+/// by [`replay_dataset`].
+pub struct FractionalSwap {
+    /// Swap after this fraction of the trace, in `[0, 1]`.
+    pub at_fraction: f64,
+    /// The replacement model.
+    pub model: Arc<dyn Classifier>,
+}
+
+/// Builds the packet trace for `ds` and replays it through a fresh
+/// tracker + engine against `registry`'s active model, resolving
+/// fractional swap schedules to packet indices. This is the library
+/// entry point behind `tcb serve --replay`.
+pub fn replay_dataset(
+    ds: &Dataset,
+    registry: &Arc<ModelRegistry>,
+    config: &ReplayConfig,
+    swaps: Vec<FractionalSwap>,
+    obs: &mut dyn InferObserver,
+) -> Result<ReplayReport, CheckpointError> {
+    let trace = trace_from_dataset(ds, config.flow_gap_s, config.rate);
+    let scheduled = swaps
+        .into_iter()
+        .map(|s| ScheduledSwap {
+            at_packet: (trace.len() as f64 * s.at_fraction) as usize,
+            model: s.model,
+        })
+        .collect();
+    replay(
+        &trace,
+        registry,
+        config.tracker,
+        config.engine,
+        scheduled,
+        obs,
+    )
 }
 
 /// Replays a trace through a tracker + engine against `registry`'s

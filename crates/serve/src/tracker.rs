@@ -95,6 +95,18 @@ impl FlowTracker {
         self.flows.len()
     }
 
+    /// The current tracking configuration.
+    pub fn config(&self) -> TrackerConfig {
+        self.config
+    }
+
+    /// Live-reconfigures the idle timeout (stream-time seconds). Applies
+    /// from the next packet on: flows already idle longer than the new
+    /// timeout are evicted when stream time next advances.
+    pub fn set_idle_timeout_s(&mut self, idle_timeout_s: f64) {
+        self.config.idle_timeout_s = idle_timeout_s;
+    }
+
     /// Flows dropped unclassified (idle timeout or cap) so far.
     pub fn evicted(&self) -> usize {
         self.evicted

@@ -1,0 +1,279 @@
+//! End-to-end daemon determinism: a daemon fed a trace over its Unix
+//! socket — including a mid-stream `push-model` hot-swap — produces
+//! bit-identical predictions to an in-process `replay` with a
+//! `ScheduledSwap` at the same packet index.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use flowpic::{FlowpicConfig, Normalization};
+use serve::daemon::{stream_trace, CtlClient, CtlRequest, CtlResponse, Daemon, DaemonConfig};
+use serve::engine::{CnnClassifier, EngineConfig};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{replay, trace_from_dataset, ScheduledSwap};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::Noop;
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+const RES: usize = 16;
+
+/// SplitMix64 — deterministic traffic without the rand crate.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A synthetic dataset: flows of varying length, some crossing the 15 s
+/// window, some terminating early.
+fn dataset(n_flows: usize, seed: u64) -> Dataset {
+    let flows = (0..n_flows)
+        .map(|i| {
+            let h = splitmix64(seed.wrapping_add(i as u64));
+            let n_pkts = 20 + (h % 30) as usize;
+            let span_s = if h & 1 == 0 { 18.0 } else { 8.0 };
+            let pkts = (0..n_pkts)
+                .map(|j| {
+                    let hj = splitmix64(h.wrapping_add(j as u64 * 7919));
+                    let ts = j as f64 * span_s / n_pkts as f64;
+                    let size = 60 + (hj % 1400) as u16;
+                    let dir = if hj & 1 == 0 {
+                        Direction::Upstream
+                    } else {
+                        Direction::Downstream
+                    };
+                    Pkt::data(ts, size, dir)
+                })
+                .collect();
+            Flow {
+                id: i as u64,
+                class: (i % 3) as u16,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts,
+            }
+        })
+        .collect();
+    Dataset {
+        name: "daemon-integration".into(),
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        flows,
+    }
+}
+
+fn model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 3, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 3,
+        dropout: true,
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        weights: net.export_weights(),
+    }
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig {
+        flowpic: FlowpicConfig::with_resolution(RES),
+        norm: Normalization::LogMax,
+        idle_timeout_s: 60.0,
+        max_flows: 10_000,
+    }
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        max_batch: 4,
+        max_wait_s: 0.5,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tcb_daemon_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn daemon_stream_with_hot_swap_matches_replay_bit_for_bit() {
+    let ds = dataset(20, 42);
+    let trace = trace_from_dataset(&ds, 0.3, 1.0);
+    let swap_at = trace.len() / 2;
+    let model_a = model(1);
+    let model_b = model(2);
+    assert_ne!(model_a.weights.fingerprint(), model_b.weights.fingerprint());
+
+    // Ground truth: in-process replay with a scheduled swap.
+    let baseline = {
+        let cnn_a = CnnClassifier::from_served(&model_a, 1).unwrap();
+        let cnn_b = CnnClassifier::from_served(&model_b, 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn_a)));
+        let report = replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(),
+            vec![ScheduledSwap {
+                at_packet: swap_at,
+                model: Arc::new(cnn_b),
+            }],
+            &mut Noop,
+        )
+        .unwrap();
+        assert_eq!(report.swaps, 1);
+        let mut v: Vec<(u64, usize, u32)> = report
+            .predictions
+            .iter()
+            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(baseline.len(), ds.flows.len(), "every flow classified");
+
+    // The same trace through the daemon's socket control plane, with
+    // the swap issued as a `push-model` between packets swap_at-1 and
+    // swap_at.
+    let model_b_path = tmp("swap-model.ckpt");
+    model_b.save(&model_b_path).unwrap();
+    let socket = tmp("daemon.sock");
+    let _ = std::fs::remove_file(&socket);
+
+    let daemon_model = model_a.clone();
+    let socket_for_daemon = socket.clone();
+    let handle = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(
+            daemon_model,
+            DaemonConfig {
+                tracker: tracker_cfg(),
+                engine: engine_cfg(),
+                workers: 1,
+            },
+        )
+        .unwrap();
+        daemon.run_on_path(&socket_for_daemon, &mut Noop).unwrap();
+        daemon.stats()
+    });
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut client = CtlClient::connect(&socket).expect("daemon socket must come up");
+
+    assert_eq!(
+        stream_trace(&mut client, &trace[..swap_at]).unwrap(),
+        swap_at
+    );
+    match client
+        .request(&CtlRequest::PushModel {
+            path: model_b_path.display().to_string(),
+        })
+        .unwrap()
+    {
+        CtlResponse::Swapped { old, new } => {
+            assert_ne!(old, new, "swap must change the fingerprint");
+        }
+        other => panic!("push-model must reply swapped, got {other:?}"),
+    }
+    assert_eq!(
+        stream_trace(&mut client, &trace[swap_at..]).unwrap(),
+        trace.len() - swap_at
+    );
+    assert!(matches!(
+        client.request(&CtlRequest::Flush).unwrap(),
+        CtlResponse::Ok
+    ));
+    let daemon_predictions = match client.request(&CtlRequest::Predictions).unwrap() {
+        CtlResponse::Predictions { predictions } => {
+            let mut v: Vec<(u64, usize, u32)> = predictions
+                .iter()
+                .map(|p| (p.flow_id, p.label, p.confidence_bits))
+                .collect();
+            v.sort_unstable();
+            v
+        }
+        other => panic!("predictions request must reply predictions, got {other:?}"),
+    };
+    assert!(matches!(
+        client.request(&CtlRequest::Shutdown).unwrap(),
+        CtlResponse::Ok
+    ));
+    let stats = handle.join().unwrap();
+
+    assert_eq!(
+        daemon_predictions, baseline,
+        "daemon predictions must be bit-identical to the in-process replay"
+    );
+    assert_eq!(stats.packets, trace.len());
+    assert_eq!(stats.flows_classified, ds.flows.len());
+}
+
+#[test]
+fn daemon_set_config_mid_stream_keeps_serving() {
+    let ds = dataset(9, 7);
+    let trace = trace_from_dataset(&ds, 0.3, 1.0);
+    let half = trace.len() / 2;
+    let socket = tmp("daemon-cfg.sock");
+    let _ = std::fs::remove_file(&socket);
+
+    let daemon_model = model(3);
+    let socket_for_daemon = socket.clone();
+    let handle = std::thread::spawn(move || {
+        let mut daemon = Daemon::new(
+            daemon_model,
+            DaemonConfig {
+                tracker: tracker_cfg(),
+                engine: engine_cfg(),
+                workers: 1,
+            },
+        )
+        .unwrap();
+        daemon.run_on_path(&socket_for_daemon, &mut Noop).unwrap();
+        daemon.stats()
+    });
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut client = CtlClient::connect(&socket).unwrap();
+    assert_eq!(stream_trace(&mut client, &trace[..half]).unwrap(), half);
+    // Retune the live pipeline between packets.
+    assert!(matches!(
+        client
+            .request(&CtlRequest::SetConfig {
+                sparsity_threshold: None,
+                max_batch: Some(2),
+                max_wait_ms: Some(100.0),
+                idle_timeout_s: Some(45.0),
+            })
+            .unwrap(),
+        CtlResponse::Ok
+    ));
+    assert_eq!(
+        stream_trace(&mut client, &trace[half..]).unwrap(),
+        trace.len() - half
+    );
+    assert!(matches!(
+        client.request(&CtlRequest::Flush).unwrap(),
+        CtlResponse::Ok
+    ));
+    let stats = match client.request(&CtlRequest::Stats).unwrap() {
+        CtlResponse::Stats { stats } => stats,
+        other => panic!("stats request must reply stats, got {other:?}"),
+    };
+    assert_eq!(stats.max_batch, 2);
+    assert_eq!(stats.idle_timeout_s, 45.0);
+    assert_eq!(stats.flows_classified, ds.flows.len());
+    assert!(matches!(
+        client.request(&CtlRequest::Shutdown).unwrap(),
+        CtlResponse::Ok
+    ));
+    handle.join().unwrap();
+}
