@@ -7,7 +7,10 @@
 //!   forward pass the InferenceEngine issues per flush;
 //! * `serve/replay_*` — the whole serving loop (tracker + incremental
 //!   flowpics + micro-batcher) over a synthetic trace, the figure that
-//!   corresponds to `tcb serve --replay`'s samples/sec report.
+//!   corresponds to `tcb serve --replay`'s samples/sec report;
+//! * `serve/stress_*` — sustained flows/sec on the sharded dataplane
+//!   over a `trafficgen::stress` trace (many tiny flows, each closed
+//!   just past the 15 s window), the shape `--shards N` exists for.
 //!
 //! Predictions are bit-identical at every batch size and worker count
 //! (the batch-size-invariance tests pin this), so — like
@@ -23,9 +26,11 @@ use flowpic::{FlowpicConfig, Normalization};
 use serve::engine::{Classifier, CnnClassifier, EngineConfig};
 use serve::registry::{ModelRegistry, ServedModel};
 use serve::replay::{replay, trace_from_dataset};
+use serve::shard::replay_sharded;
 use serve::tracker::TrackerConfig;
 use tcbench::arch::supervised_net;
 use tcbench::telemetry::Noop;
+use trafficgen::stress::{StressConfig, StressSim};
 use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
 
 const RES: usize = 32;
@@ -123,10 +128,12 @@ fn bench_replay(c: &mut Criterion) {
                             norm: Normalization::LogMax,
                             idle_timeout_s: 60.0,
                             max_flows: 10_000,
+                            done_horizon_s: 120.0,
                         },
                         EngineConfig {
                             max_batch,
                             max_wait_s: 0.5,
+                            ..EngineConfig::default()
                         },
                         Vec::new(),
                         &mut Noop,
@@ -140,9 +147,53 @@ fn bench_replay(c: &mut Criterion) {
     }
 }
 
+fn bench_sharded_stress(c: &mut Criterion) {
+    let model = served_model(1);
+    let ds = StressSim::new(StressConfig {
+        n_flows: 1_000,
+        n_classes: 5,
+        pkts_per_flow: 6,
+    })
+    .generate(3);
+    let trace = trace_from_dataset(&ds, 0.02, 1.0);
+    // Divide the case's median wall-clock into 1000 to read the
+    // sustained flows/sec figure recorded in the results file.
+    for shards in [1usize, 4] {
+        c.bench_function(&format!("serve/stress_1kflows_shards{shards}"), |b| {
+            b.iter(|| {
+                let cnn = CnnClassifier::from_served(&model, 1).unwrap();
+                let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+                let report = replay_sharded(
+                    &trace,
+                    &registry,
+                    TrackerConfig {
+                        flowpic: FlowpicConfig::with_resolution(RES),
+                        norm: Normalization::LogMax,
+                        idle_timeout_s: 60.0,
+                        max_flows: 10_000,
+                        done_horizon_s: 120.0,
+                    },
+                    EngineConfig {
+                        max_batch: 16,
+                        max_wait_s: 0.5,
+                        ..EngineConfig::default()
+                    },
+                    Vec::new(),
+                    shards,
+                    shards,
+                    &mut Noop,
+                )
+                .unwrap();
+                assert_eq!(report.predictions.len(), 1_000);
+                black_box(report)
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_cnn_batches, bench_replay
+    targets = bench_cnn_batches, bench_replay, bench_sharded_stress
 }
 criterion_main!(benches);

@@ -21,12 +21,15 @@ verbs:\n\
   push-model --model FILE    hot-swap the serving model (fingerprint-validated)\n\
   stats                      live counters + forward-latency quantiles\n\
   set-config [--sparsity-threshold F] [--max-batch N] [--max-wait-ms F]\n\
-             [--idle-timeout F]\n\
+             [--idle-timeout F] [--max-flows N] [--pending-cap N]\n\
                              apply engine/tracker knobs to the live pipeline\n\
+                             (caps are per dataplane lane; the shard count\n\
+                             itself is fixed at daemon startup)\n\
   send-trace --replay FILE [--rate 1.0] [--flow-gap-ms 400]\n\
                              stream a flowrec-derived packet trace\n\
   flush                      classify every still-open flow now\n\
-  predictions                dump every prediction so far\n\
+  predictions                drain the pending predictions (each is\n\
+                             returned exactly once)\n\
   shutdown                   graceful drain, then exit";
 
 /// Runs the subcommand.
@@ -68,6 +71,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "max-batch",
                     "max-wait-ms",
                     "idle-timeout",
+                    "max-flows",
+                    "pending-cap",
                 ],
                 &[],
             )?;
@@ -79,6 +84,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 max_batch: flags.get_opt_parse::<usize>("max-batch")?,
                 max_wait_ms: flags.get_opt_parse::<f64>("max-wait-ms")?,
                 idle_timeout_s: flags.get_opt_parse::<f64>("idle-timeout")?,
+                max_flows: flags.get_opt_parse::<usize>("max-flows")?,
+                pending_cap: flags.get_opt_parse::<usize>("pending-cap")?,
             };
             if matches!(
                 req,
@@ -87,11 +94,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     max_batch: None,
                     max_wait_ms: None,
                     idle_timeout_s: None,
+                    max_flows: None,
+                    pending_cap: None,
                 }
             ) {
                 return Err(CliError::Usage(
                     "set-config needs at least one knob (--sparsity-threshold, \
-                     --max-batch, --max-wait-ms, --idle-timeout)"
+                     --max-batch, --max-wait-ms, --idle-timeout, --max-flows, \
+                     --pending-cap)"
                         .into(),
                 ));
             }
@@ -155,17 +165,21 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
         CtlResponse::Error { message } => Err(CliError::Parse(format!("daemon: {message}"))),
         CtlResponse::Swapped { old, new } => Ok(format!("swapped model {old} -> {new}")),
         CtlResponse::Stats { stats } => Ok(format!(
-            "model {}\npackets {}, flows tracked {}, classified {}, \
+            "model {} over {} shard(s)\npackets {}, flows tracked {}, classified {}, \
              batches {}, evicted {}, queue depth {}\n\
+             predictions pending {}, dropped {}\n\
              forward p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n\
              max-batch {}, max-wait {:.0} ms, idle-timeout {:.0} s",
             stats.model_fingerprint,
+            stats.shards,
             stats.packets,
             stats.flows_tracked,
             stats.flows_classified,
             stats.batches,
             stats.evicted,
             stats.queue_depth,
+            stats.predictions_pending,
+            stats.predictions_dropped,
             stats.p50_ms,
             stats.p95_ms,
             stats.p99_ms,
@@ -208,12 +222,15 @@ mod tests {
                 norm: Normalization::LogMax,
                 idle_timeout_s: 30.0,
                 max_flows: 1000,
+                done_horizon_s: 120.0,
             },
             engine: EngineConfig {
                 max_batch: 4,
                 max_wait_s: 0.5,
+                ..EngineConfig::default()
             },
             workers: 1,
+            shards: 2,
         };
         let socket = std::path::PathBuf::from(socket);
         std::thread::spawn(move || {
@@ -265,7 +282,17 @@ mod tests {
 
         let msg = run(
             "ctl",
-            &argv(&["set-config", "--socket", &socket, "--max-batch", "2"]),
+            &argv(&[
+                "set-config",
+                "--socket",
+                &socket,
+                "--max-batch",
+                "2",
+                "--max-flows",
+                "500",
+                "--pending-cap",
+                "2048",
+            ]),
         )
         .unwrap();
         assert_eq!(msg, "ok");
@@ -283,6 +310,9 @@ mod tests {
         assert!(msg.contains("prediction(s)"), "{msg}");
         let stats = run("ctl", &argv(&["stats", "--socket", &socket])).unwrap();
         assert!(stats.contains("max-batch 2"), "{stats}");
+        assert!(stats.contains("2 shard(s)"), "{stats}");
+        // `predictions` drained the buffer above.
+        assert!(stats.contains("predictions pending 0"), "{stats}");
 
         let msg = run("ctl", &argv(&["shutdown", "--socket", &socket])).unwrap();
         assert_eq!(msg, "ok");

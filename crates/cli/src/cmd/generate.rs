@@ -10,8 +10,10 @@ pub const NAME: &str = "generate";
 /// Usage-listing summary.
 pub const SUMMARY: &str = "simulate a dataset into a flowrec file";
 /// `--help` text.
-pub const HELP: &str = "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21 \
-[--scale quick|paper|tiny] [--seed N] --out FILE";
+pub const HELP: &str = "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21|stress \
+[--scale quick|paper|tiny] [--seed N] --out FILE\n\
+stress is the serving-path load shape (many tiny flows, each closed \
+just past the 15 s window): tiny=200 flows, quick=20k, paper=1M.";
 
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -36,6 +38,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError> {
     use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
     use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
+    use trafficgen::stress::{StressConfig, StressSim};
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
     use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
     macro_rules! pick {
@@ -53,6 +56,15 @@ fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError
         "mirage19" => Mirage19Sim::new(pick!(Mirage19Config)).generate(seed),
         "mirage22" => Mirage22Sim::new(pick!(Mirage22Config)).generate(seed),
         "utmobilenet21" => UtMobileNetSim::new(pick!(UtMobileNetConfig)).generate(seed),
+        // Stress scales map onto the shared scale names: paper is the
+        // million-flow headline shape, quick the CI smoke size.
+        "stress" => StressSim::new(match scale {
+            "paper" => StressConfig::million(),
+            "quick" => StressConfig::ci(),
+            "tiny" => StressConfig::tiny(),
+            other => return Err(CliError::Usage(format!("unknown scale {other}"))),
+        })
+        .generate(seed),
         other => return Err(CliError::Usage(format!("unknown dataset {other}"))),
     })
 }
@@ -83,5 +95,26 @@ mod tests {
         let stats = run("stats", &argv(&["--input", &path])).unwrap();
         assert!(stats.contains("5 classes"), "{stats}");
         assert!(stats.contains("[pretraining]"), "{stats}");
+    }
+
+    #[test]
+    fn generate_stress_trace() {
+        let path = tmp("gen-stress.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "stress",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &path,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("stress-200"), "{msg}");
+        assert!(msg.contains("200 flows"), "{msg}");
     }
 }

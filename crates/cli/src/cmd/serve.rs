@@ -23,13 +23,18 @@ pub const HELP: &str = "tcb serve --replay TRACE.flowrec --model MODEL [--model2
 the trace)] [--rate 1.0 (replay speed multiplier)] [--max-batch 16] \
 [--max-wait-ms 500 (micro-batch deadline, stream time)] \
 [--idle-timeout 30 (evict flows silent this many seconds)] \
-[--max-flows 10000 (hard tracked-flow cap)] [--flow-gap-ms 400 \
-(stagger between flow starts)] [--workers 1 (forward workers; 0 = \
-all cores; any value gives bit-identical predictions)] \
+[--max-flows 10000 (hard tracked-flow cap, per lane)] \
+[--done-horizon 120 (seconds a classified flow id is remembered; \
+late packets within it are ignored)] [--flow-gap-ms 400 \
+(stagger between flow starts)] [--shards 1 (independent dataplane \
+lanes keyed by flow-id hash; a fixed count is bit-identical at any \
+worker count)] [--workers 1 (forward/lane workers; 0 = all cores; \
+any value gives bit-identical predictions)] \
 [--log-jsonl PATH (one inference telemetry event per line)]\n\
 tcb serve --daemon --socket PATH --model MODEL [same engine/tracker \
-knobs] — host the pipeline behind a line-delimited JSON control plane \
-(drive it with `tcb ctl`); runs until a `shutdown` request.\n\
+knobs incl. --shards] — host the pipeline behind a line-delimited JSON \
+control plane (drive it with `tcb ctl`); runs until a `shutdown` \
+request.\n\
 MODEL is either a checkpoint-envelope model (ServedModel::save) or \
 the JSON written by `tcb train`.";
 
@@ -48,7 +53,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "max-wait-ms",
             "idle-timeout",
             "max-flows",
+            "done-horizon",
             "flow-gap-ms",
+            "shards",
             "workers",
             "log-jsonl",
         ],
@@ -59,20 +66,28 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     let model = load_served_model(flags.require("model")?)?;
     let workers = flags.get_parse::<usize>("workers", 1)?;
+    let shards = flags.get_parse::<usize>("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
     let tracker = TrackerConfig {
         flowpic: FlowpicConfig::with_resolution(model.resolution),
         norm: Normalization::LogMax,
         idle_timeout_s: flags.get_parse::<f64>("idle-timeout", 30.0)?,
         max_flows: flags.get_parse::<usize>("max-flows", 10_000)?,
+        done_horizon_s: flags.get_parse::<f64>("done-horizon", 120.0)?,
     };
+    // Replay forces full retention itself (the report needs it); the
+    // daemon keeps the bounded defaults so a long run stays flat.
     let engine = EngineConfig {
         max_batch: flags.get_parse::<usize>("max-batch", 16)?,
         max_wait_s: flags.get_parse::<f64>("max-wait-ms", 500.0)? / 1e3,
+        ..EngineConfig::default()
     };
     if flags.switch("daemon") {
-        return daemon_mode(&flags, model, tracker, engine, workers);
+        return daemon_mode(&flags, model, tracker, engine, workers, shards);
     }
-    replay_mode(&flags, model, tracker, engine, workers)
+    replay_mode(&flags, model, tracker, engine, workers, shards)
 }
 
 /// `--replay`: feed a flowrec-derived trace through a fresh pipeline.
@@ -82,6 +97,7 @@ fn replay_mode(
     tracker: TrackerConfig,
     engine: EngineConfig,
     workers: usize,
+    shards: usize,
 ) -> Result<String, CliError> {
     let ds = load_dataset(flags.require("replay")?)?;
     let cnn = CnnClassifier::from_served(&model, workers)
@@ -97,6 +113,8 @@ fn replay_mode(
         rate,
         tracker,
         engine,
+        shards,
+        workers,
     };
 
     let mut swaps = Vec::new();
@@ -134,6 +152,7 @@ fn daemon_mode(
     tracker: TrackerConfig,
     engine: EngineConfig,
     workers: usize,
+    shards: usize,
 ) -> Result<String, CliError> {
     let socket = flags
         .get("socket")
@@ -145,6 +164,7 @@ fn daemon_mode(
             tracker,
             engine,
             workers,
+            shards,
         },
     )
     .map_err(|e| CliError::Parse(format!("model: {e}")))?;
@@ -260,6 +280,54 @@ mod tests {
     }
 
     #[test]
+    fn serve_sharded_replay_reports_and_is_worker_invariant() {
+        let data = tmp("serve-shards.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "8",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-shards.ckpt", 16, 5, 1);
+        let run_with = |workers: &str| {
+            run(
+                "serve",
+                &argv(&[
+                    "--replay",
+                    &data,
+                    "--model",
+                    &model,
+                    "--shards",
+                    "4",
+                    "--workers",
+                    workers,
+                ]),
+            )
+            .unwrap()
+        };
+        let w1 = run_with("1");
+        assert!(w1.contains("4 shard(s)"), "{w1}");
+        assert!(w1.contains("flows classified"), "{w1}");
+        // The per-class tail of the report is wall-clock-free, so it
+        // must be identical at any worker count.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("  "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&w1), tail(&run_with("3")));
+    }
+
+    #[test]
     fn serve_usage_errors() {
         let data = tmp("serve-usage.flowrec");
         run(
@@ -286,6 +354,11 @@ mod tests {
         assert!(run(
             "serve",
             &argv(&["--replay", &data, "--model", &model, "--rate", "0"]),
+        )
+        .is_err());
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--shards", "0"]),
         )
         .is_err());
         // --daemon without --socket has nowhere to listen.

@@ -614,7 +614,9 @@ pub enum InferEvent {
     },
     /// One micro-batch of flows was classified.
     BatchEnd {
-        /// 0-based batch index within the stream.
+        /// Dataplane lane that ran the batch (0 outside sharded mode).
+        shard: usize,
+        /// 0-based batch index within the shard's stream.
         batch: usize,
         /// Flows in the batch.
         size: usize,
@@ -627,6 +629,8 @@ pub enum InferEvent {
     },
     /// The flow tracker dropped a flow without classifying it.
     FlowEvicted {
+        /// Dataplane lane that owned the flow (0 outside sharded mode).
+        shard: usize,
         /// The evicted flow's identifier.
         flow_id: u64,
         /// Packets the flow had accumulated when dropped.
@@ -669,7 +673,8 @@ pub enum InferEvent {
     /// A `set-config` request changed one serving knob.
     ConfigChanged {
         /// The knob: `"sparsity_threshold"`, `"max_batch"`,
-        /// `"max_wait_s"` or `"idle_timeout_s"`.
+        /// `"max_wait_s"`, `"idle_timeout_s"`, `"max_flows"` or
+        /// `"pending_cap"`.
         field: &'static str,
         /// The new value, widened to f64.
         value: f64,
@@ -696,6 +701,7 @@ impl InferEvent {
                 );
             }
             InferEvent::BatchEnd {
+                shard,
                 batch,
                 size,
                 queue_depth,
@@ -704,22 +710,23 @@ impl InferEvent {
             } => {
                 let _ = write!(
                     s,
-                    "\"event\":\"infer_batch_end\",\"batch\":{batch},\"size\":{size},\
-                     \"queue_depth\":{queue_depth},\"wall_ms\":"
+                    "\"event\":\"infer_batch_end\",\"shard\":{shard},\"batch\":{batch},\
+                     \"size\":{size},\"queue_depth\":{queue_depth},\"wall_ms\":"
                 );
                 push_num(&mut s, *wall_ms);
                 s.push_str(",\"samples_per_sec\":");
                 push_num(&mut s, *samples_per_sec);
             }
             InferEvent::FlowEvicted {
+                shard,
                 flow_id,
                 pkts,
                 reason,
             } => {
                 let _ = write!(
                     s,
-                    "\"event\":\"flow_evicted\",\"flow_id\":{flow_id},\"pkts\":{pkts},\
-                     \"reason\":\"{reason}\""
+                    "\"event\":\"flow_evicted\",\"shard\":{shard},\"flow_id\":{flow_id},\
+                     \"pkts\":{pkts},\"reason\":\"{reason}\""
                 );
             }
             InferEvent::ModelSwapped {
@@ -1061,6 +1068,7 @@ mod tests {
     #[test]
     fn infer_events_serialize_with_shared_schema() {
         let e = InferEvent::BatchEnd {
+            shard: 1,
             batch: 2,
             size: 7,
             queue_depth: 3,
@@ -1072,6 +1080,7 @@ mod tests {
             line.starts_with("{\"v\":1,\"event\":\"infer_batch_end\""),
             "{line}"
         );
+        assert!(line.contains("\"shard\":1"), "{line}");
         assert!(line.contains("\"queue_depth\":3"), "{line}");
         let e = InferEvent::ModelSwapped {
             old_fingerprint: 0xabc,
@@ -1081,11 +1090,14 @@ mod tests {
         assert!(line.contains("\"old\":\"0000000000000abc\""), "{line}");
         assert!(line.contains("\"new\":\"0000000000000def\""), "{line}");
         let e = InferEvent::FlowEvicted {
+            shard: 0,
             flow_id: 9,
             pkts: 4,
             reason: "idle",
         };
-        assert!(e.to_json_line().contains("\"reason\":\"idle\""));
+        let line = e.to_json_line();
+        assert!(line.contains("\"reason\":\"idle\""), "{line}");
+        assert!(line.contains("\"shard\":0"), "{line}");
     }
 
     #[test]
@@ -1096,6 +1108,7 @@ mod tests {
             n_classes: 5,
         });
         rec.infer_event(&InferEvent::BatchEnd {
+            shard: 0,
             batch: 0,
             size: 4,
             queue_depth: 0,

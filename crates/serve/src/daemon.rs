@@ -2,12 +2,12 @@
 //! socket.
 //!
 //! `tcb serve --daemon --socket PATH` hosts the [`ModelRegistry`], a
-//! [`FlowTracker`] + [`InferenceEngine`] pair, and a Unix-domain control
-//! socket speaking one JSON request per line, one JSON response per
-//! line ([`CtlRequest`] / [`CtlResponse`]). The daemon is the process
-//! later capabilities (drift monitoring, background retraining) attach
-//! to: they talk to a running classifier instead of spawning one-shot
-//! replays.
+//! [`ShardedPipeline`] of tracker + engine lanes, and a Unix-domain
+//! control socket speaking one JSON request per line, one JSON response
+//! per line ([`CtlRequest`] / [`CtlResponse`]). The daemon is the
+//! process later capabilities (drift monitoring, background retraining)
+//! attach to: they talk to a running classifier instead of spawning
+//! one-shot replays.
 //!
 //! Requests cover the full control surface:
 //!
@@ -18,25 +18,33 @@
 //! * `packet` — ingest one [`PacketRecord`]; completions and
 //!   micro-batching behave exactly as in [`crate::replay::replay`];
 //! * `stats` — flows tracked/classified, batches, evictions, queue
-//!   depth and p50/p95/p99 batch latency from the live engine (the same
-//!   numbers a [`crate::replay::ReplayReport`] summarizes post-hoc);
+//!   depth and p50/p95/p99 batch latency over the lanes' bounded
+//!   recent-latency rings (a long-running daemon never retains the full
+//!   per-batch history a [`crate::replay::ReplayReport`] keeps);
 //! * `set-config` — live reconfiguration: sparsity-dispatch threshold
 //!   (rebuilds the classifier from the current [`ServedModel`] via
 //!   [`CnnClassifier::set_sparsity_threshold`] — bit-identical either
-//!   way), micro-batch size/deadline, idle timeout;
+//!   way), micro-batch size/deadline, idle timeout, per-lane flow cap
+//!   and pending-prediction cap. The shard count is *not* live — a
+//!   reshard would rehash tracked flows mid-picture — so it is fixed at
+//!   startup;
 //! * `flush` — early-terminate live flows and drain the queue (what a
 //!   replay does at end of trace), without exiting;
-//! * `predictions` — every prediction so far, confidences as exact f32
-//!   bits so callers can check bit-identity;
+//! * `predictions` — **drains** the pending predictions (confidences as
+//!   exact f32 bits so callers can check bit-identity): each prediction
+//!   is returned exactly once, and a client that polls keeps the
+//!   daemon's memory flat. Undrained predictions beyond the engine's
+//!   `pending_cap` are dropped oldest-first and counted in `stats`;
 //! * `shutdown` — graceful exit: flush, drain, `stream_end`.
 //!
 //! **Determinism contract:** requests are processed strictly in arrival
 //! order by a single thread, and a `packet` request replicates the
-//! replay loop's per-packet order (poll, then push/submit). A daemon
-//! fed a trace over the socket — with a `push-model` between packets
-//! *k−1* and *k* — therefore produces bit-identical predictions to
-//! [`crate::replay::replay`] over the same trace with a
-//! [`crate::replay::ScheduledSwap`] at packet *k*. The
+//! replay loop's per-packet order (poll, then push/submit) on the lane
+//! that owns the flow. With one shard, a daemon fed a trace over the
+//! socket — with a `push-model` between packets *k−1* and *k* —
+//! produces bit-identical predictions to [`crate::replay::replay`] over
+//! the same trace with a [`crate::replay::ScheduledSwap`] at packet
+//! *k*; with N shards it matches the N-shard parallel replay. The
 //! `integration_daemon` test pins this end to end.
 //!
 //! Daemon lifecycle events (`daemon_start`, `control_request`,
@@ -55,10 +63,11 @@ use serde::{Deserialize, Serialize};
 use tcbench::telemetry::{InferEvent, InferObserver};
 use trafficgen::types::Pkt;
 
-use crate::engine::{CnnClassifier, EngineConfig, InferenceEngine};
+use crate::engine::{CnnClassifier, EngineConfig};
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::replay::PacketRecord;
-use crate::tracker::{FlowTracker, TrackerConfig};
+use crate::shard::ShardedPipeline;
+use crate::tracker::TrackerConfig;
 
 /// One control request, as one line of JSON on the socket. The `cmd`
 /// tag is kebab-case: `{"cmd":"push-model","path":"m.ckpt"}`.
@@ -87,6 +96,12 @@ pub enum CtlRequest {
         /// Idle-flow eviction timeout, in stream-time seconds.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         idle_timeout_s: Option<f64>,
+        /// Per-lane tracked-flow cap (≥ 1); evicts down immediately.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        max_flows: Option<usize>,
+        /// Per-lane cap on undrained predictions (≥ 1).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        pending_cap: Option<usize>,
     },
     /// Ingest one packet of the stream.
     Packet {
@@ -144,9 +159,12 @@ impl WirePrediction {
 /// Live serving statistics, the `stats` response payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DaemonStats {
-    /// Flows currently holding tracker state.
+    /// Dataplane lanes the daemon shards flows over.
+    pub shards: usize,
+    /// Flows currently holding tracker state, across all lanes.
     pub flows_tracked: usize,
-    /// Flows classified so far.
+    /// Flows classified over the daemon's lifetime (drained and dropped
+    /// predictions included).
     pub flows_classified: usize,
     /// Micro-batches run so far.
     pub batches: usize,
@@ -154,11 +172,17 @@ pub struct DaemonStats {
     pub evicted: usize,
     /// Completed flows waiting for a batch slot.
     pub queue_depth: usize,
+    /// Predictions made but not yet drained by a `predictions` request.
+    pub predictions_pending: usize,
+    /// Predictions dropped because they overflowed the pending cap
+    /// before any client drained them.
+    pub predictions_dropped: usize,
     /// Packets ingested so far.
     pub packets: usize,
     /// Active model's weight fingerprint, as 16 hex digits.
     pub model_fingerprint: String,
-    /// Median forward wall-clock per batch, milliseconds (0 if none).
+    /// Median forward wall-clock per batch over the lanes' bounded
+    /// recent-latency rings, milliseconds (0 if none).
     pub p50_ms: f64,
     /// 95th-percentile batch wall-clock, milliseconds.
     pub p95_ms: f64,
@@ -209,11 +233,18 @@ pub struct DaemonConfig {
     /// Flow-tracking knobs (the flowpic resolution must match the
     /// initial model's).
     pub tracker: TrackerConfig,
-    /// Micro-batching knobs.
+    /// Micro-batching knobs. A daemon should leave
+    /// [`EngineConfig::retain_full_history`] off — the bounded pending
+    /// buffer and recent-latency ring are what keep a long-running
+    /// process flat.
     pub engine: EngineConfig,
     /// Forward workers for built classifiers (0 = all cores;
     /// bit-neutral).
     pub workers: usize,
+    /// Dataplane lanes to shard flows over (≥ 1). Fixed for the
+    /// daemon's lifetime: resharding live would rehash tracked flows
+    /// mid-picture.
+    pub shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -222,18 +253,18 @@ impl Default for DaemonConfig {
             tracker: TrackerConfig::default(),
             engine: EngineConfig::default(),
             workers: 1,
+            shards: 1,
         }
     }
 }
 
-/// The serving daemon: registry + tracker + engine plus the control
-/// protocol over them. [`Daemon::handle`] is the socket-free core (unit
-/// tests drive it directly); [`Daemon::run`] wraps it in the accept
-/// loop.
+/// The serving daemon: registry + sharded tracker/engine lanes plus the
+/// control protocol over them. [`Daemon::handle`] is the socket-free
+/// core (unit tests drive it directly); [`Daemon::run`] wraps it in the
+/// accept loop.
 pub struct Daemon {
     registry: Arc<ModelRegistry>,
-    tracker: FlowTracker,
-    engine: InferenceEngine,
+    pipeline: ShardedPipeline,
     /// The active model in serving form, kept for sparsity-threshold
     /// rebuilds (the registry only holds the opaque classifier).
     model: ServedModel,
@@ -253,11 +284,11 @@ impl Daemon {
     pub fn new(model: ServedModel, config: DaemonConfig) -> Result<Daemon, CheckpointError> {
         let cnn = CnnClassifier::from_served(&model, config.workers)?;
         let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
-        let engine = InferenceEngine::new(registry.clone(), config.engine);
+        let pipeline =
+            ShardedPipeline::new(&registry, config.tracker, config.engine, config.shards);
         Ok(Daemon {
             registry,
-            tracker: FlowTracker::new(config.tracker),
-            engine,
+            pipeline,
             model,
             sparsity_threshold: None,
             workers: config.workers,
@@ -296,10 +327,7 @@ impl Daemon {
                 };
                 self.packets += 1;
                 self.now = rec.ts;
-                self.engine.poll(rec.ts, obs);
-                if let Some(done) = self.tracker.push(&rec, obs) {
-                    self.engine.submit(done, rec.ts, obs);
-                }
+                self.pipeline.push(&rec, obs);
                 CtlResponse::Ok
             }
             CtlRequest::PushModel { path } => self.push_model(Path::new(path), obs),
@@ -311,11 +339,15 @@ impl Daemon {
                 max_batch,
                 max_wait_ms,
                 idle_timeout_s,
+                max_flows,
+                pending_cap,
             } => self.set_config(
                 *sparsity_threshold,
                 *max_batch,
                 *max_wait_ms,
                 *idle_timeout_s,
+                *max_flows,
+                *pending_cap,
                 obs,
             ),
             CtlRequest::Flush => {
@@ -323,10 +355,12 @@ impl Daemon {
                 CtlResponse::Ok
             }
             CtlRequest::Predictions => CtlResponse::Predictions {
+                // Draining: each prediction crosses the wire exactly
+                // once, keeping a long-running daemon's memory flat.
                 predictions: self
-                    .engine
-                    .predictions()
-                    .iter()
+                    .pipeline
+                    .take_predictions()
+                    .into_iter()
                     .map(|p| WirePrediction {
                         flow_id: p.flow_id,
                         label: p.label,
@@ -386,20 +420,31 @@ impl Daemon {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn set_config(
         &mut self,
         sparsity_threshold: Option<f32>,
         max_batch: Option<usize>,
         max_wait_ms: Option<f64>,
         idle_timeout_s: Option<f64>,
+        max_flows: Option<usize>,
+        pending_cap: Option<usize>,
         obs: &mut dyn InferObserver,
     ) -> CtlResponse {
-        if let Some(n) = max_batch {
-            if n == 0 {
-                return CtlResponse::Error {
-                    message: "set-config: max_batch must be at least 1".into(),
-                };
-            }
+        if max_batch == Some(0) {
+            return CtlResponse::Error {
+                message: "set-config: max_batch must be at least 1".into(),
+            };
+        }
+        if max_flows == Some(0) {
+            return CtlResponse::Error {
+                message: "set-config: max_flows must be at least 1".into(),
+            };
+        }
+        if pending_cap == Some(0) {
+            return CtlResponse::Error {
+                message: "set-config: pending_cap must be at least 1".into(),
+            };
         }
         if let Some(threshold) = sparsity_threshold {
             // The registry's classifier is behind an Arc, so the
@@ -427,65 +472,81 @@ impl Daemon {
             });
         }
         if let Some(n) = max_batch {
-            self.engine.set_max_batch(n);
+            self.pipeline.set_max_batch(n);
             obs.infer_event(&InferEvent::ConfigChanged {
                 field: "max_batch",
                 value: n as f64,
             });
         }
         if let Some(ms) = max_wait_ms {
-            self.engine.set_max_wait_s(ms / 1e3);
+            self.pipeline.set_max_wait_s(ms / 1e3);
             obs.infer_event(&InferEvent::ConfigChanged {
                 field: "max_wait_s",
                 value: ms / 1e3,
             });
         }
         if let Some(s) = idle_timeout_s {
-            self.tracker.set_idle_timeout_s(s);
+            self.pipeline.set_idle_timeout_s(s);
             obs.infer_event(&InferEvent::ConfigChanged {
                 field: "idle_timeout_s",
                 value: s,
+            });
+        }
+        if let Some(n) = max_flows {
+            self.pipeline.set_max_flows(n, obs);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "max_flows",
+                value: n as f64,
+            });
+        }
+        if let Some(n) = pending_cap {
+            self.pipeline.set_pending_cap(n);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "pending_cap",
+                value: n as f64,
             });
         }
         CtlResponse::Ok
     }
 
     /// A snapshot of live serving statistics (the `stats` payload).
+    /// Latency quantiles come from the lanes' bounded recent-latency
+    /// rings, so a daemon up for months still answers in O(window).
     pub fn stats(&self) -> DaemonStats {
-        let wall = self.engine.batch_wall_ms();
+        let wall = self.pipeline.recent_wall_ms();
         let (p50, p95, p99) = if wall.is_empty() {
             (0.0, 0.0, 0.0)
         } else {
             (
-                percentile(wall, 0.50),
-                percentile(wall, 0.95),
-                percentile(wall, 0.99),
+                percentile(&wall, 0.50),
+                percentile(&wall, 0.95),
+                percentile(&wall, 0.99),
             )
         };
         DaemonStats {
-            flows_tracked: self.tracker.active_flows(),
-            flows_classified: self.engine.predictions().len(),
-            batches: self.engine.batches_run(),
-            evicted: self.tracker.evicted(),
-            queue_depth: self.engine.queue_depth(),
+            shards: self.pipeline.shards(),
+            flows_tracked: self.pipeline.active_flows(),
+            flows_classified: self.pipeline.flows_classified(),
+            batches: self.pipeline.batches_run(),
+            evicted: self.pipeline.evicted(),
+            queue_depth: self.pipeline.queue_depth(),
+            predictions_pending: self.pipeline.predictions_pending(),
+            predictions_dropped: self.pipeline.predictions_dropped(),
             packets: self.packets,
             model_fingerprint: format!("{:016x}", self.registry.active().fingerprint()),
             p50_ms: p50,
             p95_ms: p95,
             p99_ms: p99,
-            max_batch: self.engine.config().max_batch,
-            max_wait_ms: self.engine.config().max_wait_s * 1e3,
-            idle_timeout_s: self.tracker.config().idle_timeout_s,
+            max_batch: self.pipeline.engine_config().max_batch,
+            max_wait_ms: self.pipeline.engine_config().max_wait_s * 1e3,
+            idle_timeout_s: self.pipeline.tracker_config().idle_timeout_s,
         }
     }
 
     /// Early-terminates live flows at the last seen stream time and
-    /// drains the micro-batch queue — the replay's end-of-trace step.
+    /// drains the micro-batch queues — the replay's end-of-trace step.
     fn flush_and_drain(&mut self, obs: &mut dyn InferObserver) {
-        for done in self.tracker.flush(self.now) {
-            self.engine.submit(done, self.now, obs);
-        }
-        self.engine.drain(obs);
+        self.pipeline.flush_and_drain(self.now, obs);
     }
 
     /// Graceful teardown: flush + drain, then `stream_end` and the
@@ -498,9 +559,9 @@ impl Daemon {
         self.finished = true;
         self.flush_and_drain(obs);
         obs.infer_event(&InferEvent::StreamEnd {
-            flows: self.engine.predictions().len(),
-            batches: self.engine.batches_run(),
-            evicted: self.tracker.evicted(),
+            flows: self.pipeline.flows_classified(),
+            batches: self.pipeline.batches_run(),
+            evicted: self.pipeline.evicted(),
             wall_ms,
         });
         obs.infer_event(&InferEvent::DaemonShutdown);
@@ -675,12 +736,15 @@ mod tests {
                 norm: flowpic::Normalization::LogMax,
                 idle_timeout_s: 30.0,
                 max_flows: 100,
+                done_horizon_s: 120.0,
             },
             engine: EngineConfig {
                 max_batch: 4,
                 max_wait_s: 0.5,
+                ..EngineConfig::default()
             },
             workers: 1,
+            shards: 1,
         }
     }
 
@@ -710,6 +774,8 @@ mod tests {
                 max_batch: None,
                 max_wait_ms: Some(250.0),
                 idle_timeout_s: None,
+                max_flows: None,
+                pending_cap: Some(1024),
             },
             packet(3, 1.5, 0.25),
             CtlRequest::Flush,
@@ -837,6 +903,8 @@ mod tests {
                 max_batch: Some(2),
                 max_wait_ms: Some(250.0),
                 idle_timeout_s: Some(5.0),
+                max_flows: Some(50),
+                pending_cap: Some(4096),
             },
             &mut obs,
         );
@@ -855,7 +923,9 @@ mod tests {
                 "sparsity_threshold",
                 "max_batch",
                 "max_wait_s",
-                "idle_timeout_s"
+                "idle_timeout_s",
+                "max_flows",
+                "pending_cap"
             ]
         );
         match daemon.handle(&CtlRequest::Stats, &mut obs) {
@@ -873,6 +943,8 @@ mod tests {
                 max_batch: Some(0),
                 max_wait_ms: None,
                 idle_timeout_s: None,
+                max_flows: None,
+                pending_cap: None,
             },
             &mut obs,
         );
@@ -905,6 +977,8 @@ mod tests {
                         max_batch: None,
                         max_wait_ms: None,
                         idle_timeout_s: None,
+                        max_flows: None,
+                        pending_cap: None,
                     },
                     &mut obs,
                 );

@@ -56,19 +56,37 @@ pub trait Classifier: Send + Sync {
     fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)>;
 }
 
-/// Row-wise softmax → (argmax, probability). Ties resolve to the lowest
-/// index so the choice is deterministic.
-fn softmax_argmax(logits: &[f32]) -> (usize, f32) {
-    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
+/// Index of the largest value under [`f32::total_cmp`], ties to the
+/// lowest index. Total order makes the choice deterministic even for
+/// NaN or infinite entries (NaN ranks above +∞), where a `>` comparison
+/// would silently skip candidates and pin the result to index 0.
+fn argmax_total(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmax of an empty slice");
     let mut best = 0;
-    for (i, &e) in exps.iter().enumerate() {
-        if e > exps[best] {
+    for i in 1..values.len() {
+        if values[i].total_cmp(&values[best]) == std::cmp::Ordering::Greater {
             best = i;
         }
     }
-    (best, exps[best] / sum)
+    best
+}
+
+/// Row-wise softmax → (argmax, probability). Ties resolve to the lowest
+/// index so the choice is deterministic. Degenerate rows — every logit
+/// `-inf` (a fully-masked row), or any non-finite winner — used to
+/// yield a NaN confidence from `exp(-inf - -inf)`; they now fall back
+/// to the uniform probability `1/n`, keeping the output a probability
+/// for every input.
+fn softmax_argmax(logits: &[f32]) -> (usize, f32) {
+    let best = argmax_total(logits);
+    let max = logits[best];
+    if !max.is_finite() {
+        return (best, 1.0 / logits.len() as f32);
+    }
+    // exp(v - max) ≤ 1 with exp(0) = 1 at `best`, so sum ∈ [1, n]: the
+    // division is always finite and the result is a probability.
+    let sum: f32 = logits.iter().map(|&v| (v - max).exp()).sum();
+    (best, 1.0 / sum)
 }
 
 /// The paper's CNN served forward-only.
@@ -196,12 +214,9 @@ impl Classifier for GbdtBackend {
             .iter()
             .map(|input| {
                 let proba = self.model.predict_proba(input);
-                let mut best = 0;
-                for (i, &p) in proba.iter().enumerate() {
-                    if p > proba[best] {
-                        best = i;
-                    }
-                }
+                // total_cmp, not `>`: a NaN probability would make every
+                // comparison false and silently pin the label to class 0.
+                let best = argmax_total(&proba);
                 (best, proba[best])
             })
             .collect()
@@ -216,6 +231,19 @@ pub struct EngineConfig {
     /// Flush when the oldest queued flow has waited this long, in
     /// stream-time seconds.
     pub max_wait_s: f64,
+    /// Keep every prediction and every per-batch wall-clock for the
+    /// lifetime of the engine. Replay turns this on to build its
+    /// [`crate::replay::ReplayReport`]; a long-running daemon must leave
+    /// it off, or both buffers grow without bound.
+    pub retain_full_history: bool,
+    /// With full history off: the most undrained predictions kept
+    /// before the oldest are dropped (counted in
+    /// [`InferenceEngine::predictions_dropped`]). Bounds a daemon whose
+    /// client never calls the draining `predictions` verb.
+    pub pending_cap: usize,
+    /// Per-batch wall-clock samples kept in the bounded ring that feeds
+    /// live latency quantiles (`stats`), regardless of retention mode.
+    pub latency_window: usize,
 }
 
 impl Default for EngineConfig {
@@ -223,6 +251,9 @@ impl Default for EngineConfig {
         EngineConfig {
             max_batch: 16,
             max_wait_s: 0.5,
+            retain_full_history: false,
+            pending_cap: 65_536,
+            latency_window: 1_024,
         }
     }
 }
@@ -240,22 +271,48 @@ pub struct InferenceEngine {
     config: EngineConfig,
     queue: VecDeque<QueuedFlow>,
     batches_run: usize,
+    flows_classified: usize,
+    predictions_dropped: usize,
+    /// Full per-batch wall-clock history — only grown with
+    /// `retain_full_history`.
     batch_wall_ms: Vec<f64>,
+    /// Bounded ring of the most recent per-batch wall-clocks, feeding
+    /// live latency quantiles in every retention mode.
+    recent_wall_ms: VecDeque<f64>,
+    /// Predictions not yet drained. Unbounded with full history;
+    /// otherwise capped at `pending_cap` (oldest dropped).
     predictions: Vec<Prediction>,
+    /// Telemetry shard tag stamped on this engine's `infer_batch_end`
+    /// events (0 outside the sharded dataplane).
+    shard: usize,
 }
 
 impl InferenceEngine {
     /// An engine with an empty queue.
     pub fn new(registry: Arc<ModelRegistry>, config: EngineConfig) -> InferenceEngine {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.pending_cap >= 1, "pending_cap must be at least 1");
+        assert!(
+            config.latency_window >= 1,
+            "latency_window must be at least 1"
+        );
         InferenceEngine {
             registry,
             config,
             queue: VecDeque::new(),
             batches_run: 0,
+            flows_classified: 0,
+            predictions_dropped: 0,
             batch_wall_ms: Vec::new(),
+            recent_wall_ms: VecDeque::new(),
             predictions: Vec::new(),
+            shard: 0,
         }
+    }
+
+    /// Tags this engine's telemetry with a dataplane shard index.
+    pub fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
     }
 
     /// Flows currently waiting for a batch slot.
@@ -280,19 +337,58 @@ impl InferenceEngine {
         self.config.max_wait_s = max_wait_s;
     }
 
+    /// Live-reconfigures the pending-prediction cap, trimming (and
+    /// counting) the oldest undrained predictions immediately if the new
+    /// cap is already exceeded. No effect under full history.
+    pub fn set_pending_cap(&mut self, pending_cap: usize) {
+        assert!(pending_cap >= 1, "pending_cap must be at least 1");
+        self.config.pending_cap = pending_cap;
+        if !self.config.retain_full_history && self.predictions.len() > pending_cap {
+            let excess = self.predictions.len() - pending_cap;
+            self.predictions.drain(..excess);
+            self.predictions_dropped += excess;
+        }
+    }
+
     /// Micro-batches classified so far.
     pub fn batches_run(&self) -> usize {
         self.batches_run
     }
 
+    /// Flows classified over the engine's lifetime — counts predictions
+    /// that were later drained or dropped, unlike `predictions().len()`.
+    pub fn flows_classified(&self) -> usize {
+        self.flows_classified
+    }
+
+    /// Predictions dropped from the pending buffer because nothing
+    /// drained them before `pending_cap` (always 0 with full history).
+    pub fn predictions_dropped(&self) -> usize {
+        self.predictions_dropped
+    }
+
     /// Forward wall-clock per batch, in milliseconds, in batch order.
+    /// Complete only with `retain_full_history`; empty otherwise.
     pub fn batch_wall_ms(&self) -> &[f64] {
         &self.batch_wall_ms
     }
 
-    /// Every prediction made so far, in classification order.
+    /// The most recent per-batch wall-clocks (up to `latency_window`),
+    /// oldest first — the bounded buffer live latency quantiles use.
+    pub fn recent_wall_ms(&self) -> Vec<f64> {
+        self.recent_wall_ms.iter().copied().collect()
+    }
+
+    /// Every undrained prediction, in classification order. With full
+    /// history this is every prediction ever made.
     pub fn predictions(&self) -> &[Prediction] {
         &self.predictions
+    }
+
+    /// Drains the pending predictions, leaving the buffer empty. How a
+    /// long-running daemon reads results without retaining them forever.
+    pub fn take_predictions(&mut self) -> Vec<Prediction> {
+        std::mem::take(&mut self.predictions)
     }
 
     /// Enqueues a completed flow at stream time `now` and flushes while
@@ -348,6 +444,7 @@ impl InferenceEngine {
             });
         }
         obs.infer_event(&InferEvent::BatchEnd {
+            shard: self.shard,
             batch: self.batches_run,
             size: n,
             queue_depth: self.queue.len(),
@@ -355,7 +452,18 @@ impl InferenceEngine {
             samples_per_sec: throughput_per_sec(n, wall_ms / 1e3),
         });
         self.batches_run += 1;
-        self.batch_wall_ms.push(wall_ms);
+        self.flows_classified += n;
+        self.recent_wall_ms.push_back(wall_ms);
+        while self.recent_wall_ms.len() > self.config.latency_window {
+            self.recent_wall_ms.pop_front();
+        }
+        if self.config.retain_full_history {
+            self.batch_wall_ms.push(wall_ms);
+        } else if self.predictions.len() > self.config.pending_cap {
+            let excess = self.predictions.len() - self.config.pending_cap;
+            self.predictions.drain(..excess);
+            self.predictions_dropped += excess;
+        }
     }
 }
 
@@ -411,6 +519,34 @@ mod tests {
     }
 
     #[test]
+    fn softmax_argmax_degenerate_rows_stay_probabilities() {
+        // Fully-masked row: every logit -inf used to produce NaN
+        // confidence from exp(-inf - -inf). Now uniform 1/n.
+        let (label, conf) = softmax_argmax(&[f32::NEG_INFINITY; 3]);
+        assert_eq!(label, 0);
+        assert_eq!(conf, 1.0 / 3.0);
+        // A +inf winner also short-circuits to uniform.
+        let (label, conf) = softmax_argmax(&[0.0, f32::INFINITY]);
+        assert_eq!(label, 1);
+        assert_eq!(conf, 0.5);
+        // NaN ranks above +inf under total_cmp — deterministic, not
+        // silently skipped as `>` would do.
+        let (label, conf) = softmax_argmax(&[1.0, f32::NAN, 2.0]);
+        assert_eq!(label, 1);
+        assert_eq!(conf, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn argmax_total_never_skips_nan() {
+        // `p > best` is false for NaN on both sides, which used to pin
+        // GBDT labels to class 0 whenever a probability went NaN.
+        assert_eq!(argmax_total(&[f32::NAN, 0.2, 0.9]), 0);
+        assert_eq!(argmax_total(&[0.2, f32::NAN, 0.9]), 1);
+        assert_eq!(argmax_total(&[0.1, 0.9, 0.2]), 1);
+        assert_eq!(argmax_total(&[0.5, 0.5]), 0, "ties resolve low");
+    }
+
+    #[test]
     fn size_trigger_flushes_full_batches() {
         let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
         let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
@@ -419,6 +555,8 @@ mod tests {
             EngineConfig {
                 max_batch: 4,
                 max_wait_s: 1e9,
+                retain_full_history: true,
+                ..EngineConfig::default()
             },
         );
         let mut rec = InferRecorder::new();
@@ -444,6 +582,8 @@ mod tests {
             EngineConfig {
                 max_batch: 100,
                 max_wait_s: 0.5,
+                retain_full_history: true,
+                ..EngineConfig::default()
             },
         );
         let mut rec = InferRecorder::new();
@@ -469,5 +609,41 @@ mod tests {
         assert_eq!(preds[0].0, 0);
         assert_eq!(preds[1].0, 1);
         assert!(preds.iter().all(|&(_, c)| c > 0.5 && c <= 1.0));
+    }
+
+    #[test]
+    fn daemon_retention_stays_bounded_and_drains() {
+        let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 2,
+                max_wait_s: 1e9,
+                retain_full_history: false,
+                pending_cap: 6,
+                latency_window: 3,
+            },
+        );
+        let mut rec = InferRecorder::new();
+        for id in 0..20u64 {
+            engine.submit(completed(id, input(id, 256)), 0.0, &mut rec);
+        }
+        assert_eq!(engine.batches_run(), 10);
+        assert_eq!(engine.flows_classified(), 20);
+        // Without a drain, the pending buffer is capped and the overflow
+        // is counted; the full-history buffer never grows.
+        assert_eq!(engine.predictions().len(), 6);
+        assert_eq!(engine.predictions_dropped(), 14);
+        assert!(engine.batch_wall_ms().is_empty());
+        assert_eq!(engine.recent_wall_ms().len(), 3);
+        // The survivors are the newest predictions, in order.
+        let ids: Vec<u64> = engine.predictions().iter().map(|p| p.flow_id).collect();
+        assert_eq!(ids, (14..20).collect::<Vec<_>>());
+        // Draining empties the buffer and hands the caller ownership.
+        let drained = engine.take_predictions();
+        assert_eq!(drained.len(), 6);
+        assert!(engine.predictions().is_empty());
+        assert_eq!(engine.flows_classified(), 20, "lifetime counter survives");
     }
 }

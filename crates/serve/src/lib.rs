@@ -22,6 +22,11 @@
 //!   ([`nettensor::checkpoint::CheckpointError::ArchMismatch`] on
 //!   mismatch), and hot-swaps atomically mid-stream — in-flight batches
 //!   keep their `Arc` and finish on the model they started with.
+//! * [`shard`] — the multi-lane dataplane: N independent tracker +
+//!   engine lanes keyed by a stable flow-id hash, run serially inside
+//!   the daemon (shared registry) or in parallel for replay (per-lane
+//!   registries, merged in shard order). For a fixed shard count the
+//!   predictions are bit-identical at any worker count.
 //! * [`replay`] — turns a `trafficgen` dataset into a timestamped packet
 //!   trace and drives the tracker + engine over it at a configurable
 //!   rate multiplier, producing a latency/throughput report with
@@ -47,6 +52,7 @@ pub mod daemon;
 pub mod engine;
 pub mod registry;
 pub mod replay;
+pub mod shard;
 pub mod tracker;
 
 pub use daemon::{
@@ -58,4 +64,5 @@ pub use engine::{
 };
 pub use registry::{ModelRegistry, ServedModel};
 pub use replay::{trace_from_dataset, PacketRecord, ReplayConfig, ReplayReport};
+pub use shard::{replay_sharded, shard_of, Lane, ShardedPipeline};
 pub use tracker::{CompletedFlow, FlowTracker, TrackerConfig};

@@ -91,6 +91,8 @@ pub struct ReplayReport {
     pub wall_ms: f64,
     /// Hot-swaps performed mid-stream.
     pub swaps: usize,
+    /// Dataplane lanes the replay ran over (1 = the unsharded loop).
+    pub shards: usize,
 }
 
 impl ReplayReport {
@@ -122,10 +124,12 @@ impl ReplayReport {
             }
         }
         let mut out = format!(
-            "replayed {} packets: {} flows classified in {} batches, {} evicted, {} hot-swap(s)\n\
+            "replayed {} packets over {} shard(s): {} flows classified in {} batches, \
+             {} evicted, {} hot-swap(s)\n\
              batch latency ms: p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}\n\
              throughput: {:.1} samples/sec over {:.1} ms\n",
             self.packets,
+            self.shards,
             self.predictions.len(),
             self.batches,
             self.evicted,
@@ -152,6 +156,12 @@ pub struct ReplayConfig {
     pub tracker: TrackerConfig,
     /// Micro-batching knobs.
     pub engine: EngineConfig,
+    /// Dataplane lanes to shard the tracker/engine into (1 = the
+    /// unsharded loop; see [`crate::shard`]).
+    pub shards: usize,
+    /// Worker threads for a sharded replay (0 = one per lane). Never
+    /// changes predictions — the determinism contract.
+    pub workers: usize,
 }
 
 impl Default for ReplayConfig {
@@ -161,6 +171,8 @@ impl Default for ReplayConfig {
             rate: 1.0,
             tracker: TrackerConfig::default(),
             engine: EngineConfig::default(),
+            shards: 1,
+            workers: 0,
         }
     }
 }
@@ -195,13 +207,25 @@ pub fn replay_dataset(
     obs: &mut dyn InferObserver,
 ) -> Result<ReplayReport, CheckpointError> {
     let trace = trace_from_dataset(ds, config.flow_gap_s, config.rate);
-    let scheduled = swaps
+    let scheduled: Vec<ScheduledSwap> = swaps
         .into_iter()
         .map(|s| ScheduledSwap {
             at_packet: (trace.len() as f64 * s.at_fraction) as usize,
             model: s.model,
         })
         .collect();
+    if config.shards > 1 {
+        return crate::shard::replay_sharded(
+            &trace,
+            registry,
+            config.tracker,
+            config.engine,
+            scheduled,
+            config.shards,
+            config.workers,
+            obs,
+        );
+    }
     replay(
         &trace,
         registry,
@@ -230,6 +254,12 @@ pub fn replay(
     });
     drop(initial);
 
+    // A replay's report needs every prediction and every batch latency,
+    // so full retention is forced here — the one place it is explicit.
+    let engine_cfg = EngineConfig {
+        retain_full_history: true,
+        ..engine_cfg
+    };
     let mut tracker = FlowTracker::new(tracker_cfg);
     let mut engine = InferenceEngine::new(registry.clone(), engine_cfg);
     let mut pending_swaps: Vec<ScheduledSwap> = swaps;
@@ -268,6 +298,7 @@ pub fn replay(
         batch_wall_ms: engine.batch_wall_ms().to_vec(),
         wall_ms,
         swaps: swaps_done,
+        shards: 1,
     };
     obs.infer_event(&InferEvent::StreamEnd {
         flows: report.predictions.len(),
@@ -351,6 +382,7 @@ mod tests {
             batch_wall_ms: vec![0.0],
             wall_ms: 0.0,
             swaps: 0,
+            shards: 1,
         };
         assert_eq!(report.samples_per_sec(), 0.0);
         assert!(report.samples_per_sec().is_finite());
@@ -379,12 +411,14 @@ mod tests {
             batch_wall_ms: vec![1.0, 3.0],
             wall_ms: 50.0,
             swaps: 0,
+            shards: 2,
         };
         let (p50, p95, p99) = report.latency_percentiles_ms();
         assert_eq!(p50, 2.0);
         assert!(p95 <= p99 && p99 <= 3.0);
         let text = report.render(&["a".into(), "b".into()]);
         assert!(text.contains("2 flows classified"));
+        assert!(text.contains("2 shard(s)"));
         assert!(text.contains("p50"));
         assert!(text.contains("1 evicted"));
     }

@@ -1,0 +1,474 @@
+//! Sharded serving dataplane: N independent tracker + engine lanes.
+//!
+//! A single [`FlowTracker`] + [`InferenceEngine`] pair serializes every
+//! packet through one eviction clock and one micro-batcher. To scale to
+//! millions of concurrent flows the dataplane splits into `shards`
+//! independent **lanes**, each owning its tracker, its micro-batcher and
+//! its classifier handle. A packet is routed by a stable hash of its
+//! flow id ([`shard_of`]), so every packet of a flow always lands on the
+//! same lane and per-flow state never crosses lanes — the shards/journals
+//! split of a production streaming dataplane, applied to flow tracking.
+//!
+//! Two drivers share the lane type:
+//!
+//! * [`ShardedPipeline`] — the serial form the daemon hosts: one thread
+//!   routes each packet to its lane as it arrives, and all lanes serve
+//!   from one shared [`ModelRegistry`] so a hot-swap applies everywhere
+//!   at the same request boundary.
+//! * [`replay_sharded`] — the parallel form behind `tcb serve --replay
+//!   --shards N`: the trace is partitioned per lane up front, lanes run
+//!   to completion on a worker pool, and the per-lane results are merged
+//!   in shard order into one [`ReplayReport`].
+//!
+//! **Determinism contract.** For a fixed shard count the predictions are
+//! bit-identical at any worker count: lanes are fully independent, so it
+//! cannot matter which worker runs a lane or when, and the merge always
+//! concatenates in shard order. Changing the shard *count* may change
+//! results (each lane has its own eviction clock and batch deadlines —
+//! which flows get evicted under a shared cap depends on what else
+//! shares the lane), exactly as changing `max_batch` does; `--shards 1`
+//! is bit-identical to the unsharded [`crate::replay::replay`] loop.
+//! The integration tests pin both properties in raw f32 bits.
+//!
+//! Model swaps in a parallel replay are applied *per lane* against a
+//! lane-local registry: each lane swaps when it first reaches a packet
+//! at or past the scheduled global index, which is exactly when a shared
+//! serial registry would have swapped as far as that lane's batches can
+//! observe. The merged telemetry reports each schedule entry once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use nettensor::checkpoint::CheckpointError;
+use tcbench::telemetry::{InferEvent, InferObserver, InferRecorder};
+
+use crate::engine::{Classifier, EngineConfig, InferenceEngine, Prediction};
+use crate::registry::ModelRegistry;
+use crate::replay::{PacketRecord, ReplayReport, ScheduledSwap};
+use crate::tracker::{FlowTracker, TrackerConfig};
+
+/// The lane owning `flow_id` among `shards` lanes. SplitMix64 over the
+/// flow id, reduced modulo the shard count: stable across processes and
+/// uncorrelated with sequentially-assigned flow ids (a plain `id %
+/// shards` would stripe a synthetic trace perfectly but cluster real
+/// 5-tuple hashes).
+pub fn shard_of(flow_id: u64, shards: usize) -> usize {
+    assert!(shards >= 1, "shard count must be at least 1");
+    let mut z = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % shards
+}
+
+/// One dataplane lane: a tracker and an engine that only ever see the
+/// packets of the flows hashed to them.
+pub struct Lane {
+    /// Per-flow state for this lane's flows.
+    pub tracker: FlowTracker,
+    /// This lane's micro-batcher and classifier handle.
+    pub engine: InferenceEngine,
+}
+
+impl Lane {
+    /// A fresh lane tagged with its shard index for telemetry.
+    pub fn new(
+        shard: usize,
+        registry: Arc<ModelRegistry>,
+        tracker_cfg: TrackerConfig,
+        engine_cfg: EngineConfig,
+    ) -> Lane {
+        let mut tracker = FlowTracker::new(tracker_cfg);
+        tracker.set_shard(shard);
+        let mut engine = InferenceEngine::new(registry, engine_cfg);
+        engine.set_shard(shard);
+        Lane { tracker, engine }
+    }
+
+    /// The replay loop's per-packet order, scoped to one lane: advance
+    /// the batch deadline, ingest, submit any completion.
+    pub fn push(&mut self, rec: &PacketRecord, obs: &mut dyn InferObserver) {
+        self.engine.poll(rec.ts, obs);
+        if let Some(done) = self.tracker.push(rec, obs) {
+            self.engine.submit(done, rec.ts, obs);
+        }
+    }
+
+    /// End-of-stream: early-terminate live flows at `now`, then drain
+    /// the micro-batch queue.
+    pub fn flush_and_drain(&mut self, now: f64, obs: &mut dyn InferObserver) {
+        for done in self.tracker.flush(now) {
+            self.engine.submit(done, now, obs);
+        }
+        self.engine.drain(obs);
+    }
+}
+
+/// The serial sharded dataplane the daemon hosts: lanes share one
+/// registry and one ingest thread routes packets to them in arrival
+/// order. Because lanes are independent, this interleaved processing
+/// leaves every lane in exactly the state the partitioned parallel
+/// replay produces — the daemon-vs-replay equivalence test relies on it.
+pub struct ShardedPipeline {
+    lanes: Vec<Lane>,
+}
+
+impl ShardedPipeline {
+    /// `shards` fresh lanes sharing `registry`.
+    pub fn new(
+        registry: &Arc<ModelRegistry>,
+        tracker_cfg: TrackerConfig,
+        engine_cfg: EngineConfig,
+        shards: usize,
+    ) -> ShardedPipeline {
+        assert!(shards >= 1, "shard count must be at least 1");
+        ShardedPipeline {
+            lanes: (0..shards)
+                .map(|s| Lane::new(s, registry.clone(), tracker_cfg, engine_cfg))
+                .collect(),
+        }
+    }
+
+    /// The lane count, fixed at construction. Resharding live would
+    /// rehash every tracked flow mid-picture, so `set-config` refuses
+    /// it; restart the daemon to change the count.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Routes one packet to its flow's lane.
+    pub fn push(&mut self, rec: &PacketRecord, obs: &mut dyn InferObserver) {
+        let s = shard_of(rec.flow_id, self.lanes.len());
+        self.lanes[s].push(rec, obs);
+    }
+
+    /// Flushes and drains every lane, in shard order.
+    pub fn flush_and_drain(&mut self, now: f64, obs: &mut dyn InferObserver) {
+        for lane in &mut self.lanes {
+            lane.flush_and_drain(now, obs);
+        }
+    }
+
+    /// Flows currently holding tracker state, across all lanes.
+    pub fn active_flows(&self) -> usize {
+        self.lanes.iter().map(|l| l.tracker.active_flows()).sum()
+    }
+
+    /// Flows classified over the pipeline's lifetime.
+    pub fn flows_classified(&self) -> usize {
+        self.lanes.iter().map(|l| l.engine.flows_classified()).sum()
+    }
+
+    /// Micro-batches run, across all lanes.
+    pub fn batches_run(&self) -> usize {
+        self.lanes.iter().map(|l| l.engine.batches_run()).sum()
+    }
+
+    /// Flows dropped unclassified, across all lanes.
+    pub fn evicted(&self) -> usize {
+        self.lanes.iter().map(|l| l.tracker.evicted()).sum()
+    }
+
+    /// Completed flows waiting for a batch slot, across all lanes.
+    pub fn queue_depth(&self) -> usize {
+        self.lanes.iter().map(|l| l.engine.queue_depth()).sum()
+    }
+
+    /// Undrained predictions, across all lanes.
+    pub fn predictions_pending(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.engine.predictions().len())
+            .sum()
+    }
+
+    /// Predictions dropped because nothing drained them, across lanes.
+    pub fn predictions_dropped(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.engine.predictions_dropped())
+            .sum()
+    }
+
+    /// Remembered classified flow ids, across all lanes — a
+    /// bounded-memory proxy for the soak tests.
+    pub fn done_len(&self) -> usize {
+        self.lanes.iter().map(|l| l.tracker.done_len()).sum()
+    }
+
+    /// Recent per-batch wall-clocks from every lane, concatenated in
+    /// shard order — the bounded sample live latency quantiles use.
+    pub fn recent_wall_ms(&self) -> Vec<f64> {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.engine.recent_wall_ms())
+            .collect()
+    }
+
+    /// Drains every lane's pending predictions, concatenated in shard
+    /// order.
+    pub fn take_predictions(&mut self) -> Vec<Prediction> {
+        self.lanes
+            .iter_mut()
+            .flat_map(|l| l.engine.take_predictions())
+            .collect()
+    }
+
+    /// Lane 0's engine configuration (lanes are configured uniformly).
+    pub fn engine_config(&self) -> EngineConfig {
+        self.lanes[0].engine.config()
+    }
+
+    /// Lane 0's tracker configuration (lanes are configured uniformly).
+    pub fn tracker_config(&self) -> TrackerConfig {
+        self.lanes[0].tracker.config()
+    }
+
+    /// Live-reconfigures every lane's batch-size trigger.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        for lane in &mut self.lanes {
+            lane.engine.set_max_batch(max_batch);
+        }
+    }
+
+    /// Live-reconfigures every lane's batch deadline.
+    pub fn set_max_wait_s(&mut self, max_wait_s: f64) {
+        for lane in &mut self.lanes {
+            lane.engine.set_max_wait_s(max_wait_s);
+        }
+    }
+
+    /// Live-reconfigures every lane's idle timeout.
+    pub fn set_idle_timeout_s(&mut self, idle_timeout_s: f64) {
+        for lane in &mut self.lanes {
+            lane.tracker.set_idle_timeout_s(idle_timeout_s);
+        }
+    }
+
+    /// Live-reconfigures every lane's flow cap (the cap is per lane),
+    /// evicting down immediately.
+    pub fn set_max_flows(&mut self, max_flows: usize, obs: &mut dyn InferObserver) {
+        for lane in &mut self.lanes {
+            lane.tracker.set_max_flows(max_flows, obs);
+        }
+    }
+
+    /// Live-reconfigures every lane's pending-prediction cap (per lane).
+    pub fn set_pending_cap(&mut self, pending_cap: usize) {
+        for lane in &mut self.lanes {
+            lane.engine.set_pending_cap(pending_cap);
+        }
+    }
+}
+
+/// What one lane of a parallel replay produced.
+struct LaneOutput {
+    predictions: Vec<Prediction>,
+    batch_wall_ms: Vec<f64>,
+    batches: usize,
+    evicted: usize,
+    events: Vec<InferEvent>,
+}
+
+/// Runs one lane of a parallel replay to completion over its slice of
+/// the trace. `sub` carries each record's global trace index so the
+/// lane can honor the global swap schedule.
+fn run_lane(
+    shard: usize,
+    sub: &[(usize, PacketRecord)],
+    end_ts: f64,
+    trace_len: usize,
+    initial: &Arc<dyn Classifier>,
+    tracker_cfg: TrackerConfig,
+    engine_cfg: EngineConfig,
+    schedule: &[(usize, Arc<dyn Classifier>)],
+) -> Result<LaneOutput, CheckpointError> {
+    let registry = Arc::new(ModelRegistry::new(initial.clone()));
+    let mut lane = Lane::new(shard, registry.clone(), tracker_cfg, engine_cfg);
+    let mut rec = InferRecorder::new();
+    let mut next_swap = 0usize;
+    for (global_idx, packet) in sub {
+        while next_swap < schedule.len() && schedule[next_swap].0 <= *global_idx {
+            registry.swap(schedule[next_swap].1.clone())?;
+            next_swap += 1;
+        }
+        lane.push(packet, &mut rec);
+    }
+    // Swaps scheduled past this lane's last packet but inside the trace
+    // still happened (on the serial clock) before end-of-stream — apply
+    // them so flush-time batches see the final model.
+    while next_swap < schedule.len() && schedule[next_swap].0 < trace_len {
+        registry.swap(schedule[next_swap].1.clone())?;
+        next_swap += 1;
+    }
+    lane.flush_and_drain(end_ts, &mut rec);
+    Ok(LaneOutput {
+        predictions: lane.engine.predictions().to_vec(),
+        batch_wall_ms: lane.engine.batch_wall_ms().to_vec(),
+        batches: lane.engine.batches_run(),
+        evicted: lane.tracker.evicted(),
+        events: rec.events,
+    })
+}
+
+/// Replays a trace through `shards` independent lanes on up to `workers`
+/// threads (`0` = one per lane) and merges the results in shard order.
+/// The report's prediction order groups by shard — a different order
+/// than the unsharded loop's, but a deterministic one: for a fixed
+/// shard count it is bit-identical at any worker count.
+///
+/// Telemetry is merged per lane in shard order (each `infer_batch_end` /
+/// `flow_evicted` event carries its `shard` tag), with the swap schedule
+/// reported once.
+pub fn replay_sharded(
+    trace: &[PacketRecord],
+    registry: &Arc<ModelRegistry>,
+    tracker_cfg: TrackerConfig,
+    engine_cfg: EngineConfig,
+    swaps: Vec<ScheduledSwap>,
+    shards: usize,
+    workers: usize,
+    obs: &mut dyn InferObserver,
+) -> Result<ReplayReport, CheckpointError> {
+    assert!(shards >= 1, "shard count must be at least 1");
+    let engine_cfg = EngineConfig {
+        retain_full_history: true,
+        ..engine_cfg
+    };
+    let initial = registry.active();
+    obs.infer_event(&InferEvent::StreamStart {
+        model_fingerprint: initial.fingerprint(),
+        n_classes: initial.n_classes(),
+    });
+
+    let mut schedule: Vec<(usize, Arc<dyn Classifier>)> =
+        swaps.into_iter().map(|s| (s.at_packet, s.model)).collect();
+    schedule.sort_by_key(|s| s.0);
+    // The fingerprint chain for merged telemetry: entry k retires the
+    // model entry k−1 installed. Only entries inside the trace apply —
+    // the same rule as the serial loop, which swaps on reaching a packet.
+    let applied: Vec<(u64, u64)> = {
+        let mut prev = initial.fingerprint();
+        schedule
+            .iter()
+            .filter(|(at, _)| *at < trace.len())
+            .map(|(_, model)| {
+                let pair = (prev, model.fingerprint());
+                prev = model.fingerprint();
+                pair
+            })
+            .collect()
+    };
+
+    let mut subs: Vec<Vec<(usize, PacketRecord)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, rec) in trace.iter().enumerate() {
+        subs[shard_of(rec.flow_id, shards)].push((i, rec.clone()));
+    }
+    let end_ts = trace.last().map(|r| r.ts).unwrap_or(0.0);
+
+    let threads = if workers == 0 {
+        shards
+    } else {
+        workers.min(shards)
+    }
+    .max(1);
+    let results: Vec<Mutex<Option<Result<LaneOutput, CheckpointError>>>> =
+        (0..shards).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let s = next.fetch_add(1, Ordering::Relaxed);
+                if s >= shards {
+                    break;
+                }
+                let out = run_lane(
+                    s,
+                    &subs[s],
+                    end_ts,
+                    trace.len(),
+                    &initial,
+                    tracker_cfg,
+                    engine_cfg,
+                    &schedule,
+                );
+                *results[s].lock().expect("lane result lock poisoned") = Some(out);
+            });
+        }
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut report = ReplayReport {
+        packets: trace.len(),
+        predictions: Vec::new(),
+        batches: 0,
+        evicted: 0,
+        batch_wall_ms: Vec::new(),
+        wall_ms,
+        swaps: applied.len(),
+        shards,
+    };
+    for slot in &results {
+        let out = slot
+            .lock()
+            .expect("lane result lock poisoned")
+            .take()
+            .expect("every lane ran")?;
+        for event in &out.events {
+            obs.infer_event(event);
+        }
+        report.predictions.extend(out.predictions);
+        report.batch_wall_ms.extend(out.batch_wall_ms);
+        report.batches += out.batches;
+        report.evicted += out.evicted;
+    }
+    for (old, new) in &applied {
+        obs.infer_event(&InferEvent::ModelSwapped {
+            old_fingerprint: *old,
+            new_fingerprint: *new,
+        });
+    }
+    obs.infer_event(&InferEvent::StreamEnd {
+        flows: report.predictions.len(),
+        batches: report.batches,
+        evicted: report.evicted,
+        wall_ms,
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for id in 0..500u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(id, shards), "stable");
+            }
+        }
+        assert!(
+            (0..500u64).any(|id| shard_of(id, 4) != shard_of(id + 500, 4)),
+            "hash must actually spread ids"
+        );
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_ids_roughly_evenly() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for id in 0..4000u64 {
+            counts[shard_of(id, shards)] += 1;
+        }
+        for (s, n) in counts.iter().enumerate() {
+            assert!(
+                (600..=1400).contains(n),
+                "shard {s} got {n} of 4000 sequential ids"
+            );
+        }
+    }
+}

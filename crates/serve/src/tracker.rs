@@ -19,6 +19,17 @@
 //! *not* classified — eviction is memory reclamation, not completion.
 //! All eviction choices order by `(last_seen, flow_id)`, so the tracker
 //! is deterministic for a given trace.
+//!
+//! The classified-flow memory is bounded too: flow ids of classified
+//! flows are remembered in two stream-time generations rotated every
+//! `done_horizon_s` seconds, so a late packet is guaranteed to be
+//! ignored for at least `done_horizon_s` (and at most twice that) after
+//! its flow was classified. Beyond the horizon the id may be observed
+//! again as a brand-new flow — mirroring 5-tuple reuse on a real link —
+//! which keeps the set's size proportional to the classification rate
+//! within one horizon rather than to the lifetime flow count. Rotation
+//! is driven purely by packet timestamps, so it is deterministic for a
+//! given trace.
 
 use std::collections::HashMap;
 
@@ -38,6 +49,13 @@ pub struct TrackerConfig {
     pub idle_timeout_s: f64,
     /// Hard cap on simultaneously tracked flows.
     pub max_flows: usize,
+    /// How long (stream-time seconds) a classified flow id is guaranteed
+    /// to keep ignoring late packets. Ids are kept in two generations
+    /// rotated every horizon, so memory for classified flows is bounded
+    /// by two horizons' worth of classifications instead of growing with
+    /// the lifetime flow count. Must be positive; `f64::INFINITY`
+    /// restores the old remember-forever behavior.
+    pub done_horizon_s: f64,
 }
 
 impl Default for TrackerConfig {
@@ -47,6 +65,7 @@ impl Default for TrackerConfig {
             norm: Normalization::LogMax,
             idle_timeout_s: 30.0,
             max_flows: 10_000,
+            done_horizon_s: 120.0,
         }
     }
 }
@@ -73,21 +92,41 @@ struct TrackedFlow {
 pub struct FlowTracker {
     config: TrackerConfig,
     flows: HashMap<u64, TrackedFlow>,
-    /// Flows already classified; their late packets are ignored.
-    done: std::collections::HashSet<u64>,
+    /// Classified flows of the current horizon generation; their late
+    /// packets are ignored.
+    done_cur: std::collections::HashSet<u64>,
+    /// The previous generation, still consulted but no longer grown.
+    done_prev: std::collections::HashSet<u64>,
+    /// Stream time at which `done_cur` started accumulating.
+    done_gen_start: f64,
     evicted: usize,
+    /// Telemetry shard tag stamped on this tracker's `flow_evicted`
+    /// events (0 outside the sharded dataplane).
+    shard: usize,
 }
 
 impl FlowTracker {
     /// An empty tracker.
     pub fn new(config: TrackerConfig) -> FlowTracker {
         assert!(config.max_flows >= 1, "max_flows must be at least 1");
+        assert!(
+            config.done_horizon_s > 0.0,
+            "done_horizon_s must be positive (use f64::INFINITY to remember forever)"
+        );
         FlowTracker {
             config,
             flows: HashMap::new(),
-            done: std::collections::HashSet::new(),
+            done_cur: std::collections::HashSet::new(),
+            done_prev: std::collections::HashSet::new(),
+            done_gen_start: 0.0,
             evicted: 0,
+            shard: 0,
         }
+    }
+
+    /// Tags this tracker's telemetry with a dataplane shard index.
+    pub fn set_shard(&mut self, shard: usize) {
+        self.shard = shard;
     }
 
     /// Flows currently holding per-flow state.
@@ -107,9 +146,62 @@ impl FlowTracker {
         self.config.idle_timeout_s = idle_timeout_s;
     }
 
+    /// Live-reconfigures the tracked-flow cap, evicting down to the new
+    /// cap immediately (least-recently-active first, deterministically).
+    pub fn set_max_flows(&mut self, max_flows: usize, obs: &mut dyn InferObserver) {
+        assert!(max_flows >= 1, "max_flows must be at least 1");
+        self.config.max_flows = max_flows;
+        while self.flows.len() > self.config.max_flows {
+            self.evict_for_cap(obs);
+        }
+    }
+
     /// Flows dropped unclassified (idle timeout or cap) so far.
     pub fn evicted(&self) -> usize {
         self.evicted
+    }
+
+    /// Classified flow ids currently remembered (both generations) — the
+    /// bounded-memory proxy the soak tests assert on.
+    pub fn done_len(&self) -> usize {
+        self.done_cur.len() + self.done_prev.len()
+    }
+
+    /// Whether late packets of `flow_id` are still being ignored.
+    fn is_done(&self, flow_id: u64) -> bool {
+        self.done_cur.contains(&flow_id) || self.done_prev.contains(&flow_id)
+    }
+
+    /// Marks a flow classified: its late packets are ignored for at
+    /// least one horizon from now.
+    fn mark_done(&mut self, flow_id: u64) {
+        self.done_cur.insert(flow_id);
+    }
+
+    /// Advances the done-set generations to cover `now`. Each rotation
+    /// retires the previous generation, so a classified id survives at
+    /// least one and at most two horizons. Driven only by packet
+    /// timestamps — deterministic for a given trace.
+    fn rotate_done(&mut self, now: f64) {
+        let horizon = self.config.done_horizon_s;
+        if !horizon.is_finite() {
+            return; // remember forever (explicitly configured)
+        }
+        let elapsed = now - self.done_gen_start;
+        if elapsed < horizon {
+            return;
+        }
+        let k = (elapsed / horizon).floor();
+        if k >= 2.0 {
+            // The stream jumped more than a full generation: everything
+            // remembered is already past its guaranteed horizon.
+            self.done_prev.clear();
+            self.done_cur.clear();
+        } else {
+            std::mem::swap(&mut self.done_prev, &mut self.done_cur);
+            self.done_cur.clear();
+        }
+        self.done_gen_start += k * horizon;
     }
 
     /// Ingests one packet. May return a completed flow (the packet
@@ -120,8 +212,9 @@ impl FlowTracker {
         rec: &PacketRecord,
         obs: &mut dyn InferObserver,
     ) -> Option<CompletedFlow> {
+        self.rotate_done(rec.ts);
         self.evict_idle(rec.ts, obs);
-        if self.done.contains(&rec.flow_id) {
+        if self.is_done(rec.flow_id) {
             return None;
         }
         if rec.pkt.ts >= self.config.flowpic.window_s {
@@ -129,7 +222,7 @@ impl FlowTracker {
             // final (this packet and all later ones fall outside the
             // window, so the batch builder would skip them too).
             let tracked = self.flows.remove(&rec.flow_id);
-            self.done.insert(rec.flow_id);
+            self.mark_done(rec.flow_id);
             let (input, pkts) = match tracked {
                 Some(t) => (t.pic.picture().to_input(self.config.norm), t.pic.counted()),
                 // First observed packet is already past the window: the
@@ -171,7 +264,7 @@ impl FlowTracker {
         ids.into_iter()
             .map(|id| {
                 let t = self.flows.remove(&id).expect("flow listed but missing");
-                self.done.insert(id);
+                self.done_cur.insert(id);
                 CompletedFlow {
                     flow_id: id,
                     input: t.pic.picture().to_input(self.config.norm),
@@ -194,6 +287,7 @@ impl FlowTracker {
             let t = self.flows.remove(&id).expect("stale flow missing");
             self.evicted += 1;
             obs.infer_event(&InferEvent::FlowEvicted {
+                shard: self.shard,
                 flow_id: id,
                 pkts: t.pic.counted(),
                 reason: "idle",
@@ -211,6 +305,7 @@ impl FlowTracker {
         let t = self.flows.remove(&victim).expect("victim missing");
         self.evicted += 1;
         obs.infer_event(&InferEvent::FlowEvicted {
+            shard: self.shard,
             flow_id: victim,
             pkts: t.pic.counted(),
             reason: "cap",
@@ -238,6 +333,7 @@ mod tests {
             norm: Normalization::Raw,
             idle_timeout_s: 5.0,
             max_flows: 100,
+            done_horizon_s: 120.0,
         }
     }
 
@@ -288,6 +384,7 @@ mod tests {
         assert_eq!(
             obs.events,
             vec![InferEvent::FlowEvicted {
+                shard: 0,
                 flow_id: 1,
                 pkts: 1,
                 reason: "idle"
@@ -298,6 +395,90 @@ mod tests {
         let done = tracker.flush(7.0);
         let f1 = done.iter().find(|d| d.flow_id == 1).unwrap();
         assert_eq!(f1.pkts, 1);
+    }
+
+    #[test]
+    fn done_set_stays_bounded_over_a_stream_of_distinct_flows() {
+        // Regression: `done` used to retain one u64 per classified flow
+        // forever, leaking linearly over a long stream. With a 10 s
+        // horizon, ids classified more than two horizons ago must be
+        // forgotten.
+        let mut tracker = FlowTracker::new(TrackerConfig {
+            done_horizon_s: 10.0,
+            ..cfg()
+        });
+        let mut obs = InferRecorder::new();
+        let n_flows = 5_000u64;
+        let mut max_done = 0usize;
+        for id in 0..n_flows {
+            // One flow per 0.1 s of stream time, classified immediately
+            // by a window-crossing packet: ~100 classifications per
+            // 10 s generation.
+            let ts = id as f64 * 0.1;
+            tracker.push(&rec(id, ts, 0.0), &mut obs);
+            let done = tracker.push(&rec(id, ts + 0.05, 15.5), &mut obs);
+            assert!(done.is_some(), "flow {id} must classify");
+            max_done = max_done.max(tracker.done_len());
+        }
+        // Two generations × ~100 classifications each, not 5000.
+        assert!(
+            max_done <= 2 * 100 + 2,
+            "done set grew to {max_done} over {n_flows} distinct flows"
+        );
+        assert!(tracker.done_len() <= 2 * 100 + 2);
+    }
+
+    #[test]
+    fn late_packets_are_ignored_within_the_horizon() {
+        let mut tracker = FlowTracker::new(TrackerConfig {
+            done_horizon_s: 10.0,
+            ..cfg()
+        });
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(1, 0.0, 0.0), &mut obs);
+        assert!(tracker.push(&rec(1, 1.0, 15.5), &mut obs).is_some());
+        // Within one horizon of classification: late packets ignored.
+        assert!(tracker.push(&rec(1, 9.0, 16.0), &mut obs).is_none());
+        assert_eq!(tracker.active_flows(), 0);
+        // Far past two horizons, the id is forgotten and may restart as
+        // a new flow (5-tuple reuse).
+        assert!(tracker.push(&rec(1, 35.0, 0.0), &mut obs).is_none());
+        assert_eq!(tracker.active_flows(), 1);
+    }
+
+    #[test]
+    fn infinite_horizon_remembers_forever() {
+        let mut tracker = FlowTracker::new(TrackerConfig {
+            done_horizon_s: f64::INFINITY,
+            ..cfg()
+        });
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(1, 0.0, 15.5), &mut obs);
+        assert!(tracker.push(&rec(1, 1e9, 16.0), &mut obs).is_none());
+        assert_eq!(tracker.done_len(), 1);
+    }
+
+    #[test]
+    fn set_max_flows_evicts_down_immediately() {
+        let mut tracker = FlowTracker::new(cfg());
+        let mut obs = InferRecorder::new();
+        for id in 0..6u64 {
+            tracker.push(&rec(id, id as f64 * 0.1, 0.0), &mut obs);
+        }
+        assert_eq!(tracker.active_flows(), 6);
+        tracker.set_max_flows(2, &mut obs);
+        assert_eq!(tracker.active_flows(), 2);
+        assert_eq!(tracker.evicted(), 4);
+        // Least-recently-active went first.
+        let evicted: Vec<u64> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::FlowEvicted { flow_id, .. } => Some(*flow_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicted, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -314,6 +495,7 @@ mod tests {
         assert_eq!(
             obs.events,
             vec![InferEvent::FlowEvicted {
+                shard: 0,
                 flow_id: 10,
                 pkts: 1,
                 reason: "cap"

@@ -27,6 +27,9 @@
 //! * [`splits`] — training/validation/test split construction (100-per-class
 //!   folds, stratified 80/10/10, random 80/20).
 //! * [`flowrec`] — a compact binary serialization of flow records.
+//! * [`stress`] — serving-path stress traffic: up to a million tiny
+//!   flows, each closed just past the 15 s window so the online
+//!   dataplane classifies at steady state.
 //!
 //! ## Example
 //!
@@ -50,6 +53,7 @@ pub mod pcap;
 pub mod process;
 pub mod profile;
 pub mod splits;
+pub mod stress;
 pub mod synth;
 pub mod types;
 pub mod ucdavis;

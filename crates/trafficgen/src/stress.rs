@@ -1,0 +1,179 @@
+//! Serving-path stress traffic: huge flow counts, tiny flows.
+//!
+//! The dataset simulators ([`crate::ucdavis`] and friends) model *traffic
+//! structure* — realistic packet-size mixtures, burst processes, class
+//! imbalance — at flow counts in the thousands. Stressing the serving
+//! dataplane needs the opposite trade: the maximum number of *distinct
+//! flow ids* per byte of trace, so that tracker occupancy, done-set
+//! rotation, and prediction-buffer retention are the load, not the
+//! traffic model. This module generates that shape directly.
+//!
+//! Every stress flow is short (a handful of data packets inside the
+//! paper's 15 s observation window) and ends with a closing packet at
+//! 15.5 s flow time, past the window edge. That closing packet is what
+//! makes the trace a *steady-state* load: the tracker completes each
+//! flow the moment it crosses the window, so flows classify and retire
+//! continuously instead of piling up until the end-of-stream flush.
+//! Replayed through `serve::replay::trace_from_dataset` with a small
+//! flow gap, the trace holds tracker occupancy near
+//! `window / flow_gap` flows while total flow count — and therefore
+//! done-set and prediction-buffer pressure — grows without bound.
+//!
+//! Generation is splitmix64-hashed per flow: O(1) state, no rand
+//! dependency on the hot path, bit-identical across runs, and fast
+//! enough that [`StressConfig::million`] builds in seconds.
+
+use crate::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+/// The flow-time at which every stress flow emits its closing packet —
+/// just past the paper's 15 s observation window, so the tracker
+/// completes the flow immediately rather than waiting for idle timeout.
+pub const CLOSE_TS: f64 = 15.5;
+
+/// Shape of a stress dataset: many flows, few packets each.
+#[derive(Debug, Clone, Copy)]
+pub struct StressConfig {
+    /// Number of flows to generate.
+    pub n_flows: usize,
+    /// Number of classes (flow `i` gets class `i % n_classes`).
+    pub n_classes: usize,
+    /// Data packets per flow inside the observation window, excluding
+    /// the closing packet. Must be at least 1.
+    pub pkts_per_flow: usize,
+}
+
+impl StressConfig {
+    /// The headline stress shape: one million distinct flows.
+    pub fn million() -> Self {
+        StressConfig {
+            n_flows: 1_000_000,
+            n_classes: 5,
+            pkts_per_flow: 6,
+        }
+    }
+
+    /// CI-sized: large enough to exercise done-set rotation and
+    /// prediction retention, small enough for a smoke job.
+    pub fn ci() -> Self {
+        StressConfig {
+            n_flows: 20_000,
+            n_classes: 5,
+            pkts_per_flow: 6,
+        }
+    }
+
+    /// Unit-test sized.
+    pub fn tiny() -> Self {
+        StressConfig {
+            n_flows: 200,
+            n_classes: 5,
+            pkts_per_flow: 6,
+        }
+    }
+}
+
+/// SplitMix64: the per-flow hash behind packet sizes and directions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stress dataset simulator, following the `Sim::new(cfg).generate(seed)`
+/// idiom of the dataset modules.
+#[derive(Debug, Clone, Copy)]
+pub struct StressSim {
+    config: StressConfig,
+}
+
+impl StressSim {
+    /// Builds a simulator for `config`.
+    pub fn new(config: StressConfig) -> Self {
+        assert!(config.n_flows >= 1, "need at least one flow");
+        assert!(config.n_classes >= 1, "need at least one class");
+        assert!(config.pkts_per_flow >= 1, "need at least one data packet");
+        StressSim { config }
+    }
+
+    /// Generates the dataset, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let cfg = self.config;
+        let flows = (0..cfg.n_flows)
+            .map(|i| {
+                let h = splitmix64(seed ^ splitmix64(i as u64));
+                // Data packets spread over the first 14 s; size and
+                // direction are class-tinted so the trace still has a
+                // learnable (if trivial) signal.
+                let class = (i % cfg.n_classes) as u16;
+                let step = 14.0 / cfg.pkts_per_flow as f64;
+                let mut pkts: Vec<Pkt> = (0..cfg.pkts_per_flow)
+                    .map(|j| {
+                        let hj = splitmix64(h.wrapping_add(j as u64 * 0x9E37));
+                        let base = 120 + 250 * class as u64;
+                        let size = (base + hj % 400).min(1500) as u16;
+                        let dir = if hj & 1 == 0 {
+                            Direction::Upstream
+                        } else {
+                            Direction::Downstream
+                        };
+                        Pkt::data(j as f64 * step, size, dir)
+                    })
+                    .collect();
+                pkts.push(Pkt::data(CLOSE_TS, 60, Direction::Upstream));
+                Flow {
+                    id: i as u64,
+                    class,
+                    partition: Partition::Unpartitioned,
+                    background: false,
+                    pkts,
+                }
+            })
+            .collect();
+        Dataset {
+            name: format!("stress-{}", cfg.n_flows),
+            class_names: (0..cfg.n_classes).map(|c| format!("class{c}")).collect(),
+            flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_flows_close_past_the_window() {
+        let ds = StressSim::new(StressConfig::tiny()).generate(7);
+        assert_eq!(ds.flows.len(), 200);
+        assert_eq!(ds.num_classes(), 5);
+        for f in &ds.flows {
+            assert!(f.is_well_formed());
+            assert_eq!(f.len(), StressConfig::tiny().pkts_per_flow + 1);
+            let last = f.pkts.last().unwrap();
+            assert_eq!(last.ts, CLOSE_TS);
+            assert!(last.ts > 15.0, "closing packet must cross the window");
+            // Every other packet stays inside the window.
+            for p in &f.pkts[..f.pkts.len() - 1] {
+                assert!(p.ts < 15.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stress_generation_is_deterministic() {
+        let a = StressSim::new(StressConfig::tiny()).generate(3);
+        let b = StressSim::new(StressConfig::tiny()).generate(3);
+        assert_eq!(a, b);
+        let c = StressSim::new(StressConfig::tiny()).generate(4);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn stress_ids_are_dense_and_distinct() {
+        let ds = StressSim::new(StressConfig::tiny()).generate(1);
+        for (i, f) in ds.flows.iter().enumerate() {
+            assert_eq!(f.id, i as u64);
+        }
+    }
+}

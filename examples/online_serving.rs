@@ -82,10 +82,12 @@ fn main() {
             norm: Normalization::LogMax,
             idle_timeout_s: 30.0,
             max_flows: 10_000,
+            done_horizon_s: 120.0,
         },
         EngineConfig {
             max_batch: 8,
             max_wait_s: 0.5,
+            ..EngineConfig::default()
         },
         swaps,
         &mut rec,

@@ -81,6 +81,7 @@ fn tracker_cfg() -> TrackerConfig {
         norm: Normalization::LogMax,
         idle_timeout_s: 60.0,
         max_flows: 10_000,
+        done_horizon_s: 120.0,
     }
 }
 
@@ -88,6 +89,7 @@ fn engine_cfg() -> EngineConfig {
     EngineConfig {
         max_batch: 4,
         max_wait_s: 0.5,
+        ..EngineConfig::default()
     }
 }
 
@@ -151,6 +153,7 @@ fn daemon_stream_with_hot_swap_matches_replay_bit_for_bit() {
                 tracker: tracker_cfg(),
                 engine: engine_cfg(),
                 workers: 1,
+                shards: 1,
             },
         )
         .unwrap();
@@ -230,6 +233,7 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 tracker: tracker_cfg(),
                 engine: engine_cfg(),
                 workers: 1,
+                shards: 1,
             },
         )
         .unwrap();
@@ -252,6 +256,8 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 max_batch: Some(2),
                 max_wait_ms: Some(100.0),
                 idle_timeout_s: Some(45.0),
+                max_flows: None,
+                pending_cap: None,
             })
             .unwrap(),
         CtlResponse::Ok

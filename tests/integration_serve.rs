@@ -78,6 +78,7 @@ fn tracker_cfg() -> TrackerConfig {
         norm: Normalization::LogMax,
         idle_timeout_s: 60.0,
         max_flows: 10_000,
+        done_horizon_s: 120.0,
     }
 }
 
@@ -97,6 +98,7 @@ fn predictions_are_batch_size_invariant() {
             EngineConfig {
                 max_batch,
                 max_wait_s: 0.2,
+                ..EngineConfig::default()
             },
             Vec::new(),
             &mut rec,
@@ -169,6 +171,7 @@ fn sparse_and_dense_replays_are_byte_identical() {
             EngineConfig {
                 max_batch: 8,
                 max_wait_s: 0.2,
+                ..EngineConfig::default()
             },
             Vec::new(),
             &mut rec,
@@ -257,6 +260,7 @@ fn hot_swap_mid_replay_classifies_every_flow() {
         EngineConfig {
             max_batch: 4,
             max_wait_s: 0.5,
+            ..EngineConfig::default()
         },
         vec![ScheduledSwap {
             at_packet: trace.len() / 2,

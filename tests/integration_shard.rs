@@ -1,0 +1,339 @@
+//! Sharded dataplane: determinism across worker counts, equivalence of
+//! one shard with the unsharded replay loop, and bounded memory under a
+//! long stream of distinct flows.
+
+use std::sync::Arc;
+
+use serve::engine::{Classifier, CnnClassifier, EngineConfig};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{replay, trace_from_dataset, ScheduledSwap};
+use serve::shard::{replay_sharded, ShardedPipeline};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::Noop;
+use trafficgen::stress::{StressConfig, StressSim};
+
+const RES: usize = 16;
+
+/// A deterministic, compute-free classifier so the soak and scheduling
+/// tests measure the dataplane, not the CNN forward pass. The label and
+/// confidence are pure functions of the input, so any partition or
+/// merge-order bug in the sharded path shows up as a changed bit.
+struct StubClassifier {
+    fingerprint: u64,
+    names: Vec<String>,
+}
+
+impl StubClassifier {
+    fn new(fingerprint: u64, n_classes: usize) -> StubClassifier {
+        StubClassifier {
+            fingerprint,
+            names: (0..n_classes).map(|c| format!("class{c}")).collect(),
+        }
+    }
+}
+
+impl Classifier for StubClassifier {
+    fn n_classes(&self) -> usize {
+        self.names.len()
+    }
+
+    fn class_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)> {
+        inputs
+            .iter()
+            .map(|x| {
+                let mut acc = self.fingerprint;
+                for v in x {
+                    acc = acc.rotate_left(7).wrapping_add(u64::from(v.to_bits()));
+                }
+                let label = (acc % self.names.len() as u64) as usize;
+                let confidence = 0.2 + (acc % 1000) as f32 / 1250.0;
+                (label, confidence)
+            })
+            .collect()
+    }
+}
+
+fn cnn_model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 5, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 5,
+        dropout: true,
+        class_names: (0..5).map(|c| format!("class{c}")).collect(),
+        weights: net.export_weights(),
+    }
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig {
+        flowpic: flowpic::FlowpicConfig::with_resolution(RES),
+        norm: flowpic::Normalization::LogMax,
+        idle_timeout_s: 60.0,
+        max_flows: 10_000,
+        done_horizon_s: 120.0,
+    }
+}
+
+fn engine_cfg(max_batch: usize) -> EngineConfig {
+    EngineConfig {
+        max_batch,
+        max_wait_s: 0.3,
+        ..EngineConfig::default()
+    }
+}
+
+/// Raw-bit view of a prediction list: order-sensitive on purpose — the
+/// sharded merge order is part of the determinism contract.
+fn bits(predictions: &[serve::engine::Prediction]) -> Vec<(u64, usize, u32)> {
+    predictions
+        .iter()
+        .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+        .collect()
+}
+
+#[test]
+fn fixed_shard_count_is_bit_identical_at_any_worker_count() {
+    let ds = StressSim::new(StressConfig {
+        n_flows: 400,
+        n_classes: 5,
+        pkts_per_flow: 6,
+    })
+    .generate(17);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+
+    let run_with = |workers: usize| {
+        let registry = Arc::new(ModelRegistry::new(
+            Arc::new(StubClassifier::new(0xAB, 5)) as Arc<dyn Classifier>
+        ));
+        replay_sharded(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(8),
+            Vec::new(),
+            4,
+            workers,
+            &mut Noop,
+        )
+        .unwrap()
+    };
+    let w1 = run_with(1);
+    assert_eq!(w1.shards, 4);
+    assert_eq!(
+        w1.predictions.len(),
+        ds.flows.len(),
+        "every stress flow closes past the window, so every flow classifies"
+    );
+    for workers in [2, 4, 0] {
+        let wn = run_with(workers);
+        assert_eq!(
+            bits(&w1.predictions),
+            bits(&wn.predictions),
+            "{workers} workers changed a prediction bit"
+        );
+        assert_eq!(w1.batches, wn.batches);
+        assert_eq!(w1.evicted, wn.evicted);
+        assert_eq!(w1.swaps, wn.swaps);
+    }
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_the_unsharded_replay() {
+    let ds = StressSim::new(StressConfig {
+        n_flows: 60,
+        n_classes: 5,
+        pkts_per_flow: 6,
+    })
+    .generate(9);
+    let trace = trace_from_dataset(&ds, 0.2, 1.0);
+    let served = cnn_model(3);
+
+    let serial = {
+        let cnn = CnnClassifier::from_served(&served, 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(4),
+            Vec::new(),
+            &mut Noop,
+        )
+        .unwrap()
+    };
+    let sharded = {
+        let cnn = CnnClassifier::from_served(&served, 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        replay_sharded(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(4),
+            Vec::new(),
+            1,
+            1,
+            &mut Noop,
+        )
+        .unwrap()
+    };
+    // One lane sees the identical packet sequence the serial loop does,
+    // so even the prediction *order* matches.
+    assert_eq!(bits(&serial.predictions), bits(&sharded.predictions));
+    assert_eq!(serial.batches, sharded.batches);
+    assert_eq!(serial.evicted, sharded.evicted);
+    assert_eq!(sharded.shards, 1);
+}
+
+#[test]
+fn sharded_hot_swap_applies_once_and_stays_worker_invariant() {
+    let ds = StressSim::new(StressConfig {
+        n_flows: 300,
+        n_classes: 5,
+        pkts_per_flow: 6,
+    })
+    .generate(21);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+
+    let run_with = |shards: usize, workers: usize| {
+        let registry = Arc::new(ModelRegistry::new(
+            Arc::new(StubClassifier::new(0x0A, 5)) as Arc<dyn Classifier>
+        ));
+        let swap = ScheduledSwap {
+            at_packet: trace.len() / 2,
+            model: Arc::new(StubClassifier::new(0x0B, 5)),
+        };
+        replay_sharded(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(8),
+            vec![swap],
+            shards,
+            workers,
+            &mut Noop,
+        )
+        .unwrap()
+    };
+    let base = run_with(3, 1);
+    assert_eq!(base.swaps, 1, "the schedule is reported once, not per lane");
+    assert_eq!(base.predictions.len(), ds.flows.len());
+    for workers in [2, 4] {
+        let wn = run_with(3, workers);
+        assert_eq!(bits(&base.predictions), bits(&wn.predictions));
+        assert_eq!(wn.swaps, 1);
+    }
+
+    // One shard with the same schedule matches the serial loop bit for
+    // bit — the per-lane swap rule degenerates to the serial one.
+    let serial = {
+        let registry = Arc::new(ModelRegistry::new(
+            Arc::new(StubClassifier::new(0x0A, 5)) as Arc<dyn Classifier>
+        ));
+        replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            engine_cfg(8),
+            vec![ScheduledSwap {
+                at_packet: trace.len() / 2,
+                model: Arc::new(StubClassifier::new(0x0B, 5)),
+            }],
+            &mut Noop,
+        )
+        .unwrap()
+    };
+    let one = run_with(1, 1);
+    assert_eq!(bits(&serial.predictions), bits(&one.predictions));
+    assert_eq!(serial.swaps, one.swaps);
+}
+
+/// The long-stream soak: a CI-scale stress trace (20k distinct flows)
+/// through a daemon-shaped pipeline — bounded retention, nothing ever
+/// draining predictions — must classify every flow while every
+/// unbounded-memory proxy stays flat: the done-set holds at most two
+/// horizons of flow ids, pending predictions cap per lane, and the
+/// latency ring keeps its window.
+#[test]
+fn soak_long_stream_of_distinct_flows_stays_bounded() {
+    let config = StressConfig::ci();
+    let ds = StressSim::new(config).generate(5);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+
+    let registry = Arc::new(ModelRegistry::new(
+        Arc::new(StubClassifier::new(0x5A, 5)) as Arc<dyn Classifier>
+    ));
+    let tracker = TrackerConfig {
+        done_horizon_s: 10.0,
+        ..tracker_cfg()
+    };
+    let engine = EngineConfig {
+        max_batch: 8,
+        max_wait_s: 0.3,
+        pending_cap: 64,
+        latency_window: 16,
+        ..EngineConfig::default()
+    };
+    let shards = 2;
+    let mut pipeline = ShardedPipeline::new(&registry, tracker, engine, shards);
+    let mut done_len_high = 0usize;
+    let mut pending_high = 0usize;
+    for (i, rec) in trace.iter().enumerate() {
+        pipeline.push(rec, &mut Noop);
+        if i % 4096 == 0 {
+            done_len_high = done_len_high.max(pipeline.done_len());
+            pending_high = pending_high.max(pipeline.predictions_pending());
+        }
+    }
+    let end_ts = trace.last().unwrap().ts;
+    pipeline.flush_and_drain(end_ts, &mut Noop);
+    done_len_high = done_len_high.max(pipeline.done_len());
+    pending_high = pending_high.max(pipeline.predictions_pending());
+
+    assert_eq!(
+        pipeline.flows_classified(),
+        config.n_flows,
+        "every stress flow must classify"
+    );
+    // Done-set: ~200 completions per 10 s horizon at a 50 ms flow gap,
+    // two generations retained — far below the lifetime flow count.
+    assert!(
+        done_len_high <= 1_000,
+        "done-set grew to {done_len_high} over {} flows",
+        config.n_flows
+    );
+    // Pending predictions: bounded by the per-lane cap even though no
+    // client ever drained them; the overflow is counted, not lost
+    // silently.
+    assert!(
+        pending_high <= shards * engine.pending_cap,
+        "pending predictions grew to {pending_high}"
+    );
+    assert_eq!(
+        pipeline.predictions_pending() + pipeline.predictions_dropped(),
+        config.n_flows,
+        "dropped + retained must account for every prediction"
+    );
+    assert!(pipeline.predictions_dropped() > 0, "the soak must overflow");
+    // Latency ring: bounded per lane.
+    assert!(pipeline.recent_wall_ms().len() <= shards * engine.latency_window);
+    // Draining empties the buffer without touching the lifetime counter.
+    let retained = pipeline.predictions_pending();
+    let drained = pipeline.take_predictions();
+    assert_eq!(
+        drained.len(),
+        retained,
+        "drain returns exactly the retained predictions"
+    );
+    assert_eq!(pipeline.predictions_pending(), 0);
+    assert_eq!(pipeline.flows_classified(), config.n_flows);
+}
