@@ -10,10 +10,12 @@
 //! Each shape runs at its realistic input density (a mini flowpic holds
 //! ~50 packets in 1024 cells ≈ 5%; a full flowpic holds a few thousand
 //! packets in 2.25M cells ≪ 0.1%) with the kernels forced dense
-//! (`set_sparsity_threshold(0.0)`) and forced sparse (`1.1`). Both
-//! paths produce bit-identical outputs (pinned by the
-//! `conv_dense_vs_sparse_bit_identity_sweep` test), so the comparison
-//! is pure wall-clock. Results belong in
+//! (`set_sparsity_threshold(0.0)`), forced sparse (`1.1`), and forced
+//! dense with the im2col+GEMM path armed (`set_gemm(true)`). Dense and
+//! sparse produce bit-identical outputs (pinned by the
+//! `conv_dense_vs_sparse_bit_identity_sweep` test); GEMM re-associates
+//! the accumulation and is tolerance-pinned instead, so all three
+//! comparisons are pure wall-clock. Results belong in
 //! `bench_results/conv_kernels.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -46,11 +48,20 @@ fn sparse_input(hw: usize, density: f64, seed: u64) -> Tensor {
     Tensor::new(&[1, 1, hw, hw], data)
 }
 
-fn conv_for(shape: &Shape, threshold: f32) -> Conv2d {
+fn conv_for(shape: &Shape, threshold: f32, gemm: bool) -> Conv2d {
     let mut conv = Conv2d::with_stride(1, shape.out_c, shape.kernel, shape.stride, 71);
     conv.set_sparsity_threshold(threshold);
+    conv.set_gemm(gemm);
     conv
 }
+
+/// The benched kernel paths: forced dense, forced sparse, and forced
+/// dense through the im2col+GEMM route.
+const PATHS: [(&str, f32, bool); 3] = [
+    ("dense", 0.0, false),
+    ("sparse", 1.1, false),
+    ("gemm", 0.0, true),
+];
 
 struct Shape {
     name: &'static str,
@@ -83,8 +94,8 @@ const SHAPES: [Shape; 2] = [
 fn bench_forward(c: &mut Criterion) {
     for shape in &SHAPES {
         let x = sparse_input(shape.hw, shape.density, 3);
-        for (path, threshold) in [("dense", 0.0f32), ("sparse", 1.1)] {
-            let conv = conv_for(shape, threshold);
+        for (path, threshold, gemm) in PATHS {
+            let conv = conv_for(shape, threshold, gemm);
             c.bench_function(&format!("conv/{}_forward_{path}", shape.name), |b| {
                 b.iter(|| black_box(conv.forward_eval(&x)))
             });
@@ -95,8 +106,8 @@ fn bench_forward(c: &mut Criterion) {
 fn bench_backward(c: &mut Criterion) {
     for shape in &SHAPES {
         let x = sparse_input(shape.hw, shape.density, 3);
-        for (path, threshold) in [("dense", 0.0f32), ("sparse", 1.1)] {
-            let conv = conv_for(shape, threshold);
+        for (path, threshold, gemm) in PATHS {
+            let conv = conv_for(shape, threshold, gemm);
             let mut tape = Tape::new();
             let out = conv.forward(&x, true, &mut tape);
             // Dense upstream gradient: the speedup here comes from the

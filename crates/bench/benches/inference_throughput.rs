@@ -5,6 +5,8 @@
 //! * `serve/cnn_batch{N}_workers{W}` — one `Classifier::predict_batch`
 //!   call on the mini (LeNet-5) net at 32×32, isolating the micro-batch
 //!   forward pass the InferenceEngine issues per flush;
+//!   `serve/cnn_batch{N}_workers{W}_int8` is the same call through the
+//!   quantized eval lane (`QuantMode::Int8`);
 //! * `serve/replay_*` — the whole serving loop (tracker + incremental
 //!   flowpics + micro-batcher) over a synthetic trace, the figure that
 //!   corresponds to `tcb serve --replay`'s samples/sec report;
@@ -23,7 +25,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use flowpic::{FlowpicConfig, Normalization};
-use serve::engine::{Classifier, CnnClassifier, EngineConfig};
+use serve::engine::{Classifier, CnnClassifier, EngineConfig, QuantMode};
 use serve::registry::{ModelRegistry, ServedModel};
 use serve::replay::{replay, trace_from_dataset};
 use serve::shard::replay_sharded;
@@ -107,6 +109,12 @@ fn bench_cnn_batches(c: &mut Criterion) {
             b.iter(|| black_box(cnn.predict_batch(&x)))
         });
     }
+    // The quantized eval lane at the engine's bread-and-butter shape.
+    let int8 = CnnClassifier::from_served_quant(&model, 1, QuantMode::Int8).unwrap();
+    let x = inputs(32);
+    c.bench_function("serve/cnn_batch32_workers1_int8", |b| {
+        b.iter(|| black_box(int8.predict_batch(&x)))
+    });
 }
 
 fn bench_replay(c: &mut Criterion) {

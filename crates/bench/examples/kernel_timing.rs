@@ -1,0 +1,149 @@
+//! Hand-rolled wall-clock medians for the conv-kernel paths and the
+//! serving forward, mirroring the criterion benches (which the offline
+//! criterion stub cannot time). Prints one line per case; medians go
+//! into `bench_results/conv_kernels.json` / `inference_throughput.json`.
+
+use std::time::Instant;
+
+use nettensor::layers::{Conv2d, Layer};
+use nettensor::tape::Tape;
+use nettensor::tensor::Tensor;
+use serve::engine::{Classifier, CnnClassifier, QuantMode};
+use serve::registry::ServedModel;
+use tcbench::arch::supervised_net;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn sparse_input(hw: usize, density: f64, seed: u64) -> Tensor {
+    let data: Vec<f32> = (0..hw * hw)
+        .map(|i| {
+            let h = splitmix64(seed.wrapping_add(i as u64));
+            if (h % 1_000_000) as f64 / 1e6 < density {
+                0.5 + 2.0 * ((splitmix64(h) % 1000) as f32 / 1000.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::new(&[1, 1, hw, hw], data)
+}
+
+fn median_ms(mut f: impl FnMut(), samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    struct Shape {
+        name: &'static str,
+        hw: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        density: f64,
+    }
+    let shapes = [
+        Shape {
+            name: "mini32_d5pct",
+            hw: 32,
+            out_c: 6,
+            kernel: 5,
+            stride: 1,
+            density: 0.05,
+        },
+        Shape {
+            name: "full1500_d0.08pct",
+            hw: 1500,
+            out_c: 10,
+            kernel: 10,
+            stride: 5,
+            density: 0.0008,
+        },
+    ];
+    for shape in &shapes {
+        let x = sparse_input(shape.hw, shape.density, 3);
+        for (path, threshold, gemm) in [
+            ("dense", 0.0f32, false),
+            ("sparse", 1.1, false),
+            ("gemm", 0.0, true),
+        ] {
+            let mut conv = Conv2d::with_stride(1, shape.out_c, shape.kernel, shape.stride, 71);
+            conv.set_sparsity_threshold(threshold);
+            conv.set_gemm(gemm);
+            let ms = median_ms(
+                || {
+                    std::hint::black_box(conv.forward_eval(&x));
+                },
+                samples,
+            );
+            println!("conv/{}_forward_{path} {ms:.3} ms", shape.name);
+
+            let mut tape = Tape::new();
+            let out = conv.forward(&x, true, &mut tape);
+            let g = Tensor::new(
+                &out.shape,
+                (0..out.data.len())
+                    .map(|i| ((splitmix64(i as u64) % 1000) as f32 / 1000.0) - 0.5)
+                    .collect(),
+            );
+            let ms = median_ms(
+                || {
+                    let mut grads: Vec<Tensor> = conv
+                        .params()
+                        .iter()
+                        .map(|p| Tensor::zeros(&p.shape))
+                        .collect();
+                    std::hint::black_box(conv.backward(&tape.entries[0], &g, &mut grads));
+                },
+                samples,
+            );
+            println!("conv/{}_backward_{path} {ms:.3} ms", shape.name);
+        }
+    }
+
+    // Serving forward, batch 32 at 32x32 — f32 vs int8.
+    const RES: usize = 32;
+    let net = supervised_net(RES, 5, true, 1);
+    let model = ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 5,
+        dropout: true,
+        class_names: (0..5).map(|i| format!("class{i}")).collect(),
+        weights: net.export_weights(),
+    };
+    let x: Vec<Vec<f32>> = (0..32)
+        .map(|i| {
+            (0..RES * RES)
+                .map(|j| (splitmix64((i * RES * RES + j) as u64) % 1000) as f32 / 1000.0)
+                .collect()
+        })
+        .collect();
+    for (label, quant) in [("f32", QuantMode::Off), ("int8", QuantMode::Int8)] {
+        let cnn = CnnClassifier::from_served_quant(&model, 1, quant).unwrap();
+        let ms = median_ms(
+            || {
+                std::hint::black_box(cnn.predict_batch(&x));
+            },
+            samples,
+        );
+        println!("serve/cnn_batch32_workers1_{label} {ms:.3} ms");
+    }
+}

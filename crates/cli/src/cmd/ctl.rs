@@ -22,9 +22,13 @@ verbs:\n\
   stats                      live counters + forward-latency quantiles\n\
   set-config [--sparsity-threshold F] [--max-batch N] [--max-wait-ms F]\n\
              [--idle-timeout F] [--max-flows N] [--pending-cap N]\n\
+             [--quant off|int8]\n\
                              apply engine/tracker knobs to the live pipeline\n\
                              (caps are per dataplane lane; the shard count\n\
-                             itself is fixed at daemon startup)\n\
+                             itself is fixed at daemon startup; the threshold\n\
+                             must be a finite value in [0.0, 1.1]; --quant\n\
+                             switches the CNN eval lane between exact f32\n\
+                             and quantized int8)\n\
   send-trace --replay FILE [--rate 1.0] [--flow-gap-ms 400]\n\
                              stream a flowrec-derived packet trace\n\
   flush                      classify every still-open flow now\n\
@@ -73,19 +77,37 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "idle-timeout",
                     "max-flows",
                     "pending-cap",
+                    "quant",
                 ],
                 &[],
             )?;
             if flags.wants_help() {
                 return Ok(HELP.into());
             }
+            let threshold = flags.get_opt_parse::<f32>("sparsity-threshold")?;
+            if let Some(t) = threshold {
+                // Client-side mirror of the daemon's check: fail before
+                // touching the socket, with the same contract.
+                if !t.is_finite() || !(0.0..=1.1).contains(&t) {
+                    return Err(CliError::Usage(format!(
+                        "--sparsity-threshold must be a finite value in \
+                         [0.0, 1.1], got {t}"
+                    )));
+                }
+            }
+            let quant = flags.get("quant");
+            if let Some(q) = quant {
+                q.parse::<serve::engine::QuantMode>()
+                    .map_err(|e| CliError::Usage(format!("--quant: {e}")))?;
+            }
             let req = CtlRequest::SetConfig {
-                sparsity_threshold: flags.get_opt_parse::<f32>("sparsity-threshold")?,
+                sparsity_threshold: threshold,
                 max_batch: flags.get_opt_parse::<usize>("max-batch")?,
                 max_wait_ms: flags.get_opt_parse::<f64>("max-wait-ms")?,
                 idle_timeout_s: flags.get_opt_parse::<f64>("idle-timeout")?,
                 max_flows: flags.get_opt_parse::<usize>("max-flows")?,
                 pending_cap: flags.get_opt_parse::<usize>("pending-cap")?,
+                quant: quant.map(String::from),
             };
             if matches!(
                 req,
@@ -96,12 +118,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     idle_timeout_s: None,
                     max_flows: None,
                     pending_cap: None,
+                    quant: None,
                 }
             ) {
                 return Err(CliError::Usage(
                     "set-config needs at least one knob (--sparsity-threshold, \
                      --max-batch, --max-wait-ms, --idle-timeout, --max-flows, \
-                     --pending-cap)"
+                     --pending-cap, --quant)"
                         .into(),
                 ));
             }
@@ -231,6 +254,7 @@ mod tests {
             },
             workers: 1,
             shards: 2,
+            quant: serve::engine::QuantMode::Off,
         };
         let socket = std::path::PathBuf::from(socket);
         std::thread::spawn(move || {
@@ -326,6 +350,35 @@ mod tests {
         assert!(run("ctl", &argv(&["--socket", "/tmp/x"])).is_err());
         // set-config with nothing to set.
         assert!(run("ctl", &argv(&["set-config", "--socket", "/tmp/x"])).is_err());
+        // Out-of-range, non-finite, or NaN thresholds fail client-side
+        // as usage errors — the socket is never touched.
+        for bad in ["-0.5", "1.5", "NaN", "inf"] {
+            let err = run(
+                "ctl",
+                &argv(&[
+                    "set-config",
+                    "--socket",
+                    "/tmp/tcb-no-such.sock",
+                    "--sparsity-threshold",
+                    bad,
+                ]),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}: {err}");
+        }
+        // Same for an unknown quant mode.
+        let err = run(
+            "ctl",
+            &argv(&[
+                "set-config",
+                "--socket",
+                "/tmp/tcb-no-such.sock",
+                "--quant",
+                "fp4",
+            ]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
         // A dead socket is a runtime error, not a usage error.
         let err = run(
             "ctl",

@@ -7,7 +7,7 @@ use crate::cmd::common::{build_infer_observer, load_dataset, load_served_model};
 use crate::CliError;
 use flowpic::{FlowpicConfig, Normalization};
 use serve::daemon::{Daemon, DaemonConfig};
-use serve::engine::{CnnClassifier, EngineConfig};
+use serve::engine::{CnnClassifier, EngineConfig, QuantMode};
 use serve::registry::ModelRegistry;
 use serve::replay::{replay_dataset, FractionalSwap, ReplayConfig};
 use serve::tracker::TrackerConfig;
@@ -29,7 +29,9 @@ late packets within it are ignored)] [--flow-gap-ms 400 \
 (stagger between flow starts)] [--shards 1 (independent dataplane \
 lanes keyed by flow-id hash; a fixed count is bit-identical at any \
 worker count)] [--workers 1 (forward/lane workers; 0 = all cores; \
-any value gives bit-identical predictions)] \
+any value gives bit-identical predictions)] [--quant off (eval-lane \
+numeric mode: `off` = exact f32, `int8` = quantized eval lane — \
+faster, approximate, still batch/worker/shard invariant)] \
 [--log-jsonl PATH (one inference telemetry event per line)]\n\
 tcb serve --daemon --socket PATH --model MODEL [same engine/tracker \
 knobs incl. --shards] — host the pipeline behind a line-delimited JSON \
@@ -57,6 +59,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "flow-gap-ms",
             "shards",
             "workers",
+            "quant",
             "log-jsonl",
         ],
         &["daemon"],
@@ -70,6 +73,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if shards == 0 {
         return Err(CliError::Usage("--shards must be at least 1".into()));
     }
+    let quant = flags
+        .get("quant")
+        .unwrap_or("off")
+        .parse::<QuantMode>()
+        .map_err(|e| CliError::Usage(format!("--quant: {e}")))?;
     let tracker = TrackerConfig {
         flowpic: FlowpicConfig::with_resolution(model.resolution),
         norm: Normalization::LogMax,
@@ -85,12 +93,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         ..EngineConfig::default()
     };
     if flags.switch("daemon") {
-        return daemon_mode(&flags, model, tracker, engine, workers, shards);
+        return daemon_mode(&flags, model, tracker, engine, workers, shards, quant);
     }
-    replay_mode(&flags, model, tracker, engine, workers, shards)
+    replay_mode(&flags, model, tracker, engine, workers, shards, quant)
 }
 
 /// `--replay`: feed a flowrec-derived trace through a fresh pipeline.
+#[allow(clippy::too_many_arguments)]
 fn replay_mode(
     flags: &Flags,
     model: serve::registry::ServedModel,
@@ -98,9 +107,10 @@ fn replay_mode(
     engine: EngineConfig,
     workers: usize,
     shards: usize,
+    quant: QuantMode,
 ) -> Result<String, CliError> {
     let ds = load_dataset(flags.require("replay")?)?;
-    let cnn = CnnClassifier::from_served(&model, workers)
+    let cnn = CnnClassifier::from_served_quant(&model, workers, quant)
         .map_err(|e| CliError::Parse(format!("model: {e}")))?;
     let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
 
@@ -121,7 +131,7 @@ fn replay_mode(
     match flags.get("model2") {
         Some(path2) => {
             let second = load_served_model(path2)?;
-            let cnn2 = CnnClassifier::from_served(&second, workers)
+            let cnn2 = CnnClassifier::from_served_quant(&second, workers, quant)
                 .map_err(|e| CliError::Parse(format!("model2: {e}")))?;
             let frac = flags.get_parse::<f64>("swap-at", 0.5)?;
             if !(0.0..=1.0).contains(&frac) {
@@ -146,6 +156,7 @@ fn replay_mode(
 
 /// `--daemon`: bind the Unix socket and serve control-plane requests
 /// until a `shutdown` request arrives.
+#[allow(clippy::too_many_arguments)]
 fn daemon_mode(
     flags: &Flags,
     model: serve::registry::ServedModel,
@@ -153,6 +164,7 @@ fn daemon_mode(
     engine: EngineConfig,
     workers: usize,
     shards: usize,
+    quant: QuantMode,
 ) -> Result<String, CliError> {
     let socket = flags
         .get("socket")
@@ -165,6 +177,7 @@ fn daemon_mode(
             engine,
             workers,
             shards,
+            quant,
         },
     )
     .map_err(|e| CliError::Parse(format!("model: {e}")))?;
@@ -363,9 +376,54 @@ mod tests {
         .is_err());
         // --daemon without --socket has nowhere to listen.
         assert!(run("serve", &argv(&["--daemon", "--model", &model])).is_err());
+        // An unknown quant mode is a usage error, not a late panic.
+        assert!(run(
+            "serve",
+            &argv(&["--replay", &data, "--model", &model, "--quant", "fp4"]),
+        )
+        .is_err());
         // A model file that is neither format is a parse error.
         let bogus = tmp("serve-bogus.model");
         std::fs::write(&bogus, "not a model").unwrap();
         assert!(run("serve", &argv(&["--replay", &data, "--model", &bogus])).is_err());
+    }
+
+    #[test]
+    fn serve_quant_off_matches_the_default_and_int8_replays() {
+        let data = tmp("serve-quant.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "ucdavis19",
+                "--scale",
+                "tiny",
+                "--seed",
+                "9",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        let model = write_served_model("serve-quant.ckpt", 16, 5, 4);
+        let run_with = |extra: &[&str]| {
+            let mut args = vec!["--replay", &data, "--model", &model];
+            args.extend_from_slice(extra);
+            run("serve", &argv(&args)).unwrap()
+        };
+        // The wall-clock-free tail of the report (per-class counts) is
+        // the prediction-derived part.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("  "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // --quant off is the default path, bit for bit.
+        let default = run_with(&[]);
+        assert_eq!(tail(&default), tail(&run_with(&["--quant", "off"])));
+        // --quant int8 replays end to end and classifies the same flows.
+        let int8 = run_with(&["--quant", "int8"]);
+        assert!(int8.contains("flows classified"), "{int8}");
     }
 }

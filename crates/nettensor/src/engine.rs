@@ -169,7 +169,9 @@ impl BatchEngine {
     /// order. Eval-mode math is per-sample, so the result is bit-identical
     /// to an unsharded `model.predict(input)` at any worker count or shard
     /// size — the property the serving engine's batch-size-invariance
-    /// tests pin down.
+    /// tests pin down. This holds for the approximate eval lanes too:
+    /// the int8 lane's activation scales are per-*sample* (never
+    /// per-batch), so sharding cannot change which scale a sample sees.
     pub fn predict(&self, model: &Sequential, input: &Tensor) -> Tensor {
         let n = input.batch();
         assert!(n >= 1, "BatchEngine::predict on an empty batch");

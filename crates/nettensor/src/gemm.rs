@@ -1,0 +1,409 @@
+//! im2col lowering, cache-blocked GEMM microkernels and int8
+//! quantization primitives — the dense-regime fast path behind
+//! [`crate::layers::Conv2d`]'s opt-in GEMM dispatch and the serving
+//! int8 eval lane.
+//!
+//! The sparse kernels of `crate::sparse` win when a flowpic is almost
+//! all zeros; at and above the sparsity threshold the direct dense
+//! loops are the fallback, and their access pattern (stride-`s` input
+//! reads per weight tap) is what these kernels replace: lower each
+//! sample to a row-major *patches* matrix `[OH·OW, C·K·K]` once
+//! ([`im2col`]), then run the convolution as a blocked matrix multiply
+//! with contiguous, unrollable inner products.
+//!
+//! ## Accumulation-order contract
+//!
+//! Unlike the sparse kernels, the GEMM kernels do **not** reproduce the
+//! direct loops' accumulation order: [`gemm_nt`] splits each dot
+//! product across four partial accumulators and [`gemm_nn_acc`] sums in
+//! `k`-major order, so results agree with the direct loops only to
+//! floating-point tolerance. That is why `Conv2d` keeps GEMM behind an
+//! explicit opt-in (`Layer::set_gemm`) and the default training tape
+//! and eval path stay on the order-identical kernels (see DESIGN.md
+//! §2i).
+
+/// Lowers one `[C, H, W]` sample to its im2col patches matrix.
+///
+/// Row `p = oi·OW + oj` of the output holds the receptive field of
+/// output position `(oi, oj)`, laid out `[C, K, K]` row-major — so with
+/// the weight tensor viewed as `[OC, C·K·K]`, output `(oc, p)` is the
+/// dot product of weight row `oc` and patch row `p`. `out` is cleared
+/// and refilled (capacity is reused across samples).
+pub fn im2col(
+    input: &[f32],
+    (c, h, w): (usize, usize, usize),
+    k: usize,
+    stride: usize,
+    (oh, ow): (usize, usize),
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(input.len(), c * h * w, "sample length mismatch");
+    out.clear();
+    out.reserve(oh * ow * c * k * k);
+    for oi in 0..oh {
+        for oj in 0..ow {
+            for ic in 0..c {
+                for ki in 0..k {
+                    let base = (ic * h + oi * stride + ki) * w + oj * stride;
+                    out.extend_from_slice(&input[base..base + k]);
+                }
+            }
+        }
+    }
+}
+
+/// [`im2col`] over an int8 sample (the quantized eval lane shares the
+/// lowering).
+pub fn im2col_i8(
+    input: &[i8],
+    (c, h, w): (usize, usize, usize),
+    k: usize,
+    stride: usize,
+    (oh, ow): (usize, usize),
+    out: &mut Vec<i8>,
+) {
+    assert_eq!(input.len(), c * h * w, "sample length mismatch");
+    out.clear();
+    out.reserve(oh * ow * c * k * k);
+    for oi in 0..oh {
+        for oj in 0..ow {
+            for ic in 0..c {
+                for ki in 0..k {
+                    let base = (ic * h + oi * stride + ki) * w + oj * stride;
+                    out.extend_from_slice(&input[base..base + k]);
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds an im2col-shaped gradient back onto a `[C, H, W]`
+/// sample gradient — the adjoint of [`im2col`]. Cells read by several
+/// patches accumulate each patch's contribution.
+pub fn col2im_add(
+    col: &[f32],
+    (c, h, w): (usize, usize, usize),
+    k: usize,
+    stride: usize,
+    (oh, ow): (usize, usize),
+    grad: &mut [f32],
+) {
+    assert_eq!(grad.len(), c * h * w, "sample length mismatch");
+    assert_eq!(col.len(), oh * ow * c * k * k, "col length mismatch");
+    let mut p = 0usize;
+    for oi in 0..oh {
+        for oj in 0..ow {
+            for ic in 0..c {
+                for ki in 0..k {
+                    let base = (ic * h + oi * stride + ki) * w + oj * stride;
+                    for kj in 0..k {
+                        grad[base + kj] += col[p];
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` — both operands row-major with the
+/// shared dimension contiguous, so every output is a straight dot
+/// product of two cache-resident rows. Blocked over `b`'s rows (keeps a
+/// tile of patch rows hot in L1 while every weight row visits it) with
+/// a 4-way unrolled inner product.
+pub fn gemm_nt(a: &[f32], b: &[f32], m: usize, kdim: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * kdim, "A shape mismatch");
+    assert_eq!(b.len(), n * kdim, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    const NB: usize = 64;
+    for jb in (0..n).step_by(NB) {
+        let jend = (jb + NB).min(n);
+        for i in 0..m {
+            let ar = &a[i * kdim..(i + 1) * kdim];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in jb..jend {
+                let br = &b[j * kdim..(j + 1) * kdim];
+                orow[j] = dot_f32(ar, br);
+            }
+        }
+    }
+}
+
+/// 4-accumulator dot product (the register tile of [`gemm_nt`]).
+/// Reorders the sum relative to a sequential loop — part of the GEMM
+/// lane's tolerance (not bit-identity) contract.
+fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    let n4 = a.len() / 4 * 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0f32, 0f32, 0f32, 0f32);
+    let mut i = 0;
+    while i < n4 {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0f32;
+    for j in n4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `C[m,n] += A[m,k] · B[k,n]` — accumulating, row-major. The `ikj`
+/// loop order broadcasts one `A` scalar across a contiguous `B` row and
+/// a contiguous `C` row (vectorizable axpy), with the shared dimension
+/// blocked so a `B` tile stays cache-resident across `A` rows.
+pub fn gemm_nn_acc(a: &[f32], b: &[f32], m: usize, kdim: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * kdim, "A shape mismatch");
+    assert_eq!(b.len(), kdim * n, "B shape mismatch");
+    assert_eq!(out.len(), m * n, "C shape mismatch");
+    const KB: usize = 128;
+    for kb in (0..kdim).step_by(KB) {
+        let kend = (kb + KB).min(kdim);
+        for i in 0..m {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let av = a[i * kdim + kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Row-major transpose: `[rows, cols]` in, `[cols, rows]` out.
+pub fn transpose(a: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    assert_eq!(a.len(), rows * cols, "shape mismatch");
+    let mut out = vec![0f32; a.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Largest absolute value in `data` (0.0 for an empty or all-zero
+/// slice; NaNs are ignored so a poisoned activation cannot poison the
+/// scale).
+pub fn max_abs(data: &[f32]) -> f32 {
+    let mut m = 0f32;
+    for &v in data {
+        let a = v.abs();
+        if a > m {
+            m = a;
+        }
+    }
+    m
+}
+
+/// Symmetric int8 quantization: `q = round(v / scale)` clamped to
+/// `[-127, 127]`. A zero (or non-finite) scale maps everything to 0 —
+/// the caller's dequantize step multiplies by the same scale, so an
+/// all-zero tensor round-trips exactly.
+pub fn quantize_i8(data: &[f32], scale: f32, out: &mut Vec<i8>) {
+    out.clear();
+    out.reserve(data.len());
+    if scale == 0.0 || !scale.is_finite() {
+        out.resize(data.len(), 0);
+        return;
+    }
+    let inv = 1.0 / scale;
+    for &v in data {
+        let q = (v * inv).round();
+        // NaN → 0, ±inf saturate: `as` casts on floats clamp.
+        out.push(q.clamp(-127.0, 127.0) as i8);
+    }
+}
+
+/// Int32-accumulated int8 dot product — the quantized lane's microkernel.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+/// Per-output-channel symmetrically quantized weights: row `r` of a
+/// `[rows, row_len]` row-major weight view is quantized against its own
+/// scale `max|w[r,·]| / 127`. Computed once at serving-model load and
+/// reused for every batch.
+#[derive(Debug, Clone)]
+pub struct Int8Weights {
+    /// Quantized weights, same `[rows, row_len]` row-major layout.
+    pub q: Vec<i8>,
+    /// Per-row dequantization scale (`q * scale ≈ w`).
+    pub scale: Vec<f32>,
+    /// Row length (the reduction dimension).
+    pub row_len: usize,
+}
+
+impl Int8Weights {
+    /// Quantizes `w` viewed as `[rows, row_len]` row-major, one scale
+    /// per row.
+    pub fn per_channel(w: &[f32], rows: usize) -> Int8Weights {
+        assert!(
+            rows > 0 && w.len().is_multiple_of(rows),
+            "ragged weight view"
+        );
+        let row_len = w.len() / rows;
+        let mut q = Vec::with_capacity(w.len());
+        let mut scale = Vec::with_capacity(rows);
+        let mut row_q = Vec::new();
+        for r in 0..rows {
+            let row = &w[r * row_len..(r + 1) * row_len];
+            let s = max_abs(row) / 127.0;
+            quantize_i8(row, s, &mut row_q);
+            q.extend_from_slice(&row_q);
+            scale.push(s);
+        }
+        Int8Weights { q, scale, row_len }
+    }
+
+    /// Quantized row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.q[r * self.row_len..(r + 1) * self.row_len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn randf(seed: u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (splitmix64(seed.wrapping_add(i as u64)) % 2000) as f32 / 1000.0 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn im2col_known_2x2_kernel() {
+        // 1×3×3 sample, k=2, stride 1 → 4 patches of 4.
+        let x: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut col = Vec::new();
+        im2col(&x, (1, 3, 3), 2, 1, (2, 2), &mut col);
+        assert_eq!(
+            col,
+            vec![
+                1.0, 2.0, 4.0, 5.0, // (0,0)
+                2.0, 3.0, 5.0, 6.0, // (0,1)
+                4.0, 5.0, 7.0, 8.0, // (1,0)
+                5.0, 6.0, 8.0, 9.0, // (1,1)
+            ]
+        );
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the
+        // defining property the GEMM backward relies on.
+        let dims = (2usize, 5usize, 4usize);
+        let (k, s, ohw) = (2usize, 1usize, (4usize, 3usize));
+        let x = randf(3, dims.0 * dims.1 * dims.2);
+        let mut col = Vec::new();
+        im2col(&x, dims, k, s, ohw, &mut col);
+        let y = randf(4, col.len());
+        let lhs: f64 = col.iter().zip(&y).map(|(&a, &b)| (a * b) as f64).sum();
+        let mut back = vec![0f32; x.len()];
+        col2im_add(&y, dims, k, s, ohw, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_within_tolerance() {
+        let (m, kdim, n) = (3usize, 37usize, 70usize);
+        let a = randf(1, m * kdim);
+        let b = randf(2, n * kdim);
+        let mut c = vec![0f32; m * n];
+        gemm_nt(&a, &b, m, kdim, n, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let naive: f32 = (0..kdim).map(|p| a[i * kdim + p] * b[j * kdim + p]).sum();
+                assert!(
+                    (c[i * n + j] - naive).abs() <= 1e-4 * (1.0 + naive.abs()),
+                    "({i},{j}): {} vs {naive}",
+                    c[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_acc_matches_naive_and_accumulates() {
+        let (m, kdim, n) = (4usize, 150usize, 23usize);
+        let a = randf(5, m * kdim);
+        let b = randf(6, kdim * n);
+        let mut c = vec![1.0f32; m * n];
+        gemm_nn_acc(&a, &b, m, kdim, n, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let naive: f32 = (0..kdim).map(|p| a[i * kdim + p] * b[p * n + j]).sum();
+                assert!(
+                    (c[i * n + j] - (1.0 + naive)).abs() <= 1e-3 * (1.0 + naive.abs()),
+                    "({i},{j}): {} vs {}",
+                    c[i * n + j],
+                    1.0 + naive
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = randf(9, 6 * 4);
+        let t = transpose(&a, 6, 4);
+        assert_eq!(transpose(&t, 4, 6), a);
+        assert_eq!(t[2 * 6 + 3], a[3 * 4 + 2]);
+    }
+
+    #[test]
+    fn quantize_round_trips_within_half_step() {
+        let data = randf(11, 257);
+        let scale = max_abs(&data) / 127.0;
+        let mut q = Vec::new();
+        quantize_i8(&data, scale, &mut q);
+        for (&v, &qq) in data.iter().zip(&q) {
+            assert!((qq as f32 * scale - v).abs() <= 0.5 * scale + 1e-7);
+        }
+        // Zero scale (all-zero tensor) round-trips exactly.
+        quantize_i8(&[0.0; 4], 0.0, &mut q);
+        assert_eq!(q, vec![0i8; 4]);
+        // Non-finite values cannot escape the clamp.
+        quantize_i8(&[f32::NAN, f32::INFINITY, -f32::INFINITY], 1.0, &mut q);
+        assert_eq!(q, vec![0i8, 127, -127]);
+    }
+
+    #[test]
+    fn per_channel_scales_are_independent() {
+        // Row 0 spans ±1, row 1 spans ±100: one shared scale would
+        // crush row 0 to ±1 step; per-channel keeps both at full range.
+        let w = vec![1.0, -0.5, 0.25, -1.0, 100.0, -50.0, 25.0, -100.0];
+        let iw = Int8Weights::per_channel(&w, 2);
+        assert_eq!(iw.row_len, 4);
+        assert_eq!(iw.row(0), &[127, -64, 32, -127]);
+        assert_eq!(iw.row(1), &[127, -64, 32, -127]);
+        assert!((iw.scale[0] - 1.0 / 127.0).abs() < 1e-9);
+        assert!((iw.scale[1] - 100.0 / 127.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_i8_accumulates_in_i32() {
+        let a = vec![127i8; 300];
+        let b = vec![127i8; 300];
+        // 300 · 127² = 4 838 700 — would overflow i16 arithmetic.
+        assert_eq!(dot_i8(&a, &b), 300 * 127 * 127);
+    }
+}

@@ -2,11 +2,7 @@
 //! of the paper's LeNet-5 "mini" architectures (stride 1) and the
 //! strided first stages of the 1500×1500 "full-flowpic" network.
 //!
-//! Implemented as direct loops rather than im2col: the paper's inputs are
-//! extremely sparse (a 32×32 flowpic has at most a few hundred non-zero
-//! cells, a 1500×1500 one is >99.9 % zeros), so materializing the im2col
-//! matrix would waste both memory and time. Two kernel families share
-//! the layer:
+//! Three kernel families share the layer:
 //!
 //! * **dense** direct loops over every input cell; the forward skips
 //!   zero-*weight* taps (`weight == 0.0` contributes nothing to any
@@ -16,19 +12,37 @@
 //!   *input* (they read only input cells), while the input-gradient
 //!   pass indexes `grad_out` — `dL/dx` is non-zero wherever the output
 //!   gradient is, *not* where the input is, so input-zero skipping
-//!   there would be wrong.
+//!   there would be wrong;
+//! * **GEMM** ([`crate::gemm`]): im2col lowering plus blocked matrix
+//!   multiply for the dense regime, opt-in via [`Layer::set_gemm`].
+//!   Blocked accumulation reorders sums, so this lane matches the
+//!   direct loops only to floating-point tolerance — the training
+//!   *forward* (which feeds the tape) and the default eval path stay on
+//!   the order-identical kernels; with GEMM enabled, `forward_eval`
+//!   takes it in the dense regime and `backward` replaces the fused
+//!   dense nest with the GEMM adjoint.
+//!
+//! On top of these, [`Layer::prepare_int8_eval`] arms an int8-quantized
+//! `forward_eval` lane for serving: per-output-channel symmetric weight
+//! quantization computed once, per-*sample* activation scales (so the
+//! lane is invariant to batching/sharding), i32 accumulation, f32
+//! dequantize + bias. Approximate by construction; training and the
+//! exact lanes are untouched.
 //!
 //! Dispatch is per call: densities below the layer's sparsity threshold
 //! ([`DEFAULT_SPARSITY_THRESHOLD`], tunable via
 //! [`Layer::set_sparsity_threshold`]) take the sparse path; post-ReLU
-//! activations in deeper layers are dense and keep the dense loops. Both
-//! paths are **bit-identical**: each accumulator sees its surviving
-//! addends in exactly the dense order and only exact-`±0.0` addends are
-//! dropped (see `crate::sparse` for the IEEE-754 argument; asserted
-//! dense-vs-sparse at densities 0–100 % by the workspace proptests).
+//! activations in deeper layers are dense and keep the dense loops.
+//! Forced sentinel thresholds resolve via [`forced_path`] without the
+//! O(len) density probe. Sparse and dense paths are **bit-identical**:
+//! each accumulator sees its surviving addends in exactly the dense
+//! order and only exact-`±0.0` addends are dropped (see `crate::sparse`
+//! for the IEEE-754 argument; asserted dense-vs-sparse at densities
+//! 0–100 % by the workspace proptests).
 
 use super::Layer;
-use crate::sparse::{analyze, CsrIndex, DEFAULT_SPARSITY_THRESHOLD};
+use crate::gemm;
+use crate::sparse::{analyze, forced_path, CsrIndex, DEFAULT_SPARSITY_THRESHOLD};
 use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
@@ -44,6 +58,12 @@ pub struct Conv2d {
     b: Tensor,
     /// Input densities strictly below this take the sparse kernels.
     sparsity_threshold: f32,
+    /// When set, the dense regime of `forward_eval`/`backward` runs the
+    /// im2col+GEMM kernels (tolerance, not bit-identity).
+    gemm: bool,
+    /// Armed by [`Layer::prepare_int8_eval`]: per-channel quantized
+    /// weights for the int8 `forward_eval` lane.
+    int8: Option<gemm::Int8Weights>,
 }
 
 impl Conv2d {
@@ -71,6 +91,8 @@ impl Conv2d {
             w: Tensor::kaiming_uniform(&[out_channels, in_channels, kernel, kernel], fan_in, seed),
             b: Tensor::kaiming_uniform(&[out_channels], fan_in, seed.wrapping_add(1)),
             sparsity_threshold: DEFAULT_SPARSITY_THRESHOLD,
+            gemm: false,
+            int8: None,
         }
     }
 
@@ -86,10 +108,8 @@ impl Conv2d {
         )
     }
 
-    /// The pure convolution, shared by the training forward (which also
-    /// tapes the input) and the tape-free eval path. Probes input
-    /// density and dispatches dense or sparse.
-    fn compute(&self, input: &Tensor) -> Tensor {
+    /// Validates `[N,C,H,W]` and returns `((n,c,h,w), (oh,ow))`.
+    fn checked_dims(&self, input: &Tensor) -> ((usize, usize, usize, usize), (usize, usize)) {
         assert_eq!(
             input.shape.len(),
             4,
@@ -103,12 +123,169 @@ impl Conv2d {
             input.shape[3],
         );
         assert_eq!(c, self.in_channels, "channel mismatch");
-        let (oh, ow) = self.out_hw(h, w);
-        if analyze(&input.data).density() < self.sparsity_threshold {
-            self.forward_sparse(input, (n, c, h, w), (oh, ow))
+        ((n, c, h, w), self.out_hw(h, w))
+    }
+
+    /// Does the sparse path win for `data` under this layer's threshold?
+    /// Sentinel thresholds resolve without the O(len) density probe.
+    fn take_sparse(&self, data: &[f32]) -> bool {
+        forced_path(self.sparsity_threshold)
+            .unwrap_or_else(|| analyze(data).density() < self.sparsity_threshold)
+    }
+
+    /// The exact convolution — the training forward (which also tapes
+    /// the input) and the default eval path. Dispatches dense or sparse
+    /// only: both are order-identical, so the tape never sees GEMM bits.
+    fn compute(&self, input: &Tensor) -> Tensor {
+        let (dims, ohw) = self.checked_dims(input);
+        if self.take_sparse(&input.data) {
+            self.forward_sparse(input, dims, ohw)
         } else {
-            self.forward_dense(input, (n, c, h, w), (oh, ow))
+            self.forward_dense(input, dims, ohw)
         }
+    }
+
+    /// The eval-lane convolution: int8 if armed, else sparse/GEMM/dense
+    /// by density and the GEMM opt-in.
+    fn compute_eval(&self, input: &Tensor) -> Tensor {
+        let (dims, ohw) = self.checked_dims(input);
+        if let Some(q) = &self.int8 {
+            return self.forward_int8(input, dims, ohw, q);
+        }
+        if self.take_sparse(&input.data) {
+            self.forward_sparse(input, dims, ohw)
+        } else if self.gemm {
+            self.forward_gemm(input, dims, ohw)
+        } else {
+            self.forward_dense(input, dims, ohw)
+        }
+    }
+
+    /// GEMM forward: lower each sample to im2col patches `[P, C·K·K]`
+    /// once, then one `gemm_nt` against the weight view `[OC, C·K·K]`
+    /// produces all output planes with contiguous inner products.
+    /// Tolerance lane — see the module doc.
+    fn forward_gemm(
+        &self,
+        input: &Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Tensor {
+        let k = self.kernel;
+        let (p, ckk, out_c) = (oh * ow, c * k * k, self.out_channels);
+        let mut out = vec![0f32; n * out_c * p];
+        let mut patches = Vec::new();
+        let mut prod = vec![0f32; out_c * p];
+        for ni in 0..n {
+            let sample = &input.data[ni * c * h * w..(ni + 1) * c * h * w];
+            gemm::im2col(sample, (c, h, w), k, self.stride, (oh, ow), &mut patches);
+            gemm::gemm_nt(&self.w.data, &patches, out_c, ckk, p, &mut prod);
+            let out_base = ni * out_c * p;
+            for oc in 0..out_c {
+                let bias = self.b.data[oc];
+                let orow = &mut out[out_base + oc * p..out_base + (oc + 1) * p];
+                for (o, &v) in orow.iter_mut().zip(&prod[oc * p..(oc + 1) * p]) {
+                    *o = v + bias;
+                }
+            }
+        }
+        Tensor::new(&[n, out_c, oh, ow], out)
+    }
+
+    /// Int8 eval forward: quantized weights were prepared once
+    /// (per-output-channel scales); activations are quantized here with
+    /// a per-*sample* scale, multiplied in i32 over the im2col patches
+    /// and dequantized (+ f32 bias) on the way out. The per-sample scale
+    /// is what keeps this lane's results independent of how the batch
+    /// engine groups samples into shards.
+    fn forward_int8(
+        &self,
+        input: &Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+        q: &gemm::Int8Weights,
+    ) -> Tensor {
+        let k = self.kernel;
+        let (p, out_c) = (oh * ow, self.out_channels);
+        let ckk = q.row_len;
+        let mut out = vec![0f32; n * out_c * p];
+        let mut xq = Vec::new();
+        let mut patches = Vec::new();
+        for ni in 0..n {
+            let sample = &input.data[ni * c * h * w..(ni + 1) * c * h * w];
+            let out_base = ni * out_c * p;
+            let sx = gemm::max_abs(sample) / 127.0;
+            if sx == 0.0 {
+                // All-zero sample: output is exactly the bias planes.
+                for oc in 0..out_c {
+                    let bias = self.b.data[oc];
+                    out[out_base + oc * p..out_base + (oc + 1) * p]
+                        .iter_mut()
+                        .for_each(|v| *v = bias);
+                }
+                continue;
+            }
+            gemm::quantize_i8(sample, sx, &mut xq);
+            gemm::im2col_i8(&xq, (c, h, w), k, self.stride, (oh, ow), &mut patches);
+            for oc in 0..out_c {
+                let wrow = q.row(oc);
+                let dequant = sx * q.scale[oc];
+                let bias = self.b.data[oc];
+                let orow = &mut out[out_base + oc * p..out_base + (oc + 1) * p];
+                for (pi, o) in orow.iter_mut().enumerate() {
+                    let acc = gemm::dot_i8(wrow, &patches[pi * ckk..(pi + 1) * ckk]);
+                    *o = acc as f32 * dequant + bias;
+                }
+            }
+        }
+        Tensor::new(&[n, out_c, oh, ow], out)
+    }
+
+    /// GEMM backward — the adjoint of [`Conv2d::forward_gemm`]:
+    /// `gw += G·patches`, `grad_in = col2im(Gᵀ·W)`, bias from plane
+    /// sums. Tolerance lane, taken only with GEMM enabled and both
+    /// operands dense.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_gemm(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+        gw: &mut Tensor,
+        gb: &mut Tensor,
+        (n, c, h, w): (usize, usize, usize, usize),
+        (oh, ow): (usize, usize),
+    ) -> Vec<f32> {
+        let k = self.kernel;
+        let s = self.stride;
+        let (p, ckk, out_c) = (oh * ow, c * k * k, self.out_channels);
+        let mut grad_in = vec![0f32; input.len()];
+        let mut patches = Vec::new();
+        let mut colgrad = vec![0f32; p * ckk];
+        for ni in 0..n {
+            // G for this sample, viewed [OC, P] row-major.
+            let g = &grad_out.data[ni * out_c * p..(ni + 1) * out_c * p];
+            for oc in 0..out_c {
+                gb.data[oc] += g[oc * p..(oc + 1) * p].iter().sum::<f32>();
+            }
+            let sample = &input.data[ni * c * h * w..(ni + 1) * c * h * w];
+            gemm::im2col(sample, (c, h, w), k, s, (oh, ow), &mut patches);
+            // gw [OC, CKK] += G [OC, P] · patches [P, CKK].
+            gemm::gemm_nn_acc(g, &patches, out_c, p, ckk, &mut gw.data);
+            // grad_in: colgrad [P, CKK] = Gᵀ [P, OC] · W [OC, CKK],
+            // scattered back through the im2col adjoint.
+            let gt = gemm::transpose(g, out_c, p);
+            colgrad.iter_mut().for_each(|v| *v = 0.0);
+            gemm::gemm_nn_acc(&gt, &self.w.data, p, out_c, ckk, &mut colgrad);
+            gemm::col2im_add(
+                &colgrad,
+                (c, h, w),
+                k,
+                s,
+                (oh, ow),
+                &mut grad_in[ni * c * h * w..(ni + 1) * c * h * w],
+            );
+        }
+        grad_in
     }
 
     fn forward_dense(
@@ -439,7 +616,7 @@ impl Layer for Conv2d {
     }
 
     fn forward_eval(&self, input: &Tensor) -> Tensor {
-        self.compute(input)
+        self.compute_eval(input)
     }
 
     fn backward(&self, entry: &TapeEntry, grad_out: &Tensor, grads: &mut [Tensor]) -> Tensor {
@@ -458,8 +635,10 @@ impl Layer for Conv2d {
             panic!("Conv2d expects 2 gradient slots")
         };
 
-        let input_sparse = analyze(&input.data).density() < self.sparsity_threshold;
-        let grad_sparse = analyze(&grad_out.data).density() < self.sparsity_threshold;
+        // Forced sentinel thresholds decide both dispatches up front —
+        // no O(len) density probes on either operand.
+        let input_sparse = self.take_sparse(&input.data);
+        let grad_sparse = self.take_sparse(&grad_out.data);
         let grad_in = if input_sparse || grad_sparse {
             self.backward_split(
                 input,
@@ -471,6 +650,8 @@ impl Layer for Conv2d {
                 input_sparse,
                 grad_sparse,
             )
+        } else if self.gemm {
+            self.backward_gemm(input, grad_out, gw, gb, (n, c, h, w), (oh, ow))
         } else {
             self.backward_dense_fused(input, grad_out, gw, gb, (n, c, h, w), (oh, ow))
         };
@@ -492,6 +673,17 @@ impl Layer for Conv2d {
 
     fn set_sparsity_threshold(&mut self, threshold: f32) {
         self.sparsity_threshold = threshold;
+    }
+
+    fn set_gemm(&mut self, enabled: bool) {
+        self.gemm = enabled;
+    }
+
+    fn prepare_int8_eval(&mut self) {
+        self.int8 = Some(gemm::Int8Weights::per_channel(
+            &self.w.data,
+            self.out_channels,
+        ));
     }
 }
 
@@ -605,6 +797,163 @@ mod tests {
         for (a, b) in grads[0].data.iter().zip(&first) {
             assert!((a - 2.0 * b).abs() < 1e-6);
         }
+    }
+
+    /// Relative-tolerance comparison for the reordered GEMM/int8 lanes.
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "cell {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_forward_matches_dense_within_tolerance() {
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        conv.set_sparsity_threshold(0.0); // force the dense regime
+        let input = Tensor::kaiming_uniform(&[2, 2, 8, 8], 1, 42);
+        let exact = conv.forward_eval(&input);
+        conv.set_gemm(true);
+        let via_gemm = conv.forward_eval(&input);
+        assert_eq!(via_gemm.shape, exact.shape);
+        assert_close(&via_gemm.data, &exact.data, 1e-5);
+        // The training forward never takes GEMM: still bit-identical.
+        let taped = conv.forward(&input, true, &mut Tape::new());
+        assert_eq!(taped.data, exact.data);
+    }
+
+    #[test]
+    fn gemm_strided_forward_matches_dense_within_tolerance() {
+        let mut conv = Conv2d::with_stride(1, 2, 3, 2, 5);
+        conv.set_sparsity_threshold(0.0);
+        let input = Tensor::kaiming_uniform(&[1, 1, 9, 9], 1, 17);
+        let exact = conv.forward_eval(&input);
+        conv.set_gemm(true);
+        assert_close(&conv.forward_eval(&input).data, &exact.data, 1e-5);
+    }
+
+    #[test]
+    fn gemm_backward_matches_finite_differences() {
+        // Gradcheck with the GEMM backward engaged (dense regime forced):
+        // the forward is exact, the backward is the GEMM adjoint, so
+        // central differences still validate it.
+        let mut conv = Conv2d::new(2, 3, 3, 7);
+        conv.set_sparsity_threshold(0.0);
+        conv.set_gemm(true);
+        let input = Tensor::kaiming_uniform(&[2, 2, 5, 5], 1, 42);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn gemm_strided_backward_matches_finite_differences() {
+        let mut conv = Conv2d::with_stride(1, 2, 3, 2, 5);
+        conv.set_sparsity_threshold(0.0);
+        conv.set_gemm(true);
+        let input = Tensor::kaiming_uniform(&[1, 1, 7, 7], 1, 17);
+        check_layer(&mut conv, &input, 1e-2);
+    }
+
+    #[test]
+    fn gemm_backward_matches_exact_kernels_within_tolerance() {
+        let input = Tensor::kaiming_uniform(&[2, 2, 6, 6], 1, 3);
+        let run = |gemm_on: bool| {
+            let mut conv = Conv2d::new(2, 3, 3, 7);
+            conv.set_sparsity_threshold(0.0);
+            conv.set_gemm(gemm_on);
+            let mut tape = Tape::new();
+            let out = conv.forward(&input, true, &mut tape);
+            let g = Tensor::kaiming_uniform(&out.shape, 1, 9);
+            let mut grads: Vec<Tensor> = conv
+                .params()
+                .iter()
+                .map(|p| Tensor::zeros(&p.shape))
+                .collect();
+            let gin = conv.backward(&tape.entries[0], &g, &mut grads);
+            (gin, grads)
+        };
+        let (gin_exact, grads_exact) = run(false);
+        let (gin_gemm, grads_gemm) = run(true);
+        assert_close(&gin_gemm.data, &gin_exact.data, 1e-4);
+        assert_close(&grads_gemm[0].data, &grads_exact[0].data, 1e-4);
+        assert_close(&grads_gemm[1].data, &grads_exact[1].data, 1e-4);
+    }
+
+    #[test]
+    fn int8_eval_lane_tracks_the_exact_lane() {
+        let mut conv = Conv2d::new(2, 4, 3, 13);
+        let input = Tensor::kaiming_uniform(&[3, 2, 8, 8], 1, 21);
+        let exact = conv.forward_eval(&input);
+        conv.prepare_int8_eval();
+        let quant = conv.forward_eval(&input);
+        assert_eq!(quant.shape, exact.shape);
+        // 8-bit weights and activations: ~1% of dynamic range per
+        // operand; the tolerance is deliberately loose (this lane is
+        // approximate by contract).
+        let scale = exact.data.iter().fold(0f32, |m, v| m.max(v.abs()));
+        for (&q, &e) in quant.data.iter().zip(&exact.data) {
+            assert!((q - e).abs() <= 0.05 * (scale + 1.0), "{q} vs {e}");
+        }
+        // Training forward ignores the armed int8 state entirely.
+        let taped = conv.forward(&input, true, &mut Tape::new());
+        assert_eq!(taped.data, exact.data);
+    }
+
+    #[test]
+    fn int8_all_zero_sample_is_exact_bias() {
+        let mut conv = Conv2d::new(1, 3, 3, 9);
+        conv.prepare_int8_eval();
+        let out = conv.forward_eval(&Tensor::zeros(&[1, 1, 8, 8]));
+        for oc in 0..3 {
+            for &v in &out.data[oc * 36..(oc + 1) * 36] {
+                assert_eq!(v.to_bits(), conv.b.data[oc].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_threshold_forces_dense_bitwise() {
+        // Library-level semantics of the NaN sentinel (the daemon/CLI
+        // boundary rejects NaN before it gets here): `density() < NaN`
+        // is false, so NaN must behave exactly like forced-dense — now
+        // via `forced_path`, without probing.
+        let mut data = vec![0f32; 64];
+        data[5] = 2.0; // sparse enough that the default would go sparse
+        let input = Tensor::new(&[1, 1, 8, 8], data);
+        let mut conv = Conv2d::new(1, 2, 3, 3);
+        conv.set_sparsity_threshold(0.0);
+        let dense = conv.forward_eval(&input);
+        conv.set_sparsity_threshold(f32::NAN);
+        assert_eq!(conv.forward_eval(&input).data, dense.data);
+    }
+
+    #[test]
+    fn forced_thresholds_keep_backward_bitwise() {
+        // Satellite: forced sentinels skip the backward density probes;
+        // the dispatched kernels (and their bits) must be unchanged.
+        let input = Tensor::kaiming_uniform(&[1, 1, 6, 6], 1, 8);
+        let run = |threshold: f32| {
+            let mut conv = Conv2d::new(1, 2, 3, 3);
+            conv.set_sparsity_threshold(threshold);
+            let mut tape = Tape::new();
+            let out = conv.forward(&input, true, &mut tape);
+            let g = Tensor::new(&out.shape, vec![0.5; out.len()]);
+            let mut grads: Vec<Tensor> = conv
+                .params()
+                .iter()
+                .map(|p| Tensor::zeros(&p.shape))
+                .collect();
+            let gin = conv.backward(&tape.entries[0], &g, &mut grads);
+            (gin.data, grads[0].data.clone(), grads[1].data.clone())
+        };
+        // Kaiming input is fully dense: default threshold dispatches
+        // dense, so forced-dense must match it bit-for-bit…
+        assert_eq!(run(0.0), run(DEFAULT_SPARSITY_THRESHOLD));
+        // …and forced-sparse matches too (sparse kernels are
+        // order-identical by the crate::sparse contract).
+        assert_eq!(run(1.1), run(0.0));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fully-connected layer.
 
 use super::Layer;
+use crate::gemm;
 use crate::tape::{Tape, TapeEntry};
 use crate::tensor::Tensor;
 
@@ -11,6 +12,10 @@ pub struct Linear {
     out_features: usize,
     w: Tensor,
     b: Tensor,
+    /// Armed by [`Layer::prepare_int8_eval`]: weights quantized
+    /// per-output-feature and stored *transposed* (`[out, in]`) so the
+    /// int8 eval lane runs contiguous dot products.
+    int8: Option<gemm::Int8Weights>,
 }
 
 impl Linear {
@@ -21,6 +26,7 @@ impl Linear {
             out_features,
             w: Tensor::kaiming_uniform(&[in_features, out_features], in_features, seed),
             b: Tensor::kaiming_uniform(&[out_features], in_features, seed.wrapping_add(1)),
+            int8: None,
         }
     }
 
@@ -32,6 +38,31 @@ impl Linear {
     /// Output width.
     pub fn out_features(&self) -> usize {
         self.out_features
+    }
+
+    /// Int8 eval lane: each row of `x` gets its own symmetric scale,
+    /// each output feature its own weight scale (computed once by
+    /// `prepare_int8_eval`); the product accumulates in i32 and
+    /// dequantizes into f32 before the bias.
+    fn forward_int8(&self, input: &Tensor, q: &gemm::Int8Weights) -> Tensor {
+        let (n, f, out_f) = (input.shape[0], self.in_features, self.out_features);
+        let mut out = vec![0f32; n * out_f];
+        let mut xq = Vec::new();
+        for ni in 0..n {
+            let row = &input.data[ni * f..(ni + 1) * f];
+            let orow = &mut out[ni * out_f..(ni + 1) * out_f];
+            let sx = gemm::max_abs(row) / 127.0;
+            if sx == 0.0 {
+                orow.copy_from_slice(&self.b.data);
+                continue;
+            }
+            gemm::quantize_i8(row, sx, &mut xq);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let acc = gemm::dot_i8(&xq, q.row(j));
+                *o = acc as f32 * (sx * q.scale[j]) + self.b.data[j];
+            }
+        }
+        Tensor::new(&[n, out_f], out)
     }
 }
 
@@ -62,6 +93,9 @@ impl Layer for Linear {
             input.shape
         );
         assert_eq!(input.shape[1], self.in_features, "feature width mismatch");
+        if let Some(q) = &self.int8 {
+            return self.forward_int8(input, q);
+        }
         let mut out = input.matmul(&self.w);
         out.add_row_bias(&self.b);
         out
@@ -95,6 +129,13 @@ impl Layer for Linear {
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
         vec![input_shape[0], self.out_features]
+    }
+
+    fn prepare_int8_eval(&mut self) {
+        // `w` is stored [in, out]; quantize the transpose so each
+        // output feature is a contiguous, individually-scaled row.
+        let wt = gemm::transpose(&self.w.data, self.in_features, self.out_features);
+        self.int8 = Some(gemm::Int8Weights::per_channel(&wt, self.out_features));
     }
 }
 
@@ -147,6 +188,26 @@ mod tests {
         for (a, b) in grads[0].data.iter().zip(&first) {
             assert!((a - 2.0 * b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn int8_eval_lane_tracks_the_exact_lane() {
+        let mut lin = Linear::new(40, 7, 11);
+        let input = Tensor::kaiming_uniform(&[5, 40], 1, 9);
+        let exact = lin.forward_eval(&input);
+        lin.prepare_int8_eval();
+        let quant = lin.forward_eval(&input);
+        assert_eq!(quant.shape, exact.shape);
+        let scale = exact.data.iter().fold(0f32, |m, v| m.max(v.abs()));
+        for (&q, &e) in quant.data.iter().zip(&exact.data) {
+            assert!((q - e).abs() <= 0.05 * (scale + 1.0), "{q} vs {e}");
+        }
+        // Training forward ignores the armed int8 state.
+        let taped = lin.forward(&input, true, &mut Tape::new());
+        assert_eq!(taped.data, exact.data);
+        // A zero row passes the bias through exactly.
+        let z = lin.forward_eval(&Tensor::zeros(&[1, 40]));
+        assert_eq!(z.data, lin.params()[1].data);
     }
 
     #[test]

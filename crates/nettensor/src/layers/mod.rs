@@ -42,10 +42,13 @@ pub trait Layer: Send + Sync {
 
     /// Evaluation forward without activation recording — the inference
     /// fast path behind [`crate::model::Sequential::predict`]. Must be
-    /// bit-identical to `forward(input, false, tape)`; the default
-    /// delegates through a throwaway tape. Layers that cache tensors for
-    /// the backward pass (convolutions, linear, pooling, activations)
-    /// override this to skip that bookkeeping entirely.
+    /// bit-identical to `forward(input, false, tape)` unless an opt-in
+    /// approximate lane is armed ([`Layer::set_gemm`] in the dense
+    /// regime, or [`Layer::prepare_int8_eval`]) — both default off, so
+    /// an untouched layer always keeps the bit-identity contract. The
+    /// default delegates through a throwaway tape; layers that cache
+    /// tensors for the backward pass (convolutions, linear, pooling,
+    /// activations) override this to skip that bookkeeping entirely.
     fn forward_eval(&self, input: &Tensor) -> Tensor {
         self.forward(input, false, &mut Tape::new())
     }
@@ -96,14 +99,42 @@ pub trait Layer: Send + Sync {
     /// Sets the input-density cutoff below which this layer's
     /// sparsity-aware kernels dispatch (see [`crate::sparse`]). Sparse
     /// and dense paths are bit-identical, so this is purely a
-    /// performance knob: `0.0` forces dense, `1.1` forces sparse, and
-    /// the default [`crate::sparse::DEFAULT_SPARSITY_THRESHOLD`] engages
-    /// the sparse kernels only where they clearly win (flowpic-grade
-    /// sparsity). Layers without sparse kernels ignore it (default
-    /// no-op).
+    /// performance knob. Sentinel values force one path outright and
+    /// are resolved without a density probe
+    /// ([`crate::sparse::forced_path`]): any value `<= 0.0` forces
+    /// dense, any value `> 1.0` (conventionally `1.1`) forces sparse —
+    /// density is ≤ 1, and exactly `1.0` still probes. A NaN threshold
+    /// also forces dense (`density() < NaN` is false); serving
+    /// boundaries (daemon `set-config`, `tcb ctl`) reject non-finite
+    /// and out-of-`[0.0, 1.1]` values before they reach a layer, but
+    /// the library itself stays total. The default
+    /// [`crate::sparse::DEFAULT_SPARSITY_THRESHOLD`] engages the sparse
+    /// kernels only where they clearly win (flowpic-grade sparsity).
+    /// Layers without sparse kernels ignore it (default no-op).
     fn set_sparsity_threshold(&mut self, threshold: f32) {
         let _ = threshold;
     }
+
+    /// Enables the im2col+GEMM kernels for this layer's dense regime
+    /// (`Conv2d` only; default no-op). Opt-in because blocked
+    /// accumulation reorders sums: with GEMM on, `forward_eval` in the
+    /// dense regime and the dense `backward` match the exact kernels
+    /// only to floating-point tolerance, while the training *forward*
+    /// (the activations on the tape) stays on the order-identical
+    /// kernels. Off (the default) preserves full bit-identity.
+    fn set_gemm(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Arms an int8-quantized `forward_eval` lane: per-output-channel
+    /// symmetric weight quantization computed here, once, from the
+    /// current weights; activations are quantized per sample at eval
+    /// time. Approximate by contract — only serving paths that opted in
+    /// (`--quant int8`) call this, training and the exact eval lane are
+    /// untouched. Quantized state is derived from the weights at call
+    /// time; re-arm after any weight mutation. Default no-op for layers
+    /// without a quantized kernel.
+    fn prepare_int8_eval(&mut self) {}
 }
 
 #[cfg(test)]

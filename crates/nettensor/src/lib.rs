@@ -91,6 +91,7 @@
 
 pub mod checkpoint;
 pub mod engine;
+pub mod gemm;
 pub mod layers;
 pub mod loss;
 pub mod model;

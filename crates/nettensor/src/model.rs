@@ -113,6 +113,26 @@ impl Sequential {
         }
     }
 
+    /// Enables/disables the im2col+GEMM dense-regime kernels on every
+    /// layer that has them (see [`Layer::set_gemm`]). Off by default;
+    /// enabling trades the eval lane's bit-identity for blocked
+    /// accumulation (tolerance contract).
+    pub fn set_gemm(&mut self, enabled: bool) {
+        for layer in &mut self.layers {
+            layer.set_gemm(enabled);
+        }
+    }
+
+    /// Arms the int8-quantized eval lane on every layer that has one
+    /// (see [`Layer::prepare_int8_eval`]): weight quantization happens
+    /// here, once; activations quantize per sample inside `predict`.
+    /// Training and the exact eval lane of other models are untouched.
+    pub fn prepare_int8_eval(&mut self) {
+        for layer in &mut self.layers {
+            layer.prepare_int8_eval();
+        }
+    }
+
     /// Forward pass through every layer, recording one tape entry per
     /// layer. `train` toggles training-only behaviour (dropout, batch
     /// statistics).
@@ -554,6 +574,40 @@ mod tests {
         ]);
         let x = Tensor::kaiming_uniform(&[3, 1, 8, 8], 1, 11);
         assert_eq!(net.predict(&x).data, net.infer(&x).data);
+    }
+
+    #[test]
+    fn int8_predict_is_close_and_batch_grouping_invariant() {
+        use crate::engine::BatchEngine;
+        use crate::layers::{Conv2d, Flatten, MaxPool2d, Tanh};
+        let build = || {
+            Sequential::new(vec![
+                Box::new(Conv2d::new(1, 3, 3, 4)) as Box<dyn Layer>,
+                Box::new(Tanh::new()),
+                Box::new(MaxPool2d::new(2)),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(3 * 3 * 3, 4, 5)),
+            ])
+        };
+        let exact = build();
+        let mut quant = build();
+        quant.prepare_int8_eval();
+        let x = Tensor::kaiming_uniform(&[6, 1, 8, 8], 1, 11);
+        let ye = exact.predict(&x);
+        let yq = quant.predict(&x);
+        let scale = ye.data.iter().fold(0f32, |m, v| m.max(v.abs()));
+        for (&q, &e) in yq.data.iter().zip(&ye.data) {
+            assert!((q - e).abs() <= 0.08 * (scale + 1.0), "{q} vs {e}");
+        }
+        // Per-sample activation scales: the quant lane stays
+        // bit-identical across shard groupings and worker counts.
+        let sharded = BatchEngine::with_shard_size(3, 2).predict(&quant, &x);
+        assert_eq!(sharded.data, yq.data);
+        // And one-at-a-time equals the full batch, bitwise.
+        for i in 0..6 {
+            let single = quant.predict(&x.rows(i, i + 1));
+            assert_eq!(single.data, yq.data[i * 4..(i + 1) * 4]);
+        }
     }
 
     #[test]

@@ -37,6 +37,35 @@
 /// `0.0` forces dense, `1.1` forces sparse (density is ≤ 1).
 pub const DEFAULT_SPARSITY_THRESHOLD: f32 = 0.25;
 
+/// Resolves a sparsity threshold that forces one path regardless of the
+/// tensor's actual density, so dispatch sites can skip the O(len)
+/// [`analyze`] probe entirely: `Some(true)` forces sparse, `Some(false)`
+/// forces dense, `None` means the density genuinely decides and a probe
+/// is required.
+///
+/// The mapping mirrors what `density() < threshold` already does at
+/// every dispatch site, so skipping the probe can never change which
+/// kernel runs:
+///
+/// * `threshold > 1.0` — every density (≤ 1.0) compares below it:
+///   forced sparse (the documented `1.1` sentinel);
+/// * `threshold <= 0.0` — no density compares below it: forced dense
+///   (the documented `0.0` sentinel);
+/// * NaN — `density() < NaN` is always false: forced dense. Callers
+///   that can reject NaN at their boundary should (the daemon and CLI
+///   do); this keeps the library total for ones that don't;
+/// * anything in `(0.0, 1.0]` — a probe is needed (exactly `1.0` still
+///   probes: an all-nonzero tensor has density 1.0, which is not `< 1.0`).
+pub fn forced_path(threshold: f32) -> Option<bool> {
+    if threshold > 1.0 {
+        Some(true)
+    } else if threshold <= 0.0 || threshold.is_nan() {
+        Some(false)
+    } else {
+        None
+    }
+}
+
 /// What one pass over a tensor's data learned about its sparsity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparsityStats {
@@ -178,6 +207,31 @@ mod tests {
         assert_eq!(analyze(&[-0.0]).nnz, 0);
         // …and an empty tensor reports fully dense.
         assert_eq!(analyze(&[]).density(), 1.0);
+    }
+
+    #[test]
+    fn forced_path_matches_the_dispatch_comparison() {
+        // Sentinels resolve without a probe…
+        assert_eq!(forced_path(1.1), Some(true));
+        assert_eq!(forced_path(2.0), Some(true));
+        assert_eq!(forced_path(0.0), Some(false));
+        assert_eq!(forced_path(-0.5), Some(false));
+        assert_eq!(forced_path(f32::NEG_INFINITY), Some(false));
+        // …NaN forces dense (density() < NaN is false)…
+        assert_eq!(forced_path(f32::NAN), Some(false));
+        // …and genuine thresholds, including exactly 1.0, still probe.
+        assert_eq!(forced_path(DEFAULT_SPARSITY_THRESHOLD), None);
+        assert_eq!(forced_path(1.0), None);
+        assert_eq!(forced_path(f32::MIN_POSITIVE), None);
+
+        // Exhaustive agreement with `density() < t` over sample densities.
+        for t in [-1.0, 0.0, 0.1, 0.25, 0.5, 1.0, 1.1, f32::NAN] {
+            if let Some(sparse) = forced_path(t) {
+                for density in [0.0f32, 0.3, 1.0] {
+                    assert_eq!(density < t, sparse, "t={t} density={density}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -63,7 +63,7 @@ use serde::{Deserialize, Serialize};
 use tcbench::telemetry::{InferEvent, InferObserver};
 use trafficgen::types::Pkt;
 
-use crate::engine::{CnnClassifier, EngineConfig};
+use crate::engine::{CnnClassifier, EngineConfig, QuantMode};
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::replay::PacketRecord;
 use crate::shard::ShardedPipeline;
@@ -102,6 +102,13 @@ pub enum CtlRequest {
         /// Per-lane cap on undrained predictions (≥ 1).
         #[serde(default, skip_serializing_if = "Option::is_none")]
         pending_cap: Option<usize>,
+        /// Numeric mode for the served CNN's eval lane: `"off"` keeps
+        /// the exact f32 kernels (every bit-identity contract holds),
+        /// `"int8"` arms the quantized lane (approximate by contract,
+        /// still batch/worker/shard invariant). Appended after the
+        /// original knobs so older clients' lines keep parsing.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        quant: Option<String>,
     },
     /// Ingest one packet of the stream.
     Packet {
@@ -245,6 +252,10 @@ pub struct DaemonConfig {
     /// daemon's lifetime: resharding live would rehash tracked flows
     /// mid-picture.
     pub shards: usize,
+    /// Numeric mode for the served CNN's eval lane. `Off` (the
+    /// default) keeps the exact f32 kernels; `Int8` arms the quantized
+    /// lane. Switchable live via `set-config`.
+    pub quant: QuantMode,
 }
 
 impl Default for DaemonConfig {
@@ -254,6 +265,7 @@ impl Default for DaemonConfig {
             engine: EngineConfig::default(),
             workers: 1,
             shards: 1,
+            quant: QuantMode::Off,
         }
     }
 }
@@ -269,6 +281,7 @@ pub struct Daemon {
     /// rebuilds (the registry only holds the opaque classifier).
     model: ServedModel,
     sparsity_threshold: Option<f32>,
+    quant: QuantMode,
     workers: usize,
     packets: usize,
     /// Stream time of the last ingested packet — the clock `flush`
@@ -282,15 +295,16 @@ pub struct Daemon {
 impl Daemon {
     /// A daemon serving `model` from the start.
     pub fn new(model: ServedModel, config: DaemonConfig) -> Result<Daemon, CheckpointError> {
-        let cnn = CnnClassifier::from_served(&model, config.workers)?;
+        let cnn = CnnClassifier::from_served_quant(&model, config.workers, config.quant)?;
         let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
         let pipeline =
-            ShardedPipeline::new(&registry, config.tracker, config.engine, config.shards);
+            ShardedPipeline::new(&registry, config.tracker, config.engine, config.shards)?;
         Ok(Daemon {
             registry,
             pipeline,
             model,
             sparsity_threshold: None,
+            quant: config.quant,
             workers: config.workers,
             packets: 0,
             now: 0.0,
@@ -341,6 +355,7 @@ impl Daemon {
                 idle_timeout_s,
                 max_flows,
                 pending_cap,
+                quant,
             } => self.set_config(
                 *sparsity_threshold,
                 *max_batch,
@@ -348,6 +363,7 @@ impl Daemon {
                 *idle_timeout_s,
                 *max_flows,
                 *pending_cap,
+                quant.as_deref(),
                 obs,
             ),
             CtlRequest::Flush => {
@@ -376,9 +392,11 @@ impl Daemon {
     }
 
     /// Builds a classifier from `model` with the daemon's current
-    /// sparsity threshold applied.
+    /// sparsity threshold and quantization mode applied. Quant is
+    /// re-applied here so a `push-model` hot-swap keeps the serving
+    /// mode the operator chose.
     fn build_classifier(&self, model: &ServedModel) -> Result<CnnClassifier, CheckpointError> {
-        let mut cnn = CnnClassifier::from_served(model, self.workers)?;
+        let mut cnn = CnnClassifier::from_served_quant(model, self.workers, self.quant)?;
         if let Some(threshold) = self.sparsity_threshold {
             cnn.set_sparsity_threshold(threshold);
         }
@@ -429,6 +447,7 @@ impl Daemon {
         idle_timeout_s: Option<f64>,
         max_flows: Option<usize>,
         pending_cap: Option<usize>,
+        quant: Option<&str>,
         obs: &mut dyn InferObserver,
     ) -> CtlResponse {
         if max_batch == Some(0) {
@@ -446,13 +465,45 @@ impl Daemon {
                 message: "set-config: pending_cap must be at least 1".into(),
             };
         }
+        // Validate before applying anything: a rejected request must
+        // leave the daemon exactly as it was (no partial knob writes,
+        // no ConfigChanged events). NaN in particular must be stopped
+        // here — below the boundary it would silently act as the
+        // forced-dense sentinel (`nettensor::sparse::forced_path`).
         if let Some(threshold) = sparsity_threshold {
-            // The registry's classifier is behind an Arc, so the
-            // threshold cannot be poked in place; rebuild from the
-            // retained ServedModel and swap. Same weights, same
-            // fingerprint — sparse and dense kernels are bit-identical,
-            // so this never changes predictions.
-            self.sparsity_threshold = Some(threshold);
+            if !threshold.is_finite() || !(0.0..=1.1).contains(&threshold) {
+                return CtlResponse::Error {
+                    message: format!(
+                        "set-config: sparsity_threshold must be a finite value \
+                         in [0.0, 1.1], got {threshold}"
+                    ),
+                };
+            }
+        }
+        let quant_mode = match quant {
+            None => None,
+            Some(s) => match s.parse::<QuantMode>() {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    return CtlResponse::Error {
+                        message: format!("set-config: {e}"),
+                    }
+                }
+            },
+        };
+        if sparsity_threshold.is_some() || quant_mode.is_some() {
+            // The registry's classifier is behind an Arc, so neither
+            // the threshold nor the quant lane can be poked in place;
+            // rebuild from the retained ServedModel and swap. Same
+            // weights, same fingerprint — sparse and dense kernels are
+            // bit-identical, so a threshold change never changes
+            // predictions (quant is approximate by contract).
+            if let Some(threshold) = sparsity_threshold {
+                self.sparsity_threshold = Some(threshold);
+            }
+            if let Some(mode) = quant_mode {
+                self.quant = mode;
+            }
             let cnn = match self.build_classifier(&self.model.clone()) {
                 Ok(c) => c,
                 Err(e) => {
@@ -466,10 +517,12 @@ impl Daemon {
                     message: format!("set-config: {e}"),
                 };
             }
-            obs.infer_event(&InferEvent::ConfigChanged {
-                field: "sparsity_threshold",
-                value: f64::from(threshold),
-            });
+            if let Some(threshold) = sparsity_threshold {
+                obs.infer_event(&InferEvent::ConfigChanged {
+                    field: "sparsity_threshold",
+                    value: f64::from(threshold),
+                });
+            }
         }
         if let Some(n) = max_batch {
             self.pipeline.set_max_batch(n);
@@ -504,6 +557,15 @@ impl Daemon {
             obs.infer_event(&InferEvent::ConfigChanged {
                 field: "pending_cap",
                 value: n as f64,
+            });
+        }
+        if let Some(mode) = quant_mode {
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "quant",
+                value: match mode {
+                    QuantMode::Off => 0.0,
+                    QuantMode::Int8 => 1.0,
+                },
             });
         }
         CtlResponse::Ok
@@ -745,6 +807,20 @@ mod tests {
             },
             workers: 1,
             shards: 1,
+            quant: QuantMode::Off,
+        }
+    }
+
+    /// A `set-config` touching only the threshold and/or quant knobs.
+    fn set_lane_config(sparsity_threshold: Option<f32>, quant: Option<&str>) -> CtlRequest {
+        CtlRequest::SetConfig {
+            sparsity_threshold,
+            max_batch: None,
+            max_wait_ms: None,
+            idle_timeout_s: None,
+            max_flows: None,
+            pending_cap: None,
+            quant: quant.map(String::from),
         }
     }
 
@@ -776,6 +852,7 @@ mod tests {
                 idle_timeout_s: None,
                 max_flows: None,
                 pending_cap: Some(1024),
+                quant: Some("int8".into()),
             },
             packet(3, 1.5, 0.25),
             CtlRequest::Flush,
@@ -905,6 +982,7 @@ mod tests {
                 idle_timeout_s: Some(5.0),
                 max_flows: Some(50),
                 pending_cap: Some(4096),
+                quant: Some("off".into()),
             },
             &mut obs,
         );
@@ -925,7 +1003,8 @@ mod tests {
                 "max_wait_s",
                 "idle_timeout_s",
                 "max_flows",
-                "pending_cap"
+                "pending_cap",
+                "quant"
             ]
         );
         match daemon.handle(&CtlRequest::Stats, &mut obs) {
@@ -945,6 +1024,7 @@ mod tests {
                 idle_timeout_s: None,
                 max_flows: None,
                 pending_cap: None,
+                quant: None,
             },
             &mut obs,
         );
@@ -971,17 +1051,7 @@ mod tests {
             let mut daemon = Daemon::new(tiny_model(1), cfg).unwrap();
             let mut obs = InferRecorder::new();
             if let Some(t) = sparsity {
-                daemon.handle(
-                    &CtlRequest::SetConfig {
-                        sparsity_threshold: Some(t),
-                        max_batch: None,
-                        max_wait_ms: None,
-                        idle_timeout_s: None,
-                        max_flows: None,
-                        pending_cap: None,
-                    },
-                    &mut obs,
-                );
+                daemon.handle(&set_lane_config(Some(t), None), &mut obs);
             }
             for req in mk_packets() {
                 daemon.handle(&req, &mut obs);
@@ -1004,6 +1074,123 @@ mod tests {
             default, forced_sparse,
             "sparse dispatch must be bit-identical"
         );
+    }
+
+    #[test]
+    fn set_config_rejects_out_of_range_and_non_finite_thresholds() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        for bad in [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -1.0,
+            -0.001,
+            1.5,
+        ] {
+            let resp = daemon.handle(&set_lane_config(Some(bad), None), &mut obs);
+            match resp {
+                CtlResponse::Error { message } => {
+                    assert!(message.contains("sparsity_threshold"), "{message}");
+                }
+                other => panic!("threshold {bad} must be rejected, got {other:?}"),
+            }
+        }
+        // A rejected request leaves no trace: no knob writes, no
+        // ConfigChanged events (only the control_request audit lines).
+        assert!(
+            !obs.events
+                .iter()
+                .any(|e| matches!(e, InferEvent::ConfigChanged { .. })),
+            "rejected set-config must not emit ConfigChanged"
+        );
+        // Both boundary values are legal: 0.0 forces dense, 1.1 forces
+        // sparse (DEFAULT_SPARSITY_THRESHOLD's documented sentinels).
+        for ok in [0.0_f32, 1.1] {
+            let resp = daemon.handle(&set_lane_config(Some(ok), None), &mut obs);
+            assert_eq!(resp, CtlResponse::Ok, "threshold {ok} must be accepted");
+        }
+    }
+
+    #[test]
+    fn fresh_daemon_stats_answer_zeros_without_panicking() {
+        // Regression: a `stats` request before any packet has arrived
+        // must not panic on the empty latency ring.
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => {
+                assert_eq!(stats.batches, 0);
+                assert_eq!(stats.packets, 0);
+                assert_eq!(stats.flows_tracked, 0);
+                assert_eq!(stats.flows_classified, 0);
+                assert_eq!(stats.p50_ms, 0.0);
+                assert_eq!(stats.p95_ms, 0.0);
+                assert_eq!(stats.p99_ms, 0.0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_shards_daemon_construction_is_a_typed_error() {
+        let mut cfg = daemon_config();
+        cfg.shards = 0;
+        let err = match Daemon::new(tiny_model(1), cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("shards=0 must not construct"),
+        };
+        assert!(
+            err.to_string().contains("shard count"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn quant_knob_switches_the_eval_lane_live() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        let fp_before = daemon.registry().active().fingerprint();
+
+        // Unknown mode → error, nothing changes.
+        let resp = daemon.handle(&set_lane_config(None, Some("fp4")), &mut obs);
+        match resp {
+            CtlResponse::Error { message } => {
+                assert!(message.contains("quant"), "{message}");
+            }
+            other => panic!("bogus quant mode must be rejected, got {other:?}"),
+        }
+
+        // int8 arms the quantized lane; the fingerprint is unchanged
+        // (quant is a serving mode, not a model identity) and
+        // predictions still flow end to end.
+        let resp = daemon.handle(&set_lane_config(None, Some("int8")), &mut obs);
+        assert_eq!(resp, CtlResponse::Ok);
+        assert_eq!(daemon.registry().active().fingerprint(), fp_before);
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            InferEvent::ConfigChanged {
+                field: "quant",
+                value,
+            } if *value == 1.0
+        )));
+        for j in 0..3 {
+            daemon.handle(&packet(7, j as f64 * 0.1, j as f64 * 0.5), &mut obs);
+        }
+        daemon.handle(&CtlRequest::Flush, &mut obs);
+        match daemon.handle(&CtlRequest::Predictions, &mut obs) {
+            CtlResponse::Predictions { predictions } => {
+                assert_eq!(predictions.len(), 1);
+                let conf = predictions[0].confidence();
+                assert!(conf > 0.0 && conf <= 1.0, "{conf}");
+            }
+            other => panic!("expected predictions, got {other:?}"),
+        }
+
+        // Back to off: exact lane again, same fingerprint.
+        let resp = daemon.handle(&set_lane_config(None, Some("off")), &mut obs);
+        assert_eq!(resp, CtlResponse::Ok);
+        assert_eq!(daemon.registry().active().fingerprint(), fp_before);
     }
 
     #[test]

@@ -89,6 +89,54 @@ fn softmax_argmax(logits: &[f32]) -> (usize, f32) {
     (best, 1.0 / sum)
 }
 
+/// Numeric mode of a served CNN's eval lane.
+///
+/// `Off` (the default everywhere) keeps the exact f32 kernels and every
+/// bit-identity contract. `Int8` arms the quantized `forward_eval` lane
+/// (per-channel weight scales computed once at classifier build,
+/// per-sample activation scales at predict time) — faster, approximate
+/// by contract, and still batch/worker/shard invariant because no
+/// quantization decision ever spans samples. The mode is a *serving*
+/// choice, not a model property: it is never persisted in a
+/// [`ServedModel`] (the checkpoint envelope's field order is frozen)
+/// and is re-applied by the daemon when it rebuilds a classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QuantMode {
+    /// Exact f32 eval lane (bit-identity contract).
+    #[default]
+    Off,
+    /// Int8 dynamic quantization of conv/linear eval forwards.
+    Int8,
+}
+
+impl QuantMode {
+    /// The wire/CLI spelling (`"off"` / `"int8"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            QuantMode::Off => "off",
+            QuantMode::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for QuantMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<QuantMode, String> {
+        match s {
+            "off" => Ok(QuantMode::Off),
+            "int8" => Ok(QuantMode::Int8),
+            other => Err(format!("unknown quant mode {other:?} (expected int8|off)")),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The paper's CNN served forward-only.
 pub struct CnnClassifier {
     net: Sequential,
@@ -96,23 +144,48 @@ pub struct CnnClassifier {
     resolution: usize,
     class_names: Vec<String>,
     fingerprint: u64,
+    quant: QuantMode,
 }
 
 impl CnnClassifier {
     /// Rebuilds the network from a [`ServedModel`] (validating the
     /// architecture fingerprint) and attaches a forward worker pool of
-    /// `workers` threads (`0` = all cores).
+    /// `workers` threads (`0` = all cores). Exact eval lane
+    /// ([`QuantMode::Off`]).
     pub fn from_served(
         model: &ServedModel,
         workers: usize,
     ) -> Result<CnnClassifier, CheckpointError> {
+        CnnClassifier::from_served_quant(model, workers, QuantMode::Off)
+    }
+
+    /// [`CnnClassifier::from_served`] with an explicit eval-lane mode.
+    /// For [`QuantMode::Int8`] the per-channel weight quantization runs
+    /// here, once — per-batch work is only activation quantization. The
+    /// fingerprint stays the exact weights' fingerprint: quantization is
+    /// a serving mode, not a different model.
+    pub fn from_served_quant(
+        model: &ServedModel,
+        workers: usize,
+        quant: QuantMode,
+    ) -> Result<CnnClassifier, CheckpointError> {
+        let mut net = model.build_net()?;
+        if quant == QuantMode::Int8 {
+            net.prepare_int8_eval();
+        }
         Ok(CnnClassifier {
-            net: model.build_net()?,
+            net,
             engine: BatchEngine::new(workers),
             resolution: model.resolution,
             class_names: model.class_names.clone(),
             fingerprint: model.weights.fingerprint(),
+            quant,
         })
+    }
+
+    /// The eval-lane mode this classifier was built with.
+    pub fn quant(&self) -> QuantMode {
+        self.quant
     }
 
     /// The flowpic resolution the model expects.
@@ -593,6 +666,59 @@ mod tests {
         engine.poll(1.5, &mut rec);
         assert_eq!(engine.batches_run(), 1);
         assert_eq!(engine.predictions()[0].flow_id, 7);
+    }
+
+    #[test]
+    fn quant_off_is_bit_identical_to_the_default_constructor() {
+        // `--quant off` is the default and must not perturb a single
+        // bit, at any batch size or worker count.
+        let model = tiny_model(3);
+        let exact = CnnClassifier::from_served(&model, 1).unwrap();
+        let off = CnnClassifier::from_served_quant(&model, 3, QuantMode::Off).unwrap();
+        assert_eq!(off.quant(), QuantMode::Off);
+        for batch in [1usize, 7, 32] {
+            let inputs: Vec<Vec<f32>> = (0..batch).map(|i| input(i as u64, 256)).collect();
+            let a = exact.predict_batch(&inputs);
+            let b = off.predict_batch(&inputs);
+            for ((la, ca), (lb, cb)) in a.iter().zip(&b) {
+                assert_eq!(la, lb);
+                assert_eq!(ca.to_bits(), cb.to_bits(), "batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_lane_agrees_with_exact_lane_and_is_batch_invariant() {
+        let model = tiny_model(3);
+        let exact = CnnClassifier::from_served(&model, 1).unwrap();
+        let int8 = CnnClassifier::from_served_quant(&model, 1, QuantMode::Int8).unwrap();
+        assert_eq!(int8.quant(), QuantMode::Int8);
+        // Same model identity: quantization is a serving mode.
+        assert_eq!(int8.fingerprint(), exact.fingerprint());
+
+        let inputs: Vec<Vec<f32>> = (0..64).map(|i| input(i, 256)).collect();
+        let pe = exact.predict_batch(&inputs);
+        let pq = int8.predict_batch(&inputs);
+        let agree = pe.iter().zip(&pq).filter(|(a, b)| a.0 == b.0).count();
+        assert!(
+            agree * 100 >= pe.len() * 99,
+            "{agree}/{} labels agree",
+            pe.len()
+        );
+        for ((_, ce), (_, cq)) in pe.iter().zip(&pq) {
+            assert!((ce - cq).abs() <= 0.05, "confidence drift {ce} vs {cq}");
+        }
+
+        // Per-sample activation scales: the whole batch at once equals
+        // one-at-a-time, bitwise, and a different worker count too.
+        let int8_w3 = CnnClassifier::from_served_quant(&model, 3, QuantMode::Int8).unwrap();
+        let pq_w3 = int8_w3.predict_batch(&inputs);
+        for (i, inp) in inputs.iter().enumerate() {
+            let single = int8.predict_batch(std::slice::from_ref(inp));
+            assert_eq!(single[0].0, pq[i].0);
+            assert_eq!(single[0].1.to_bits(), pq[i].1.to_bits());
+            assert_eq!(pq_w3[i].1.to_bits(), pq[i].1.to_bits());
+        }
     }
 
     #[test]

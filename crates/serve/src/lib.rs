@@ -60,9 +60,9 @@ pub use daemon::{
     WirePrediction,
 };
 pub use engine::{
-    Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction,
+    Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction, QuantMode,
 };
 pub use registry::{ModelRegistry, ServedModel};
 pub use replay::{trace_from_dataset, PacketRecord, ReplayConfig, ReplayReport};
-pub use shard::{replay_sharded, shard_of, Lane, ShardedPipeline};
+pub use shard::{replay_sharded, shard_of, Lane, ShardError, ShardedPipeline};
 pub use tracker::{CompletedFlow, FlowTracker, TrackerConfig};

@@ -48,11 +48,48 @@ use crate::registry::ModelRegistry;
 use crate::replay::{PacketRecord, ReplayReport, ScheduledSwap};
 use crate::tracker::{FlowTracker, TrackerConfig};
 
+/// Construction-time validation errors for the sharded dataplane.
+///
+/// The library constructors ([`ShardedPipeline::new`],
+/// [`replay_sharded`], `Daemon::new`) return this instead of panicking
+/// on an impossible lane count, so embedders (and the daemon boundary)
+/// can surface a clean error; the CLI additionally rejects `--shards 0`
+/// as a usage error before any of them run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// A dataplane needs at least one lane (`shards == 0` would make
+    /// every [`shard_of`] route a modulo-by-zero).
+    ZeroShards,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "shard count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<ShardError> for CheckpointError {
+    /// The serving constructors' shared error channel is
+    /// [`CheckpointError`] (they also load models); a shard-count error
+    /// maps onto its format variant.
+    fn from(e: ShardError) -> CheckpointError {
+        CheckpointError::Format(e.to_string())
+    }
+}
+
 /// The lane owning `flow_id` among `shards` lanes. SplitMix64 over the
 /// flow id, reduced modulo the shard count: stable across processes and
 /// uncorrelated with sequentially-assigned flow ids (a plain `id %
 /// shards` would stripe a synthetic trace perfectly but cluster real
 /// 5-tuple hashes).
+///
+/// `shards >= 1` is a documented precondition (asserted): both
+/// constructors that could reach here with zero already failed with
+/// [`ShardError::ZeroShards`].
 pub fn shard_of(flow_id: u64, shards: usize) -> usize {
     assert!(shards >= 1, "shard count must be at least 1");
     let mut z = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -114,19 +151,23 @@ pub struct ShardedPipeline {
 }
 
 impl ShardedPipeline {
-    /// `shards` fresh lanes sharing `registry`.
+    /// `shards` fresh lanes sharing `registry`. Fails with
+    /// [`ShardError::ZeroShards`] rather than panicking on a zero lane
+    /// count.
     pub fn new(
         registry: &Arc<ModelRegistry>,
         tracker_cfg: TrackerConfig,
         engine_cfg: EngineConfig,
         shards: usize,
-    ) -> ShardedPipeline {
-        assert!(shards >= 1, "shard count must be at least 1");
-        ShardedPipeline {
+    ) -> Result<ShardedPipeline, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        Ok(ShardedPipeline {
             lanes: (0..shards)
                 .map(|s| Lane::new(s, registry.clone(), tracker_cfg, engine_cfg))
                 .collect(),
-        }
+        })
     }
 
     /// The lane count, fixed at construction. Resharding live would
@@ -330,7 +371,9 @@ pub fn replay_sharded(
     workers: usize,
     obs: &mut dyn InferObserver,
 ) -> Result<ReplayReport, CheckpointError> {
-    assert!(shards >= 1, "shard count must be at least 1");
+    if shards == 0 {
+        return Err(ShardError::ZeroShards.into());
+    }
     let engine_cfg = EngineConfig {
         retain_full_history: true,
         ..engine_cfg
@@ -454,6 +497,57 @@ mod tests {
         assert!(
             (0..500u64).any(|id| shard_of(id, 4) != shard_of(id + 500, 4)),
             "hash must actually spread ids"
+        );
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error_not_a_panic() {
+        use crate::engine::CnnClassifier;
+        use crate::registry::{ModelRegistry, ServedModel};
+        use flowpic::FlowpicConfig;
+
+        let net = tcbench::arch::supervised_net(16, 3, true, 7);
+        let model = ServedModel {
+            arch: "supervised".into(),
+            resolution: 16,
+            n_classes: 3,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into(), "c".into()],
+            weights: net.export_weights(),
+        };
+        let cnn = CnnClassifier::from_served(&model, 1).expect("build classifier");
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let tracker_cfg = TrackerConfig {
+            flowpic: FlowpicConfig::with_resolution(16),
+            ..TrackerConfig::default()
+        };
+        let engine_cfg = EngineConfig::default();
+
+        assert_eq!(
+            ShardedPipeline::new(&registry, tracker_cfg, engine_cfg, 0).err(),
+            Some(ShardError::ZeroShards)
+        );
+        let err = replay_sharded(
+            &[],
+            &registry,
+            tracker_cfg,
+            engine_cfg,
+            Vec::new(),
+            0,
+            1,
+            &mut tcbench::telemetry::Noop,
+        )
+        .expect_err("zero shards must fail");
+        assert!(
+            err.to_string().contains("shard count must be at least 1"),
+            "{err}"
+        );
+        // A valid count still constructs.
+        assert_eq!(
+            ShardedPipeline::new(&registry, tracker_cfg, engine_cfg, 2)
+                .expect("2 lanes")
+                .shards(),
+            2
         );
     }
 

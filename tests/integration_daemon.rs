@@ -154,6 +154,7 @@ fn daemon_stream_with_hot_swap_matches_replay_bit_for_bit() {
                 engine: engine_cfg(),
                 workers: 1,
                 shards: 1,
+                quant: serve::engine::QuantMode::Off,
             },
         )
         .unwrap();
@@ -234,6 +235,7 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 engine: engine_cfg(),
                 workers: 1,
                 shards: 1,
+                quant: serve::engine::QuantMode::Off,
             },
         )
         .unwrap();
@@ -258,6 +260,7 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 idle_timeout_s: Some(45.0),
                 max_flows: None,
                 pending_cap: None,
+                quant: None,
             })
             .unwrap(),
         CtlResponse::Ok

@@ -1,0 +1,186 @@
+//! End-to-end quantized serving: the int8 eval lane must track the
+//! exact lane closely on a full replay, and `QuantMode::Off` must be
+//! byte-for-byte the default path at any batch/worker/shard count.
+
+use std::sync::Arc;
+
+use flowpic::{FlowpicConfig, Normalization};
+use serve::engine::{CnnClassifier, EngineConfig, QuantMode};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{replay, trace_from_dataset};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::Noop;
+use trafficgen::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+const RES: usize = 16;
+
+/// SplitMix64 — deterministic traffic without the rand crate.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dataset(n_flows: usize, seed: u64) -> Dataset {
+    let flows = (0..n_flows)
+        .map(|i| {
+            let h = splitmix64(seed.wrapping_add(i as u64));
+            let n_pkts = 20 + (h % 30) as usize;
+            let span_s = if h & 1 == 0 { 18.0 } else { 8.0 };
+            let pkts = (0..n_pkts)
+                .map(|j| {
+                    let hj = splitmix64(h.wrapping_add(j as u64 * 7919));
+                    let ts = j as f64 * span_s / n_pkts as f64;
+                    let size = 60 + (hj % 1400) as u16;
+                    let dir = if hj & 1 == 0 {
+                        Direction::Upstream
+                    } else {
+                        Direction::Downstream
+                    };
+                    Pkt::data(ts, size, dir)
+                })
+                .collect();
+            Flow {
+                id: i as u64,
+                class: (i % 3) as u16,
+                partition: Partition::Unpartitioned,
+                background: false,
+                pkts,
+            }
+        })
+        .collect();
+    Dataset {
+        name: "quant-integration".into(),
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        flows,
+    }
+}
+
+fn model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 3, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 3,
+        dropout: true,
+        class_names: vec!["web".into(), "video".into(), "voip".into()],
+        weights: net.export_weights(),
+    }
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig {
+        flowpic: FlowpicConfig::with_resolution(RES),
+        norm: Normalization::LogMax,
+        idle_timeout_s: 60.0,
+        max_flows: 10_000,
+        done_horizon_s: 120.0,
+    }
+}
+
+/// Replays the trace through a classifier in the given quant mode and
+/// returns `(flow_id, label, confidence_bits)` sorted by flow.
+fn run_replay(
+    trace: &[serve::replay::PacketRecord],
+    quant: QuantMode,
+    max_batch: usize,
+    workers: usize,
+) -> Vec<(u64, usize, u32)> {
+    let cnn = CnnClassifier::from_served_quant(&model(5), workers, quant).unwrap();
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+    let report = replay(
+        trace,
+        &registry,
+        tracker_cfg(),
+        EngineConfig {
+            max_batch,
+            max_wait_s: 0.2,
+            ..EngineConfig::default()
+        },
+        Vec::new(),
+        &mut Noop,
+    )
+    .unwrap();
+    let mut v: Vec<_> = report
+        .predictions
+        .iter()
+        .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn int8_replay_agrees_with_the_exact_lane() {
+    let ds = dataset(40, 21);
+    let trace = trace_from_dataset(&ds, 0.4, 1.0);
+    let exact = run_replay(&trace, QuantMode::Off, 8, 1);
+    let quant = run_replay(&trace, QuantMode::Int8, 8, 1);
+    assert_eq!(exact.len(), ds.flows.len());
+    assert_eq!(quant.len(), exact.len());
+
+    // ≥ 99% of flows keep their label, and every confidence stays
+    // within a small epsilon of the exact lane's.
+    let mut agree = 0usize;
+    for (e, q) in exact.iter().zip(&quant) {
+        assert_eq!(e.0, q.0, "same flows must be classified");
+        if e.1 == q.1 {
+            agree += 1;
+        }
+        let ce = f32::from_bits(e.2);
+        let cq = f32::from_bits(q.2);
+        assert!(
+            (ce - cq).abs() <= 0.05,
+            "flow {}: confidence {ce} vs {cq}",
+            e.0
+        );
+    }
+    assert!(
+        agree * 100 >= exact.len() * 99,
+        "only {agree}/{} labels agree",
+        exact.len()
+    );
+
+    // The int8 lane is still batch/worker invariant: per-sample
+    // activation scales mean batching stays pure scheduling.
+    assert_eq!(quant, run_replay(&trace, QuantMode::Int8, 1, 1));
+    assert_eq!(quant, run_replay(&trace, QuantMode::Int8, 64, 3));
+}
+
+#[test]
+fn quant_off_replay_is_bit_identical_to_the_default_path() {
+    let ds = dataset(24, 22);
+    let trace = trace_from_dataset(&ds, 0.4, 1.0);
+    // The default constructor is the pre-quant path.
+    let default_path = {
+        let cnn = CnnClassifier::from_served(&model(5), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let report = replay(
+            &trace,
+            &registry,
+            tracker_cfg(),
+            EngineConfig {
+                max_batch: 8,
+                max_wait_s: 0.2,
+                ..EngineConfig::default()
+            },
+            Vec::new(),
+            &mut Noop,
+        )
+        .unwrap();
+        let mut v: Vec<_> = report
+            .predictions
+            .iter()
+            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    // Off must be byte-identical to it at any batch/worker count —
+    // confidences compared as exact f32 bits.
+    assert_eq!(default_path, run_replay(&trace, QuantMode::Off, 8, 1));
+    assert_eq!(default_path, run_replay(&trace, QuantMode::Off, 1, 1));
+    assert_eq!(default_path, run_replay(&trace, QuantMode::Off, 64, 3));
+}

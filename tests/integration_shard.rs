@@ -284,7 +284,8 @@ fn soak_long_stream_of_distinct_flows_stays_bounded() {
         ..EngineConfig::default()
     };
     let shards = 2;
-    let mut pipeline = ShardedPipeline::new(&registry, tracker, engine, shards);
+    let mut pipeline =
+        ShardedPipeline::new(&registry, tracker, engine, shards).expect("shards >= 1");
     let mut done_len_high = 0usize;
     let mut pending_high = 0usize;
     for (i, rec) in trace.iter().enumerate() {
