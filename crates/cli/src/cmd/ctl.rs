@@ -22,15 +22,20 @@ verbs:\n\
   stats                      live counters + forward-latency quantiles\n\
   set-config [--sparsity-threshold F] [--max-batch N] [--max-wait-ms F]\n\
              [--idle-timeout F] [--max-flows N] [--pending-cap N]\n\
-             [--quant off|int8]\n\
+             [--quant off|int8] [--drift-threshold F] [--drift-interval F]\n\
                              apply engine/tracker knobs to the live pipeline\n\
                              (caps are per dataplane lane; the shard count\n\
                              itself is fixed at daemon startup; the threshold\n\
                              must be a finite value in [0.0, 1.1]; --quant\n\
                              switches the CNN eval lane between exact f32\n\
-                             and quantized int8)\n\
+                             and quantized int8; the drift knobs need a\n\
+                             daemon started with --drift-ref: the verdict\n\
+                             threshold is a finite value in (0, 2], the\n\
+                             check interval positive stream-time seconds)\n\
   send-trace --replay FILE [--rate 1.0] [--flow-gap-ms 400]\n\
                              stream a flowrec-derived packet trace\n\
+  drift-status               drift checks, per-class L1 scores, verdicts\n\
+                             and background-retrain progress\n\
   flush                      classify every still-open flow now\n\
   predictions                drain the pending predictions (each is\n\
                              returned exactly once)\n\
@@ -78,6 +83,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "max-flows",
                     "pending-cap",
                     "quant",
+                    "drift-threshold",
+                    "drift-interval",
                 ],
                 &[],
             )?;
@@ -100,6 +107,23 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 q.parse::<serve::engine::QuantMode>()
                     .map_err(|e| CliError::Usage(format!("--quant: {e}")))?;
             }
+            let drift_threshold = flags.get_opt_parse::<f64>("drift-threshold")?;
+            if let Some(t) = drift_threshold {
+                // Client-side mirror of the daemon's (0, 2] L1 check.
+                if !t.is_finite() || t <= 0.0 || t > 2.0 {
+                    return Err(CliError::Usage(format!(
+                        "--drift-threshold must be a finite value in (0, 2], got {t}"
+                    )));
+                }
+            }
+            let drift_interval_s = flags.get_opt_parse::<f64>("drift-interval")?;
+            if let Some(s) = drift_interval_s {
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(CliError::Usage(format!(
+                        "--drift-interval must be finite and positive, got {s}"
+                    )));
+                }
+            }
             let req = CtlRequest::SetConfig {
                 sparsity_threshold: threshold,
                 max_batch: flags.get_opt_parse::<usize>("max-batch")?,
@@ -108,6 +132,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 max_flows: flags.get_opt_parse::<usize>("max-flows")?,
                 pending_cap: flags.get_opt_parse::<usize>("pending-cap")?,
                 quant: quant.map(String::from),
+                drift_threshold,
+                drift_interval_s,
             };
             if matches!(
                 req,
@@ -119,16 +145,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     max_flows: None,
                     pending_cap: None,
                     quant: None,
+                    drift_threshold: None,
+                    drift_interval_s: None,
                 }
             ) {
                 return Err(CliError::Usage(
                     "set-config needs at least one knob (--sparsity-threshold, \
                      --max-batch, --max-wait-ms, --idle-timeout, --max-flows, \
-                     --pending-cap, --quant)"
+                     --pending-cap, --quant, --drift-threshold, --drift-interval)"
                         .into(),
                 ));
             }
             render(roundtrip(&flags, &req)?)
+        }
+        "drift-status" => {
+            let flags = Flags::parse(rest, &["socket"], &[])?;
+            if flags.wants_help() {
+                return Ok(HELP.into());
+            }
+            render(roundtrip(&flags, &CtlRequest::DriftStatus)?)
         }
         "send-trace" => {
             let flags = Flags::parse(rest, &["socket", "replay", "rate", "flow-gap-ms"], &[])?;
@@ -187,29 +222,36 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
         CtlResponse::Ok => Ok("ok".into()),
         CtlResponse::Error { message } => Err(CliError::Parse(format!("daemon: {message}"))),
         CtlResponse::Swapped { old, new } => Ok(format!("swapped model {old} -> {new}")),
-        CtlResponse::Stats { stats } => Ok(format!(
-            "model {} over {} shard(s)\npackets {}, flows tracked {}, classified {}, \
-             batches {}, evicted {}, queue depth {}\n\
-             predictions pending {}, dropped {}\n\
-             forward p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n\
-             max-batch {}, max-wait {:.0} ms, idle-timeout {:.0} s",
-            stats.model_fingerprint,
-            stats.shards,
-            stats.packets,
-            stats.flows_tracked,
-            stats.flows_classified,
-            stats.batches,
-            stats.evicted,
-            stats.queue_depth,
-            stats.predictions_pending,
-            stats.predictions_dropped,
-            stats.p50_ms,
-            stats.p95_ms,
-            stats.p99_ms,
-            stats.max_batch,
-            stats.max_wait_ms,
-            stats.idle_timeout_s,
-        )),
+        CtlResponse::Stats { stats } => {
+            let mut out = format!(
+                "model {} over {} shard(s)\npackets {}, flows tracked {}, classified {}, \
+                 batches {}, evicted {}, queue depth {}\n\
+                 predictions pending {}, dropped {}\n\
+                 forward p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n\
+                 max-batch {}, max-wait {:.0} ms, idle-timeout {:.0} s",
+                stats.model_fingerprint,
+                stats.shards,
+                stats.packets,
+                stats.flows_tracked,
+                stats.flows_classified,
+                stats.batches,
+                stats.evicted,
+                stats.queue_depth,
+                stats.predictions_pending,
+                stats.predictions_dropped,
+                stats.p50_ms,
+                stats.p95_ms,
+                stats.p99_ms,
+                stats.max_batch,
+                stats.max_wait_ms,
+                stats.idle_timeout_s,
+            );
+            if let Some(drift) = &stats.drift {
+                out.push('\n');
+                out.push_str(&render_drift(drift));
+            }
+            Ok(out)
+        }
         CtlResponse::Predictions { predictions } => {
             let mut out = format!("{} prediction(s)\n", predictions.len());
             for p in &predictions {
@@ -222,7 +264,47 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        CtlResponse::Drift { drift } => Ok(render_drift(&drift)),
     }
+}
+
+/// Renders the drift-status payload (shared by `drift-status` and the
+/// drift tail of `stats`).
+fn render_drift(drift: &serve::drift::DriftStats) -> String {
+    if !drift.enabled {
+        return "drift detection disabled (start the daemon with --drift-ref)".into();
+    }
+    let scores = drift
+        .class_scores
+        .iter()
+        .map(|s| {
+            if *s < 0.0 {
+                "-".to_string()
+            } else {
+                format!("{s:.3}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut out = format!(
+        "drift: {} check(s), {} verdict(s), threshold {:.3}, interval {:.0} s\n\
+         class L1 scores [{scores}]\n\
+         retrain {} ({} started, {} accepted)",
+        drift.checks,
+        drift.verdicts,
+        drift.threshold,
+        drift.check_interval_s,
+        drift.retrain_state,
+        drift.retrains_started,
+        drift.retrains_accepted,
+    );
+    if let Some(v) = &drift.last_verdict {
+        out.push_str(&format!(
+            "\nlast verdict: class {} scored {:.3} at packet {} (t={:.1} s)",
+            v.class, v.score, v.packet, v.at_ts
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -365,6 +447,23 @@ mod tests {
             )
             .unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad}: {err}");
+        }
+        // Drift knobs mirror the daemon's checks client-side.
+        for (flag, bad) in [
+            ("--drift-threshold", "0"),
+            ("--drift-threshold", "-0.5"),
+            ("--drift-threshold", "2.5"),
+            ("--drift-threshold", "NaN"),
+            ("--drift-interval", "0"),
+            ("--drift-interval", "-1"),
+            ("--drift-interval", "inf"),
+        ] {
+            let err = run(
+                "ctl",
+                &argv(&["set-config", "--socket", "/tmp/tcb-no-such.sock", flag, bad]),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{flag} {bad}: {err}");
         }
         // Same for an unknown quant mode.
         let err = run(

@@ -10,10 +10,14 @@ pub const NAME: &str = "generate";
 /// Usage-listing summary.
 pub const SUMMARY: &str = "simulate a dataset into a flowrec file";
 /// `--help` text.
-pub const HELP: &str = "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21|stress \
-[--scale quick|paper|tiny] [--seed N] --out FILE\n\
+pub const HELP: &str = "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21|stress|\
+shift|shift-baseline [--scale quick|paper|tiny] [--seed N] --out FILE\n\
 stress is the serving-path load shape (many tiny flows, each closed \
-just past the 15 s window): tiny=200 flows, quick=20k, paper=1M.";
+just past the 15 s window): tiny=200 flows, quick=20k, paper=1M.\n\
+shift is a stress-style trace where one class's size/rate distribution \
+drifts mid-stream (tiny=300 flows, quick=2k, paper=20k); shift-baseline \
+is the same trace with the drift disabled — train and snapshot drift \
+references on the baseline, replay the shifted trace at the daemon.";
 
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -38,6 +42,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError> {
     use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
     use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
+    use trafficgen::shift::{ShiftConfig, ShiftSim};
     use trafficgen::stress::{StressConfig, StressSim};
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
     use trafficgen::utmobilenet::{UtMobileNetConfig, UtMobileNetSim};
@@ -65,6 +70,22 @@ fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError
             other => return Err(CliError::Usage(format!("unknown scale {other}"))),
         })
         .generate(seed),
+        // Shift scales follow the shift module's own naming: paper is the
+        // 20k-flow headline trace, quick the CI smoke size. The baseline
+        // variant is the identical trace with the mid-stream drift
+        // disabled (train + drift references come from it).
+        "shift" | "shift-baseline" => {
+            let mut cfg = match scale {
+                "paper" => ShiftConfig::paper(),
+                "quick" => ShiftConfig::ci(),
+                "tiny" => ShiftConfig::tiny(),
+                other => return Err(CliError::Usage(format!("unknown scale {other}"))),
+            };
+            if name == "shift-baseline" {
+                cfg = cfg.baseline();
+            }
+            ShiftSim::new(cfg).generate(seed)
+        }
         other => return Err(CliError::Usage(format!("unknown dataset {other}"))),
     })
 }
@@ -116,5 +137,41 @@ mod tests {
         .unwrap();
         assert!(msg.contains("stress-200"), "{msg}");
         assert!(msg.contains("200 flows"), "{msg}");
+    }
+
+    #[test]
+    fn generate_shift_and_baseline_traces() {
+        let shifted = tmp("gen-shift.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "shift",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &shifted,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("shift-300"), "{msg}");
+        let base = tmp("gen-shift-base.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "shift-baseline",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &base,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("shift-baseline-300"), "{msg}");
     }
 }

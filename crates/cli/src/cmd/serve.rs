@@ -7,11 +7,13 @@ use crate::cmd::common::{build_infer_observer, load_dataset, load_served_model};
 use crate::CliError;
 use flowpic::{FlowpicConfig, Normalization};
 use serve::daemon::{Daemon, DaemonConfig};
+use serve::drift::{DriftConfig, RetrainConfig};
 use serve::engine::{CnnClassifier, EngineConfig, QuantMode};
 use serve::registry::ModelRegistry;
 use serve::replay::{replay_dataset, FractionalSwap, ReplayConfig};
 use serve::tracker::TrackerConfig;
 use std::sync::Arc;
+use tcbench::refdist::ReferenceDistributions;
 
 /// CLI name.
 pub const NAME: &str = "serve";
@@ -37,6 +39,16 @@ tcb serve --daemon --socket PATH --model MODEL [same engine/tracker \
 knobs incl. --shards] — host the pipeline behind a line-delimited JSON \
 control plane (drive it with `tcb ctl`); runs until a `shutdown` \
 request.\n\
+Daemon-only drift detection (closes the drift → retrain → hot-swap \
+loop): --drift-ref REFS.json (reference distributions from `tcb train \
+--refdist-out`; enables the subsystem) [--drift-threshold 0.6 (L1 \
+verdict threshold in (0,2])] [--drift-interval 60 (stream-time seconds \
+between checks)] [--drift-sustain 2 (consecutive over-threshold checks \
+before a verdict)] [--drift-min-samples 8 (live flows a class needs \
+per window to be scored)] [--retrain-min-flows 24 (stored flows needed \
+to start a retrain)] [--retrain-epochs 3 (fine-tune epoch cap)] \
+[--retrain-min-accuracy 0.5 (held-back accuracy gate for the swap)] \
+[--retrain-checkpoint PATH (resumable fine-tune checkpoint file)].\n\
 MODEL is either a checkpoint-envelope model (ServedModel::save) or \
 the JSON written by `tcb train`.";
 
@@ -61,11 +73,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "workers",
             "quant",
             "log-jsonl",
+            "drift-ref",
+            "drift-threshold",
+            "drift-interval",
+            "drift-sustain",
+            "drift-min-samples",
+            "retrain-min-flows",
+            "retrain-epochs",
+            "retrain-min-accuracy",
+            "retrain-checkpoint",
         ],
         &["daemon"],
     )?;
     if flags.wants_help() {
         return Ok(HELP.into());
+    }
+    // Usage errors beat runtime errors: reject a drift flag outside
+    // daemon mode before touching the model file.
+    if !flags.switch("daemon") {
+        if let Some(flag) = DRIFT_FLAGS.iter().find(|&&f| flags.get(f).is_some()) {
+            return Err(CliError::Usage(format!(
+                "--{flag} requires --daemon (drift detection lives in the daemon)"
+            )));
+        }
     }
     let model = load_served_model(flags.require("model")?)?;
     let workers = flags.get_parse::<usize>("workers", 1)?;
@@ -96,6 +126,78 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         return daemon_mode(&flags, model, tracker, engine, workers, shards, quant);
     }
     replay_mode(&flags, model, tracker, engine, workers, shards, quant)
+}
+
+/// Flags that only make sense with `--daemon` drift detection.
+const DRIFT_FLAGS: &[&str] = &[
+    "drift-ref",
+    "drift-threshold",
+    "drift-interval",
+    "drift-sustain",
+    "drift-min-samples",
+    "retrain-min-flows",
+    "retrain-epochs",
+    "retrain-min-accuracy",
+    "retrain-checkpoint",
+];
+
+/// Parses the drift/retrain flag group. `--drift-ref` is the enabling
+/// flag; the others refine it and are rejected without it.
+#[allow(clippy::type_complexity)]
+fn parse_drift_flags(
+    flags: &Flags,
+) -> Result<Option<(ReferenceDistributions, DriftConfig, RetrainConfig)>, CliError> {
+    let Some(ref_path) = flags.get("drift-ref") else {
+        if let Some(flag) = DRIFT_FLAGS[1..].iter().find(|&&f| flags.get(f).is_some()) {
+            return Err(CliError::Usage(format!(
+                "--{flag} requires --drift-ref REFS.json (which enables drift detection)"
+            )));
+        }
+        return Ok(None);
+    };
+    let refs = ReferenceDistributions::load(std::path::Path::new(ref_path))
+        .map_err(|e| CliError::Parse(format!("--drift-ref {ref_path}: {e}")))?;
+    let defaults = DriftConfig::default();
+    let monitor = DriftConfig {
+        threshold: flags.get_parse::<f64>("drift-threshold", defaults.threshold)?,
+        check_interval_s: flags.get_parse::<f64>("drift-interval", defaults.check_interval_s)?,
+        sustain: flags.get_parse::<usize>("drift-sustain", defaults.sustain)?,
+        min_samples: flags.get_parse::<usize>("drift-min-samples", defaults.min_samples)?,
+        ..defaults
+    };
+    if !monitor.threshold.is_finite() || monitor.threshold <= 0.0 || monitor.threshold > 2.0 {
+        return Err(CliError::Usage(
+            "--drift-threshold must be a finite value in (0, 2] (the L1 metric's range)".into(),
+        ));
+    }
+    if !monitor.check_interval_s.is_finite() || monitor.check_interval_s <= 0.0 {
+        return Err(CliError::Usage(
+            "--drift-interval must be finite and positive".into(),
+        ));
+    }
+    if monitor.sustain == 0 {
+        return Err(CliError::Usage("--drift-sustain must be at least 1".into()));
+    }
+    let retrain_defaults = RetrainConfig::default();
+    let retrain = RetrainConfig {
+        min_flows: flags.get_parse::<usize>("retrain-min-flows", retrain_defaults.min_flows)?,
+        max_epochs: flags.get_parse::<usize>("retrain-epochs", retrain_defaults.max_epochs)?,
+        min_accuracy: flags
+            .get_parse::<f64>("retrain-min-accuracy", retrain_defaults.min_accuracy)?,
+        checkpoint_path: flags.get("retrain-checkpoint").map(Into::into),
+        ..retrain_defaults
+    };
+    if retrain.max_epochs == 0 {
+        return Err(CliError::Usage(
+            "--retrain-epochs must be at least 1".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&retrain.min_accuracy) {
+        return Err(CliError::Usage(
+            "--retrain-min-accuracy must be in [0, 1]".into(),
+        ));
+    }
+    Ok(Some((refs, monitor, retrain)))
 }
 
 /// `--replay`: feed a flowrec-derived trace through a fresh pipeline.
@@ -170,6 +272,7 @@ fn daemon_mode(
         .get("socket")
         .ok_or_else(|| CliError::Usage("--daemon requires --socket PATH".into()))?;
     let class_names = model.class_names.clone();
+    let drift = parse_drift_flags(flags)?;
     let mut daemon = Daemon::new(
         model,
         DaemonConfig {
@@ -181,6 +284,9 @@ fn daemon_mode(
         },
     )
     .map_err(|e| CliError::Parse(format!("model: {e}")))?;
+    if let Some((refs, monitor, retrain)) = drift {
+        daemon.enable_drift(&refs, monitor, retrain);
+    }
     let mut obs = build_infer_observer(flags)?;
     daemon
         .run_on_path(std::path::Path::new(socket), obs.as_mut())
@@ -386,6 +492,39 @@ mod tests {
         let bogus = tmp("serve-bogus.model");
         std::fs::write(&bogus, "not a model").unwrap();
         assert!(run("serve", &argv(&["--replay", &data, "--model", &bogus])).is_err());
+        // Drift flags are daemon-only; the usage error fires before the
+        // model file is even opened.
+        for (flag, value) in [
+            ("--drift-ref", "refs.json"),
+            ("--drift-threshold", "0.5"),
+            ("--retrain-min-flows", "16"),
+        ] {
+            let err = run(
+                "serve",
+                &argv(&["--replay", &data, "--model", "/nonexistent", flag, value]),
+            )
+            .unwrap_err();
+            assert!(
+                format!("{err}").contains("requires --daemon"),
+                "{flag}: {err}"
+            );
+        }
+        // Refining drift knobs without --drift-ref point at the
+        // enabling flag (daemon mode, socket present but never bound).
+        let err = run(
+            "serve",
+            &argv(&[
+                "--daemon",
+                "--socket",
+                "/tmp/tcb-usage.sock",
+                "--model",
+                &model,
+                "--drift-sustain",
+                "3",
+            ]),
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("--drift-ref"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::cmd::common::{build_observer, load_dataset, parse_aug};
 use crate::CliError;
 use flowpic::{FlowpicConfig, Normalization};
 use tcbench::data::FlowpicDataset;
+use tcbench::refdist;
 use tcbench::supervised::{
     run_supervised_job, CheckpointSpec, SupervisedJob, SupervisedTrainer, TrainConfig,
 };
@@ -23,7 +24,11 @@ bit-identical results)] [--checkpoint-dir DIR (save a crash-safe \
 checkpoint each epoch)] [--resume (continue from the checkpoint in \
 --checkpoint-dir; resumed runs finish bit-identical to uninterrupted \
 ones)] [--progress (per-epoch progress on stderr)] [--log-jsonl PATH \
-(append one JSON event per line; telemetry never alters training)]";
+(append one JSON event per line; telemetry never alters training)] \
+[--refdist-out REFS.json (snapshot the training flows' per-class \
+feature distributions — mean packet size and inter-arrival over the \
+flowpic window — for the serving daemon's drift monitor, fed to \
+`tcb serve --daemon --drift-ref`)]";
 
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -39,6 +44,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "batch-workers",
             "checkpoint-dir",
             "log-jsonl",
+            "refdist-out",
         ],
         &["resume", "progress"],
     )?;
@@ -110,9 +116,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         out,
         serde_json::to_string(&model).expect("model serializes"),
     )?;
+    let mut refdist_note = String::new();
+    if let Some(ref_path) = flags.get("refdist-out") {
+        // Snapshot the *training* flows only — the drift monitor's
+        // baseline must be the distribution the model actually learned,
+        // not the held-out slices.
+        let stats = split.train.iter().filter_map(|&i| {
+            let f = &collated.flows[i];
+            refdist::flow_window_stats(f.pkts.iter().map(|p| (p.ts, p.size)), fpcfg.window_s)
+                .map(|(size, iat)| (f.class as usize, size, iat))
+        });
+        let refs = refdist::ReferenceDistributions::from_flow_stats(
+            collated.class_names.clone(),
+            collated.num_classes(),
+            stats,
+            256,
+            seed,
+        );
+        refs.save(std::path::Path::new(ref_path))?;
+        refdist_note = format!(", reference distributions -> {ref_path}");
+    }
     Ok(format!(
         "trained {} epochs on {} flowpics ({} augmented with {}); \
-         test accuracy {:.2}%, weighted F1 {:.2}% -> {out}",
+         test accuracy {:.2}%, weighted F1 {:.2}% -> {out}{refdist_note}",
         summary.epochs,
         train_set.len(),
         aug.name(),

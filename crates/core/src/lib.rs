@@ -27,6 +27,7 @@ pub mod byol;
 pub mod campaign;
 pub mod data;
 pub mod early_stop;
+pub mod refdist;
 pub mod regression;
 pub mod report;
 pub mod simclr;

@@ -644,6 +644,63 @@ pub enum InferEvent {
         old_fingerprint: u64,
         /// Weight fingerprint of the model now active.
         new_fingerprint: u64,
+        /// What initiated the swap: `"push-model"` (operator request
+        /// over the control socket), `"scheduled"` (replay-scripted), or
+        /// `"drift"` (auto-retrain after a drift verdict).
+        reason: &'static str,
+    },
+    /// The drift monitor scored one class at a stream-time checkpoint.
+    /// Classes skipped in a check (too few live samples, no reference)
+    /// emit nothing — absence of a `drift_check` line for a class is
+    /// itself the "quiet class" signal.
+    DriftCheck {
+        /// Stream time (packet timestamp) of the check.
+        at_ts: f64,
+        /// The predicted class whose live window was scored.
+        class: usize,
+        /// L1 distance between the live-window KDE and the reference
+        /// KDE, in `[0, 2]`.
+        score: f64,
+        /// The configured verdict threshold.
+        threshold: f64,
+        /// Live samples in the window the score was computed from.
+        samples: usize,
+    },
+    /// Sustained divergence crossed the threshold: a drift verdict.
+    DriftDetected {
+        /// Stream time (packet timestamp) of the verdict.
+        at_ts: f64,
+        /// Packet index into the stream at the verdict — the replayable
+        /// determinism anchor (same trace ⇒ same index).
+        packet: usize,
+        /// The class that diverged.
+        class: usize,
+        /// The class's L1 score at the verdict check.
+        score: f64,
+        /// The configured verdict threshold.
+        threshold: f64,
+        /// Consecutive over-threshold checks that sustained the verdict.
+        sustained: usize,
+    },
+    /// A background auto-retrain began assembling and fitting.
+    RetrainStart {
+        /// The drifted class that triggered the retrain.
+        trigger_class: usize,
+        /// Labeled flows in the fine-tune set.
+        flows: usize,
+    },
+    /// The background auto-retrain finished (before any swap).
+    RetrainEnd {
+        /// Whether the candidate passed held-back validation and will be
+        /// hot-swapped.
+        accepted: bool,
+        /// Candidate accuracy on the held-back slice.
+        val_accuracy: f64,
+        /// Fine-tune epochs actually run.
+        epochs: usize,
+        /// Background wall-clock, in milliseconds (observability only —
+        /// never drives behavior).
+        wall_ms: f64,
     },
     /// The stream drained.
     StreamEnd {
@@ -732,12 +789,72 @@ impl InferEvent {
             InferEvent::ModelSwapped {
                 old_fingerprint,
                 new_fingerprint,
+                reason,
             } => {
                 let _ = write!(
                     s,
                     "\"event\":\"model_swapped\",\"old\":\"{old_fingerprint:016x}\",\
-                     \"new\":\"{new_fingerprint:016x}\""
+                     \"new\":\"{new_fingerprint:016x}\",\"reason\":\"{reason}\""
                 );
+            }
+            InferEvent::DriftCheck {
+                at_ts,
+                class,
+                score,
+                threshold,
+                samples,
+            } => {
+                let _ = write!(s, "\"event\":\"drift_check\",\"class\":{class},\"at_ts\":");
+                push_num(&mut s, *at_ts);
+                s.push_str(",\"score\":");
+                push_num(&mut s, *score);
+                s.push_str(",\"threshold\":");
+                push_num(&mut s, *threshold);
+                let _ = write!(s, ",\"samples\":{samples}");
+            }
+            InferEvent::DriftDetected {
+                at_ts,
+                packet,
+                class,
+                score,
+                threshold,
+                sustained,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"drift_detected\",\"class\":{class},\"packet\":{packet},\
+                     \"sustained\":{sustained},\"at_ts\":"
+                );
+                push_num(&mut s, *at_ts);
+                s.push_str(",\"score\":");
+                push_num(&mut s, *score);
+                s.push_str(",\"threshold\":");
+                push_num(&mut s, *threshold);
+            }
+            InferEvent::RetrainStart {
+                trigger_class,
+                flows,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"retrain_start\",\"trigger_class\":{trigger_class},\
+                     \"flows\":{flows}"
+                );
+            }
+            InferEvent::RetrainEnd {
+                accepted,
+                val_accuracy,
+                epochs,
+                wall_ms,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"event\":\"retrain_end\",\"accepted\":{accepted},\"epochs\":{epochs},\
+                     \"val_accuracy\":"
+                );
+                push_num(&mut s, *val_accuracy);
+                s.push_str(",\"wall_ms\":");
+                push_num(&mut s, *wall_ms);
             }
             InferEvent::StreamEnd {
                 flows,
@@ -1085,10 +1202,12 @@ mod tests {
         let e = InferEvent::ModelSwapped {
             old_fingerprint: 0xabc,
             new_fingerprint: 0xdef,
+            reason: "push-model",
         };
         let line = e.to_json_line();
         assert!(line.contains("\"old\":\"0000000000000abc\""), "{line}");
         assert!(line.contains("\"new\":\"0000000000000def\""), "{line}");
+        assert!(line.contains("\"reason\":\"push-model\""), "{line}");
         let e = InferEvent::FlowEvicted {
             shard: 0,
             flow_id: 9,
@@ -1175,6 +1294,63 @@ mod tests {
             InferEvent::DaemonShutdown.to_json_line(),
             "{\"v\":1,\"event\":\"shutdown\"}"
         );
+    }
+
+    #[test]
+    fn drift_events_serialize_with_shared_schema() {
+        let e = InferEvent::DriftCheck {
+            at_ts: 30.0,
+            class: 1,
+            score: 0.25,
+            threshold: 0.6,
+            samples: 40,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"drift_check\",\"class\":1,\"at_ts\":30,\
+             \"score\":0.25,\"threshold\":0.6,\"samples\":40}"
+        );
+        let e = InferEvent::DriftDetected {
+            at_ts: 90.0,
+            packet: 1234,
+            class: 1,
+            score: 1.5,
+            threshold: 0.6,
+            sustained: 2,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"drift_detected\",\"class\":1,\"packet\":1234,\
+             \"sustained\":2,\"at_ts\":90,\"score\":1.5,\"threshold\":0.6}"
+        );
+        let e = InferEvent::RetrainStart {
+            trigger_class: 1,
+            flows: 120,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"retrain_start\",\"trigger_class\":1,\"flows\":120}"
+        );
+        let e = InferEvent::RetrainEnd {
+            accepted: true,
+            val_accuracy: 0.875,
+            epochs: 3,
+            wall_ms: 42.5,
+        };
+        assert_eq!(
+            e.to_json_line(),
+            "{\"v\":1,\"event\":\"retrain_end\",\"accepted\":true,\"epochs\":3,\
+             \"val_accuracy\":0.875,\"wall_ms\":42.5}"
+        );
+        // Non-finite scores degrade to null like every other number.
+        let e = InferEvent::DriftCheck {
+            at_ts: 1.0,
+            class: 0,
+            score: f64::NAN,
+            threshold: 0.6,
+            samples: 0,
+        };
+        assert!(e.to_json_line().contains("\"score\":null"));
     }
 
     #[test]

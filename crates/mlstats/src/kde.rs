@@ -9,6 +9,33 @@
 use crate::special::norm_pdf;
 use serde::Serialize;
 
+/// Why a KDE could not be built. The panicking constructors are fine for
+/// offline analysis scripts; long-running callers (the serving daemon's
+/// drift monitor) route through the `try_` variants so a quiet class —
+/// zero samples in a check interval — degrades to "skip" instead of a
+/// crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KdeError {
+    /// The sample slice was empty.
+    EmptySample,
+    /// The requested bandwidth was zero, negative, or non-finite.
+    InvalidBandwidth,
+    /// A sample value was NaN or infinite.
+    NonFiniteSample,
+}
+
+impl std::fmt::Display for KdeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KdeError::EmptySample => write!(f, "KDE needs at least one sample"),
+            KdeError::InvalidBandwidth => write!(f, "KDE bandwidth must be finite and positive"),
+            KdeError::NonFiniteSample => write!(f, "KDE samples must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for KdeError {}
+
 /// A Gaussian KDE over a 1-D sample.
 #[derive(Debug, Clone, Serialize)]
 pub struct Kde {
@@ -20,8 +47,24 @@ pub struct Kde {
 impl Kde {
     /// Builds a KDE with Silverman's rule-of-thumb bandwidth
     /// `0.9 · min(σ, IQR/1.34) · n^(−1/5)`.
+    ///
+    /// Panics on an empty sample; see [`Kde::try_silverman`] for the
+    /// non-panicking form.
     pub fn silverman(samples: &[f64]) -> Kde {
-        assert!(!samples.is_empty(), "KDE needs samples");
+        Kde::try_silverman(samples).expect("KDE needs samples")
+    }
+
+    /// Non-panicking [`Kde::silverman`]: returns a typed error on empty
+    /// or non-finite samples instead of asserting. Degenerate-but-valid
+    /// inputs (all samples identical) still succeed with the `1e-6`
+    /// bandwidth floor.
+    pub fn try_silverman(samples: &[f64]) -> Result<Kde, KdeError> {
+        if samples.is_empty() {
+            return Err(KdeError::EmptySample);
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(KdeError::NonFiniteSample);
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
@@ -33,19 +76,36 @@ impl Kde {
         let iqr = q(0.75) - q(0.25);
         let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
         let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-6);
-        Kde {
+        Ok(Kde {
             samples: samples.to_vec(),
             bandwidth,
-        }
+        })
     }
 
     /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// Panics on empty samples or a non-positive bandwidth; see
+    /// [`Kde::try_with_bandwidth`] for the non-panicking form.
     pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Kde {
-        assert!(!samples.is_empty() && bandwidth > 0.0);
-        Kde {
+        Kde::try_with_bandwidth(samples, bandwidth)
+            .expect("KDE needs samples and a positive bandwidth")
+    }
+
+    /// Non-panicking [`Kde::with_bandwidth`].
+    pub fn try_with_bandwidth(samples: &[f64], bandwidth: f64) -> Result<Kde, KdeError> {
+        if samples.is_empty() {
+            return Err(KdeError::EmptySample);
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(KdeError::NonFiniteSample);
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(KdeError::InvalidBandwidth);
+        }
+        Ok(Kde {
             samples: samples.to_vec(),
             bandwidth,
-        }
+        })
     }
 
     /// Density at `x`.
@@ -128,6 +188,33 @@ mod tests {
             d > 1.5,
             "distance {d} — disjoint supports should approach 2"
         );
+    }
+
+    #[test]
+    fn try_constructors_reject_degenerate_inputs() {
+        assert!(matches!(
+            Kde::try_silverman(&[]),
+            Err(KdeError::EmptySample)
+        ));
+        assert!(matches!(
+            Kde::try_silverman(&[1.0, f64::NAN]),
+            Err(KdeError::NonFiniteSample)
+        ));
+        assert!(matches!(
+            Kde::try_with_bandwidth(&[], 1.0),
+            Err(KdeError::EmptySample)
+        ));
+        assert!(matches!(
+            Kde::try_with_bandwidth(&[1.0], 0.0),
+            Err(KdeError::InvalidBandwidth)
+        ));
+        assert!(matches!(
+            Kde::try_with_bandwidth(&[1.0], f64::NAN),
+            Err(KdeError::InvalidBandwidth)
+        ));
+        // Degenerate-but-valid: constant samples succeed via the floor.
+        let kde = Kde::try_silverman(&[3.0; 10]).unwrap();
+        assert!(kde.bandwidth > 0.0);
     }
 
     #[test]

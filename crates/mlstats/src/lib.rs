@@ -16,7 +16,9 @@
 //! * [`tukey`] — Tukey HSD p-values;
 //! * [`kde`] — Gaussian kernel density estimation (paper Fig. 8);
 //! * [`metrics`] — confusion matrices, accuracy, macro/weighted F1;
-//! * [`quantiles`] — percentiles and boxplot summaries (paper Fig. 11).
+//! * [`quantiles`] — percentiles and boxplot summaries (paper Fig. 11);
+//! * [`reservoir`] — bounded deterministic streaming reservoirs (the
+//!   drift monitor's fixed-memory sketch of live traffic).
 
 pub mod ci;
 pub mod kde;
@@ -25,9 +27,11 @@ pub mod nemenyi;
 pub mod pca;
 pub mod quantiles;
 pub mod ranking;
+pub mod reservoir;
 pub mod special;
 pub mod tukey;
 pub mod wilcoxon;
 
 pub use ci::MeanCi;
 pub use metrics::ConfusionMatrix;
+pub use reservoir::Reservoir;

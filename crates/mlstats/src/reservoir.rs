@@ -1,0 +1,167 @@
+//! Bounded, deterministic streaming reservoir (Vitter's Algorithm R).
+//!
+//! The serving daemon's drift monitor needs a fixed-memory sketch of an
+//! unbounded live stream of per-flow features. A uniform reservoir keeps
+//! every prefix of the stream equally represented in `O(cap)` memory, and
+//! — because replacement decisions are driven by a SplitMix64 counter
+//! hash rather than a thread-local RNG — the same input sequence always
+//! yields the same sample, which is what keeps drift verdicts replayable.
+
+/// SplitMix64 — the workspace-standard deterministic mixer (no rand
+/// crate anywhere in the dataplane).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform sample of at most `cap` values from a stream of any length.
+///
+/// Deterministic: replacement indices come from hashing `(seed, seen)`,
+/// so two reservoirs fed the same sequence in the same order are
+/// identical element for element.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    cap: usize,
+    seed: u64,
+    seen: u64,
+    samples: Vec<f64>,
+}
+
+impl Reservoir {
+    /// An empty reservoir holding at most `cap` samples (`cap >= 1`).
+    pub fn new(cap: usize, seed: u64) -> Reservoir {
+        assert!(cap >= 1, "reservoir capacity must be at least 1");
+        Reservoir {
+            cap,
+            seed,
+            seen: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers one value to the reservoir. The first `cap` values are
+    /// kept outright; afterwards value `k` (1-based) replaces a resident
+    /// sample with probability `cap / k` (Algorithm R).
+    pub fn push(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+            return;
+        }
+        // Uniform index in [0, seen): keep x only if it lands inside
+        // the reservoir. Modulo bias is negligible against u64 range.
+        let j = (splitmix64(self.seed ^ self.seen.wrapping_mul(0x9E37_79B9)) % self.seen) as usize;
+        if j < self.cap {
+            self.samples[j] = x;
+        }
+    }
+
+    /// Values currently held (order is an implementation detail, but
+    /// deterministic for a given input sequence).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of resident samples (`min(seen, cap)`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no value has been offered since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total values offered since the last clear (including evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Drops all samples and resets the stream counter; the seed is kept
+    /// so consecutive windows stay deterministic but decorrelated is not
+    /// required — each window re-runs the same replacement schedule.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(8, 1);
+        for i in 0..5 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bounded_beyond_capacity() {
+        let mut r = Reservoir::new(16, 7);
+        for i in 0..10_000 {
+            r.push(i as f64);
+        }
+        assert_eq!(r.len(), 16);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Reservoir::new(32, 42);
+        let mut b = Reservoir::new(32, 42);
+        for i in 0..1000 {
+            let x = (i * i % 997) as f64;
+            a.push(x);
+            b.push(x);
+        }
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn seed_changes_the_sample() {
+        let mut a = Reservoir::new(8, 1);
+        let mut b = Reservoir::new(8, 2);
+        for i in 0..1000 {
+            a.push(i as f64);
+            b.push(i as f64);
+        }
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn roughly_uniform_over_the_stream() {
+        // Mean of a uniform sample of 0..n-1 should approach (n-1)/2.
+        let n = 100_000;
+        let mut r = Reservoir::new(512, 3);
+        for i in 0..n {
+            r.push(i as f64);
+        }
+        let mean = r.samples().iter().sum::<f64>() / r.len() as f64;
+        let expect = (n - 1) as f64 / 2.0;
+        assert!(
+            (mean - expect).abs() < expect * 0.1,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Reservoir::new(4, 1);
+        for i in 0..100 {
+            r.push(i as f64);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.seen(), 0);
+        r.push(1.0);
+        assert_eq!(r.samples(), &[1.0]);
+    }
+}

@@ -60,9 +60,14 @@ use std::time::Instant;
 use mlstats::quantiles::percentile;
 use nettensor::checkpoint::CheckpointError;
 use serde::{Deserialize, Serialize};
+use tcbench::refdist::ReferenceDistributions;
 use tcbench::telemetry::{InferEvent, InferObserver};
 use trafficgen::types::Pkt;
 
+use crate::drift::{
+    wire_scores, DriftConfig, DriftMonitor, DriftStats, RetrainConfig, RetrainOrchestrator,
+    WireVerdict,
+};
 use crate::engine::{CnnClassifier, EngineConfig, QuantMode};
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::replay::PacketRecord;
@@ -109,6 +114,14 @@ pub enum CtlRequest {
         /// original knobs so older clients' lines keep parsing.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         quant: Option<String>,
+        /// Drift verdict threshold, in the L1 metric's `(0, 2]` range.
+        /// Rejected when the daemon runs without drift detection.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        drift_threshold: Option<f64>,
+        /// Drift check cadence, stream-time seconds (> 0). Rejected
+        /// when the daemon runs without drift detection.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        drift_interval_s: Option<f64>,
     },
     /// Ingest one packet of the stream.
     Packet {
@@ -122,6 +135,10 @@ pub enum CtlRequest {
     /// Early-terminate live flows and drain the micro-batch queue —
     /// what a replay does at end of trace — without exiting.
     Flush,
+    /// Report the drift-detection subsystem's state: checks, scores,
+    /// verdicts, retrain progress. Answers `enabled: false` on a daemon
+    /// running without drift detection.
+    DriftStatus,
     /// Return every prediction made so far, in classification order.
     Predictions,
     /// Graceful exit: flush, drain, emit `stream_end`, stop serving.
@@ -137,6 +154,7 @@ impl CtlRequest {
             CtlRequest::SetConfig { .. } => "set-config",
             CtlRequest::Packet { .. } => "packet",
             CtlRequest::Flush => "flush",
+            CtlRequest::DriftStatus => "drift-status",
             CtlRequest::Predictions => "predictions",
             CtlRequest::Shutdown => "shutdown",
         }
@@ -201,6 +219,10 @@ pub struct DaemonStats {
     pub max_wait_ms: f64,
     /// Current idle-flow eviction timeout, stream-time seconds.
     pub idle_timeout_s: f64,
+    /// Drift-detection state, when the subsystem is enabled. Absent on
+    /// the wire otherwise, so pre-drift clients keep parsing.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub drift: Option<DriftStats>,
 }
 
 /// One control response, as one line of JSON on the socket, tagged by
@@ -231,6 +253,12 @@ pub enum CtlResponse {
     Predictions {
         /// Every prediction so far, in classification order.
         predictions: Vec<WirePrediction>,
+    },
+    /// The `drift-status` payload.
+    Drift {
+        /// Drift-detection state (`enabled: false` when the daemon runs
+        /// without the subsystem).
+        drift: DriftStats,
     },
 }
 
@@ -288,8 +316,17 @@ pub struct Daemon {
     /// stamps early-terminated flows with, mirroring a replay's use of
     /// its final trace timestamp.
     now: f64,
+    /// The drift-detection subsystem, when enabled. `None` is the
+    /// bit-identity baseline: no tap, no reservoirs, zero extra work.
+    drift: Option<DriftRuntime>,
     shutdown: bool,
     finished: bool,
+}
+
+/// The enabled drift subsystem: monitor + orchestrator.
+struct DriftRuntime {
+    monitor: DriftMonitor,
+    orchestrator: RetrainOrchestrator,
 }
 
 impl Daemon {
@@ -308,9 +345,28 @@ impl Daemon {
             workers: config.workers,
             packets: 0,
             now: 0.0,
+            drift: None,
             shutdown: false,
             finished: false,
         })
+    }
+
+    /// Enables the closed loop: arms every lane's drift tap, builds the
+    /// [`DriftMonitor`] against `refs` (the training-time reference
+    /// distributions) and a [`RetrainOrchestrator`] for the served
+    /// class set. Call before the first packet; enabling mid-stream
+    /// would silently miss the flows already classified.
+    pub fn enable_drift(
+        &mut self,
+        refs: &ReferenceDistributions,
+        monitor: DriftConfig,
+        retrain: RetrainConfig,
+    ) {
+        self.pipeline.set_drift_tap(true);
+        self.drift = Some(DriftRuntime {
+            monitor: DriftMonitor::new(refs, monitor),
+            orchestrator: RetrainOrchestrator::new(self.model.class_names.clone(), retrain),
+        });
     }
 
     /// The registry the daemon serves from (shared with any in-process
@@ -332,6 +388,10 @@ impl Daemon {
         if !matches!(req, CtlRequest::Packet { .. }) {
             obs.infer_event(&InferEvent::ControlRequest { cmd: req.name() });
         }
+        // A finished background retrain is absorbed at the next request
+        // of any kind — the swap lands between requests, never inside
+        // one, so each request still sees one consistent model.
+        self.absorb_retrain(obs);
         match req {
             CtlRequest::Packet { flow_id, ts, pkt } => {
                 let rec = PacketRecord {
@@ -342,6 +402,9 @@ impl Daemon {
                 self.packets += 1;
                 self.now = rec.ts;
                 self.pipeline.push(&rec, obs);
+                if self.drift.is_some() {
+                    self.drift_step(rec.ts, obs);
+                }
                 CtlResponse::Ok
             }
             CtlRequest::PushModel { path } => self.push_model(Path::new(path), obs),
@@ -356,6 +419,8 @@ impl Daemon {
                 max_flows,
                 pending_cap,
                 quant,
+                drift_threshold,
+                drift_interval_s,
             } => self.set_config(
                 *sparsity_threshold,
                 *max_batch,
@@ -364,12 +429,17 @@ impl Daemon {
                 *max_flows,
                 *pending_cap,
                 quant.as_deref(),
+                *drift_threshold,
+                *drift_interval_s,
                 obs,
             ),
             CtlRequest::Flush => {
                 self.flush_and_drain(obs);
                 CtlResponse::Ok
             }
+            CtlRequest::DriftStatus => CtlResponse::Drift {
+                drift: self.drift_stats().unwrap_or_else(DriftStats::disabled),
+            },
             CtlRequest::Predictions => CtlResponse::Predictions {
                 // Draining: each prediction crosses the wire exactly
                 // once, keeping a long-running daemon's memory flat.
@@ -426,6 +496,7 @@ impl Daemon {
                 obs.infer_event(&InferEvent::ModelSwapped {
                     old_fingerprint: old,
                     new_fingerprint: new,
+                    reason: "push-model",
                 });
                 CtlResponse::Swapped {
                     old: format!("{old:016x}"),
@@ -438,6 +509,78 @@ impl Daemon {
         }
     }
 
+    /// The per-packet drift hook: drains the lanes' taps into the
+    /// monitor + orchestrator windows and runs a stream-time check.
+    /// Only called when the subsystem is enabled.
+    fn drift_step(&mut self, now_ts: f64, obs: &mut dyn InferObserver) {
+        let Some(d) = &mut self.drift else { return };
+        let tap = self.pipeline.take_drift_tap();
+        if !tap.is_empty() {
+            d.monitor.observe(&tap);
+            d.orchestrator.observe(&tap);
+        }
+        if let Some(verdict) = d.monitor.maybe_check(now_ts, self.packets, obs) {
+            d.orchestrator.trigger(&verdict, &self.model, obs);
+        }
+    }
+
+    /// Non-blocking: if a background retrain finished, emit
+    /// `retrain_end` and — on an accepted candidate — hot-swap it in
+    /// (`model_swapped` with `reason: "drift"`) and rebase the monitor
+    /// onto the references rebuilt from the fine-tune set.
+    fn absorb_retrain(&mut self, obs: &mut dyn InferObserver) {
+        let outcome = match &mut self.drift {
+            Some(d) if d.orchestrator.is_running() => d.orchestrator.poll(obs),
+            _ => None,
+        };
+        let Some(outcome) = outcome else { return };
+        let (Some(model), Some(refs)) = (outcome.model, outcome.refs) else {
+            return;
+        };
+        // The candidate is rebuilt with the daemon's current serving
+        // mode (sparsity threshold, quant lane), exactly like a
+        // push-model swap.
+        let cnn = match self.build_classifier(&model) {
+            Ok(c) => c,
+            Err(_) => return, // accepted-but-unbuildable: keep serving
+        };
+        if let Ok((old, new)) = self.registry.swap(Arc::new(cnn)) {
+            self.model = model;
+            obs.infer_event(&InferEvent::ModelSwapped {
+                old_fingerprint: old,
+                new_fingerprint: new,
+                reason: "drift",
+            });
+            if let Some(d) = &mut self.drift {
+                d.monitor.rebase(&refs);
+            }
+        }
+    }
+
+    /// The `drift-status` payload; `None` when the subsystem is off.
+    fn drift_stats(&self) -> Option<DriftStats> {
+        let d = self.drift.as_ref()?;
+        let (started, accepted) = d.orchestrator.counts();
+        Some(DriftStats {
+            enabled: true,
+            checks: d.monitor.checks(),
+            verdicts: d.monitor.verdicts(),
+            class_scores: wire_scores(d.monitor.class_scores()),
+            mean_confidence: wire_scores(d.monitor.mean_confidences()),
+            last_verdict: d.monitor.last_verdict().map(|v| WireVerdict {
+                class: v.class,
+                score: v.score,
+                packet: v.packet,
+                at_ts: v.at_ts,
+            }),
+            retrain_state: d.orchestrator.state().into(),
+            retrains_started: started,
+            retrains_accepted: accepted,
+            threshold: d.monitor.config().threshold,
+            check_interval_s: d.monitor.config().check_interval_s,
+        })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn set_config(
         &mut self,
@@ -448,6 +591,8 @@ impl Daemon {
         max_flows: Option<usize>,
         pending_cap: Option<usize>,
         quant: Option<&str>,
+        drift_threshold: Option<f64>,
+        drift_interval_s: Option<f64>,
         obs: &mut dyn InferObserver,
     ) -> CtlResponse {
         if max_batch == Some(0) {
@@ -491,6 +636,33 @@ impl Daemon {
                 }
             },
         };
+        if (drift_threshold.is_some() || drift_interval_s.is_some()) && self.drift.is_none() {
+            return CtlResponse::Error {
+                message: "set-config: drift detection is not enabled on this daemon \
+                          (start it with --drift-ref)"
+                    .into(),
+            };
+        }
+        if let Some(t) = drift_threshold {
+            // The L1 distance between densities is bounded by 2.
+            if !t.is_finite() || t <= 0.0 || t > 2.0 {
+                return CtlResponse::Error {
+                    message: format!(
+                        "set-config: drift_threshold must be a finite value in (0.0, 2.0], \
+                         got {t}"
+                    ),
+                };
+            }
+        }
+        if let Some(s) = drift_interval_s {
+            if !s.is_finite() || s <= 0.0 {
+                return CtlResponse::Error {
+                    message: format!(
+                        "set-config: drift_interval_s must be finite and positive, got {s}"
+                    ),
+                };
+            }
+        }
         if sparsity_threshold.is_some() || quant_mode.is_some() {
             // The registry's classifier is behind an Arc, so neither
             // the threshold nor the quant lane can be poked in place;
@@ -568,6 +740,24 @@ impl Daemon {
                 },
             });
         }
+        if let Some(t) = drift_threshold {
+            if let Some(d) = &mut self.drift {
+                d.monitor.set_threshold(t);
+            }
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "drift_threshold",
+                value: t,
+            });
+        }
+        if let Some(s) = drift_interval_s {
+            if let Some(d) = &mut self.drift {
+                d.monitor.set_check_interval_s(s);
+            }
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "drift_interval_s",
+                value: s,
+            });
+        }
         CtlResponse::Ok
     }
 
@@ -602,6 +792,7 @@ impl Daemon {
             max_batch: self.pipeline.engine_config().max_batch,
             max_wait_ms: self.pipeline.engine_config().max_wait_s * 1e3,
             idle_timeout_s: self.pipeline.tracker_config().idle_timeout_s,
+            drift: self.drift_stats(),
         }
     }
 
@@ -619,6 +810,10 @@ impl Daemon {
             return;
         }
         self.finished = true;
+        // Best-effort: a retrain that happens to have finished by now is
+        // still recorded in the log; one mid-flight is abandoned (its
+        // thread sends into a dropped channel and exits).
+        self.absorb_retrain(obs);
         self.flush_and_drain(obs);
         obs.infer_event(&InferEvent::StreamEnd {
             flows: self.pipeline.flows_classified(),
@@ -821,6 +1016,23 @@ mod tests {
             max_flows: None,
             pending_cap: None,
             quant: quant.map(String::from),
+            drift_threshold: None,
+            drift_interval_s: None,
+        }
+    }
+
+    /// A `set-config` touching only the drift knobs.
+    fn set_drift_config(threshold: Option<f64>, interval_s: Option<f64>) -> CtlRequest {
+        CtlRequest::SetConfig {
+            sparsity_threshold: None,
+            max_batch: None,
+            max_wait_ms: None,
+            idle_timeout_s: None,
+            max_flows: None,
+            pending_cap: None,
+            quant: None,
+            drift_threshold: threshold,
+            drift_interval_s: interval_s,
         }
     }
 
@@ -853,9 +1065,12 @@ mod tests {
                 max_flows: None,
                 pending_cap: Some(1024),
                 quant: Some("int8".into()),
+                drift_threshold: Some(0.8),
+                drift_interval_s: Some(30.0),
             },
             packet(3, 1.5, 0.25),
             CtlRequest::Flush,
+            CtlRequest::DriftStatus,
             CtlRequest::Predictions,
             CtlRequest::Shutdown,
         ];
@@ -983,6 +1198,8 @@ mod tests {
                 max_flows: Some(50),
                 pending_cap: Some(4096),
                 quant: Some("off".into()),
+                drift_threshold: None,
+                drift_interval_s: None,
             },
             &mut obs,
         );
@@ -1025,6 +1242,8 @@ mod tests {
                 max_flows: None,
                 pending_cap: None,
                 quant: None,
+                drift_threshold: None,
+                drift_interval_s: None,
             },
             &mut obs,
         );
@@ -1222,6 +1441,212 @@ mod tests {
         let n_events = obs.events.len();
         daemon.finish(12.5, &mut obs);
         assert_eq!(obs.events.len(), n_events);
+    }
+
+    /// References far away from the 500-byte packets the `packet`
+    /// helper generates, so any live traffic registers as drifted.
+    fn mismatched_refs() -> ReferenceDistributions {
+        ReferenceDistributions::from_flow_stats(
+            vec!["a".into(), "b".into(), "c".into()],
+            3,
+            (0..48).flat_map(|i| {
+                let j = (i % 8) as f64;
+                (0..3).map(move |c| (c, 100.0 + 10.0 * c as f64 + j, 0.01 + 0.001 * j))
+            }),
+            48,
+            1,
+        )
+    }
+
+    #[test]
+    fn drift_status_answers_disabled_without_the_subsystem() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        match daemon.handle(&CtlRequest::DriftStatus, &mut obs) {
+            CtlResponse::Drift { drift } => {
+                assert!(!drift.enabled);
+                assert_eq!(drift.checks, 0);
+            }
+            other => panic!("expected drift status, got {other:?}"),
+        }
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => assert!(stats.drift.is_none()),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Drift knobs on a drift-less daemon are a typed error.
+        let resp = daemon.handle(&set_drift_config(Some(0.8), None), &mut obs);
+        match resp {
+            CtlResponse::Error { message } => {
+                assert!(message.contains("not enabled"), "{message}");
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drift_knobs_validate_before_applying_and_emit_events() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        daemon.enable_drift(
+            &mismatched_refs(),
+            DriftConfig::default(),
+            RetrainConfig::default(),
+        );
+        let mut obs = InferRecorder::new();
+        for bad in [
+            set_drift_config(Some(0.0), None),
+            set_drift_config(Some(-1.0), None),
+            set_drift_config(Some(2.5), None),
+            set_drift_config(Some(f64::NAN), None),
+            set_drift_config(None, Some(0.0)),
+            set_drift_config(None, Some(-3.0)),
+            set_drift_config(None, Some(f64::INFINITY)),
+            // A bad interval must also veto a good threshold in the
+            // same request: validate-before-apply is all-or-nothing.
+            set_drift_config(Some(0.9), Some(-1.0)),
+        ] {
+            let resp = daemon.handle(&bad, &mut obs);
+            assert!(matches!(resp, CtlResponse::Error { .. }), "{bad:?}");
+        }
+        assert!(
+            !obs.events
+                .iter()
+                .any(|e| matches!(e, InferEvent::ConfigChanged { .. })),
+            "rejected drift knobs must not emit ConfigChanged"
+        );
+        match daemon.handle(&CtlRequest::DriftStatus, &mut obs) {
+            CtlResponse::Drift { drift } => {
+                assert_eq!(drift.threshold, DriftConfig::default().threshold);
+            }
+            other => panic!("expected drift status, got {other:?}"),
+        }
+
+        let resp = daemon.handle(&set_drift_config(Some(0.9), Some(12.0)), &mut obs);
+        assert_eq!(resp, CtlResponse::Ok);
+        let changed: Vec<&'static str> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::ConfigChanged { field, .. } => Some(*field),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(changed, vec!["drift_threshold", "drift_interval_s"]);
+        match daemon.handle(&CtlRequest::DriftStatus, &mut obs) {
+            CtlResponse::Drift { drift } => {
+                assert!(drift.enabled);
+                assert_eq!(drift.threshold, 0.9);
+                assert_eq!(drift.check_interval_s, 12.0);
+            }
+            other => panic!("expected drift status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_closes_the_loop_detect_retrain_swap() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        daemon.enable_drift(
+            &mismatched_refs(),
+            DriftConfig {
+                threshold: 0.5,
+                check_interval_s: 5.0,
+                sustain: 1,
+                min_samples: 2,
+                reservoir_cap: 32,
+                cooldown_checks: 100,
+                seed: 7,
+            },
+            RetrainConfig {
+                max_epochs: 1,
+                min_flows: 4,
+                min_accuracy: 0.0,
+                val_frac: 0.25,
+                ..RetrainConfig::default()
+            },
+        );
+        let fp_before = daemon.registry().active().fingerprint();
+        let mut obs = InferRecorder::new();
+        // Six flows of 500-byte packets — far from the references — each
+        // completed by a window-crossing packet. The stream clock passes
+        // the 5 s check point at flow 5's crossing packet.
+        for flow in 0..6u64 {
+            let t0 = flow as f64;
+            daemon.handle(&packet(flow, t0, 0.0), &mut obs);
+            daemon.handle(&packet(flow, t0 + 0.1, 0.5), &mut obs);
+            daemon.handle(&packet(flow, t0 + 0.2, 15.5), &mut obs);
+        }
+        let detected = obs
+            .events
+            .iter()
+            .find(|e| matches!(e, InferEvent::DriftDetected { .. }))
+            .expect("mismatched traffic must raise a verdict");
+        match detected {
+            InferEvent::DriftDetected {
+                score, threshold, ..
+            } => {
+                assert!(score > threshold, "score {score} threshold {threshold}");
+            }
+            _ => unreachable!(),
+        }
+        assert!(obs
+            .events
+            .iter()
+            .any(|e| matches!(e, InferEvent::RetrainStart { .. })));
+        // The fine-tune runs in the background; absorb it via polling.
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            match daemon.handle(&CtlRequest::DriftStatus, &mut obs) {
+                CtlResponse::Drift { drift } => {
+                    if drift.retrain_state == "accepted" {
+                        assert_eq!(drift.retrains_started, 1);
+                        assert_eq!(drift.retrains_accepted, 1);
+                        break;
+                    }
+                    assert_ne!(drift.retrain_state, "rejected");
+                }
+                other => panic!("expected drift status, got {other:?}"),
+            }
+            assert!(Instant::now() < deadline, "retrain never completed");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(obs
+            .events
+            .iter()
+            .any(|e| matches!(e, InferEvent::RetrainEnd { accepted: true, .. })));
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            InferEvent::ModelSwapped {
+                reason: "drift",
+                ..
+            }
+        )));
+        assert_ne!(
+            daemon.registry().active().fingerprint(),
+            fp_before,
+            "the drift swap must activate the fine-tuned candidate"
+        );
+        // The event log alone reconstructs the cycle in order.
+        let cycle: Vec<&str> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::DriftDetected { .. } => Some("drift_detected"),
+                InferEvent::RetrainStart { .. } => Some("retrain_start"),
+                InferEvent::RetrainEnd { .. } => Some("retrain_end"),
+                InferEvent::ModelSwapped {
+                    reason: "drift", ..
+                } => Some("model_swapped"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            cycle,
+            vec![
+                "drift_detected",
+                "retrain_start",
+                "retrain_end",
+                "model_swapped"
+            ]
+        );
     }
 
     #[test]

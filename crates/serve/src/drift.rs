@@ -1,0 +1,1198 @@
+//! Online drift detection, background auto-retrain, and hot-swap.
+//!
+//! The paper's headline forensic finding (Fig. 8) is a *silent* data
+//! shift: the `human` partition's packet-size distribution moved and
+//! cost ~7 accuracy points, discovered only post-hoc with per-class
+//! KDEs. This module closes that loop inside the serving daemon:
+//!
+//! * [`DriftMonitor`] keeps bounded, deterministic per-class reservoirs
+//!   ([`mlstats::reservoir::Reservoir`]) of the live stream's per-flow
+//!   feature summaries — mean packet size and mean inter-arrival, the
+//!   same quantities computed by the tracker, plus per-class confidence
+//!   distributions — keyed by *predicted* class (live traffic has no
+//!   labels). Every `check_interval_s` of **stream time** it KDE-fits
+//!   each class's window and scores it against the reference KDEs
+//!   snapshotted at train time ([`tcbench::refdist`]) with the paper's
+//!   L1 shift metric; `sustain` consecutive over-threshold checks raise
+//!   a typed [`DriftVerdict`].
+//! * [`RetrainOrchestrator`] keeps a bounded per-class store of recently
+//!   classified flows (input + predicted label) and, on a verdict, runs
+//!   a checkpointed [`SupervisedTrainer::train_resumable`] fine-tune in
+//!   a **background thread** — the packet path never blocks — validates
+//!   the candidate on a held-back slice, and hands an accepted
+//!   [`ServedModel`] back for the registry hot-swap.
+//!
+//! ### Determinism contract
+//!
+//! Everything on the packet path is driven by packet timestamps and
+//! SplitMix64 hashes: reservoir contents, check points, scores, and
+//! therefore the verdict's packet index are bit-identical across runs
+//! and worker counts for a fixed shard count. The only wall-clock in the
+//! subsystem is *when the background fine-tune finishes* — which affects
+//! when the swap lands, never whether drift is detected. With the
+//! subsystem disabled the daemon does zero extra work per packet
+//! (`EngineConfig::drift_tap` stays off) and behaves bit-identically to
+//! one without it.
+//!
+//! ### Known blind spot
+//!
+//! Per-predicted-class monitoring cannot see a shift that moves one
+//! class's distribution exactly onto another class the model already
+//! knows: the shifted flows are predicted as the other class and match
+//! its reference. The `trafficgen::shift` generator deliberately shifts
+//! into mixed territory so tests assert the detectable case; the
+//! limitation is inherent to label-free monitoring.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use mlstats::kde::{l1_distance, Kde};
+use mlstats::reservoir::Reservoir;
+use serde::{Deserialize, Serialize};
+use tcbench::refdist::ReferenceDistributions;
+use tcbench::supervised::{CheckpointSpec, SupervisedTrainer, TrainConfig};
+use tcbench::telemetry::{InferEvent, InferObserver};
+
+use crate::engine::ClassifiedFlow;
+use crate::registry::ServedModel;
+
+/// Monitor knobs. All stream-time / count quantities; no wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// L1 verdict threshold, in the metric's `[0, 2]` range.
+    pub threshold: f64,
+    /// Stream-time seconds between checks.
+    pub check_interval_s: f64,
+    /// Consecutive over-threshold checks a class must accumulate before
+    /// a verdict is raised (1 = first excursion trips it).
+    pub sustain: usize,
+    /// Minimum live samples a class needs in a window to be scored;
+    /// quieter classes are skipped (no `drift_check` event) that window.
+    pub min_samples: usize,
+    /// Per-class live reservoir capacity.
+    pub reservoir_cap: usize,
+    /// Checks suppressed after a verdict before another can be raised —
+    /// breathing room for the background retrain to land.
+    pub cooldown_checks: usize,
+    /// Reservoir sampling seed.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            threshold: 0.6,
+            check_interval_s: 60.0,
+            sustain: 2,
+            min_samples: 8,
+            reservoir_cap: 256,
+            cooldown_checks: 2,
+            seed: 0xD81F,
+        }
+    }
+}
+
+/// A sustained-divergence verdict: class `class` has scored past the
+/// threshold for `sustained` consecutive checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftVerdict {
+    /// Stream time of the verdict check.
+    pub at_ts: f64,
+    /// Packet index into the stream at the verdict — deterministic for
+    /// a given trace at any worker count.
+    pub packet: usize,
+    /// The diverged (predicted) class.
+    pub class: usize,
+    /// The class's L1 score at the verdict check.
+    pub score: f64,
+    /// The threshold in force.
+    pub threshold: f64,
+    /// Consecutive over-threshold checks behind the verdict.
+    pub sustained: usize,
+}
+
+/// Reference KDEs for one class, fitted once per reference snapshot.
+struct ClassKdes {
+    size: Kde,
+    iat: Kde,
+    size_range: (f64, f64),
+    iat_range: (f64, f64),
+}
+
+fn sample_range(samples: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &s in samples {
+        lo = lo.min(s);
+        hi = hi.max(s);
+    }
+    (lo, hi)
+}
+
+/// Builds a class's reference KDEs via the non-panicking constructors;
+/// a class with no/degenerate reference data simply yields `None` and
+/// is never scored — a quiet class must not crash the dataplane.
+fn fit_class(refs: &ReferenceDistributions, class: usize) -> Option<ClassKdes> {
+    let c = refs.classes.get(class)?;
+    let size = Kde::try_silverman(&c.mean_pkt_sizes).ok()?;
+    let iat = Kde::try_silverman(&c.mean_iats_s).ok()?;
+    Some(ClassKdes {
+        size_range: sample_range(&c.mean_pkt_sizes),
+        iat_range: sample_range(&c.mean_iats_s),
+        size,
+        iat,
+    })
+}
+
+/// L1 distance between a reference KDE and a live-window KDE on a grid
+/// spanning both supports (padded by three bandwidths so the densities
+/// decay to ~0 at the edges). `None` when the live window can't be
+/// KDE-fitted — degenerate windows score nothing rather than crash.
+fn shift_score(reference: &Kde, ref_range: (f64, f64), live_samples: &[f64]) -> Option<f64> {
+    let live = Kde::try_silverman(live_samples).ok()?;
+    let (live_lo, live_hi) = sample_range(live_samples);
+    let pad = 3.0 * reference.bandwidth.max(live.bandwidth);
+    let lo = ref_range.0.min(live_lo) - pad;
+    let hi = ref_range.1.max(live_hi) + pad;
+    if !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return None;
+    }
+    Some(l1_distance(reference, &live, lo, hi, GRID_POINTS))
+}
+
+const GRID_POINTS: usize = 201;
+
+/// Per-class live-window state.
+struct LiveClass {
+    sizes: Reservoir,
+    iats: Reservoir,
+    confidences: Reservoir,
+    /// Consecutive over-threshold checks.
+    over: usize,
+    /// Last computed score (NaN until first scored).
+    last_score: f64,
+}
+
+/// Compares live per-class feature windows against training-time
+/// references every `check_interval_s` of stream time.
+pub struct DriftMonitor {
+    config: DriftConfig,
+    refs: Vec<Option<ClassKdes>>,
+    live: Vec<LiveClass>,
+    /// Stream time of the next check; set by the first observed packet.
+    next_check_ts: Option<f64>,
+    checks: usize,
+    verdicts: usize,
+    /// Verdicts are suppressed until this many checks have run.
+    cooldown_until: usize,
+    last_verdict: Option<DriftVerdict>,
+}
+
+impl DriftMonitor {
+    /// A monitor for `refs`. Classes whose reference is missing or
+    /// degenerate are registered but never scored.
+    pub fn new(refs: &ReferenceDistributions, config: DriftConfig) -> DriftMonitor {
+        assert!(
+            config.threshold.is_finite() && config.threshold > 0.0,
+            "drift threshold must be finite and positive"
+        );
+        assert!(
+            config.check_interval_s.is_finite() && config.check_interval_s > 0.0,
+            "drift check interval must be finite and positive"
+        );
+        assert!(config.sustain >= 1, "sustain must be at least 1");
+        assert!(
+            config.reservoir_cap >= 1,
+            "reservoir_cap must be at least 1"
+        );
+        let n = refs.n_classes();
+        DriftMonitor {
+            refs: (0..n).map(|c| fit_class(refs, c)).collect(),
+            live: (0..n)
+                .map(|c| LiveClass {
+                    sizes: Reservoir::new(config.reservoir_cap, config.seed ^ (c as u64)),
+                    iats: Reservoir::new(config.reservoir_cap, config.seed ^ (c as u64)),
+                    confidences: Reservoir::new(
+                        config.reservoir_cap,
+                        config.seed ^ (c as u64) ^ 0x5A5A,
+                    ),
+                    over: 0,
+                    last_score: f64::NAN,
+                })
+                .collect(),
+            config,
+            next_check_ts: None,
+            checks: 0,
+            verdicts: 0,
+            cooldown_until: 0,
+            last_verdict: None,
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// Live-reconfigures the verdict threshold (validated by the caller
+    /// against the L1 metric's `(0, 2]` range).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        assert!(threshold.is_finite() && threshold > 0.0);
+        self.config.threshold = threshold;
+    }
+
+    /// Live-reconfigures the check cadence. Applies from the *next*
+    /// scheduled check: the pending check point is left untouched so
+    /// stream-time bookkeeping stays monotonic.
+    pub fn set_check_interval_s(&mut self, interval_s: f64) {
+        assert!(interval_s.is_finite() && interval_s > 0.0);
+        self.config.check_interval_s = interval_s;
+    }
+
+    /// Checks run so far.
+    pub fn checks(&self) -> usize {
+        self.checks
+    }
+
+    /// Verdicts raised so far.
+    pub fn verdicts(&self) -> usize {
+        self.verdicts
+    }
+
+    /// The most recent verdict, if any.
+    pub fn last_verdict(&self) -> Option<&DriftVerdict> {
+        self.last_verdict.as_ref()
+    }
+
+    /// Per-class last L1 scores (NaN until a class is first scored).
+    pub fn class_scores(&self) -> Vec<f64> {
+        self.live.iter().map(|l| l.last_score).collect()
+    }
+
+    /// Per-class mean confidence over the *current* (unscored) window;
+    /// NaN for classes with no samples yet.
+    pub fn mean_confidences(&self) -> Vec<f64> {
+        self.live
+            .iter()
+            .map(|l| {
+                let s = l.confidences.samples();
+                if s.is_empty() {
+                    f64::NAN
+                } else {
+                    s.iter().sum::<f64>() / s.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds classified flows into their predicted class's live window.
+    pub fn observe(&mut self, flows: &[ClassifiedFlow]) {
+        for f in flows {
+            if let Some(l) = self.live.get_mut(f.label) {
+                l.sizes.push(f.mean_pkt_size);
+                l.iats.push(f.mean_iat_s);
+                l.confidences.push(f.confidence as f64);
+            }
+        }
+    }
+
+    /// Advances stream time to `now_ts` (the current packet's
+    /// timestamp, `packet` packets into the stream) and runs a check if
+    /// an interval has elapsed. Emits `drift_check` per scored class and
+    /// `drift_detected` on a verdict. Stream-time driven: replaying the
+    /// same trace reproduces the same checks at the same packet indices.
+    pub fn maybe_check(
+        &mut self,
+        now_ts: f64,
+        packet: usize,
+        obs: &mut dyn InferObserver,
+    ) -> Option<DriftVerdict> {
+        let next = match self.next_check_ts {
+            None => {
+                // First packet pins the cadence to the stream's origin.
+                self.next_check_ts = Some(now_ts + self.config.check_interval_s);
+                return None;
+            }
+            Some(t) => t,
+        };
+        if now_ts < next {
+            return None;
+        }
+        let verdict = self.run_check(next, packet, obs);
+        // One check consumes the window; a stream-time jump across
+        // several intervals doesn't replay empty checks.
+        let mut t = next + self.config.check_interval_s;
+        if t <= now_ts {
+            let k = ((now_ts - next) / self.config.check_interval_s).floor() + 1.0;
+            t = next + k * self.config.check_interval_s;
+        }
+        self.next_check_ts = Some(t);
+        verdict
+    }
+
+    /// Scores every class with enough live samples, clears the windows,
+    /// and applies the sustain + cooldown rules.
+    fn run_check(
+        &mut self,
+        at_ts: f64,
+        packet: usize,
+        obs: &mut dyn InferObserver,
+    ) -> Option<DriftVerdict> {
+        let threshold = self.config.threshold;
+        let mut verdict: Option<DriftVerdict> = None;
+        for (class, live) in self.live.iter_mut().enumerate() {
+            let scored = match &self.refs[class] {
+                Some(kdes) if live.sizes.len() >= self.config.min_samples => {
+                    let size_score = shift_score(&kdes.size, kdes.size_range, live.sizes.samples());
+                    let iat_score = shift_score(&kdes.iat, kdes.iat_range, live.iats.samples());
+                    // The monitor watches both features; either one
+                    // diverging is drift, so the score is the max.
+                    match (size_score, iat_score) {
+                        (Some(a), Some(b)) => Some((a.max(b), live.sizes.len())),
+                        (Some(a), None) => Some((a, live.sizes.len())),
+                        (None, Some(b)) => Some((b, live.sizes.len())),
+                        (None, None) => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some((score, samples)) = scored {
+                live.last_score = score;
+                obs.infer_event(&InferEvent::DriftCheck {
+                    at_ts,
+                    class,
+                    score,
+                    threshold,
+                    samples,
+                });
+                if score > threshold {
+                    live.over += 1;
+                } else {
+                    live.over = 0;
+                }
+                let in_cooldown = self.checks < self.cooldown_until;
+                if live.over >= self.config.sustain && !in_cooldown && verdict.is_none() {
+                    let v = DriftVerdict {
+                        at_ts,
+                        packet,
+                        class,
+                        score,
+                        threshold,
+                        sustained: live.over,
+                    };
+                    obs.infer_event(&InferEvent::DriftDetected {
+                        at_ts,
+                        packet,
+                        class,
+                        score,
+                        threshold,
+                        sustained: live.over,
+                    });
+                    live.over = 0;
+                    verdict = Some(v);
+                }
+            }
+            live.sizes.clear();
+            live.iats.clear();
+            live.confidences.clear();
+        }
+        self.checks += 1;
+        if let Some(v) = verdict {
+            self.verdicts += 1;
+            self.last_verdict = Some(v);
+            self.cooldown_until = self.checks + self.config.cooldown_checks;
+        }
+        verdict
+    }
+
+    /// Re-baselines the monitor after a hot-swap: new reference KDEs,
+    /// cleared windows and sustain counters. Check cadence and counters
+    /// are preserved — the event log keeps one monotonic check index.
+    pub fn rebase(&mut self, refs: &ReferenceDistributions) {
+        let n = refs.n_classes();
+        self.refs = (0..n).map(|c| fit_class(refs, c)).collect();
+        if self.live.len() != n {
+            let cap = self.config.reservoir_cap;
+            let seed = self.config.seed;
+            self.live = (0..n)
+                .map(|c| LiveClass {
+                    sizes: Reservoir::new(cap, seed ^ (c as u64)),
+                    iats: Reservoir::new(cap, seed ^ (c as u64)),
+                    confidences: Reservoir::new(cap, seed ^ (c as u64) ^ 0x5A5A),
+                    over: 0,
+                    last_score: f64::NAN,
+                })
+                .collect();
+        } else {
+            for l in &mut self.live {
+                l.sizes.clear();
+                l.iats.clear();
+                l.confidences.clear();
+                l.over = 0;
+                l.last_score = f64::NAN;
+            }
+        }
+        self.cooldown_until = self.checks + self.config.cooldown_checks;
+    }
+}
+
+/// Retrain knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrainConfig {
+    /// Upper bound on fine-tune epochs (early stopping still applies).
+    pub max_epochs: usize,
+    /// Fine-tune learning rate (paper fine-tuning default 0.01 is too
+    /// hot for warm-started full networks; supervised 0.001 is used).
+    pub learning_rate: f32,
+    /// Most recent classified flows kept per predicted class.
+    pub per_class_cap: usize,
+    /// Minimum total stored flows before a retrain is attempted.
+    pub min_flows: usize,
+    /// Fraction of the fine-tune set held back for validation.
+    pub val_frac: f64,
+    /// Minimum held-back accuracy for the candidate to be accepted.
+    pub min_accuracy: f64,
+    /// Training/shuffle seed (perturbed per retrain attempt).
+    pub seed: u64,
+    /// Mini-batch worker threads for the background fit.
+    pub batch_workers: usize,
+    /// Where the resumable trainer checkpoints; `None` falls back to
+    /// non-checkpointed training.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for RetrainConfig {
+    fn default() -> RetrainConfig {
+        RetrainConfig {
+            max_epochs: 3,
+            learning_rate: 0.001,
+            per_class_cap: 256,
+            min_flows: 24,
+            val_frac: 0.2,
+            min_accuracy: 0.5,
+            seed: 0x52E7,
+            batch_workers: 1,
+            checkpoint_path: None,
+        }
+    }
+}
+
+/// What a background retrain produced.
+#[derive(Debug)]
+pub struct RetrainOutcome {
+    /// Whether the candidate passed validation (and `model` is `Some`).
+    pub accepted: bool,
+    /// Held-back accuracy of the candidate.
+    pub val_accuracy: f64,
+    /// Fine-tune epochs actually run.
+    pub epochs: usize,
+    /// Background wall-clock, in milliseconds.
+    pub wall_ms: f64,
+    /// The accepted candidate, ready for the registry hot-swap.
+    pub model: Option<ServedModel>,
+    /// References rebuilt from the fine-tune set, so the monitor's
+    /// baseline moves with the swap.
+    pub refs: Option<ReferenceDistributions>,
+}
+
+/// Where the orchestrator currently is, for `drift-status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetrainState {
+    Idle,
+    Running,
+    Accepted,
+    Rejected,
+}
+
+/// Assembles fine-tune sets from recently classified flows and runs
+/// verdict-triggered background retrains.
+pub struct RetrainOrchestrator {
+    config: RetrainConfig,
+    /// Per predicted class: the most recent `(input, mean_pkt_size,
+    /// mean_iat_s)` summaries, oldest evicted first.
+    store: Vec<std::collections::VecDeque<(Vec<f32>, f64, f64)>>,
+    class_names: Vec<String>,
+    job: Option<mpsc::Receiver<RetrainOutcome>>,
+    state: RetrainState,
+    started: usize,
+    accepted: usize,
+}
+
+impl RetrainOrchestrator {
+    /// An orchestrator for a model separating `class_names`.
+    pub fn new(class_names: Vec<String>, config: RetrainConfig) -> RetrainOrchestrator {
+        assert!(config.per_class_cap >= 1, "per_class_cap must be >= 1");
+        assert!(
+            (0.0..1.0).contains(&config.val_frac),
+            "val_frac must be in [0, 1)"
+        );
+        let n = class_names.len();
+        RetrainOrchestrator {
+            config,
+            store: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            class_names,
+            job: None,
+            state: RetrainState::Idle,
+            started: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Retrains started / accepted so far.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.started, self.accepted)
+    }
+
+    /// `"idle"`, `"running"`, `"accepted"` or `"rejected"` — the
+    /// `drift-status` state string.
+    pub fn state(&self) -> &'static str {
+        match self.state {
+            RetrainState::Idle => "idle",
+            RetrainState::Running => "running",
+            RetrainState::Accepted => "accepted",
+            RetrainState::Rejected => "rejected",
+        }
+    }
+
+    /// Whether a background retrain is in flight.
+    pub fn is_running(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Flows currently stored across all classes.
+    pub fn stored_flows(&self) -> usize {
+        self.store.iter().map(|s| s.len()).sum()
+    }
+
+    /// Records classified flows as future fine-tune candidates, keeping
+    /// the most recent `per_class_cap` per predicted class.
+    pub fn observe(&mut self, flows: &[ClassifiedFlow]) {
+        for f in flows {
+            if let Some(s) = self.store.get_mut(f.label) {
+                s.push_back((f.input.clone(), f.mean_pkt_size, f.mean_iat_s));
+                while s.len() > self.config.per_class_cap {
+                    s.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Starts a background retrain for `verdict` if none is running and
+    /// enough flows are stored. Emits `retrain_start` and returns `true`
+    /// when a job was actually spawned. Never blocks on training.
+    pub fn trigger(
+        &mut self,
+        verdict: &DriftVerdict,
+        model: &ServedModel,
+        obs: &mut dyn InferObserver,
+    ) -> bool {
+        if self.job.is_some() {
+            return false;
+        }
+        let total = self.stored_flows();
+        if total < self.config.min_flows {
+            return false;
+        }
+        let mut inputs = Vec::with_capacity(total);
+        let mut labels = Vec::with_capacity(total);
+        let mut stats = Vec::with_capacity(total);
+        for (class, s) in self.store.iter().enumerate() {
+            for (input, size, iat) in s {
+                inputs.push(input.clone());
+                labels.push(class);
+                stats.push((class, *size, *iat));
+            }
+        }
+        obs.infer_event(&InferEvent::RetrainStart {
+            trigger_class: verdict.class,
+            flows: total,
+        });
+        self.started += 1;
+        self.state = RetrainState::Running;
+
+        let config = self.config.clone();
+        let class_names = self.class_names.clone();
+        let model = model.clone();
+        // Perturb the seed per attempt so consecutive retrains don't
+        // replay identical shuffles — still deterministic per attempt
+        // index.
+        let seed = config.seed.wrapping_add(self.started as u64);
+        let (tx, rx) = mpsc::channel();
+        self.job = Some(rx);
+        std::thread::spawn(move || {
+            let outcome = run_retrain(&config, seed, model, class_names, inputs, labels, stats);
+            // The daemon may have shut down; a dead receiver is fine.
+            let _ = tx.send(outcome);
+        });
+        true
+    }
+
+    /// Non-blocking completion poll. On completion emits `retrain_end`
+    /// and returns the outcome; the caller performs the swap.
+    pub fn poll(&mut self, obs: &mut dyn InferObserver) -> Option<RetrainOutcome> {
+        let rx = self.job.as_ref()?;
+        match rx.try_recv() {
+            Ok(outcome) => {
+                self.job = None;
+                self.state = if outcome.accepted {
+                    self.accepted += 1;
+                    RetrainState::Accepted
+                } else {
+                    RetrainState::Rejected
+                };
+                obs.infer_event(&InferEvent::RetrainEnd {
+                    accepted: outcome.accepted,
+                    val_accuracy: outcome.val_accuracy,
+                    epochs: outcome.epochs,
+                    wall_ms: outcome.wall_ms,
+                });
+                Some(outcome)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                // The worker died without reporting (panic in training).
+                // Treat as a rejected retrain; the daemon keeps serving.
+                self.job = None;
+                self.state = RetrainState::Rejected;
+                obs.infer_event(&InferEvent::RetrainEnd {
+                    accepted: false,
+                    val_accuracy: f64::NAN,
+                    epochs: 0,
+                    wall_ms: f64::NAN,
+                });
+                Some(RetrainOutcome {
+                    accepted: false,
+                    val_accuracy: f64::NAN,
+                    epochs: 0,
+                    wall_ms: f64::NAN,
+                    model: None,
+                    refs: None,
+                })
+            }
+        }
+    }
+}
+
+/// The background half: warm-start the served architecture, fine-tune
+/// on the stored flows, validate on a held-back slice.
+fn run_retrain(
+    config: &RetrainConfig,
+    seed: u64,
+    model: ServedModel,
+    class_names: Vec<String>,
+    inputs: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    stats: Vec<(usize, f64, f64)>,
+) -> RetrainOutcome {
+    let t0 = Instant::now();
+    let reject = |wall_ms: f64| RetrainOutcome {
+        accepted: false,
+        val_accuracy: 0.0,
+        epochs: 0,
+        wall_ms,
+        model: None,
+        refs: None,
+    };
+    let mut net = match model.build_net() {
+        Ok(net) => net,
+        Err(_) => return reject(t0.elapsed().as_secs_f64() * 1e3),
+    };
+    let dataset = tcbench::data::FlowpicDataset {
+        res: model.resolution,
+        channels: 1,
+        inputs,
+        labels,
+        n_classes: model.n_classes,
+    };
+    let (train, val) = dataset.split_validation(config.val_frac, seed);
+    if train.is_empty() {
+        return reject(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let val_opt = (!val.is_empty()).then_some(&val);
+    let trainer = SupervisedTrainer::new(TrainConfig {
+        learning_rate: config.learning_rate,
+        batch_size: 32,
+        max_epochs: config.max_epochs,
+        patience: config.max_epochs,
+        min_delta: 0.001,
+        seed,
+        batch_workers: config.batch_workers,
+    });
+    let summary = match &config.checkpoint_path {
+        Some(path) => {
+            // Each retrain is a fresh trajectory: stale checkpoints from
+            // a previous attempt must not resume into this one.
+            let _ = std::fs::remove_file(path);
+            let spec = CheckpointSpec::new(path).every(1);
+            match trainer.train_resumable(&mut net, &train, val_opt, &spec) {
+                Ok(s) => s,
+                Err(_) => return reject(t0.elapsed().as_secs_f64() * 1e3),
+            }
+        }
+        None => trainer.train(&mut net, &train, val_opt),
+    };
+    let eval_on = if val.is_empty() { &train } else { &val };
+    let eval = trainer.evaluate(&net, eval_on);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let accepted = eval.accuracy >= config.min_accuracy;
+    let refs = ReferenceDistributions::from_flow_stats(
+        class_names,
+        model.n_classes,
+        stats,
+        config.per_class_cap,
+        seed,
+    );
+    RetrainOutcome {
+        accepted,
+        val_accuracy: eval.accuracy,
+        epochs: summary.epochs,
+        wall_ms,
+        model: accepted.then(|| ServedModel {
+            arch: model.arch.clone(),
+            resolution: model.resolution,
+            n_classes: model.n_classes,
+            dropout: model.dropout,
+            class_names: model.class_names.clone(),
+            weights: net.export_weights(),
+        }),
+        refs: Some(refs),
+    }
+}
+
+/// The most recent verdict on the `drift-status` wire (scores stay
+/// finite: serde_json cannot round-trip NaN).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct WireVerdict {
+    /// The diverged class.
+    pub class: usize,
+    /// L1 score at the verdict.
+    pub score: f64,
+    /// Packet index of the verdict.
+    pub packet: usize,
+    /// Stream time of the verdict.
+    pub at_ts: f64,
+}
+
+/// Drift fields of `DaemonStats` / the `drift-status` reply. All scores
+/// use `-1.0` as the "not scored" sentinel — the L1 metric is
+/// non-negative, and JSON has no NaN.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DriftStats {
+    /// Whether drift detection is enabled.
+    pub enabled: bool,
+    /// Checks run so far.
+    pub checks: usize,
+    /// Verdicts raised so far.
+    pub verdicts: usize,
+    /// Per-class last L1 scores (`-1.0` = never scored).
+    pub class_scores: Vec<f64>,
+    /// Per-class mean confidence of the current window (`-1.0` = no
+    /// samples yet).
+    pub mean_confidence: Vec<f64>,
+    /// The most recent verdict.
+    pub last_verdict: Option<WireVerdict>,
+    /// `"idle"`, `"running"`, `"accepted"` or `"rejected"`.
+    pub retrain_state: String,
+    /// Background retrains started.
+    pub retrains_started: usize,
+    /// Retrains whose candidate was accepted and swapped.
+    pub retrains_accepted: usize,
+    /// The verdict threshold in force.
+    pub threshold: f64,
+    /// The check cadence in force (stream-time seconds).
+    pub check_interval_s: f64,
+}
+
+impl DriftStats {
+    /// The `drift-status` reply of a daemon running without drift
+    /// detection: everything zeroed, `enabled: false`.
+    pub fn disabled() -> DriftStats {
+        DriftStats {
+            enabled: false,
+            checks: 0,
+            verdicts: 0,
+            class_scores: Vec::new(),
+            mean_confidence: Vec::new(),
+            last_verdict: None,
+            retrain_state: "idle".into(),
+            retrains_started: 0,
+            retrains_accepted: 0,
+            threshold: 0.0,
+            check_interval_s: 0.0,
+        }
+    }
+}
+
+/// Replaces non-finite scores with the wire sentinel `-1.0`.
+pub fn wire_scores(scores: Vec<f64>) -> Vec<f64> {
+    scores
+        .into_iter()
+        .map(|s| if s.is_finite() { s } else { -1.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcbench::arch::supervised_net;
+    use tcbench::telemetry::{InferRecorder, Noop};
+
+    const _: () = assert!(GRID_POINTS >= 2);
+
+    fn refs_two_class() -> ReferenceDistributions {
+        // Class 0 sizes around 200, class 1 around 600; IATs 1s / 2s.
+        let stats = (0..64).flat_map(|i| {
+            let jitter = (i % 8) as f64;
+            [
+                (0usize, 200.0 + jitter, 1.0 + jitter * 0.01),
+                (1usize, 600.0 + jitter, 2.0 + jitter * 0.01),
+            ]
+        });
+        ReferenceDistributions::from_flow_stats(vec!["a".into(), "b".into()], 2, stats, 64, 1)
+    }
+
+    fn flow(label: usize, size: f64, iat: f64) -> ClassifiedFlow {
+        ClassifiedFlow {
+            flow_id: 0,
+            label,
+            confidence: 0.9,
+            mean_pkt_size: size,
+            mean_iat_s: iat,
+            input: Vec::new(),
+        }
+    }
+
+    fn cfg() -> DriftConfig {
+        DriftConfig {
+            threshold: 0.6,
+            check_interval_s: 10.0,
+            sustain: 2,
+            min_samples: 4,
+            reservoir_cap: 64,
+            cooldown_checks: 2,
+            seed: 7,
+        }
+    }
+
+    /// Feeds `windows` of flows, advancing one interval per window, and
+    /// returns the verdicts raised.
+    fn drive(
+        monitor: &mut DriftMonitor,
+        windows: &[Vec<ClassifiedFlow>],
+        obs: &mut dyn InferObserver,
+    ) -> Vec<DriftVerdict> {
+        let mut verdicts = Vec::new();
+        let mut packet = 0usize;
+        // Pin the cadence with a first packet at t=0.
+        monitor.maybe_check(0.0, 0, obs);
+        for (w, flows) in windows.iter().enumerate() {
+            monitor.observe(flows);
+            packet += flows.len();
+            // Cross the check boundary for this window.
+            let ts = (w as f64 + 1.0) * 10.0;
+            if let Some(v) = monitor.maybe_check(ts, packet, obs) {
+                verdicts.push(v);
+            }
+        }
+        verdicts
+    }
+
+    fn matching_window() -> Vec<ClassifiedFlow> {
+        (0..16)
+            .flat_map(|i| {
+                let jitter = (i % 8) as f64;
+                [
+                    flow(0, 200.0 + jitter, 1.0 + jitter * 0.01),
+                    flow(1, 600.0 + jitter, 2.0 + jitter * 0.01),
+                ]
+            })
+            .collect()
+    }
+
+    fn shifted_window() -> Vec<ClassifiedFlow> {
+        (0..16)
+            .flat_map(|i| {
+                let jitter = (i % 8) as f64;
+                [
+                    flow(0, 200.0 + jitter, 1.0 + jitter * 0.01),
+                    // Class 1 drifted: sizes way up, IATs halved.
+                    flow(1, 1100.0 + jitter, 1.0 + jitter * 0.01),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_drift_stays_silent() {
+        let mut monitor = DriftMonitor::new(&refs_two_class(), cfg());
+        let mut rec = InferRecorder::new();
+        let windows: Vec<_> = (0..5).map(|_| matching_window()).collect();
+        let verdicts = drive(&mut monitor, &windows, &mut rec);
+        assert!(verdicts.is_empty(), "matching traffic must not drift");
+        assert_eq!(monitor.checks(), 5);
+        // Every check scored both classes under the threshold.
+        let checks: Vec<f64> = rec
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::DriftCheck { score, .. } => Some(*score),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checks.len(), 10);
+        assert!(checks.iter().all(|s| *s < 0.6), "{checks:?}");
+        assert!(!rec
+            .events
+            .iter()
+            .any(|e| matches!(e, InferEvent::DriftDetected { .. })));
+    }
+
+    #[test]
+    fn sustained_shift_raises_a_verdict() {
+        let mut monitor = DriftMonitor::new(&refs_two_class(), cfg());
+        let mut rec = InferRecorder::new();
+        let windows = vec![
+            matching_window(),
+            shifted_window(),
+            shifted_window(),
+            shifted_window(),
+        ];
+        let verdicts = drive(&mut monitor, &windows, &mut rec);
+        // sustain=2: first shifted window arms, second trips.
+        assert_eq!(verdicts.len(), 1, "{verdicts:?}");
+        let v = verdicts[0];
+        assert_eq!(v.class, 1);
+        assert!(v.score > 0.6, "score {}", v.score);
+        assert_eq!(v.sustained, 2);
+        assert_eq!(monitor.verdicts(), 1);
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| matches!(e, InferEvent::DriftDetected { class: 1, .. })));
+        // Cooldown suppressed the third shifted window.
+        assert_eq!(monitor.last_verdict().unwrap().packet, v.packet);
+    }
+
+    #[test]
+    fn verdict_packet_index_is_deterministic() {
+        let run = || {
+            let mut monitor = DriftMonitor::new(&refs_two_class(), cfg());
+            let windows = vec![matching_window(), shifted_window(), shifted_window()];
+            drive(&mut monitor, &windows, &mut Noop)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].packet, b[0].packet);
+        assert_eq!(a[0].score.to_bits(), b[0].score.to_bits());
+    }
+
+    #[test]
+    fn quiet_and_degenerate_classes_never_crash() {
+        // Class 1's reference is empty → never scored; class 0 quiet on
+        // the live side → skipped.
+        let refs = ReferenceDistributions::from_flow_stats(
+            vec!["a".into(), "b".into()],
+            2,
+            (0..32).map(|i| (0usize, 300.0 + (i % 4) as f64, 1.0)),
+            32,
+            1,
+        );
+        let mut monitor = DriftMonitor::new(&refs, cfg());
+        let mut rec = InferRecorder::new();
+        // Window 1: nothing at all. Window 2: flows only for class 1
+        // (whose reference is missing). Window 3: two class-0 flows —
+        // under min_samples.
+        let windows = vec![
+            Vec::new(),
+            (0..8).map(|_| flow(1, 999.0, 0.1)).collect(),
+            vec![flow(0, 300.0, 1.0), flow(0, 301.0, 1.0)],
+        ];
+        let verdicts = drive(&mut monitor, &windows, &mut rec);
+        assert!(verdicts.is_empty());
+        assert_eq!(monitor.checks(), 3);
+        assert!(
+            !rec.events
+                .iter()
+                .any(|e| matches!(e, InferEvent::DriftCheck { .. })),
+            "no class ever had enough samples + reference to score"
+        );
+        // Scores stay NaN → wire sentinel -1.
+        assert!(wire_scores(monitor.class_scores())
+            .iter()
+            .all(|s| *s == -1.0));
+    }
+
+    #[test]
+    fn rebase_clears_windows_and_refits() {
+        let mut monitor = DriftMonitor::new(&refs_two_class(), cfg());
+        let mut rec = InferRecorder::new();
+        let windows = vec![matching_window(), shifted_window(), shifted_window()];
+        assert_eq!(drive(&mut monitor, &windows, &mut rec).len(), 1);
+        // Rebase onto references matching the *shifted* distribution:
+        // the same shifted traffic no longer drifts.
+        let new_refs = ReferenceDistributions::from_flow_stats(
+            vec!["a".into(), "b".into()],
+            2,
+            (0..64).flat_map(|i| {
+                let jitter = (i % 8) as f64;
+                [
+                    (0usize, 200.0 + jitter, 1.0 + jitter * 0.01),
+                    (1usize, 1100.0 + jitter, 1.0 + jitter * 0.01),
+                ]
+            }),
+            64,
+            1,
+        );
+        monitor.rebase(&new_refs);
+        let more = vec![
+            shifted_window(),
+            shifted_window(),
+            shifted_window(),
+            shifted_window(),
+            shifted_window(),
+        ];
+        // Cooldown covers the first 2 checks post-rebase; the rest score
+        // under threshold against the new baseline.
+        let verdicts = drive(&mut monitor, &more, &mut rec);
+        assert!(verdicts.is_empty(), "{verdicts:?}");
+    }
+
+    #[test]
+    fn orchestrator_retrains_and_accepts_in_background() {
+        let res = 16;
+        let model = ServedModel {
+            arch: "supervised".into(),
+            resolution: res,
+            n_classes: 2,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into()],
+            weights: supervised_net(res, 2, true, 5).export_weights(),
+        };
+        let mut orch = RetrainOrchestrator::new(
+            model.class_names.clone(),
+            RetrainConfig {
+                max_epochs: 2,
+                min_flows: 8,
+                min_accuracy: 0.0,
+                val_frac: 0.25,
+                ..RetrainConfig::default()
+            },
+        );
+        // Linearly separable inputs: class 0 = low pixels, class 1 = high.
+        let flows: Vec<ClassifiedFlow> = (0..24)
+            .map(|i| {
+                let label = i % 2;
+                let v = if label == 0 { 0.1 } else { 0.9 };
+                ClassifiedFlow {
+                    flow_id: i as u64,
+                    label,
+                    confidence: 0.8,
+                    mean_pkt_size: 100.0 + 500.0 * label as f64,
+                    mean_iat_s: 1.0,
+                    input: vec![v; res * res],
+                }
+            })
+            .collect();
+        orch.observe(&flows);
+        assert_eq!(orch.stored_flows(), 24);
+        let verdict = DriftVerdict {
+            at_ts: 10.0,
+            packet: 100,
+            class: 1,
+            score: 1.2,
+            threshold: 0.6,
+            sustained: 2,
+        };
+        let mut rec = InferRecorder::new();
+        assert!(orch.trigger(&verdict, &model, &mut rec));
+        assert!(orch.is_running());
+        assert_eq!(orch.state(), "running");
+        // A second verdict while running is a no-op.
+        assert!(!orch.trigger(&verdict, &model, &mut rec));
+        // Background thread: wait for completion via polling.
+        let outcome = loop {
+            if let Some(o) = orch.poll(&mut rec) {
+                break o;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert!(outcome.accepted, "acc {}", outcome.val_accuracy);
+        assert_eq!(orch.state(), "accepted");
+        assert_eq!(orch.counts(), (1, 1));
+        let candidate = outcome.model.expect("accepted outcome carries a model");
+        assert_eq!(candidate.n_classes, 2);
+        assert_ne!(
+            candidate.weights.fingerprint(),
+            model.weights.fingerprint(),
+            "fine-tune must move the weights"
+        );
+        let refs = outcome.refs.expect("outcome carries rebased references");
+        assert_eq!(refs.n_classes(), 2);
+        assert!(!refs.classes[0].mean_pkt_sizes.is_empty());
+        // Event order: retrain_start then retrain_end(accepted).
+        let names: Vec<&str> = rec
+            .events
+            .iter()
+            .map(|e| match e {
+                InferEvent::RetrainStart { .. } => "start",
+                InferEvent::RetrainEnd { .. } => "end",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(names, vec!["start", "end"]);
+    }
+
+    #[test]
+    fn orchestrator_needs_enough_flows() {
+        let model = ServedModel {
+            arch: "supervised".into(),
+            resolution: 16,
+            n_classes: 2,
+            dropout: true,
+            class_names: vec!["a".into(), "b".into()],
+            weights: supervised_net(16, 2, true, 5).export_weights(),
+        };
+        let mut orch = RetrainOrchestrator::new(
+            model.class_names.clone(),
+            RetrainConfig {
+                min_flows: 100,
+                ..RetrainConfig::default()
+            },
+        );
+        let verdict = DriftVerdict {
+            at_ts: 10.0,
+            packet: 1,
+            class: 0,
+            score: 1.0,
+            threshold: 0.6,
+            sustained: 2,
+        };
+        assert!(!orch.trigger(&verdict, &model, &mut Noop));
+        assert_eq!(orch.state(), "idle");
+    }
+
+    #[test]
+    fn store_is_bounded_per_class() {
+        let mut orch = RetrainOrchestrator::new(
+            vec!["a".into()],
+            RetrainConfig {
+                per_class_cap: 4,
+                ..RetrainConfig::default()
+            },
+        );
+        let flows: Vec<ClassifiedFlow> = (0..100)
+            .map(|i| ClassifiedFlow {
+                flow_id: i,
+                label: 0,
+                confidence: 0.5,
+                mean_pkt_size: i as f64,
+                mean_iat_s: 0.0,
+                input: vec![0.0; 4],
+            })
+            .collect();
+        orch.observe(&flows);
+        assert_eq!(orch.stored_flows(), 4);
+    }
+}

@@ -317,6 +317,12 @@ pub struct EngineConfig {
     /// Per-batch wall-clock samples kept in the bounded ring that feeds
     /// live latency quantiles (`stats`), regardless of retention mode.
     pub latency_window: usize,
+    /// Record every classified flow (prediction + tracker feature
+    /// summary + input) in a second drained buffer for the drift
+    /// monitor. Off by default: with the tap off the engine does zero
+    /// extra work per flow, which is what makes "drift disabled" mode
+    /// trivially bit-identical to a daemon built before the tap existed.
+    pub drift_tap: bool,
 }
 
 impl Default for EngineConfig {
@@ -327,14 +333,37 @@ impl Default for EngineConfig {
             retain_full_history: false,
             pending_cap: 65_536,
             latency_window: 1_024,
+            drift_tap: false,
         }
     }
+}
+
+/// One classified flow as the drift monitor sees it: the prediction
+/// joined with the tracker's per-flow feature summary and the model
+/// input (retained so an auto-retrain can fine-tune on recently served
+/// traffic without re-rasterizing anything).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifiedFlow {
+    /// The flow's identifier.
+    pub flow_id: u64,
+    /// Predicted class.
+    pub label: usize,
+    /// Confidence of the predicted class.
+    pub confidence: f32,
+    /// Mean in-window packet size (bytes), from the tracker.
+    pub mean_pkt_size: f64,
+    /// Mean in-window inter-arrival gap (seconds), from the tracker.
+    pub mean_iat_s: f64,
+    /// The flowpic input the prediction was made on.
+    pub input: Vec<f32>,
 }
 
 struct QueuedFlow {
     flow_id: u64,
     input: Vec<f32>,
     enqueued_at: f64,
+    mean_pkt_size: f64,
+    mean_iat_s: f64,
 }
 
 /// Collects completed flows and classifies them in micro-batches
@@ -358,6 +387,10 @@ pub struct InferenceEngine {
     /// Telemetry shard tag stamped on this engine's `infer_batch_end`
     /// events (0 outside the sharded dataplane).
     shard: usize,
+    /// Classified flows awaiting the drift monitor. Only grown with
+    /// `drift_tap`; bounded by `pending_cap` like the prediction buffer
+    /// so an undrained tap can never leak.
+    drift_tap: VecDeque<ClassifiedFlow>,
 }
 
 impl InferenceEngine {
@@ -380,6 +413,7 @@ impl InferenceEngine {
             recent_wall_ms: VecDeque::new(),
             predictions: Vec::new(),
             shard: 0,
+            drift_tap: VecDeque::new(),
         }
     }
 
@@ -420,6 +454,16 @@ impl InferenceEngine {
             let excess = self.predictions.len() - pending_cap;
             self.predictions.drain(..excess);
             self.predictions_dropped += excess;
+        }
+    }
+
+    /// Arms (or disarms) the drift tap. Off is the default and the
+    /// bit-identity baseline: a daemon with the tap off does zero extra
+    /// work per classified flow.
+    pub fn set_drift_tap(&mut self, on: bool) {
+        self.config.drift_tap = on;
+        if !on {
+            self.drift_tap.clear();
         }
     }
 
@@ -464,6 +508,14 @@ impl InferenceEngine {
         std::mem::take(&mut self.predictions)
     }
 
+    /// Drains the drift tap (classified flows with feature summaries),
+    /// oldest first. Always empty unless `drift_tap` is configured.
+    pub fn take_drift_tap(&mut self) -> Vec<ClassifiedFlow> {
+        let mut out = Vec::with_capacity(self.drift_tap.len());
+        out.extend(self.drift_tap.drain(..));
+        out
+    }
+
     /// Enqueues a completed flow at stream time `now` and flushes while
     /// the size trigger holds.
     pub fn submit(&mut self, flow: CompletedFlow, now: f64, obs: &mut dyn InferObserver) {
@@ -471,6 +523,8 @@ impl InferenceEngine {
             flow_id: flow.flow_id,
             input: flow.input,
             enqueued_at: now,
+            mean_pkt_size: flow.mean_pkt_size,
+            mean_iat_s: flow.mean_iat_s,
         });
         while self.queue.len() >= self.config.max_batch {
             self.flush(obs);
@@ -515,6 +569,19 @@ impl InferenceEngine {
                 label,
                 confidence,
             });
+            if self.config.drift_tap {
+                self.drift_tap.push_back(ClassifiedFlow {
+                    flow_id: q.flow_id,
+                    label,
+                    confidence,
+                    mean_pkt_size: q.mean_pkt_size,
+                    mean_iat_s: q.mean_iat_s,
+                    input: q.input,
+                });
+                while self.drift_tap.len() > self.config.pending_cap {
+                    self.drift_tap.pop_front();
+                }
+            }
         }
         obs.infer_event(&InferEvent::BatchEnd {
             shard: self.shard,
@@ -579,6 +646,8 @@ mod tests {
             input,
             pkts: 1,
             completed_at: 0.0,
+            mean_pkt_size: 100.0 + flow_id as f64,
+            mean_iat_s: 0.5,
         }
     }
 
@@ -644,6 +713,59 @@ mod tests {
         // Predictions keep submission order and flow identity.
         let ids: Vec<u64> = engine.predictions().iter().map(|p| p.flow_id).collect();
         assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drift_tap_joins_predictions_with_feature_stats() {
+        let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 2,
+                max_wait_s: 1e9,
+                drift_tap: true,
+                ..EngineConfig::default()
+            },
+        );
+        let mut rec = InferRecorder::new();
+        for id in 0..4u64 {
+            engine.submit(completed(id, input(id, 256)), 0.0, &mut rec);
+        }
+        let tap = engine.take_drift_tap();
+        assert_eq!(tap.len(), 4);
+        for (i, c) in tap.iter().enumerate() {
+            assert_eq!(c.flow_id, i as u64);
+            assert_eq!(c.mean_pkt_size, 100.0 + i as f64);
+            assert_eq!(c.mean_iat_s, 0.5);
+            assert_eq!(c.input, input(i as u64, 256));
+        }
+        // Tap entries mirror the predictions exactly.
+        let preds = engine.take_predictions();
+        for (c, p) in tap.iter().zip(&preds) {
+            assert_eq!(
+                (c.flow_id, c.label, c.confidence),
+                (p.flow_id, p.label, p.confidence)
+            );
+        }
+        assert!(engine.take_drift_tap().is_empty(), "drained");
+    }
+
+    #[test]
+    fn drift_tap_off_records_nothing() {
+        let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
+        let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let mut rec = InferRecorder::new();
+        engine.submit(completed(0, input(0, 256)), 0.0, &mut rec);
+        assert_eq!(engine.predictions().len(), 1);
+        assert!(engine.take_drift_tap().is_empty());
     }
 
     #[test]
@@ -749,6 +871,7 @@ mod tests {
                 retain_full_history: false,
                 pending_cap: 6,
                 latency_window: 3,
+                drift_tap: false,
             },
         );
         let mut rec = InferRecorder::new();

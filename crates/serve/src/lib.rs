@@ -31,6 +31,13 @@
 //!   trace and drives the tracker + engine over it at a configurable
 //!   rate multiplier, producing a latency/throughput report with
 //!   `mlstats::quantiles` percentiles.
+//! * [`drift`] — the closed loop: [`drift::DriftMonitor`] compares live
+//!   per-class feature windows against training-time reference KDEs
+//!   ([`tcbench::refdist`]) with the paper's L1 shift metric every
+//!   interval of *stream time*, and [`drift::RetrainOrchestrator`] turns
+//!   a sustained divergence into a background fine-tune, validation, and
+//!   fingerprint-validated hot-swap — without ever blocking the packet
+//!   path.
 //! * [`daemon`] — the long-running control plane: hosts registry +
 //!   tracker + engine behind a Unix-domain socket speaking
 //!   line-delimited JSON ([`daemon::CtlRequest`] /
@@ -49,6 +56,7 @@
 //! observability-only contract.
 
 pub mod daemon;
+pub mod drift;
 pub mod engine;
 pub mod registry;
 pub mod replay;
@@ -58,6 +66,10 @@ pub mod tracker;
 pub use daemon::{
     ctl_roundtrip, CtlClient, CtlRequest, CtlResponse, Daemon, DaemonConfig, DaemonStats,
     WirePrediction,
+};
+pub use drift::{
+    DriftConfig, DriftMonitor, DriftStats, DriftVerdict, RetrainConfig, RetrainOrchestrator,
+    RetrainOutcome,
 };
 pub use engine::{
     Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction, QuantMode,

@@ -275,6 +275,7 @@ pub fn replay(
             obs.infer_event(&InferEvent::ModelSwapped {
                 old_fingerprint: old,
                 new_fingerprint: new,
+                reason: "scheduled",
             });
         }
         engine.poll(rec.ts, obs);

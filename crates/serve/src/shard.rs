@@ -255,6 +255,17 @@ impl ShardedPipeline {
             .collect()
     }
 
+    /// Drains every lane's drift tap, concatenated in shard order —
+    /// worker-count-invariant for a fixed shard count, like
+    /// [`ShardedPipeline::take_predictions`]. Always empty unless the
+    /// engine config enables `drift_tap`.
+    pub fn take_drift_tap(&mut self) -> Vec<crate::engine::ClassifiedFlow> {
+        self.lanes
+            .iter_mut()
+            .flat_map(|l| l.engine.take_drift_tap())
+            .collect()
+    }
+
     /// Lane 0's engine configuration (lanes are configured uniformly).
     pub fn engine_config(&self) -> EngineConfig {
         self.lanes[0].engine.config()
@@ -298,6 +309,13 @@ impl ShardedPipeline {
     pub fn set_pending_cap(&mut self, pending_cap: usize) {
         for lane in &mut self.lanes {
             lane.engine.set_pending_cap(pending_cap);
+        }
+    }
+
+    /// Arms (or disarms) every lane's drift tap.
+    pub fn set_drift_tap(&mut self, on: bool) {
+        for lane in &mut self.lanes {
+            lane.engine.set_drift_tap(on);
         }
     }
 }
@@ -470,6 +488,7 @@ pub fn replay_sharded(
         obs.infer_event(&InferEvent::ModelSwapped {
             old_fingerprint: *old,
             new_fingerprint: *new,
+            reason: "scheduled",
         });
     }
     obs.infer_event(&InferEvent::StreamEnd {

@@ -81,11 +81,39 @@ pub struct CompletedFlow {
     pub pkts: usize,
     /// Stream time at which the flow completed.
     pub completed_at: f64,
+    /// Mean size (bytes) of the in-window packets — the drift monitor's
+    /// size feature, matching `tcbench::refdist::flow_window_stats` on
+    /// the same packets. `0.0` for an empty picture.
+    pub mean_pkt_size: f64,
+    /// Mean inter-arrival gap (flow-time seconds) of the in-window
+    /// packets; `0.0` with fewer than two packets.
+    pub mean_iat_s: f64,
 }
 
 struct TrackedFlow {
     pic: IncrementalFlowpic,
     last_seen: f64,
+    /// Drift-feature accumulators over every pushed (in-window) packet.
+    n_pkts: usize,
+    sum_size: f64,
+    first_pkt_ts: f64,
+    last_pkt_ts: f64,
+}
+
+impl TrackedFlow {
+    /// `(mean_pkt_size, mean_iat_s)` over the packets pushed so far.
+    fn feature_stats(&self) -> (f64, f64) {
+        if self.n_pkts == 0 {
+            return (0.0, 0.0);
+        }
+        let mean_size = self.sum_size / self.n_pkts as f64;
+        let mean_iat = if self.n_pkts >= 2 {
+            (self.last_pkt_ts - self.first_pkt_ts) / (self.n_pkts - 1) as f64
+        } else {
+            0.0
+        };
+        (mean_size, mean_iat)
+    }
 }
 
 /// Ingests timestamped packet records and emits completed flows.
@@ -223,8 +251,12 @@ impl FlowTracker {
             // window, so the batch builder would skip them too).
             let tracked = self.flows.remove(&rec.flow_id);
             self.mark_done(rec.flow_id);
-            let (input, pkts) = match tracked {
-                Some(t) => (t.pic.picture().to_input(self.config.norm), t.pic.counted()),
+            let (input, pkts, stats) = match tracked {
+                Some(t) => (
+                    t.pic.picture().to_input(self.config.norm),
+                    t.pic.counted(),
+                    t.feature_stats(),
+                ),
                 // First observed packet is already past the window: the
                 // in-window picture is provably empty.
                 None => (
@@ -232,6 +264,7 @@ impl FlowTracker {
                         .picture()
                         .to_input(self.config.norm),
                     0,
+                    (0.0, 0.0),
                 ),
             };
             return Some(CompletedFlow {
@@ -239,6 +272,8 @@ impl FlowTracker {
                 input,
                 pkts,
                 completed_at: rec.ts,
+                mean_pkt_size: stats.0,
+                mean_iat_s: stats.1,
             });
         }
         if !self.flows.contains_key(&rec.flow_id) && self.flows.len() >= self.config.max_flows {
@@ -250,9 +285,19 @@ impl FlowTracker {
             .or_insert_with(|| TrackedFlow {
                 pic: IncrementalFlowpic::new(self.config.flowpic),
                 last_seen: rec.ts,
+                n_pkts: 0,
+                sum_size: 0.0,
+                first_pkt_ts: 0.0,
+                last_pkt_ts: 0.0,
             });
         entry.pic.push(&rec.pkt);
         entry.last_seen = rec.ts;
+        if entry.n_pkts == 0 {
+            entry.first_pkt_ts = rec.pkt.ts;
+        }
+        entry.last_pkt_ts = rec.pkt.ts;
+        entry.sum_size += rec.pkt.size as f64;
+        entry.n_pkts += 1;
         None
     }
 
@@ -265,11 +310,14 @@ impl FlowTracker {
             .map(|id| {
                 let t = self.flows.remove(&id).expect("flow listed but missing");
                 self.done_cur.insert(id);
+                let (mean_pkt_size, mean_iat_s) = t.feature_stats();
                 CompletedFlow {
                     flow_id: id,
                     input: t.pic.picture().to_input(self.config.norm),
                     pkts: t.pic.counted(),
                     completed_at: now,
+                    mean_pkt_size,
+                    mean_iat_s,
                 }
             })
             .collect()
@@ -353,6 +401,29 @@ mod tests {
         // Late packets of a classified flow are ignored.
         assert!(tracker.push(&rec(1, 2.5, 16.0), &mut obs).is_none());
         assert_eq!(tracker.active_flows(), 0);
+    }
+
+    #[test]
+    fn completed_flows_carry_window_feature_stats() {
+        let mut tracker = FlowTracker::new(cfg());
+        let mut obs = InferRecorder::new();
+        // Two in-window packets: sizes 500 each (the `rec` helper), flow
+        // times 0 and 2 → mean size 500, mean IAT 2.
+        assert!(tracker.push(&rec(1, 0.0, 0.0), &mut obs).is_none());
+        assert!(tracker.push(&rec(1, 1.0, 2.0), &mut obs).is_none());
+        let done = tracker.push(&rec(1, 2.0, 15.5), &mut obs).unwrap();
+        assert_eq!(done.mean_pkt_size, 500.0);
+        assert_eq!(done.mean_iat_s, 2.0);
+        // A single-packet flow has no gaps.
+        tracker.push(&rec(2, 3.0, 0.0), &mut obs);
+        let done = tracker.flush(4.0);
+        assert_eq!(done[0].mean_pkt_size, 500.0);
+        assert_eq!(done[0].mean_iat_s, 0.0);
+        // First packet already past the window: empty picture, zeroes.
+        let mut tracker = FlowTracker::new(cfg());
+        let done = tracker.push(&rec(9, 0.0, 15.5), &mut obs).unwrap();
+        assert_eq!(done.pkts, 0);
+        assert_eq!((done.mean_pkt_size, done.mean_iat_s), (0.0, 0.0));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! * [`stress`] — serving-path stress traffic: up to a million tiny
 //!   flows, each closed just past the 15 s window so the online
 //!   dataplane classifies at steady state.
+//! * [`shift`] — mid-stream distribution shift (the paper's `human`
+//!   partition in miniature) for exercising the daemon's drift monitor.
 //!
 //! ## Example
 //!
@@ -52,6 +54,7 @@ pub mod netem;
 pub mod pcap;
 pub mod process;
 pub mod profile;
+pub mod shift;
 pub mod splits;
 pub mod stress;
 pub mod synth;

@@ -1,0 +1,262 @@
+//! Mid-stream distribution shift: the paper's `human` partition in
+//! miniature.
+//!
+//! Paper Fig. 8's headline forensic finding is that one partition's
+//! packet-size distribution drifted between collection rounds and
+//! silently cost ~7 accuracy points. This module generates that failure
+//! mode as a replayable trace: flows start from the [`crate::stress`]
+//! size/rate model (so a model trained on a stress-style baseline is the
+//! reference), then — from a configurable stream position onwards — one
+//! class's packets grow by a fixed size offset and arrive at a
+//! multiplied rate. Replayed through the serving daemon, the pre-shift
+//! prefix matches the training distribution and the suffix does not,
+//! which is exactly the signal `serve::drift` exists to catch.
+//!
+//! The shift offset is chosen so the shifted size distribution overlaps
+//! *no* class's baseline support more than partially: whatever class the
+//! live model assigns the shifted flows to, the per-predicted-class L1
+//! score diverges. (A shift that lands one class exactly onto another's
+//! distribution is invisible to per-class monitoring — the shifted flows
+//! are simply predicted as the other class and match its reference.
+//! That blind spot is real and documented; this generator deliberately
+//! avoids it so tests assert the detectable case.)
+//!
+//! Generation is splitmix64-hashed per flow like the other simulators:
+//! no rand dependency, bit-identical across runs.
+
+use crate::stress::CLOSE_TS;
+use crate::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+/// Shape of a shift dataset: a stress-style baseline with one class
+/// drifting mid-stream.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftConfig {
+    /// Number of flows to generate.
+    pub n_flows: usize,
+    /// Number of classes (flow `i` gets class `i % n_classes`).
+    pub n_classes: usize,
+    /// Data packets per flow inside the observation window, excluding
+    /// the closing packet.
+    pub pkts_per_flow: usize,
+    /// The class whose distribution shifts.
+    pub shifted_class: usize,
+    /// Stream position (fraction of `n_flows`, in flow-id order — the
+    /// replay stream order) at which the shift begins. `1.0` disables
+    /// the shift entirely; see [`ShiftConfig::baseline`].
+    pub shift_at_frac: f64,
+    /// Bytes added to every data packet of a shifted flow.
+    pub size_shift: u64,
+    /// Packet-rate multiplier for shifted flows (inter-arrival gaps are
+    /// divided by this).
+    pub rate_mult: f64,
+}
+
+impl ShiftConfig {
+    /// Paper-scale trace.
+    pub fn paper() -> Self {
+        ShiftConfig {
+            n_flows: 20_000,
+            ..ShiftConfig::tiny()
+        }
+    }
+
+    /// CI-sized: enough post-shift flows to fill several drift-check
+    /// intervals, small enough for a smoke job.
+    pub fn ci() -> Self {
+        ShiftConfig {
+            n_flows: 2_000,
+            ..ShiftConfig::tiny()
+        }
+    }
+
+    /// Unit-test sized.
+    pub fn tiny() -> Self {
+        ShiftConfig {
+            n_flows: 300,
+            n_classes: 3,
+            pkts_per_flow: 6,
+            shifted_class: 1,
+            shift_at_frac: 0.5,
+            // Class 1's baseline support is [370, 770); +480 moves it to
+            // [850, 1250) — disjoint from class 0 ([120, 520)) and class
+            // 1, and under half-overlapping class 2 ([620, 1020)), so
+            // the L1 score diverges whichever class absorbs the flows.
+            size_shift: 480,
+            rate_mult: 2.0,
+        }
+    }
+
+    /// The same distribution with the shift disabled — every flow draws
+    /// from the pre-shift model. Train the serving model (and snapshot
+    /// the drift references) on this; replay the shifted variant at it.
+    pub fn baseline(mut self) -> Self {
+        self.shift_at_frac = 1.0;
+        self
+    }
+}
+
+/// SplitMix64: the per-flow hash behind packet sizes and directions.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shift dataset simulator, following the `Sim::new(cfg).generate(seed)`
+/// idiom of the dataset modules.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftSim {
+    config: ShiftConfig,
+}
+
+impl ShiftSim {
+    /// Builds a simulator for `config`.
+    pub fn new(config: ShiftConfig) -> Self {
+        assert!(config.n_flows >= 1, "need at least one flow");
+        assert!(config.n_classes >= 1, "need at least one class");
+        assert!(config.pkts_per_flow >= 1, "need at least one data packet");
+        assert!(
+            config.shifted_class < config.n_classes,
+            "shifted class out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.shift_at_frac),
+            "shift_at_frac must be in [0, 1]"
+        );
+        assert!(config.rate_mult > 0.0, "rate multiplier must be positive");
+        ShiftSim { config }
+    }
+
+    /// Flow index at which the shift begins (`n_flows` when disabled).
+    pub fn shift_starts_at(&self) -> usize {
+        (self.config.n_flows as f64 * self.config.shift_at_frac).round() as usize
+    }
+
+    /// Generates the dataset, deterministically from `seed`. Pre-shift
+    /// flows reproduce the [`crate::stress`] packet model exactly
+    /// (`size = 120 + 250·class + hash % 400`, packets spread over the
+    /// first 14 s, closing packet at [`CLOSE_TS`]).
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let cfg = self.config;
+        let shift_from = self.shift_starts_at();
+        let flows = (0..cfg.n_flows)
+            .map(|i| {
+                let h = splitmix64(seed ^ splitmix64(i as u64));
+                let class = (i % cfg.n_classes) as u16;
+                let shifted = i >= shift_from && class as usize == cfg.shifted_class;
+                let step = if shifted {
+                    14.0 / cfg.rate_mult / cfg.pkts_per_flow as f64
+                } else {
+                    14.0 / cfg.pkts_per_flow as f64
+                };
+                let mut pkts: Vec<Pkt> = (0..cfg.pkts_per_flow)
+                    .map(|j| {
+                        let hj = splitmix64(h.wrapping_add(j as u64 * 0x9E37));
+                        let mut base = 120 + 250 * class as u64;
+                        if shifted {
+                            base += cfg.size_shift;
+                        }
+                        let size = (base + hj % 400).min(1500) as u16;
+                        let dir = if hj & 1 == 0 {
+                            Direction::Upstream
+                        } else {
+                            Direction::Downstream
+                        };
+                        Pkt::data(j as f64 * step, size, dir)
+                    })
+                    .collect();
+                pkts.push(Pkt::data(CLOSE_TS, 60, Direction::Upstream));
+                Flow {
+                    id: i as u64,
+                    class,
+                    partition: Partition::Unpartitioned,
+                    background: false,
+                    pkts,
+                }
+            })
+            .collect();
+        let tag = if shift_from >= cfg.n_flows {
+            "shift-baseline"
+        } else {
+            "shift"
+        };
+        Dataset {
+            name: format!("{tag}-{}", cfg.n_flows),
+            class_names: (0..cfg.n_classes).map(|c| format!("class{c}")).collect(),
+            flows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stress::{StressConfig, StressSim};
+
+    #[test]
+    fn pre_shift_flows_match_the_stress_model() {
+        let cfg = ShiftConfig::tiny();
+        let shifted = ShiftSim::new(cfg).generate(7);
+        let stress = StressSim::new(StressConfig {
+            n_flows: cfg.n_flows,
+            n_classes: cfg.n_classes,
+            pkts_per_flow: cfg.pkts_per_flow,
+        })
+        .generate(7);
+        let cut = ShiftSim::new(cfg).shift_starts_at();
+        assert!(cut > 0 && cut < cfg.n_flows);
+        for (a, b) in shifted.flows[..cut].iter().zip(&stress.flows[..cut]) {
+            assert_eq!(a, b, "pre-shift flows must equal the stress model");
+        }
+    }
+
+    #[test]
+    fn baseline_never_shifts() {
+        let cfg = ShiftConfig::tiny();
+        let base = ShiftSim::new(cfg.baseline()).generate(7);
+        let stress = StressSim::new(StressConfig {
+            n_flows: cfg.n_flows,
+            n_classes: cfg.n_classes,
+            pkts_per_flow: cfg.pkts_per_flow,
+        })
+        .generate(7);
+        assert_eq!(base.flows, stress.flows);
+        assert_eq!(base.name, "shift-baseline-300");
+    }
+
+    #[test]
+    fn shifted_flows_move_size_and_rate() {
+        let cfg = ShiftConfig::tiny();
+        let sim = ShiftSim::new(cfg);
+        let ds = sim.generate(3);
+        let cut = sim.shift_starts_at();
+        let mean_size = |f: &Flow| {
+            let data = &f.pkts[..f.pkts.len() - 1];
+            data.iter().map(|p| p.size as f64).sum::<f64>() / data.len() as f64
+        };
+        for f in &ds.flows {
+            assert!(f.is_well_formed());
+            assert_eq!(f.pkts.last().unwrap().ts, CLOSE_TS);
+            let shifted = f.id as usize >= cut && f.class as usize == cfg.shifted_class;
+            let gap = f.pkts[1].ts - f.pkts[0].ts;
+            if shifted {
+                // Support [850, 1250) vs baseline [370, 770).
+                assert!(mean_size(f) >= 850.0, "flow {}: {}", f.id, mean_size(f));
+                assert!((gap - 14.0 / 2.0 / 6.0).abs() < 1e-9);
+            } else if f.class as usize == cfg.shifted_class {
+                assert!(mean_size(f) < 770.0);
+                assert!((gap - 14.0 / 6.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn shift_generation_is_deterministic() {
+        let a = ShiftSim::new(ShiftConfig::tiny()).generate(3);
+        let b = ShiftSim::new(ShiftConfig::tiny()).generate(3);
+        assert_eq!(a, b);
+        let c = ShiftSim::new(ShiftConfig::tiny()).generate(4);
+        assert_ne!(a, c, "seed must matter");
+    }
+}

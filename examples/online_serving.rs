@@ -102,6 +102,7 @@ fn main() {
         if let InferEvent::ModelSwapped {
             old_fingerprint,
             new_fingerprint,
+            ..
         } = e
         {
             println!("hot-swap: {old_fingerprint:016x} -> {new_fingerprint:016x}");

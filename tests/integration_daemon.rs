@@ -261,6 +261,8 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 max_flows: None,
                 pending_cap: None,
                 quant: None,
+                drift_threshold: None,
+                drift_interval_s: None,
             })
             .unwrap(),
         CtlResponse::Ok

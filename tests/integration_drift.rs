@@ -1,0 +1,331 @@
+//! End-to-end drift loop: a daemon serving a `shift` trace detects the
+//! mid-stream distribution change, fine-tunes in the background, and
+//! hot-swaps the registry — with the whole cycle reconstructable, in
+//! order, from the telemetry event stream alone.
+//!
+//! The reference distributions come from a calibration run: the same
+//! daemon replays the *baseline* trace (the shift generator with the
+//! drift disabled) and its own predictions bucket the per-flow window
+//! stats by predicted class — exactly the per-predicted-class baseline
+//! the monitor compares live windows against. The shifted trace shares
+//! its pre-shift prefix with the baseline bit-for-bit, so the prefix is
+//! quiet and only the drifted suffix raises the verdict.
+
+use std::time::Instant;
+
+use flowpic::{FlowpicConfig, Normalization};
+use serve::daemon::{CtlRequest, CtlResponse, Daemon, DaemonConfig};
+use serve::drift::{DriftConfig, RetrainConfig};
+use serve::engine::{EngineConfig, QuantMode};
+use serve::registry::ServedModel;
+use serve::replay::{trace_from_dataset, PacketRecord};
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::refdist::{flow_window_stats, ReferenceDistributions};
+use tcbench::telemetry::{InferEvent, InferRecorder};
+use trafficgen::shift::{ShiftConfig, ShiftSim};
+use trafficgen::types::Dataset;
+
+const RES: usize = 16;
+const SEED: u64 = 11;
+/// Flow start spacing in the replayed stream, seconds.
+const FLOW_GAP_S: f64 = 0.3;
+
+fn model(seed: u64) -> ServedModel {
+    let net = supervised_net(RES, 3, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: 3,
+        dropout: true,
+        class_names: vec!["class0".into(), "class1".into(), "class2".into()],
+        weights: net.export_weights(),
+    }
+}
+
+fn daemon(workers: usize, shards: usize) -> Daemon {
+    Daemon::new(
+        model(SEED),
+        DaemonConfig {
+            tracker: TrackerConfig {
+                flowpic: FlowpicConfig::with_resolution(RES),
+                norm: Normalization::LogMax,
+                idle_timeout_s: 60.0,
+                max_flows: 10_000,
+                done_horizon_s: 120.0,
+            },
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait_s: 0.5,
+                ..EngineConfig::default()
+            },
+            workers,
+            shards,
+            quant: QuantMode::Off,
+        },
+    )
+    .unwrap()
+}
+
+fn drift_cfg() -> DriftConfig {
+    // Empirically the calibrated baseline scores ~0.2-0.3 per quiet
+    // window and ~1.0 once the shifted suffix arrives, so the default
+    // 0.6 threshold splits them with wide margins on both sides.
+    DriftConfig {
+        threshold: 0.6,
+        check_interval_s: 5.0,
+        sustain: 2,
+        min_samples: 4,
+        reservoir_cap: 64,
+        // One verdict per run: the cycle assertion wants exactly one
+        // detect → retrain → swap chain.
+        cooldown_checks: 1_000,
+        seed: 7,
+    }
+}
+
+fn feed(daemon: &mut Daemon, trace: &[PacketRecord], obs: &mut InferRecorder) {
+    for rec in trace {
+        let resp = daemon.handle(
+            &CtlRequest::Packet {
+                flow_id: rec.flow_id,
+                ts: rec.ts,
+                pkt: rec.pkt,
+            },
+            obs,
+        );
+        assert_eq!(resp, CtlResponse::Ok);
+    }
+}
+
+/// Replays `trace` through a drift-less daemon and buckets each flow's
+/// window stats by the daemon's *predicted* class — the baseline the
+/// monitor will hold live windows against. `shards` must match the
+/// daemon under test so predictions line up bit-for-bit.
+fn calibrated_refs(ds: &Dataset, trace: &[PacketRecord], shards: usize) -> ReferenceDistributions {
+    let mut d = daemon(1, shards);
+    let mut obs = InferRecorder::new();
+    feed(&mut d, trace, &mut obs);
+    assert_eq!(d.handle(&CtlRequest::Flush, &mut obs), CtlResponse::Ok);
+    let preds = match d.handle(&CtlRequest::Predictions, &mut obs) {
+        CtlResponse::Predictions { predictions } => predictions,
+        other => panic!("expected predictions, got {other:?}"),
+    };
+    assert_eq!(preds.len(), ds.flows.len(), "every flow classified");
+    let window = FlowpicConfig::with_resolution(RES).window_s;
+    let stats = preds.iter().filter_map(|p| {
+        let f = &ds.flows[p.flow_id as usize];
+        flow_window_stats(f.pkts.iter().map(|k| (k.ts, k.size)), window)
+            .map(|(size, iat)| (p.label, size, iat))
+    });
+    ReferenceDistributions::from_flow_stats(
+        ds.class_names.clone(),
+        ds.class_names.len(),
+        stats,
+        256,
+        SEED,
+    )
+}
+
+fn drift_status(daemon: &mut Daemon, obs: &mut InferRecorder) -> serve::drift::DriftStats {
+    match daemon.handle(&CtlRequest::DriftStatus, obs) {
+        CtlResponse::Drift { drift } => drift,
+        other => panic!("expected drift status, got {other:?}"),
+    }
+}
+
+/// The cycle events in stream order, by telemetry name.
+fn cycle(events: &[InferEvent]) -> Vec<&'static str> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            InferEvent::DriftDetected { .. } => Some("drift_detected"),
+            InferEvent::RetrainStart { .. } => Some("retrain_start"),
+            InferEvent::RetrainEnd { .. } => Some("retrain_end"),
+            InferEvent::ModelSwapped {
+                reason: "drift", ..
+            } => Some("model_swapped"),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn shift_trace_closes_the_loop_and_telemetry_reconstructs_it() {
+    let cfg = ShiftConfig::tiny();
+    let base = ShiftSim::new(cfg.baseline()).generate(SEED);
+    let base_trace = trace_from_dataset(&base, FLOW_GAP_S, 1.0);
+    let refs = calibrated_refs(&base, &base_trace, 1);
+
+    let shifted = ShiftSim::new(cfg).generate(SEED);
+    let trace = trace_from_dataset(&shifted, FLOW_GAP_S, 1.0);
+    let mut d = daemon(1, 1);
+    d.enable_drift(
+        &refs,
+        drift_cfg(),
+        RetrainConfig {
+            max_epochs: 1,
+            min_flows: 8,
+            min_accuracy: 0.0,
+            val_frac: 0.25,
+            ..RetrainConfig::default()
+        },
+    );
+    let fp_before = d.registry().active().fingerprint();
+    let mut obs = InferRecorder::new();
+    feed(&mut d, &trace, &mut obs);
+
+    let verdict = obs
+        .events
+        .iter()
+        .find_map(|e| match e {
+            InferEvent::DriftDetected { at_ts, score, .. } => Some((*at_ts, *score)),
+            _ => None,
+        })
+        .expect("the shifted suffix must raise a drift verdict");
+    let shift_start_s = ShiftSim::new(cfg).shift_starts_at() as f64 * FLOW_GAP_S;
+    assert!(
+        verdict.0 > shift_start_s,
+        "verdict at t={} must come after the shift begins at t={shift_start_s}",
+        verdict.0
+    );
+    assert!(verdict.1 > drift_cfg().threshold);
+
+    // The fine-tune runs on a background thread; the swap is absorbed
+    // at a request boundary, so poll drift-status until it lands.
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let drift = drift_status(&mut d, &mut obs);
+        if drift.retrain_state == "accepted" {
+            assert_eq!(drift.retrains_started, 1);
+            assert_eq!(drift.retrains_accepted, 1);
+            assert_eq!(drift.verdicts, 1);
+            break;
+        }
+        assert_ne!(drift.retrain_state, "rejected", "retrain must pass");
+        assert!(Instant::now() < deadline, "retrain never completed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_ne!(
+        d.registry().active().fingerprint(),
+        fp_before,
+        "the drift swap must activate the fine-tuned candidate"
+    );
+    // The telemetry stream alone reconstructs the full cycle, in order.
+    assert_eq!(
+        cycle(&obs.events),
+        vec![
+            "drift_detected",
+            "retrain_start",
+            "retrain_end",
+            "model_swapped"
+        ]
+    );
+}
+
+#[test]
+fn verdict_packet_index_is_worker_count_invariant() {
+    let cfg = ShiftConfig::tiny();
+    let base = ShiftSim::new(cfg.baseline()).generate(SEED);
+    let base_trace = trace_from_dataset(&base, FLOW_GAP_S, 1.0);
+    const SHARDS: usize = 2;
+    let refs = calibrated_refs(&base, &base_trace, SHARDS);
+    let shifted = ShiftSim::new(cfg).generate(SEED);
+    let trace = trace_from_dataset(&shifted, FLOW_GAP_S, 1.0);
+
+    // Retrain disabled (min_flows unreachable): a wall-clock-timed
+    // mid-stream swap would change post-swap predictions, and this test
+    // is about the *detection* path being deterministic.
+    let run = |workers: usize| {
+        let mut d = daemon(workers, SHARDS);
+        d.enable_drift(
+            &refs,
+            drift_cfg(),
+            RetrainConfig {
+                min_flows: usize::MAX,
+                ..RetrainConfig::default()
+            },
+        );
+        let mut obs = InferRecorder::new();
+        feed(&mut d, &trace, &mut obs);
+        let verdicts: Vec<(usize, usize, u64)> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::DriftDetected {
+                    packet,
+                    class,
+                    score,
+                    ..
+                } => Some((*packet, *class, score.to_bits())),
+                _ => None,
+            })
+            .collect();
+        let checks: Vec<(usize, u64)> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::DriftCheck { class, score, .. } => Some((*class, score.to_bits())),
+                _ => None,
+            })
+            .collect();
+        (verdicts, checks)
+    };
+    let (verdicts_1, checks_1) = run(1);
+    let (verdicts_4, checks_4) = run(4);
+    assert!(
+        !verdicts_1.is_empty(),
+        "the shifted trace must raise a verdict"
+    );
+    assert_eq!(
+        verdicts_1, verdicts_4,
+        "verdict packet index, class, and score must be bit-identical at any worker count"
+    );
+    assert_eq!(
+        checks_1, checks_4,
+        "per-check scores must be bit-identical at any worker count"
+    );
+}
+
+#[test]
+fn baseline_trace_never_retrains() {
+    let cfg = ShiftConfig::tiny();
+    let base = ShiftSim::new(cfg.baseline()).generate(SEED);
+    let trace = trace_from_dataset(&base, FLOW_GAP_S, 1.0);
+    let refs = calibrated_refs(&base, &trace, 1);
+
+    let mut d = daemon(1, 1);
+    d.enable_drift(
+        &refs,
+        drift_cfg(),
+        RetrainConfig {
+            max_epochs: 1,
+            min_flows: 8,
+            min_accuracy: 0.0,
+            ..RetrainConfig::default()
+        },
+    );
+    let fp_before = d.registry().active().fingerprint();
+    let mut obs = InferRecorder::new();
+    feed(&mut d, &trace, &mut obs);
+    assert_eq!(d.handle(&CtlRequest::Flush, &mut obs), CtlResponse::Ok);
+
+    let drift = drift_status(&mut d, &mut obs);
+    assert!(drift.enabled);
+    assert!(drift.checks > 0, "the stream must span check intervals");
+    assert_eq!(drift.verdicts, 0, "in-distribution traffic must be quiet");
+    assert_eq!(drift.retrains_started, 0);
+    assert_eq!(drift.retrain_state, "idle");
+    assert!(
+        !obs.events.iter().any(|e| matches!(
+            e,
+            InferEvent::DriftDetected { .. } | InferEvent::RetrainStart { .. }
+        )),
+        "no drift event may fire on the training distribution"
+    );
+    assert_eq!(
+        d.registry().active().fingerprint(),
+        fp_before,
+        "no swap without a verdict"
+    );
+}

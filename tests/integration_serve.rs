@@ -284,6 +284,7 @@ fn hot_swap_mid_replay_classifies_every_flow() {
         InferEvent::ModelSwapped {
             old_fingerprint,
             new_fingerprint,
+            ..
         } if *old_fingerprint == fp_a && *new_fingerprint == fp_b
     )));
     assert_eq!(registry.active().fingerprint(), fp_b);
