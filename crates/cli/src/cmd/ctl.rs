@@ -23,6 +23,7 @@ verbs:\n\
   set-config [--sparsity-threshold F] [--max-batch N] [--max-wait-ms F]\n\
              [--idle-timeout F] [--max-flows N] [--pending-cap N]\n\
              [--quant off|int8] [--drift-threshold F] [--drift-interval F]\n\
+             [--reject-below F]\n\
                              apply engine/tracker knobs to the live pipeline\n\
                              (caps are per dataplane lane; the shard count\n\
                              itself is fixed at daemon startup; the threshold\n\
@@ -31,7 +32,10 @@ verbs:\n\
                              and quantized int8; the drift knobs need a\n\
                              daemon started with --drift-ref: the verdict\n\
                              threshold is a finite value in (0, 2], the\n\
-                             check interval positive stream-time seconds)\n\
+                             check interval positive stream-time seconds;\n\
+                             --reject-below is the open-world rejection\n\
+                             threshold, a finite probability in [0, 1] — 0\n\
+                             disables the lane bit-identically)\n\
   send-trace --replay FILE [--rate 1.0] [--flow-gap-ms 400]\n\
                              stream a flowrec-derived packet trace\n\
   drift-status               drift checks, per-class L1 scores, verdicts\n\
@@ -85,6 +89,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "quant",
                     "drift-threshold",
                     "drift-interval",
+                    "reject-below",
                 ],
                 &[],
             )?;
@@ -124,6 +129,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     )));
                 }
             }
+            let reject_below = flags.get_opt_parse::<f32>("reject-below")?;
+            if let Some(r) = reject_below {
+                // Client-side mirror of the daemon's [0, 1] check.
+                if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                    return Err(CliError::Usage(format!(
+                        "--reject-below must be a finite probability in [0, 1], got {r}"
+                    )));
+                }
+            }
             let req = CtlRequest::SetConfig {
                 sparsity_threshold: threshold,
                 max_batch: flags.get_opt_parse::<usize>("max-batch")?,
@@ -134,6 +148,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 quant: quant.map(String::from),
                 drift_threshold,
                 drift_interval_s,
+                reject_below,
             };
             if matches!(
                 req,
@@ -147,12 +162,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     quant: None,
                     drift_threshold: None,
                     drift_interval_s: None,
+                    reject_below: None,
                 }
             ) {
                 return Err(CliError::Usage(
                     "set-config needs at least one knob (--sparsity-threshold, \
                      --max-batch, --max-wait-ms, --idle-timeout, --max-flows, \
-                     --pending-cap, --quant, --drift-threshold, --drift-interval)"
+                     --pending-cap, --quant, --drift-threshold, --drift-interval, \
+                     --reject-below)"
                         .into(),
                 ));
             }
@@ -226,7 +243,7 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
             let mut out = format!(
                 "model {} over {} shard(s)\npackets {}, flows tracked {}, classified {}, \
                  batches {}, evicted {}, queue depth {}\n\
-                 predictions pending {}, dropped {}\n\
+                 predictions pending {}, dropped {}, rejected {}\n\
                  forward p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms\n\
                  max-batch {}, max-wait {:.0} ms, idle-timeout {:.0} s",
                 stats.model_fingerprint,
@@ -239,6 +256,7 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
                 stats.queue_depth,
                 stats.predictions_pending,
                 stats.predictions_dropped,
+                stats.rejected,
                 stats.p50_ms,
                 stats.p95_ms,
                 stats.p99_ms,
@@ -255,12 +273,18 @@ fn render(resp: CtlResponse) -> Result<String, CliError> {
         CtlResponse::Predictions { predictions } => {
             let mut out = format!("{} prediction(s)\n", predictions.len());
             for p in &predictions {
-                out.push_str(&format!(
-                    "flow {}: class {} (confidence {:.4})\n",
-                    p.flow_id,
-                    p.label,
-                    p.confidence()
-                ));
+                match p.label {
+                    Some(label) if !p.is_rejected() => out.push_str(&format!(
+                        "flow {}: class {label} (confidence {:.4})\n",
+                        p.flow_id,
+                        p.confidence()
+                    )),
+                    _ => out.push_str(&format!(
+                        "flow {}: rejected (confidence {:.4})\n",
+                        p.flow_id,
+                        p.confidence()
+                    )),
+                }
             }
             Ok(out)
         }
@@ -398,6 +422,8 @@ mod tests {
                 "500",
                 "--pending-cap",
                 "2048",
+                "--reject-below",
+                "0.05",
             ]),
         )
         .unwrap();
@@ -464,6 +490,24 @@ mod tests {
             )
             .unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{flag} {bad}: {err}");
+        }
+        // The rejection threshold mirrors the daemon's [0, 1] check.
+        for bad in ["-0.1", "1.5", "NaN", "inf"] {
+            let err = run(
+                "ctl",
+                &argv(&[
+                    "set-config",
+                    "--socket",
+                    "/tmp/tcb-no-such.sock",
+                    "--reject-below",
+                    bad,
+                ]),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, CliError::Usage(_)),
+                "--reject-below {bad}: {err}"
+            );
         }
         // Same for an unknown quant mode.
         let err = run(

@@ -11,13 +11,17 @@ pub const NAME: &str = "generate";
 pub const SUMMARY: &str = "simulate a dataset into a flowrec file";
 /// `--help` text.
 pub const HELP: &str = "tcb generate --dataset ucdavis19|mirage19|mirage22|utmobilenet21|stress|\
-shift|shift-baseline [--scale quick|paper|tiny] [--seed N] --out FILE\n\
+shift|shift-baseline|quic|quic-known [--scale quick|paper|tiny] [--seed N] --out FILE\n\
 stress is the serving-path load shape (many tiny flows, each closed \
 just past the 15 s window): tiny=200 flows, quick=20k, paper=1M.\n\
 shift is a stress-style trace where one class's size/rate distribution \
 drifts mid-stream (tiny=300 flows, quick=2k, paper=20k); shift-baseline \
 is the same trace with the drift disabled — train and snapshot drift \
-references on the baseline, replay the shifted trace at the daemon.";
+references on the baseline, replay the shifted trace at the daemon.\n\
+quic is the QUIC-era open-world workload (14 imbalanced classes, 4 held \
+out as unknown, diurnal rate drift; tiny=280 flows, quick=6k, \
+paper=100k); quic-known is the training subset with only the 10 known \
+classes — train on quic-known, replay quic with --reject-below.";
 
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<String, CliError> {
@@ -42,6 +46,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError> {
     use trafficgen::mirage19::{Mirage19Config, Mirage19Sim};
     use trafficgen::mirage22::{Mirage22Config, Mirage22Sim};
+    use trafficgen::quic::{QuicConfig, QuicSim};
     use trafficgen::shift::{ShiftConfig, ShiftSim};
     use trafficgen::stress::{StressConfig, StressSim};
     use trafficgen::ucdavis::{UcDavisConfig, UcDavisSim};
@@ -85,6 +90,23 @@ fn build_dataset(name: &str, scale: &str, seed: u64) -> Result<Dataset, CliError
                 cfg = cfg.baseline();
             }
             ShiftSim::new(cfg).generate(seed)
+        }
+        // The open-world pair shares one simulator: quic is the full
+        // serve-time workload (known + unknown classes), quic-known the
+        // training subset filtered to the known classes. Same seed =>
+        // the known flows are bit-identical across the two files.
+        "quic" | "quic-known" => {
+            let sim = QuicSim::new(match scale {
+                "paper" => QuicConfig::paper(),
+                "quick" => QuicConfig::ci(),
+                "tiny" => QuicConfig::tiny(),
+                other => return Err(CliError::Usage(format!("unknown scale {other}"))),
+            });
+            if name == "quic-known" {
+                sim.generate_known(seed)
+            } else {
+                sim.generate(seed)
+            }
         }
         other => return Err(CliError::Usage(format!("unknown dataset {other}"))),
     })
@@ -173,5 +195,43 @@ mod tests {
         )
         .unwrap();
         assert!(msg.contains("shift-baseline-300"), "{msg}");
+    }
+
+    #[test]
+    fn generate_quic_and_known_subset() {
+        let full = tmp("gen-quic.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "quic",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &full,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("quic-280"), "{msg}");
+        assert!(msg.contains("14 classes"), "{msg}");
+        let known = tmp("gen-quic-known.flowrec");
+        let msg = run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "quic-known",
+                "--scale",
+                "tiny",
+                "--seed",
+                "1",
+                "--out",
+                &known,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("quic-known-280"), "{msg}");
+        assert!(msg.contains("10 classes"), "{msg}");
     }
 }

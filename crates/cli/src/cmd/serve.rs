@@ -34,6 +34,13 @@ worker count)] [--workers 1 (forward/lane workers; 0 = all cores; \
 any value gives bit-identical predictions)] [--quant off (eval-lane \
 numeric mode: `off` = exact f32, `int8` = quantized eval lane — \
 faster, approximate, still batch/worker/shard invariant)] \
+[--reject-below 0 (open-world rejection: predictions whose winning \
+confidence is below this finite [0,1] probability — or non-finite — \
+are rejected instead of labeled; 0 disables the lane bit-identically)] \
+[--score (append ground-truth scoring to the replay report: known \
+accuracy, per-class precision/recall/F1, and — when the trace holds \
+classes beyond the model's — unknown-rejection and false-accept \
+rates)] \
 [--log-jsonl PATH (one inference telemetry event per line)]\n\
 tcb serve --daemon --socket PATH --model MODEL [same engine/tracker \
 knobs incl. --shards] — host the pipeline behind a line-delimited JSON \
@@ -72,6 +79,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "shards",
             "workers",
             "quant",
+            "reject-below",
             "log-jsonl",
             "drift-ref",
             "drift-threshold",
@@ -83,7 +91,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             "retrain-min-accuracy",
             "retrain-checkpoint",
         ],
-        &["daemon"],
+        &["daemon", "score"],
     )?;
     if flags.wants_help() {
         return Ok(HELP.into());
@@ -115,11 +123,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         max_flows: flags.get_parse::<usize>("max-flows", 10_000)?,
         done_horizon_s: flags.get_parse::<f64>("done-horizon", 120.0)?,
     };
+    let reject_below = flags.get_parse::<f32>("reject-below", 0.0)?;
+    if !reject_below.is_finite() || !(0.0..=1.0).contains(&reject_below) {
+        return Err(CliError::Usage(
+            "--reject-below must be a finite probability in [0, 1]".into(),
+        ));
+    }
     // Replay forces full retention itself (the report needs it); the
     // daemon keeps the bounded defaults so a long run stays flat.
     let engine = EngineConfig {
         max_batch: flags.get_parse::<usize>("max-batch", 16)?,
         max_wait_s: flags.get_parse::<f64>("max-wait-ms", 500.0)? / 1e3,
+        reject_below,
         ..EngineConfig::default()
     };
     if flags.switch("daemon") {
@@ -253,7 +268,17 @@ fn replay_mode(
     let mut obs = build_infer_observer(flags)?;
     let report = replay_dataset(&ds, &registry, &config, swaps, obs.as_mut())
         .map_err(|e| CliError::Parse(format!("serve: {e}")))?;
-    Ok(report.render(&model.class_names))
+    let mut out = report.render(&model.class_names);
+    if flags.switch("score") {
+        // Appended after the report so the default output stays
+        // byte-identical without the switch.
+        out.push_str(
+            &report
+                .score(&ds, model.class_names.len())
+                .render(&model.class_names),
+        );
+    }
+    Ok(out)
 }
 
 /// `--daemon`: bind the Unix socket and serve control-plane requests
@@ -525,6 +550,65 @@ mod tests {
         )
         .unwrap_err();
         assert!(format!("{err}").contains("--drift-ref"), "{err}");
+    }
+
+    #[test]
+    fn serve_reject_below_scores_open_world_and_zero_is_identical() {
+        let data = tmp("serve-quic.flowrec");
+        run(
+            "generate",
+            &argv(&[
+                "--dataset",
+                "quic",
+                "--scale",
+                "tiny",
+                "--seed",
+                "11",
+                "--out",
+                &data,
+            ]),
+        )
+        .unwrap();
+        // A 10-class model over the 14-class quic trace: classes 10..14
+        // are open-world unknowns.
+        let model = write_served_model("serve-quic.ckpt", 16, 10, 1);
+        let run_with = |extra: &[&str]| {
+            let mut args = vec!["--replay", &data, "--model", &model];
+            args.extend_from_slice(extra);
+            run("serve", &argv(&args)).unwrap()
+        };
+        // --reject-below 0 is the default path, byte for byte — modulo
+        // the wall-clock latency/throughput lines, which vary run to
+        // run by construction.
+        let wall_clock_free = |out: &str| {
+            out.lines()
+                .filter(|l| !l.contains("latency ms:") && !l.contains("throughput:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let default = run_with(&[]);
+        assert_eq!(
+            wall_clock_free(&default),
+            wall_clock_free(&run_with(&["--reject-below", "0"]))
+        );
+        assert!(!default.contains("(rejected)"), "{default}");
+        // A maximal threshold rejects every flow and the score block
+        // reports the open-world rates.
+        let scored = run_with(&["--reject-below", "1.0", "--score"]);
+        assert!(scored.contains("(rejected)"), "{scored}");
+        assert!(scored.contains("ground truth: known accuracy"), "{scored}");
+        assert!(scored.contains("open world:"), "{scored}");
+        // Out-of-range and non-finite thresholds are usage errors.
+        for bad in ["1.5", "-0.1", "NaN", "inf"] {
+            assert!(
+                run(
+                    "serve",
+                    &argv(&["--replay", &data, "--model", &model, "--reject-below", bad]),
+                )
+                .is_err(),
+                "--reject-below {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -622,6 +622,9 @@ pub enum InferEvent {
         size: usize,
         /// Flows still waiting for classification after this batch.
         queue_depth: usize,
+        /// Flows in this batch rejected as unknown by the engine's
+        /// open-world threshold (0 whenever rejection is disabled).
+        rejected: usize,
         /// Forward-pass wall-clock, in milliseconds.
         wall_ms: f64,
         /// Classification throughput: `size / wall`.
@@ -635,7 +638,13 @@ pub enum InferEvent {
         flow_id: u64,
         /// Packets the flow had accumulated when dropped.
         pkts: usize,
-        /// `"idle"` (idle-timeout expiry) or `"cap"` (flow-count cap).
+        /// Why, and whether the flow had ever been classified: an
+        /// `-unclassified` suffix marks flows evicted before any
+        /// classification, which open-world unknown-rate math must not
+        /// double count against the rejection counters.
+        /// `"idle-unclassified"` / `"cap-unclassified"` (never
+        /// classified; the overwhelmingly common case) vs `"idle"` /
+        /// `"cap"` (a completed flow's residue evicted later).
         reason: &'static str,
     },
     /// The model registry atomically replaced the active model.
@@ -730,8 +739,8 @@ pub enum InferEvent {
     /// A `set-config` request changed one serving knob.
     ConfigChanged {
         /// The knob: `"sparsity_threshold"`, `"max_batch"`,
-        /// `"max_wait_s"`, `"idle_timeout_s"`, `"max_flows"` or
-        /// `"pending_cap"`.
+        /// `"max_wait_s"`, `"idle_timeout_s"`, `"max_flows"`,
+        /// `"pending_cap"` or `"reject_below"`.
         field: &'static str,
         /// The new value, widened to f64.
         value: f64,
@@ -762,13 +771,15 @@ impl InferEvent {
                 batch,
                 size,
                 queue_depth,
+                rejected,
                 wall_ms,
                 samples_per_sec,
             } => {
                 let _ = write!(
                     s,
                     "\"event\":\"infer_batch_end\",\"shard\":{shard},\"batch\":{batch},\
-                     \"size\":{size},\"queue_depth\":{queue_depth},\"wall_ms\":"
+                     \"size\":{size},\"queue_depth\":{queue_depth},\
+                     \"rejected\":{rejected},\"wall_ms\":"
                 );
                 push_num(&mut s, *wall_ms);
                 s.push_str(",\"samples_per_sec\":");
@@ -1189,6 +1200,7 @@ mod tests {
             batch: 2,
             size: 7,
             queue_depth: 3,
+            rejected: 2,
             wall_ms: 1.25,
             samples_per_sec: 5600.0,
         };
@@ -1199,6 +1211,7 @@ mod tests {
         );
         assert!(line.contains("\"shard\":1"), "{line}");
         assert!(line.contains("\"queue_depth\":3"), "{line}");
+        assert!(line.contains("\"rejected\":2"), "{line}");
         let e = InferEvent::ModelSwapped {
             old_fingerprint: 0xabc,
             new_fingerprint: 0xdef,
@@ -1212,10 +1225,10 @@ mod tests {
             shard: 0,
             flow_id: 9,
             pkts: 4,
-            reason: "idle",
+            reason: "idle-unclassified",
         };
         let line = e.to_json_line();
-        assert!(line.contains("\"reason\":\"idle\""), "{line}");
+        assert!(line.contains("\"reason\":\"idle-unclassified\""), "{line}");
         assert!(line.contains("\"shard\":0"), "{line}");
     }
 
@@ -1231,6 +1244,7 @@ mod tests {
             batch: 0,
             size: 4,
             queue_depth: 0,
+            rejected: 0,
             wall_ms: 1.0,
             samples_per_sec: 4000.0,
         });

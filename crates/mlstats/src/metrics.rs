@@ -102,6 +102,52 @@ impl ConfusionMatrix {
             .collect()
     }
 
+    /// Support of class `i` (row sum: true instances).
+    pub fn support(&self, i: usize) -> u64 {
+        (0..self.k).map(|j| self.get(i, j)).sum()
+    }
+
+    /// Predicted count of class `i` (column sum).
+    pub fn predicted(&self, i: usize) -> u64 {
+        (0..self.k).map(|j| self.get(j, i)).sum()
+    }
+
+    /// Per-class precision. A class that was never *predicted* has an
+    /// undefined precision (the `tp / (tp + fp)` denominator is zero),
+    /// reported as `None` rather than `NaN` — the open-world replay
+    /// hits this for every unknown class and for known classes the
+    /// rejection threshold empties out.
+    pub fn per_class_precision_checked(&self) -> Vec<Option<f64>> {
+        (0..self.k)
+            .map(|i| {
+                let predicted = self.predicted(i);
+                if predicted == 0 {
+                    None
+                } else {
+                    Some(self.get(i, i) as f64 / predicted as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-class recall with the zero-support case made explicit: a
+    /// class with no true instances has an undefined recall, reported
+    /// as `None` (the plain [`ConfusionMatrix::per_class_recall`]
+    /// flattens it to `0.0`, which double-counts absent classes in
+    /// macro averages).
+    pub fn per_class_recall_checked(&self) -> Vec<Option<f64>> {
+        (0..self.k)
+            .map(|i| {
+                let support = self.support(i);
+                if support == 0 {
+                    None
+                } else {
+                    Some(self.get(i, i) as f64 / support as f64)
+                }
+            })
+            .collect()
+    }
+
     /// Per-class F1 scores. Classes with no support and no predictions get
     /// F1 = 0.
     pub fn per_class_f1(&self) -> Vec<f64> {
@@ -224,6 +270,27 @@ mod tests {
         assert_eq!(m.per_class_f1()[2], 0.0);
         assert!(m.macro_f1() < 1.0);
         assert_eq!(m.weighted_f1(), 1.0); // weighted ignores zero-support classes
+    }
+
+    #[test]
+    fn absent_class_precision_and_recall_are_none_not_nan() {
+        // Class 2 never appears in truth or predictions; class 1 is
+        // present in truth but never predicted.
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1], &[0, 0]);
+        let precision = m.per_class_precision_checked();
+        assert_eq!(precision[0], Some(0.5));
+        assert_eq!(precision[1], None, "never predicted => undefined, not NaN");
+        assert_eq!(precision[2], None);
+        let recall = m.per_class_recall_checked();
+        assert_eq!(recall[0], Some(1.0));
+        assert_eq!(recall[1], Some(0.0));
+        assert_eq!(recall[2], None, "zero support => undefined, not NaN");
+        // Nothing in the checked views is ever NaN.
+        for v in precision.iter().chain(&recall).flatten() {
+            assert!(v.is_finite());
+        }
+        assert_eq!(m.support(1), 1);
+        assert_eq!(m.predicted(0), 2);
     }
 
     #[test]

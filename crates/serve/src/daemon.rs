@@ -122,6 +122,14 @@ pub enum CtlRequest {
         /// when the daemon runs without drift detection.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         drift_interval_s: Option<f64>,
+        /// Open-world rejection threshold: predictions whose winning
+        /// confidence falls below it (or is non-finite) are rejected
+        /// instead of labeled. `0.0` disables the lane entirely
+        /// (bit-identical to pre-rejection builds); must be a finite
+        /// probability in `[0, 1]`. Appended after the original knobs so
+        /// older clients' lines keep parsing.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        reject_below: Option<f32>,
     },
     /// Ingest one packet of the stream.
     Packet {
@@ -161,6 +169,20 @@ impl CtlRequest {
     }
 }
 
+/// What the engine decided about a flow, on the wire. Kebab-case on the
+/// socket (`"accepted"` / `"rejected"`); defaults to `Accepted` so
+/// pre-rejection wire lines (which omit the field) keep deserializing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum WireOutcome {
+    /// The prediction carries a class label.
+    #[default]
+    Accepted,
+    /// Confidence fell below the rejection threshold (or was
+    /// non-finite); the flow is unlabeled.
+    Rejected,
+}
+
 /// One prediction on the wire. The confidence travels as exact f32 bits
 /// so bit-identity can be asserted across the socket without float
 /// round-tripping doubts.
@@ -168,16 +190,27 @@ impl CtlRequest {
 pub struct WirePrediction {
     /// The flow this prediction belongs to.
     pub flow_id: u64,
-    /// Predicted class index.
-    pub label: usize,
+    /// Predicted class index; absent on the wire when the prediction
+    /// was rejected.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<usize>,
     /// `f32::to_bits` of the winning class's probability.
     pub confidence_bits: u32,
+    /// Whether the engine accepted or rejected the prediction. Omitted
+    /// by pre-rejection daemons; defaults to accepted.
+    #[serde(default)]
+    pub outcome: WireOutcome,
 }
 
 impl WirePrediction {
     /// The confidence as the original f32.
     pub fn confidence(&self) -> f32 {
         f32::from_bits(self.confidence_bits)
+    }
+
+    /// Whether the engine rejected this prediction.
+    pub fn is_rejected(&self) -> bool {
+        self.outcome == WireOutcome::Rejected
     }
 }
 
@@ -202,6 +235,12 @@ pub struct DaemonStats {
     /// Predictions dropped because they overflowed the pending cap
     /// before any client drained them.
     pub predictions_dropped: usize,
+    /// Predictions rejected by the confidence threshold over the
+    /// daemon's lifetime (disjoint from `predictions_dropped`: rejected
+    /// predictions still reach the pending buffer and the wire).
+    /// Defaults for stats lines from pre-rejection daemons.
+    #[serde(default)]
+    pub rejected: usize,
     /// Packets ingested so far.
     pub packets: usize,
     /// Active model's weight fingerprint, as 16 hex digits.
@@ -421,6 +460,7 @@ impl Daemon {
                 quant,
                 drift_threshold,
                 drift_interval_s,
+                reject_below,
             } => self.set_config(
                 *sparsity_threshold,
                 *max_batch,
@@ -431,6 +471,7 @@ impl Daemon {
                 quant.as_deref(),
                 *drift_threshold,
                 *drift_interval_s,
+                *reject_below,
                 obs,
             ),
             CtlRequest::Flush => {
@@ -449,8 +490,13 @@ impl Daemon {
                     .into_iter()
                     .map(|p| WirePrediction {
                         flow_id: p.flow_id,
-                        label: p.label,
+                        label: p.label(),
                         confidence_bits: p.confidence.to_bits(),
+                        outcome: if p.is_rejected() {
+                            WireOutcome::Rejected
+                        } else {
+                            WireOutcome::Accepted
+                        },
                     })
                     .collect(),
             },
@@ -593,6 +639,7 @@ impl Daemon {
         quant: Option<&str>,
         drift_threshold: Option<f64>,
         drift_interval_s: Option<f64>,
+        reject_below: Option<f32>,
         obs: &mut dyn InferObserver,
     ) -> CtlResponse {
         if max_batch == Some(0) {
@@ -659,6 +706,15 @@ impl Daemon {
                 return CtlResponse::Error {
                     message: format!(
                         "set-config: drift_interval_s must be finite and positive, got {s}"
+                    ),
+                };
+            }
+        }
+        if let Some(r) = reject_below {
+            if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                return CtlResponse::Error {
+                    message: format!(
+                        "set-config: reject_below must be a finite probability in [0, 1], got {r}"
                     ),
                 };
             }
@@ -758,6 +814,13 @@ impl Daemon {
                 value: s,
             });
         }
+        if let Some(r) = reject_below {
+            self.pipeline.set_reject_below(r);
+            obs.infer_event(&InferEvent::ConfigChanged {
+                field: "reject_below",
+                value: f64::from(r),
+            });
+        }
         CtlResponse::Ok
     }
 
@@ -784,6 +847,7 @@ impl Daemon {
             queue_depth: self.pipeline.queue_depth(),
             predictions_pending: self.pipeline.predictions_pending(),
             predictions_dropped: self.pipeline.predictions_dropped(),
+            rejected: self.pipeline.rejected(),
             packets: self.packets,
             model_fingerprint: format!("{:016x}", self.registry.active().fingerprint()),
             p50_ms: p50,
@@ -1018,6 +1082,7 @@ mod tests {
             quant: quant.map(String::from),
             drift_threshold: None,
             drift_interval_s: None,
+            reject_below: None,
         }
     }
 
@@ -1033,6 +1098,23 @@ mod tests {
             quant: None,
             drift_threshold: threshold,
             drift_interval_s: interval_s,
+            reject_below: None,
+        }
+    }
+
+    /// A `set-config` touching only the rejection threshold.
+    fn set_reject_config(reject_below: Option<f32>) -> CtlRequest {
+        CtlRequest::SetConfig {
+            sparsity_threshold: None,
+            max_batch: None,
+            max_wait_ms: None,
+            idle_timeout_s: None,
+            max_flows: None,
+            pending_cap: None,
+            quant: None,
+            drift_threshold: None,
+            drift_interval_s: None,
+            reject_below,
         }
     }
 
@@ -1067,6 +1149,7 @@ mod tests {
                 quant: Some("int8".into()),
                 drift_threshold: Some(0.8),
                 drift_interval_s: Some(30.0),
+                reject_below: Some(0.35),
             },
             packet(3, 1.5, 0.25),
             CtlRequest::Flush,
@@ -1200,6 +1283,7 @@ mod tests {
                 quant: Some("off".into()),
                 drift_threshold: None,
                 drift_interval_s: None,
+                reject_below: Some(0.5),
             },
             &mut obs,
         );
@@ -1221,7 +1305,8 @@ mod tests {
                 "idle_timeout_s",
                 "max_flows",
                 "pending_cap",
-                "quant"
+                "quant",
+                "reject_below"
             ]
         );
         match daemon.handle(&CtlRequest::Stats, &mut obs) {
@@ -1244,6 +1329,7 @@ mod tests {
                 quant: None,
                 drift_threshold: None,
                 drift_interval_s: None,
+                reject_below: None,
             },
             &mut obs,
         );
@@ -1328,6 +1414,78 @@ mod tests {
         for ok in [0.0_f32, 1.1] {
             let resp = daemon.handle(&set_lane_config(Some(ok), None), &mut obs);
             assert_eq!(resp, CtlResponse::Ok, "threshold {ok} must be accepted");
+        }
+    }
+
+    #[test]
+    fn reject_below_knob_validates_then_applies_live() {
+        let mut daemon = Daemon::new(tiny_model(1), daemon_config()).unwrap();
+        let mut obs = InferRecorder::new();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.1, 1.5] {
+            let resp = daemon.handle(&set_reject_config(Some(bad)), &mut obs);
+            match resp {
+                CtlResponse::Error { message } => {
+                    assert!(message.contains("reject_below"), "{message}");
+                }
+                other => panic!("reject_below {bad} must be rejected, got {other:?}"),
+            }
+        }
+        assert!(
+            !obs.events
+                .iter()
+                .any(|e| matches!(e, InferEvent::ConfigChanged { .. })),
+            "rejected reject_below must not emit ConfigChanged"
+        );
+
+        // 1.0 rejects everything not fully confident: the tiny model's
+        // softmax over 3 classes never answers exactly 1.0.
+        let resp = daemon.handle(&set_reject_config(Some(1.0)), &mut obs);
+        assert_eq!(resp, CtlResponse::Ok);
+        assert!(obs.events.iter().any(|e| matches!(
+            e,
+            InferEvent::ConfigChanged {
+                field: "reject_below",
+                value,
+            } if *value == 1.0
+        )));
+        for j in 0..3 {
+            daemon.handle(&packet(4, j as f64 * 0.1, j as f64 * 0.5), &mut obs);
+        }
+        daemon.handle(&CtlRequest::Flush, &mut obs);
+        match daemon.handle(&CtlRequest::Predictions, &mut obs) {
+            CtlResponse::Predictions { predictions } => {
+                assert_eq!(predictions.len(), 1);
+                assert!(predictions[0].is_rejected());
+                assert_eq!(predictions[0].label, None);
+            }
+            other => panic!("expected predictions, got {other:?}"),
+        }
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => {
+                assert_eq!(stats.rejected, 1);
+                assert_eq!(stats.predictions_dropped, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // Back to 0.0: the lane is disabled and predictions flow again.
+        let resp = daemon.handle(&set_reject_config(Some(0.0)), &mut obs);
+        assert_eq!(resp, CtlResponse::Ok);
+        for j in 0..3 {
+            daemon.handle(&packet(5, 1.0 + j as f64 * 0.1, j as f64 * 0.5), &mut obs);
+        }
+        daemon.handle(&CtlRequest::Flush, &mut obs);
+        match daemon.handle(&CtlRequest::Predictions, &mut obs) {
+            CtlResponse::Predictions { predictions } => {
+                assert_eq!(predictions.len(), 1);
+                assert!(!predictions[0].is_rejected());
+                assert!(predictions[0].label.is_some());
+            }
+            other => panic!("expected predictions, got {other:?}"),
+        }
+        match daemon.handle(&CtlRequest::Stats, &mut obs) {
+            CtlResponse::Stats { stats } => assert_eq!(stats.rejected, 1),
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 

@@ -26,15 +26,58 @@ use tcbench::telemetry::{throughput_per_sec, InferEvent, InferObserver};
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::tracker::CompletedFlow;
 
+/// The engine's decision for one classified flow.
+///
+/// Closed-world serving only ever produced labels; the open-world lane
+/// makes "this flow is none of my classes" a first-class, typed result
+/// instead of a low-confidence label the caller has to second-guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A confident prediction of this class index.
+    Accepted(usize),
+    /// Confidence fell below the engine's `reject_below` threshold (or
+    /// was non-finite): the flow is flagged as unknown, not labeled.
+    Rejected,
+}
+
+impl Outcome {
+    /// The class index, if the flow was accepted.
+    pub fn label(&self) -> Option<usize> {
+        match self {
+            Outcome::Accepted(label) => Some(*label),
+            Outcome::Rejected => None,
+        }
+    }
+
+    /// Whether the flow was rejected as unknown.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Outcome::Rejected)
+    }
+}
+
 /// One classified flow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// The flow this prediction belongs to.
     pub flow_id: u64,
-    /// Predicted class index (argmax; ties resolve to the lowest index).
-    pub label: usize,
-    /// The winning class's probability.
+    /// Accepted label (argmax; ties resolve to the lowest index) or
+    /// open-world rejection.
+    pub outcome: Outcome,
+    /// The winning class's probability — kept for rejected outcomes
+    /// too, so threshold sweeps can be recomputed offline from one run.
     pub confidence: f32,
+}
+
+impl Prediction {
+    /// The class index, if the flow was accepted.
+    pub fn label(&self) -> Option<usize> {
+        self.outcome.label()
+    }
+
+    /// Whether the flow was rejected as unknown.
+    pub fn is_rejected(&self) -> bool {
+        self.outcome.is_rejected()
+    }
 }
 
 /// A batch classifier: flattened flowpic inputs in, `(label,
@@ -323,6 +366,14 @@ pub struct EngineConfig {
     /// extra work per flow, which is what makes "drift disabled" mode
     /// trivially bit-identical to a daemon built before the tap existed.
     pub drift_tap: bool,
+    /// Open-world rejection threshold. `0.0` (the default) disables the
+    /// lane entirely — every flow is accepted, bit-identical to an
+    /// engine built before rejection existed, non-finite confidences
+    /// included. With a positive threshold, a flow is **rejected** when
+    /// its confidence is non-finite or *strictly below* the threshold;
+    /// confidence exactly equal to the threshold is **accepted** (the
+    /// comparison is half-open, pinned by test).
+    pub reject_below: f32,
 }
 
 impl Default for EngineConfig {
@@ -334,6 +385,7 @@ impl Default for EngineConfig {
             pending_cap: 65_536,
             latency_window: 1_024,
             drift_tap: false,
+            reject_below: 0.0,
         }
     }
 }
@@ -375,6 +427,10 @@ pub struct InferenceEngine {
     batches_run: usize,
     flows_classified: usize,
     predictions_dropped: usize,
+    /// Flows classified but rejected as unknown by `reject_below`.
+    /// Disjoint from `predictions_dropped`: a rejection is a *served
+    /// outcome*, a drop is a buffer overflow.
+    rejected: usize,
     /// Full per-batch wall-clock history — only grown with
     /// `retain_full_history`.
     batch_wall_ms: Vec<f64>,
@@ -402,6 +458,10 @@ impl InferenceEngine {
             config.latency_window >= 1,
             "latency_window must be at least 1"
         );
+        assert!(
+            config.reject_below.is_finite() && (0.0..=1.0).contains(&config.reject_below),
+            "reject_below must be a finite probability in [0, 1]"
+        );
         InferenceEngine {
             registry,
             config,
@@ -409,6 +469,7 @@ impl InferenceEngine {
             batches_run: 0,
             flows_classified: 0,
             predictions_dropped: 0,
+            rejected: 0,
             batch_wall_ms: Vec::new(),
             recent_wall_ms: VecDeque::new(),
             predictions: Vec::new(),
@@ -457,6 +518,17 @@ impl InferenceEngine {
         }
     }
 
+    /// Live-reconfigures the open-world rejection threshold. `0.0`
+    /// disables rejection entirely; already-made outcomes are never
+    /// rewritten.
+    pub fn set_reject_below(&mut self, reject_below: f32) {
+        assert!(
+            reject_below.is_finite() && (0.0..=1.0).contains(&reject_below),
+            "reject_below must be a finite probability in [0, 1]"
+        );
+        self.config.reject_below = reject_below;
+    }
+
     /// Arms (or disarms) the drift tap. Off is the default and the
     /// bit-identity baseline: a daemon with the tap off does zero extra
     /// work per classified flow.
@@ -482,6 +554,13 @@ impl InferenceEngine {
     /// drained them before `pending_cap` (always 0 with full history).
     pub fn predictions_dropped(&self) -> usize {
         self.predictions_dropped
+    }
+
+    /// Flows rejected as unknown over the engine's lifetime. A subset
+    /// of [`InferenceEngine::flows_classified`], never counted in
+    /// [`InferenceEngine::predictions_dropped`].
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 
     /// Forward wall-clock per batch, in milliseconds, in batch order.
@@ -563,13 +642,31 @@ impl InferenceEngine {
         let t0 = Instant::now();
         let results = model.predict_batch(&inputs);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let reject = self.config.reject_below;
+        let mut batch_rejected = 0usize;
         for (q, (label, confidence)) in batch.into_iter().zip(results) {
+            // Half-open comparison, pinned by test: confidence equal to
+            // the threshold is accepted. Non-finite confidence always
+            // rejects once the lane is armed — but with the threshold
+            // at 0.0 the lane is fully off (bit-identical to pre-
+            // rejection behavior, NaN handling included).
+            let rejected = reject > 0.0 && (!confidence.is_finite() || confidence < reject);
+            let outcome = if rejected {
+                batch_rejected += 1;
+                Outcome::Rejected
+            } else {
+                Outcome::Accepted(label)
+            };
             self.predictions.push(Prediction {
                 flow_id: q.flow_id,
-                label,
+                outcome,
                 confidence,
             });
-            if self.config.drift_tap {
+            // Rejected flows stay out of the drift tap: the monitor
+            // models the distribution of traffic the model *claims to
+            // understand*, and an auto-retrain must not learn labels
+            // the engine itself did not trust.
+            if self.config.drift_tap && !rejected {
                 self.drift_tap.push_back(ClassifiedFlow {
                     flow_id: q.flow_id,
                     label,
@@ -583,11 +680,13 @@ impl InferenceEngine {
                 }
             }
         }
+        self.rejected += batch_rejected;
         obs.infer_event(&InferEvent::BatchEnd {
             shard: self.shard,
             batch: self.batches_run,
             size: n,
             queue_depth: self.queue.len(),
+            rejected: batch_rejected,
             wall_ms,
             samples_per_sec: throughput_per_sec(n, wall_ms / 1e3),
         });
@@ -744,8 +843,8 @@ mod tests {
         let preds = engine.take_predictions();
         for (c, p) in tap.iter().zip(&preds) {
             assert_eq!(
-                (c.flow_id, c.label, c.confidence),
-                (p.flow_id, p.label, p.confidence)
+                (c.flow_id, Some(c.label), c.confidence),
+                (p.flow_id, p.label(), p.confidence)
             );
         }
         assert!(engine.take_drift_tap().is_empty(), "drained");
@@ -859,6 +958,164 @@ mod tests {
         assert!(preds.iter().all(|&(_, c)| c > 0.5 && c <= 1.0));
     }
 
+    /// A stub backend that returns scripted confidences, for pinning
+    /// the rejection comparison without training anything.
+    struct ScriptedBackend {
+        names: Vec<String>,
+        confidences: Vec<f32>,
+    }
+
+    impl ScriptedBackend {
+        fn new(confidences: Vec<f32>) -> ScriptedBackend {
+            ScriptedBackend {
+                names: vec!["a".into(), "b".into()],
+                confidences,
+            }
+        }
+    }
+
+    impl Classifier for ScriptedBackend {
+        fn n_classes(&self) -> usize {
+            self.names.len()
+        }
+        fn class_names(&self) -> &[String] {
+            &self.names
+        }
+        fn fingerprint(&self) -> u64 {
+            0xFACADE
+        }
+        fn predict_batch(&self, inputs: &[Vec<f32>]) -> Vec<(usize, f32)> {
+            inputs
+                .iter()
+                .map(|input| {
+                    let i = input[0] as usize;
+                    (i % 2, self.confidences[i])
+                })
+                .collect()
+        }
+    }
+
+    fn scripted_engine(confidences: Vec<f32>, reject_below: f32) -> InferenceEngine {
+        let registry = Arc::new(ModelRegistry::new(Arc::new(ScriptedBackend::new(
+            confidences,
+        ))));
+        InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 4,
+                max_wait_s: 1e9,
+                retain_full_history: true,
+                reject_below,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn rejection_comparison_is_half_open_and_nan_always_rejects() {
+        // Confidences: below, exactly-at, above threshold, NaN, +inf.
+        let confs = vec![0.79, 0.8, 0.81, f32::NAN, f32::INFINITY];
+        let mut engine = scripted_engine(confs, 0.8);
+        let mut rec = InferRecorder::new();
+        for id in 0..5u64 {
+            engine.submit(completed(id, vec![id as f32]), 0.0, &mut rec);
+        }
+        engine.drain(&mut rec);
+        let preds = engine.predictions();
+        assert!(preds[0].is_rejected(), "strictly below rejects");
+        assert_eq!(
+            preds[1].outcome,
+            Outcome::Accepted(1),
+            "equal to threshold is accepted: the comparison is half-open"
+        );
+        assert_eq!(preds[2].outcome, Outcome::Accepted(0));
+        assert!(preds[3].is_rejected(), "NaN confidence always rejects");
+        assert!(preds[4].is_rejected(), "non-finite confidence rejects");
+        assert_eq!(engine.rejected(), 3);
+        assert_eq!(engine.flows_classified(), 5);
+        assert_eq!(engine.predictions_dropped(), 0, "rejects are not drops");
+        // Confidences survive on rejected outcomes (bitwise, incl. NaN).
+        assert_eq!(preds[0].confidence.to_bits(), 0.79f32.to_bits());
+        assert!(preds[3].confidence.is_nan());
+        // Per-batch rejected counts reach telemetry.
+        let rejected: usize = rec
+            .batch_ends()
+            .iter()
+            .map(|e| match e {
+                InferEvent::BatchEnd { rejected, .. } => *rejected,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(rejected, 3);
+    }
+
+    #[test]
+    fn reject_below_zero_disables_the_lane_even_for_nan() {
+        let confs = vec![0.0, f32::NAN, 0.5];
+        let mut engine = scripted_engine(confs, 0.0);
+        let mut rec = InferRecorder::new();
+        for id in 0..3u64 {
+            engine.submit(completed(id, vec![id as f32]), 0.0, &mut rec);
+        }
+        engine.drain(&mut rec);
+        assert_eq!(engine.rejected(), 0);
+        for p in engine.predictions() {
+            assert!(!p.is_rejected(), "threshold 0.0 accepts everything");
+        }
+        assert!(engine.predictions()[1].confidence.is_nan());
+    }
+
+    #[test]
+    fn reject_below_one_rejects_everything_not_fully_confident() {
+        let confs = vec![0.999, 1.0];
+        let mut engine = scripted_engine(confs, 1.0);
+        let mut rec = InferRecorder::new();
+        for id in 0..2u64 {
+            engine.submit(completed(id, vec![id as f32]), 0.0, &mut rec);
+        }
+        engine.drain(&mut rec);
+        let preds = engine.predictions();
+        assert!(preds[0].is_rejected());
+        assert_eq!(
+            preds[1].outcome,
+            Outcome::Accepted(1),
+            "exactly 1.0 is accepted at threshold 1.0 (half-open)"
+        );
+    }
+
+    #[test]
+    fn rejected_flows_stay_out_of_the_drift_tap() {
+        let registry = Arc::new(ModelRegistry::new(Arc::new(ScriptedBackend::new(vec![
+            0.9, 0.1, 0.9,
+        ]))));
+        let mut engine = InferenceEngine::new(
+            registry,
+            EngineConfig {
+                max_batch: 1,
+                max_wait_s: 1e9,
+                drift_tap: true,
+                reject_below: 0.5,
+                ..EngineConfig::default()
+            },
+        );
+        let mut rec = InferRecorder::new();
+        for id in 0..3u64 {
+            engine.submit(completed(id, vec![id as f32]), 0.0, &mut rec);
+        }
+        let tap = engine.take_drift_tap();
+        assert_eq!(tap.len(), 2, "the rejected flow is not tapped");
+        assert_eq!(tap[0].flow_id, 0);
+        assert_eq!(tap[1].flow_id, 2);
+        assert_eq!(engine.rejected(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reject_below must be a finite probability")]
+    fn set_reject_below_validates() {
+        let mut engine = scripted_engine(vec![0.5], 0.0);
+        engine.set_reject_below(f32::NAN);
+    }
+
     #[test]
     fn daemon_retention_stays_bounded_and_drains() {
         let cnn = CnnClassifier::from_served(&tiny_model(1), 1).unwrap();
@@ -872,6 +1129,7 @@ mod tests {
                 pending_cap: 6,
                 latency_window: 3,
                 drift_tap: false,
+                reject_below: 0.0,
             },
         );
         let mut rec = InferRecorder::new();

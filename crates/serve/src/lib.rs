@@ -65,16 +65,19 @@ pub mod tracker;
 
 pub use daemon::{
     ctl_roundtrip, CtlClient, CtlRequest, CtlResponse, Daemon, DaemonConfig, DaemonStats,
-    WirePrediction,
+    WireOutcome, WirePrediction,
 };
 pub use drift::{
     DriftConfig, DriftMonitor, DriftStats, DriftVerdict, RetrainConfig, RetrainOrchestrator,
     RetrainOutcome,
 };
 pub use engine::{
-    Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Prediction, QuantMode,
+    Classifier, CnnClassifier, EngineConfig, GbdtBackend, InferenceEngine, Outcome, Prediction,
+    QuantMode,
 };
 pub use registry::{ModelRegistry, ServedModel};
-pub use replay::{trace_from_dataset, PacketRecord, ReplayConfig, ReplayReport};
+pub use replay::{
+    trace_from_dataset, ClassScore, PacketRecord, ReplayConfig, ReplayReport, ReplayScore,
+};
 pub use shard::{replay_sharded, shard_of, Lane, ShardError, ShardedPipeline};
 pub use tracker::{CompletedFlow, FlowTracker, TrackerConfig};

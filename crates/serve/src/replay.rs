@@ -27,7 +27,7 @@ use nettensor::checkpoint::CheckpointError;
 use tcbench::telemetry::{throughput_per_sec, InferEvent, InferObserver};
 use trafficgen::types::{Dataset, Pkt};
 
-use crate::engine::{Classifier, EngineConfig, InferenceEngine, Prediction};
+use crate::engine::{Classifier, EngineConfig, InferenceEngine, Outcome, Prediction};
 use crate::registry::ModelRegistry;
 use crate::tracker::{FlowTracker, TrackerConfig};
 
@@ -101,6 +101,11 @@ impl ReplayReport {
         throughput_per_sec(self.predictions.len(), self.wall_ms / 1e3)
     }
 
+    /// Flows rejected as unknown by the engine's open-world threshold.
+    pub fn rejected(&self) -> usize {
+        self.predictions.iter().filter(|p| p.is_rejected()).count()
+    }
+
     /// `(p50, p95, p99)` of per-batch forward wall-clock, milliseconds.
     /// Zero when no batch ran.
     pub fn latency_percentiles_ms(&self) -> (f64, f64, f64) {
@@ -115,12 +120,18 @@ impl ReplayReport {
     }
 
     /// The human-readable latency/throughput report `tcb serve` prints.
+    /// With rejection disabled the output is byte-identical to the
+    /// pre-rejection renderer; the `(rejected)` line only appears when
+    /// at least one flow was rejected.
     pub fn render(&self, class_names: &[String]) -> String {
         let (p50, p95, p99) = self.latency_percentiles_ms();
         let mut counts = vec![0usize; class_names.len()];
+        let mut rejected = 0usize;
         for p in &self.predictions {
-            if p.label < counts.len() {
-                counts[p.label] += 1;
+            match p.label() {
+                Some(label) if label < counts.len() => counts[label] += 1,
+                Some(_) => {}
+                None => rejected += 1,
             }
         }
         let mut out = format!(
@@ -139,6 +150,177 @@ impl ReplayReport {
         );
         for (name, n) in class_names.iter().zip(&counts) {
             out.push_str(&format!("  {name:<16} {n}\n"));
+        }
+        if rejected > 0 {
+            out.push_str(&format!("  {:<16} {rejected}\n", "(rejected)"));
+        }
+        out
+    }
+
+    /// Scores the replay against the dataset's ground-truth labels.
+    ///
+    /// `n_known` is the number of classes the served model was trained
+    /// on; truth classes `>= n_known` are open-world unknowns. For a
+    /// closed-world replay pass `ds.num_classes()` — the unknown
+    /// counters simply stay zero.
+    pub fn score(&self, ds: &Dataset, n_known: usize) -> ReplayScore {
+        assert!(n_known >= 1, "need at least one known class");
+        let truth: std::collections::HashMap<u64, usize> =
+            ds.flows.iter().map(|f| (f.id, f.class as usize)).collect();
+        let mut matrix = mlstats::metrics::ConfusionMatrix::new(n_known);
+        let mut score = ReplayScore {
+            n_known_classes: n_known,
+            known_total: 0,
+            known_correct: 0,
+            known_rejected: 0,
+            unknown_total: 0,
+            unknown_rejected: 0,
+            per_class: Vec::new(),
+        };
+        for p in &self.predictions {
+            let Some(&truth_class) = truth.get(&p.flow_id) else {
+                continue; // flow id aged out of the dataset (5-tuple reuse)
+            };
+            if truth_class < n_known {
+                score.known_total += 1;
+                match p.outcome {
+                    Outcome::Accepted(label) => {
+                        if label == truth_class {
+                            score.known_correct += 1;
+                        }
+                        if label < n_known {
+                            matrix.record(truth_class, label);
+                        }
+                    }
+                    Outcome::Rejected => score.known_rejected += 1,
+                }
+            } else {
+                score.unknown_total += 1;
+                if p.is_rejected() {
+                    score.unknown_rejected += 1;
+                }
+            }
+        }
+        let precision = matrix.per_class_precision_checked();
+        let recall = matrix.per_class_recall_checked();
+        for c in 0..n_known {
+            let f1 = match (precision[c], recall[c]) {
+                (Some(p), Some(r)) if p + r > 0.0 => Some(2.0 * p * r / (p + r)),
+                (Some(_), Some(_)) => Some(0.0),
+                _ => None,
+            };
+            score.per_class.push(ClassScore {
+                support: matrix.support(c) as usize,
+                predicted: matrix.predicted(c) as usize,
+                precision: precision[c],
+                recall: recall[c],
+                f1,
+            });
+        }
+        score
+    }
+}
+
+/// Per-class accuracy of one replay, for the model's classes, computed
+/// over *accepted* predictions joined to ground truth by flow id.
+/// Undefined ratios (zero predicted, zero support) are `None`, never
+/// NaN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassScore {
+    /// Known-truth flows of this class that got an accepted prediction.
+    pub support: usize,
+    /// Accepted predictions of this class (on known-truth flows).
+    pub predicted: usize,
+    /// `tp / predicted`; `None` when the class was never predicted.
+    pub precision: Option<f64>,
+    /// `tp / support`; `None` when the class has no support.
+    pub recall: Option<f64>,
+    /// Harmonic mean of the above; `None` when either is undefined.
+    pub f1: Option<f64>,
+}
+
+/// Ground-truth scoring of a replay: per-class metrics plus the
+/// open-world summary the `quic` lane is judged on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayScore {
+    /// Classes the served model separates (truth classes beyond this
+    /// are open-world unknowns).
+    pub n_known_classes: usize,
+    /// Predictions on known-class flows.
+    pub known_total: usize,
+    /// Known-class flows accepted with the correct label.
+    pub known_correct: usize,
+    /// Known-class flows the engine rejected (each one costs accuracy).
+    pub known_rejected: usize,
+    /// Predictions on unknown-class flows.
+    pub unknown_total: usize,
+    /// Unknown-class flows the engine rejected — the open-world win.
+    pub unknown_rejected: usize,
+    /// Per-class precision/recall/F1 over accepted predictions,
+    /// index-aligned with the model's classes.
+    pub per_class: Vec<ClassScore>,
+}
+
+impl ReplayScore {
+    /// Fraction of known-class flows accepted with the correct label
+    /// (a rejected known flow counts as a miss). 0 with no known flows.
+    pub fn known_accuracy(&self) -> f64 {
+        if self.known_total == 0 {
+            0.0
+        } else {
+            self.known_correct as f64 / self.known_total as f64
+        }
+    }
+
+    /// Fraction of unknown-class flows rejected. `None` when the
+    /// replay had no unknown flows (closed world).
+    pub fn unknown_rejection_rate(&self) -> Option<f64> {
+        if self.unknown_total == 0 {
+            None
+        } else {
+            Some(self.unknown_rejected as f64 / self.unknown_total as f64)
+        }
+    }
+
+    /// Fraction of unknown-class flows *accepted* under some known
+    /// label — the open-world failure mode. `None` without unknowns.
+    pub fn false_accept_rate(&self) -> Option<f64> {
+        self.unknown_rejection_rate().map(|r| 1.0 - r)
+    }
+
+    /// The human-readable scoring block `tcb serve --score` appends.
+    pub fn render(&self, class_names: &[String]) -> String {
+        let mut out = format!(
+            "ground truth: known accuracy {:.4} ({}/{} flows, {} rejected)\n",
+            self.known_accuracy(),
+            self.known_correct,
+            self.known_total,
+            self.known_rejected,
+        );
+        if let (Some(urr), Some(far)) = (self.unknown_rejection_rate(), self.false_accept_rate()) {
+            out.push_str(&format!(
+                "open world: {}/{} unknown flows rejected ({:.4}), false-accept rate {:.4}\n",
+                self.unknown_rejected, self.unknown_total, urr, far,
+            ));
+        }
+        let fmt = |v: Option<f64>| match v {
+            Some(v) => format!("{v:.4}"),
+            None => "-".into(),
+        };
+        out.push_str("  class            support predicted precision recall f1\n");
+        for (c, s) in self.per_class.iter().enumerate() {
+            let name = class_names
+                .get(c)
+                .map(String::as_str)
+                .unwrap_or("(unnamed)");
+            out.push_str(&format!(
+                "  {name:<16} {:>7} {:>9} {:>9} {:>6} {:>6}\n",
+                s.support,
+                s.predicted,
+                fmt(s.precision),
+                fmt(s.recall),
+                fmt(s.f1),
+            ));
         }
         out
     }
@@ -375,7 +557,7 @@ mod tests {
             packets: 4,
             predictions: vec![Prediction {
                 flow_id: 0,
-                label: 1,
+                outcome: Outcome::Accepted(1),
                 confidence: 0.7,
             }],
             batches: 1,
@@ -398,12 +580,12 @@ mod tests {
             predictions: vec![
                 Prediction {
                     flow_id: 0,
-                    label: 0,
+                    outcome: Outcome::Accepted(0),
                     confidence: 0.9,
                 },
                 Prediction {
                     flow_id: 1,
-                    label: 1,
+                    outcome: Outcome::Accepted(1),
                     confidence: 0.8,
                 },
             ],
@@ -422,5 +604,130 @@ mod tests {
         assert!(text.contains("2 shard(s)"));
         assert!(text.contains("p50"));
         assert!(text.contains("1 evicted"));
+        assert!(
+            !text.contains("(rejected)"),
+            "no rejection line without rejections: {text}"
+        );
+    }
+
+    #[test]
+    fn render_shows_rejections_only_when_present() {
+        let report = ReplayReport {
+            packets: 4,
+            predictions: vec![
+                Prediction {
+                    flow_id: 0,
+                    outcome: Outcome::Accepted(0),
+                    confidence: 0.9,
+                },
+                Prediction {
+                    flow_id: 1,
+                    outcome: Outcome::Rejected,
+                    confidence: 0.2,
+                },
+            ],
+            batches: 1,
+            evicted: 0,
+            batch_wall_ms: vec![1.0],
+            wall_ms: 10.0,
+            swaps: 0,
+            shards: 1,
+        };
+        assert_eq!(report.rejected(), 1);
+        let text = report.render(&["a".into(), "b".into()]);
+        assert!(text.contains("(rejected)       1"), "{text}");
+        assert!(text.contains("2 flows classified"), "{text}");
+    }
+
+    #[test]
+    fn score_joins_truth_and_separates_known_from_unknown() {
+        // Dataset: flows 0..3 are class 0/1 (known), flow 4 is class 2
+        // (unknown to a 2-class model).
+        let mut ds = dataset(4, 2);
+        ds.flows.push(Flow {
+            id: 4,
+            class: 2,
+            partition: Partition::Unpartitioned,
+            background: false,
+            pkts: vec![Pkt::data(0.0, 300, Direction::Upstream)],
+        });
+        let report = ReplayReport {
+            packets: 10,
+            predictions: vec![
+                // flow 0 (truth 0): correct accept.
+                Prediction {
+                    flow_id: 0,
+                    outcome: Outcome::Accepted(0),
+                    confidence: 0.9,
+                },
+                // flow 1 (truth 1): wrong accept.
+                Prediction {
+                    flow_id: 1,
+                    outcome: Outcome::Accepted(0),
+                    confidence: 0.6,
+                },
+                // flow 2 (truth 0): rejected known flow — costs accuracy.
+                Prediction {
+                    flow_id: 2,
+                    outcome: Outcome::Rejected,
+                    confidence: 0.3,
+                },
+                // flow 4 (truth 2, unknown): correctly rejected.
+                Prediction {
+                    flow_id: 4,
+                    outcome: Outcome::Rejected,
+                    confidence: 0.4,
+                },
+            ],
+            batches: 1,
+            evicted: 0,
+            batch_wall_ms: vec![1.0],
+            wall_ms: 10.0,
+            swaps: 0,
+            shards: 1,
+        };
+        let score = report.score(&ds, 2);
+        assert_eq!(score.known_total, 3);
+        assert_eq!(score.known_correct, 1);
+        assert_eq!(score.known_rejected, 1);
+        assert_eq!(score.unknown_total, 1);
+        assert_eq!(score.unknown_rejected, 1);
+        assert!((score.known_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(score.unknown_rejection_rate(), Some(1.0));
+        assert_eq!(score.false_accept_rate(), Some(0.0));
+        // Per-class: class 0 predicted twice (1 tp), class 1 never
+        // predicted → precision None, recall Some(0.0), f1 None.
+        assert_eq!(score.per_class[0].precision, Some(0.5));
+        assert_eq!(score.per_class[0].recall, Some(1.0));
+        assert_eq!(score.per_class[1].precision, None);
+        assert_eq!(score.per_class[1].recall, Some(0.0));
+        assert_eq!(score.per_class[1].f1, None);
+        let text = score.render(&["a".into(), "b".into()]);
+        assert!(text.contains("known accuracy 0.3333"), "{text}");
+        assert!(text.contains("1/1 unknown flows rejected"), "{text}");
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
+    fn closed_world_score_has_no_unknown_rates() {
+        let ds = dataset(2, 2);
+        let report = ReplayReport {
+            packets: 4,
+            predictions: vec![Prediction {
+                flow_id: 0,
+                outcome: Outcome::Accepted(0),
+                confidence: 0.9,
+            }],
+            batches: 1,
+            evicted: 0,
+            batch_wall_ms: vec![1.0],
+            wall_ms: 10.0,
+            swaps: 0,
+            shards: 1,
+        };
+        let score = report.score(&ds, ds.num_classes());
+        assert_eq!(score.unknown_rejection_rate(), None);
+        assert_eq!(score.false_accept_rate(), None);
+        assert_eq!(score.known_accuracy(), 1.0);
     }
 }

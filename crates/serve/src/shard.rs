@@ -231,6 +231,12 @@ impl ShardedPipeline {
             .sum()
     }
 
+    /// Flows rejected as unknown by the open-world threshold, across
+    /// all lanes. Disjoint from [`ShardedPipeline::predictions_dropped`].
+    pub fn rejected(&self) -> usize {
+        self.lanes.iter().map(|l| l.engine.rejected()).sum()
+    }
+
     /// Remembered classified flow ids, across all lanes — a
     /// bounded-memory proxy for the soak tests.
     pub fn done_len(&self) -> usize {
@@ -316,6 +322,13 @@ impl ShardedPipeline {
     pub fn set_drift_tap(&mut self, on: bool) {
         for lane in &mut self.lanes {
             lane.engine.set_drift_tap(on);
+        }
+    }
+
+    /// Live-reconfigures every lane's open-world rejection threshold.
+    pub fn set_reject_below(&mut self, reject_below: f32) {
+        for lane in &mut self.lanes {
+            lane.engine.set_reject_below(reject_below);
         }
     }
 }

@@ -16,7 +16,17 @@
 //! dropped (the flow is presumed dead; if it resumes it restarts from an
 //! empty picture), and when a new flow would exceed `max_flows` the
 //! least-recently-active flow is dropped to make room. Evicted flows are
-//! *not* classified — eviction is memory reclamation, not completion.
+//! *not* classified — eviction is memory reclamation, not completion —
+//! and the telemetry reason says so: a flow that never reached the
+//! classifier is evicted with an `-unclassified` reason suffix
+//! (`"idle-unclassified"` / `"cap-unclassified"`), so open-world
+//! unknown-rate math can separate "the model rejected it" from "the
+//! tracker never finished it" without double counting. The bare
+//! `"idle"` / `"cap"` spellings are reserved for the residue of a flow
+//! id that *was* classified — unreachable under the current invariant
+//! (classified ids are never re-tracked within the done horizon), but
+//! kept distinct in the vocabulary so the JSONL schema never reuses a
+//! reason string with a changed meaning.
 //! All eviction choices order by `(last_seen, flow_id)`, so the tracker
 //! is deterministic for a given trace.
 //!
@@ -338,8 +348,23 @@ impl FlowTracker {
                 shard: self.shard,
                 flow_id: id,
                 pkts: t.pic.counted(),
-                reason: "idle",
+                reason: self.evict_reason(id, "idle", "idle-unclassified"),
             });
+        }
+    }
+
+    /// Telemetry reason for evicting `flow_id`: flows that never
+    /// reached the classifier get the `-unclassified` spelling.
+    fn evict_reason(
+        &self,
+        flow_id: u64,
+        classified: &'static str,
+        unclassified: &'static str,
+    ) -> &'static str {
+        if self.is_done(flow_id) {
+            classified
+        } else {
+            unclassified
         }
     }
 
@@ -356,7 +381,7 @@ impl FlowTracker {
             shard: self.shard,
             flow_id: victim,
             pkts: t.pic.counted(),
-            reason: "cap",
+            reason: self.evict_reason(victim, "cap", "cap-unclassified"),
         });
     }
 }
@@ -458,7 +483,7 @@ mod tests {
                 shard: 0,
                 flow_id: 1,
                 pkts: 1,
-                reason: "idle"
+                reason: "idle-unclassified"
             }]
         );
         // An evicted flow that resumes restarts from an empty picture.
@@ -569,8 +594,41 @@ mod tests {
                 shard: 0,
                 flow_id: 10,
                 pkts: 1,
-                reason: "cap"
+                reason: "cap-unclassified"
             }]
         );
+    }
+
+    #[test]
+    fn never_classified_evictions_are_distinguishable() {
+        // Regression for open-world accounting: every eviction of a flow
+        // that never reached the classifier must carry the
+        // `-unclassified` reason suffix, so unknown-rate math can
+        // separate tracker losses from model rejections.
+        let mut tracker = FlowTracker::new(TrackerConfig {
+            max_flows: 1,
+            ..cfg()
+        });
+        let mut obs = InferRecorder::new();
+        tracker.push(&rec(1, 0.0, 0.0), &mut obs);
+        tracker.push(&rec(2, 0.1, 0.0), &mut obs); // cap-evicts flow 1
+        tracker.push(&rec(3, 6.0, 0.0), &mut obs); // idle+cap window for flow 2
+        let reasons: Vec<&str> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                InferEvent::FlowEvicted { reason, .. } => Some(*reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons, vec!["cap-unclassified", "idle-unclassified"]);
+        // A classified flow's id, by contrast, is never evicted at all
+        // within the done horizon: its late packets are ignored without
+        // touching tracker state.
+        let done = tracker.push(&rec(3, 6.5, 15.5), &mut obs);
+        assert!(done.is_some());
+        let before = tracker.evicted();
+        tracker.push(&rec(3, 7.0, 16.0), &mut obs);
+        assert_eq!(tracker.evicted(), before);
     }
 }

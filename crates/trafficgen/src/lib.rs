@@ -32,6 +32,9 @@
 //!   dataplane classifies at steady state.
 //! * [`shift`] — mid-stream distribution shift (the paper's `human`
 //!   partition in miniature) for exercising the daemon's drift monitor.
+//! * [`quic`] — QUIC-era open-world workload: many imbalanced classes,
+//!   a held-out unknown subset, and diurnal rate drift, for the
+//!   confidence-thresholded rejection lane.
 //!
 //! ## Example
 //!
@@ -54,6 +57,7 @@ pub mod netem;
 pub mod pcap;
 pub mod process;
 pub mod profile;
+pub mod quic;
 pub mod shift;
 pub mod splits;
 pub mod stress;

@@ -1,0 +1,343 @@
+//! QUIC-era open-world traffic: many classes, heavy imbalance, unknowns.
+//!
+//! The paper-era simulators ([`crate::ucdavis`] and friends) model the
+//! 2023 replication's closed-world assumption: every flow at serve time
+//! belongs to one of the trained classes. Decade-after measurements
+//! (CESNET-scale TLS/QUIC datasets) break that assumption three ways at
+//! once — far more classes, heavy class imbalance, and flows from
+//! classes the model has never seen. This module generates that shape
+//! for the open-world serving lane.
+//!
+//! The dataset has [`QuicConfig::n_classes`] classes of which only the
+//! first [`QuicConfig::known_classes`] are *known*: [`QuicSim::generate_known`]
+//! emits the training subset (known classes only), while
+//! [`QuicSim::generate`] emits the full serve-time workload including
+//! the held-out unknowns. Known classes occupy distinct packet-size
+//! bands, so a model trained on them separates cleanly; each unknown
+//! class interleaves packets from *three* well-separated known bands, so
+//! the trained model's softmax splits its mass three ways and
+//! confidence collapses — the signature that confidence-thresholded
+//! rejection exploits.
+//!
+//! Class frequency is Zipf-like (class `r` carries weight `1/(r+1)`),
+//! with the first `n_classes` flows dealt round-robin so every class is
+//! present at any scale. Per-flow packet pacing is modulated by a
+//! diurnal sinusoid over the flow-id axis (the replay scheduler starts
+//! flows in id order, so flow index is a proxy for time of day),
+//! giving the trace time-of-day rate drift without touching the
+//! size signal the classifier keys on.
+//!
+//! Generation is splitmix64-hashed per flow like [`crate::stress`]:
+//! O(1) state, no rand dependency, bit-identical across runs. Every
+//! flow ends with a closing packet at [`crate::stress::CLOSE_TS`] so
+//! the tracker classifies flows in steady state during replay.
+
+use crate::stress::CLOSE_TS;
+use crate::types::{Dataset, Direction, Flow, Partition, Pkt};
+
+/// Packet sizes are capped at a QUIC-realistic MTU budget: 1500 minus
+/// IP/UDP/QUIC overhead lands near the common 1350-byte max datagram.
+pub const QUIC_MAX_PKT: u16 = 1350;
+
+/// Shape of the open-world QUIC workload.
+#[derive(Debug, Clone, Copy)]
+pub struct QuicConfig {
+    /// Number of flows to generate.
+    pub n_flows: usize,
+    /// Total classes in the serve-time workload (known + unknown).
+    pub n_classes: usize,
+    /// How many of those classes (always the first `known_classes`)
+    /// are in the training subset. The rest are held out as unknowns.
+    pub known_classes: usize,
+    /// Base data packets per flow inside the observation window; each
+    /// flow adds a small hash-derived jitter on top.
+    pub pkts_per_flow: usize,
+}
+
+impl QuicConfig {
+    /// Paper-scale open-world workload.
+    pub fn paper() -> Self {
+        QuicConfig {
+            n_flows: 100_000,
+            n_classes: 14,
+            known_classes: 10,
+            pkts_per_flow: 10,
+        }
+    }
+
+    /// CI-sized: enough flows that the rarest class still carries a
+    /// measurable share, small enough for a smoke job.
+    pub fn ci() -> Self {
+        QuicConfig {
+            n_flows: 6_000,
+            n_classes: 14,
+            known_classes: 10,
+            pkts_per_flow: 10,
+        }
+    }
+
+    /// Unit-test sized.
+    pub fn tiny() -> Self {
+        QuicConfig {
+            n_flows: 280,
+            n_classes: 14,
+            known_classes: 10,
+            pkts_per_flow: 8,
+        }
+    }
+}
+
+/// SplitMix64: the per-flow hash behind class draws and packet shapes.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Center of known class `c`'s packet-size band.
+fn known_band(c: usize) -> u64 {
+    150 + 85 * c as u64
+}
+
+/// The three known bands an unknown class interleaves. Triples are
+/// spread so each unknown straddles a *different* set of
+/// well-separated known classes. Three-way mixtures matter: a two-way
+/// split still lets small count/direction asymmetries hand one band a
+/// confidently-winning logit, while an even three-way split caps the
+/// softmax near 1/3.
+fn unknown_bands(u: usize) -> [usize; 3] {
+    let a = (u * 2) % 10;
+    [a, (a + 3) % 10, (a + 6) % 10]
+}
+
+/// Open-world QUIC workload simulator, following the
+/// `Sim::new(cfg).generate(seed)` idiom of the dataset modules.
+#[derive(Debug, Clone, Copy)]
+pub struct QuicSim {
+    config: QuicConfig,
+}
+
+impl QuicSim {
+    /// Builds a simulator for `config`.
+    pub fn new(config: QuicConfig) -> Self {
+        assert!(
+            config.n_flows >= config.n_classes,
+            "need one flow per class"
+        );
+        assert!(
+            config.n_classes >= 12,
+            "open-world workload wants >= 12 classes"
+        );
+        assert!(
+            config.known_classes >= 2 && config.known_classes < config.n_classes,
+            "need at least 2 known classes and at least 1 unknown"
+        );
+        assert!(config.pkts_per_flow >= 1, "need at least one data packet");
+        QuicSim { config }
+    }
+
+    /// Zipf-like class draw: weight of class `r` is `1/(r+1)`. The
+    /// first `n_classes` flows are dealt round-robin so every class is
+    /// present at any scale.
+    fn class_of(&self, i: usize, h: u64) -> usize {
+        let k = self.config.n_classes;
+        if i < k {
+            return i;
+        }
+        let total: f64 = (0..k).map(|r| 1.0 / (r + 1) as f64).sum();
+        let mut target = unit(h) * total;
+        for r in 0..k {
+            target -= 1.0 / (r + 1) as f64;
+            if target < 0.0 {
+                return r;
+            }
+        }
+        k - 1
+    }
+
+    /// Generates the full serve-time workload (known + unknown
+    /// classes), deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let cfg = self.config;
+        let flows = (0..cfg.n_flows)
+            .map(|i| {
+                let h = splitmix64(seed ^ splitmix64(i as u64));
+                let class = self.class_of(i, splitmix64(h ^ 0xC1A5));
+                // Diurnal pacing: flow index stands in for time of day;
+                // the packet span inside the window swings between 8 s
+                // and 14 s over one simulated day.
+                let tod = i as f64 / cfg.n_flows as f64 * std::f64::consts::TAU;
+                let span = 11.0 + 3.0 * tod.sin();
+                let n_pkts = cfg.pkts_per_flow + (h % 3) as usize;
+                let step = span / n_pkts as f64;
+                let mut pkts: Vec<Pkt> = (0..n_pkts)
+                    .map(|j| {
+                        let hj = splitmix64(h.wrapping_add(j as u64 * 0x9E37));
+                        let band = if class < cfg.known_classes {
+                            known_band(class)
+                        } else {
+                            // Unknowns interleave three known bands
+                            // per packet, cycling deterministically so
+                            // the split stays balanced and the trained
+                            // model's softmax divides three ways
+                            // instead of letting a lopsided draw hand
+                            // one band a confident majority.
+                            let bands = unknown_bands(class - cfg.known_classes);
+                            known_band(bands[j % 3])
+                        };
+                        // Jitter stays narrower than the 85-unit band
+                        // spacing so a class's sizes never smear into
+                        // its neighbor's band.
+                        let size = (band + hj % 60).min(QUIC_MAX_PKT as u64) as u16;
+                        let dir = if hj & 1 == 0 {
+                            Direction::Upstream
+                        } else {
+                            Direction::Downstream
+                        };
+                        Pkt::data(j as f64 * step, size, dir)
+                    })
+                    .collect();
+                pkts.push(Pkt::data(CLOSE_TS, 60, Direction::Upstream));
+                Flow {
+                    id: i as u64,
+                    class: class as u16,
+                    partition: Partition::Unpartitioned,
+                    background: false,
+                    pkts,
+                }
+            })
+            .collect();
+        Dataset {
+            name: format!("quic-{}", cfg.n_flows),
+            class_names: (0..cfg.n_classes).map(class_name).collect(),
+            flows,
+        }
+    }
+
+    /// Generates the training subset: the same workload filtered to
+    /// the known classes, with class names truncated to match. Known
+    /// class indices are shared with [`QuicSim::generate`] (0-based,
+    /// first `known_classes`), so a model trained here can score the
+    /// full workload without remapping.
+    pub fn generate_known(&self, seed: u64) -> Dataset {
+        let full = self.generate(seed);
+        let known = self.config.known_classes;
+        Dataset {
+            name: format!("quic-known-{}", self.config.n_flows),
+            class_names: full.class_names[..known].to_vec(),
+            flows: full
+                .flows
+                .into_iter()
+                .filter(|f| (f.class as usize) < known)
+                .collect(),
+        }
+    }
+}
+
+/// Service-style class names: knowns are named services, unknowns are
+/// `unknown{n}` so open-world tooling can spot them by name too.
+fn class_name(c: usize) -> String {
+    const KNOWN: [&str; 10] = [
+        "video-stream",
+        "voip",
+        "file-sync",
+        "web-browse",
+        "social",
+        "game",
+        "mail",
+        "maps",
+        "music-stream",
+        "software-update",
+    ];
+    if c < KNOWN.len() {
+        KNOWN[c].to_string()
+    } else {
+        format!("unknown{}", c - KNOWN.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quic_covers_every_class_and_is_imbalanced() {
+        let ds = QuicSim::new(QuicConfig::tiny()).generate(7);
+        assert_eq!(ds.flows.len(), 280);
+        assert_eq!(ds.num_classes(), 14);
+        let mut counts = vec![0usize; 14];
+        for f in &ds.flows {
+            assert!(f.is_well_formed());
+            counts[f.class as usize] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every class present: {counts:?}"
+        );
+        // Zipf head dominates the tail.
+        assert!(
+            counts[0] > 4 * counts[13],
+            "head class should dwarf the tail: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn quic_flows_close_past_the_window() {
+        let ds = QuicSim::new(QuicConfig::tiny()).generate(3);
+        for f in &ds.flows {
+            let last = f.pkts.last().unwrap();
+            assert_eq!(last.ts, CLOSE_TS);
+            for p in &f.pkts[..f.pkts.len() - 1] {
+                assert!(p.ts < 15.0, "data packets stay inside the window");
+                assert!(p.size <= QUIC_MAX_PKT);
+            }
+        }
+    }
+
+    #[test]
+    fn quic_generation_is_deterministic() {
+        let a = QuicSim::new(QuicConfig::tiny()).generate(3);
+        let b = QuicSim::new(QuicConfig::tiny()).generate(3);
+        assert_eq!(a, b);
+        let c = QuicSim::new(QuicConfig::tiny()).generate(4);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn known_subset_shares_ids_and_class_indices_with_the_full_set() {
+        let sim = QuicSim::new(QuicConfig::tiny());
+        let full = sim.generate(11);
+        let known = sim.generate_known(11);
+        assert_eq!(known.num_classes(), 10);
+        assert!(
+            known.flows.len() < full.flows.len(),
+            "unknowns were held out"
+        );
+        for f in &known.flows {
+            assert!((f.class as usize) < 10);
+            let twin = full.flows.iter().find(|g| g.id == f.id).unwrap();
+            assert_eq!(f, twin, "known flows are bit-identical to the full set");
+        }
+        assert_eq!(known.class_names, full.class_names[..10]);
+    }
+
+    #[test]
+    fn diurnal_pacing_varies_flow_span() {
+        let ds = QuicSim::new(QuicConfig::tiny()).generate(5);
+        let span = |f: &Flow| f.pkts[f.pkts.len() - 2].ts;
+        let spans: Vec<f64> = ds.flows.iter().map(span).collect();
+        let (min, max) = spans
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        assert!(
+            max - min > 3.0,
+            "rate drift over the day: {min:.1}..{max:.1}"
+        );
+    }
+}

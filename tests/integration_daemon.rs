@@ -126,10 +126,10 @@ fn daemon_stream_with_hot_swap_matches_replay_bit_for_bit() {
         )
         .unwrap();
         assert_eq!(report.swaps, 1);
-        let mut v: Vec<(u64, usize, u32)> = report
+        let mut v: Vec<(u64, Option<usize>, u32)> = report
             .predictions
             .iter()
-            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
             .collect();
         v.sort_unstable();
         v
@@ -194,7 +194,7 @@ fn daemon_stream_with_hot_swap_matches_replay_bit_for_bit() {
     ));
     let daemon_predictions = match client.request(&CtlRequest::Predictions).unwrap() {
         CtlResponse::Predictions { predictions } => {
-            let mut v: Vec<(u64, usize, u32)> = predictions
+            let mut v: Vec<(u64, Option<usize>, u32)> = predictions
                 .iter()
                 .map(|p| (p.flow_id, p.label, p.confidence_bits))
                 .collect();
@@ -263,6 +263,7 @@ fn daemon_set_config_mid_stream_keeps_serving() {
                 quant: None,
                 drift_threshold: None,
                 drift_interval_s: None,
+                reject_below: None,
             })
             .unwrap(),
         CtlResponse::Ok

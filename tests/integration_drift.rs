@@ -114,9 +114,10 @@ fn calibrated_refs(ds: &Dataset, trace: &[PacketRecord], shards: usize) -> Refer
     assert_eq!(preds.len(), ds.flows.len(), "every flow classified");
     let window = FlowpicConfig::with_resolution(RES).window_s;
     let stats = preds.iter().filter_map(|p| {
+        let label = p.label?;
         let f = &ds.flows[p.flow_id as usize];
         flow_window_stats(f.pkts.iter().map(|k| (k.ts, k.size)), window)
-            .map(|(size, iat)| (p.label, size, iat))
+            .map(|(size, iat)| (label, size, iat))
     });
     ReferenceDistributions::from_flow_stats(
         ds.class_names.clone(),

@@ -1,0 +1,196 @@
+//! Open-world serving: confidence-thresholded rejection over the QUIC
+//! workload. Pins the two contracts the rejection lane ships with —
+//! rejection decisions are bit-identical at any shard × worker count,
+//! and `reject_below: 0.0` is byte-identical to a pre-rejection replay
+//! — plus the ground-truth scoring wiring at both threshold extremes.
+
+use std::sync::Arc;
+
+use serve::engine::{CnnClassifier, EngineConfig};
+use serve::registry::{ModelRegistry, ServedModel};
+use serve::replay::{trace_from_dataset, PacketRecord, ReplayReport};
+use serve::shard::replay_sharded;
+use serve::tracker::TrackerConfig;
+use tcbench::arch::supervised_net;
+use tcbench::telemetry::Noop;
+use trafficgen::quic::{QuicConfig, QuicSim};
+
+const RES: usize = 16;
+
+/// A model over the quic workload's known classes only: truth classes
+/// `10..14` are open-world unknowns it has never seen.
+fn known_model(seed: u64) -> ServedModel {
+    let sim = QuicSim::new(QuicConfig::tiny());
+    let known = sim.generate_known(seed);
+    let n = known.class_names.len();
+    let net = supervised_net(RES, n, true, seed);
+    ServedModel {
+        arch: "supervised".into(),
+        resolution: RES,
+        n_classes: n,
+        dropout: true,
+        class_names: known.class_names,
+        weights: net.export_weights(),
+    }
+}
+
+fn tracker_cfg() -> TrackerConfig {
+    TrackerConfig {
+        flowpic: flowpic::FlowpicConfig::with_resolution(RES),
+        norm: flowpic::Normalization::LogMax,
+        idle_timeout_s: 60.0,
+        max_flows: 10_000,
+        done_horizon_s: 120.0,
+    }
+}
+
+fn engine_cfg(reject_below: f32) -> EngineConfig {
+    EngineConfig {
+        max_batch: 8,
+        max_wait_s: 0.3,
+        reject_below,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_replay(
+    model: &ServedModel,
+    trace: &[PacketRecord],
+    reject_below: f32,
+    shards: usize,
+    workers: usize,
+) -> ReplayReport {
+    let cnn = CnnClassifier::from_served(model, workers.max(1)).unwrap();
+    let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
+    replay_sharded(
+        trace,
+        &registry,
+        tracker_cfg(),
+        engine_cfg(reject_below),
+        Vec::new(),
+        shards,
+        workers,
+        &mut Noop,
+    )
+    .unwrap()
+}
+
+/// Order-free raw-bit view of a replay's predictions, rejection
+/// included: different shard counts interleave lanes differently, but
+/// the classified set must be bit-identical.
+fn sorted_bits(report: &ReplayReport) -> Vec<(u64, Option<usize>, u32, bool)> {
+    let mut v: Vec<_> = report
+        .predictions
+        .iter()
+        .map(|p| {
+            (
+                p.flow_id,
+                p.label(),
+                p.confidence.to_bits(),
+                p.is_rejected(),
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn rejection_is_bit_identical_across_shards_and_workers() {
+    let ds = QuicSim::new(QuicConfig::tiny()).generate(31);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+    let model = known_model(3);
+
+    // Derive a stream-splitting threshold from an unthresholded pass:
+    // the median winning confidence guarantees both outcomes appear.
+    let probe = run_replay(&model, &trace, 0.0, 1, 1);
+    assert_eq!(probe.predictions.len(), ds.flows.len());
+    let mut confs: Vec<f32> = probe.predictions.iter().map(|p| p.confidence).collect();
+    confs.sort_by(f32::total_cmp);
+    let reject = confs[confs.len() / 2];
+    // The comparison is half-open: exactly the strictly-below flows
+    // reject, flows at the threshold are accepted.
+    let expected_rejected = confs.iter().filter(|&&c| c < reject).count();
+    assert!(
+        expected_rejected > 0,
+        "confidences must not all tie at the median"
+    );
+
+    let base = run_replay(&model, &trace, reject, 1, 1);
+    assert_eq!(base.predictions.len(), ds.flows.len());
+    let rejected = base.rejected();
+    assert_eq!(rejected, expected_rejected, "threshold pins half-open");
+    assert!(
+        rejected < base.predictions.len(),
+        "flows at the median must stay accepted"
+    );
+    let baseline = sorted_bits(&base);
+    for (shards, workers) in [(1, 4), (4, 1), (4, 4)] {
+        let run = run_replay(&model, &trace, reject, shards, workers);
+        assert_eq!(
+            sorted_bits(&run),
+            baseline,
+            "{shards} shard(s) x {workers} worker(s) changed a rejection bit"
+        );
+        assert_eq!(run.rejected(), rejected);
+    }
+}
+
+#[test]
+fn reject_below_zero_is_byte_identical_to_the_default_path() {
+    let ds = QuicSim::new(QuicConfig::tiny()).generate(7);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+    let model = known_model(5);
+
+    let default_run = run_replay(&model, &trace, EngineConfig::default().reject_below, 2, 1);
+    let zero_run = run_replay(&model, &trace, 0.0, 2, 1);
+    assert_eq!(sorted_bits(&default_run), sorted_bits(&zero_run));
+    assert_eq!(zero_run.rejected(), 0, "0.0 must disable the lane");
+    // The wall-clock-free tail of the rendered report — the per-class
+    // counts the CLI prints — is byte-identical too, with no
+    // `(rejected)` line on either side.
+    let tail = |s: String| {
+        s.lines()
+            .skip_while(|l| !l.starts_with("  "))
+            .map(String::from)
+            .collect::<Vec<_>>()
+    };
+    let default_tail = tail(default_run.render(&model.class_names));
+    assert_eq!(default_tail, tail(zero_run.render(&model.class_names)));
+    assert!(!default_tail.iter().any(|l| l.contains("(rejected)")));
+}
+
+#[test]
+fn scoring_extremes_pin_the_open_world_rates() {
+    let sim = QuicSim::new(QuicConfig::tiny());
+    let ds = sim.generate(13);
+    let trace = trace_from_dataset(&ds, 0.05, 1.0);
+    let model = known_model(11);
+    let n_known = model.n_classes;
+
+    // Threshold 1.0: an untrained softmax never answers exactly 1.0, so
+    // every flow — known and unknown — is rejected.
+    let all_rejected = run_replay(&model, &trace, 1.0, 1, 1);
+    let score = all_rejected.score(&ds, n_known);
+    assert_eq!(score.unknown_rejection_rate(), Some(1.0));
+    assert_eq!(score.false_accept_rate(), Some(0.0));
+    assert_eq!(
+        score.known_accuracy(),
+        0.0,
+        "rejected known flows are misses"
+    );
+    assert_eq!(score.known_rejected, score.known_total);
+
+    // Threshold 0.0: the lane is off, every unknown is falsely accepted.
+    let all_accepted = run_replay(&model, &trace, 0.0, 1, 1);
+    let score = all_accepted.score(&ds, n_known);
+    assert_eq!(score.unknown_rejection_rate(), Some(0.0));
+    assert_eq!(score.false_accept_rate(), Some(1.0));
+    assert_eq!(score.known_rejected, 0);
+    assert!(score.unknown_total > 0, "the quic trace must hold unknowns");
+    assert_eq!(
+        score.known_total + score.unknown_total,
+        ds.flows.len(),
+        "every flow joins ground truth"
+    );
+}

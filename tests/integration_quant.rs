@@ -87,7 +87,7 @@ fn run_replay(
     quant: QuantMode,
     max_batch: usize,
     workers: usize,
-) -> Vec<(u64, usize, u32)> {
+) -> Vec<(u64, Option<usize>, u32)> {
     let cnn = CnnClassifier::from_served_quant(&model(5), workers, quant).unwrap();
     let registry = Arc::new(ModelRegistry::new(Arc::new(cnn)));
     let report = replay(
@@ -106,7 +106,7 @@ fn run_replay(
     let mut v: Vec<_> = report
         .predictions
         .iter()
-        .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+        .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
         .collect();
     v.sort_unstable();
     v
@@ -173,7 +173,7 @@ fn quant_off_replay_is_bit_identical_to_the_default_path() {
         let mut v: Vec<_> = report
             .predictions
             .iter()
-            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
             .collect();
         v.sort_unstable();
         v

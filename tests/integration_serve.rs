@@ -113,11 +113,11 @@ fn predictions_are_batch_size_invariant() {
     }
     // Same flows, same labels, bit-identical confidences — batching and
     // worker count are pure scheduling.
-    let baseline: Vec<(u64, usize, u32)> = {
+    let baseline: Vec<(u64, Option<usize>, u32)> = {
         let mut v: Vec<_> = runs[0]
             .predictions
             .iter()
-            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
             .collect();
         v.sort_unstable();
         v
@@ -126,7 +126,7 @@ fn predictions_are_batch_size_invariant() {
         let mut got: Vec<_> = run
             .predictions
             .iter()
-            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
             .collect();
         got.sort_unstable();
         assert_eq!(got, baseline, "predictions depend on batch size");
@@ -185,10 +185,10 @@ fn sparse_and_dense_replays_are_byte_identical() {
 
     // Predictions byte-identical, confidences compared as raw bits.
     let key = |r: &serve::replay::ReplayReport| {
-        let mut v: Vec<(u64, usize, u32)> = r
+        let mut v: Vec<(u64, Option<usize>, u32)> = r
             .predictions
             .iter()
-            .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+            .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
             .collect();
         v.sort_unstable();
         v
@@ -209,7 +209,7 @@ fn sparse_and_dense_replays_are_byte_identical() {
                 format!(
                     "{{\"flow_id\":{},\"label\":\"{}\",\"confidence_bits\":{}}}",
                     p.flow_id,
-                    ds.class_names[p.label],
+                    ds.class_names[p.label().unwrap()],
                     p.confidence.to_bits()
                 )
             })
@@ -323,12 +323,16 @@ fn flow_cap_evicts_under_memory_pressure() {
         report.evicted > 0,
         "30 concurrent flows must breach a cap of 8"
     );
+    // Never-classified victims get the "cap-unclassified" spelling,
+    // re-entrant ones plain "cap" — both are cap-pressure evictions.
     let cap_evictions = rec
         .events
         .iter()
-        .filter(|e| matches!(e, InferEvent::FlowEvicted { reason, .. } if *reason == "cap"))
+        .filter(
+            |e| matches!(e, InferEvent::FlowEvicted { reason, .. } if reason.starts_with("cap")),
+        )
         .count();
-    assert!(cap_evictions > 0, "evictions must carry the \"cap\" reason");
+    assert!(cap_evictions > 0, "evictions must carry a \"cap\" reason");
     // Evicted flows may re-enter when later packets arrive, so the
     // classified count can exceed flows-minus-evictions; what must hold
     // is that nothing is silently lost.
@@ -368,10 +372,14 @@ fn idle_timeout_reclaims_dead_flows() {
         &mut rec,
     )
     .unwrap();
+    // Burst-1 flows never reach the classifier before going idle, so
+    // the reason carries the "-unclassified" suffix; accept the family.
     let idle_evictions = rec
         .events
         .iter()
-        .filter(|e| matches!(e, InferEvent::FlowEvicted { reason, .. } if *reason == "idle"))
+        .filter(
+            |e| matches!(e, InferEvent::FlowEvicted { reason, .. } if reason.starts_with("idle")),
+        )
         .count();
     assert!(
         idle_evictions > 0,

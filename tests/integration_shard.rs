@@ -94,10 +94,10 @@ fn engine_cfg(max_batch: usize) -> EngineConfig {
 
 /// Raw-bit view of a prediction list: order-sensitive on purpose — the
 /// sharded merge order is part of the determinism contract.
-fn bits(predictions: &[serve::engine::Prediction]) -> Vec<(u64, usize, u32)> {
+fn bits(predictions: &[serve::engine::Prediction]) -> Vec<(u64, Option<usize>, u32)> {
     predictions
         .iter()
-        .map(|p| (p.flow_id, p.label, p.confidence.to_bits()))
+        .map(|p| (p.flow_id, p.label(), p.confidence.to_bits()))
         .collect()
 }
 
